@@ -1,0 +1,34 @@
+//! Criterion benchmarks: embedding span measurement and the exact
+//! bandwidth search behind Theorem 1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lattice_embed::search::min_span_exists;
+use lattice_embed::{span, window_span, Hilbert, RowMajor};
+
+fn bench_span_measurement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("span_measurement");
+    group.sample_size(20);
+    for n in [64usize, 256] {
+        group.bench_with_input(BenchmarkId::new("row_major", n), &n, |b, &n| {
+            let e = RowMajor::new(n);
+            b.iter(|| span(&e));
+        });
+        group.bench_with_input(BenchmarkId::new("hilbert_window", n), &n, |b, &n| {
+            let e = Hilbert::new(n);
+            b.iter(|| window_span(&e));
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_bandwidth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem1_search");
+    group.sample_size(10);
+    group.bench_function("n4_refute_span3", |b| {
+        b.iter(|| assert!(!min_span_exists(4, 3)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_span_measurement, bench_exact_bandwidth);
+criterion_main!(benches);

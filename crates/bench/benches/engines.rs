@@ -1,0 +1,59 @@
+//! Criterion benchmarks: architectural simulators.
+//!
+//! Measures simulated-engine cost per site update across architectures
+//! and parameters — the simulator-side companion of experiments E3/E8.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lattice_core::Shape;
+use lattice_engines_sim::{Pipeline, SpaEngine};
+use lattice_gas::{init, FhpRule, FhpVariant};
+
+fn bench_wsa_widths(c: &mut Criterion) {
+    let shape = Shape::grid2(64, 128).unwrap();
+    let grid = init::random_fhp(shape, FhpVariant::I, 0.3, 5, false).unwrap();
+    let rule = FhpRule::new(FhpVariant::I, 11);
+    let mut group = c.benchmark_group("wsa_pipeline_depth4");
+    group.throughput(Throughput::Elements(4 * shape.len() as u64));
+    group.sample_size(10);
+    for p in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("width", p), &p, |b, &p| {
+            b.iter(|| Pipeline::wide(p, 4).run(&rule, &grid, 0).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_spa_slices(c: &mut Criterion) {
+    let shape = Shape::grid2(64, 128).unwrap();
+    let grid = init::random_fhp(shape, FhpVariant::I, 0.3, 5, false).unwrap();
+    let rule = FhpRule::new(FhpVariant::I, 11);
+    let mut group = c.benchmark_group("spa_depth4");
+    group.throughput(Throughput::Elements(4 * shape.len() as u64));
+    group.sample_size(10);
+    for w in [8usize, 16, 32, 64] {
+        group.bench_with_input(BenchmarkId::new("slice_width", w), &w, |b, &w| {
+            b.iter(|| SpaEngine::new(w, 4).run(&rule, &grid, 0).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_image_workloads(c: &mut Criterion) {
+    // The paper's other workload class (§1) through the same engines.
+    use lattice_image::{Median3, Sobel};
+    let shape = Shape::grid2(64, 128).unwrap();
+    let img = lattice_core::Grid::from_fn(shape, |co| (co.row() * 31 + co.col() * 7) as u8);
+    let mut group = c.benchmark_group("image_on_engines_64x128");
+    group.throughput(Throughput::Elements(shape.len() as u64));
+    group.sample_size(10);
+    group.bench_function("median3_wsa_p4", |b| {
+        b.iter(|| Pipeline::wide(4, 1).run(&Median3, &img, 0).unwrap());
+    });
+    group.bench_function("sobel_spa_w16", |b| {
+        b.iter(|| SpaEngine::new(16, 1).run(&Sobel, &img, 0).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_wsa_widths, bench_spa_slices, bench_image_workloads);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion benchmarks: pebble-game engine and schedules.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lattice_pebbles::strategies::{naive_sweep, tiled_schedule};
+use lattice_pebbles::{LatticeGraph, PebbleGraph};
+
+fn bench_schedules(c: &mut Criterion) {
+    let graph = LatticeGraph::new(2, 32, 16);
+    let mut group = c.benchmark_group("pebbling_2d_32x32_t16");
+    group.throughput(Throughput::Elements(graph.n_vertices() as u64));
+    group.sample_size(10);
+    group.bench_function("naive_sweep", |b| {
+        b.iter(|| naive_sweep(&graph, 64).unwrap());
+    });
+    for s in [64usize, 512, 4096] {
+        group.bench_with_input(BenchmarkId::new("tiled", s), &s, |b, &s| {
+            b.iter(|| tiled_schedule(&graph, s, None).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_search(c: &mut Criterion) {
+    let graph = LatticeGraph::new(1, 4, 2);
+    let mut group = c.benchmark_group("exact_min_io");
+    group.sample_size(10);
+    group.bench_function("1d_r4_t2_s6", |b| {
+        b.iter(|| lattice_pebbles::min_io_exact(&graph, 6).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedules, bench_exact_search);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! §8 — "Each has its preferred operating regime in different parts of
+//! the throughput vs. lattice-size plane."
+//!
+//! Renders that plane: lattice size along the columns, host bandwidth
+//! budget along the rows, each cell showing which architecture the
+//! selection logic prefers (W = WSA, E = WSA-E, S = SPA, · = none
+//! feasible under the constraints).
+
+use lattice_bench::{format_from_args, Format, Table};
+use lattice_vlsi::compare::{preferred_regime, Regime};
+use lattice_vlsi::Technology;
+
+fn main() {
+    let fmt = format_from_args();
+    let tech = Technology::paper_1987();
+
+    let l_values: Vec<u32> = vec![100, 200, 400, 600, 785, 1000, 1500, 2000, 4000, 8000];
+    let budgets: Vec<u32> = vec![16, 32, 64, 128, 256, 512, 1024, 4096];
+    let mut headers = vec!["budget \\ L".to_string()];
+    headers.extend(l_values.iter().map(|l| l.to_string()));
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+
+    // Two throughput targets bracket the plane: a modest one (any
+    // architecture's chips can add up to it — the simplest feasible
+    // machine wins) and an aggressive one (only SPA's per-chip density
+    // reaches it within the chip budget).
+    for (demand, label) in [(8.0f64, "modest (8 updates/tick)"), (100.0, "aggressive (100 updates/tick)")]
+    {
+        let mut t = Table::new(
+            format!(
+                "Preferred architecture over the (L, bandwidth-budget) plane — \
+                 {label} target, ≤ 64 chips"
+            ),
+            &header_refs,
+        );
+        for &b in budgets.iter().rev() {
+            let mut row = vec![format!("{b} bits/tick")];
+            for &l in &l_values {
+                row.push(
+                    match preferred_regime(tech, l, b, demand, 64) {
+                        Some(Regime::Wsa) => "W",
+                        Some(Regime::WsaE) => "E",
+                        Some(Regime::Spa) => "S",
+                        None => "·",
+                    }
+                    .to_string(),
+                );
+            }
+            t.row_strings(row);
+        }
+        t.note("W = WSA (simplest; needs L ≤ 785 and 64 bits/tick), E = WSA-E \
+                (any L at a constant 16 bits/tick, one update/tick/chip), \
+                S = SPA (12 updates/tick/chip, bandwidth grows with L), \
+                · = nothing meets the target within the budgets.");
+        t.print(fmt);
+    }
+
+    if matches!(fmt, Format::Markdown) {
+        println!(
+            "reading guide: move right (bigger lattices) and WSA dies at its \
+             window ceiling; move down (tighter budgets) and only WSA-E's \
+             constant 16 bits/tick survives; the rest of the plane belongs \
+             to SPA if you can afford its memory system."
+        );
+    }
+}

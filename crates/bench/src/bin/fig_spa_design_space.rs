@@ -1,0 +1,54 @@
+//! E2 — §6.2's SPA design-space figure.
+//!
+//! Regenerates the pin projection (constant `P ≤ Π²/16DE` at the
+//! pin-optimal split `P_w = Π/4D`) and the area curve
+//! `P ≤ 1/((2W+9)B + Γ)` in the `W–P` plane, plus the corner
+//! (`P ≈ 13.5, W ≈ 43`) and the integer chip (12 PEs).
+
+use lattice_bench::{fnum, format_from_args, Table};
+use lattice_vlsi::spa::Spa;
+use lattice_vlsi::Technology;
+
+fn main() {
+    let fmt = format_from_args();
+    let spa = Spa::new(Technology::paper_1987());
+
+    let mut curves = Table::new(
+        "E2: SPA design space (paper §6.2 figure) — P limits vs slice width W",
+        &["W", "P_pin (Π²/16DE)", "P_area (1/((2W+9)B+Γ))", "best integer chip P_w×P_k"],
+    );
+    for w in (5u32..=100).step_by(5) {
+        let best = spa
+            .best_chip(w)
+            .map(|d| format!("{}×{} = {}", d.p_w, d.p_k, d.p))
+            .unwrap_or_else(|| "—".into());
+        curves.row_strings(vec![
+            w.to_string(),
+            fnum(spa.p_pin_limit(), 2),
+            fnum(spa.p_area_limit(w), 2),
+            best,
+        ]);
+    }
+    curves.note("Paper: corner at P ≈ 13.5, W ≈ 43, pin-optimal P_w = Π/4D = 2.25; \
+                 beyond the corner 'throughput drops off quite rapidly as the \
+                 silicon real estate is used by memory'.");
+    curves.print(fmt);
+
+    let c = spa.corner();
+    let mut corner = Table::new("E2: SPA optimal operating point", &["quantity", "paper", "ours"]);
+    corner.row_strings(vec![
+        "P ceiling from pins".into(),
+        "13.5".into(),
+        fnum(spa.p_pin_limit(), 2),
+    ]);
+    corner.row_strings(vec!["corner W (real-valued)".into(), "≈ 43".into(), fnum(spa.corner_w(), 1)]);
+    corner.row_strings(vec!["PEs/chip (integer)".into(), "12".into(), c.p.to_string()]);
+    corner.row_strings(vec![
+        "chip split P_w × P_k".into(),
+        "—".into(),
+        format!("{} × {}", c.p_w, c.p_k),
+    ]);
+    corner.row_strings(vec!["pins used".into(), "≤ 72".into(), c.pins_used.to_string()]);
+    corner.row_strings(vec!["area used".into(), "≤ 1".into(), fnum(c.area_used, 4)]);
+    corner.print(fmt);
+}

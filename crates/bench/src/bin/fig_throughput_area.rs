@@ -1,0 +1,80 @@
+//! §3/§6.3 — throughput vs system area curves.
+//!
+//! "The critical system parameters for the one-dimensional pipeline
+//! architecture, system area and total system throughput, can be varied
+//! over a range of values. The actual selection of the operating point
+//! on the throughput-area curve depends on … the problem instance size
+//! and total system cost." (§3) and "Both SPA and WSA-E systems have
+//! throughput rates that grow linearly with the number of chips … the
+//! constant of proportionality between the two rates grows with
+//! increasing lattice size." (§6.3)
+//!
+//! This binary traces R(area) for all three architectures at two
+//! lattice sizes — one inside WSA's feasible region, one beyond it.
+
+use lattice_bench::{fnum, format_from_args, Table};
+use lattice_vlsi::{spa::Spa, wsa::Wsa, wsae::Wsae, Technology};
+
+fn main() {
+    let fmt = format_from_args();
+    let tech = Technology::paper_1987();
+    let wsa = Wsa::new(tech);
+    let spa = Spa::new(tech);
+    let wsae = Wsae::new(tech);
+
+    for l in [500u32, 2000] {
+        let mut t = Table::new(
+            format!("Throughput vs system area at L = {l} (F = 10 MHz)"),
+            &[
+                "chips N",
+                "WSA R (Mupd/s)",
+                "WSA area (α)",
+                "SPA R (Mupd/s)",
+                "SPA area (α)",
+                "WSA-E R (Mupd/s)",
+                "WSA-E area (α)",
+            ],
+        );
+        let wsa_pt = wsa.design(wsa.max_p(l).max(1), l);
+        let spa_chip = spa.corner();
+        let slices = spa.slices(l, spa_chip.w);
+        for n in [1u32, 2, 4, 8, 16, 32, 64] {
+            // WSA: N chips = depth N (when feasible at this L).
+            let (wsa_r, wsa_a) = match &wsa_pt {
+                Some(d) if n <= l => {
+                    (fnum(wsa.throughput(d.p, n) / 1e6, 0), fnum(n as f64 * 1.0, 0))
+                }
+                _ => ("—".into(), "—".into()),
+            };
+            // SPA: choose total depth k so the chip count is ≈ n.
+            let chip_cols = slices.div_ceil(spa_chip.p_w);
+            let depth_chips = (n / chip_cols).max(1);
+            let k = depth_chips * spa_chip.p_k;
+            let spa_n = spa.chips(l, k, &spa_chip) as f64;
+            let spa_r = spa.throughput(l, spa_chip.w, k);
+            // WSA-E: n processor chips, each dragging its off-chip SRs.
+            let wsae_r = wsae.throughput(n);
+            let wsae_a = wsae.system_area(n, l);
+            t.row_strings(vec![
+                n.to_string(),
+                wsa_r,
+                wsa_a,
+                fnum(spa_r / 1e6, 0),
+                fnum(spa_n, 0),
+                fnum(wsae_r / 1e6, 0),
+                fnum(wsae_a, 1),
+            ]);
+        }
+        t.note(format!(
+            "WSA column empty when L exceeds its {}-site ceiling. SPA rows use \
+             whole chip-columns ({} slices at W = {}, P_w = {}). All rates grow \
+             linearly in chips; the *slopes* differ by the per-chip PE counts \
+             and the areas by the storage each architecture drags along.",
+            wsa.corner().l,
+            slices,
+            spa_chip.w,
+            spa_chip.p_w
+        ));
+        t.print(fmt);
+    }
+}

@@ -1,0 +1,60 @@
+//! E1 — §6.1's WSA design-space figure.
+//!
+//! Regenerates the two constraint curves in the `L–P` plane — the pin
+//! ceiling `P ≤ Π/2D` and the area curve `P ≤ (1 − 3B − 2BL)/(7B + Γ)`
+//! — and the corner operating point the paper reads off them
+//! (`P ≈ 4, L ≈ 785`).
+
+use lattice_bench::{fnum, format_from_args, Table};
+use lattice_vlsi::wsa::Wsa;
+use lattice_vlsi::Technology;
+
+fn main() {
+    let fmt = format_from_args();
+    let wsa = Wsa::new(Technology::paper_1987());
+
+    let mut curves = Table::new(
+        "E1: WSA design space (paper §6.1 figure) — P limits vs lattice size L",
+        &["L", "P_pin (Π/2D)", "P_area ((1−3B−2BL)/(7B+Γ))", "P_max (integer)"],
+    );
+    for l in (50u32..=850).step_by(50) {
+        curves.row_strings(vec![
+            l.to_string(),
+            fnum(wsa.p_pin_limit(), 2),
+            fnum(wsa.p_area_limit(l), 2),
+            wsa.max_p(l).to_string(),
+        ]);
+    }
+    curves.note("Paper: curves intersect at P ≈ 4, L ≈ 785; beyond the corner, \
+                 throughput drops off linearly as memory eats the chip.");
+    curves.print(fmt);
+
+    let c = wsa.corner();
+    let mut corner = Table::new(
+        "E1: WSA optimal operating point",
+        &["quantity", "paper", "ours"],
+    );
+    corner.row_strings(vec!["P (PEs/chip)".into(), "4".into(), c.p.to_string()]);
+    corner.row_strings(vec!["L (max lattice side)".into(), "785".into(), c.l.to_string()]);
+    corner.row_strings(vec![
+        "memory bandwidth (bits/tick)".into(),
+        "64".into(),
+        c.bandwidth_bits_per_tick.to_string(),
+    ]);
+    corner.row_strings(vec![
+        "chip area used".into(),
+        "≈ 1".into(),
+        fnum(c.area_used, 4),
+    ]);
+    corner.row_strings(vec![
+        "absolute L ceiling (any P)".into(),
+        "—".into(),
+        wsa.l_upper_bound().to_string(),
+    ]);
+    corner.row_strings(vec![
+        "R_max = F·P·L (updates/s)".into(),
+        "—".into(),
+        fnum(wsa.max_throughput(c.p, c.l), 0),
+    ]);
+    corner.print(fmt);
+}

@@ -1,0 +1,51 @@
+//! Regenerates every table and figure in one command:
+//!
+//! ```sh
+//! cargo run --release -p lattice-bench --bin run_all
+//! ```
+//!
+//! Invokes each experiment binary in EXPERIMENTS.md order, streaming
+//! their markdown to stdout. Pass `--csv` to forward CSV mode.
+
+use std::process::Command;
+
+const BINS: &[&str] = &[
+    "fig_wsa_design_space",
+    "fig_spa_design_space",
+    "tab_architecture_comparison",
+    "tab_wsae_vs_spa",
+    "tab_span_bounds",
+    "fig_pebbling_bound",
+    "tab_prototype",
+    "tab_model_vs_sim",
+    "tab_tech_scaling",
+    "tab_ablations",
+    "fig_throughput_area",
+    "fig_regime_map",
+    "tab_competitors",
+    "tab_physics",
+];
+
+fn main() {
+    let forward: Vec<String> = std::env::args().skip(1).collect();
+    let me = std::env::current_exe().expect("own path");
+    let bin_dir = me.parent().expect("bin dir");
+    let mut failures = 0;
+    for name in BINS {
+        println!("\n{:=^74}\n", format!(" {name} "));
+        let path = bin_dir.join(name);
+        let status = Command::new(&path)
+            .args(&forward)
+            .status()
+            .unwrap_or_else(|e| panic!("running {name}: {e} (build with --release first)"));
+        if !status.success() {
+            eprintln!("!! {name} failed with {status}");
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("\n{failures} experiment binaries failed");
+        std::process::exit(1);
+    }
+    println!("\nall {} experiments regenerated ✓", BINS.len());
+}

@@ -1,0 +1,87 @@
+//! Workload validation — the §2 preconditions, measured.
+//!
+//! The paper leans on FHP recovering fluid behavior; these tables record
+//! the measurable preconditions our gas implementations satisfy:
+//! equilibrium isotropy, shear-momentum relaxation (the viscosity
+//! probe), collision saturation per variant, and density-pulse
+//! propagation.
+
+use lattice_bench::{fnum, format_from_args, Table};
+use lattice_gas::fhp::{fhp_table, FHP_GAS_MASK, FHP_MOVE_MASK};
+use lattice_gas::physics::{fhp_shear_amplitude, hpp_pulse_radius, relaxation_trajectory};
+use lattice_gas::FhpVariant;
+
+fn main() {
+    let fmt = format_from_args();
+
+    let mut sat = Table::new(
+        "Collision saturation by FHP variant (fraction of states that collide)",
+        &["variant", "state bits", "saturation", "notes"],
+    );
+    for (name, v, mask, note) in [
+        ("FHP-I", FhpVariant::I, FHP_MOVE_MASK, "pairs + triples"),
+        ("FHP-II", FhpVariant::II, FHP_GAS_MASK, "adds rest-particle collisions"),
+        ("FHP-III", FhpVariant::III, FHP_GAS_MASK, "collision-saturated (optimal)"),
+    ] {
+        let t = fhp_table(v);
+        sat.row_strings(vec![
+            name.into(),
+            if v == FhpVariant::I { "6".into() } else { "7".into() },
+            fnum(t.saturation(|s| s & !mask == 0), 3),
+            note.into(),
+        ]);
+    }
+    sat.note("Higher saturation → lower viscosity → higher Reynolds number per \
+              lattice site (the scaling the paper cites from Orszag & Yakhot).");
+    sat.print(fmt);
+
+    let mut aniso = Table::new(
+        "Equilibrium isotropy: channel-occupation anisotropy over time (64×64 FHP-I)",
+        &["generation", "anisotropy"],
+    );
+    let traj = relaxation_trajectory(64, 64, FhpVariant::I, 0.35, 11, 8, 10);
+    for (i, a) in traj.iter().enumerate() {
+        aniso.row_strings(vec![(i * 10).to_string(), fnum(*a, 4)]);
+    }
+    aniso.note("Statistical noise floor ≈ 1/√sites ≈ 0.016; staying at the floor \
+                means the collision rules introduce no directional bias.");
+    aniso.print(fmt);
+
+    let mut shear = Table::new(
+        "Shear relaxation (viscosity probe): amplitude after 40 generations",
+        &["variant", "initial shear", "after 40 gens", "retained"],
+    );
+    for (name, v) in [("FHP-I", FhpVariant::I), ("FHP-II", FhpVariant::II), ("FHP-III", FhpVariant::III)]
+    {
+        let (a0, a1) = fhp_shear_amplitude(32, 64, v, 5, 40);
+        shear.row_strings(vec![
+            name.into(),
+            fnum(a0, 3),
+            fnum(a1, 3),
+            format!("{}%", fnum(100.0 * a1 / a0, 1)),
+        ]);
+    }
+    shear.note("All variants relax the shear substantially within 40 generations \
+                (viscous momentum transport). The precise ordering depends on \
+                which outcome each table picks per conservation class; our \
+                class-rotation FHP-III differs from the historical table there, \
+                so its effective viscosity need not undercut FHP-II's.");
+    shear.print(fmt);
+
+    let mut pulse = Table::new(
+        "HPP density-pulse propagation (64², disk radius 6)",
+        &["steps", "radius before", "radius after", "front speed (sites/step)"],
+    );
+    for steps in [10u64, 20, 30] {
+        let (r0, r1) = hpp_pulse_radius(64, steps, 5, 0.0);
+        pulse.row_strings(vec![
+            steps.to_string(),
+            fnum(r0, 2),
+            fnum(r1, 2),
+            fnum((r1 - r0) / steps as f64, 3),
+        ]);
+    }
+    pulse.note("Ballistic, sub-light-cone spreading (≤ 1 site/step) — transport, \
+                not diffusion.");
+    pulse.print(fmt);
+}

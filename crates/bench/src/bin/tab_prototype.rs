@@ -1,0 +1,80 @@
+//! E7 — §8's prototype numbers.
+//!
+//! Paper: "Each chip provides 20 million site-updates per second running
+//! at 10 MHz. It is unlikely, however, that the workstation host will be
+//! able to supply the 40 megabyte per second bandwidth required for this
+//! level of performance. We expect to realize approximately 1 million
+//! site-updates/sec/chip from the prototype implementation."
+//!
+//! We reproduce the derating curve with both the closed-form throttle
+//! and the token-bucket stall simulation, and cross-check the 2-PE
+//! chip's demand figure against the cycle-level WSA simulator.
+
+use lattice_bench::{fnum, format_from_args, Table};
+use lattice_engines_sim::{throttled_rate, HostLink, Pipeline, StallSim};
+use lattice_gas::{init, FhpRule, FhpVariant};
+use lattice_vlsi::Technology;
+
+fn main() {
+    let fmt = format_from_args();
+    let tech = Technology::paper_1987();
+    let clock = tech.clock_hz; // 10 MHz
+    let p = 2u32; // the fabricated chip's PE count
+    let peak = clock * p as f64; // 20 M updates/s
+    let demand_bits_per_tick = (2 * tech.d_bits * p) as f64; // 32
+
+    let mut t = Table::new(
+        "E7: prototype WSA chip under host-bandwidth limits (paper §8)",
+        &[
+            "host bandwidth (MB/s)",
+            "updates/s (closed form)",
+            "updates/s (stall sim)",
+            "duty cycle",
+        ],
+    );
+    for mbps in [0.5f64, 1.0, 2.0, 4.0, 10.0, 20.0, 40.0, 80.0] {
+        let link = HostLink::new(mbps * 1e6);
+        let closed = throttled_rate(peak, demand_bits_per_tick, clock, link);
+        let mut sim = StallSim::new(link.bits_per_tick(clock), demand_bits_per_tick);
+        sim.run(200_000);
+        let simulated = sim.duty_cycle() * peak;
+        t.row_strings(vec![
+            fnum(mbps, 1),
+            fnum(closed, 0),
+            fnum(simulated, 0),
+            fnum(sim.duty_cycle(), 3),
+        ]);
+    }
+    t.note("Paper: 20 M updates/s/chip peak needs 40 MB/s; a ~2 MB/s workstation \
+            host sustains ~1 M updates/s — the 20× derating reproduced on the \
+            2 MB/s row.");
+    t.print(fmt);
+
+    // Cross-check the demand figure by measurement.
+    let shape = lattice_core::Shape::grid2(64, 256).unwrap();
+    let grid = init::random_fhp(shape, FhpVariant::I, 0.25, 5, false).unwrap();
+    let rule = FhpRule::new(FhpVariant::I, 9);
+    let report = Pipeline::wide(p as usize, 1).run(&rule, &grid, 0).unwrap();
+    let mut x = Table::new(
+        "E7 cross-check: measured chip figures (cycle-level WSA sim, P = 2)",
+        &["quantity", "paper", "measured"],
+    );
+    x.row_strings(vec![
+        "updates/s at 10 MHz".into(),
+        "20,000,000".into(),
+        fnum(report.updates_per_second(clock), 0),
+    ]);
+    x.row_strings(vec![
+        "memory demand (bits/tick)".into(),
+        "32 (= 40 MB/s)".into(),
+        fnum(report.memory_bits_per_tick(), 1),
+    ]);
+    x.row_strings(vec![
+        "demand (MB/s at 10 MHz)".into(),
+        "40".into(),
+        fnum(report.memory_bits_per_tick() * clock / 8e6, 1),
+    ]);
+    x.note("Measured figures are slightly below peak because the pass includes \
+            pipeline fill/drain ticks.");
+    x.print(fmt);
+}

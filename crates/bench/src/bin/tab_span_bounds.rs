@@ -1,0 +1,75 @@
+//! E5 — §3's span theorem (Theorem 1, Supowit–Young).
+//!
+//! Paper: any placement of `1..n²` in an `n×n` array has span ≥ n;
+//! row-major achieves it ("the row-major embedding is optimal and
+//! therefore a serial pipeline must use at least 2n − 2 storage").
+//!
+//! We (a) verify the bound *exhaustively* for small n by branch-and-
+//! bound search, and (b) measure the span and PE-storage requirement of
+//! every named embedding, showing nothing beats raster order.
+
+use lattice_bench::{format_from_args, Table};
+use lattice_embed::search::{min_span, min_span_exists};
+use lattice_embed::{
+    hex_window_span, span, window_span, Boustrophedon, Embedding, Hilbert, Morton, RowMajor,
+};
+
+fn main() {
+    let fmt = format_from_args();
+
+    let mut exact = Table::new(
+        "E5a: exact minimum span of the n×n array (exhaustive search)",
+        &["n", "span n−1 exists?", "span n exists?", "minimum span", "Theorem 1 bound"],
+    );
+    for n in 2usize..=4 {
+        exact.row_strings(vec![
+            n.to_string(),
+            min_span_exists(n, n - 1).to_string(),
+            min_span_exists(n, n).to_string(),
+            min_span(n).to_string(),
+            n.to_string(),
+        ]);
+    }
+    exact.note("Theorem 1: span ≥ n always; row-major shows n is achievable, so the \
+                minimum is exactly n (the grid graph's bandwidth).");
+    exact.print(fmt);
+
+    let mut meas = Table::new(
+        "E5b: measured span and serial-PE storage by embedding",
+        &[
+            "n",
+            "embedding",
+            "span",
+            "Moore window span",
+            "hex window span",
+            "paper bound (≥)",
+        ],
+    );
+    for n in [8usize, 16, 32, 64] {
+        let entries: Vec<(String, usize, usize, usize)> = vec![
+            named(&RowMajor::new(n)),
+            named(&Boustrophedon::new(n)),
+            named(&Morton::new(n)),
+            named(&Hilbert::new(n)),
+        ];
+        for (name, s, wm, wh) in entries {
+            meas.row_strings(vec![
+                n.to_string(),
+                name,
+                s.to_string(),
+                wm.to_string(),
+                wh.to_string(),
+                format!("{} / {}", n, 2 * n - 2),
+            ]);
+        }
+    }
+    meas.note("Columns 'paper bound': span ≥ n (Theorem 1) and hex-neighborhood \
+               stream diameter ≥ 2n−2 (§3). Row-major meets both with equality up \
+               to O(1); space-filling curves have better average locality but far \
+               worse worst-case span — a serial pipeline wants raster order.");
+    meas.print(fmt);
+}
+
+fn named(e: &(impl Embedding + ?Sized)) -> (String, usize, usize, usize) {
+    (e.name().to_string(), span(e), window_span(e), hex_window_span(e))
+}

@@ -1,0 +1,85 @@
+//! Ablation — §8's closing observation, quantified.
+//!
+//! "In our conservative VLSI design … the processors themselves comprise
+//! only a small fraction of the total silicon area. As feature sizes
+//! shrink and problems are tackled with larger lattices in higher
+//! dimensions, this effect will become even more dramatic."
+//!
+//! We scale the 1987 technology (areas shrink as 1/s², pad-limited pins
+//! grow only as s) and re-derive both architectures' operating points,
+//! showing the processor area fraction collapsing and bandwidth staying
+//! the binding constraint.
+
+use lattice_bench::{fnum, format_from_args, Table};
+use lattice_vlsi::{spa::Spa, wsa::Wsa, Technology};
+
+fn main() {
+    let fmt = format_from_args();
+
+    let mut t = Table::new(
+        "Technology scaling ablation (paper §8's closing claim)",
+        &[
+            "scale s",
+            "pins",
+            "WSA P*",
+            "WSA L*",
+            "WSA PE area frac",
+            "SPA P*",
+            "SPA W*",
+            "SPA bw @ L* (bits/tick)",
+        ],
+    );
+    let base = Technology::paper_1987();
+    for s in [1.0f64, 2.0, 4.0, 8.0] {
+        let tech = base.scaled(s);
+        let wsa = Wsa::new(tech).corner();
+        let spa_model = Spa::new(tech);
+        let spa = spa_model.corner();
+        let pe_frac = wsa.p as f64 * tech.g / wsa.area_used;
+        t.row_strings(vec![
+            fnum(s, 0),
+            tech.pins.to_string(),
+            wsa.p.to_string(),
+            wsa.l.to_string(),
+            fnum(pe_frac, 3),
+            spa.p.to_string(),
+            spa.w.to_string(),
+            spa_model.bandwidth_bits_per_tick(wsa.l, spa.w).to_string(),
+        ]);
+    }
+    t.note("Area shrinks 1/s², pins grow ~s: supportable lattices (L*) grow much \
+            faster than deliverable bandwidth, so the PE fraction of silicon falls \
+            and I/O remains the binding constraint — 'a search for more effective \
+            interconnection technologies … should have high priority'.");
+    t.print(fmt);
+
+    // Companion figure: fraction of chip area doing arithmetic at the
+    // 1987 point (paper: "about 4 percent of the area is used for
+    // processing").
+    let tech = base;
+    let wsa = Wsa::new(tech).corner();
+    let mut frac = Table::new(
+        "Processor area fraction at the 1987 operating points",
+        &["architecture", "PE area", "storage area", "PE fraction", "paper"],
+    );
+    let pe_area = wsa.p as f64 * tech.g;
+    let sr_area = wsa.cells as f64 * tech.b;
+    frac.row_strings(vec![
+        "WSA (P=4, L=785)".into(),
+        fnum(pe_area, 4),
+        fnum(sr_area, 4),
+        fnum(pe_area / (pe_area + sr_area), 3),
+        "≈ 4% (fabricated chip)".into(),
+    ]);
+    let spa = Spa::new(tech).corner();
+    let spa_pe = spa.p as f64 * tech.g;
+    let spa_sr = spa.cells as f64 * tech.b;
+    frac.row_strings(vec![
+        format!("SPA (P={}, W={})", spa.p, spa.w),
+        fnum(spa_pe, 4),
+        fnum(spa_sr, 4),
+        fnum(spa_pe / (spa_pe + spa_sr), 3),
+        "—".into(),
+    ]);
+    frac.print(fmt);
+}

@@ -1,0 +1,77 @@
+//! E4 — §6.3's WSA-E vs SPA scaling comparison.
+//!
+//! Paper: "WSA-E has a constant bandwidth requirement of 16 bits per
+//! clock tick and requires (2L+10)B storage area per processor … For a
+//! fixed processing rate, the penalty for larger lattice size is either
+//! linear growth in the number of chips for the WSA-E system, or linear
+//! growth in the main memory bandwidth in the SPA case. For example, if
+//! L = 1000, then WSA-E requires about twice as much area as SPA, while
+//! requiring about one twentieth as much bandwidth."
+
+use lattice_bench::{fnum, format_from_args, Table};
+use lattice_vlsi::{wsae_vs_spa, Technology};
+
+fn main() {
+    let fmt = format_from_args();
+    let tech = Technology::paper_1987();
+
+    let mut sweep = Table::new(
+        "E4: WSA-E vs SPA across lattice size (paper §6.3)",
+        &[
+            "L",
+            "WSA-E stage area (α)",
+            "WSA-E bw (bits/tick)",
+            "SPA bw (bits/tick)",
+            "area ratio (WSA-E/SPA)",
+            "bw ratio (WSA-E/SPA)",
+        ],
+    );
+    for l in [100u32, 250, 500, 785, 1000, 1500, 2000] {
+        let c = wsae_vs_spa(tech, l);
+        let spa_bw = c.wsae.bandwidth_bits_per_tick as f64 / c.bandwidth_ratio;
+        sweep.row_strings(vec![
+            l.to_string(),
+            fnum(c.wsae.stage_area, 3),
+            c.wsae.bandwidth_bits_per_tick.to_string(),
+            fnum(spa_bw, 0),
+            format!("{}×", fnum(c.area_ratio, 2)),
+            format!("1/{}", fnum(1.0 / c.bandwidth_ratio, 1)),
+        ]);
+    }
+    sweep.note("Equal chip count; SPA chip = 12 PEs. WSA-E area grows linearly in L \
+                at constant bandwidth; SPA bandwidth grows linearly in L at constant \
+                chip area — mirror-image penalties.");
+    sweep.print(fmt);
+
+    let c = wsae_vs_spa(tech, 1000);
+    let mut headline = Table::new(
+        "E4: the paper's L = 1000 headline numbers",
+        &["quantity", "paper", "ours"],
+    );
+    headline.row_strings(vec![
+        "SPA speedup per chip".into(),
+        "12×".into(),
+        format!("{}×", fnum(c.speedup_per_chip, 0)),
+    ]);
+    headline.row_strings(vec![
+        "WSA-E area vs SPA".into(),
+        "about twice".into(),
+        format!("{}×", fnum(c.area_ratio, 2)),
+    ]);
+    headline.row_strings(vec![
+        "WSA-E bandwidth vs SPA".into(),
+        "about one twentieth".into(),
+        format!("1/{}", fnum(1.0 / c.bandwidth_ratio, 1)),
+    ]);
+    headline.row_strings(vec![
+        "WSA-E storage per PE".into(),
+        "(2L+10)B = 1.158α".into(),
+        format!("{}α", fnum(c.wsae_storage_per_pe, 3)),
+    ]);
+    headline.row_strings(vec![
+        "SPA area per PE".into(),
+        "≈ (2W+9)B + Γ".into(),
+        format!("{}α", fnum(c.spa_area_per_pe, 4)),
+    ]);
+    headline.print(fmt);
+}

@@ -1,0 +1,159 @@
+//! Bit-level utilities: site packing and I/O traffic accounting.
+//!
+//! The paper's central quantities are measured in *bits per clock tick*
+//! across chip pins and the main-memory channel. [`Traffic`] is the
+//! counter type every simulator uses; [`pack_sites`]/[`unpack_sites`]
+//! model the D-bits-per-site wire format.
+
+use crate::rule::State;
+
+/// Cumulative I/O traffic counter, in bits.
+///
+/// Separate inbound/outbound tallies let engines report the paper's
+/// "2·D·P pins" style figures (D in + D out per processing element).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Traffic {
+    /// Bits moved into the component.
+    pub bits_in: u128,
+    /// Bits moved out of the component.
+    pub bits_out: u128,
+}
+
+impl Traffic {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Traffic::default()
+    }
+
+    /// Records `n` sites of `bits` bits each moving in.
+    pub fn record_in(&mut self, n: u128, bits: u32) {
+        self.bits_in += n * bits as u128;
+    }
+
+    /// Records `n` sites of `bits` bits each moving out.
+    pub fn record_out(&mut self, n: u128, bits: u32) {
+        self.bits_out += n * bits as u128;
+    }
+
+    /// Total bits moved in either direction.
+    pub fn total(&self) -> u128 {
+        self.bits_in + self.bits_out
+    }
+
+    /// Adds another counter into this one.
+    pub fn merge(&mut self, other: Traffic) {
+        self.bits_in += other.bits_in;
+        self.bits_out += other.bits_out;
+    }
+
+    /// Average total bits per tick over `ticks` clock periods.
+    pub fn bits_per_tick(&self, ticks: u128) -> f64 {
+        if ticks == 0 {
+            0.0
+        } else {
+            self.total() as f64 / ticks as f64
+        }
+    }
+}
+
+/// Packs site states into 64-bit words, [`State::BITS`] bits per site,
+/// little-endian within each word. Sites never straddle word boundaries
+/// when `64 % BITS == 0`; otherwise they may, exactly as a serial wire
+/// format would.
+pub fn pack_sites<S: State>(sites: &[S]) -> Vec<u64> {
+    let bits = S::BITS as usize;
+    assert!((1..=64).contains(&bits));
+    let total_bits = sites.len() * bits;
+    let mut words = vec![0u64; total_bits.div_ceil(64)];
+    let mask: u64 = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    for (i, s) in sites.iter().enumerate() {
+        let v = s.to_word() & mask;
+        let bit0 = i * bits;
+        let w = bit0 / 64;
+        let off = bit0 % 64;
+        words[w] |= v << off;
+        if off + bits > 64 {
+            words[w + 1] |= v >> (64 - off);
+        }
+    }
+    words
+}
+
+/// Inverse of [`pack_sites`]: extracts `n` sites from packed words.
+pub fn unpack_sites<S: State>(words: &[u64], n: usize) -> Vec<S> {
+    let bits = S::BITS as usize;
+    let mask: u64 = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let bit0 = i * bits;
+        let w = bit0 / 64;
+        let off = bit0 % 64;
+        let mut v = words[w] >> off;
+        if off + bits > 64 {
+            v |= words[w + 1] << (64 - off);
+        }
+        out.push(S::from_word(v & mask));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_accounting() {
+        let mut t = Traffic::new();
+        t.record_in(10, 8);
+        t.record_out(5, 8);
+        assert_eq!(t.bits_in, 80);
+        assert_eq!(t.bits_out, 40);
+        assert_eq!(t.total(), 120);
+        assert!((t.bits_per_tick(10) - 12.0).abs() < 1e-12);
+        assert_eq!(t.bits_per_tick(0), 0.0);
+
+        let mut u = Traffic::new();
+        u.record_in(1, 16);
+        u.merge(t);
+        assert_eq!(u.bits_in, 96);
+    }
+
+    #[test]
+    fn pack_unpack_u8_roundtrip() {
+        let sites: Vec<u8> = (0..=255u8).collect();
+        let words = pack_sites(&sites);
+        assert_eq!(words.len(), 32);
+        let back: Vec<u8> = unpack_sites(&words, sites.len());
+        assert_eq!(back, sites);
+    }
+
+    #[test]
+    fn pack_unpack_bool_roundtrip() {
+        let sites: Vec<bool> = (0..130).map(|i| i % 3 == 0).collect();
+        let words = pack_sites(&sites);
+        assert_eq!(words.len(), 3);
+        let back: Vec<bool> = unpack_sites(&words, sites.len());
+        assert_eq!(back, sites);
+    }
+
+    #[test]
+    fn pack_layout_is_little_endian() {
+        let words = pack_sites(&[0x01u8, 0x02, 0x03]);
+        assert_eq!(words[0], 0x030201);
+    }
+
+    #[test]
+    fn pack_unpack_u16_roundtrip() {
+        let sites: Vec<u16> = (0..1000u16).map(|i| i.wrapping_mul(2654435761u32 as u16)).collect();
+        let back: Vec<u16> = unpack_sites(&pack_sites(&sites), sites.len());
+        assert_eq!(back, sites);
+    }
+
+    #[test]
+    fn empty_pack() {
+        let words = pack_sites::<u8>(&[]);
+        assert!(words.is_empty());
+        let back: Vec<u8> = unpack_sites(&words, 0);
+        assert!(back.is_empty());
+    }
+}

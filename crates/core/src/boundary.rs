@@ -1,0 +1,73 @@
+//! Boundary conditions.
+//!
+//! §7 of the paper (assumption 2) admits several boundary regimes for an
+//! LGCA: *null (zero valued)*, random, deterministic with truncated
+//! neighborhoods, or *toroidally connected*. We implement the two that the
+//! architectures exercise:
+//!
+//! * [`Boundary::Fixed`] — every off-lattice neighbor reads as a constant
+//!   (usually the all-zero "null" state). This is what a streaming
+//!   pipeline supports natively: the stage substitutes the constant when
+//!   its window hangs off the lattice edge.
+//! * [`Boundary::Periodic`] — toroidal wrap. The reference engine supports
+//!   it directly; the pipelined engines support it via host-side halo
+//!   framing (see `lattice_engines_sim::halo`).
+
+use crate::rule::State;
+
+/// Boundary condition applied when a window reaches past the lattice edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Boundary<S: State> {
+    /// Off-lattice neighbors read as the given constant value.
+    Fixed(S),
+    /// Toroidal wrap-around on every axis.
+    Periodic,
+}
+
+impl<S: State> Boundary<S> {
+    /// The "null" boundary of the paper: off-lattice sites read as the
+    /// default (all-zero) state.
+    pub fn null() -> Self {
+        Boundary::Fixed(S::default())
+    }
+
+    /// True for periodic boundaries.
+    pub fn is_periodic(&self) -> bool {
+        matches!(self, Boundary::Periodic)
+    }
+
+    /// The fill value for fixed boundaries, if any.
+    pub fn fill(&self) -> Option<S> {
+        match self {
+            Boundary::Fixed(s) => Some(*s),
+            Boundary::Periodic => None,
+        }
+    }
+}
+
+impl<S: State> Default for Boundary<S> {
+    fn default() -> Self {
+        Boundary::null()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_is_default_fixed() {
+        let b: Boundary<u8> = Boundary::null();
+        assert_eq!(b, Boundary::Fixed(0));
+        assert_eq!(b.fill(), Some(0));
+        assert!(!b.is_periodic());
+        assert_eq!(Boundary::<u8>::default(), b);
+    }
+
+    #[test]
+    fn periodic_has_no_fill() {
+        let b: Boundary<u8> = Boundary::Periodic;
+        assert!(b.is_periodic());
+        assert_eq!(b.fill(), None);
+    }
+}

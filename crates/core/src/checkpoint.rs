@@ -1,0 +1,175 @@
+//! Lattice checkpoints: compact, self-describing grid snapshots.
+//!
+//! The paper's host "machine for support" owns the lattice between
+//! engine passes; long lattice-gas runs (thousands of generations at
+//! §2's "huge lattices") need periodic snapshots. The format is a small
+//! run-length encoding over the raster stream — gas lattices are sparse
+//! or locally uniform, so RLE does well — with a header carrying the
+//! shape, the generation number, and the site bit-width for validation
+//! on load.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! magic "LGC1" | rank u8 | bits u8 | dims [u64; rank] | time u64 |
+//! runs: (count u32, value u64)*  until the lattice is covered
+//! ```
+
+use crate::coord::Shape;
+use crate::grid::Grid;
+use crate::rule::State;
+use crate::LatticeError;
+
+const MAGIC: &[u8; 4] = b"LGC1";
+
+/// Serializes a grid (with its generation number) to bytes.
+pub fn save<S: State>(grid: &Grid<S>, time: u64) -> Vec<u8> {
+    let shape = grid.shape();
+    let mut out = Vec::with_capacity(64 + grid.len() / 4);
+    out.extend_from_slice(MAGIC);
+    out.push(shape.rank() as u8);
+    out.push(S::BITS as u8);
+    for &d in shape.dims() {
+        out.extend_from_slice(&(d as u64).to_le_bytes());
+    }
+    out.extend_from_slice(&time.to_le_bytes());
+    // RLE over the raster stream.
+    let data = grid.as_slice();
+    let mut i = 0usize;
+    while i < data.len() {
+        let v = data[i].to_word();
+        let mut run = 1usize;
+        while i + run < data.len() && data[i + run].to_word() == v && run < u32::MAX as usize {
+            run += 1;
+        }
+        out.extend_from_slice(&(run as u32).to_le_bytes());
+        out.extend_from_slice(&v.to_le_bytes());
+        i += run;
+    }
+    out
+}
+
+/// Deserializes a checkpoint, returning the grid and its generation.
+pub fn load<S: State>(bytes: &[u8]) -> Result<(Grid<S>, u64), LatticeError> {
+    let err = |msg: &str| LatticeError::InvalidConfig(format!("checkpoint: {msg}"));
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8], LatticeError> {
+        if *pos + n > bytes.len() {
+            return Err(err("truncated"));
+        }
+        let s = &bytes[*pos..*pos + n];
+        *pos += n;
+        Ok(s)
+    };
+    if take(&mut pos, 4)? != MAGIC {
+        return Err(err("bad magic"));
+    }
+    let rank = take(&mut pos, 1)?[0] as usize;
+    let bits = take(&mut pos, 1)?[0] as u32;
+    if bits != S::BITS {
+        return Err(err(&format!("site width {} does not match expected {}", bits, S::BITS)));
+    }
+    if rank == 0 || rank > crate::MAX_DIMS {
+        return Err(LatticeError::BadRank { rank });
+    }
+    let mut dims = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(take(&mut pos, 8)?);
+        dims.push(u64::from_le_bytes(b) as usize);
+    }
+    let shape = Shape::new(&dims)?;
+    let mut tb = [0u8; 8];
+    tb.copy_from_slice(take(&mut pos, 8)?);
+    let time = u64::from_le_bytes(tb);
+
+    let mut data: Vec<S> = Vec::with_capacity(shape.len());
+    while data.len() < shape.len() {
+        let mut cb = [0u8; 4];
+        cb.copy_from_slice(take(&mut pos, 4)?);
+        let count = u32::from_le_bytes(cb) as usize;
+        let mut vb = [0u8; 8];
+        vb.copy_from_slice(take(&mut pos, 8)?);
+        let value = S::from_word(u64::from_le_bytes(vb));
+        if count == 0 || data.len() + count > shape.len() {
+            return Err(err("run overflows the lattice"));
+        }
+        data.resize(data.len() + count, value);
+    }
+    if pos != bytes.len() {
+        return Err(err("trailing bytes"));
+    }
+    Ok((Grid::from_vec(shape, data)?, time))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coord::Coord;
+
+    #[test]
+    fn roundtrip_2d() {
+        let shape = Shape::grid2(7, 13).unwrap();
+        let g = Grid::from_fn(shape, |c| ((c.row() * 13 + c.col()) % 5) as u8);
+        let bytes = save(&g, 42);
+        let (back, t) = load::<u8>(&bytes).unwrap();
+        assert_eq!(back, g);
+        assert_eq!(t, 42);
+    }
+
+    #[test]
+    fn roundtrip_1d_and_3d() {
+        let g1 = Grid::from_fn(Shape::line(100).unwrap(), |c| c.col() % 7 == 0);
+        let (b1, _) = load::<bool>(&save(&g1, 0)).unwrap();
+        assert_eq!(b1, g1);
+        let g3 = Grid::from_fn(Shape::grid3(3, 4, 5).unwrap(), |c| {
+            (c.get(0) * 20 + c.get(1) * 5 + c.get(2)) as u16
+        });
+        let (b3, t) = load::<u16>(&save(&g3, 9)).unwrap();
+        assert_eq!(b3, g3);
+        assert_eq!(t, 9);
+    }
+
+    #[test]
+    fn uniform_grid_compresses_well() {
+        let shape = Shape::grid2(100, 100).unwrap();
+        let g: Grid<u8> = Grid::filled(shape, 7);
+        let bytes = save(&g, 0);
+        // Header + one run: far below 10_000 raw bytes.
+        assert!(bytes.len() < 64, "{} bytes", bytes.len());
+        let (back, _) = load::<u8>(&bytes).unwrap();
+        assert_eq!(back.get(Coord::c2(99, 99)), 7);
+    }
+
+    #[test]
+    fn corrupted_inputs_are_rejected() {
+        let g: Grid<u8> = Grid::new(Shape::grid2(4, 4).unwrap());
+        let good = save(&g, 1);
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(load::<u8>(&bad).is_err());
+        // Truncated.
+        assert!(load::<u8>(&good[..good.len() - 3]).is_err());
+        // Wrong site type.
+        assert!(load::<u16>(&good).is_err());
+        // Trailing garbage.
+        let mut long = good.clone();
+        long.push(0);
+        assert!(load::<u8>(&long).is_err());
+        // Run overflow: corrupt the first run count to a huge value.
+        let mut over = good.clone();
+        let runs_at = 4 + 1 + 1 + 16 + 8;
+        over[runs_at..runs_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(load::<u8>(&over).is_err());
+    }
+
+    #[test]
+    fn empty_runs_rejected() {
+        let g: Grid<u8> = Grid::new(Shape::line(4).unwrap());
+        let mut bytes = save(&g, 0);
+        let runs_at = 4 + 1 + 1 + 8 + 8;
+        bytes[runs_at..runs_at + 4].copy_from_slice(&0u32.to_le_bytes());
+        assert!(load::<u8>(&bytes).is_err());
+    }
+}

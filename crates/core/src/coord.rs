@@ -1,0 +1,350 @@
+//! Lattice shapes and coordinates.
+//!
+//! A [`Shape`] describes a finite d-dimensional orthogonal lattice
+//! (1 ≤ d ≤ [`MAX_DIMS`]) and owns the row-major index arithmetic used
+//! everywhere else: the paper's serial architectures stream sites in
+//! exactly this row-major ("raster scan") order, and the span theorem
+//! (§3, Theorem 1) is a statement about this linearization.
+
+use crate::LatticeError;
+
+/// Maximum lattice rank supported by the workspace.
+///
+/// The paper analyzes d = 1, 2, 3 explicitly (§7); we allow one more for
+/// headroom in the pebbling experiments. Keeping the bound small lets
+/// coordinates live on the stack.
+pub const MAX_DIMS: usize = 4;
+
+/// A coordinate in a lattice of rank ≤ [`MAX_DIMS`].
+///
+/// Only the first `rank` entries are meaningful; the rest are zero.
+/// Axis 0 is the *slowest*-varying (outermost) axis in row-major order —
+/// for a 2-D lattice, axis 0 is the row and axis 1 is the column, so the
+/// raster stream walks columns fastest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Coord {
+    axes: [usize; MAX_DIMS],
+    rank: usize,
+}
+
+impl Coord {
+    /// Builds a coordinate from a slice of axis values.
+    ///
+    /// # Panics
+    /// Panics if `axes.len()` is 0 or exceeds [`MAX_DIMS`]; coordinates are
+    /// internal values constructed from validated shapes.
+    pub fn new(axes: &[usize]) -> Self {
+        assert!(!axes.is_empty() && axes.len() <= MAX_DIMS, "bad coordinate rank");
+        let mut a = [0usize; MAX_DIMS];
+        a[..axes.len()].copy_from_slice(axes);
+        Coord { axes: a, rank: axes.len() }
+    }
+
+    /// 1-D convenience constructor.
+    pub fn c1(x: usize) -> Self {
+        Coord::new(&[x])
+    }
+
+    /// 2-D convenience constructor (`row`, `col`).
+    pub fn c2(row: usize, col: usize) -> Self {
+        Coord::new(&[row, col])
+    }
+
+    /// 3-D convenience constructor.
+    pub fn c3(z: usize, row: usize, col: usize) -> Self {
+        Coord::new(&[z, row, col])
+    }
+
+    /// The coordinate's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Value along `axis`.
+    pub fn get(&self, axis: usize) -> usize {
+        debug_assert!(axis < self.rank);
+        self.axes[axis]
+    }
+
+    /// The meaningful axis values.
+    pub fn axes(&self) -> &[usize] {
+        &self.axes[..self.rank]
+    }
+
+    /// Row (axis `rank-2`) for lattices of rank ≥ 2; axis 0 for rank 1.
+    ///
+    /// Used by hex-lattice rules, whose neighborhoods depend on row parity.
+    pub fn row(&self) -> usize {
+        if self.rank >= 2 {
+            self.axes[self.rank - 2]
+        } else {
+            self.axes[0]
+        }
+    }
+
+    /// Column (innermost axis).
+    pub fn col(&self) -> usize {
+        self.axes[self.rank - 1]
+    }
+}
+
+/// The shape of a finite orthogonal lattice, with row-major linearization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: [usize; MAX_DIMS],
+    rank: usize,
+    len: usize,
+}
+
+impl Shape {
+    /// Creates a shape from its dimension list (slowest axis first).
+    ///
+    /// Every dimension must be nonzero and the rank must be in
+    /// `1..=MAX_DIMS`.
+    pub fn new(dims: &[usize]) -> Result<Self, LatticeError> {
+        if dims.is_empty() || dims.len() > MAX_DIMS {
+            return Err(LatticeError::BadRank { rank: dims.len() });
+        }
+        let mut d = [1usize; MAX_DIMS];
+        let mut len = 1usize;
+        for (i, &n) in dims.iter().enumerate() {
+            if n == 0 {
+                return Err(LatticeError::ZeroDim { axis: i });
+            }
+            len = len.checked_mul(n).ok_or(LatticeError::InvalidConfig(format!(
+                "lattice of {dims:?} sites overflows usize"
+            )))?;
+            d[i] = n;
+        }
+        Ok(Shape { dims: d, rank: dims.len(), len })
+    }
+
+    /// 1-D lattice of `n` sites.
+    pub fn line(n: usize) -> Result<Self, LatticeError> {
+        Shape::new(&[n])
+    }
+
+    /// 2-D lattice of `rows × cols` sites.
+    pub fn grid2(rows: usize, cols: usize) -> Result<Self, LatticeError> {
+        Shape::new(&[rows, cols])
+    }
+
+    /// Square 2-D lattice of side `l` — the paper's `L × L` lattice.
+    pub fn square(l: usize) -> Result<Self, LatticeError> {
+        Shape::new(&[l, l])
+    }
+
+    /// 3-D lattice.
+    pub fn grid3(depth: usize, rows: usize, cols: usize) -> Result<Self, LatticeError> {
+        Shape::new(&[depth, rows, cols])
+    }
+
+    /// d-dimensional hypercube of side `r` (the §7 lattice `G`, a
+    /// `d`-cell of integer points with side `r`).
+    pub fn cube(d: usize, r: usize) -> Result<Self, LatticeError> {
+        if d == 0 || d > MAX_DIMS {
+            return Err(LatticeError::BadRank { rank: d });
+        }
+        let dims: Vec<usize> = vec![r; d];
+        Shape::new(&dims)
+    }
+
+    /// Lattice rank (the paper's `d`).
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Dimension lengths, slowest axis first.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims[..self.rank]
+    }
+
+    /// Total number of sites.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the lattice has no sites (impossible for validated shapes).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of rows (axis `rank-2`), or 1 for rank-1 lattices.
+    pub fn rows(&self) -> usize {
+        if self.rank >= 2 {
+            self.dims[self.rank - 2]
+        } else {
+            1
+        }
+    }
+
+    /// Number of columns (innermost axis) — the paper's lattice width `L`.
+    pub fn cols(&self) -> usize {
+        self.dims[self.rank - 1]
+    }
+
+    /// Row-major linear index of `c`.
+    ///
+    /// This is the raster-scan position at which a serial pipeline would
+    /// see the site.
+    pub fn linear(&self, c: Coord) -> usize {
+        debug_assert_eq!(c.rank(), self.rank, "coordinate rank mismatch");
+        let mut idx = 0usize;
+        for axis in 0..self.rank {
+            debug_assert!(c.get(axis) < self.dims[axis], "coordinate out of bounds");
+            idx = idx * self.dims[axis] + c.get(axis);
+        }
+        idx
+    }
+
+    /// Inverse of [`Shape::linear`].
+    pub fn coord(&self, mut idx: usize) -> Coord {
+        debug_assert!(idx < self.len, "linear index out of bounds");
+        let mut axes = [0usize; MAX_DIMS];
+        for axis in (0..self.rank).rev() {
+            axes[axis] = idx % self.dims[axis];
+            idx /= self.dims[axis];
+        }
+        Coord { axes, rank: self.rank }
+    }
+
+    /// Checked linear index: errors instead of panicking on out-of-bounds.
+    pub fn try_linear(&self, c: Coord) -> Result<usize, LatticeError> {
+        if c.rank() != self.rank {
+            return Err(LatticeError::ShapeMismatch {
+                left: self.dims().to_vec(),
+                right: c.axes().to_vec(),
+            });
+        }
+        for axis in 0..self.rank {
+            if c.get(axis) >= self.dims[axis] {
+                return Err(LatticeError::OutOfBounds { index: c.get(axis), len: self.dims[axis] });
+            }
+        }
+        Ok(self.linear(c))
+    }
+
+    /// Offsets `c` by `delta` (per-axis), applying `wrap` semantics.
+    ///
+    /// Returns `None` when the offset leaves the lattice and `wrap` is
+    /// false; wraps toroidally when `wrap` is true. `delta` entries must
+    /// have magnitude less than the corresponding dimension.
+    pub fn offset(&self, c: Coord, delta: &[isize], wrap: bool) -> Option<Coord> {
+        debug_assert_eq!(delta.len(), self.rank);
+        let mut axes = [0usize; MAX_DIMS];
+        for axis in 0..self.rank {
+            let n = self.dims[axis] as isize;
+            let v = c.get(axis) as isize + delta[axis];
+            if v < 0 || v >= n {
+                if !wrap {
+                    return None;
+                }
+                axes[axis] = v.rem_euclid(n) as usize;
+            } else {
+                axes[axis] = v as usize;
+            }
+        }
+        Some(Coord { axes, rank: self.rank })
+    }
+
+    /// Manhattan (L1) distance between two coordinates, without wrap.
+    pub fn manhattan(&self, a: Coord, b: Coord) -> usize {
+        debug_assert_eq!(a.rank(), self.rank);
+        debug_assert_eq!(b.rank(), self.rank);
+        (0..self.rank).map(|ax| a.get(ax).abs_diff(b.get(ax))).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_validation() {
+        assert!(Shape::new(&[]).is_err());
+        assert!(Shape::new(&[1, 2, 3, 4, 5]).is_err());
+        assert!(Shape::new(&[3, 0]).is_err());
+        let s = Shape::new(&[3, 4]).unwrap();
+        assert_eq!(s.rank(), 2);
+        assert_eq!(s.len(), 12);
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.cols(), 4);
+    }
+
+    #[test]
+    fn shape_overflow_detected() {
+        let big = usize::MAX / 2;
+        assert!(Shape::new(&[big, 3]).is_err());
+    }
+
+    #[test]
+    fn cube_constructor() {
+        let s = Shape::cube(3, 5).unwrap();
+        assert_eq!(s.dims(), &[5, 5, 5]);
+        assert!(Shape::cube(0, 5).is_err());
+        assert!(Shape::cube(5, 5).is_err());
+    }
+
+    #[test]
+    fn linear_roundtrip_2d() {
+        let s = Shape::grid2(5, 7).unwrap();
+        for idx in 0..s.len() {
+            let c = s.coord(idx);
+            assert_eq!(s.linear(c), idx);
+        }
+        // Row-major: walking a row advances the index by 1.
+        assert_eq!(s.linear(Coord::c2(2, 3)) + 1, s.linear(Coord::c2(2, 4)));
+        // Walking a column advances by the row length (span = n, Theorem 1).
+        assert_eq!(s.linear(Coord::c2(2, 3)) + 7, s.linear(Coord::c2(3, 3)));
+    }
+
+    #[test]
+    fn linear_roundtrip_3d() {
+        let s = Shape::grid3(3, 4, 5).unwrap();
+        for idx in 0..s.len() {
+            assert_eq!(s.linear(s.coord(idx)), idx);
+        }
+    }
+
+    #[test]
+    fn try_linear_reports_errors() {
+        let s = Shape::grid2(3, 3).unwrap();
+        assert!(s.try_linear(Coord::c2(3, 0)).is_err());
+        assert!(s.try_linear(Coord::c1(0)).is_err());
+        assert_eq!(s.try_linear(Coord::c2(2, 2)).unwrap(), 8);
+    }
+
+    #[test]
+    fn offset_no_wrap() {
+        let s = Shape::grid2(4, 4).unwrap();
+        assert_eq!(s.offset(Coord::c2(0, 0), &[-1, 0], false), None);
+        assert_eq!(s.offset(Coord::c2(0, 0), &[1, 1], false), Some(Coord::c2(1, 1)));
+        assert_eq!(s.offset(Coord::c2(3, 3), &[0, 1], false), None);
+    }
+
+    #[test]
+    fn offset_wrap_is_toroidal() {
+        let s = Shape::grid2(4, 4).unwrap();
+        assert_eq!(s.offset(Coord::c2(0, 0), &[-1, -1], true), Some(Coord::c2(3, 3)));
+        assert_eq!(s.offset(Coord::c2(3, 3), &[1, 1], true), Some(Coord::c2(0, 0)));
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        let s = Shape::grid2(8, 8).unwrap();
+        assert_eq!(s.manhattan(Coord::c2(1, 2), Coord::c2(4, 0)), 5);
+        assert_eq!(s.manhattan(Coord::c2(3, 3), Coord::c2(3, 3)), 0);
+    }
+
+    #[test]
+    fn coord_accessors() {
+        let c = Coord::c3(1, 2, 3);
+        assert_eq!(c.rank(), 3);
+        assert_eq!(c.axes(), &[1, 2, 3]);
+        assert_eq!(c.row(), 2);
+        assert_eq!(c.col(), 3);
+        let c1 = Coord::c1(9);
+        assert_eq!(c1.row(), 9);
+        assert_eq!(c1.col(), 9);
+    }
+}

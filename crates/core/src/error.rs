@@ -1,0 +1,95 @@
+//! Error type shared across the workspace's core operations.
+
+use std::fmt;
+
+/// Errors produced by lattice-core operations.
+///
+/// Construction of shapes, grids, and streams validates its inputs eagerly
+/// so that downstream engines can assume well-formed geometry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LatticeError {
+    /// A shape had zero rank or more dimensions than [`crate::MAX_DIMS`].
+    BadRank {
+        /// Rank that was requested.
+        rank: usize,
+    },
+    /// A shape had a zero-length dimension.
+    ZeroDim {
+        /// Which axis was zero.
+        axis: usize,
+    },
+    /// A coordinate was outside its lattice.
+    OutOfBounds {
+        /// Offending linear index (or linearized coordinate).
+        index: usize,
+        /// Number of sites in the lattice.
+        len: usize,
+    },
+    /// Two grids that must agree in shape did not.
+    ShapeMismatch {
+        /// Shape of the first operand, as a dimension list.
+        left: Vec<usize>,
+        /// Shape of the second operand.
+        right: Vec<usize>,
+    },
+    /// A stream or buffer had the wrong number of elements.
+    LengthMismatch {
+        /// Expected element count.
+        expected: usize,
+        /// Actual element count.
+        actual: usize,
+    },
+    /// A configuration value was outside its legal range.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for LatticeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LatticeError::BadRank { rank } => {
+                write!(f, "lattice rank {rank} unsupported (must be 1..={})", crate::MAX_DIMS)
+            }
+            LatticeError::ZeroDim { axis } => write!(f, "lattice dimension {axis} has zero length"),
+            LatticeError::OutOfBounds { index, len } => {
+                write!(f, "site index {index} out of bounds for lattice of {len} sites")
+            }
+            LatticeError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch: {left:?} vs {right:?}")
+            }
+            LatticeError::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: expected {expected}, got {actual}")
+            }
+            LatticeError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LatticeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = LatticeError::BadRank { rank: 9 };
+        assert!(e.to_string().contains('9'));
+        let e = LatticeError::ZeroDim { axis: 1 };
+        assert!(e.to_string().contains("dimension 1"));
+        let e = LatticeError::OutOfBounds { index: 40, len: 36 };
+        assert!(e.to_string().contains("40"));
+        assert!(e.to_string().contains("36"));
+        let e = LatticeError::ShapeMismatch { left: vec![2, 3], right: vec![3, 2] };
+        assert!(e.to_string().contains("[2, 3]"));
+        let e = LatticeError::LengthMismatch { expected: 5, actual: 6 };
+        assert!(e.to_string().contains("expected 5"));
+        let e = LatticeError::InvalidConfig("bad".into());
+        assert!(e.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&LatticeError::BadRank { rank: 0 });
+    }
+}

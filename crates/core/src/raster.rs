@@ -1,0 +1,165 @@
+//! Raster-scan and staggered site orderings.
+//!
+//! §3 of the paper: "One-dimensional pipelining also requires a linear
+//! ordering of the sites in the array … we would like sites that are close
+//! together in the lattice to be close together in the stream." The
+//! row-major raster scan is the ordering the WSA consumes ("a strict
+//! raster scan pattern", §6.3); the SPA consumes a *row-staggered* pattern
+//! in which each columnar slice is scanned in lockstep with its neighbors.
+
+use crate::coord::{Coord, Shape};
+
+/// Iterator over the coordinates of a lattice in row-major raster order.
+#[derive(Debug, Clone)]
+pub struct RasterScan {
+    shape: Shape,
+    next: usize,
+}
+
+impl RasterScan {
+    /// Creates a raster scan over `shape`.
+    pub fn new(shape: Shape) -> Self {
+        RasterScan { shape, next: 0 }
+    }
+}
+
+impl Iterator for RasterScan {
+    type Item = Coord;
+
+    fn next(&mut self) -> Option<Coord> {
+        if self.next >= self.shape.len() {
+            return None;
+        }
+        let c = self.shape.coord(self.next);
+        self.next += 1;
+        Some(c)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.shape.len() - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for RasterScan {}
+
+/// The row-staggered ordering used to feed a Sternberg-partitioned
+/// machine: the 2-D lattice is split into `n_slices` columnar slices of
+/// width `w` (the last slice may be narrower), and at each tick the memory
+/// system delivers one site *per slice*, all from the same within-slice
+/// raster position.
+///
+/// The produced sequence has length `rows × w × n_slices` conceptually,
+/// but positions that fall outside a narrow final slice are skipped, so
+/// the sequence enumerates every lattice site exactly once.
+pub fn staggered_order(shape: Shape, w: usize) -> Vec<Coord> {
+    assert_eq!(shape.rank(), 2, "staggered order is defined for 2-D lattices");
+    assert!(w >= 1);
+    let rows = shape.rows();
+    let cols = shape.cols();
+    let n_slices = cols.div_ceil(w);
+    let mut out = Vec::with_capacity(shape.len());
+    for row in 0..rows {
+        for within in 0..w {
+            for slice in 0..n_slices {
+                let col = slice * w + within;
+                if col < cols {
+                    out.push(Coord::c2(row, col));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Returns the raster-stream distance between the first and last member
+/// of the radius-1 neighborhood of an interior site in a `rows × cols`
+/// lattice: `2·cols + 2` for the 3×3 window (the paper's `2n − 2` counts
+/// the hex 6-neighborhood of side `n`; both are `Θ(n)`).
+pub fn moore_window_stream_span(cols: usize) -> usize {
+    2 * cols + 2
+}
+
+/// Raster-stream span of the paper's hexagonal 2-neighborhood (figure 2):
+/// elements of a full neighborhood of a site in an `n × n` lattice are up
+/// to `2n − 2` stream positions apart (§3).
+pub fn hex_neighborhood_stream_span(n: usize) -> usize {
+    if n < 2 {
+        0
+    } else {
+        2 * n - 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raster_order_is_row_major() {
+        let shape = Shape::grid2(2, 3).unwrap();
+        let coords: Vec<Coord> = RasterScan::new(shape).collect();
+        assert_eq!(
+            coords,
+            vec![
+                Coord::c2(0, 0),
+                Coord::c2(0, 1),
+                Coord::c2(0, 2),
+                Coord::c2(1, 0),
+                Coord::c2(1, 1),
+                Coord::c2(1, 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn raster_is_exact_size() {
+        let shape = Shape::grid3(2, 2, 2).unwrap();
+        let mut it = RasterScan::new(shape);
+        assert_eq!(it.len(), 8);
+        it.next();
+        assert_eq!(it.len(), 7);
+        assert_eq!(it.count(), 7);
+    }
+
+    #[test]
+    fn staggered_order_visits_every_site_once() {
+        let shape = Shape::grid2(3, 10).unwrap();
+        for w in 1..=10 {
+            let order = staggered_order(shape, w);
+            assert_eq!(order.len(), shape.len(), "w={w}");
+            let mut seen = vec![false; shape.len()];
+            for c in &order {
+                let i = shape.linear(*c);
+                assert!(!seen[i], "duplicate site at w={w}");
+                seen[i] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn staggered_order_interleaves_slices() {
+        // 1 row, 4 cols, slice width 2: slices are {0,1} and {2,3};
+        // lockstep delivery yields col order 0, 2, 1, 3.
+        let shape = Shape::grid2(1, 4).unwrap();
+        let order = staggered_order(shape, 2);
+        let cols: Vec<usize> = order.iter().map(|c| c.col()).collect();
+        assert_eq!(cols, vec![0, 2, 1, 3]);
+    }
+
+    #[test]
+    fn staggered_with_ragged_final_slice() {
+        let shape = Shape::grid2(1, 5).unwrap();
+        let order = staggered_order(shape, 2);
+        let cols: Vec<usize> = order.iter().map(|c| c.col()).collect();
+        // Slices {0,1}, {2,3}, {4}: tick pattern 0,2,4, then 1,3.
+        assert_eq!(cols, vec![0, 2, 4, 1, 3]);
+    }
+
+    #[test]
+    fn stream_spans() {
+        assert_eq!(moore_window_stream_span(100), 202);
+        assert_eq!(hex_neighborhood_stream_span(1000), 1998);
+        assert_eq!(hex_neighborhood_stream_span(1), 0);
+    }
+}

@@ -1,0 +1,281 @@
+//! Time-skewed (trapezoid-tiled) evolution: the pebbling upper bound
+//! realized on a real memory hierarchy.
+//!
+//! §7's `R = O(B·S^{1/d})` says update rate is bought with working-set
+//! locality. [`evolve_tiled`] is the software version of the same
+//! trapezoid schedule the pebbling strategies play: it computes `k`
+//! generations in one pass over the lattice, tile by tile, touching main
+//! memory `O(1/k)` times per site update instead of once per generation
+//! — the cache-blocking dual of a `k`-deep hardware pipeline.
+//!
+//! Each `b × b` output tile is computed from its `(b + 2k)`-wide *skirt*
+//! copied out of the source lattice; the skirt's rim deteriorates by one
+//! ring per generation (its cells lack full neighborhoods), but the
+//! center `b × b` stays exact — overlapped tiling with recomputation,
+//! exactly the redundancy the pebble game gets for free because only I/O
+//! is charged.
+//!
+//! Bit-exactness contract: identical output to `k` calls of
+//! [`evolve_into`] under the null boundary, including for rules that
+//! depend on absolute coordinates or time (FHP parity/chirality) — the
+//! tile evaluator hands rules their true global coordinates.
+//!
+//! [`evolve_into`]: crate::engine::evolve_into
+
+use crate::coord::Coord;
+use crate::grid::Grid;
+use crate::rule::Rule;
+use crate::window::{window_len, WINDOW_MAX};
+use crate::{LatticeError, Window};
+
+/// Computes `steps` generations of `rule` over `grid` (null boundary)
+/// in one tiled pass with output tiles of side `tile`.
+///
+/// Works for rank-1 and rank-2 lattices. `tile` trades working-set size
+/// against recomputation: the skirt is `(tile + 2·steps)` wide.
+pub fn evolve_tiled<R: Rule>(
+    grid: &Grid<R::S>,
+    rule: &R,
+    t0: u64,
+    steps: u64,
+    tile: usize,
+) -> Result<Grid<R::S>, LatticeError> {
+    let shape = grid.shape();
+    if shape.rank() > 2 {
+        return Err(LatticeError::InvalidConfig("tiled evolution streams rank ≤ 2".into()));
+    }
+    if tile == 0 {
+        return Err(LatticeError::InvalidConfig("tile side must be ≥ 1".into()));
+    }
+    if steps == 0 {
+        return Ok(grid.clone());
+    }
+    let k = steps as usize;
+    let (rows, cols) = if shape.rank() == 2 { (shape.rows(), shape.cols()) } else { (1, shape.cols()) };
+    let skirt = tile + 2 * k;
+    let mut out = Grid::new(shape);
+
+    // Local double buffers over the skirt box.
+    let mut cur = vec![R::S::default(); skirt * skirt];
+    let mut next = vec![R::S::default(); skirt * skirt];
+
+    let mut tr = 0usize;
+    while tr < rows {
+        let mut tc = 0usize;
+        while tc < cols {
+            // Global origin of the skirt (may hang off the lattice; such
+            // cells read as the null fill, same as the global boundary).
+            // Rank-1 lattices have no row skirt.
+            let or = if shape.rank() == 2 { tr as isize - k as isize } else { 0 };
+            let oc = tc as isize - k as isize;
+            let srows = if shape.rank() == 2 { skirt } else { 1 };
+            for lr in 0..srows {
+                for lc in 0..skirt {
+                    let (gr, gc) = (or + lr as isize, oc + lc as isize);
+                    cur[lr * skirt + lc] =
+                        if gr < 0 || gc < 0 || gr >= rows as isize || gc >= cols as isize {
+                            R::S::default()
+                        } else if shape.rank() == 2 {
+                            grid.get(Coord::c2(gr as usize, gc as usize))
+                        } else {
+                            grid.get_linear(gc as usize)
+                        };
+                }
+            }
+            // Evolve the skirt in place; after generation j, cells within
+            // j of the *copied* rim are stale unless that rim edge lies
+            // at (or beyond) the true lattice boundary, where null fill
+            // is the real boundary condition. We conservatively compute
+            // everything and rely on keeping only the safe center.
+            for j in 0..k {
+                let gen = t0 + j as u64;
+                for lr in 0..srows {
+                    for lc in 0..skirt {
+                        let (gr, gc) = (or + lr as isize, oc + lc as isize);
+                        // Skip cells that can never influence the kept
+                        // center (distance from tile > remaining steps).
+                        let remaining = (k - 1 - j) as isize;
+                        let dist_r = if shape.rank() == 2 {
+                            (tr as isize - gr).max(gr - (tr + tile - 1).min(rows - 1) as isize).max(0)
+                        } else {
+                            0
+                        };
+                        let dist_c =
+                            (tc as isize - gc).max(gc - (tc + tile - 1).min(cols - 1) as isize).max(0);
+                        if dist_r > remaining + 1 || dist_c > remaining + 1 {
+                            continue;
+                        }
+                        next[lr * skirt + lc] = eval_cell(
+                            rule, &cur, skirt, srows, lr, lc, or, oc, rows, cols, gen, shape.rank(),
+                        );
+                    }
+                }
+                std::mem::swap(&mut cur, &mut next);
+            }
+            // Keep the exact center.
+            for lr in 0..srows {
+                for lc in 0..skirt {
+                    let (gr, gc) = (or + lr as isize, oc + lc as isize);
+                    if gr < tr as isize
+                        || gc < tc as isize
+                        || gr >= (tr + tile) as isize
+                        || gc >= (tc + tile) as isize
+                        || gr >= rows as isize
+                        || gc >= cols as isize
+                    {
+                        continue;
+                    }
+                    let v = cur[lr * skirt + lc];
+                    if shape.rank() == 2 {
+                        out.set(Coord::c2(gr as usize, gc as usize), v);
+                    } else {
+                        out.set_linear(gc as usize, v);
+                    }
+                }
+            }
+            tc += tile;
+        }
+        tr += tile;
+        if shape.rank() == 1 {
+            break;
+        }
+    }
+    Ok(out)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn eval_cell<R: Rule>(
+    rule: &R,
+    cur: &[R::S],
+    skirt: usize,
+    srows: usize,
+    lr: usize,
+    lc: usize,
+    or: isize,
+    oc: isize,
+    rows: usize,
+    cols: usize,
+    gen: u64,
+    rank: usize,
+) -> R::S {
+    let (gr, gc) = (or + lr as isize, oc + lc as isize);
+    let mut cells = [R::S::default(); WINDOW_MAX];
+    let mut idx = 0usize;
+    let dr_range: &[isize] = if rank == 2 { &[-1, 0, 1] } else { &[0] };
+    for &dr in dr_range {
+        for dc in -1isize..=1 {
+            let (wr, wc) = (gr + dr, gc + dc);
+            cells[idx] = if wr < 0 || wc < 0 || wr >= rows as isize || wc >= cols as isize {
+                R::S::default()
+            } else {
+                let (llr, llc) = ((wr - or) as usize, (wc - oc) as usize);
+                if llr < srows && llc < skirt {
+                    cur[llr * skirt + llc]
+                } else {
+                    // Outside the skirt: cannot influence the kept
+                    // center (guarded by the distance check), any value
+                    // is discarded — null keeps it deterministic.
+                    R::S::default()
+                }
+            };
+            idx += 1;
+        }
+    }
+    debug_assert_eq!(idx, window_len(rank));
+    let coord = if rank == 2 {
+        Coord::c2(gr as usize, gc as usize)
+    } else {
+        Coord::c1(gc as usize)
+    };
+    let w = Window::from_cells(rank, coord, gen, cells);
+    rule.update(&w)
+}
+
+/// Working-set size of a tiled pass in sites: two skirt buffers.
+pub fn tiled_working_set(tile: usize, steps: u64) -> usize {
+    let skirt = tile + 2 * steps as usize;
+    2 * skirt * skirt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::evolve;
+    use crate::{Boundary, Shape};
+
+    struct Mix;
+    impl Rule for Mix {
+        type S = u8;
+        fn update(&self, w: &Window<u8>) -> u8 {
+            w.cells()
+                .iter()
+                .enumerate()
+                .fold((w.time() as u8).wrapping_add(w.coord().col() as u8), |a, (i, &c)| {
+                    a.wrapping_mul(31).wrapping_add(c).wrapping_add(i as u8)
+                })
+        }
+    }
+
+    fn ramp(shape: Shape) -> Grid<u8> {
+        Grid::from_fn(shape, |c| (shape.linear(c) * 41 % 256) as u8)
+    }
+
+    #[test]
+    fn tiled_matches_reference_2d() {
+        for (rows, cols) in [(8usize, 8usize), (13, 9), (16, 33)] {
+            let shape = Shape::grid2(rows, cols).unwrap();
+            let g = ramp(shape);
+            for steps in [1u64, 2, 4] {
+                for tile in [1usize, 3, 8, 40] {
+                    let reference = evolve(&g, &Mix, Boundary::null(), 5, steps);
+                    let tiled = evolve_tiled(&g, &Mix, 5, steps, tile).unwrap();
+                    assert_eq!(
+                        tiled, reference,
+                        "{rows}x{cols} steps={steps} tile={tile}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_matches_reference_1d() {
+        let shape = Shape::line(37).unwrap();
+        struct Mix1;
+        impl Rule for Mix1 {
+            type S = u8;
+            fn update(&self, w: &Window<u8>) -> u8 {
+                w.at1(-1).wrapping_mul(3).wrapping_add(w.center()).wrapping_add(w.at1(1))
+            }
+        }
+        let g = ramp(shape);
+        for steps in [1u64, 3, 5] {
+            for tile in [2usize, 7, 64] {
+                let reference = evolve(&g, &Mix1, Boundary::null(), 0, steps);
+                let tiled = evolve_tiled(&g, &Mix1, 0, steps, tile).unwrap();
+                assert_eq!(tiled, reference, "steps={steps} tile={tile}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_steps_is_identity() {
+        let shape = Shape::grid2(5, 5).unwrap();
+        let g = ramp(shape);
+        assert_eq!(evolve_tiled(&g, &Mix, 0, 0, 4).unwrap(), g);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let g2 = ramp(Shape::grid2(4, 4).unwrap());
+        assert!(evolve_tiled(&g2, &Mix, 0, 1, 0).is_err());
+        let g3: Grid<u8> = Grid::new(Shape::grid3(2, 2, 2).unwrap());
+        assert!(evolve_tiled(&g3, &Mix, 0, 1, 2).is_err());
+    }
+
+    #[test]
+    fn working_set_formula() {
+        assert_eq!(tiled_working_set(8, 4), 2 * 16 * 16);
+        assert_eq!(tiled_working_set(1, 1), 2 * 9);
+    }
+}

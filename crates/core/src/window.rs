@@ -1,0 +1,176 @@
+//! The 3^d Moore window handed to update rules.
+//!
+//! All rules in the workspace are radius-1 (the paper's neighborhoods —
+//! orthogonal HPP, hexagonal FHP, von Neumann in §7 — all fit in the 3^d
+//! box). A [`Window`] is a stack-allocated snapshot of that box around one
+//! site, together with the site's coordinate and generation, which hex
+//! rules use for row parity and stochastic rules use for deterministic
+//! randomness.
+
+use crate::coord::{Coord, MAX_DIMS};
+use crate::rule::State;
+
+/// Maximum window size: 3^4 for rank ≤ [`MAX_DIMS`].
+pub const WINDOW_MAX: usize = 81;
+
+/// Number of cells in the Moore window of a rank-`d` lattice.
+pub fn window_len(rank: usize) -> usize {
+    debug_assert!((1..=MAX_DIMS).contains(&rank));
+    3usize.pow(rank as u32)
+}
+
+/// Index of the window center for rank `d` (offset all-zero).
+pub fn center_index(rank: usize) -> usize {
+    // The center has per-axis offset 0 ↦ digit 1 in base 3.
+    (0..rank).fold(0usize, |acc, _| acc * 3 + 1)
+}
+
+/// Converts a per-axis offset in `{-1, 0, 1}^rank` to a window cell index.
+///
+/// Offsets are ordered with axis 0 (slowest/raster-outermost) as the most
+/// significant base-3 digit, matching [`crate::Shape`] linearization.
+pub fn offset_index(rank: usize, delta: &[isize]) -> usize {
+    debug_assert_eq!(delta.len(), rank);
+    let mut idx = 0usize;
+    for &d in delta {
+        debug_assert!((-1..=1).contains(&d), "window offsets are radius-1");
+        idx = idx * 3 + (d + 1) as usize;
+    }
+    idx
+}
+
+/// Inverse of [`offset_index`]: the per-axis offset of window cell `idx`.
+pub fn index_offset(rank: usize, mut idx: usize) -> [isize; MAX_DIMS] {
+    let mut delta = [0isize; MAX_DIMS];
+    for axis in (0..rank).rev() {
+        delta[axis] = (idx % 3) as isize - 1;
+        idx /= 3;
+    }
+    delta
+}
+
+/// A radius-1 Moore window around one lattice site.
+#[derive(Debug, Clone, Copy)]
+pub struct Window<S: State> {
+    cells: [S; WINDOW_MAX],
+    rank: usize,
+    coord: Coord,
+    time: u64,
+}
+
+impl<S: State> Window<S> {
+    /// Builds a window from raw cells (row-major base-3 offset order).
+    pub fn from_cells(rank: usize, coord: Coord, time: u64, cells: [S; WINDOW_MAX]) -> Self {
+        debug_assert_eq!(coord.rank(), rank);
+        Window { cells, rank, coord, time }
+    }
+
+    /// Lattice rank of the window.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Coordinate of the center site.
+    pub fn coord(&self) -> Coord {
+        self.coord
+    }
+
+    /// Generation number `t` of the window contents; the rule computes the
+    /// value for `t + 1`.
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// The center site's value `v(a, t)`.
+    pub fn center(&self) -> S {
+        self.cells[center_index(self.rank)]
+    }
+
+    /// Value at per-axis offset `delta ∈ {-1,0,1}^rank` from the center.
+    pub fn at(&self, delta: &[isize]) -> S {
+        self.cells[offset_index(self.rank, delta)]
+    }
+
+    /// 2-D accessor: value at `(row + dr, col + dc)`.
+    pub fn at2(&self, dr: isize, dc: isize) -> S {
+        debug_assert_eq!(self.rank, 2);
+        self.at(&[dr, dc])
+    }
+
+    /// 1-D accessor: value at `col + dc`.
+    pub fn at1(&self, dc: isize) -> S {
+        debug_assert_eq!(self.rank, 1);
+        self.at(&[dc])
+    }
+
+    /// 3-D accessor.
+    pub fn at3(&self, dz: isize, dr: isize, dc: isize) -> S {
+        debug_assert_eq!(self.rank, 3);
+        self.at(&[dz, dr, dc])
+    }
+
+    /// Row parity of the center site (0 = even row, 1 = odd row).
+    ///
+    /// Hexagonal lattices embedded on the orthogonal grid ("brick wall"
+    /// layout) choose among two offset sets by this parity.
+    pub fn row_parity(&self) -> usize {
+        self.coord.row() & 1
+    }
+
+    /// All cells of the window, in base-3 offset order (length 3^rank).
+    pub fn cells(&self) -> &[S] {
+        &self.cells[..window_len(self.rank)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_len_and_center() {
+        assert_eq!(window_len(1), 3);
+        assert_eq!(window_len(2), 9);
+        assert_eq!(window_len(3), 27);
+        assert_eq!(center_index(1), 1);
+        assert_eq!(center_index(2), 4);
+        assert_eq!(center_index(3), 13);
+    }
+
+    #[test]
+    fn offset_index_roundtrip() {
+        for rank in 1..=3 {
+            for idx in 0..window_len(rank) {
+                let d = index_offset(rank, idx);
+                assert_eq!(offset_index(rank, &d[..rank]), idx);
+            }
+        }
+    }
+
+    #[test]
+    fn offset_index_matches_raster_order() {
+        // For rank 2: (-1,-1) is first, (1,1) last, center in the middle.
+        assert_eq!(offset_index(2, &[-1, -1]), 0);
+        assert_eq!(offset_index(2, &[0, 0]), 4);
+        assert_eq!(offset_index(2, &[1, 1]), 8);
+        // Column offset varies fastest, as in the raster stream.
+        assert_eq!(offset_index(2, &[-1, 0]), 1);
+        assert_eq!(offset_index(2, &[0, -1]), 3);
+    }
+
+    #[test]
+    fn accessors() {
+        let mut cells = [0u8; WINDOW_MAX];
+        for (i, c) in cells.iter_mut().enumerate().take(9) {
+            *c = i as u8;
+        }
+        let w = Window::from_cells(2, Coord::c2(3, 5), 7, cells);
+        assert_eq!(w.center(), 4);
+        assert_eq!(w.at2(-1, -1), 0);
+        assert_eq!(w.at2(1, 1), 8);
+        assert_eq!(w.at2(0, 1), 5);
+        assert_eq!(w.time(), 7);
+        assert_eq!(w.row_parity(), 1);
+        assert_eq!(w.cells().len(), 9);
+    }
+}

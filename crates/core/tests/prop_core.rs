@@ -1,0 +1,142 @@
+//! Property-based tests for lattice-core invariants.
+
+use lattice_core::{
+    bits::{pack_sites, unpack_sites},
+    evolve_into, evolve_parallel,
+    raster::staggered_order,
+    window::{index_offset, offset_index, window_len},
+    Boundary, Grid, Rule, Shape, Window,
+};
+use proptest::prelude::*;
+
+/// An order-sensitive mixing rule: distinguishes window cells from one
+/// another, so any gather bug shows up.
+struct MixRule;
+impl Rule for MixRule {
+    type S = u8;
+    fn update(&self, w: &Window<u8>) -> u8 {
+        w.cells()
+            .iter()
+            .enumerate()
+            .fold(w.time() as u8, |acc, (i, &c)| {
+                acc.wrapping_mul(31).wrapping_add(c).wrapping_add(i as u8)
+            })
+    }
+}
+
+fn arb_shape() -> impl Strategy<Value = Shape> {
+    prop_oneof![
+        (1usize..40).prop_map(|n| Shape::line(n).unwrap()),
+        (1usize..12, 1usize..12).prop_map(|(r, c)| Shape::grid2(r, c).unwrap()),
+        (1usize..5, 1usize..5, 1usize..5).prop_map(|(z, r, c)| Shape::grid3(z, r, c).unwrap()),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn linear_coord_roundtrip(shape in arb_shape(), idx in any::<proptest::sample::Index>()) {
+        let i = idx.index(shape.len());
+        prop_assert_eq!(shape.linear(shape.coord(i)), i);
+    }
+
+    #[test]
+    fn raster_linear_indices_are_sequential(shape in arb_shape()) {
+        for (i, c) in lattice_core::RasterScan::new(shape).enumerate() {
+            prop_assert_eq!(shape.linear(c), i);
+        }
+    }
+
+    #[test]
+    fn periodic_offset_stays_in_bounds(
+        shape in arb_shape(),
+        idx in any::<proptest::sample::Index>(),
+        raw_delta in proptest::collection::vec(-1isize..=1, 4),
+    ) {
+        let i = idx.index(shape.len());
+        let c = shape.coord(i);
+        let delta = &raw_delta[..shape.rank()];
+        let moved = shape.offset(c, delta, true).unwrap();
+        prop_assert!(shape.try_linear(moved).is_ok());
+        // Offsetting back by the negated delta returns to the origin.
+        let neg: Vec<isize> = delta.iter().map(|d| -d).collect();
+        prop_assert_eq!(shape.offset(moved, &neg, true).unwrap(), c);
+    }
+
+    #[test]
+    fn parallel_engine_matches_sequential(
+        shape in arb_shape().prop_filter("len>1", |s| s.len() > 1),
+        seed in any::<u64>(),
+        threads in 1usize..9,
+        periodic in any::<bool>(),
+    ) {
+        let grid = Grid::from_fn(shape, |c| {
+            (shape.linear(c) as u64).wrapping_mul(seed | 1).to_le_bytes()[0]
+        });
+        let boundary = if periodic { Boundary::Periodic } else { Boundary::null() };
+        let mut seq = Grid::new(shape);
+        let mut par = Grid::new(shape);
+        evolve_into(&grid, &mut seq, &MixRule, boundary, 3).unwrap();
+        evolve_parallel(&grid, &mut par, &MixRule, boundary, 3, threads).unwrap();
+        prop_assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn pack_roundtrip_u8(sites in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let back: Vec<u8> = unpack_sites(&pack_sites(&sites), sites.len());
+        prop_assert_eq!(back, sites);
+    }
+
+    #[test]
+    fn pack_roundtrip_bool(sites in proptest::collection::vec(any::<bool>(), 0..300)) {
+        let back: Vec<bool> = unpack_sites(&pack_sites(&sites), sites.len());
+        prop_assert_eq!(back, sites);
+    }
+
+    #[test]
+    fn staggered_order_is_a_permutation(
+        rows in 1usize..8,
+        cols in 1usize..16,
+        w in 1usize..17,
+    ) {
+        let shape = Shape::grid2(rows, cols).unwrap();
+        let order = staggered_order(shape, w);
+        prop_assert_eq!(order.len(), shape.len());
+        let mut seen = vec![false; shape.len()];
+        for c in order {
+            let i = shape.linear(c);
+            prop_assert!(!seen[i]);
+            seen[i] = true;
+        }
+    }
+
+    #[test]
+    fn window_offsets_bijective(rank in 1usize..=4) {
+        let mut seen = std::collections::HashSet::new();
+        for idx in 0..window_len(rank) {
+            let d = index_offset(rank, idx);
+            prop_assert!(seen.insert(d));
+            prop_assert_eq!(offset_index(rank, &d[..rank]), idx);
+        }
+    }
+
+    #[test]
+    fn window_gather_agrees_with_direct_neighbor_reads(
+        rows in 1usize..8,
+        cols in 1usize..8,
+        seed in any::<u8>(),
+        periodic in any::<bool>(),
+    ) {
+        let shape = Shape::grid2(rows, cols).unwrap();
+        let grid = Grid::from_fn(shape, |c| (shape.linear(c) as u8).wrapping_add(seed));
+        let boundary = if periodic { Boundary::Periodic } else { Boundary::Fixed(seed) };
+        for idx in 0..shape.len() {
+            let c = shape.coord(idx);
+            let w = grid.window(c, 0, boundary);
+            for dr in -1isize..=1 {
+                for dc in -1isize..=1 {
+                    prop_assert_eq!(w.at2(dr, dc), grid.neighbor(c, &[dr, dc], boundary));
+                }
+            }
+        }
+    }
+}

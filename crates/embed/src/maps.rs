@@ -1,0 +1,274 @@
+//! Canonical array→stream embeddings.
+
+use crate::Embedding;
+
+/// Row-major ("natural" / raster) embedding: `pos = row·n + col`.
+///
+/// §3: "the natural row-major embedding of the array into a list
+/// preserves 2-neighborhoods with diameter 2n − 2 … the 2n − 2 embedding
+/// is optimal." Its span is exactly `n`, matching Theorem 1's bound.
+#[derive(Debug, Clone, Copy)]
+pub struct RowMajor {
+    n: usize,
+}
+
+impl RowMajor {
+    /// Creates a row-major embedding of the `n × n` array.
+    pub fn new(n: usize) -> Self {
+        RowMajor { n }
+    }
+}
+
+impl Embedding for RowMajor {
+    fn n(&self) -> usize {
+        self.n
+    }
+    fn position(&self, row: usize, col: usize) -> usize {
+        row * self.n + col
+    }
+    fn name(&self) -> &'static str {
+        "row-major"
+    }
+}
+
+/// Boustrophedon ("snake") embedding: odd rows run right-to-left.
+///
+/// Improves same-row locality at row turns but *worsens* the worst-case
+/// span to `2n − 1` (vertical neighbors near row ends).
+#[derive(Debug, Clone, Copy)]
+pub struct Boustrophedon {
+    n: usize,
+}
+
+impl Boustrophedon {
+    /// Creates a snake embedding of the `n × n` array.
+    pub fn new(n: usize) -> Self {
+        Boustrophedon { n }
+    }
+}
+
+impl Embedding for Boustrophedon {
+    fn n(&self) -> usize {
+        self.n
+    }
+    fn position(&self, row: usize, col: usize) -> usize {
+        let c = if row.is_multiple_of(2) { col } else { self.n - 1 - col };
+        row * self.n + c
+    }
+    fn name(&self) -> &'static str {
+        "boustrophedon"
+    }
+}
+
+/// Block row-major: the array is tiled into `b × b` blocks; blocks are
+/// visited row-major and cells within a block row-major.
+///
+/// The layout SPA's memory uses when slices are buffered block-wise;
+/// span grows to `Θ(b·n)` across block seams, illustrating why slicing
+/// pays with *bandwidth*, not stream locality.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockRowMajor {
+    n: usize,
+    b: usize,
+}
+
+impl BlockRowMajor {
+    /// Creates a block embedding with blocks of side `b` (must divide `n`).
+    ///
+    /// # Panics
+    /// Panics if `b` is zero or does not divide `n`.
+    pub fn new(n: usize, b: usize) -> Self {
+        assert!(b > 0 && n.is_multiple_of(b), "block side must divide n");
+        BlockRowMajor { n, b }
+    }
+}
+
+impl Embedding for BlockRowMajor {
+    fn n(&self) -> usize {
+        self.n
+    }
+    fn position(&self, row: usize, col: usize) -> usize {
+        let blocks_per_row = self.n / self.b;
+        let (br, bc) = (row / self.b, col / self.b);
+        let (ir, ic) = (row % self.b, col % self.b);
+        ((br * blocks_per_row + bc) * self.b + ir) * self.b + ic
+    }
+    fn name(&self) -> &'static str {
+        "block-row-major"
+    }
+}
+
+/// Morton (Z-order) embedding: interleave the bits of row and column.
+/// Requires `n` to be a power of two.
+#[derive(Debug, Clone, Copy)]
+pub struct Morton {
+    n: usize,
+}
+
+impl Morton {
+    /// Creates a Morton embedding (`n` must be a power of two).
+    ///
+    /// # Panics
+    /// Panics if `n` is not a power of two.
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two(), "Morton order needs a power-of-two side");
+        Morton { n }
+    }
+}
+
+fn interleave(x: usize, y: usize, bits: u32) -> usize {
+    let mut out = 0usize;
+    for b in 0..bits {
+        out |= ((x >> b) & 1) << (2 * b);
+        out |= ((y >> b) & 1) << (2 * b + 1);
+    }
+    out
+}
+
+impl Embedding for Morton {
+    fn n(&self) -> usize {
+        self.n
+    }
+    fn position(&self, row: usize, col: usize) -> usize {
+        interleave(col, row, self.n.trailing_zeros())
+    }
+    fn name(&self) -> &'static str {
+        "morton"
+    }
+}
+
+/// Hilbert-curve embedding. Requires `n` to be a power of two.
+///
+/// Hilbert order has excellent *average* locality but its worst-case
+/// span is still `Ω(n)` (Theorem 1) — and empirically much worse than
+/// row-major's, because grid neighbors straddling the top-level
+/// subdivision are nearly `n²/2` curve steps apart. This is the
+/// quantitative sense in which "no embedding beats raster scan" for a
+/// serial pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct Hilbert {
+    n: usize,
+}
+
+impl Hilbert {
+    /// Creates a Hilbert embedding (`n` must be a power of two).
+    ///
+    /// # Panics
+    /// Panics if `n` is not a power of two.
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two(), "Hilbert order needs a power-of-two side");
+        Hilbert { n }
+    }
+}
+
+impl Embedding for Hilbert {
+    fn n(&self) -> usize {
+        self.n
+    }
+    fn position(&self, row: usize, col: usize) -> usize {
+        // Standard xy→d conversion, iterative: at each scale s, classify
+        // the quadrant, accumulate its curve offset, and rotate/reflect
+        // the coordinates into the sub-square's frame. High bits left
+        // over after reflection are never re-examined (later iterations
+        // mask with smaller s), so plain `n-1-x` reflection is safe.
+        let (mut x, mut y) = (col, row);
+        let mut d = 0usize;
+        let mut s = self.n / 2;
+        while s > 0 {
+            let rx = usize::from(x & s > 0);
+            let ry = usize::from(y & s > 0);
+            d += s * s * ((3 * rx) ^ ry);
+            if ry == 0 {
+                if rx == 1 {
+                    x = self.n - 1 - x;
+                    y = self.n - 1 - y;
+                }
+                std::mem::swap(&mut x, &mut y);
+            }
+            s /= 2;
+        }
+        d
+    }
+    fn name(&self) -> &'static str {
+        "hilbert"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::verify_bijection;
+
+    #[test]
+    fn row_major_positions() {
+        let e = RowMajor::new(4);
+        assert_eq!(e.position(0, 0), 0);
+        assert_eq!(e.position(1, 0), 4);
+        assert_eq!(e.position(3, 3), 15);
+        assert!(verify_bijection(&e));
+    }
+
+    #[test]
+    fn boustrophedon_reverses_odd_rows() {
+        let e = Boustrophedon::new(4);
+        assert_eq!(e.position(0, 3), 3);
+        assert_eq!(e.position(1, 3), 4); // snake turns
+        assert_eq!(e.position(1, 0), 7);
+        assert!(verify_bijection(&e));
+    }
+
+    #[test]
+    fn block_row_major_layout() {
+        let e = BlockRowMajor::new(4, 2);
+        assert_eq!(e.position(0, 0), 0);
+        assert_eq!(e.position(0, 1), 1);
+        assert_eq!(e.position(1, 0), 2);
+        assert_eq!(e.position(1, 1), 3);
+        assert_eq!(e.position(0, 2), 4); // next block
+        assert!(verify_bijection(&e));
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn block_requires_divisibility() {
+        let _ = BlockRowMajor::new(4, 3);
+    }
+
+    #[test]
+    fn morton_interleaves() {
+        let e = Morton::new(4);
+        assert_eq!(e.position(0, 0), 0);
+        assert_eq!(e.position(0, 1), 1);
+        assert_eq!(e.position(1, 0), 2);
+        assert_eq!(e.position(1, 1), 3);
+        assert_eq!(e.position(0, 2), 4);
+        assert!(verify_bijection(&e));
+        assert!(verify_bijection(&Morton::new(16)));
+    }
+
+    #[test]
+    fn hilbert_is_a_bijection_with_unit_steps() {
+        for n in [2usize, 4, 8, 16, 32] {
+            let e = Hilbert::new(n);
+            assert!(verify_bijection(&e), "n={n}");
+            // Consecutive curve positions are grid neighbors (the
+            // defining property of the Hilbert curve).
+            let mut by_pos = vec![(0usize, 0usize); n * n];
+            for r in 0..n {
+                for c in 0..n {
+                    by_pos[e.position(r, c)] = (r, c);
+                }
+            }
+            for w in by_pos.windows(2) {
+                let d = w[0].0.abs_diff(w[1].0) + w[0].1.abs_diff(w[1].1);
+                assert_eq!(d, 1, "n={n}, {:?} -> {:?}", w[0], w[1]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn morton_requires_power_of_two() {
+        let _ = Morton::new(5);
+    }
+}

@@ -1,0 +1,210 @@
+//! Rectangular and prism arrays.
+//!
+//! §3 notes that a fixed-span chip "will only work for a single problem
+//! size … (one can actually process a prism array, finite in all but one
+//! dimension)": a serial pipeline sized for width `n` handles any
+//! `m × n` array with `m` unbounded, because the span of the row-major
+//! embedding depends only on the *width*. This module generalizes the
+//! square-array span theory to `m × n` rectangles:
+//!
+//! * row-major span of an `m × n` array = `n` (the width), independent
+//!   of `m` — the prism property;
+//! * the *minimum* span over all embeddings is `min(m, n)` (lay the
+//!   array out along its short side), verified exhaustively for small
+//!   cases by the same branch-and-bound as Theorem 1.
+
+/// A bijective embedding of an `m × n` rectangle into `0..m·n`.
+pub trait RectEmbedding {
+    /// Rows.
+    fn rows(&self) -> usize;
+    /// Columns.
+    fn cols(&self) -> usize;
+    /// Stream position of `(row, col)`.
+    fn position(&self, row: usize, col: usize) -> usize;
+}
+
+/// Row-major on a rectangle: `pos = row·n + col`.
+#[derive(Debug, Clone, Copy)]
+pub struct RectRowMajor {
+    rows: usize,
+    cols: usize,
+}
+
+impl RectRowMajor {
+    /// Creates the embedding.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        RectRowMajor { rows, cols }
+    }
+}
+
+impl RectEmbedding for RectRowMajor {
+    fn rows(&self) -> usize {
+        self.rows
+    }
+    fn cols(&self) -> usize {
+        self.cols
+    }
+    fn position(&self, row: usize, col: usize) -> usize {
+        row * self.cols + col
+    }
+}
+
+/// Column-major: scanning along the *short* side when `rows < cols`
+/// achieves the optimal rectangular span `min(m, n)`.
+#[derive(Debug, Clone, Copy)]
+pub struct RectColMajor {
+    rows: usize,
+    cols: usize,
+}
+
+impl RectColMajor {
+    /// Creates the embedding.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        RectColMajor { rows, cols }
+    }
+}
+
+impl RectEmbedding for RectColMajor {
+    fn rows(&self) -> usize {
+        self.rows
+    }
+    fn cols(&self) -> usize {
+        self.cols
+    }
+    fn position(&self, row: usize, col: usize) -> usize {
+        col * self.rows + row
+    }
+}
+
+/// Span of a rectangular embedding (max stream distance over
+/// orthogonally adjacent cells).
+pub fn rect_span(e: &(impl RectEmbedding + ?Sized)) -> usize {
+    let (m, n) = (e.rows(), e.cols());
+    let mut max = 0usize;
+    for r in 0..m {
+        for c in 0..n {
+            let p = e.position(r, c);
+            if r + 1 < m {
+                max = max.max(p.abs_diff(e.position(r + 1, c)));
+            }
+            if c + 1 < n {
+                max = max.max(p.abs_diff(e.position(r, c + 1)));
+            }
+        }
+    }
+    max
+}
+
+/// Exact decision: does an embedding of the `m × n` rectangle with span
+/// ≤ `bound` exist? Same branch-and-bound as the square case.
+pub fn rect_min_span_exists(m: usize, n: usize, bound: usize) -> bool {
+    if m == 0 || n == 0 {
+        return true;
+    }
+    if bound >= m.min(n) {
+        return true; // short-side-major achieves min(m, n)
+    }
+    let cells = m * n;
+    let mut pos = vec![usize::MAX; cells];
+    fn neighbors(m: usize, n: usize, cell: usize) -> impl Iterator<Item = usize> {
+        let (r, c) = (cell / n, cell % n);
+        [
+            (r > 0).then(|| cell - n),
+            (r + 1 < m).then(|| cell + n),
+            (c > 0).then(|| cell - 1),
+            (c + 1 < n).then(|| cell + 1),
+        ]
+        .into_iter()
+        .flatten()
+    }
+    fn place(m: usize, n: usize, bound: usize, pos: &mut [usize], t: usize) -> bool {
+        let cells = m * n;
+        if t == cells {
+            return true;
+        }
+        for cell in 0..cells {
+            let p = pos[cell];
+            if p != usize::MAX
+                && p + bound < t
+                && neighbors(m, n, cell).any(|nb| pos[nb] == usize::MAX)
+            {
+                return false;
+            }
+        }
+        for cell in 0..cells {
+            if pos[cell] != usize::MAX {
+                continue;
+            }
+            if !neighbors(m, n, cell).all(|nb| pos[nb] == usize::MAX || t - pos[nb] <= bound) {
+                continue;
+            }
+            pos[cell] = t;
+            if place(m, n, bound, pos, t + 1) {
+                return true;
+            }
+            pos[cell] = usize::MAX;
+        }
+        false
+    }
+    place(m, n, bound, &mut pos, 0)
+}
+
+/// PE storage for streaming an *unbounded prism* of width `n` (rows
+/// arrive forever): the Moore-window span `2n + 3` cells, independent of
+/// the prism's length — §3's observation that a chip of fixed span
+/// processes arbitrarily long strips.
+pub fn prism_pe_cells(width: usize) -> usize {
+    2 * width + 3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_major_rect_span_is_width() {
+        for (m, n) in [(3usize, 7usize), (100, 5), (2, 9)] {
+            assert_eq!(rect_span(&RectRowMajor::new(m, n)), n, "{m}x{n}");
+        }
+    }
+
+    #[test]
+    fn col_major_rect_span_is_height() {
+        for (m, n) in [(3usize, 7usize), (100, 5), (2, 9)] {
+            assert_eq!(rect_span(&RectColMajor::new(m, n)), m, "{m}x{n}");
+        }
+    }
+
+    #[test]
+    fn prism_property() {
+        // Width fixed, length unbounded: span constant in m.
+        let w = 11;
+        for m in [5usize, 50, 500] {
+            assert_eq!(rect_span(&RectRowMajor::new(m, w)), w);
+        }
+        assert_eq!(prism_pe_cells(w), 25);
+    }
+
+    #[test]
+    fn rect_minimum_span_is_short_side() {
+        // Exhaustive: no embedding beats min(m, n) on small rectangles.
+        for (m, n) in [(2usize, 3usize), (2, 4), (3, 4), (2, 5), (3, 5)] {
+            let k = m.min(n);
+            assert!(!rect_min_span_exists(m, n, k - 1), "{m}x{n}: span {} claimed", k - 1);
+            assert!(rect_min_span_exists(m, n, k), "{m}x{n}");
+        }
+    }
+
+    #[test]
+    fn rect_search_degenerate_cases() {
+        assert!(rect_min_span_exists(0, 5, 0));
+        assert!(rect_min_span_exists(1, 9, 1)); // a path has span 1
+        assert!(!rect_min_span_exists(1, 3, 0));
+    }
+
+    #[test]
+    fn square_case_agrees_with_theorem_1() {
+        assert!(!rect_min_span_exists(3, 3, 2));
+        assert!(rect_min_span_exists(3, 3, 3));
+    }
+}

@@ -1,0 +1,157 @@
+//! Exact minimum-span search (grid-graph bandwidth) by branch-and-bound.
+//!
+//! Theorem 1 says no embedding of the `n × n` array has span < `n`.
+//! Row-major shows span `n` is achievable, so the minimum span *is* `n` —
+//! i.e. the bandwidth of the `n × n` grid graph is `n` (Supowit & Young,
+//! the paper's ref \[19\]). This module decides, exactly, whether an
+//! embedding with span ≤ `bound` exists, by enumerating stream positions
+//! `0, 1, 2, …` and choosing which cell receives each position, with two
+//! prunings:
+//!
+//! 1. *adjacency*: a cell may only receive position `t` if all its
+//!    already-placed neighbors have positions ≥ `t − bound`;
+//! 2. *deadline*: once a cell is placed at position `s`, each unplaced
+//!    neighbor must be placed by `s + bound`; if the earliest deadline
+//!    passes, the branch dies.
+//!
+//! Exhaustive verification is feasible to `n = 5` in a debug test run;
+//! the bench harness sweeps further.
+
+/// Decides whether an embedding of the `n × n` array with span ≤ `bound`
+/// exists (exact search).
+pub fn min_span_exists(n: usize, bound: usize) -> bool {
+    if n == 0 {
+        return true;
+    }
+    if bound >= n {
+        return true; // row-major achieves n
+    }
+    let cells = n * n;
+    let mut pos = vec![usize::MAX; cells]; // cell -> stream position
+    let mut search = Search { n, bound, pos: &mut pos };
+    search.place(0)
+}
+
+struct Search<'a> {
+    n: usize,
+    bound: usize,
+    pos: &'a mut Vec<usize>,
+}
+
+impl Search<'_> {
+    fn neighbors(&self, cell: usize) -> impl Iterator<Item = usize> {
+        let n = self.n;
+        let (r, c) = (cell / n, cell % n);
+        [
+            (r > 0).then(|| cell - n),
+            (r + 1 < n).then(|| cell + n),
+            (c > 0).then(|| cell - 1),
+            (c + 1 < n).then(|| cell + 1),
+        ]
+        .into_iter()
+        .flatten()
+    }
+
+    /// Tries to assign stream position `t` to some cell; true if a
+    /// complete assignment exists.
+    fn place(&mut self, t: usize) -> bool {
+        let cells = self.n * self.n;
+        if t == cells {
+            return true;
+        }
+        // Deadline prune: every placed cell with an unplaced neighbor
+        // must still be within `bound` of t.
+        for cell in 0..cells {
+            let p = self.pos[cell];
+            if p != usize::MAX
+                && p + self.bound < t
+                && self.neighbors(cell).any(|nb| self.pos[nb] == usize::MAX)
+            {
+                return false;
+            }
+        }
+        for cell in 0..cells {
+            if self.pos[cell] != usize::MAX {
+                continue;
+            }
+            // Adjacency prune: placed neighbors must be within bound.
+            let ok = self
+                .neighbors(cell)
+                .all(|nb| self.pos[nb] == usize::MAX || t - self.pos[nb] <= self.bound);
+            if !ok {
+                continue;
+            }
+            // Symmetry breaking at the root: the grid has an 8-fold
+            // symmetry group; restrict position 0 to the upper-left
+            // triangular octant.
+            if t == 0 {
+                let (r, c) = (cell / self.n, cell % self.n);
+                if !(r <= (self.n - 1) / 2 && c <= (self.n - 1) / 2 && r <= c) {
+                    continue;
+                }
+            }
+            self.pos[cell] = t;
+            if self.place(t + 1) {
+                return true;
+            }
+            self.pos[cell] = usize::MAX;
+        }
+        false
+    }
+}
+
+/// The exact minimum span for the `n × n` array, found by binary search
+/// over [`min_span_exists`]. By Theorem 1 the answer is always `n` (for
+/// `n ≥ 2`); this function *derives* it rather than assuming it.
+pub fn min_span(n: usize) -> usize {
+    if n <= 1 {
+        return 0;
+    }
+    let mut b = 1;
+    while !min_span_exists(n, b) {
+        b += 1;
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_cases() {
+        assert!(min_span_exists(0, 0));
+        assert!(min_span_exists(1, 0));
+        assert_eq!(min_span(1), 0);
+    }
+
+    #[test]
+    fn two_by_two_minimum_is_two() {
+        assert!(!min_span_exists(2, 1));
+        assert!(min_span_exists(2, 2));
+        assert_eq!(min_span(2), 2);
+    }
+
+    #[test]
+    fn three_by_three_minimum_is_three() {
+        assert!(!min_span_exists(3, 2));
+        assert!(min_span_exists(3, 3));
+        assert_eq!(min_span(3), 3);
+    }
+
+    #[test]
+    fn four_by_four_minimum_is_four() {
+        // Exhaustive confirmation of Theorem 1 at n = 4: no span-3
+        // embedding of the 4×4 array exists, and span 4 is achievable.
+        assert!(!min_span_exists(4, 3));
+        assert!(min_span_exists(4, 4));
+    }
+
+    #[test]
+    fn bound_at_or_above_n_is_always_feasible() {
+        for n in 2..6 {
+            assert!(min_span_exists(n, n));
+            assert!(min_span_exists(n, n + 3));
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Span and neighborhood-diameter measurement.
+//!
+//! Theorem 1 (§3): for numbers `1..n²` placed in a square array,
+//! `span = max{ |a(i+1,j) − a(i,j)|, |a(i,j+1) − a(i,j)| } ≥ n`. In our
+//! formulation, "the numbers in the array" are the stream positions of an
+//! [`Embedding`], so the span is the largest stream distance between
+//! orthogonally adjacent array cells — the graph bandwidth of the grid
+//! under the embedding's inverse.
+//!
+//! A serial PE's local memory must cover the *window span* — the stream
+//! distance between the first and last member of a site's neighborhood —
+//! for every site it updates: `2n − 2` for the hex 2-neighborhood under
+//! row-major (§3), `2n + 2` for the full 3×3 Moore window.
+
+use crate::Embedding;
+
+/// Checks that `e` is a bijection onto `0..n²`.
+pub fn verify_bijection(e: &(impl Embedding + ?Sized)) -> bool {
+    let n = e.n();
+    let mut seen = vec![false; n * n];
+    for r in 0..n {
+        for c in 0..n {
+            let p = e.position(r, c);
+            if p >= n * n || seen[p] {
+                return false;
+            }
+            seen[p] = true;
+        }
+    }
+    true
+}
+
+/// The span of an embedding: maximum stream distance over orthogonally
+/// adjacent array cells (Theorem 1's quantity).
+///
+/// ```
+/// use lattice_embed::{span, Hilbert, RowMajor};
+/// assert_eq!(span(&RowMajor::new(32)), 32);     // optimal (Theorem 1)
+/// assert!(span(&Hilbert::new(32)) > 32);        // curves can't beat it
+/// ```
+pub fn span(e: &(impl Embedding + ?Sized)) -> usize {
+    let n = e.n();
+    let mut max = 0usize;
+    for r in 0..n {
+        for c in 0..n {
+            let p = e.position(r, c);
+            if r + 1 < n {
+                max = max.max(p.abs_diff(e.position(r + 1, c)));
+            }
+            if c + 1 < n {
+                max = max.max(p.abs_diff(e.position(r, c + 1)));
+            }
+        }
+    }
+    max
+}
+
+/// The window span of an embedding under the 3×3 Moore neighborhood:
+/// the largest stream-position spread of any interior site's window.
+/// A serial PE needs `window_span + 1` sites of local storage to update
+/// sites in stream order.
+pub fn window_span(e: &(impl Embedding + ?Sized)) -> usize {
+    let n = e.n();
+    let mut max = 0usize;
+    for r in 0..n {
+        for c in 0..n {
+            let mut lo = usize::MAX;
+            let mut hi = 0usize;
+            for dr in -1isize..=1 {
+                for dc in -1isize..=1 {
+                    let (nr, nc) = (r as isize + dr, c as isize + dc);
+                    if nr < 0 || nc < 0 || nr >= n as isize || nc >= n as isize {
+                        continue;
+                    }
+                    let p = e.position(nr as usize, nc as usize);
+                    lo = lo.min(p);
+                    hi = hi.max(p);
+                }
+            }
+            max = max.max(hi - lo);
+        }
+    }
+    max
+}
+
+/// The window span under the hexagonal 2-neighborhood (paper figure 2):
+/// a site, its six hex neighbors, and their hex neighbors two traversals
+/// away along the row axis — the neighborhood the paper measures as
+/// having diameter `2n − 2` under row-major.
+pub fn hex_window_span(e: &(impl Embedding + ?Sized)) -> usize {
+    let n = e.n();
+    let mut max = 0usize;
+    for r in 0..n {
+        for c in 0..n {
+            let mut lo = usize::MAX;
+            let mut hi = 0usize;
+            // Hex neighborhood on the brick embedding: row r−1..r+1 with
+            // parity-dependent column extent; union over both parities is
+            // contained in the 3×3 window minus two corners.
+            let parity = r % 2;
+            let deltas: [(isize, isize); 7] = if parity == 0 {
+                [(0, 0), (0, 1), (0, -1), (-1, 0), (-1, -1), (1, 0), (1, -1)]
+            } else {
+                [(0, 0), (0, 1), (0, -1), (-1, 1), (-1, 0), (1, 1), (1, 0)]
+            };
+            for (dr, dc) in deltas {
+                let (nr, nc) = (r as isize + dr, c as isize + dc);
+                if nr < 0 || nc < 0 || nr >= n as isize || nc >= n as isize {
+                    continue;
+                }
+                let p = e.position(nr as usize, nc as usize);
+                lo = lo.min(p);
+                hi = hi.max(p);
+            }
+            max = max.max(hi - lo);
+        }
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maps::{BlockRowMajor, Boustrophedon, Hilbert, Morton, RowMajor};
+
+    #[test]
+    fn row_major_span_is_exactly_n() {
+        for n in [2usize, 3, 5, 8, 17, 32] {
+            assert_eq!(span(&RowMajor::new(n)), n, "n={n}");
+        }
+    }
+
+    #[test]
+    fn row_major_moore_window_span_is_2n_plus_2() {
+        for n in [4usize, 8, 16] {
+            assert_eq!(window_span(&RowMajor::new(n)), 2 * n + 2);
+        }
+    }
+
+    #[test]
+    fn row_major_hex_window_span_is_two_rows_plus_o1() {
+        // Measured spread of {a} ∪ N(a) under the brick-wall hex
+        // embedding: 2n + 1 — consistent with (and within O(1) of) the
+        // paper's "at least 2n − 2 positions apart" lower bound, and the
+        // reason WSA stages budget two full rows of shift register.
+        for n in [4usize, 8, 16, 33] {
+            let s = hex_window_span(&RowMajor::new(n));
+            assert_eq!(s, 2 * n + 1, "n={n}");
+            assert!(s >= 2 * n - 2);
+        }
+    }
+
+    #[test]
+    fn snake_span_is_worse_than_row_major() {
+        for n in [4usize, 8, 16] {
+            let s = span(&Boustrophedon::new(n));
+            assert_eq!(s, 2 * n - 1, "n={n}");
+            assert!(s > span(&RowMajor::new(n)));
+        }
+    }
+
+    #[test]
+    fn block_span_grows_with_block_side() {
+        let n = 16;
+        let s2 = span(&BlockRowMajor::new(n, 2));
+        let s4 = span(&BlockRowMajor::new(n, 4));
+        let s8 = span(&BlockRowMajor::new(n, 8));
+        assert!(s2 < s4 && s4 < s8, "{s2} {s4} {s8}");
+        assert!(s2 > n, "blocking cannot beat Theorem 1");
+    }
+
+    #[test]
+    fn space_filling_curves_have_larger_worst_case_span() {
+        // Good average locality, bad worst case: the quantitative sense
+        // in which raster order is optimal for a serial pipeline.
+        for n in [8usize, 16, 32] {
+            let rm = span(&RowMajor::new(n));
+            assert!(span(&Morton::new(n)) > rm, "morton n={n}");
+            assert!(span(&Hilbert::new(n)) > rm, "hilbert n={n}");
+        }
+    }
+
+    #[test]
+    fn all_spans_respect_theorem_1() {
+        // span ≥ n for every embedding we can construct (Theorem 1).
+        for n in [2usize, 4, 8, 16] {
+            assert!(span(&RowMajor::new(n)) >= n);
+            assert!(span(&Boustrophedon::new(n)) >= n);
+            assert!(span(&Morton::new(n)) >= n);
+            assert!(span(&Hilbert::new(n)) >= n);
+            if n >= 4 {
+                assert!(span(&BlockRowMajor::new(n, 2)) >= n);
+            }
+        }
+    }
+
+    #[test]
+    fn window_span_upper_bounds_span() {
+        // The Moore window contains every orthogonal neighbor pair, so
+        // window_span ≥ span.
+        for n in [4usize, 8, 16] {
+            let e = Hilbert::new(n);
+            assert!(window_span(&e) >= span(&e));
+            let e = RowMajor::new(n);
+            assert!(window_span(&e) >= span(&e));
+        }
+    }
+
+    #[test]
+    fn degenerate_one_by_one() {
+        let e = RowMajor::new(1);
+        assert!(verify_bijection(&e));
+        assert_eq!(span(&e), 0);
+        assert_eq!(window_span(&e), 0);
+        assert_eq!(hex_window_span(&e), 0);
+    }
+}

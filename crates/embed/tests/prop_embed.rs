@@ -1,0 +1,110 @@
+//! Theorem 1 as a universal property: the span bound holds for *every*
+//! bijection, not just the named embeddings — proptest throws random
+//! permutations at it.
+
+use lattice_embed::rect::{rect_span, RectEmbedding};
+use lattice_embed::span::verify_bijection;
+use lattice_embed::{hex_window_span, span, window_span, Embedding};
+use proptest::prelude::*;
+
+/// An arbitrary bijection of the n×n array onto 0..n², from a shuffled
+/// position table.
+struct RandomEmbedding {
+    n: usize,
+    pos: Vec<usize>,
+}
+
+impl Embedding for RandomEmbedding {
+    fn n(&self) -> usize {
+        self.n
+    }
+    fn position(&self, row: usize, col: usize) -> usize {
+        self.pos[row * self.n + col]
+    }
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+struct RandomRect {
+    rows: usize,
+    cols: usize,
+    pos: Vec<usize>,
+}
+
+impl RectEmbedding for RandomRect {
+    fn rows(&self) -> usize {
+        self.rows
+    }
+    fn cols(&self) -> usize {
+        self.cols
+    }
+    fn position(&self, row: usize, col: usize) -> usize {
+        self.pos[row * self.cols + col]
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Theorem 1: span ≥ n for every bijection of the n×n array.
+    #[test]
+    fn any_bijection_has_span_at_least_n(
+        n in 2usize..10,
+        seed in any::<u64>(),
+    ) {
+        let pos = shuffled(n * n, seed);
+        let e = RandomEmbedding { n, pos };
+        prop_assert!(verify_bijection(&e));
+        prop_assert!(span(&e) >= n, "span {} < n {}", span(&e), n);
+    }
+
+    /// The window spans dominate the plain span for every bijection.
+    #[test]
+    fn window_spans_dominate_span(n in 2usize..9, seed in any::<u64>()) {
+        let e = RandomEmbedding { n, pos: shuffled(n * n, seed) };
+        prop_assert!(window_span(&e) >= span(&e));
+        prop_assert!(hex_window_span(&e) <= window_span(&e));
+    }
+
+    /// Rectangular Theorem 1: span ≥ min(m, n) for every bijection of
+    /// the m×n array.
+    #[test]
+    fn any_rect_bijection_has_span_at_least_short_side(
+        m in 2usize..7,
+        n in 2usize..7,
+        seed in any::<u64>(),
+    ) {
+        let e = RandomRect { rows: m, cols: n, pos: shuffled(m * n, seed) };
+        prop_assert!(rect_span(&e) >= m.min(n));
+    }
+
+    /// Random bijections are far from optimal: expected span is Θ(n²),
+    /// so they exceed row-major's n for any n ≥ 4 with overwhelming
+    /// probability — quantifying "no clever shuffle helps a pipeline".
+    #[test]
+    fn random_bijections_are_much_worse_than_raster(
+        n in 4usize..10,
+        seed in any::<u64>(),
+    ) {
+        let e = RandomEmbedding { n, pos: shuffled(n * n, seed) };
+        prop_assert!(span(&e) > n, "a random shuffle matching row-major would be astonishing");
+    }
+}
+
+/// Deterministic Fisher–Yates from a seed (keeps the tests replayable).
+fn shuffled(len: usize, seed: u64) -> Vec<usize> {
+    let mut v: Vec<usize> = (0..len).collect();
+    let mut state = seed | 1;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for i in (1..len).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        v.swap(i, j);
+    }
+    v
+}

@@ -1,0 +1,273 @@
+//! Bit-parallel ("multi-spin coded") gas kernels.
+//!
+//! The paper's software baseline — what a 1987 host could do without a
+//! lattice engine — was multi-spin coding: pack the same channel bit of
+//! 64 sites into one machine word and evaluate the collision rule as
+//! boolean algebra on whole words. One word-op then advances 64 sites,
+//! which is exactly the argument §1 makes for why "the performance of
+//! such machines is limited … by the communication bandwidth … and by
+//! the memory capacity", not raw ALU throughput.
+//!
+//! [`HppBitLattice`] implements the HPP gas this way, bit-exactly equal
+//! to the table-driven [`HppRule`] under periodic boundaries (HPP is
+//! deterministic, so exact equivalence is testable). The collision
+//! formula: with channels `e, n, w, s`,
+//!
+//! ```text
+//! swap = e & w & !n & !s  |  n & s & !e & !w
+//! e' = e ^ swap,  n' = n ^ swap,  w' = w ^ swap,  s' = s ^ swap
+//! ```
+//!
+//! (a head-on pair on one axis toggles both axes; anything else passes).
+//!
+//! [`HppRule`]: crate::hpp::HppRule
+
+use crate::hpp::{HppDir, HPP_MASK};
+use lattice_core::{Coord, Grid, LatticeError, Shape};
+
+/// An HPP lattice stored as four channel bit-planes, 64 sites per word,
+/// packed along rows. Periodic boundaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HppBitLattice {
+    rows: usize,
+    cols: usize,
+    words_per_row: usize,
+    /// `planes[ch][row * words_per_row + w]`.
+    planes: [Vec<u64>; 4],
+}
+
+impl HppBitLattice {
+    /// Packs a byte-per-site HPP grid (2-D) into bit-planes.
+    pub fn from_grid(grid: &Grid<u8>) -> Result<Self, LatticeError> {
+        let shape = grid.shape();
+        if shape.rank() != 2 {
+            return Err(LatticeError::BadRank { rank: shape.rank() });
+        }
+        let (rows, cols) = (shape.rows(), shape.cols());
+        let wpr = cols.div_ceil(64);
+        let mut planes = [
+            vec![0u64; rows * wpr],
+            vec![0u64; rows * wpr],
+            vec![0u64; rows * wpr],
+            vec![0u64; rows * wpr],
+        ];
+        for r in 0..rows {
+            for c in 0..cols {
+                let s = grid.get(Coord::c2(r, c));
+                if s & !HPP_MASK != 0 {
+                    return Err(LatticeError::InvalidConfig(format!(
+                        "site ({r},{c}) = {s:#04x} has non-HPP bits (obstacles are \
+                         not supported by the bit-parallel kernel)"
+                    )));
+                }
+                for (ch, plane) in planes.iter_mut().enumerate() {
+                    if s >> ch & 1 != 0 {
+                        plane[r * wpr + c / 64] |= 1 << (c % 64);
+                    }
+                }
+            }
+        }
+        Ok(HppBitLattice { rows, cols, words_per_row: wpr, planes })
+    }
+
+    /// Unpacks to a byte-per-site grid.
+    pub fn to_grid(&self) -> Grid<u8> {
+        let shape = Shape::grid2(self.rows, self.cols).expect("valid dimensions");
+        Grid::from_fn(shape, |c| {
+            let (r, col) = (c.row(), c.col());
+            let mut s = 0u8;
+            for (ch, plane) in self.planes.iter().enumerate() {
+                if plane[r * self.words_per_row + col / 64] >> (col % 64) & 1 != 0 {
+                    s |= 1 << ch;
+                }
+            }
+            s
+        })
+    }
+
+    /// Lattice rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Lattice columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Applies the collision step in place: word-parallel boolean
+    /// algebra, no per-site branching.
+    pub fn collide(&mut self) {
+        let n_words = self.rows * self.words_per_row;
+        // Mask off the ragged tail of each row so phantom sites beyond
+        // `cols` never collide into existence.
+        let tail_bits = self.cols % 64;
+        let tail_mask: u64 = if tail_bits == 0 { u64::MAX } else { (1u64 << tail_bits) - 1 };
+        for i in 0..n_words {
+            let e = self.planes[HppDir::E as usize][i];
+            let n = self.planes[HppDir::N as usize][i];
+            let w = self.planes[HppDir::W as usize][i];
+            let s = self.planes[HppDir::S as usize][i];
+            let swap = (e & w & !n & !s) | (n & s & !e & !w);
+            let mask = if (i + 1) % self.words_per_row == 0 { tail_mask } else { u64::MAX };
+            let swap = swap & mask;
+            self.planes[HppDir::E as usize][i] = e ^ swap;
+            self.planes[HppDir::N as usize][i] = n ^ swap;
+            self.planes[HppDir::W as usize][i] = w ^ swap;
+            self.planes[HppDir::S as usize][i] = s ^ swap;
+        }
+    }
+
+    /// Shifts one row's bit-plane left or right by one site with
+    /// periodic wrap (word-chained carries).
+    fn shift_row(row: &mut [u64], cols: usize, east: bool) {
+        let wpr = row.len();
+        let tail_bits = cols % 64;
+        let last_bit = if tail_bits == 0 { 63 } else { tail_bits - 1 };
+        if east {
+            // Sites move toward higher column index.
+            let mut carry = row[wpr - 1] >> last_bit & 1;
+            for w in row.iter_mut() {
+                let new_carry = *w >> 63 & 1;
+                *w = (*w << 1) | carry;
+                carry = new_carry;
+            }
+            // Clear phantom bits above the tail.
+            if tail_bits != 0 {
+                row[wpr - 1] &= (1u64 << tail_bits) - 1;
+            }
+        } else {
+            let first = row[0] & 1;
+            for w in 0..wpr {
+                let next_in = if w + 1 < wpr { row[w + 1] & 1 } else { 0 };
+                row[w] = (row[w] >> 1) | (next_in << 63);
+            }
+            // Wrap the first column's bit into the last column.
+            row[wpr - 1] |= first << last_bit;
+            if tail_bits != 0 {
+                row[wpr - 1] &= (1u64 << tail_bits) - 1;
+            }
+        }
+    }
+
+    /// Applies the streaming step: E/W planes shift along rows, N/S
+    /// planes move whole rows, all with periodic wrap.
+    pub fn stream(&mut self) {
+        let wpr = self.words_per_row;
+        for r in 0..self.rows {
+            Self::shift_row(
+                &mut self.planes[HppDir::E as usize][r * wpr..(r + 1) * wpr],
+                self.cols,
+                true,
+            );
+            Self::shift_row(
+                &mut self.planes[HppDir::W as usize][r * wpr..(r + 1) * wpr],
+                self.cols,
+                false,
+            );
+        }
+        // N movers go to row - 1: plane rotates up.
+        self.planes[HppDir::N as usize].rotate_left(wpr);
+        // S movers go to row + 1: plane rotates down.
+        self.planes[HppDir::S as usize].rotate_right(wpr);
+    }
+
+    /// One full generation: collide then stream (matching
+    /// [`crate::hpp::HppRule`]'s fused update order).
+    pub fn step(&mut self) {
+        self.collide();
+        self.stream();
+    }
+
+    /// Evolves `steps` generations.
+    pub fn run(&mut self, steps: u64) {
+        for _ in 0..steps {
+            self.step();
+        }
+    }
+
+    /// Total particle count.
+    pub fn mass(&self) -> u64 {
+        self.planes.iter().flat_map(|p| p.iter()).map(|w| w.count_ones() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hpp::HppRule;
+    use crate::init;
+    use lattice_core::{evolve, Boundary};
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        for (rows, cols) in [(4usize, 7usize), (8, 64), (3, 65), (5, 130)] {
+            let shape = Shape::grid2(rows, cols).unwrap();
+            let g = init::random_hpp(shape, 0.4, 9).unwrap();
+            let packed = HppBitLattice::from_grid(&g).unwrap();
+            assert_eq!(packed.to_grid(), g, "{rows}x{cols}");
+        }
+    }
+
+    #[test]
+    fn rejects_non_hpp_bits() {
+        let shape = Shape::grid2(2, 2).unwrap();
+        let mut g = Grid::new(shape);
+        g.set_linear(0, crate::OBSTACLE_BIT);
+        assert!(HppBitLattice::from_grid(&g).is_err());
+        let g1: Grid<u8> = Grid::new(Shape::line(4).unwrap());
+        assert!(HppBitLattice::from_grid(&g1).is_err());
+    }
+
+    #[test]
+    fn bit_parallel_matches_reference_exactly() {
+        for (rows, cols, steps) in
+            [(8usize, 16usize, 10u64), (6, 64, 7), (5, 65, 5), (10, 130, 4), (3, 3, 12)]
+        {
+            let shape = Shape::grid2(rows, cols).unwrap();
+            let g = init::random_hpp(shape, 0.45, rows as u64 * 31 + cols as u64).unwrap();
+            let reference = evolve(&g, &HppRule::new(), Boundary::Periodic, 0, steps);
+            let mut packed = HppBitLattice::from_grid(&g).unwrap();
+            packed.run(steps);
+            assert_eq!(packed.to_grid(), reference, "{rows}x{cols} steps={steps}");
+        }
+    }
+
+    #[test]
+    fn collision_formula_by_cases() {
+        let shape = Shape::grid2(1, 4).unwrap();
+        // Head-on E+W, head-on N+S, pass-through 3-body, single.
+        let g = Grid::from_vec(shape, vec![0b0101, 0b1010, 0b0111, 0b0001]).unwrap();
+        let mut packed = HppBitLattice::from_grid(&g).unwrap();
+        packed.collide();
+        assert_eq!(packed.to_grid().as_slice(), &[0b1010, 0b0101, 0b0111, 0b0001]);
+    }
+
+    #[test]
+    fn streaming_wraps_both_axes() {
+        let shape = Shape::grid2(3, 70).unwrap(); // crosses a word boundary
+        let mut g = Grid::new(shape);
+        g.set(Coord::c2(0, 69), HppDir::E.bit()); // wraps to column 0
+        g.set(Coord::c2(0, 0), HppDir::N.bit()); // wraps to row 2
+        g.set(Coord::c2(2, 63), HppDir::S.bit()); // wraps to row 0
+        g.set(Coord::c2(1, 64), HppDir::W.bit()); // crosses word down to 63
+        let mut packed = HppBitLattice::from_grid(&g).unwrap();
+        packed.stream();
+        let out = packed.to_grid();
+        assert_eq!(out.get(Coord::c2(0, 0)), HppDir::E.bit());
+        assert_eq!(out.get(Coord::c2(0, 63)), HppDir::S.bit());
+        assert_eq!(out.get(Coord::c2(2, 0)), HppDir::N.bit());
+        assert_eq!(out.get(Coord::c2(1, 63)), HppDir::W.bit());
+        assert_eq!(packed.mass(), 4);
+    }
+
+    #[test]
+    fn mass_conserved_over_long_runs() {
+        let shape = Shape::grid2(32, 100).unwrap();
+        let g = init::random_hpp(shape, 0.3, 77).unwrap();
+        let mut packed = HppBitLattice::from_grid(&g).unwrap();
+        let m0 = packed.mass();
+        packed.run(200);
+        assert_eq!(packed.mass(), m0);
+    }
+}

@@ -1,0 +1,216 @@
+//! A one-dimensional lattice gas.
+//!
+//! Used by the `d = 1` experiments (pebbling bound sweeps and engine
+//! validation). Three channels: left-mover, right-mover, and a rest pair
+//! slot. The only nontrivial collision that conserves both mass and
+//! momentum in 1-D converts a head-on pair into a *standing pair* (two
+//! rest slots would be needed for two particles; we use a single "pair at
+//! rest" token of mass 2) and back:
+//!
+//! ```text
+//!   {L, R}  <->  {P}        (mass 2 <-> 2, momentum 0 <-> 0)
+//! ```
+//!
+//! The alternation is driven by the deterministic per-site bit so the gas
+//! does not freeze into standing pairs.
+
+use crate::table::{CollisionTable, Invariants};
+use crate::{is_obstacle, prng, OBSTACLE_BIT};
+use lattice_core::{Rule, Window};
+
+/// Right-moving particle bit.
+pub const RIGHT_BIT: u8 = 0b001;
+/// Left-moving particle bit.
+pub const LEFT_BIT: u8 = 0b010;
+/// Standing-pair token bit (mass 2, momentum 0).
+pub const PAIR_BIT: u8 = 0b100;
+/// Mask of the gas bits.
+pub const GAS1D_MASK: u8 = 0b111;
+
+/// Mass and momentum of a 1-D gas state byte.
+pub fn gas1d_invariants(s: u8) -> Invariants {
+    let mut mass = 0u32;
+    let mut px = 0i32;
+    if s & RIGHT_BIT != 0 {
+        mass += 1;
+        px += 1;
+    }
+    if s & LEFT_BIT != 0 {
+        mass += 1;
+        px -= 1;
+    }
+    if s & PAIR_BIT != 0 {
+        mass += 2;
+    }
+    Invariants { mass, momentum: [px, 0, 0] }
+}
+
+/// Builds the verified 1-D collision table.
+///
+/// Chirality `true` fires the pair-forming/splitting exchange; `false`
+/// passes head-on pairs through (they cross). This keeps the table
+/// stochastic like FHP's and prevents parity-locking artifacts.
+pub fn gas1d_table() -> CollisionTable {
+    CollisionTable::build(
+        "gas-1d",
+        |s| s & !(GAS1D_MASK | OBSTACLE_BIT) == 0,
+        |s| {
+            let inv = gas1d_invariants(s);
+            if is_obstacle(s) {
+                Invariants { mass: inv.mass, momentum: [0, 0, 0] }
+            } else {
+                inv
+            }
+        },
+        |s, chirality| {
+            if is_obstacle(s) {
+                // Bounce-back; a standing pair stays put.
+                let mut out = s & (PAIR_BIT | OBSTACLE_BIT);
+                if s & RIGHT_BIT != 0 {
+                    out |= LEFT_BIT;
+                }
+                if s & LEFT_BIT != 0 {
+                    out |= RIGHT_BIT;
+                }
+                out
+            } else if chirality {
+                match s & GAS1D_MASK {
+                    0b011 => 0b100, // L+R -> pair
+                    0b100 => 0b011, // pair -> L+R
+                    other => other,
+                }
+            } else {
+                s
+            }
+        },
+    )
+    .expect("1-D gas collisions conserve mass and momentum by construction")
+}
+
+/// The 1-D gas as a lattice-core rule.
+#[derive(Debug, Clone)]
+pub struct Gas1dRule {
+    table: CollisionTable,
+    seed: u64,
+    /// Length of the periodic ring for hash wrapping, when periodic.
+    wrap: Option<usize>,
+}
+
+impl Gas1dRule {
+    /// Creates the rule with the given chirality seed.
+    pub fn new(seed: u64) -> Self {
+        Gas1dRule { table: gas1d_table(), seed, wrap: None }
+    }
+
+    /// Declares a periodic ring of `n` sites (wraps chirality hashes).
+    pub fn with_wrap(mut self, n: usize) -> Self {
+        self.wrap = Some(n);
+        self
+    }
+
+    /// The verified collision table.
+    pub fn table(&self) -> &CollisionTable {
+        &self.table
+    }
+
+    fn collide_at(&self, s: u8, site: usize, time: u64) -> u8 {
+        self.table.collide(s, prng::site_bit(site as u64, time, self.seed))
+    }
+}
+
+impl Rule for Gas1dRule {
+    type S = u8;
+
+    fn update(&self, w: &Window<u8>) -> u8 {
+        debug_assert_eq!(w.rank(), 1);
+        let x = w.coord().col();
+        let wrapped = |dx: isize| match self.wrap {
+            Some(n) => (x as isize + dx).rem_euclid(n as isize) as usize,
+            None => x.wrapping_add_signed(dx),
+        };
+        let mut out = w.center() & OBSTACLE_BIT;
+        // Standing pairs stay where they are.
+        out |= self.collide_at(w.center(), x, w.time()) & PAIR_BIT;
+        // Right-movers arrive from the left, left-movers from the right.
+        out |= self.collide_at(w.at1(-1), wrapped(-1), w.time()) & RIGHT_BIT;
+        out |= self.collide_at(w.at1(1), wrapped(1), w.time()) & LEFT_BIT;
+        out
+    }
+
+    fn name(&self) -> &str {
+        "gas-1d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lattice_core::{evolve, Boundary, Grid, Shape};
+
+    #[test]
+    fn invariants_by_hand() {
+        assert_eq!(gas1d_invariants(0).mass, 0);
+        assert_eq!(gas1d_invariants(RIGHT_BIT).momentum, [1, 0, 0]);
+        assert_eq!(gas1d_invariants(LEFT_BIT).momentum, [-1, 0, 0]);
+        assert_eq!(gas1d_invariants(PAIR_BIT).mass, 2);
+        assert_eq!(gas1d_invariants(RIGHT_BIT | LEFT_BIT).mass, 2);
+        assert_eq!(gas1d_invariants(RIGHT_BIT | LEFT_BIT).momentum, [0, 0, 0]);
+    }
+
+    #[test]
+    fn table_conserves() {
+        let t = gas1d_table();
+        assert_eq!(t.collide(0b011, true), 0b100);
+        assert_eq!(t.collide(0b100, true), 0b011);
+        assert_eq!(t.collide(0b011, false), 0b011);
+    }
+
+    #[test]
+    fn particles_cross_or_pair() {
+        let shape = Shape::line(10).unwrap();
+        let rule = Gas1dRule::new(11).with_wrap(10);
+        let mut g = Grid::new(shape);
+        g.set_linear(2, RIGHT_BIT);
+        g.set_linear(4, LEFT_BIT);
+        // After one step they are adjacent-at-site-3 (head-on).
+        let g1 = evolve(&g, &rule, Boundary::Periodic, 0, 1);
+        assert_eq!(g1.get_linear(3), RIGHT_BIT | LEFT_BIT);
+        // Whatever chirality does, mass and momentum are conserved.
+        for steps in 1..20 {
+            let gn = evolve(&g, &rule, Boundary::Periodic, 0, steps);
+            let (m, p) = totals(&gn);
+            assert_eq!((m, p), (2, 0), "step {steps}");
+        }
+    }
+
+    #[test]
+    fn mass_momentum_conserved_random_ring() {
+        let shape = Shape::line(64).unwrap();
+        let rule = Gas1dRule::new(5).with_wrap(64);
+        let g = Grid::from_fn(shape, |c| {
+            (prng::site_hash(c.col() as u64, 0, 3) as u8) & GAS1D_MASK
+        });
+        let before = totals(&g);
+        let gn = evolve(&g, &rule, Boundary::Periodic, 0, 50);
+        assert_eq!(totals(&gn), before);
+    }
+
+    #[test]
+    fn wall_reflects() {
+        let shape = Shape::line(8).unwrap();
+        let rule = Gas1dRule::new(2).with_wrap(8);
+        let mut g = Grid::new(shape);
+        g.set_linear(1, RIGHT_BIT);
+        g.set_linear(2, OBSTACLE_BIT);
+        let g2 = evolve(&g, &rule, Boundary::Periodic, 0, 2);
+        assert_eq!(g2.get_linear(1), LEFT_BIT);
+        assert_eq!(g2.get_linear(2), OBSTACLE_BIT);
+    }
+
+    fn totals(g: &Grid<u8>) -> (u64, i64) {
+        g.as_slice().iter().fold((0, 0), |(m, p), &s| {
+            let inv = gas1d_invariants(s & GAS1D_MASK);
+            (m + inv.mass as u64, p + inv.momentum[0] as i64)
+        })
+    }
+}

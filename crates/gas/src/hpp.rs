@@ -1,0 +1,306 @@
+//! The HPP lattice gas (Hardy, Pomeau & de Pazzis, 1973 — paper ref [4]).
+//!
+//! Four unit-speed particle channels on the orthogonal lattice. The only
+//! collision: an exactly head-on pair with both transverse channels empty
+//! rotates 90°. Mass and momentum are conserved; the model is *not*
+//! isotropic ("the older HPP model, which uses an orthogonal lattice, does
+//! not lead to isotropic solutions", §2), which is precisely why the paper
+//! moves to FHP — but HPP remains the minimal 2-D conserving workload and
+//! we use it for engine validation and D = 4-bit bandwidth ablations.
+//!
+//! State byte layout: bits 0..4 = particles moving E, N, W, S; bit 7 =
+//! obstacle flag ([`crate::OBSTACLE_BIT`]). An update step is the fused
+//! *collide-then-stream*: the new state of site `a` collects, for each
+//! direction, the post-collision particle leaving the appropriate
+//! neighbor toward `a`.
+
+use crate::table::{CollisionTable, Invariants};
+use crate::{is_obstacle, OBSTACLE_BIT};
+#[cfg(test)]
+use crate::prng;
+use lattice_core::{Rule, Window};
+
+/// Particle channel directions, counterclockwise from +x.
+///
+/// Rows grow downward in grid coordinates, so N is row −1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HppDir {
+    /// +x (east).
+    E = 0,
+    /// +y (north, row − 1).
+    N = 1,
+    /// −x (west).
+    W = 2,
+    /// −y (south, row + 1).
+    S = 3,
+}
+
+/// All four HPP directions in channel-bit order.
+pub const HPP_DIRS: [HppDir; 4] = [HppDir::E, HppDir::N, HppDir::W, HppDir::S];
+
+/// Mask of the four particle channels.
+pub const HPP_MASK: u8 = 0b0000_1111;
+
+impl HppDir {
+    /// Channel bit for this direction.
+    pub fn bit(self) -> u8 {
+        1 << (self as u8)
+    }
+
+    /// Velocity (vx, vy) with +y pointing north.
+    pub fn velocity(self) -> (i32, i32) {
+        match self {
+            HppDir::E => (1, 0),
+            HppDir::N => (0, 1),
+            HppDir::W => (-1, 0),
+            HppDir::S => (0, -1),
+        }
+    }
+
+    /// Grid offset (d_row, d_col) a particle moving this way travels per
+    /// step.
+    pub fn grid_offset(self) -> (isize, isize) {
+        match self {
+            HppDir::E => (0, 1),
+            HppDir::N => (-1, 0),
+            HppDir::W => (0, -1),
+            HppDir::S => (1, 0),
+        }
+    }
+
+    /// The opposite direction.
+    pub fn opposite(self) -> HppDir {
+        HPP_DIRS[(self as usize + 2) % 4]
+    }
+}
+
+/// Mass and integer momentum of an HPP state byte (obstacle bit carries
+/// no particles and no momentum of its own).
+pub fn hpp_invariants(s: u8) -> Invariants {
+    let mut mass = 0;
+    let mut px = 0;
+    let mut py = 0;
+    for d in HPP_DIRS {
+        if s & d.bit() != 0 {
+            mass += 1;
+            let (vx, vy) = d.velocity();
+            px += vx;
+            py += vy;
+        }
+    }
+    Invariants { mass, momentum: [px, py, 0] }
+}
+
+/// Pure HPP collision on the channel bits (no obstacle handling).
+///
+/// Head-on pairs with empty transverse channels rotate 90°; everything
+/// else passes through.
+pub fn hpp_collide_channels(ch: u8) -> u8 {
+    match ch & HPP_MASK {
+        0b0101 => 0b1010, // E+W -> N+S
+        0b1010 => 0b0101, // N+S -> E+W
+        other => other,
+    }
+}
+
+/// Bounce-back: reverse every particle (obstacle sites).
+pub fn hpp_bounce(ch: u8) -> u8 {
+    let ch = ch & HPP_MASK;
+    ((ch << 2) | (ch >> 2)) & HPP_MASK
+}
+
+/// Builds the verified HPP collision table (obstacle-aware).
+pub fn hpp_table() -> CollisionTable {
+    CollisionTable::build(
+        "hpp",
+        |s| s & !(HPP_MASK | OBSTACLE_BIT) == 0,
+        |s| {
+            let inv = hpp_invariants(s);
+            if is_obstacle(s) {
+                // Walls absorb momentum: only mass is invariant there.
+                Invariants { mass: inv.mass, momentum: [0, 0, 0] }
+            } else {
+                inv
+            }
+        },
+        |s, _| {
+            if is_obstacle(s) {
+                OBSTACLE_BIT | hpp_bounce(s)
+            } else {
+                hpp_collide_channels(s)
+            }
+        },
+    )
+    .expect("HPP collision rule conserves mass and momentum by construction")
+}
+
+/// The HPP gas as a lattice-core update rule (fused collide + stream).
+#[derive(Debug, Clone)]
+pub struct HppRule {
+    table: CollisionTable,
+}
+
+impl HppRule {
+    /// Creates the rule. HPP is deterministic, so no seed is needed.
+    pub fn new() -> Self {
+        HppRule { table: hpp_table() }
+    }
+
+    /// The underlying verified collision table.
+    pub fn table(&self) -> &CollisionTable {
+        &self.table
+    }
+}
+
+impl Default for HppRule {
+    fn default() -> Self {
+        HppRule::new()
+    }
+}
+
+impl Rule for HppRule {
+    type S = u8;
+
+    fn update(&self, w: &Window<u8>) -> u8 {
+        debug_assert_eq!(w.rank(), 2);
+        // Keep this site's obstacle flag; collect arriving particles.
+        let mut out = w.center() & OBSTACLE_BIT;
+        for d in HPP_DIRS {
+            // A particle moving in direction d arrives from the neighbor
+            // opposite to d's travel offset.
+            let (dr, dc) = d.grid_offset();
+            let src = w.at2(-dr, -dc);
+            let post = self.table.collide(src, false);
+            out |= post & d.bit();
+        }
+        out
+    }
+
+    fn name(&self) -> &str {
+        "hpp"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lattice_core::{evolve, Boundary, Coord, Grid, Shape};
+
+    #[test]
+    fn direction_geometry() {
+        for d in HPP_DIRS {
+            assert_eq!(d.opposite().opposite(), d);
+            let (vx, vy) = d.velocity();
+            let (ox, oy) = d.opposite().velocity();
+            assert_eq!((vx + ox, vy + oy), (0, 0));
+            // Grid offset is velocity with the row axis flipped.
+            let (dr, dc) = d.grid_offset();
+            assert_eq!((dc as i32, -(dr as i32)), (vx, vy));
+        }
+    }
+
+    #[test]
+    fn collision_cases() {
+        assert_eq!(hpp_collide_channels(0b0101), 0b1010);
+        assert_eq!(hpp_collide_channels(0b1010), 0b0101);
+        // Anything else is untouched, including 3- and 4-particle states.
+        for s in [0b0000u8, 0b0001, 0b0011, 0b0111, 0b1111, 0b1001] {
+            assert_eq!(hpp_collide_channels(s), s);
+        }
+    }
+
+    #[test]
+    fn bounce_reverses() {
+        assert_eq!(hpp_bounce(HppDir::E.bit()), HppDir::W.bit());
+        assert_eq!(hpp_bounce(HppDir::N.bit()), HppDir::S.bit());
+        assert_eq!(hpp_bounce(0b1111), 0b1111);
+        assert_eq!(hpp_bounce(0b0110), 0b1001);
+    }
+
+    #[test]
+    fn table_conserves_and_is_involution() {
+        let t = hpp_table();
+        assert!(t.is_involution());
+        for s in 0..=255u8 {
+            if s & !(HPP_MASK | OBSTACLE_BIT) != 0 || is_obstacle(s) {
+                continue;
+            }
+            let out = t.collide(s, false);
+            assert_eq!(hpp_invariants(out), hpp_invariants(s), "state {s:#010b}");
+        }
+    }
+
+    #[test]
+    fn single_particle_streams_east() {
+        let shape = Shape::grid2(3, 5).unwrap();
+        let mut g = Grid::new(shape);
+        g.set(Coord::c2(1, 1), HppDir::E.bit());
+        let g1 = evolve(&g, &HppRule::new(), Boundary::Periodic, 0, 1);
+        assert_eq!(g1.get(Coord::c2(1, 2)), HppDir::E.bit());
+        assert_eq!(g1.count(|s| s != 0), 1);
+        // After 5 steps it wraps to its start column.
+        let g5 = evolve(&g, &HppRule::new(), Boundary::Periodic, 0, 5);
+        assert_eq!(g5.get(Coord::c2(1, 1)), HppDir::E.bit());
+    }
+
+    #[test]
+    fn head_on_pair_scatters() {
+        // E-mover at (1,1) and W-mover at (1,3) meet at (1,2) and rotate.
+        let shape = Shape::grid2(3, 5).unwrap();
+        let mut g = Grid::new(shape);
+        g.set(Coord::c2(1, 1), HppDir::E.bit());
+        g.set(Coord::c2(1, 3), HppDir::W.bit());
+        let g1 = evolve(&g, &HppRule::new(), Boundary::Periodic, 0, 1);
+        assert_eq!(g1.get(Coord::c2(1, 2)), HppDir::E.bit() | HppDir::W.bit());
+        // Next step, they collide: N+S leave site (1,2).
+        let g2 = evolve(&g, &HppRule::new(), Boundary::Periodic, 0, 2);
+        assert_eq!(g2.get(Coord::c2(0, 2)), HppDir::N.bit());
+        assert_eq!(g2.get(Coord::c2(2, 2)), HppDir::S.bit());
+        assert_eq!(g2.get(Coord::c2(1, 2)), 0);
+    }
+
+    #[test]
+    fn obstacle_bounces_particle_back() {
+        let shape = Shape::grid2(3, 5).unwrap();
+        let mut g = Grid::new(shape);
+        g.set(Coord::c2(1, 1), HppDir::E.bit());
+        g.set(Coord::c2(1, 2), OBSTACLE_BIT);
+        // t=1: particle enters the obstacle site.
+        let g1 = evolve(&g, &HppRule::new(), Boundary::Periodic, 0, 1);
+        assert_eq!(g1.get(Coord::c2(1, 2)), OBSTACLE_BIT | HppDir::E.bit());
+        // t=2: it has been reflected and leaves westward.
+        let g2 = evolve(&g, &HppRule::new(), Boundary::Periodic, 0, 2);
+        assert_eq!(g2.get(Coord::c2(1, 1)), HppDir::W.bit());
+        assert_eq!(g2.get(Coord::c2(1, 2)), OBSTACLE_BIT);
+    }
+
+    #[test]
+    fn mass_conserved_on_torus() {
+        let shape = Shape::grid2(8, 8).unwrap();
+        let g = Grid::from_fn(shape, |c| {
+            (prng::site_hash(shape.linear(c) as u64, 0, 5) & HPP_MASK as u64) as u8
+        });
+        let mass0: u32 = g.as_slice().iter().map(|&s| (s & HPP_MASK).count_ones()).sum();
+        let gn = evolve(&g, &HppRule::new(), Boundary::Periodic, 0, 20);
+        let mass: u32 = gn.as_slice().iter().map(|&s| (s & HPP_MASK).count_ones()).sum();
+        assert_eq!(mass, mass0);
+    }
+
+    #[test]
+    fn momentum_conserved_on_torus_without_obstacles() {
+        let shape = Shape::grid2(8, 8).unwrap();
+        let g = Grid::from_fn(shape, |c| {
+            (prng::site_hash(shape.linear(c) as u64, 1, 9) & HPP_MASK as u64) as u8
+        });
+        let p0 = total_momentum(&g);
+        let gn = evolve(&g, &HppRule::new(), Boundary::Periodic, 0, 25);
+        assert_eq!(total_momentum(&gn), p0);
+    }
+
+    fn total_momentum(g: &Grid<u8>) -> (i64, i64) {
+        g.as_slice().iter().fold((0, 0), |(px, py), &s| {
+            let inv = hpp_invariants(s);
+            (px + inv.momentum[0] as i64, py + inv.momentum[1] as i64)
+        })
+    }
+}

@@ -1,0 +1,70 @@
+//! # lattice-gas
+//!
+//! Lattice-gas cellular automata (LGCA) — the paper's test-bed workload
+//! (§2): "at each lattice site, each edge of the lattice incident to that
+//! site may have exactly zero or one particle traveling at unit speed away
+//! from that site … there is a set of collision rules … which satisfy
+//! particle-number (mass) conservation and momentum conservation."
+//!
+//! Models provided:
+//!
+//! * [`hpp`] — the HPP gas (Hardy–Pomeau–de Pazzis, ref \[4\]): four
+//!   directions on the orthogonal lattice. Not isotropic, but historically
+//!   first and the simplest conserving model.
+//! * [`fhp`] — the FHP gas (Frisch–Hasslacher–Pomeau, ref \[3\]): six
+//!   directions on the hexagonal lattice (embedded brick-wall style on the
+//!   orthogonal grid), in three variants — FHP-I (6-bit), FHP-II (adds a
+//!   rest particle), FHP-III (collision-saturated). FHP satisfies the
+//!   Navier–Stokes equation in the large-lattice limit.
+//! * [`gas1d`] — a 1-D two/three-channel gas and the elementary CA of the
+//!   paper's ref \[16\] (a custom chip for a one-dimensional cellular
+//!   automaton), used by the d = 1 experiments.
+//! * [`gas3d`] — a 6-direction orthogonal 3-D gas matching §7's assumed
+//!   minimal-connectivity lattice, used by the d = 3 pebbling sweeps
+//!   ("extensions to three-dimensional gases are just now being
+//!   formulated", §2 — we use the orthogonal analogue the bounds assume).
+//!
+//! All collision rules are table-driven and *verified* at construction:
+//! every table entry must conserve mass and momentum ([`table`]).
+//! Stochastic choices (FHP two-body collisions have two outcomes) are
+//! derived deterministically from `(site, generation, seed)` via
+//! [`prng::site_bit`], so that every engine — reference, pipelined,
+//! partitioned — computes the identical evolution.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitparallel;
+pub mod eca;
+pub mod fhp;
+pub mod fhp_bitparallel;
+pub mod forcing;
+pub mod gas1d;
+pub mod gas3d;
+pub mod hpp;
+pub mod init;
+pub mod observe;
+pub mod physics;
+pub mod prng;
+pub mod reynolds;
+pub mod table;
+
+pub use eca::ElementaryCa;
+pub use fhp::{FhpRule, FhpVariant};
+pub use gas1d::Gas1dRule;
+pub use gas3d::Gas3dRule;
+pub use hpp::HppRule;
+pub use observe::{momentum_of, Observables};
+pub use table::CollisionTable;
+
+/// Bit flagging a site as a solid obstacle (bounce-back wall).
+///
+/// All gas models reserve bit 7: obstacles reverse every incident
+/// particle, conserving mass while absorbing momentum (a no-slip wall).
+/// The flag itself never moves, so it is part of the lattice, not the gas.
+pub const OBSTACLE_BIT: u8 = 0x80;
+
+/// True if the state byte marks an obstacle site.
+pub fn is_obstacle(state: u8) -> bool {
+    state & OBSTACLE_BIT != 0
+}

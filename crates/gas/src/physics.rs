@@ -1,0 +1,314 @@
+//! Physics probes: quantitative sanity checks that the gases behave
+//! like gases.
+//!
+//! §2 of the paper rests on the FHP result that these automata recover
+//! fluid dynamics in the coarse-grained limit. We don't re-derive
+//! Navier–Stokes, but we verify the measurable preconditions:
+//!
+//! * **relaxation to equilibrium** — per-channel occupations of a
+//!   uniform random gas converge to the density's equilibrium value and
+//!   stay there;
+//! * **isotropy of equilibrium** — all six FHP channels equilibrate to
+//!   the same occupation (the orthogonal HPP famously does this per-axis
+//!   only);
+//! * **sound propagation** — a density pulse spreads at a finite,
+//!   density-independent speed of order the lattice sound speed, rather
+//!   than diffusing or standing still.
+//!
+//! These run as statistical tests with loose tolerances; they guard
+//! against the classic LGCA implementation bugs (streaming asymmetries,
+//! chirality bias, broken collision tables) that conservation checks
+//! alone cannot see.
+
+use crate::fhp::{FhpRule, FhpVariant, FHP_DIRS};
+use crate::hpp::HPP_MASK;
+use crate::init;
+use lattice_core::{evolve, Boundary, Coord, Grid, Shape};
+
+/// Mean occupation of each FHP moving channel over the lattice.
+pub fn channel_occupations(grid: &Grid<u8>) -> [f64; 6] {
+    let mut counts = [0u64; 6];
+    for &s in grid.as_slice() {
+        for (i, d) in FHP_DIRS.iter().enumerate() {
+            if s & d.bit() != 0 {
+                counts[i] += 1;
+            }
+        }
+    }
+    let n = grid.len() as f64;
+    let mut out = [0.0; 6];
+    for (o, c) in out.iter_mut().zip(counts) {
+        *o = c as f64 / n;
+    }
+    out
+}
+
+/// Largest pairwise spread among the six channel occupations — an
+/// anisotropy measure (0 = perfectly isotropic populations).
+pub fn occupation_anisotropy(occ: &[f64; 6]) -> f64 {
+    let max = occ.iter().cloned().fold(f64::MIN, f64::max);
+    let min = occ.iter().cloned().fold(f64::MAX, f64::min);
+    max - min
+}
+
+/// Evolves a random FHP gas and returns the anisotropy trajectory
+/// sampled every `stride` generations.
+pub fn relaxation_trajectory(
+    rows: usize,
+    cols: usize,
+    variant: FhpVariant,
+    density: f64,
+    seed: u64,
+    samples: usize,
+    stride: u64,
+) -> Vec<f64> {
+    let shape = Shape::grid2(rows, cols).expect("valid shape");
+    let mut grid = init::random_fhp(shape, variant, density, seed, true).expect("valid gas");
+    let rule = FhpRule::new(variant, seed ^ 0x5a5a).with_wrap(rows, cols);
+    let mut out = Vec::with_capacity(samples);
+    let mut t = 0u64;
+    for _ in 0..samples {
+        out.push(occupation_anisotropy(&channel_occupations(&grid)));
+        grid = evolve(&grid, &rule, Boundary::Periodic, t, stride);
+        t += stride;
+    }
+    out
+}
+
+/// Measures the radius of a density pulse: the mean distance from the
+/// pulse center of the *excess* mass, for an HPP gas with a central
+/// over-density, after `steps` generations.
+///
+/// Returns `(radius_before, radius_after)`; a propagating sound wave
+/// gives `radius_after − radius_before ≈ c_s·steps` with `c_s` of order
+/// `1/√2` (the HPP sound speed).
+pub fn hpp_pulse_radius(n: usize, steps: u64, seed: u64, background: f64) -> (f64, f64) {
+    let shape = Shape::square(n).expect("valid shape");
+    let base = init::random_hpp(shape, background, seed).expect("valid gas");
+    // Stamp a dense disk in the center.
+    let dense = init::random_hpp(shape, 0.9, seed ^ 1).expect("valid gas");
+    let c0 = (n / 2) as f64;
+    let r_disk = (n / 10).max(2) as f64;
+    let grid = Grid::from_fn(shape, |c| {
+        let dr = c.row() as f64 - c0;
+        let dc = c.col() as f64 - c0;
+        if (dr * dr + dc * dc).sqrt() <= r_disk {
+            dense.get(c)
+        } else {
+            base.get(c)
+        }
+    });
+
+    let radius = |g: &Grid<u8>| -> f64 {
+        // Mass-weighted mean distance from center, counting only excess
+        // above the background expectation per site.
+        let bg = 4.0 * background;
+        let mut wsum = 0.0;
+        let mut dsum = 0.0;
+        for r in 0..n {
+            for c in 0..n {
+                let mass = (g.get(Coord::c2(r, c)) & HPP_MASK).count_ones() as f64;
+                let w = (mass - bg).max(0.0);
+                let dr = r as f64 - c0;
+                let dc = c as f64 - c0;
+                wsum += w;
+                dsum += w * (dr * dr + dc * dc).sqrt();
+            }
+        }
+        dsum / wsum
+    };
+
+    let before = radius(&grid);
+    let rule = crate::hpp::HppRule::new();
+    let after_grid = evolve(&grid, &rule, Boundary::Periodic, 0, steps);
+    (before, radius(&after_grid))
+}
+
+/// Measures shear-momentum relaxation: a velocity-shear interface (east
+/// wind on the top half, west wind on the bottom) smooths under
+/// collisions. Returns the shear amplitude — the difference between the
+/// mean `p_x` of the two halves — before and after `steps` generations.
+///
+/// The decay rate of this amplitude is the viscosity probe the FHP
+/// literature uses; we only assert decay, not its precise rate.
+pub fn fhp_shear_amplitude(
+    rows: usize,
+    cols: usize,
+    variant: FhpVariant,
+    seed: u64,
+    steps: u64,
+) -> (f64, f64) {
+    use crate::fhp::FhpDir;
+    let shape = Shape::grid2(rows, cols).expect("valid shape");
+    let grid = Grid::from_fn(shape, |c| {
+        let h = crate::prng::site_hash(shape.linear(c) as u64, 0, seed);
+        let mut s = 0u8;
+        // Background at ~0.2 per transverse channel for collisions.
+        if h & 0b100 != 0 && h & 0b1000 != 0 {
+            s |= FhpDir::NE.bit();
+        }
+        if h & 0b10000 != 0 && h & 0b100000 != 0 {
+            s |= FhpDir::SW.bit();
+        }
+        // Shear drive: E movers on top, W movers on the bottom.
+        if h & 1 != 0 {
+            if c.row() < rows / 2 {
+                s |= FhpDir::E.bit();
+            } else {
+                s |= FhpDir::W.bit();
+            }
+        }
+        s
+    });
+    let amplitude = |g: &Grid<u8>| -> f64 {
+        let mut top = 0i64;
+        let mut bottom = 0i64;
+        for r in 0..rows {
+            for c in 0..cols {
+                let (px, _) = crate::observe::Model::Fhp.momentum_of(g.get(Coord::c2(r, c)));
+                if r < rows / 2 {
+                    top += px as i64;
+                } else {
+                    bottom += px as i64;
+                }
+            }
+        }
+        (top - bottom) as f64 / (rows * cols) as f64
+    };
+    let before = amplitude(&grid);
+    let rule = FhpRule::new(variant, seed ^ 0x77).with_wrap(rows, cols);
+    let after = amplitude(&evolve(&grid, &rule, Boundary::Periodic, 0, steps));
+    (before, after)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupations_of_known_lattice() {
+        let shape = Shape::grid2(2, 2).unwrap();
+        let g = Grid::from_vec(
+            shape,
+            vec![
+                crate::fhp::FhpDir::E.bit(),
+                crate::fhp::FhpDir::E.bit() | crate::fhp::FhpDir::W.bit(),
+                0,
+                crate::fhp::FhpDir::NE.bit(),
+            ],
+        )
+        .unwrap();
+        let occ = channel_occupations(&g);
+        assert!((occ[0] - 0.5).abs() < 1e-12); // E in 2 of 4 sites
+        assert!((occ[3] - 0.25).abs() < 1e-12); // W
+        assert!((occ[1] - 0.25).abs() < 1e-12); // NE
+        assert_eq!(occ[2], 0.0);
+        assert!((occupation_anisotropy(&occ) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_random_gas_stays_isotropic() {
+        // Already at equilibrium: anisotropy stays at statistical-noise
+        // level (≈ 1/sqrt(sites) ≈ 0.016 for 64×64) throughout.
+        let traj = relaxation_trajectory(64, 64, FhpVariant::I, 0.35, 11, 6, 10);
+        for (i, a) in traj.iter().enumerate() {
+            assert!(*a < 0.05, "sample {i}: anisotropy {a}");
+        }
+    }
+
+    #[test]
+    fn anisotropic_start_relaxes_under_fhp3() {
+        // Start with ONLY the E and W channels populated: head-on
+        // collisions rotate pairs into the other channels. (A beam of
+        // *parallel* movers would never relax — by exclusion, same-
+        // velocity particles can't meet — see the control test below.)
+        // Momentum is zero here, so full relaxation is possible.
+        let shape = Shape::grid2(64, 64).unwrap();
+        let g = Grid::from_fn(shape, |c| {
+            let h = crate::prng::site_hash(shape.linear(c) as u64, 0, 3);
+            let mut s = 0u8;
+            if h & 1 != 0 {
+                s |= crate::fhp::FhpDir::E.bit();
+            }
+            if h & 2 != 0 {
+                s |= crate::fhp::FhpDir::W.bit();
+            }
+            s
+        });
+        let a0 = occupation_anisotropy(&channel_occupations(&g));
+        assert!(a0 > 0.4);
+        let rule = FhpRule::new(FhpVariant::III, 17).with_wrap(64, 64);
+        let relaxed = evolve(&g, &rule, Boundary::Periodic, 0, 60);
+        let a1 = occupation_anisotropy(&channel_occupations(&relaxed));
+        assert!(a1 < a0 / 2.0, "anisotropy {a0} -> {a1}");
+    }
+
+    #[test]
+    fn parallel_beam_never_relaxes() {
+        // Control experiment: a beam of same-velocity particles can
+        // never collide (the exclusion principle forbids two particles
+        // in one channel at one site), so streaming preserves the
+        // anisotropy exactly — this guards the relaxation test against
+        // passing vacuously.
+        let shape = Shape::grid2(32, 32).unwrap();
+        let g = Grid::from_fn(shape, |c| {
+            if shape.linear(c).is_multiple_of(3) {
+                crate::fhp::FhpDir::E.bit()
+            } else {
+                0
+            }
+        });
+        let rule = FhpRule::new(FhpVariant::III, 2).with_wrap(32, 32);
+        let out = evolve(&g, &rule, Boundary::Periodic, 0, 40);
+        let occ = channel_occupations(&out);
+        assert_eq!(occ[1..].iter().sum::<f64>(), 0.0);
+        assert!(occ[0] > 0.3);
+    }
+
+    #[test]
+    fn density_pulse_propagates_outward() {
+        // Empty background: all mass belongs to the pulse, so the mean
+        // radius cleanly tracks the expanding front.
+        let (before, after) = hpp_pulse_radius(64, 20, 5, 0.0);
+        assert!(before < 8.0, "initial pulse should be compact: {before}");
+        // Ballistic spreading: a macroscopic advance in 20 steps…
+        assert!(
+            after > before + 5.0,
+            "pulse did not propagate: {before} -> {after}"
+        );
+        // …but no faster than one site per step (the lattice light cone).
+        assert!(after < before + 20.0 + 1.0);
+    }
+
+    #[test]
+    fn shear_interface_relaxes_viscously() {
+        // Momentum diffuses across the interface: the shear amplitude
+        // must drop substantially but total momentum stays (±0 here by
+        // antisymmetry). FHP-III (lowest viscosity) relaxes fastest.
+        let (a0, a1) = fhp_shear_amplitude(32, 64, FhpVariant::III, 5, 80);
+        assert!(a0 > 0.5, "initial shear too weak: {a0}");
+        assert!(a1 < 0.6 * a0, "shear did not relax: {a0} -> {a1}");
+        assert!(a1 > -0.2 * a0, "shear overshot: {a0} -> {a1}");
+    }
+
+    #[test]
+    fn shear_relaxes_faster_with_more_collisions() {
+        // FHP-III is collision-saturated → lower viscosity → faster
+        // momentum diffusion than FHP-I at the same state and horizon.
+        let (a0_1, a1_1) = fhp_shear_amplitude(32, 64, FhpVariant::I, 5, 40);
+        let (a0_3, a1_3) = fhp_shear_amplitude(32, 64, FhpVariant::III, 5, 40);
+        assert!((a0_1 - a0_3).abs() < 1e-9, "same initial state");
+        assert!(
+            a1_3 < a1_1 + 0.02,
+            "FHP-III should relax at least as fast: I {a1_1} vs III {a1_3}"
+        );
+    }
+
+    #[test]
+    fn pulse_in_medium_still_spreads() {
+        // With a background medium the excess-mass radius is noisier but
+        // must still move outward (sound-like transport).
+        let (before, after) = hpp_pulse_radius(64, 24, 9, 0.05);
+        assert!(after > before, "{before} -> {after}");
+    }
+}

@@ -1,0 +1,97 @@
+//! Deterministic per-site pseudo-randomness.
+//!
+//! FHP two-body collisions have two momentum-conserving outcomes (rotate
+//! the pair by ±60°); the model requires choosing between them with equal
+//! probability. In a hardware pipeline each PE evaluates sites at
+//! different wall-clock moments and in a different order from the
+//! reference engine, so the choice must be a **pure function of the site
+//! coordinate, the generation, and a global seed** — then every engine
+//! reproduces the same microstate bit for bit.
+//!
+//! We use splitmix64, a well-mixed 64-bit finalizer with provably
+//! equidistributed outputs over sequential inputs; statistical perfection
+//! is not required (the physics only needs unbiased, uncorrelated-enough
+//! chirality choices; Frisch et al. used simple alternating bits).
+
+/// The splitmix64 finalizer.
+#[inline]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// A 64-bit hash of `(site linear index, generation, seed)`.
+#[inline]
+pub fn site_hash(site: u64, time: u64, seed: u64) -> u64 {
+    splitmix64(splitmix64(splitmix64(seed) ^ site) ^ time)
+}
+
+/// One unbiased pseudo-random bit per `(site, generation, seed)`.
+#[inline]
+pub fn site_bit(site: u64, time: u64, seed: u64) -> bool {
+    site_hash(site, time, seed) & 1 != 0
+}
+
+/// A pseudo-random value in `0..n` per `(site, generation, seed)`.
+///
+/// Uses the high bits (better mixed than the low bits for multiplicative
+/// finalizers) via the fixed-point multiply trick.
+#[inline]
+pub fn site_uniform(site: u64, time: u64, seed: u64, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    ((site_hash(site, time, seed) as u128 * n as u128) >> 64) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(site_hash(3, 5, 7), site_hash(3, 5, 7));
+        assert_eq!(site_bit(0, 0, 42), site_bit(0, 0, 42));
+    }
+
+    #[test]
+    fn inputs_matter() {
+        let h = site_hash(1, 2, 3);
+        assert_ne!(h, site_hash(2, 2, 3));
+        assert_ne!(h, site_hash(1, 3, 3));
+        assert_ne!(h, site_hash(1, 2, 4));
+    }
+
+    #[test]
+    fn bit_is_roughly_unbiased() {
+        let n = 100_000u64;
+        let ones: u64 = (0..n).map(|i| site_bit(i, 17, 99) as u64).sum();
+        // 5-sigma band around n/2 for a fair coin: ±5·sqrt(n)/2 ≈ ±790.
+        assert!((ones as i64 - (n / 2) as i64).abs() < 800, "ones = {ones}");
+    }
+
+    #[test]
+    fn bit_is_unbiased_across_time_too() {
+        let n = 100_000u64;
+        let ones: u64 = (0..n).map(|t| site_bit(12345, t, 7) as u64).sum();
+        assert!((ones as i64 - (n / 2) as i64).abs() < 800, "ones = {ones}");
+    }
+
+    #[test]
+    fn uniform_stays_in_range_and_covers() {
+        let mut seen = [false; 6];
+        for i in 0..1000 {
+            let v = site_uniform(i, 0, 1, 6);
+            assert!(v < 6);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn uniform_n1_is_zero() {
+        for i in 0..100 {
+            assert_eq!(site_uniform(i, i, i, 1), 0);
+        }
+    }
+}

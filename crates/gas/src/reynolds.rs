@@ -1,0 +1,144 @@
+//! Reynolds-number scaling — why the paper wants *fast* engines.
+//!
+//! §2: "The Reynolds Numbers achievable depends on the size of the
+//! lattices used, and very large Reynolds Numbers will require huge
+//! lattices and correspondingly huge computation rates. For a discussion
+//! of the scaling of the lattice computations with Reynolds Number, see
+//! \[10\]" (Orszag & Yakhot 1986).
+//!
+//! The standard FHP transport theory (Frisch et al. 1987, lattice
+//! Boltzmann approximation) gives closed forms used here:
+//!
+//! * kinematic shear viscosity of FHP-I at per-channel density `d`:
+//!   `ν(d) = (1/12)·1/(d(1−d)³) − 1/8`;
+//! * sound speed `c_s = 1/√2`;
+//! * Galilean factor `g(d) = (1 − 2d)/(1 − d)` multiplying the advective
+//!   term, so the *effective* Reynolds number of a flow with speed `u`
+//!   past an obstacle of size `L` is `Re = g(d)·u·L/ν(d)`.
+//!
+//! From these, [`lattice_for_reynolds`] answers the sizing question
+//! behind the whole enterprise: how many sites (and site updates per
+//! "eddy turnover") a target Reynolds number costs.
+
+/// FHP-I kinematic shear viscosity at per-channel density `d` ∈ (0, 1)
+/// (lattice-Boltzmann approximation, lattice units).
+pub fn fhp1_viscosity(d: f64) -> f64 {
+    assert!(d > 0.0 && d < 1.0, "density must be in (0,1)");
+    1.0 / (12.0 * d * (1.0 - d).powi(3)) - 0.125
+}
+
+/// The FHP Galilean-invariance factor `g(d) = (1 − 2d)/(1 − d)`.
+pub fn galilean_factor(d: f64) -> f64 {
+    assert!(d > 0.0 && d < 1.0);
+    (1.0 - 2.0 * d) / (1.0 - d)
+}
+
+/// Effective Reynolds number of a flow at speed `u` (lattice units per
+/// step, must stay ≪ c_s for incompressibility) past a feature of size
+/// `l` sites, at per-channel density `d`.
+pub fn reynolds(d: f64, u: f64, l: f64) -> f64 {
+    galilean_factor(d) * u * l / fhp1_viscosity(d)
+}
+
+/// The density maximizing `g(d)/ν(d)` — the best operating density for
+/// high-Reynolds FHP-I runs — found by scan (the literature's d* ≈ 0.2).
+pub fn optimal_density() -> f64 {
+    let mut best = (0.0f64, f64::MIN);
+    let mut d = 0.05;
+    while d < 0.5 {
+        let merit = galilean_factor(d) / fhp1_viscosity(d);
+        if merit > best.1 {
+            best = (d, merit);
+        }
+        d += 0.001;
+    }
+    best.0
+}
+
+/// Sizing record for a target Reynolds number.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReynoldsSizing {
+    /// Target Reynolds number.
+    pub re: f64,
+    /// Obstacle/feature size in sites.
+    pub l_feature: f64,
+    /// Lattice side (a few features across).
+    pub l_lattice: f64,
+    /// Total sites.
+    pub sites: f64,
+    /// Site updates per eddy-turnover time (`L/u` steps over the lattice).
+    pub updates_per_turnover: f64,
+}
+
+/// Sizes the lattice a target Reynolds number needs at density `d` and
+/// flow speed `u`, with the lattice `margin`× the obstacle size.
+pub fn lattice_for_reynolds(re: f64, d: f64, u: f64, margin: f64) -> ReynoldsSizing {
+    let l_feature = re * fhp1_viscosity(d) / (galilean_factor(d) * u);
+    let l_lattice = margin * l_feature;
+    let sites = l_lattice * l_lattice;
+    let steps_per_turnover = l_feature / u;
+    ReynoldsSizing {
+        re,
+        l_feature,
+        l_lattice,
+        sites,
+        updates_per_turnover: sites * steps_per_turnover,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn viscosity_curve_shape() {
+        // High at low density, minimal mid-range, rising toward d = 1.
+        let lo = fhp1_viscosity(0.05);
+        let mid = fhp1_viscosity(0.3);
+        let hi = fhp1_viscosity(0.8);
+        assert!(lo > mid && hi > mid, "{lo} {mid} {hi}");
+        // Known value: ν(0.3) = 1/(12·0.3·0.7³) − 1/8 ≈ 0.685.
+        assert!((mid - (1.0 / (12.0 * 0.3 * 0.343)) + 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn galilean_factor_known_points() {
+        assert!((galilean_factor(0.5) - 0.0).abs() < 1e-12);
+        assert!((galilean_factor(0.25) - (0.5 / 0.75)).abs() < 1e-12);
+        // Below 0.5 it's positive (forward advection).
+        assert!(galilean_factor(0.2) > 0.0);
+    }
+
+    #[test]
+    fn optimal_density_is_around_0_2() {
+        let d = optimal_density();
+        assert!((0.1..=0.3).contains(&d), "d* = {d}");
+    }
+
+    #[test]
+    fn reynolds_scales_linearly_in_size_and_speed() {
+        let d = 0.2;
+        let base = reynolds(d, 0.1, 100.0);
+        assert!((reynolds(d, 0.2, 100.0) / base - 2.0).abs() < 1e-9);
+        assert!((reynolds(d, 0.1, 300.0) / base - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sizing_grows_cubically_with_re() {
+        // sites ∝ Re², updates/turnover ∝ Re³ — the "huge lattices and
+        // correspondingly huge computation rates" of §2.
+        let a = lattice_for_reynolds(100.0, 0.2, 0.1, 4.0);
+        let b = lattice_for_reynolds(1000.0, 0.2, 0.1, 4.0);
+        assert!((b.sites / a.sites - 100.0).abs() < 1e-6);
+        assert!((b.updates_per_turnover / a.updates_per_turnover - 1000.0).abs() < 1e-3);
+        // Concrete scale check: Re = 1000 at u = 0.1 needs a feature of
+        // thousands of sites.
+        assert!(b.l_feature > 3_000.0, "{}", b.l_feature);
+    }
+
+    #[test]
+    #[should_panic(expected = "density")]
+    fn viscosity_rejects_bad_density() {
+        let _ = fhp1_viscosity(1.5);
+    }
+}

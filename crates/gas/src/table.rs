@@ -1,0 +1,235 @@
+//! Verified collision tables.
+//!
+//! §2 of the paper: "the collision rules satisfy certain physically
+//! plausible laws, especially particle-number (mass) conservation and
+//! momentum conservation." A [`CollisionTable`] maps a pre-collision state
+//! byte (plus one random bit for stochastic rules) to a post-collision
+//! state byte, and *proves at construction* that every entry conserves
+//! mass and momentum under a model-supplied invariant function.
+//!
+//! Hardware realization: the paper's PEs are exactly such lookup tables
+//! (a 7-bit FHP site needs a 128-entry ROM plus a chirality bit); building
+//! them as data keeps our simulated PEs faithful to the silicon.
+
+use std::fmt;
+
+/// Integer invariants of a state: particle count and a 2- or 3-component
+/// integer momentum (in a model-specific integer basis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Invariants {
+    /// Number of particles (mass).
+    pub mass: u32,
+    /// Momentum components in the model's integer basis.
+    pub momentum: [i32; 3],
+}
+
+/// Error from building an invalid collision table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConservationError {
+    /// Input state that broke conservation.
+    pub input: u8,
+    /// The chirality/random bit in effect.
+    pub chirality: bool,
+    /// Output the rule produced.
+    pub output: u8,
+    /// Invariants of the input.
+    pub before: Invariants,
+    /// Invariants of the output.
+    pub after: Invariants,
+}
+
+impl fmt::Display for ConservationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "collision {:#010b} -> {:#010b} (chirality {}) violates conservation: \
+             mass {} -> {}, momentum {:?} -> {:?}",
+            self.input,
+            self.output,
+            self.chirality,
+            self.before.mass,
+            self.after.mass,
+            self.before.momentum,
+            self.after.momentum
+        )
+    }
+}
+
+impl std::error::Error for ConservationError {}
+
+/// A verified 256×2 collision lookup table over state bytes.
+///
+/// Index 0 is used when the per-site random bit is `false`, index 1 when
+/// `true`; deterministic rules simply install the same entry twice.
+///
+/// ```
+/// use lattice_gas::fhp::{fhp_table, FhpDir, FhpVariant};
+/// let table = fhp_table(FhpVariant::I);
+/// // A head-on pair rotates ±60° depending on the chirality bit.
+/// let pair = FhpDir::E.bit() | FhpDir::W.bit();
+/// assert_eq!(table.collide(pair, false), FhpDir::NE.bit() | FhpDir::SW.bit());
+/// assert_eq!(table.collide(pair, true), FhpDir::NW.bit() | FhpDir::SE.bit());
+/// ```
+#[derive(Clone)]
+pub struct CollisionTable {
+    entries: [[u8; 256]; 2],
+    name: &'static str,
+}
+
+impl fmt::Debug for CollisionTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CollisionTable").field("name", &self.name).finish_non_exhaustive()
+    }
+}
+
+impl CollisionTable {
+    /// Builds a table from a rule closure `f(state, chirality) -> state`,
+    /// verifying conservation of `invariants` for every state in
+    /// `domain` (states outside the domain must map to themselves).
+    ///
+    /// `domain` is the set of legal state bytes (e.g. FHP-I uses only the
+    /// low 6 bits plus the obstacle flag); entries outside it are fixed to
+    /// the identity so an illegal byte can never be laundered into a legal
+    /// one by collision.
+    pub fn build(
+        name: &'static str,
+        domain: impl Fn(u8) -> bool,
+        invariants: impl Fn(u8) -> Invariants,
+        f: impl Fn(u8, bool) -> u8,
+    ) -> Result<Self, ConservationError> {
+        let mut entries = [[0u8; 256]; 2];
+        for chirality in [false, true] {
+            for s in 0..=255u8 {
+                let out = if domain(s) { f(s, chirality) } else { s };
+                let before = invariants(s);
+                let after = invariants(out);
+                if domain(s) && (before.mass != after.mass || before.momentum != after.momentum) {
+                    return Err(ConservationError {
+                        input: s,
+                        chirality,
+                        output: out,
+                        before,
+                        after,
+                    });
+                }
+                entries[chirality as usize][s as usize] = out;
+            }
+        }
+        Ok(CollisionTable { entries, name })
+    }
+
+    /// Applies the table.
+    #[inline]
+    pub fn collide(&self, state: u8, chirality: bool) -> u8 {
+        self.entries[chirality as usize][state as usize]
+    }
+
+    /// The table's name (for reports).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Fraction of domain states (under `domain`) that any chirality maps
+    /// to a different state — the paper's "collision saturation" figure of
+    /// merit for FHP variants (more collisions → lower viscosity).
+    pub fn saturation(&self, domain: impl Fn(u8) -> bool) -> f64 {
+        let mut total = 0usize;
+        let mut changed = 0usize;
+        for s in 0..=255u8 {
+            if !domain(s) {
+                continue;
+            }
+            total += 1;
+            if self.entries[0][s as usize] != s || self.entries[1][s as usize] != s {
+                changed += 1;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            changed as f64 / total as f64
+        }
+    }
+
+    /// True when the table is an involution for both chirality values
+    /// (collide ∘ collide = identity), a common micro-reversibility check.
+    pub fn is_involution(&self) -> bool {
+        (0..=255u8).all(|s| {
+            [false, true].into_iter().all(|c| self.collide(self.collide(s, c), c) == s)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn popcount_inv(s: u8) -> Invariants {
+        Invariants { mass: (s & 0x0f).count_ones(), momentum: [0, 0, 0] }
+    }
+
+    #[test]
+    fn identity_table_builds() {
+        let t = CollisionTable::build("id", |_| true, popcount_inv, |s, _| s).unwrap();
+        assert_eq!(t.collide(0xab, false), 0xab);
+        assert_eq!(t.name(), "id");
+        assert!(t.is_involution());
+        assert_eq!(t.saturation(|_| true), 0.0);
+    }
+
+    #[test]
+    fn conservation_violation_is_detected() {
+        // A rule that drops a particle.
+        let r = CollisionTable::build("bad", |s| s & 0x0f != 0, popcount_inv, |_, _| 0);
+        let err = r.unwrap_err();
+        assert!(err.before.mass > err.after.mass || err.before.mass != err.after.mass);
+        let msg = err.to_string();
+        assert!(msg.contains("violates conservation"));
+    }
+
+    #[test]
+    fn out_of_domain_states_are_fixed() {
+        // Domain = low nibble only; rule would scramble everything.
+        let t = CollisionTable::build(
+            "swap",
+            |s| s & 0xf0 == 0,
+            popcount_inv,
+            |s, _| ((s & 0b0011) << 2) | ((s & 0b1100) >> 2),
+        )
+        .unwrap();
+        assert_eq!(t.collide(0b0101, false), 0b0101);
+        assert_eq!(t.collide(0b0110, false), 0b1001);
+        assert_eq!(t.collide(0xf3, false), 0xf3); // outside domain: identity
+    }
+
+    #[test]
+    fn chirality_indexes_separate_entries() {
+        let t = CollisionTable::build(
+            "chiral",
+            |s| s == 0b0011 || s == 0b1100 || s == 0,
+            popcount_inv,
+            |s, c| match (s, c) {
+                (0b0011, false) => 0b1100,
+                (0b0011, true) => 0b0011,
+                (0b1100, false) => 0b0011,
+                _ => s,
+            },
+        )
+        .unwrap();
+        assert_eq!(t.collide(0b0011, false), 0b1100);
+        assert_eq!(t.collide(0b0011, true), 0b0011);
+    }
+
+    #[test]
+    fn saturation_counts_changed_states() {
+        let t = CollisionTable::build(
+            "half",
+            |s| s <= 3,
+            popcount_inv,
+            |s, _| if s == 0b01 { 0b10 } else if s == 0b10 { 0b01 } else { s },
+        )
+        .unwrap();
+        // Domain {0,1,2,3}: states 1 and 2 change → 0.5.
+        assert!((t.saturation(|s| s <= 3) - 0.5).abs() < 1e-12);
+    }
+}

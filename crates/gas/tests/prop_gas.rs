@@ -1,0 +1,206 @@
+//! Property-based conservation and determinism tests for all gas models.
+
+use lattice_core::{evolve, Boundary, Grid, Shape};
+use lattice_gas::fhp::{fhp_invariants, fhp_table, FhpRule, FhpVariant, FHP_GAS_MASK};
+use lattice_gas::gas1d::{gas1d_invariants, Gas1dRule, GAS1D_MASK};
+use lattice_gas::gas3d::{gas3d_invariants, gas3d_table, Gas3dRule, GAS3D_MASK};
+use lattice_gas::hpp::{hpp_invariants, hpp_table, HppRule, HPP_MASK};
+use lattice_gas::{init, is_obstacle, OBSTACLE_BIT};
+use proptest::prelude::*;
+
+fn mass_momentum_2d(g: &Grid<u8>, fhp: bool) -> (u64, i64, i64) {
+    g.as_slice().iter().fold((0, 0, 0), |(m, px, py), &s| {
+        let inv = if fhp {
+            fhp_invariants(s & FHP_GAS_MASK)
+        } else {
+            hpp_invariants(s & HPP_MASK)
+        };
+        (m + inv.mass as u64, px + inv.momentum[0] as i64, py + inv.momentum[1] as i64)
+    })
+}
+
+proptest! {
+    /// Every collision-table entry conserves mass and momentum — for all
+    /// 256 states × 2 chiralities × all models (exhaustive per case, the
+    /// proptest layer just varies nothing; kept as a plain test below).
+    #[test]
+    fn fhp_torus_evolution_conserves(
+        rows in (1usize..6).prop_map(|r| r * 2),
+        cols in 2usize..12,
+        density in 0.05f64..0.95,
+        seed in any::<u64>(),
+        steps in 1u64..12,
+        variant in prop_oneof![
+            Just(FhpVariant::I),
+            Just(FhpVariant::II),
+            Just(FhpVariant::III)
+        ],
+    ) {
+        let shape = Shape::grid2(rows, cols).unwrap();
+        let g = init::random_fhp(shape, variant, density, seed, true).unwrap();
+        let rule = FhpRule::new(variant, seed ^ 0xdead_beef).with_wrap(rows, cols);
+        let before = mass_momentum_2d(&g, true);
+        let out = evolve(&g, &rule, Boundary::Periodic, 0, steps);
+        prop_assert_eq!(mass_momentum_2d(&out, true), before);
+    }
+
+    #[test]
+    fn hpp_torus_evolution_conserves(
+        rows in 1usize..10,
+        cols in 1usize..10,
+        density in 0.05f64..0.95,
+        seed in any::<u64>(),
+        steps in 1u64..12,
+    ) {
+        let shape = Shape::grid2(rows, cols).unwrap();
+        let g = init::random_hpp(shape, density, seed).unwrap();
+        let before = mass_momentum_2d(&g, false);
+        let out = evolve(&g, &HppRule::new(), Boundary::Periodic, 0, steps);
+        prop_assert_eq!(mass_momentum_2d(&out, false), before);
+    }
+
+    #[test]
+    fn gas1d_ring_evolution_conserves(
+        n in 2usize..64,
+        density in 0.05f64..0.95,
+        seed in any::<u64>(),
+        steps in 1u64..20,
+    ) {
+        let g = init::random_gas1d(n, density, seed).unwrap();
+        let rule = Gas1dRule::new(seed).with_wrap(n);
+        let before: (u64, i64) = g.as_slice().iter().fold((0, 0), |(m, p), &s| {
+            let inv = gas1d_invariants(s & GAS1D_MASK);
+            (m + inv.mass as u64, p + inv.momentum[0] as i64)
+        });
+        let out = evolve(&g, &rule, Boundary::Periodic, 0, steps);
+        let after: (u64, i64) = out.as_slice().iter().fold((0, 0), |(m, p), &s| {
+            let inv = gas1d_invariants(s & GAS1D_MASK);
+            (m + inv.mass as u64, p + inv.momentum[0] as i64)
+        });
+        prop_assert_eq!(after, before);
+    }
+
+    #[test]
+    fn gas3d_torus_evolution_conserves(
+        depth in 1usize..5,
+        rows in 1usize..5,
+        cols in 1usize..5,
+        density in 0.05f64..0.95,
+        seed in any::<u64>(),
+        steps in 1u64..8,
+    ) {
+        let g = init::random_gas3d(depth, rows, cols, density, seed).unwrap();
+        let rule = Gas3dRule::new(seed).with_wrap(depth, rows, cols);
+        let total = |g: &Grid<u8>| {
+            g.as_slice().iter().fold((0u64, [0i64; 3]), |(m, mut p), &s| {
+                let inv = gas3d_invariants(s & GAS3D_MASK);
+                for (pc, ic) in p.iter_mut().zip(inv.momentum) {
+                    *pc += ic as i64;
+                }
+                (m + inv.mass as u64, p)
+            })
+        };
+        let before = total(&g);
+        let out = evolve(&g, &rule, Boundary::Periodic, 0, steps);
+        prop_assert_eq!(total(&out), before);
+    }
+
+    /// Mass never increases under null boundaries (particles may leave
+    /// the lattice but none may enter), with or without obstacles.
+    #[test]
+    fn fhp_null_boundary_mass_non_increasing(
+        rows in 2usize..10,
+        cols in 2usize..10,
+        density in 0.1f64..0.9,
+        seed in any::<u64>(),
+        with_walls in any::<bool>(),
+    ) {
+        let shape = Shape::grid2(rows, cols).unwrap();
+        let mut g = init::random_fhp(shape, FhpVariant::III, density, seed, false).unwrap();
+        if with_walls {
+            init::add_obstacles(&mut g, |c| c.row() == 0);
+        }
+        let rule = FhpRule::new(FhpVariant::III, seed);
+        let mut mass_prev = mass_momentum_2d(&g, true).0;
+        let mut cur = g;
+        for t in 0..8u64 {
+            cur = evolve(&cur, &rule, Boundary::null(), t, 1);
+            let m = mass_momentum_2d(&cur, true).0;
+            prop_assert!(m <= mass_prev, "mass grew at t={t}: {m} > {mass_prev}");
+            mass_prev = m;
+        }
+    }
+
+    /// Obstacles never move, appear, or disappear.
+    #[test]
+    fn obstacles_are_immutable(
+        rows in (1usize..5).prop_map(|r| r * 2),
+        cols in 2usize..10,
+        seed in any::<u64>(),
+        steps in 1u64..10,
+    ) {
+        let shape = Shape::grid2(rows, cols).unwrap();
+        let mut g = init::random_fhp(shape, FhpVariant::II, 0.4, seed, true).unwrap();
+        init::add_obstacles(&mut g, |c| {
+            lattice_gas::prng::site_bit(shape.linear(c) as u64, 0, seed) && c.col() % 3 == 0
+        });
+        let rule = FhpRule::new(FhpVariant::II, seed).with_wrap(rows, cols);
+        let out = evolve(&g, &rule, Boundary::Periodic, 0, steps);
+        for i in 0..shape.len() {
+            prop_assert_eq!(is_obstacle(out.get_linear(i)), is_obstacle(g.get_linear(i)));
+        }
+    }
+
+    /// The same seed gives the same trajectory; different seeds diverge
+    /// on a dense-enough gas.
+    #[test]
+    fn evolution_is_deterministic_per_seed(seed in any::<u64>()) {
+        let shape = Shape::grid2(8, 8).unwrap();
+        let g = init::random_fhp(shape, FhpVariant::I, 0.5, 1, true).unwrap();
+        let r1 = FhpRule::new(FhpVariant::I, seed).with_wrap(8, 8);
+        let r2 = FhpRule::new(FhpVariant::I, seed).with_wrap(8, 8);
+        let a = evolve(&g, &r1, Boundary::Periodic, 0, 5);
+        let b = evolve(&g, &r2, Boundary::Periodic, 0, 5);
+        prop_assert_eq!(a, b);
+    }
+}
+
+/// Exhaustive: every entry of every table conserves its invariants.
+#[test]
+fn all_tables_conserve_exhaustively() {
+    let cases: Vec<(lattice_gas::CollisionTable, fn(u8) -> lattice_gas::table::Invariants, u8)> = vec![
+        (hpp_table(), hpp_invariants, HPP_MASK),
+        (fhp_table(FhpVariant::I), fhp_invariants, FHP_GAS_MASK),
+        (fhp_table(FhpVariant::II), fhp_invariants, FHP_GAS_MASK),
+        (fhp_table(FhpVariant::III), fhp_invariants, FHP_GAS_MASK),
+        (gas3d_table(), gas3d_invariants, GAS3D_MASK),
+        (lattice_gas::gas1d::gas1d_table(), gas1d_invariants, GAS1D_MASK),
+    ];
+    for (table, inv, mask) in cases {
+        for s in 0..=255u8 {
+            for c in [false, true] {
+                let out = table.collide(s, c);
+                if s & !(mask | OBSTACLE_BIT) != 0 {
+                    assert_eq!(out, s, "{}: out-of-domain state {s:#010b}", table.name());
+                    continue;
+                }
+                assert_eq!(
+                    inv(out & mask).mass,
+                    inv(s & mask).mass,
+                    "{}: mass of {s:#010b}",
+                    table.name()
+                );
+                if !is_obstacle(s) {
+                    assert_eq!(
+                        inv(out).momentum,
+                        inv(s).momentum,
+                        "{}: momentum of {s:#010b}",
+                        table.name()
+                    );
+                }
+                // Obstacle flags are sticky.
+                assert_eq!(is_obstacle(out), is_obstacle(s), "{}", table.name());
+            }
+        }
+    }
+}

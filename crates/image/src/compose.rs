@@ -1,0 +1,90 @@
+//! Stage composition: the cytocomputer's pipeline-of-operations.
+//!
+//! Sternberg's machines chained *different* operations stage to stage
+//! (erode, erode, dilate, …) rather than iterating one rule — ref
+//! \[18\]'s "pipeline architectures for image processing". The paper's
+//! engines iterate a single rule per pass, so heterogeneous chains run
+//! as one host pass per stage; [`run_stages`] is that loop, and the
+//! tests confirm it matches running each stage on a hardware pipeline.
+
+use lattice_core::{evolve, Boundary, Grid, Rule, State};
+
+/// Applies a sequence of same-state-type stages, one generation each,
+/// under the given boundary. Returns the final image.
+pub fn run_stages<S: State>(
+    img: &Grid<S>,
+    stages: &[&dyn Rule<S = S>],
+    boundary: Boundary<S>,
+) -> Grid<S> {
+    let mut cur = img.clone();
+    for (t, stage) in stages.iter().enumerate() {
+        cur = evolve(&cur, stage, boundary, t as u64, 1);
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::{BoxBlur, Median3, Threshold};
+    use crate::morphology::{Dilate, Erode, StructuringElement};
+    use lattice_core::{Coord, Shape};
+
+    #[test]
+    fn heterogeneous_grayscale_chain() {
+        // Denoise → blur → threshold: a classic segmentation front-end.
+        let shape = Shape::grid2(10, 10).unwrap();
+        let mut img: Grid<u8> = Grid::from_fn(shape, |c| if c.col() >= 5 { 180 } else { 20 });
+        img.set(Coord::c2(4, 2), 255); // noise speck in the dark half
+        let out = run_stages(
+            &img,
+            &[&Median3, &BoxBlur, &Threshold(100)],
+            Boundary::Periodic,
+        );
+        // Binary output, speck gone, halves separated.
+        assert!(out.as_slice().iter().all(|&p| p == 0 || p == 255));
+        assert_eq!(out.get(Coord::c2(4, 2)), 0);
+        assert_eq!(out.get(Coord::c2(4, 7)), 255);
+    }
+
+    #[test]
+    fn morphology_chain_is_opening() {
+        let shape = Shape::grid2(9, 9).unwrap();
+        let mut img: Grid<bool> = Grid::new(shape);
+        for r in 3..6 {
+            for c in 3..6 {
+                img.set(Coord::c2(r, c), true);
+            }
+        }
+        img.set(Coord::c2(0, 0), true); // isolated speck: opening kills it
+        let se = StructuringElement::box3();
+        let chained = run_stages(
+            &img,
+            &[&Erode(se) as &dyn Rule<S = bool>, &Dilate(se)],
+            Boundary::Fixed(false),
+        );
+        assert_eq!(chained, crate::morphology::open(&img, se));
+        assert!(!chained.get(Coord::c2(0, 0)));
+        assert!(chained.get(Coord::c2(4, 4)));
+    }
+
+    #[test]
+    fn chain_matches_per_stage_hardware_passes() {
+        use lattice_engines_sim::Pipeline;
+        let shape = Shape::grid2(8, 12).unwrap();
+        let img: Grid<u8> = Grid::from_fn(shape, |c| (c.row() * 13 + c.col() * 7) as u8);
+        let host = run_stages(&img, &[&Median3, &BoxBlur], Boundary::Fixed(0));
+        // Hardware path: one single-stage pipeline pass per operation.
+        let p1 = Pipeline::wide(2, 1).run(&Median3, &img, 0).unwrap();
+        let p2 = Pipeline::wide(2, 1).run(&BoxBlur, &p1.grid, 1).unwrap();
+        assert_eq!(p2.grid, host);
+    }
+
+    #[test]
+    fn empty_chain_is_identity() {
+        let shape = Shape::grid2(3, 3).unwrap();
+        let img: Grid<u8> = Grid::from_fn(shape, |c| c.col() as u8);
+        let out = run_stages(&img, &[], Boundary::Fixed(0));
+        assert_eq!(out, img);
+    }
+}

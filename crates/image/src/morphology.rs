@@ -1,0 +1,258 @@
+//! Binary mathematical morphology — Sternberg's cytocomputer workload.
+//!
+//! Erosion and dilation over 3×3 structuring elements; opening and
+//! closing by composition. The algebra the implementation must satisfy
+//! (and the tests check):
+//!
+//! * duality: `dilate_B(x) = ¬ erode_B̌(¬x)` (with the reflected
+//!   element `B̌`);
+//! * monotonicity: `erode(x) ⊆ x ⊆ dilate(x)` when `B` contains the
+//!   origin;
+//! * idempotence of opening/closing: `open(open(x)) = open(x)`.
+
+use lattice_core::{Boundary, Grid, Rule, Window};
+
+/// A 3×3 binary structuring element (row-major, center at index 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StructuringElement {
+    mask: [bool; 9],
+}
+
+impl StructuringElement {
+    /// Builds from a row-major 3×3 mask.
+    pub fn new(mask: [bool; 9]) -> Self {
+        StructuringElement { mask }
+    }
+
+    /// The full 3×3 box.
+    pub fn box3() -> Self {
+        StructuringElement { mask: [true; 9] }
+    }
+
+    /// The von Neumann cross (center + 4-neighbors).
+    pub fn cross() -> Self {
+        let mut mask = [false; 9];
+        for i in [1, 3, 4, 5, 7] {
+            mask[i] = true;
+        }
+        StructuringElement { mask }
+    }
+
+    /// Horizontal 3×1 line through the center.
+    pub fn hline() -> Self {
+        let mut mask = [false; 9];
+        for i in [3, 4, 5] {
+            mask[i] = true;
+        }
+        StructuringElement { mask }
+    }
+
+    /// The element reflected through the origin.
+    pub fn reflected(&self) -> Self {
+        let mut mask = [false; 9];
+        for (i, m) in mask.iter_mut().enumerate() {
+            *m = self.mask[8 - i];
+        }
+        StructuringElement { mask }
+    }
+
+    /// Whether offset `(dr, dc)` is in the element.
+    pub fn contains(&self, dr: isize, dc: isize) -> bool {
+        self.mask[((dr + 1) * 3 + dc + 1) as usize]
+    }
+
+    /// True if the element contains the origin.
+    pub fn has_origin(&self) -> bool {
+        self.mask[4]
+    }
+}
+
+/// Binary erosion: output is set iff every element offset lands on a
+/// set pixel.
+#[derive(Debug, Clone, Copy)]
+pub struct Erode(pub StructuringElement);
+
+impl Rule for Erode {
+    type S = bool;
+    fn update(&self, w: &Window<bool>) -> bool {
+        for dr in -1isize..=1 {
+            for dc in -1isize..=1 {
+                if self.0.contains(dr, dc) && !w.at2(dr, dc) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+    fn name(&self) -> &str {
+        "erode"
+    }
+}
+
+/// Binary dilation: output is set iff any *reflected* element offset
+/// lands on a set pixel (the Minkowski-sum convention).
+#[derive(Debug, Clone, Copy)]
+pub struct Dilate(pub StructuringElement);
+
+impl Rule for Dilate {
+    type S = bool;
+    fn update(&self, w: &Window<bool>) -> bool {
+        for dr in -1isize..=1 {
+            for dc in -1isize..=1 {
+                if self.0.contains(-dr, -dc) && w.at2(dr, dc) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+    fn name(&self) -> &str {
+        "dilate"
+    }
+}
+
+/// Morphological opening: erosion then dilation (removes small bright
+/// specks; idempotent and anti-extensive).
+///
+/// Boundary frame convention: erosion reads off-image pixels as *set*
+/// and dilation as *clear* — the standard choice that preserves the
+/// morphological algebra (extensivity/anti-extensivity, idempotence) on
+/// a finite frame instead of eating the image border.
+pub fn open(img: &Grid<bool>, se: StructuringElement) -> Grid<bool> {
+    let eroded = lattice_core::evolve(img, &Erode(se), Boundary::Fixed(true), 0, 1);
+    lattice_core::evolve(&eroded, &Dilate(se), Boundary::Fixed(false), 0, 1)
+}
+
+/// Morphological closing: dilation then erosion (fills small dark
+/// holes; idempotent and extensive). See [`open`] for the frame
+/// convention.
+pub fn close(img: &Grid<bool>, se: StructuringElement) -> Grid<bool> {
+    let dilated = lattice_core::evolve(img, &Dilate(se), Boundary::Fixed(false), 0, 1);
+    lattice_core::evolve(&dilated, &Erode(se), Boundary::Fixed(true), 0, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lattice_core::{evolve, Coord, Shape};
+    use proptest::prelude::*;
+
+    fn blob() -> Grid<bool> {
+        let shape = Shape::grid2(12, 12).unwrap();
+        Grid::from_fn(shape, |c| {
+            let (r, k) = (c.row() as i32 - 6, c.col() as i32 - 6);
+            r * r + k * k <= 9
+        })
+    }
+
+    #[test]
+    fn erosion_shrinks_dilation_grows() {
+        let img = blob();
+        let se = StructuringElement::box3();
+        let eroded = evolve(&img, &Erode(se), Boundary::Fixed(false), 0, 1);
+        let dilated = evolve(&img, &Dilate(se), Boundary::Fixed(false), 0, 1);
+        let count = |g: &Grid<bool>| g.count(|p| p);
+        assert!(count(&eroded) < count(&img));
+        assert!(count(&dilated) > count(&img));
+        // Monotone containment (origin in the element).
+        for i in 0..img.len() {
+            assert!(!eroded.get_linear(i) || img.get_linear(i));
+            assert!(!img.get_linear(i) || dilated.get_linear(i));
+        }
+    }
+
+    #[test]
+    fn single_pixel_dilates_to_element_shape() {
+        let shape = Shape::grid2(5, 5).unwrap();
+        let mut img = Grid::new(shape);
+        img.set(Coord::c2(2, 2), true);
+        let se = StructuringElement::cross();
+        let out = evolve(&img, &Dilate(se), Boundary::Fixed(false), 0, 1);
+        assert_eq!(out.count(|p| p), 5);
+        assert!(out.get(Coord::c2(1, 2)));
+        assert!(out.get(Coord::c2(2, 1)));
+        assert!(!out.get(Coord::c2(1, 1)));
+    }
+
+    #[test]
+    fn structuring_element_helpers() {
+        let b = StructuringElement::box3();
+        assert!(b.has_origin() && b.contains(-1, 1));
+        let h = StructuringElement::hline();
+        assert!(h.contains(0, -1) && !h.contains(1, 0));
+        // Reflecting an asymmetric element moves its lobes.
+        let mut m = [false; 9];
+        m[0] = true; // (-1,-1)
+        let se = StructuringElement::new(m);
+        assert!(se.reflected().contains(1, 1));
+        assert!(!se.reflected().contains(-1, -1));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Duality: dilation is the complement of erosion of the
+        /// complement (with the reflected element), given complement-
+        /// consistent boundaries.
+        #[test]
+        fn duality(bits in proptest::collection::vec(any::<bool>(), 64), lobes in any::<u16>()) {
+            let shape = Shape::grid2(8, 8).unwrap();
+            let img = Grid::from_vec(shape, bits).unwrap();
+            let mut mask = [false; 9];
+            for (i, m) in mask.iter_mut().enumerate() {
+                *m = lobes >> i & 1 != 0;
+            }
+            let se = StructuringElement::new(mask);
+            let dilated = evolve(&img, &Dilate(se), Boundary::Fixed(false), 0, 1);
+            let complement = Grid::from_fn(shape, |c| !img.get(c));
+            let eroded_c =
+                evolve(&complement, &Erode(se.reflected()), Boundary::Fixed(true), 0, 1);
+            for i in 0..img.len() {
+                prop_assert_eq!(dilated.get_linear(i), !eroded_c.get_linear(i));
+            }
+        }
+
+        /// Opening and closing are idempotent.
+        #[test]
+        fn opening_closing_idempotent(bits in proptest::collection::vec(any::<bool>(), 100)) {
+            let shape = Shape::grid2(10, 10).unwrap();
+            let img = Grid::from_vec(shape, bits).unwrap();
+            for se in [StructuringElement::box3(), StructuringElement::cross(), StructuringElement::hline()] {
+                let once = open(&img, se);
+                prop_assert_eq!(open(&once, se), once.clone(), "open");
+                let conce = close(&img, se);
+                prop_assert_eq!(close(&conce, se), conce.clone(), "close");
+            }
+        }
+
+        /// Opening removes pixels, closing adds them.
+        #[test]
+        fn opening_anti_extensive(bits in proptest::collection::vec(any::<bool>(), 100)) {
+            let shape = Shape::grid2(10, 10).unwrap();
+            let img = Grid::from_vec(shape, bits).unwrap();
+            let se = StructuringElement::cross();
+            let opened = open(&img, se);
+            let closed = close(&img, se);
+            for i in 0..img.len() {
+                prop_assert!(!opened.get_linear(i) || img.get_linear(i));
+                prop_assert!(!img.get_linear(i) || closed.get_linear(i));
+            }
+        }
+    }
+
+    /// The cytocomputer contract: morphology through a pipelined engine
+    /// equals the reference — a two-stage erode|dilate pipeline is one
+    /// pass through two chips.
+    #[test]
+    fn morphology_runs_bit_exact_on_the_pipeline() {
+        use lattice_engines_sim::Pipeline;
+        let img = blob();
+        let se = StructuringElement::box3();
+        // One stage of erosion on a 2-PE chip.
+        let reference = evolve(&img, &Erode(se), Boundary::Fixed(false), 0, 1);
+        let report = Pipeline::wide(2, 1).run(&Erode(se), &img, 0).unwrap();
+        assert_eq!(report.grid, reference);
+        // Binary images: D = 1 bit of pin traffic per site.
+        assert_eq!(report.memory_traffic.bits_in, img.len() as u128);
+    }
+}

@@ -1,0 +1,171 @@
+//! Analytic bounds — §7's Theorems 2–4, Lemmas 1, 2, 8.
+//!
+//! The chain of results:
+//!
+//! * **Lemma 1** (Hong–Kung): `Q > S·(g − 1)` where `g` is the minimum
+//!   size of a 2S-partition.
+//! * **Lemma 2**: `g ≥ |X*| / (2S·τ(2S))` where `τ` is the line-time and
+//!   `|X*|` the number of on-line vertices (all of them, for `C_d`).
+//! * **Lemma 8**: the line-spread of `C_d` satisfies `T_d(j) > j^d/d!`
+//!   (number of lattice points in the j-simplex).
+//! * **Theorem 4**: `τ(2S) < 2·(d!·2S)^{1/d}`.
+//! * Combining: `Q = Ω(|X|/τ(2S))`, and with memory bandwidth `B`
+//!   (site values per tick) and update rate `R = |X|/p`:
+//!   **`R = O(B·τ(2S)) = O(B·S^{1/d})`** — the headline result.
+
+/// Factorial as f64 (d ≤ 20 is ample; `C_d` uses d ≤ 4).
+pub fn factorial(d: usize) -> f64 {
+    (1..=d).map(|i| i as f64).product()
+}
+
+/// Theorem 4's line-time bound: `τ(2S) < 2·(d!·2S)^{1/d}`.
+///
+/// `s` is the processor storage S in site values.
+pub fn tau_upper_bound(d: usize, s: usize) -> f64 {
+    assert!(d >= 1);
+    2.0 * (factorial(d) * 2.0 * s as f64).powf(1.0 / d as f64)
+}
+
+/// The I/O lower bound implied by Lemmas 1–2 and Theorem 4:
+/// `Q ≥ S·(⌈|X|/(2S·τ(2S))⌉ − 1)`, in site values.
+///
+/// Returns 0 when the partition bound `g` is ≤ 1 (small graphs).
+pub fn io_lower_bound(n_vertices: u64, d: usize, s: usize) -> f64 {
+    if s == 0 {
+        return f64::INFINITY;
+    }
+    let tau = tau_upper_bound(d, s);
+    let g = (n_vertices as f64 / (2.0 * s as f64 * tau)).ceil();
+    (s as f64 * (g - 1.0)).max(0.0)
+}
+
+/// The rate upper bound `R ≤ B·τ(2S)` (site updates per tick when `B`
+/// is in site values per tick): the executable form of
+/// `R = O(B·S^{1/d})`.
+pub fn rate_upper_bound(bandwidth_sites_per_tick: f64, d: usize, s: usize) -> f64 {
+    bandwidth_sites_per_tick * tau_upper_bound(d, s)
+}
+
+/// Empirical line-spread `t_G(u, j)` of the §7 lattice `G` measured from
+/// the *origin* (the minimizing vertex for the orthant lattice): the
+/// number of lattice points reachable in at most `j` steps — i.e. the
+/// number of lines covered by paths of length ≤ `j` in `C_d` (Lemmas
+/// 5–7 reduce line counting to lattice reachability).
+///
+/// `r` is the lattice side; counts points of `{x : Σxᵢ ≤ j, 0 ≤ xᵢ < r}`.
+pub fn line_spread(d: usize, r: usize, j: usize) -> u64 {
+    // Dynamic programming over dimensions: ways to reach coordinate sums.
+    // count[s] = number of points with coordinate sum exactly s.
+    let mut count = vec![0u64; j + 1];
+    count[0] = 1;
+    for _ in 0..d {
+        let mut next = vec![0u64; j + 1];
+        for (s, &c) in count.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            for x in 0..r.min(j - s + 1) {
+                next[s + x] += c;
+            }
+        }
+        count = next;
+    }
+    count.iter().sum()
+}
+
+/// Lemma 8's lower bound on the line-spread: `j^d / d!`.
+pub fn line_spread_lower_bound(d: usize, j: usize) -> f64 {
+    (j as f64).powi(d as i32) / factorial(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorials() {
+        assert_eq!(factorial(0), 1.0);
+        assert_eq!(factorial(1), 1.0);
+        assert_eq!(factorial(3), 6.0);
+        assert_eq!(factorial(5), 120.0);
+    }
+
+    #[test]
+    fn tau_bound_values() {
+        // d = 1: τ(2S) < 2·(2S) = 4S/... precisely 2·(1!·2S)^1 = 4S.
+        assert!((tau_upper_bound(1, 8) - 32.0).abs() < 1e-9);
+        // d = 2: 2·(2·2S)^(1/2) = 2·sqrt(4S)... = 2·(2·2·16)^0.5 = 16.
+        assert!((tau_upper_bound(2, 16) - 16.0).abs() < 1e-9);
+        // d = 3: 2·(6·2S)^(1/3) with S = 18 → 2·(216)^(1/3) = 12.
+        assert!((tau_upper_bound(3, 18) - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tau_grows_sublinearly_in_s() {
+        // Doubling S multiplies τ by 2^(1/d).
+        for d in 1..=3 {
+            let a = tau_upper_bound(d, 64);
+            let b = tau_upper_bound(d, 128);
+            assert!((b / a - 2f64.powf(1.0 / d as f64)).abs() < 1e-9, "d={d}");
+        }
+    }
+
+    #[test]
+    fn io_lower_bound_behavior() {
+        // Large graph, small S: positive bound that shrinks as S grows.
+        let n = 1_000_000u64;
+        let q8 = io_lower_bound(n, 2, 8);
+        let q64 = io_lower_bound(n, 2, 64);
+        assert!(q8 > 0.0 && q64 > 0.0);
+        // I/O per vertex falls like S^{1/d}/S ∼ S^{-1/2} for d = 2.
+        assert!(q8 / n as f64 > q64 / n as f64);
+        // Tiny graph: bound degenerates to 0, never negative.
+        assert_eq!(io_lower_bound(10, 2, 64), 0.0);
+        assert!(io_lower_bound(10, 2, 0).is_infinite());
+    }
+
+    #[test]
+    fn rate_bound_scales_like_s_to_1_over_d() {
+        let b = 1.0;
+        for d in 1..=3usize {
+            let r1 = rate_upper_bound(b, d, 100);
+            let r2 = rate_upper_bound(b, d, 100 * 1024);
+            let measured_exponent = (r2 / r1).ln() / 1024f64.ln();
+            assert!(
+                (measured_exponent - 1.0 / d as f64).abs() < 1e-9,
+                "d={d}: exponent {measured_exponent}"
+            );
+        }
+    }
+
+    #[test]
+    fn line_spread_hand_values() {
+        // d = 1: points with x ≤ j → j+1 (capped at r).
+        assert_eq!(line_spread(1, 100, 5), 6);
+        assert_eq!(line_spread(1, 4, 10), 4);
+        // d = 2, j = 2, large r: {(0,0),(0,1),(1,0),(0,2),(1,1),(2,0)} = 6.
+        assert_eq!(line_spread(2, 100, 2), 6);
+        // d = 3, j = 1: origin + 3 unit points.
+        assert_eq!(line_spread(3, 100, 1), 4);
+    }
+
+    #[test]
+    fn line_spread_respects_lemma_8() {
+        // T_d(j) > j^d/d! for all tested d, j (with r large enough that
+        // the simplex is untruncated).
+        for d in 1..=3usize {
+            for j in 1..=20usize {
+                let t = line_spread(d, 64, j) as f64;
+                let lb = line_spread_lower_bound(d, j);
+                assert!(t > lb, "d={d}, j={j}: {t} <= {lb}");
+            }
+        }
+    }
+
+    #[test]
+    fn line_spread_truncated_by_lattice() {
+        // Small lattice: spread saturates at r^d.
+        assert_eq!(line_spread(2, 3, 100), 9);
+        assert_eq!(line_spread(3, 2, 100), 8);
+    }
+}

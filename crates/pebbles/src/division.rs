@@ -1,0 +1,308 @@
+//! S-I/O-divisions and 2S-partitions — the §7 proof machinery, made
+//! constructive and checkable.
+//!
+//! The paper's definitions:
+//!
+//! * an **S-I/O-division** of a pebbling `P` splits it into consecutive
+//!   subsequences `P₁ … P_h`, each containing exactly `S` I/O moves
+//!   (the last may have fewer). Then `Q > S·(h − 1)` trivially, and the
+//!   whole lower-bound argument is about bounding `h` from below.
+//! * Theorem 2's construction: "in `P`, consider every vertex that has
+//!   never had a red pebble placed on it by any moves in `P_i, i < k`,
+//!   and is red pebbled during `P_k`. This set of vertices is `V_k`."
+//!   The dominator `D_k` is the reds at the start of `P_k` plus the
+//!   vertices read during `P_k` (≤ 2S); the minimum set `M_k` is the
+//!   members of `V_k` with no children in `V_k` (≤ 2S).
+//!
+//! [`two_s_partition`] builds `{V_k, D_k, M_k}` from a recorded move log
+//! and *verifies* all the partition properties the proof uses, so
+//! Theorem 2 can be checked on any actual pebbling rather than trusted.
+
+use crate::game::Move;
+use crate::graph::PebbleGraph;
+
+/// An S-I/O-division of a move log.
+#[derive(Debug, Clone)]
+pub struct IoDivision {
+    /// Half-open move-index ranges of the blocks `P_1 … P_h`.
+    pub blocks: Vec<(usize, usize)>,
+    /// The S used.
+    pub s: usize,
+    /// Total I/O moves.
+    pub q: u64,
+}
+
+impl IoDivision {
+    /// Splits `log` into consecutive blocks of exactly `s` I/O moves
+    /// (the final block may have fewer).
+    pub fn new(log: &[Move], s: usize) -> Self {
+        assert!(s > 0);
+        let mut blocks = Vec::new();
+        let mut start = 0usize;
+        let mut io_in_block = 0usize;
+        let mut q = 0u64;
+        for (i, m) in log.iter().enumerate() {
+            if matches!(m, Move::Read(_) | Move::Write(_)) {
+                io_in_block += 1;
+                q += 1;
+                if io_in_block == s {
+                    blocks.push((start, i + 1));
+                    start = i + 1;
+                    io_in_block = 0;
+                }
+            }
+        }
+        if start < log.len() || blocks.is_empty() {
+            blocks.push((start, log.len()));
+        }
+        IoDivision { blocks, s, q }
+    }
+
+    /// The division size `h`.
+    pub fn h(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The trivial bound `q ≥ S·(h − 1)` (equality-adjacent by
+    /// construction; recorded for cross-checks).
+    pub fn check_trivial_bound(&self) -> bool {
+        self.q >= (self.s as u64) * (self.h() as u64 - 1)
+    }
+}
+
+/// One subset of a 2S-partition with its dominator and minimum sets.
+#[derive(Debug, Clone)]
+pub struct PartitionBlock {
+    /// `V_k`: vertices first red-pebbled in this block.
+    pub v: Vec<usize>,
+    /// `D_k`: dominator set (reds at block start + reads in block).
+    pub dominator: Vec<usize>,
+    /// `M_k`: members of `V_k` with no children in `V_k`.
+    pub minimum: Vec<usize>,
+}
+
+/// Errors from partition verification — any of these firing means the
+/// move log was not a legal pebbling (or the construction is buggy),
+/// which is exactly what this module exists to detect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// A computed vertex appeared in two blocks.
+    DuplicateVertex(usize),
+    /// A vertex's predecessor is neither in an earlier-or-same block's
+    /// `V` nor in the block's dominator.
+    UndominatedPath {
+        /// The vertex whose support fails.
+        vertex: usize,
+        /// The unaccounted predecessor.
+        pred: usize,
+    },
+    /// A dominator or minimum set exceeded 2S.
+    SetTooBig {
+        /// Block index.
+        block: usize,
+        /// Observed size.
+        size: usize,
+        /// The 2S cap.
+        cap: usize,
+    },
+}
+
+/// Builds the Theorem-2 partition from a move log and verifies every
+/// property the Hong–Kung argument relies on. Returns the blocks.
+pub fn two_s_partition<G: PebbleGraph>(
+    graph: &G,
+    log: &[Move],
+    s: usize,
+) -> Result<Vec<PartitionBlock>, PartitionError> {
+    let n = graph.n_vertices();
+    let division = IoDivision::new(log, s);
+    let mut first_pebbled: Vec<Option<usize>> = vec![None; n]; // vertex -> block
+    let mut blocks: Vec<PartitionBlock> = Vec::with_capacity(division.h());
+
+    // Replay the log tracking red state. `computed` records every
+    // rule-4 target of the block (including *recomputations* of
+    // vertices first pebbled earlier — tiled schedules recompute their
+    // skirts), which the domination check must walk through.
+    let mut red = vec![false; n];
+    let mut preds_buf = Vec::new();
+    let mut computed_per_block: Vec<Vec<usize>> = Vec::with_capacity(division.h());
+    for (k, &(lo, hi)) in division.blocks.iter().enumerate() {
+        let red_at_start: Vec<usize> = (0..n).filter(|&v| red[v]).collect();
+        let mut reads = Vec::new();
+        let mut v_k = Vec::new();
+        let mut computed = Vec::new();
+        for m in &log[lo..hi] {
+            match *m {
+                Move::Read(v) => {
+                    reads.push(v);
+                    red[v] = true;
+                }
+                Move::Compute(v) => {
+                    if first_pebbled[v].is_none() {
+                        first_pebbled[v] = Some(k);
+                        v_k.push(v);
+                    }
+                    computed.push(v);
+                    red[v] = true;
+                }
+                Move::Slide { from, to } => {
+                    if first_pebbled[to].is_none() {
+                        first_pebbled[to] = Some(k);
+                        v_k.push(to);
+                    }
+                    computed.push(to);
+                    red[from] = false;
+                    red[to] = true;
+                }
+                Move::RemoveRed(v) => red[v] = false,
+                Move::Write(_) | Move::RemoveBlue(_) => {}
+            }
+        }
+        let mut dominator = red_at_start;
+        dominator.extend(reads);
+        dominator.sort_unstable();
+        dominator.dedup();
+        computed_per_block.push(computed);
+        blocks.push(PartitionBlock { v: v_k, dominator, minimum: Vec::new() });
+    }
+
+    // Verify: disjointness is by construction (first_pebbled); check
+    // the dominator property and set sizes, and build minimum sets.
+    // Domination walks through the block's full computed set (V_k plus
+    // recomputations): every path into the block's work must enter
+    // through the dominator.
+    let cap = 2 * s;
+    let block_of: Vec<Option<usize>> = first_pebbled.clone();
+    for (k, block) in blocks.iter_mut().enumerate() {
+        if block.dominator.len() > cap {
+            return Err(PartitionError::SetTooBig { block: k, size: block.dominator.len(), cap });
+        }
+        let in_v: std::collections::HashSet<usize> = block.v.iter().copied().collect();
+        let in_computed: std::collections::HashSet<usize> =
+            computed_per_block[k].iter().copied().collect();
+        for &v in &computed_per_block[k] {
+            graph.preds(v, &mut preds_buf);
+            for &p in &preds_buf {
+                let dominated = block.dominator.binary_search(&p).is_ok();
+                if !dominated && !in_computed.contains(&p) {
+                    return Err(PartitionError::UndominatedPath { vertex: v, pred: p });
+                }
+            }
+        }
+        for &v in &block.v {
+            graph.preds(v, &mut preds_buf);
+            // Acyclicity across blocks: preds first pebbled in a LATER
+            // block would be a cycle among the partition subsets.
+            for &p in &preds_buf {
+                if let Some(bp) = block_of[p] {
+                    if bp > k {
+                        return Err(PartitionError::UndominatedPath { vertex: v, pred: p });
+                    }
+                }
+            }
+        }
+        // Minimum set: members of V_k with no children inside V_k.
+        let mut has_child_in_v: std::collections::HashSet<usize> = std::collections::HashSet::new();
+        for &v in &block.v {
+            graph.preds(v, &mut preds_buf);
+            for &p in &preds_buf {
+                if in_v.contains(&p) {
+                    has_child_in_v.insert(p);
+                }
+            }
+        }
+        block.minimum = block.v.iter().copied().filter(|v| !has_child_in_v.contains(v)).collect();
+        if block.minimum.len() > cap {
+            return Err(PartitionError::SetTooBig { block: k, size: block.minimum.len(), cap });
+        }
+    }
+    Ok(blocks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::game::Game;
+    use crate::graph::LatticeGraph;
+    use crate::strategies::{naive_sweep_logged, tiled_schedule_logged};
+
+    #[test]
+    fn division_counts_blocks() {
+        let log = vec![
+            Move::Read(0),
+            Move::Compute(3),
+            Move::Read(1),
+            Move::Write(3),
+            Move::Read(2),
+        ];
+        let d = IoDivision::new(&log, 2);
+        assert_eq!(d.h(), 2);
+        assert_eq!(d.q, 4);
+        assert!(d.check_trivial_bound());
+        // Blocks split after the 2nd and 4th I/O moves.
+        assert_eq!(d.blocks[0], (0, 3));
+        assert_eq!(d.blocks[1], (3, 5));
+    }
+
+    #[test]
+    fn division_of_empty_log() {
+        let d = IoDivision::new(&[], 4);
+        assert_eq!(d.h(), 1);
+        assert_eq!(d.q, 0);
+    }
+
+    #[test]
+    fn partition_of_naive_sweep_verifies() {
+        let graph = LatticeGraph::new(1, 6, 3);
+        let (stats, log) = naive_sweep_logged(&graph, 8).unwrap();
+        let blocks = two_s_partition(&graph, &log, 8).unwrap();
+        // Every non-input vertex appears exactly once.
+        let total: usize = blocks.iter().map(|b| b.v.len()).sum();
+        assert_eq!(total as u64, stats.n_updates);
+        // Theorem 2: g = h for this division.
+        let d = IoDivision::new(&log, 8);
+        assert_eq!(blocks.len(), d.h());
+        for (k, b) in blocks.iter().enumerate() {
+            assert!(b.dominator.len() <= 16, "block {k}");
+            assert!(b.minimum.len() <= 16, "block {k}");
+            assert!(b.minimum.len() <= b.v.len().max(1));
+        }
+    }
+
+    #[test]
+    fn partition_of_tiled_schedule_verifies() {
+        let graph = LatticeGraph::new(2, 8, 4);
+        let s = 64;
+        let (_, log) = tiled_schedule_logged(&graph, s, None).unwrap();
+        let blocks = two_s_partition(&graph, &log, s).unwrap();
+        let d = IoDivision::new(&log, s);
+        assert_eq!(blocks.len(), d.h());
+        // Lemma 2's inequality: h ≥ |X|/(2S·τ(2S)).
+        let tau = crate::bounds::tau_upper_bound(2, s);
+        let g_bound = graph.n_vertices() as f64 / (2.0 * s as f64 * tau);
+        assert!(blocks.len() as f64 >= g_bound.floor());
+    }
+
+    #[test]
+    fn partition_rejects_corrupted_log() {
+        // A log that "computes" a vertex whose predecessor was never
+        // pebbled in-block or dominated: inject by hand.
+        let graph = LatticeGraph::new(1, 3, 1);
+        let log = vec![Move::Compute(4)]; // preds {0,1,2} never red
+        let err = two_s_partition(&graph, &log, 2).unwrap_err();
+        assert!(matches!(err, PartitionError::UndominatedPath { vertex: 4, .. }));
+    }
+
+    #[test]
+    fn logged_game_records_moves() {
+        let graph = LatticeGraph::new(1, 3, 1);
+        let mut game = Game::new(&graph, 6);
+        game.enable_log();
+        game.apply(Move::Read(0)).unwrap();
+        game.apply(Move::Read(1)).unwrap();
+        assert_eq!(game.log().unwrap().len(), 2);
+        // Rejected moves are not logged.
+        assert!(game.apply(Move::Compute(0)).is_err());
+        assert_eq!(game.log().unwrap().len(), 2);
+    }
+}

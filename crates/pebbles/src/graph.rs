@@ -1,0 +1,323 @@
+//! Computation graphs for pebbling.
+//!
+//! §7: "We form the computation graph of the LGCA by identifying the
+//! vertices in each layer of the computation graph with the vertices in
+//! the lattice G. … C is a layered graph of T + 1 layers." The lattice
+//! `G` is the d-dimensional orthogonal grid with nearest-neighbor edges
+//! (§7 assumption 1 — minimum connectivity); boundary vertices appear in
+//! `C` with truncated neighborhoods (assumption 2).
+
+use lattice_core::Shape;
+
+/// A directed acyclic graph playable by the pebble games.
+///
+/// Vertices are `0..n_vertices()`; predecessor lists are produced on the
+/// fly so lattice graphs need no adjacency storage.
+pub trait PebbleGraph {
+    /// Number of vertices.
+    fn n_vertices(&self) -> usize;
+
+    /// Pushes the immediate predecessors of `v` into `out` (cleared
+    /// first).
+    fn preds(&self, v: usize, out: &mut Vec<usize>);
+
+    /// True if `v` is an input (no predecessors).
+    fn is_input(&self, v: usize) -> bool {
+        let mut tmp = Vec::new();
+        self.preds(v, &mut tmp);
+        tmp.is_empty()
+    }
+
+    /// The output vertices (those that must end blue).
+    fn outputs(&self) -> Vec<usize>;
+
+    /// The input vertices (blue at the start).
+    fn inputs(&self) -> Vec<usize> {
+        (0..self.n_vertices()).filter(|&v| self.is_input(v)).collect()
+    }
+}
+
+/// The layered computation graph `C_d` of a d-dimensional LGCA on an
+/// `r^d` lattice evolved for `T` generations: `(T+1)·r^d` vertices.
+///
+/// Vertex `(x, t)` has id `t·r^d + linear(x)`; its predecessors are
+/// `N(x) = {x} ∪ {orthogonal neighbors of x}` at layer `t − 1`,
+/// truncated at the lattice boundary.
+#[derive(Debug, Clone)]
+pub struct LatticeGraph {
+    shape: Shape,
+    t_layers: usize,
+    periodic: bool,
+}
+
+impl LatticeGraph {
+    /// Creates `C_d` for a `d`-dimensional side-`r` lattice over `t`
+    /// generations (so `t + 1` layers), with truncated (null-boundary)
+    /// neighborhoods — §7 assumption 2's default.
+    ///
+    /// # Panics
+    /// Panics if `d` is 0 or exceeds `lattice_core::MAX_DIMS`.
+    pub fn new(d: usize, r: usize, t: usize) -> Self {
+        let shape = Shape::cube(d, r).expect("valid lattice dimensions");
+        LatticeGraph { shape, t_layers: t, periodic: false }
+    }
+
+    /// The toroidally-connected variant (§7 assumption 2's last case):
+    /// every site has the full `2d + 1` von Neumann neighborhood, wrapped.
+    pub fn new_periodic(d: usize, r: usize, t: usize) -> Self {
+        let shape = Shape::cube(d, r).expect("valid lattice dimensions");
+        LatticeGraph { shape, t_layers: t, periodic: true }
+    }
+
+    /// Whether the lattice wraps toroidally.
+    pub fn is_periodic(&self) -> bool {
+        self.periodic
+    }
+
+    /// The lattice dimension `d`.
+    pub fn d(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// The lattice side `r`.
+    pub fn r(&self) -> usize {
+        self.shape.dims()[0]
+    }
+
+    /// Number of generations `T`.
+    pub fn t(&self) -> usize {
+        self.t_layers
+    }
+
+    /// Sites per layer (`r^d`).
+    pub fn layer_len(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Vertex id of `(site, layer)`.
+    pub fn vertex(&self, site: usize, layer: usize) -> usize {
+        debug_assert!(site < self.layer_len() && layer <= self.t_layers);
+        layer * self.layer_len() + site
+    }
+
+    /// Decomposes a vertex id into `(site, layer)`.
+    pub fn site_layer(&self, v: usize) -> (usize, usize) {
+        (v % self.layer_len(), v / self.layer_len())
+    }
+
+    /// The von Neumann neighborhood `N(x) = {x} ∪ neighbors` of a site:
+    /// truncated at the boundary, or wrapped for periodic graphs.
+    pub fn neighborhood(&self, site: usize, out: &mut Vec<usize>) {
+        out.clear();
+        out.push(site);
+        let c = self.shape.coord(site);
+        let rank = self.shape.rank();
+        let mut delta = [0isize; lattice_core::MAX_DIMS];
+        for axis in 0..rank {
+            for step in [-1isize, 1] {
+                delta[..rank].fill(0);
+                delta[axis] = step;
+                if let Some(nc) = self.shape.offset(c, &delta[..rank], self.periodic) {
+                    let n = self.shape.linear(nc);
+                    // A side-2 torus would duplicate neighbors; dedup.
+                    if !out.contains(&n) {
+                        out.push(n);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl PebbleGraph for LatticeGraph {
+    fn n_vertices(&self) -> usize {
+        (self.t_layers + 1) * self.layer_len()
+    }
+
+    fn preds(&self, v: usize, out: &mut Vec<usize>) {
+        out.clear();
+        let (site, layer) = self.site_layer(v);
+        if layer == 0 {
+            return;
+        }
+        let mut nb = Vec::with_capacity(2 * self.d() + 1);
+        self.neighborhood(site, &mut nb);
+        let base = (layer - 1) * self.layer_len();
+        out.extend(nb.into_iter().map(|s| base + s));
+    }
+
+    fn is_input(&self, v: usize) -> bool {
+        v < self.layer_len()
+    }
+
+    fn outputs(&self) -> Vec<usize> {
+        let base = self.t_layers * self.layer_len();
+        (base..base + self.layer_len()).collect()
+    }
+
+    fn inputs(&self) -> Vec<usize> {
+        (0..self.layer_len()).collect()
+    }
+}
+
+/// An explicit DAG from adjacency lists, for small examples and the
+/// exact optimal-pebbling search.
+#[derive(Debug, Clone)]
+pub struct ExplicitDag {
+    preds: Vec<Vec<usize>>,
+    outputs: Vec<usize>,
+}
+
+impl ExplicitDag {
+    /// Creates a DAG from per-vertex predecessor lists and an output
+    /// set. Validates that predecessor ids are in range and acyclic
+    /// (predecessors must have smaller ids — a topological labeling).
+    pub fn new(preds: Vec<Vec<usize>>, outputs: Vec<usize>) -> Result<Self, String> {
+        let n = preds.len();
+        for (v, ps) in preds.iter().enumerate() {
+            for &p in ps {
+                if p >= n {
+                    return Err(format!("vertex {v} has out-of-range predecessor {p}"));
+                }
+                if p >= v {
+                    return Err(format!(
+                        "vertex {v} has predecessor {p}; vertices must be topologically labeled"
+                    ));
+                }
+            }
+        }
+        for &o in &outputs {
+            if o >= n {
+                return Err(format!("output {o} out of range"));
+            }
+        }
+        Ok(ExplicitDag { preds, outputs })
+    }
+}
+
+impl PebbleGraph for ExplicitDag {
+    fn n_vertices(&self) -> usize {
+        self.preds.len()
+    }
+
+    fn preds(&self, v: usize, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend_from_slice(&self.preds[v]);
+    }
+
+    fn outputs(&self) -> Vec<usize> {
+        self.outputs.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_graph_1d_structure() {
+        let g = LatticeGraph::new(1, 4, 2);
+        assert_eq!(g.n_vertices(), 12);
+        assert_eq!(g.inputs(), vec![0, 1, 2, 3]);
+        assert_eq!(g.outputs(), vec![8, 9, 10, 11]);
+        let mut p = Vec::new();
+        // Interior vertex (site 1, layer 1): preds {0,1,2} at layer 0.
+        g.preds(g.vertex(1, 1), &mut p);
+        p.sort();
+        assert_eq!(p, vec![0, 1, 2]);
+        // Boundary vertex (site 0, layer 2): preds {0,1} at layer 1.
+        g.preds(g.vertex(0, 2), &mut p);
+        p.sort();
+        assert_eq!(p, vec![4, 5]);
+        // Inputs have no preds.
+        g.preds(2, &mut p);
+        assert!(p.is_empty());
+        assert!(g.is_input(2));
+        assert!(!g.is_input(5));
+    }
+
+    #[test]
+    fn lattice_graph_2d_neighborhood_size() {
+        let g = LatticeGraph::new(2, 3, 1);
+        let mut p = Vec::new();
+        // Center site 4 of the 3×3 lattice: 5 preds (von Neumann + self).
+        g.preds(g.vertex(4, 1), &mut p);
+        assert_eq!(p.len(), 5);
+        // Corner site 0: 3 preds.
+        g.preds(g.vertex(0, 1), &mut p);
+        assert_eq!(p.len(), 3);
+        // Edge site 1: 4 preds.
+        g.preds(g.vertex(1, 1), &mut p);
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn lattice_graph_3d_interior_has_seven_preds() {
+        let g = LatticeGraph::new(3, 3, 1);
+        let center = g.shape.linear(lattice_core::Coord::c3(1, 1, 1));
+        let mut p = Vec::new();
+        g.preds(g.vertex(center, 1), &mut p);
+        assert_eq!(p.len(), 7);
+    }
+
+    #[test]
+    fn vertex_site_layer_roundtrip() {
+        let g = LatticeGraph::new(2, 5, 3);
+        for v in 0..g.n_vertices() {
+            let (s, l) = g.site_layer(v);
+            assert_eq!(g.vertex(s, l), v);
+        }
+    }
+
+    #[test]
+    fn periodic_graph_has_full_neighborhoods_everywhere() {
+        let g = LatticeGraph::new_periodic(2, 4, 2);
+        assert!(g.is_periodic());
+        let mut p = Vec::new();
+        for site in 0..g.layer_len() {
+            g.preds(g.vertex(site, 1), &mut p);
+            assert_eq!(p.len(), 5, "site {site}");
+        }
+        // Corner site 0 wraps to sites 3 (west) and 12 (north).
+        g.preds(g.vertex(0, 1), &mut p);
+        p.sort();
+        assert_eq!(p, vec![0, 1, 3, 4, 12]);
+        // Truncated graph has only 3 preds at the corner.
+        let gt = LatticeGraph::new(2, 4, 2);
+        assert!(!gt.is_periodic());
+        gt.preds(gt.vertex(0, 1), &mut p);
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn tiny_torus_dedups_neighbors() {
+        // Side-2 torus: +1 and -1 wrap to the same site.
+        let g = LatticeGraph::new_periodic(1, 2, 1);
+        let mut p = Vec::new();
+        g.preds(g.vertex(0, 1), &mut p);
+        p.sort();
+        assert_eq!(p, vec![0, 1]);
+    }
+
+    #[test]
+    fn explicit_dag_validation() {
+        assert!(ExplicitDag::new(vec![vec![], vec![0], vec![0, 1]], vec![2]).is_ok());
+        // Forward reference rejected.
+        assert!(ExplicitDag::new(vec![vec![1], vec![]], vec![1]).is_err());
+        // Out-of-range pred rejected.
+        assert!(ExplicitDag::new(vec![vec![], vec![7]], vec![1]).is_err());
+        // Out-of-range output rejected.
+        assert!(ExplicitDag::new(vec![vec![]], vec![3]).is_err());
+    }
+
+    #[test]
+    fn explicit_dag_queries() {
+        let dag = ExplicitDag::new(vec![vec![], vec![], vec![0, 1]], vec![2]).unwrap();
+        assert_eq!(dag.n_vertices(), 3);
+        assert_eq!(dag.inputs(), vec![0, 1]);
+        assert_eq!(dag.outputs(), vec![2]);
+        let mut p = Vec::new();
+        dag.preds(2, &mut p);
+        assert_eq!(p, vec![0, 1]);
+    }
+}

@@ -1,0 +1,200 @@
+//! §7's structural lemmas about `C_d`, executable.
+//!
+//! The Theorem 4 proof rests on a chain of path lemmas (3–7) about the
+//! layered computation graph. This module implements the graph-theoretic
+//! predicates directly so the lemmas can be *checked* on concrete
+//! graphs rather than trusted:
+//!
+//! * **Lemma 3** — "every (u,v)-path p has length d(u,v)": in a layered
+//!   graph all paths between two vertices have the same length, the
+//!   layer difference.
+//! * **Lemma 4** — every vertex at half the distance between same-line
+//!   `u, v` lies on some (u,v)-path.
+//! * **Lemma 7** — `(z, t+j)` is reachable from `(x, t)` in `C_d` in `j`
+//!   steps iff `z` is reachable from `x` in at most `j` steps in the
+//!   lattice `G`.
+//!
+//! (Lemmas 5, 6 are counting corollaries of these; Lemma 8's
+//! line-spread bound lives in [`crate::bounds`].)
+
+use crate::graph::LatticeGraph;
+use std::collections::VecDeque;
+
+/// Directed distances (in arcs, following layer order) from `u` to
+/// every vertex of `C_d`; `None` = unreachable.
+pub fn distances_from(g: &LatticeGraph, u: usize) -> Vec<Option<usize>> {
+    let n = (g.t() + 1) * g.layer_len();
+    let mut dist = vec![None; n];
+    dist[u] = Some(0);
+    let mut q = VecDeque::from([u]);
+    let mut nb = Vec::new();
+    while let Some(v) = q.pop_front() {
+        let d = dist[v].expect("queued vertices have distances");
+        let (site, layer) = g.site_layer(v);
+        if layer == g.t() {
+            continue;
+        }
+        g.neighborhood(site, &mut nb);
+        for &s in &nb {
+            let w = g.vertex(s, layer + 1);
+            if dist[w].is_none() {
+                dist[w] = Some(d + 1);
+                q.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Lemma 3: every vertex reachable from `u` has distance exactly its
+/// layer difference (all paths in a layered graph share one length).
+pub fn lemma3_holds(g: &LatticeGraph, u: usize) -> bool {
+    let (_, lu) = g.site_layer(u);
+    distances_from(g, u).iter().enumerate().all(|(v, d)| match d {
+        None => true,
+        Some(d) => {
+            let (_, lv) = g.site_layer(v);
+            *d == lv - lu
+        }
+    })
+}
+
+/// Lemma 4: for same-line vertices `u = (x, t)` and `v = (x, t + D)`,
+/// every vertex `w` with `d(u, w) = ⌊D/2⌋` lies on some (u,v)-path —
+/// equivalently `d(u,w) + d(w,v) = d(u,v)`.
+pub fn lemma4_holds(g: &LatticeGraph, site: usize, t: usize, span: usize) -> bool {
+    assert!(t + span <= g.t(), "v must be inside the graph");
+    let u = g.vertex(site, t);
+    let v = g.vertex(site, t + span);
+    let du = distances_from(g, u);
+    let half = span / 2;
+    let duv = match du[v] {
+        Some(d) => d,
+        None => return false,
+    };
+    (0..(g.t() + 1) * g.layer_len())
+        .filter(|&w| du[w] == Some(half))
+        .all(|w| match distances_from(g, w)[v] {
+            Some(dwv) => half + dwv == duv,
+            None => false,
+        })
+}
+
+/// Lattice-side BFS: sites of `G` reachable from `x` within `j` steps.
+pub fn lattice_reachable(g: &LatticeGraph, x: usize, j: usize) -> Vec<bool> {
+    let n = g.layer_len();
+    let mut dist = vec![usize::MAX; n];
+    dist[x] = 0;
+    let mut q = VecDeque::from([x]);
+    let mut nb = Vec::new();
+    while let Some(s) = q.pop_front() {
+        if dist[s] == j {
+            continue;
+        }
+        g.neighborhood(s, &mut nb);
+        for &t in &nb {
+            if dist[t] == usize::MAX {
+                dist[t] = dist[s] + 1;
+                q.push_back(t);
+            }
+        }
+    }
+    dist.into_iter().map(|d| d <= j).collect()
+}
+
+/// Lemma 7: `(z, t + j)` reachable from `(x, t)` in `C_d` ⟺ `z`
+/// reachable from `x` in ≤ `j` lattice steps (forward direction needs
+/// `t + j ≤ T`). Checks both directions for all `z` at one `j`.
+pub fn lemma7_holds(g: &LatticeGraph, x: usize, t: usize, j: usize) -> bool {
+    if t + j > g.t() {
+        return true; // out of the graph's time range; lemma vacuous
+    }
+    let du = distances_from(g, g.vertex(x, t));
+    let reach = lattice_reachable(g, x, j);
+    (0..g.layer_len()).all(|z| {
+        let in_cd = du[g.vertex(z, t + j)] == Some(j);
+        in_cd == reach[z]
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lemma3_on_small_graphs() {
+        for (d, r, t) in [(1usize, 5usize, 4usize), (2, 4, 3), (3, 3, 2)] {
+            let g = LatticeGraph::new(d, r, t);
+            for u in [0usize, g.layer_len() / 2, g.vertex(0, 1)] {
+                assert!(lemma3_holds(&g, u), "d={d} u={u}");
+            }
+        }
+    }
+
+    #[test]
+    fn lemma3_on_torus_graphs() {
+        let g = LatticeGraph::new_periodic(2, 4, 3);
+        assert!(lemma3_holds(&g, 0));
+        assert!(lemma3_holds(&g, 5));
+    }
+
+    #[test]
+    fn lemma4_midpoints_lie_on_paths() {
+        for (d, r, t) in [(1usize, 7usize, 6usize), (2, 5, 4)] {
+            let g = LatticeGraph::new(d, r, t);
+            let center = g.layer_len() / 2;
+            for span in 2..=4usize {
+                assert!(lemma4_holds(&g, center, 0, span), "d={d} span={span}");
+                // Odd spans exercise the ⌊·⌋ in the lemma statement.
+                if span < g.t() {
+                    assert!(lemma4_holds(&g, center, 1, span.min(g.t() - 1)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lemma7_reachability_correspondence() {
+        for (d, r, t) in [(1usize, 8usize, 6usize), (2, 5, 4), (3, 3, 2)] {
+            let g = LatticeGraph::new(d, r, t);
+            for x in [0usize, g.layer_len() - 1, g.layer_len() / 2] {
+                for j in 0..=g.t() {
+                    assert!(lemma7_holds(&g, x, 0, j), "d={d} x={x} j={j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distances_track_light_cone() {
+        // From a corner of a 1-D lattice, the reachable set at layer j
+        // is exactly the first j+1 sites: the lattice light cone.
+        let g = LatticeGraph::new(1, 10, 5);
+        let du = distances_from(&g, 0);
+        for j in 0..=5usize {
+            for z in 0..10usize {
+                let expect = z <= j;
+                assert_eq!(du[g.vertex(z, j)] == Some(j), expect, "j={j} z={z}");
+            }
+        }
+    }
+
+    #[test]
+    fn line_spread_consistency_with_lemma_6() {
+        // Lemma 6: #lines covered by ≤j-paths = #vertices reachable in
+        // exactly j steps = the bounds module's line_spread count
+        // (measured from the corner = the minimizing vertex).
+        use crate::bounds::line_spread;
+        for (d, r) in [(1usize, 9usize), (2, 5), (3, 4)] {
+            let t = 3;
+            let g = LatticeGraph::new(d, r, t);
+            let du = distances_from(&g, 0);
+            for j in 0..=t {
+                let reached = (0..g.layer_len())
+                    .filter(|&z| du[g.vertex(z, j)] == Some(j))
+                    .count() as u64;
+                assert_eq!(reached, line_spread(d, r, j), "d={d} j={j}");
+            }
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! # lattice-pebbles
+//!
+//! The paper's §7: I/O lower bounds for lattice computations via pebble
+//! games, made executable.
+//!
+//! * [`graph`] — layered computation graphs `C_d` of a d-dimensional
+//!   LGCA (one layer per generation, arcs from each site's neighborhood
+//!   at time `t` to the site at `t + 1`), plus explicit DAGs for small
+//!   cases.
+//! * [`game`] — the Hong–Kung red-blue pebble game (ref \[5\]): red =
+//!   processor memory (at most `S` pebbles), blue = main memory; rules
+//!   (1)–(4) enforced move by move, I/O moves counted.
+//! * [`parallel`] — the paper's *parallel-red-blue* extension: cyclic
+//!   write / calculate / read phases with place-holder (pink) pebbles,
+//!   modeling a CRCW-PRAM-style machine with bounded memory bandwidth.
+//! * [`strategies`] — executable pebbling schedules: a naïve
+//!   site-at-a-time sweep (`Θ(1)` I/O per update, independent of `S`)
+//!   and the space-time *tiled* schedule that achieves
+//!   `O(1/S^{1/d})` I/O per update, matching the paper's upper bound
+//!   `R = O(B·S^{1/d})` up to constants.
+//! * [`bounds`] — the analytic side: line-time bound
+//!   `τ(2S) < 2(d!·2S)^{1/d}` (Theorem 4), the induced I/O lower bound
+//!   `Q ≥ S·(⌈|X|/(2S·τ(2S))⌉ − 1)` (Lemma 1 + Lemma 2), the rate bound
+//!   `R = O(B·τ(2S))`, and an empirical line-spread calculator verifying
+//!   Lemma 8 (`T_d(j) > j^d/d!`).
+//! * [`optimal`] — exact minimum-I/O pebbling for tiny graphs by 0-1
+//!   BFS over game states (the paper's closing "further research" goal:
+//!   "discover an optimal pebbling for any problem in this class").
+//!
+//! I/O is measured in units of one site value throughout, exactly as in
+//! the paper ("memory and I/O are measured in units of storage required
+//! to store a single site value").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod division;
+pub mod game;
+pub mod graph;
+pub mod lemmas;
+pub mod optimal;
+pub mod parallel;
+pub mod schedule;
+pub mod strategies;
+
+pub use bounds::{io_lower_bound, line_spread, rate_upper_bound, tau_upper_bound};
+pub use game::{Game, GameError, Move};
+pub use graph::{ExplicitDag, LatticeGraph, PebbleGraph};
+pub use optimal::{min_io_exact, min_io_exact_with_plan};
+pub use parallel::ParallelGame;
+pub use schedule::{parallel_layer_sweep, parallel_rate_bound, ParallelRun};
+pub use strategies::{naive_sweep, tiled_schedule, TilePlan};

@@ -1,0 +1,266 @@
+//! Exact minimum-I/O pebbling for tiny graphs.
+//!
+//! §8's closing research goal: "a further goal would be to discover an
+//! optimal pebbling for any problem in this class." For graphs of at
+//! most [`MAX_OPTIMAL_VERTICES`] vertices we answer exactly, by 0-1 BFS
+//! over game states `(red set, blue set)`: compute/slide/remove moves
+//! cost 0, I/O moves cost 1.
+//!
+//! Blue-pebble removals are omitted: removing a blue pebble never
+//! enables a move (no rule is conditioned on a vertex *lacking* a blue
+//! pebble), so an optimal play never needs one.
+
+use crate::game::Move;
+use crate::graph::PebbleGraph;
+use std::collections::{HashMap, VecDeque};
+
+/// Largest graph the exact search accepts (state space 4^n).
+pub const MAX_OPTIMAL_VERTICES: usize = 14;
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct State {
+    red: u32,
+    blue: u32,
+}
+
+/// Computes the exact minimum number of I/O moves to pebble `graph`
+/// with `s` red pebbles, or `None` if the graph cannot be completed
+/// (e.g. `s` smaller than some vertex's in-degree + 1 without a usable
+/// slide).
+///
+/// # Panics
+/// Panics if the graph has more than [`MAX_OPTIMAL_VERTICES`] vertices.
+pub fn min_io_exact<G: PebbleGraph>(graph: &G, s: usize) -> Option<u64> {
+    min_io_search(graph, s, false).map(|(q, _)| q)
+}
+
+/// Like [`min_io_exact`], but also reconstructs an optimal move
+/// sequence, replayable on a rule-checking [`crate::Game`].
+pub fn min_io_exact_with_plan<G: PebbleGraph>(
+    graph: &G,
+    s: usize,
+) -> Option<(u64, Vec<Move>)> {
+    min_io_search(graph, s, true).map(|(q, plan)| (q, plan.expect("plan requested")))
+}
+
+fn min_io_search<G: PebbleGraph>(
+    graph: &G,
+    s: usize,
+    want_plan: bool,
+) -> Option<(u64, Option<Vec<Move>>)> {
+    let n = graph.n_vertices();
+    assert!(
+        n <= MAX_OPTIMAL_VERTICES,
+        "exact search is exponential; max {MAX_OPTIMAL_VERTICES} vertices"
+    );
+    let full = |mask: u32, i: usize| mask >> i & 1 != 0;
+
+    let mut preds: Vec<u32> = Vec::with_capacity(n);
+    let mut tmp = Vec::new();
+    for v in 0..n {
+        graph.preds(v, &mut tmp);
+        preds.push(tmp.iter().fold(0u32, |m, &p| m | 1 << p));
+    }
+    let inputs: u32 = graph.inputs().iter().fold(0, |m, &v| m | 1 << v);
+    let goal: u32 = graph.outputs().iter().fold(0, |m, &v| m | 1 << v);
+
+    let start = State { red: 0, blue: inputs };
+    let mut dist: HashMap<State, u64> = HashMap::new();
+    dist.insert(start, 0);
+    let mut parent: HashMap<State, (State, Move)> = HashMap::new();
+    // 0-1 BFS deque.
+    let mut dq: VecDeque<(State, u64)> = VecDeque::new();
+    dq.push_back((start, 0));
+    let mut best: Option<(u64, State)> = None;
+
+    while let Some((st, d)) = dq.pop_front() {
+        if dist.get(&st) != Some(&d) {
+            continue; // stale entry
+        }
+        if st.blue & goal == goal {
+            if best.is_none_or(|(b, _)| d < b) {
+                best = Some((d, st));
+            }
+            continue;
+        }
+        if let Some((b, _)) = best {
+            if d >= b {
+                continue;
+            }
+        }
+        let red_count = st.red.count_ones() as usize;
+        let mut push = |next: State, nd: u64, front: bool, mv: Move| {
+            let e = dist.entry(next).or_insert(u64::MAX);
+            if nd < *e {
+                *e = nd;
+                if want_plan {
+                    parent.insert(next, (st, mv));
+                }
+                if front {
+                    dq.push_front((next, nd));
+                } else {
+                    dq.push_back((next, nd));
+                }
+            }
+        };
+
+        #[allow(clippy::needless_range_loop)] // v is a vertex id, not just an index
+        for v in 0..n {
+            let bit = 1u32 << v;
+            // Compute (rule 4), non-input, preds all red.
+            if !full(st.red, v) && inputs & bit == 0 && st.red & preds[v] == preds[v] {
+                if red_count < s {
+                    push(State { red: st.red | bit, blue: st.blue }, d, true, Move::Compute(v));
+                }
+                // Slide from each predecessor.
+                let mut pm = preds[v];
+                while pm != 0 {
+                    let p = pm.trailing_zeros() as usize;
+                    pm &= pm - 1;
+                    push(
+                        State { red: (st.red & !(1 << p)) | bit, blue: st.blue },
+                        d,
+                        true,
+                        Move::Slide { from: p, to: v },
+                    );
+                }
+            }
+            // Remove red (rule 1).
+            if full(st.red, v) {
+                push(State { red: st.red & !bit, blue: st.blue }, d, true, Move::RemoveRed(v));
+            }
+            // Read (rule 2): blue -> red, costs 1.
+            if full(st.blue, v) && !full(st.red, v) && red_count < s {
+                push(State { red: st.red | bit, blue: st.blue }, d + 1, false, Move::Read(v));
+            }
+            // Write (rule 3): red -> blue, costs 1.
+            if full(st.red, v) && !full(st.blue, v) {
+                push(State { red: st.red, blue: st.blue | bit }, d + 1, false, Move::Write(v));
+            }
+        }
+    }
+    let (q, goal_state) = best?;
+    if !want_plan {
+        return Some((q, None));
+    }
+    // Walk parents back to the start.
+    let mut plan = Vec::new();
+    let mut cur = goal_state;
+    while cur != start {
+        let (prev, mv) = parent.get(&cur).copied().expect("parent chain intact");
+        plan.push(mv);
+        cur = prev;
+    }
+    plan.reverse();
+    Some((q, Some(plan)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{ExplicitDag, LatticeGraph};
+
+    #[test]
+    fn single_edge_needs_two_io() {
+        // v1 = f(v0): read input, write output.
+        let g = ExplicitDag::new(vec![vec![], vec![0]], vec![1]).unwrap();
+        assert_eq!(min_io_exact(&g, 1), Some(2));
+    }
+
+    #[test]
+    fn tiny_join_needs_three_io() {
+        let g = ExplicitDag::new(vec![vec![], vec![], vec![0, 1]], vec![2]).unwrap();
+        assert_eq!(min_io_exact(&g, 2), Some(3)); // slide makes S=2 enough
+        assert_eq!(min_io_exact(&g, 3), Some(3));
+        assert_eq!(min_io_exact(&g, 1), None); // two live inputs needed at once
+    }
+
+    #[test]
+    fn chain_is_two_io_regardless_of_length() {
+        let g =
+            ExplicitDag::new(vec![vec![], vec![0], vec![1], vec![2], vec![3]], vec![4]).unwrap();
+        assert_eq!(min_io_exact(&g, 1), Some(2)); // slide down the chain
+        assert_eq!(min_io_exact(&g, 3), Some(2));
+    }
+
+    #[test]
+    fn small_lattice_exact_matches_io_floor() {
+        // 1-D lattice, r = 3, T = 1: 3 inputs, 3 outputs. Any complete
+        // computation reads all 3 inputs and writes all 3 outputs → 6.
+        let g = LatticeGraph::new(1, 3, 1);
+        assert_eq!(min_io_exact(&g, 4), Some(6));
+        // Tight memory costs extra I/O or fails, never helps.
+        let loose = min_io_exact(&g, 6).unwrap();
+        assert!(loose >= 6);
+    }
+
+    #[test]
+    fn deeper_lattice_reuses_reds() {
+        // 1-D lattice r = 3, T = 2: with S = 4 the middle layer can stay
+        // red: still only 3 reads + 3 writes.
+        let g = LatticeGraph::new(1, 3, 2);
+        assert_eq!(min_io_exact(&g, 4), Some(6));
+    }
+
+    #[test]
+    fn exact_respects_lower_bound_and_strategies_respect_exact() {
+        let g = LatticeGraph::new(1, 4, 2);
+        let s = 6;
+        let exact = min_io_exact(&g, s).unwrap() as f64;
+        let lb = crate::bounds::io_lower_bound(g.n_vertices() as u64, 1, s);
+        assert!(exact >= lb);
+        let tiled = crate::strategies::tiled_schedule(&g, s, None).unwrap();
+        assert!(tiled.io_moves as f64 >= exact);
+    }
+
+    #[test]
+    fn optimal_io_is_monotone_in_storage() {
+        // More red pebbles can never force more I/O: q*(S) is
+        // non-increasing, and it floors at reads+writes of the
+        // inputs/outputs actually needed.
+        let g = LatticeGraph::new(1, 4, 2);
+        let mut prev = u64::MAX;
+        for s in 2..=8usize {
+            if let Some(q) = min_io_exact(&g, s) {
+                assert!(q <= prev, "S={s}: {q} > {prev}");
+                assert!(q >= 8, "S={s}: below the 4-in/4-out floor");
+                prev = q;
+            }
+        }
+        assert_eq!(prev, 8, "ample storage reaches the floor");
+    }
+
+    #[test]
+    fn optimal_plan_replays_legally() {
+        use crate::game::Game;
+        for (g, s) in [
+            (LatticeGraph::new(1, 3, 1), 4usize),
+            (LatticeGraph::new(1, 3, 2), 4),
+            (LatticeGraph::new(1, 4, 2), 5),
+        ] {
+            let (q, plan) = min_io_exact_with_plan(&g, s).unwrap();
+            let mut game = Game::new(&g, s);
+            game.apply_all(plan.iter().copied()).expect("optimal plan is legal");
+            assert!(game.is_complete(), "plan completes the computation");
+            assert_eq!(game.io_moves(), q, "plan achieves the optimum");
+            assert!(game.max_red_used() <= s);
+        }
+    }
+
+    #[test]
+    fn plan_matches_min_io_value() {
+        let g = ExplicitDag::new(vec![vec![], vec![], vec![0, 1]], vec![2]).unwrap();
+        let (q, plan) = min_io_exact_with_plan(&g, 2).unwrap();
+        assert_eq!(q, 3);
+        assert_eq!(min_io_exact(&g, 2), Some(3));
+        // The S = 2 optimum needs a slide.
+        assert!(plan.iter().any(|m| matches!(m, Move::Slide { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "exact search")]
+    fn size_guard() {
+        let g = LatticeGraph::new(2, 4, 1); // 32 vertices
+        let _ = min_io_exact(&g, 4);
+    }
+}

@@ -1,0 +1,260 @@
+//! The parallel-red-blue pebble game — the paper's §7 extension.
+//!
+//! "The game consists of cyclic repetition of three phases: write phase,
+//! calculate phase, read phase." (Definition, §7.) The calculate phase
+//! uses place-holder (pink) pebbles so one red input can fan out to many
+//! simultaneous calculations and a result may overwrite a register used
+//! as an input; we realize the same semantics by validating every
+//! calculation against the red set *at the start of the phase* and
+//! applying all results (plus any register releases) at once.
+//!
+//! Each cycle models one machine step of a CRCW-PRAM-like processor
+//! array with `S` registers and a bandwidth-limited channel; the I/O
+//! count per cycle is `|writes| + |reads|`, so a machine of channel
+//! bandwidth `B` site-values/tick needs `≥ q/B` cycles — exactly the
+//! `R·p ≤ B·p·τ(2S)` accounting behind Theorem 4's application.
+
+use crate::game::{BitSet, GameError};
+use crate::graph::PebbleGraph;
+
+/// A parallel-red-blue game in progress.
+pub struct ParallelGame<'g, G: PebbleGraph> {
+    graph: &'g G,
+    s: usize,
+    red: BitSet,
+    blue: BitSet,
+    io_moves: u64,
+    cycles: u64,
+    computations: u64,
+    max_red_used: usize,
+}
+
+impl<'g, G: PebbleGraph> ParallelGame<'g, G> {
+    /// Starts a game with `s` registers: inputs blue, no reds.
+    pub fn new(graph: &'g G, s: usize) -> Self {
+        let n = graph.n_vertices();
+        let mut blue = BitSet::new(n);
+        for v in graph.inputs() {
+            blue.insert(v);
+        }
+        ParallelGame {
+            graph,
+            s,
+            red: BitSet::new(n),
+            blue,
+            io_moves: 0,
+            cycles: 0,
+            computations: 0,
+            max_red_used: 0,
+        }
+    }
+
+    /// Total I/O moves so far.
+    pub fn io_moves(&self) -> u64 {
+        self.io_moves
+    }
+
+    /// Cycles executed.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Calculations performed.
+    pub fn computations(&self) -> u64 {
+        self.computations
+    }
+
+    /// Peak register usage.
+    pub fn max_red_used(&self) -> usize {
+        self.max_red_used
+    }
+
+    /// Whether `v` currently holds a red pebble.
+    pub fn is_red(&self, v: usize) -> bool {
+        self.red.contains(v)
+    }
+
+    /// True when every output is blue.
+    pub fn is_complete(&self) -> bool {
+        self.graph.outputs().iter().all(|&v| self.blue.contains(v))
+    }
+
+    /// Executes one write/calculate/read cycle.
+    ///
+    /// * `writes` — vertices written to main memory; must be red at the
+    ///   start of the cycle.
+    /// * `computes` — vertices calculated; predecessors must be red at
+    ///   the start of the calculate phase (fan-out is free).
+    /// * `releases` — registers freed simultaneously with the
+    ///   calculations (the pink-pebble overwrite: a register may be both
+    ///   a support and a release in the same phase).
+    /// * `reads` — vertices fetched from main memory (must be blue).
+    ///
+    /// Register capacity `S` is enforced at the end of the calculate
+    /// phase and at the end of the read phase.
+    pub fn cycle(
+        &mut self,
+        writes: &[usize],
+        computes: &[usize],
+        releases: &[usize],
+        reads: &[usize],
+    ) -> Result<(), GameError> {
+        let n = self.graph.n_vertices();
+        for &v in writes.iter().chain(computes).chain(releases).chain(reads) {
+            if v >= n {
+                return Err(GameError::BadVertex(v));
+            }
+        }
+        // Write phase: sources must already be red (a datum calculated
+        // this cycle cannot also be written this cycle — §7: "a node
+        // must contain a red pebble before a blue pebble may be placed
+        // on it, and that red pebble must have been placed in a
+        // previous C_i").
+        for &v in writes {
+            if !self.red.contains(v) {
+                return Err(GameError::NotRed(v));
+            }
+        }
+        // Calculate phase: validate against the phase-start red set.
+        for &v in computes {
+            if self.graph.is_input(v) {
+                return Err(GameError::ComputeInput(v));
+            }
+            let mut preds = Vec::new();
+            self.graph.preds(v, &mut preds);
+            if let Some(&missing) = preds.iter().find(|&&p| !self.red.contains(p)) {
+                return Err(GameError::PredNotRed { vertex: v, missing });
+            }
+        }
+        // Apply writes.
+        for &v in writes {
+            self.blue.insert(v);
+        }
+        self.io_moves += writes.len() as u64;
+        // Apply releases and calculations atomically.
+        for &v in releases {
+            if !self.red.remove(v) {
+                return Err(GameError::NothingToRemove(v));
+            }
+        }
+        for &v in computes {
+            self.red.insert(v);
+            self.computations += 1;
+        }
+        if self.red.len() > self.s {
+            return Err(GameError::CapacityExceeded { s: self.s });
+        }
+        self.max_red_used = self.max_red_used.max(self.red.len());
+        // Read phase.
+        for &v in reads {
+            if !self.blue.contains(v) {
+                return Err(GameError::NotBlue(v));
+            }
+            self.red.insert(v);
+        }
+        self.io_moves += reads.len() as u64;
+        if self.red.len() > self.s {
+            return Err(GameError::CapacityExceeded { s: self.s });
+        }
+        self.max_red_used = self.max_red_used.max(self.red.len());
+        self.cycles += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::ExplicitDag;
+
+    /// Fan-out graph: v0 feeds v1, v2, v3 (vertex 0 is the only input).
+    fn fan_out() -> ExplicitDag {
+        ExplicitDag::new(vec![vec![], vec![0], vec![0], vec![0]], vec![1, 2, 3]).unwrap()
+    }
+
+    #[test]
+    fn fan_out_in_one_calculate_phase() {
+        let g = fan_out();
+        let mut game = ParallelGame::new(&g, 4);
+        game.cycle(&[], &[], &[], &[0]).unwrap();
+        // All three dependents computed simultaneously from one register.
+        game.cycle(&[], &[1, 2, 3], &[0], &[]).unwrap();
+        game.cycle(&[1, 2, 3], &[], &[], &[]).unwrap();
+        assert!(game.is_complete());
+        assert_eq!(game.io_moves(), 4);
+        assert_eq!(game.cycles(), 3);
+        assert_eq!(game.computations(), 3);
+    }
+
+    #[test]
+    fn overwrite_register_in_place() {
+        // With S = 1: read v0, then compute v1 while releasing v0 in the
+        // same phase (the pink-pebble overwrite), then write.
+        let g = ExplicitDag::new(vec![vec![], vec![0]], vec![1]).unwrap();
+        let mut game = ParallelGame::new(&g, 1);
+        game.cycle(&[], &[], &[], &[0]).unwrap();
+        game.cycle(&[], &[1], &[0], &[]).unwrap();
+        game.cycle(&[1], &[], &[], &[]).unwrap();
+        assert!(game.is_complete());
+        assert_eq!(game.max_red_used(), 1);
+    }
+
+    #[test]
+    fn same_cycle_compute_then_write_is_rejected() {
+        let g = ExplicitDag::new(vec![vec![], vec![0]], vec![1]).unwrap();
+        let mut game = ParallelGame::new(&g, 2);
+        game.cycle(&[], &[], &[], &[0]).unwrap();
+        // v1 is computed this cycle; writing it this cycle violates the
+        // phase ordering (writes precede calculations).
+        assert_eq!(game.cycle(&[1], &[1], &[], &[]), Err(GameError::NotRed(1)));
+    }
+
+    #[test]
+    fn capacity_checked_per_phase() {
+        let g = fan_out();
+        let mut game = ParallelGame::new(&g, 2);
+        game.cycle(&[], &[], &[], &[0]).unwrap();
+        // 3 computes + kept input = 4 > 2.
+        assert_eq!(
+            game.cycle(&[], &[1, 2, 3], &[], &[]),
+            Err(GameError::CapacityExceeded { s: 2 })
+        );
+    }
+
+    #[test]
+    fn calculations_validate_against_phase_start() {
+        // v2 depends on v1 which is computed in the same cycle: illegal.
+        let g = ExplicitDag::new(vec![vec![], vec![0], vec![1]], vec![2]).unwrap();
+        let mut game = ParallelGame::new(&g, 4);
+        game.cycle(&[], &[], &[], &[0]).unwrap();
+        assert!(matches!(
+            game.cycle(&[], &[1, 2], &[], &[]),
+            Err(GameError::PredNotRed { vertex: 2, missing: 1 })
+        ));
+    }
+
+    #[test]
+    fn reads_require_blue_and_writes_require_red() {
+        let g = fan_out();
+        let mut game = ParallelGame::new(&g, 4);
+        assert_eq!(game.cycle(&[], &[], &[], &[1]), Err(GameError::NotBlue(1)));
+        assert_eq!(game.cycle(&[0], &[], &[], &[]), Err(GameError::NotRed(0)));
+        assert_eq!(game.cycle(&[], &[], &[0], &[]), Err(GameError::NothingToRemove(0)));
+        assert_eq!(game.cycle(&[], &[], &[], &[9]), Err(GameError::BadVertex(9)));
+    }
+
+    #[test]
+    fn parallel_matches_sequential_io_on_chain() {
+        // On a chain there is no parallelism to exploit; I/O equals the
+        // sequential game's: read input, write output.
+        let g = ExplicitDag::new(vec![vec![], vec![0], vec![1], vec![2]], vec![3]).unwrap();
+        let mut game = ParallelGame::new(&g, 2);
+        game.cycle(&[], &[], &[], &[0]).unwrap();
+        game.cycle(&[], &[1], &[0], &[]).unwrap();
+        game.cycle(&[], &[2], &[1], &[]).unwrap();
+        game.cycle(&[], &[3], &[2], &[]).unwrap();
+        game.cycle(&[3], &[], &[], &[]).unwrap();
+        assert!(game.is_complete());
+        assert_eq!(game.io_moves(), 2);
+    }
+}

@@ -1,0 +1,139 @@
+//! Parallel-machine schedules: driving the parallel-red-blue game over
+//! `C_d`, with a bandwidth-limited channel per cycle.
+//!
+//! §7 applies the parallel game "to a machine model which has the same
+//! features as a CRCW PRAM, but has a limited communication bandwidth":
+//! per machine cycle the channel moves at most `β` site values. This
+//! module schedules whole-layer sweeps and tiled sweeps on that model
+//! and reports cycles, realized rate `R = updates/cycle`, and the bound
+//! check `R ≤ β·τ(2S)/…` — the concrete accounting behind the
+//! `Bp ≥ Q` step of the Theorem 4 argument.
+
+use crate::bounds::tau_upper_bound;
+use crate::game::GameError;
+use crate::graph::LatticeGraph;
+use crate::parallel::ParallelGame;
+
+/// Result of a parallel-machine schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelRun {
+    /// Machine cycles consumed.
+    pub cycles: u64,
+    /// Total I/O moves.
+    pub io_moves: u64,
+    /// Site updates performed.
+    pub updates: u64,
+    /// Channel bandwidth (site values per cycle) the schedule obeyed.
+    pub beta: usize,
+    /// Peak register usage.
+    pub max_red_used: usize,
+}
+
+impl ParallelRun {
+    /// Realized updates per cycle.
+    pub fn rate(&self) -> f64 {
+        self.updates as f64 / self.cycles as f64
+    }
+}
+
+/// Layer-sweep schedule on the parallel game: keep two full layers in
+/// registers, compute each next layer in one calculate phase, and pump
+/// reads/writes through a `β`-wide channel. Requires
+/// `S ≥ 2·r^d + β` registers.
+///
+/// I/O totals only the unavoidable `r^d` reads + `r^d` writes, but the
+/// cycle count is inflated by the channel: `⌈r^d/β⌉` cycles to load and
+/// `⌈r^d/β⌉` to drain — bandwidth bounds wall-clock even when I/O
+/// volume is optimal.
+pub fn parallel_layer_sweep(
+    graph: &LatticeGraph,
+    s: usize,
+    beta: usize,
+) -> Result<ParallelRun, GameError> {
+    assert!(beta >= 1);
+    let layer = graph.layer_len();
+    let mut game = ParallelGame::new(graph, s);
+
+    // Load layer 0, β sites per cycle.
+    let inputs: Vec<usize> = (0..layer).collect();
+    for chunk in inputs.chunks(beta) {
+        game.cycle(&[], &[], &[], chunk)?;
+    }
+    // One calculate cycle per layer, releasing the grandparent layer.
+    for t in 1..=graph.t() {
+        let cur: Vec<usize> = (0..layer).map(|i| graph.vertex(i, t)).collect();
+        let prev: Vec<usize> = (0..layer).map(|i| graph.vertex(i, t - 1)).collect();
+        game.cycle(&[], &cur, &prev, &[])?;
+    }
+    // Drain the output layer, β per cycle.
+    let outputs: Vec<usize> = (0..layer).map(|i| graph.vertex(i, graph.t())).collect();
+    for chunk in outputs.chunks(beta) {
+        game.cycle(chunk, &[], &[], &[])?;
+    }
+    debug_assert!(game.is_complete());
+    Ok(ParallelRun {
+        cycles: game.cycles(),
+        io_moves: game.io_moves(),
+        updates: (layer * graph.t()) as u64,
+        beta,
+        max_red_used: game.max_red_used(),
+    })
+}
+
+/// The §7 rate bound specialized to a parallel machine: the realized
+/// rate can never exceed `β·τ(2S)` updates per cycle.
+pub fn parallel_rate_bound(d: usize, s: usize, beta: usize) -> f64 {
+    beta as f64 * tau_upper_bound(d, s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_sweep_completes_with_minimal_io() {
+        let g = LatticeGraph::new(1, 16, 8);
+        let run = parallel_layer_sweep(&g, 2 * 16 + 4, 4).unwrap();
+        assert_eq!(run.io_moves, 32); // 16 in + 16 out
+        // Cycles: 4 load + 8 compute + 4 drain.
+        assert_eq!(run.cycles, 16);
+        assert_eq!(run.updates, 128);
+        assert!(run.max_red_used <= 2 * 16 + 4);
+    }
+
+    #[test]
+    fn narrow_channel_inflates_cycles_not_io() {
+        let g = LatticeGraph::new(1, 32, 8);
+        let wide = parallel_layer_sweep(&g, 80, 32).unwrap();
+        let narrow = parallel_layer_sweep(&g, 80, 2).unwrap();
+        assert_eq!(wide.io_moves, narrow.io_moves);
+        assert!(narrow.cycles > 3 * wide.cycles);
+        assert!(narrow.rate() < wide.rate());
+    }
+
+    #[test]
+    fn rate_respects_parallel_bound() {
+        for (d, r, t) in [(1usize, 32usize, 16usize), (2, 8, 4)] {
+            let g = LatticeGraph::new(d, r, t);
+            let s = 2 * g.layer_len() + 8;
+            for beta in [1usize, 4, 16] {
+                let run = parallel_layer_sweep(&g, s, beta).unwrap();
+                let bound = parallel_rate_bound(d, s, beta);
+                assert!(
+                    run.rate() <= bound,
+                    "d={d} beta={beta}: rate {} > bound {bound}",
+                    run.rate()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn undersized_registers_fail_loudly() {
+        let g = LatticeGraph::new(1, 16, 4);
+        assert!(matches!(
+            parallel_layer_sweep(&g, 15, 4),
+            Err(GameError::CapacityExceeded { .. })
+        ));
+    }
+}

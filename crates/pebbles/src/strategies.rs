@@ -1,0 +1,402 @@
+//! Executable pebbling schedules for `C_d`.
+//!
+//! Two schedules bracket the design space:
+//!
+//! * [`naive_sweep`] — compute one site at a time, reading its whole
+//!   neighborhood from main memory and writing the result back:
+//!   `q ≈ (2d + 2)·|X|`, *independent of S*. This is what a processor
+//!   with no useful on-chip state does.
+//! * [`tiled_schedule`] — the space-time trapezoid schedule: load a
+//!   `(b + 2h)^d` block of one generation, compute `h` generations of
+//!   shrinking blocks entirely in red pebbles, write out the `b^d` top,
+//!   and repeat. Per-update I/O falls as `Θ(1/h) = Θ(1/S^{1/d})`,
+//!   matching Theorem 4's `R = O(B·S^{1/d})` bound up to constants —
+//!   this is the *achievability* side of the paper's asymptotics.
+//!
+//! Both produce genuine move sequences executed on a rule-checking
+//! [`Game`], so the reported I/O counts are certified legal pebblings.
+
+use crate::game::{Game, GameError, Move};
+use crate::graph::{LatticeGraph, PebbleGraph};
+
+/// Statistics of a completed pebbling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PebbleStats {
+    /// I/O moves (the paper's `q`), in site values.
+    pub io_moves: u64,
+    /// Rule-4 computations performed (≥ the vertex count when the
+    /// schedule recomputes).
+    pub computations: u64,
+    /// Peak red-pebble usage.
+    pub max_red_used: usize,
+    /// Vertices in the graph, `|X|` (excluding nothing).
+    pub n_vertices: u64,
+    /// Distinct non-input vertices (the site updates the LGCA needs).
+    pub n_updates: u64,
+}
+
+impl PebbleStats {
+    /// I/O moves per site update — the reciprocal of the paper's
+    /// `R/B` figure of merit.
+    pub fn io_per_update(&self) -> f64 {
+        self.io_moves as f64 / self.n_updates as f64
+    }
+}
+
+fn stats_from(game: &Game<'_, LatticeGraph>, g: &LatticeGraph) -> PebbleStats {
+    PebbleStats {
+        io_moves: game.io_moves(),
+        computations: game.computations(),
+        max_red_used: game.max_red_used(),
+        n_vertices: g.n_vertices() as u64,
+        n_updates: (g.layer_len() * g.t()) as u64,
+    }
+}
+
+/// The naïve site-at-a-time schedule. Requires `S ≥ 2d + 2`.
+pub fn naive_sweep(graph: &LatticeGraph, s: usize) -> Result<PebbleStats, GameError> {
+    let mut game = Game::new(graph, s);
+    naive_sweep_on(&mut game, graph)?;
+    Ok(stats_from(&game, graph))
+}
+
+/// [`naive_sweep`] with move logging, for division/partition analysis.
+pub fn naive_sweep_logged(
+    graph: &LatticeGraph,
+    s: usize,
+) -> Result<(PebbleStats, Vec<Move>), GameError> {
+    let mut game = Game::new(graph, s);
+    game.enable_log();
+    naive_sweep_on(&mut game, graph)?;
+    let log = game.log().expect("logging enabled").to_vec();
+    Ok((stats_from(&game, graph), log))
+}
+
+fn naive_sweep_on(game: &mut Game<'_, LatticeGraph>, graph: &LatticeGraph) -> Result<(), GameError> {
+    let mut nb = Vec::new();
+    for layer in 1..=graph.t() {
+        for site in 0..graph.layer_len() {
+            let v = graph.vertex(site, layer);
+            graph.preds(v, &mut nb);
+            let preds = nb.clone();
+            for &p in &preds {
+                game.apply(Move::Read(p))?;
+            }
+            game.apply(Move::Compute(v))?;
+            game.apply(Move::Write(v))?;
+            for &p in &preds {
+                game.apply(Move::RemoveRed(p))?;
+            }
+            game.apply(Move::RemoveRed(v))?;
+        }
+    }
+    debug_assert!(game.is_complete());
+    Ok(())
+}
+
+/// A space-time tile plan: base side `b`, height `h`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TilePlan {
+    /// Tile base side length.
+    pub b: usize,
+    /// Generations computed per pass.
+    pub h: usize,
+}
+
+impl TilePlan {
+    /// Picks the largest balanced plan fitting red capacity `s` for
+    /// dimension `d`: block side `m = b + 2h` with `2·m^d ≤ s`,
+    /// `h ≈ m/3`. Returns `None` when `s < 2·3^d` (no room for even the
+    /// minimal `b = h = 1` trapezoid).
+    pub fn auto(d: usize, s: usize) -> Option<TilePlan> {
+        // Integer-exact largest m with 2·m^d ≤ s (float root, then fix up).
+        let mut m = ((s as f64 / 2.0).powf(1.0 / d as f64)).floor() as usize;
+        while 2 * (m + 1).pow(d as u32) <= s {
+            m += 1;
+        }
+        while m > 0 && 2 * m.pow(d as u32) > s {
+            m -= 1;
+        }
+        if m < 3 {
+            return None;
+        }
+        let h = ((m - 1) / 3).max(1);
+        let b = m - 2 * h;
+        debug_assert!(b >= 1);
+        Some(TilePlan { b, h })
+    }
+
+    /// The block side `m = b + 2h`.
+    pub fn block_side(&self) -> usize {
+        self.b + 2 * self.h
+    }
+}
+
+/// Runs the tiled trapezoid schedule on `C_d` with red capacity `s`.
+///
+/// Uses [`TilePlan::auto`] unless `plan` is given. Errors (from the
+/// rule-checking game) if the plan exceeds capacity — by construction it
+/// never should; an error here is a bug, which is the point of playing
+/// the moves rather than just counting them.
+///
+/// ```
+/// use lattice_pebbles::{tiled_schedule, LatticeGraph};
+/// let graph = LatticeGraph::new(2, 16, 8);
+/// let small = tiled_schedule(&graph, 32, None)?;
+/// let large = tiled_schedule(&graph, 2048, None)?;
+/// // More on-chip storage, less I/O per update: R = O(B·S^{1/d}).
+/// assert!(large.io_per_update() < small.io_per_update());
+/// # Ok::<(), lattice_pebbles::GameError>(())
+/// ```
+pub fn tiled_schedule(
+    graph: &LatticeGraph,
+    s: usize,
+    plan: Option<TilePlan>,
+) -> Result<PebbleStats, GameError> {
+    let mut game = Game::new(graph, s);
+    tiled_schedule_on(&mut game, graph, s, plan)?;
+    Ok(stats_from(&game, graph))
+}
+
+/// [`tiled_schedule`] with move logging, for division/partition
+/// analysis.
+pub fn tiled_schedule_logged(
+    graph: &LatticeGraph,
+    s: usize,
+    plan: Option<TilePlan>,
+) -> Result<(PebbleStats, Vec<Move>), GameError> {
+    let mut game = Game::new(graph, s);
+    game.enable_log();
+    tiled_schedule_on(&mut game, graph, s, plan)?;
+    let log = game.log().expect("logging enabled").to_vec();
+    Ok((stats_from(&game, graph), log))
+}
+
+fn tiled_schedule_on(
+    game: &mut Game<'_, LatticeGraph>,
+    graph: &LatticeGraph,
+    s: usize,
+    plan: Option<TilePlan>,
+) -> Result<(), GameError> {
+    if graph.is_periodic() {
+        // Trapezoid skirts assume truncation at the boundary; on a torus
+        // the wrapped dependencies would make the computes illegal. The
+        // game would catch it move-by-move — reject it up front instead.
+        return Err(GameError::PredNotRed { vertex: 0, missing: 0 });
+    }
+    let plan = plan
+        .or_else(|| TilePlan::auto(graph.d(), s))
+        .ok_or(GameError::CapacityExceeded { s })?;
+    let d = graph.d();
+    let r = graph.r();
+
+    // Enumerate axis-aligned boxes: the tile grid.
+    let tiles_per_axis = r.div_ceil(plan.b);
+    let n_tiles = tiles_per_axis.pow(d as u32);
+
+    let mut t0 = 0usize;
+    while t0 < graph.t() {
+        let h_eff = plan.h.min(graph.t() - t0);
+        for tile in 0..n_tiles {
+            // Tile origin per axis.
+            let mut origin = [0usize; lattice_core::MAX_DIMS];
+            let mut rem = tile;
+            for o in origin.iter_mut().take(d) {
+                *o = (rem % tiles_per_axis) * plan.b;
+                rem /= tiles_per_axis;
+            }
+            // Region at inflation level `inf`: per-axis
+            // [origin - inf, origin + b - 1 + inf] ∩ [0, r).
+            #[allow(clippy::needless_range_loop)]
+            let region = |inf: usize, out: &mut Vec<usize>| {
+                out.clear();
+                let mut lo = [0usize; lattice_core::MAX_DIMS];
+                let mut hi = [0usize; lattice_core::MAX_DIMS];
+                for ax in 0..d {
+                    lo[ax] = origin[ax].saturating_sub(inf);
+                    hi[ax] = (origin[ax] + plan.b - 1 + inf).min(r - 1);
+                }
+                // Iterate the box.
+                let mut cur = lo;
+                loop {
+                    let mut site = 0usize;
+                    for ax in 0..d {
+                        site = site * r + cur[ax];
+                    }
+                    out.push(site);
+                    // Increment odometer.
+                    let mut ax = d;
+                    loop {
+                        if ax == 0 {
+                            return;
+                        }
+                        ax -= 1;
+                        if cur[ax] < hi[ax] {
+                            cur[ax] += 1;
+                            cur[(ax + 1)..d].copy_from_slice(&lo[(ax + 1)..d]);
+                            break;
+                        } else if ax == 0 {
+                            return;
+                        }
+                    }
+                }
+            };
+
+            let mut bottom = Vec::new();
+            region(h_eff, &mut bottom);
+            // Load the bottom of the trapezoid.
+            for &site in &bottom {
+                game.apply(Move::Read(graph.vertex(site, t0)))?;
+            }
+            let mut prev = bottom;
+            for j in 1..=h_eff {
+                let mut cur = Vec::new();
+                region(h_eff - j, &mut cur);
+                for &site in &cur {
+                    game.apply(Move::Compute(graph.vertex(site, t0 + j)))?;
+                }
+                // Previous layer no longer needed inside this tile.
+                for &site in &prev {
+                    game.apply(Move::RemoveRed(graph.vertex(site, t0 + j - 1)))?;
+                }
+                prev = cur;
+            }
+            // Write the tile top (inflation 0 = the tile itself).
+            for &site in &prev {
+                game.apply(Move::Write(graph.vertex(site, t0 + h_eff)))?;
+                game.apply(Move::RemoveRed(graph.vertex(site, t0 + h_eff)))?;
+            }
+        }
+        t0 += h_eff;
+    }
+    debug_assert!(game.is_complete());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_io_is_flat_in_s() {
+        let g = LatticeGraph::new(2, 8, 4);
+        let a = naive_sweep(&g, 8).unwrap();
+        let b = naive_sweep(&g, 64).unwrap();
+        assert_eq!(a.io_moves, b.io_moves);
+        // ≈ (preds + 1) per update; interior sites have 5 preds.
+        assert!(a.io_per_update() > 5.0 && a.io_per_update() < 7.0);
+    }
+
+    #[test]
+    fn naive_needs_neighborhood_capacity() {
+        let g = LatticeGraph::new(2, 4, 1);
+        assert!(naive_sweep(&g, 5).is_err()); // needs 5 preds + result
+        assert!(naive_sweep(&g, 6).is_ok());
+    }
+
+    #[test]
+    fn tile_plan_auto_fits_capacity() {
+        for d in 1..=3usize {
+            for s in [2 * 3usize.pow(d as u32), 100, 1000, 10000] {
+                if let Some(p) = TilePlan::auto(d, s) {
+                    assert!(p.b >= 1 && p.h >= 1);
+                    assert!(
+                        2 * p.block_side().pow(d as u32) <= s,
+                        "d={d} s={s} plan={p:?}"
+                    );
+                }
+            }
+            assert!(TilePlan::auto(d, 2 * 3usize.pow(d as u32) - 1).is_none());
+        }
+    }
+
+    #[test]
+    fn tiled_beats_naive_when_s_allows_depth() {
+        let g = LatticeGraph::new(1, 64, 16);
+        let s = 128;
+        let naive = naive_sweep(&g, s).unwrap();
+        let tiled = tiled_schedule(&g, s, None).unwrap();
+        assert!(
+            tiled.io_per_update() < naive.io_per_update() / 2.0,
+            "tiled {} vs naive {}",
+            tiled.io_per_update(),
+            naive.io_per_update()
+        );
+    }
+
+    #[test]
+    fn tiled_io_falls_with_s_for_each_dimension() {
+        for (d, r, t) in [(1usize, 64usize, 16usize), (2, 16, 8)] {
+            let g = LatticeGraph::new(d, r, t);
+            let small = tiled_schedule(&g, 2 * 3usize.pow(d as u32) + 1, None).unwrap();
+            let large = tiled_schedule(&g, 4000, None).unwrap();
+            assert!(
+                large.io_per_update() < small.io_per_update(),
+                "d={d}: {} !< {}",
+                large.io_per_update(),
+                small.io_per_update()
+            );
+        }
+    }
+
+    #[test]
+    fn tiled_respects_capacity_and_completes() {
+        let g = LatticeGraph::new(2, 12, 6);
+        for s in [18usize, 64, 256, 1024] {
+            let st = tiled_schedule(&g, s, None).unwrap();
+            assert!(st.max_red_used <= s, "S={s}: used {}", st.max_red_used);
+            // Recomputation is expected: computations ≥ updates.
+            assert!(st.computations >= st.n_updates);
+        }
+    }
+
+    #[test]
+    fn tiled_with_explicit_plan() {
+        let g = LatticeGraph::new(1, 32, 8);
+        let st = tiled_schedule(&g, 1000, Some(TilePlan { b: 4, h: 2 })).unwrap();
+        assert!(st.io_moves > 0);
+        // Block side 8, two layers in flight ≤ 16 reds… plus margin.
+        assert!(st.max_red_used <= 2 * 8);
+    }
+
+    #[test]
+    fn tiled_errors_when_capacity_too_small() {
+        let g = LatticeGraph::new(2, 8, 4);
+        assert!(matches!(
+            tiled_schedule(&g, 5, None),
+            Err(GameError::CapacityExceeded { .. })
+        ));
+        // Explicit oversized plan against tiny S is caught by the game.
+        assert!(tiled_schedule(&g, 6, Some(TilePlan { b: 4, h: 4 })).is_err());
+    }
+
+    #[test]
+    fn tiled_rejects_periodic_graphs_naive_handles_them() {
+        let g = LatticeGraph::new_periodic(1, 16, 4);
+        assert!(tiled_schedule(&g, 256, None).is_err());
+        // The naive sweep reads explicit preds, so wrap is fine.
+        let st = naive_sweep(&g, 8).unwrap();
+        // Every site now has exactly 3 preds: io = (3 + 1)·updates.
+        assert_eq!(st.io_moves, 4 * st.n_updates);
+    }
+
+    #[test]
+    fn io_lower_bound_holds_for_all_schedules() {
+        // Every legal pebbling's q must respect Lemma 1+2's lower bound.
+        for (d, r, t) in [(1usize, 32usize, 32usize), (2, 12, 12)] {
+            let g = LatticeGraph::new(d, r, t);
+            for s in [20usize, 60, 200] {
+                let lb = crate::bounds::io_lower_bound(g.n_vertices() as u64, d, s);
+                if let Ok(st) = tiled_schedule(&g, s, None) {
+                    assert!(
+                        st.io_moves as f64 >= lb,
+                        "d={d} s={s}: q={} < bound={lb}",
+                        st.io_moves
+                    );
+                }
+                let st = naive_sweep(&g, s).unwrap();
+                assert!(st.io_moves as f64 >= lb);
+            }
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests for the pebbling proof machinery on random
+//! schedules: Theorem 2's partition construction must verify for every
+//! legal pebbling the strategies can produce.
+
+use lattice_pebbles::bounds::tau_upper_bound;
+use lattice_pebbles::division::{two_s_partition, IoDivision};
+use lattice_pebbles::strategies::{naive_sweep_logged, tiled_schedule_logged};
+use lattice_pebbles::{LatticeGraph, PebbleGraph};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Theorem 2 end to end: any legal pebbling's move log yields a
+    /// verified 2S-partition whose size equals the S-I/O-division's, and
+    /// Lemma 1's bound q > S(h−1) holds by construction.
+    #[test]
+    fn theorem2_partition_verifies_on_random_schedules(
+        d in 1usize..=2,
+        r_half in 2usize..5,
+        t in 1usize..5,
+        s_exp in 4u32..8,
+        tiled in any::<bool>(),
+    ) {
+        let r = r_half * 2;
+        let s = 2usize.pow(s_exp);
+        let graph = LatticeGraph::new(d, r, t);
+        let log = if tiled {
+            match tiled_schedule_logged(&graph, s, None) {
+                Ok((_, log)) => log,
+                Err(_) => return Ok(()), // S too small for a tile plan
+            }
+        } else {
+            naive_sweep_logged(&graph, s.max(2 * d + 2)).unwrap().1
+        };
+        let s_used = if tiled { s } else { s.max(2 * d + 2) };
+        let blocks = two_s_partition(&graph, &log, s_used).unwrap();
+        let division = IoDivision::new(&log, s_used);
+        prop_assert_eq!(blocks.len(), division.h());
+        prop_assert!(division.check_trivial_bound());
+        // Every non-input vertex appears in exactly one block.
+        let total: usize = blocks.iter().map(|b| b.v.len()).sum();
+        prop_assert_eq!(total, graph.layer_len() * graph.t());
+        // Dominators and minimum sets are within 2S.
+        for b in &blocks {
+            prop_assert!(b.dominator.len() <= 2 * s_used);
+            prop_assert!(b.minimum.len() <= 2 * s_used);
+        }
+    }
+
+    /// Lemma 2 via the constructed partition: the division size h is at
+    /// least |X|/(2S·τ(2S)) — the inequality chain the lower bound
+    /// stands on, checked against real pebblings.
+    #[test]
+    fn division_size_respects_lemma2(
+        d in 1usize..=2,
+        r_half in 3usize..6,
+        t in 2usize..6,
+        s_exp in 4u32..8,
+    ) {
+        let r = r_half * 2;
+        let s = 2usize.pow(s_exp);
+        let graph = LatticeGraph::new(d, r, t);
+        let Ok((_, log)) = tiled_schedule_logged(&graph, s, None) else { return Ok(()) };
+        let division = IoDivision::new(&log, s);
+        let tau = tau_upper_bound(d, s);
+        let g_min = graph.n_vertices() as f64 / (2.0 * s as f64 * tau);
+        prop_assert!(
+            division.h() as f64 >= g_min.floor(),
+            "h = {} < bound {g_min}",
+            division.h()
+        );
+    }
+}

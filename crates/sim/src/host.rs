@@ -1,0 +1,186 @@
+//! The complete system: host + memory + engine, over many passes.
+//!
+//! The paper's machines (figure 1) are a pipeline hanging off "a
+//! general-purpose host machine for support": the host holds the
+//! lattice in main memory and streams it through the engine, `k`
+//! generations per pass, as many passes as the experiment needs. This
+//! module ties together the engine simulators, the bandwidth-limited
+//! [`HostLink`], and the pass loop, reporting end-to-end wall-clock
+//! estimates — the quantity §8's "approximately 1 million site-updates
+//! per second from the prototype" is about.
+
+use crate::memory::HostLink;
+use crate::metrics::EngineReport;
+use crate::pipeline::Pipeline;
+use lattice_core::bits::Traffic;
+use lattice_core::{Grid, LatticeError, Rule};
+
+/// A host-attached lattice engine.
+#[derive(Debug, Clone, Copy)]
+pub struct HostSystem {
+    /// The pipeline configuration (width, depth per pass).
+    pub engine: Pipeline,
+    /// The host's memory link.
+    pub link: HostLink,
+    /// Engine clock, Hz.
+    pub clock_hz: f64,
+}
+
+/// End-to-end run summary.
+#[derive(Debug, Clone)]
+pub struct SystemRun<S: lattice_core::State> {
+    /// Final lattice.
+    pub grid: Grid<S>,
+    /// Generations computed.
+    pub generations: u64,
+    /// Passes through the engine.
+    pub passes: u64,
+    /// Engine ticks summed over passes.
+    pub ticks: u64,
+    /// Total host-memory traffic.
+    pub memory_traffic: Traffic,
+    /// Duty cycle imposed by the link (1.0 = never stalled).
+    pub duty_cycle: f64,
+    /// Estimated wall-clock seconds including stalls.
+    pub seconds: f64,
+}
+
+impl<S: lattice_core::State> SystemRun<S> {
+    /// Realized update rate, updates per second.
+    pub fn updates_per_second(&self, sites: u64) -> f64 {
+        if self.seconds == 0.0 {
+            0.0
+        } else {
+            (self.generations * sites) as f64 / self.seconds
+        }
+    }
+}
+
+impl HostSystem {
+    /// Runs `generations` of `rule` over `grid` in passes of the
+    /// engine's depth (the final pass may be shallower), starting at
+    /// generation `t0` (stochastic rules stamp chirality by absolute
+    /// generation, so resuming a run must pass the right `t0`).
+    pub fn run<R: Rule>(
+        &self,
+        rule: &R,
+        grid: &Grid<R::S>,
+        t0: u64,
+        mut generations: u64,
+    ) -> Result<SystemRun<R::S>, LatticeError> {
+        let mut current = grid.clone();
+        let t_start = t0;
+        let t_end = t0 + generations;
+        let mut t0 = t0;
+        let mut passes = 0u64;
+        let mut ticks = 0u64;
+        let mut memory = Traffic::new();
+        let mut demand_sum = 0.0f64;
+        while generations > 0 {
+            let depth = (self.engine.depth as u64).min(generations) as usize;
+            let report: EngineReport<R::S> =
+                Pipeline::wide(self.engine.width, depth).run(rule, &current, t0)?;
+            demand_sum += report.memory_bits_per_tick() * report.ticks as f64;
+            ticks += report.ticks;
+            memory.merge(report.memory_traffic);
+            current = report.grid;
+            t0 += depth as u64;
+            generations -= depth as u64;
+            passes += 1;
+        }
+        // Average demand over the run vs what the link supplies.
+        let avg_demand = if ticks == 0 { 0.0 } else { demand_sum / ticks as f64 };
+        let supply = self.link.bits_per_tick(self.clock_hz);
+        let duty = if avg_demand <= 0.0 { 1.0 } else { (supply / avg_demand).min(1.0) };
+        let seconds = ticks as f64 / (self.clock_hz * duty);
+        debug_assert_eq!(t0, t_end);
+        Ok(SystemRun {
+            grid: current,
+            generations: t_end - t_start,
+            passes,
+            ticks,
+            memory_traffic: memory,
+            duty_cycle: duty,
+            seconds,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lattice_core::{evolve, Boundary, Shape};
+    use lattice_gas::{init, FhpRule, FhpVariant};
+
+    fn workload() -> (Grid<u8>, FhpRule) {
+        let shape = Shape::grid2(32, 64).unwrap();
+        let g = init::random_fhp(shape, FhpVariant::I, 0.3, 8, false).unwrap();
+        (g, FhpRule::new(FhpVariant::I, 44))
+    }
+
+    #[test]
+    fn multi_pass_is_bit_exact() {
+        let (g, rule) = workload();
+        let sys = HostSystem {
+            engine: Pipeline::wide(2, 3),
+            link: HostLink::new(1e9),
+            clock_hz: 10e6,
+        };
+        // 7 generations = passes of 3 + 3 + 1, stitched with correct t0.
+        let run = sys.run(&rule, &g, 0, 7).unwrap();
+        let reference = evolve(&g, &rule, Boundary::null(), 0, 7);
+        assert_eq!(run.grid, reference);
+        assert_eq!(run.passes, 3);
+        assert_eq!(run.generations, 7);
+    }
+
+    #[test]
+    fn fast_link_runs_at_full_duty() {
+        let (g, rule) = workload();
+        let sys = HostSystem {
+            engine: Pipeline::wide(2, 2),
+            link: HostLink::new(40e6), // exactly the demand of P=2
+            clock_hz: 10e6,
+        };
+        let run = sys.run(&rule, &g, 0, 4).unwrap();
+        assert!(run.duty_cycle > 0.99, "{}", run.duty_cycle);
+        // ≈ 20 M updates/s for the P = 2 chip, slightly less with fill.
+        let ups = run.updates_per_second(32 * 64);
+        assert!(ups > 15e6 && ups <= 40.1e6, "{ups}");
+    }
+
+    #[test]
+    fn slow_link_derates_proportionally() {
+        let (g, rule) = workload();
+        let fast = HostSystem {
+            engine: Pipeline::wide(2, 2),
+            link: HostLink::new(40e6),
+            clock_hz: 10e6,
+        };
+        let slow = HostSystem { link: HostLink::new(2e6), ..fast };
+        let f = fast.run(&rule, &g, 0, 4).unwrap();
+        let s = slow.run(&rule, &g, 0, 4).unwrap();
+        assert_eq!(f.grid, s.grid, "bandwidth changes speed, never results");
+        let ratio = f.updates_per_second(32 * 64) / s.updates_per_second(32 * 64);
+        // §8's 20× derating, within fill-effect tolerance.
+        assert!((18.0..=22.0).contains(&ratio), "derating {ratio}");
+    }
+
+    #[test]
+    fn deeper_passes_cut_memory_traffic() {
+        let (g, rule) = workload();
+        let shallow = HostSystem {
+            engine: Pipeline::wide(1, 1),
+            link: HostLink::new(1e9),
+            clock_hz: 10e6,
+        };
+        let deep = HostSystem { engine: Pipeline::wide(1, 6), ..shallow };
+        let a = shallow.run(&rule, &g, 0, 6).unwrap();
+        let b = deep.run(&rule, &g, 0, 6).unwrap();
+        assert_eq!(a.grid, b.grid);
+        // 6 passes vs 1: 6× the lattice traffic — the whole point of
+        // pipeline depth (and the software mirror of the pebbling bound:
+        // more on-chip state, fewer main-memory touches).
+        assert_eq!(a.memory_traffic.total(), 6 * b.memory_traffic.total());
+    }
+}

@@ -1,0 +1,177 @@
+//! The host / main-memory channel with finite bandwidth.
+//!
+//! §6's analysis "assumes a memory system capable of providing full
+//! bandwidth to the processor system is available — this is a very
+//! important assumption", and §8 shows what happens when it fails: the
+//! prototype WSA chip computes 20 million site-updates per second at
+//! 10 MHz (2 PEs × 10 MHz), demanding 40 MB/s of host bandwidth, but
+//! "it is unlikely that the workstation host will be able to supply the
+//! 40 megabyte per second bandwidth … we expect to realize approximately
+//! 1 million site-updates/sec/chip" — a 20× derating.
+//!
+//! Two models, which agree (tested):
+//! * [`throttled_rate`] — closed form: the engine runs at
+//!   `min(1, supply/demand)` of its peak rate.
+//! * [`StallSim`] — a discrete token-bucket simulation: each tick the
+//!   host deposits its per-tick budget; the engine ticks only when a
+//!   full transfer's worth of bits is available.
+
+/// A host main-memory link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostLink {
+    /// Sustained link bandwidth, bytes per second.
+    pub bytes_per_second: f64,
+}
+
+impl HostLink {
+    /// Creates a link.
+    pub fn new(bytes_per_second: f64) -> Self {
+        HostLink { bytes_per_second }
+    }
+
+    /// Bits the host can supply per engine clock tick.
+    pub fn bits_per_tick(&self, clock_hz: f64) -> f64 {
+        self.bytes_per_second * 8.0 / clock_hz
+    }
+}
+
+/// Effective site-update rate (updates/s) of an engine whose peak rate
+/// is `peak_updates_per_second` and whose memory demand is
+/// `demand_bits_per_tick`, fed by `link` at clock `clock_hz`.
+pub fn throttled_rate(
+    peak_updates_per_second: f64,
+    demand_bits_per_tick: f64,
+    clock_hz: f64,
+    link: HostLink,
+) -> f64 {
+    if demand_bits_per_tick <= 0.0 {
+        return peak_updates_per_second;
+    }
+    let supply = link.bits_per_tick(clock_hz);
+    peak_updates_per_second * (supply / demand_bits_per_tick).min(1.0)
+}
+
+/// Discrete token-bucket stall simulation.
+#[derive(Debug, Clone)]
+pub struct StallSim {
+    budget: f64,
+    supply_per_tick: f64,
+    demand_per_transfer: f64,
+    ticks: u64,
+    productive_ticks: u64,
+}
+
+impl StallSim {
+    /// Creates a simulation: the host deposits `supply_per_tick` bits
+    /// per tick; the engine consumes `demand_per_transfer` bits on each
+    /// productive tick.
+    pub fn new(supply_per_tick: f64, demand_per_transfer: f64) -> Self {
+        assert!(demand_per_transfer > 0.0);
+        StallSim {
+            budget: 0.0,
+            supply_per_tick,
+            demand_per_transfer,
+            ticks: 0,
+            productive_ticks: 0,
+        }
+    }
+
+    /// Advances one tick; returns true if the engine made progress.
+    pub fn tick(&mut self) -> bool {
+        self.ticks += 1;
+        // Cap the bucket: a stalled engine cannot bank unlimited credit
+        // (FIFO depth of one transfer).
+        self.budget = (self.budget + self.supply_per_tick).min(2.0 * self.demand_per_transfer);
+        if self.budget >= self.demand_per_transfer {
+            self.budget -= self.demand_per_transfer;
+            self.productive_ticks += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Runs `n` ticks.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.tick();
+        }
+    }
+
+    /// Fraction of ticks that made progress.
+    pub fn duty_cycle(&self) -> f64 {
+        if self.ticks == 0 {
+            0.0
+        } else {
+            self.productive_ticks as f64 / self.ticks as f64
+        }
+    }
+
+    /// Ticks elapsed.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Productive (non-stalled) ticks.
+    pub fn productive_ticks(&self) -> u64 {
+        self.productive_ticks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototype_derating_reproduced() {
+        // §8: 20 M updates/s peak (2 PEs at 10 MHz), 40 MB/s demanded;
+        // a ~2 MB/s workstation host sustains ~1 M updates/s.
+        let peak = 20e6;
+        let demand = 32.0; // 2 sites in + 2 out per tick × 8 bits
+        let clock = 10e6;
+        let full = throttled_rate(peak, demand, clock, HostLink::new(40e6));
+        assert!((full - 20e6).abs() < 1.0);
+        let poor = throttled_rate(peak, demand, clock, HostLink::new(2e6));
+        assert!((poor - 1e6).abs() < 1.0, "got {poor}");
+    }
+
+    #[test]
+    fn oversupply_never_exceeds_peak() {
+        let r = throttled_rate(5e6, 16.0, 10e6, HostLink::new(1e12));
+        assert!((r - 5e6).abs() < 1e-6);
+        // Zero demand: host-independent.
+        let r = throttled_rate(5e6, 0.0, 10e6, HostLink::new(1.0));
+        assert!((r - 5e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stall_sim_matches_closed_form() {
+        for supply_frac in [0.05f64, 0.25, 0.5, 0.9, 1.0, 1.7] {
+            let demand = 32.0;
+            let mut sim = StallSim::new(supply_frac * demand, demand);
+            sim.run(100_000);
+            let expect = supply_frac.min(1.0);
+            assert!(
+                (sim.duty_cycle() - expect).abs() < 0.01,
+                "frac {supply_frac}: duty {}",
+                sim.duty_cycle()
+            );
+        }
+    }
+
+    #[test]
+    fn stall_sim_counters() {
+        let mut sim = StallSim::new(16.0, 32.0);
+        sim.run(10);
+        assert_eq!(sim.ticks(), 10);
+        assert_eq!(sim.productive_ticks(), 5);
+        assert!((sim.duty_cycle() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn link_bits_per_tick() {
+        // 40 MB/s at 10 MHz = 32 bits/tick.
+        let l = HostLink::new(40e6);
+        assert!((l.bits_per_tick(10e6) - 32.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,110 @@
+//! Measured engine figures.
+
+use lattice_core::bits::Traffic;
+use lattice_core::{Grid, State};
+
+/// Everything an engine run reports: the computed lattice plus the
+/// counted costs — the measured counterparts of the paper's analytical
+/// quantities.
+#[derive(Debug, Clone)]
+pub struct EngineReport<S: State> {
+    /// The lattice after `generations` steps.
+    pub grid: Grid<S>,
+    /// Generations computed.
+    pub generations: u64,
+    /// Site updates performed (`generations × sites`).
+    pub updates: u64,
+    /// Clock ticks consumed, including pipeline fill and drain.
+    pub ticks: u64,
+    /// Host main-memory traffic (first-stage input + last-stage output).
+    pub memory_traffic: Traffic,
+    /// Inter-chip pipeline traffic summed over all chips (each chip's
+    /// input + output pins).
+    pub pin_traffic: Traffic,
+    /// SPA side-channel traffic (zero for other engines).
+    pub side_traffic: Traffic,
+    /// WSA-E external shift-register traffic (zero for other engines).
+    pub offchip_sr_traffic: Traffic,
+    /// Peak shift-register cells occupied in any single stage.
+    pub sr_cells_per_stage: u64,
+    /// Pipeline stages (PE depth).
+    pub stages: u32,
+    /// PEs per stage.
+    pub width: u32,
+}
+
+impl<S: State> EngineReport<S> {
+    /// Average site updates per clock tick.
+    pub fn updates_per_tick(&self) -> f64 {
+        if self.ticks == 0 {
+            0.0
+        } else {
+            self.updates as f64 / self.ticks as f64
+        }
+    }
+
+    /// Updates per second at clock frequency `clock_hz`, assuming the
+    /// memory system sustains the demanded bandwidth (the paper's §6
+    /// "very important assumption").
+    pub fn updates_per_second(&self, clock_hz: f64) -> f64 {
+        self.updates_per_tick() * clock_hz
+    }
+
+    /// Measured main-memory bandwidth demand in bits per tick.
+    pub fn memory_bits_per_tick(&self) -> f64 {
+        self.memory_traffic.bits_per_tick(self.ticks as u128)
+    }
+
+    /// PE utilization: fraction of PE-ticks that performed an update.
+    pub fn utilization(&self) -> f64 {
+        let pe_ticks = self.ticks as f64 * self.stages as f64 * self.width as f64;
+        if pe_ticks == 0.0 {
+            0.0
+        } else {
+            self.updates as f64 / pe_ticks
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lattice_core::Shape;
+
+    fn report() -> EngineReport<u8> {
+        let mut memory_traffic = Traffic::new();
+        memory_traffic.record_in(100, 8);
+        memory_traffic.record_out(100, 8);
+        EngineReport {
+            grid: Grid::new(Shape::grid2(10, 10).unwrap()),
+            generations: 2,
+            updates: 200,
+            ticks: 120,
+            memory_traffic,
+            pin_traffic: Traffic::new(),
+            side_traffic: Traffic::new(),
+            offchip_sr_traffic: Traffic::new(),
+            sr_cells_per_stage: 23,
+            stages: 2,
+            width: 1,
+        }
+    }
+
+    #[test]
+    fn derived_rates() {
+        let r = report();
+        assert!((r.updates_per_tick() - 200.0 / 120.0).abs() < 1e-12);
+        assert!((r.updates_per_second(10e6) - 200.0 / 120.0 * 10e6).abs() < 1e-3);
+        assert!((r.memory_bits_per_tick() - 1600.0 / 120.0).abs() < 1e-12);
+        assert!((r.utilization() - 200.0 / 240.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_tick_report_is_safe() {
+        let mut r = report();
+        r.ticks = 0;
+        r.stages = 0;
+        assert_eq!(r.updates_per_tick(), 0.0);
+        assert_eq!(r.utilization(), 0.0);
+    }
+}

@@ -1,0 +1,266 @@
+//! Serial and wide-serial (WSA) pipelines: `k` cascaded stages.
+//!
+//! §3–§4: the host streams the lattice through `k` chips, each chip one
+//! pipeline stage of `P` PEs; the stream leaves the last chip `k`
+//! generations older. `P = 1` is the fully serial architecture of §3;
+//! `P > 1` is the WSA of §4 ("performance is increased, but at a cost of
+//! only the incremental amount of memory needed to store the extra
+//! sites… two new site values are required every clock period").
+
+use crate::metrics::EngineReport;
+use crate::stage::{LineBufferStage, StageConfig};
+use lattice_core::bits::Traffic;
+use lattice_core::{Grid, LatticeError, Rule, State};
+
+/// A serial / wide-serial pipeline engine.
+#[derive(Debug, Clone, Copy)]
+pub struct Pipeline {
+    /// PEs per stage (`P`).
+    pub width: usize,
+    /// Pipeline depth (`k` = chips = generations per pass).
+    pub depth: usize,
+}
+
+impl Pipeline {
+    /// A fully serial pipeline (`P = 1`) of depth `k`.
+    pub fn serial(depth: usize) -> Self {
+        Pipeline { width: 1, depth }
+    }
+
+    /// A wide-serial pipeline (`P = width`) of depth `k`.
+    pub fn wide(width: usize, depth: usize) -> Self {
+        Pipeline { width, depth }
+    }
+
+    /// Streams `grid` (generation `t0`) through the pipeline under the
+    /// null boundary, returning the lattice `depth` generations later
+    /// plus measured costs.
+    ///
+    /// Bit-exactness contract: equals
+    /// `lattice_core::evolve(grid, rule, Boundary::null(), t0, depth)`.
+    ///
+    /// ```
+    /// use lattice_core::{evolve, Boundary, Shape};
+    /// use lattice_engines_sim::Pipeline;
+    /// use lattice_gas::{init, HppRule};
+    ///
+    /// let shape = Shape::grid2(16, 32)?;
+    /// let gas = init::random_hpp(shape, 0.3, 7)?;
+    /// let rule = HppRule::new();
+    /// let report = Pipeline::wide(2, 3).run(&rule, &gas, 0)?;
+    /// assert_eq!(report.grid, evolve(&gas, &rule, Boundary::null(), 0, 3));
+    /// assert_eq!(report.updates, 3 * 16 * 32);
+    /// # Ok::<(), lattice_core::LatticeError>(())
+    /// ```
+    pub fn run<R: Rule>(
+        &self,
+        rule: &R,
+        grid: &Grid<R::S>,
+        t0: u64,
+    ) -> Result<EngineReport<R::S>, LatticeError> {
+        self.run_at(rule, grid, t0, (0, 0))
+    }
+
+    /// [`Pipeline::run`] with a global coordinate origin for the stream's
+    /// `(0, 0)` — used by halo framing so that rules whose output depends
+    /// on absolute coordinates (FHP parity/chirality) see the *unframed*
+    /// coordinates. `origin` may wrap (e.g. `usize::MAX` ≡ −1).
+    pub fn run_at<R: Rule>(
+        &self,
+        rule: &R,
+        grid: &Grid<R::S>,
+        t0: u64,
+        origin: (usize, usize),
+    ) -> Result<EngineReport<R::S>, LatticeError> {
+        if self.depth == 0 {
+            return Err(LatticeError::InvalidConfig("pipeline depth must be ≥ 1".into()));
+        }
+        let shape = grid.shape();
+        let n = shape.len();
+        let d_bits = R::S::BITS;
+
+        let mut stages = Vec::with_capacity(self.depth);
+        for j in 0..self.depth {
+            stages.push(LineBufferStage::new(
+                rule,
+                StageConfig {
+                    shape,
+                    width: self.width,
+                    fill: R::S::default(),
+                    gen: t0 + j as u64,
+                    origin,
+                },
+            )?);
+        }
+
+        let data = grid.as_slice();
+        let mut fed = 0usize;
+        let mut ticks = 0u64;
+        let mut result: Vec<R::S> = Vec::with_capacity(n);
+        let mut memory = Traffic::new();
+        let mut pins = Traffic::new();
+        // Per-stage in-flight buffers (outputs of stage j feed stage j+1
+        // on the same tick; a one-tick register between chips would only
+        // add `depth` ticks of latency).
+        let mut bus: Vec<Vec<R::S>> = vec![Vec::new(); self.depth + 1];
+
+        while result.len() < n {
+            ticks += 1;
+            let take = self.width.min(n - fed);
+            bus[0].clear();
+            bus[0].extend_from_slice(&data[fed..fed + take]);
+            fed += take;
+            memory.record_in(take as u128, d_bits);
+            for (j, stage) in stages.iter_mut().enumerate() {
+                let (inp, out) = {
+                    // Split borrows: bus[j] is input, bus[j+1] output.
+                    let (a, b) = bus.split_at_mut(j + 1);
+                    (&a[j], &mut b[0])
+                };
+                out.clear();
+                pins.record_in(inp.len() as u128, d_bits);
+                let emitted = stage.tick(inp, out);
+                pins.record_out(emitted as u128, d_bits);
+            }
+            memory.record_out(bus[self.depth].len() as u128, d_bits);
+            result.extend_from_slice(&bus[self.depth]);
+            if ticks > (10 * n + 1000) as u64 * self.depth as u64 {
+                return Err(LatticeError::InvalidConfig("pipeline wedged (bug)".into()));
+            }
+        }
+
+        let sr_cells = stages.iter().map(|s| s.config().required_cells() as u64).max().unwrap();
+        Ok(EngineReport {
+            grid: Grid::from_vec(shape, result)?,
+            generations: self.depth as u64,
+            updates: (n * self.depth) as u64,
+            ticks,
+            memory_traffic: memory,
+            pin_traffic: pins,
+            side_traffic: Traffic::new(),
+            offchip_sr_traffic: Traffic::new(),
+            sr_cells_per_stage: sr_cells,
+            stages: self.depth as u32,
+            width: self.width as u32,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lattice_core::{evolve, Boundary, Shape};
+    use lattice_gas::{FhpRule, FhpVariant, HppRule};
+
+    #[test]
+    fn serial_pipeline_is_bit_exact_hpp() {
+        let shape = Shape::grid2(12, 17).unwrap();
+        let g = lattice_gas::init::random_hpp(shape, 0.4, 7).unwrap();
+        let rule = HppRule::new();
+        for depth in [1usize, 2, 5] {
+            let report = Pipeline::serial(depth).run(&rule, &g, 0).unwrap();
+            let reference = evolve(&g, &rule, Boundary::null(), 0, depth as u64);
+            assert_eq!(report.grid, reference, "depth={depth}");
+            assert_eq!(report.generations, depth as u64);
+        }
+    }
+
+    #[test]
+    fn wide_pipeline_is_bit_exact_fhp() {
+        let shape = Shape::grid2(10, 24).unwrap();
+        let g = lattice_gas::init::random_fhp(shape, FhpVariant::III, 0.35, 3, false).unwrap();
+        let rule = FhpRule::new(FhpVariant::III, 99);
+        let reference = evolve(&g, &rule, Boundary::null(), 0, 4);
+        for width in [1usize, 2, 4] {
+            let report = Pipeline::wide(width, 4).run(&rule, &g, 0).unwrap();
+            assert_eq!(report.grid, reference, "width={width}");
+        }
+    }
+
+    #[test]
+    fn wide_pipeline_nonzero_t0_matches_reference() {
+        // FHP chirality depends on absolute time; the pipeline must
+        // stamp each stage with the right generation.
+        let shape = Shape::grid2(8, 8).unwrap();
+        let g = lattice_gas::init::random_fhp(shape, FhpVariant::I, 0.5, 1, false).unwrap();
+        let rule = FhpRule::new(FhpVariant::I, 5);
+        let reference = evolve(&g, &rule, Boundary::null(), 17, 3);
+        let report = Pipeline::wide(2, 3).run(&rule, &g, 17).unwrap();
+        assert_eq!(report.grid, reference);
+    }
+
+    #[test]
+    fn memory_traffic_is_one_pass() {
+        let shape = Shape::grid2(8, 16).unwrap();
+        let g = lattice_gas::init::random_hpp(shape, 0.3, 2).unwrap();
+        let report = Pipeline::wide(2, 3).run(&HppRule::new(), &g, 0).unwrap();
+        let n = shape.len() as u128;
+        // One stream in, one stream out, regardless of depth.
+        assert_eq!(report.memory_traffic.bits_in, n * 8);
+        assert_eq!(report.memory_traffic.bits_out, n * 8);
+        // Pins: every stage sees the stream once each way.
+        assert_eq!(report.pin_traffic.bits_in, 3 * n * 8);
+        assert_eq!(report.pin_traffic.bits_out, 3 * n * 8);
+    }
+
+    #[test]
+    fn throughput_approaches_p_per_tick() {
+        let shape = Shape::grid2(32, 64).unwrap();
+        let g = lattice_gas::init::random_hpp(shape, 0.3, 2).unwrap();
+        let rule = HppRule::new();
+        let r1 = Pipeline::wide(1, 4).run(&rule, &g, 0).unwrap();
+        let r4 = Pipeline::wide(4, 4).run(&rule, &g, 0).unwrap();
+        // 4-wide runs ≈ 4× the updates/tick of 1-wide.
+        let ratio = r4.updates_per_tick() / r1.updates_per_tick();
+        assert!((3.4..=4.2).contains(&ratio), "ratio {ratio}");
+        // Utilization is high once fill/drain amortizes.
+        assert!(r4.utilization() > 0.8, "{}", r4.utilization());
+    }
+
+    #[test]
+    fn bandwidth_demand_matches_analytical_2dp() {
+        // The measured steady-state demand equals the paper's 2·D·P
+        // bits/tick.
+        let shape = Shape::grid2(64, 64).unwrap();
+        let g = lattice_gas::init::random_fhp(shape, FhpVariant::I, 0.2, 4, false).unwrap();
+        let rule = FhpRule::new(FhpVariant::I, 8);
+        for p in [1u32, 2, 4] {
+            let report = Pipeline::wide(p as usize, 2).run(&rule, &g, 0).unwrap();
+            let measured = report.memory_bits_per_tick();
+            let analytical = (2 * 8 * p) as f64;
+            // Fill/drain ticks dilute the average slightly below peak.
+            assert!(
+                measured <= analytical && measured > 0.85 * analytical,
+                "P={p}: measured {measured} vs {analytical}"
+            );
+        }
+    }
+
+    #[test]
+    fn sr_cells_match_formula() {
+        let shape = Shape::grid2(16, 100).unwrap();
+        let g = lattice_gas::init::random_hpp(shape, 0.3, 2).unwrap();
+        let report = Pipeline::wide(4, 2).run(&HppRule::new(), &g, 0).unwrap();
+        assert_eq!(report.sr_cells_per_stage, 2 * 100 + 4 + 2);
+    }
+
+    #[test]
+    fn zero_depth_is_an_error() {
+        let shape = Shape::grid2(4, 4).unwrap();
+        let g: Grid<u8> = Grid::new(shape);
+        assert!(Pipeline::serial(0).run(&HppRule::new(), &g, 0).is_err());
+    }
+
+    #[test]
+    fn one_dimensional_pipeline_runs_eca() {
+        use lattice_gas::ElementaryCa;
+        let shape = Shape::line(64).unwrap();
+        let g = Grid::from_fn(shape, |c| c.col() % 3 == 0);
+        let rule = ElementaryCa::new(110);
+        let reference = evolve(&g, &rule, Boundary::null(), 0, 8);
+        let report = Pipeline::serial(8).run(&rule, &g, 0).unwrap();
+        assert_eq!(report.grid, reference);
+        // 1-bit sites: D = 1 in the traffic accounting.
+        assert_eq!(report.memory_traffic.bits_in, 64);
+    }
+}

@@ -1,0 +1,277 @@
+//! The Sternberg partitioned architecture (SPA) engine — §5.
+//!
+//! The lattice is divided into "adjacent, non-overlapping columnar
+//! slices, and a fully serial processor is assigned to each slice …
+//! augmented to provide a bidirectional synchronous communication
+//! channel between adjacent partitions so that sites whose neighborhoods
+//! do not lie entirely in the storage of a single PE can be computed
+//! correctly and in step."
+//!
+//! Realization: each slice-level PE is a [`LineBufferStage`] over its
+//! slice *plus one halo column on each side*; the halo cells are what
+//! the side channel delivers from the neighboring slice (charged at `E`
+//! bits per boundary site, the number of bits needed to complete a
+//! split neighborhood — 3 for FHP). Slices run in lockstep on the
+//! row-staggered memory schedule (§6.3), one site per slice per tick, so
+//! a depth-`k`, `⌈L/W⌉`-slice machine updates `k·L/W` sites per tick.
+
+use crate::metrics::EngineReport;
+use crate::stage::{LineBufferStage, StageConfig};
+use lattice_core::bits::Traffic;
+use lattice_core::{Coord, Grid, LatticeError, Rule, Shape, State};
+
+/// The SPA engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SpaEngine {
+    /// Slice width `W` (must divide the lattice width).
+    pub slice_width: usize,
+    /// Pipeline depth `k` (generations per pass).
+    pub depth: usize,
+    /// Side-channel bits per boundary site (`E`; 3 for FHP in the
+    /// paper's accounting).
+    pub e_bits: u32,
+}
+
+impl SpaEngine {
+    /// Creates an engine with the paper's `E = 3`.
+    pub fn new(slice_width: usize, depth: usize) -> Self {
+        SpaEngine { slice_width, depth, e_bits: 3 }
+    }
+
+    /// Overrides the side-channel width.
+    pub fn with_e_bits(mut self, e: u32) -> Self {
+        self.e_bits = e;
+        self
+    }
+
+    /// Runs `depth` generations of `rule` over `grid` (null boundary),
+    /// slice-pipelined, and reports measured costs.
+    ///
+    /// Bit-exactness contract: equals the reference `evolve`.
+    pub fn run<R: Rule>(
+        &self,
+        rule: &R,
+        grid: &Grid<R::S>,
+        t0: u64,
+    ) -> Result<EngineReport<R::S>, LatticeError> {
+        let shape = grid.shape();
+        if shape.rank() != 2 {
+            return Err(LatticeError::InvalidConfig("SPA slices a 2-D lattice".into()));
+        }
+        if self.depth == 0 || self.slice_width == 0 {
+            return Err(LatticeError::InvalidConfig("SPA needs depth ≥ 1 and W ≥ 1".into()));
+        }
+        let (rows, cols) = (shape.rows(), shape.cols());
+        if cols % self.slice_width != 0 {
+            return Err(LatticeError::InvalidConfig(format!(
+                "slice width {} must divide the lattice width {cols}",
+                self.slice_width
+            )));
+        }
+        let w = self.slice_width;
+        let n_slices = cols / w;
+        let d_bits = R::S::BITS;
+
+        let mut memory = Traffic::new();
+        let mut pins = Traffic::new();
+        let mut side = Traffic::new();
+        let mut sr_cells = 0u64;
+
+        // Level by level; each level is computed by per-slice stages
+        // over halo-augmented slice streams. The halo cells model the
+        // side channel; interior slice cells model the pipeline stream.
+        let halo_shape = Shape::grid2(rows, w + 2)?;
+        let mut current = grid.clone();
+        for level in 0..self.depth {
+            let gen = t0 + level as u64;
+            let mut next = Grid::new(shape);
+            for s in 0..n_slices {
+                let col0 = s * w; // global first column of the slice
+                let cfg = StageConfig {
+                    shape: halo_shape,
+                    width: 1,
+                    fill: R::S::default(),
+                    gen,
+                    // Column origin shifted one left for the halo; use
+                    // wrapping to represent global column -1 for slice 0
+                    // (its halo column is boundary fill and never enters
+                    // a window of an interior output's own column, but
+                    // halo-column *outputs* are discarded anyway).
+                    origin: (0, col0.wrapping_sub(1)),
+                };
+                let mut stage = LineBufferStage::new(rule, cfg)?;
+                sr_cells = sr_cells.max(cfg.required_cells() as u64);
+
+                // Drive the slice-local halo stream.
+                let n_local = rows * (w + 2);
+                let mut out = Vec::with_capacity(n_local);
+                let mut fed = 0usize;
+                while !stage.done() {
+                    let take = usize::from(fed < n_local);
+                    if take == 1 {
+                        let r = fed / (w + 2);
+                        let lc = fed % (w + 2);
+                        let gc = (col0 + lc).wrapping_sub(1); // global col, may underflow
+                        let site = if lc == 0 || lc == w + 1 {
+                            // Halo column: side-channel import (or null
+                            // at the lattice edge).
+                            if gc < cols {
+                                side.record_in(1, self.e_bits);
+                                current.get(Coord::c2(r, gc))
+                            } else {
+                                R::S::default()
+                            }
+                        } else {
+                            // Pipeline stream: from memory (level 0) or
+                            // the previous level's chip (pins).
+                            if level == 0 {
+                                memory.record_in(1, d_bits);
+                            } else {
+                                pins.record_in(1, d_bits);
+                            }
+                            current.get(Coord::c2(r, gc))
+                        };
+                        stage.tick(&[site], &mut out);
+                    } else {
+                        stage.tick(&[], &mut out);
+                    }
+                    fed += take;
+                }
+                // Keep interior outputs; export charged per site.
+                for (i, &v) in out.iter().enumerate() {
+                    let r = i / (w + 2);
+                    let lc = i % (w + 2);
+                    if lc == 0 || lc == w + 1 {
+                        continue;
+                    }
+                    let gc = col0 + lc - 1;
+                    if level + 1 == self.depth {
+                        memory.record_out(1, d_bits);
+                    } else {
+                        pins.record_out(1, d_bits);
+                    }
+                    next.set(Coord::c2(r, gc), v);
+                }
+            }
+            current = next;
+        }
+
+        // Tick accounting (lockstep schedule): per pass each slice
+        // streams rows·W interior sites at 1/tick, plus per-level fill
+        // latency of ≈ (W+2)+2 and the one-row stagger between the first
+        // and last slice.
+        let per_level_latency = (w + 2 + 2) as u64;
+        let ticks = (rows * w) as u64
+            + self.depth as u64 * per_level_latency
+            + ((n_slices - 1) * w) as u64;
+
+        Ok(EngineReport {
+            grid: current,
+            generations: self.depth as u64,
+            updates: (rows * cols * self.depth) as u64,
+            ticks,
+            memory_traffic: memory,
+            pin_traffic: pins,
+            side_traffic: side,
+            offchip_sr_traffic: Traffic::new(),
+            sr_cells_per_stage: sr_cells,
+            stages: (self.depth * n_slices) as u32,
+            width: 1,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lattice_core::{evolve, Boundary};
+    use lattice_gas::{FhpRule, FhpVariant, HppRule};
+
+    #[test]
+    fn spa_is_bit_exact_hpp() {
+        let shape = Shape::grid2(10, 24).unwrap();
+        let g = lattice_gas::init::random_hpp(shape, 0.4, 11).unwrap();
+        let rule = HppRule::new();
+        let reference = evolve(&g, &rule, Boundary::null(), 0, 3);
+        for w in [2usize, 4, 6, 8, 12, 24] {
+            let report = SpaEngine::new(w, 3).run(&rule, &g, 0).unwrap();
+            assert_eq!(report.grid, reference, "W={w}");
+        }
+    }
+
+    #[test]
+    fn spa_is_bit_exact_fhp_with_global_coords() {
+        // FHP chirality hashes global coordinates; slicing must not
+        // change the microstate.
+        let shape = Shape::grid2(8, 20).unwrap();
+        let g = lattice_gas::init::random_fhp(shape, FhpVariant::II, 0.4, 5, false).unwrap();
+        let rule = FhpRule::new(FhpVariant::II, 77);
+        let reference = evolve(&g, &rule, Boundary::null(), 4, 2);
+        for w in [4usize, 5, 10, 20] {
+            let report = SpaEngine::new(w, 2).run(&rule, &g, 4).unwrap();
+            assert_eq!(report.grid, reference, "W={w}");
+        }
+    }
+
+    #[test]
+    fn side_channel_traffic_scales_with_boundaries() {
+        let shape = Shape::grid2(16, 32).unwrap();
+        let g = lattice_gas::init::random_hpp(shape, 0.3, 1).unwrap();
+        let rule = HppRule::new();
+        let narrow = SpaEngine::new(4, 1).run(&rule, &g, 0).unwrap();
+        let wide = SpaEngine::new(16, 1).run(&rule, &g, 0).unwrap();
+        // Interior halo imports: (2·slices − 2) columns of `rows` sites,
+        // E bits each.
+        let expect = |slices: u128| (2 * slices - 2) * 16 * 3;
+        assert_eq!(narrow.side_traffic.bits_in, expect(8));
+        assert_eq!(wide.side_traffic.bits_in, expect(2));
+        assert!(narrow.side_traffic.bits_in > wide.side_traffic.bits_in);
+    }
+
+    #[test]
+    fn memory_traffic_is_one_pass_regardless_of_depth() {
+        let shape = Shape::grid2(8, 16).unwrap();
+        let g = lattice_gas::init::random_hpp(shape, 0.3, 1).unwrap();
+        let rule = HppRule::new();
+        let r = SpaEngine::new(4, 3).run(&rule, &g, 0).unwrap();
+        let n = shape.len() as u128;
+        assert_eq!(r.memory_traffic.bits_in, n * 8);
+        assert_eq!(r.memory_traffic.bits_out, n * 8);
+        // Intermediate levels ride the pipeline pins.
+        assert_eq!(r.pin_traffic.bits_in, 2 * n * 8);
+    }
+
+    #[test]
+    fn sr_cells_are_two_slice_lines() {
+        let shape = Shape::grid2(8, 40).unwrap();
+        let g = lattice_gas::init::random_hpp(shape, 0.3, 1).unwrap();
+        let r = SpaEngine::new(10, 1).run(&HppRule::new(), &g, 0).unwrap();
+        // 2(W+2)+3 cells — the measured counterpart of the paper's
+        // (2W + 9) per-PE figure.
+        assert_eq!(r.sr_cells_per_stage, 2 * 12 + 3);
+    }
+
+    #[test]
+    fn updates_per_tick_beats_wsa_per_chip_budget() {
+        // The architectural point of SPA: many more updates per tick for
+        // the same lattice, at the price of memory bandwidth.
+        let shape = Shape::grid2(32, 64).unwrap();
+        let g = lattice_gas::init::random_hpp(shape, 0.3, 9).unwrap();
+        let rule = HppRule::new();
+        let spa = SpaEngine::new(8, 4).run(&rule, &g, 0).unwrap();
+        let wsa = crate::pipeline::Pipeline::wide(4, 4).run(&rule, &g, 0).unwrap();
+        assert!(spa.updates_per_tick() > wsa.updates_per_tick());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let shape = Shape::grid2(8, 16).unwrap();
+        let g = lattice_gas::init::random_hpp(shape, 0.3, 1).unwrap();
+        let rule = HppRule::new();
+        assert!(SpaEngine::new(5, 1).run(&rule, &g, 0).is_err()); // 5 ∤ 16
+        assert!(SpaEngine::new(0, 1).run(&rule, &g, 0).is_err());
+        assert!(SpaEngine::new(4, 0).run(&rule, &g, 0).is_err());
+        let g1 = Grid::<u8>::new(Shape::line(8).unwrap());
+        assert!(SpaEngine::new(4, 1).run(&rule, &g1, 0).is_err());
+    }
+}

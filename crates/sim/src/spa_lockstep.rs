@@ -1,0 +1,363 @@
+//! Tick-level lockstep SPA: the row-staggered schedule, cycle by cycle.
+//!
+//! [`crate::spa::SpaEngine`] computes SPA results level-by-level and
+//! derives its tick count analytically. This module instead runs the
+//! machine *clock tick by clock tick* on the schedule the hardware
+//! actually used — §6.3's "row-staggered pattern":
+//!
+//! * slice `s`'s stream is delayed `s·W` ticks behind slice `s−1`'s
+//!   (exactly one lattice row), so every cross-boundary datum a slice
+//!   needs has arrived at its neighbor one tick before it is consumed;
+//! * each slice-PE is a serial line-buffer stage over its own
+//!   `W`-column stream (`2W + 3` cells) whose window lookups at column
+//!   0 / `W − 1` reach across the side channel into the neighbor PE's
+//!   shift register (charged at `E` bits per boundary site, as in the
+//!   paper's pin accounting);
+//! * every pipeline level adds a fixed `W + 2` ticks of latency, so a
+//!   depth-`k` machine on `⌈L/W⌉` slices sustains `k·L/W` updates/tick
+//!   once full — the §6.2 throughput formula, now *measured*.
+//!
+//! Verification contract: bit-exact against the reference engine and
+//! against [`SpaEngine`], with tick counts matching the closed form
+//! `rows·W + (slices−1)·W + depth·(W+2)` up to the drain margin.
+//!
+//! [`SpaEngine`]: crate::spa::SpaEngine
+
+use crate::metrics::EngineReport;
+use lattice_core::bits::Traffic;
+use lattice_core::window::WINDOW_MAX;
+use lattice_core::{Coord, Grid, LatticeError, Rule, State, Window};
+
+/// Per-stage latency in ticks: the serial window margin over a
+/// `W`-column stream.
+fn level_latency(w: usize) -> usize {
+    w + 2
+}
+
+/// One slice-PE at one pipeline level: a ring of its slice's last
+/// `2W + 3` sites plus the machinery to emit one output per tick.
+struct SlicePe<S: State> {
+    ring: Vec<S>,
+    received: usize,
+    emitted: usize,
+    peak: usize,
+}
+
+impl<S: State> SlicePe<S> {
+    fn new(w: usize) -> Self {
+        // Architectural requirement 2W + 3; +4 margin for the index
+        // arithmetic at the retention edge.
+        SlicePe { ring: vec![S::default(); 2 * w + 7], received: 0, emitted: 0, peak: 0 }
+    }
+
+    fn push(&mut self, v: S) {
+        let cap = self.ring.len();
+        self.ring[self.received % cap] = v;
+        self.received += 1;
+    }
+
+    /// Within-stream cell at absolute position `p` (must be retained).
+    fn cell(&self, p: usize) -> S {
+        debug_assert!(p < self.received, "future read");
+        debug_assert!(p + self.ring.len() > self.received, "ring under-run p={p}");
+        self.ring[p % self.ring.len()]
+    }
+
+    fn note_occupancy(&mut self, oldest_needed: usize) {
+        self.peak = self.peak.max(self.received - oldest_needed.min(self.received));
+    }
+}
+
+/// The lockstep SPA machine.
+#[derive(Debug, Clone, Copy)]
+pub struct SpaLockstep {
+    /// Slice width `W` (must divide the lattice width).
+    pub slice_width: usize,
+    /// Pipeline depth `k`.
+    pub depth: usize,
+    /// Side-channel bits per boundary site (paper: 3).
+    pub e_bits: u32,
+}
+
+impl SpaLockstep {
+    /// Creates the machine with the paper's `E = 3`.
+    pub fn new(slice_width: usize, depth: usize) -> Self {
+        SpaLockstep { slice_width, depth, e_bits: 3 }
+    }
+
+    /// Runs `depth` generations over `grid` (null boundary), tick by
+    /// tick, and reports measured costs.
+    pub fn run<R: Rule>(
+        &self,
+        rule: &R,
+        grid: &Grid<R::S>,
+        t0: u64,
+    ) -> Result<EngineReport<R::S>, LatticeError> {
+        let shape = grid.shape();
+        if shape.rank() != 2 {
+            return Err(LatticeError::InvalidConfig("SPA slices a 2-D lattice".into()));
+        }
+        let (rows, cols) = (shape.rows(), shape.cols());
+        let w = self.slice_width;
+        if w == 0 || self.depth == 0 {
+            return Err(LatticeError::InvalidConfig("SPA needs W ≥ 1 and depth ≥ 1".into()));
+        }
+        if cols % w != 0 {
+            return Err(LatticeError::InvalidConfig(format!(
+                "slice width {w} must divide the lattice width {cols}"
+            )));
+        }
+        let n_slices = cols / w;
+        let per_slice = rows * w;
+        let lat = level_latency(w);
+        let d_bits = R::S::BITS;
+
+        let mut pes: Vec<Vec<SlicePe<R::S>>> = (0..self.depth)
+            .map(|_| (0..n_slices).map(|_| SlicePe::new(w)).collect())
+            .collect();
+        let mut out = Grid::new(shape);
+        let mut collected = 0usize;
+        let mut memory = Traffic::new();
+        let mut pins = Traffic::new();
+        let mut side = Traffic::new();
+        let mut updates = 0u64;
+        let mut tick = 0u64;
+        // Output slots written by level j this tick, read by level j+1.
+        let mut bus: Vec<Vec<Option<R::S>>> = vec![vec![None; n_slices]; self.depth + 1];
+
+        let budget = (n_slices * w + rows * w + self.depth * lat + 16) as u64
+            * 2
+            * (rows.max(4) as u64);
+        while collected < rows * cols {
+            tick += 1;
+            if tick > budget {
+                return Err(LatticeError::InvalidConfig("lockstep SPA wedged (bug)".into()));
+            }
+            // Memory feed (level 0): slice s ingests within-index
+            // τ − 1 − s·W on the staggered schedule.
+            #[allow(clippy::needless_range_loop)] // s indexes two parallel arrays
+            for s in 0..n_slices {
+                bus[0][s] = None;
+                let offset = (s * w) as u64;
+                if tick > offset {
+                    let p = (tick - 1 - offset) as usize;
+                    if p < per_slice {
+                        let (r, lc) = (p / w, p % w);
+                        let v = grid.get(Coord::c2(r, s * w + lc));
+                        memory.record_in(1, d_bits);
+                        bus[0][s] = Some(v);
+                    }
+                }
+            }
+            for level in 0..self.depth {
+                // Ingest this tick's inputs.
+                for s in 0..n_slices {
+                    if let Some(v) = bus[level][s] {
+                        pins.record_in(1, d_bits);
+                        pes[level][s].push(v);
+                    }
+                    bus[level + 1][s] = None;
+                }
+                // Emit: within-index i once every window datum exists —
+                // own stream to i + W + 2, and (at boundary columns) the
+                // neighbor stream to row r + 1. In steady state the
+                // stagger makes these automatic; in the drain they bind.
+                for s in 0..n_slices {
+                    let i = pes[level][s].emitted;
+                    if i >= per_slice {
+                        continue;
+                    }
+                    let (r, c) = (i / w, i % w);
+                    let need = (i + lat).min(per_slice);
+                    if pes[level][s].received < need {
+                        continue;
+                    }
+                    if c == 0 && s > 0 {
+                        let left_need = ((r + 1) * w + w).min(per_slice);
+                        if pes[level][s - 1].received < left_need {
+                            continue;
+                        }
+                    }
+                    if c == w - 1 && s + 1 < n_slices {
+                        let right_need = ((r + 1) * w + 1).min(per_slice);
+                        if pes[level][s + 1].received < right_need {
+                            continue;
+                        }
+                    }
+                    let gen = t0 + level as u64;
+                    let gc = s * w + c;
+                    let mut cells = [R::S::default(); WINDOW_MAX];
+                    let mut idx = 0;
+                    for dr in -1isize..=1 {
+                        for dc in -1isize..=1 {
+                            let (rr, cc) = (r as isize + dr, gc as isize + dc);
+                            cells[idx] = if rr < 0
+                                || cc < 0
+                                || rr >= rows as isize
+                                || cc >= cols as isize
+                            {
+                                R::S::default()
+                            } else {
+                                let (rr, cc) = (rr as usize, cc as usize);
+                                let ns = cc / w;
+                                let p = rr * w + cc % w;
+                                if ns == s {
+                                    pes[level][s].cell(p)
+                                } else {
+                                    // Side channel: the neighbor's shift
+                                    // register, E bits per site.
+                                    side.record_in(1, self.e_bits);
+                                    pes[level][ns].cell(p)
+                                }
+                            };
+                            idx += 1;
+                        }
+                    }
+                    let window =
+                        Window::from_cells(2, Coord::c2(r, gc), gen, cells);
+                    let y = rule.update(&window);
+                    updates += 1;
+                    pes[level][s].emitted += 1;
+                    // Oldest window cell: (r-1, c-1) = i - W - 1.
+                    let oldest = i.saturating_sub(w + 1);
+                    pes[level][s].note_occupancy(oldest);
+                    pins.record_out(1, d_bits);
+                    if level + 1 == self.depth {
+                        memory.record_out(1, d_bits);
+                        out.set(Coord::c2(r, gc), y);
+                        collected += 1;
+                    } else {
+                        bus[level + 1][s] = Some(y);
+                    }
+                }
+            }
+        }
+
+        let peak = pes
+            .iter()
+            .flat_map(|lvl| lvl.iter())
+            .map(|pe| pe.peak as u64)
+            .max()
+            .unwrap_or(0);
+        Ok(EngineReport {
+            grid: out,
+            generations: self.depth as u64,
+            updates,
+            ticks: tick,
+            memory_traffic: memory,
+            pin_traffic: pins,
+            side_traffic: side,
+            offchip_sr_traffic: Traffic::new(),
+            sr_cells_per_stage: peak,
+            stages: (self.depth * n_slices) as u32,
+            width: 1,
+        })
+    }
+
+    /// The closed-form tick count the machine should achieve:
+    /// stream length + slice stagger + pipeline fill.
+    pub fn expected_ticks(&self, rows: usize, cols: usize) -> u64 {
+        let w = self.slice_width;
+        let n_slices = cols / w;
+        (rows * w + (n_slices - 1) * w + self.depth * level_latency(w)) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spa::SpaEngine;
+    use lattice_core::{evolve, Boundary, Shape};
+    use lattice_gas::{FhpRule, FhpVariant, HppRule};
+
+    #[test]
+    fn lockstep_is_bit_exact_hpp() {
+        let shape = Shape::grid2(10, 24).unwrap();
+        let g = lattice_gas::init::random_hpp(shape, 0.4, 11).unwrap();
+        let rule = HppRule::new();
+        for (w, depth) in [(4usize, 1usize), (6, 2), (8, 3), (12, 2), (24, 2)] {
+            let reference = evolve(&g, &rule, Boundary::null(), 0, depth as u64);
+            let report = SpaLockstep::new(w, depth).run(&rule, &g, 0).unwrap();
+            assert_eq!(report.grid, reference, "W={w} depth={depth}");
+        }
+    }
+
+    #[test]
+    fn lockstep_is_bit_exact_fhp() {
+        let shape = Shape::grid2(8, 20).unwrap();
+        let g = lattice_gas::init::random_fhp(shape, FhpVariant::III, 0.4, 5, false).unwrap();
+        let rule = FhpRule::new(FhpVariant::III, 77);
+        let reference = evolve(&g, &rule, Boundary::null(), 4, 3);
+        let report = SpaLockstep::new(5, 3).run(&rule, &g, 4).unwrap();
+        assert_eq!(report.grid, reference);
+    }
+
+    #[test]
+    fn lockstep_agrees_with_transactional_spa() {
+        let shape = Shape::grid2(12, 32).unwrap();
+        let g = lattice_gas::init::random_fhp(shape, FhpVariant::I, 0.35, 9, false).unwrap();
+        let rule = FhpRule::new(FhpVariant::I, 3);
+        let a = SpaLockstep::new(8, 2).run(&rule, &g, 0).unwrap();
+        let b = SpaEngine::new(8, 2).run(&rule, &g, 0).unwrap();
+        assert_eq!(a.grid, b.grid);
+        // Same memory volume; side-channel volumes agree (both count E
+        // bits per cross-boundary site read; the lockstep machine reads
+        // three rows per boundary column instead of importing a halo
+        // column once, so it is ≥).
+        assert_eq!(a.memory_traffic.bits_in, b.memory_traffic.bits_in);
+        assert_eq!(a.memory_traffic.bits_out, b.memory_traffic.bits_out);
+        assert!(a.side_traffic.bits_in >= b.side_traffic.bits_in);
+    }
+
+    #[test]
+    fn tick_count_matches_closed_form() {
+        let shape = Shape::grid2(16, 32).unwrap();
+        let g = lattice_gas::init::random_hpp(shape, 0.3, 2).unwrap();
+        let rule = HppRule::new();
+        for (w, depth) in [(8usize, 1usize), (8, 3), (16, 2)] {
+            let m = SpaLockstep::new(w, depth);
+            let report = m.run(&rule, &g, 0).unwrap();
+            let expect = m.expected_ticks(16, 32);
+            let diff = report.ticks.abs_diff(expect);
+            assert!(diff <= 4, "W={w} k={depth}: {} vs {expect}", report.ticks);
+        }
+    }
+
+    #[test]
+    fn throughput_reaches_k_slices_per_tick() {
+        // Long stream amortizes fill: updates/tick → k·L/W.
+        let shape = Shape::grid2(64, 32).unwrap();
+        let g = lattice_gas::init::random_hpp(shape, 0.3, 2).unwrap();
+        let rule = HppRule::new();
+        let report = SpaLockstep::new(8, 3).run(&rule, &g, 0).unwrap();
+        let model = (3 * 32 / 8) as f64;
+        let measured = report.updates_per_tick();
+        assert!(
+            measured > 0.85 * model && measured <= model,
+            "{measured} vs {model}"
+        );
+    }
+
+    #[test]
+    fn pe_storage_is_two_slice_lines() {
+        let shape = Shape::grid2(16, 30).unwrap();
+        let g = lattice_gas::init::random_hpp(shape, 0.3, 2).unwrap();
+        let report = SpaLockstep::new(10, 2).run(&HppRule::new(), &g, 0).unwrap();
+        // 2W + 3 ± the measurement margin.
+        assert!(
+            (2 * 10..=2 * 10 + 7).contains(&(report.sr_cells_per_stage as usize)),
+            "{}",
+            report.sr_cells_per_stage
+        );
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let shape = Shape::grid2(8, 16).unwrap();
+        let g = lattice_gas::init::random_hpp(shape, 0.3, 1).unwrap();
+        let rule = HppRule::new();
+        assert!(SpaLockstep::new(5, 1).run(&rule, &g, 0).is_err());
+        assert!(SpaLockstep::new(0, 1).run(&rule, &g, 0).is_err());
+        assert!(SpaLockstep::new(4, 0).run(&rule, &g, 0).is_err());
+    }
+}

@@ -1,0 +1,405 @@
+//! The line-buffer pipeline stage — the heart of every engine here.
+//!
+//! A stage receives the site stream of generation `t` in raster order,
+//! `P` sites per clock tick, holds a sliding window of the last
+//! `≈ 2·cols + P` sites in a ring of shift registers, and emits the
+//! generation-`t+1` stream, delayed by a little over one lattice row.
+//! "Each succeeding PE using the data from the previous PE without the
+//! need for further external data" (§3) — cascading `k` stages yields
+//! `k` generations in one pass.
+//!
+//! The stage supports null (fixed-fill) boundaries natively — the
+//! hardware substitutes the fill value when its window hangs off the
+//! lattice edge. Periodic boundaries are handled by host-side halo
+//! framing (see [`crate::halo`]).
+
+use lattice_core::window::{window_len, WINDOW_MAX};
+use lattice_core::{Coord, LatticeError, Rule, Shape, Window};
+
+/// Configuration of one pipeline stage.
+#[derive(Debug, Clone, Copy)]
+pub struct StageConfig<S: lattice_core::State> {
+    /// Lattice shape of the stream (rank 1 or 2).
+    pub shape: Shape,
+    /// PEs in this stage (`P` — sites consumed and produced per tick).
+    pub width: usize,
+    /// Boundary fill value (the "null" boundary).
+    pub fill: S,
+    /// Generation number of the *input* stream (outputs are `gen + 1`).
+    pub gen: u64,
+    /// Global coordinate of the stream's `(0, 0)` — nonzero when the
+    /// stage processes a slice or halo-framed sub-lattice but rules need
+    /// global coordinates (FHP parity and chirality hashes).
+    pub origin: (usize, usize),
+}
+
+impl<S: lattice_core::State> StageConfig<S> {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), LatticeError> {
+        if self.shape.rank() > 2 {
+            return Err(LatticeError::InvalidConfig(
+                "line-buffer stages stream rank-1 or rank-2 lattices".into(),
+            ));
+        }
+        if self.width == 0 {
+            return Err(LatticeError::InvalidConfig("stage width must be ≥ 1".into()));
+        }
+        Ok(())
+    }
+
+    /// Shift-register cells the stage architecture requires: the stream
+    /// span of the radius-1 window plus one cell per additional PE —
+    /// `2·cols + P + 2` for rank 2 (compare the paper's hex figure
+    /// `2L + 7P + 3`; the constant differs because their PE datapath
+    /// stages seven cells per PE, ours one), `P + 2` for rank 1.
+    pub fn required_cells(&self) -> usize {
+        if self.shape.rank() == 2 {
+            2 * self.shape.cols() + self.width + 2
+        } else {
+            self.width + 2
+        }
+    }
+}
+
+/// A streaming pipeline stage: ring buffer + `P` PEs.
+pub struct LineBufferStage<'r, R: Rule> {
+    rule: &'r R,
+    cfg: StageConfig<R::S>,
+    ring: Vec<R::S>,
+    received: usize,
+    emitted: usize,
+    rows: usize,
+    cols: usize,
+    n: usize,
+    peak_occupancy: usize,
+}
+
+impl<'r, R: Rule> LineBufferStage<'r, R> {
+    /// Creates a stage.
+    pub fn new(rule: &'r R, cfg: StageConfig<R::S>) -> Result<Self, LatticeError> {
+        cfg.validate()?;
+        let (rows, cols) = if cfg.shape.rank() == 2 {
+            (cfg.shape.rows(), cfg.shape.cols())
+        } else {
+            (1, cfg.shape.cols())
+        };
+        // A little headroom over the architectural requirement keeps the
+        // index arithmetic simple; `required_cells` stays the reported
+        // metric.
+        let cap = cfg.required_cells() + cfg.width + 2;
+        Ok(LineBufferStage {
+            rule,
+            cfg,
+            ring: vec![cfg.fill; cap],
+            received: 0,
+            emitted: 0,
+            rows,
+            cols,
+            n: rows * cols,
+            peak_occupancy: 0,
+        })
+    }
+
+    /// The stage configuration.
+    pub fn config(&self) -> &StageConfig<R::S> {
+        &self.cfg
+    }
+
+    /// Sites received so far.
+    pub fn received(&self) -> usize {
+        self.received
+    }
+
+    /// Sites emitted so far.
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    /// True once the stage has emitted its whole output stream.
+    pub fn done(&self) -> bool {
+        self.emitted == self.n
+    }
+
+    /// Peak simultaneously-live cells observed (≤ `required_cells`).
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak_occupancy
+    }
+
+    fn cell(&self, pos: usize) -> R::S {
+        debug_assert!(pos < self.received);
+        debug_assert!(pos + self.ring.len() > self.received, "ring under-run");
+        self.ring[pos % self.ring.len()]
+    }
+
+    /// Linear index `i`'s output is ready once the furthest window cell
+    /// (one row and one column ahead) has been received.
+    fn ready(&self, i: usize) -> bool {
+        let need = if self.cfg.shape.rank() == 2 { i + self.cols + 2 } else { i + 2 };
+        self.received >= need.min(self.n)
+    }
+
+    fn compute(&self, i: usize) -> R::S {
+        let (r, c) = (i / self.cols, i % self.cols);
+        let rank = self.cfg.shape.rank();
+        let mut cells = [self.cfg.fill; WINDOW_MAX];
+        let mut idx = 0usize;
+        if rank == 2 {
+            for dr in -1isize..=1 {
+                for dc in -1isize..=1 {
+                    let (rr, cc) = (r as isize + dr, c as isize + dc);
+                    cells[idx] = if rr < 0
+                        || cc < 0
+                        || rr >= self.rows as isize
+                        || cc >= self.cols as isize
+                    {
+                        self.cfg.fill
+                    } else {
+                        self.cell(rr as usize * self.cols + cc as usize)
+                    };
+                    idx += 1;
+                }
+            }
+        } else {
+            for dc in -1isize..=1 {
+                let cc = c as isize + dc;
+                cells[idx] = if cc < 0 || cc >= self.cols as isize {
+                    self.cfg.fill
+                } else {
+                    self.cell(cc as usize)
+                };
+                idx += 1;
+            }
+        }
+        debug_assert_eq!(idx, window_len(rank));
+        let coord = if rank == 2 {
+            // Wrapping: a slice's halo origin may be "global column -1"
+            // (usize::MAX); interior coordinates wrap back into range.
+            Coord::c2(
+                r.wrapping_add(self.cfg.origin.0),
+                c.wrapping_add(self.cfg.origin.1),
+            )
+        } else {
+            Coord::c1(c.wrapping_add(self.cfg.origin.1))
+        };
+        let w = Window::from_cells(rank, coord, self.cfg.gen, cells);
+        self.rule.update(&w)
+    }
+
+    /// Advances one clock tick: accepts up to `width` new sites (empty
+    /// while draining) and appends up to `width` output sites to `out`.
+    ///
+    /// Returns the number of sites emitted this tick.
+    pub fn tick(&mut self, inputs: &[R::S], out: &mut Vec<R::S>) -> usize {
+        assert!(inputs.len() <= self.cfg.width, "at most P sites per tick");
+        assert!(self.received + inputs.len() <= self.n, "stream overrun");
+        for &s in inputs {
+            let cap = self.ring.len();
+            self.ring[self.received % cap] = s;
+            self.received += 1;
+        }
+        // Track live span: oldest cell still needed is for output
+        // `emitted` (window back one row and one column).
+        let emitted_before = self.emitted;
+        while self.emitted < self.n
+            && self.emitted < emitted_before + self.cfg.width
+            && self.ready(self.emitted)
+        {
+            out.push(self.compute(self.emitted));
+            self.emitted += 1;
+        }
+        let back = if self.cfg.shape.rank() == 2 { self.cols + 1 } else { 1 };
+        let oldest_needed = self.emitted.saturating_sub(back);
+        self.peak_occupancy = self.peak_occupancy.max(self.received - oldest_needed.min(self.received));
+        self.emitted - emitted_before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lattice_core::rule::IdentityRule;
+    use lattice_core::{evolve, Boundary, Grid};
+
+    struct Sum2d;
+    impl Rule for Sum2d {
+        type S = u8;
+        fn update(&self, w: &Window<u8>) -> u8 {
+            w.cells().iter().fold(0u8, |a, &b| a.wrapping_add(b))
+        }
+    }
+
+    fn drive_one_pass<R: Rule>(
+        rule: &R,
+        grid: &Grid<R::S>,
+        width: usize,
+        gen: u64,
+    ) -> (Vec<R::S>, usize, usize) {
+        let cfg = StageConfig {
+            shape: grid.shape(),
+            width,
+            fill: R::S::default(),
+            gen,
+            origin: (0, 0),
+        };
+        let mut stage = LineBufferStage::new(rule, cfg).unwrap();
+        let data = grid.as_slice();
+        let mut out = Vec::with_capacity(data.len());
+        let mut fed = 0usize;
+        let mut ticks = 0usize;
+        while !stage.done() {
+            let take = width.min(data.len() - fed);
+            stage.tick(&data[fed..fed + take], &mut out);
+            fed += take;
+            ticks += 1;
+            assert!(ticks < 10 * data.len() + 100, "stage wedged");
+        }
+        let peak = stage.peak_occupancy();
+        (out, ticks, peak)
+    }
+
+    use lattice_core::Shape;
+
+    #[test]
+    fn identity_stage_reproduces_stream() {
+        let shape = Shape::grid2(5, 7).unwrap();
+        let g = Grid::from_fn(shape, |c| (shape.linear(c) % 251) as u8);
+        let (out, ticks, _) = drive_one_pass(&IdentityRule::<u8>::new(), &g, 1, 0);
+        assert_eq!(out, g.as_slice());
+        // Latency: one row plus the diagonal margin.
+        assert_eq!(ticks, shape.len() + shape.cols() + 1);
+    }
+
+    #[test]
+    fn stage_matches_reference_engine_2d() {
+        let shape = Shape::grid2(9, 11).unwrap();
+        let g = Grid::from_fn(shape, |c| (shape.linear(c) * 37 % 256) as u8);
+        let reference = evolve(&g, &Sum2d, Boundary::null(), 0, 1);
+        for width in [1usize, 2, 3, 4, 11] {
+            let (out, _, _) = drive_one_pass(&Sum2d, &g, width, 0);
+            assert_eq!(out, reference.as_slice(), "width={width}");
+        }
+    }
+
+    #[test]
+    fn stage_matches_reference_engine_1d() {
+        struct Sum1d;
+        impl Rule for Sum1d {
+            type S = u8;
+            fn update(&self, w: &Window<u8>) -> u8 {
+                w.at1(-1).wrapping_add(w.center()).wrapping_add(w.at1(1))
+            }
+        }
+        let shape = Shape::line(23).unwrap();
+        let g = Grid::from_fn(shape, |c| (c.col() * 13 % 256) as u8);
+        let reference = evolve(&g, &Sum1d, Boundary::null(), 0, 1);
+        for width in [1usize, 2, 5] {
+            let (out, _, _) = drive_one_pass(&Sum1d, &g, width, 0);
+            assert_eq!(out, reference.as_slice(), "width={width}");
+        }
+    }
+
+    #[test]
+    fn wide_stage_throughput_scales() {
+        let shape = Shape::grid2(16, 32).unwrap();
+        let g = Grid::from_fn(shape, |c| (shape.linear(c) % 256) as u8);
+        let (_, t1, _) = drive_one_pass(&Sum2d, &g, 1, 0);
+        let (_, t4, _) = drive_one_pass(&Sum2d, &g, 4, 0);
+        // 4 PEs process the stream in ≈ 1/4 the ticks.
+        assert!(t4 * 3 < t1, "t1={t1}, t4={t4}");
+    }
+
+    #[test]
+    fn occupancy_stays_within_required_cells() {
+        let shape = Shape::grid2(12, 30).unwrap();
+        let g = Grid::from_fn(shape, |c| (shape.linear(c) % 256) as u8);
+        for width in [1usize, 2, 5] {
+            let cfg = StageConfig {
+                shape,
+                width,
+                fill: 0u8,
+                gen: 0,
+                origin: (0, 0),
+            };
+            let required = cfg.required_cells();
+            let (_, _, peak) = drive_one_pass(&Sum2d, &g, width, 0);
+            assert!(peak <= required, "width={width}: peak {peak} > required {required}");
+            // And the requirement is tight to within a PE-width margin.
+            assert!(peak + width + 4 >= required, "width={width}: peak {peak} vs {required}");
+        }
+    }
+
+    #[test]
+    fn origin_offsets_window_coordinates() {
+        struct CoordProbe;
+        impl Rule for CoordProbe {
+            type S = u8;
+            fn update(&self, w: &Window<u8>) -> u8 {
+                (w.coord().row() * 16 + w.coord().col()) as u8
+            }
+        }
+        let shape = Shape::grid2(2, 3).unwrap();
+        let g: Grid<u8> = Grid::new(shape);
+        let cfg = StageConfig { shape, width: 1, fill: 0u8, gen: 5, origin: (4, 8) };
+        let mut stage = LineBufferStage::new(&CoordProbe, cfg).unwrap();
+        let mut out = Vec::new();
+        let mut fed = 0;
+        while !stage.done() {
+            let take = usize::from(fed < g.len());
+            stage.tick(&g.as_slice()[fed..fed + take], &mut out);
+            fed += take;
+        }
+        assert_eq!(out[0], 4 * 16 + 8);
+        assert_eq!(out[5], 5 * 16 + 10);
+    }
+
+    #[test]
+    fn config_validation() {
+        let bad = StageConfig {
+            shape: Shape::grid3(2, 2, 2).unwrap(),
+            width: 1,
+            fill: 0u8,
+            gen: 0,
+            origin: (0, 0),
+        };
+        assert!(bad.validate().is_err());
+        let bad = StageConfig {
+            shape: Shape::grid2(2, 2).unwrap(),
+            width: 0,
+            fill: 0u8,
+            gen: 0,
+            origin: (0, 0),
+        };
+        assert!(bad.validate().is_err());
+        assert!(LineBufferStage::new(&Sum2d, bad).is_err());
+    }
+
+    #[test]
+    fn required_cells_formula() {
+        let cfg = StageConfig {
+            shape: Shape::grid2(10, 100).unwrap(),
+            width: 4,
+            fill: 0u8,
+            gen: 0,
+            origin: (0, 0),
+        };
+        assert_eq!(cfg.required_cells(), 206);
+        let cfg1 = StageConfig {
+            shape: Shape::line(50).unwrap(),
+            width: 1,
+            fill: 0u8,
+            gen: 0,
+            origin: (0, 0),
+        };
+        assert_eq!(cfg1.required_cells(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most P sites")]
+    fn overfeeding_a_tick_panics() {
+        let shape = Shape::grid2(3, 3).unwrap();
+        let cfg = StageConfig { shape, width: 1, fill: 0u8, gen: 0, origin: (0, 0) };
+        let mut stage = LineBufferStage::new(&Sum2d, cfg).unwrap();
+        let mut out = Vec::new();
+        stage.tick(&[1, 2], &mut out);
+    }
+}

@@ -1,0 +1,218 @@
+//! Thread-parallel pipeline execution.
+//!
+//! The sequential driver in [`crate::pipeline`] evaluates all stages in
+//! one loop; here each stage runs on its own OS thread connected by
+//! bounded channels — the software analogue of the paper's chips
+//! genuinely running concurrently, and an ablation showing the simulator
+//! itself scales across cores. One tick of inter-chip register delay is
+//! modeled by the channel hand-off.
+//!
+//! Functional contract: identical output and identical traffic counts to
+//! [`Pipeline::run`]; tick counts differ only by the `depth − 1`
+//! register skew.
+//!
+//! [`Pipeline::run`]: crate::pipeline::Pipeline::run
+
+use crate::metrics::EngineReport;
+use crate::stage::{LineBufferStage, StageConfig};
+use crossbeam::channel::bounded;
+use lattice_core::bits::Traffic;
+use lattice_core::{Grid, LatticeError, Rule, State};
+
+/// Per-stage result carried back from its worker thread.
+struct StageResult {
+    local_ticks: u64,
+    in_sites: u64,
+    out_sites: u64,
+}
+
+/// Runs a width-`p`, depth-`k` pipeline with one thread per stage.
+///
+/// See [`crate::pipeline::Pipeline::run`] for the semantics; this is the
+/// concurrent execution of the same machine.
+pub fn run_threaded<R: Rule>(
+    rule: &R,
+    grid: &Grid<R::S>,
+    width: usize,
+    depth: usize,
+    t0: u64,
+) -> Result<EngineReport<R::S>, LatticeError> {
+    if depth == 0 || width == 0 {
+        return Err(LatticeError::InvalidConfig("pipeline needs width, depth ≥ 1".into()));
+    }
+    let shape = grid.shape();
+    let n = shape.len();
+    let d_bits = R::S::BITS;
+
+    // Build stages up front so config errors surface before spawning.
+    let mut stages = Vec::with_capacity(depth);
+    for j in 0..depth {
+        stages.push(LineBufferStage::new(
+            rule,
+            StageConfig {
+                shape,
+                width,
+                fill: R::S::default(),
+                gen: t0 + j as u64,
+                origin: (0, 0),
+            },
+        )?);
+    }
+    let sr_cells = stages.iter().map(|s| s.config().required_cells() as u64).max().unwrap();
+
+    let data = grid.as_slice();
+    let (mut results, final_stream) = crossbeam::thread::scope(
+        |scope| -> (Vec<StageResult>, Vec<R::S>) {
+            // Channel chain: feeder -> stage 0 -> … -> stage k-1 -> sink.
+            let mut senders = Vec::with_capacity(depth + 1);
+            let mut receivers = Vec::with_capacity(depth + 1);
+            for _ in 0..=depth {
+                let (tx, rx) = bounded::<Vec<R::S>>(8);
+                senders.push(tx);
+                receivers.push(rx);
+            }
+            let mut senders_iter = senders.into_iter();
+            let mut receivers_iter = receivers.into_iter();
+
+            // Feeder.
+            let feed_tx = senders_iter.next().expect("feeder channel");
+            scope.spawn(move |_| {
+                for chunk in data.chunks(width) {
+                    if feed_tx.send(chunk.to_vec()).is_err() {
+                        return;
+                    }
+                }
+                // Dropping feed_tx closes the channel: downstream drains.
+            });
+
+            // Stage workers.
+            let mut handles = Vec::with_capacity(depth);
+            for stage in stages.into_iter() {
+                let rx = receivers_iter.next().expect("stage input");
+                let tx = senders_iter.next().expect("stage output");
+                handles.push(scope.spawn(move |_| {
+                    let mut stage = stage;
+                    let mut out = Vec::new();
+                    let mut res =
+                        StageResult { local_ticks: 0, in_sites: 0, out_sites: 0 };
+                    while !stage.done() {
+                        let inp = rx.recv().unwrap_or_default();
+                        res.local_ticks += 1;
+                        res.in_sites += inp.len() as u64;
+                        out.clear();
+                        stage.tick(&inp, &mut out);
+                        res.out_sites += out.len() as u64;
+                        // Forward even empty ticks (pipeline bubbles) so
+                        // downstream stages tick in lockstep, exactly as
+                        // the sequential driver does.
+                        if tx.send(out.clone()).is_err() {
+                            break;
+                        }
+                    }
+                    res
+                }));
+            }
+
+            // Sink.
+            let sink_rx = receivers_iter.next().expect("sink channel");
+            let mut final_stream = Vec::with_capacity(n);
+            while final_stream.len() < n {
+                match sink_rx.recv() {
+                    Ok(chunk) => final_stream.extend(chunk),
+                    Err(_) => break,
+                }
+            }
+            let results =
+                handles.into_iter().map(|h| h.join().expect("stage thread")).collect();
+            (results, final_stream)
+        },
+    )
+    .expect("pipeline thread panicked");
+
+    if final_stream.len() != n {
+        return Err(LatticeError::LengthMismatch { expected: n, actual: final_stream.len() });
+    }
+
+    let mut memory = Traffic::new();
+    memory.record_in(results[0].in_sites as u128, d_bits);
+    memory.record_out(results[depth - 1].out_sites as u128, d_bits);
+    let mut pins = Traffic::new();
+    for r in &results {
+        pins.record_in(r.in_sites as u128, d_bits);
+        pins.record_out(r.out_sites as u128, d_bits);
+    }
+    // Same-tick forwarding semantics (as in the sequential driver): the
+    // last stage's local tick count is the pipeline's tick count.
+    let ticks = results.last().unwrap().local_ticks;
+    let report = EngineReport {
+        grid: Grid::from_vec(shape, final_stream)?,
+        generations: depth as u64,
+        updates: (n * depth) as u64,
+        ticks,
+        memory_traffic: memory,
+        pin_traffic: pins,
+        side_traffic: Traffic::new(),
+        offchip_sr_traffic: Traffic::new(),
+        sr_cells_per_stage: sr_cells,
+        stages: depth as u32,
+        width: width as u32,
+    };
+    drop(results.drain(..));
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Pipeline;
+    use lattice_core::{evolve, Boundary, Shape};
+    use lattice_gas::{FhpRule, FhpVariant, HppRule};
+
+    #[test]
+    fn threaded_is_bit_exact() {
+        let shape = Shape::grid2(24, 40).unwrap();
+        let g = lattice_gas::init::random_fhp(shape, FhpVariant::III, 0.4, 3, false).unwrap();
+        let rule = FhpRule::new(FhpVariant::III, 13);
+        let reference = evolve(&g, &rule, Boundary::null(), 5, 4);
+        let report = run_threaded(&rule, &g, 2, 4, 5).unwrap();
+        assert_eq!(report.grid, reference);
+    }
+
+    #[test]
+    fn threaded_matches_sequential_driver_counts() {
+        let shape = Shape::grid2(16, 24).unwrap();
+        let g = lattice_gas::init::random_hpp(shape, 0.4, 1).unwrap();
+        let rule = HppRule::new();
+        for (p, k) in [(1usize, 1usize), (2, 3), (4, 2)] {
+            let seq = Pipeline::wide(p, k).run(&rule, &g, 0).unwrap();
+            let thr = run_threaded(&rule, &g, p, k, 0).unwrap();
+            assert_eq!(thr.grid, seq.grid, "P={p} k={k}");
+            assert_eq!(thr.memory_traffic, seq.memory_traffic);
+            assert_eq!(thr.pin_traffic, seq.pin_traffic);
+            assert_eq!(thr.sr_cells_per_stage, seq.sr_cells_per_stage);
+            // Tick counts agree up to the modeled register skew.
+            let diff = thr.ticks.abs_diff(seq.ticks);
+            assert!(diff <= k as u64, "P={p} k={k}: {} vs {}", thr.ticks, seq.ticks);
+        }
+    }
+
+    #[test]
+    fn threaded_depth_8_runs_concurrently_and_correctly() {
+        let shape = Shape::grid2(32, 32).unwrap();
+        let g = lattice_gas::init::random_hpp(shape, 0.3, 9).unwrap();
+        let rule = HppRule::new();
+        let reference = evolve(&g, &rule, Boundary::null(), 0, 8);
+        let report = run_threaded(&rule, &g, 1, 8, 0).unwrap();
+        assert_eq!(report.grid, reference);
+        assert_eq!(report.stages, 8);
+    }
+
+    #[test]
+    fn threaded_rejects_bad_configs() {
+        let shape = Shape::grid2(4, 4).unwrap();
+        let g = lattice_gas::init::random_hpp(shape, 0.3, 1).unwrap();
+        let rule = HppRule::new();
+        assert!(run_threaded(&rule, &g, 1, 0, 0).is_err());
+        assert!(run_threaded(&rule, &g, 0, 1, 0).is_err());
+    }
+}

@@ -1,0 +1,242 @@
+//! Pipeline waveforms: the §3 wavefront, made visible.
+//!
+//! "The computation proceeds on a wavefront through time and space,
+//! each succeeding PE using the data from the previous PE without the
+//! need for further external data." This module runs a pipeline while
+//! sampling per-stage progress every tick, producing both a checkable
+//! record (the wavefront invariants below are unit-tested) and a
+//! rendered ASCII waveform for humans.
+//!
+//! Wavefront invariants, verified by [`Waveform::check_invariants`]:
+//!
+//! 1. progress is monotone: no stage ever un-receives or un-emits;
+//! 2. causality: stage `j` can never have emitted more than stage
+//!    `j − 1` (its input source);
+//! 3. skew: stage `j` starts emitting roughly one row later than stage
+//!    `j − 1` (the two-row window fill).
+
+use crate::stage::{LineBufferStage, StageConfig};
+use lattice_core::{Grid, LatticeError, Rule};
+
+/// One sampled tick: per-stage (received, emitted).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sample {
+    /// Tick number (1-based).
+    pub tick: u64,
+    /// Per-stage cumulative sites received.
+    pub received: Vec<usize>,
+    /// Per-stage cumulative sites emitted.
+    pub emitted: Vec<usize>,
+}
+
+/// A recorded pipeline run.
+#[derive(Debug, Clone)]
+pub struct Waveform {
+    /// Samples, every `stride` ticks.
+    pub samples: Vec<Sample>,
+    /// Stages in the pipeline.
+    pub depth: usize,
+    /// Sites per generation.
+    pub sites: usize,
+    /// Lattice width (for the skew invariant).
+    pub cols: usize,
+}
+
+/// Runs a width-`width`, depth-`depth` pipeline over `grid`, sampling
+/// stage progress every `stride` ticks.
+pub fn record<R: Rule>(
+    rule: &R,
+    grid: &Grid<R::S>,
+    width: usize,
+    depth: usize,
+    stride: u64,
+) -> Result<Waveform, LatticeError> {
+    if depth == 0 || width == 0 || stride == 0 {
+        return Err(LatticeError::InvalidConfig("need width, depth, stride ≥ 1".into()));
+    }
+    let shape = grid.shape();
+    let n = shape.len();
+    let mut stages = Vec::with_capacity(depth);
+    for j in 0..depth {
+        stages.push(LineBufferStage::new(
+            rule,
+            StageConfig {
+                shape,
+                width,
+                fill: R::S::default(),
+                gen: j as u64,
+                origin: (0, 0),
+            },
+        )?);
+    }
+    let data = grid.as_slice();
+    let mut fed = 0usize;
+    let mut bus: Vec<Vec<R::S>> = vec![Vec::new(); depth + 1];
+    let mut samples = Vec::new();
+    let mut tick = 0u64;
+    while stages.last().expect("depth ≥ 1").emitted() < n {
+        tick += 1;
+        let take = width.min(n - fed);
+        bus[0].clear();
+        bus[0].extend_from_slice(&data[fed..fed + take]);
+        fed += take;
+        for (j, stage) in stages.iter_mut().enumerate() {
+            let (inp, out) = {
+                let (a, b) = bus.split_at_mut(j + 1);
+                (&a[j], &mut b[0])
+            };
+            out.clear();
+            stage.tick(inp, out);
+        }
+        if tick.is_multiple_of(stride) || stages.last().unwrap().emitted() == n {
+            samples.push(Sample {
+                tick,
+                received: stages.iter().map(|s| s.received()).collect(),
+                emitted: stages.iter().map(|s| s.emitted()).collect(),
+            });
+        }
+        if tick > (10 * n as u64 + 1000) * depth as u64 {
+            return Err(LatticeError::InvalidConfig("waveform run wedged (bug)".into()));
+        }
+    }
+    let cols = shape.cols();
+    Ok(Waveform { samples, depth, sites: n, cols })
+}
+
+impl Waveform {
+    /// Verifies the wavefront invariants; returns a description of the
+    /// first violation, if any.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut prev: Option<&Sample> = None;
+        for s in &self.samples {
+            for j in 0..self.depth {
+                if s.emitted[j] > s.received[j] {
+                    return Err(format!(
+                        "tick {}: stage {j} emitted {} > received {}",
+                        s.tick, s.emitted[j], s.received[j]
+                    ));
+                }
+                if j > 0 && s.received[j] > s.emitted[j - 1] {
+                    return Err(format!(
+                        "tick {}: stage {j} received {} > upstream emitted {}",
+                        s.tick,
+                        s.received[j],
+                        s.emitted[j - 1]
+                    ));
+                }
+                // Skew: once a stage is past its fill and the stream is
+                // still flowing, it lags its input by at least a row
+                // (in the drain the remaining windows hang off the
+                // lattice bottom, so the lag legitimately collapses).
+                if s.emitted[j] > 0
+                    && s.received[j] < self.sites
+                    && s.received[j].saturating_sub(s.emitted[j]) + 2 < self.cols
+                {
+                    return Err(format!(
+                        "tick {}: stage {j} window fill {} below one row",
+                        s.tick,
+                        s.received[j] - s.emitted[j]
+                    ));
+                }
+            }
+            if let Some(p) = prev {
+                for j in 0..self.depth {
+                    if s.received[j] < p.received[j] || s.emitted[j] < p.emitted[j] {
+                        return Err(format!("tick {}: stage {j} went backwards", s.tick));
+                    }
+                }
+            }
+            prev = Some(s);
+        }
+        Ok(())
+    }
+
+    /// Renders an ASCII waveform: one row per sample, one bar per stage
+    /// showing fraction of the stream emitted.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("tick      ");
+        for j in 0..self.depth {
+            out.push_str(&format!("stage{j:<2}    "));
+        }
+        out.push('\n');
+        for s in &self.samples {
+            out.push_str(&format!("{:>8}  ", s.tick));
+            for j in 0..self.depth {
+                let frac = s.emitted[j] as f64 / self.sites as f64;
+                let filled = (frac * 8.0).round() as usize;
+                out.push('[');
+                for i in 0..8 {
+                    out.push(if i < filled { '#' } else { '.' });
+                }
+                out.push_str("] ");
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lattice_core::Shape;
+    use lattice_gas::{init, HppRule};
+
+    fn workload() -> (Grid<u8>, HppRule) {
+        let shape = Shape::grid2(16, 24).unwrap();
+        (init::random_hpp(shape, 0.3, 4).unwrap(), HppRule::new())
+    }
+
+    #[test]
+    fn wavefront_invariants_hold() {
+        let (g, rule) = workload();
+        for (w, k) in [(1usize, 1usize), (2, 4), (3, 2)] {
+            let wf = record(&rule, &g, w, k, 7).unwrap();
+            wf.check_invariants().unwrap_or_else(|e| panic!("w={w} k={k}: {e}"));
+            assert_eq!(wf.samples.last().unwrap().emitted[k - 1], 16 * 24);
+        }
+    }
+
+    #[test]
+    fn stages_start_in_cascade() {
+        // Stage j's first emission comes ≈ one row after stage j−1's —
+        // the visible wavefront skew.
+        let (g, rule) = workload();
+        let wf = record(&rule, &g, 1, 4, 1).unwrap();
+        let first_emit: Vec<u64> = (0..4)
+            .map(|j| {
+                wf.samples
+                    .iter()
+                    .find(|s| s.emitted[j] > 0)
+                    .map(|s| s.tick)
+                    .expect("every stage emits")
+            })
+            .collect();
+        for j in 1..4 {
+            let skew = first_emit[j] - first_emit[j - 1];
+            assert!(
+                (20..=30).contains(&skew),
+                "stage {j} skew {skew} (cols = 24)"
+            );
+        }
+    }
+
+    #[test]
+    fn render_produces_bars() {
+        let (g, rule) = workload();
+        let wf = record(&rule, &g, 2, 2, 50).unwrap();
+        let text = wf.render();
+        assert!(text.contains("stage0"));
+        assert!(text.contains('#'));
+        assert!(text.lines().count() >= 3);
+    }
+
+    #[test]
+    fn bad_configs_rejected() {
+        let (g, rule) = workload();
+        assert!(record(&rule, &g, 0, 1, 1).is_err());
+        assert!(record(&rule, &g, 1, 0, 1).is_err());
+        assert!(record(&rule, &g, 1, 1, 0).is_err());
+    }
+}

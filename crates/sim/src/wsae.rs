@@ -1,0 +1,117 @@
+//! WSA-E: the extensible serial pipeline — §6.3.
+//!
+//! Functionally identical to a width-1 [`Pipeline`], but the two-row
+//! window no longer fits on the processor chip: the overflow lives in
+//! external shift registers, and every cell that passes through them
+//! costs chip pins (`2D` extra bits/tick for the SR loop — which is why
+//! the pin budget only allows one PE per chip). This engine measures
+//! that traffic.
+//!
+//! [`Pipeline`]: crate::pipeline::Pipeline
+
+use crate::metrics::EngineReport;
+use crate::pipeline::Pipeline;
+use lattice_core::bits::Traffic;
+use lattice_core::{Grid, LatticeError, Rule, State};
+
+/// A WSA-E pipeline: serial stages with off-chip shift registers.
+#[derive(Debug, Clone, Copy)]
+pub struct WsaePipeline {
+    /// Pipeline depth (chips).
+    pub depth: usize,
+    /// Delay cells that fit on the processor chip beside the PE
+    /// (`⌊(1−Γ)/B⌋` with the paper's constants: 1702).
+    pub on_chip_cells: usize,
+}
+
+impl WsaePipeline {
+    /// Creates a WSA-E pipeline with the paper's on-chip capacity.
+    pub fn new(depth: usize) -> Self {
+        WsaePipeline { depth, on_chip_cells: 1702 }
+    }
+
+    /// Overrides the on-chip cell capacity.
+    pub fn with_on_chip_cells(mut self, cells: usize) -> Self {
+        self.on_chip_cells = cells;
+        self
+    }
+
+    /// Runs the pipeline; see [`Pipeline::run`] for the bit-exactness
+    /// contract. Adds external-SR traffic accounting.
+    pub fn run<R: Rule>(
+        &self,
+        rule: &R,
+        grid: &Grid<R::S>,
+        t0: u64,
+    ) -> Result<EngineReport<R::S>, LatticeError> {
+        let mut report = Pipeline::serial(self.depth).run(rule, grid, t0)?;
+        let cells = report.sr_cells_per_stage;
+        let overflow = cells.saturating_sub(self.on_chip_cells as u64);
+        if overflow > 0 {
+            // Every site streamed through a stage transits the external
+            // SR once (out to it and back in), on every stage.
+            let sites_per_stage = grid.shape().len() as u128;
+            let mut t = Traffic::new();
+            t.record_out(sites_per_stage * self.depth as u128, R::S::BITS);
+            t.record_in(sites_per_stage * self.depth as u128, R::S::BITS);
+            report.offchip_sr_traffic = t;
+        }
+        Ok(report)
+    }
+
+    /// External SR cells per stage for lattice width `cols`.
+    pub fn off_chip_cells(&self, cols: usize) -> usize {
+        (2 * cols + 3).saturating_sub(self.on_chip_cells)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lattice_core::{evolve, Boundary, Shape};
+    use lattice_gas::{FhpRule, FhpVariant};
+
+    #[test]
+    fn wsae_is_bit_exact() {
+        let shape = Shape::grid2(6, 30).unwrap();
+        let g = lattice_gas::init::random_fhp(shape, FhpVariant::I, 0.4, 2, false).unwrap();
+        let rule = FhpRule::new(FhpVariant::I, 3);
+        let reference = evolve(&g, &rule, Boundary::null(), 0, 4);
+        let report = WsaePipeline::new(4).run(&rule, &g, 0).unwrap();
+        assert_eq!(report.grid, reference);
+    }
+
+    #[test]
+    fn small_lattices_have_no_offchip_traffic() {
+        let shape = Shape::grid2(6, 30).unwrap();
+        let g = lattice_gas::init::random_fhp(shape, FhpVariant::I, 0.4, 2, false).unwrap();
+        let rule = FhpRule::new(FhpVariant::I, 3);
+        let report = WsaePipeline::new(2).run(&rule, &g, 0).unwrap();
+        assert_eq!(report.offchip_sr_traffic.total(), 0);
+        assert_eq!(WsaePipeline::new(2).off_chip_cells(30), 0);
+    }
+
+    #[test]
+    fn large_lattices_pay_sr_traffic() {
+        // Force a tiny on-chip capacity so the test lattice overflows.
+        let shape = Shape::grid2(4, 64).unwrap();
+        let g = lattice_gas::init::random_fhp(shape, FhpVariant::I, 0.4, 2, false).unwrap();
+        let rule = FhpRule::new(FhpVariant::I, 3);
+        let pipe = WsaePipeline::new(3).with_on_chip_cells(50);
+        let report = pipe.run(&rule, &g, 0).unwrap();
+        let n = shape.len() as u128;
+        assert_eq!(report.offchip_sr_traffic.bits_out, 3 * n * 8);
+        assert_eq!(report.offchip_sr_traffic.bits_in, 3 * n * 8);
+        assert_eq!(pipe.off_chip_cells(64), 2 * 64 + 3 - 50);
+    }
+
+    #[test]
+    fn paper_capacity_splits_at_l_850ish() {
+        // 2L + 3 ≤ 1702 up to L = 849: beyond the WSA feasibility region
+        // the SR spills off chip — the architecture keeps working, which
+        // is WSA-E's entire reason to exist.
+        let p = WsaePipeline::new(1);
+        assert_eq!(p.off_chip_cells(849), 0);
+        assert!(p.off_chip_cells(1000) > 0);
+    }
+}

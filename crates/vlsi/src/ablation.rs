@@ -1,0 +1,209 @@
+//! Design-choice ablations for the §6 analysis.
+//!
+//! The paper fixes several choices without exploring them; this module
+//! makes each explorable:
+//!
+//! * **Stages per chip** — §6.1 assumes "each VLSI chip will contain
+//!   only a single wide parallel pipeline stage. That is, the chip is
+//!   not internally pipelined with wide-serial processors." What if it
+//!   were? Internal stages cost no extra pins (the stream passes chip
+//!   boundaries once) but each needs its own two-row window, so the
+//!   supportable lattice shrinks: the WSA lattice-size ceiling divides
+//!   roughly by the stage count.
+//! * **SPA side-channel width E** — E depends on the update rule (3 for
+//!   FHP's boundary-crossing particle bits, D for a full-site exchange).
+//!   The pin ceiling `Π²/16DE` is inversely proportional to E.
+//! * **Pin budget sensitivity** — how the two architectures' corners
+//!   move as packaging improves.
+
+use crate::spa::Spa;
+use crate::tech::Technology;
+use crate::wsa::Wsa;
+use serde::{Deserialize, Serialize};
+
+/// A multi-stage WSA chip design: `stages` wide-serial stages of
+/// `p` PEs each, cascaded on chip.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MultiStageWsa {
+    /// Internal pipeline stages per chip.
+    pub stages: u32,
+    /// PEs per stage.
+    pub p: u32,
+    /// Largest supportable lattice side.
+    pub l_max: u32,
+    /// Normalized area used at `l_max`.
+    pub area_used: f64,
+    /// Pins used (only the chip-boundary stream counts).
+    pub pins_used: u32,
+    /// Site updates per tick per chip (`stages · p`).
+    pub updates_per_tick: u32,
+}
+
+/// Designs a `stages`-deep, `p`-wide WSA chip: returns the largest
+/// feasible lattice side, or `None` if even `L = 1` does not fit.
+///
+/// Area: each internal stage needs its own `(2L + 7P + 3)·β` window and
+/// `P·γ` of PEs. Pins: the stream crosses the chip boundary once —
+/// `2·D·P` regardless of internal depth (the internal hand-off is wires,
+/// not pins).
+pub fn multi_stage_wsa(tech: Technology, stages: u32, p: u32) -> Option<MultiStageWsa> {
+    if stages == 0 || p == 0 {
+        return None;
+    }
+    let pins_used = 2 * tech.d_bits * p;
+    if pins_used > tech.pins {
+        return None;
+    }
+    // stages · ((2L + 7P + 3)B + PΓ) ≤ 1  →  solve for L.
+    let per_stage_fixed = (7.0 * p as f64 + 3.0) * tech.b + p as f64 * tech.g;
+    let budget = 1.0 / stages as f64 - per_stage_fixed;
+    if budget <= 0.0 {
+        return None;
+    }
+    let l_max = (budget / (2.0 * tech.b)).floor() as u32;
+    if l_max == 0 {
+        return None;
+    }
+    let area_used =
+        stages as f64 * ((2.0 * l_max as f64 + 7.0 * p as f64 + 3.0) * tech.b + p as f64 * tech.g);
+    Some(MultiStageWsa {
+        stages,
+        p,
+        l_max,
+        area_used,
+        pins_used,
+        updates_per_tick: stages * p,
+    })
+}
+
+/// The best multi-stage WSA chip for a given lattice side: maximizes
+/// updates/tick per chip over all (stages, p) splits.
+pub fn best_multi_stage_wsa(tech: Technology, l: u32) -> Option<MultiStageWsa> {
+    let p_max = tech.pins / (2 * tech.d_bits);
+    let mut best: Option<MultiStageWsa> = None;
+    for p in 1..=p_max.max(1) {
+        for stages in 1..=64u32 {
+            match multi_stage_wsa(tech, stages, p) {
+                Some(d) if d.l_max >= l => {
+                    if best.is_none_or(|b| d.updates_per_tick > b.updates_per_tick) {
+                        best = Some(d);
+                    }
+                }
+                _ => break, // more stages only shrink l_max
+            }
+        }
+    }
+    best
+}
+
+/// SPA pin ceiling as a function of the side-channel width `E`.
+pub fn spa_pin_ceiling_vs_e(tech: Technology, e_values: &[u32]) -> Vec<(u32, f64, u32)> {
+    e_values
+        .iter()
+        .map(|&e| {
+            let mut t = tech;
+            t.e_bits = e;
+            let spa = Spa::new(t);
+            (e, spa.p_pin_limit(), spa.corner().p)
+        })
+        .collect()
+}
+
+/// WSA and SPA corner PEs/chip as the pin budget sweeps.
+pub fn corners_vs_pins(tech: Technology, pin_values: &[u32]) -> Vec<(u32, u32, u32)> {
+    pin_values
+        .iter()
+        .filter_map(|&pins| {
+            let mut t = tech;
+            t.pins = pins;
+            t.validate().ok()?;
+            let wsa = Wsa::new(t).corner();
+            let spa = Spa::new(t).corner();
+            Some((pins, wsa.p, spa.p))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> Technology {
+        Technology::paper_1987()
+    }
+
+    #[test]
+    fn single_stage_matches_wsa_corner() {
+        // stages = 1 must reproduce the §6.1 corner.
+        let d = multi_stage_wsa(tech(), 1, 4).unwrap();
+        assert_eq!(d.l_max, 785);
+        assert_eq!(d.updates_per_tick, 4);
+        assert!(d.area_used <= 1.0);
+    }
+
+    #[test]
+    fn internal_stages_trade_lattice_size_for_rate() {
+        let one = multi_stage_wsa(tech(), 1, 4).unwrap();
+        let two = multi_stage_wsa(tech(), 2, 4).unwrap();
+        let four = multi_stage_wsa(tech(), 4, 4).unwrap();
+        // Same pins, multiplied rate…
+        assert_eq!(one.pins_used, two.pins_used);
+        assert_eq!(two.updates_per_tick, 8);
+        assert_eq!(four.updates_per_tick, 16);
+        // …at roughly halved/quartered lattice ceilings.
+        assert!(two.l_max < one.l_max / 2 + 50);
+        assert!(two.l_max > one.l_max / 3);
+        assert!(four.l_max < two.l_max / 2 + 50);
+    }
+
+    #[test]
+    fn infeasible_multi_stage_configs() {
+        assert!(multi_stage_wsa(tech(), 0, 4).is_none());
+        assert!(multi_stage_wsa(tech(), 1, 0).is_none());
+        assert!(multi_stage_wsa(tech(), 1, 5).is_none()); // pins
+        assert!(multi_stage_wsa(tech(), 60, 4).is_none()); // no area left
+    }
+
+    #[test]
+    fn best_multi_stage_beats_single_for_small_lattices() {
+        // At L = 100 there is area to burn: internal pipelining packs
+        // far more updates/tick than the paper's single-stage chip.
+        let best = best_multi_stage_wsa(tech(), 100).unwrap();
+        assert!(best.updates_per_tick > 4, "{best:?}");
+        assert!(best.l_max >= 100);
+        // At the paper's corner L the single stage is all that fits.
+        let at_corner = best_multi_stage_wsa(tech(), 785).unwrap();
+        assert_eq!(at_corner.updates_per_tick, 4);
+        assert_eq!(at_corner.stages, 1);
+        // Far beyond the ceiling, nothing fits.
+        assert!(best_multi_stage_wsa(tech(), 2000).is_none());
+    }
+
+    #[test]
+    fn spa_ceiling_inverse_in_e() {
+        let rows = spa_pin_ceiling_vs_e(tech(), &[1, 3, 8]);
+        assert_eq!(rows.len(), 3);
+        // Π²/16DE: E=1 → 40.5, E=3 → 13.5, E=8 → 5.06.
+        assert!((rows[0].1 - 40.5).abs() < 1e-9);
+        assert!((rows[1].1 - 13.5).abs() < 1e-9);
+        assert!((rows[2].1 - 5.0625).abs() < 1e-9);
+        // Integer corners follow.
+        assert!(rows[0].2 > rows[1].2 && rows[1].2 > rows[2].2);
+    }
+
+    #[test]
+    fn more_pins_help_spa_quadratically_and_wsa_linearly() {
+        let rows = corners_vs_pins(tech(), &[72, 144, 288]);
+        assert_eq!(rows.len(), 3);
+        let (_, w0, s0) = rows[0];
+        let (_, w1, s1) = rows[1];
+        let (_, w2, s2) = rows[2];
+        // WSA P grows ~linearly with pins (until area binds).
+        assert!(w1 >= 2 * w0 && w2 >= 2 * w1);
+        // SPA's pin ceiling grows quadratically, but the AREA curve caps
+        // the realized corner: s grows superlinearly from 72→144 and
+        // then saturates.
+        assert!(s1 > 2 * s0);
+        assert!(s2 >= s1);
+    }
+}

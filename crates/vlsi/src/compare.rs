@@ -1,0 +1,218 @@
+//! Architecture comparisons — §6.3 of the paper.
+//!
+//! Two viewpoints, as in the paper:
+//!
+//! 1. [`optimized_comparison`] — both architectures at their
+//!    throughput-optimal operating points, same chip count: SPA is
+//!    `12/4 = 3×` faster per chip but needs ≈ 4× the main-memory
+//!    bandwidth (paper: 262 vs 64 bits/tick).
+//! 2. [`wsae_vs_spa`] — the extensible variants across lattice sizes at
+//!    the *same chip count*: SPA is `12×` faster; at `L = 1000` WSA-E
+//!    needs ≈ 2× the area and ≈ 1/20 the bandwidth.
+
+use crate::spa::{Spa, SpaDesign};
+use crate::tech::Technology;
+use crate::wsa::{Wsa, WsaDesign};
+use crate::wsae::{Wsae, WsaeDesign};
+use serde::{Deserialize, Serialize};
+
+/// The §6.3 optimized-for-throughput comparison (experiment E3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArchComparison {
+    /// WSA corner design.
+    pub wsa: WsaDesign,
+    /// SPA corner design.
+    pub spa: SpaDesign,
+    /// Lattice side used for system-level figures (the WSA limit, since
+    /// WSA cannot exceed it).
+    pub l: u32,
+    /// SPA-to-WSA per-chip throughput ratio (PEs per chip ratio; same
+    /// clock). Paper: 3×.
+    pub speedup_per_chip: f64,
+    /// WSA main-memory bandwidth, bits/tick. Paper: 64.
+    pub wsa_bandwidth: u32,
+    /// SPA main-memory bandwidth, bits/tick. Paper: 262 (real-valued
+    /// slice count); integer slices give ≈ 256–304 depending on W.
+    pub spa_bandwidth: u32,
+    /// SPA-to-WSA bandwidth ratio. Paper: ≈ 4×.
+    pub bandwidth_ratio: f64,
+}
+
+/// Computes the optimized comparison for a technology.
+pub fn optimized_comparison(tech: Technology) -> ArchComparison {
+    let wsa = Wsa::new(tech).corner();
+    let spa_model = Spa::new(tech);
+    let spa = spa_model.corner();
+    let l = wsa.l;
+    let wsa_bw = wsa.bandwidth_bits_per_tick;
+    let spa_bw = spa_model.bandwidth_bits_per_tick(l, spa.w);
+    ArchComparison {
+        wsa,
+        spa,
+        l,
+        speedup_per_chip: spa.p as f64 / wsa.p as f64,
+        wsa_bandwidth: wsa_bw,
+        spa_bandwidth: spa_bw,
+        bandwidth_ratio: spa_bw as f64 / wsa_bw as f64,
+    }
+}
+
+/// The §6.3 WSA-E vs SPA scaling comparison at one lattice size
+/// (experiment E4), computed at equal chip count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WsaeSpaComparison {
+    /// Lattice side.
+    pub l: u32,
+    /// WSA-E stage design at this lattice size.
+    pub wsae: WsaeDesign,
+    /// SPA chip design (corner).
+    pub spa: SpaDesign,
+    /// SPA-to-WSA-E per-chip speed ratio (PEs per chip; paper: 12×).
+    pub speedup_per_chip: f64,
+    /// Area ratio WSA-E : SPA at equal chip count (stage area vs chip
+    /// area 1). Paper at L = 1000: ≈ 2×.
+    pub area_ratio: f64,
+    /// Bandwidth ratio WSA-E : SPA (paper at L = 1000: ≈ 1/20).
+    pub bandwidth_ratio: f64,
+    /// WSA-E per-processor storage area, normalized (`(2L+10)·B`).
+    pub wsae_storage_per_pe: f64,
+    /// SPA per-processor area, normalized (`(2W+9)·B + Γ`).
+    pub spa_area_per_pe: f64,
+}
+
+/// Computes the WSA-E vs SPA comparison at lattice side `l`.
+pub fn wsae_vs_spa(tech: Technology, l: u32) -> WsaeSpaComparison {
+    let wsae = Wsae::new(tech).design(l);
+    let spa_model = Spa::new(tech);
+    let spa = spa_model.corner();
+    let spa_bw = spa_model.bandwidth_bits_per_tick(l, spa.w);
+    WsaeSpaComparison {
+        l,
+        wsae,
+        spa,
+        speedup_per_chip: spa.p as f64,
+        area_ratio: wsae.stage_area / 1.0,
+        bandwidth_ratio: wsae.bandwidth_bits_per_tick as f64 / spa_bw as f64,
+        wsae_storage_per_pe: wsae.cells as f64 * tech.b,
+        spa_area_per_pe: spa.area_used / spa.p as f64,
+    }
+}
+
+/// Which architecture a given `(throughput, lattice-size)` requirement
+/// falls to — "each has its preferred operating regime in different
+/// parts of the throughput vs. lattice-size plane" (§8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Regime {
+    /// WSA is feasible and satisfies the bandwidth budget: simplest
+    /// system wins.
+    Wsa,
+    /// Lattice too large for WSA but bandwidth budget small: WSA-E.
+    WsaE,
+    /// High throughput per chip is worth the memory system: SPA.
+    Spa,
+}
+
+/// Picks the preferred architecture for lattice side `l` under a host
+/// bandwidth budget of `budget_bits_per_tick`, preferring (in order)
+/// the simplest feasible system that meets `min_updates_per_tick`
+/// aggregate throughput with at most `max_chips` chips.
+pub fn preferred_regime(
+    tech: Technology,
+    l: u32,
+    budget_bits_per_tick: u32,
+    min_updates_per_tick: f64,
+    max_chips: u32,
+) -> Option<Regime> {
+    let wsa = Wsa::new(tech);
+    let c = wsa.corner();
+    if l <= c.l
+        && c.bandwidth_bits_per_tick <= budget_bits_per_tick
+        && (c.p as f64 * max_chips.min(l) as f64) >= min_updates_per_tick
+    {
+        return Some(Regime::Wsa);
+    }
+    let wsae = Wsae::new(tech).design(l);
+    if wsae.bandwidth_bits_per_tick <= budget_bits_per_tick
+        && max_chips as f64 >= min_updates_per_tick
+    {
+        return Some(Regime::WsaE);
+    }
+    let spa_model = Spa::new(tech);
+    let spa = spa_model.corner();
+    if spa_model.bandwidth_bits_per_tick(l, spa.w) <= budget_bits_per_tick
+        && (spa.p as f64 * max_chips as f64) >= min_updates_per_tick
+    {
+        return Some(Regime::Spa);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimized_comparison_reproduces_section_6_3() {
+        let c = optimized_comparison(Technology::paper_1987());
+        // "SPA is three times faster than WSA. (SPA has twelve
+        // processors per chip while WSA has four.)"
+        assert_eq!(c.wsa.p, 4);
+        assert_eq!(c.spa.p, 12);
+        assert!((c.speedup_per_chip - 3.0).abs() < 1e-12);
+        // "262 bits/tick versus 64 bits/tick" — four times the
+        // bandwidth. Integer slicing puts ours in the 250–310 band.
+        assert_eq!(c.wsa_bandwidth, 64);
+        assert!(
+            (250..=310).contains(&c.spa_bandwidth),
+            "spa bandwidth {}",
+            c.spa_bandwidth
+        );
+        assert!((3.5..=5.0).contains(&c.bandwidth_ratio), "{}", c.bandwidth_ratio);
+        assert_eq!(c.l, 785);
+    }
+
+    #[test]
+    fn wsae_vs_spa_at_l1000_matches_paper() {
+        let c = wsae_vs_spa(Technology::paper_1987(), 1000);
+        // "the SPA system is twelve times faster than WSA-E because it
+        // has twelve processors per chip as opposed to one".
+        assert!((c.speedup_per_chip - 12.0).abs() < 1e-12);
+        // "WSA-E requires about twice as much area as SPA" (same chips).
+        assert!((1.8..=2.4).contains(&c.area_ratio), "area ratio {}", c.area_ratio);
+        // "while requiring about one twentieth as much bandwidth".
+        assert!(
+            (1.0 / 25.0..=1.0 / 14.0).contains(&c.bandwidth_ratio),
+            "bw ratio {}",
+            c.bandwidth_ratio
+        );
+        // Per-PE figures from the paper's formulas.
+        assert!((c.wsae_storage_per_pe - 2010.0 * 576e-6).abs() < 1e-9);
+        assert!(c.spa_area_per_pe < 0.09);
+    }
+
+    #[test]
+    fn area_and_bandwidth_penalties_grow_linearly_with_l() {
+        let t = Technology::paper_1987();
+        let a = wsae_vs_spa(t, 500);
+        let b = wsae_vs_spa(t, 2000);
+        // WSA-E area per stage grows with L...
+        assert!(b.wsae.stage_area > 2.0 * a.wsae.stage_area);
+        // ...while its bandwidth is flat and SPA's grows.
+        assert_eq!(a.wsae.bandwidth_bits_per_tick, b.wsae.bandwidth_bits_per_tick);
+        assert!(b.bandwidth_ratio < a.bandwidth_ratio);
+    }
+
+    #[test]
+    fn regimes_partition_the_plane() {
+        let t = Technology::paper_1987();
+        // Small lattice, modest demands → WSA.
+        assert_eq!(preferred_regime(t, 500, 64, 4.0, 16), Some(Regime::Wsa));
+        // Huge lattice, tiny bandwidth budget → WSA-E.
+        assert_eq!(preferred_regime(t, 5000, 16, 4.0, 16), Some(Regime::WsaE));
+        // Huge lattice, high per-chip speed demanded, big memory system →
+        // SPA.
+        assert_eq!(preferred_regime(t, 5000, 4000, 100.0, 16), Some(Regime::Spa));
+        // Impossible demands → none.
+        assert_eq!(preferred_regime(t, 5000, 8, 1e9, 2), None);
+    }
+}

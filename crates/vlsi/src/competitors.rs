@@ -1,0 +1,196 @@
+//! Competing 1987 architectures — the comparison §8 promises.
+//!
+//! "We will apply these estimates to get quantitative comparisons
+//! between competing architectures for lattice gas computations such as
+//! the Connection Machine, the CRAY-XMP, and special purpose machines."
+//!
+//! Each competitor is a coarse two-constraint model — exactly the
+//! paper's own methodology applied outward: a machine delivers
+//! `min(compute rate, memory-bound rate)` site updates per second,
+//! where the compute rate is `processors × clock / ops-per-update` and
+//! the memory-bound rate is `bandwidth / bytes-touched-per-update`.
+//! The parameters are period-published machine specs plus an honest
+//! per-update operation estimate for a 7-bit FHP site; absolute numbers
+//! are indicative (± a small factor), the *shape* — which constraint
+//! binds — is the point.
+
+use serde::{Deserialize, Serialize};
+
+/// A coarse machine model for lattice-gas updating.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BulkMachine {
+    /// Machine name.
+    pub name: String,
+    /// Concurrent processing elements.
+    pub processors: u64,
+    /// Clock rate, Hz.
+    pub clock_hz: f64,
+    /// Machine operations per site update (bit-ops for bit-serial
+    /// machines, vector-element ops for vector machines).
+    pub ops_per_update: f64,
+    /// Sustainable memory bandwidth, bytes/s.
+    pub mem_bytes_per_sec: f64,
+    /// Bytes of memory touched per site update (read + write).
+    pub bytes_per_update: f64,
+}
+
+impl BulkMachine {
+    /// Compute-bound update rate, updates/s.
+    pub fn compute_rate(&self) -> f64 {
+        self.processors as f64 * self.clock_hz / self.ops_per_update
+    }
+
+    /// Memory-bound update rate, updates/s.
+    pub fn memory_rate(&self) -> f64 {
+        self.mem_bytes_per_sec / self.bytes_per_update
+    }
+
+    /// Deliverable rate: the binding constraint.
+    pub fn updates_per_second(&self) -> f64 {
+        self.compute_rate().min(self.memory_rate())
+    }
+
+    /// Which constraint binds.
+    pub fn memory_bound(&self) -> bool {
+        self.memory_rate() <= self.compute_rate()
+    }
+
+    /// The Connection Machine CM-1 (1986): 65,536 one-bit PEs at 4 MHz.
+    /// An FHP collide+stream in bit-serial logic costs on the order of
+    /// 100 bit-ops; each PE owns its sites in local 4 Kbit memories, so
+    /// memory is effectively co-located (bandwidth generous).
+    pub fn cm1() -> Self {
+        BulkMachine {
+            name: "Connection Machine CM-1".into(),
+            processors: 65_536,
+            clock_hz: 4e6,
+            ops_per_update: 100.0,
+            // 64K PEs × ~1 bit/cycle × 4 MHz ≈ 32 GB/s aggregate local.
+            mem_bytes_per_sec: 32e9,
+            bytes_per_update: 2.0,
+        }
+    }
+
+    /// A CRAY X-MP processor (1985-era): ~105 MHz vector unit. A
+    /// table-driven FHP update vectorizes to roughly 10 vector-element
+    /// operations per site (gather, two table lookups, shifts, merges);
+    /// the memory system streams ~3 words/cycle.
+    pub fn cray_xmp() -> Self {
+        BulkMachine {
+            name: "CRAY X-MP (1 CPU)".into(),
+            processors: 1,
+            clock_hz: 105e6,
+            ops_per_update: 10.0,
+            mem_bytes_per_sec: 3.0 * 8.0 * 105e6,
+            bytes_per_update: 2.0,
+        }
+    }
+
+    /// A 1987 scientific workstation (the paper's host): a ~16 MHz CPU
+    /// running a tight table-lookup update (~a dozen instructions per
+    /// site), behind the ~2 MB/s bus whose bandwidth is what §8's
+    /// realized 1 M updates/s actually measures.
+    pub fn workstation_1987() -> Self {
+        BulkMachine {
+            name: "1987 workstation".into(),
+            processors: 1,
+            clock_hz: 16e6,
+            ops_per_update: 12.0,
+            mem_bytes_per_sec: 2e6,
+            bytes_per_update: 2.0,
+        }
+    }
+}
+
+/// The lattice engines as bulk machines, for the same table: an
+/// `n_chips`-deep WSA system and an SPA system of the same chip count at
+/// their §6 corners (one update per PE per tick; the "ops" abstraction
+/// collapses because the PE *is* the update).
+pub fn wsa_system(tech: crate::Technology, n_chips: u32) -> BulkMachine {
+    let corner = crate::wsa::Wsa::new(tech).corner();
+    BulkMachine {
+        name: format!("WSA, {n_chips} chips"),
+        processors: (corner.p * n_chips) as u64,
+        clock_hz: tech.clock_hz,
+        ops_per_update: 1.0,
+        // One stream in + out at D bits per site per tick…
+        mem_bytes_per_sec: corner.bandwidth_bits_per_tick as f64 / 8.0 * tech.clock_hz,
+        // …amortized over the pipeline depth: each fetched site is
+        // updated once per chip in the chain. This is the architectural
+        // point — depth converts storage into bandwidth relief.
+        bytes_per_update: 2.0 * tech.d_bits as f64 / 8.0 / n_chips as f64,
+    }
+}
+
+/// SPA counterpart of [`wsa_system`].
+pub fn spa_system(tech: crate::Technology, n_chips: u32, l: u32) -> BulkMachine {
+    let spa = crate::spa::Spa::new(tech);
+    let chip = spa.corner();
+    // Chips tile the slice columns first; the rest stack pipeline depth.
+    let chip_cols = spa.slices(l, chip.w).div_ceil(chip.p_w).max(1);
+    let depth = (n_chips / chip_cols).max(1) * chip.p_k;
+    BulkMachine {
+        name: format!("SPA, {n_chips} chips"),
+        processors: (chip.p * n_chips) as u64,
+        clock_hz: tech.clock_hz,
+        ops_per_update: 1.0,
+        mem_bytes_per_sec: spa.bandwidth_bits_per_tick(l, chip.w) as f64 / 8.0 * tech.clock_hz,
+        bytes_per_update: 2.0 * tech.d_bits as f64 / 8.0 / depth as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Technology;
+
+    #[test]
+    fn cm1_is_compute_bound_in_the_megasite_range() {
+        let cm = BulkMachine::cm1();
+        // 65536 × 4 MHz / 100 ≈ 2.6 G updates/s compute-bound; its local
+        // memories keep up, so compute binds.
+        assert!(!cm.memory_bound());
+        let r = cm.updates_per_second();
+        assert!((1e9..1e10).contains(&r), "{r}");
+    }
+
+    #[test]
+    fn cray_is_order_10m_updates() {
+        let cray = BulkMachine::cray_xmp();
+        let r = cray.updates_per_second();
+        assert!((1e6..1e8).contains(&r), "{r}");
+    }
+
+    #[test]
+    fn workstation_matches_paper_realized_rate() {
+        // §8: "approximately 1 million site-updates/sec" — the host's
+        // 2 MB/s bus at 2 bytes/update is exactly memory-bound at 1 M.
+        let ws = BulkMachine::workstation_1987();
+        assert!(ws.memory_bound());
+        assert!((ws.updates_per_second() - 1e6).abs() < 2e5, "{}", ws.updates_per_second());
+    }
+
+    #[test]
+    fn engines_balance_compute_and_memory() {
+        // The §6 designs sit exactly at the balance point: the memory
+        // system is sized to the PE count (the analysis's full-bandwidth
+        // assumption), so neither constraint slackens.
+        let tech = Technology::paper_1987();
+        let wsa = wsa_system(tech, 8);
+        let ratio = wsa.compute_rate() / wsa.memory_rate();
+        assert!((0.9..=1.1).contains(&ratio), "{ratio}");
+        // A full-depth (L-chip) WSA machine lands in CRAY territory with
+        // 1987 custom silicon.
+        let deep = wsa_system(tech, 785);
+        assert!(deep.compute_rate() > BulkMachine::cray_xmp().updates_per_second());
+    }
+
+    #[test]
+    fn spa_buys_rate_with_bandwidth() {
+        let tech = Technology::paper_1987();
+        let spa = spa_system(tech, 8, 785);
+        let wsa = wsa_system(tech, 8);
+        assert!(spa.compute_rate() > wsa.compute_rate());
+        assert!(spa.mem_bytes_per_sec > wsa.mem_bytes_per_sec);
+    }
+}

@@ -1,0 +1,197 @@
+//! Machine-readable design reports.
+//!
+//! A tiny hand-rolled JSON emitter (the workspace's dependency policy
+//! admits `serde` for derives but no serializer crate), sufficient for
+//! the flat numeric records this crate produces. Keys are emitted in a
+//! stable order so reports diff cleanly across runs.
+
+use crate::compare::{ArchComparison, WsaeSpaComparison};
+use crate::spa::SpaDesign;
+use crate::tech::Technology;
+use crate::wsa::WsaDesign;
+use crate::wsae::WsaeDesign;
+
+/// A flat JSON object under construction.
+#[derive(Debug, Default, Clone)]
+pub struct JsonObject {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonObject {
+    /// Creates an empty object.
+    pub fn new() -> Self {
+        JsonObject::default()
+    }
+
+    /// Adds an integer field.
+    pub fn int(mut self, key: &str, v: impl Into<i128>) -> Self {
+        self.fields.push((key.into(), v.into().to_string()));
+        self
+    }
+
+    /// Adds a float field (finite values only; NaN/inf become null).
+    pub fn float(mut self, key: &str, v: f64) -> Self {
+        let s = if v.is_finite() { format!("{v}") } else { "null".into() };
+        self.fields.push((key.into(), s));
+        self
+    }
+
+    /// Adds a string field (escaped).
+    pub fn string(mut self, key: &str, v: &str) -> Self {
+        let escaped: String = v
+            .chars()
+            .flat_map(|c| match c {
+                '"' => vec!['\\', '"'],
+                '\\' => vec!['\\', '\\'],
+                '\n' => vec!['\\', 'n'],
+                c if (c as u32) < 0x20 => {
+                    format!("\\u{:04x}", c as u32).chars().collect()
+                }
+                c => vec![c],
+            })
+            .collect();
+        self.fields.push((key.into(), format!("\"{escaped}\"")));
+        self
+    }
+
+    /// Adds a nested object.
+    pub fn object(mut self, key: &str, v: JsonObject) -> Self {
+        self.fields.push((key.into(), v.render()));
+        self
+    }
+
+    /// Renders the object.
+    pub fn render(&self) -> String {
+        let body: Vec<String> =
+            self.fields.iter().map(|(k, v)| format!("\"{k}\":{v}")).collect();
+        format!("{{{}}}", body.join(","))
+    }
+}
+
+/// JSON for a technology record.
+pub fn technology_json(t: &Technology) -> JsonObject {
+    JsonObject::new()
+        .int("d_bits", t.d_bits as i128)
+        .int("pins", t.pins as i128)
+        .float("b", t.b)
+        .float("g", t.g)
+        .int("e_bits", t.e_bits as i128)
+        .float("clock_hz", t.clock_hz)
+}
+
+/// JSON for a WSA design point.
+pub fn wsa_json(d: &WsaDesign) -> JsonObject {
+    JsonObject::new()
+        .string("arch", "wsa")
+        .int("p", d.p as i128)
+        .int("l", d.l as i128)
+        .float("area_used", d.area_used)
+        .int("pins_used", d.pins_used as i128)
+        .int("cells", d.cells as i128)
+        .int("bandwidth_bits_per_tick", d.bandwidth_bits_per_tick as i128)
+}
+
+/// JSON for an SPA design point.
+pub fn spa_json(d: &SpaDesign) -> JsonObject {
+    JsonObject::new()
+        .string("arch", "spa")
+        .int("w", d.w as i128)
+        .int("p_w", d.p_w as i128)
+        .int("p_k", d.p_k as i128)
+        .int("p", d.p as i128)
+        .float("area_used", d.area_used)
+        .int("pins_used", d.pins_used as i128)
+        .int("cells", d.cells as i128)
+}
+
+/// JSON for a WSA-E stage design.
+pub fn wsae_json(d: &WsaeDesign) -> JsonObject {
+    JsonObject::new()
+        .string("arch", "wsae")
+        .int("l", d.l as i128)
+        .int("cells", d.cells as i128)
+        .int("cells_on_chip", d.cells_on_chip as i128)
+        .int("cells_off_chip", d.cells_off_chip as i128)
+        .float("stage_area", d.stage_area)
+        .int("bandwidth_bits_per_tick", d.bandwidth_bits_per_tick as i128)
+}
+
+/// JSON for the §6.3 optimized comparison.
+pub fn comparison_json(c: &ArchComparison) -> JsonObject {
+    JsonObject::new()
+        .int("l", c.l as i128)
+        .object("wsa", wsa_json(&c.wsa))
+        .object("spa", spa_json(&c.spa))
+        .float("speedup_per_chip", c.speedup_per_chip)
+        .int("wsa_bandwidth", c.wsa_bandwidth as i128)
+        .int("spa_bandwidth", c.spa_bandwidth as i128)
+        .float("bandwidth_ratio", c.bandwidth_ratio)
+}
+
+/// JSON for the WSA-E vs SPA comparison.
+pub fn wsae_spa_json(c: &WsaeSpaComparison) -> JsonObject {
+    JsonObject::new()
+        .int("l", c.l as i128)
+        .object("wsae", wsae_json(&c.wsae))
+        .object("spa", spa_json(&c.spa))
+        .float("speedup_per_chip", c.speedup_per_chip)
+        .float("area_ratio", c.area_ratio)
+        .float("bandwidth_ratio", c.bandwidth_ratio)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{optimized_comparison, wsae_vs_spa};
+
+    #[test]
+    fn object_rendering() {
+        let o = JsonObject::new()
+            .int("a", 1)
+            .float("b", 2.5)
+            .string("c", "x\"y\\z\nw")
+            .object("d", JsonObject::new().int("e", -3));
+        assert_eq!(
+            o.render(),
+            "{\"a\":1,\"b\":2.5,\"c\":\"x\\\"y\\\\z\\nw\",\"d\":{\"e\":-3}}"
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let o = JsonObject::new().float("x", f64::NAN).float("y", f64::INFINITY);
+        assert_eq!(o.render(), "{\"x\":null,\"y\":null}");
+    }
+
+    #[test]
+    fn design_reports_render_and_contain_paper_numbers() {
+        let t = Technology::paper_1987();
+        let cmp = optimized_comparison(t);
+        let json = comparison_json(&cmp).render();
+        assert!(json.contains("\"l\":785"));
+        assert!(json.contains("\"p\":4"));
+        assert!(json.contains("\"p\":12"));
+        assert!(json.contains("\"speedup_per_chip\":3"));
+        let j2 = wsae_spa_json(&wsae_vs_spa(t, 1000)).render();
+        assert!(j2.contains("\"cells\":2010"));
+        let j3 = technology_json(&t).render();
+        assert!(j3.contains("\"pins\":72"));
+    }
+
+    #[test]
+    fn json_is_parseable_shape() {
+        // Sanity: balanced braces and quotes (we don't ship a parser,
+        // but malformed output would break downstream tooling).
+        let t = Technology::paper_1987();
+        let json = comparison_json(&optimized_comparison(t)).render();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('"').count() % 2, 0);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn control_characters_are_escaped() {
+        let o = JsonObject::new().string("k", "a\u{01}b");
+        assert_eq!(o.render(), "{\"k\":\"a\\u0001b\"}");
+    }
+}

@@ -1,0 +1,345 @@
+//! Sternberg partitioned architecture (SPA) design space — §5 and §6.2.
+//!
+//! The lattice is cut into `⌈L/W⌉` columnar slices of width `W`; each
+//! chip carries `P_w` slice-pipelines of depth `P_k` (so `P = P_w·P_k`
+//! PEs per chip), with bidirectional synchronous side channels of `E`
+//! bits completing neighborhoods across slice boundaries. Chip
+//! constraints (§6.2):
+//!
+//! ```text
+//! pins:  2·D·P_w + 2·E·P_k     ≤ Π
+//! area:  ((2W + 9)·B + Γ)·P_w·P_k ≤ 1
+//! ```
+//!
+//! System figures: `N = (L/W)/P_w · k/P_k` chips,
+//! `R = F·k·(L/W)` sites/s, memory bandwidth `2·D·(L/W)` bits/tick
+//! (every slice needs its own data path — "the most expensive commodity",
+//! §5).
+//!
+//! The pin constraint's projection onto the `W–P` plane is a constant:
+//! maximizing `P = P_w·P_k` under `2D·P_w + 2E·P_k ≤ Π` splits the pin
+//! budget evenly (`P_w = Π/4D`, `P_k = Π/4E`), giving
+//! `P ≤ Π²/(16·D·E)` — 13.5 with the paper's constants, independent of
+//! `W`. The area curve `P ≤ 1/((2W+9)B + Γ)` crosses it at `W ≈ 43`.
+
+use crate::tech::Technology;
+use serde::{Deserialize, Serialize};
+
+/// A feasible SPA chip design and its derived figures.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpaDesign {
+    /// Slice width.
+    pub w: u32,
+    /// Slice-pipelines per chip.
+    pub p_w: u32,
+    /// Pipeline depth per chip.
+    pub p_k: u32,
+    /// Total PEs per chip (`p_w · p_k`).
+    pub p: u32,
+    /// Normalized chip area used (≤ 1).
+    pub area_used: f64,
+    /// Pins used.
+    pub pins_used: u32,
+    /// Shift-register cells per chip.
+    pub cells: u64,
+}
+
+/// The SPA design-space model for a given technology.
+#[derive(Debug, Clone, Copy)]
+pub struct Spa {
+    tech: Technology,
+}
+
+impl Spa {
+    /// Creates the model.
+    pub fn new(tech: Technology) -> Self {
+        Spa { tech }
+    }
+
+    /// The technology in effect.
+    pub fn tech(&self) -> &Technology {
+        &self.tech
+    }
+
+    /// Pin-constrained bound on total PEs per chip (real-valued,
+    /// independent of `W`): `P ≤ Π²/(16·D·E)`, attained at
+    /// `P_w = Π/(4D)`, `P_k = Π/(4E)`.
+    pub fn p_pin_limit(&self) -> f64 {
+        let t = &self.tech;
+        (t.pins as f64).powi(2) / (16.0 * t.d_bits as f64 * t.e_bits as f64)
+    }
+
+    /// The pin-optimal (real-valued) slice-pipeline count `P_w = Π/4D`.
+    pub fn pin_optimal_pw(&self) -> f64 {
+        self.tech.pins as f64 / (4.0 * self.tech.d_bits as f64)
+    }
+
+    /// Area-constrained bound on total PEs per chip at slice width `w`:
+    /// `P ≤ 1/((2W + 9)·B + Γ)`.
+    pub fn p_area_limit(&self, w: u32) -> f64 {
+        let t = &self.tech;
+        1.0 / ((2.0 * w as f64 + 9.0) * t.b + t.g)
+    }
+
+    /// Storage cells per PE: `2W + 9` (two lines of the slice plus the
+    /// neighborhood margin).
+    pub fn cells_per_pe(&self, w: u32) -> u64 {
+        2 * w as u64 + 9
+    }
+
+    /// Normalized area used by a chip with `p_w × p_k` PEs at width `w`.
+    pub fn area_used(&self, w: u32, p_w: u32, p_k: u32) -> f64 {
+        ((2.0 * w as f64 + 9.0) * self.tech.b + self.tech.g) * (p_w * p_k) as f64
+    }
+
+    /// Pins used: `2·D·P_w + 2·E·P_k`.
+    pub fn pins_used(&self, p_w: u32, p_k: u32) -> u32 {
+        2 * self.tech.d_bits * p_w + 2 * self.tech.e_bits * p_k
+    }
+
+    /// Whether a chip design satisfies both constraints.
+    pub fn feasible(&self, w: u32, p_w: u32, p_k: u32) -> bool {
+        w >= 1
+            && p_w >= 1
+            && p_k >= 1
+            && self.pins_used(p_w, p_k) <= self.tech.pins
+            && self.area_used(w, p_w, p_k) <= 1.0
+    }
+
+    /// Builds the design record for a feasible chip.
+    pub fn design(&self, w: u32, p_w: u32, p_k: u32) -> Option<SpaDesign> {
+        if !self.feasible(w, p_w, p_k) {
+            return None;
+        }
+        Some(SpaDesign {
+            w,
+            p_w,
+            p_k,
+            p: p_w * p_k,
+            area_used: self.area_used(w, p_w, p_k),
+            pins_used: self.pins_used(p_w, p_k),
+            cells: self.cells_per_pe(w) * (p_w * p_k) as u64,
+        })
+    }
+
+    /// The best integer chip at slice width `w`: maximizes `P = P_w·P_k`
+    /// (ties broken toward fewer pins), enumerating `P_w`.
+    pub fn best_chip(&self, w: u32) -> Option<SpaDesign> {
+        let t = &self.tech;
+        let mut best: Option<SpaDesign> = None;
+        let pw_max = t.pins / (2 * t.d_bits);
+        for p_w in 1..=pw_max.max(1) {
+            let pins_left = t.pins.checked_sub(2 * t.d_bits * p_w)?;
+            let pk_pins = pins_left / (2 * t.e_bits);
+            let pk_area =
+                (1.0 / (((2.0 * w as f64 + 9.0) * t.b + t.g) * p_w as f64)).floor() as u32;
+            let p_k = pk_pins.min(pk_area);
+            if p_k == 0 {
+                continue;
+            }
+            if let Some(d) = self.design(w, p_w, p_k) {
+                let better = match &best {
+                    None => true,
+                    Some(b) => d.p > b.p || (d.p == b.p && d.pins_used < b.pins_used),
+                };
+                if better {
+                    best = Some(d);
+                }
+            }
+        }
+        best
+    }
+
+    /// The real-valued corner of the design space: the slice width where
+    /// the area curve meets the pin ceiling,
+    /// `W* = ((1/P_pin − Γ)/B − 9)/2`. With the paper's constants this is
+    /// ≈ 43 at `P ≈ 13.5`.
+    pub fn corner_w(&self) -> f64 {
+        let p = self.p_pin_limit();
+        ((1.0 / p - self.tech.g) / self.tech.b - 9.0) / 2.0
+    }
+
+    /// The integer operating point near the corner: evaluates
+    /// [`Spa::best_chip`] over widths around `corner_w` and returns the
+    /// one maximizing PEs/chip, then width. With the paper's constants:
+    /// 12 PEs/chip ("SPA has twelve processors per chip", §6.3).
+    ///
+    /// ```
+    /// use lattice_vlsi::{spa::Spa, Technology};
+    /// let spa = Spa::new(Technology::paper_1987());
+    /// assert_eq!(spa.p_pin_limit(), 13.5);
+    /// assert_eq!(spa.corner().p, 12);
+    /// ```
+    pub fn corner(&self) -> SpaDesign {
+        let wc = self.corner_w().max(1.0) as u32;
+        let lo = wc.saturating_sub(8).max(1);
+        let hi = wc + 8;
+        let mut best: Option<SpaDesign> = None;
+        let consider = |d: SpaDesign, best: &mut Option<SpaDesign>| {
+            let better = match best {
+                None => true,
+                Some(b) => d.p > b.p || (d.p == b.p && d.w > b.w),
+            };
+            if better {
+                *best = Some(d);
+            }
+        };
+        for w in lo..=hi {
+            if let Some(d) = self.best_chip(w) {
+                consider(d, &mut best);
+            }
+        }
+        if best.is_none() {
+            // Extreme technologies may have no feasible chip near the
+            // real-valued corner; fall back to scanning narrow slices.
+            for w in 1..lo {
+                if let Some(d) = self.best_chip(w) {
+                    consider(d, &mut best);
+                }
+            }
+        }
+        best.expect("technology cannot host even a 1x1-PE, W = 1 SPA chip")
+    }
+
+    /// Samples the design curves over `w = 1..=w_max` (experiment E2):
+    /// `(w, p_pin_projection, p_area)` triples.
+    pub fn design_curves(&self, w_max: u32, step: u32) -> Vec<(u32, f64, f64)> {
+        (1..=w_max)
+            .step_by(step.max(1) as usize)
+            .map(|w| (w, self.p_pin_limit(), self.p_area_limit(w)))
+            .collect()
+    }
+
+    /// Number of slices for lattice side `l` at width `w`.
+    pub fn slices(&self, l: u32, w: u32) -> u32 {
+        l.div_ceil(w)
+    }
+
+    /// System throughput for lattice side `l`, width `w`, total pipeline
+    /// depth `k`: `R = F·k·(L/W)` sites/s (real-valued slices, as in the
+    /// paper's formula).
+    pub fn throughput(&self, l: u32, w: u32, k: u32) -> f64 {
+        self.tech.clock_hz * k as f64 * l as f64 / w as f64
+    }
+
+    /// Main-memory bandwidth demand in bits/tick for lattice side `l` at
+    /// width `w`: `2·D` per slice, one data path per slice.
+    pub fn bandwidth_bits_per_tick(&self, l: u32, w: u32) -> u32 {
+        2 * self.tech.d_bits * self.slices(l, w)
+    }
+
+    /// Chips needed for lattice side `l` and total depth `k` with chip
+    /// design `d`: `⌈slices/P_w⌉ · ⌈k/P_k⌉`.
+    pub fn chips(&self, l: u32, k: u32, d: &SpaDesign) -> u64 {
+        (self.slices(l, d.w).div_ceil(d.p_w) as u64) * (k.div_ceil(d.p_k) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper() -> Spa {
+        Spa::new(Technology::paper_1987())
+    }
+
+    #[test]
+    fn pin_limit_is_13_5() {
+        // Π²/(16·D·E) = 72²/(16·8·3) = 5184/384 = 13.5 (§6.2's "P ≈ 13.5").
+        assert!((paper().p_pin_limit() - 13.5).abs() < 1e-12);
+        assert!((paper().pin_optimal_pw() - 2.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corner_w_is_43() {
+        // §6.2: "the corner at P ≈ 13.5 and W ≈ 43".
+        let w = paper().corner_w();
+        assert!((w - 43.0).abs() < 0.5, "W* = {w}");
+    }
+
+    #[test]
+    fn integer_corner_is_12_pes_per_chip() {
+        // §6.3: "SPA has twelve processors per chip".
+        let c = paper().corner();
+        assert_eq!(c.p, 12, "{c:?}");
+        assert!(c.pins_used <= 72);
+        assert!(c.area_used <= 1.0);
+    }
+
+    #[test]
+    fn best_chip_enumerates_pw_splits() {
+        let spa = paper();
+        let c = spa.best_chip(43).unwrap();
+        assert_eq!(c.p, 12);
+        // Achievable splits: (2,6) with 68 pins or (3,4) with 72.
+        assert!(matches!((c.p_w, c.p_k), (2, 6) | (3, 4)), "{c:?}");
+        // Tie-break favors fewer pins → (2, 6).
+        assert_eq!((c.p_w, c.p_k), (2, 6));
+    }
+
+    #[test]
+    fn wider_slices_mean_fewer_pes() {
+        let spa = paper();
+        let narrow = spa.best_chip(20).unwrap();
+        let wide = spa.best_chip(200).unwrap();
+        assert!(narrow.p > wide.p);
+        // Beyond the corner the area curve governs: the real-valued
+        // area limit at W=200 is ≈ 3.9, so at most 3 PEs fit.
+        assert!(spa.p_area_limit(200) < 4.0);
+        assert!(wide.p <= 3);
+    }
+
+    #[test]
+    fn feasibility_boundary() {
+        let spa = paper();
+        assert!(spa.feasible(43, 2, 6));
+        assert!(spa.feasible(43, 3, 4));
+        assert!(!spa.feasible(43, 3, 5)); // pins 48+30=78 > 72
+        assert!(!spa.feasible(43, 2, 7)); // area 14 PEs > 13.49
+        assert!(!spa.feasible(0, 1, 1));
+    }
+
+    #[test]
+    fn system_figures() {
+        let spa = paper();
+        // Bandwidth at the paper's optimized comparison point (L = 785,
+        // W = 43): ⌈785/43⌉ = 19 slices → 19·16 = 304 bits/tick. The
+        // paper quotes 262 bits/tick (a real-valued slice count at a
+        // slightly wider W); both are ≈ 4× WSA's 64 — see EXPERIMENTS.md.
+        assert_eq!(spa.slices(785, 43), 19);
+        assert_eq!(spa.bandwidth_bits_per_tick(785, 43), 304);
+        // Throughput formula R = F·k·L/W.
+        let r = spa.throughput(785, 43, 12);
+        assert!((r - 10e6 * 12.0 * 785.0 / 43.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn chips_formula() {
+        let spa = paper();
+        let d = spa.best_chip(43).unwrap();
+        // 19 slices at P_w = 2 → 10 chip columns; depth 6 at P_k = 6 → 1.
+        assert_eq!(spa.chips(785, 6, &d), 10);
+        assert_eq!(spa.chips(785, 12, &d), 20);
+    }
+
+    #[test]
+    fn corner_prefers_widest_slice_at_max_pes() {
+        // Integer corners slightly wider than the real-valued W* = 43
+        // still fit 12 PEs (area at W = 51 is 12·0.0833 ≈ 0.9998); wider
+        // slices mean fewer slices and less bandwidth at the same speed,
+        // so the solver picks the widest.
+        let c = paper().corner();
+        assert_eq!(c.p, 12);
+        assert!(c.w >= 43 && c.w <= 51, "{c:?}");
+        assert!(!paper().feasible(c.w + 1, c.p_w, c.p_k));
+    }
+
+    #[test]
+    fn design_curves_shape() {
+        let pts = paper().design_curves(100, 10);
+        for w in pts.windows(2) {
+            assert_eq!(w[0].1, w[1].1); // pin projection constant
+            assert!(w[0].2 > w[1].2); // area curve decreasing
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Chip technology model.
+
+use serde::{Deserialize, Serialize};
+
+/// The chip-level constants that parameterize every design-space
+/// computation (§6 of the paper).
+///
+/// Areas are *normalized to the usable chip area α*: `b = β/α` is the
+/// area of one site's worth of shift register, `g = γ/α` the area of one
+/// PE, so a chip "fills up" when a design's normalized area reaches 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Technology {
+    /// `D` — bits per lattice site crossing a chip boundary.
+    pub d_bits: u32,
+    /// `Π` — usable I/O pins per chip.
+    pub pins: u32,
+    /// `B = β/α` — normalized area of one site of shift-register storage.
+    pub b: f64,
+    /// `Γ = γ/α` — normalized area of one processing element.
+    pub g: f64,
+    /// `E` — bits exchanged to complete a neighborhood split across an
+    /// SPA slice boundary.
+    pub e_bits: u32,
+    /// `F` — major cycle (clock) frequency, Hz.
+    pub clock_hz: f64,
+}
+
+impl Technology {
+    /// The paper's measured 3µ-CMOS constants ("figures derived from our
+    /// actual layouts", §6.1): `D = 8`, `Π = 72`, `B = 576×10⁻⁶`,
+    /// `Γ = 19.4×10⁻³`, `E = 3`, `F = 10 MHz`.
+    pub fn paper_1987() -> Self {
+        Technology {
+            d_bits: 8,
+            pins: 72,
+            b: 576e-6,
+            g: 19.4e-3,
+            e_bits: 3,
+            clock_hz: 10e6,
+        }
+    }
+
+    /// A scaled technology: feature size shrunk by `s` (> 1 is smaller
+    /// features). Storage and logic areas shrink as `1/s²`; pad-limited
+    /// pin count grows only as `s` — the paper's closing observation that
+    /// "as feature sizes shrink … this effect will become even more
+    /// dramatic" (processors get even cheaper relative to I/O).
+    pub fn scaled(&self, s: f64) -> Self {
+        assert!(s > 0.0);
+        Technology {
+            d_bits: self.d_bits,
+            pins: ((self.pins as f64) * s).floor() as u32,
+            b: self.b / (s * s),
+            g: self.g / (s * s),
+            e_bits: self.e_bits,
+            clock_hz: self.clock_hz * s,
+        }
+    }
+
+    /// Validates the constants (positive areas, nonzero pins/width).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.d_bits == 0 {
+            return Err("D must be positive".into());
+        }
+        if self.pins < 2 * self.d_bits {
+            return Err(format!(
+                "need at least 2D = {} pins to stream one site in and out",
+                2 * self.d_bits
+            ));
+        }
+        let positive = |v: f64| v.is_finite() && v > 0.0;
+        if !positive(self.b) || !positive(self.g) {
+            return Err("normalized areas must be positive".into());
+        }
+        if !positive(self.clock_hz) {
+            return Err("clock must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// Maximum number of storage cells that fit on an otherwise empty
+    /// chip: `⌊(1 − Γ)/B⌋` cells alongside one PE.
+    pub fn max_cells_with_one_pe(&self) -> usize {
+        ((1.0 - self.g) / self.b).floor() as usize
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Technology::paper_1987()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        let t = Technology::paper_1987();
+        assert_eq!(t.d_bits, 8);
+        assert_eq!(t.pins, 72);
+        assert!((t.b - 576e-6).abs() < 1e-12);
+        assert!((t.g - 19.4e-3).abs() < 1e-12);
+        assert_eq!(t.e_bits, 3);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn default_is_paper() {
+        assert_eq!(Technology::default(), Technology::paper_1987());
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut t = Technology::paper_1987();
+        t.pins = 8;
+        assert!(t.validate().is_err());
+        let mut t = Technology::paper_1987();
+        t.b = 0.0;
+        assert!(t.validate().is_err());
+        let mut t = Technology::paper_1987();
+        t.d_bits = 0;
+        assert!(t.validate().is_err());
+        let mut t = Technology::paper_1987();
+        t.clock_hz = 0.0;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn scaling_shrinks_area_faster_than_it_adds_pins() {
+        let t = Technology::paper_1987();
+        let t2 = t.scaled(2.0);
+        assert_eq!(t2.pins, 144);
+        assert!((t2.b - t.b / 4.0).abs() < 1e-15);
+        // Cells per chip quadruple; pins only double.
+        assert!(t2.max_cells_with_one_pe() > 3 * t.max_cells_with_one_pe());
+    }
+
+    #[test]
+    fn max_cells_sanity() {
+        let t = Technology::paper_1987();
+        // (1 - 0.0194) / 576e-6 ≈ 1702.
+        assert_eq!(t.max_cells_with_one_pe(), 1702);
+    }
+}

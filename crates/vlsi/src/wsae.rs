@@ -1,0 +1,169 @@
+//! WSA-E: the extensible wide-serial variant — §6.3.
+//!
+//! "The extension can be accomplished by moving a portion of the shift
+//! register off chip. The pin constraints given previously, with the same
+//! constants, allow only one processor per chip in this case. A stage in
+//! the pipeline consists of a processor chip and associated shift
+//! registers sufficient to hold the remainder of the 2L + 10 node values
+//! which do not fit onto the processor chip."
+//!
+//! WSA-E trades silicon for extensibility: its bandwidth demand is a
+//! constant `2D = 16` bits/tick regardless of lattice size, but its area
+//! per stage grows linearly with `L` — the exact mirror image of SPA,
+//! whose per-chip area is constant but whose bandwidth grows linearly
+//! with `L`. §6.3's summary comparison at `L = 1000`: "WSA-E requires
+//! about twice as much area as SPA, while requiring about one twentieth
+//! as much bandwidth."
+
+use crate::tech::Technology;
+use serde::{Deserialize, Serialize};
+
+/// A WSA-E pipeline stage design (always one PE per chip).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WsaeDesign {
+    /// Lattice side supported (any; that is the point).
+    pub l: u32,
+    /// Total delay cells per stage: `2L + 10`.
+    pub cells: u64,
+    /// Delay cells that fit on the processor chip itself.
+    pub cells_on_chip: u64,
+    /// Delay cells in external shift-register packages.
+    pub cells_off_chip: u64,
+    /// Total normalized area per stage: processor chip (1) plus external
+    /// storage at `B` per cell.
+    pub stage_area: f64,
+    /// Main-memory bandwidth demand, bits per tick (constant `2D`).
+    pub bandwidth_bits_per_tick: u32,
+}
+
+/// The WSA-E design model.
+#[derive(Debug, Clone, Copy)]
+pub struct Wsae {
+    tech: Technology,
+}
+
+impl Wsae {
+    /// Creates the model.
+    pub fn new(tech: Technology) -> Self {
+        Wsae { tech }
+    }
+
+    /// The technology in effect.
+    pub fn tech(&self) -> &Technology {
+        &self.tech
+    }
+
+    /// PEs per chip under the doubled pin load of off-chip shift
+    /// registers: the pipeline path costs `2D` pins and the SR loop
+    /// another `4D`, so `P ≤ Π/6D` — 1 with the paper's constants
+    /// ("allow only one processor per chip in this case").
+    pub fn p_per_chip(&self) -> u32 {
+        (self.tech.pins / (6 * self.tech.d_bits)).max(1)
+    }
+
+    /// Delay cells per stage for lattice side `l`: `2L + 10`.
+    pub fn cells(&self, l: u32) -> u64 {
+        2 * l as u64 + 10
+    }
+
+    /// Storage area per processor in normalized units, the paper's
+    /// "(2L + 10)B storage area per processor".
+    pub fn storage_area_per_pe(&self, l: u32) -> f64 {
+        self.cells(l) as f64 * self.tech.b
+    }
+
+    /// Builds the stage design for lattice side `l`.
+    ///
+    /// The processor chip hosts as much of the window as fits beside the
+    /// PE; the remainder moves to external shift registers. Stage area
+    /// counts the full processor chip plus the *entire* delay storage at
+    /// `B` per cell (external SR silicon is not free), which is the
+    /// conservative reading behind §6.3's "about twice as much area".
+    pub fn design(&self, l: u32) -> WsaeDesign {
+        let cells = self.cells(l);
+        let capacity = self.tech.max_cells_with_one_pe() as u64;
+        let on = cells.min(capacity);
+        let off = cells - on;
+        WsaeDesign {
+            l,
+            cells,
+            cells_on_chip: on,
+            cells_off_chip: off,
+            stage_area: 1.0 + cells as f64 * self.tech.b,
+            bandwidth_bits_per_tick: 2 * self.tech.d_bits,
+        }
+    }
+
+    /// System throughput for `n` stages (each one PE): `R = F·n`.
+    pub fn throughput(&self, n_stages: u32) -> f64 {
+        self.tech.clock_hz * n_stages as f64
+    }
+
+    /// Total system area for `n` stages at lattice side `l`.
+    pub fn system_area(&self, n_stages: u32, l: u32) -> f64 {
+        n_stages as f64 * self.design(l).stage_area
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper() -> Wsae {
+        Wsae::new(Technology::paper_1987())
+    }
+
+    #[test]
+    fn one_pe_per_chip() {
+        // Π/6D = 72/48 = 1.5 → 1 ("only one processor per chip").
+        assert_eq!(paper().p_per_chip(), 1);
+    }
+
+    #[test]
+    fn bandwidth_is_constant_16_bits() {
+        // §6.3: "WSA-E has a constant bandwidth requirement of 16 bits
+        // per clock tick".
+        for l in [100u32, 785, 1000, 5000] {
+            assert_eq!(paper().design(l).bandwidth_bits_per_tick, 16);
+        }
+    }
+
+    #[test]
+    fn storage_formula() {
+        let w = paper();
+        let d = w.design(1000);
+        assert_eq!(d.cells, 2010);
+        assert!((w.storage_area_per_pe(1000) - 2010.0 * 576e-6).abs() < 1e-12);
+        // ≈ 1.16 chip areas of pure storage per processor.
+        assert!((d.stage_area - 2.158).abs() < 0.01);
+    }
+
+    #[test]
+    fn overflow_cells_move_off_chip() {
+        let w = paper();
+        // Small lattice: everything fits on chip.
+        let d = w.design(100);
+        assert_eq!(d.cells_off_chip, 0);
+        assert_eq!(d.cells_on_chip, 210);
+        // Large lattice: capacity 1702 cells, the rest off-chip.
+        let d = w.design(1000);
+        assert_eq!(d.cells_on_chip, 1702);
+        assert_eq!(d.cells_off_chip, 2010 - 1702);
+    }
+
+    #[test]
+    fn unbounded_lattice_sizes_are_supported() {
+        // WSA proper caps at L ≈ 846; WSA-E does not.
+        let w = paper();
+        let d = w.design(100_000);
+        assert!(d.stage_area > 100.0);
+        assert_eq!(d.bandwidth_bits_per_tick, 16);
+    }
+
+    #[test]
+    fn throughput_and_area_scale_with_stages() {
+        let w = paper();
+        assert!((w.throughput(12) - 120e6).abs() < 1.0);
+        assert!((w.system_area(10, 1000) - 10.0 * w.design(1000).stage_area).abs() < 1e-9);
+    }
+}

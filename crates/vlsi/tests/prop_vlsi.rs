@@ -1,0 +1,124 @@
+//! Property tests for the design-space algebra: the solvers must stay
+//! consistent with the raw constraints over the whole technology space,
+//! not just at the 1987 point.
+
+use lattice_vlsi::ablation::multi_stage_wsa;
+use lattice_vlsi::{spa::Spa, wsa::Wsa, wsae::Wsae, Technology};
+use proptest::prelude::*;
+
+fn arb_tech() -> impl Strategy<Value = Technology> {
+    (
+        prop_oneof![Just(4u32), Just(8), Just(16)],   // D
+        32u32..512,                                   // pins
+        1e-6f64..5e-3,                                // B
+        1e-3f64..0.2,                                 // Γ
+        1u32..9,                                      // E
+    )
+        .prop_map(|(d_bits, pins, b, g, e_bits)| Technology {
+            d_bits,
+            pins: pins.max(2 * d_bits),
+            b,
+            g,
+            e_bits,
+            clock_hz: 10e6,
+        })
+        .prop_filter("validated", |t| t.validate().is_ok())
+        // The corner solvers degrade but still require that the minimal
+        // machine exists at all (a 1-PE, L = 1 stage fits the chip).
+        .prop_filter("buildable", |t| {
+            Wsa::new(*t).feasible(1, 1) && Spa::new(*t).feasible(1, 1, 1)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The WSA corner always satisfies both constraints, exactly.
+    #[test]
+    fn wsa_corner_is_always_feasible(tech in arb_tech()) {
+        let wsa = Wsa::new(tech);
+        let c = wsa.corner();
+        prop_assert!(c.p >= 1);
+        prop_assert!(wsa.feasible(c.p, c.l), "{c:?}");
+        // And it is a *corner*: one more row of lattice or one more PE
+        // breaks something (unless pins already bind P).
+        prop_assert!(!wsa.feasible(c.p, c.l + 1) || c.l == 1);
+    }
+
+    /// max_p agrees with brute force over the feasibility predicate.
+    #[test]
+    fn wsa_max_p_matches_brute_force(tech in arb_tech(), l in 1u32..3000) {
+        let wsa = Wsa::new(tech);
+        let fast = wsa.max_p(l);
+        let brute = (1..=64).rev().find(|&p| wsa.feasible(p, l)).unwrap_or(0);
+        prop_assert_eq!(fast, brute);
+    }
+
+    /// The SPA integer corner satisfies its constraints and never beats
+    /// the real-valued pin ceiling.
+    #[test]
+    fn spa_corner_is_always_feasible(tech in arb_tech()) {
+        let spa = Spa::new(tech);
+        let c = spa.corner();
+        prop_assert!(spa.feasible(c.w, c.p_w, c.p_k), "{c:?}");
+        prop_assert!((c.p as f64) <= spa.p_pin_limit() + 1e-9);
+        prop_assert!((c.p as f64) <= spa.p_area_limit(c.w) + 1e-9);
+    }
+
+    /// best_chip never misses a better split (brute force over all
+    /// feasible (P_w, P_k) pairs).
+    #[test]
+    fn spa_best_chip_matches_brute_force(tech in arb_tech(), w in 1u32..200) {
+        let spa = Spa::new(tech);
+        let best = spa.best_chip(w).map(|d| d.p).unwrap_or(0);
+        let mut brute = 0u32;
+        for p_w in 1..=64u32 {
+            for p_k in 1..=64u32 {
+                if spa.feasible(w, p_w, p_k) {
+                    brute = brute.max(p_w * p_k);
+                }
+            }
+        }
+        prop_assert_eq!(best, brute);
+    }
+
+    /// Technology scaling: finer features never shrink the corners.
+    #[test]
+    fn scaling_is_monotone(tech in arb_tech(), s in 1.0f64..4.0) {
+        let fine = tech.scaled(s);
+        prop_assume!(fine.validate().is_ok());
+        let (w0, w1) = (Wsa::new(tech).corner(), Wsa::new(fine).corner());
+        // The feasible region only grows: the old corner stays feasible,
+        // and the new corner's PE count cannot drop. (Its L can: a finer
+        // chip may spend its area on more PEs instead of lattice width.)
+        prop_assert!(Wsa::new(fine).feasible(w0.p, w0.l));
+        prop_assert!(w1.p >= w0.p);
+        let (s0, s1) = (Spa::new(tech).corner(), Spa::new(fine).corner());
+        prop_assert!(s1.p >= s0.p);
+    }
+
+    /// WSA-E accounting: cells split exactly, bandwidth constant.
+    #[test]
+    fn wsae_cell_split_is_exact(tech in arb_tech(), l in 1u32..100_000) {
+        let w = Wsae::new(tech);
+        let d = w.design(l);
+        prop_assert_eq!(d.cells_on_chip + d.cells_off_chip, d.cells);
+        prop_assert_eq!(d.cells, 2 * l as u64 + 10);
+        prop_assert_eq!(d.bandwidth_bits_per_tick, 2 * tech.d_bits);
+        prop_assert!(d.stage_area >= 1.0);
+    }
+
+    /// Multi-stage chips: rate × stages at (weakly) shrinking lattices,
+    /// never violating the raw area constraint.
+    #[test]
+    fn multi_stage_wsa_is_consistent(tech in arb_tech(), p in 1u32..5, stages in 1u32..9) {
+        prop_assume!(2 * tech.d_bits * p <= tech.pins);
+        if let Some(d) = multi_stage_wsa(tech, stages, p) {
+            prop_assert_eq!(d.updates_per_tick, stages * p);
+            prop_assert!(d.area_used <= 1.0 + 1e-9, "{d:?}");
+            if let Some(single) = multi_stage_wsa(tech, 1, p) {
+                prop_assert!(d.l_max <= single.l_max);
+            }
+        }
+    }
+}

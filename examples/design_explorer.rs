@@ -1,0 +1,84 @@
+//! Design explorer: size a lattice engine for *your* problem.
+//!
+//! ```sh
+//! cargo run --example design_explorer -- 1024 50e6 512
+//! #                                      L   updates/s budget_bits_per_tick
+//! ```
+//!
+//! Given a lattice side, a target update rate, and a main-memory
+//! bandwidth budget, walks the paper's §6 design space: which
+//! architectures are feasible, how many chips each needs, and what each
+//! costs in silicon and bandwidth — the engineering decision §6.3's
+//! comparison is really about.
+
+use lattice_engines::vlsi::compare::preferred_regime;
+use lattice_engines::vlsi::{spa::Spa, wsa::Wsa, wsae::Wsae, Technology};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let l: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1024);
+    let target_rate: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(50e6);
+    let budget_bits: u32 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(512);
+
+    let tech = Technology::paper_1987();
+    println!("technology: 1987 3µ CMOS (D=8, Π=72, F=10 MHz)");
+    println!("problem: L = {l}, target {target_rate:.2e} updates/s, budget {budget_bits} bits/tick\n");
+
+    let updates_per_tick = target_rate / tech.clock_hz;
+
+    // WSA.
+    let wsa = Wsa::new(tech);
+    let corner = wsa.corner();
+    if l <= corner.l {
+        let chips = (updates_per_tick / corner.p as f64).ceil() as u32;
+        let k = chips.min(l);
+        println!(
+            "WSA:   feasible. {} PEs/chip, {} chips (depth {k}), {} bits/tick, \
+             {} SR cells/chip",
+            corner.p,
+            chips,
+            corner.bandwidth_bits_per_tick,
+            wsa.cells(corner.p, l),
+        );
+    } else {
+        println!(
+            "WSA:   infeasible — L = {l} exceeds the on-chip window limit L* = {} \
+             (absolute ceiling {}).",
+            corner.l,
+            wsa.l_upper_bound()
+        );
+    }
+
+    // WSA-E.
+    let wsae = Wsae::new(tech);
+    let stage = wsae.design(l);
+    let stages = updates_per_tick.ceil() as u32;
+    println!(
+        "WSA-E: feasible at any L. {} stages, {:.2}α per stage ({} cells off-chip), \
+         constant {} bits/tick",
+        stages, stage.stage_area, stage.cells_off_chip, stage.bandwidth_bits_per_tick
+    );
+
+    // SPA.
+    let spa = Spa::new(tech);
+    let chip = spa.corner();
+    let slices = spa.slices(l, chip.w);
+    let bw = spa.bandwidth_bits_per_tick(l, chip.w);
+    let depth_needed = (updates_per_tick / slices as f64).ceil().max(1.0) as u32;
+    let chips = spa.chips(l, depth_needed, &chip);
+    println!(
+        "SPA:   feasible at any L. W = {}, {} slices, depth {} → {} chips \
+         ({}×{} PEs each), {} bits/tick",
+        chip.w, slices, depth_needed, chips, chip.p_w, chip.p_k, bw
+    );
+
+    println!();
+    match preferred_regime(tech, l, budget_bits, updates_per_tick, 1024) {
+        Some(r) => println!("recommended architecture under your budget: {r:?}"),
+        None => println!(
+            "no architecture meets {target_rate:.2e} updates/s within {budget_bits} \
+             bits/tick — raise the bandwidth budget or lower the target (the paper's \
+             point: memory bandwidth, not processing, is the limit)"
+        ),
+    }
+}

@@ -1,0 +1,88 @@
+//! The whole paper in one run: why lattice engines are I/O-bound.
+//!
+//! ```sh
+//! cargo run --release --example io_bound_story
+//! ```
+//!
+//! Walks the 1987 argument end to end, each step computed live:
+//!
+//! 1. the physics wants huge lattices (Reynolds scaling, §2);
+//! 2. chips can hold plenty of PEs but few pins (design space, §6);
+//! 3. a pipeline turns storage into bandwidth relief (engines, §3–5);
+//! 4. no schedule can beat `R = O(B·S^{1/d})` (pebbling, §7);
+//! 5. and the host link, not the silicon, sets the realized rate (§8).
+
+use lattice_engines::core::Shape;
+use lattice_engines::gas::{init, reynolds, FhpRule, FhpVariant};
+use lattice_engines::pebbles::bounds::tau_upper_bound;
+use lattice_engines::pebbles::strategies::tiled_schedule;
+use lattice_engines::pebbles::LatticeGraph;
+use lattice_engines::sim::{throttled_rate, HostLink, Pipeline};
+use lattice_engines::vlsi::{wsa::Wsa, Technology};
+
+fn main() {
+    let tech = Technology::paper_1987();
+
+    println!("== 1. the physics wants huge lattices (§2) ==");
+    for re in [100.0f64, 1000.0, 10_000.0] {
+        let s = reynolds::lattice_for_reynolds(re, 0.2, 0.1, 4.0);
+        println!(
+            "  Re = {re:>6}: feature {:>7.0} sites, lattice {:>9.2e} sites, \
+             {:>9.2e} updates per eddy turnover",
+            s.l_feature, s.sites, s.updates_per_turnover
+        );
+    }
+
+    println!("\n== 2. chips have area for PEs but not pins for data (§6) ==");
+    let wsa = Wsa::new(tech);
+    let corner = wsa.corner();
+    println!(
+        "  1987 chip: {} PEs fit the pins (Π/2D = {:.1}), window for L = {} fills \
+         the area ({:.1}% of silicon is PEs)",
+        corner.p,
+        wsa.p_pin_limit(),
+        corner.l,
+        100.0 * corner.p as f64 * tech.g / corner.area_used
+    );
+
+    println!("\n== 3. pipeline depth converts storage into bandwidth relief (§3–5) ==");
+    let shape = Shape::grid2(64, 128).expect("shape");
+    let gas = init::random_fhp(shape, FhpVariant::I, 0.3, 7, false).expect("gas");
+    let rule = FhpRule::new(FhpVariant::I, 3);
+    for depth in [1usize, 4, 16] {
+        let r = Pipeline::wide(4, depth).run(&rule, &gas, 0).expect("run");
+        println!(
+            "  depth {depth:>2}: {:>6.2} updates/tick at {:>5.1} memory bits/tick \
+             -> {:>6.3} updates per memory bit",
+            r.updates_per_tick(),
+            r.memory_bits_per_tick(),
+            r.updates_per_tick() / r.memory_bits_per_tick()
+        );
+    }
+
+    println!("\n== 4. and no schedule can beat R = O(B*S^(1/d)) (§7) ==");
+    let graph = LatticeGraph::new(2, 64, 32);
+    for s in [64usize, 1024, 16384] {
+        let st = tiled_schedule(&graph, s, None).expect("schedule");
+        println!(
+            "  S = {s:>6}: measured {:>5.2} updates per I/O  (ceiling tau(2S) = {:>6.1})",
+            st.n_updates as f64 / st.io_moves as f64,
+            tau_upper_bound(2, s)
+        );
+    }
+
+    println!("\n== 5. the host link sets the realized rate (§8) ==");
+    let peak = 20e6; // the 2-PE prototype chip
+    for mbps in [40.0f64, 10.0, 2.0] {
+        let realized = throttled_rate(peak, 32.0, tech.clock_hz, HostLink::new(mbps * 1e6));
+        println!(
+            "  {mbps:>5.1} MB/s host: {:>10.0} updates/s ({}x derating)",
+            realized,
+            (peak / realized).round()
+        );
+    }
+    println!(
+        "\nconclusion (§8): \"memory bandwidth, and not processor speed or size, \
+         is the factor that limits performance.\""
+    );
+}

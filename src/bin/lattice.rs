@@ -1,0 +1,15 @@
+//! The `lattice` command-line tool: gases, engines, design space, and
+//! pebbling bounds from the terminal. See `lattice help`.
+
+use lattice_engines::cli;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cli::parse(&args).and_then(cli::execute) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}

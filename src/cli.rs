@@ -1,0 +1,822 @@
+//! Command-line interface for the `lattice` binary.
+//!
+//! Hand-rolled argument parsing (the workspace's dependency policy
+//! excludes CLI crates); every command parses to a typed request and
+//! executes to a string, so the whole surface is unit-testable without
+//! spawning processes.
+//!
+//! ```text
+//! lattice gas     --model fhp3 --rows 64 --cols 128 --steps 100 …
+//! lattice engine  --arch wsa --width 4 --depth 8 --rows 64 --cols 128 …
+//! lattice design  --l 1024 --rate 5e7 --budget 512
+//! lattice pebble  --d 2 --r 64 --t 32 --s 1024
+//! ```
+
+use crate::core::{checkpoint, Boundary, Evolver, Shape};
+use crate::gas::observe::{Model, Observables};
+use crate::gas::{init, FhpRule, FhpVariant, HppRule};
+use crate::pebbles::bounds::{io_lower_bound, tau_upper_bound};
+use crate::pebbles::strategies::{naive_sweep, tiled_schedule};
+use crate::pebbles::LatticeGraph;
+use crate::sim::{Pipeline, SpaEngine, WsaePipeline};
+use crate::vlsi::{spa::Spa, wsa::Wsa, wsae::Wsae, Technology};
+use lattice_pebbles::PebbleGraph;
+use std::collections::HashMap;
+
+/// A parsed command-line invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Evolve a gas and report observables.
+    Gas {
+        /// Gas model name (`hpp`, `fhp1`, `fhp2`, `fhp3`).
+        model: String,
+        /// Lattice rows.
+        rows: usize,
+        /// Lattice columns.
+        cols: usize,
+        /// Generations to run.
+        steps: u64,
+        /// Per-channel density.
+        density: f64,
+        /// RNG seed.
+        seed: u64,
+        /// Toroidal boundaries.
+        periodic: bool,
+        /// Checkpoint path to write at the end.
+        save: Option<String>,
+    },
+    /// Run an architectural simulator and report measured figures.
+    Engine {
+        /// Architecture (`serial`, `wsa`, `spa`, `wsae`).
+        arch: String,
+        /// PEs per stage (wsa) .
+        width: usize,
+        /// Pipeline depth.
+        depth: usize,
+        /// SPA slice width.
+        slice_width: usize,
+        /// Lattice rows.
+        rows: usize,
+        /// Lattice columns.
+        cols: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Explore the §6 design space for a problem.
+    Design {
+        /// Lattice side.
+        l: u32,
+        /// Target update rate (updates/s).
+        rate: f64,
+        /// Main-memory budget, bits/tick.
+        budget: u32,
+    },
+    /// Pebbling bounds for a computation graph.
+    Pebble {
+        /// Lattice dimension.
+        d: usize,
+        /// Lattice side.
+        r: usize,
+        /// Generations.
+        t: usize,
+        /// Processor storage (red pebbles).
+        s: usize,
+    },
+    /// Resume an evolution from a checkpoint file.
+    Resume {
+        /// Checkpoint path (written by `gas --save`).
+        load: String,
+        /// Gas model the checkpoint belongs to.
+        model: String,
+        /// Additional generations.
+        steps: u64,
+        /// Seed (must match the original run for identical trajectories).
+        seed: u64,
+        /// Toroidal boundaries.
+        periodic: bool,
+        /// Path to write the new checkpoint.
+        save: Option<String>,
+    },
+    /// Run a morphology/filter chain over a synthetic noisy image.
+    Image {
+        /// Comma-separated stage list from {erode, dilate, open, close,
+        /// median, blur, threshold, sobel}.
+        chain: String,
+        /// Image rows.
+        rows: usize,
+        /// Image columns.
+        cols: usize,
+        /// Noise seed.
+        seed: u64,
+    },
+    /// Render the pipeline wavefront (per-stage progress bars).
+    Waveform {
+        /// PEs per stage.
+        width: usize,
+        /// Pipeline depth.
+        depth: usize,
+        /// Lattice rows.
+        rows: usize,
+        /// Lattice columns.
+        cols: usize,
+    },
+    /// Print the version/summary banner.
+    Info,
+}
+
+/// A CLI error with a user-facing message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
+    let mut map = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            if let Some((k, v)) = name.split_once('=') {
+                map.insert(k.to_string(), v.to_string());
+                i += 1;
+            } else if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                map.insert(name.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                // Bare flag.
+                map.insert(name.to_string(), "true".to_string());
+                i += 1;
+            }
+        } else {
+            return Err(CliError(format!("unexpected argument `{a}` (flags are --name value)")));
+        }
+    }
+    Ok(map)
+}
+
+fn get<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, CliError> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| CliError(format!("bad value for --{name}: `{v}`"))),
+    }
+}
+
+/// Usage text.
+pub fn usage() -> String {
+    "lattice — VLSI lattice engines (Kugelmass–Squier–Steiglitz 1987)\n\
+     \n\
+     USAGE:\n\
+       lattice gas    [--model hpp|fhp1|fhp2|fhp3] [--rows N] [--cols N]\n\
+                      [--steps N] [--density F] [--seed N] [--periodic]\n\
+                      [--save FILE]\n\
+       lattice engine [--arch serial|wsa|spa|wsae] [--width P] [--depth K]\n\
+                      [--slice-width W] [--rows N] [--cols N] [--seed N]\n\
+       lattice resume --load FILE [--model M] [--steps N] [--seed N]\n\
+                      [--periodic] [--save FILE]\n\
+       lattice design [--l N] [--rate F] [--budget BITS]\n\
+       lattice pebble [--d N] [--r N] [--t N] [--s N]\n\
+       lattice image  [--chain ops] [--rows N] [--cols N] [--seed N]\n\
+       lattice waveform [--width P] [--depth K] [--rows N] [--cols N]\n\
+       lattice info\n"
+        .to_string()
+}
+
+/// Parses an argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err(CliError(usage()));
+    };
+    let flags = parse_flags(rest)?;
+    match cmd.as_str() {
+        "gas" => Ok(Command::Gas {
+            model: get(&flags, "model", "fhp1".to_string())?,
+            rows: get(&flags, "rows", 64)?,
+            cols: get(&flags, "cols", 64)?,
+            steps: get(&flags, "steps", 100)?,
+            density: get(&flags, "density", 0.3)?,
+            seed: get(&flags, "seed", 42)?,
+            periodic: flags.contains_key("periodic"),
+            save: flags.get("save").cloned(),
+        }),
+        "engine" => Ok(Command::Engine {
+            arch: get(&flags, "arch", "wsa".to_string())?,
+            width: get(&flags, "width", 2)?,
+            depth: get(&flags, "depth", 4)?,
+            slice_width: get(&flags, "slice-width", 16)?,
+            rows: get(&flags, "rows", 48)?,
+            cols: get(&flags, "cols", 96)?,
+            seed: get(&flags, "seed", 42)?,
+        }),
+        "design" => Ok(Command::Design {
+            l: get(&flags, "l", 1024)?,
+            rate: get(&flags, "rate", 5e7)?,
+            budget: get(&flags, "budget", 512)?,
+        }),
+        "pebble" => Ok(Command::Pebble {
+            d: get(&flags, "d", 2)?,
+            r: get(&flags, "r", 32)?,
+            t: get(&flags, "t", 16)?,
+            s: get(&flags, "s", 256)?,
+        }),
+        "resume" => Ok(Command::Resume {
+            load: flags
+                .get("load")
+                .cloned()
+                .ok_or_else(|| CliError("resume needs --load FILE".into()))?,
+            model: get(&flags, "model", "fhp1".to_string())?,
+            steps: get(&flags, "steps", 100)?,
+            seed: get(&flags, "seed", 42)?,
+            periodic: flags.contains_key("periodic"),
+            save: flags.get("save").cloned(),
+        }),
+        "image" => Ok(Command::Image {
+            chain: get(&flags, "chain", "median,open,close".to_string())?,
+            rows: get(&flags, "rows", 24)?,
+            cols: get(&flags, "cols", 48)?,
+            seed: get(&flags, "seed", 7)?,
+        }),
+        "waveform" => Ok(Command::Waveform {
+            width: get(&flags, "width", 1)?,
+            depth: get(&flags, "depth", 4)?,
+            rows: get(&flags, "rows", 16)?,
+            cols: get(&flags, "cols", 24)?,
+        }),
+        "info" => Ok(Command::Info),
+        "help" | "--help" | "-h" => Err(CliError(usage())),
+        other => Err(CliError(format!("unknown command `{other}`\n\n{}", usage()))),
+    }
+}
+
+/// Executes a command, returning the report text.
+pub fn execute(cmd: Command) -> Result<String, CliError> {
+    match cmd {
+        Command::Gas { model, rows, cols, steps, density, seed, periodic, save } => {
+            run_gas(&model, rows, cols, steps, density, seed, periodic, save.as_deref())
+        }
+        Command::Engine { arch, width, depth, slice_width, rows, cols, seed } => {
+            run_engine(&arch, width, depth, slice_width, rows, cols, seed)
+        }
+        Command::Resume { load, model, steps, seed, periodic, save } => {
+            run_resume(&load, &model, steps, seed, periodic, save.as_deref())
+        }
+        Command::Design { l, rate, budget } => Ok(run_design(l, rate, budget)),
+        Command::Pebble { d, r, t, s } => run_pebble(d, r, t, s),
+        Command::Image { chain, rows, cols, seed } => run_image(&chain, rows, cols, seed),
+        Command::Waveform { width, depth, rows, cols } => {
+            let shape = Shape::grid2(rows, cols).map_err(|e| CliError(e.to_string()))?;
+            let grid = init::random_fhp(shape, FhpVariant::I, 0.3, 5, false)
+                .map_err(|e| CliError(e.to_string()))?;
+            let rule = FhpRule::new(FhpVariant::I, 5);
+            let stride = ((rows * cols / 12).max(1)) as u64;
+            let wf = crate::sim::waveform::record(&rule, &grid, width, depth, stride)
+                .map_err(|e| CliError(e.to_string()))?;
+            wf.check_invariants().map_err(CliError)?;
+            Ok(format!(
+                "pipeline wavefront: {width} PE(s)/stage, depth {depth}, \
+                 {rows}x{cols} FHP-I\n{}\nthe staircase is §3's 'computation \
+                 proceeds on a wavefront through time and space'.\n",
+                wf.render()
+            ))
+        }
+        Command::Info => Ok(format!(
+            "lattice-engines {} — engines, bounds, and gases from \
+             'Performance of VLSI Engines for Lattice Computations' (1987).\n\
+             Crates: core, gas, embed, vlsi, sim, pebbles, bench. See README.md.",
+            env!("CARGO_PKG_VERSION")
+        )),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_gas(
+    model: &str,
+    rows: usize,
+    cols: usize,
+    steps: u64,
+    density: f64,
+    seed: u64,
+    periodic: bool,
+    save: Option<&str>,
+) -> Result<String, CliError> {
+    let shape = Shape::grid2(rows, cols).map_err(|e| CliError(e.to_string()))?;
+    let boundary = if periodic { Boundary::Periodic } else { Boundary::null() };
+    let (grid, obs_model) = match model {
+        "hpp" => (
+            init::random_hpp(shape, density, seed).map_err(|e| CliError(e.to_string()))?,
+            Model::Hpp,
+        ),
+        "fhp1" | "fhp2" | "fhp3" => {
+            let variant = match model {
+                "fhp1" => FhpVariant::I,
+                "fhp2" => FhpVariant::II,
+                _ => FhpVariant::III,
+            };
+            (
+                init::random_fhp(shape, variant, density, seed, periodic)
+                    .map_err(|e| CliError(e.to_string()))?,
+                Model::Fhp,
+            )
+        }
+        other => return Err(CliError(format!("unknown gas model `{other}`"))),
+    };
+    let before = Observables::measure(&grid, obs_model);
+    let mut ev = Evolver::new(grid, boundary, 0);
+    match model {
+        "hpp" => ev.run(&HppRule::new(), steps),
+        "fhp1" => run_fhp(&mut ev, FhpVariant::I, seed, periodic, rows, cols, steps),
+        "fhp2" => run_fhp(&mut ev, FhpVariant::II, seed, periodic, rows, cols, steps),
+        _ => run_fhp(&mut ev, FhpVariant::III, seed, periodic, rows, cols, steps),
+    }
+    let after = Observables::measure(ev.grid(), obs_model);
+    let mut out = format!(
+        "{model} on {rows}x{cols} ({}), {steps} generations\n\
+         mass:     {} -> {}\n\
+         momentum: {:?} -> {:?}\n\
+         density:  {:.4} -> {:.4}\n",
+        if periodic { "torus" } else { "null boundary" },
+        before.mass,
+        after.mass,
+        before.momentum,
+        after.momentum,
+        before.density,
+        after.density,
+    );
+    if periodic && (after.mass != before.mass || after.momentum != before.momentum) {
+        return Err(CliError("conservation violated — this is a bug".into()));
+    }
+    if let Some(path) = save {
+        let bytes = checkpoint::save(ev.grid(), steps);
+        std::fs::write(path, &bytes).map_err(|e| CliError(format!("write {path}: {e}")))?;
+        out.push_str(&format!("checkpoint: {path} ({} bytes)\n", bytes.len()));
+    }
+    Ok(out)
+}
+
+fn run_resume(
+    load: &str,
+    model: &str,
+    steps: u64,
+    seed: u64,
+    periodic: bool,
+    save: Option<&str>,
+) -> Result<String, CliError> {
+    let bytes = std::fs::read(load).map_err(|e| CliError(format!("read {load}: {e}")))?;
+    let (grid, t0) =
+        checkpoint::load::<u8>(&bytes).map_err(|e| CliError(e.to_string()))?;
+    let shape = grid.shape();
+    let (rows, cols) = (shape.rows(), shape.cols());
+    let boundary = if periodic { Boundary::Periodic } else { Boundary::null() };
+    let mut ev = Evolver::new(grid, boundary, t0);
+    match model {
+        "hpp" => ev.run(&HppRule::new(), steps),
+        "fhp1" => run_fhp(&mut ev, FhpVariant::I, seed, periodic, rows, cols, steps),
+        "fhp2" => run_fhp(&mut ev, FhpVariant::II, seed, periodic, rows, cols, steps),
+        "fhp3" => run_fhp(&mut ev, FhpVariant::III, seed, periodic, rows, cols, steps),
+        other => return Err(CliError(format!("unknown gas model `{other}`"))),
+    }
+    let mut out = format!(
+        "resumed {model} at generation {t0}, ran {steps} more (now at {})\n",
+        ev.time()
+    );
+    if let Some(path) = save {
+        let bytes = checkpoint::save(ev.grid(), ev.time());
+        std::fs::write(path, &bytes).map_err(|e| CliError(format!("write {path}: {e}")))?;
+        out.push_str(&format!("checkpoint: {path} ({} bytes)\n", bytes.len()));
+    }
+    Ok(out)
+}
+
+fn run_fhp(
+    ev: &mut Evolver<u8>,
+    variant: FhpVariant,
+    seed: u64,
+    periodic: bool,
+    rows: usize,
+    cols: usize,
+    steps: u64,
+) {
+    let rule = if periodic {
+        FhpRule::new(variant, seed).with_wrap(rows, cols)
+    } else {
+        FhpRule::new(variant, seed)
+    };
+    ev.run(&rule, steps);
+}
+
+fn run_engine(
+    arch: &str,
+    width: usize,
+    depth: usize,
+    slice_width: usize,
+    rows: usize,
+    cols: usize,
+    seed: u64,
+) -> Result<String, CliError> {
+    let shape = Shape::grid2(rows, cols).map_err(|e| CliError(e.to_string()))?;
+    let grid = init::random_fhp(shape, FhpVariant::I, 0.3, seed, false)
+        .map_err(|e| CliError(e.to_string()))?;
+    let rule = FhpRule::new(FhpVariant::I, seed);
+    let report = match arch {
+        "serial" => Pipeline::serial(depth).run(&rule, &grid, 0),
+        "wsa" => Pipeline::wide(width, depth).run(&rule, &grid, 0),
+        "spa" => SpaEngine::new(slice_width, depth).run(&rule, &grid, 0),
+        "wsae" => WsaePipeline::new(depth).run(&rule, &grid, 0),
+        other => return Err(CliError(format!("unknown architecture `{other}`"))),
+    }
+    .map_err(|e| CliError(e.to_string()))?;
+    let clock = Technology::paper_1987().clock_hz;
+    Ok(format!(
+        "{arch} on {rows}x{cols} FHP-I, depth {depth}\n\
+         ticks:            {}\n\
+         updates/tick:     {:.2}\n\
+         updates/s @10MHz: {:.2e}\n\
+         memory bits/tick: {:.1}\n\
+         SR cells/stage:   {}\n\
+         utilization:      {:.3}\n",
+        report.ticks,
+        report.updates_per_tick(),
+        report.updates_per_second(clock),
+        report.memory_bits_per_tick(),
+        report.sr_cells_per_stage,
+        report.utilization(),
+    ))
+}
+
+fn run_image(chain: &str, rows: usize, cols: usize, seed: u64) -> Result<String, CliError> {
+    use crate::image::morphology::{close, open, StructuringElement};
+    use crate::image::{BoxBlur, Median3, Sobel, Threshold};
+    use lattice_core::{evolve, Grid};
+    let shape = Shape::grid2(rows, cols).map_err(|e| CliError(e.to_string()))?;
+    // Synthetic scene: two bright blobs on a dark field plus noise.
+    let mut img: Grid<u8> = Grid::from_fn(shape, |c| {
+        let (r, k) = (c.row() as i32, c.col() as i32);
+        let blob = |cr: i32, cc: i32, rad: i32| (r - cr).pow(2) + (k - cc).pow(2) <= rad * rad;
+        let base: u8 = if blob(rows as i32 / 2, cols as i32 / 3, rows as i32 / 4)
+            || blob(rows as i32 / 3, 2 * cols as i32 / 3, rows as i32 / 5)
+        {
+            200
+        } else {
+            30
+        };
+        let h = crate::gas::prng::site_hash((r * cols as i32 + k) as u64, 0, seed);
+        if h.is_multiple_of(19) {
+            255 - base
+        } else {
+            base
+        }
+    });
+    let mut log = String::new();
+    let se = StructuringElement::cross();
+    for (t, stage) in chain.split(',').map(str::trim).enumerate() {
+        img = match stage {
+            "median" => evolve(&img, &Median3, Boundary::null(), t as u64, 1),
+            "blur" => evolve(&img, &BoxBlur, Boundary::null(), t as u64, 1),
+            "threshold" => evolve(&img, &Threshold(110), Boundary::null(), t as u64, 1),
+            "sobel" => evolve(&img, &Sobel, Boundary::null(), t as u64, 1),
+            "erode" | "dilate" | "open" | "close" => {
+                // Binary morphology on the thresholded image.
+                let bin = Grid::from_fn(shape, |c| img.get(c) >= 110);
+                let out = match stage {
+                    "erode" => evolve(
+                        &bin,
+                        &crate::image::Erode(se),
+                        Boundary::Fixed(true),
+                        t as u64,
+                        1,
+                    ),
+                    "dilate" => evolve(
+                        &bin,
+                        &crate::image::Dilate(se),
+                        Boundary::Fixed(false),
+                        t as u64,
+                        1,
+                    ),
+                    "open" => open(&bin, se),
+                    _ => close(&bin, se),
+                };
+                Grid::from_fn(shape, |c| if out.get(c) { 255u8 } else { 0 })
+            }
+            other => return Err(CliError(format!("unknown image stage `{other}`"))),
+        };
+        log.push_str(&format!("applied {stage}\n"));
+    }
+    // ASCII render in 4 levels.
+    for r in 0..rows {
+        log.push_str("  ");
+        for c in 0..cols {
+            let p = img.get(crate::core::Coord::c2(r, c));
+            log.push(match p {
+                0..=63 => '.',
+                64..=127 => ':',
+                128..=191 => 'o',
+                _ => '#',
+            });
+        }
+        log.push('\n');
+    }
+    Ok(log)
+}
+
+fn run_design(l: u32, rate: f64, budget: u32) -> String {
+    let tech = Technology::paper_1987();
+    let wsa = Wsa::new(tech);
+    let spa = Spa::new(tech);
+    let wsae = Wsae::new(tech);
+    let corner = wsa.corner();
+    let chip = spa.corner();
+    let need_upt = rate / tech.clock_hz;
+    let mut out = format!("design space for L = {l}, target {rate:.2e} updates/s:\n");
+    if l <= corner.l {
+        out.push_str(&format!(
+            "  WSA:   P = {}, {} chips, {} bits/tick\n",
+            corner.p,
+            ((need_upt / corner.p as f64).ceil() as u64).min(l as u64),
+            corner.bandwidth_bits_per_tick
+        ));
+    } else {
+        out.push_str(&format!("  WSA:   infeasible (L > {})\n", corner.l));
+    }
+    out.push_str(&format!(
+        "  WSA-E: {} stages at {:.2} chip-areas each, 16 bits/tick\n",
+        need_upt.ceil() as u64,
+        wsae.design(l).stage_area
+    ));
+    let slices = spa.slices(l, chip.w);
+    out.push_str(&format!(
+        "  SPA:   W = {}, {} slices, {} bits/tick, chips of {}x{} PEs\n",
+        chip.w,
+        slices,
+        spa.bandwidth_bits_per_tick(l, chip.w),
+        chip.p_w,
+        chip.p_k
+    ));
+    match crate::vlsi::compare::preferred_regime(tech, l, budget, need_upt, 1024) {
+        Some(r) => out.push_str(&format!("  recommended under {budget} bits/tick: {r:?}\n")),
+        None => out.push_str("  no architecture fits the budget — the paper's point: \
+                              bandwidth, not processing, is the wall\n"),
+    }
+    out
+}
+
+fn run_pebble(d: usize, r: usize, t: usize, s: usize) -> Result<String, CliError> {
+    if d == 0 || d > 3 {
+        return Err(CliError("pebble: --d must be 1, 2, or 3".into()));
+    }
+    let graph = LatticeGraph::new(d, r, t);
+    let n = graph.n_vertices() as u64;
+    let lb = io_lower_bound(n, d, s);
+    let tau = tau_upper_bound(d, s);
+    let mut out = format!(
+        "C_{d} on {r}^{d} x {t} generations: {n} vertices, S = {s}\n\
+         Hong-Kung I/O lower bound: {lb:.0} site values\n\
+         rate ceiling τ(2S) = {tau:.1} updates per I/O\n"
+    );
+    match tiled_schedule(&graph, s, None) {
+        Ok(st) => out.push_str(&format!(
+            "tiled schedule:  q = {} ({:.2} I/O per update, {:.2} updates per I/O)\n",
+            st.io_moves,
+            st.io_per_update(),
+            1.0 / st.io_per_update()
+        )),
+        Err(e) => out.push_str(&format!("tiled schedule:  infeasible at this S ({e})\n")),
+    }
+    match naive_sweep(&graph, s) {
+        Ok(st) => out.push_str(&format!(
+            "naive schedule:  q = {} ({:.2} I/O per update)\n",
+            st.io_moves,
+            st.io_per_update()
+        )),
+        Err(e) => out.push_str(&format!("naive schedule:  infeasible ({e})\n")),
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_gas_defaults_and_flags() {
+        let cmd = parse(&argv("gas")).unwrap();
+        assert!(matches!(cmd, Command::Gas { rows: 64, cols: 64, steps: 100, .. }));
+        let cmd = parse(&argv(
+            "gas --model fhp3 --rows 32 --cols 48 --steps 10 --density 0.5 --seed 7 --periodic",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Gas { model, rows, cols, steps, density, seed, periodic, save } => {
+                assert_eq!(model, "fhp3");
+                assert_eq!((rows, cols, steps, seed), (32, 48, 10, 7));
+                assert!((density - 0.5).abs() < 1e-12);
+                assert!(periodic);
+                assert!(save.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_equals_form_and_errors() {
+        let cmd = parse(&argv("pebble --d=3 --r=16 --t=8 --s=128")).unwrap();
+        assert_eq!(cmd, Command::Pebble { d: 3, r: 16, t: 8, s: 128 });
+        assert!(parse(&argv("bogus")).is_err());
+        assert!(parse(&argv("gas --rows notanumber")).is_err());
+        assert!(parse(&argv("gas stray")).is_err());
+        assert!(parse(&[]).is_err());
+        assert!(parse(&argv("help")).unwrap_err().0.contains("USAGE"));
+    }
+
+    #[test]
+    fn execute_gas_conserves_on_torus() {
+        let out = execute(Command::Gas {
+            model: "fhp1".into(),
+            rows: 16,
+            cols: 16,
+            steps: 20,
+            density: 0.4,
+            seed: 1,
+            periodic: true,
+            save: None,
+        })
+        .unwrap();
+        assert!(out.contains("torus"));
+        assert!(out.contains("mass"));
+    }
+
+    #[test]
+    fn execute_gas_rejects_unknown_model() {
+        let err = execute(Command::Gas {
+            model: "bogus".into(),
+            rows: 8,
+            cols: 8,
+            steps: 1,
+            density: 0.3,
+            seed: 1,
+            periodic: false,
+            save: None,
+        })
+        .unwrap_err();
+        assert!(err.0.contains("unknown gas model"));
+    }
+
+    #[test]
+    fn execute_engine_all_archs() {
+        for arch in ["serial", "wsa", "spa", "wsae"] {
+            let out = execute(Command::Engine {
+                arch: arch.into(),
+                width: 2,
+                depth: 2,
+                slice_width: 16,
+                rows: 16,
+                cols: 32,
+                seed: 3,
+            })
+            .unwrap();
+            assert!(out.contains("updates/tick"), "{arch}");
+        }
+        assert!(execute(Command::Engine {
+            arch: "vax".into(),
+            width: 1,
+            depth: 1,
+            slice_width: 8,
+            rows: 8,
+            cols: 8,
+            seed: 0,
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn execute_design_both_regimes() {
+        let small = execute(Command::Design { l: 500, rate: 5e7, budget: 64 }).unwrap();
+        assert!(small.contains("WSA:   P = 4"));
+        let big = execute(Command::Design { l: 2000, rate: 5e7, budget: 64 }).unwrap();
+        assert!(big.contains("infeasible"));
+    }
+
+    #[test]
+    fn execute_pebble_reports_bounds() {
+        let out = execute(Command::Pebble { d: 2, r: 12, t: 6, s: 128 }).unwrap();
+        assert!(out.contains("lower bound"));
+        assert!(out.contains("tiled schedule"));
+        assert!(execute(Command::Pebble { d: 9, r: 4, t: 2, s: 16 }).is_err());
+    }
+
+    #[test]
+    fn execute_gas_saves_checkpoint() {
+        let path = std::env::temp_dir().join("lattice_cli_test.lgc");
+        let out = execute(Command::Gas {
+            model: "hpp".into(),
+            rows: 8,
+            cols: 8,
+            steps: 5,
+            density: 0.3,
+            seed: 2,
+            periodic: true,
+            save: Some(path.to_string_lossy().into_owned()),
+        })
+        .unwrap();
+        assert!(out.contains("checkpoint"));
+        let bytes = std::fs::read(&path).unwrap();
+        let (grid, t) = checkpoint::load::<u8>(&bytes).unwrap();
+        assert_eq!(t, 5);
+        assert_eq!(grid.shape().dims(), &[8, 8]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_reproduces_uninterrupted_run() {
+        use crate::core::{evolve, Boundary, Shape};
+        use crate::gas::{init, FhpRule, FhpVariant};
+        let dir = std::env::temp_dir();
+        let p1 = dir.join("lattice_cli_resume_a.lgc");
+        let p2 = dir.join("lattice_cli_resume_b.lgc");
+        // Run 4 gens + save, resume 4 more + save.
+        execute(Command::Gas {
+            model: "fhp1".into(),
+            rows: 10,
+            cols: 12,
+            steps: 4,
+            density: 0.4,
+            seed: 42,
+            periodic: true,
+            save: Some(p1.to_string_lossy().into_owned()),
+        })
+        .unwrap();
+        execute(Command::Resume {
+            load: p1.to_string_lossy().into_owned(),
+            model: "fhp1".into(),
+            steps: 4,
+            seed: 42,
+            periodic: true,
+            save: Some(p2.to_string_lossy().into_owned()),
+        })
+        .unwrap();
+        let (resumed, t) =
+            checkpoint::load::<u8>(&std::fs::read(&p2).unwrap()).unwrap();
+        assert_eq!(t, 8);
+        // Equals one uninterrupted 8-generation run.
+        let shape = Shape::grid2(10, 12).unwrap();
+        let g0 = init::random_fhp(shape, FhpVariant::I, 0.4, 42, true).unwrap();
+        let rule = FhpRule::new(FhpVariant::I, 42).with_wrap(10, 12);
+        let straight = evolve(&g0, &rule, Boundary::Periodic, 0, 8);
+        assert_eq!(resumed, straight);
+        let _ = std::fs::remove_file(&p1);
+        let _ = std::fs::remove_file(&p2);
+    }
+
+    #[test]
+    fn resume_requires_load_flag() {
+        assert!(parse(&argv("resume")).is_err());
+        assert!(parse(&argv("resume --load /tmp/x.lgc")).is_ok());
+    }
+
+    #[test]
+    fn image_chain_runs_and_rejects_unknown_stages() {
+        let out = execute(Command::Image {
+            chain: "median,blur,threshold,open".into(),
+            rows: 12,
+            cols: 20,
+            seed: 3,
+        })
+        .unwrap();
+        assert!(out.contains("applied median"));
+        assert!(out.contains("applied open"));
+        assert!(out.contains('#') || out.contains('.'));
+        assert!(execute(Command::Image {
+            chain: "median,sharpen".into(),
+            rows: 8,
+            cols: 8,
+            seed: 1,
+        })
+        .is_err());
+        assert!(parse(&argv("image --chain sobel")).is_ok());
+    }
+
+    #[test]
+    fn waveform_renders_and_verifies() {
+        let out = execute(Command::Waveform { width: 2, depth: 3, rows: 12, cols: 16 }).unwrap();
+        assert!(out.contains("stage0"));
+        assert!(out.contains("wavefront"));
+    }
+
+    #[test]
+    fn info_banner() {
+        let out = execute(Command::Info).unwrap();
+        assert!(out.contains("1987"));
+    }
+}

@@ -1,0 +1,17 @@
+//! Umbrella crate for the `lattice-engines` workspace.
+//!
+//! Re-exports the public API of every member crate so that examples,
+//! integration tests, and downstream users can depend on a single crate.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-reproduction index.
+
+pub mod cli;
+
+pub use lattice_core as core;
+pub use lattice_embed as embed;
+pub use lattice_engines_sim as sim;
+pub use lattice_gas as gas;
+pub use lattice_image as image;
+pub use lattice_pebbles as pebbles;
+pub use lattice_vlsi as vlsi;

@@ -1,0 +1,129 @@
+//! End-to-end tests of the `lattice` binary: real process, real argv,
+//! real stdout — the outermost layer of the stack.
+
+use std::process::Command;
+
+fn lattice(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_lattice"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let (ok, _, err) = lattice(&[]);
+    assert!(!ok);
+    assert!(err.contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let (ok, _, err) = lattice(&["frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("unknown command"));
+    assert!(err.contains("USAGE"));
+}
+
+#[test]
+fn gas_run_conserves_and_reports() {
+    let (ok, out, _) = lattice(&[
+        "gas", "--model", "fhp3", "--rows", "16", "--cols", "16", "--steps", "15",
+        "--density", "0.4", "--seed", "9", "--periodic",
+    ]);
+    assert!(ok);
+    assert!(out.contains("fhp3 on 16x16 (torus)"));
+    // Mass line shows identical before/after (conservation).
+    let mass_line = out.lines().find(|l| l.starts_with("mass")).unwrap();
+    let parts: Vec<&str> = mass_line.split("->").collect();
+    let before: u64 = parts[0].split_whitespace().last().unwrap().parse().unwrap();
+    let after: u64 = parts[1].trim().parse().unwrap();
+    assert_eq!(before, after);
+}
+
+#[test]
+fn engine_run_reports_throughput() {
+    let (ok, out, _) = lattice(&[
+        "engine", "--arch", "spa", "--slice-width", "12", "--depth", "2", "--rows", "24",
+        "--cols", "48",
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("updates/tick"));
+    assert!(out.contains("SR cells/stage"));
+}
+
+#[test]
+fn design_recommends_an_architecture() {
+    let (ok, out, _) = lattice(&["design", "--l", "500", "--rate", "4e7", "--budget", "64"]);
+    assert!(ok);
+    assert!(out.contains("WSA:   P = 4"));
+    assert!(out.contains("recommended"));
+}
+
+#[test]
+fn pebble_reports_bounds() {
+    let (ok, out, _) = lattice(&["pebble", "--d", "1", "--r", "64", "--t", "16", "--s", "128"]);
+    assert!(ok);
+    assert!(out.contains("Hong-Kung I/O lower bound"));
+    assert!(out.contains("tiled schedule"));
+}
+
+#[test]
+fn checkpoint_roundtrip_through_the_binary() {
+    let dir = std::env::temp_dir();
+    let p1 = dir.join("lattice_e2e_a.lgc");
+    let p2 = dir.join("lattice_e2e_b.lgc");
+    let p1s = p1.to_string_lossy().into_owned();
+    let p2s = p2.to_string_lossy().into_owned();
+
+    let (ok, _, _) = lattice(&[
+        "gas", "--model", "fhp1", "--rows", "10", "--cols", "12", "--steps", "4",
+        "--seed", "42", "--periodic", "--save", &p1s,
+    ]);
+    assert!(ok);
+    let (ok, out, _) = lattice(&[
+        "resume", "--load", &p1s, "--model", "fhp1", "--steps", "4", "--seed", "42",
+        "--periodic", "--save", &p2s,
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("now at 8"));
+
+    // The resumed checkpoint equals an uninterrupted 8-step run.
+    use lattice_engines::core::{checkpoint, evolve, Boundary, Shape};
+    use lattice_engines::gas::{init, FhpRule, FhpVariant};
+    let (resumed, t) = checkpoint::load::<u8>(&std::fs::read(&p2).unwrap()).unwrap();
+    assert_eq!(t, 8);
+    let shape = Shape::grid2(10, 12).unwrap();
+    let g0 = init::random_fhp(shape, FhpVariant::I, 0.3, 42, true).unwrap();
+    let rule = FhpRule::new(FhpVariant::I, 42).with_wrap(10, 12);
+    assert_eq!(resumed, evolve(&g0, &rule, Boundary::Periodic, 0, 8));
+
+    let _ = std::fs::remove_file(&p1);
+    let _ = std::fs::remove_file(&p2);
+}
+
+#[test]
+fn image_and_waveform_render() {
+    let (ok, out, _) = lattice(&["image", "--chain", "median,threshold", "--rows", "10", "--cols", "20"]);
+    assert!(ok);
+    assert!(out.contains("applied median"));
+    let (ok, out, _) = lattice(&["waveform", "--depth", "3", "--rows", "10", "--cols", "12"]);
+    assert!(ok);
+    assert!(out.contains("stage2"));
+    assert!(out.contains("wavefront"));
+}
+
+#[test]
+fn bad_flag_values_fail_cleanly() {
+    let (ok, _, err) = lattice(&["gas", "--rows", "many"]);
+    assert!(!ok);
+    assert!(err.contains("bad value for --rows"));
+    let (ok, _, err) = lattice(&["resume"]);
+    assert!(!ok);
+    assert!(err.contains("--load"));
+}

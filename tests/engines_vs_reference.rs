@@ -1,0 +1,168 @@
+//! Cross-crate bit-exactness: every architectural simulator must
+//! reproduce the reference engine's microstate exactly, for every gas
+//! model, over randomized lattices, depths, widths, and seeds.
+
+use lattice_engines::core::{evolve, Boundary, Grid, Shape};
+use lattice_engines::gas::{init, ElementaryCa, FhpRule, FhpVariant, Gas1dRule, HppRule};
+use lattice_engines::sim::{halo, Pipeline, SpaEngine, SpaLockstep, WsaePipeline};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn wsa_matches_reference_fhp(
+        rows in 2usize..14,
+        cols in 2usize..20,
+        width in 1usize..5,
+        depth in 1usize..5,
+        density in 0.05f64..0.95,
+        seed in any::<u64>(),
+        variant in prop_oneof![
+            Just(FhpVariant::I), Just(FhpVariant::II), Just(FhpVariant::III)
+        ],
+    ) {
+        let shape = Shape::grid2(rows, cols).unwrap();
+        let grid = init::random_fhp(shape, variant, density, seed, false).unwrap();
+        let rule = FhpRule::new(variant, seed ^ 0xabcdef);
+        let reference = evolve(&grid, &rule, Boundary::null(), 0, depth as u64);
+        let report = Pipeline::wide(width, depth).run(&rule, &grid, 0).unwrap();
+        prop_assert_eq!(report.grid, reference);
+    }
+
+    #[test]
+    fn spa_matches_reference_fhp(
+        rows in 2usize..14,
+        slice_w in 2usize..9,
+        n_slices in 1usize..5,
+        depth in 1usize..4,
+        density in 0.05f64..0.95,
+        seed in any::<u64>(),
+    ) {
+        let cols = slice_w * n_slices;
+        let shape = Shape::grid2(rows, cols).unwrap();
+        let grid = init::random_fhp(shape, FhpVariant::II, density, seed, false).unwrap();
+        let rule = FhpRule::new(FhpVariant::II, seed ^ 0x1234);
+        let reference = evolve(&grid, &rule, Boundary::null(), 3, depth as u64);
+        let report = SpaEngine::new(slice_w, depth).run(&rule, &grid, 3).unwrap();
+        prop_assert_eq!(report.grid, reference);
+    }
+
+    #[test]
+    fn lockstep_spa_matches_reference_fhp(
+        rows in 2usize..12,
+        slice_w in 2usize..8,
+        n_slices in 1usize..5,
+        depth in 1usize..4,
+        density in 0.05f64..0.95,
+        seed in any::<u64>(),
+    ) {
+        let cols = slice_w * n_slices;
+        let shape = Shape::grid2(rows, cols).unwrap();
+        let grid = init::random_fhp(shape, FhpVariant::III, density, seed, false).unwrap();
+        let rule = FhpRule::new(FhpVariant::III, seed ^ 0x99);
+        let reference = evolve(&grid, &rule, Boundary::null(), 2, depth as u64);
+        let report = SpaLockstep::new(slice_w, depth).run(&rule, &grid, 2).unwrap();
+        prop_assert_eq!(report.grid, reference);
+        prop_assert!(report.sr_cells_per_stage as usize <= 2 * slice_w + 3);
+    }
+
+    #[test]
+    fn wsae_matches_reference_hpp(
+        rows in 2usize..12,
+        cols in 2usize..20,
+        depth in 1usize..5,
+        density in 0.05f64..0.95,
+        seed in any::<u64>(),
+    ) {
+        let shape = Shape::grid2(rows, cols).unwrap();
+        let grid = init::random_hpp(shape, density, seed).unwrap();
+        let rule = HppRule::new();
+        let reference = evolve(&grid, &rule, Boundary::null(), 0, depth as u64);
+        let report = WsaePipeline::new(depth).run(&rule, &grid, 0).unwrap();
+        prop_assert_eq!(report.grid, reference);
+    }
+
+    #[test]
+    fn periodic_halo_matches_reference_hpp(
+        rows in 2usize..10,
+        cols in 2usize..10,
+        gens in 1u64..5,
+        width in 1usize..4,
+        density in 0.05f64..0.95,
+        seed in any::<u64>(),
+    ) {
+        let shape = Shape::grid2(rows, cols).unwrap();
+        let grid = init::random_hpp(shape, density, seed).unwrap();
+        let rule = HppRule::new();
+        let reference = evolve(&grid, &rule, Boundary::Periodic, 0, gens);
+        let report = halo::run_periodic(&rule, &grid, width, gens).unwrap();
+        prop_assert_eq!(report.grid, reference);
+    }
+
+    #[test]
+    fn serial_pipeline_matches_reference_1d(
+        n in 3usize..64,
+        depth in 1usize..8,
+        rule_no in any::<u8>(),
+        seed in any::<u64>(),
+    ) {
+        let shape = Shape::line(n).unwrap();
+        let grid = Grid::from_fn(shape, |c| {
+            lattice_engines::gas::prng::site_bit(c.col() as u64, 0, seed)
+        });
+        let rule = ElementaryCa::new(rule_no);
+        let reference = evolve(&grid, &rule, Boundary::null(), 0, depth as u64);
+        let report = Pipeline::serial(depth).run(&rule, &grid, 0).unwrap();
+        prop_assert_eq!(report.grid, reference);
+    }
+
+    #[test]
+    fn serial_pipeline_matches_reference_gas1d(
+        n in 3usize..48,
+        depth in 1usize..6,
+        density in 0.05f64..0.95,
+        seed in any::<u64>(),
+    ) {
+        let grid = init::random_gas1d(n, density, seed).unwrap();
+        let rule = Gas1dRule::new(seed ^ 7);
+        let reference = evolve(&grid, &rule, Boundary::null(), 0, depth as u64);
+        let report = Pipeline::wide(2, depth).run(&rule, &grid, 0).unwrap();
+        prop_assert_eq!(report.grid, reference);
+    }
+
+    #[test]
+    fn engines_agree_with_each_other(
+        rows in 2usize..10,
+        slice_w in 2usize..6,
+        n_slices in 2usize..4,
+        depth in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let cols = slice_w * n_slices;
+        let shape = Shape::grid2(rows, cols).unwrap();
+        let grid = init::random_fhp(shape, FhpVariant::I, 0.4, seed, false).unwrap();
+        let rule = FhpRule::new(FhpVariant::I, seed);
+        let wsa = Pipeline::wide(3, depth).run(&rule, &grid, 0).unwrap();
+        let spa = SpaEngine::new(slice_w, depth).run(&rule, &grid, 0).unwrap();
+        let wsae = WsaePipeline::new(depth).run(&rule, &grid, 0).unwrap();
+        prop_assert_eq!(&wsa.grid, &spa.grid);
+        prop_assert_eq!(&wsa.grid, &wsae.grid);
+    }
+
+    /// Obstacles ride through every engine identically.
+    #[test]
+    fn engines_preserve_obstacle_scenes(
+        seed in any::<u64>(),
+        depth in 1usize..4,
+    ) {
+        let grid = init::channel_with_plate(12, 24, FhpVariant::III, 0.3, 0.2, 10, 0.5, seed)
+            .unwrap();
+        let rule = FhpRule::new(FhpVariant::III, seed);
+        let reference = evolve(&grid, &rule, Boundary::null(), 0, depth as u64);
+        let wsa = Pipeline::wide(2, depth).run(&rule, &grid, 0).unwrap();
+        let spa = SpaEngine::new(6, depth).run(&rule, &grid, 0).unwrap();
+        prop_assert_eq!(&wsa.grid, &reference);
+        prop_assert_eq!(&spa.grid, &reference);
+    }
+}

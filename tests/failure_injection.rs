@@ -1,0 +1,135 @@
+//! Failure injection: misconfigurations and rule violations must be
+//! *detected and reported*, never silently wrong. A simulator that
+//! produces plausible numbers from an impossible configuration is worse
+//! than no simulator.
+
+use lattice_engines::core::{Grid, LatticeError, Shape};
+use lattice_engines::gas::{init, FhpRule, FhpVariant, HppRule};
+use lattice_engines::pebbles::{Game, GameError, LatticeGraph, Move};
+use lattice_engines::sim::{Pipeline, SpaEngine};
+use lattice_engines::vlsi::Technology;
+
+#[test]
+fn shape_misuse_is_rejected() {
+    assert!(matches!(Shape::new(&[]), Err(LatticeError::BadRank { .. })));
+    assert!(matches!(Shape::new(&[0, 5]), Err(LatticeError::ZeroDim { axis: 0 })));
+    assert!(Shape::new(&[usize::MAX, 3]).is_err());
+    let shape = Shape::grid2(4, 4).unwrap();
+    assert!(Grid::from_vec(shape, vec![0u8; 15]).is_err());
+}
+
+#[test]
+fn gas_generators_validate_geometry() {
+    // Odd rows + periodic FHP would silently break conservation at the
+    // hex seam — must be rejected up front.
+    let odd = Shape::grid2(7, 8).unwrap();
+    assert!(init::random_fhp(odd, FhpVariant::I, 0.3, 1, true).is_err());
+    // 3-D shapes can't feed 2-D gases.
+    let cube = Shape::grid3(4, 4, 4).unwrap();
+    assert!(init::random_hpp(cube, 0.3, 1).is_err());
+    // Plate outside the channel.
+    assert!(init::channel_with_plate(8, 8, FhpVariant::I, 0.2, 0.2, 9, 0.5, 1).is_err());
+}
+
+#[test]
+fn pipelines_reject_impossible_configs() {
+    let shape = Shape::grid2(8, 8).unwrap();
+    let g = init::random_hpp(shape, 0.3, 1).unwrap();
+    let rule = HppRule::new();
+    assert!(Pipeline::serial(0).run(&rule, &g, 0).is_err());
+    // Stage config validation: 3-D streams are not line-bufferable.
+    let g3 = init::random_gas3d(3, 3, 3, 0.3, 1).unwrap();
+    let rule3 = lattice_engines::gas::Gas3dRule::new(1);
+    assert!(Pipeline::serial(1).run(&rule3, &g3, 0).is_err());
+}
+
+#[test]
+fn spa_rejects_bad_slicing() {
+    let shape = Shape::grid2(8, 16).unwrap();
+    let g = init::random_fhp(shape, FhpVariant::I, 0.3, 1, false).unwrap();
+    let rule = FhpRule::new(FhpVariant::I, 1);
+    // Width must divide the lattice.
+    let err = SpaEngine::new(5, 1).run(&rule, &g, 0).unwrap_err();
+    assert!(err.to_string().contains("divide"), "{err}");
+    assert!(SpaEngine::new(0, 1).run(&rule, &g, 0).is_err());
+    assert!(SpaEngine::new(4, 0).run(&rule, &g, 0).is_err());
+}
+
+#[test]
+fn pebble_game_catches_every_illegal_move() {
+    let graph = LatticeGraph::new(1, 3, 1);
+    let mut game = Game::new(&graph, 2);
+    // Computing without red predecessors.
+    assert!(matches!(game.apply(Move::Compute(4)), Err(GameError::PredNotRed { .. })));
+    // Computing an input.
+    assert!(matches!(game.apply(Move::Compute(0)), Err(GameError::ComputeInput(0))));
+    // Reading a non-blue vertex.
+    assert!(matches!(game.apply(Move::Read(4)), Err(GameError::NotBlue(4))));
+    // Writing a non-red vertex.
+    assert!(matches!(game.apply(Move::Write(0)), Err(GameError::NotRed(0))));
+    // Exceeding capacity.
+    game.apply(Move::Read(0)).unwrap();
+    game.apply(Move::Read(1)).unwrap();
+    assert!(matches!(game.apply(Move::Read(2)), Err(GameError::CapacityExceeded { s: 2 })));
+    // Out-of-range vertex.
+    assert!(matches!(game.apply(Move::Read(99)), Err(GameError::BadVertex(99))));
+    // And after all those rejections the state is still consistent.
+    assert_eq!(game.io_moves(), 2);
+    assert_eq!(game.red_count(), 2);
+}
+
+#[test]
+fn undersized_tile_plans_are_refused_not_fudged() {
+    use lattice_engines::pebbles::strategies::{tiled_schedule, TilePlan};
+    let graph = LatticeGraph::new(2, 8, 4);
+    // S below the minimum trapezoid.
+    assert!(tiled_schedule(&graph, 2 * 9 - 1, None).is_err());
+    // An explicitly oversized plan is caught by the rule-checking game,
+    // not silently truncated.
+    let bad = TilePlan { b: 8, h: 8 };
+    assert!(tiled_schedule(&graph, 16, Some(bad)).is_err());
+}
+
+#[test]
+fn collision_table_construction_rejects_nonconserving_rules() {
+    use lattice_engines::gas::table::{CollisionTable, Invariants};
+    // A "rule" that creates a particle out of nothing.
+    let result = CollisionTable::build(
+        "broken",
+        |s| s < 4,
+        |s| Invariants { mass: s.count_ones(), momentum: [0, 0, 0] },
+        |s, _| s | 1,
+    );
+    let err = result.unwrap_err();
+    assert_eq!(err.input, 0);
+    assert_eq!(err.output, 1);
+    assert!(err.to_string().contains("violates conservation"));
+}
+
+#[test]
+fn technology_validation_rejects_degenerate_chips() {
+    let mut t = Technology::paper_1987();
+    t.pins = 10; // can't even stream one site in and out
+    assert!(t.validate().is_err());
+    let mut t = Technology::paper_1987();
+    t.b = -1.0;
+    assert!(t.validate().is_err());
+}
+
+#[test]
+fn stage_detects_stream_overrun() {
+    use lattice_engines::sim::{LineBufferStage, StageConfig};
+    let shape = Shape::grid2(2, 2).unwrap();
+    let cfg = StageConfig { shape, width: 1, fill: 0u8, gen: 0, origin: (0, 0) };
+    let rule = HppRule::new();
+    let mut stage = LineBufferStage::new(&rule, cfg).unwrap();
+    let mut out = Vec::new();
+    for _ in 0..4 {
+        stage.tick(&[0], &mut out);
+    }
+    // A fifth input overruns the declared lattice.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        stage.tick(&[0], &mut out);
+    }));
+    assert!(result.is_err(), "overrun must panic, not corrupt the window");
+}

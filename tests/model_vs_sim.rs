@@ -1,0 +1,126 @@
+//! E8 as tests: the analytical chip model and the cycle-level
+//! simulators must agree on every quantity they both define.
+
+use lattice_engines::core::Shape;
+use lattice_engines::gas::{init, FhpRule, FhpVariant};
+use lattice_engines::sim::{Pipeline, SpaEngine, StallSim};
+use lattice_engines::vlsi::{spa::Spa, Technology};
+
+#[test]
+fn wsa_throughput_matches_f_p_k() {
+    // R = F·P·k (§6.1): the simulator's updates/tick → P·k as the
+    // lattice grows (fill/drain amortizes).
+    let rule = FhpRule::new(FhpVariant::I, 1);
+    for (p, k) in [(1usize, 1usize), (2, 3), (4, 2)] {
+        let shape = Shape::grid2(96, 96).unwrap();
+        let grid = init::random_fhp(shape, FhpVariant::I, 0.3, 2, false).unwrap();
+        let r = Pipeline::wide(p, k).run(&rule, &grid, 0).unwrap();
+        let model = (p * k) as f64;
+        let measured = r.updates_per_tick();
+        assert!(
+            measured <= model && measured > 0.9 * model,
+            "P={p} k={k}: {measured} vs {model}"
+        );
+    }
+}
+
+#[test]
+fn wsa_bandwidth_matches_2dp() {
+    let rule = FhpRule::new(FhpVariant::I, 1);
+    let shape = Shape::grid2(128, 128).unwrap();
+    let grid = init::random_fhp(shape, FhpVariant::I, 0.3, 2, false).unwrap();
+    for p in [1u32, 2, 4] {
+        let r = Pipeline::wide(p as usize, 2).run(&rule, &grid, 0).unwrap();
+        let model = (2 * 8 * p) as f64;
+        let measured = r.memory_bits_per_tick();
+        assert!(measured <= model && measured > 0.9 * model, "P={p}");
+        // Total volume is exact: one site in + one out per site.
+        assert_eq!(r.memory_traffic.bits_in, shape.len() as u128 * 8);
+        assert_eq!(r.memory_traffic.bits_out, shape.len() as u128 * 8);
+    }
+}
+
+#[test]
+fn wsa_storage_matches_two_rows() {
+    let rule = FhpRule::new(FhpVariant::I, 1);
+    for cols in [32usize, 100, 250] {
+        let shape = Shape::grid2(16, cols).unwrap();
+        let grid = init::random_fhp(shape, FhpVariant::I, 0.3, 2, false).unwrap();
+        for p in [1usize, 4] {
+            let r = Pipeline::wide(p, 1).run(&rule, &grid, 0).unwrap();
+            assert_eq!(r.sr_cells_per_stage as usize, 2 * cols + p + 2);
+        }
+    }
+}
+
+#[test]
+fn spa_throughput_matches_k_slices() {
+    // R = F·k·L/W (§6.2).
+    let rule = FhpRule::new(FhpVariant::I, 1);
+    let shape = Shape::grid2(96, 96).unwrap();
+    let grid = init::random_fhp(shape, FhpVariant::I, 0.3, 2, false).unwrap();
+    for (w, k) in [(12usize, 2usize), (24, 3), (48, 1)] {
+        let r = SpaEngine::new(w, k).run(&rule, &grid, 0).unwrap();
+        let model = (96 / w * k) as f64;
+        let measured = r.updates_per_tick();
+        assert!(
+            measured <= model && measured > 0.75 * model,
+            "W={w} k={k}: {measured} vs {model}"
+        );
+    }
+}
+
+#[test]
+fn spa_bandwidth_matches_model() {
+    let tech = Technology::paper_1987();
+    let spa_model = Spa::new(tech);
+    let rule = FhpRule::new(FhpVariant::I, 1);
+    let shape = Shape::grid2(128, 96).unwrap();
+    let grid = init::random_fhp(shape, FhpVariant::I, 0.3, 2, false).unwrap();
+    for w in [12u32, 24, 48] {
+        let r = SpaEngine::new(w as usize, 1).run(&rule, &grid, 0).unwrap();
+        let model = spa_model.bandwidth_bits_per_tick(96, w) as f64;
+        let measured = r.memory_bits_per_tick();
+        assert!(
+            measured <= model && measured > 0.75 * model,
+            "W={w}: {measured} vs {model}"
+        );
+    }
+}
+
+#[test]
+fn spa_side_channel_volume_is_exact() {
+    // 2·(slices − 1) boundary columns × rows sites × E bits per level.
+    let rule = FhpRule::new(FhpVariant::I, 1);
+    let shape = Shape::grid2(32, 60).unwrap();
+    let grid = init::random_fhp(shape, FhpVariant::I, 0.3, 2, false).unwrap();
+    for (w, levels) in [(10usize, 1u128), (10, 3), (20, 2)] {
+        let r = SpaEngine::new(w, levels as usize).run(&rule, &grid, 0).unwrap();
+        let slices = (60 / w) as u128;
+        assert_eq!(
+            r.side_traffic.bits_in,
+            2 * (slices - 1) * 32 * 3 * levels,
+            "W={w} levels={levels}"
+        );
+    }
+}
+
+#[test]
+fn stall_model_matches_closed_form_across_demands() {
+    use lattice_engines::sim::{throttled_rate, HostLink};
+    let clock = 10e6;
+    for demand in [16.0f64, 32.0, 64.0, 304.0] {
+        for supply_mbps in [1.0f64, 5.0, 25.0, 100.0] {
+            let link = HostLink::new(supply_mbps * 1e6);
+            let peak = clock; // 1 update per transfer for this check
+            let closed = throttled_rate(peak, demand, clock, link) / peak;
+            let mut sim = StallSim::new(link.bits_per_tick(clock), demand);
+            sim.run(100_000);
+            assert!(
+                (sim.duty_cycle() - closed).abs() < 0.02,
+                "demand {demand}, supply {supply_mbps} MB/s: {} vs {closed}",
+                sim.duty_cycle()
+            );
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Cross-crate pebbling invariants: every legal pebbling — scheduled,
+//! random, or optimal — respects the Hong–Kung lower bound; the tiled
+//! schedule respects the exact optimum; and the parallel game's I/O
+//! matches the sequential game's on schedules that don't exploit
+//! parallel fan-out.
+
+use lattice_engines::pebbles::bounds::{io_lower_bound, line_spread, line_spread_lower_bound};
+use lattice_engines::pebbles::strategies::{naive_sweep, tiled_schedule, TilePlan};
+use lattice_engines::pebbles::{min_io_exact, Game, LatticeGraph, Move, ParallelGame, PebbleGraph};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Lemma 1 + 2 + Theorem 4: measured q of any schedule ≥ bound.
+    #[test]
+    fn schedules_respect_lower_bound(
+        d in 1usize..=3,
+        r_base in 2usize..6,
+        t in 1usize..6,
+        s_exp in 5u32..11,
+    ) {
+        let r = r_base * 2;
+        let s = 2usize.pow(s_exp);
+        let graph = LatticeGraph::new(d, r, t);
+        let lb = io_lower_bound(graph.n_vertices() as u64, d, s);
+        let naive = naive_sweep(&graph, s).unwrap();
+        prop_assert!(naive.io_moves as f64 >= lb);
+        if let Ok(tiled) = tiled_schedule(&graph, s, None) {
+            prop_assert!(tiled.io_moves as f64 >= lb);
+            prop_assert!(tiled.max_red_used <= s);
+        }
+    }
+
+    /// The exact optimum (tiny graphs) lower-bounds every schedule and
+    /// respects the analytic bound.
+    #[test]
+    fn exact_is_a_true_floor(
+        r in 2usize..5,
+        t in 1usize..3,
+        s in 4usize..9,
+    ) {
+        let graph = LatticeGraph::new(1, r, t);
+        prop_assume!(graph.n_vertices() <= 12);
+        if let Some(q_opt) = min_io_exact(&graph, s) {
+            let lb = io_lower_bound(graph.n_vertices() as u64, 1, s);
+            prop_assert!(q_opt as f64 >= lb);
+            // Reading all inputs and writing all outputs is unavoidable
+            // for this graph family (every input feeds some output).
+            prop_assert!(q_opt >= 2 * r as u64);
+            let naive = naive_sweep(&graph, s.max(4)).unwrap();
+            prop_assert!(naive.io_moves >= q_opt);
+        }
+    }
+
+    /// A random legal walk of the game never undercounts: play random
+    /// legal I/O and compute moves until outputs are written, then
+    /// check the bound. (Randomized differential test of the counter.)
+    #[test]
+    fn random_legal_play_respects_bound(seed in any::<u64>()) {
+        let graph = LatticeGraph::new(1, 3, 1);
+        let s = 4usize;
+        let mut game = Game::new(&graph, s);
+        let mut h = seed;
+        let mut next = || {
+            h = lattice_engines::gas::prng::splitmix64(h);
+            h
+        };
+        let mut guard = 0;
+        while !game.is_complete() && guard < 10_000 {
+            guard += 1;
+            let v = (next() % graph.n_vertices() as u64) as usize;
+            let mv = match next() % 4 {
+                0 => Move::Read(v),
+                1 => Move::Write(v),
+                2 => Move::Compute(v),
+                _ => Move::RemoveRed(v),
+            };
+            let _ = game.apply(mv); // illegal moves are rejected, fine
+        }
+        if game.is_complete() {
+            let lb = io_lower_bound(graph.n_vertices() as u64, 1, s);
+            prop_assert!(game.io_moves() as f64 >= lb);
+            // And ≥ the exhaustive optimum.
+            let q_opt = min_io_exact(&graph, s).unwrap();
+            prop_assert!(game.io_moves() >= q_opt);
+        }
+    }
+
+    /// Lemma 8 on arbitrary lattice sizes.
+    #[test]
+    fn line_spread_lemma8(d in 1usize..=4, r in 2usize..20, j in 1usize..30) {
+        let t = line_spread(d, r, j) as f64;
+        // Truncation can only reduce the count; the lemma's bound applies
+        // when the simplex fits.
+        if j < r {
+            prop_assert!(t > line_spread_lower_bound(d, j), "d={d} r={r} j={j}");
+        }
+        prop_assert!(t <= (r as f64).powi(d as i32));
+    }
+}
+
+/// The parallel game completes the same work with the same I/O when
+/// driven by a layer-sweep schedule, and enforces its phase rules.
+#[test]
+fn parallel_game_layer_sweep() {
+    let graph = LatticeGraph::new(1, 8, 3);
+    let s = 2 * 8 + 2; // two layers fit
+    let mut game = ParallelGame::new(&graph, s);
+
+    // Cycle 0: read layer 0.
+    let layer0: Vec<usize> = (0..8).collect();
+    game.cycle(&[], &[], &[], &layer0).unwrap();
+    for t in 1..=3usize {
+        let cur: Vec<usize> = (0..8).map(|i| graph.vertex(i, t)).collect();
+        let prev: Vec<usize> = (0..8).map(|i| graph.vertex(i, t - 1)).collect();
+        // Compute the whole next layer in ONE calculate phase (the
+        // fan-out the sequential game cannot express), releasing the
+        // previous layer simultaneously.
+        game.cycle(&[], &cur, &prev, &[]).unwrap();
+    }
+    let outputs: Vec<usize> = (0..8).map(|i| graph.vertex(i, 3)).collect();
+    game.cycle(&outputs, &[], &[], &[]).unwrap();
+    assert!(game.is_complete());
+    // I/O: 8 reads + 8 writes — the minimum possible.
+    assert_eq!(game.io_moves(), 16);
+    assert_eq!(game.cycles(), 5);
+    let lb = io_lower_bound(graph.n_vertices() as u64, 1, s);
+    assert!(game.io_moves() as f64 >= lb);
+}
+
+/// Tile plans never exceed the capacity they were derived from, across
+/// the full parameter space.
+#[test]
+fn tile_plans_fit_everywhere() {
+    for d in 1..=3usize {
+        for s in (2 * 3usize.pow(d as u32))..200 {
+            if let Some(p) = TilePlan::auto(d, s) {
+                assert!(2 * p.block_side().pow(d as u32) <= s, "d={d} s={s}");
+            }
+        }
+    }
+}
