@@ -46,9 +46,7 @@ fn bench_parallel_scaling(c: &mut Criterion) {
     for threads in [1usize, 2, 4, 8] {
         group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
             let mut dst = Grid::new(shape);
-            b.iter(|| {
-                evolve_parallel(&grid, &mut dst, &rule, Boundary::Periodic, 0, t).unwrap()
-            });
+            b.iter(|| evolve_parallel(&grid, &mut dst, &rule, Boundary::Periodic, 0, t).unwrap());
         });
     }
     group.finish();

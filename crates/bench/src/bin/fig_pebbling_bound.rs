@@ -86,9 +86,11 @@ fn main() {
             fnum(tau_upper_bound(3, s), 1),
         ]);
     }
-    tau_table.note("R = O(B·S^{1/d}): with fixed memory bandwidth B, extra on-chip \
+    tau_table.note(
+        "R = O(B·S^{1/d}): with fixed memory bandwidth B, extra on-chip \
                     storage buys update rate only as the d-th root — the paper's \
                     headline conclusion that I/O, not processing, limits lattice \
-                    engines.");
+                    engines.",
+    );
     tau_table.print(fmt);
 }

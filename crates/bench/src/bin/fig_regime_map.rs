@@ -24,7 +24,8 @@ fn main() {
     // architecture's chips can add up to it — the simplest feasible
     // machine wins) and an aggressive one (only SPA's per-chip density
     // reaches it within the chip budget).
-    for (demand, label) in [(8.0f64, "modest (8 updates/tick)"), (100.0, "aggressive (100 updates/tick)")]
+    for (demand, label) in
+        [(8.0f64, "modest (8 updates/tick)"), (100.0, "aggressive (100 updates/tick)")]
     {
         let mut t = Table::new(
             format!(
@@ -48,10 +49,12 @@ fn main() {
             }
             t.row_strings(row);
         }
-        t.note("W = WSA (simplest; needs L ≤ 785 and 64 bits/tick), E = WSA-E \
+        t.note(
+            "W = WSA (simplest; needs L ≤ 785 and 64 bits/tick), E = WSA-E \
                 (any L at a constant 16 bits/tick, one update/tick/chip), \
                 S = SPA (12 updates/tick/chip, bandwidth grows with L), \
-                · = nothing meets the target within the budgets.");
+                · = nothing meets the target within the budgets.",
+        );
         t.print(fmt);
     }
 

@@ -29,9 +29,11 @@ fn main() {
             best,
         ]);
     }
-    curves.note("Paper: corner at P ≈ 13.5, W ≈ 43, pin-optimal P_w = Π/4D = 2.25; \
+    curves.note(
+        "Paper: corner at P ≈ 13.5, W ≈ 43, pin-optimal P_w = Π/4D = 2.25; \
                  beyond the corner 'throughput drops off quite rapidly as the \
-                 silicon real estate is used by memory'.");
+                 silicon real estate is used by memory'.",
+    );
     curves.print(fmt);
 
     let c = spa.corner();
@@ -41,7 +43,11 @@ fn main() {
         "13.5".into(),
         fnum(spa.p_pin_limit(), 2),
     ]);
-    corner.row_strings(vec!["corner W (real-valued)".into(), "≈ 43".into(), fnum(spa.corner_w(), 1)]);
+    corner.row_strings(vec![
+        "corner W (real-valued)".into(),
+        "≈ 43".into(),
+        fnum(spa.corner_w(), 1),
+    ]);
     corner.row_strings(vec!["PEs/chip (integer)".into(), "12".into(), c.p.to_string()]);
     corner.row_strings(vec![
         "chip split P_w × P_k".into(),

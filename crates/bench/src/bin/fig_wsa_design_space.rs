@@ -25,15 +25,14 @@ fn main() {
             wsa.max_p(l).to_string(),
         ]);
     }
-    curves.note("Paper: curves intersect at P ≈ 4, L ≈ 785; beyond the corner, \
-                 throughput drops off linearly as memory eats the chip.");
+    curves.note(
+        "Paper: curves intersect at P ≈ 4, L ≈ 785; beyond the corner, \
+                 throughput drops off linearly as memory eats the chip.",
+    );
     curves.print(fmt);
 
     let c = wsa.corner();
-    let mut corner = Table::new(
-        "E1: WSA optimal operating point",
-        &["quantity", "paper", "ours"],
-    );
+    let mut corner = Table::new("E1: WSA optimal operating point", &["quantity", "paper", "ours"]);
     corner.row_strings(vec!["P (PEs/chip)".into(), "4".into(), c.p.to_string()]);
     corner.row_strings(vec!["L (max lattice side)".into(), "785".into(), c.l.to_string()]);
     corner.row_strings(vec![
@@ -41,11 +40,7 @@ fn main() {
         "64".into(),
         c.bandwidth_bits_per_tick.to_string(),
     ]);
-    corner.row_strings(vec![
-        "chip area used".into(),
-        "≈ 1".into(),
-        fnum(c.area_used, 4),
-    ]);
+    corner.row_strings(vec!["chip area used".into(), "≈ 1".into(), fnum(c.area_used, 4)]);
     corner.row_strings(vec![
         "absolute L ceiling (any P)".into(),
         "—".into(),

@@ -28,10 +28,12 @@ fn main() {
             ]);
         }
     }
-    ms.note("Internal stages multiply rate at zero pin cost but divide the \
+    ms.note(
+        "Internal stages multiply rate at zero pin cost but divide the \
              supportable lattice: each stage needs its own two-row window. \
              The paper's single-stage choice is optimal precisely at its \
-             L = 785 design target.");
+             L = 785 design target.",
+    );
     ms.print(fmt);
 
     let mut best = Table::new(
@@ -49,9 +51,11 @@ fn main() {
             ]);
         }
     }
-    best.note("Small lattices leave silicon for internal depth — the same \
+    best.note(
+        "Small lattices leave silicon for internal depth — the same \
                bandwidth-free speedup SPA buys with slices, but without \
-               extensibility.");
+               extensibility.",
+    );
     best.print(fmt);
 
     let mut et = Table::new(
@@ -61,9 +65,11 @@ fn main() {
     for (e, ceiling, p) in spa_pin_ceiling_vs_e(tech, &[1, 2, 3, 4, 6, 8]) {
         et.row_strings(vec![e.to_string(), fnum(ceiling, 2), p.to_string()]);
     }
-    et.note("E = 3 is FHP's boundary-completion cost (the three eastward \
+    et.note(
+        "E = 3 is FHP's boundary-completion cost (the three eastward \
              particle bits). A rule needing full-site exchange (E = D = 8) \
-             drops the ceiling from 13.5 to ≈ 5 PEs/chip.");
+             drops the ceiling from 13.5 to ≈ 5 PEs/chip.",
+    );
     et.print(fmt);
 
     let mut pins = Table::new(
@@ -73,9 +79,11 @@ fn main() {
     for (p, w, s) in corners_vs_pins(tech, &[36, 72, 108, 144, 216, 288]) {
         pins.row_strings(vec![p.to_string(), w.to_string(), s.to_string()]);
     }
-    pins.note("WSA's corner grows ~linearly in Π (until area binds); SPA's pin \
+    pins.note(
+        "WSA's corner grows ~linearly in Π (until area binds); SPA's pin \
                ceiling grows quadratically but the area curve caps the realized \
                corner — more evidence that both storage and I/O, never \
-               processing, bound these machines.");
+               processing, bound these machines.",
+    );
     pins.print(fmt);
 }

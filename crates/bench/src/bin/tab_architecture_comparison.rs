@@ -104,7 +104,10 @@ fn main() {
     sim.note(format!(
         "{}×{} FHP-I lattice, depth {depth}; WSA P = {}, SPA W = {w} \
          ({} slices). Chip counts: WSA {wsa_chips}, SPA {spa_chips:.1}.",
-        rows, cols, c.wsa.p, cols / w
+        rows,
+        cols,
+        c.wsa.p,
+        cols / w
     ));
     sim.print(fmt);
 }

@@ -41,11 +41,13 @@ fn main() {
             if m.memory_bound() { "memory".into() } else { "compute".into() },
         ]);
     }
-    t.note("Deliverable = min(compute, memory). A handful of custom chips \
+    t.note(
+        "Deliverable = min(compute, memory). A handful of custom chips \
             matches a CRAY CPU; a full-depth WSA rack reaches CM-1 territory \
             at a tiny fraction of the silicon — provided (the paper's \
             recurring caveat) the memory system feeds it. Parameters are \
             period specs with honest per-update op counts; treat absolute \
-            values as ±2-3× and the binding-constraint column as the result.");
+            values as ±2-3× and the binding-constraint column as the result.",
+    );
     t.print(fmt);
 }

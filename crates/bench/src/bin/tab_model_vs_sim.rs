@@ -49,8 +49,10 @@ fn main() {
             report.sr_cells_per_stage.to_string(),
         ]);
     }
-    wsa_t.note("Measured rates sit just under the model because each pass pays \
-                one row of fill latency; they converge as L·rows grows.");
+    wsa_t.note(
+        "Measured rates sit just under the model because each pass pays \
+                one row of fill latency; they converge as L·rows grows.",
+    );
     wsa_t.print(fmt);
 
     let spa_model = Spa::new(tech);
@@ -87,8 +89,10 @@ fn main() {
             report.sr_cells_per_stage.to_string(),
         ]);
     }
-    spa_t.note("Paper's per-PE storage is (2W+9) for the hex datapath; ours is \
-                2(W+2)+3 for the Moore window — both 'two slice lines + O(1)'.");
+    spa_t.note(
+        "Paper's per-PE storage is (2W+9) for the hex datapath; ours is \
+                2(W+2)+3 for the Moore window — both 'two slice lines + O(1)'.",
+    );
     spa_t.print(fmt);
 
     // Tick-level lockstep SPA: the row-staggered schedule measured
@@ -113,8 +117,10 @@ fn main() {
             report.sr_cells_per_stage.to_string(),
         ]);
     }
-    lock_t.note("The lockstep machine plays every clock tick of the row-staggered \
+    lock_t.note(
+        "The lockstep machine plays every clock tick of the row-staggered \
                  schedule; agreement here is the cycle-level proof of the §6.2 \
-                 R = F·k·L/W formula.");
+                 R = F·k·L/W formula.",
+    );
     lock_t.print(fmt);
 }

@@ -31,8 +31,10 @@ fn main() {
             note.into(),
         ]);
     }
-    sat.note("Higher saturation → lower viscosity → higher Reynolds number per \
-              lattice site (the scaling the paper cites from Orszag & Yakhot).");
+    sat.note(
+        "Higher saturation → lower viscosity → higher Reynolds number per \
+              lattice site (the scaling the paper cites from Orszag & Yakhot).",
+    );
     sat.print(fmt);
 
     let mut aniso = Table::new(
@@ -43,15 +45,18 @@ fn main() {
     for (i, a) in traj.iter().enumerate() {
         aniso.row_strings(vec![(i * 10).to_string(), fnum(*a, 4)]);
     }
-    aniso.note("Statistical noise floor ≈ 1/√sites ≈ 0.016; staying at the floor \
-                means the collision rules introduce no directional bias.");
+    aniso.note(
+        "Statistical noise floor ≈ 1/√sites ≈ 0.016; staying at the floor \
+                means the collision rules introduce no directional bias.",
+    );
     aniso.print(fmt);
 
     let mut shear = Table::new(
         "Shear relaxation (viscosity probe): amplitude after 40 generations",
         &["variant", "initial shear", "after 40 gens", "retained"],
     );
-    for (name, v) in [("FHP-I", FhpVariant::I), ("FHP-II", FhpVariant::II), ("FHP-III", FhpVariant::III)]
+    for (name, v) in
+        [("FHP-I", FhpVariant::I), ("FHP-II", FhpVariant::II), ("FHP-III", FhpVariant::III)]
     {
         let (a0, a1) = fhp_shear_amplitude(32, 64, v, 5, 40);
         shear.row_strings(vec![
@@ -61,11 +66,13 @@ fn main() {
             format!("{}%", fnum(100.0 * a1 / a0, 1)),
         ]);
     }
-    shear.note("All variants relax the shear substantially within 40 generations \
+    shear.note(
+        "All variants relax the shear substantially within 40 generations \
                 (viscous momentum transport). The precise ordering depends on \
                 which outcome each table picks per conservation class; our \
                 class-rotation FHP-III differs from the historical table there, \
-                so its effective viscosity need not undercut FHP-II's.");
+                so its effective viscosity need not undercut FHP-II's.",
+    );
     shear.print(fmt);
 
     let mut pulse = Table::new(
@@ -81,7 +88,9 @@ fn main() {
             fnum((r1 - r0) / steps as f64, 3),
         ]);
     }
-    pulse.note("Ballistic, sub-light-cone spreading (≤ 1 site/step) — transport, \
-                not diffusion.");
+    pulse.note(
+        "Ballistic, sub-light-cone spreading (≤ 1 site/step) — transport, \
+                not diffusion.",
+    );
     pulse.print(fmt);
 }

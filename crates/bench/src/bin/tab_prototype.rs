@@ -45,9 +45,11 @@ fn main() {
             fnum(sim.duty_cycle(), 3),
         ]);
     }
-    t.note("Paper: 20 M updates/s/chip peak needs 40 MB/s; a ~2 MB/s workstation \
+    t.note(
+        "Paper: 20 M updates/s/chip peak needs 40 MB/s; a ~2 MB/s workstation \
             host sustains ~1 M updates/s — the 20× derating reproduced on the \
-            2 MB/s row.");
+            2 MB/s row.",
+    );
     t.print(fmt);
 
     // Cross-check the demand figure by measurement.
@@ -74,7 +76,9 @@ fn main() {
         "40".into(),
         fnum(report.memory_bits_per_tick() * clock / 8e6, 1),
     ]);
-    x.note("Measured figures are slightly below peak because the pass includes \
-            pipeline fill/drain ticks.");
+    x.note(
+        "Measured figures are slightly below peak because the pass includes \
+            pipeline fill/drain ticks.",
+    );
     x.print(fmt);
 }

@@ -30,20 +30,15 @@ fn main() {
             n.to_string(),
         ]);
     }
-    exact.note("Theorem 1: span ≥ n always; row-major shows n is achievable, so the \
-                minimum is exactly n (the grid graph's bandwidth).");
+    exact.note(
+        "Theorem 1: span ≥ n always; row-major shows n is achievable, so the \
+                minimum is exactly n (the grid graph's bandwidth).",
+    );
     exact.print(fmt);
 
     let mut meas = Table::new(
         "E5b: measured span and serial-PE storage by embedding",
-        &[
-            "n",
-            "embedding",
-            "span",
-            "Moore window span",
-            "hex window span",
-            "paper bound (≥)",
-        ],
+        &["n", "embedding", "span", "Moore window span", "hex window span", "paper bound (≥)"],
     );
     for n in [8usize, 16, 32, 64] {
         let entries: Vec<(String, usize, usize, usize)> = vec![
@@ -63,10 +58,12 @@ fn main() {
             ]);
         }
     }
-    meas.note("Columns 'paper bound': span ≥ n (Theorem 1) and hex-neighborhood \
+    meas.note(
+        "Columns 'paper bound': span ≥ n (Theorem 1) and hex-neighborhood \
                stream diameter ≥ 2n−2 (§3). Row-major meets both with equality up \
                to O(1); space-filling curves have better average locality but far \
-               worse worst-case span — a serial pipeline wants raster order.");
+               worse worst-case span — a serial pipeline wants raster order.",
+    );
     meas.print(fmt);
 }
 

@@ -47,10 +47,12 @@ fn main() {
             spa_model.bandwidth_bits_per_tick(wsa.l, spa.w).to_string(),
         ]);
     }
-    t.note("Area shrinks 1/s², pins grow ~s: supportable lattices (L*) grow much \
+    t.note(
+        "Area shrinks 1/s², pins grow ~s: supportable lattices (L*) grow much \
             faster than deliverable bandwidth, so the PE fraction of silicon falls \
             and I/O remains the binding constraint — 'a search for more effective \
-            interconnection technologies … should have high priority'.");
+            interconnection technologies … should have high priority'.",
+    );
     t.print(fmt);
 
     // Companion figure: fraction of chip area doing arithmetic at the

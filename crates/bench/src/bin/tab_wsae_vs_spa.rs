@@ -38,16 +38,16 @@ fn main() {
             format!("1/{}", fnum(1.0 / c.bandwidth_ratio, 1)),
         ]);
     }
-    sweep.note("Equal chip count; SPA chip = 12 PEs. WSA-E area grows linearly in L \
+    sweep.note(
+        "Equal chip count; SPA chip = 12 PEs. WSA-E area grows linearly in L \
                 at constant bandwidth; SPA bandwidth grows linearly in L at constant \
-                chip area — mirror-image penalties.");
+                chip area — mirror-image penalties.",
+    );
     sweep.print(fmt);
 
     let c = wsae_vs_spa(tech, 1000);
-    let mut headline = Table::new(
-        "E4: the paper's L = 1000 headline numbers",
-        &["quantity", "paper", "ours"],
-    );
+    let mut headline =
+        Table::new("E4: the paper's L = 1000 headline numbers", &["quantity", "paper", "ours"]);
     headline.row_strings(vec![
         "SPA speedup per chip".into(),
         "12×".into(),

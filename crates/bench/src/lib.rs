@@ -171,8 +171,7 @@ pub fn fnum(v: f64, digits: usize) -> String {
 /// by the pebbling experiment to recover the `1/d` exponent.
 pub fn loglog_slope(points: &[(f64, f64)]) -> f64 {
     assert!(points.len() >= 2);
-    let logs: Vec<(f64, f64)> =
-        points.iter().map(|&(x, y)| (x.ln(), y.ln())).collect();
+    let logs: Vec<(f64, f64)> = points.iter().map(|&(x, y)| (x.ln(), y.ln())).collect();
     let n = logs.len() as f64;
     let sx: f64 = logs.iter().map(|p| p.0).sum();
     let sy: f64 = logs.iter().map(|p| p.1).sum();
@@ -218,8 +217,7 @@ mod tests {
 
     #[test]
     fn loglog_slope_recovers_exponents() {
-        let half: Vec<(f64, f64)> =
-            (1..=10).map(|i| (i as f64, (i as f64).sqrt() * 3.0)).collect();
+        let half: Vec<(f64, f64)> = (1..=10).map(|i| (i as f64, (i as f64).sqrt() * 3.0)).collect();
         assert!((loglog_slope(&half) - 0.5).abs() < 1e-9);
         let cube: Vec<(f64, f64)> =
             (1..=10).map(|i| (i as f64, (i as f64).powf(1.0 / 3.0))).collect();
@@ -228,7 +226,7 @@ mod tests {
 
     #[test]
     fn fnum_formats() {
-        assert_eq!(fnum(3.14159, 2), "3.14");
+        assert_eq!(fnum(1.23456, 2), "1.23");
         assert_eq!(fnum(2.0, 0), "2");
     }
 

@@ -56,6 +56,61 @@ impl Traffic {
     }
 }
 
+/// Running parity over a raster stream of sites: a CRC-style LFSR fold
+/// of every site word, plus a site count.
+///
+/// This is the cheap end of the detection spectrum — in hardware, one
+/// 64-bit shift register with a few XOR feedback taps per link (a
+/// Galois LFSR), clocked once per site. Sender and receiver each fold
+/// the stream into a `StreamParity`; any single flipped bit on the link
+/// makes the words disagree (each step is a bijection), and a dropped
+/// or duplicated site makes the counts disagree. Because site `j`'s
+/// contribution ends up multiplied by `x^(n-1-j)` in GF(2)[x] mod the
+/// CRC polynomial, identical flips at two different positions can never
+/// cancel — which is exactly the pattern a stuck output driver
+/// produces, and the pattern a plain (or merely rotated) XOR parity
+/// misses. Only error patterns divisible by the polynomial escape;
+/// those fall through to the conservation audit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamParity {
+    /// LFSR fold of every absorbed site word.
+    pub word: u64,
+    /// Number of sites absorbed.
+    pub count: u64,
+}
+
+/// CRC-64/ECMA-182 polynomial, a standard primitive choice.
+const PARITY_POLY: u64 = 0x42F0_E1EB_A9EA_3693;
+
+impl StreamParity {
+    /// A zeroed accumulator.
+    pub fn new() -> Self {
+        StreamParity::default()
+    }
+
+    /// Folds one site into the parity.
+    pub fn absorb<S: State>(&mut self, site: S) {
+        let feedback = if self.word >> 63 == 1 { PARITY_POLY } else { 0 };
+        self.word = (self.word << 1) ^ feedback ^ site.to_word();
+        self.count += 1;
+    }
+
+    /// Describes how this (receiver-side) parity disagrees with the
+    /// sender's, or `None` if the stream arrived intact.
+    pub fn mismatch(&self, sent: &StreamParity) -> Option<String> {
+        if self.count != sent.count {
+            Some(format!("{} sites received, {} sent", self.count, sent.count))
+        } else if self.word != sent.word {
+            Some(format!(
+                "parity word {:#x} != sender's {:#x} over {} sites",
+                self.word, sent.word, self.count
+            ))
+        } else {
+            None
+        }
+    }
+}
+
 /// Packs site states into 64-bit words, [`State::BITS`] bits per site,
 /// little-endian within each word. Sites never straddle word boundaries
 /// when `64 % BITS == 0`; otherwise they may, exactly as a serial wire
@@ -147,6 +202,55 @@ mod tests {
         let sites: Vec<u16> = (0..1000u16).map(|i| i.wrapping_mul(2654435761u32 as u16)).collect();
         let back: Vec<u16> = unpack_sites(&pack_sites(&sites), sites.len());
         assert_eq!(back, sites);
+    }
+
+    #[test]
+    fn stream_parity_catches_single_flips_and_drops() {
+        let sites: Vec<u8> = vec![0x11, 0x42, 0x00, 0x80];
+        let mut sent = StreamParity::new();
+        sites.iter().for_each(|&s| sent.absorb(s));
+
+        let mut ok = StreamParity::new();
+        sites.iter().for_each(|&s| ok.absorb(s));
+        assert_eq!(ok.mismatch(&sent), None);
+
+        // Any single-bit flip disagrees.
+        for i in 0..sites.len() {
+            for bit in 0..8 {
+                let mut p = StreamParity::new();
+                for (j, &s) in sites.iter().enumerate() {
+                    p.absorb(if j == i { s ^ (1 << bit) } else { s });
+                }
+                assert!(p.mismatch(&sent).is_some(), "flip {i}/{bit} undetected");
+            }
+        }
+
+        // A dropped site disagrees via the count even if the word matches.
+        let mut short = StreamParity::new();
+        sites.iter().skip(1).for_each(|&s| short.absorb(s));
+        let msg = short.mismatch(&sent).unwrap();
+        assert!(msg.contains("3 sites received"), "{msg}");
+    }
+
+    #[test]
+    fn stream_parity_catches_stuck_at_lines() {
+        // A stuck output driver forces the same bit in *every* word; a
+        // plain XOR parity cancels whenever the number of changed words
+        // is even. The rotate-and-XOR fold must not.
+        let sites: Vec<u8> = (0..100u8).collect();
+        let mut sent = StreamParity::new();
+        sites.iter().for_each(|&s| sent.absorb(s));
+        for bit in 0..8u8 {
+            let mut stuck = StreamParity::new();
+            sites.iter().for_each(|&s| stuck.absorb(s | (1 << bit)));
+            assert!(stuck.mismatch(&sent).is_some(), "stuck bit {bit} undetected");
+        }
+        // Two identical flips at different positions no longer cancel.
+        let mut pair = StreamParity::new();
+        for (j, &s) in sites.iter().enumerate() {
+            pair.absorb(if j == 10 || j == 20 { s ^ 0x04 } else { s });
+        }
+        assert!(pair.mismatch(&sent).is_some());
     }
 
     #[test]

@@ -50,8 +50,12 @@ pub fn save<S: State>(grid: &Grid<S>, time: u64) -> Vec<u8> {
 }
 
 /// Deserializes a checkpoint, returning the grid and its generation.
+///
+/// Rejects malformed input with [`LatticeError::Corrupted`] — never
+/// panics and never returns a partially-filled grid — so a checkpoint
+/// pulled from unreliable storage can be probed safely.
 pub fn load<S: State>(bytes: &[u8]) -> Result<(Grid<S>, u64), LatticeError> {
-    let err = |msg: &str| LatticeError::InvalidConfig(format!("checkpoint: {msg}"));
+    let err = |msg: &str| LatticeError::Corrupted { site: "checkpoint".into(), detail: msg.into() };
     let mut pos = 0usize;
     let take = |pos: &mut usize, n: usize| -> Result<&[u8], LatticeError> {
         if *pos + n > bytes.len() {
@@ -70,7 +74,7 @@ pub fn load<S: State>(bytes: &[u8]) -> Result<(Grid<S>, u64), LatticeError> {
         return Err(err(&format!("site width {} does not match expected {}", bits, S::BITS)));
     }
     if rank == 0 || rank > crate::MAX_DIMS {
-        return Err(LatticeError::BadRank { rank });
+        return Err(err(&format!("rank {rank} unsupported")));
     }
     let mut dims = Vec::with_capacity(rank);
     for _ in 0..rank {
@@ -82,6 +86,16 @@ pub fn load<S: State>(bytes: &[u8]) -> Result<(Grid<S>, u64), LatticeError> {
     let mut tb = [0u8; 8];
     tb.copy_from_slice(take(&mut pos, 8)?);
     let time = u64::from_le_bytes(tb);
+
+    // Every run is 12 bytes covering at most u32::MAX sites, so a valid
+    // stream must have enough bytes left to cover the declared lattice.
+    // This also keeps a forged huge header from driving allocations: no
+    // run may grow `data` past `shape.len()`, and `shape.len()` is now
+    // bounded by the input length.
+    let max_coverable = ((bytes.len() - pos) / 12) as u128 * u32::MAX as u128;
+    if shape.len() as u128 > max_coverable {
+        return Err(err("declared lattice larger than the stream can cover"));
+    }
 
     let mut data: Vec<S> = Vec::with_capacity(shape.len());
     while data.len() < shape.len() {

@@ -41,6 +41,16 @@ pub enum LatticeError {
     },
     /// A configuration value was outside its legal range.
     InvalidConfig(String),
+    /// Data failed an integrity check: a checkpoint that does not parse,
+    /// a stream whose parity word disagrees, or a lattice that violates
+    /// a conservation law it must satisfy.
+    Corrupted {
+        /// Where the corruption was detected (e.g. `"checkpoint"`,
+        /// `"stage 3 output link"`, `"audit: particle count"`).
+        site: String,
+        /// What the check observed.
+        detail: String,
+    },
 }
 
 impl fmt::Display for LatticeError {
@@ -60,6 +70,9 @@ impl fmt::Display for LatticeError {
                 write!(f, "length mismatch: expected {expected}, got {actual}")
             }
             LatticeError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            LatticeError::Corrupted { site, detail } => {
+                write!(f, "corrupted data at {site}: {detail}")
+            }
         }
     }
 }
@@ -85,6 +98,9 @@ mod tests {
         assert!(e.to_string().contains("expected 5"));
         let e = LatticeError::InvalidConfig("bad".into());
         assert!(e.to_string().contains("bad"));
+        let e = LatticeError::Corrupted { site: "stage 3".into(), detail: "parity".into() };
+        assert!(e.to_string().contains("stage 3"));
+        assert!(e.to_string().contains("parity"));
     }
 
     #[test]

@@ -101,18 +101,14 @@ impl<S: State> Grid<S> {
     pub fn neighbor(&self, c: Coord, delta: &[isize], boundary: Boundary<S>) -> S {
         match boundary {
             Boundary::Periodic => {
-                let nc = self
-                    .shape
-                    .offset(c, delta, true)
-                    .expect("periodic offset is always in bounds");
+                let nc =
+                    self.shape.offset(c, delta, true).expect("periodic offset is always in bounds");
                 self.get(nc)
             }
-            Boundary::Fixed(fill) => {
-                match self.shape.offset(c, delta, false) {
-                    Some(nc) => self.get(nc),
-                    None => fill,
-                }
-            }
+            Boundary::Fixed(fill) => match self.shape.offset(c, delta, false) {
+                Some(nc) => self.get(nc),
+                None => fill,
+            },
         }
     }
 

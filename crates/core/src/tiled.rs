@@ -51,7 +51,8 @@ pub fn evolve_tiled<R: Rule>(
         return Ok(grid.clone());
     }
     let k = steps as usize;
-    let (rows, cols) = if shape.rank() == 2 { (shape.rows(), shape.cols()) } else { (1, shape.cols()) };
+    let (rows, cols) =
+        if shape.rank() == 2 { (shape.rows(), shape.cols()) } else { (1, shape.cols()) };
     let skirt = tile + 2 * k;
     let mut out = Grid::new(shape);
 
@@ -96,17 +97,31 @@ pub fn evolve_tiled<R: Rule>(
                         // center (distance from tile > remaining steps).
                         let remaining = (k - 1 - j) as isize;
                         let dist_r = if shape.rank() == 2 {
-                            (tr as isize - gr).max(gr - (tr + tile - 1).min(rows - 1) as isize).max(0)
+                            (tr as isize - gr)
+                                .max(gr - (tr + tile - 1).min(rows - 1) as isize)
+                                .max(0)
                         } else {
                             0
                         };
-                        let dist_c =
-                            (tc as isize - gc).max(gc - (tc + tile - 1).min(cols - 1) as isize).max(0);
+                        let dist_c = (tc as isize - gc)
+                            .max(gc - (tc + tile - 1).min(cols - 1) as isize)
+                            .max(0);
                         if dist_r > remaining + 1 || dist_c > remaining + 1 {
                             continue;
                         }
                         next[lr * skirt + lc] = eval_cell(
-                            rule, &cur, skirt, srows, lr, lc, or, oc, rows, cols, gen, shape.rank(),
+                            rule,
+                            &cur,
+                            skirt,
+                            srows,
+                            lr,
+                            lc,
+                            or,
+                            oc,
+                            rows,
+                            cols,
+                            gen,
+                            shape.rank(),
                         );
                     }
                 }
@@ -182,11 +197,8 @@ fn eval_cell<R: Rule>(
         }
     }
     debug_assert_eq!(idx, window_len(rank));
-    let coord = if rank == 2 {
-        Coord::c2(gr as usize, gc as usize)
-    } else {
-        Coord::c1(gc as usize)
-    };
+    let coord =
+        if rank == 2 { Coord::c2(gr as usize, gc as usize) } else { Coord::c1(gc as usize) };
     let w = Window::from_cells(rank, coord, gen, cells);
     rule.update(&w)
 }
@@ -229,10 +241,7 @@ mod tests {
                 for tile in [1usize, 3, 8, 40] {
                     let reference = evolve(&g, &Mix, Boundary::null(), 5, steps);
                     let tiled = evolve_tiled(&g, &Mix, 5, steps, tile).unwrap();
-                    assert_eq!(
-                        tiled, reference,
-                        "{rows}x{cols} steps={steps} tile={tile}"
-                    );
+                    assert_eq!(tiled, reference, "{rows}x{cols} steps={steps} tile={tile}");
                 }
             }
         }

@@ -15,12 +15,9 @@ struct MixRule;
 impl Rule for MixRule {
     type S = u8;
     fn update(&self, w: &Window<u8>) -> u8 {
-        w.cells()
-            .iter()
-            .enumerate()
-            .fold(w.time() as u8, |acc, (i, &c)| {
-                acc.wrapping_mul(31).wrapping_add(c).wrapping_add(i as u8)
-            })
+        w.cells().iter().enumerate().fold(w.time() as u8, |acc, (i, &c)| {
+            acc.wrapping_mul(31).wrapping_add(c).wrapping_add(i as u8)
+        })
     }
 }
 

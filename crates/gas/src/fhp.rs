@@ -67,7 +67,8 @@ pub enum FhpDir {
 }
 
 /// All six directions in channel-bit order.
-pub const FHP_DIRS: [FhpDir; 6] = [FhpDir::E, FhpDir::NE, FhpDir::NW, FhpDir::W, FhpDir::SW, FhpDir::SE];
+pub const FHP_DIRS: [FhpDir; 6] =
+    [FhpDir::E, FhpDir::NE, FhpDir::NW, FhpDir::W, FhpDir::SW, FhpDir::SE];
 
 impl FhpDir {
     /// Channel bit.
@@ -345,8 +346,7 @@ impl FhpRule {
 
     /// Post-collision state of a site, given its window metadata.
     fn collide_at(&self, state: u8, row: usize, col: usize, time: u64) -> u8 {
-        let chirality =
-            prng::site_bit(((row as u64) << 32) | col as u64, time, self.seed);
+        let chirality = prng::site_bit(((row as u64) << 32) | col as u64, time, self.seed);
         self.table.collide(state, chirality)
     }
 }
@@ -569,9 +569,7 @@ mod tests {
     #[test]
     fn mass_and_momentum_conserved_on_even_torus() {
         let shape = Shape::grid2(8, 10).unwrap();
-        for (variant, seed) in
-            [(FhpVariant::I, 3u64), (FhpVariant::II, 4), (FhpVariant::III, 5)]
-        {
+        for (variant, seed) in [(FhpVariant::I, 3u64), (FhpVariant::II, 4), (FhpVariant::III, 5)] {
             let rule = FhpRule::new(variant, seed).with_wrap(8, 10);
             let mask = variant.gas_mask();
             let g = Grid::from_fn(shape, |c| {
@@ -593,8 +591,7 @@ mod tests {
         let g2 = evolve(&g, &rule, Boundary::Periodic, 0, 2);
         // Particle bounced: traveling W, back at its start site.
         assert_eq!(g2.get(Coord::c2(2, 2)), FhpDir::W.bit());
-        let mass: u32 =
-            g2.as_slice().iter().map(|&s| (s & FHP_GAS_MASK).count_ones()).sum();
+        let mass: u32 = g2.as_slice().iter().map(|&s| (s & FHP_GAS_MASK).count_ones()).sum();
         assert_eq!(mass, 1);
     }
 

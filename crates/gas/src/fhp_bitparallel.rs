@@ -62,9 +62,7 @@ impl FhpBitLattice {
         }
         let (rows, cols) = (shape.rows(), shape.cols());
         if rows % 2 != 0 {
-            return Err(LatticeError::InvalidConfig(
-                "hex torus needs an even row count".into(),
-            ));
+            return Err(LatticeError::InvalidConfig("hex torus needs an even row count".into()));
         }
         let wpr = cols.div_ceil(64);
         let mut planes: [Vec<u64>; 6] = Default::default();
@@ -129,8 +127,8 @@ impl FhpBitLattice {
                 | (s[1] & s[3] & s[5] & !s[0] & !s[2] & !s[4]);
             let mask = if (i + 1) % wpr == 0 { tail_mask } else { u64::MAX };
             for j in 0..6 {
-                let tog = (db[j % 3] | (xi & db[(j + 2) % 3]) | (!xi & db[(j + 1) % 3]) | tri)
-                    & mask;
+                let tog =
+                    (db[j % 3] | (xi & db[(j + 2) % 3]) | (!xi & db[(j + 1) % 3]) | tri) & mask;
                 self.planes[j][i] = s[j] ^ tog;
             }
         }

@@ -187,9 +187,8 @@ mod tests {
     fn mass_momentum_conserved_random_ring() {
         let shape = Shape::line(64).unwrap();
         let rule = Gas1dRule::new(5).with_wrap(64);
-        let g = Grid::from_fn(shape, |c| {
-            (prng::site_hash(c.col() as u64, 0, 3) as u8) & GAS1D_MASK
-        });
+        let g =
+            Grid::from_fn(shape, |c| (prng::site_hash(c.col() as u64, 0, 3) as u8) & GAS1D_MASK);
         let before = totals(&g);
         let gn = evolve(&g, &rule, Boundary::Periodic, 0, 50);
         assert_eq!(totals(&gn), before);

@@ -174,10 +174,10 @@ mod tests {
 
     #[test]
     fn velocities_are_balanced() {
-        for i in 0..N_DIRS {
+        for (i, v) in VELOCITIES.iter().enumerate() {
             let o = opposite(i);
-            for axis in 0..3 {
-                assert_eq!(VELOCITIES[i][axis] + VELOCITIES[o][axis], 0);
+            for (axis, c) in v.iter().enumerate() {
+                assert_eq!(c + VELOCITIES[o][axis], 0);
             }
         }
     }

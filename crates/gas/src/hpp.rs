@@ -14,10 +14,10 @@
 //! direction, the post-collision particle leaving the appropriate
 //! neighbor toward `a`.
 
-use crate::table::{CollisionTable, Invariants};
-use crate::{is_obstacle, OBSTACLE_BIT};
 #[cfg(test)]
 use crate::prng;
+use crate::table::{CollisionTable, Invariants};
+use crate::{is_obstacle, OBSTACLE_BIT};
 use lattice_core::{Rule, Window};
 
 /// Particle channel directions, counterclockwise from +x.

@@ -155,13 +155,7 @@ pub fn hpp_density_step(
     let shape = Shape::grid2(rows, cols)?;
     let left = random_mask_grid(shape, HPP_MASK, high, seed);
     let right = random_mask_grid(shape, HPP_MASK, low, seed.wrapping_add(1));
-    Ok(Grid::from_fn(shape, |c| {
-        if c.col() < cols / 2 {
-            left.get(c)
-        } else {
-            right.get(c)
-        }
-    }))
+    Ok(Grid::from_fn(shape, |c| if c.col() < cols / 2 { left.get(c) } else { right.get(c) }))
 }
 
 #[cfg(test)]
@@ -237,14 +231,18 @@ mod tests {
     #[test]
     fn density_step_has_gradient() {
         let g = hpp_density_step(32, 64, 0.8, 0.1, 9).unwrap();
-        let left: u32 = (0..32 * 32).map(|i| {
-            let c = Coord::c2(i / 32, i % 32);
-            (g.get(c) & HPP_MASK).count_ones()
-        }).sum();
-        let right: u32 = (0..32 * 32).map(|i| {
-            let c = Coord::c2(i / 32, 32 + i % 32);
-            (g.get(c) & HPP_MASK).count_ones()
-        }).sum();
+        let left: u32 = (0..32 * 32)
+            .map(|i| {
+                let c = Coord::c2(i / 32, i % 32);
+                (g.get(c) & HPP_MASK).count_ones()
+            })
+            .sum();
+        let right: u32 = (0..32 * 32)
+            .map(|i| {
+                let c = Coord::c2(i / 32, 32 + i % 32);
+                (g.get(c) & HPP_MASK).count_ones()
+            })
+            .sum();
         assert!(left > right * 3, "left {left}, right {right}");
     }
 

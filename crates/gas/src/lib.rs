@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod bitparallel;
 pub mod eca;
 pub mod fhp;
@@ -49,6 +50,7 @@ pub mod prng;
 pub mod reynolds;
 pub mod table;
 
+pub use audit::{AuditMode, ConservationAudit, InvariantSnapshot};
 pub use eca::ElementaryCa;
 pub use fhp::{FhpRule, FhpVariant};
 pub use gas1d::Gas1dRule;

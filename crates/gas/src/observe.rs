@@ -28,6 +28,17 @@ impl Model {
         }
     }
 
+    /// Mask of the bits a legal state byte may set: the model's gas
+    /// channels plus the obstacle flag. Anything outside is not a state
+    /// the rules can produce — a set bit there marks corrupted data.
+    pub fn legal_mask(self) -> u8 {
+        let gas = match self {
+            Model::Hpp => HPP_MASK,
+            Model::Fhp => FHP_GAS_MASK,
+        };
+        gas | crate::OBSTACLE_BIT
+    }
+
     /// Momentum of one site in the model's integer basis.
     pub fn momentum_of(self, s: u8) -> (i32, i32) {
         let inv = match self {
@@ -128,13 +139,15 @@ impl CoarseField {
         let momentum = mom
             .iter()
             .zip(&sites)
-            .map(|(&(x, y), &n)| {
-                if n == 0 {
-                    (0.0, 0.0)
-                } else {
-                    (x as f64 / n as f64, y as f64 / n as f64)
-                }
-            })
+            .map(
+                |(&(x, y), &n)| {
+                    if n == 0 {
+                        (0.0, 0.0)
+                    } else {
+                        (x as f64 / n as f64, y as f64 / n as f64)
+                    }
+                },
+            )
             .collect();
         CoarseField { rows, cols, density, momentum }
     }

@@ -272,10 +272,7 @@ mod tests {
         let (before, after) = hpp_pulse_radius(64, 20, 5, 0.0);
         assert!(before < 8.0, "initial pulse should be compact: {before}");
         // Ballistic spreading: a macroscopic advance in 20 steps…
-        assert!(
-            after > before + 5.0,
-            "pulse did not propagate: {before} -> {after}"
-        );
+        assert!(after > before + 5.0, "pulse did not propagate: {before} -> {after}");
         // …but no faster than one site per step (the lattice light cone).
         assert!(after < before + 20.0 + 1.0);
     }

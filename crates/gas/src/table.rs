@@ -154,9 +154,8 @@ impl CollisionTable {
     /// True when the table is an involution for both chirality values
     /// (collide ∘ collide = identity), a common micro-reversibility check.
     pub fn is_involution(&self) -> bool {
-        (0..=255u8).all(|s| {
-            [false, true].into_iter().all(|c| self.collide(self.collide(s, c), c) == s)
-        })
+        (0..=255u8)
+            .all(|s| [false, true].into_iter().all(|c| self.collide(self.collide(s, c), c) == s))
     }
 }
 
@@ -226,7 +225,15 @@ mod tests {
             "half",
             |s| s <= 3,
             popcount_inv,
-            |s, _| if s == 0b01 { 0b10 } else if s == 0b10 { 0b01 } else { s },
+            |s, _| {
+                if s == 0b01 {
+                    0b10
+                } else if s == 0b10 {
+                    0b01
+                } else {
+                    s
+                }
+            },
         )
         .unwrap();
         // Domain {0,1,2,3}: states 1 and 2 change → 0.5.

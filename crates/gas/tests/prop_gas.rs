@@ -10,11 +10,7 @@ use proptest::prelude::*;
 
 fn mass_momentum_2d(g: &Grid<u8>, fhp: bool) -> (u64, i64, i64) {
     g.as_slice().iter().fold((0, 0, 0), |(m, px, py), &s| {
-        let inv = if fhp {
-            fhp_invariants(s & FHP_GAS_MASK)
-        } else {
-            hpp_invariants(s & HPP_MASK)
-        };
+        let inv = if fhp { fhp_invariants(s & FHP_GAS_MASK) } else { hpp_invariants(s & HPP_MASK) };
         (m + inv.mass as u64, px + inv.momentum[0] as i64, py + inv.momentum[1] as i64)
     })
 }
@@ -165,10 +161,14 @@ proptest! {
     }
 }
 
+/// A collision table under test: the table itself, the invariant
+/// extractor for its gas, and the gas-channel mask.
+type TableCase = (lattice_gas::CollisionTable, fn(u8) -> lattice_gas::table::Invariants, u8);
+
 /// Exhaustive: every entry of every table conserves its invariants.
 #[test]
 fn all_tables_conserve_exhaustively() {
-    let cases: Vec<(lattice_gas::CollisionTable, fn(u8) -> lattice_gas::table::Invariants, u8)> = vec![
+    let cases: Vec<TableCase> = vec![
         (hpp_table(), hpp_invariants, HPP_MASK),
         (fhp_table(FhpVariant::I), fhp_invariants, FHP_GAS_MASK),
         (fhp_table(FhpVariant::II), fhp_invariants, FHP_GAS_MASK),

@@ -36,11 +36,7 @@ mod tests {
         let shape = Shape::grid2(10, 10).unwrap();
         let mut img: Grid<u8> = Grid::from_fn(shape, |c| if c.col() >= 5 { 180 } else { 20 });
         img.set(Coord::c2(4, 2), 255); // noise speck in the dark half
-        let out = run_stages(
-            &img,
-            &[&Median3, &BoxBlur, &Threshold(100)],
-            Boundary::Periodic,
-        );
+        let out = run_stages(&img, &[&Median3, &BoxBlur, &Threshold(100)], Boundary::Periodic);
         // Binary output, speck gone, halves separated.
         assert!(out.as_slice().iter().all(|&p| p == 0 || p == 255));
         assert_eq!(out.get(Coord::c2(4, 2)), 0);

@@ -228,13 +228,8 @@ mod tests {
 
     #[test]
     fn division_counts_blocks() {
-        let log = vec![
-            Move::Read(0),
-            Move::Compute(3),
-            Move::Read(1),
-            Move::Write(3),
-            Move::Read(2),
-        ];
+        let log =
+            vec![Move::Read(0), Move::Compute(3), Move::Read(1), Move::Write(3), Move::Read(2)];
         let d = IoDivision::new(&log, 2);
         assert_eq!(d.h(), 2);
         assert_eq!(d.q, 4);

@@ -82,7 +82,9 @@ impl fmt::Display for GameError {
             GameError::PredNotRed { vertex, missing } => {
                 write!(f, "cannot compute {vertex}: predecessor {missing} not red")
             }
-            GameError::ComputeInput(v) => write!(f, "vertex {v} is an input; inputs are read, not computed"),
+            GameError::ComputeInput(v) => {
+                write!(f, "vertex {v} is an input; inputs are read, not computed")
+            }
             GameError::CapacityExceeded { s } => write!(f, "red pebble capacity S = {s} exceeded"),
             GameError::NothingToRemove(v) => write!(f, "vertex {v} has no such pebble"),
             GameError::BadVertex(v) => write!(f, "vertex {v} out of range"),
@@ -360,13 +362,7 @@ mod tests {
     fn happy_path_counts_io() {
         let g = tiny();
         let mut game = Game::new(&g, 3);
-        game.apply_all([
-            Move::Read(0),
-            Move::Read(1),
-            Move::Compute(2),
-            Move::Write(2),
-        ])
-        .unwrap();
+        game.apply_all([Move::Read(0), Move::Read(1), Move::Compute(2), Move::Write(2)]).unwrap();
         assert!(game.is_complete());
         assert_eq!(game.io_moves(), 3);
         assert_eq!(game.computations(), 1);

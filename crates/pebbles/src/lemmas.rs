@@ -72,12 +72,13 @@ pub fn lemma4_holds(g: &LatticeGraph, site: usize, t: usize, span: usize) -> boo
         Some(d) => d,
         None => return false,
     };
-    (0..(g.t() + 1) * g.layer_len())
-        .filter(|&w| du[w] == Some(half))
-        .all(|w| match distances_from(g, w)[v] {
-            Some(dwv) => half + dwv == duv,
-            None => false,
-        })
+    (0..(g.t() + 1) * g.layer_len()).filter(|&w| du[w] == Some(half)).all(|w| match distances_from(
+        g, w,
+    )[v]
+    {
+        Some(dwv) => half + dwv == duv,
+        None => false,
+    })
 }
 
 /// Lattice-side BFS: sites of `G` reachable from `x` within `j` steps.
@@ -190,9 +191,8 @@ mod tests {
             let g = LatticeGraph::new(d, r, t);
             let du = distances_from(&g, 0);
             for j in 0..=t {
-                let reached = (0..g.layer_len())
-                    .filter(|&z| du[g.vertex(z, j)] == Some(j))
-                    .count() as u64;
+                let reached =
+                    (0..g.layer_len()).filter(|&z| du[g.vertex(z, j)] == Some(j)).count() as u64;
                 assert_eq!(reached, line_spread(d, r, j), "d={d} j={j}");
             }
         }

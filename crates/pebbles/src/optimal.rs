@@ -36,10 +36,7 @@ pub fn min_io_exact<G: PebbleGraph>(graph: &G, s: usize) -> Option<u64> {
 
 /// Like [`min_io_exact`], but also reconstructs an optimal move
 /// sequence, replayable on a rule-checking [`crate::Game`].
-pub fn min_io_exact_with_plan<G: PebbleGraph>(
-    graph: &G,
-    s: usize,
-) -> Option<(u64, Vec<Move>)> {
+pub fn min_io_exact_with_plan<G: PebbleGraph>(graph: &G, s: usize) -> Option<(u64, Vec<Move>)> {
     min_io_search(graph, s, true).map(|(q, plan)| (q, plan.expect("plan requested")))
 }
 

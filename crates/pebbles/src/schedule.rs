@@ -95,7 +95,7 @@ mod tests {
         let g = LatticeGraph::new(1, 16, 8);
         let run = parallel_layer_sweep(&g, 2 * 16 + 4, 4).unwrap();
         assert_eq!(run.io_moves, 32); // 16 in + 16 out
-        // Cycles: 4 load + 8 compute + 4 drain.
+                                      // Cycles: 4 load + 8 compute + 4 drain.
         assert_eq!(run.cycles, 16);
         assert_eq!(run.updates, 128);
         assert!(run.max_red_used <= 2 * 16 + 4);
@@ -131,9 +131,6 @@ mod tests {
     #[test]
     fn undersized_registers_fail_loudly() {
         let g = LatticeGraph::new(1, 16, 4);
-        assert!(matches!(
-            parallel_layer_sweep(&g, 15, 4),
-            Err(GameError::CapacityExceeded { .. })
-        ));
+        assert!(matches!(parallel_layer_sweep(&g, 15, 4), Err(GameError::CapacityExceeded { .. })));
     }
 }

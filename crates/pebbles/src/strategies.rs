@@ -72,7 +72,10 @@ pub fn naive_sweep_logged(
     Ok((stats_from(&game, graph), log))
 }
 
-fn naive_sweep_on(game: &mut Game<'_, LatticeGraph>, graph: &LatticeGraph) -> Result<(), GameError> {
+fn naive_sweep_on(
+    game: &mut Game<'_, LatticeGraph>,
+    graph: &LatticeGraph,
+) -> Result<(), GameError> {
     let mut nb = Vec::new();
     for layer in 1..=graph.t() {
         for site in 0..graph.layer_len() {
@@ -184,9 +187,8 @@ fn tiled_schedule_on(
         // game would catch it move-by-move — reject it up front instead.
         return Err(GameError::PredNotRed { vertex: 0, missing: 0 });
     }
-    let plan = plan
-        .or_else(|| TilePlan::auto(graph.d(), s))
-        .ok_or(GameError::CapacityExceeded { s })?;
+    let plan =
+        plan.or_else(|| TilePlan::auto(graph.d(), s)).ok_or(GameError::CapacityExceeded { s })?;
     let d = graph.d();
     let r = graph.r();
 
@@ -300,10 +302,7 @@ mod tests {
             for s in [2 * 3usize.pow(d as u32), 100, 1000, 10000] {
                 if let Some(p) = TilePlan::auto(d, s) {
                     assert!(p.b >= 1 && p.h >= 1);
-                    assert!(
-                        2 * p.block_side().pow(d as u32) <= s,
-                        "d={d} s={s} plan={p:?}"
-                    );
+                    assert!(2 * p.block_side().pow(d as u32) <= s, "d={d} s={s} plan={p:?}");
                 }
             }
             assert!(TilePlan::auto(d, 2 * 3usize.pow(d as u32) - 1).is_none());
@@ -362,10 +361,7 @@ mod tests {
     #[test]
     fn tiled_errors_when_capacity_too_small() {
         let g = LatticeGraph::new(2, 8, 4);
-        assert!(matches!(
-            tiled_schedule(&g, 5, None),
-            Err(GameError::CapacityExceeded { .. })
-        ));
+        assert!(matches!(tiled_schedule(&g, 5, None), Err(GameError::CapacityExceeded { .. })));
         // Explicit oversized plan against tiny S is caught by the game.
         assert!(tiled_schedule(&g, 6, Some(TilePlan { b: 4, h: 4 })).is_err());
     }

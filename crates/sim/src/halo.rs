@@ -10,6 +10,7 @@
 //! when it allows boundaries to be "toroidally connected with full
 //! connectivity".
 
+use crate::faults::FaultStats;
 use crate::metrics::EngineReport;
 use crate::pipeline::Pipeline;
 use lattice_core::bits::Traffic;
@@ -64,6 +65,7 @@ pub fn run_periodic<R: Rule>(
     let mut pins = Traffic::new();
     let mut ticks = 0u64;
     let mut sr = 0u64;
+    let mut faults = FaultStats::default();
     let origin = (0usize.wrapping_sub(1), 0usize.wrapping_sub(1));
     for g in 0..generations {
         let framed = frame_periodic(&current)?;
@@ -73,6 +75,7 @@ pub fn run_periodic<R: Rule>(
         pins.merge(report.pin_traffic);
         ticks += report.ticks;
         sr = sr.max(report.sr_cells_per_stage);
+        faults.merge(report.faults);
     }
     Ok(EngineReport {
         grid: current,
@@ -86,6 +89,7 @@ pub fn run_periodic<R: Rule>(
         sr_cells_per_stage: sr,
         stages: 1,
         width: p as u32,
+        faults,
     })
 }
 

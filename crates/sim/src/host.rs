@@ -9,11 +9,12 @@
 //! estimates — the quantity §8's "approximately 1 million site-updates
 //! per second from the prototype" is about.
 
+use crate::faults::{FaultCtx, FaultPlan, FaultStats};
 use crate::memory::HostLink;
 use crate::metrics::EngineReport;
-use crate::pipeline::Pipeline;
+use crate::pipeline::{Pipeline, RunOptions};
 use lattice_core::bits::Traffic;
-use lattice_core::{Grid, LatticeError, Rule};
+use lattice_core::{checkpoint, Grid, LatticeError, Rule};
 
 /// A host-attached lattice engine.
 #[derive(Debug, Clone, Copy)]
@@ -106,6 +107,199 @@ impl HostSystem {
     }
 }
 
+/// Recovery policy for [`HostSystem::run_with_recovery`].
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryConfig {
+    /// Rollback-and-retry attempts per checkpoint window before the
+    /// host escalates (degraded mode, or giving up).
+    pub max_retries: u32,
+    /// Passes between checkpoints (`1` = checkpoint every pass; larger
+    /// values trade rollback distance for checkpoint bandwidth).
+    pub checkpoint_every: u64,
+    /// Whether the host may take a chip it has localized a permanent
+    /// fault to out of service and continue at reduced pipeline depth.
+    pub allow_degraded: bool,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig { max_retries: 3, checkpoint_every: 1, allow_degraded: true }
+    }
+}
+
+/// What the recovery machinery did during a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Corruption detections (failed parity, audit, or engine error).
+    pub detected: u64,
+    /// Rollbacks to the last checkpoint.
+    pub rollbacks: u64,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+    /// Total checkpoint bytes written.
+    pub checkpoint_bytes: u64,
+    /// Chips taken out of service (degraded mode).
+    pub bypassed_chips: u64,
+}
+
+/// A fault-tolerant run: the ordinary [`SystemRun`] plus what the fault
+/// and recovery layers saw.
+#[derive(Debug, Clone)]
+pub struct FtRun<S: lattice_core::State> {
+    /// The underlying run summary (grid, timing, traffic).
+    pub run: SystemRun<S>,
+    /// Fault events injected over the whole run, retries included.
+    pub faults: FaultStats,
+    /// Recovery actions taken.
+    pub recovery: RecoveryStats,
+    /// Chips still in service at the end (= configured depth unless
+    /// degraded mode bypassed some).
+    pub chips_in_service: usize,
+}
+
+/// Extracts the physical chip a corruption report localizes, if any.
+/// Link-parity failures name their chip (`"chip N output link"`); audit
+/// failures describe the whole lattice and cannot be localized.
+fn suspect_chip(e: &LatticeError) -> Option<usize> {
+    if let LatticeError::Corrupted { site, .. } = e {
+        site.strip_prefix("chip ")
+            .and_then(|rest| rest.split_whitespace().next())
+            .and_then(|n| n.parse().ok())
+    } else {
+        None
+    }
+}
+
+impl HostSystem {
+    /// [`HostSystem::run`] hardened against hardware faults: periodic
+    /// checkpoints, per-pass integrity checks, rollback-and-retry, and
+    /// (optionally) degraded-mode operation.
+    ///
+    /// Per pass the host runs the engine with `plan`'s faults active at
+    /// the current `(pass, attempt)` epoch, then applies `audit` to the
+    /// pass's input and output lattices (e.g. a
+    /// `lattice_gas::ConservationAudit` check, made into a closure so
+    /// this crate stays gas-agnostic). Any engine error or audit
+    /// violation triggers a rollback: the lattice and generation are
+    /// restored from the last checkpoint (through the real
+    /// [`checkpoint`] codec — the bytes a production host would have
+    /// written to storage), the attempt counter bumps (re-seeding
+    /// transient draws), and the window is retried up to
+    /// [`RecoveryConfig::max_retries`] times. If retries are exhausted
+    /// and the failure is localized to one chip, degraded mode takes
+    /// that chip out of service and continues at reduced depth;
+    /// otherwise the last error is returned.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_with_recovery<R: Rule>(
+        &self,
+        rule: &R,
+        grid: &Grid<R::S>,
+        t0: u64,
+        generations: u64,
+        plan: Option<&FaultPlan>,
+        cfg: &RecoveryConfig,
+        mut audit: impl FnMut(&Grid<R::S>, &Grid<R::S>) -> Result<(), LatticeError>,
+    ) -> Result<FtRun<R::S>, LatticeError> {
+        if cfg.checkpoint_every == 0 {
+            return Err(LatticeError::InvalidConfig("checkpoint interval must be ≥ 1".into()));
+        }
+        let fault_base = plan.map(|p| p.stats()).unwrap_or_default();
+        let mut chips: Vec<usize> = (0..self.engine.depth).collect();
+        let mut current = grid.clone();
+        let t_start = t0;
+        let t_end = t0 + generations;
+        let mut t_now = t0;
+        let mut recovery = RecoveryStats::default();
+        let mut pass = 0u64; // logical pass number (fault-epoch key)
+        let mut attempt = 0u64; // bumped per rollback; re-seeds transients
+        let mut retries_left = cfg.max_retries;
+        let mut passes_since_ckpt = 0u64;
+        let mut passes = 0u64;
+        let mut ticks = 0u64;
+        let mut memory = Traffic::new();
+        let mut demand_sum = 0.0f64;
+
+        let mut ckpt = checkpoint::save(&current, t_now);
+        recovery.checkpoints = 1;
+        recovery.checkpoint_bytes = ckpt.len() as u64;
+
+        while t_now < t_end {
+            if passes_since_ckpt >= cfg.checkpoint_every {
+                ckpt = checkpoint::save(&current, t_now);
+                recovery.checkpoints += 1;
+                recovery.checkpoint_bytes += ckpt.len() as u64;
+                passes_since_ckpt = 0;
+                retries_left = cfg.max_retries;
+            }
+            let depth = chips.len().min((t_end - t_now) as usize);
+            let opts = RunOptions {
+                faults: plan.map(|p| FaultCtx::at(p, pass, attempt)),
+                chip_ids: Some(&chips[..depth]),
+                ..RunOptions::default()
+            };
+            let outcome = Pipeline::wide(self.engine.width, depth)
+                .run_opts(rule, &current, t_now, opts)
+                .and_then(|report| audit(&current, &report.grid).map(|()| report));
+            match outcome {
+                Ok(report) => {
+                    demand_sum += report.memory_bits_per_tick() * report.ticks as f64;
+                    ticks += report.ticks;
+                    memory.merge(report.memory_traffic);
+                    current = report.grid;
+                    t_now += depth as u64;
+                    pass += 1;
+                    passes += 1;
+                    passes_since_ckpt += 1;
+                }
+                Err(e) => {
+                    recovery.detected += 1;
+                    if retries_left == 0 {
+                        // Retry cannot clear a permanent fault; if the
+                        // failure names a chip, take that chip out of
+                        // service and keep going at reduced depth.
+                        match suspect_chip(&e) {
+                            Some(victim) if cfg.allow_degraded && chips.len() > 1 => {
+                                chips.retain(|&c| c != victim);
+                                recovery.bypassed_chips += 1;
+                                retries_left = cfg.max_retries;
+                            }
+                            _ => return Err(e),
+                        }
+                    } else {
+                        retries_left -= 1;
+                    }
+                    // Roll back through the real checkpoint codec.
+                    let (g, t) = checkpoint::load::<R::S>(&ckpt)?;
+                    current = g;
+                    t_now = t;
+                    attempt += 1;
+                    recovery.rollbacks += 1;
+                    passes_since_ckpt = 0;
+                }
+            }
+        }
+
+        let avg_demand = if ticks == 0 { 0.0 } else { demand_sum / ticks as f64 };
+        let supply = self.link.bits_per_tick(self.clock_hz);
+        let duty = if avg_demand <= 0.0 { 1.0 } else { (supply / avg_demand).min(1.0) };
+        let seconds = ticks as f64 / (self.clock_hz * duty);
+        Ok(FtRun {
+            run: SystemRun {
+                grid: current,
+                generations: t_end - t_start,
+                passes,
+                ticks,
+                memory_traffic: memory,
+                duty_cycle: duty,
+                seconds,
+            },
+            faults: plan.map(|p| p.stats().since(fault_base)).unwrap_or_default(),
+            recovery,
+            chips_in_service: chips.len(),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,11 +315,8 @@ mod tests {
     #[test]
     fn multi_pass_is_bit_exact() {
         let (g, rule) = workload();
-        let sys = HostSystem {
-            engine: Pipeline::wide(2, 3),
-            link: HostLink::new(1e9),
-            clock_hz: 10e6,
-        };
+        let sys =
+            HostSystem { engine: Pipeline::wide(2, 3), link: HostLink::new(1e9), clock_hz: 10e6 };
         // 7 generations = passes of 3 + 3 + 1, stitched with correct t0.
         let run = sys.run(&rule, &g, 0, 7).unwrap();
         let reference = evolve(&g, &rule, Boundary::null(), 0, 7);
@@ -152,11 +343,8 @@ mod tests {
     #[test]
     fn slow_link_derates_proportionally() {
         let (g, rule) = workload();
-        let fast = HostSystem {
-            engine: Pipeline::wide(2, 2),
-            link: HostLink::new(40e6),
-            clock_hz: 10e6,
-        };
+        let fast =
+            HostSystem { engine: Pipeline::wide(2, 2), link: HostLink::new(40e6), clock_hz: 10e6 };
         let slow = HostSystem { link: HostLink::new(2e6), ..fast };
         let f = fast.run(&rule, &g, 0, 4).unwrap();
         let s = slow.run(&rule, &g, 0, 4).unwrap();
@@ -169,11 +357,8 @@ mod tests {
     #[test]
     fn deeper_passes_cut_memory_traffic() {
         let (g, rule) = workload();
-        let shallow = HostSystem {
-            engine: Pipeline::wide(1, 1),
-            link: HostLink::new(1e9),
-            clock_hz: 10e6,
-        };
+        let shallow =
+            HostSystem { engine: Pipeline::wide(1, 1), link: HostLink::new(1e9), clock_hz: 10e6 };
         let deep = HostSystem { engine: Pipeline::wide(1, 6), ..shallow };
         let a = shallow.run(&rule, &g, 0, 6).unwrap();
         let b = deep.run(&rule, &g, 0, 6).unwrap();

@@ -22,6 +22,10 @@
 //!   the token-bucket stall model that turns the prototype's 20 M
 //!   updates/s/chip into the realized ~1 M updates/s (§8).
 //! * [`halo`] — host-side halo framing for periodic boundaries.
+//! * [`faults`] — seeded, stream-position-keyed hardware fault
+//!   injection (stuck-at and transient bit-flips in shift registers,
+//!   PE outputs, links, side channels); [`host`] adds checkpoint
+//!   rollback and degraded-mode recovery on top.
 //!
 //! **Verification contract**: every engine must produce the *bit-exact*
 //! lattice the reference `lattice_core::evolve` produces for the same
@@ -31,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod halo;
 pub mod host;
 pub mod memory;
@@ -43,10 +48,11 @@ pub mod threaded;
 pub mod waveform;
 pub mod wsae;
 
-pub use host::{HostSystem, SystemRun};
+pub use faults::{Component, Fault, FaultCtx, FaultKind, FaultPlan, FaultStats};
+pub use host::{FtRun, HostSystem, RecoveryConfig, RecoveryStats, SystemRun};
 pub use memory::{throttled_rate, HostLink, StallSim};
 pub use metrics::EngineReport;
-pub use pipeline::Pipeline;
+pub use pipeline::{Pipeline, RunOptions};
 pub use spa::SpaEngine;
 pub use spa_lockstep::SpaLockstep;
 pub use stage::{LineBufferStage, StageConfig};

@@ -1,5 +1,6 @@
 //! Measured engine figures.
 
+use crate::faults::FaultStats;
 use lattice_core::bits::Traffic;
 use lattice_core::{Grid, State};
 
@@ -31,6 +32,9 @@ pub struct EngineReport<S: State> {
     pub stages: u32,
     /// PEs per stage.
     pub width: u32,
+    /// Fault events injected during this run (all zero when injection is
+    /// disabled).
+    pub faults: FaultStats,
 }
 
 impl<S: State> EngineReport<S> {
@@ -87,6 +91,7 @@ mod tests {
             sr_cells_per_stage: 23,
             stages: 2,
             width: 1,
+            faults: FaultStats::default(),
         }
     }
 

@@ -7,10 +7,31 @@
 //! only the incremental amount of memory needed to store the extra
 //! sites… two new site values are required every clock period").
 
+use crate::faults::{Component, FaultCtx, FaultHook};
 use crate::metrics::EngineReport;
 use crate::stage::{LineBufferStage, StageConfig};
-use lattice_core::bits::Traffic;
+use lattice_core::bits::{StreamParity, Traffic};
 use lattice_core::{Grid, LatticeError, Rule, State};
+
+/// Per-run options beyond the geometry: the stream origin, fault
+/// injection, and the physical-chip map.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunOptions<'p> {
+    /// Global coordinate of the stream's `(0, 0)` (see
+    /// [`Pipeline::run_at`]).
+    pub origin: (usize, usize),
+    /// Fault injection context; `None` runs fault-free.
+    pub faults: Option<FaultCtx<'p>>,
+    /// Physical chip id behind each stage position (`chip_ids[j]` is the
+    /// silicon stage `j` runs on). `None` means the identity map. A host
+    /// running degraded — with a faulty chip bypassed — passes the
+    /// surviving chips here so faults keep following the silicon.
+    pub chip_ids: Option<&'p [usize]>,
+    /// Ring cells at or past this index live off chip (WSA-E external
+    /// shift registers) and are additionally exposed to
+    /// [`Component::OffchipSr`] faults.
+    pub offchip_from: Option<usize>,
+}
 
 /// A serial / wide-serial pipeline engine.
 #[derive(Debug, Clone, Copy)]
@@ -72,25 +93,61 @@ impl Pipeline {
         t0: u64,
         origin: (usize, usize),
     ) -> Result<EngineReport<R::S>, LatticeError> {
+        self.run_opts(rule, grid, t0, RunOptions { origin, ..RunOptions::default() })
+    }
+
+    /// [`Pipeline::run`] with full [`RunOptions`]: fault injection,
+    /// physical-chip mapping, and off-chip shift-register exposure.
+    ///
+    /// Every inter-chip link carries a [`StreamParity`] word: the sender
+    /// folds each site as it leaves the PE array, the receiver as it
+    /// arrives, and a disagreement — any odd number of flipped bits, or
+    /// a dropped/duplicated site — surfaces as
+    /// [`LatticeError::Corrupted`] naming the chip's output link.
+    /// Faults injected *inside* a stage (shift-register cells, PE
+    /// outputs) corrupt the computation itself and are invisible to the
+    /// link parity; catching those is the conservation audit's job.
+    pub fn run_opts<R: Rule>(
+        &self,
+        rule: &R,
+        grid: &Grid<R::S>,
+        t0: u64,
+        opts: RunOptions<'_>,
+    ) -> Result<EngineReport<R::S>, LatticeError> {
         if self.depth == 0 {
             return Err(LatticeError::InvalidConfig("pipeline depth must be ≥ 1".into()));
         }
+        if opts.chip_ids.is_some_and(|ids| ids.len() != self.depth) {
+            return Err(LatticeError::InvalidConfig(
+                "chip map must name one physical chip per stage".into(),
+            ));
+        }
+        let chip_of = |j: usize| opts.chip_ids.map_or(j, |ids| ids[j]);
+        let fault_base = opts.faults.map(|c| c.plan.stats()).unwrap_or_default();
         let shape = grid.shape();
         let n = shape.len();
         let d_bits = R::S::BITS;
 
         let mut stages = Vec::with_capacity(self.depth);
         for j in 0..self.depth {
-            stages.push(LineBufferStage::new(
+            let mut stage = LineBufferStage::new(
                 rule,
                 StageConfig {
                     shape,
                     width: self.width,
                     fill: R::S::default(),
                     gen: t0 + j as u64,
-                    origin,
+                    origin: opts.origin,
                 },
-            )?);
+            )?;
+            if let Some(ctx) = opts.faults {
+                stage = stage.with_faults(FaultHook {
+                    ctx,
+                    chip: chip_of(j),
+                    offchip_from: opts.offchip_from,
+                });
+            }
+            stages.push(stage);
         }
 
         let data = grid.as_slice();
@@ -103,6 +160,11 @@ impl Pipeline {
         // on the same tick; a one-tick register between chips would only
         // add `depth` ticks of latency).
         let mut bus: Vec<Vec<R::S>> = vec![Vec::new(); self.depth + 1];
+        // Link parity: sender/receiver accumulators and the per-link
+        // stream position (the transient-fault key).
+        let mut sent = vec![StreamParity::new(); self.depth];
+        let mut recv = vec![StreamParity::new(); self.depth];
+        let mut link_pos = vec![0u64; self.depth];
 
         while result.len() < n {
             ticks += 1;
@@ -121,11 +183,29 @@ impl Pipeline {
                 pins.record_in(inp.len() as u128, d_bits);
                 let emitted = stage.tick(inp, out);
                 pins.record_out(emitted as u128, d_bits);
+                // The emitted sites cross the chip's output link.
+                for v in out.iter_mut() {
+                    sent[j].absorb(*v);
+                    if let Some(ctx) = opts.faults {
+                        *v = ctx.corrupt_site(Component::Link, chip_of(j), 0, link_pos[j], *v);
+                    }
+                    recv[j].absorb(*v);
+                    link_pos[j] += 1;
+                }
             }
             memory.record_out(bus[self.depth].len() as u128, d_bits);
             result.extend_from_slice(&bus[self.depth]);
             if ticks > (10 * n + 1000) as u64 * self.depth as u64 {
                 return Err(LatticeError::InvalidConfig("pipeline wedged (bug)".into()));
+            }
+        }
+
+        for j in 0..self.depth {
+            if let Some(msg) = recv[j].mismatch(&sent[j]) {
+                return Err(LatticeError::Corrupted {
+                    site: format!("chip {} output link", chip_of(j)),
+                    detail: msg,
+                });
             }
         }
 
@@ -142,6 +222,7 @@ impl Pipeline {
             sr_cells_per_stage: sr_cells,
             stages: self.depth as u32,
             width: self.width as u32,
+            faults: opts.faults.map(|c| c.plan.stats().since(fault_base)).unwrap_or_default(),
         })
     }
 }

@@ -15,6 +15,7 @@
 //! row-staggered memory schedule (§6.3), one site per slice per tick, so
 //! a depth-`k`, `⌈L/W⌉`-slice machine updates `k·L/W` sites per tick.
 
+use crate::faults::{Component, FaultCtx, FaultHook};
 use crate::metrics::EngineReport;
 use crate::stage::{LineBufferStage, StageConfig};
 use lattice_core::bits::Traffic;
@@ -54,6 +55,22 @@ impl SpaEngine {
         grid: &Grid<R::S>,
         t0: u64,
     ) -> Result<EngineReport<R::S>, LatticeError> {
+        self.run_with_faults(rule, grid, t0, None)
+    }
+
+    /// [`SpaEngine::run`] with fault injection: each slice-PE is a chip
+    /// (chip id `level · slices + slice`) whose shift-register cells and
+    /// PE outputs take [`Component::SrCell`] / [`Component::PeOutput`]
+    /// faults, and whose halo imports take [`Component::SideChannel`]
+    /// faults keyed by the side-channel stream position.
+    pub fn run_with_faults<R: Rule>(
+        &self,
+        rule: &R,
+        grid: &Grid<R::S>,
+        t0: u64,
+        faults: Option<FaultCtx<'_>>,
+    ) -> Result<EngineReport<R::S>, LatticeError> {
+        let fault_base = faults.map(|c| c.plan.stats()).unwrap_or_default();
         let shape = grid.shape();
         if shape.rank() != 2 {
             return Err(LatticeError::InvalidConfig("SPA slices a 2-D lattice".into()));
@@ -82,11 +99,13 @@ impl SpaEngine {
         // side channel; interior slice cells model the pipeline stream.
         let halo_shape = Shape::grid2(rows, w + 2)?;
         let mut current = grid.clone();
+        let mut side_pos = 0u64;
         for level in 0..self.depth {
             let gen = t0 + level as u64;
             let mut next = Grid::new(shape);
             for s in 0..n_slices {
                 let col0 = s * w; // global first column of the slice
+                let chip = level * n_slices + s;
                 let cfg = StageConfig {
                     shape: halo_shape,
                     width: 1,
@@ -100,6 +119,9 @@ impl SpaEngine {
                     origin: (0, col0.wrapping_sub(1)),
                 };
                 let mut stage = LineBufferStage::new(rule, cfg)?;
+                if let Some(ctx) = faults {
+                    stage = stage.with_faults(FaultHook { ctx, chip, offchip_from: None });
+                }
                 sr_cells = sr_cells.max(cfg.required_cells() as u64);
 
                 // Drive the slice-local halo stream.
@@ -117,7 +139,18 @@ impl SpaEngine {
                             // at the lattice edge).
                             if gc < cols {
                                 side.record_in(1, self.e_bits);
-                                current.get(Coord::c2(r, gc))
+                                let mut v = current.get(Coord::c2(r, gc));
+                                if let Some(ctx) = faults {
+                                    v = ctx.corrupt_site(
+                                        Component::SideChannel,
+                                        chip,
+                                        0,
+                                        side_pos,
+                                        v,
+                                    );
+                                }
+                                side_pos += 1;
+                                v
                             } else {
                                 R::S::default()
                             }
@@ -161,9 +194,8 @@ impl SpaEngine {
         // latency of ≈ (W+2)+2 and the one-row stagger between the first
         // and last slice.
         let per_level_latency = (w + 2 + 2) as u64;
-        let ticks = (rows * w) as u64
-            + self.depth as u64 * per_level_latency
-            + ((n_slices - 1) * w) as u64;
+        let ticks =
+            (rows * w) as u64 + self.depth as u64 * per_level_latency + ((n_slices - 1) * w) as u64;
 
         Ok(EngineReport {
             grid: current,
@@ -177,6 +209,7 @@ impl SpaEngine {
             sr_cells_per_stage: sr_cells,
             stages: (self.depth * n_slices) as u32,
             width: 1,
+            faults: faults.map(|c| c.plan.stats().since(fault_base)).unwrap_or_default(),
         })
     }
 }

@@ -112,9 +112,8 @@ impl SpaLockstep {
         let lat = level_latency(w);
         let d_bits = R::S::BITS;
 
-        let mut pes: Vec<Vec<SlicePe<R::S>>> = (0..self.depth)
-            .map(|_| (0..n_slices).map(|_| SlicePe::new(w)).collect())
-            .collect();
+        let mut pes: Vec<Vec<SlicePe<R::S>>> =
+            (0..self.depth).map(|_| (0..n_slices).map(|_| SlicePe::new(w)).collect()).collect();
         let mut out = Grid::new(shape);
         let mut collected = 0usize;
         let mut memory = Traffic::new();
@@ -125,9 +124,8 @@ impl SpaLockstep {
         // Output slots written by level j this tick, read by level j+1.
         let mut bus: Vec<Vec<Option<R::S>>> = vec![vec![None; n_slices]; self.depth + 1];
 
-        let budget = (n_slices * w + rows * w + self.depth * lat + 16) as u64
-            * 2
-            * (rows.max(4) as u64);
+        let budget =
+            (n_slices * w + rows * w + self.depth * lat + 16) as u64 * 2 * (rows.max(4) as u64);
         while collected < rows * cols {
             tick += 1;
             if tick > budget {
@@ -191,30 +189,26 @@ impl SpaLockstep {
                     for dr in -1isize..=1 {
                         for dc in -1isize..=1 {
                             let (rr, cc) = (r as isize + dr, gc as isize + dc);
-                            cells[idx] = if rr < 0
-                                || cc < 0
-                                || rr >= rows as isize
-                                || cc >= cols as isize
-                            {
-                                R::S::default()
-                            } else {
-                                let (rr, cc) = (rr as usize, cc as usize);
-                                let ns = cc / w;
-                                let p = rr * w + cc % w;
-                                if ns == s {
-                                    pes[level][s].cell(p)
+                            cells[idx] =
+                                if rr < 0 || cc < 0 || rr >= rows as isize || cc >= cols as isize {
+                                    R::S::default()
                                 } else {
-                                    // Side channel: the neighbor's shift
-                                    // register, E bits per site.
-                                    side.record_in(1, self.e_bits);
-                                    pes[level][ns].cell(p)
-                                }
-                            };
+                                    let (rr, cc) = (rr as usize, cc as usize);
+                                    let ns = cc / w;
+                                    let p = rr * w + cc % w;
+                                    if ns == s {
+                                        pes[level][s].cell(p)
+                                    } else {
+                                        // Side channel: the neighbor's shift
+                                        // register, E bits per site.
+                                        side.record_in(1, self.e_bits);
+                                        pes[level][ns].cell(p)
+                                    }
+                                };
                             idx += 1;
                         }
                     }
-                    let window =
-                        Window::from_cells(2, Coord::c2(r, gc), gen, cells);
+                    let window = Window::from_cells(2, Coord::c2(r, gc), gen, cells);
                     let y = rule.update(&window);
                     updates += 1;
                     pes[level][s].emitted += 1;
@@ -233,12 +227,8 @@ impl SpaLockstep {
             }
         }
 
-        let peak = pes
-            .iter()
-            .flat_map(|lvl| lvl.iter())
-            .map(|pe| pe.peak as u64)
-            .max()
-            .unwrap_or(0);
+        let peak =
+            pes.iter().flat_map(|lvl| lvl.iter()).map(|pe| pe.peak as u64).max().unwrap_or(0);
         Ok(EngineReport {
             grid: out,
             generations: self.depth as u64,
@@ -251,6 +241,10 @@ impl SpaLockstep {
             sr_cells_per_stage: peak,
             stages: (self.depth * n_slices) as u32,
             width: 1,
+            // The lockstep machine is a timing cross-check and is not
+            // instrumented for injection; use [`crate::spa::SpaEngine`]
+            // for fault studies.
+            faults: crate::faults::FaultStats::default(),
         })
     }
 
@@ -332,10 +326,7 @@ mod tests {
         let report = SpaLockstep::new(8, 3).run(&rule, &g, 0).unwrap();
         let model = (3 * 32 / 8) as f64;
         let measured = report.updates_per_tick();
-        assert!(
-            measured > 0.85 * model && measured <= model,
-            "{measured} vs {model}"
-        );
+        assert!(measured > 0.85 * model && measured <= model, "{measured} vs {model}");
     }
 
     #[test]

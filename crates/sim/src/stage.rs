@@ -13,6 +13,7 @@
 //! lattice edge. Periodic boundaries are handled by host-side halo
 //! framing (see [`crate::halo`]).
 
+use crate::faults::{Component, FaultHook};
 use lattice_core::window::{window_len, WINDOW_MAX};
 use lattice_core::{Coord, LatticeError, Rule, Shape, Window};
 
@@ -72,6 +73,7 @@ pub struct LineBufferStage<'r, R: Rule> {
     cols: usize,
     n: usize,
     peak_occupancy: usize,
+    faults: Option<FaultHook<'r>>,
 }
 
 impl<'r, R: Rule> LineBufferStage<'r, R> {
@@ -97,7 +99,16 @@ impl<'r, R: Rule> LineBufferStage<'r, R> {
             cols,
             n: rows * cols,
             peak_occupancy: 0,
+            faults: None,
         })
+    }
+
+    /// Attaches a fault-injection hook: stored sites pass through the
+    /// hook's shift-register (and, past `offchip_from`, off-chip SR)
+    /// faults, and computed sites through its PE-output faults.
+    pub fn with_faults(mut self, hook: FaultHook<'r>) -> Self {
+        self.faults = Some(hook);
+        self
     }
 
     /// The stage configuration.
@@ -147,15 +158,13 @@ impl<'r, R: Rule> LineBufferStage<'r, R> {
             for dr in -1isize..=1 {
                 for dc in -1isize..=1 {
                     let (rr, cc) = (r as isize + dr, c as isize + dc);
-                    cells[idx] = if rr < 0
-                        || cc < 0
-                        || rr >= self.rows as isize
-                        || cc >= self.cols as isize
-                    {
-                        self.cfg.fill
-                    } else {
-                        self.cell(rr as usize * self.cols + cc as usize)
-                    };
+                    cells[idx] =
+                        if rr < 0 || cc < 0 || rr >= self.rows as isize || cc >= self.cols as isize
+                        {
+                            self.cfg.fill
+                        } else {
+                            self.cell(rr as usize * self.cols + cc as usize)
+                        };
                     idx += 1;
                 }
             }
@@ -174,10 +183,7 @@ impl<'r, R: Rule> LineBufferStage<'r, R> {
         let coord = if rank == 2 {
             // Wrapping: a slice's halo origin may be "global column -1"
             // (usize::MAX); interior coordinates wrap back into range.
-            Coord::c2(
-                r.wrapping_add(self.cfg.origin.0),
-                c.wrapping_add(self.cfg.origin.1),
-            )
+            Coord::c2(r.wrapping_add(self.cfg.origin.0), c.wrapping_add(self.cfg.origin.1))
         } else {
             Coord::c1(c.wrapping_add(self.cfg.origin.1))
         };
@@ -194,7 +200,21 @@ impl<'r, R: Rule> LineBufferStage<'r, R> {
         assert!(self.received + inputs.len() <= self.n, "stream overrun");
         for &s in inputs {
             let cap = self.ring.len();
-            self.ring[self.received % cap] = s;
+            let cell = self.received % cap;
+            let mut s = s;
+            if let Some(h) = &self.faults {
+                s = h.ctx.corrupt_site(Component::SrCell, h.chip, cell, self.received as u64, s);
+                if h.offchip_from.is_some_and(|th| cell >= th) {
+                    s = h.ctx.corrupt_site(
+                        Component::OffchipSr,
+                        h.chip,
+                        cell,
+                        self.received as u64,
+                        s,
+                    );
+                }
+            }
+            self.ring[cell] = s;
             self.received += 1;
         }
         // Track live span: oldest cell still needed is for output
@@ -204,12 +224,17 @@ impl<'r, R: Rule> LineBufferStage<'r, R> {
             && self.emitted < emitted_before + self.cfg.width
             && self.ready(self.emitted)
         {
-            out.push(self.compute(self.emitted));
+            let mut v = self.compute(self.emitted);
+            if let Some(h) = &self.faults {
+                v = h.ctx.corrupt_site(Component::PeOutput, h.chip, 0, self.emitted as u64, v);
+            }
+            out.push(v);
             self.emitted += 1;
         }
         let back = if self.cfg.shape.rank() == 2 { self.cols + 1 } else { 1 };
         let oldest_needed = self.emitted.saturating_sub(back);
-        self.peak_occupancy = self.peak_occupancy.max(self.received - oldest_needed.min(self.received));
+        self.peak_occupancy =
+            self.peak_occupancy.max(self.received - oldest_needed.min(self.received));
         self.emitted - emitted_before
     }
 }
@@ -234,13 +259,8 @@ mod tests {
         width: usize,
         gen: u64,
     ) -> (Vec<R::S>, usize, usize) {
-        let cfg = StageConfig {
-            shape: grid.shape(),
-            width,
-            fill: R::S::default(),
-            gen,
-            origin: (0, 0),
-        };
+        let cfg =
+            StageConfig { shape: grid.shape(), width, fill: R::S::default(), gen, origin: (0, 0) };
         let mut stage = LineBufferStage::new(rule, cfg).unwrap();
         let data = grid.as_slice();
         let mut out = Vec::with_capacity(data.len());
@@ -313,13 +333,7 @@ mod tests {
         let shape = Shape::grid2(12, 30).unwrap();
         let g = Grid::from_fn(shape, |c| (shape.linear(c) % 256) as u8);
         for width in [1usize, 2, 5] {
-            let cfg = StageConfig {
-                shape,
-                width,
-                fill: 0u8,
-                gen: 0,
-                origin: (0, 0),
-            };
+            let cfg = StageConfig { shape, width, fill: 0u8, gen: 0, origin: (0, 0) };
             let required = cfg.required_cells();
             let (_, _, peak) = drive_one_pass(&Sum2d, &g, width, 0);
             assert!(peak <= required, "width={width}: peak {peak} > required {required}");

@@ -9,14 +9,22 @@
 //!
 //! Functional contract: identical output and identical traffic counts to
 //! [`Pipeline::run`]; tick counts differ only by the `depth − 1`
-//! register skew.
+//! register skew. Fault injection is keyed by stream position, not by
+//! tick, so a seeded [`FaultCtx`] injects the identical events here and
+//! in the sequential driver.
+//!
+//! Failure contract: a stage worker that dies — a panicking rule, a
+//! killed thread, a disconnected channel mid-stream — surfaces as an
+//! `Err`, never as a panic of the caller and never as a silently
+//! default-filled lattice.
 //!
 //! [`Pipeline::run`]: crate::pipeline::Pipeline::run
 
+use crate::faults::{Component, FaultCtx, FaultHook};
 use crate::metrics::EngineReport;
 use crate::stage::{LineBufferStage, StageConfig};
 use crossbeam::channel::bounded;
-use lattice_core::bits::Traffic;
+use lattice_core::bits::{StreamParity, Traffic};
 use lattice_core::{Grid, LatticeError, Rule, State};
 
 /// Per-stage result carried back from its worker thread.
@@ -24,6 +32,8 @@ struct StageResult {
     local_ticks: u64,
     in_sites: u64,
     out_sites: u64,
+    sent: StreamParity,
+    recv: StreamParity,
 }
 
 /// Runs a width-`p`, depth-`k` pipeline with one thread per stage.
@@ -37,9 +47,22 @@ pub fn run_threaded<R: Rule>(
     depth: usize,
     t0: u64,
 ) -> Result<EngineReport<R::S>, LatticeError> {
+    run_threaded_with_faults(rule, grid, width, depth, t0, None)
+}
+
+/// [`run_threaded`] with fault injection; chip `j` is stage `j`.
+pub fn run_threaded_with_faults<R: Rule>(
+    rule: &R,
+    grid: &Grid<R::S>,
+    width: usize,
+    depth: usize,
+    t0: u64,
+    faults: Option<FaultCtx<'_>>,
+) -> Result<EngineReport<R::S>, LatticeError> {
     if depth == 0 || width == 0 {
         return Err(LatticeError::InvalidConfig("pipeline needs width, depth ≥ 1".into()));
     }
+    let fault_base = faults.map(|c| c.plan.stats()).unwrap_or_default();
     let shape = grid.shape();
     let n = shape.len();
     let d_bits = R::S::BITS;
@@ -47,90 +70,143 @@ pub fn run_threaded<R: Rule>(
     // Build stages up front so config errors surface before spawning.
     let mut stages = Vec::with_capacity(depth);
     for j in 0..depth {
-        stages.push(LineBufferStage::new(
+        let mut stage = LineBufferStage::new(
             rule,
-            StageConfig {
-                shape,
-                width,
-                fill: R::S::default(),
-                gen: t0 + j as u64,
-                origin: (0, 0),
-            },
-        )?);
+            StageConfig { shape, width, fill: R::S::default(), gen: t0 + j as u64, origin: (0, 0) },
+        )?;
+        if let Some(ctx) = faults {
+            stage = stage.with_faults(FaultHook { ctx, chip: j, offchip_from: None });
+        }
+        stages.push(stage);
     }
     let sr_cells = stages.iter().map(|s| s.config().required_cells() as u64).max().unwrap();
 
     let data = grid.as_slice();
-    let (mut results, final_stream) = crossbeam::thread::scope(
-        |scope| -> (Vec<StageResult>, Vec<R::S>) {
-            // Channel chain: feeder -> stage 0 -> … -> stage k-1 -> sink.
-            let mut senders = Vec::with_capacity(depth + 1);
-            let mut receivers = Vec::with_capacity(depth + 1);
-            for _ in 0..=depth {
-                let (tx, rx) = bounded::<Vec<R::S>>(8);
-                senders.push(tx);
-                receivers.push(rx);
-            }
-            let mut senders_iter = senders.into_iter();
-            let mut receivers_iter = receivers.into_iter();
+    type ScopeOut<S> = Result<(Vec<StageResult>, Vec<S>), LatticeError>;
+    let scoped = crossbeam::thread::scope(|scope| -> ScopeOut<R::S> {
+        // Channel chain: feeder -> stage 0 -> … -> stage k-1 -> sink.
+        let mut senders = Vec::with_capacity(depth + 1);
+        let mut receivers = Vec::with_capacity(depth + 1);
+        for _ in 0..=depth {
+            let (tx, rx) = bounded::<Vec<R::S>>(8);
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let mut senders_iter = senders.into_iter();
+        let mut receivers_iter = receivers.into_iter();
 
-            // Feeder.
-            let feed_tx = senders_iter.next().expect("feeder channel");
-            scope.spawn(move |_| {
-                for chunk in data.chunks(width) {
-                    if feed_tx.send(chunk.to_vec()).is_err() {
-                        return;
-                    }
+        // Feeder.
+        let feed_tx = senders_iter.next().expect("feeder channel");
+        scope.spawn(move |_| {
+            for chunk in data.chunks(width) {
+                if feed_tx.send(chunk.to_vec()).is_err() {
+                    return;
                 }
-                // Dropping feed_tx closes the channel: downstream drains.
-            });
+            }
+            // Dropping feed_tx closes the channel: downstream drains.
+        });
 
-            // Stage workers.
-            let mut handles = Vec::with_capacity(depth);
-            for stage in stages.into_iter() {
-                let rx = receivers_iter.next().expect("stage input");
-                let tx = senders_iter.next().expect("stage output");
-                handles.push(scope.spawn(move |_| {
-                    let mut stage = stage;
-                    let mut out = Vec::new();
-                    let mut res =
-                        StageResult { local_ticks: 0, in_sites: 0, out_sites: 0 };
-                    while !stage.done() {
-                        let inp = rx.recv().unwrap_or_default();
-                        res.local_ticks += 1;
-                        res.in_sites += inp.len() as u64;
-                        out.clear();
-                        stage.tick(&inp, &mut out);
-                        res.out_sites += out.len() as u64;
-                        // Forward even empty ticks (pipeline bubbles) so
-                        // downstream stages tick in lockstep, exactly as
-                        // the sequential driver does.
-                        if tx.send(out.clone()).is_err() {
-                            break;
+        // Stage workers.
+        let mut handles = Vec::with_capacity(depth);
+        for (j, stage) in stages.into_iter().enumerate() {
+            let rx = receivers_iter.next().expect("stage input");
+            let tx = senders_iter.next().expect("stage output");
+            handles.push(scope.spawn(move |_| -> Result<StageResult, LatticeError> {
+                let mut stage = stage;
+                let stream_len = stage.config().shape.len();
+                let mut out = Vec::new();
+                let mut link_pos = 0u64;
+                let mut res = StageResult {
+                    local_ticks: 0,
+                    in_sites: 0,
+                    out_sites: 0,
+                    sent: StreamParity::new(),
+                    recv: StreamParity::new(),
+                };
+                while !stage.done() {
+                    let inp = match rx.recv() {
+                        Ok(v) => v,
+                        // Once the full input stream has arrived, a
+                        // closed channel is the normal end of feed: the
+                        // stage keeps ticking on empty input to drain.
+                        Err(_) if stage.received() == stream_len => Vec::new(),
+                        Err(_) => {
+                            return Err(LatticeError::Corrupted {
+                                site: format!("chip {j} input link"),
+                                detail: "upstream hung up mid-stream".into(),
+                            })
                         }
+                    };
+                    res.local_ticks += 1;
+                    res.in_sites += inp.len() as u64;
+                    out.clear();
+                    stage.tick(&inp, &mut out);
+                    res.out_sites += out.len() as u64;
+                    // The emitted sites cross this chip's output link.
+                    for v in out.iter_mut() {
+                        res.sent.absorb(*v);
+                        if let Some(ctx) = faults {
+                            *v = ctx.corrupt_site(Component::Link, j, 0, link_pos, *v);
+                        }
+                        res.recv.absorb(*v);
+                        link_pos += 1;
                     }
-                    res
-                }));
-            }
+                    // Forward even empty ticks (pipeline bubbles) so
+                    // downstream stages tick in lockstep, exactly as
+                    // the sequential driver does.
+                    if tx.send(out.clone()).is_err() {
+                        break;
+                    }
+                }
+                Ok(res)
+            }));
+        }
 
-            // Sink.
-            let sink_rx = receivers_iter.next().expect("sink channel");
-            let mut final_stream = Vec::with_capacity(n);
-            while final_stream.len() < n {
-                match sink_rx.recv() {
-                    Ok(chunk) => final_stream.extend(chunk),
-                    Err(_) => break,
+        // Sink.
+        let sink_rx = receivers_iter.next().expect("sink channel");
+        let mut final_stream = Vec::with_capacity(n);
+        while final_stream.len() < n {
+            match sink_rx.recv() {
+                Ok(chunk) => final_stream.extend(chunk),
+                Err(_) => break,
+            }
+        }
+        let mut results = Vec::with_capacity(depth);
+        for (j, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(Ok(res)) => results.push(res),
+                Ok(Err(e)) => return Err(e),
+                Err(_) => {
+                    return Err(LatticeError::Corrupted {
+                        site: format!("chip {j} worker"),
+                        detail: "stage thread panicked".into(),
+                    })
                 }
             }
-            let results =
-                handles.into_iter().map(|h| h.join().expect("stage thread")).collect();
-            (results, final_stream)
-        },
-    )
-    .expect("pipeline thread panicked");
+        }
+        Ok((results, final_stream))
+    });
+    let (results, final_stream) = match scoped {
+        Ok(inner) => inner?,
+        // A panic that escaped the per-worker joins (e.g. the feeder).
+        Err(_) => {
+            return Err(LatticeError::Corrupted {
+                site: "pipeline".into(),
+                detail: "a pipeline thread panicked".into(),
+            })
+        }
+    };
 
     if final_stream.len() != n {
         return Err(LatticeError::LengthMismatch { expected: n, actual: final_stream.len() });
+    }
+    for (j, r) in results.iter().enumerate() {
+        if let Some(msg) = r.recv.mismatch(&r.sent) {
+            return Err(LatticeError::Corrupted {
+                site: format!("chip {j} output link"),
+                detail: msg,
+            });
+        }
     }
 
     let mut memory = Traffic::new();
@@ -144,7 +220,7 @@ pub fn run_threaded<R: Rule>(
     // Same-tick forwarding semantics (as in the sequential driver): the
     // last stage's local tick count is the pipeline's tick count.
     let ticks = results.last().unwrap().local_ticks;
-    let report = EngineReport {
+    Ok(EngineReport {
         grid: Grid::from_vec(shape, final_stream)?,
         generations: depth as u64,
         updates: (n * depth) as u64,
@@ -156,16 +232,15 @@ pub fn run_threaded<R: Rule>(
         sr_cells_per_stage: sr_cells,
         stages: depth as u32,
         width: width as u32,
-    };
-    drop(results.drain(..));
-    Ok(report)
+        faults: faults.map(|c| c.plan.stats().since(fault_base)).unwrap_or_default(),
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::pipeline::Pipeline;
-    use lattice_core::{evolve, Boundary, Shape};
+    use lattice_core::{evolve, Boundary, Shape, Window};
     use lattice_gas::{FhpRule, FhpVariant, HppRule};
 
     #[test]
@@ -214,5 +289,69 @@ mod tests {
         let rule = HppRule::new();
         assert!(run_threaded(&rule, &g, 1, 0, 0).is_err());
         assert!(run_threaded(&rule, &g, 0, 1, 0).is_err());
+    }
+
+    /// Wraps HPP but kills its own thread partway through the stream —
+    /// the software stand-in for a chip dying mid-run.
+    struct DyingRule {
+        inner: HppRule,
+        die_at_updates: u64,
+        counter: std::sync::atomic::AtomicU64,
+    }
+
+    impl Rule for DyingRule {
+        type S = u8;
+        fn update(&self, w: &Window<u8>) -> u8 {
+            let k = self.counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            assert!(k < self.die_at_updates, "injected worker death");
+            self.inner.update(w)
+        }
+    }
+
+    #[test]
+    fn killed_stage_worker_returns_err_not_panic_or_garbage() {
+        let shape = Shape::grid2(16, 16).unwrap();
+        let g = lattice_gas::init::random_hpp(shape, 0.4, 5).unwrap();
+        let rule = DyingRule {
+            inner: HppRule::new(),
+            die_at_updates: 100,
+            counter: std::sync::atomic::AtomicU64::new(0),
+        };
+        let res = run_threaded(&rule, &g, 1, 3, 0);
+        let err = res.expect_err("a dead worker must surface as Err");
+        let msg = err.to_string();
+        assert!(
+            msg.contains("chip") || msg.contains("pipeline") || msg.contains("length mismatch"),
+            "unexpected error: {msg}"
+        );
+    }
+
+    #[test]
+    fn threaded_injects_identically_to_sequential() {
+        use crate::faults::{Fault, FaultKind, FaultPlan};
+        use crate::pipeline::RunOptions;
+        let shape = Shape::grid2(12, 20).unwrap();
+        let g = lattice_gas::init::random_hpp(shape, 0.4, 2).unwrap();
+        let rule = HppRule::new();
+        let plan = FaultPlan::new(123).with_fault(Fault {
+            component: Component::SrCell,
+            chip: Some(1),
+            cell: None,
+            kind: FaultKind::Transient { bit: 1, rate: 0.01 },
+        });
+        let seq = Pipeline::wide(2, 3)
+            .run_opts(
+                &rule,
+                &g,
+                0,
+                RunOptions { faults: Some(FaultCtx::new(&plan)), ..RunOptions::default() },
+            )
+            .unwrap();
+        let plan2 = FaultPlan::new(123).with_fault(plan.faults()[0]);
+        let thr =
+            run_threaded_with_faults(&rule, &g, 2, 3, 0, Some(FaultCtx::new(&plan2))).unwrap();
+        assert!(seq.faults.total() > 0, "the fault must actually fire");
+        assert_eq!(seq.faults, thr.faults, "identical injected events");
+        assert_eq!(seq.grid, thr.grid, "identical corrupted lattice");
     }
 }

@@ -60,13 +60,7 @@ pub fn record<R: Rule>(
     for j in 0..depth {
         stages.push(LineBufferStage::new(
             rule,
-            StageConfig {
-                shape,
-                width,
-                fill: R::S::default(),
-                gen: j as u64,
-                origin: (0, 0),
-            },
+            StageConfig { shape, width, fill: R::S::default(), gen: j as u64, origin: (0, 0) },
         )?);
     }
     let data = grid.as_slice();
@@ -215,10 +209,7 @@ mod tests {
             .collect();
         for j in 1..4 {
             let skew = first_emit[j] - first_emit[j - 1];
-            assert!(
-                (20..=30).contains(&skew),
-                "stage {j} skew {skew} (cols = 24)"
-            );
+            assert!((20..=30).contains(&skew), "stage {j} skew {skew} (cols = 24)");
         }
     }
 

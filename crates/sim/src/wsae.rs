@@ -9,8 +9,9 @@
 //!
 //! [`Pipeline`]: crate::pipeline::Pipeline
 
+use crate::faults::FaultCtx;
 use crate::metrics::EngineReport;
-use crate::pipeline::Pipeline;
+use crate::pipeline::{Pipeline, RunOptions};
 use lattice_core::bits::Traffic;
 use lattice_core::{Grid, LatticeError, Rule, State};
 
@@ -44,7 +45,23 @@ impl WsaePipeline {
         grid: &Grid<R::S>,
         t0: u64,
     ) -> Result<EngineReport<R::S>, LatticeError> {
-        let mut report = Pipeline::serial(self.depth).run(rule, grid, t0)?;
+        self.run_with_faults(rule, grid, t0, None)
+    }
+
+    /// [`WsaePipeline::run`] with fault injection. Ring cells past the
+    /// on-chip capacity live in the external shift registers, so they
+    /// are exposed to [`crate::faults::Component::OffchipSr`] faults on
+    /// top of the ordinary in-stage fault sites.
+    pub fn run_with_faults<R: Rule>(
+        &self,
+        rule: &R,
+        grid: &Grid<R::S>,
+        t0: u64,
+        faults: Option<FaultCtx<'_>>,
+    ) -> Result<EngineReport<R::S>, LatticeError> {
+        let opts =
+            RunOptions { faults, offchip_from: Some(self.on_chip_cells), ..RunOptions::default() };
+        let mut report = Pipeline::serial(self.depth).run_opts(rule, grid, t0, opts)?;
         let cells = report.sr_cells_per_stage;
         let overflow = cells.saturating_sub(self.on_chip_cells as u64);
         if overflow > 0 {

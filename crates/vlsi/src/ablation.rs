@@ -66,14 +66,7 @@ pub fn multi_stage_wsa(tech: Technology, stages: u32, p: u32) -> Option<MultiSta
     }
     let area_used =
         stages as f64 * ((2.0 * l_max as f64 + 7.0 * p as f64 + 3.0) * tech.b + p as f64 * tech.g);
-    Some(MultiStageWsa {
-        stages,
-        p,
-        l_max,
-        area_used,
-        pins_used,
-        updates_per_tick: stages * p,
-    })
+    Some(MultiStageWsa { stages, p, l_max, area_used, pins_used, updates_per_tick: stages * p })
 }
 
 /// The best multi-stage WSA chip for a given lattice side: maximizes

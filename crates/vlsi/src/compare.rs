@@ -162,11 +162,7 @@ mod tests {
         // "262 bits/tick versus 64 bits/tick" — four times the
         // bandwidth. Integer slicing puts ours in the 250–310 band.
         assert_eq!(c.wsa_bandwidth, 64);
-        assert!(
-            (250..=310).contains(&c.spa_bandwidth),
-            "spa bandwidth {}",
-            c.spa_bandwidth
-        );
+        assert!((250..=310).contains(&c.spa_bandwidth), "spa bandwidth {}", c.spa_bandwidth);
         assert!((3.5..=5.0).contains(&c.bandwidth_ratio), "{}", c.bandwidth_ratio);
         assert_eq!(c.l, 785);
     }

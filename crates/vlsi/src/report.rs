@@ -44,9 +44,7 @@ impl JsonObject {
                 '"' => vec!['\\', '"'],
                 '\\' => vec!['\\', '\\'],
                 '\n' => vec!['\\', 'n'],
-                c if (c as u32) < 0x20 => {
-                    format!("\\u{:04x}", c as u32).chars().collect()
-                }
+                c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
                 c => vec![c],
             })
             .collect();
@@ -62,8 +60,7 @@ impl JsonObject {
 
     /// Renders the object.
     pub fn render(&self) -> String {
-        let body: Vec<String> =
-            self.fields.iter().map(|(k, v)| format!("\"{k}\":{v}")).collect();
+        let body: Vec<String> = self.fields.iter().map(|(k, v)| format!("\"{k}\":{v}")).collect();
         format!("{{{}}}", body.join(","))
     }
 }
@@ -151,10 +148,7 @@ mod tests {
             .float("b", 2.5)
             .string("c", "x\"y\\z\nw")
             .object("d", JsonObject::new().int("e", -3));
-        assert_eq!(
-            o.render(),
-            "{\"a\":1,\"b\":2.5,\"c\":\"x\\\"y\\\\z\\nw\",\"d\":{\"e\":-3}}"
-        );
+        assert_eq!(o.render(), "{\"a\":1,\"b\":2.5,\"c\":\"x\\\"y\\\\z\\nw\",\"d\":{\"e\":-3}}");
     }
 
     #[test]

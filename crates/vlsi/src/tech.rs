@@ -30,14 +30,7 @@ impl Technology {
     /// actual layouts", §6.1): `D = 8`, `Π = 72`, `B = 576×10⁻⁶`,
     /// `Γ = 19.4×10⁻³`, `E = 3`, `F = 10 MHz`.
     pub fn paper_1987() -> Self {
-        Technology {
-            d_bits: 8,
-            pins: 72,
-            b: 576e-6,
-            g: 19.4e-3,
-            e_bits: 3,
-            clock_hz: 10e6,
-        }
+        Technology { d_bits: 8, pins: 72, b: 576e-6, g: 19.4e-3, e_bits: 3, clock_hz: 10e6 }
     }
 
     /// A scaled technology: feature size shrunk by `s` (> 1 is smaller

@@ -8,11 +8,11 @@ use proptest::prelude::*;
 
 fn arb_tech() -> impl Strategy<Value = Technology> {
     (
-        prop_oneof![Just(4u32), Just(8), Just(16)],   // D
-        32u32..512,                                   // pins
-        1e-6f64..5e-3,                                // B
-        1e-3f64..0.2,                                 // Γ
-        1u32..9,                                      // E
+        prop_oneof![Just(4u32), Just(8), Just(16)], // D
+        32u32..512,                                 // pins
+        1e-6f64..5e-3,                              // B
+        1e-3f64..0.2,                               // Γ
+        1u32..9,                                    // E
     )
         .prop_map(|(d_bits, pins, b, g, e_bits)| Technology {
             d_bits,
@@ -25,9 +25,7 @@ fn arb_tech() -> impl Strategy<Value = Technology> {
         .prop_filter("validated", |t| t.validate().is_ok())
         // The corner solvers degrade but still require that the minimal
         // machine exists at all (a 1-PE, L = 1 stage fits the chip).
-        .prop_filter("buildable", |t| {
-            Wsa::new(*t).feasible(1, 1) && Spa::new(*t).feasible(1, 1, 1)
-        })
+        .prop_filter("buildable", |t| Wsa::new(*t).feasible(1, 1) && Spa::new(*t).feasible(1, 1, 1))
 }
 
 proptest! {

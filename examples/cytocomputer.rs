@@ -36,14 +36,15 @@ fn main() {
 
     let se = StructuringElement::cross();
     let cleaned = close(&open(&img, se), se);
-    println!("\nafter opening (kill salt) + closing (fill pepper), {} pixels:", cleaned.count(|p| p));
+    println!(
+        "\nafter opening (kill salt) + closing (fill pepper), {} pixels:",
+        cleaned.count(|p| p)
+    );
     render(&cleaned);
 
     // The same erosion stage, through the partitioned architecture.
     let reference = evolve(&cleaned, &Erode(se), Boundary::Fixed(true), 0, 1);
-    let report = SpaEngine::new(12, 1)
-        .run(&Erode(se), &cleaned, 0)
-        .expect("SPA run");
+    let report = SpaEngine::new(12, 1).run(&Erode(se), &cleaned, 0).expect("SPA run");
     // (The SPA uses the null=false boundary; compare against that.)
     let spa_reference = evolve(&cleaned, &Erode(se), Boundary::null(), 0, 1);
     assert_eq!(report.grid, spa_reference, "SPA is bit-exact on image rules");
@@ -62,9 +63,8 @@ fn main() {
 fn render(img: &Grid<bool>) {
     let shape = img.shape();
     for r in 0..shape.rows() {
-        let line: String = (0..shape.cols())
-            .map(|c| if img.get(Coord::c2(r, c)) { '#' } else { '.' })
-            .collect();
+        let line: String =
+            (0..shape.cols()).map(|c| if img.get(Coord::c2(r, c)) { '#' } else { '.' }).collect();
         println!("  {line}");
     }
 }

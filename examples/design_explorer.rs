@@ -22,7 +22,9 @@ fn main() {
 
     let tech = Technology::paper_1987();
     println!("technology: 1987 3µ CMOS (D=8, Π=72, F=10 MHz)");
-    println!("problem: L = {l}, target {target_rate:.2e} updates/s, budget {budget_bits} bits/tick\n");
+    println!(
+        "problem: L = {l}, target {target_rate:.2e} updates/s, budget {budget_bits} bits/tick\n"
+    );
 
     let updates_per_tick = target_rate / tech.clock_hz;
 

@@ -22,21 +22,16 @@ fn main() {
         Move::Read(0),
         Move::Read(1),
         Move::Read(2),
-        Move::Compute(4), // site 1 at t=1 needs {0,1,2}
+        Move::Compute(4),               // site 1 at t=1 needs {0,1,2}
         Move::Slide { from: 0, to: 3 }, // boundary site reuses a register
         Move::Slide { from: 2, to: 5 }, // and so does the other edge
-
         Move::Write(3),
         Move::Write(4),
         Move::Write(5),
     ];
     for m in moves {
         game.apply(m).expect("legal move");
-        println!(
-            "  {m:?}: {} reds in play, q = {}",
-            game.red_count(),
-            game.io_moves()
-        );
+        println!("  {m:?}: {} reds in play, q = {}", game.red_count(), game.io_moves());
     }
     assert!(game.is_complete());
     let exact = min_io_exact(&tiny, 4).expect("solvable");
@@ -59,7 +54,10 @@ fn main() {
         let tiled = tiled_schedule(&graph, s, None);
         let bound = io_lower_bound(graph.n_vertices() as u64, 2, s);
         let (q_tiled, rb) = match &tiled {
-            Ok(st) => (st.io_moves.to_string(), format!("{:.2}", st.n_updates as f64 / st.io_moves as f64)),
+            Ok(st) => (
+                st.io_moves.to_string(),
+                format!("{:.2}", st.n_updates as f64 / st.io_moves as f64),
+            ),
             Err(_) => ("(S too small)".into(), "—".into()),
         };
         println!(

@@ -47,8 +47,10 @@ fn main() {
     }
 
     println!("\nall engines bit-exact against the reference ✓");
-    println!("note how SPA buys updates/tick with memory bandwidth while WSA \
-              holds bandwidth at 2·D·P — the §6.3 trade, measured.");
+    println!(
+        "note how SPA buys updates/tick with memory bandwidth while WSA \
+              holds bandwidth at 2·D·P — the §6.3 trade, measured."
+    );
 }
 
 fn show(name: &str, r: &lattice_engines::sim::EngineReport<u8>, clock: f64) {

@@ -120,6 +120,30 @@ pub enum Command {
         /// Lattice columns.
         cols: usize,
     },
+    /// Inject hardware faults into an engine run and report detection,
+    /// rollback, and MTBF-style figures.
+    FaultSim {
+        /// Lattice rows.
+        rows: usize,
+        /// Lattice columns.
+        cols: usize,
+        /// PEs per stage.
+        width: usize,
+        /// Pipeline depth (one chip per stage).
+        depth: usize,
+        /// Generations to run.
+        steps: u64,
+        /// RNG seed (gas init and fault draws).
+        seed: u64,
+        /// Base transient upset rate, per shift-register store.
+        rate: f64,
+        /// Rollback retries per checkpoint window.
+        retries: u32,
+        /// Passes between checkpoints.
+        ckpt_every: u64,
+        /// Also stick a link bit on this chip (exercises degraded mode).
+        stuck_chip: Option<usize>,
+    },
     /// Print the version/summary banner.
     Info,
 }
@@ -187,6 +211,9 @@ pub fn usage() -> String {
        lattice pebble [--d N] [--r N] [--t N] [--s N]\n\
        lattice image  [--chain ops] [--rows N] [--cols N] [--seed N]\n\
        lattice waveform [--width P] [--depth K] [--rows N] [--cols N]\n\
+       lattice fault-sim [--rows N] [--cols N] [--width P] [--depth K]\n\
+                      [--steps N] [--seed N] [--rate F] [--retries N]\n\
+                      [--ckpt-every N] [--stuck-chip J]\n\
        lattice info\n"
         .to_string()
 }
@@ -251,6 +278,24 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             rows: get(&flags, "rows", 16)?,
             cols: get(&flags, "cols", 24)?,
         }),
+        "fault-sim" => Ok(Command::FaultSim {
+            rows: get(&flags, "rows", 48)?,
+            cols: get(&flags, "cols", 64)?,
+            width: get(&flags, "width", 2)?,
+            depth: get(&flags, "depth", 4)?,
+            steps: get(&flags, "steps", 8)?,
+            seed: get(&flags, "seed", 42)?,
+            rate: get(&flags, "rate", 3e-5)?,
+            retries: get(&flags, "retries", 3)?,
+            ckpt_every: get(&flags, "ckpt-every", 1)?,
+            stuck_chip: match flags.get("stuck-chip") {
+                None => None,
+                Some(v) => Some(
+                    v.parse()
+                        .map_err(|_| CliError(format!("bad value for --stuck-chip: `{v}`")))?,
+                ),
+            },
+        }),
         "info" => Ok(Command::Info),
         "help" | "--help" | "-h" => Err(CliError(usage())),
         other => Err(CliError(format!("unknown command `{other}`\n\n{}", usage()))),
@@ -288,6 +333,20 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                 wf.render()
             ))
         }
+        Command::FaultSim {
+            rows,
+            cols,
+            width,
+            depth,
+            steps,
+            seed,
+            rate,
+            retries,
+            ckpt_every,
+            stuck_chip,
+        } => run_fault_sim(
+            rows, cols, width, depth, steps, seed, rate, retries, ckpt_every, stuck_chip,
+        ),
         Command::Info => Ok(format!(
             "lattice-engines {} — engines, bounds, and gases from \
              'Performance of VLSI Engines for Lattice Computations' (1987).\n\
@@ -371,8 +430,7 @@ fn run_resume(
     save: Option<&str>,
 ) -> Result<String, CliError> {
     let bytes = std::fs::read(load).map_err(|e| CliError(format!("read {load}: {e}")))?;
-    let (grid, t0) =
-        checkpoint::load::<u8>(&bytes).map_err(|e| CliError(e.to_string()))?;
+    let (grid, t0) = checkpoint::load::<u8>(&bytes).map_err(|e| CliError(e.to_string()))?;
     let shape = grid.shape();
     let (rows, cols) = (shape.rows(), shape.cols());
     let boundary = if periodic { Boundary::Periodic } else { Boundary::null() };
@@ -384,10 +442,8 @@ fn run_resume(
         "fhp3" => run_fhp(&mut ev, FhpVariant::III, seed, periodic, rows, cols, steps),
         other => return Err(CliError(format!("unknown gas model `{other}`"))),
     }
-    let mut out = format!(
-        "resumed {model} at generation {t0}, ran {steps} more (now at {})\n",
-        ev.time()
-    );
+    let mut out =
+        format!("resumed {model} at generation {t0}, ran {steps} more (now at {})\n", ev.time());
     if let Some(path) = save {
         let bytes = checkpoint::save(ev.grid(), ev.time());
         std::fs::write(path, &bytes).map_err(|e| CliError(format!("write {path}: {e}")))?;
@@ -487,20 +543,12 @@ fn run_image(chain: &str, rows: usize, cols: usize, seed: u64) -> Result<String,
                 // Binary morphology on the thresholded image.
                 let bin = Grid::from_fn(shape, |c| img.get(c) >= 110);
                 let out = match stage {
-                    "erode" => evolve(
-                        &bin,
-                        &crate::image::Erode(se),
-                        Boundary::Fixed(true),
-                        t as u64,
-                        1,
-                    ),
-                    "dilate" => evolve(
-                        &bin,
-                        &crate::image::Dilate(se),
-                        Boundary::Fixed(false),
-                        t as u64,
-                        1,
-                    ),
+                    "erode" => {
+                        evolve(&bin, &crate::image::Erode(se), Boundary::Fixed(true), t as u64, 1)
+                    }
+                    "dilate" => {
+                        evolve(&bin, &crate::image::Dilate(se), Boundary::Fixed(false), t as u64, 1)
+                    }
                     "open" => open(&bin, se),
                     _ => close(&bin, se),
                 };
@@ -562,10 +610,145 @@ fn run_design(l: u32, rate: f64, budget: u32) -> String {
     ));
     match crate::vlsi::compare::preferred_regime(tech, l, budget, need_upt, 1024) {
         Some(r) => out.push_str(&format!("  recommended under {budget} bits/tick: {r:?}\n")),
-        None => out.push_str("  no architecture fits the budget — the paper's point: \
-                              bandwidth, not processing, is the wall\n"),
+        None => out.push_str(
+            "  no architecture fits the budget — the paper's point: \
+                              bandwidth, not processing, is the wall\n",
+        ),
     }
     out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_fault_sim(
+    rows: usize,
+    cols: usize,
+    width: usize,
+    depth: usize,
+    steps: u64,
+    seed: u64,
+    rate: f64,
+    retries: u32,
+    ckpt_every: u64,
+    stuck_chip: Option<usize>,
+) -> Result<String, CliError> {
+    use crate::gas::audit::{AuditMode, ConservationAudit};
+    use crate::sim::{
+        Component, Fault, FaultKind, FaultPlan, HostLink, HostSystem, RecoveryConfig,
+    };
+    use lattice_core::{evolve, Grid};
+
+    if depth == 0 || width == 0 {
+        return Err(CliError("fault-sim: --width and --depth must be ≥ 1".into()));
+    }
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(CliError("fault-sim: --rate must be in [0, 1]".into()));
+    }
+    if ckpt_every == 0 {
+        return Err(CliError("fault-sim: --ckpt-every must be ≥ 1".into()));
+    }
+    let margin = steps as usize;
+    if rows <= 2 * margin || cols <= 2 * margin {
+        return Err(CliError(format!(
+            "fault-sim: the lattice must exceed 2x --steps per side \
+             ({rows}x{cols} vs {steps} steps) so the gas cannot reach the \
+             edge and conservation stays exact"
+        )));
+    }
+    if let Some(chip) = stuck_chip {
+        if chip >= depth {
+            return Err(CliError(format!(
+                "fault-sim: --stuck-chip {chip} out of range (depth {depth})"
+            )));
+        }
+    }
+    let shape = Shape::grid2(rows, cols).map_err(|e| CliError(e.to_string()))?;
+    // Confine the gas to the center: with `steps` generations and
+    // `steps` empty sites of margin, nothing reaches the edge, so the
+    // Exact audit holds under the engines' null boundary and every
+    // recovered run must match the reference evolution bit-for-bit.
+    let full = init::random_hpp(shape, 0.3, seed).map_err(|e| CliError(e.to_string()))?;
+    let grid = Grid::from_fn(shape, |c| {
+        let inside = c.row() >= margin
+            && c.row() < rows - margin
+            && c.col() >= margin
+            && c.col() < cols - margin;
+        if inside {
+            full.get(c)
+        } else {
+            0
+        }
+    });
+    let rule = HppRule::new();
+    let reference = evolve(&grid, &rule, Boundary::null(), 0, steps);
+    let audit = ConservationAudit::new(Model::Hpp, AuditMode::Exact);
+    let sys = HostSystem {
+        engine: Pipeline::wide(width, depth),
+        link: HostLink::new(1e9),
+        clock_hz: 10e6,
+    };
+    let cfg =
+        RecoveryConfig { max_retries: retries, checkpoint_every: ckpt_every, allow_degraded: true };
+    let victim = depth / 2;
+    let sites = (rows * cols) as u64;
+
+    let mut out = format!(
+        "fault-sim: hpp on {rows}x{cols}, {steps} generations, width {width}, depth {depth}\n\
+         transient bit-flips in chip {victim}'s shift register; audit = exact conservation;\n\
+         checkpoint every {ckpt_every} pass(es), {retries} retries{}\n\n",
+        match stuck_chip {
+            Some(c) => format!("; stuck-at link bit on chip {c}"),
+            None => String::new(),
+        }
+    );
+    out.push_str("rate       injected  detected  rollbacks  bypassed  passes  upd/fault  result\n");
+    for mult in [0.0, 0.1, 1.0, 10.0] {
+        let r = (rate * mult).min(1.0);
+        let mut plan = FaultPlan::new(seed);
+        if r > 0.0 {
+            plan.push(Fault {
+                component: Component::SrCell,
+                chip: Some(victim),
+                cell: None,
+                kind: FaultKind::Transient { bit: 1, rate: r },
+            });
+        }
+        if let Some(chip) = stuck_chip {
+            plan.push(Fault {
+                component: Component::Link,
+                chip: Some(chip),
+                cell: None,
+                kind: FaultKind::StuckAt { bit: 0, value: true },
+            });
+        }
+        let ft = sys
+            .run_with_recovery(&rule, &grid, 0, steps, Some(&plan), &cfg, |b, a| audit.check(b, a));
+        match ft {
+            Ok(ft) => {
+                let injected = ft.faults.total();
+                let upd_per_fault = if injected == 0 {
+                    "-".to_string()
+                } else {
+                    format!("{:.1e}", (steps * sites) as f64 / injected as f64)
+                };
+                let result = if ft.run.grid == reference { "bit-exact" } else { "WRONG" };
+                out.push_str(&format!(
+                    "{r:<9.1e}  {injected:>8}  {:>8}  {:>9}  {:>8}  {:>6}  {upd_per_fault:>9}  {result}\n",
+                    ft.recovery.detected,
+                    ft.recovery.rollbacks,
+                    ft.recovery.bypassed_chips,
+                    ft.run.passes,
+                ));
+            }
+            Err(e) => {
+                out.push_str(&format!("{r:<9.1e}  gave up: {e}\n"));
+            }
+        }
+    }
+    out.push_str(
+        "\nupd/fault = mean committed site-updates between injected upsets (MTBF in\n\
+         update units); `bit-exact` rows recovered to the fault-free reference lattice.\n",
+    );
+    Ok(out)
 }
 
 fn run_pebble(d: usize, r: usize, t: usize, s: usize) -> Result<String, CliError> {
@@ -766,8 +949,7 @@ mod tests {
             save: Some(p2.to_string_lossy().into_owned()),
         })
         .unwrap();
-        let (resumed, t) =
-            checkpoint::load::<u8>(&std::fs::read(&p2).unwrap()).unwrap();
+        let (resumed, t) = checkpoint::load::<u8>(&std::fs::read(&p2).unwrap()).unwrap();
         assert_eq!(t, 8);
         // Equals one uninterrupted 8-generation run.
         let shape = Shape::grid2(10, 12).unwrap();
@@ -812,6 +994,74 @@ mod tests {
         let out = execute(Command::Waveform { width: 2, depth: 3, rows: 12, cols: 16 }).unwrap();
         assert!(out.contains("stage0"));
         assert!(out.contains("wavefront"));
+    }
+
+    #[test]
+    fn fault_sim_parses_and_recovers_bit_exact() {
+        let cmd = parse(&argv("fault-sim --rows 30 --cols 40 --depth 2 --rate 2e-4")).unwrap();
+        match &cmd {
+            Command::FaultSim { rows: 30, cols: 40, depth: 2, stuck_chip: None, .. } => {}
+            other => panic!("{other:?}"),
+        }
+        let out = execute(Command::FaultSim {
+            rows: 30,
+            cols: 40,
+            width: 1,
+            depth: 2,
+            steps: 6,
+            seed: 5,
+            rate: 2e-4,
+            retries: 6,
+            ckpt_every: 1,
+            stuck_chip: None,
+        })
+        .unwrap();
+        assert!(out.contains("upd/fault"), "{out}");
+        assert!(out.contains("bit-exact"), "{out}");
+        assert!(!out.contains("WRONG"), "{out}");
+    }
+
+    #[test]
+    fn fault_sim_stuck_link_bypasses_the_chip_and_stays_exact() {
+        let out = execute(Command::FaultSim {
+            rows: 26,
+            cols: 30,
+            width: 1,
+            depth: 3,
+            steps: 4,
+            seed: 9,
+            rate: 0.0,
+            retries: 1,
+            ckpt_every: 1,
+            stuck_chip: Some(1),
+        })
+        .unwrap();
+        assert!(!out.contains("WRONG"), "{out}");
+        assert!(!out.contains("gave up"), "{out}");
+        let row = out.lines().find(|l| l.ends_with("bit-exact")).unwrap();
+        // rate injected detected rollbacks bypassed passes upd/fault result
+        let fields: Vec<&str> = row.split_whitespace().collect();
+        assert_eq!(fields[4], "1", "expected one bypassed chip: {row}");
+    }
+
+    #[test]
+    fn fault_sim_rejects_bad_geometry() {
+        // Margin smaller than the generation count: exactness is not
+        // guaranteed, so the command must refuse.
+        assert!(execute(Command::FaultSim {
+            rows: 10,
+            cols: 10,
+            width: 1,
+            depth: 2,
+            steps: 8,
+            seed: 1,
+            rate: 1e-4,
+            retries: 3,
+            ckpt_every: 1,
+            stuck_chip: None,
+        })
+        .is_err());
+        assert!(parse(&argv("fault-sim --stuck-chip nope")).is_err());
     }
 
     #[test]

@@ -4,10 +4,7 @@
 use std::process::Command;
 
 fn lattice(args: &[&str]) -> (bool, String, String) {
-    let out = Command::new(env!("CARGO_BIN_EXE_lattice"))
-        .args(args)
-        .output()
-        .expect("binary runs");
+    let out = Command::new(env!("CARGO_BIN_EXE_lattice")).args(args).output().expect("binary runs");
     (
         out.status.success(),
         String::from_utf8_lossy(&out.stdout).into_owned(),
@@ -33,8 +30,20 @@ fn unknown_command_fails_with_usage() {
 #[test]
 fn gas_run_conserves_and_reports() {
     let (ok, out, _) = lattice(&[
-        "gas", "--model", "fhp3", "--rows", "16", "--cols", "16", "--steps", "15",
-        "--density", "0.4", "--seed", "9", "--periodic",
+        "gas",
+        "--model",
+        "fhp3",
+        "--rows",
+        "16",
+        "--cols",
+        "16",
+        "--steps",
+        "15",
+        "--density",
+        "0.4",
+        "--seed",
+        "9",
+        "--periodic",
     ]);
     assert!(ok);
     assert!(out.contains("fhp3 on 16x16 (torus)"));
@@ -49,8 +58,17 @@ fn gas_run_conserves_and_reports() {
 #[test]
 fn engine_run_reports_throughput() {
     let (ok, out, _) = lattice(&[
-        "engine", "--arch", "spa", "--slice-width", "12", "--depth", "2", "--rows", "24",
-        "--cols", "48",
+        "engine",
+        "--arch",
+        "spa",
+        "--slice-width",
+        "12",
+        "--depth",
+        "2",
+        "--rows",
+        "24",
+        "--cols",
+        "48",
     ]);
     assert!(ok, "{out}");
     assert!(out.contains("updates/tick"));
@@ -82,13 +100,35 @@ fn checkpoint_roundtrip_through_the_binary() {
     let p2s = p2.to_string_lossy().into_owned();
 
     let (ok, _, _) = lattice(&[
-        "gas", "--model", "fhp1", "--rows", "10", "--cols", "12", "--steps", "4",
-        "--seed", "42", "--periodic", "--save", &p1s,
+        "gas",
+        "--model",
+        "fhp1",
+        "--rows",
+        "10",
+        "--cols",
+        "12",
+        "--steps",
+        "4",
+        "--seed",
+        "42",
+        "--periodic",
+        "--save",
+        &p1s,
     ]);
     assert!(ok);
     let (ok, out, _) = lattice(&[
-        "resume", "--load", &p1s, "--model", "fhp1", "--steps", "4", "--seed", "42",
-        "--periodic", "--save", &p2s,
+        "resume",
+        "--load",
+        &p1s,
+        "--model",
+        "fhp1",
+        "--steps",
+        "4",
+        "--seed",
+        "42",
+        "--periodic",
+        "--save",
+        &p2s,
     ]);
     assert!(ok, "{out}");
     assert!(out.contains("now at 8"));
@@ -109,7 +149,8 @@ fn checkpoint_roundtrip_through_the_binary() {
 
 #[test]
 fn image_and_waveform_render() {
-    let (ok, out, _) = lattice(&["image", "--chain", "median,threshold", "--rows", "10", "--cols", "20"]);
+    let (ok, out, _) =
+        lattice(&["image", "--chain", "median,threshold", "--rows", "10", "--cols", "20"]);
     assert!(ok);
     assert!(out.contains("applied median"));
     let (ok, out, _) = lattice(&["waveform", "--depth", "3", "--rows", "10", "--cols", "12"]);

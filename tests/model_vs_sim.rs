@@ -17,10 +17,7 @@ fn wsa_throughput_matches_f_p_k() {
         let r = Pipeline::wide(p, k).run(&rule, &grid, 0).unwrap();
         let model = (p * k) as f64;
         let measured = r.updates_per_tick();
-        assert!(
-            measured <= model && measured > 0.9 * model,
-            "P={p} k={k}: {measured} vs {model}"
-        );
+        assert!(measured <= model && measured > 0.9 * model, "P={p} k={k}: {measured} vs {model}");
     }
 }
 
@@ -63,10 +60,7 @@ fn spa_throughput_matches_k_slices() {
         let r = SpaEngine::new(w, k).run(&rule, &grid, 0).unwrap();
         let model = (96 / w * k) as f64;
         let measured = r.updates_per_tick();
-        assert!(
-            measured <= model && measured > 0.75 * model,
-            "W={w} k={k}: {measured} vs {model}"
-        );
+        assert!(measured <= model && measured > 0.75 * model, "W={w} k={k}: {measured} vs {model}");
     }
 }
 
@@ -81,10 +75,7 @@ fn spa_bandwidth_matches_model() {
         let r = SpaEngine::new(w as usize, 1).run(&rule, &grid, 0).unwrap();
         let model = spa_model.bandwidth_bits_per_tick(96, w) as f64;
         let measured = r.memory_bits_per_tick();
-        assert!(
-            measured <= model && measured > 0.75 * model,
-            "W={w}: {measured} vs {model}"
-        );
+        assert!(measured <= model && measured > 0.75 * model, "W={w}: {measured} vs {model}");
     }
 }
 

@@ -126,11 +126,8 @@ fn host_system_with_forcing_pipeline() {
     });
 
     // Engine path: one pass per generation (forcing between passes).
-    let sys = HostSystem {
-        engine: Pipeline::wide(2, 1),
-        link: HostLink::new(10e6),
-        clock_hz: 10e6,
-    };
+    let sys =
+        HostSystem { engine: Pipeline::wide(2, 1), link: HostLink::new(10e6), clock_hz: 10e6 };
     let mut cur = g.clone();
     for t in 0..6u64 {
         let run = sys.run(&rule, &cur, t, 1).unwrap();

@@ -1,0 +1,185 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Presents the group-based benchmarking API this workspace's benches
+//! use (`benchmark_group`, `bench_function`, `bench_with_input`,
+//! `Throughput`, `BenchmarkId`, `criterion_group!`/`criterion_main!`)
+//! but replaces criterion's statistical machinery with a handful of
+//! timed iterations and a one-line median report. Good enough to keep
+//! `cargo bench` runnable and the bench code compiling; not a precision
+//! instrument.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Units for per-iteration throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark's identifier within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, like `name/param`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{name}/{parameter}") }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured body.
+pub struct Bencher {
+    iters: u32,
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Times `body` over a few iterations and records the median.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        let mut samples: Vec<f64> = (0..self.iters)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(body());
+                start.elapsed().as_secs_f64() * 1e9
+            })
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        self.median_ns = samples[samples.len() / 2];
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Records the work per iteration for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; this stand-in always runs a
+    /// fixed small number of iterations.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { iters: 3, median_ns: 0.0 };
+        f(&mut b);
+        self.report(&id.to_string(), b.median_ns);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { iters: 3, median_ns: 0.0 };
+        f(&mut b, input);
+        self.report(&id.label, b.median_ns);
+        self
+    }
+
+    /// Ends the group (a no-op beyond matching criterion's API).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, label: &str, median_ns: f64) {
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if median_ns > 0.0 => {
+                format!("  {:.1} Melem/s", n as f64 / median_ns * 1e3)
+            }
+            Some(Throughput::Bytes(n)) if median_ns > 0.0 => {
+                format!("  {:.1} MB/s", n as f64 / median_ns * 1e3)
+            }
+            _ => String::new(),
+        };
+        println!("{}/{label}: {:.0} ns/iter{rate}", self.name, median_ns);
+    }
+}
+
+/// Entry point handed to each benchmark function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), throughput: None, _criterion: self }
+    }
+}
+
+/// Bundles benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(64));
+        group.sample_size(10);
+        group.bench_function("sum", |b| b.iter(|| (0..64u64).sum::<u64>()));
+        for n in [4u64, 8] {
+            group.bench_with_input(BenchmarkId::new("sum_n", n), &n, |b, &n| {
+                b.iter(|| (0..n).product::<u64>());
+            });
+        }
+        group.finish();
+    }
+
+    criterion_group!(smoke, sample_bench);
+
+    #[test]
+    fn group_api_runs() {
+        smoke();
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("width", 4).label, "width/4");
+        assert_eq!(BenchmarkId::from_parameter(16).label, "16");
+    }
+}

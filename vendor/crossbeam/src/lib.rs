@@ -1,0 +1,148 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The workspace uses two slivers of crossbeam: `thread::scope` with
+//! spawned workers, and `channel::bounded`. Both have solid std
+//! equivalents since Rust 1.63 (`std::thread::scope`) and forever
+//! (`std::sync::mpsc::sync_channel`), so this crate adapts those to
+//! crossbeam's call signatures for offline builds.
+//!
+//! Deliberate limitation: the closure passed to [`thread::Scope::spawn`]
+//! receives `()` instead of a nested `&Scope` — every call site in this
+//! workspace ignores the argument (`|_| …`), and nested scoped spawns
+//! are not needed.
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads, mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// A handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// The spawn surface handed to the `scope` closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a worker. The closure's argument is `()` (crossbeam
+        /// passes a nested scope; see the crate docs).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle { inner: self.inner.spawn(move || f(())) }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing spawns are allowed.
+    ///
+    /// Returns `Err` with the panic payload if the closure (or an
+    /// unjoined spawned thread) panicked, like crossbeam does.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| {
+                let wrapper = Scope { inner: s };
+                f(&wrapper)
+            })
+        }))
+    }
+}
+
+/// Multi-producer channels, mirroring `crossbeam::channel`.
+pub mod channel {
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// Sending half of a bounded channel.
+    pub struct Sender<T> {
+        inner: std::sync::mpsc::SyncSender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender { inner: self.inner.clone() }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until the message is accepted, or errors if all
+        /// receivers disconnected.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value)
+        }
+    }
+
+    /// Receiving half of a bounded channel.
+    pub struct Receiver<T> {
+        inner: std::sync::mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives, or errors once the channel is
+        /// empty and all senders disconnected.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv()
+        }
+    }
+
+    /// Creates a bounded channel of the given capacity (0 = rendezvous).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = std::sync::mpsc::sync_channel(cap);
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = [1, 2, 3];
+        let sum = super::thread::scope(|s| {
+            let h = s.spawn(|_| data.iter().sum::<i32>());
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(sum, 6);
+    }
+
+    #[test]
+    fn scope_surfaces_worker_panics_as_err() {
+        let r = super::thread::scope(|s| {
+            let h = s.spawn(|_| panic!("boom"));
+            // Deliberately do not join: the panic must surface from scope.
+            drop(h);
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn bounded_channel_round_trips() {
+        let (tx, rx) = super::channel::bounded::<u32>(2);
+        tx.send(7).unwrap();
+        tx.send(8).unwrap();
+        assert_eq!(rx.recv().unwrap(), 7);
+        assert_eq!(rx.recv().unwrap(), 8);
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! This workspace derives `Serialize`/`Deserialize` on report structs as
+//! forward-looking annotations but links no serializer crate, so the
+//! traits here are empty markers and the derives (re-exported from the
+//! companion `serde_derive` stub) expand to nothing. Swapping in real
+//! serde later requires no source changes at the use sites.
+
+#![forbid(unsafe_code)]
+
+/// Marker for types annotated as serializable.
+pub trait Serialize {}
+
+/// Marker for types annotated as deserializable.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

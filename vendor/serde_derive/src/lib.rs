@@ -1,0 +1,17 @@
+//! No-op derive macros for the offline `serde` stand-in.
+//!
+//! The derives accept any item and emit no code: the workspace keeps its
+//! `#[derive(Serialize, Deserialize)]` annotations compiling without a
+//! serializer crate in the dependency graph.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
