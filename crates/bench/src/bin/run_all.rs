@@ -18,6 +18,7 @@ const BINS: &[&str] = &[
     "fig_pebbling_bound",
     "tab_prototype",
     "tab_model_vs_sim",
+    "tab_farm_scaling",
     "tab_tech_scaling",
     "tab_ablations",
     "fig_throughput_area",

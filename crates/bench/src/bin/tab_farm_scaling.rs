@@ -1,0 +1,136 @@
+//! E9 — board-farm scaling, measured vs the links-per-board model.
+//!
+//! The §6 analysis bounds a *chip* by pins; a multi-board machine meets
+//! the same wall at its inter-board links. A `LatticeFarm` shards an
+//! FHP lattice over S boards (each a 2-PE, depth-2 WSA pipeline) and
+//! exchanges 2-column halos every pass; `lattice_vlsi::FarmModel`
+//! predicts pass time, link demand, and scaling efficiency from the
+//! same partition geometry. Two regimes:
+//!
+//! * unthrottled links — compute-bound: measured pass ticks must track
+//!   the model within 10% and strong-scaling efficiency falls only via
+//!   halo recompute;
+//! * starved links (2 bits/tick) — bandwidth-bound: past the model's
+//!   critical shard count, added boards buy almost nothing, the farm's
+//!   version of the §8 prototype stalling on its memory channel.
+
+use lattice_bench::{fnum, format_from_args, Table};
+use lattice_core::Shape;
+use lattice_farm::{BoardLink, LatticeFarm, ShardEngine};
+use lattice_gas::{init, FhpRule, FhpVariant};
+use lattice_vlsi::{FarmModel, Technology};
+
+const ROWS: usize = 48;
+const COLS: usize = 240;
+const P: usize = 2;
+const K: usize = 2;
+const GENS: u64 = 4;
+
+fn main() {
+    let fmt = format_from_args();
+    let tech = Technology::paper_1987();
+    let rule = FhpRule::new(FhpVariant::I, 31);
+    let shape = Shape::grid2(ROWS, COLS).unwrap();
+    let grid = init::random_fhp(shape, FhpVariant::I, 0.3, 7, false).unwrap();
+    let shard_counts = [1usize, 2, 4, 8, 16];
+
+    let model = FarmModel::new(tech, ROWS, COLS, P as u32, K);
+    let mut free_t = Table::new(
+        format!(
+            "E9a: farm strong scaling, unthrottled links \
+             (FHP-I {ROWS}x{COLS}, {P}-PE boards, k = {K})"
+        ),
+        &[
+            "S",
+            "pass ticks meas",
+            "pass ticks model",
+            "meas/model",
+            "upd/tick meas",
+            "upd/tick model",
+            "efficiency model",
+            "redundancy meas",
+            "link demand (bits/tick)",
+        ],
+    );
+    let mut worst_ratio = 1.0f64;
+    for &s in &shard_counts {
+        let farm = LatticeFarm::new(s, ShardEngine::Wsa { width: P }, K);
+        let report = farm.run(&rule, &grid, 0, GENS).expect("farm run");
+        let meas_pass = report.machine_ticks() as f64 / report.passes as f64;
+        let ratio = meas_pass / model.pass_ticks(s);
+        worst_ratio = worst_ratio.max((ratio - 1.0).abs() + 1.0);
+        free_t.row_strings(vec![
+            s.to_string(),
+            fnum(meas_pass, 0),
+            fnum(model.pass_ticks(s), 0),
+            fnum(ratio, 3),
+            fnum(report.updates_per_tick(), 2),
+            fnum(model.updates_per_tick(s), 2),
+            fnum(model.strong_efficiency(s), 3),
+            fnum(report.redundancy(), 3),
+            fnum(model.link_demand_bits_per_tick(s), 1),
+        ]);
+    }
+    free_t.note(format!(
+        "Worst measured/model pass-time ratio {} (acceptance bound 1.10): the model \
+         reuses the farm's slab partition and the pipeline's fill-latency tick count.",
+        fnum(worst_ratio, 3)
+    ));
+    free_t.note(
+        "Link demand is the §6 pin bound moved up a level: 2kDP bits amortized \
+         over a board's slab width — it grows as slabs thin.",
+    );
+    free_t.print(fmt);
+    assert!(
+        worst_ratio <= 1.10,
+        "measured pass time departed from the model by more than 10%: {worst_ratio}"
+    );
+
+    let starved_bits = 2.0;
+    let starved_model = model.with_link(starved_bits);
+    let mut slow_t = Table::new(
+        format!("E9b: the same farm on starved links ({starved_bits} bits/tick)"),
+        &[
+            "S",
+            "halo ticks/pass meas",
+            "compute ticks/pass meas",
+            "upd/tick meas",
+            "upd/tick model",
+            "speedup vs S=1",
+        ],
+    );
+    let mut base_rate = 0.0f64;
+    let mut rates = Vec::new();
+    for &s in &shard_counts {
+        let farm = LatticeFarm::new(s, ShardEngine::Wsa { width: P }, K)
+            .with_link(BoardLink::new(starved_bits));
+        let report = farm.run(&rule, &grid, 0, GENS).expect("farm run");
+        let rate = report.updates_per_tick();
+        if s == 1 {
+            base_rate = rate;
+        }
+        rates.push(rate);
+        slow_t.row_strings(vec![
+            s.to_string(),
+            fnum(report.halo_ticks as f64 / report.passes as f64, 0),
+            fnum(report.machine.ticks as f64 / report.passes as f64, 0),
+            fnum(rate, 2),
+            fnum(starved_model.updates_per_tick(s), 2),
+            fnum(rate / base_rate, 2),
+        ]);
+    }
+    match starved_model.critical_shards(16) {
+        Some(crit) => slow_t.note(format!(
+            "Model rollover at S = {crit}: beyond it the exchange barrier outweighs \
+             compute and the speedup curve flattens — the §8 bandwidth wall, one \
+             packaging level up."
+        )),
+        None => slow_t.note("Model predicts no rollover through S = 16."),
+    };
+    slow_t.print(fmt);
+    // Bandwidth-bound sanity: the last doubling of boards must buy far
+    // less than 2x once the exchange barrier dominates.
+    let n = rates.len();
+    let last_gain = rates[n - 1] / rates[n - 2];
+    assert!(last_gain < 1.5, "starved links should flatten the scaling curve, got {last_gain}");
+}

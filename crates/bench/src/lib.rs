@@ -18,6 +18,7 @@
 //! | `fig_pebbling_bound`         | E6 — §7 `R = O(B·S^{1/d})` |
 //! | `tab_prototype`              | E7 — §8 prototype derating |
 //! | `tab_model_vs_sim`           | E8 — analytical vs measured |
+//! | `tab_farm_scaling`           | E9 — board-farm scaling vs links-per-board model |
 //! | `tab_tech_scaling`           | ablation — §8 feature-size scaling |
 
 #![forbid(unsafe_code)]

@@ -61,6 +61,7 @@ pub mod error;
 pub mod grid;
 pub mod raster;
 pub mod rule;
+pub mod shard;
 pub mod tiled;
 pub mod window;
 

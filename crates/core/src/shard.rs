@@ -1,0 +1,149 @@
+//! Columnar sharding geometry, shared by the board farm
+//! (`lattice-farm`) and its analytical model (`lattice-vlsi`) so the
+//! executed and the predicted machine can never disagree about slabs.
+//!
+//! The lattice is divided into `S` contiguous, balanced columnar slabs,
+//! one per board. A farm runs `k` generations per bulk-synchronous pass
+//! and therefore needs a `k`-column halo on each interior side: a slab
+//! augmented with `k` true generation-`t` columns can evolve `k` steps
+//! with every *owned* column exact, because boundary pollution travels
+//! one column per generation and never crosses the halo.
+
+use crate::error::LatticeError;
+
+/// One board's slab: the columns it owns plus the halo columns it
+/// imports each pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Slab {
+    /// Shard index, left to right.
+    pub index: usize,
+    /// First owned global column.
+    pub col0: usize,
+    /// Owned columns.
+    pub width: usize,
+    /// Halo columns imported across the left link.
+    pub halo_left: usize,
+    /// Halo columns imported across the right link.
+    pub halo_right: usize,
+}
+
+impl Slab {
+    /// One past the last owned global column.
+    pub fn col_end(&self) -> usize {
+        self.col0 + self.width
+    }
+
+    /// Total columns in the halo-augmented slab the board streams.
+    pub fn aug_width(&self) -> usize {
+        self.halo_left + self.width + self.halo_right
+    }
+
+    /// Halo sites imported per pass when the augmented slab is
+    /// `aug_rows` tall.
+    pub fn halo_sites(&self, aug_rows: usize) -> usize {
+        (self.halo_left + self.halo_right) * aug_rows
+    }
+}
+
+/// Splits `cols` columns into `shards` balanced contiguous slabs with a
+/// `halo`-column exchange margin (the generations per pass).
+///
+/// Widths differ by at most one (the first `cols mod shards` slabs get
+/// the extra column). Under the null boundary (`periodic = false`)
+/// halos are clamped at the true lattice edges — an edge slab's
+/// augmented boundary must *coincide* with the lattice boundary, since
+/// padding it with fabricated null columns would let particles that
+/// really exit the lattice collide in the padding and re-enter. On a
+/// torus every slab imports the full `halo` from both neighbors.
+pub fn partition(
+    cols: usize,
+    shards: usize,
+    halo: usize,
+    periodic: bool,
+) -> Result<Vec<Slab>, LatticeError> {
+    if shards == 0 {
+        return Err(LatticeError::InvalidConfig("a farm needs at least one shard".into()));
+    }
+    if shards > cols {
+        return Err(LatticeError::InvalidConfig(format!(
+            "{shards} shards over {cols} columns leaves a board with no slab"
+        )));
+    }
+    let base = cols / shards;
+    let extra = cols % shards;
+    let mut slabs = Vec::with_capacity(shards);
+    let mut col0 = 0usize;
+    for index in 0..shards {
+        let width = base + usize::from(index < extra);
+        let (halo_left, halo_right) =
+            if periodic { (halo, halo) } else { (halo.min(col0), halo.min(cols - col0 - width)) };
+        slabs.push(Slab { index, col0, width, halo_left, halo_right });
+        col0 += width;
+    }
+    debug_assert_eq!(col0, cols);
+    Ok(slabs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slabs_tile_the_lattice() {
+        for cols in [1usize, 7, 16, 240] {
+            for shards in 1..=cols.min(9) {
+                let slabs = partition(cols, shards, 2, false).unwrap();
+                assert_eq!(slabs.len(), shards);
+                let mut next = 0usize;
+                for (i, s) in slabs.iter().enumerate() {
+                    assert_eq!(s.index, i);
+                    assert_eq!(s.col0, next, "contiguous");
+                    assert!(s.width >= 1);
+                    next = s.col_end();
+                }
+                assert_eq!(next, cols, "slabs cover every column exactly once");
+                let wmax = slabs.iter().map(|s| s.width).max().unwrap();
+                let wmin = slabs.iter().map(|s| s.width).min().unwrap();
+                assert!(wmax - wmin <= 1, "balanced within one column");
+            }
+        }
+    }
+
+    #[test]
+    fn null_boundary_halos_clamp_at_the_edges() {
+        let slabs = partition(10, 4, 3, false).unwrap();
+        // Widths 3,3,2,2; col0 0,3,6,8.
+        assert_eq!(slabs[0].halo_left, 0, "nothing exists left of the lattice");
+        assert_eq!(slabs[0].halo_right, 3);
+        assert_eq!(slabs[1].halo_left, 3);
+        assert_eq!(slabs[1].halo_right, 3);
+        // Shard 2 owns cols 6..8: only 2 columns remain to its right.
+        assert_eq!(slabs[2].halo_right, 2);
+        assert_eq!(slabs[3].halo_left, 3);
+        assert_eq!(slabs[3].halo_right, 0);
+        assert_eq!(slabs[1].aug_width(), 9);
+        assert_eq!(slabs[1].halo_sites(10), 60);
+    }
+
+    #[test]
+    fn periodic_halos_never_clamp() {
+        let slabs = partition(10, 4, 3, true).unwrap();
+        for s in &slabs {
+            assert_eq!((s.halo_left, s.halo_right), (3, 3));
+        }
+    }
+
+    #[test]
+    fn single_shard_imports_nothing_under_null_boundary() {
+        let s = partition(64, 1, 4, false).unwrap();
+        assert_eq!(s[0].aug_width(), 64);
+        assert_eq!(s[0].halo_sites(64), 0);
+    }
+
+    #[test]
+    fn degenerate_farms_are_rejected() {
+        assert!(partition(16, 0, 1, false).is_err());
+        assert!(partition(4, 5, 1, false).is_err());
+        assert!(partition(4, 4, 1, false).is_ok());
+    }
+}

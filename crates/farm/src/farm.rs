@@ -1,0 +1,930 @@
+//! The farm driver: `S` boards evolving one lattice in bulk-synchronous
+//! lockstep.
+//!
+//! Each pass, every board receives its halo columns over the inter-board
+//! links ([`crate::link::BoardLink`]: bandwidth-throttled, parity
+//! checked), then runs its cycle-level engine — a WSA pipeline (§4) or
+//! an SPA slice array (§5) — for `k` generations over the halo-augmented
+//! slab on its own worker thread, and finally the owned columns are
+//! stitched back into the machine lattice at the barrier. A slab
+//! augmented with `k` true generation-`t` columns per interior side
+//! evolves `k` generations with every owned column bit-exact (boundary
+//! pollution travels one column per generation), so the farmed run
+//! equals the single-engine reference *exactly*, for HPP and — via the
+//! origin-aware stream framing the engines already speak — for
+//! coordinate-dependent FHP, on both the null boundary and the torus.
+//!
+//! The price is redundant halo recompute (each exchanged column is
+//! evolved by two boards) and link time at the barrier; the machine
+//! report accounts both, which is what the analytical board model in
+//! `lattice-vlsi` predicts and `tab_farm_scaling` cross-checks.
+
+use crate::link::BoardLink;
+use crate::partition::{partition, Slab};
+use lattice_core::bits::Traffic;
+use lattice_core::{checkpoint, Coord, Grid, LatticeError, Rule, Shape, State};
+use lattice_engines_sim::{
+    EngineReport, FaultCtx, FaultPlan, FaultStats, Pipeline, RecoveryStats, RunOptions, SpaEngine,
+    SpaRunOptions,
+};
+
+/// Which cycle-level engine every board runs over its slab.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardEngine {
+    /// A wide-serial pipeline (§4): `width` PEs per stage, one stage per
+    /// generation of the pass.
+    Wsa {
+        /// PEs per stage (`P`).
+        width: usize,
+    },
+    /// The partitioned architecture (§5): serial slice-PEs side by side.
+    /// `slice_width` must divide every board's *augmented* slab width;
+    /// `1` (one column per PE, the fully partitioned corner) always
+    /// does and is the natural farm choice.
+    Spa {
+        /// Columns per slice (`W`).
+        slice_width: usize,
+    },
+}
+
+/// A board-level engine farm over one lattice.
+#[derive(Debug, Clone, Copy)]
+pub struct LatticeFarm {
+    /// Boards (`S`), each owning one columnar slab.
+    pub shards: usize,
+    /// The engine instantiated on every board.
+    pub engine: ShardEngine,
+    /// Generations per pass (`k`) — also the halo width each board
+    /// imports per pass.
+    pub depth: usize,
+    /// The inter-board halo link model.
+    pub link: BoardLink,
+    /// Toroidal boundary. Coordinate-dependent rules (FHP) must then be
+    /// built `with_wrap` for the lattice, exactly as with
+    /// `lattice_engines_sim::halo::run_periodic`.
+    pub periodic: bool,
+}
+
+/// Per-board cumulative statistics over a farm run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Board index.
+    pub shard: usize,
+    /// First owned global column.
+    pub col0: usize,
+    /// Owned columns.
+    pub cols: usize,
+    /// Site updates performed (halo recompute included).
+    pub updates: u64,
+    /// Engine ticks summed over passes.
+    pub ticks: u64,
+    /// Bits imported over this board's halo links.
+    pub halo_in_bits: u128,
+}
+
+/// A machine-level run summary: the aggregated [`EngineReport`] plus the
+/// farm-specific accounting (halo traffic and barrier time).
+#[derive(Debug, Clone)]
+pub struct FarmReport<S: State> {
+    /// The merged machine report: `grid` is the stitched final lattice;
+    /// `updates`/`ticks`/traffic/faults aggregate every board via
+    /// [`EngineReport::merge`] per pass (parallel composition), then add
+    /// across passes (sequential composition). `updates` counts the
+    /// halo recompute; see [`FarmReport::useful_updates`].
+    pub machine: EngineReport<S>,
+    /// Passes through the farm.
+    pub passes: u64,
+    /// Boards.
+    pub shards: usize,
+    /// Per-board breakdown.
+    pub per_shard: Vec<ShardStats>,
+    /// Inter-board halo traffic (bits out of senders / into receivers).
+    pub halo_traffic: Traffic,
+    /// Ticks the machine spent in halo exchange at the barriers (the
+    /// slowest board's link time, summed over passes).
+    pub halo_ticks: u64,
+}
+
+impl<S: State> FarmReport<S> {
+    /// The final lattice.
+    pub fn grid(&self) -> &Grid<S> {
+        &self.machine.grid
+    }
+
+    /// Machine wall-clock ticks: compute plus halo-exchange time.
+    pub fn machine_ticks(&self) -> u64 {
+        self.machine.ticks + self.halo_ticks
+    }
+
+    /// Lattice-visible updates (`generations × sites`), excluding the
+    /// redundant halo recompute counted in `machine.updates`.
+    pub fn useful_updates(&self) -> u64 {
+        self.machine.generations * self.machine.grid.len() as u64
+    }
+
+    /// Useful site updates per machine tick.
+    pub fn updates_per_tick(&self) -> f64 {
+        let t = self.machine_ticks();
+        if t == 0 {
+            0.0
+        } else {
+            self.useful_updates() as f64 / t as f64
+        }
+    }
+
+    /// Useful updates per second at clock `clock_hz`.
+    pub fn updates_per_second(&self, clock_hz: f64) -> f64 {
+        self.updates_per_tick() * clock_hz
+    }
+
+    /// Sustained inter-board bandwidth demand, bits per machine tick.
+    pub fn halo_bits_per_tick(&self) -> f64 {
+        let t = self.machine_ticks();
+        if t == 0 {
+            0.0
+        } else {
+            self.halo_traffic.bits_in as f64 / t as f64
+        }
+    }
+
+    /// Work amplification from halo recompute: total updates performed
+    /// over useful updates (≥ 1; grows with shards and pass depth).
+    pub fn redundancy(&self) -> f64 {
+        let useful = self.useful_updates();
+        if useful == 0 {
+            1.0
+        } else {
+            self.machine.updates as f64 / useful as f64
+        }
+    }
+
+    /// Fraction of machine time spent computing (vs halo exchange).
+    pub fn compute_fraction(&self) -> f64 {
+        let t = self.machine_ticks();
+        if t == 0 {
+            1.0
+        } else {
+            self.machine.ticks as f64 / t as f64
+        }
+    }
+
+    /// Machine PE utilization: useful updates over total PE-ticks
+    /// (stalls, fill, and halo recompute all count against it).
+    pub fn utilization(&self) -> f64 {
+        let pe_ticks =
+            self.machine_ticks() as f64 * self.machine.stages as f64 * self.machine.width as f64;
+        if pe_ticks == 0.0 {
+            0.0
+        } else {
+            self.useful_updates() as f64 / pe_ticks
+        }
+    }
+}
+
+/// Recovery policy for [`LatticeFarm::run_with_recovery`].
+#[derive(Debug, Clone, Copy)]
+pub struct FarmRecoveryConfig {
+    /// Rollback-and-retry attempts per checkpoint window before the
+    /// farm gives up. There is no degraded mode at farm level: a board
+    /// owns its slab outright, so the machine cannot continue without
+    /// it the way a pipeline continues past a bypassed chip.
+    pub max_retries: u32,
+    /// Passes between checkpoint barriers (each barrier snapshots every
+    /// shard's slab through the real checkpoint codec).
+    pub checkpoint_every: u64,
+}
+
+impl Default for FarmRecoveryConfig {
+    fn default() -> Self {
+        FarmRecoveryConfig { max_retries: 3, checkpoint_every: 1 }
+    }
+}
+
+/// A fault-tolerant farm run: the report plus what recovery did.
+#[derive(Debug, Clone)]
+pub struct FarmFtRun<S: State> {
+    /// The machine-level run summary (fault tallies are in
+    /// `report.machine.faults`, retries included).
+    pub report: FarmReport<S>,
+    /// Recovery actions taken (checkpoints are counted per shard blob).
+    pub recovery: RecoveryStats,
+}
+
+/// One board's work order for a pass.
+struct ShardJob<'p, S: State> {
+    aug: Grid<S>,
+    ctx: Option<FaultCtx<'p>>,
+    origin: (usize, usize),
+    chip0: usize,
+}
+
+/// What one pass produced, before aggregation.
+struct PassOutcome<S: State> {
+    grid: Grid<S>,
+    reports: Vec<EngineReport<S>>,
+    halo_traffic: Traffic,
+    halo_ticks: u64,
+    halo_bits_per_board: Vec<u128>,
+}
+
+/// Cross-pass accumulators for the machine report.
+struct Totals {
+    updates: u64,
+    compute_ticks: u64,
+    generations: u64,
+    memory: Traffic,
+    pins: Traffic,
+    side: Traffic,
+    offchip: Traffic,
+    sr: u64,
+    stages: u32,
+    width: u32,
+    halo_traffic: Traffic,
+    halo_ticks: u64,
+    per_shard: Vec<ShardStats>,
+}
+
+impl Totals {
+    fn new(slabs: &[Slab]) -> Self {
+        Totals {
+            updates: 0,
+            compute_ticks: 0,
+            generations: 0,
+            memory: Traffic::new(),
+            pins: Traffic::new(),
+            side: Traffic::new(),
+            offchip: Traffic::new(),
+            sr: 0,
+            stages: 0,
+            width: 0,
+            halo_traffic: Traffic::new(),
+            halo_ticks: 0,
+            per_shard: slabs
+                .iter()
+                .map(|s| ShardStats {
+                    shard: s.index,
+                    col0: s.col0,
+                    cols: s.width,
+                    updates: 0,
+                    ticks: 0,
+                    halo_in_bits: 0,
+                })
+                .collect(),
+        }
+    }
+
+    /// Folds one pass in: shard reports compose in parallel (via
+    /// [`EngineReport::merge`]), passes compose sequentially (ticks and
+    /// updates add).
+    fn absorb<S: State>(&mut self, out: &PassOutcome<S>, k: u64) {
+        let mut pass = out.reports[0].clone();
+        for r in &out.reports[1..] {
+            pass.merge(r);
+        }
+        self.updates += pass.updates;
+        self.compute_ticks += pass.ticks;
+        self.generations += k;
+        self.memory.merge(pass.memory_traffic);
+        self.pins.merge(pass.pin_traffic);
+        self.side.merge(pass.side_traffic);
+        self.offchip.merge(pass.offchip_sr_traffic);
+        self.sr = self.sr.max(pass.sr_cells_per_stage);
+        self.stages = self.stages.max(pass.stages);
+        self.width = self.width.max(pass.width);
+        self.halo_traffic.merge(out.halo_traffic);
+        self.halo_ticks += out.halo_ticks;
+        for (stats, report) in self.per_shard.iter_mut().zip(&out.reports) {
+            stats.updates += report.updates;
+            stats.ticks += report.ticks;
+            stats.halo_in_bits += out.halo_bits_per_board[stats.shard];
+        }
+    }
+
+    fn finish<S: State>(
+        self,
+        grid: Grid<S>,
+        passes: u64,
+        shards: usize,
+        faults: FaultStats,
+    ) -> FarmReport<S> {
+        FarmReport {
+            machine: EngineReport {
+                grid,
+                generations: self.generations,
+                updates: self.updates,
+                ticks: self.compute_ticks,
+                memory_traffic: self.memory,
+                pin_traffic: self.pins,
+                side_traffic: self.side,
+                offchip_sr_traffic: self.offchip,
+                sr_cells_per_stage: self.sr,
+                stages: self.stages,
+                width: self.width,
+                faults,
+            },
+            passes,
+            shards,
+            per_shard: self.per_shard,
+            halo_traffic: self.halo_traffic,
+            halo_ticks: self.halo_ticks,
+        }
+    }
+}
+
+fn save_shard_checkpoints<S: State>(
+    grid: &Grid<S>,
+    slabs: &[Slab],
+    t: u64,
+) -> Result<Vec<Vec<u8>>, LatticeError> {
+    let rows = grid.shape().rows();
+    slabs
+        .iter()
+        .map(|slab| {
+            let shape = Shape::grid2(rows, slab.width)?;
+            let sg = Grid::from_fn(shape, |c| grid.get(Coord::c2(c.row(), slab.col0 + c.col())));
+            Ok(checkpoint::save(&sg, t))
+        })
+        .collect()
+}
+
+fn load_shard_checkpoints<S: State>(
+    blobs: &[Vec<u8>],
+    slabs: &[Slab],
+    shape: Shape,
+) -> Result<(Grid<S>, u64), LatticeError> {
+    let mut grid = Grid::new(shape);
+    let mut time = None;
+    for (blob, slab) in blobs.iter().zip(slabs) {
+        let (sg, t) = checkpoint::load::<S>(blob)?;
+        if *time.get_or_insert(t) != t {
+            return Err(LatticeError::Corrupted {
+                site: format!("shard {} checkpoint", slab.index),
+                detail: "shard checkpoints disagree on generation".into(),
+            });
+        }
+        for r in 0..shape.rows() {
+            for j in 0..slab.width {
+                grid.set(Coord::c2(r, slab.col0 + j), sg.get(Coord::c2(r, j)));
+            }
+        }
+    }
+    Ok((grid, time.unwrap_or(0)))
+}
+
+impl LatticeFarm {
+    /// A farm of `shards` boards running `engine` at `depth` generations
+    /// per pass, with unthrottled links and the null boundary.
+    pub fn new(shards: usize, engine: ShardEngine, depth: usize) -> Self {
+        LatticeFarm { shards, engine, depth, link: BoardLink::unthrottled(), periodic: false }
+    }
+
+    /// Replaces the inter-board link model.
+    pub fn with_link(mut self, link: BoardLink) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// Selects the toroidal boundary.
+    pub fn with_periodic(mut self, periodic: bool) -> Self {
+        self.periodic = periodic;
+        self
+    }
+
+    fn validate<S: State>(&self, grid: &Grid<S>) -> Result<(), LatticeError> {
+        if grid.shape().rank() != 2 {
+            return Err(LatticeError::InvalidConfig("a farm shards a 2-D lattice".into()));
+        }
+        if self.depth == 0 {
+            return Err(LatticeError::InvalidConfig("farm pass depth must be ≥ 1".into()));
+        }
+        match self.engine {
+            ShardEngine::Wsa { width: 0 } => {
+                Err(LatticeError::InvalidConfig("WSA boards need width ≥ 1".into()))
+            }
+            ShardEngine::Spa { slice_width: 0 } => {
+                Err(LatticeError::InvalidConfig("SPA boards need slice width ≥ 1".into()))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Physical chips per board: board `s` owns chip ids
+    /// `[s·stride, (s+1)·stride)`, stable across passes (the final
+    /// shallow pass uses a prefix), so stuck-at faults follow silicon.
+    fn chip_stride(&self, cols: usize) -> Result<usize, LatticeError> {
+        Ok(match self.engine {
+            ShardEngine::Wsa { .. } => self.depth,
+            ShardEngine::Spa { slice_width } => {
+                let slabs = partition(cols, self.shards, self.depth, self.periodic)?;
+                let max_aug = slabs.iter().map(|s| s.aug_width()).max().unwrap_or(1);
+                self.depth * max_aug.div_ceil(slice_width)
+            }
+        })
+    }
+
+    /// One bulk-synchronous superstep: halo exchange over the links,
+    /// `k` generations on every board concurrently, stitch at the
+    /// barrier.
+    #[allow(clippy::too_many_arguments)]
+    fn run_pass<R: Rule>(
+        &self,
+        rule: &R,
+        grid: &Grid<R::S>,
+        t_now: u64,
+        k: usize,
+        plan: Option<&FaultPlan>,
+        pass: u64,
+        attempt: u64,
+        halo_pos: &mut [u64],
+    ) -> Result<PassOutcome<R::S>, LatticeError> {
+        let shape = grid.shape();
+        let (rows, cols) = (shape.rows(), shape.cols());
+        let slabs = partition(cols, self.shards, k, self.periodic)?;
+        let stride = self.chip_stride(cols)?;
+        // Link "chips" live past every engine chip, one per board.
+        let link_chip_base = self.shards * stride;
+        let row_off = if self.periodic { k } else { 0 };
+        let aug_rows = rows + 2 * row_off;
+
+        let mut halo_traffic = Traffic::new();
+        let mut halo_ticks = 0u64;
+        let mut halo_bits_per_board = Vec::with_capacity(self.shards);
+
+        // Phase 1 — halo exchange: build each board's augmented slab,
+        // pushing the imported halo columns through its link.
+        let mut jobs: Vec<ShardJob<'_, R::S>> = Vec::with_capacity(self.shards);
+        for slab in &slabs {
+            let ctx = plan.map(|p| FaultCtx::for_shard(p, slab.index as u64, pass, attempt));
+            let aug_shape = Shape::grid2(aug_rows, slab.aug_width())?;
+            let mut aug = Grid::from_fn(aug_shape, |c| {
+                let gr = c.row() as isize - row_off as isize;
+                let gc = slab.col0 as isize - slab.halo_left as isize + c.col() as isize;
+                if self.periodic {
+                    grid.get(Coord::c2(
+                        gr.rem_euclid(rows as isize) as usize,
+                        gc.rem_euclid(cols as isize) as usize,
+                    ))
+                } else {
+                    // Null-boundary halos are clamped, so the indices
+                    // are always in range.
+                    grid.get(Coord::c2(gr as usize, gc as usize))
+                }
+            });
+            // Halo columns cross the inter-board links; owned columns
+            // (and the torus's vertical wrap rows) stay on board.
+            let halo_cols: Vec<usize> =
+                (0..slab.halo_left).chain(slab.halo_left + slab.width..slab.aug_width()).collect();
+            let mut imported: Vec<R::S> = Vec::with_capacity(halo_cols.len() * aug_rows);
+            for &c in &halo_cols {
+                for r in 0..aug_rows {
+                    imported.push(aug.get(Coord::c2(r, c)));
+                }
+            }
+            let link_faults = ctx.map(|ctx| (ctx, link_chip_base + slab.index));
+            let received = self.link.transmit(
+                &imported,
+                slab.index,
+                link_faults,
+                &mut halo_pos[slab.index],
+                &mut halo_traffic,
+            )?;
+            for (i, &c) in halo_cols.iter().enumerate() {
+                for r in 0..aug_rows {
+                    aug.set(Coord::c2(r, c), received[i * aug_rows + r]);
+                }
+            }
+            let bits = imported.len() as u128 * R::S::BITS as u128;
+            halo_bits_per_board.push(bits);
+            // Boards exchange concurrently; the barrier waits for the
+            // slowest link.
+            halo_ticks = halo_ticks.max(self.link.transfer_ticks(bits));
+
+            // The engine streams local coordinates; the origin restores
+            // the true lattice frame (negative components wrap, exactly
+            // as sim::halo's framing).
+            let origin = (0usize.wrapping_sub(row_off), slab.col0.wrapping_sub(slab.halo_left));
+            jobs.push(ShardJob { aug, ctx, origin, chip0: slab.index * stride });
+        }
+
+        // Phase 2 — every board computes its k generations concurrently.
+        let engine = self.engine;
+        let reports: Vec<EngineReport<R::S>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = jobs
+                .iter()
+                .map(|job| {
+                    scope.spawn(move |_| -> Result<EngineReport<R::S>, LatticeError> {
+                        match engine {
+                            ShardEngine::Wsa { width } => {
+                                let chips: Vec<usize> = (job.chip0..job.chip0 + k).collect();
+                                let opts = RunOptions {
+                                    origin: job.origin,
+                                    faults: job.ctx,
+                                    chip_ids: Some(&chips),
+                                    offchip_from: None,
+                                };
+                                Pipeline::wide(width, k).run_opts(rule, &job.aug, t_now, opts)
+                            }
+                            ShardEngine::Spa { slice_width } => {
+                                let opts = SpaRunOptions {
+                                    origin: job.origin,
+                                    faults: job.ctx,
+                                    chip_offset: job.chip0,
+                                };
+                                SpaEngine::new(slice_width, k).run_opts(rule, &job.aug, t_now, opts)
+                            }
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|_| {
+                        Err(LatticeError::Corrupted {
+                            site: "farm board worker".into(),
+                            detail: "board thread panicked".into(),
+                        })
+                    })
+                })
+                .collect::<Result<Vec<_>, LatticeError>>()
+        })
+        .map_err(|_| LatticeError::Corrupted {
+            site: "farm".into(),
+            detail: "a farm thread panicked".into(),
+        })??;
+
+        // Phase 3 — stitch owned columns into the next machine lattice.
+        let mut next = Grid::new(shape);
+        for (slab, report) in slabs.iter().zip(&reports) {
+            for r in 0..rows {
+                for j in 0..slab.width {
+                    next.set(
+                        Coord::c2(r, slab.col0 + j),
+                        report.grid.get(Coord::c2(r + row_off, slab.halo_left + j)),
+                    );
+                }
+            }
+        }
+        Ok(PassOutcome { grid: next, reports, halo_traffic, halo_ticks, halo_bits_per_board })
+    }
+
+    /// Runs `generations` of `rule` over `grid` starting at generation
+    /// `t0`, in passes of the configured depth (the final pass may be
+    /// shallower).
+    ///
+    /// Bit-exactness contract: equals the reference
+    /// `lattice_core::evolve` under the farm's boundary.
+    pub fn run<R: Rule>(
+        &self,
+        rule: &R,
+        grid: &Grid<R::S>,
+        t0: u64,
+        generations: u64,
+    ) -> Result<FarmReport<R::S>, LatticeError> {
+        self.run_with_faults(rule, grid, t0, generations, None)
+    }
+
+    /// [`LatticeFarm::run`] with fault injection. Every board draws its
+    /// own transient weather ([`FaultCtx::for_shard`]); engine chips of
+    /// board `s` occupy one stable id range, and each board's halo link
+    /// is a [`lattice_engines_sim::Component::Link`] chip past all of
+    /// them. A halo-link parity failure aborts the run with the board's
+    /// name — recovery is [`LatticeFarm::run_with_recovery`]'s job.
+    pub fn run_with_faults<R: Rule>(
+        &self,
+        rule: &R,
+        grid: &Grid<R::S>,
+        t0: u64,
+        generations: u64,
+        plan: Option<&FaultPlan>,
+    ) -> Result<FarmReport<R::S>, LatticeError> {
+        self.validate(grid)?;
+        let fault_base = plan.map(|p| p.stats()).unwrap_or_default();
+        let slabs = partition(grid.shape().cols(), self.shards, self.depth, self.periodic)?;
+        let mut totals = Totals::new(&slabs);
+        let mut halo_pos = vec![0u64; self.shards];
+        let mut current = grid.clone();
+        let t_end = t0 + generations;
+        let mut t_now = t0;
+        let mut passes = 0u64;
+        while t_now < t_end {
+            let k = self.depth.min((t_end - t_now) as usize);
+            let out = self.run_pass(rule, &current, t_now, k, plan, passes, 0, &mut halo_pos)?;
+            current = out.grid.clone();
+            totals.absorb(&out, k as u64);
+            t_now += k as u64;
+            passes += 1;
+        }
+        let faults = plan.map(|p| p.stats().since(fault_base)).unwrap_or_default();
+        Ok(totals.finish(current, passes, self.shards, faults))
+    }
+
+    /// [`LatticeFarm::run`] hardened against hardware faults, composing
+    /// with the host-level recovery loop one packaging level up: at
+    /// every checkpoint barrier each shard snapshots its own slab
+    /// through the real checkpoint codec; any engine error, halo-link
+    /// parity failure, or `audit` violation rolls *all* shards back to
+    /// the last consistent barrier, bumps the attempt epoch (re-seeding
+    /// every board's transient draws), and retries up to
+    /// [`FarmRecoveryConfig::max_retries`] times per window.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_with_recovery<R: Rule>(
+        &self,
+        rule: &R,
+        grid: &Grid<R::S>,
+        t0: u64,
+        generations: u64,
+        plan: Option<&FaultPlan>,
+        cfg: &FarmRecoveryConfig,
+        mut audit: impl FnMut(&Grid<R::S>, &Grid<R::S>) -> Result<(), LatticeError>,
+    ) -> Result<FarmFtRun<R::S>, LatticeError> {
+        self.validate(grid)?;
+        if cfg.checkpoint_every == 0 {
+            return Err(LatticeError::InvalidConfig("checkpoint interval must be ≥ 1".into()));
+        }
+        let fault_base = plan.map(|p| p.stats()).unwrap_or_default();
+        let shape = grid.shape();
+        let slabs = partition(shape.cols(), self.shards, self.depth, self.periodic)?;
+        let mut totals = Totals::new(&slabs);
+        let mut recovery = RecoveryStats::default();
+        let mut halo_pos = vec![0u64; self.shards];
+        let mut current = grid.clone();
+        let t_end = t0 + generations;
+        let mut t_now = t0;
+        let mut pass = 0u64;
+        let mut attempt = 0u64;
+        let mut passes = 0u64;
+        let mut retries_left = cfg.max_retries;
+        let mut passes_since_ckpt = 0u64;
+
+        let take_ckpt = |g: &Grid<R::S>, t: u64, recovery: &mut RecoveryStats| {
+            let blobs = save_shard_checkpoints(g, &slabs, t)?;
+            recovery.checkpoints += self.shards as u64;
+            recovery.checkpoint_bytes += blobs.iter().map(|b| b.len() as u64).sum::<u64>();
+            Ok::<_, LatticeError>(blobs)
+        };
+        let mut ckpt = take_ckpt(&current, t_now, &mut recovery)?;
+
+        while t_now < t_end {
+            if passes_since_ckpt >= cfg.checkpoint_every {
+                ckpt = take_ckpt(&current, t_now, &mut recovery)?;
+                passes_since_ckpt = 0;
+                retries_left = cfg.max_retries;
+            }
+            let k = self.depth.min((t_end - t_now) as usize);
+            let outcome = self
+                .run_pass(rule, &current, t_now, k, plan, pass, attempt, &mut halo_pos)
+                .and_then(|out| audit(&current, &out.grid).map(|()| out));
+            match outcome {
+                Ok(out) => {
+                    current = out.grid.clone();
+                    totals.absorb(&out, k as u64);
+                    t_now += k as u64;
+                    pass += 1;
+                    passes += 1;
+                    passes_since_ckpt += 1;
+                }
+                Err(e) => {
+                    recovery.detected += 1;
+                    if retries_left == 0 {
+                        return Err(e);
+                    }
+                    retries_left -= 1;
+                    let (g, t) = load_shard_checkpoints::<R::S>(&ckpt, &slabs, shape)?;
+                    current = g;
+                    t_now = t;
+                    attempt += 1;
+                    recovery.rollbacks += 1;
+                    passes_since_ckpt = 0;
+                }
+            }
+        }
+        let faults = plan.map(|p| p.stats().since(fault_base)).unwrap_or_default();
+        Ok(FarmFtRun { report: totals.finish(current, passes, self.shards, faults), recovery })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lattice_core::{evolve, Boundary};
+    use lattice_engines_sim::{Component, Fault, FaultKind};
+    use lattice_gas::{init, FhpRule, FhpVariant, HppRule};
+
+    fn hpp_world(rows: usize, cols: usize, seed: u64) -> (Grid<u8>, HppRule) {
+        let shape = Shape::grid2(rows, cols).unwrap();
+        (init::random_hpp(shape, 0.4, seed).unwrap(), HppRule::new())
+    }
+
+    #[test]
+    fn farmed_hpp_is_bit_exact_for_every_shard_count() {
+        let (g, rule) = hpp_world(12, 22, 3);
+        let reference = evolve(&g, &rule, Boundary::null(), 0, 5);
+        for shards in 1..=6 {
+            let farm = LatticeFarm::new(shards, ShardEngine::Wsa { width: 2 }, 2);
+            let report = farm.run(&rule, &g, 0, 5).unwrap();
+            assert_eq!(report.grid(), &reference, "S={shards}");
+            assert_eq!(report.passes, 3, "depth-2 passes over 5 generations");
+            assert_eq!(report.machine.generations, 5);
+        }
+    }
+
+    #[test]
+    fn farmed_fhp_seams_respect_global_coordinates() {
+        // FHP chirality hashes (row, col, t): a seam between boards must
+        // not shift the frame.
+        let shape = Shape::grid2(10, 21).unwrap();
+        let g = init::random_fhp(shape, FhpVariant::III, 0.35, 9, false).unwrap();
+        let rule = FhpRule::new(FhpVariant::III, 4);
+        let reference = evolve(&g, &rule, Boundary::null(), 7, 4);
+        for shards in [2usize, 3, 4] {
+            let farm = LatticeFarm::new(shards, ShardEngine::Wsa { width: 1 }, 2);
+            let report = farm.run(&rule, &g, 7, 4).unwrap();
+            assert_eq!(report.grid(), &reference, "S={shards}");
+        }
+    }
+
+    #[test]
+    fn spa_boards_match_wsa_boards() {
+        let (g, rule) = hpp_world(9, 17, 5);
+        let reference = evolve(&g, &rule, Boundary::null(), 0, 4);
+        let farm = LatticeFarm::new(3, ShardEngine::Spa { slice_width: 1 }, 2);
+        let report = farm.run(&rule, &g, 0, 4).unwrap();
+        assert_eq!(report.grid(), &reference);
+        assert!(report.machine.side_traffic.total() > 0, "SPA side channels in use");
+    }
+
+    #[test]
+    fn periodic_farm_matches_torus_reference() {
+        let (rows, cols) = (8usize, 18usize);
+        let shape = Shape::grid2(rows, cols).unwrap();
+        let hpp = init::random_hpp(shape, 0.45, 7).unwrap();
+        let rule = HppRule::new();
+        let reference = evolve(&hpp, &rule, Boundary::Periodic, 0, 5);
+        let farm = LatticeFarm::new(3, ShardEngine::Wsa { width: 2 }, 2).with_periodic(true);
+        let report = farm.run(&rule, &hpp, 0, 5).unwrap();
+        assert_eq!(report.grid(), &reference, "HPP torus");
+
+        // FHP on the torus: wrapped rule, even rows.
+        let fhp = init::random_fhp(shape, FhpVariant::I, 0.4, 2, true).unwrap();
+        let frule = FhpRule::new(FhpVariant::I, 11).with_wrap(rows, cols);
+        let freference = evolve(&fhp, &frule, Boundary::Periodic, 0, 4);
+        let freport = farm.run(&frule, &fhp, 0, 4).unwrap();
+        assert_eq!(freport.grid(), &freference, "FHP torus");
+    }
+
+    #[test]
+    fn halo_accounting_matches_geometry() {
+        let (g, rule) = hpp_world(16, 24, 1);
+        let farm = LatticeFarm::new(4, ShardEngine::Wsa { width: 2 }, 2);
+        let report = farm.run(&rule, &g, 0, 4).unwrap();
+        // Interior boards import 2k columns, edge boards k, per pass:
+        // (2+4+4+2)·k? No — halo columns: shard widths 6 each, halos
+        // clamp only at the lattice edges, so per pass the four boards
+        // import (0+2) + (2+2) + (2+2) + (2+0) = 12 columns of 16 rows
+        // at 8 bits; 2 passes.
+        assert_eq!(report.halo_traffic.bits_in, 2 * 12 * 16 * 8);
+        assert_eq!(report.halo_traffic.bits_in, report.halo_traffic.bits_out);
+        assert!(report.redundancy() > 1.0, "halo recompute counted");
+        assert_eq!(report.halo_ticks, 0, "unthrottled links are free");
+        assert!((report.compute_fraction() - 1.0).abs() < 1e-12);
+        let per_board: Vec<u128> = report.per_shard.iter().map(|s| s.halo_in_bits).collect();
+        assert_eq!(per_board, vec![2 * 2 * 16 * 8, 4 * 2 * 16 * 8, 4 * 2 * 16 * 8, 2 * 2 * 16 * 8]);
+    }
+
+    #[test]
+    fn throttled_links_cost_time_but_never_results() {
+        let (g, rule) = hpp_world(16, 32, 8);
+        let free = LatticeFarm::new(4, ShardEngine::Wsa { width: 2 }, 2);
+        let slow = free.with_link(BoardLink::new(4.0));
+        let a = free.run(&rule, &g, 0, 6).unwrap();
+        let b = slow.run(&rule, &g, 0, 6).unwrap();
+        assert_eq!(a.grid(), b.grid(), "bandwidth changes speed, never results");
+        assert!(b.halo_ticks > 0);
+        assert_eq!(a.machine.ticks, b.machine.ticks, "compute time unchanged");
+        assert!(b.machine_ticks() > a.machine_ticks());
+        assert!(b.updates_per_tick() < a.updates_per_tick());
+        assert!(b.compute_fraction() < 1.0);
+        // Slowest board's link bounds the barrier: interior boards move
+        // 2·2·16·8 = 512 bits/pass at 4 bits/tick = 128 ticks × 3 passes.
+        assert_eq!(b.halo_ticks, 3 * 128);
+    }
+
+    #[test]
+    fn link_fault_is_detected_and_recovered_to_bit_exact() {
+        let (g, rule) = hpp_world(12, 20, 4);
+        let reference = evolve(&g, &rule, Boundary::null(), 0, 6);
+        let farm = LatticeFarm::new(2, ShardEngine::Wsa { width: 1 }, 2);
+        let stride = 2; // depth
+        let link_chip = 2 * stride + 1; // board 1's halo link
+        let plan = FaultPlan::new(13).with_fault(Fault {
+            component: Component::Link,
+            chip: Some(link_chip),
+            cell: None,
+            kind: FaultKind::Transient { bit: 1, rate: 2e-3 },
+        });
+        // Without recovery the parity check eventually aborts the run.
+        let bare = farm.run_with_faults(&rule, &g, 0, 600, Some(&plan));
+        let err = bare.expect_err("a 2e-3 flip rate must fire within 600 generations");
+        assert!(err.to_string().contains("board 1 halo link"), "{err}");
+
+        // With recovery the same plan rolls back to bit-exactness.
+        let ft = farm
+            .run_with_recovery(
+                &rule,
+                &g,
+                0,
+                6,
+                Some(&plan),
+                &FarmRecoveryConfig { max_retries: 20, checkpoint_every: 1 },
+                |_, _| Ok(()),
+            )
+            .unwrap();
+        assert_eq!(ft.report.grid(), &reference);
+        assert_eq!(ft.recovery.detected, ft.recovery.rollbacks);
+        assert!(ft.report.machine.faults.link >= 1 || ft.recovery.detected == 0);
+    }
+
+    #[test]
+    fn recovery_checkpoints_per_shard_and_counts_bytes() {
+        let (g, rule) = hpp_world(10, 15, 2);
+        let reference = evolve(&g, &rule, Boundary::null(), 0, 4);
+        let farm = LatticeFarm::new(3, ShardEngine::Wsa { width: 1 }, 1);
+        let ft = farm
+            .run_with_recovery(&rule, &g, 0, 4, None, &FarmRecoveryConfig::default(), |_, _| Ok(()))
+            .unwrap();
+        assert_eq!(ft.report.grid(), &reference);
+        // Initial barrier + one per pass before passes 2..4: 4 barriers
+        // × 3 shards.
+        assert_eq!(ft.recovery.checkpoints, 4 * 3);
+        assert!(ft.recovery.checkpoint_bytes > 0);
+        assert_eq!(ft.recovery.rollbacks, 0);
+    }
+
+    #[test]
+    fn audit_failures_roll_the_whole_farm_back() {
+        let (g, rule) = hpp_world(10, 16, 6);
+        let reference = evolve(&g, &rule, Boundary::null(), 0, 3);
+        let farm = LatticeFarm::new(2, ShardEngine::Wsa { width: 1 }, 1);
+        let mut failures = 2;
+        let ft = farm
+            .run_with_recovery(
+                &rule,
+                &g,
+                0,
+                3,
+                None,
+                &FarmRecoveryConfig::default(),
+                move |_, _| {
+                    if failures > 0 {
+                        failures -= 1;
+                        Err(LatticeError::Corrupted {
+                            site: "audit".into(),
+                            detail: "synthetic".into(),
+                        })
+                    } else {
+                        Ok(())
+                    }
+                },
+            )
+            .unwrap();
+        assert_eq!(ft.report.grid(), &reference);
+        assert_eq!(ft.recovery.detected, 2);
+        assert_eq!(ft.recovery.rollbacks, 2);
+    }
+
+    #[test]
+    fn degenerate_configs_are_rejected() {
+        let (g, rule) = hpp_world(4, 8, 0);
+        assert!(LatticeFarm::new(0, ShardEngine::Wsa { width: 1 }, 1)
+            .run(&rule, &g, 0, 1)
+            .is_err());
+        assert!(LatticeFarm::new(9, ShardEngine::Wsa { width: 1 }, 1)
+            .run(&rule, &g, 0, 1)
+            .is_err());
+        assert!(LatticeFarm::new(1, ShardEngine::Wsa { width: 0 }, 1)
+            .run(&rule, &g, 0, 1)
+            .is_err());
+        assert!(LatticeFarm::new(1, ShardEngine::Wsa { width: 1 }, 0)
+            .run(&rule, &g, 0, 1)
+            .is_err());
+        assert!(LatticeFarm::new(1, ShardEngine::Spa { slice_width: 0 }, 1)
+            .run(&rule, &g, 0, 1)
+            .is_err());
+        let line = Grid::<u8>::new(lattice_core::Shape::line(8).unwrap());
+        assert!(LatticeFarm::new(1, ShardEngine::Wsa { width: 1 }, 1)
+            .run(&rule, &line, 0, 1)
+            .is_err());
+    }
+
+    #[test]
+    fn zero_generations_is_a_no_op_report() {
+        let (g, rule) = hpp_world(6, 9, 1);
+        let farm = LatticeFarm::new(2, ShardEngine::Wsa { width: 1 }, 2);
+        let report = farm.run(&rule, &g, 5, 0).unwrap();
+        assert_eq!(report.grid(), &g);
+        assert_eq!(report.passes, 0);
+        assert_eq!(report.machine_ticks(), 0);
+        assert_eq!(report.updates_per_tick(), 0.0);
+    }
+}

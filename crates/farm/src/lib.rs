@@ -1,0 +1,39 @@
+//! # lattice-farm
+//!
+//! A board-level engine farm: the machine the paper's §6 scaling
+//! argument builds toward, one packaging level above the chip. The
+//! lattice is split into `S` balanced columnar slabs ([`partition`]),
+//! each driven by its own cycle-level engine — a WSA pipeline (§4) or
+//! an SPA slice array (§5) from `lattice-engines-sim` — on its own
+//! worker. Boards run in bulk-synchronous passes: every pass they
+//! exchange `k`-column halos over finite-bandwidth, parity-checked
+//! inter-board links ([`BoardLink`]), then compute `k` generations
+//! concurrently, then stitch at the barrier.
+//!
+//! Three contracts, all enforced by tests:
+//!
+//! * **Bit-exactness** — a farmed run equals the single-engine
+//!   reference exactly, for HPP and coordinate-dependent FHP, on the
+//!   null boundary and the torus, for any shard count (including shard
+//!   counts that do not divide the width).
+//! * **Accounting** — the [`FarmReport`] aggregates per-board
+//!   [`lattice_engines_sim::EngineReport`]s into machine-level figures:
+//!   useful site-updates/s, inter-board bits/tick, halo-recompute
+//!   redundancy, compute-vs-exchange split, fault tallies. The
+//!   analytical board model in `lattice-vlsi` predicts these numbers;
+//!   `tab_farm_scaling` tabulates measured against predicted.
+//! * **Recovery** — [`LatticeFarm::run_with_recovery`] composes with
+//!   the PR-1 fault machinery: per-shard checkpoints through the real
+//!   codec, farm-wide rollback on any parity/audit/engine failure, and
+//!   attempt-epoch reseeding of every board's transient faults.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod farm;
+pub mod link;
+pub mod partition;
+
+pub use farm::{FarmFtRun, FarmRecoveryConfig, FarmReport, LatticeFarm, ShardEngine, ShardStats};
+pub use link::BoardLink;
+pub use partition::{partition, Slab};

@@ -1,0 +1,179 @@
+//! The inter-board halo link: finite bandwidth, end-to-end stream
+//! parity, and fault injection.
+//!
+//! Boards exchange halo columns once per pass over point-to-point links
+//! that are slower than on-board wires — the same bandwidth wall §8
+//! meets at the host/memory channel, moved up one packaging level. The
+//! link model mirrors `lattice_engines_sim::memory`: a sustained
+//! bits-per-tick capacity, with transfer time given by the closed-form
+//! token-bucket result (`StallSim` agrees; tested). Integrity mirrors
+//! the inter-chip links: sender and receiver each fold the halo stream
+//! into a [`StreamParity`] word, so any single flipped, dropped, or
+//! duplicated site surfaces as [`LatticeError::Corrupted`] naming the
+//! board's link — the farm's rollback trigger.
+
+use lattice_core::bits::{StreamParity, Traffic};
+use lattice_core::{LatticeError, State};
+use lattice_engines_sim::{Component, FaultCtx};
+
+/// An inter-board link of finite sustained bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoardLink {
+    /// Capacity in bits per engine clock tick; `f64::INFINITY` models a
+    /// link that is never the bottleneck.
+    pub bits_per_tick: f64,
+}
+
+impl BoardLink {
+    /// A link supplying `bits_per_tick` bits per engine tick.
+    pub fn new(bits_per_tick: f64) -> Self {
+        assert!(bits_per_tick > 0.0, "link capacity must be positive");
+        BoardLink { bits_per_tick }
+    }
+
+    /// A link that never stalls the farm.
+    pub fn unthrottled() -> Self {
+        BoardLink { bits_per_tick: f64::INFINITY }
+    }
+
+    /// A link specified like a [`lattice_engines_sim::HostLink`]:
+    /// sustained bytes per second against the engine clock.
+    pub fn from_bandwidth(bytes_per_second: f64, clock_hz: f64) -> Self {
+        BoardLink::new(bytes_per_second * 8.0 / clock_hz)
+    }
+
+    /// Engine ticks the link occupies moving `bits`:
+    /// `⌈bits / capacity⌉`, the closed-form result of the
+    /// `sim::memory` token bucket. An unthrottled link is free.
+    pub fn transfer_ticks(&self, bits: u128) -> u64 {
+        if bits == 0 || self.bits_per_tick.is_infinite() {
+            return 0;
+        }
+        (bits as f64 / self.bits_per_tick).ceil() as u64
+    }
+
+    /// Moves `sites` across the link into board `board`. The sender
+    /// folds every site into a parity word as it serializes, the wire
+    /// (optionally) corrupts under `faults` — a [`Component::Link`]
+    /// fault context plus this link's physical chip id — and the
+    /// receiver folds what arrived. A parity disagreement returns
+    /// [`LatticeError::Corrupted`] naming the board's halo link;
+    /// otherwise the received (possibly silently corrupted — parity is
+    /// not ECC) sites are returned. `pos` is the link's running stream
+    /// position (the transient-fault key) and `traffic` tallies `D`
+    /// bits out of the sender and into the receiver per site.
+    pub fn transmit<S: State>(
+        &self,
+        sites: &[S],
+        board: usize,
+        faults: Option<(FaultCtx<'_>, usize)>,
+        pos: &mut u64,
+        traffic: &mut Traffic,
+    ) -> Result<Vec<S>, LatticeError> {
+        let mut sent = StreamParity::new();
+        let mut recv = StreamParity::new();
+        let mut out = Vec::with_capacity(sites.len());
+        for &site in sites {
+            sent.absorb(site);
+            traffic.record_out(1, S::BITS);
+            let arrived = match faults {
+                Some((ctx, chip)) => ctx.corrupt_site(Component::Link, chip, 0, *pos, site),
+                None => site,
+            };
+            recv.absorb(arrived);
+            traffic.record_in(1, S::BITS);
+            *pos += 1;
+            out.push(arrived);
+        }
+        if let Some(detail) = recv.mismatch(&sent) {
+            return Err(LatticeError::Corrupted {
+                site: format!("board {board} halo link"),
+                detail,
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lattice_engines_sim::{Fault, FaultKind, FaultPlan, StallSim};
+
+    #[test]
+    fn transfer_time_matches_the_stall_simulation() {
+        // In the throttled regime (supply below one site per tick) the
+        // closed form must agree with sim::memory's discrete token
+        // bucket delivering 8-bit sites.
+        for supply in [1.0f64, 3.0, 5.0, 7.5] {
+            let link = BoardLink::new(supply);
+            for n_sites in [1u64, 10, 64, 257] {
+                let mut sim = StallSim::new(supply, 8.0);
+                let mut ticks = 0u64;
+                while sim.productive_ticks() < n_sites {
+                    sim.tick();
+                    ticks += 1;
+                }
+                let closed = link.transfer_ticks(n_sites as u128 * 8);
+                assert!(
+                    (closed as i64 - ticks as i64).abs() <= 1,
+                    "supply {supply}, {n_sites} sites: closed {closed} vs sim {ticks}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unthrottled_and_empty_transfers_are_free() {
+        assert_eq!(BoardLink::unthrottled().transfer_ticks(1 << 40), 0);
+        assert_eq!(BoardLink::new(16.0).transfer_ticks(0), 0);
+        assert_eq!(BoardLink::new(16.0).transfer_ticks(160), 10);
+        assert_eq!(BoardLink::new(16.0).transfer_ticks(161), 11);
+    }
+
+    #[test]
+    fn bandwidth_constructor_matches_hostlink_arithmetic() {
+        // 40 MB/s at 10 MHz = 32 bits/tick, §8's prototype figure.
+        let link = BoardLink::from_bandwidth(40e6, 10e6);
+        assert!((link.bits_per_tick - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clean_transmission_is_identity_and_counted() {
+        let sites: Vec<u8> = (0..50).collect();
+        let mut pos = 0u64;
+        let mut traffic = Traffic::new();
+        let got =
+            BoardLink::unthrottled().transmit(&sites, 3, None, &mut pos, &mut traffic).unwrap();
+        assert_eq!(got, sites);
+        assert_eq!(pos, 50);
+        assert_eq!(traffic.bits_in, 400);
+        assert_eq!(traffic.bits_out, 400);
+    }
+
+    #[test]
+    fn a_flipped_halo_site_trips_parity_and_names_the_board() {
+        let plan = FaultPlan::new(9).with_fault(Fault {
+            component: Component::Link,
+            chip: Some(7),
+            cell: None,
+            kind: FaultKind::Transient { bit: 0, rate: 1.0 },
+        });
+        let ctx = FaultCtx::new(&plan);
+        let sites: Vec<u8> = vec![0; 16];
+        let mut pos = 0u64;
+        let mut traffic = Traffic::new();
+        let err = BoardLink::unthrottled()
+            .transmit(&sites, 2, Some((ctx, 7)), &mut pos, &mut traffic)
+            .unwrap_err();
+        assert!(err.to_string().contains("board 2 halo link"), "{err}");
+        assert!(plan.stats().link >= 1);
+
+        // A fault bound to a different link's chip leaves this one clean.
+        let mut pos2 = 0u64;
+        let got = BoardLink::unthrottled()
+            .transmit(&sites, 2, Some((ctx, 6)), &mut pos2, &mut traffic)
+            .unwrap();
+        assert_eq!(got, sites);
+    }
+}

@@ -1,0 +1,8 @@
+//! Columnar sharding geometry — re-exported from
+//! [`lattice_core::shard`], where it is shared with the analytical
+//! board model in `lattice-vlsi` so the executed farm and the predicted
+//! farm can never disagree about slab layout. See that module for the
+//! exactness argument (halo width = generations per pass, halos clamped
+//! at the null boundary's true edges).
+
+pub use lattice_core::shard::{partition, Slab};

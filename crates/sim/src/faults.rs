@@ -237,6 +237,17 @@ impl<'p> FaultCtx<'p> {
         FaultCtx { plan, pass, attempt }
     }
 
+    /// A context for one shard (board) of a multi-engine farm at a given
+    /// recovery epoch. The shard id is folded into the high bits of the
+    /// attempt word, so two boards sharing one [`FaultPlan`] never draw
+    /// identical transient patterns from the same `(seed, pass, attempt)`
+    /// tuple — distinct silicon sees independent soft-error weather.
+    /// Shard 0 is bit-compatible with [`FaultCtx::at`] for attempts below
+    /// `2^32` (a rollback budget no real run exhausts).
+    pub fn for_shard(plan: &'p FaultPlan, shard: u64, pass: u64, attempt: u64) -> Self {
+        FaultCtx { plan, pass, attempt: (shard << 32) | (attempt & 0xffff_ffff) }
+    }
+
     /// Applies every matching fault to a `bits`-bit `word` passing
     /// through (`component`, `chip`, `cell`) at stream position `pos`,
     /// counting each event that alters the word.
@@ -381,6 +392,24 @@ mod tests {
         let flips_r: Vec<u64> =
             (0..200).filter(|&p| retry.corrupt(Component::SrCell, 1, 0, p, 8, 0) != 0).collect();
         assert_ne!(flips_a, flips_r, "a retry draws a fresh pattern");
+    }
+
+    #[test]
+    fn shard_contexts_draw_independent_patterns() {
+        let plan = FaultPlan::new(42).with_fault(sr_transient(0.2));
+        let flips = |ctx: FaultCtx<'_>| -> Vec<u64> {
+            (0..200).filter(|&p| ctx.corrupt(Component::SrCell, 1, 0, p, 8, 0) != 0).collect()
+        };
+        let s0 = flips(FaultCtx::for_shard(&plan, 0, 3, 1));
+        let s1 = flips(FaultCtx::for_shard(&plan, 1, 3, 1));
+        assert_ne!(s0, s1, "two shards at the same (pass, attempt) must differ");
+        // Shard 0 is the plain single-engine epoch.
+        assert_eq!(s0, flips(FaultCtx::at(&plan, 3, 1)));
+        // Deterministic per shard.
+        assert_eq!(s1, flips(FaultCtx::for_shard(&plan, 1, 3, 1)));
+        // A rollback on one shard re-draws that shard only.
+        let s1_retry = flips(FaultCtx::for_shard(&plan, 1, 3, 2));
+        assert_ne!(s1, s1_retry);
     }
 
     #[test]

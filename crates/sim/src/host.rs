@@ -119,11 +119,19 @@ pub struct RecoveryConfig {
     /// Whether the host may take a chip it has localized a permanent
     /// fault to out of service and continue at reduced pipeline depth.
     pub allow_degraded: bool,
+    /// Shard (board) id when this host drives one slab of a farmed
+    /// lattice; `0` for a standalone engine. The id is folded into every
+    /// transient-fault epoch (via [`FaultCtx::for_shard`]) so two shards
+    /// sharing a plan never draw identical faults from the same
+    /// `(seed, pass, attempt)` tuple, and it phase-offsets the
+    /// checkpoint cadence so a farm of hosts with `checkpoint_every > 1`
+    /// doesn't burst every shard's checkpoint traffic on the same pass.
+    pub shard: u64,
 }
 
 impl Default for RecoveryConfig {
     fn default() -> Self {
-        RecoveryConfig { max_retries: 3, checkpoint_every: 1, allow_degraded: true }
+        RecoveryConfig { max_retries: 3, checkpoint_every: 1, allow_degraded: true, shard: 0 }
     }
 }
 
@@ -213,7 +221,12 @@ impl HostSystem {
         let mut pass = 0u64; // logical pass number (fault-epoch key)
         let mut attempt = 0u64; // bumped per rollback; re-seeds transients
         let mut retries_left = cfg.max_retries;
-        let mut passes_since_ckpt = 0u64;
+        // Stagger the cadence by shard id: shard `s` takes its first
+        // periodic checkpoint `s mod checkpoint_every` passes early, so
+        // a farm's checkpoint traffic spreads across passes instead of
+        // bursting on the same barrier. Shard 0 (and any
+        // `checkpoint_every = 1`) is unchanged.
+        let mut passes_since_ckpt = cfg.shard % cfg.checkpoint_every;
         let mut passes = 0u64;
         let mut ticks = 0u64;
         let mut memory = Traffic::new();
@@ -233,7 +246,7 @@ impl HostSystem {
             }
             let depth = chips.len().min((t_end - t_now) as usize);
             let opts = RunOptions {
-                faults: plan.map(|p| FaultCtx::at(p, pass, attempt)),
+                faults: plan.map(|p| FaultCtx::for_shard(p, cfg.shard, pass, attempt)),
                 chip_ids: Some(&chips[..depth]),
                 ..RunOptions::default()
             };
@@ -352,6 +365,53 @@ mod tests {
         let ratio = f.updates_per_second(32 * 64) / s.updates_per_second(32 * 64);
         // §8's 20× derating, within fill-effect tolerance.
         assert!((18.0..=22.0).contains(&ratio), "derating {ratio}");
+    }
+
+    #[test]
+    fn shard_id_reseeds_transient_draws() {
+        // Two shards running the same workload from the same plan must
+        // see different soft-error weather. Disable detection (no-op
+        // audit, faults inside the stage are invisible to link parity)
+        // so the corruption survives to the output and can be compared.
+        use crate::faults::{Component, Fault, FaultKind, FaultPlan};
+        let (g, rule) = workload();
+        let sys =
+            HostSystem { engine: Pipeline::wide(2, 2), link: HostLink::new(1e9), clock_hz: 10e6 };
+        let plan = FaultPlan::new(3).with_fault(Fault {
+            component: Component::SrCell,
+            chip: None,
+            cell: None,
+            kind: FaultKind::Transient { bit: 1, rate: 2e-3 },
+        });
+        let run_shard = |shard: u64| {
+            let cfg = RecoveryConfig { shard, ..RecoveryConfig::default() };
+            sys.run_with_recovery(&rule, &g, 0, 4, Some(&plan), &cfg, |_, _| Ok(())).unwrap()
+        };
+        let s0 = run_shard(0);
+        let s1 = run_shard(1);
+        assert!(s0.faults.total() > 0 && s1.faults.total() > 0, "rate too low to fire");
+        assert_ne!(s0.run.grid, s1.run.grid, "shards drew identical fault patterns");
+        // Same shard twice: fully deterministic.
+        assert_eq!(run_shard(1).run.grid, s1.run.grid);
+    }
+
+    #[test]
+    fn shard_id_staggers_checkpoint_cadence() {
+        let (g, rule) = workload();
+        let sys =
+            HostSystem { engine: Pipeline::wide(2, 1), link: HostLink::new(1e9), clock_hz: 10e6 };
+        let ckpts = |shard: u64| {
+            let cfg = RecoveryConfig { checkpoint_every: 4, shard, ..RecoveryConfig::default() };
+            sys.run_with_recovery(&rule, &g, 0, 8, None, &cfg, |_, _| Ok(()))
+                .unwrap()
+                .recovery
+                .checkpoints
+        };
+        // Shard 0 checkpoints at t = 0 and 4; shard 2's phase offset
+        // moves its periodic checkpoints to t = 2 and 6 — same cadence,
+        // different passes — and its initial one still lands at t = 0.
+        assert_eq!(ckpts(0), 2);
+        assert_eq!(ckpts(2), 3);
     }
 
     #[test]

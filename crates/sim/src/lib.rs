@@ -53,7 +53,7 @@ pub use host::{FtRun, HostSystem, RecoveryConfig, RecoveryStats, SystemRun};
 pub use memory::{throttled_rate, HostLink, StallSim};
 pub use metrics::EngineReport;
 pub use pipeline::{Pipeline, RunOptions};
-pub use spa::SpaEngine;
+pub use spa::{SpaEngine, SpaRunOptions};
 pub use spa_lockstep::SpaLockstep;
 pub use stage::{LineBufferStage, StageConfig};
 pub use threaded::run_threaded;

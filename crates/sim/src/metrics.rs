@@ -59,6 +59,35 @@ impl<S: State> EngineReport<S> {
         self.memory_traffic.bits_per_tick(self.ticks as u128)
     }
 
+    /// Folds another report into this one, modeling *parallel
+    /// composition*: two engines running side by side on disjoint parts
+    /// of one lattice, as in a board-level farm. Counter-like fields add
+    /// (`updates`, all traffic channels, fault tallies, `stages` — total
+    /// chips in the machine); capacity/latency-like fields take the
+    /// maximum (`ticks` — concurrent engines finish when the slowest
+    /// does — plus `sr_cells_per_stage`, `width`, and `generations`).
+    ///
+    /// `self.grid` is left untouched: stitching shard lattices back into
+    /// a machine lattice is geometry the caller (e.g. `lattice-farm`)
+    /// owns, not arithmetic this fold can do.
+    ///
+    /// The fold is associative, commutative on every accounted field,
+    /// and has the all-zero report as identity (unit-tested), so shard
+    /// reports aggregate in any order.
+    pub fn merge(&mut self, other: &EngineReport<S>) {
+        self.generations = self.generations.max(other.generations);
+        self.updates += other.updates;
+        self.ticks = self.ticks.max(other.ticks);
+        self.memory_traffic.merge(other.memory_traffic);
+        self.pin_traffic.merge(other.pin_traffic);
+        self.side_traffic.merge(other.side_traffic);
+        self.offchip_sr_traffic.merge(other.offchip_sr_traffic);
+        self.sr_cells_per_stage = self.sr_cells_per_stage.max(other.sr_cells_per_stage);
+        self.stages += other.stages;
+        self.width = self.width.max(other.width);
+        self.faults.merge(other.faults);
+    }
+
     /// PE utilization: fraction of PE-ticks that performed an update.
     pub fn utilization(&self) -> f64 {
         let pe_ticks = self.ticks as f64 * self.stages as f64 * self.width as f64;
@@ -102,6 +131,100 @@ mod tests {
         assert!((r.updates_per_second(10e6) - 200.0 / 120.0 * 10e6).abs() < 1e-3);
         assert!((r.memory_bits_per_tick() - 1600.0 / 120.0).abs() < 1e-12);
         assert!((r.utilization() - 200.0 / 240.0).abs() < 1e-12);
+    }
+
+    /// The accounted fields of a report as one comparable tuple (the
+    /// grid is excluded by [`EngineReport::merge`]'s contract).
+    #[allow(clippy::type_complexity)]
+    fn accounting(
+        r: &EngineReport<u8>,
+    ) -> (u64, u64, u64, Traffic, Traffic, Traffic, Traffic, u64, u32, u32, FaultStats) {
+        (
+            r.generations,
+            r.updates,
+            r.ticks,
+            r.memory_traffic,
+            r.pin_traffic,
+            r.side_traffic,
+            r.offchip_sr_traffic,
+            r.sr_cells_per_stage,
+            r.stages,
+            r.width,
+            r.faults,
+        )
+    }
+
+    fn shard_report(seed: u64) -> EngineReport<u8> {
+        let mut r = report();
+        r.updates = 100 * seed;
+        r.ticks = 60 + seed;
+        r.sr_cells_per_stage = 10 + seed;
+        r.generations = seed;
+        r.width = seed as u32;
+        r.memory_traffic.record_in(seed as u128, 8);
+        r.faults.sr_cell = seed;
+        r
+    }
+
+    #[test]
+    fn merge_identity() {
+        let zero = EngineReport {
+            grid: Grid::new(Shape::grid2(1, 1).unwrap()),
+            generations: 0,
+            updates: 0,
+            ticks: 0,
+            memory_traffic: Traffic::new(),
+            pin_traffic: Traffic::new(),
+            side_traffic: Traffic::new(),
+            offchip_sr_traffic: Traffic::new(),
+            sr_cells_per_stage: 0,
+            stages: 0,
+            width: 0,
+            faults: FaultStats::default(),
+        };
+        let mut left = report();
+        left.merge(&zero);
+        assert_eq!(accounting(&left), accounting(&report()), "right identity");
+        let mut right = zero.clone();
+        right.merge(&report());
+        assert_eq!(accounting(&right), accounting(&report()), "left identity");
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let (a, b, c) = (shard_report(2), shard_report(5), shard_report(9));
+        // (a ⊕ b) ⊕ c
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(accounting(&ab_c), accounting(&a_bc), "associativity");
+        // b ⊕ a
+        let mut ba = b.clone();
+        ba.merge(&a);
+        let mut ab2 = a.clone();
+        ab2.merge(&b);
+        assert_eq!(accounting(&ab2), accounting(&ba), "commutativity");
+    }
+
+    #[test]
+    fn merged_utilization_is_the_machine_average() {
+        // Two identical shards: same ticks, double the updates and
+        // chips — identical utilization and updates/tick per engine,
+        // doubled machine throughput.
+        let a = report();
+        let mut m = a.clone();
+        m.merge(&a);
+        assert_eq!(m.updates, 2 * a.updates);
+        assert_eq!(m.ticks, a.ticks);
+        assert_eq!(m.stages, 2 * a.stages);
+        assert!((m.utilization() - a.utilization()).abs() < 1e-12);
+        assert!((m.updates_per_tick() - 2.0 * a.updates_per_tick()).abs() < 1e-12);
     }
 
     #[test]

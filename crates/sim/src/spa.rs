@@ -21,6 +21,24 @@ use crate::stage::{LineBufferStage, StageConfig};
 use lattice_core::bits::Traffic;
 use lattice_core::{Coord, Grid, LatticeError, Rule, Shape, State};
 
+/// Per-run options for [`SpaEngine::run_opts`] beyond the engine
+/// geometry: the global stream origin (so a farmed or halo-framed
+/// sub-lattice presents true lattice coordinates to coordinate-dependent
+/// rules like FHP) and fault injection with a chip-id offset (so a farm
+/// can give each board's slice-PEs distinct physical chip ids).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpaRunOptions<'p> {
+    /// Global coordinate of the grid's `(0, 0)`; may wrap (e.g.
+    /// `usize::MAX` ≡ −1), exactly as
+    /// [`crate::pipeline::Pipeline::run_at`].
+    pub origin: (usize, usize),
+    /// Fault injection context; `None` runs fault-free.
+    pub faults: Option<FaultCtx<'p>>,
+    /// Added to every slice-PE chip id (`chip_offset + level·slices +
+    /// slice`), keeping per-board silicon distinct in a farm.
+    pub chip_offset: usize,
+}
+
 /// The SPA engine configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct SpaEngine {
@@ -70,6 +88,19 @@ impl SpaEngine {
         t0: u64,
         faults: Option<FaultCtx<'_>>,
     ) -> Result<EngineReport<R::S>, LatticeError> {
+        self.run_opts(rule, grid, t0, SpaRunOptions { faults, ..SpaRunOptions::default() })
+    }
+
+    /// [`SpaEngine::run`] with full [`SpaRunOptions`]: a global stream
+    /// origin and fault injection under a chip-id offset.
+    pub fn run_opts<R: Rule>(
+        &self,
+        rule: &R,
+        grid: &Grid<R::S>,
+        t0: u64,
+        opts: SpaRunOptions<'_>,
+    ) -> Result<EngineReport<R::S>, LatticeError> {
+        let faults = opts.faults;
         let fault_base = faults.map(|c| c.plan.stats()).unwrap_or_default();
         let shape = grid.shape();
         if shape.rank() != 2 {
@@ -104,8 +135,8 @@ impl SpaEngine {
             let gen = t0 + level as u64;
             let mut next = Grid::new(shape);
             for s in 0..n_slices {
-                let col0 = s * w; // global first column of the slice
-                let chip = level * n_slices + s;
+                let col0 = s * w; // grid-local first column of the slice
+                let chip = opts.chip_offset + level * n_slices + s;
                 let cfg = StageConfig {
                     shape: halo_shape,
                     width: 1,
@@ -115,8 +146,9 @@ impl SpaEngine {
                     // wrapping to represent global column -1 for slice 0
                     // (its halo column is boundary fill and never enters
                     // a window of an interior output's own column, but
-                    // halo-column *outputs* are discarded anyway).
-                    origin: (0, col0.wrapping_sub(1)),
+                    // halo-column *outputs* are discarded anyway). The
+                    // caller's origin shifts both axes on top of that.
+                    origin: (opts.origin.0, opts.origin.1.wrapping_add(col0).wrapping_sub(1)),
                 };
                 let mut stage = LineBufferStage::new(rule, cfg)?;
                 if let Some(ctx) = faults {
@@ -244,6 +276,69 @@ mod tests {
             let report = SpaEngine::new(w, 2).run(&rule, &g, 4).unwrap();
             assert_eq!(report.grid, reference, "W={w}");
         }
+    }
+
+    #[test]
+    fn origin_shifted_run_matches_periodic_reference() {
+        // The same host-side halo framing `halo::run_periodic` uses for
+        // the WSA pipeline, driven through the SPA engine: the (−1, −1)
+        // origin presents true torus coordinates, so a wrapped FHP rule
+        // is bit-exact. Even rows only (hex torus constraint).
+        use crate::halo::{frame_periodic, unframe};
+        use lattice_gas::{FhpRule, FhpVariant};
+        let (rows, cols) = (8usize, 10usize);
+        let shape = Shape::grid2(rows, cols).unwrap();
+        let g0 = lattice_gas::init::random_fhp(shape, FhpVariant::III, 0.4, 12, true).unwrap();
+        let rule = FhpRule::new(FhpVariant::III, 7).with_wrap(rows, cols);
+        let origin = (0usize.wrapping_sub(1), 0usize.wrapping_sub(1));
+        let mut g = g0.clone();
+        for gen in 0..4u64 {
+            let framed = frame_periodic(&g).unwrap();
+            let opts = SpaRunOptions { origin, ..SpaRunOptions::default() };
+            let report = SpaEngine::new(4, 1).run_opts(&rule, &framed, gen, opts).unwrap();
+            g = unframe(&report.grid, shape).unwrap();
+        }
+        assert_eq!(g, evolve(&g0, &rule, Boundary::Periodic, 0, 4));
+    }
+
+    #[test]
+    fn chip_offset_relocates_faults() {
+        use crate::faults::{Component, Fault, FaultKind, FaultPlan};
+        let shape = Shape::grid2(8, 16).unwrap();
+        let g = lattice_gas::init::random_hpp(shape, 0.3, 2).unwrap();
+        let rule = HppRule::new();
+        // Stuck-at on physical chip 4: invisible at offset 0 (the run
+        // only owns chips 0..4), active when the offset maps a slice-PE
+        // onto it.
+        let plan = FaultPlan::new(1).with_fault(Fault {
+            component: Component::PeOutput,
+            chip: Some(4),
+            cell: None,
+            kind: FaultKind::StuckAt { bit: 0, value: true },
+        });
+        let engine = SpaEngine::new(4, 1); // chips 0..4 at offset 0
+        let clean = engine
+            .run_opts(
+                &rule,
+                &g,
+                0,
+                SpaRunOptions { faults: Some(FaultCtx::new(&plan)), ..SpaRunOptions::default() },
+            )
+            .unwrap();
+        assert_eq!(clean.faults.total(), 0, "chip 4 is not in this board");
+        let hit = engine
+            .run_opts(
+                &rule,
+                &g,
+                0,
+                SpaRunOptions {
+                    faults: Some(FaultCtx::new(&plan)),
+                    chip_offset: 4,
+                    ..SpaRunOptions::default()
+                },
+            )
+            .unwrap();
+        assert!(hit.faults.pe_output > 0, "offset 4 maps slice 0 onto chip 4");
     }
 
     #[test]

@@ -1,0 +1,324 @@
+//! Board-level scaling model — the §6 constraint argument moved up one
+//! packaging level, from pins-per-chip to links-per-board.
+//!
+//! §6 bounds a *chip* by its pin budget: a `P`-wide stage must move
+//! `2·D·P` bits per tick through `Π` pins. A *board farm* meets the
+//! same wall at its inter-board links. Each bulk-synchronous pass a
+//! board imports its halo columns, then computes `k` generations over
+//! its augmented slab; the machine is compute-bound while the link
+//! moves a pass's halo faster than the boards burn it, and
+//! bandwidth-bound past the rollover where exchange time dominates —
+//! exactly the regime change the paper's §8 prototype hit at the
+//! host/memory channel.
+//!
+//! The model mirrors `lattice-farm`'s measured accounting term for
+//! term: the same columnar partition (both crates call
+//! `lattice_core::shard::partition`, so geometry cannot drift), the
+//! WSA pipeline's fill-latency tick count,
+//! and the slowest board/slowest link maxima at the barrier. The
+//! `tab_farm_scaling` bench tabulates measurement against this model;
+//! integration tests hold them within 10% in the unthrottled regime.
+
+use crate::tech::Technology;
+use lattice_core::shard::{partition, Slab};
+use serde::{Deserialize, Serialize};
+
+/// Predicted per-pass figures for one shard count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FarmPoint {
+    /// Boards.
+    pub shards: usize,
+    /// Slowest board's compute ticks per pass.
+    pub compute_ticks: f64,
+    /// Slowest board's imported halo bits per pass.
+    pub halo_bits: f64,
+    /// Slowest link's transfer ticks per pass.
+    pub halo_ticks: f64,
+    /// Machine ticks per pass (exchange barrier + compute barrier).
+    pub pass_ticks: f64,
+    /// Useful site updates per machine tick.
+    pub updates_per_tick: f64,
+    /// Link bandwidth (bits/tick) at which exchange time equals compute
+    /// time — the board-level analogue of the §6 pin bound `2·D·P ≤ Π`.
+    pub critical_link_bits_per_tick: f64,
+}
+
+/// The analytical farm: `S` boards, each a WSA pipeline of `k` stages ×
+/// `p` PEs, over a `rows × cols` lattice with `k`-deep passes.
+#[derive(Debug, Clone, Copy)]
+pub struct FarmModel {
+    /// Chip technology (supplies `D` and the clock).
+    pub tech: Technology,
+    /// Lattice rows.
+    pub rows: usize,
+    /// Lattice columns (the sharded axis).
+    pub cols: usize,
+    /// PEs per pipeline stage on every board.
+    pub p: u32,
+    /// Generations per pass = pipeline depth = halo width.
+    pub k: usize,
+    /// Inter-board link capacity in bits per tick
+    /// (`f64::INFINITY` = never the bottleneck).
+    pub link_bits_per_tick: f64,
+    /// Toroidal boundary (halos never clamp; rows gain `2k` wrap rows).
+    pub periodic: bool,
+}
+
+impl FarmModel {
+    /// An unthrottled null-boundary farm model.
+    pub fn new(tech: Technology, rows: usize, cols: usize, p: u32, k: usize) -> Self {
+        FarmModel { tech, rows, cols, p, k, link_bits_per_tick: f64::INFINITY, periodic: false }
+    }
+
+    /// Sets the link capacity in bits per tick.
+    pub fn with_link(mut self, bits_per_tick: f64) -> Self {
+        self.link_bits_per_tick = bits_per_tick;
+        self
+    }
+
+    /// Selects the toroidal boundary.
+    pub fn with_periodic(mut self, periodic: bool) -> Self {
+        self.periodic = periodic;
+        self
+    }
+
+    /// The farm's slab geometry at `shards` boards — byte-identical to
+    /// what `lattice-farm` executes (same function).
+    ///
+    /// # Panics
+    /// When `shards` is 0 or exceeds `cols`, like the farm itself
+    /// errors.
+    pub fn slabs(&self, shards: usize) -> Vec<Slab> {
+        partition(self.cols, shards, self.k, self.periodic)
+            .expect("farm model needs 1 ≤ shards ≤ cols")
+    }
+
+    /// Rows of the halo-augmented slab (the torus wraps vertically on
+    /// board, adding `2k` rows).
+    pub fn aug_rows(&self) -> usize {
+        self.rows + if self.periodic { 2 * self.k } else { 0 }
+    }
+
+    /// Ticks the slowest board computes per pass: the measured WSA
+    /// pipeline streams `n = aug_rows·aug_width` sites at `p` per tick
+    /// and pays `cols + 2` sites of fill latency per stage, so
+    /// `⌈(n + k·(aug_width + 2)) / p⌉` on the widest augmented slab.
+    pub fn compute_ticks(&self, shards: usize) -> f64 {
+        let ar = self.aug_rows() as f64;
+        self.slabs(shards)
+            .iter()
+            .map(|s| {
+                let a = s.aug_width() as f64;
+                ((ar * a + self.k as f64 * (a + 2.0)) / self.p as f64).ceil()
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Halo bits the hungriest board imports per pass:
+    /// `(halo_left + halo_right)·aug_rows·D`.
+    pub fn halo_bits(&self, shards: usize) -> f64 {
+        let ar = self.aug_rows() as f64;
+        let d = self.tech.d_bits as f64;
+        self.slabs(shards)
+            .iter()
+            .map(|s| (s.halo_left + s.halo_right) as f64 * ar * d)
+            .fold(0.0, f64::max)
+    }
+
+    /// Exchange-barrier ticks per pass: the slowest link's
+    /// `⌈halo_bits / capacity⌉` (free when unthrottled).
+    pub fn halo_ticks(&self, shards: usize) -> f64 {
+        if self.link_bits_per_tick.is_infinite() {
+            return 0.0;
+        }
+        (self.halo_bits(shards) / self.link_bits_per_tick).ceil()
+    }
+
+    /// Machine ticks per pass: exchange barrier then compute barrier.
+    pub fn pass_ticks(&self, shards: usize) -> f64 {
+        self.compute_ticks(shards) + self.halo_ticks(shards)
+    }
+
+    /// Useful (lattice-visible) site updates per machine tick:
+    /// `rows·cols·k / pass_ticks`. Halo recompute is excluded, exactly
+    /// as `FarmReport::updates_per_tick` excludes it.
+    pub fn updates_per_tick(&self, shards: usize) -> f64 {
+        (self.rows * self.cols * self.k) as f64 / self.pass_ticks(shards)
+    }
+
+    /// Useful updates per second at the technology clock.
+    pub fn updates_per_second(&self, shards: usize) -> f64 {
+        self.updates_per_tick(shards) * self.tech.clock_hz
+    }
+
+    /// Speedup over one board of the same design.
+    pub fn speedup(&self, shards: usize) -> f64 {
+        self.updates_per_tick(shards) / self.updates_per_tick(1)
+    }
+
+    /// Strong-scaling efficiency: fixed lattice, `speedup / shards`.
+    /// Below 1 because every added seam buys `2k` recomputed halo
+    /// columns and more link traffic.
+    pub fn strong_efficiency(&self, shards: usize) -> f64 {
+        self.speedup(shards) / shards as f64
+    }
+
+    /// Weak-scaling efficiency: each board brings its own `cols`
+    /// columns (machine lattice `rows × shards·cols`), so ideal scaling
+    /// keeps pass time constant. Returns
+    /// `pass_ticks(1 board, cols) / pass_ticks(shards, shards·cols)`.
+    pub fn weak_efficiency(&self, shards: usize) -> f64 {
+        let scaled = FarmModel { cols: self.cols * shards, ..*self };
+        self.pass_ticks(1) / scaled.pass_ticks(shards)
+    }
+
+    /// Sustained link demand in bits per tick if exchange fully
+    /// overlapped compute: `halo_bits / compute_ticks`. For slabs much
+    /// wider than the halo this approaches the closed form
+    /// `2·k·D·p / aug_width` — the §6 pin expression `2·D·P` divided by
+    /// the columns a board amortizes it over.
+    pub fn link_demand_bits_per_tick(&self, shards: usize) -> f64 {
+        self.halo_bits(shards) / self.compute_ticks(shards)
+    }
+
+    /// Work amplification from halo recompute (`≥ 1`): total updates
+    /// over useful updates, `aug_rows·Σ aug_width / (rows·cols)`.
+    pub fn redundancy(&self, shards: usize) -> f64 {
+        let aug: usize = self.slabs(shards).iter().map(|s| s.aug_width()).sum();
+        (self.aug_rows() * aug) as f64 / (self.rows * self.cols) as f64
+    }
+
+    /// The full predicted operating point at `shards` boards.
+    pub fn point(&self, shards: usize) -> FarmPoint {
+        FarmPoint {
+            shards,
+            compute_ticks: self.compute_ticks(shards),
+            halo_bits: self.halo_bits(shards),
+            halo_ticks: self.halo_ticks(shards),
+            pass_ticks: self.pass_ticks(shards),
+            updates_per_tick: self.updates_per_tick(shards),
+            critical_link_bits_per_tick: self.link_demand_bits_per_tick(shards),
+        }
+    }
+
+    /// The smallest shard count (≤ `max_shards`) at which the exchange
+    /// barrier exceeds the compute barrier — the farm's bandwidth wall,
+    /// the analogue of §6's pin-bound corner. `None` if the link keeps
+    /// up through `max_shards`.
+    pub fn critical_shards(&self, max_shards: usize) -> Option<usize> {
+        (1..=max_shards.min(self.cols)).find(|&s| self.halo_ticks(s) > self.compute_ticks(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> FarmModel {
+        // The paper's technology: D = 8, F = 10 MHz; a 48 × 240 FHP
+        // problem on 2-PE boards with depth-2 passes (the bench setup).
+        FarmModel::new(Technology::paper_1987(), 48, 240, 2, 2)
+    }
+
+    #[test]
+    fn single_board_matches_the_plain_pipeline_count() {
+        let m = model();
+        // One board, no halo: n = 48·240, fill 2·(240 + 2), over p = 2.
+        assert_eq!(m.compute_ticks(1), ((48.0 * 240.0 + 2.0 * 242.0) / 2.0_f64).ceil());
+        assert_eq!(m.halo_bits(1), 0.0);
+        assert_eq!(m.pass_ticks(1), m.compute_ticks(1));
+    }
+
+    #[test]
+    fn sharding_shrinks_compute_and_grows_link_demand() {
+        let m = model();
+        let mut prev_compute = f64::INFINITY;
+        let mut prev_demand = 0.0;
+        for s in [1usize, 2, 4, 8, 16] {
+            let compute = m.compute_ticks(s);
+            let demand = m.link_demand_bits_per_tick(s);
+            assert!(compute < prev_compute, "S={s}: more boards, less work each");
+            assert!(demand >= prev_demand, "S={s}: thinner slabs, hungrier links");
+            prev_compute = compute;
+            prev_demand = demand;
+        }
+    }
+
+    #[test]
+    fn link_demand_approaches_the_closed_form() {
+        // Wide slabs: demand ≈ 2kDp / aug_width, §6's 2DP spread over
+        // the board's columns.
+        let m = FarmModel::new(Technology::paper_1987(), 512, 4096, 4, 3);
+        let s = 4;
+        let aug = m.slabs(s).iter().map(|sl| sl.aug_width()).max().unwrap() as f64;
+        let closed = 2.0 * 3.0 * 8.0 * 4.0 / aug;
+        let demand = m.link_demand_bits_per_tick(s);
+        assert!((demand - closed).abs() / closed < 0.02, "{demand} vs {closed}");
+    }
+
+    #[test]
+    fn strong_scaling_efficiency_is_high_but_sub_ideal() {
+        let m = model();
+        assert!((m.strong_efficiency(1) - 1.0).abs() < 1e-12);
+        for s in [2usize, 4, 8] {
+            let e = m.strong_efficiency(s);
+            assert!(e < 1.0, "S={s}: halo recompute must cost something");
+            assert!(e > 0.8, "S={s}: but not much on wide slabs, got {e}");
+        }
+        assert!(m.strong_efficiency(8) < m.strong_efficiency(2), "overhead grows with seams");
+    }
+
+    #[test]
+    fn weak_scaling_is_nearly_flat_when_unthrottled() {
+        let m = model();
+        for s in [2usize, 4, 8, 16] {
+            let e = m.weak_efficiency(s);
+            assert!(e > 0.95 && e <= 1.0 + 1e-12, "S={s}: {e}");
+        }
+    }
+
+    #[test]
+    fn a_starved_link_rolls_the_farm_over() {
+        // Interior boards import 2k = 4 columns × 48 rows × 8 bits =
+        // 1536 bits per pass; at 2 bits/tick that is 768 ticks, which
+        // overtakes compute once slabs get thin.
+        let starved = model().with_link(2.0);
+        let free = model();
+        assert_eq!(free.critical_shards(16), None, "unthrottled never rolls over");
+        let crit = starved.critical_shards(16).expect("2 bits/tick must roll over");
+        assert!(crit > 1, "a single board has no links to starve");
+        // Past the critical point, adding boards buys almost nothing.
+        let below = starved.updates_per_tick(crit - 1);
+        let above = starved.updates_per_tick(crit);
+        assert!(above / below < 1.5, "{below} → {above}");
+        // And the throttled machine is strictly slower than the free one.
+        assert!(starved.updates_per_tick(4) < free.updates_per_tick(4));
+    }
+
+    #[test]
+    fn periodic_boundary_costs_wrap_rows_and_full_halos() {
+        let null = model();
+        let torus = model().with_periodic(true);
+        assert_eq!(torus.aug_rows(), 48 + 4);
+        // Edge boards no longer clamp: every board imports 2k columns.
+        assert!(torus.halo_bits(2) > null.halo_bits(2));
+        assert!(torus.redundancy(4) > null.redundancy(4));
+    }
+
+    #[test]
+    fn redundancy_counts_every_seam() {
+        let m = model();
+        assert!((m.redundancy(1) - 1.0).abs() < 1e-12);
+        // S = 4, k = 2: halo columns = (2+4+4+2) = 12 of 240.
+        assert!((m.redundancy(4) - 252.0 / 240.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_bundles_the_figures() {
+        let p = model().with_link(16.0).point(4);
+        assert_eq!(p.shards, 4);
+        assert!(p.halo_ticks > 0.0);
+        assert_eq!(p.pass_ticks, p.compute_ticks + p.halo_ticks);
+        assert!(p.critical_link_bits_per_tick > 0.0);
+    }
+}

@@ -34,6 +34,7 @@
 pub mod ablation;
 pub mod compare;
 pub mod competitors;
+pub mod farm;
 pub mod report;
 pub mod spa;
 pub mod tech;
@@ -41,6 +42,7 @@ pub mod wsa;
 pub mod wsae;
 
 pub use compare::{optimized_comparison, wsae_vs_spa, ArchComparison, WsaeSpaComparison};
+pub use farm::{FarmModel, FarmPoint};
 pub use spa::SpaDesign;
 pub use tech::Technology;
 pub use wsa::WsaDesign;

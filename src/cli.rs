@@ -144,6 +144,36 @@ pub enum Command {
         /// Also stick a link bit on this chip (exercises degraded mode).
         stuck_chip: Option<usize>,
     },
+    /// Shard a lattice over a board-level engine farm and report
+    /// machine-level figures against the links-per-board model.
+    Farm {
+        /// Boards (columnar shards).
+        shards: usize,
+        /// Per-board engine (`wsa`, `spa`).
+        engine: String,
+        /// PEs per stage (wsa).
+        width: usize,
+        /// SPA slice width.
+        slice_width: usize,
+        /// Generations per pass (= halo width).
+        depth: usize,
+        /// Lattice rows.
+        rows: usize,
+        /// Lattice columns.
+        cols: usize,
+        /// Generations to run.
+        steps: u64,
+        /// RNG seed.
+        seed: u64,
+        /// Gas model (`hpp`, `fhp1`, `fhp2`, `fhp3`).
+        model: String,
+        /// Toroidal boundaries.
+        periodic: bool,
+        /// Inter-board link capacity in bits/tick (unthrottled if absent).
+        link_bits: Option<f64>,
+        /// Verify bit-exactness against the reference engine.
+        verify: bool,
+    },
     /// Print the version/summary banner.
     Info,
 }
@@ -214,6 +244,10 @@ pub fn usage() -> String {
        lattice fault-sim [--rows N] [--cols N] [--width P] [--depth K]\n\
                       [--steps N] [--seed N] [--rate F] [--retries N]\n\
                       [--ckpt-every N] [--stuck-chip J]\n\
+       lattice farm   [--shards S] [--engine wsa|spa] [--width P]\n\
+                      [--slice-width W] [--depth K] [--rows N] [--cols N]\n\
+                      [--steps N] [--seed N] [--model M] [--periodic]\n\
+                      [--link-bits F] [--verify]\n\
        lattice info\n"
         .to_string()
 }
@@ -296,6 +330,26 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 ),
             },
         }),
+        "farm" => Ok(Command::Farm {
+            shards: get(&flags, "shards", 4)?,
+            engine: get(&flags, "engine", "wsa".to_string())?,
+            width: get(&flags, "width", 2)?,
+            slice_width: get(&flags, "slice-width", 1)?,
+            depth: get(&flags, "depth", 2)?,
+            rows: get(&flags, "rows", 48)?,
+            cols: get(&flags, "cols", 96)?,
+            steps: get(&flags, "steps", 8)?,
+            seed: get(&flags, "seed", 42)?,
+            model: get(&flags, "model", "fhp1".to_string())?,
+            periodic: flags.contains_key("periodic"),
+            link_bits: match flags.get("link-bits") {
+                None => None,
+                Some(v) => Some(
+                    v.parse().map_err(|_| CliError(format!("bad value for --link-bits: `{v}`")))?,
+                ),
+            },
+            verify: flags.contains_key("verify"),
+        }),
         "info" => Ok(Command::Info),
         "help" | "--help" | "-h" => Err(CliError(usage())),
         other => Err(CliError(format!("unknown command `{other}`\n\n{}", usage()))),
@@ -346,6 +400,35 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             stuck_chip,
         } => run_fault_sim(
             rows, cols, width, depth, steps, seed, rate, retries, ckpt_every, stuck_chip,
+        ),
+        Command::Farm {
+            shards,
+            engine,
+            width,
+            slice_width,
+            depth,
+            rows,
+            cols,
+            steps,
+            seed,
+            model,
+            periodic,
+            link_bits,
+            verify,
+        } => run_farm(
+            shards,
+            &engine,
+            width,
+            slice_width,
+            depth,
+            rows,
+            cols,
+            steps,
+            seed,
+            &model,
+            periodic,
+            link_bits,
+            verify,
         ),
         Command::Info => Ok(format!(
             "lattice-engines {} — engines, bounds, and gases from \
@@ -686,8 +769,11 @@ fn run_fault_sim(
         link: HostLink::new(1e9),
         clock_hz: 10e6,
     };
-    let cfg =
-        RecoveryConfig { max_retries: retries, checkpoint_every: ckpt_every, allow_degraded: true };
+    let cfg = RecoveryConfig {
+        max_retries: retries,
+        checkpoint_every: ckpt_every,
+        ..RecoveryConfig::default()
+    };
     let victim = depth / 2;
     let sites = (rows * cols) as u64;
 
@@ -748,6 +834,137 @@ fn run_fault_sim(
         "\nupd/fault = mean committed site-updates between injected upsets (MTBF in\n\
          update units); `bit-exact` rows recovered to the fault-free reference lattice.\n",
     );
+    Ok(out)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_farm(
+    shards: usize,
+    engine: &str,
+    width: usize,
+    slice_width: usize,
+    depth: usize,
+    rows: usize,
+    cols: usize,
+    steps: u64,
+    seed: u64,
+    model: &str,
+    periodic: bool,
+    link_bits: Option<f64>,
+    verify: bool,
+) -> Result<String, CliError> {
+    use crate::farm::{BoardLink, FarmReport, LatticeFarm, ShardEngine};
+    use crate::vlsi::FarmModel;
+    use lattice_core::{evolve, Grid, Rule};
+
+    let shape = Shape::grid2(rows, cols).map_err(|e| CliError(e.to_string()))?;
+    let eng = match engine {
+        "wsa" => ShardEngine::Wsa { width },
+        "spa" => ShardEngine::Spa { slice_width },
+        other => return Err(CliError(format!("unknown farm engine `{other}` (wsa, spa)"))),
+    };
+    let mut farm = LatticeFarm::new(shards, eng, depth).with_periodic(periodic);
+    if let Some(bits) = link_bits {
+        if bits.is_nan() || bits <= 0.0 {
+            return Err(CliError("farm: --link-bits must be positive".into()));
+        }
+        farm = farm.with_link(BoardLink::new(bits));
+    }
+
+    fn drive<R: Rule<S = u8>>(
+        farm: &LatticeFarm,
+        rule: &R,
+        grid: &Grid<u8>,
+        steps: u64,
+        periodic: bool,
+        verify: bool,
+    ) -> Result<(FarmReport<u8>, Option<bool>), CliError> {
+        let report = farm.run(rule, grid, 0, steps).map_err(|e| CliError(e.to_string()))?;
+        let exact = verify.then(|| {
+            let boundary = if periodic { Boundary::Periodic } else { Boundary::null() };
+            report.grid() == &evolve(grid, rule, boundary, 0, steps)
+        });
+        Ok((report, exact))
+    }
+
+    let (report, exact) = match model {
+        "hpp" => {
+            let grid = init::random_hpp(shape, 0.3, seed).map_err(|e| CliError(e.to_string()))?;
+            drive(&farm, &HppRule::new(), &grid, steps, periodic, verify)?
+        }
+        "fhp1" | "fhp2" | "fhp3" => {
+            let variant = match model {
+                "fhp1" => FhpVariant::I,
+                "fhp2" => FhpVariant::II,
+                _ => FhpVariant::III,
+            };
+            let grid = init::random_fhp(shape, variant, 0.3, seed, periodic)
+                .map_err(|e| CliError(e.to_string()))?;
+            let rule = if periodic {
+                FhpRule::new(variant, seed).with_wrap(rows, cols)
+            } else {
+                FhpRule::new(variant, seed)
+            };
+            drive(&farm, &rule, &grid, steps, periodic, verify)?
+        }
+        other => return Err(CliError(format!("unknown gas model `{other}`"))),
+    };
+
+    let clock = Technology::paper_1987().clock_hz;
+    let mut out = format!(
+        "farm: {model} on {rows}x{cols} ({}), {steps} generations, \
+         {shards} board(s) x {engine}, k = {depth}\n\
+         passes:            {}\n\
+         machine ticks:     {} ({} compute + {} halo)\n\
+         useful upd/tick:   {:.2}\n\
+         updates/s @10MHz:  {:.2e}\n\
+         halo bits/tick:    {:.2}\n\
+         redundancy:        {:.3}\n\
+         compute fraction:  {:.3}\n\
+         PE utilization:    {:.3}\n",
+        if periodic { "torus" } else { "null boundary" },
+        report.passes,
+        report.machine_ticks(),
+        report.machine.ticks,
+        report.halo_ticks,
+        report.updates_per_tick(),
+        report.updates_per_second(clock),
+        report.halo_bits_per_tick(),
+        report.redundancy(),
+        report.compute_fraction(),
+        report.utilization(),
+    );
+    out.push_str("shard  col0  cols  updates  ticks  halo-in bits\n");
+    for s in &report.per_shard {
+        out.push_str(&format!(
+            "{:>5}  {:>4}  {:>4}  {:>7}  {:>5}  {:>12}\n",
+            s.shard, s.col0, s.cols, s.updates, s.ticks, s.halo_in_bits
+        ));
+    }
+    if engine == "wsa" {
+        // The analytical board model mirrors the WSA pipeline.
+        let m = FarmModel::new(Technology::paper_1987(), rows, cols, width as u32, depth)
+            .with_periodic(periodic)
+            .with_link(link_bits.unwrap_or(f64::INFINITY));
+        let meas_pass = report.machine_ticks() as f64 / report.passes.max(1) as f64;
+        out.push_str(&format!(
+            "model: pass ticks {:.0} (measured {:.0}), strong-scaling \
+             efficiency {:.3}, link demand {:.1} bits/tick\n",
+            m.pass_ticks(shards),
+            meas_pass,
+            m.strong_efficiency(shards),
+            m.link_demand_bits_per_tick(shards),
+        ));
+    }
+    match exact {
+        Some(true) => out.push_str("verify: bit-exact vs reference\n"),
+        Some(false) => {
+            return Err(CliError(
+                "verify: farmed result diverged from the reference — this is a bug".into(),
+            ))
+        }
+        None => {}
+    }
     Ok(out)
 }
 
@@ -1062,6 +1279,135 @@ mod tests {
         })
         .is_err());
         assert!(parse(&argv("fault-sim --stuck-chip nope")).is_err());
+    }
+
+    #[test]
+    fn farm_parses_defaults_and_flags() {
+        let cmd = parse(&argv("farm")).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Farm { shards: 4, depth: 2, link_bits: None, verify: false, .. }
+        ));
+        let cmd = parse(&argv(
+            "farm --shards 3 --engine spa --slice-width 1 --rows 12 --cols 30 \
+             --steps 4 --model hpp --link-bits 8 --verify --periodic",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Farm {
+                shards,
+                engine,
+                slice_width,
+                model,
+                periodic,
+                link_bits,
+                verify,
+                ..
+            } => {
+                assert_eq!((shards, slice_width), (3, 1));
+                assert_eq!(engine, "spa");
+                assert_eq!(model, "hpp");
+                assert!(periodic && verify);
+                assert_eq!(link_bits, Some(8.0));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("farm --link-bits fast")).is_err());
+    }
+
+    #[test]
+    fn farm_executes_and_verifies_bit_exact() {
+        let out = execute(Command::Farm {
+            shards: 3,
+            engine: "wsa".into(),
+            width: 2,
+            slice_width: 1,
+            depth: 2,
+            rows: 16,
+            cols: 30,
+            steps: 4,
+            seed: 5,
+            model: "fhp1".into(),
+            periodic: false,
+            link_bits: None,
+            verify: true,
+        })
+        .unwrap();
+        assert!(out.contains("verify: bit-exact vs reference"), "{out}");
+        assert!(out.contains("model: pass ticks"), "{out}");
+        assert!(out.contains("shard  col0"), "{out}");
+    }
+
+    #[test]
+    fn farm_spa_torus_with_throttled_links() {
+        let out = execute(Command::Farm {
+            shards: 2,
+            engine: "spa".into(),
+            width: 1,
+            slice_width: 1,
+            depth: 2,
+            rows: 12,
+            cols: 20,
+            steps: 4,
+            seed: 9,
+            model: "hpp".into(),
+            periodic: true,
+            link_bits: Some(4.0),
+            verify: true,
+        })
+        .unwrap();
+        assert!(out.contains("torus"), "{out}");
+        assert!(out.contains("verify: bit-exact"), "{out}");
+        assert!(!out.contains("+ 0 halo"), "throttled links must cost ticks: {out}");
+    }
+
+    #[test]
+    fn farm_rejects_bad_configs() {
+        let base = Command::Farm {
+            shards: 2,
+            engine: "wsa".into(),
+            width: 1,
+            slice_width: 1,
+            depth: 1,
+            rows: 8,
+            cols: 12,
+            steps: 2,
+            seed: 1,
+            model: "hpp".into(),
+            periodic: false,
+            link_bits: None,
+            verify: false,
+        };
+        let with = |f: &dyn Fn(&mut Command)| {
+            let mut c = base.clone();
+            f(&mut c);
+            execute(c)
+        };
+        assert!(with(&|c| {
+            if let Command::Farm { engine, .. } = c {
+                *engine = "dataflow".into();
+            }
+        })
+        .is_err());
+        assert!(with(&|c| {
+            if let Command::Farm { model, .. } = c {
+                *model = "bogus".into();
+            }
+        })
+        .is_err());
+        assert!(with(&|c| {
+            if let Command::Farm { shards, .. } = c {
+                *shards = 99;
+            }
+        })
+        .is_err());
+        assert!(with(&|c| {
+            if let Command::Farm { link_bits, .. } = c {
+                *link_bits = Some(-1.0);
+            }
+        })
+        .is_err());
+        assert!(execute(base).is_ok());
     }
 
     #[test]

@@ -11,6 +11,7 @@ pub mod cli;
 pub use lattice_core as core;
 pub use lattice_embed as embed;
 pub use lattice_engines_sim as sim;
+pub use lattice_farm as farm;
 pub use lattice_gas as gas;
 pub use lattice_image as image;
 pub use lattice_pebbles as pebbles;

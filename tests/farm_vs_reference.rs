@@ -1,0 +1,227 @@
+//! Board-farm acceptance: a sharded, halo-exchanging, link-throttled
+//! farm must be indistinguishable — bit for bit — from the reference
+//! engine, for HPP and coordinate-dependent FHP, on the null boundary
+//! and the torus, for shard counts that do and do not divide the
+//! lattice width; and its measured machine accounting must track the
+//! analytical links-per-board model.
+
+use lattice_engines::core::{evolve, Boundary, Shape};
+use lattice_engines::farm::{BoardLink, FarmRecoveryConfig, LatticeFarm, ShardEngine};
+use lattice_engines::gas::{init, FhpRule, FhpVariant, HppRule};
+use lattice_engines::sim::{Component, Fault, FaultKind, FaultPlan};
+use lattice_engines::vlsi::{FarmModel, Technology};
+use proptest::prelude::*;
+
+/// Acceptance matrix: S ∈ {1, 2, 3, 4} × {HPP, FHP} on the null
+/// boundary, with a shard count (3) that does not divide the width.
+#[test]
+fn farm_bit_exact_for_small_shard_counts_hpp_and_fhp() {
+    let shape = Shape::grid2(14, 26).unwrap();
+    let hpp_grid = init::random_hpp(shape, 0.4, 11).unwrap();
+    let hpp = HppRule::new();
+    let hpp_ref = evolve(&hpp_grid, &hpp, Boundary::null(), 0, 5);
+    let fhp_grid = init::random_fhp(shape, FhpVariant::III, 0.35, 23, false).unwrap();
+    let fhp = FhpRule::new(FhpVariant::III, 17);
+    let fhp_ref = evolve(&fhp_grid, &fhp, Boundary::null(), 0, 5);
+    for shards in 1..=4usize {
+        let farm = LatticeFarm::new(shards, ShardEngine::Wsa { width: 2 }, 2);
+        let h = farm.run(&hpp, &hpp_grid, 0, 5).unwrap();
+        assert_eq!(h.grid(), &hpp_ref, "HPP S={shards}");
+        let f = farm.run(&fhp, &fhp_grid, 0, 5).unwrap();
+        assert_eq!(f.grid(), &fhp_ref, "FHP S={shards}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Arbitrary geometry, shard count (including non-dividing), pass
+    /// depth, engine width, and start time: WSA boards, HPP, null
+    /// boundary.
+    #[test]
+    fn farmed_wsa_hpp_matches_reference(
+        rows in 2usize..12,
+        cols in 3usize..24,
+        shards in 1usize..6,
+        width in 1usize..4,
+        depth in 1usize..4,
+        gens in 0u64..7,
+        t0 in 0u64..5,
+        density in 0.05f64..0.95,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(shards <= cols);
+        let shape = Shape::grid2(rows, cols).unwrap();
+        let grid = init::random_hpp(shape, density, seed).unwrap();
+        let rule = HppRule::new();
+        let reference = evolve(&grid, &rule, Boundary::null(), t0, gens);
+        let farm = LatticeFarm::new(shards, ShardEngine::Wsa { width }, depth);
+        let report = farm.run(&rule, &grid, t0, gens).unwrap();
+        prop_assert_eq!(report.grid(), &reference);
+    }
+
+    /// FHP's chirality hash keys on global (row, col, t): farmed SPA
+    /// boards must present true coordinates across every slab seam.
+    #[test]
+    fn farmed_spa_fhp_matches_reference(
+        rows in 2usize..10,
+        cols in 3usize..20,
+        shards in 1usize..5,
+        depth in 1usize..4,
+        gens in 1u64..6,
+        density in 0.05f64..0.95,
+        seed in any::<u64>(),
+        variant in prop_oneof![
+            Just(FhpVariant::I), Just(FhpVariant::II), Just(FhpVariant::III)
+        ],
+    ) {
+        prop_assume!(shards <= cols);
+        let shape = Shape::grid2(rows, cols).unwrap();
+        let grid = init::random_fhp(shape, variant, density, seed, false).unwrap();
+        let rule = FhpRule::new(variant, seed ^ 0x5eed);
+        let reference = evolve(&grid, &rule, Boundary::null(), 0, gens);
+        let farm = LatticeFarm::new(shards, ShardEngine::Spa { slice_width: 1 }, depth);
+        let report = farm.run(&rule, &grid, 0, gens).unwrap();
+        prop_assert_eq!(report.grid(), &reference);
+    }
+
+    /// Torus: halos wrap around the seam between the last and first
+    /// boards, and FHP needs the wrapped rule and even rows.
+    #[test]
+    fn farmed_periodic_fhp_matches_reference(
+        half_rows in 1usize..5,
+        cols in 3usize..18,
+        shards in 1usize..5,
+        depth in 1usize..3,
+        gens in 1u64..5,
+        density in 0.05f64..0.95,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(shards <= cols);
+        let rows = 2 * half_rows;
+        let shape = Shape::grid2(rows, cols).unwrap();
+        let grid = init::random_fhp(shape, FhpVariant::I, density, seed, true).unwrap();
+        let rule = FhpRule::new(FhpVariant::I, seed ^ 0x70f5).with_wrap(rows, cols);
+        let reference = evolve(&grid, &rule, Boundary::Periodic, 0, gens);
+        let farm = LatticeFarm::new(shards, ShardEngine::Wsa { width: 2 }, depth)
+            .with_periodic(true);
+        let report = farm.run(&rule, &grid, 0, gens).unwrap();
+        prop_assert_eq!(report.grid(), &reference);
+    }
+
+    /// Link bandwidth changes machine time, never lattice contents, and
+    /// the throttled run's halo time is exactly the closed form.
+    #[test]
+    fn link_bandwidth_never_changes_results(
+        shards in 2usize..5,
+        bits in 1u32..64,
+        seed in any::<u64>(),
+    ) {
+        let shape = Shape::grid2(10, 21).unwrap();
+        let grid = init::random_hpp(shape, 0.4, seed).unwrap();
+        let rule = HppRule::new();
+        let free = LatticeFarm::new(shards, ShardEngine::Wsa { width: 2 }, 2);
+        let slow = free.with_link(BoardLink::new(bits as f64));
+        let a = free.run(&rule, &grid, 0, 4).unwrap();
+        let b = slow.run(&rule, &grid, 0, 4).unwrap();
+        prop_assert_eq!(a.grid(), b.grid());
+        prop_assert_eq!(a.machine.ticks, b.machine.ticks);
+        prop_assert!(b.halo_ticks >= a.halo_ticks);
+    }
+}
+
+/// Acceptance: measured farm throughput must sit within 10% of the
+/// analytical model in the unthrottled (compute-bound) regime.
+#[test]
+fn measured_scaling_tracks_the_model_within_ten_percent() {
+    let (rows, cols, p, k) = (32usize, 120usize, 2usize, 2usize);
+    let shape = Shape::grid2(rows, cols).unwrap();
+    let grid = init::random_fhp(shape, FhpVariant::I, 0.3, 3, false).unwrap();
+    let rule = FhpRule::new(FhpVariant::I, 3);
+    let model = FarmModel::new(Technology::paper_1987(), rows, cols, p as u32, k);
+    for shards in [1usize, 2, 4, 8] {
+        let farm = LatticeFarm::new(shards, ShardEngine::Wsa { width: p }, k);
+        let report = farm.run(&rule, &grid, 0, 4).unwrap();
+        let measured = report.machine_ticks() as f64 / report.passes as f64;
+        let predicted = model.pass_ticks(shards);
+        let ratio = measured / predicted;
+        assert!(
+            (ratio - 1.0).abs() < 0.10,
+            "S={shards}: measured {measured} vs model {predicted} (ratio {ratio})"
+        );
+        let upt = report.updates_per_tick();
+        let upt_model = model.updates_per_tick(shards);
+        assert!(
+            (upt / upt_model - 1.0).abs() < 0.10,
+            "S={shards}: upd/tick measured {upt} vs model {upt_model}"
+        );
+    }
+}
+
+/// Acceptance: cutting link bandwidth rolls the farm into the
+/// bandwidth-bound regime — model and measurement must agree that the
+/// scaling curve flattens past the predicted critical shard count.
+#[test]
+fn starved_links_roll_over_where_the_model_says() {
+    let (rows, cols, p, k) = (32usize, 120usize, 2usize, 2usize);
+    let shape = Shape::grid2(rows, cols).unwrap();
+    let grid = init::random_fhp(shape, FhpVariant::I, 0.3, 3, false).unwrap();
+    let rule = FhpRule::new(FhpVariant::I, 3);
+    let bits = 2.0;
+    let model = FarmModel::new(Technology::paper_1987(), rows, cols, p as u32, k).with_link(bits);
+    let crit = model.critical_shards(8).expect("2 bits/tick must roll over by S=8");
+
+    let measure = |shards: usize| {
+        let farm = LatticeFarm::new(shards, ShardEngine::Wsa { width: p }, k)
+            .with_link(BoardLink::new(bits));
+        let report = farm.run(&rule, &grid, 0, 4).unwrap();
+        (report.updates_per_tick(), report.halo_ticks, report.machine.ticks)
+    };
+
+    // Below the rollover, compute dominates; at/after it, exchange does.
+    let (_, halo_lo, compute_lo) = measure(crit - 1);
+    assert!(halo_lo <= compute_lo, "below critical S the farm is compute-bound");
+    let (_, halo_hi, compute_hi) = measure(crit);
+    assert!(halo_hi > compute_hi, "at critical S the exchange barrier dominates");
+
+    // Doubling boards inside the bandwidth wall buys well under 2x.
+    if 2 * crit <= 8 {
+        let (r1, _, _) = measure(crit);
+        let (r2, _, _) = measure(2 * crit);
+        assert!(r2 / r1 < 1.5, "bandwidth-bound scaling must flatten: {r1} -> {r2}");
+    }
+}
+
+/// Recovery composes at farm level: a transiently corrupting halo link
+/// is detected by stream parity, rolled back shard-consistently, and
+/// the final lattice still equals the fault-free reference.
+#[test]
+fn farm_recovery_is_bit_exact_under_link_faults() {
+    let shape = Shape::grid2(12, 22).unwrap();
+    let grid = init::random_hpp(shape, 0.4, 6).unwrap();
+    let rule = HppRule::new();
+    let reference = evolve(&grid, &rule, Boundary::null(), 0, 8);
+    let farm = LatticeFarm::new(3, ShardEngine::Wsa { width: 1 }, 2);
+    // Link chips sit past every engine chip: 3 boards x depth-2 stride.
+    let plan = FaultPlan::new(41).with_fault(Fault {
+        component: Component::Link,
+        chip: Some(3 * 2 + 1),
+        cell: None,
+        kind: FaultKind::Transient { bit: 2, rate: 5e-3 },
+    });
+    let ft = farm
+        .run_with_recovery(
+            &rule,
+            &grid,
+            0,
+            8,
+            Some(&plan),
+            &FarmRecoveryConfig { max_retries: 25, checkpoint_every: 1 },
+            |_, _| Ok(()),
+        )
+        .unwrap();
+    assert_eq!(ft.report.grid(), &reference);
+    assert!(ft.report.machine.faults.link > 0, "the plan must actually fire");
+    assert!(ft.recovery.rollbacks > 0, "parity must catch at least one corruption");
+    assert_eq!(ft.recovery.detected, ft.recovery.rollbacks);
+}

@@ -63,7 +63,7 @@ fn transient_sr_fault_is_detected_and_rolled_back_to_bit_exact() {
         kind: FaultKind::Transient { bit: 2, rate: 5e-4 },
     });
     let audit = ConservationAudit::new(Model::Hpp, AuditMode::Exact);
-    let cfg = RecoveryConfig { max_retries: 10, checkpoint_every: 1, allow_degraded: true };
+    let cfg = RecoveryConfig { max_retries: 10, ..RecoveryConfig::default() };
     let ft = host(1, 3)
         .run_with_recovery(&rule, &grid, 0, steps, Some(&plan), &cfg, |b, a| audit.check(b, a))
         .expect("recovery must succeed within the retry budget");
@@ -130,7 +130,7 @@ fn stuck_chip_is_localized_bypassed_and_the_run_still_bit_exact() {
         kind: FaultKind::StuckAt { bit: 0, value: true },
     });
     let audit = ConservationAudit::new(Model::Hpp, AuditMode::Exact);
-    let cfg = RecoveryConfig { max_retries: 2, checkpoint_every: 1, allow_degraded: true };
+    let cfg = RecoveryConfig { max_retries: 2, ..RecoveryConfig::default() };
     let ft = host(1, 3)
         .run_with_recovery(&rule, &grid, 0, steps, Some(&plan), &cfg, |b, a| audit.check(b, a))
         .expect("degraded mode must carry the run to completion");
