@@ -51,6 +51,18 @@ pub enum LatticeError {
         /// What the check observed.
         detail: String,
     },
+    /// A farm board's worker stopped responding: it missed its watchdog
+    /// deadline, panicked, or dropped its result channel without
+    /// reporting. Unlike [`LatticeError::Corrupted`] this is a *liveness*
+    /// failure — no data arrived to check — but it is localized to one
+    /// board, so the farm's recovery ladder can handle it the same way.
+    BoardDown {
+        /// Physical board id of the dead worker.
+        shard: usize,
+        /// What the supervisor observed (e.g. `"missed the watchdog
+        /// deadline"`, `"worker died before reporting"`).
+        cause: String,
+    },
 }
 
 impl fmt::Display for LatticeError {
@@ -72,6 +84,9 @@ impl fmt::Display for LatticeError {
             LatticeError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             LatticeError::Corrupted { site, detail } => {
                 write!(f, "corrupted data at {site}: {detail}")
+            }
+            LatticeError::BoardDown { shard, cause } => {
+                write!(f, "board {shard} down: {cause}")
             }
         }
     }
@@ -101,6 +116,9 @@ mod tests {
         let e = LatticeError::Corrupted { site: "stage 3".into(), detail: "parity".into() };
         assert!(e.to_string().contains("stage 3"));
         assert!(e.to_string().contains("parity"));
+        let e = LatticeError::BoardDown { shard: 4, cause: "missed the watchdog deadline".into() };
+        assert!(e.to_string().contains("board 4 down"));
+        assert!(e.to_string().contains("watchdog"));
     }
 
     #[test]

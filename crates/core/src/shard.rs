@@ -84,6 +84,21 @@ pub fn partition(
     Ok(slabs)
 }
 
+/// The widest halo-augmented slab [`partition`] produces at `shards`
+/// boards — the figure that sizes per-board hardware (SPA slice count,
+/// stream buffers) and therefore must stay stable when a farm
+/// re-partitions after retiring a board. Degraded re-partitioning sizes
+/// chips for the *smallest* shard count it may shrink to by taking this
+/// maximum over the reachable range.
+pub fn max_aug_width(
+    cols: usize,
+    shards: usize,
+    halo: usize,
+    periodic: bool,
+) -> Result<usize, LatticeError> {
+    Ok(partition(cols, shards, halo, periodic)?.iter().map(Slab::aug_width).max().unwrap_or(1))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,6 +153,20 @@ mod tests {
         let s = partition(64, 1, 4, false).unwrap();
         assert_eq!(s[0].aug_width(), 64);
         assert_eq!(s[0].halo_sites(64), 0);
+    }
+
+    #[test]
+    fn max_aug_width_grows_as_boards_retire() {
+        // Fewer boards ⇒ wider slabs: the reachable maximum over a
+        // degrade range is always the smallest shard count's figure.
+        let mut prev = 0usize;
+        for shards in (1..=5).rev() {
+            let w = max_aug_width(40, shards, 2, false).unwrap();
+            assert!(w >= prev, "S={shards}");
+            prev = w;
+        }
+        assert_eq!(max_aug_width(40, 1, 2, false).unwrap(), 40, "one board, no halo");
+        assert_eq!(max_aug_width(40, 2, 2, true).unwrap(), 24, "torus: 20 owned + 2·2 halo");
     }
 
     #[test]

@@ -18,15 +18,44 @@
 //! evolved by two boards) and link time at the barrier; the machine
 //! report accounts both, which is what the analytical board model in
 //! `lattice-vlsi` predicts and `tab_farm_scaling` cross-checks.
+//!
+//! # The recovery ladder
+//!
+//! At machine scale the dominant cost of a transient upset is not the
+//! flip but how far recovery propagates, so
+//! [`LatticeFarm::run_with_recovery`] escalates through four levels,
+//! each containing the fault at the layer that detected it:
+//!
+//! 1. **Link ARQ** — a parity failure on a halo frame retransmits just
+//!    that frame ([`BoardLink::transmit_arq`]); the wire never rewinds,
+//!    so the retry draws fresh transient weather.
+//! 2. **Local rollback** — an engine/audit/watchdog failure on one
+//!    board rewinds only that board to the top of the pass and replays
+//!    its buffered inbound halos; neighbors stall, they don't rewind.
+//! 3. **Global rollback** — when the local budget is exhausted (or the
+//!    failure isn't localizable, like a machine-wide audit), all boards
+//!    reload the last checkpoint barrier.
+//! 4. **Degraded re-partitioning** — a board that exhausts the whole
+//!    ladder is retired under a [`FarmDegradeConfig`]: the lattice is
+//!    re-partitioned onto the survivors (`lattice_core::shard`), a
+//!    fresh barrier is taken, and the run continues slower but exact.
+//!
+//! Every detection is answered by exactly one ladder action, so
+//! `detected == retransmits + local_rollbacks + rollbacks +
+//! boards_retired` on any successful run (see
+//! [`lattice_engines_sim::RecoveryStats`]).
 
 use crate::link::BoardLink;
-use crate::partition::{partition, Slab};
+use crate::partition::{max_aug_width, partition, Slab};
 use lattice_core::bits::Traffic;
 use lattice_core::{checkpoint, Coord, Grid, LatticeError, Rule, Shape, State};
 use lattice_engines_sim::{
     EngineReport, FaultCtx, FaultPlan, FaultStats, Pipeline, RecoveryStats, RunOptions, SpaEngine,
     SpaRunOptions,
 };
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
 
 /// Which cycle-level engine every board runs over its slab.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +76,37 @@ pub enum ShardEngine {
     },
 }
 
+/// How an injected worker fault misbehaves (test/experiment hook).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerFault {
+    /// The worker stalls for this many milliseconds before computing —
+    /// long enough past the watchdog deadline, the supervisor declares
+    /// the board down and its late result is discarded.
+    Hang {
+        /// Stall length in milliseconds.
+        millis: u64,
+    },
+    /// The worker dies without reporting (models a panic or a dropped
+    /// result channel); detected even without a watchdog.
+    Die,
+}
+
+/// Binds a [`WorkerFault`] to one board at one `(pass, attempt)` epoch,
+/// so a single injected hang can be retried cleanly by the ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerFaultSpec {
+    /// Physical board whose worker misbehaves.
+    pub board: usize,
+    /// Logical pass number the fault fires on.
+    pub pass: u64,
+    /// Board attempt epoch the fault fires on (`0` = first try; a local
+    /// or global rollback bumps the epoch, clearing the fault exactly
+    /// like re-running real flaky hardware).
+    pub attempt: u64,
+    /// The misbehavior.
+    pub fault: WorkerFault,
+}
+
 /// A board-level engine farm over one lattice.
 #[derive(Debug, Clone, Copy)]
 pub struct LatticeFarm {
@@ -63,16 +123,20 @@ pub struct LatticeFarm {
     /// built `with_wrap` for the lattice, exactly as with
     /// `lattice_engines_sim::halo::run_periodic`.
     pub periodic: bool,
+    /// Optional injected worker misbehavior (hang/die), for exercising
+    /// the watchdog path deterministically.
+    pub worker_fault: Option<WorkerFaultSpec>,
 }
 
 /// Per-board cumulative statistics over a farm run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardStats {
-    /// Board index.
+    /// Physical board id (stable across degraded re-partitioning).
     pub shard: usize,
-    /// First owned global column.
+    /// First owned global column (final geometry, if re-partitioned).
     pub col0: usize,
-    /// Owned columns.
+    /// Owned columns (final geometry; a retired board keeps the last
+    /// slab it owned).
     pub cols: usize,
     /// Site updates performed (halo recompute included).
     pub updates: u64,
@@ -80,6 +144,14 @@ pub struct ShardStats {
     pub ticks: u64,
     /// Bits imported over this board's halo links.
     pub halo_in_bits: u128,
+    /// Halo frames this board's link retransmitted during committed
+    /// passes (ARQ, ladder level 1).
+    pub retransmits: u64,
+    /// Times this board alone was rewound and replayed (ladder
+    /// level 2) — neighbors' counters stay put.
+    pub local_rollbacks: u64,
+    /// Whether degraded re-partitioning retired this board.
+    pub retired: bool,
 }
 
 /// A machine-level run summary: the aggregated [`EngineReport`] plus the
@@ -94,15 +166,26 @@ pub struct FarmReport<S: State> {
     pub machine: EngineReport<S>,
     /// Passes through the farm.
     pub passes: u64,
-    /// Boards.
+    /// Boards the farm was configured with (retired boards included;
+    /// see [`ShardStats::retired`]).
     pub shards: usize,
-    /// Per-board breakdown.
+    /// Per-board breakdown, indexed by physical board id.
     pub per_shard: Vec<ShardStats>,
-    /// Inter-board halo traffic (bits out of senders / into receivers).
+    /// Inter-board halo traffic (bits out of senders / into receivers),
+    /// ARQ retransmissions included — retransmitted bits are real bits.
     pub halo_traffic: Traffic,
     /// Ticks the machine spent in halo exchange at the barriers (the
-    /// slowest board's link time, summed over passes).
+    /// slowest board's link time, summed over passes), including the
+    /// [`FarmReport::retransmit_ticks`] share.
     pub halo_ticks: u64,
+    /// The share of [`FarmReport::halo_ticks`] spent retransmitting
+    /// halo frames — the ARQ term the `lattice-vlsi` farm model adds to
+    /// its pass-tick prediction.
+    pub retransmit_ticks: u64,
+    /// Halo frames retransmitted during committed passes (frames of
+    /// attempts that later rolled back are counted only in
+    /// `RecoveryStats::retransmits`).
+    pub retransmits: u64,
 }
 
 impl<S: State> FarmReport<S> {
@@ -181,22 +264,54 @@ impl<S: State> FarmReport<S> {
     }
 }
 
-/// Recovery policy for [`LatticeFarm::run_with_recovery`].
+/// Degraded-mode policy: how many boards the farm may retire and
+/// re-partition around before giving up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FarmDegradeConfig {
+    /// Boards that may be retired over the whole run. Must be smaller
+    /// than the shard count — the farm cannot retire its last board.
+    pub max_retired: usize,
+}
+
+/// Recovery policy for [`LatticeFarm::run_with_recovery`]: the budgets
+/// of the four-level escalation ladder.
 #[derive(Debug, Clone, Copy)]
 pub struct FarmRecoveryConfig {
-    /// Rollback-and-retry attempts per checkpoint window before the
-    /// farm gives up. There is no degraded mode at farm level: a board
-    /// owns its slab outright, so the machine cannot continue without
-    /// it the way a pipeline continues past a bypassed chip.
+    /// Farm-wide rollback-and-retry attempts per checkpoint window
+    /// (ladder level 3) before degrading or giving up.
     pub max_retries: u32,
     /// Passes between checkpoint barriers (each barrier snapshots every
     /// shard's slab through the real checkpoint codec).
     pub checkpoint_every: u64,
+    /// Halo-frame retransmissions per transmit (ladder level 1). `0`
+    /// disables ARQ: every link parity failure escalates immediately.
+    pub arq_retries: u32,
+    /// Single-board rollback-and-replay attempts per board per
+    /// checkpoint window (ladder level 2). `0` escalates straight to
+    /// farm-wide rollback.
+    pub local_retries: u32,
+    /// Per-pass worker heartbeat deadline. A board that has not
+    /// reported within the deadline is declared down
+    /// ([`LatticeError::BoardDown`]) and handled by the ladder like any
+    /// other localized failure. `None` waits forever (a dead worker is
+    /// still detected when its result channel drops).
+    pub watchdog: Option<Duration>,
+    /// Degraded re-partitioning (ladder level 4); `None` means a board
+    /// that exhausts the ladder fails the run, as the pre-ladder farm
+    /// did.
+    pub degrade: Option<FarmDegradeConfig>,
 }
 
 impl Default for FarmRecoveryConfig {
     fn default() -> Self {
-        FarmRecoveryConfig { max_retries: 3, checkpoint_every: 1 }
+        FarmRecoveryConfig {
+            max_retries: 3,
+            checkpoint_every: 1,
+            arq_retries: 2,
+            local_retries: 2,
+            watchdog: None,
+            degrade: None,
+        }
     }
 }
 
@@ -210,12 +325,66 @@ pub struct FarmFtRun<S: State> {
     pub recovery: RecoveryStats,
 }
 
-/// One board's work order for a pass.
-struct ShardJob<'p, S: State> {
+/// A board's halo exchange, buffered so local retries can replay it.
+struct ExchangeOutcome<S: State> {
     aug: Grid<S>,
-    ctx: Option<FaultCtx<'p>>,
+    bits: u128,
+    retransmits: u32,
+    traffic: Traffic,
+}
+
+/// What one board has produced so far within the current pass. The
+/// cache state encodes what a retry must redo: a link failure leaves
+/// `exchange` empty (re-exchange), an engine/audit failure leaves
+/// `exchange` buffered but `report` empty (replay the buffered halos).
+struct BoardCache<S: State> {
+    exchange: Option<ExchangeOutcome<S>>,
+    report: Option<EngineReport<S>>,
+}
+
+impl<S: State> Default for BoardCache<S> {
+    fn default() -> Self {
+        BoardCache { exchange: None, report: None }
+    }
+}
+
+/// A failure inside one pass attempt, localized when possible.
+struct BoardFailure {
+    /// Slab index the failure is localized to; `None` for machine-wide
+    /// failures (the global audit), which skip ladder level 2.
+    slab: Option<usize>,
+    error: LatticeError,
+}
+
+/// Per-board audit callback: `(physical board, aug before, aug after)`.
+type ShardAuditRef<'a, S> =
+    &'a mut dyn FnMut(usize, &Grid<S>, &Grid<S>) -> Result<(), LatticeError>;
+
+/// Geometry and policy shared by every board of one pass attempt.
+struct PassParams<'a> {
+    k: usize,
+    t_now: u64,
+    pass: u64,
+    slabs: &'a [Slab],
+    /// Slab index → physical board id (identity until boards retire).
+    phys: &'a [usize],
+    stride: usize,
+    link_chip_base: usize,
+    /// Per physical board attempt epochs.
+    attempts: &'a [u64],
+    arq_retries: u32,
+    watchdog: Option<Duration>,
+}
+
+/// One board's work order for a pass (borrowing its buffered exchange).
+struct JobRef<'a, S: State> {
+    slab: usize,
+    aug: &'a Grid<S>,
+    ctx: Option<FaultCtx<'a>>,
     origin: (usize, usize),
     chip0: usize,
+    phys: usize,
+    attempt: u64,
 }
 
 /// What one pass produced, before aggregation.
@@ -224,7 +393,9 @@ struct PassOutcome<S: State> {
     reports: Vec<EngineReport<S>>,
     halo_traffic: Traffic,
     halo_ticks: u64,
+    retransmit_ticks: u64,
     halo_bits_per_board: Vec<u128>,
+    retransmits_per_board: Vec<u32>,
 }
 
 /// Cross-pass accumulators for the machine report.
@@ -241,6 +412,8 @@ struct Totals {
     width: u32,
     halo_traffic: Traffic,
     halo_ticks: u64,
+    retransmit_ticks: u64,
+    retransmits: u64,
     per_shard: Vec<ShardStats>,
 }
 
@@ -259,6 +432,8 @@ impl Totals {
             width: 0,
             halo_traffic: Traffic::new(),
             halo_ticks: 0,
+            retransmit_ticks: 0,
+            retransmits: 0,
             per_shard: slabs
                 .iter()
                 .map(|s| ShardStats {
@@ -268,6 +443,9 @@ impl Totals {
                     updates: 0,
                     ticks: 0,
                     halo_in_bits: 0,
+                    retransmits: 0,
+                    local_rollbacks: 0,
+                    retired: false,
                 })
                 .collect(),
         }
@@ -275,8 +453,8 @@ impl Totals {
 
     /// Folds one pass in: shard reports compose in parallel (via
     /// [`EngineReport::merge`]), passes compose sequentially (ticks and
-    /// updates add).
-    fn absorb<S: State>(&mut self, out: &PassOutcome<S>, k: u64) {
+    /// updates add). `phys` maps slab index → physical board.
+    fn absorb<S: State>(&mut self, out: &PassOutcome<S>, k: u64, phys: &[usize]) {
         let mut pass = out.reports[0].clone();
         for r in &out.reports[1..] {
             pass.merge(r);
@@ -293,10 +471,22 @@ impl Totals {
         self.width = self.width.max(pass.width);
         self.halo_traffic.merge(out.halo_traffic);
         self.halo_ticks += out.halo_ticks;
-        for (stats, report) in self.per_shard.iter_mut().zip(&out.reports) {
+        self.retransmit_ticks += out.retransmit_ticks;
+        for (i, report) in out.reports.iter().enumerate() {
+            let stats = &mut self.per_shard[phys[i]];
             stats.updates += report.updates;
             stats.ticks += report.ticks;
-            stats.halo_in_bits += out.halo_bits_per_board[stats.shard];
+            stats.halo_in_bits += out.halo_bits_per_board[i];
+            stats.retransmits += out.retransmits_per_board[i] as u64;
+            self.retransmits += out.retransmits_per_board[i] as u64;
+        }
+    }
+
+    /// Re-records the slab geometry after a degraded re-partitioning.
+    fn regeom(&mut self, slabs: &[Slab], phys: &[usize]) {
+        for (i, slab) in slabs.iter().enumerate() {
+            self.per_shard[phys[i]].col0 = slab.col0;
+            self.per_shard[phys[i]].cols = slab.width;
         }
     }
 
@@ -327,6 +517,8 @@ impl Totals {
             per_shard: self.per_shard,
             halo_traffic: self.halo_traffic,
             halo_ticks: self.halo_ticks,
+            retransmit_ticks: self.retransmit_ticks,
+            retransmits: self.retransmits,
         }
     }
 }
@@ -375,7 +567,14 @@ impl LatticeFarm {
     /// A farm of `shards` boards running `engine` at `depth` generations
     /// per pass, with unthrottled links and the null boundary.
     pub fn new(shards: usize, engine: ShardEngine, depth: usize) -> Self {
-        LatticeFarm { shards, engine, depth, link: BoardLink::unthrottled(), periodic: false }
+        LatticeFarm {
+            shards,
+            engine,
+            depth,
+            link: BoardLink::unthrottled(),
+            periodic: false,
+            worker_fault: None,
+        }
     }
 
     /// Replaces the inter-board link model.
@@ -387,6 +586,13 @@ impl LatticeFarm {
     /// Selects the toroidal boundary.
     pub fn with_periodic(mut self, periodic: bool) -> Self {
         self.periodic = periodic;
+        self
+    }
+
+    /// Injects a worker misbehavior (hang/die) at one board and epoch —
+    /// the deterministic way to exercise the watchdog.
+    pub fn with_worker_fault(mut self, spec: WorkerFaultSpec) -> Self {
+        self.worker_fault = Some(spec);
         self
     }
 
@@ -408,54 +614,63 @@ impl LatticeFarm {
         }
     }
 
-    /// Physical chips per board: board `s` owns chip ids
-    /// `[s·stride, (s+1)·stride)`, stable across passes (the final
+    /// Physical chips per board at `shards` boards: board `b` owns chip
+    /// ids `[b·stride, (b+1)·stride)`, stable across passes (the final
     /// shallow pass uses a prefix), so stuck-at faults follow silicon.
-    fn chip_stride(&self, cols: usize) -> Result<usize, LatticeError> {
+    fn chip_stride_at(&self, cols: usize, shards: usize) -> Result<usize, LatticeError> {
         Ok(match self.engine {
             ShardEngine::Wsa { .. } => self.depth,
             ShardEngine::Spa { slice_width } => {
-                let slabs = partition(cols, self.shards, self.depth, self.periodic)?;
-                let max_aug = slabs.iter().map(|s| s.aug_width()).max().unwrap_or(1);
+                let max_aug = max_aug_width(cols, shards, self.depth, self.periodic)?;
                 self.depth * max_aug.div_ceil(slice_width)
             }
         })
     }
 
-    /// One bulk-synchronous superstep: halo exchange over the links,
-    /// `k` generations on every board concurrently, stitch at the
-    /// barrier.
+    /// The chip stride sized for every shard count the farm can reach:
+    /// degraded re-partitioning widens slabs, and chip ids must not
+    /// move when it does, or stuck-at faults would jump between boards.
+    fn chip_stride_range(&self, cols: usize, smin: usize) -> Result<usize, LatticeError> {
+        let mut stride = 0usize;
+        for s in smin..=self.shards {
+            stride = stride.max(self.chip_stride_at(cols, s)?);
+        }
+        Ok(stride)
+    }
+
+    /// One attempt at a bulk-synchronous superstep: halo exchange (with
+    /// ARQ) for every board lacking a buffered frame, concurrent
+    /// `k`-generation compute (with watchdog) for every board lacking a
+    /// report, per-board audit, stitch. Clean per-board work is cached
+    /// in `cache`, so retrying after a localized failure redoes only
+    /// the failed board's work — that containment *is* ladder level 2.
     #[allow(clippy::too_many_arguments)]
-    fn run_pass<R: Rule>(
+    fn attempt_pass<R: Rule>(
         &self,
         rule: &R,
         grid: &Grid<R::S>,
-        t_now: u64,
-        k: usize,
+        pp: &PassParams<'_>,
         plan: Option<&FaultPlan>,
-        pass: u64,
-        attempt: u64,
         halo_pos: &mut [u64],
-    ) -> Result<PassOutcome<R::S>, LatticeError> {
+        cache: &mut [BoardCache<R::S>],
+        recovery: &mut RecoveryStats,
+        shard_audit: ShardAuditRef<'_, R::S>,
+    ) -> Result<PassOutcome<R::S>, BoardFailure> {
         let shape = grid.shape();
         let (rows, cols) = (shape.rows(), shape.cols());
-        let slabs = partition(cols, self.shards, k, self.periodic)?;
-        let stride = self.chip_stride(cols)?;
-        // Link "chips" live past every engine chip, one per board.
-        let link_chip_base = self.shards * stride;
-        let row_off = if self.periodic { k } else { 0 };
+        let row_off = if self.periodic { pp.k } else { 0 };
         let aug_rows = rows + 2 * row_off;
 
-        let mut halo_traffic = Traffic::new();
-        let mut halo_ticks = 0u64;
-        let mut halo_bits_per_board = Vec::with_capacity(self.shards);
-
-        // Phase 1 — halo exchange: build each board's augmented slab,
-        // pushing the imported halo columns through its link.
-        let mut jobs: Vec<ShardJob<'_, R::S>> = Vec::with_capacity(self.shards);
-        for slab in &slabs {
-            let ctx = plan.map(|p| FaultCtx::for_shard(p, slab.index as u64, pass, attempt));
-            let aug_shape = Shape::grid2(aug_rows, slab.aug_width())?;
+        // Phase 1 — halo exchange for boards without a buffered frame.
+        for slab in pp.slabs {
+            let i = slab.index;
+            if cache[i].exchange.is_some() {
+                continue;
+            }
+            let b = pp.phys[i];
+            let ctx = plan.map(|p| FaultCtx::for_shard(p, b as u64, pp.pass, pp.attempts[b]));
+            let aug_shape = Shape::grid2(aug_rows, slab.aug_width())
+                .map_err(|e| BoardFailure { slab: Some(i), error: e })?;
             let mut aug = Grid::from_fn(aug_shape, |c| {
                 let gr = c.row() as isize - row_off as isize;
                 let gc = slab.col0 as isize - slab.halo_left as isize + c.col() as isize;
@@ -480,40 +695,81 @@ impl LatticeFarm {
                     imported.push(aug.get(Coord::c2(r, c)));
                 }
             }
-            let link_faults = ctx.map(|ctx| (ctx, link_chip_base + slab.index));
-            let received = self.link.transmit(
+            let link_faults = ctx.map(|ctx| (ctx, pp.link_chip_base + b));
+            let mut traffic = Traffic::new();
+            let mut retransmits = 0u32;
+            let received = self.link.transmit_arq(
                 &imported,
-                slab.index,
+                b,
                 link_faults,
-                &mut halo_pos[slab.index],
-                &mut halo_traffic,
-            )?;
-            for (i, &c) in halo_cols.iter().enumerate() {
+                &mut halo_pos[b],
+                &mut traffic,
+                pp.arq_retries,
+                &mut retransmits,
+            );
+            // Every retransmission is one detection the ARQ level
+            // already answered; a final failure is the one unanswered
+            // detection that escalates to the caller's ladder.
+            recovery.detected += retransmits as u64;
+            recovery.retransmits += retransmits as u64;
+            let received = received.map_err(|e| BoardFailure { slab: Some(i), error: e })?;
+            for (j, &c) in halo_cols.iter().enumerate() {
                 for r in 0..aug_rows {
-                    aug.set(Coord::c2(r, c), received[i * aug_rows + r]);
+                    aug.set(Coord::c2(r, c), received[j * aug_rows + r]);
                 }
             }
-            let bits = imported.len() as u128 * R::S::BITS as u128;
-            halo_bits_per_board.push(bits);
-            // Boards exchange concurrently; the barrier waits for the
-            // slowest link.
-            halo_ticks = halo_ticks.max(self.link.transfer_ticks(bits));
-
-            // The engine streams local coordinates; the origin restores
-            // the true lattice frame (negative components wrap, exactly
-            // as sim::halo's framing).
-            let origin = (0usize.wrapping_sub(row_off), slab.col0.wrapping_sub(slab.halo_left));
-            jobs.push(ShardJob { aug, ctx, origin, chip0: slab.index * stride });
+            let bits = imported.len() as u128 * <R::S as State>::BITS as u128;
+            cache[i].exchange = Some(ExchangeOutcome { aug, bits, retransmits, traffic });
         }
 
-        // Phase 2 — every board computes its k generations concurrently.
+        // Phase 2 — boards without a report compute concurrently.
+        let jobs: Vec<JobRef<'_, R::S>> = pp
+            .slabs
+            .iter()
+            .filter(|slab| cache[slab.index].report.is_none())
+            .map(|slab| {
+                let i = slab.index;
+                let b = pp.phys[i];
+                JobRef {
+                    slab: i,
+                    aug: &cache[i].exchange.as_ref().expect("exchanged above").aug,
+                    ctx: plan.map(|p| FaultCtx::for_shard(p, b as u64, pp.pass, pp.attempts[b])),
+                    origin: (0usize.wrapping_sub(row_off), slab.col0.wrapping_sub(slab.halo_left)),
+                    chip0: b * pp.stride,
+                    phys: b,
+                    attempt: pp.attempts[b],
+                }
+            })
+            .collect();
         let engine = self.engine;
-        let reports: Vec<EngineReport<R::S>> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = jobs
-                .iter()
-                .map(|job| {
-                    scope.spawn(move |_| -> Result<EngineReport<R::S>, LatticeError> {
-                        match engine {
+        let wf = self.worker_fault;
+        let (k, t_now, pass) = (pp.k, pp.t_now, pp.pass);
+        let mut results: Vec<Option<Result<EngineReport<R::S>, LatticeError>>> =
+            (0..pp.slabs.len()).map(|_| None).collect();
+        let mut timed_out = false;
+        crossbeam::thread::scope(|scope| {
+            let (tx, rx) = mpsc::channel();
+            for job in &jobs {
+                let tx = tx.clone();
+                scope.spawn(move |_| {
+                    // Panics are contained to the worker: the board
+                    // simply never reports, which the supervisor
+                    // detects below.
+                    let _ = catch_unwind(AssertUnwindSafe(|| {
+                        if let Some(spec) = wf {
+                            if spec.board == job.phys
+                                && spec.pass == pass
+                                && spec.attempt == job.attempt
+                            {
+                                match spec.fault {
+                                    WorkerFault::Hang { millis } => {
+                                        std::thread::sleep(Duration::from_millis(millis))
+                                    }
+                                    WorkerFault::Die => return,
+                                }
+                            }
+                        }
+                        let r = match engine {
                             ShardEngine::Wsa { width } => {
                                 let chips: Vec<usize> = (job.chip0..job.chip0 + k).collect();
                                 let opts = RunOptions {
@@ -522,7 +778,7 @@ impl LatticeFarm {
                                     chip_ids: Some(&chips),
                                     offchip_from: None,
                                 };
-                                Pipeline::wide(width, k).run_opts(rule, &job.aug, t_now, opts)
+                                Pipeline::wide(width, k).run_opts(rule, job.aug, t_now, opts)
                             }
                             ShardEngine::Spa { slice_width } => {
                                 let opts = SpaRunOptions {
@@ -530,32 +786,111 @@ impl LatticeFarm {
                                     faults: job.ctx,
                                     chip_offset: job.chip0,
                                 };
-                                SpaEngine::new(slice_width, k).run_opts(rule, &job.aug, t_now, opts)
+                                SpaEngine::new(slice_width, k).run_opts(rule, job.aug, t_now, opts)
                             }
+                        };
+                        let _ = tx.send((job.slab, r));
+                    }));
+                });
+            }
+            drop(tx);
+            // Supervisor: collect heartbeats until every outstanding
+            // board reports, the watchdog deadline lapses, or every
+            // worker is gone.
+            let deadline = pp.watchdog.map(|d| Instant::now() + d);
+            let mut got = 0usize;
+            while got < jobs.len() {
+                let msg = match deadline {
+                    Some(dl) => match rx.recv_timeout(dl.saturating_duration_since(Instant::now()))
+                    {
+                        Ok(m) => m,
+                        Err(mpsc::RecvTimeoutError::Timeout) => {
+                            timed_out = true;
+                            break;
                         }
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| {
-                    h.join().unwrap_or_else(|_| {
-                        Err(LatticeError::Corrupted {
-                            site: "farm board worker".into(),
-                            detail: "board thread panicked".into(),
-                        })
-                    })
-                })
-                .collect::<Result<Vec<_>, LatticeError>>()
+                        Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                    },
+                    None => match rx.recv() {
+                        Ok(m) => m,
+                        Err(_) => break,
+                    },
+                };
+                results[msg.0] = Some(msg.1);
+                got += 1;
+            }
         })
-        .map_err(|_| LatticeError::Corrupted {
-            site: "farm".into(),
-            detail: "a farm thread panicked".into(),
-        })??;
+        .map_err(|_| BoardFailure {
+            slab: None,
+            error: LatticeError::Corrupted {
+                site: "farm".into(),
+                detail: "a farm thread panicked".into(),
+            },
+        })?;
+        drop(jobs);
 
-        // Phase 3 — stitch owned columns into the next machine lattice.
+        // Accept every clean report (neighbors must not redo work when
+        // one board fails), audit each fresh one, and surface the first
+        // failure in slab order.
+        let mut failure: Option<BoardFailure> = None;
+        for slab in pp.slabs {
+            let i = slab.index;
+            if cache[i].report.is_some() {
+                continue;
+            }
+            let b = pp.phys[i];
+            match results[i].take() {
+                Some(Ok(report)) => {
+                    let audited = {
+                        let aug = &cache[i].exchange.as_ref().expect("exchanged above").aug;
+                        shard_audit(b, aug, &report.grid)
+                    };
+                    match audited {
+                        Ok(()) => cache[i].report = Some(report),
+                        Err(e) => {
+                            failure.get_or_insert(BoardFailure { slab: Some(i), error: e });
+                        }
+                    }
+                }
+                Some(Err(e)) => {
+                    failure.get_or_insert(BoardFailure { slab: Some(i), error: e });
+                }
+                None => {
+                    let cause = if timed_out {
+                        "missed the watchdog deadline"
+                    } else {
+                        "worker died before reporting"
+                    };
+                    failure.get_or_insert(BoardFailure {
+                        slab: Some(i),
+                        error: LatticeError::BoardDown { shard: b, cause: cause.into() },
+                    });
+                }
+            }
+        }
+        if let Some(f) = failure {
+            return Err(f);
+        }
+
+        // Phase 3 — assemble: stitch owned columns into the next
+        // machine lattice and settle the barrier's link-time bill
+        // (slowest board, retransmissions included).
+        let mut halo_traffic = Traffic::new();
+        let mut halo_ticks = 0u64;
+        let mut base_ticks = 0u64;
+        let mut halo_bits_per_board = Vec::with_capacity(pp.slabs.len());
+        let mut retransmits_per_board = Vec::with_capacity(pp.slabs.len());
         let mut next = Grid::new(shape);
-        for (slab, report) in slabs.iter().zip(&reports) {
+        let mut reports = Vec::with_capacity(pp.slabs.len());
+        for slab in pp.slabs {
+            let i = slab.index;
+            let ex = cache[i].exchange.as_ref().expect("exchanged above");
+            halo_traffic.merge(ex.traffic);
+            let base = self.link.transfer_ticks(ex.bits);
+            halo_ticks = halo_ticks.max(base * (1 + ex.retransmits as u64));
+            base_ticks = base_ticks.max(base);
+            halo_bits_per_board.push(ex.bits);
+            retransmits_per_board.push(ex.retransmits);
+            let report = cache[i].report.take().expect("computed above");
             for r in 0..rows {
                 for j in 0..slab.width {
                     next.set(
@@ -564,8 +899,17 @@ impl LatticeFarm {
                     );
                 }
             }
+            reports.push(report);
         }
-        Ok(PassOutcome { grid: next, reports, halo_traffic, halo_ticks, halo_bits_per_board })
+        Ok(PassOutcome {
+            grid: next,
+            reports,
+            halo_traffic,
+            halo_ticks,
+            retransmit_ticks: halo_ticks - base_ticks,
+            halo_bits_per_board,
+            retransmits_per_board,
+        })
     }
 
     /// Runs `generations` of `rule` over `grid` starting at generation
@@ -600,8 +944,17 @@ impl LatticeFarm {
     ) -> Result<FarmReport<R::S>, LatticeError> {
         self.validate(grid)?;
         let fault_base = plan.map(|p| p.stats()).unwrap_or_default();
-        let slabs = partition(grid.shape().cols(), self.shards, self.depth, self.periodic)?;
-        let mut totals = Totals::new(&slabs);
+        let shape = grid.shape();
+        let cols = shape.cols();
+        let stride = self.chip_stride_at(cols, self.shards)?;
+        let link_chip_base = self.shards * stride;
+        let phys: Vec<usize> = (0..self.shards).collect();
+        let attempts = vec![0u64; self.shards];
+        let full_slabs = partition(cols, self.shards, self.depth, self.periodic)?;
+        let mut totals = Totals::new(&full_slabs);
+        let mut scratch = RecoveryStats::default();
+        let mut no_shard_audit =
+            |_: usize, _: &Grid<R::S>, _: &Grid<R::S>| -> Result<(), LatticeError> { Ok(()) };
         let mut halo_pos = vec![0u64; self.shards];
         let mut current = grid.clone();
         let t_end = t0 + generations;
@@ -609,9 +962,35 @@ impl LatticeFarm {
         let mut passes = 0u64;
         while t_now < t_end {
             let k = self.depth.min((t_end - t_now) as usize);
-            let out = self.run_pass(rule, &current, t_now, k, plan, passes, 0, &mut halo_pos)?;
+            let slabs = partition(cols, self.shards, k, self.periodic)?;
+            let mut cache: Vec<BoardCache<R::S>> =
+                (0..slabs.len()).map(|_| BoardCache::default()).collect();
+            let pp = PassParams {
+                k,
+                t_now,
+                pass: passes,
+                slabs: &slabs,
+                phys: &phys,
+                stride,
+                link_chip_base,
+                attempts: &attempts,
+                arq_retries: 0,
+                watchdog: None,
+            };
+            let out = self
+                .attempt_pass(
+                    rule,
+                    &current,
+                    &pp,
+                    plan,
+                    &mut halo_pos,
+                    &mut cache,
+                    &mut scratch,
+                    &mut no_shard_audit,
+                )
+                .map_err(|f| f.error)?;
             current = out.grid.clone();
-            totals.absorb(&out, k as u64);
+            totals.absorb(&out, k as u64, &phys);
             t_now += k as u64;
             passes += 1;
         }
@@ -619,14 +998,17 @@ impl LatticeFarm {
         Ok(totals.finish(current, passes, self.shards, faults))
     }
 
-    /// [`LatticeFarm::run`] hardened against hardware faults, composing
-    /// with the host-level recovery loop one packaging level up: at
-    /// every checkpoint barrier each shard snapshots its own slab
-    /// through the real checkpoint codec; any engine error, halo-link
-    /// parity failure, or `audit` violation rolls *all* shards back to
-    /// the last consistent barrier, bumps the attempt epoch (re-seeding
-    /// every board's transient draws), and retries up to
-    /// [`FarmRecoveryConfig::max_retries`] times per window.
+    /// [`LatticeFarm::run`] hardened against hardware faults through the
+    /// four-level escalation ladder (see the module docs): link ARQ,
+    /// then single-board rollback-and-replay, then farm-wide rollback
+    /// to the last checkpoint barrier, then degraded re-partitioning —
+    /// each level bounded by its [`FarmRecoveryConfig`] budget, and
+    /// every recovered run bit-exact against the fault-free reference.
+    ///
+    /// `audit` checks the whole machine lattice each pass (e.g. a
+    /// conservation law); its failures cannot be localized to a board,
+    /// so they skip straight to ladder level 3. For per-board checks
+    /// use [`LatticeFarm::run_with_recovery_audited`].
     #[allow(clippy::too_many_arguments)]
     pub fn run_with_recovery<R: Rule>(
         &self,
@@ -636,66 +1018,183 @@ impl LatticeFarm {
         generations: u64,
         plan: Option<&FaultPlan>,
         cfg: &FarmRecoveryConfig,
+        audit: impl FnMut(&Grid<R::S>, &Grid<R::S>) -> Result<(), LatticeError>,
+    ) -> Result<FarmFtRun<R::S>, LatticeError> {
+        self.run_with_recovery_audited(rule, grid, t0, generations, plan, cfg, audit, |_, _, _| {
+            Ok(())
+        })
+    }
+
+    /// [`LatticeFarm::run_with_recovery`] with an additional per-board
+    /// audit: `shard_audit(board, aug_before, aug_after)` checks one
+    /// board's halo-augmented slab across its `k` generations. Because
+    /// its verdict names the board, a violation is handled by ladder
+    /// level 2 — that board alone rolls back and replays its buffered
+    /// halos — which is how silent (parity-invisible) PE corruption
+    /// gets localized recovery instead of a farm-wide rollback.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_with_recovery_audited<R: Rule>(
+        &self,
+        rule: &R,
+        grid: &Grid<R::S>,
+        t0: u64,
+        generations: u64,
+        plan: Option<&FaultPlan>,
+        cfg: &FarmRecoveryConfig,
         mut audit: impl FnMut(&Grid<R::S>, &Grid<R::S>) -> Result<(), LatticeError>,
+        mut shard_audit: impl FnMut(usize, &Grid<R::S>, &Grid<R::S>) -> Result<(), LatticeError>,
     ) -> Result<FarmFtRun<R::S>, LatticeError> {
         self.validate(grid)?;
         if cfg.checkpoint_every == 0 {
             return Err(LatticeError::InvalidConfig("checkpoint interval must be ≥ 1".into()));
         }
+        let max_retired = cfg.degrade.map_or(0, |d| d.max_retired);
+        if max_retired >= self.shards {
+            return Err(LatticeError::InvalidConfig(
+                "degrade budget must leave at least one board".into(),
+            ));
+        }
         let fault_base = plan.map(|p| p.stats()).unwrap_or_default();
         let shape = grid.shape();
-        let slabs = partition(shape.cols(), self.shards, self.depth, self.periodic)?;
-        let mut totals = Totals::new(&slabs);
+        let cols = shape.cols();
+        let stride = self.chip_stride_range(cols, self.shards - max_retired)?;
+        let link_chip_base = self.shards * stride;
+        let mut phys: Vec<usize> = (0..self.shards).collect();
+        let mut ckpt_slabs = partition(cols, self.shards, self.depth, self.periodic)?;
+        let mut totals = Totals::new(&ckpt_slabs);
         let mut recovery = RecoveryStats::default();
         let mut halo_pos = vec![0u64; self.shards];
+        let mut attempts = vec![0u64; self.shards];
+        let mut local_left = vec![cfg.local_retries; self.shards];
+        let mut retries_left = cfg.max_retries;
+        let mut retired_left = max_retired;
         let mut current = grid.clone();
         let t_end = t0 + generations;
         let mut t_now = t0;
         let mut pass = 0u64;
-        let mut attempt = 0u64;
         let mut passes = 0u64;
-        let mut retries_left = cfg.max_retries;
         let mut passes_since_ckpt = 0u64;
 
-        let take_ckpt = |g: &Grid<R::S>, t: u64, recovery: &mut RecoveryStats| {
-            let blobs = save_shard_checkpoints(g, &slabs, t)?;
-            recovery.checkpoints += self.shards as u64;
+        fn take_ckpt<S: State>(
+            g: &Grid<S>,
+            t: u64,
+            slabs: &[Slab],
+            recovery: &mut RecoveryStats,
+        ) -> Result<Vec<Vec<u8>>, LatticeError> {
+            let blobs = save_shard_checkpoints(g, slabs, t)?;
+            recovery.checkpoints += slabs.len() as u64;
             recovery.checkpoint_bytes += blobs.iter().map(|b| b.len() as u64).sum::<u64>();
-            Ok::<_, LatticeError>(blobs)
-        };
-        let mut ckpt = take_ckpt(&current, t_now, &mut recovery)?;
+            Ok(blobs)
+        }
+        let mut ckpt = take_ckpt(&current, t_now, &ckpt_slabs, &mut recovery)?;
 
-        while t_now < t_end {
+        'run: while t_now < t_end {
             if passes_since_ckpt >= cfg.checkpoint_every {
-                ckpt = take_ckpt(&current, t_now, &mut recovery)?;
+                ckpt = take_ckpt(&current, t_now, &ckpt_slabs, &mut recovery)?;
                 passes_since_ckpt = 0;
                 retries_left = cfg.max_retries;
+                local_left.fill(cfg.local_retries);
             }
             let k = self.depth.min((t_end - t_now) as usize);
-            let outcome = self
-                .run_pass(rule, &current, t_now, k, plan, pass, attempt, &mut halo_pos)
-                .and_then(|out| audit(&current, &out.grid).map(|()| out));
-            match outcome {
-                Ok(out) => {
-                    current = out.grid.clone();
-                    totals.absorb(&out, k as u64);
-                    t_now += k as u64;
-                    pass += 1;
-                    passes += 1;
-                    passes_since_ckpt += 1;
-                }
-                Err(e) => {
-                    recovery.detected += 1;
-                    if retries_left == 0 {
-                        return Err(e);
+            let slabs = partition(cols, phys.len(), k, self.periodic)?;
+            let mut cache: Vec<BoardCache<R::S>> =
+                (0..slabs.len()).map(|_| BoardCache::default()).collect();
+            loop {
+                let pp = PassParams {
+                    k,
+                    t_now,
+                    pass,
+                    slabs: &slabs,
+                    phys: &phys,
+                    stride,
+                    link_chip_base,
+                    attempts: &attempts,
+                    arq_retries: cfg.arq_retries,
+                    watchdog: cfg.watchdog,
+                };
+                let res = self
+                    .attempt_pass(
+                        rule,
+                        &current,
+                        &pp,
+                        plan,
+                        &mut halo_pos,
+                        &mut cache,
+                        &mut recovery,
+                        &mut shard_audit,
+                    )
+                    .and_then(|out| match audit(&current, &out.grid) {
+                        Ok(()) => Ok(out),
+                        Err(e) => Err(BoardFailure { slab: None, error: e }),
+                    });
+                match res {
+                    Ok(out) => {
+                        current = out.grid.clone();
+                        totals.absorb(&out, k as u64, &phys);
+                        t_now += k as u64;
+                        pass += 1;
+                        passes += 1;
+                        passes_since_ckpt += 1;
+                        continue 'run;
                     }
-                    retries_left -= 1;
-                    let (g, t) = load_shard_checkpoints::<R::S>(&ckpt, &slabs, shape)?;
-                    current = g;
-                    t_now = t;
-                    attempt += 1;
-                    recovery.rollbacks += 1;
-                    passes_since_ckpt = 0;
+                    Err(fail) => {
+                        recovery.detected += 1;
+                        // Level 2 — roll back just the failed board and
+                        // replay its buffered halos; the cache keeps
+                        // every other board's clean work.
+                        if let Some(i) = fail.slab {
+                            let b = phys[i];
+                            if local_left[b] > 0 {
+                                local_left[b] -= 1;
+                                recovery.local_rollbacks += 1;
+                                totals.per_shard[b].local_rollbacks += 1;
+                                attempts[b] += 1;
+                                continue;
+                            }
+                        }
+                        // Level 3 — the pre-ladder behavior: every
+                        // board reloads the last barrier, every epoch
+                        // re-seeds.
+                        if retries_left > 0 {
+                            retries_left -= 1;
+                            recovery.rollbacks += 1;
+                            for a in attempts.iter_mut() {
+                                *a += 1;
+                            }
+                            let (g, t) = load_shard_checkpoints::<R::S>(&ckpt, &ckpt_slabs, shape)?;
+                            current = g;
+                            t_now = t;
+                            passes_since_ckpt = 0;
+                            continue 'run;
+                        }
+                        // Level 4 — retire the board that exhausted its
+                        // ladder and re-partition its slab onto the
+                        // survivors.
+                        if let Some(i) = fail.slab {
+                            if retired_left > 0 && phys.len() > 1 {
+                                retired_left -= 1;
+                                recovery.boards_retired += 1;
+                                let b = phys.remove(i);
+                                totals.per_shard[b].retired = true;
+                                let (g, t) =
+                                    load_shard_checkpoints::<R::S>(&ckpt, &ckpt_slabs, shape)?;
+                                current = g;
+                                t_now = t;
+                                ckpt_slabs =
+                                    partition(cols, phys.len(), self.depth, self.periodic)?;
+                                totals.regeom(&ckpt_slabs, &phys);
+                                ckpt = take_ckpt(&current, t_now, &ckpt_slabs, &mut recovery)?;
+                                passes_since_ckpt = 0;
+                                retries_left = cfg.max_retries;
+                                local_left.fill(cfg.local_retries);
+                                for a in attempts.iter_mut() {
+                                    *a += 1;
+                                }
+                                continue 'run;
+                            }
+                        }
+                        return Err(fail.error);
+                    }
                 }
             }
         }
@@ -778,15 +1277,15 @@ mod tests {
         let (g, rule) = hpp_world(16, 24, 1);
         let farm = LatticeFarm::new(4, ShardEngine::Wsa { width: 2 }, 2);
         let report = farm.run(&rule, &g, 0, 4).unwrap();
-        // Interior boards import 2k columns, edge boards k, per pass:
-        // (2+4+4+2)·k? No — halo columns: shard widths 6 each, halos
-        // clamp only at the lattice edges, so per pass the four boards
-        // import (0+2) + (2+2) + (2+2) + (2+0) = 12 columns of 16 rows
-        // at 8 bits; 2 passes.
+        // Shard widths 6 each, halos clamp only at the lattice edges, so
+        // per pass the four boards import (0+2) + (2+2) + (2+2) + (2+0)
+        // = 12 columns of 16 rows at 8 bits; 2 passes.
         assert_eq!(report.halo_traffic.bits_in, 2 * 12 * 16 * 8);
         assert_eq!(report.halo_traffic.bits_in, report.halo_traffic.bits_out);
         assert!(report.redundancy() > 1.0, "halo recompute counted");
         assert_eq!(report.halo_ticks, 0, "unthrottled links are free");
+        assert_eq!(report.retransmit_ticks, 0);
+        assert_eq!(report.retransmits, 0);
         assert!((report.compute_fraction() - 1.0).abs() < 1e-12);
         let per_board: Vec<u128> = report.per_shard.iter().map(|s| s.halo_in_bits).collect();
         assert_eq!(per_board, vec![2 * 2 * 16 * 8, 4 * 2 * 16 * 8, 4 * 2 * 16 * 8, 2 * 2 * 16 * 8]);
@@ -813,7 +1312,6 @@ mod tests {
     #[test]
     fn link_fault_is_detected_and_recovered_to_bit_exact() {
         let (g, rule) = hpp_world(12, 20, 4);
-        let reference = evolve(&g, &rule, Boundary::null(), 0, 6);
         let farm = LatticeFarm::new(2, ShardEngine::Wsa { width: 1 }, 2);
         let stride = 2; // depth
         let link_chip = 2 * stride + 1; // board 1's halo link
@@ -828,21 +1326,115 @@ mod tests {
         let err = bare.expect_err("a 2e-3 flip rate must fire within 600 generations");
         assert!(err.to_string().contains("board 1 halo link"), "{err}");
 
-        // With recovery the same plan rolls back to bit-exactness.
+        // With the ladder, the same weather is absorbed at the link:
+        // corrupted frames retransmit and no board ever rolls back.
+        let reference = evolve(&g, &rule, Boundary::null(), 0, 600);
         let ft = farm
             .run_with_recovery(
                 &rule,
                 &g,
                 0,
-                6,
+                600,
                 Some(&plan),
-                &FarmRecoveryConfig { max_retries: 20, checkpoint_every: 1 },
+                &FarmRecoveryConfig { max_retries: 20, ..Default::default() },
                 |_, _| Ok(()),
             )
             .unwrap();
         assert_eq!(ft.report.grid(), &reference);
-        assert_eq!(ft.recovery.detected, ft.recovery.rollbacks);
-        assert!(ft.report.machine.faults.link >= 1 || ft.recovery.detected == 0);
+        assert!(ft.recovery.detected >= 1, "the flip rate must fire within 600 generations");
+        assert_eq!(ft.recovery.rollbacks, 0, "ARQ contains transient link faults at level 1");
+        assert_eq!(ft.recovery.local_rollbacks, 0);
+        assert_eq!(ft.recovery.boards_retired, 0);
+        assert_eq!(ft.recovery.detected, ft.recovery.retransmits);
+        assert_eq!(ft.report.retransmits, ft.recovery.retransmits, "every pass committed");
+        assert!(ft.report.per_shard[1].retransmits >= 1);
+        assert!(ft.report.machine.faults.link >= 1);
+    }
+
+    #[test]
+    fn a_stuck_link_climbs_the_whole_ladder_and_degrades() {
+        let (g, rule) = hpp_world(12, 18, 4);
+        let reference = evolve(&g, &rule, Boundary::null(), 0, 6);
+        let farm = LatticeFarm::new(2, ShardEngine::Wsa { width: 1 }, 2);
+        let stride = 2; // depth, for every reachable shard count
+        let link_chip = 2 * stride + 1; // board 1's halo link
+        let plan = FaultPlan::new(5).with_fault(Fault {
+            component: Component::Link,
+            chip: Some(link_chip),
+            cell: None,
+            kind: FaultKind::StuckAt { bit: 0, value: true },
+        });
+        let cfg = FarmRecoveryConfig {
+            max_retries: 1,
+            checkpoint_every: 1,
+            arq_retries: 1,
+            local_retries: 1,
+            watchdog: None,
+            degrade: Some(FarmDegradeConfig { max_retired: 1 }),
+        };
+        let ft = farm.run_with_recovery(&rule, &g, 0, 6, Some(&plan), &cfg, |_, _| Ok(())).unwrap();
+        assert_eq!(ft.report.grid(), &reference, "the degraded farm stays bit-exact");
+        let r = &ft.recovery;
+        // The ladder climbs in order: 1 retransmission per exchange
+        // attempt (all corrupted — the link is stuck), then a local
+        // rollback, then a global rollback, then retirement. Three
+        // failed exchanges happen on the way up.
+        assert_eq!(r.retransmits, 3);
+        assert_eq!(r.local_rollbacks, 1);
+        assert_eq!(r.rollbacks, 1);
+        assert_eq!(r.boards_retired, 1);
+        assert_eq!(
+            r.detected,
+            r.retransmits + r.local_rollbacks + r.rollbacks + r.boards_retired,
+            "every detection is answered by exactly one ladder action"
+        );
+        assert!(ft.report.per_shard[1].retired);
+        assert!(!ft.report.per_shard[0].retired);
+        assert_eq!(ft.report.per_shard[1].local_rollbacks, 1);
+        assert_eq!(ft.report.per_shard[0].local_rollbacks, 0);
+        assert_eq!(ft.report.per_shard[0].cols, 18, "the survivor owns the whole lattice");
+        assert_eq!(ft.report.shards, 2, "configured board count is preserved in the report");
+        assert_eq!(ft.report.retransmits, 0, "no committed pass used the stuck link");
+    }
+
+    #[test]
+    fn a_hung_worker_trips_the_watchdog_and_rolls_back_locally() {
+        let (g, rule) = hpp_world(8, 12, 2);
+        let reference = evolve(&g, &rule, Boundary::null(), 0, 2);
+        let farm = LatticeFarm::new(2, ShardEngine::Wsa { width: 1 }, 1).with_worker_fault(
+            WorkerFaultSpec {
+                board: 1,
+                pass: 0,
+                attempt: 0,
+                fault: WorkerFault::Hang { millis: 1000 },
+            },
+        );
+        let cfg =
+            FarmRecoveryConfig { watchdog: Some(Duration::from_millis(100)), ..Default::default() };
+        let ft = farm.run_with_recovery(&rule, &g, 0, 2, None, &cfg, |_, _| Ok(())).unwrap();
+        assert_eq!(ft.report.grid(), &reference, "the replayed pass is bit-exact");
+        assert_eq!(ft.recovery.detected, 1);
+        assert_eq!(ft.recovery.local_rollbacks, 1, "a hung board is a localized failure");
+        assert_eq!(ft.recovery.rollbacks, 0, "its neighbor never rewinds");
+        assert_eq!(ft.report.per_shard[1].local_rollbacks, 1);
+        assert_eq!(ft.report.per_shard[0].local_rollbacks, 0);
+    }
+
+    #[test]
+    fn a_dead_worker_is_detected_without_a_watchdog() {
+        let (g, rule) = hpp_world(8, 12, 3);
+        let reference = evolve(&g, &rule, Boundary::null(), 0, 3);
+        let farm = LatticeFarm::new(3, ShardEngine::Wsa { width: 1 }, 1).with_worker_fault(
+            WorkerFaultSpec { board: 0, pass: 1, attempt: 0, fault: WorkerFault::Die },
+        );
+        let ft = farm
+            .run_with_recovery(&rule, &g, 0, 3, None, &FarmRecoveryConfig::default(), |_, _| Ok(()))
+            .unwrap();
+        assert_eq!(ft.report.grid(), &reference);
+        assert_eq!(ft.recovery.detected, 1);
+        assert_eq!(ft.recovery.local_rollbacks, 1, "a dropped result channel is localized");
+        assert_eq!(ft.recovery.rollbacks, 0);
+        assert_eq!(ft.report.per_shard[0].local_rollbacks, 1);
     }
 
     #[test]
@@ -890,7 +1482,46 @@ mod tests {
             .unwrap();
         assert_eq!(ft.report.grid(), &reference);
         assert_eq!(ft.recovery.detected, 2);
+        // A machine-wide audit cannot name a board, so it skips the
+        // local level entirely.
         assert_eq!(ft.recovery.rollbacks, 2);
+        assert_eq!(ft.recovery.local_rollbacks, 0);
+    }
+
+    #[test]
+    fn a_failed_shard_audit_rolls_back_one_board_only() {
+        let (g, rule) = hpp_world(10, 16, 6);
+        let reference = evolve(&g, &rule, Boundary::null(), 0, 3);
+        let farm = LatticeFarm::new(2, ShardEngine::Wsa { width: 1 }, 1);
+        let mut failures = 2;
+        let ft = farm
+            .run_with_recovery_audited(
+                &rule,
+                &g,
+                0,
+                3,
+                None,
+                &FarmRecoveryConfig { local_retries: 2, ..Default::default() },
+                |_, _| Ok(()),
+                move |board, _, _| {
+                    if board == 1 && failures > 0 {
+                        failures -= 1;
+                        Err(LatticeError::Corrupted {
+                            site: "board 1 audit".into(),
+                            detail: "synthetic".into(),
+                        })
+                    } else {
+                        Ok(())
+                    }
+                },
+            )
+            .unwrap();
+        assert_eq!(ft.report.grid(), &reference);
+        assert_eq!(ft.recovery.detected, 2);
+        assert_eq!(ft.recovery.local_rollbacks, 2, "a per-board audit names its board");
+        assert_eq!(ft.recovery.rollbacks, 0, "board 0 never rewinds");
+        assert_eq!(ft.report.per_shard[1].local_rollbacks, 2);
+        assert_eq!(ft.report.per_shard[0].local_rollbacks, 0);
     }
 
     #[test]
@@ -915,6 +1546,18 @@ mod tests {
         assert!(LatticeFarm::new(1, ShardEngine::Wsa { width: 1 }, 1)
             .run(&rule, &line, 0, 1)
             .is_err());
+        // A degrade budget that could retire the whole farm is invalid,
+        // as is a zero checkpoint interval.
+        let farm = LatticeFarm::new(2, ShardEngine::Wsa { width: 1 }, 1);
+        let bad_degrade = FarmRecoveryConfig {
+            degrade: Some(FarmDegradeConfig { max_retired: 2 }),
+            ..Default::default()
+        };
+        assert!(farm
+            .run_with_recovery(&rule, &g, 0, 1, None, &bad_degrade, |_, _| Ok(()))
+            .is_err());
+        let bad_ckpt = FarmRecoveryConfig { checkpoint_every: 0, ..Default::default() };
+        assert!(farm.run_with_recovery(&rule, &g, 0, 1, None, &bad_ckpt, |_, _| Ok(())).is_err());
     }
 
     #[test]

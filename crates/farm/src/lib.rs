@@ -22,10 +22,15 @@
 //!   redundancy, compute-vs-exchange split, fault tallies. The
 //!   analytical board model in `lattice-vlsi` predicts these numbers;
 //!   `tab_farm_scaling` tabulates measured against predicted.
-//! * **Recovery** — [`LatticeFarm::run_with_recovery`] composes with
-//!   the PR-1 fault machinery: per-shard checkpoints through the real
-//!   codec, farm-wide rollback on any parity/audit/engine failure, and
-//!   attempt-epoch reseeding of every board's transient faults.
+//! * **Recovery** — [`LatticeFarm::run_with_recovery`] escalates
+//!   through a four-level ladder, each level containing the fault where
+//!   it was detected: link-level ARQ retransmission, single-board
+//!   rollback-and-replay (neighbors stall, they don't rewind),
+//!   farm-wide rollback to per-shard checkpoints through the real
+//!   codec, and degraded re-partitioning onto the surviving boards —
+//!   with attempt-epoch reseeding of every board's transient faults and
+//!   per-pass worker watchdogs ([`lattice_core::LatticeError::BoardDown`]).
+//!   Every recovered run is bit-exact against the fault-free reference.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,6 +39,9 @@ pub mod farm;
 pub mod link;
 pub mod partition;
 
-pub use farm::{FarmFtRun, FarmRecoveryConfig, FarmReport, LatticeFarm, ShardEngine, ShardStats};
+pub use farm::{
+    FarmDegradeConfig, FarmFtRun, FarmRecoveryConfig, FarmReport, LatticeFarm, ShardEngine,
+    ShardStats, WorkerFault, WorkerFaultSpec,
+};
 pub use link::BoardLink;
-pub use partition::{partition, Slab};
+pub use partition::{max_aug_width, partition, Slab};

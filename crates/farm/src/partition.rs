@@ -5,4 +5,4 @@
 //! exactness argument (halo width = generations per pass, halos clamped
 //! at the null boundary's true edges).
 
-pub use lattice_core::shard::{partition, Slab};
+pub use lattice_core::shard::{max_aug_width, partition, Slab};

@@ -136,18 +136,38 @@ impl Default for RecoveryConfig {
 }
 
 /// What the recovery machinery did during a run.
+///
+/// The farm's escalation ladder (`lattice-farm`) maintains the
+/// invariant that every `detected` event is answered by exactly one
+/// action counter — `retransmits` (link ARQ), `local_rollbacks`
+/// (one board rewound), `rollbacks` (whole machine rewound), or
+/// `boards_retired` (degraded re-partitioning) — so on a successful
+/// run `detected == retransmits + local_rollbacks + rollbacks +
+/// boards_retired`; a failed run leaves exactly one unanswered
+/// detection. Host-level recovery (`HostSystem`) uses only the
+/// original counters; the ladder fields stay zero there.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RecoveryStats {
-    /// Corruption detections (failed parity, audit, or engine error).
+    /// Corruption detections (failed parity, audit, engine error, or a
+    /// down worker).
     pub detected: u64,
-    /// Rollbacks to the last checkpoint.
+    /// Rollbacks of the whole machine to the last checkpoint.
     pub rollbacks: u64,
     /// Checkpoints taken.
     pub checkpoints: u64,
     /// Total checkpoint bytes written.
     pub checkpoint_bytes: u64,
-    /// Chips taken out of service (degraded mode).
+    /// Chips taken out of service (host degraded mode).
     pub bypassed_chips: u64,
+    /// Halo frames retransmitted by link-level ARQ (farm ladder
+    /// level 1: the cheapest answer to a detection).
+    pub retransmits: u64,
+    /// Single-board rollbacks that rewound one shard and replayed its
+    /// buffered halos while its neighbors stalled (farm ladder level 2).
+    pub local_rollbacks: u64,
+    /// Boards retired by degraded re-partitioning (farm ladder
+    /// level 4, after global rollback fails).
+    pub boards_retired: u64,
 }
 
 /// A fault-tolerant run: the ordinary [`SystemRun`] plus what the fault

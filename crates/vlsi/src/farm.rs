@@ -208,6 +208,49 @@ impl FarmModel {
     pub fn critical_shards(&self, max_shards: usize) -> Option<usize> {
         (1..=max_shards.min(self.cols)).find(|&s| self.halo_ticks(s) > self.compute_ticks(s))
     }
+
+    /// Probability one ARQ attempt on the hungriest board's link
+    /// delivers a corrupted frame, given a per-site upset probability
+    /// `site_rate`: `1 − (1 − rate)^sites`. Any corrupted site trips
+    /// the frame's stream parity, so this is also the per-attempt
+    /// retransmission probability.
+    pub fn frame_upset_prob(&self, shards: usize, site_rate: f64) -> f64 {
+        let sites = self.halo_bits(shards) / self.tech.d_bits as f64;
+        1.0 - (1.0 - site_rate).powf(sites)
+    }
+
+    /// Expected ARQ retransmissions per pass on the hungriest board
+    /// under an unbounded retry budget: with per-attempt upset
+    /// probability `q`, the geometric tail `q / (1 − q)`. The farm's
+    /// measured `FarmReport::retransmits / passes` converges on this.
+    pub fn expected_retransmits_per_pass(&self, shards: usize, site_rate: f64) -> f64 {
+        let q = self.frame_upset_prob(shards, site_rate);
+        q / (1.0 - q)
+    }
+
+    /// [`FarmModel::pass_ticks`] with the ARQ term: `r` retransmissions
+    /// per pass each replay the exchange barrier, so
+    /// `compute + halo_ticks·(1 + r)`. This is the prediction the farm's
+    /// measured `machine_ticks / passes` tracks under transient link
+    /// faults (`FarmReport::retransmit_ticks` is the measured
+    /// `halo_ticks·r` share).
+    pub fn pass_ticks_with_retransmits(&self, shards: usize, r: f64) -> f64 {
+        self.compute_ticks(shards) + self.halo_ticks(shards) * (1.0 + r)
+    }
+
+    /// Throughput penalty of degraded re-partitioning: how many times
+    /// slower the farm runs after retiring `retired` of `shards` boards
+    /// (`≥ 1`; the survivors own wider slabs, so the compute barrier
+    /// grows even though seam overhead shrinks).
+    ///
+    /// # Panics
+    /// When `retired ≥ shards` — the farm cannot retire its last board,
+    /// and `LatticeFarm` rejects such a [`FarmDegradeConfig`] budget
+    /// up front (`lattice-farm`'s `FarmDegradeConfig::max_retired`).
+    pub fn degraded_throughput_penalty(&self, shards: usize, retired: usize) -> f64 {
+        assert!(retired < shards, "the farm cannot retire its last board");
+        self.updates_per_tick(shards) / self.updates_per_tick(shards - retired)
+    }
 }
 
 #[cfg(test)]
@@ -320,5 +363,45 @@ mod tests {
         assert!(p.halo_ticks > 0.0);
         assert_eq!(p.pass_ticks, p.compute_ticks + p.halo_ticks);
         assert!(p.critical_link_bits_per_tick > 0.0);
+    }
+
+    #[test]
+    fn retransmission_term_extends_pass_ticks() {
+        let m = model().with_link(16.0);
+        // A clean link adds nothing.
+        assert_eq!(m.pass_ticks_with_retransmits(4, 0.0), m.pass_ticks(4));
+        assert_eq!(m.frame_upset_prob(4, 0.0), 0.0);
+        assert_eq!(m.expected_retransmits_per_pass(4, 0.0), 0.0);
+        // One retransmission per pass replays exactly one exchange
+        // barrier.
+        let extra = m.pass_ticks_with_retransmits(4, 1.0) - m.pass_ticks(4);
+        assert_eq!(extra, m.halo_ticks(4));
+        // The upset probability grows with the frame (more shards never
+        // shrink the hungriest frame here: interior boards appear at
+        // S ≥ 3 and import the full 2k columns).
+        let q2 = m.frame_upset_prob(2, 1e-3);
+        let q4 = m.frame_upset_prob(4, 1e-3);
+        assert!(q2 > 0.0 && q4 >= q2, "{q2} vs {q4}");
+        // Small rates: expectation ≈ sites·rate (geometric tail ≈ q).
+        let sites = m.halo_bits(4) / 8.0;
+        let e = m.expected_retransmits_per_pass(4, 1e-6);
+        assert!((e - sites * 1e-6).abs() / (sites * 1e-6) < 1e-2, "{e}");
+        // An unthrottled farm retransmits for free in tick terms.
+        assert_eq!(model().pass_ticks_with_retransmits(4, 3.0), model().pass_ticks(4));
+    }
+
+    #[test]
+    fn degraded_farms_pay_a_bounded_throughput_penalty() {
+        let m = model();
+        assert_eq!(m.degraded_throughput_penalty(4, 0), 1.0);
+        let p1 = m.degraded_throughput_penalty(4, 1);
+        let p2 = m.degraded_throughput_penalty(4, 2);
+        assert!(p1 > 1.0, "losing a board must cost throughput, got {p1}");
+        assert!(p2 > p1, "losing two costs more");
+        // Wide slabs: the penalty is close to the naive S/(S−r) head
+        // count, a little under it because retired seams stop paying
+        // halo recompute.
+        assert!(p1 < 4.0 / 3.0 + 1e-9, "{p1}");
+        assert!(p1 > 4.0 / 3.0 * 0.9, "{p1}");
     }
 }

@@ -143,6 +143,14 @@ pub enum Command {
         ckpt_every: u64,
         /// Also stick a link bit on this chip (exercises degraded mode).
         stuck_chip: Option<usize>,
+        /// Farm mode: sweep halo-link upset rate × shard count through
+        /// the board-level recovery ladder instead of one chip engine.
+        farm: bool,
+        /// Comma-separated shard counts for `--farm` (e.g. `1,2,4`).
+        farm_shards: String,
+        /// Farm mode: stick a halo-link bit on this board (exercises
+        /// degraded re-partitioning).
+        stuck_board: Option<usize>,
     },
     /// Shard a lattice over a board-level engine farm and report
     /// machine-level figures against the links-per-board model.
@@ -244,6 +252,7 @@ pub fn usage() -> String {
        lattice fault-sim [--rows N] [--cols N] [--width P] [--depth K]\n\
                       [--steps N] [--seed N] [--rate F] [--retries N]\n\
                       [--ckpt-every N] [--stuck-chip J]\n\
+                      [--farm] [--farm-shards S1,S2,..] [--stuck-board B]\n\
        lattice farm   [--shards S] [--engine wsa|spa] [--width P]\n\
                       [--slice-width W] [--depth K] [--rows N] [--cols N]\n\
                       [--steps N] [--seed N] [--model M] [--periodic]\n\
@@ -329,6 +338,15 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                         .map_err(|_| CliError(format!("bad value for --stuck-chip: `{v}`")))?,
                 ),
             },
+            farm: flags.contains_key("farm"),
+            farm_shards: get(&flags, "farm-shards", "1,2,4".to_string())?,
+            stuck_board: match flags.get("stuck-board") {
+                None => None,
+                Some(v) => Some(
+                    v.parse()
+                        .map_err(|_| CliError(format!("bad value for --stuck-board: `{v}`")))?,
+                ),
+            },
         }),
         "farm" => Ok(Command::Farm {
             shards: get(&flags, "shards", 4)?,
@@ -398,9 +416,30 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             retries,
             ckpt_every,
             stuck_chip,
-        } => run_fault_sim(
-            rows, cols, width, depth, steps, seed, rate, retries, ckpt_every, stuck_chip,
-        ),
+            farm,
+            farm_shards,
+            stuck_board,
+        } => {
+            if farm {
+                run_farm_fault_sim(
+                    rows,
+                    cols,
+                    width,
+                    depth,
+                    steps,
+                    seed,
+                    rate,
+                    retries,
+                    ckpt_every,
+                    &farm_shards,
+                    stuck_board,
+                )
+            } else {
+                run_fault_sim(
+                    rows, cols, width, depth, steps, seed, rate, retries, ckpt_every, stuck_chip,
+                )
+            }
+        }
         Command::Farm {
             shards,
             engine,
@@ -838,6 +877,170 @@ fn run_fault_sim(
 }
 
 #[allow(clippy::too_many_arguments)]
+fn run_farm_fault_sim(
+    rows: usize,
+    cols: usize,
+    width: usize,
+    depth: usize,
+    steps: u64,
+    seed: u64,
+    rate: f64,
+    retries: u32,
+    ckpt_every: u64,
+    farm_shards: &str,
+    stuck_board: Option<usize>,
+) -> Result<String, CliError> {
+    use crate::farm::{FarmDegradeConfig, FarmRecoveryConfig, LatticeFarm, ShardEngine};
+    use crate::gas::audit::{AuditMode, ConservationAudit};
+    use crate::sim::{Component, Fault, FaultKind, FaultPlan};
+    use lattice_core::{evolve, Grid};
+
+    if depth == 0 || width == 0 {
+        return Err(CliError("fault-sim: --width and --depth must be ≥ 1".into()));
+    }
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(CliError("fault-sim: --rate must be in [0, 1]".into()));
+    }
+    if ckpt_every == 0 {
+        return Err(CliError("fault-sim: --ckpt-every must be ≥ 1".into()));
+    }
+    let shard_counts: Vec<usize> = farm_shards
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| CliError(format!("fault-sim: bad --farm-shards entry `{s}`")))
+        })
+        .collect::<Result<_, _>>()?;
+    if shard_counts.is_empty() || shard_counts.iter().any(|&s| s > cols) {
+        return Err(CliError("fault-sim: --farm-shards must be 1..=cols".into()));
+    }
+    if let Some(b) = stuck_board {
+        if let Some(&smin) = shard_counts.iter().min() {
+            if b >= smin {
+                return Err(CliError(format!(
+                    "fault-sim: --stuck-board {b} out of range for {smin} shard(s)"
+                )));
+            }
+        }
+    }
+    let margin = steps as usize;
+    if rows <= 2 * margin || cols <= 2 * margin {
+        return Err(CliError(format!(
+            "fault-sim: the lattice must exceed 2x --steps per side \
+             ({rows}x{cols} vs {steps} steps) so the gas cannot reach the \
+             edge and conservation stays exact"
+        )));
+    }
+    let shape = Shape::grid2(rows, cols).map_err(|e| CliError(e.to_string()))?;
+    // Same confinement trick as the chip-level sweep: the gas never
+    // reaches the edge, so exact conservation holds and every recovered
+    // run must equal the reference bit-for-bit.
+    let full = init::random_hpp(shape, 0.3, seed).map_err(|e| CliError(e.to_string()))?;
+    let grid = Grid::from_fn(shape, |c| {
+        let inside = c.row() >= margin
+            && c.row() < rows - margin
+            && c.col() >= margin
+            && c.col() < cols - margin;
+        if inside {
+            full.get(c)
+        } else {
+            0
+        }
+    });
+    let rule = HppRule::new();
+    let reference = evolve(&grid, &rule, Boundary::null(), 0, steps);
+    let audit = ConservationAudit::new(Model::Hpp, AuditMode::Exact);
+    let sites = (rows * cols) as u64;
+
+    let mut out = format!(
+        "fault-sim --farm: hpp on {rows}x{cols}, {steps} generations, \
+         WSA boards width {width}, depth {depth}\n\
+         transient bit-flips on every board's halo link; audit = exact conservation;\n\
+         checkpoint every {ckpt_every} pass(es), {retries} global retries, \
+         ladder = ARQ -> local -> global -> degrade{}\n\n",
+        match stuck_board {
+            Some(b) => format!("; stuck-at halo-link bit on board {b}"),
+            None => String::new(),
+        }
+    );
+    out.push_str(
+        "shards  rate       injected  detected  retrans  local  global  degraded  \
+         passes  upd/fault  result\n",
+    );
+    for &s in &shard_counts {
+        let farm = LatticeFarm::new(s, ShardEngine::Wsa { width }, depth);
+        // WSA boards: chip stride = depth at every reachable shard
+        // count, so board b's halo link is chip s·depth + b.
+        let link_chip_base = s * depth;
+        let cfg = FarmRecoveryConfig {
+            max_retries: retries,
+            checkpoint_every: ckpt_every,
+            degrade: if s > 1 { Some(FarmDegradeConfig { max_retired: s - 1 }) } else { None },
+            ..FarmRecoveryConfig::default()
+        };
+        for mult in [0.0, 0.1, 1.0, 10.0] {
+            let r = (rate * mult).min(1.0);
+            let mut plan = FaultPlan::new(seed);
+            if r > 0.0 {
+                for b in 0..s {
+                    plan.push(Fault {
+                        component: Component::Link,
+                        chip: Some(link_chip_base + b),
+                        cell: None,
+                        kind: FaultKind::Transient { bit: 1, rate: r },
+                    });
+                }
+            }
+            if let Some(b) = stuck_board {
+                plan.push(Fault {
+                    component: Component::Link,
+                    chip: Some(link_chip_base + b),
+                    cell: None,
+                    kind: FaultKind::StuckAt { bit: 0, value: true },
+                });
+            }
+            let ft = farm.run_with_recovery(&rule, &grid, 0, steps, Some(&plan), &cfg, |b, a| {
+                audit.check(b, a)
+            });
+            match ft {
+                Ok(ft) => {
+                    let injected = ft.report.machine.faults.total();
+                    let upd_per_fault = if injected == 0 {
+                        "-".to_string()
+                    } else {
+                        format!("{:.1e}", (steps * sites) as f64 / injected as f64)
+                    };
+                    let result = if ft.report.grid() == &reference { "bit-exact" } else { "WRONG" };
+                    out.push_str(&format!(
+                        "{s:<6}  {r:<9.1e}  {injected:>8}  {:>8}  {:>7}  {:>5}  {:>6}  {:>8}  \
+                         {:>6}  {upd_per_fault:>9}  {result}\n",
+                        ft.recovery.detected,
+                        ft.recovery.retransmits,
+                        ft.recovery.local_rollbacks,
+                        ft.recovery.rollbacks,
+                        ft.recovery.boards_retired,
+                        ft.report.passes,
+                    ));
+                }
+                Err(e) => {
+                    out.push_str(&format!("{s:<6}  {r:<9.1e}  gave up: {e}\n"));
+                }
+            }
+        }
+    }
+    out.push_str(
+        "\nupd/fault = mean committed site-updates between injected upsets (MTBF in\n\
+         update units). Each detection is answered one ladder level up: retrans\n\
+         (link ARQ), local (one board replays), global (all boards rewind),\n\
+         degraded (board retired, lattice re-partitioned onto survivors).\n",
+    );
+    Ok(out)
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run_farm(
     shards: usize,
     engine: &str,
@@ -1231,6 +1434,9 @@ mod tests {
             retries: 6,
             ckpt_every: 1,
             stuck_chip: None,
+            farm: false,
+            farm_shards: "1,2,4".into(),
+            stuck_board: None,
         })
         .unwrap();
         assert!(out.contains("upd/fault"), "{out}");
@@ -1251,6 +1457,9 @@ mod tests {
             retries: 1,
             ckpt_every: 1,
             stuck_chip: Some(1),
+            farm: false,
+            farm_shards: "1,2,4".into(),
+            stuck_board: None,
         })
         .unwrap();
         assert!(!out.contains("WRONG"), "{out}");
@@ -1276,9 +1485,82 @@ mod tests {
             retries: 3,
             ckpt_every: 1,
             stuck_chip: None,
+            farm: false,
+            farm_shards: "1,2,4".into(),
+            stuck_board: None,
         })
         .is_err());
         assert!(parse(&argv("fault-sim --stuck-chip nope")).is_err());
+        assert!(parse(&argv("fault-sim --stuck-board nope")).is_err());
+    }
+
+    #[test]
+    fn farm_fault_sim_sweeps_the_ladder_and_stays_exact() {
+        let cmd = parse(&argv(
+            "fault-sim --farm --rows 26 --cols 36 --depth 2 --steps 6 \
+             --farm-shards 1,2 --rate 2e-3 --seed 11",
+        ))
+        .unwrap();
+        match &cmd {
+            Command::FaultSim { farm: true, farm_shards, stuck_board: None, .. } => {
+                assert_eq!(farm_shards, "1,2");
+            }
+            other => panic!("{other:?}"),
+        }
+        let out = execute(cmd).unwrap();
+        assert!(out.contains("retrans"), "{out}");
+        assert!(out.contains("degraded"), "{out}");
+        assert!(out.contains("bit-exact"), "{out}");
+        assert!(!out.contains("WRONG"), "{out}");
+        assert!(!out.contains("gave up"), "{out}");
+        // The single-board row has no halo links, so a link-rate sweep
+        // injects nothing there; the 2-board rows see real weather.
+        assert!(out.lines().filter(|l| l.ends_with("bit-exact")).count() >= 8, "{out}");
+    }
+
+    #[test]
+    fn farm_fault_sim_stuck_board_degrades_and_stays_exact() {
+        let out = execute(Command::FaultSim {
+            rows: 26,
+            cols: 36,
+            width: 1,
+            depth: 2,
+            steps: 6,
+            seed: 11,
+            rate: 0.0,
+            retries: 1,
+            ckpt_every: 1,
+            stuck_chip: None,
+            farm: true,
+            farm_shards: "2".into(),
+            stuck_board: Some(1),
+        })
+        .unwrap();
+        assert!(!out.contains("WRONG"), "{out}");
+        assert!(!out.contains("gave up"), "{out}");
+        // Every row retires the stuck board exactly once.
+        for row in out.lines().filter(|l| l.ends_with("bit-exact")) {
+            let fields: Vec<&str> = row.split_whitespace().collect();
+            // shards rate injected detected retrans local global degraded ...
+            assert_eq!(fields[7], "1", "expected one retired board: {row}");
+        }
+        // An out-of-range stuck board is refused.
+        assert!(execute(Command::FaultSim {
+            rows: 26,
+            cols: 36,
+            width: 1,
+            depth: 2,
+            steps: 6,
+            seed: 11,
+            rate: 0.0,
+            retries: 1,
+            ckpt_every: 1,
+            stuck_chip: None,
+            farm: true,
+            farm_shards: "2,4".into(),
+            stuck_board: Some(2),
+        })
+        .is_err());
     }
 
     #[test]

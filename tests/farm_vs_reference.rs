@@ -193,8 +193,9 @@ fn starved_links_roll_over_where_the_model_says() {
 }
 
 /// Recovery composes at farm level: a transiently corrupting halo link
-/// is detected by stream parity, rolled back shard-consistently, and
-/// the final lattice still equals the fault-free reference.
+/// is caught by stream parity and absorbed entirely at ladder level 1 —
+/// the corrupted frames retransmit, no board ever rolls back, and the
+/// final lattice still equals the fault-free reference.
 #[test]
 fn farm_recovery_is_bit_exact_under_link_faults() {
     let shape = Shape::grid2(12, 22).unwrap();
@@ -216,12 +217,74 @@ fn farm_recovery_is_bit_exact_under_link_faults() {
             0,
             8,
             Some(&plan),
-            &FarmRecoveryConfig { max_retries: 25, checkpoint_every: 1 },
+            &FarmRecoveryConfig { max_retries: 25, ..Default::default() },
             |_, _| Ok(()),
         )
         .unwrap();
     assert_eq!(ft.report.grid(), &reference);
     assert!(ft.report.machine.faults.link > 0, "the plan must actually fire");
-    assert!(ft.recovery.rollbacks > 0, "parity must catch at least one corruption");
-    assert_eq!(ft.recovery.detected, ft.recovery.rollbacks);
+    assert!(ft.recovery.detected > 0, "parity must catch at least one corruption");
+    assert_eq!(ft.recovery.retransmits, ft.recovery.detected, "ARQ answers every detection");
+    assert_eq!(ft.recovery.rollbacks, 0, "no board rollback for a transient link fault");
+    assert_eq!(ft.recovery.local_rollbacks, 0);
+    assert_eq!(ft.recovery.boards_retired, 0);
+    assert_eq!(ft.report.retransmits, ft.recovery.retransmits, "every pass committed");
+}
+
+/// Acceptance: with the ARQ term, the analytical model still predicts
+/// the *faulted* farm's pass time within 10%. Every retransmission on
+/// the slowest (interior) board's throttled link replays one exchange
+/// barrier, which is exactly `FarmModel::pass_ticks_with_retransmits`.
+#[test]
+fn retransmission_term_keeps_the_model_within_ten_percent() {
+    let (rows, cols, p, k) = (32usize, 120usize, 2usize, 2usize);
+    let shape = Shape::grid2(rows, cols).unwrap();
+    let grid = init::random_fhp(shape, FhpVariant::I, 0.3, 3, false).unwrap();
+    let rule = FhpRule::new(FhpVariant::I, 3);
+    let shards = 4usize;
+    let bits = 8.0;
+    let farm =
+        LatticeFarm::new(shards, ShardEngine::Wsa { width: p }, k).with_link(BoardLink::new(bits));
+    // Transient weather on board 1's halo link — an interior board, so
+    // its frame is the one that bounds the exchange barrier.
+    let plan = FaultPlan::new(29).with_fault(Fault {
+        component: Component::Link,
+        chip: Some(shards * k + 1),
+        cell: None,
+        kind: FaultKind::Transient { bit: 1, rate: 2e-3 },
+    });
+    let ft = farm
+        .run_with_recovery(
+            &rule,
+            &grid,
+            0,
+            40,
+            Some(&plan),
+            &FarmRecoveryConfig { max_retries: 25, ..Default::default() },
+            |_, _| Ok(()),
+        )
+        .unwrap();
+    let reference = evolve(&grid, &rule, Boundary::null(), 0, 40);
+    assert_eq!(ft.report.grid(), &reference);
+    assert!(ft.report.retransmits >= 2, "the rate must produce retransmissions: {ft:?}");
+    assert_eq!(ft.recovery.rollbacks, 0, "ARQ must absorb this weather: {:?}", ft.recovery);
+
+    let model = FarmModel::new(Technology::paper_1987(), rows, cols, p as u32, k).with_link(bits);
+    let r = ft.report.retransmits as f64 / ft.report.passes as f64;
+    let measured = ft.report.machine_ticks() as f64 / ft.report.passes as f64;
+    let predicted = model.pass_ticks_with_retransmits(shards, r);
+    let ratio = measured / predicted;
+    assert!(
+        (ratio - 1.0).abs() < 0.10,
+        "measured {measured} vs model {predicted} (ratio {ratio}, r {r})"
+    );
+    // Without the ARQ term the model must under-predict this run.
+    assert!(measured > model.pass_ticks(shards), "retransmissions cost real barrier time");
+    // The measured split agrees term for term: the extra halo time is
+    // the retransmitted share.
+    assert_eq!(
+        ft.report.retransmit_ticks,
+        ft.report.retransmits * model.halo_ticks(shards) as u64,
+        "each retransmission replays one interior exchange barrier"
+    );
 }

@@ -1,0 +1,117 @@
+//! Property tests for fault-epoch disjointness: the recovery ladder is
+//! only sound if every retry sees *fresh* transient weather. A local
+//! rollback bumps one board's attempt epoch, a global rollback bumps
+//! every board's, and distinct boards share one `FaultPlan` — so
+//! `FaultCtx::for_shard` must give independent draw streams across
+//! shards, passes, and attempt epochs (escalation levels), while staying
+//! perfectly deterministic for a fixed epoch (or replays could never be
+//! compared bit-for-bit).
+
+use lattice_engines::sim::{Component, Fault, FaultCtx, FaultKind, FaultPlan};
+use proptest::prelude::*;
+
+const STREAM: u64 = 64;
+
+fn plan(seed: u64) -> FaultPlan {
+    // Rate 1/2: each position of the stream is an independent coin, so
+    // two independent 64-position streams collide with probability
+    // 2^-64 — a deterministic test can treat that as never.
+    FaultPlan::new(seed).with_fault(Fault {
+        component: Component::Link,
+        chip: None,
+        cell: None,
+        kind: FaultKind::Transient { bit: 0, rate: 0.5 },
+    })
+}
+
+/// Which stream positions get flipped under this epoch.
+fn flips(ctx: FaultCtx<'_>, chip: usize) -> Vec<bool> {
+    (0..STREAM).map(|pos| ctx.corrupt_site(Component::Link, chip, 0, pos, 0u8) != 0).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn epochs_are_deterministic(
+        seed in any::<u64>(),
+        shard in 0u64..1 << 20,
+        pass in any::<u64>(),
+        attempt in 0u64..1 << 32,
+        chip in 0usize..64,
+    ) {
+        let p = plan(seed);
+        let a = flips(FaultCtx::for_shard(&p, shard, pass, attempt), chip);
+        let b = flips(FaultCtx::for_shard(&p, shard, pass, attempt), chip);
+        prop_assert_eq!(a, b, "a replayed epoch must redraw identical weather");
+    }
+
+    #[test]
+    fn distinct_shards_draw_disjoint_weather(
+        seed in any::<u64>(),
+        s1 in 0u64..1 << 20,
+        s2 in 0u64..1 << 20,
+        pass in any::<u64>(),
+        attempt in 0u64..1 << 32,
+        chip in 0usize..64,
+    ) {
+        prop_assume!(s1 != s2);
+        let p = plan(seed);
+        let a = flips(FaultCtx::for_shard(&p, s1, pass, attempt), chip);
+        let b = flips(FaultCtx::for_shard(&p, s2, pass, attempt), chip);
+        prop_assert!(a != b, "two boards must never share soft-error weather");
+    }
+
+    #[test]
+    fn distinct_escalation_epochs_draw_disjoint_weather(
+        seed in any::<u64>(),
+        shard in 0u64..1 << 20,
+        pass in any::<u64>(),
+        a1 in 0u64..1 << 32,
+        a2 in 0u64..1 << 32,
+        chip in 0usize..64,
+    ) {
+        // A local retry bumps one board's attempt; a global rollback or
+        // a degrade bumps every board's. Either way the new epoch must
+        // re-draw, or a deterministic transient would defeat every
+        // ladder level the way a stuck-at does.
+        prop_assume!(a1 != a2);
+        let p = plan(seed);
+        let a = flips(FaultCtx::for_shard(&p, shard, pass, a1), chip);
+        let b = flips(FaultCtx::for_shard(&p, shard, pass, a2), chip);
+        prop_assert!(a != b, "a retry must see fresh weather");
+    }
+
+    #[test]
+    fn distinct_passes_draw_disjoint_weather(
+        seed in any::<u64>(),
+        shard in 0u64..1 << 20,
+        p1 in any::<u64>(),
+        p2 in any::<u64>(),
+        attempt in 0u64..1 << 32,
+        chip in 0usize..64,
+    ) {
+        prop_assume!(p1 != p2);
+        let p = plan(seed);
+        let a = flips(FaultCtx::for_shard(&p, shard, p1, attempt), chip);
+        let b = flips(FaultCtx::for_shard(&p, shard, p2, attempt), chip);
+        prop_assert!(a != b);
+    }
+
+    #[test]
+    fn shard_and_attempt_never_alias(
+        seed in any::<u64>(),
+        shard in 1u64..1 << 20,
+        attempt in 0u64..1 << 32,
+        chip in 0usize..64,
+    ) {
+        // The shard id lives in the high bits of the attempt word and
+        // real attempt counts stay below 2^32, so (shard, attempt) can
+        // never collide with (0, attempt'): board identity survives any
+        // rollback depth the budgets allow.
+        let p = plan(seed);
+        let a = flips(FaultCtx::for_shard(&p, shard, 7, attempt), chip);
+        let b = flips(FaultCtx::for_shard(&p, 0, 7, attempt), chip);
+        prop_assert!(a != b);
+    }
+}
