@@ -7,6 +7,7 @@
 //! feasible under the constraints).
 
 use lattice_bench::{format_from_args, Format, Table};
+use lattice_core::units::BitsPerTick;
 use lattice_vlsi::compare::{preferred_regime, Regime};
 use lattice_vlsi::Technology;
 
@@ -38,7 +39,7 @@ fn main() {
             let mut row = vec![format!("{b} bits/tick")];
             for &l in &l_values {
                 row.push(
-                    match preferred_regime(tech, l, b, demand, 64) {
+                    match preferred_regime(tech, l, BitsPerTick::new(f64::from(b)), demand, 64) {
                         Some(Regime::Wsa) => "W",
                         Some(Regime::WsaE) => "E",
                         Some(Regime::Spa) => "S",

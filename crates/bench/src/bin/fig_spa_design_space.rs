@@ -55,6 +55,6 @@ fn main() {
         format!("{} × {}", c.p_w, c.p_k),
     ]);
     corner.row_strings(vec!["pins used".into(), "≤ 72".into(), c.pins_used.to_string()]);
-    corner.row_strings(vec!["area used".into(), "≤ 1".into(), fnum(c.area_used, 4)]);
+    corner.row_strings(vec!["area used".into(), "≤ 1".into(), fnum(c.area_used.get(), 4)]);
     corner.print(fmt);
 }

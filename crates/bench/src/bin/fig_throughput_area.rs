@@ -42,7 +42,7 @@ fn main() {
             // WSA: N chips = depth N (when feasible at this L).
             let (wsa_r, wsa_a) = match &wsa_pt {
                 Some(d) if n <= l => {
-                    (fnum(wsa.throughput(d.p, n) / 1e6, 0), fnum(n as f64 * 1.0, 0))
+                    (fnum(wsa.throughput(d.p, n).get() / 1e6, 0), fnum(n as f64 * 1.0, 0))
                 }
                 _ => ("—".into(), "—".into()),
             };
@@ -59,10 +59,10 @@ fn main() {
                 n.to_string(),
                 wsa_r,
                 wsa_a,
-                fnum(spa_r / 1e6, 0),
+                fnum(spa_r.get() / 1e6, 0),
                 fnum(spa_n, 0),
-                fnum(wsae_r / 1e6, 0),
-                fnum(wsae_a, 1),
+                fnum(wsae_r.get() / 1e6, 0),
+                fnum(wsae_a.get(), 1),
             ]);
         }
         t.note(format!(

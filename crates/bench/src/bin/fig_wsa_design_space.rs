@@ -38,9 +38,9 @@ fn main() {
     corner.row_strings(vec![
         "memory bandwidth (bits/tick)".into(),
         "64".into(),
-        c.bandwidth_bits_per_tick.to_string(),
+        c.bandwidth.to_string(),
     ]);
-    corner.row_strings(vec!["chip area used".into(), "≈ 1".into(), fnum(c.area_used, 4)]);
+    corner.row_strings(vec!["chip area used".into(), "≈ 1".into(), fnum(c.area_used.get(), 4)]);
     corner.row_strings(vec![
         "absolute L ceiling (any P)".into(),
         "—".into(),
@@ -49,7 +49,7 @@ fn main() {
     corner.row_strings(vec![
         "R_max = F·P·L (updates/s)".into(),
         "—".into(),
-        fnum(wsa.max_throughput(c.p, c.l), 0),
+        fnum(wsa.max_throughput(c.p, c.l).get(), 0),
     ]);
     corner.print(fmt);
 }

@@ -24,7 +24,7 @@ fn main() {
                 d.updates_per_tick.to_string(),
                 d.pins_used.to_string(),
                 d.l_max.to_string(),
-                fnum(d.area_used, 3),
+                fnum(d.area_used.get(), 3),
             ]);
         }
     }

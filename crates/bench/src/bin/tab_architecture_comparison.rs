@@ -73,8 +73,8 @@ fn main() {
         "E3 cross-check: measured by cycle-level simulation (scaled lattice)",
         &["quantity", "WSA sim", "SPA sim", "ratio"],
     );
-    let wsa_upt = wsa.updates_per_tick();
-    let spa_upt = spa.updates_per_tick();
+    let wsa_upt = wsa.updates_per_tick().get();
+    let spa_upt = spa.updates_per_tick().get();
     sim.row_strings(vec![
         "updates/tick (whole system)".into(),
         fnum(wsa_upt, 2),
@@ -87,8 +87,8 @@ fn main() {
         fnum(spa_upt / spa_chips, 2),
         format!("{}×", fnum(spa_upt / spa_chips / (wsa_upt / wsa_chips), 2)),
     ]);
-    let wsa_bw = wsa.memory_bits_per_tick();
-    let spa_bw = spa.memory_bits_per_tick();
+    let wsa_bw = wsa.memory_bits_per_tick().get();
+    let spa_bw = spa.memory_bits_per_tick().get();
     sim.row_strings(vec![
         "memory bandwidth (bits/tick)".into(),
         fnum(wsa_bw, 1),

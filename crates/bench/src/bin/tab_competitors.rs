@@ -35,9 +35,9 @@ fn main() {
     for m in &machines {
         t.row_strings(vec![
             m.name.clone(),
-            fnum(m.compute_rate(), 0),
-            fnum(m.memory_rate(), 0),
-            fnum(m.updates_per_second(), 0),
+            fnum(m.compute_rate().get(), 0),
+            fnum(m.memory_rate().get(), 0),
+            fnum(m.updates_per_second().get(), 0),
             if m.memory_bound() { "memory".into() } else { "compute".into() },
         ]);
     }

@@ -18,6 +18,7 @@
 //!   model's (1 + r) exchange-barrier stretch, within the same 10%.
 
 use lattice_bench::{fnum, format_from_args, Table};
+use lattice_core::units::BitsPerTick;
 use lattice_core::Shape;
 use lattice_engines_sim::{Component, Fault, FaultKind, FaultPlan};
 use lattice_farm::{BoardLink, FarmRecoveryConfig, LatticeFarm, ShardEngine};
@@ -60,19 +61,19 @@ fn main() {
     for &s in &shard_counts {
         let farm = LatticeFarm::new(s, ShardEngine::Wsa { width: P }, K);
         let report = farm.run(&rule, &grid, 0, GENS).expect("farm run");
-        let meas_pass = report.machine_ticks() as f64 / report.passes as f64;
-        let ratio = meas_pass / model.pass_ticks(s);
+        let meas_pass = report.machine_ticks().to_f64() / report.passes as f64;
+        let ratio = meas_pass / model.pass_ticks(s).to_f64();
         worst_ratio = worst_ratio.max((ratio - 1.0).abs() + 1.0);
         free_t.row_strings(vec![
             s.to_string(),
             fnum(meas_pass, 0),
-            fnum(model.pass_ticks(s), 0),
+            fnum(model.pass_ticks(s).to_f64(), 0),
             fnum(ratio, 3),
-            fnum(report.updates_per_tick(), 2),
-            fnum(model.updates_per_tick(s), 2),
+            fnum(report.updates_per_tick().get(), 2),
+            fnum(model.updates_per_tick(s).get(), 2),
             fnum(model.strong_efficiency(s), 3),
             fnum(report.redundancy(), 3),
-            fnum(model.link_demand_bits_per_tick(s), 1),
+            fnum(model.link_demand(s).get(), 1),
         ]);
     }
     free_t.note(format!(
@@ -91,7 +92,7 @@ fn main() {
     );
 
     let starved_bits = 2.0;
-    let starved_model = model.with_link(starved_bits);
+    let starved_model = model.with_link(BitsPerTick::new(starved_bits));
     let mut slow_t = Table::new(
         format!("E9b: the same farm on starved links ({starved_bits} bits/tick)"),
         &[
@@ -109,17 +110,17 @@ fn main() {
         let farm = LatticeFarm::new(s, ShardEngine::Wsa { width: P }, K)
             .with_link(BoardLink::new(starved_bits));
         let report = farm.run(&rule, &grid, 0, GENS).expect("farm run");
-        let rate = report.updates_per_tick();
+        let rate = report.updates_per_tick().get();
         if s == 1 {
             base_rate = rate;
         }
         rates.push(rate);
         slow_t.row_strings(vec![
             s.to_string(),
-            fnum(report.halo_ticks as f64 / report.passes as f64, 0),
-            fnum(report.machine.ticks as f64 / report.passes as f64, 0),
+            fnum(report.halo_ticks.to_f64() / report.passes as f64, 0),
+            fnum(report.machine.ticks.to_f64() / report.passes as f64, 0),
             fnum(rate, 2),
-            fnum(starved_model.updates_per_tick(s), 2),
+            fnum(starved_model.updates_per_tick(s).get(), 2),
             fnum(rate / base_rate, 2),
         ]);
     }
@@ -143,7 +144,7 @@ fn main() {
     // so measured pass time must be the fault-free model stretched by
     // (1 + r) on its halo term — `pass_ticks_with_retransmits`.
     let noisy_bits = 8.0;
-    let noisy_model = model.with_link(noisy_bits);
+    let noisy_model = model.with_link(BitsPerTick::new(noisy_bits));
     let shards = 4usize;
     let mut noisy_t = Table::new(
         format!("E9c: S = {shards} farm on {noisy_bits} bits/tick links with halo-frame upsets"),
@@ -174,7 +175,7 @@ fn main() {
             .run_with_recovery(&rule, &grid, 0, 40, Some(&plan), &cfg, |_, _| Ok(()))
             .expect("ARQ must absorb transient link weather");
         let r = ft.report.retransmits as f64 / ft.report.passes as f64;
-        let meas = ft.report.machine_ticks() as f64 / ft.report.passes as f64;
+        let meas = ft.report.machine_ticks().to_f64() / ft.report.passes as f64;
         let pred = noisy_model.pass_ticks_with_retransmits(shards, r);
         let ratio = meas / pred;
         worst_noisy = worst_noisy.max((ratio - 1.0).abs() + 1.0);

@@ -40,9 +40,9 @@ fn main() {
             l.to_string(),
             k.to_string(),
             (p as usize * k).to_string(),
-            fnum(report.updates_per_tick(), 2),
+            fnum(report.updates_per_tick().get(), 2),
             (2 * tech.d_bits * p).to_string(),
-            fnum(report.memory_bits_per_tick(), 1),
+            fnum(report.memory_bits_per_tick().get(), 1),
             // Model: 2L + P + 2 Moore cells (the paper's hex datapath
             // charges 2L + 7P + 3; see EXPERIMENTS.md).
             (2 * l + p as usize + 2).to_string(),
@@ -81,9 +81,9 @@ fn main() {
             slices.to_string(),
             k.to_string(),
             (slices as usize * k).to_string(),
-            fnum(report.updates_per_tick(), 2),
-            spa_model.bandwidth_bits_per_tick(cols as u32, w as u32).to_string(),
-            fnum(report.memory_bits_per_tick(), 1),
+            fnum(report.updates_per_tick().get(), 2),
+            spa_model.bandwidth(cols as u32, w as u32).to_string(),
+            fnum(report.memory_bits_per_tick().get(), 1),
             // Model: two lines of the halo-augmented slice + margin.
             (2 * (w + 2) + 3).to_string(),
             report.sr_cells_per_stage.to_string(),
@@ -112,7 +112,7 @@ fn main() {
             k.to_string(),
             report.ticks.to_string(),
             m.expected_ticks(48, cols).to_string(),
-            fnum(report.updates_per_tick(), 2),
+            fnum(report.updates_per_tick().get(), 2),
             (k * 4).to_string(),
             report.sr_cells_per_stage.to_string(),
         ]);

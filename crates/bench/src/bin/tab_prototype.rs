@@ -64,17 +64,17 @@ fn main() {
     x.row_strings(vec![
         "updates/s at 10 MHz".into(),
         "20,000,000".into(),
-        fnum(report.updates_per_second(clock), 0),
+        fnum(report.updates_per_second(lattice_core::units::Hz::new(clock)).get(), 0),
     ]);
     x.row_strings(vec![
         "memory demand (bits/tick)".into(),
         "32 (= 40 MB/s)".into(),
-        fnum(report.memory_bits_per_tick(), 1),
+        fnum(report.memory_bits_per_tick().get(), 1),
     ]);
     x.row_strings(vec![
         "demand (MB/s at 10 MHz)".into(),
         "40".into(),
-        fnum(report.memory_bits_per_tick() * clock / 8e6, 1),
+        fnum(report.memory_bits_per_tick().get() * clock / 8e6, 1),
     ]);
     x.note(
         "Measured figures are slightly below peak because the pass includes \

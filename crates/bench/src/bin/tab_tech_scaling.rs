@@ -35,7 +35,7 @@ fn main() {
         let wsa = Wsa::new(tech).corner();
         let spa_model = Spa::new(tech);
         let spa = spa_model.corner();
-        let pe_frac = wsa.p as f64 * tech.g / wsa.area_used;
+        let pe_frac = wsa.p as f64 * tech.g / wsa.area_used.get();
         t.row_strings(vec![
             fnum(s, 0),
             tech.pins.to_string(),
@@ -44,7 +44,7 @@ fn main() {
             fnum(pe_frac, 3),
             spa.p.to_string(),
             spa.w.to_string(),
-            spa_model.bandwidth_bits_per_tick(wsa.l, spa.w).to_string(),
+            spa_model.bandwidth(wsa.l, spa.w).to_string(),
         ]);
     }
     t.note(
@@ -65,7 +65,7 @@ fn main() {
         &["architecture", "PE area", "storage area", "PE fraction", "paper"],
     );
     let pe_area = wsa.p as f64 * tech.g;
-    let sr_area = wsa.cells as f64 * tech.b;
+    let sr_area = wsa.cells.to_f64() * tech.b;
     frac.row_strings(vec![
         "WSA (P=4, L=785)".into(),
         fnum(pe_area, 4),
@@ -75,7 +75,7 @@ fn main() {
     ]);
     let spa = Spa::new(tech).corner();
     let spa_pe = spa.p as f64 * tech.g;
-    let spa_sr = spa.cells as f64 * tech.b;
+    let spa_sr = spa.cells.to_f64() * tech.b;
     frac.row_strings(vec![
         format!("SPA (P={}, W={})", spa.p, spa.w),
         fnum(spa_pe, 4),

@@ -28,11 +28,11 @@ fn main() {
     );
     for l in [100u32, 250, 500, 785, 1000, 1500, 2000] {
         let c = wsae_vs_spa(tech, l);
-        let spa_bw = c.wsae.bandwidth_bits_per_tick as f64 / c.bandwidth_ratio;
+        let spa_bw = c.wsae.bandwidth.get() / c.bandwidth_ratio;
         sweep.row_strings(vec![
             l.to_string(),
-            fnum(c.wsae.stage_area, 3),
-            c.wsae.bandwidth_bits_per_tick.to_string(),
+            fnum(c.wsae.stage_area.get(), 3),
+            c.wsae.bandwidth.to_string(),
             fnum(spa_bw, 0),
             format!("{}×", fnum(c.area_ratio, 2)),
             format!("1/{}", fnum(1.0 / c.bandwidth_ratio, 1)),
@@ -66,12 +66,12 @@ fn main() {
     headline.row_strings(vec![
         "WSA-E storage per PE".into(),
         "(2L+10)B = 1.158α".into(),
-        format!("{}α", fnum(c.wsae_storage_per_pe, 3)),
+        format!("{}α", fnum(c.wsae_storage_per_pe.get(), 3)),
     ]);
     headline.row_strings(vec![
         "SPA area per PE".into(),
         "≈ (2W+9)B + Γ".into(),
-        format!("{}α", fnum(c.spa_area_per_pe, 4)),
+        format!("{}α", fnum(c.spa_area_per_pe.get(), 4)),
     ]);
     headline.print(fmt);
 }

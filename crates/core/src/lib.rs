@@ -63,6 +63,7 @@ pub mod raster;
 pub mod rule;
 pub mod shard;
 pub mod tiled;
+pub mod units;
 pub mod window;
 
 pub use boundary::Boundary;

@@ -1,0 +1,612 @@
+//! Typed dimensional quantities — compile-time units for the paper's
+//! accounting.
+//!
+//! The paper's whole contribution is dimensional bookkeeping: ticks,
+//! bits, sites, pins, and chip area related by the technology constants
+//! `B = β/α` and `Γ = γ/α` (§4–§6). This module gives each dimension a
+//! zero-cost newtype so a ticks-vs-bits or per-site-vs-per-pass mixup
+//! is a *compile error* instead of a 10%-gate failure three layers
+//! downstream:
+//!
+//! | paper symbol | quantity | type |
+//! |--------------|----------|------|
+//! | `t` (major cycles) | clock ticks | [`Ticks`] |
+//! | `D·…` | bits crossing a boundary | [`Bits`] |
+//! | `L²`, `R·t` | lattice sites / site updates | [`Sites`] |
+//! | — | shift-register cells | [`Cells`] |
+//! | `Π` | package pins | [`Pins`] |
+//! | `B`, `Γ`, area sums | normalized chip area (α = 1) | [`ChipArea`] |
+//! | `F` | clock frequency | [`Hz`] |
+//! | — | wall-clock time | [`Secs`] |
+//! | `R` | site updates per second | [`SitesPerSec`] |
+//! | `2DP ≤ Π` flows | bits per tick | [`BitsPerTick`] |
+//! | `R/F` | site updates per tick | [`SitesPerTick`] |
+//!
+//! Only dimension-correct operators exist: `Bits / Ticks` is a
+//! [`BitsPerTick`], `SitesPerTick * Hz` is a [`SitesPerSec`], and
+//! `Ticks + Bits` simply does not compile. Conversions between
+//! dimensions are **explicit and named** (`to_f64`, `from_f64_ceil`,
+//! `secs_at`, `ticks_to_move`, …); the only raw `as` casts live inside
+//! this module, each one marked for the workspace invariant checker
+//! (`lattice-lint`), so audited model code upstream can be verified to
+//! contain none.
+//!
+//! ```
+//! use lattice_core::units::{Bits, Hz, Sites, Ticks};
+//! let demand = Bits::new(64 * 120) / Ticks::new(120);
+//! assert_eq!(demand.get(), 64.0);
+//! let rate = Sites::new(200).per_tick(Ticks::new(100)) * Hz::new(10e6);
+//! assert_eq!(rate.get(), 20e6);
+//! ```
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Generates an integer-repr counting quantity.
+macro_rules! count_quantity {
+    ($(#[$m:meta])* $name:ident, $repr:ty, $unit:literal) => {
+        $(#[$m])*
+        #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name($repr);
+
+        impl $name {
+            #[doc = concat!("Zero ", $unit, ".")]
+            pub const ZERO: Self = Self(0);
+
+            #[doc = concat!("Wraps a raw count of ", $unit, ".")]
+            pub const fn new(v: $repr) -> Self {
+                Self(v)
+            }
+
+            #[doc = concat!("The raw count of ", $unit, ".")]
+            pub const fn get(self) -> $repr {
+                self.0
+            }
+
+            /// Whether the count is zero.
+            pub const fn is_zero(self) -> bool {
+                self.0 == 0
+            }
+
+            /// Explicit widening to `f64` for real-valued model
+            /// arithmetic (exact below 2⁵³).
+            pub fn to_f64(self) -> f64 {
+                // lattice-lint: allow(raw-cast) — the named conversion primitive.
+                self.0 as f64
+            }
+
+            /// The floor of a real-valued quantity, saturating at zero
+            /// and the repr's maximum (`NaN` becomes zero) — the named
+            /// replacement for a raw `as` truncation.
+            pub fn from_f64_floor(x: f64) -> Self {
+                // lattice-lint: allow(raw-cast) — float→int casts saturate.
+                Self(x.floor() as $repr)
+            }
+
+            /// The ceiling of a real-valued quantity, saturating like
+            /// [`Self::from_f64_floor`].
+            pub fn from_f64_ceil(x: f64) -> Self {
+                // lattice-lint: allow(raw-cast) — float→int casts saturate.
+                Self(x.ceil() as $repr)
+            }
+
+            /// The nearest integer quantity, saturating like
+            /// [`Self::from_f64_floor`].
+            pub fn from_f64_round(x: f64) -> Self {
+                // lattice-lint: allow(raw-cast) — float→int casts saturate.
+                Self(x.round() as $repr)
+            }
+
+            /// Checked addition.
+            pub fn checked_add(self, o: Self) -> Option<Self> {
+                self.0.checked_add(o.0).map(Self)
+            }
+
+            /// Checked subtraction.
+            pub fn checked_sub(self, o: Self) -> Option<Self> {
+                self.0.checked_sub(o.0).map(Self)
+            }
+
+            /// Subtraction clamped at zero.
+            pub fn saturating_sub(self, o: Self) -> Self {
+                Self(self.0.saturating_sub(o.0))
+            }
+
+            /// Absolute difference, in the underlying count.
+            #[must_use]
+            pub fn abs_diff(self, o: Self) -> $repr {
+                self.0.abs_diff(o.0)
+            }
+
+            /// Scales by a real factor and rounds to the nearest count
+            /// (expectation arithmetic, e.g. retransmissions per pass).
+            pub fn scale_round(self, factor: f64) -> Self {
+                Self::from_f64_round(self.to_f64() * factor)
+            }
+
+            /// Dimensionless ratio against another count of the same
+            /// dimension (speedups, efficiencies).
+            pub fn ratio(self, o: Self) -> f64 {
+                self.to_f64() / o.to_f64()
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, o: Self) -> Self {
+                Self(self.0 + o.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, o: Self) {
+                self.0 += o.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, o: Self) -> Self {
+                Self(self.0 - o.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, o: Self) {
+                self.0 -= o.0;
+            }
+        }
+
+        impl Mul<$repr> for $name {
+            type Output = Self;
+            fn mul(self, k: $repr) -> Self {
+                Self(self.0 * k)
+            }
+        }
+
+        impl Mul<$name> for $repr {
+            type Output = $name;
+            fn mul(self, q: $name) -> $name {
+                $name(self * q.0)
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl From<$repr> for $name {
+            fn from(v: $repr) -> Self {
+                Self(v)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Display::fmt(&self.0, f)
+            }
+        }
+    };
+}
+
+/// Generates a real-valued quantity.
+macro_rules! real_quantity {
+    ($(#[$m:meta])* $name:ident, $unit:literal) => {
+        $(#[$m])*
+        #[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd)]
+        pub struct $name(f64);
+
+        impl $name {
+            #[doc = concat!("Zero ", $unit, ".")]
+            pub const ZERO: Self = Self(0.0);
+
+            #[doc = concat!("Wraps a raw value in ", $unit, ".")]
+            pub const fn new(v: f64) -> Self {
+                Self(v)
+            }
+
+            #[doc = concat!("The raw value in ", $unit, ".")]
+            pub const fn get(self) -> f64 {
+                self.0
+            }
+
+            /// The smaller of two values.
+            pub fn min(self, o: Self) -> Self {
+                Self(self.0.min(o.0))
+            }
+
+            /// The larger of two values.
+            pub fn max(self, o: Self) -> Self {
+                Self(self.0.max(o.0))
+            }
+
+            /// Whether the value is finite.
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Dimensionless ratio against another value of the same
+            /// dimension.
+            pub fn ratio(self, o: Self) -> f64 {
+                self.0 / o.0
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, o: Self) -> Self {
+                Self(self.0 + o.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, o: Self) {
+                self.0 += o.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, o: Self) -> Self {
+                Self(self.0 - o.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, k: f64) -> Self {
+                Self(self.0 * k)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, q: $name) -> $name {
+                $name(self * q.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            fn div(self, k: f64) -> Self {
+                Self(self.0 / k)
+            }
+        }
+
+        impl Div<$name> for $name {
+            type Output = f64;
+            fn div(self, o: Self) -> f64 {
+                self.0 / o.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Display::fmt(&self.0, f)
+            }
+        }
+    };
+}
+
+count_quantity!(
+    /// Engine clock ticks (the paper's major cycles).
+    Ticks, u64, "ticks"
+);
+count_quantity!(
+    /// Lattice sites, or site *updates* when counting work (`R·t`).
+    Sites, u64, "sites"
+);
+count_quantity!(
+    /// Shift-register delay cells.
+    Cells, u64, "cells"
+);
+count_quantity!(
+    /// Bits crossing a chip, board, or memory boundary.
+    Bits, u128, "bits"
+);
+count_quantity!(
+    /// Package I/O pins (the paper's `Π`).
+    Pins, u32, "pins"
+);
+
+real_quantity!(
+    /// Wall-clock seconds.
+    Secs, "seconds"
+);
+real_quantity!(
+    /// Clock frequency (the paper's `F`), in ticks per second.
+    Hz, "hertz"
+);
+real_quantity!(
+    /// Normalized chip area: the usable chip area α is 1, so `B = β/α`
+    /// and `Γ = γ/α` are plain [`ChipArea`] values and a chip is full
+    /// at 1.0.
+    ChipArea, "chip areas"
+);
+real_quantity!(
+    /// A bandwidth: bits per engine clock tick (the `2DP ≤ Π` flows).
+    BitsPerTick, "bits/tick"
+);
+real_quantity!(
+    /// A rate: site updates per engine clock tick (`R/F`).
+    SitesPerTick, "sites/tick"
+);
+real_quantity!(
+    /// A rate: site updates per second (the paper's `R`).
+    SitesPerSec, "sites/second"
+);
+
+impl Ticks {
+    /// One tick.
+    pub const ONE: Ticks = Ticks(1);
+
+    /// Wall-clock time of this many ticks at clock `f`.
+    pub fn secs_at(self, f: Hz) -> Secs {
+        Secs::new(self.to_f64() / f.get())
+    }
+}
+
+impl Secs {
+    /// The nearest whole number of ticks this long at clock `f` — the
+    /// inverse of [`Ticks::secs_at`] (exact for counts below ~2⁵¹).
+    pub fn ticks_at(self, f: Hz) -> Ticks {
+        Ticks::from_f64_round(self.get() * f.get())
+    }
+}
+
+impl Sites {
+    /// Average rate over `t` ticks; zero ticks yield a zero rate
+    /// (an unstarted machine has no throughput, not an infinite one).
+    pub fn per_tick(self, t: Ticks) -> SitesPerTick {
+        if t.is_zero() {
+            SitesPerTick::ZERO
+        } else {
+            SitesPerTick::new(self.to_f64() / t.to_f64())
+        }
+    }
+
+    /// Average rate over `s` seconds; zero seconds yield a zero rate.
+    pub fn per_sec(self, s: Secs) -> SitesPerSec {
+        if s.get() == 0.0 {
+            SitesPerSec::ZERO
+        } else {
+            SitesPerSec::new(self.to_f64() / s.get())
+        }
+    }
+}
+
+impl Bits {
+    /// The bits moved by `count` items of `bits_each` bits — the
+    /// widening product that replaces `n as u128 * b as u128`.
+    pub fn for_items(count: usize, bits_each: u32) -> Bits {
+        Bits::new(u128::try_from(count).unwrap_or(u128::MAX) * u128::from(bits_each))
+    }
+
+    /// Average bandwidth over `t` ticks; zero ticks yield zero demand.
+    pub fn per_tick(self, t: Ticks) -> BitsPerTick {
+        if t.is_zero() {
+            BitsPerTick::ZERO
+        } else {
+            BitsPerTick::new(self.to_f64() / t.to_f64())
+        }
+    }
+}
+
+impl Div<Ticks> for Bits {
+    type Output = BitsPerTick;
+    fn div(self, t: Ticks) -> BitsPerTick {
+        self.per_tick(t)
+    }
+}
+
+impl Div<Ticks> for Sites {
+    type Output = SitesPerTick;
+    fn div(self, t: Ticks) -> SitesPerTick {
+        self.per_tick(t)
+    }
+}
+
+impl Mul<Hz> for SitesPerTick {
+    type Output = SitesPerSec;
+    fn mul(self, f: Hz) -> SitesPerSec {
+        SitesPerSec::new(self.get() * f.get())
+    }
+}
+
+impl BitsPerTick {
+    /// A link that is never the bottleneck.
+    pub const UNTHROTTLED: BitsPerTick = BitsPerTick(f64::INFINITY);
+
+    /// Whether this capacity never stalls a transfer.
+    pub fn is_unthrottled(self) -> bool {
+        self.0.is_infinite()
+    }
+
+    /// Whole ticks this capacity needs to move `bits`:
+    /// `⌈bits / capacity⌉`; an unthrottled link (or an empty transfer)
+    /// is free.
+    pub fn ticks_to_move(self, bits: Bits) -> Ticks {
+        if bits.is_zero() || self.is_unthrottled() {
+            Ticks::ZERO
+        } else {
+            Ticks::from_f64_ceil(bits.to_f64() / self.0)
+        }
+    }
+}
+
+impl ChipArea {
+    /// The area of `n` cells at this per-cell area (`n·B`).
+    pub fn times_cells(self, n: Cells) -> ChipArea {
+        ChipArea::new(self.0 * n.to_f64())
+    }
+
+    /// How many of `per` fit in this budget (real-valued; callers floor
+    /// through [`Cells::from_f64_floor`] or similar).
+    pub fn capacity(self, per: ChipArea) -> f64 {
+        self.0 / per.0
+    }
+}
+
+/// Explicit `usize → f64` widening (exact below 2⁵³) — the named
+/// replacement for `n as f64` in model code.
+pub fn f64_from_usize(n: usize) -> f64 {
+    // lattice-lint: allow(raw-cast) — the named conversion primitive.
+    n as f64
+}
+
+/// Lossless `usize → u64` widening (saturating on exotic targets where
+/// `usize` is wider than 64 bits).
+pub fn u64_from_usize(n: usize) -> u64 {
+    u64::try_from(n).unwrap_or(u64::MAX)
+}
+
+/// Explicit `u64 → f64` widening (exact below 2⁵³).
+pub fn f64_from_u64(n: u64) -> f64 {
+    // lattice-lint: allow(raw-cast) — the named conversion primitive.
+    n as f64
+}
+
+/// Explicit `u128 → f64` widening (exact below 2⁵³).
+pub fn f64_from_u128(n: u128) -> f64 {
+    // lattice-lint: allow(raw-cast) — the named conversion primitive.
+    n as f64
+}
+
+/// Saturating `f64 → u32` floor (`NaN` → 0) — the named replacement
+/// for `x.floor() as u32`.
+pub fn u32_from_f64_floor(x: f64) -> u32 {
+    // lattice-lint: allow(raw-cast) — float→int casts saturate.
+    x.floor() as u32
+}
+
+/// Saturating `f64 → u32` ceiling (`NaN` → 0).
+pub fn u32_from_f64_ceil(x: f64) -> u32 {
+    // lattice-lint: allow(raw-cast) — float→int casts saturate.
+    x.ceil() as u32
+}
+
+/// Saturating `f64 → u64` floor (`NaN` → 0).
+pub fn u64_from_f64_floor(x: f64) -> u64 {
+    // lattice-lint: allow(raw-cast) — float→int casts saturate.
+    x.floor() as u64
+}
+
+/// Saturating `f64 → usize` floor (`NaN` → 0).
+pub fn usize_from_f64_floor(x: f64) -> usize {
+    // lattice-lint: allow(raw-cast) — float→int casts saturate.
+    x.floor() as usize
+}
+
+/// Saturating `u64 → usize` narrowing (lossless on 64-bit targets).
+pub fn usize_from_u64(n: u64) -> usize {
+    usize::try_from(n).unwrap_or(usize::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimension_correct_arithmetic() {
+        assert_eq!(Ticks::new(3) + Ticks::new(4), Ticks::new(7));
+        assert_eq!(Ticks::new(10) - Ticks::new(4), Ticks::new(6));
+        assert_eq!(Ticks::new(3) * 4, Ticks::new(12));
+        assert_eq!(4 * Ticks::new(3), Ticks::new(12));
+        let mut t = Ticks::ZERO;
+        t += Ticks::ONE;
+        assert_eq!(t, Ticks::ONE);
+        assert_eq!([Ticks::new(1), Ticks::new(2)].into_iter().sum::<Ticks>(), Ticks::new(3));
+        assert_eq!(Ticks::new(5).max(Ticks::new(9)), Ticks::new(9));
+    }
+
+    #[test]
+    fn rates_come_only_from_ratios() {
+        assert_eq!(Bits::new(640) / Ticks::new(10), BitsPerTick::new(64.0));
+        assert_eq!(Sites::new(200) / Ticks::new(100), SitesPerTick::new(2.0));
+        assert_eq!(SitesPerTick::new(2.0) * Hz::new(10e6), SitesPerSec::new(20e6));
+        // Zero denominators are a zero rate, not a panic or infinity.
+        assert_eq!(Bits::new(640) / Ticks::ZERO, BitsPerTick::ZERO);
+        assert_eq!(Sites::new(9).per_tick(Ticks::ZERO), SitesPerTick::ZERO);
+        assert_eq!(Sites::new(9).per_sec(Secs::ZERO), SitesPerSec::ZERO);
+    }
+
+    #[test]
+    fn transfer_time_is_ceil_and_unthrottled_is_free() {
+        let link = BitsPerTick::new(16.0);
+        assert_eq!(link.ticks_to_move(Bits::new(160)), Ticks::new(10));
+        assert_eq!(link.ticks_to_move(Bits::new(161)), Ticks::new(11));
+        assert_eq!(link.ticks_to_move(Bits::ZERO), Ticks::ZERO);
+        assert_eq!(BitsPerTick::UNTHROTTLED.ticks_to_move(Bits::new(1 << 40)), Ticks::ZERO);
+        assert!(BitsPerTick::UNTHROTTLED.is_unthrottled());
+        assert!(!link.is_unthrottled());
+    }
+
+    #[test]
+    fn named_conversions_saturate() {
+        assert_eq!(Cells::from_f64_floor(-3.2), Cells::ZERO);
+        assert_eq!(Cells::from_f64_floor(f64::NAN), Cells::ZERO);
+        assert_eq!(Cells::from_f64_floor(7.9), Cells::new(7));
+        assert_eq!(Ticks::from_f64_ceil(7.1), Ticks::new(8));
+        assert_eq!(Ticks::from_f64_round(7.5), Ticks::new(8));
+        assert_eq!(u32_from_f64_floor(4.5), 4);
+        assert_eq!(u32_from_f64_ceil(4.5), 5);
+        assert_eq!(u32_from_f64_floor(-1.0), 0);
+        assert_eq!(u64_from_f64_floor(1e3), 1000);
+        assert_eq!(usize_from_f64_floor(2.9), 2);
+        assert_eq!(f64_from_usize(12), 12.0);
+        assert_eq!(f64_from_u64(12), 12.0);
+        assert_eq!(f64_from_u128(12), 12.0);
+    }
+
+    #[test]
+    fn checked_and_saturating_ops() {
+        assert_eq!(Ticks::new(u64::MAX).checked_add(Ticks::ONE), None);
+        assert_eq!(Ticks::new(3).checked_sub(Ticks::new(5)), None);
+        assert_eq!(Ticks::new(3).saturating_sub(Ticks::new(5)), Ticks::ZERO);
+        assert_eq!(Ticks::new(5).checked_sub(Ticks::new(3)), Some(Ticks::new(2)));
+    }
+
+    #[test]
+    fn clock_round_trips_exactly() {
+        let f = Hz::new(10e6);
+        for n in [0u64, 1, 785, 5_864, 10_000_000, 1 << 40] {
+            let t = Ticks::new(n);
+            assert_eq!(t.secs_at(f).ticks_at(f), t, "{n} ticks");
+        }
+    }
+
+    #[test]
+    fn area_accounting() {
+        let b = ChipArea::new(576e-6);
+        let g = ChipArea::new(19.4e-3);
+        let window = b.times_cells(Cells::new(2 * 785 + 7 * 4 + 3));
+        let total = window + g * 4.0;
+        assert!(total.get() <= 1.0, "{total}");
+        // Capacity: (1 − Γ)/B cells fit beside one PE.
+        let cap = (ChipArea::new(1.0) - g).capacity(b);
+        assert_eq!(Cells::from_f64_floor(cap), Cells::new(1702));
+    }
+
+    #[test]
+    fn expectation_scaling_rounds() {
+        assert_eq!(Ticks::new(100).scale_round(1.5), Ticks::new(150));
+        assert_eq!(Ticks::new(100).scale_round(0.0), Ticks::ZERO);
+        assert_eq!(Bits::for_items(50, 8), Bits::new(400));
+    }
+
+    #[test]
+    fn display_is_the_bare_number() {
+        assert_eq!(format!("{}", Ticks::new(42)), "42");
+        assert_eq!(format!("{:>6}", Ticks::new(42)), "    42");
+        assert_eq!(format!("{}", BitsPerTick::new(2.5)), "2.5");
+    }
+}

@@ -48,6 +48,10 @@
 use crate::link::BoardLink;
 use crate::partition::{max_aug_width, partition, Slab};
 use lattice_core::bits::Traffic;
+use lattice_core::units::{
+    u64_from_usize, usize_from_u64, Bits, BitsPerTick, Cells, Hz, Sites, SitesPerSec, SitesPerTick,
+    Ticks,
+};
 use lattice_core::{checkpoint, Coord, Grid, LatticeError, Rule, Shape, State};
 use lattice_engines_sim::{
     EngineReport, FaultCtx, FaultPlan, FaultStats, Pipeline, RecoveryStats, RunOptions, SpaEngine,
@@ -139,11 +143,11 @@ pub struct ShardStats {
     /// slab it owned).
     pub cols: usize,
     /// Site updates performed (halo recompute included).
-    pub updates: u64,
+    pub updates: Sites,
     /// Engine ticks summed over passes.
-    pub ticks: u64,
+    pub ticks: Ticks,
     /// Bits imported over this board's halo links.
-    pub halo_in_bits: u128,
+    pub halo_in_bits: Bits,
     /// Halo frames this board's link retransmitted during committed
     /// passes (ARQ, ladder level 1).
     pub retransmits: u64,
@@ -177,11 +181,11 @@ pub struct FarmReport<S: State> {
     /// Ticks the machine spent in halo exchange at the barriers (the
     /// slowest board's link time, summed over passes), including the
     /// [`FarmReport::retransmit_ticks`] share.
-    pub halo_ticks: u64,
+    pub halo_ticks: Ticks,
     /// The share of [`FarmReport::halo_ticks`] spent retransmitting
     /// halo frames — the ARQ term the `lattice-vlsi` farm model adds to
     /// its pass-tick prediction.
-    pub retransmit_ticks: u64,
+    pub retransmit_ticks: Ticks,
     /// Halo frames retransmitted during committed passes (frames of
     /// attempts that later rolled back are counted only in
     /// `RecoveryStats::retransmits`).
@@ -195,71 +199,61 @@ impl<S: State> FarmReport<S> {
     }
 
     /// Machine wall-clock ticks: compute plus halo-exchange time.
-    pub fn machine_ticks(&self) -> u64 {
+    pub fn machine_ticks(&self) -> Ticks {
         self.machine.ticks + self.halo_ticks
     }
 
     /// Lattice-visible updates (`generations × sites`), excluding the
     /// redundant halo recompute counted in `machine.updates`.
-    pub fn useful_updates(&self) -> u64 {
-        self.machine.generations * self.machine.grid.len() as u64
+    pub fn useful_updates(&self) -> Sites {
+        Sites::new(u64_from_usize(self.machine.grid.len())) * self.machine.generations
     }
 
     /// Useful site updates per machine tick.
-    pub fn updates_per_tick(&self) -> f64 {
-        let t = self.machine_ticks();
-        if t == 0 {
-            0.0
-        } else {
-            self.useful_updates() as f64 / t as f64
-        }
+    pub fn updates_per_tick(&self) -> SitesPerTick {
+        self.useful_updates() / self.machine_ticks()
     }
 
-    /// Useful updates per second at clock `clock_hz`.
-    pub fn updates_per_second(&self, clock_hz: f64) -> f64 {
-        self.updates_per_tick() * clock_hz
+    /// Useful updates per second at engine clock `clock`.
+    pub fn updates_per_second(&self, clock: Hz) -> SitesPerSec {
+        self.updates_per_tick() * clock
     }
 
-    /// Sustained inter-board bandwidth demand, bits per machine tick.
-    pub fn halo_bits_per_tick(&self) -> f64 {
-        let t = self.machine_ticks();
-        if t == 0 {
-            0.0
-        } else {
-            self.halo_traffic.bits_in as f64 / t as f64
-        }
+    /// Sustained inter-board bandwidth demand per machine tick.
+    pub fn halo_bits_per_tick(&self) -> BitsPerTick {
+        Bits::new(self.halo_traffic.bits_in) / self.machine_ticks()
     }
 
     /// Work amplification from halo recompute: total updates performed
     /// over useful updates (≥ 1; grows with shards and pass depth).
     pub fn redundancy(&self) -> f64 {
         let useful = self.useful_updates();
-        if useful == 0 {
+        if useful.is_zero() {
             1.0
         } else {
-            self.machine.updates as f64 / useful as f64
+            self.machine.updates.ratio(useful)
         }
     }
 
     /// Fraction of machine time spent computing (vs halo exchange).
     pub fn compute_fraction(&self) -> f64 {
-        let t = self.machine_ticks();
-        if t == 0 {
+        if self.machine_ticks().is_zero() {
             1.0
         } else {
-            self.machine.ticks as f64 / t as f64
+            self.machine.ticks.ratio(self.machine_ticks())
         }
     }
 
     /// Machine PE utilization: useful updates over total PE-ticks
     /// (stalls, fill, and halo recompute all count against it).
     pub fn utilization(&self) -> f64 {
-        let pe_ticks =
-            self.machine_ticks() as f64 * self.machine.stages as f64 * self.machine.width as f64;
+        let pe_ticks = self.machine_ticks().to_f64()
+            * f64::from(self.machine.stages)
+            * f64::from(self.machine.width);
         if pe_ticks == 0.0 {
             0.0
         } else {
-            self.useful_updates() as f64 / pe_ticks
+            self.useful_updates().to_f64() / pe_ticks
         }
     }
 }
@@ -328,7 +322,7 @@ pub struct FarmFtRun<S: State> {
 /// A board's halo exchange, buffered so local retries can replay it.
 struct ExchangeOutcome<S: State> {
     aug: Grid<S>,
-    bits: u128,
+    bits: Bits,
     retransmits: u32,
     traffic: Traffic,
 }
@@ -346,6 +340,20 @@ impl<S: State> Default for BoardCache<S> {
     fn default() -> Self {
         BoardCache { exchange: None, report: None }
     }
+}
+
+/// Converts a missing cache entry — a supervisor-logic invariant, not a
+/// hardware fault — into a localized [`BoardFailure`] instead of a
+/// panic, so a supervisor bug degrades into the recovery ladder rather
+/// than tearing the farm down.
+fn cached<T>(entry: Option<T>, slab: usize, what: &str) -> Result<T, BoardFailure> {
+    entry.ok_or_else(|| BoardFailure {
+        slab: Some(slab),
+        error: LatticeError::Corrupted {
+            site: format!("board cache, slab {slab}"),
+            detail: format!("{what} missing from the pass cache"),
+        },
+    })
 }
 
 /// A failure inside one pass attempt, localized when possible.
@@ -392,27 +400,27 @@ struct PassOutcome<S: State> {
     grid: Grid<S>,
     reports: Vec<EngineReport<S>>,
     halo_traffic: Traffic,
-    halo_ticks: u64,
-    retransmit_ticks: u64,
-    halo_bits_per_board: Vec<u128>,
+    halo_ticks: Ticks,
+    retransmit_ticks: Ticks,
+    halo_bits_per_board: Vec<Bits>,
     retransmits_per_board: Vec<u32>,
 }
 
 /// Cross-pass accumulators for the machine report.
 struct Totals {
-    updates: u64,
-    compute_ticks: u64,
+    updates: Sites,
+    compute_ticks: Ticks,
     generations: u64,
     memory: Traffic,
     pins: Traffic,
     side: Traffic,
     offchip: Traffic,
-    sr: u64,
+    sr: Cells,
     stages: u32,
     width: u32,
     halo_traffic: Traffic,
-    halo_ticks: u64,
-    retransmit_ticks: u64,
+    halo_ticks: Ticks,
+    retransmit_ticks: Ticks,
     retransmits: u64,
     per_shard: Vec<ShardStats>,
 }
@@ -420,19 +428,19 @@ struct Totals {
 impl Totals {
     fn new(slabs: &[Slab]) -> Self {
         Totals {
-            updates: 0,
-            compute_ticks: 0,
+            updates: Sites::ZERO,
+            compute_ticks: Ticks::ZERO,
             generations: 0,
             memory: Traffic::new(),
             pins: Traffic::new(),
             side: Traffic::new(),
             offchip: Traffic::new(),
-            sr: 0,
+            sr: Cells::ZERO,
             stages: 0,
             width: 0,
             halo_traffic: Traffic::new(),
-            halo_ticks: 0,
-            retransmit_ticks: 0,
+            halo_ticks: Ticks::ZERO,
+            retransmit_ticks: Ticks::ZERO,
             retransmits: 0,
             per_shard: slabs
                 .iter()
@@ -440,9 +448,9 @@ impl Totals {
                     shard: s.index,
                     col0: s.col0,
                     cols: s.width,
-                    updates: 0,
-                    ticks: 0,
-                    halo_in_bits: 0,
+                    updates: Sites::ZERO,
+                    ticks: Ticks::ZERO,
+                    halo_in_bits: Bits::ZERO,
                     retransmits: 0,
                     local_rollbacks: 0,
                     retired: false,
@@ -477,8 +485,8 @@ impl Totals {
             stats.updates += report.updates;
             stats.ticks += report.ticks;
             stats.halo_in_bits += out.halo_bits_per_board[i];
-            stats.retransmits += out.retransmits_per_board[i] as u64;
-            self.retransmits += out.retransmits_per_board[i] as u64;
+            stats.retransmits += u64::from(out.retransmits_per_board[i]);
+            self.retransmits += u64::from(out.retransmits_per_board[i]);
         }
     }
 
@@ -668,20 +676,26 @@ impl LatticeFarm {
                 continue;
             }
             let b = pp.phys[i];
-            let ctx = plan.map(|p| FaultCtx::for_shard(p, b as u64, pp.pass, pp.attempts[b]));
+            let ctx =
+                plan.map(|p| FaultCtx::for_shard(p, u64_from_usize(b), pp.pass, pp.attempts[b]));
             let aug_shape = Shape::grid2(aug_rows, slab.aug_width())
                 .map_err(|e| BoardFailure { slab: Some(i), error: e })?;
             let mut aug = Grid::from_fn(aug_shape, |c| {
+                // lattice-lint: allow(raw-cast) — toroidal index geometry, not dimensioned arithmetic.
                 let gr = c.row() as isize - row_off as isize;
+                // lattice-lint: allow(raw-cast) — toroidal index geometry, not dimensioned arithmetic.
                 let gc = slab.col0 as isize - slab.halo_left as isize + c.col() as isize;
                 if self.periodic {
                     grid.get(Coord::c2(
+                        // lattice-lint: allow(raw-cast) — toroidal index geometry.
                         gr.rem_euclid(rows as isize) as usize,
+                        // lattice-lint: allow(raw-cast) — toroidal index geometry.
                         gc.rem_euclid(cols as isize) as usize,
                     ))
                 } else {
                     // Null-boundary halos are clamped, so the indices
                     // are always in range.
+                    // lattice-lint: allow(raw-cast) — toroidal index geometry.
                     grid.get(Coord::c2(gr as usize, gc as usize))
                 }
             });
@@ -710,37 +724,36 @@ impl LatticeFarm {
             // Every retransmission is one detection the ARQ level
             // already answered; a final failure is the one unanswered
             // detection that escalates to the caller's ladder.
-            recovery.detected += retransmits as u64;
-            recovery.retransmits += retransmits as u64;
+            recovery.detected += u64::from(retransmits);
+            recovery.retransmits += u64::from(retransmits);
             let received = received.map_err(|e| BoardFailure { slab: Some(i), error: e })?;
             for (j, &c) in halo_cols.iter().enumerate() {
                 for r in 0..aug_rows {
                     aug.set(Coord::c2(r, c), received[j * aug_rows + r]);
                 }
             }
-            let bits = imported.len() as u128 * <R::S as State>::BITS as u128;
+            let bits = Bits::for_items(imported.len(), <R::S as State>::BITS);
             cache[i].exchange = Some(ExchangeOutcome { aug, bits, retransmits, traffic });
         }
 
         // Phase 2 — boards without a report compute concurrently.
-        let jobs: Vec<JobRef<'_, R::S>> = pp
-            .slabs
-            .iter()
-            .filter(|slab| cache[slab.index].report.is_none())
-            .map(|slab| {
-                let i = slab.index;
-                let b = pp.phys[i];
-                JobRef {
-                    slab: i,
-                    aug: &cache[i].exchange.as_ref().expect("exchanged above").aug,
-                    ctx: plan.map(|p| FaultCtx::for_shard(p, b as u64, pp.pass, pp.attempts[b])),
-                    origin: (0usize.wrapping_sub(row_off), slab.col0.wrapping_sub(slab.halo_left)),
-                    chip0: b * pp.stride,
-                    phys: b,
-                    attempt: pp.attempts[b],
-                }
-            })
-            .collect();
+        let mut jobs: Vec<JobRef<'_, R::S>> = Vec::with_capacity(pp.slabs.len());
+        for slab in pp.slabs.iter().filter(|slab| cache[slab.index].report.is_none()) {
+            let i = slab.index;
+            let b = pp.phys[i];
+            let ex = cached(cache[i].exchange.as_ref(), i, "halo exchange")?;
+            jobs.push(JobRef {
+                slab: i,
+                aug: &ex.aug,
+                ctx: plan
+                    .map(|p| FaultCtx::for_shard(p, u64_from_usize(b), pp.pass, pp.attempts[b])),
+                origin: (0usize.wrapping_sub(row_off), slab.col0.wrapping_sub(slab.halo_left)),
+                chip0: b * pp.stride,
+                phys: b,
+                attempt: pp.attempts[b],
+            });
+        }
+        let jobs = jobs;
         let engine = self.engine;
         let wf = self.worker_fault;
         let (k, t_now, pass) = (pp.k, pp.t_now, pp.pass);
@@ -841,7 +854,7 @@ impl LatticeFarm {
             match results[i].take() {
                 Some(Ok(report)) => {
                     let audited = {
-                        let aug = &cache[i].exchange.as_ref().expect("exchanged above").aug;
+                        let aug = &cached(cache[i].exchange.as_ref(), i, "halo exchange")?.aug;
                         shard_audit(b, aug, &report.grid)
                     };
                     match audited {
@@ -875,22 +888,22 @@ impl LatticeFarm {
         // machine lattice and settle the barrier's link-time bill
         // (slowest board, retransmissions included).
         let mut halo_traffic = Traffic::new();
-        let mut halo_ticks = 0u64;
-        let mut base_ticks = 0u64;
+        let mut halo_ticks = Ticks::ZERO;
+        let mut base_ticks = Ticks::ZERO;
         let mut halo_bits_per_board = Vec::with_capacity(pp.slabs.len());
         let mut retransmits_per_board = Vec::with_capacity(pp.slabs.len());
         let mut next = Grid::new(shape);
         let mut reports = Vec::with_capacity(pp.slabs.len());
         for slab in pp.slabs {
             let i = slab.index;
-            let ex = cache[i].exchange.as_ref().expect("exchanged above");
+            let ex = cached(cache[i].exchange.as_ref(), i, "halo exchange")?;
             halo_traffic.merge(ex.traffic);
             let base = self.link.transfer_ticks(ex.bits);
-            halo_ticks = halo_ticks.max(base * (1 + ex.retransmits as u64));
+            halo_ticks = halo_ticks.max(base * (1 + u64::from(ex.retransmits)));
             base_ticks = base_ticks.max(base);
             halo_bits_per_board.push(ex.bits);
             retransmits_per_board.push(ex.retransmits);
-            let report = cache[i].report.take().expect("computed above");
+            let report = cached(cache[i].report.take(), i, "engine report")?;
             for r in 0..rows {
                 for j in 0..slab.width {
                     next.set(
@@ -961,7 +974,7 @@ impl LatticeFarm {
         let mut t_now = t0;
         let mut passes = 0u64;
         while t_now < t_end {
-            let k = self.depth.min((t_end - t_now) as usize);
+            let k = self.depth.min(usize_from_u64(t_end - t_now));
             let slabs = partition(cols, self.shards, k, self.periodic)?;
             let mut cache: Vec<BoardCache<R::S>> =
                 (0..slabs.len()).map(|_| BoardCache::default()).collect();
@@ -990,8 +1003,8 @@ impl LatticeFarm {
                 )
                 .map_err(|f| f.error)?;
             current = out.grid.clone();
-            totals.absorb(&out, k as u64, &phys);
-            t_now += k as u64;
+            totals.absorb(&out, u64_from_usize(k), &phys);
+            t_now += u64_from_usize(k);
             passes += 1;
         }
         let faults = plan.map(|p| p.stats().since(fault_base)).unwrap_or_default();
@@ -1082,8 +1095,8 @@ impl LatticeFarm {
             recovery: &mut RecoveryStats,
         ) -> Result<Vec<Vec<u8>>, LatticeError> {
             let blobs = save_shard_checkpoints(g, slabs, t)?;
-            recovery.checkpoints += slabs.len() as u64;
-            recovery.checkpoint_bytes += blobs.iter().map(|b| b.len() as u64).sum::<u64>();
+            recovery.checkpoints += u64_from_usize(slabs.len());
+            recovery.checkpoint_bytes += blobs.iter().map(|b| u64_from_usize(b.len())).sum::<u64>();
             Ok(blobs)
         }
         let mut ckpt = take_ckpt(&current, t_now, &ckpt_slabs, &mut recovery)?;
@@ -1095,7 +1108,7 @@ impl LatticeFarm {
                 retries_left = cfg.max_retries;
                 local_left.fill(cfg.local_retries);
             }
-            let k = self.depth.min((t_end - t_now) as usize);
+            let k = self.depth.min(usize_from_u64(t_end - t_now));
             let slabs = partition(cols, phys.len(), k, self.periodic)?;
             let mut cache: Vec<BoardCache<R::S>> =
                 (0..slabs.len()).map(|_| BoardCache::default()).collect();
@@ -1130,8 +1143,8 @@ impl LatticeFarm {
                 match res {
                     Ok(out) => {
                         current = out.grid.clone();
-                        totals.absorb(&out, k as u64, &phys);
-                        t_now += k as u64;
+                        totals.absorb(&out, u64_from_usize(k), &phys);
+                        t_now += u64_from_usize(k);
                         pass += 1;
                         passes += 1;
                         passes_since_ckpt += 1;
@@ -1283,11 +1296,11 @@ mod tests {
         assert_eq!(report.halo_traffic.bits_in, 2 * 12 * 16 * 8);
         assert_eq!(report.halo_traffic.bits_in, report.halo_traffic.bits_out);
         assert!(report.redundancy() > 1.0, "halo recompute counted");
-        assert_eq!(report.halo_ticks, 0, "unthrottled links are free");
-        assert_eq!(report.retransmit_ticks, 0);
+        assert_eq!(report.halo_ticks, Ticks::ZERO, "unthrottled links are free");
+        assert_eq!(report.retransmit_ticks, Ticks::ZERO);
         assert_eq!(report.retransmits, 0);
         assert!((report.compute_fraction() - 1.0).abs() < 1e-12);
-        let per_board: Vec<u128> = report.per_shard.iter().map(|s| s.halo_in_bits).collect();
+        let per_board: Vec<u128> = report.per_shard.iter().map(|s| s.halo_in_bits.get()).collect();
         assert_eq!(per_board, vec![2 * 2 * 16 * 8, 4 * 2 * 16 * 8, 4 * 2 * 16 * 8, 2 * 2 * 16 * 8]);
     }
 
@@ -1299,14 +1312,14 @@ mod tests {
         let a = free.run(&rule, &g, 0, 6).unwrap();
         let b = slow.run(&rule, &g, 0, 6).unwrap();
         assert_eq!(a.grid(), b.grid(), "bandwidth changes speed, never results");
-        assert!(b.halo_ticks > 0);
+        assert!(b.halo_ticks > Ticks::ZERO);
         assert_eq!(a.machine.ticks, b.machine.ticks, "compute time unchanged");
         assert!(b.machine_ticks() > a.machine_ticks());
         assert!(b.updates_per_tick() < a.updates_per_tick());
         assert!(b.compute_fraction() < 1.0);
         // Slowest board's link bounds the barrier: interior boards move
         // 2·2·16·8 = 512 bits/pass at 4 bits/tick = 128 ticks × 3 passes.
-        assert_eq!(b.halo_ticks, 3 * 128);
+        assert_eq!(b.halo_ticks, Ticks::new(3 * 128));
     }
 
     #[test]
@@ -1567,7 +1580,7 @@ mod tests {
         let report = farm.run(&rule, &g, 5, 0).unwrap();
         assert_eq!(report.grid(), &g);
         assert_eq!(report.passes, 0);
-        assert_eq!(report.machine_ticks(), 0);
-        assert_eq!(report.updates_per_tick(), 0.0);
+        assert_eq!(report.machine_ticks(), Ticks::ZERO);
+        assert_eq!(report.updates_per_tick(), SitesPerTick::ZERO);
     }
 }

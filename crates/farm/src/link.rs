@@ -13,27 +13,35 @@
 //! board's link — the farm's rollback trigger.
 
 use lattice_core::bits::{StreamParity, Traffic};
+use lattice_core::units::{Bits, BitsPerTick, Ticks};
 use lattice_core::{LatticeError, State};
 use lattice_engines_sim::{Component, FaultCtx};
 
 /// An inter-board link of finite sustained bandwidth.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BoardLink {
-    /// Capacity in bits per engine clock tick; `f64::INFINITY` models a
-    /// link that is never the bottleneck.
-    pub bits_per_tick: f64,
+    /// Sustained capacity per engine clock tick;
+    /// [`BitsPerTick::UNTHROTTLED`] models a link that is never the
+    /// bottleneck.
+    pub capacity: BitsPerTick,
 }
 
 impl BoardLink {
     /// A link supplying `bits_per_tick` bits per engine tick.
     pub fn new(bits_per_tick: f64) -> Self {
         assert!(bits_per_tick > 0.0, "link capacity must be positive");
-        BoardLink { bits_per_tick }
+        BoardLink { capacity: BitsPerTick::new(bits_per_tick) }
+    }
+
+    /// A link of the given typed capacity.
+    pub fn with_capacity(capacity: BitsPerTick) -> Self {
+        assert!(capacity > BitsPerTick::ZERO, "link capacity must be positive");
+        BoardLink { capacity }
     }
 
     /// A link that never stalls the farm.
     pub fn unthrottled() -> Self {
-        BoardLink { bits_per_tick: f64::INFINITY }
+        BoardLink { capacity: BitsPerTick::UNTHROTTLED }
     }
 
     /// A link specified like a [`lattice_engines_sim::HostLink`]:
@@ -45,11 +53,8 @@ impl BoardLink {
     /// Engine ticks the link occupies moving `bits`:
     /// `⌈bits / capacity⌉`, the closed-form result of the
     /// `sim::memory` token bucket. An unthrottled link is free.
-    pub fn transfer_ticks(&self, bits: u128) -> u64 {
-        if bits == 0 || self.bits_per_tick.is_infinite() {
-            return 0;
-        }
-        (bits as f64 / self.bits_per_tick).ceil() as u64
+    pub fn transfer_ticks(&self, bits: Bits) -> Ticks {
+        self.capacity.ticks_to_move(bits)
     }
 
     /// Moves `sites` across the link into board `board`. The sender
@@ -143,16 +148,16 @@ mod tests {
         // bucket delivering 8-bit sites.
         for supply in [1.0f64, 3.0, 5.0, 7.5] {
             let link = BoardLink::new(supply);
-            for n_sites in [1u64, 10, 64, 257] {
+            for n_sites in [1usize, 10, 64, 257] {
                 let mut sim = StallSim::new(supply, 8.0);
                 let mut ticks = 0u64;
-                while sim.productive_ticks() < n_sites {
+                while sim.productive_ticks() < n_sites as u64 {
                     sim.tick();
                     ticks += 1;
                 }
-                let closed = link.transfer_ticks(n_sites as u128 * 8);
+                let closed = link.transfer_ticks(Bits::for_items(n_sites, 8)).get();
                 assert!(
-                    (closed as i64 - ticks as i64).abs() <= 1,
+                    closed.abs_diff(ticks) <= 1,
                     "supply {supply}, {n_sites} sites: closed {closed} vs sim {ticks}"
                 );
             }
@@ -161,17 +166,18 @@ mod tests {
 
     #[test]
     fn unthrottled_and_empty_transfers_are_free() {
-        assert_eq!(BoardLink::unthrottled().transfer_ticks(1 << 40), 0);
-        assert_eq!(BoardLink::new(16.0).transfer_ticks(0), 0);
-        assert_eq!(BoardLink::new(16.0).transfer_ticks(160), 10);
-        assert_eq!(BoardLink::new(16.0).transfer_ticks(161), 11);
+        let bits = |b: u128| Bits::new(b);
+        assert_eq!(BoardLink::unthrottled().transfer_ticks(bits(1 << 40)), Ticks::ZERO);
+        assert_eq!(BoardLink::new(16.0).transfer_ticks(bits(0)), Ticks::ZERO);
+        assert_eq!(BoardLink::new(16.0).transfer_ticks(bits(160)), Ticks::new(10));
+        assert_eq!(BoardLink::new(16.0).transfer_ticks(bits(161)), Ticks::new(11));
     }
 
     #[test]
     fn bandwidth_constructor_matches_hostlink_arithmetic() {
         // 40 MB/s at 10 MHz = 32 bits/tick, §8's prototype figure.
         let link = BoardLink::from_bandwidth(40e6, 10e6);
-        assert!((link.bits_per_tick - 32.0).abs() < 1e-9);
+        assert!((link.capacity.get() - 32.0).abs() < 1e-9);
     }
 
     #[test]

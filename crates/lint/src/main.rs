@@ -1,0 +1,119 @@
+//! `lattice-lint` CLI.
+//!
+//! ```text
+//! lattice-lint [--root DIR] [--allowlist FILE] [--write-baseline] [--list]
+//! ```
+//!
+//! Scans the workspace's audited sources and checks them against the
+//! count-based ratchet baseline (default `lint-baseline.toml` at the
+//! workspace root). Exit code 0 when clean, 1 when new violations
+//! exceed the baseline, 2 on usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lattice_lint::{check, scan_workspace, Baseline, Rule};
+
+struct Args {
+    root: PathBuf,
+    allowlist: PathBuf,
+    write_baseline: bool,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut root = PathBuf::from(".");
+    let mut allowlist: Option<PathBuf> = None;
+    let mut write_baseline = false;
+    let mut list = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = PathBuf::from(argv.next().ok_or("--root needs a directory")?);
+            }
+            "--allowlist" => {
+                allowlist = Some(PathBuf::from(argv.next().ok_or("--allowlist needs a file")?));
+            }
+            "--write-baseline" => write_baseline = true,
+            "--list" => list = true,
+            "--workspace" => {} // default and only mode; accepted for CI readability
+            "--help" | "-h" => {
+                return Err("usage: lattice-lint [--root DIR] [--allowlist FILE] \
+                            [--write-baseline] [--list]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    let allowlist = allowlist.unwrap_or_else(|| root.join("lint-baseline.toml"));
+    Ok(Args { root, allowlist, write_baseline, list })
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    let violations = scan_workspace(&args.root)?;
+
+    if args.write_baseline {
+        let baseline = Baseline::freeze(&violations);
+        std::fs::write(&args.allowlist, baseline.render())
+            .map_err(|e| format!("{}: {e}", args.allowlist.display()))?;
+        println!(
+            "wrote {} ({} entries, {} violations frozen)",
+            args.allowlist.display(),
+            baseline.len(),
+            violations.len()
+        );
+        return Ok(true);
+    }
+
+    if args.list {
+        for v in &violations {
+            println!("{v}");
+        }
+        println!("{} total (before baseline)", violations.len());
+        return Ok(true);
+    }
+
+    let baseline = match std::fs::read_to_string(&args.allowlist) {
+        Ok(text) => {
+            Baseline::parse(&text).map_err(|e| format!("{}: {e}", args.allowlist.display()))?
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Baseline::default(),
+        Err(e) => return Err(format!("{}: {e}", args.allowlist.display())),
+    };
+
+    let report = check(&violations, &baseline);
+    for v in &report.new_violations {
+        println!("error: {v}");
+    }
+    for (rule, file, frozen, current) in &report.slack {
+        println!("note: {file}: {rule} baseline can tighten: {frozen} frozen, {current} remain");
+    }
+    let mut per_rule = String::new();
+    for rule in Rule::ALL {
+        let n = violations.iter().filter(|v| v.rule == rule).count();
+        per_rule.push_str(&format!(" {rule}={n}"));
+    }
+    if report.is_clean() {
+        println!("lattice-lint: clean ({} baselined:{per_rule})", violations.len());
+    } else {
+        println!(
+            "lattice-lint: {} violation(s) exceed the baseline ({} scanned:{per_rule})",
+            report.new_violations.len(),
+            violations.len()
+        );
+    }
+    Ok(report.is_clean())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(msg) => {
+            eprintln!("lattice-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

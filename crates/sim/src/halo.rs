@@ -14,6 +14,7 @@ use crate::faults::FaultStats;
 use crate::metrics::EngineReport;
 use crate::pipeline::Pipeline;
 use lattice_core::bits::Traffic;
+use lattice_core::units::{u64_from_usize, Cells, Sites, Ticks};
 use lattice_core::{Coord, Grid, LatticeError, Rule, Shape, State};
 
 /// Builds the `(rows+2) × (cols+2)` halo-framed copy of `grid` with
@@ -63,8 +64,8 @@ pub fn run_periodic<R: Rule>(
     let mut current = grid.clone();
     let mut memory = Traffic::new();
     let mut pins = Traffic::new();
-    let mut ticks = 0u64;
-    let mut sr = 0u64;
+    let mut ticks = Ticks::ZERO;
+    let mut sr = Cells::ZERO;
     let mut faults = FaultStats::default();
     let origin = (0usize.wrapping_sub(1), 0usize.wrapping_sub(1));
     for g in 0..generations {
@@ -80,7 +81,7 @@ pub fn run_periodic<R: Rule>(
     Ok(EngineReport {
         grid: current,
         generations,
-        updates: generations * shape.len() as u64,
+        updates: Sites::new(u64_from_usize(shape.len())) * generations,
         ticks,
         memory_traffic: memory,
         pin_traffic: pins,

@@ -14,6 +14,9 @@ use crate::memory::HostLink;
 use crate::metrics::EngineReport;
 use crate::pipeline::{Pipeline, RunOptions};
 use lattice_core::bits::Traffic;
+use lattice_core::units::{
+    u64_from_usize, usize_from_u64, BitsPerTick, Hz, Secs, Sites, SitesPerSec, Ticks,
+};
 use lattice_core::{checkpoint, Grid, LatticeError, Rule};
 
 /// A host-attached lattice engine.
@@ -27,6 +30,13 @@ pub struct HostSystem {
     pub clock_hz: f64,
 }
 
+impl HostSystem {
+    /// The engine clock as a typed frequency.
+    pub fn clock(&self) -> Hz {
+        Hz::new(self.clock_hz)
+    }
+}
+
 /// End-to-end run summary.
 #[derive(Debug, Clone)]
 pub struct SystemRun<S: lattice_core::State> {
@@ -37,23 +47,19 @@ pub struct SystemRun<S: lattice_core::State> {
     /// Passes through the engine.
     pub passes: u64,
     /// Engine ticks summed over passes.
-    pub ticks: u64,
+    pub ticks: Ticks,
     /// Total host-memory traffic.
     pub memory_traffic: Traffic,
     /// Duty cycle imposed by the link (1.0 = never stalled).
     pub duty_cycle: f64,
-    /// Estimated wall-clock seconds including stalls.
-    pub seconds: f64,
+    /// Estimated wall-clock time including stalls.
+    pub seconds: Secs,
 }
 
 impl<S: lattice_core::State> SystemRun<S> {
-    /// Realized update rate, updates per second.
-    pub fn updates_per_second(&self, sites: u64) -> f64 {
-        if self.seconds == 0.0 {
-            0.0
-        } else {
-            (self.generations * sites) as f64 / self.seconds
-        }
+    /// Realized update rate.
+    pub fn updates_per_second(&self, sites: u64) -> SitesPerSec {
+        Sites::new(self.generations.saturating_mul(sites)).per_sec(self.seconds)
     }
 }
 
@@ -74,26 +80,31 @@ impl HostSystem {
         let t_end = t0 + generations;
         let mut t0 = t0;
         let mut passes = 0u64;
-        let mut ticks = 0u64;
+        let mut ticks = Ticks::ZERO;
         let mut memory = Traffic::new();
-        let mut demand_sum = 0.0f64;
+        let mut demand_sum = 0.0;
         while generations > 0 {
-            let depth = (self.engine.depth as u64).min(generations) as usize;
+            let depth = usize_from_u64(u64_from_usize(self.engine.depth).min(generations));
             let report: EngineReport<R::S> =
                 Pipeline::wide(self.engine.width, depth).run(rule, &current, t0)?;
-            demand_sum += report.memory_bits_per_tick() * report.ticks as f64;
+            demand_sum += report.memory_bits_per_tick().get() * report.ticks.to_f64();
             ticks += report.ticks;
             memory.merge(report.memory_traffic);
             current = report.grid;
-            t0 += depth as u64;
-            generations -= depth as u64;
+            t0 += u64_from_usize(depth);
+            generations -= u64_from_usize(depth);
             passes += 1;
         }
         // Average demand over the run vs what the link supplies.
-        let avg_demand = if ticks == 0 { 0.0 } else { demand_sum / ticks as f64 };
-        let supply = self.link.bits_per_tick(self.clock_hz);
-        let duty = if avg_demand <= 0.0 { 1.0 } else { (supply / avg_demand).min(1.0) };
-        let seconds = ticks as f64 / (self.clock_hz * duty);
+        let avg_demand = if ticks.is_zero() {
+            BitsPerTick::ZERO
+        } else {
+            BitsPerTick::new(demand_sum / ticks.to_f64())
+        };
+        let supply = BitsPerTick::new(self.link.bits_per_tick(self.clock_hz));
+        let duty =
+            if avg_demand <= BitsPerTick::ZERO { 1.0 } else { (supply / avg_demand).min(1.0) };
+        let seconds = ticks.secs_at(Hz::new(self.clock_hz * duty));
         debug_assert_eq!(t0, t_end);
         Ok(SystemRun {
             grid: current,
@@ -248,23 +259,23 @@ impl HostSystem {
         // `checkpoint_every = 1`) is unchanged.
         let mut passes_since_ckpt = cfg.shard % cfg.checkpoint_every;
         let mut passes = 0u64;
-        let mut ticks = 0u64;
+        let mut ticks = Ticks::ZERO;
         let mut memory = Traffic::new();
-        let mut demand_sum = 0.0f64;
+        let mut demand_sum = 0.0;
 
         let mut ckpt = checkpoint::save(&current, t_now);
         recovery.checkpoints = 1;
-        recovery.checkpoint_bytes = ckpt.len() as u64;
+        recovery.checkpoint_bytes = u64_from_usize(ckpt.len());
 
         while t_now < t_end {
             if passes_since_ckpt >= cfg.checkpoint_every {
                 ckpt = checkpoint::save(&current, t_now);
                 recovery.checkpoints += 1;
-                recovery.checkpoint_bytes += ckpt.len() as u64;
+                recovery.checkpoint_bytes += u64_from_usize(ckpt.len());
                 passes_since_ckpt = 0;
                 retries_left = cfg.max_retries;
             }
-            let depth = chips.len().min((t_end - t_now) as usize);
+            let depth = chips.len().min(usize_from_u64(t_end - t_now));
             let opts = RunOptions {
                 faults: plan.map(|p| FaultCtx::for_shard(p, cfg.shard, pass, attempt)),
                 chip_ids: Some(&chips[..depth]),
@@ -275,11 +286,11 @@ impl HostSystem {
                 .and_then(|report| audit(&current, &report.grid).map(|()| report));
             match outcome {
                 Ok(report) => {
-                    demand_sum += report.memory_bits_per_tick() * report.ticks as f64;
+                    demand_sum += report.memory_bits_per_tick().get() * report.ticks.to_f64();
                     ticks += report.ticks;
                     memory.merge(report.memory_traffic);
                     current = report.grid;
-                    t_now += depth as u64;
+                    t_now += u64_from_usize(depth);
                     pass += 1;
                     passes += 1;
                     passes_since_ckpt += 1;
@@ -312,10 +323,15 @@ impl HostSystem {
             }
         }
 
-        let avg_demand = if ticks == 0 { 0.0 } else { demand_sum / ticks as f64 };
-        let supply = self.link.bits_per_tick(self.clock_hz);
-        let duty = if avg_demand <= 0.0 { 1.0 } else { (supply / avg_demand).min(1.0) };
-        let seconds = ticks as f64 / (self.clock_hz * duty);
+        let avg_demand = if ticks.is_zero() {
+            BitsPerTick::ZERO
+        } else {
+            BitsPerTick::new(demand_sum / ticks.to_f64())
+        };
+        let supply = BitsPerTick::new(self.link.bits_per_tick(self.clock_hz));
+        let duty =
+            if avg_demand <= BitsPerTick::ZERO { 1.0 } else { (supply / avg_demand).min(1.0) };
+        let seconds = ticks.secs_at(Hz::new(self.clock_hz * duty));
         Ok(FtRun {
             run: SystemRun {
                 grid: current,
@@ -369,7 +385,7 @@ mod tests {
         let run = sys.run(&rule, &g, 0, 4).unwrap();
         assert!(run.duty_cycle > 0.99, "{}", run.duty_cycle);
         // ≈ 20 M updates/s for the P = 2 chip, slightly less with fill.
-        let ups = run.updates_per_second(32 * 64);
+        let ups = run.updates_per_second(32 * 64).get();
         assert!(ups > 15e6 && ups <= 40.1e6, "{ups}");
     }
 
@@ -383,6 +399,7 @@ mod tests {
         let s = slow.run(&rule, &g, 0, 4).unwrap();
         assert_eq!(f.grid, s.grid, "bandwidth changes speed, never results");
         let ratio = f.updates_per_second(32 * 64) / s.updates_per_second(32 * 64);
+
         // §8's 20× derating, within fill-effect tolerance.
         assert!((18.0..=22.0).contains(&ratio), "derating {ratio}");
     }

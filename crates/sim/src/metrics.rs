@@ -2,6 +2,7 @@
 
 use crate::faults::FaultStats;
 use lattice_core::bits::Traffic;
+use lattice_core::units::{BitsPerTick, Cells, Hz, Sites, SitesPerSec, SitesPerTick, Ticks};
 use lattice_core::{Grid, State};
 
 /// Everything an engine run reports: the computed lattice plus the
@@ -14,9 +15,9 @@ pub struct EngineReport<S: State> {
     /// Generations computed.
     pub generations: u64,
     /// Site updates performed (`generations × sites`).
-    pub updates: u64,
+    pub updates: Sites,
     /// Clock ticks consumed, including pipeline fill and drain.
-    pub ticks: u64,
+    pub ticks: Ticks,
     /// Host main-memory traffic (first-stage input + last-stage output).
     pub memory_traffic: Traffic,
     /// Inter-chip pipeline traffic summed over all chips (each chip's
@@ -27,7 +28,7 @@ pub struct EngineReport<S: State> {
     /// WSA-E external shift-register traffic (zero for other engines).
     pub offchip_sr_traffic: Traffic,
     /// Peak shift-register cells occupied in any single stage.
-    pub sr_cells_per_stage: u64,
+    pub sr_cells_per_stage: Cells,
     /// Pipeline stages (PE depth).
     pub stages: u32,
     /// PEs per stage.
@@ -39,24 +40,20 @@ pub struct EngineReport<S: State> {
 
 impl<S: State> EngineReport<S> {
     /// Average site updates per clock tick.
-    pub fn updates_per_tick(&self) -> f64 {
-        if self.ticks == 0 {
-            0.0
-        } else {
-            self.updates as f64 / self.ticks as f64
-        }
+    pub fn updates_per_tick(&self) -> SitesPerTick {
+        self.updates / self.ticks
     }
 
-    /// Updates per second at clock frequency `clock_hz`, assuming the
-    /// memory system sustains the demanded bandwidth (the paper's §6
-    /// "very important assumption").
-    pub fn updates_per_second(&self, clock_hz: f64) -> f64 {
-        self.updates_per_tick() * clock_hz
+    /// Updates per second at clock `clock`, assuming the memory system
+    /// sustains the demanded bandwidth (the paper's §6 "very important
+    /// assumption").
+    pub fn updates_per_second(&self, clock: Hz) -> SitesPerSec {
+        self.updates_per_tick() * clock
     }
 
-    /// Measured main-memory bandwidth demand in bits per tick.
-    pub fn memory_bits_per_tick(&self) -> f64 {
-        self.memory_traffic.bits_per_tick(self.ticks as u128)
+    /// Measured main-memory bandwidth demand.
+    pub fn memory_bits_per_tick(&self) -> BitsPerTick {
+        BitsPerTick::new(self.memory_traffic.bits_per_tick(u128::from(self.ticks.get())))
     }
 
     /// Folds another report into this one, modeling *parallel
@@ -78,6 +75,7 @@ impl<S: State> EngineReport<S> {
         self.generations = self.generations.max(other.generations);
         self.updates += other.updates;
         self.ticks = self.ticks.max(other.ticks);
+
         self.memory_traffic.merge(other.memory_traffic);
         self.pin_traffic.merge(other.pin_traffic);
         self.side_traffic.merge(other.side_traffic);
@@ -90,11 +88,11 @@ impl<S: State> EngineReport<S> {
 
     /// PE utilization: fraction of PE-ticks that performed an update.
     pub fn utilization(&self) -> f64 {
-        let pe_ticks = self.ticks as f64 * self.stages as f64 * self.width as f64;
+        let pe_ticks = self.ticks.to_f64() * f64::from(self.stages) * f64::from(self.width);
         if pe_ticks == 0.0 {
             0.0
         } else {
-            self.updates as f64 / pe_ticks
+            self.updates.to_f64() / pe_ticks
         }
     }
 }
@@ -111,13 +109,13 @@ mod tests {
         EngineReport {
             grid: Grid::new(Shape::grid2(10, 10).unwrap()),
             generations: 2,
-            updates: 200,
-            ticks: 120,
+            updates: Sites::new(200),
+            ticks: Ticks::new(120),
             memory_traffic,
             pin_traffic: Traffic::new(),
             side_traffic: Traffic::new(),
             offchip_sr_traffic: Traffic::new(),
-            sr_cells_per_stage: 23,
+            sr_cells_per_stage: Cells::new(23),
             stages: 2,
             width: 1,
             faults: FaultStats::default(),
@@ -127,9 +125,9 @@ mod tests {
     #[test]
     fn derived_rates() {
         let r = report();
-        assert!((r.updates_per_tick() - 200.0 / 120.0).abs() < 1e-12);
-        assert!((r.updates_per_second(10e6) - 200.0 / 120.0 * 10e6).abs() < 1e-3);
-        assert!((r.memory_bits_per_tick() - 1600.0 / 120.0).abs() < 1e-12);
+        assert!((r.updates_per_tick().get() - 200.0 / 120.0).abs() < 1e-12);
+        assert!((r.updates_per_second(Hz::new(10e6)).get() - 200.0 / 120.0 * 10e6).abs() < 1e-3);
+        assert!((r.memory_bits_per_tick().get() - 1600.0 / 120.0).abs() < 1e-12);
         assert!((r.utilization() - 200.0 / 240.0).abs() < 1e-12);
     }
 
@@ -138,7 +136,7 @@ mod tests {
     #[allow(clippy::type_complexity)]
     fn accounting(
         r: &EngineReport<u8>,
-    ) -> (u64, u64, u64, Traffic, Traffic, Traffic, Traffic, u64, u32, u32, FaultStats) {
+    ) -> (u64, Sites, Ticks, Traffic, Traffic, Traffic, Traffic, Cells, u32, u32, FaultStats) {
         (
             r.generations,
             r.updates,
@@ -156,12 +154,12 @@ mod tests {
 
     fn shard_report(seed: u64) -> EngineReport<u8> {
         let mut r = report();
-        r.updates = 100 * seed;
-        r.ticks = 60 + seed;
-        r.sr_cells_per_stage = 10 + seed;
+        r.updates = Sites::new(100 * seed);
+        r.ticks = Ticks::new(60 + seed);
+        r.sr_cells_per_stage = Cells::new(10 + seed);
         r.generations = seed;
-        r.width = seed as u32;
-        r.memory_traffic.record_in(seed as u128, 8);
+        r.width = u32::try_from(seed).unwrap();
+        r.memory_traffic.record_in(u128::from(seed), 8);
         r.faults.sr_cell = seed;
         r
     }
@@ -171,13 +169,13 @@ mod tests {
         let zero = EngineReport {
             grid: Grid::new(Shape::grid2(1, 1).unwrap()),
             generations: 0,
-            updates: 0,
-            ticks: 0,
+            updates: Sites::ZERO,
+            ticks: Ticks::ZERO,
             memory_traffic: Traffic::new(),
             pin_traffic: Traffic::new(),
             side_traffic: Traffic::new(),
             offchip_sr_traffic: Traffic::new(),
-            sr_cells_per_stage: 0,
+            sr_cells_per_stage: Cells::ZERO,
             stages: 0,
             width: 0,
             faults: FaultStats::default(),
@@ -220,19 +218,19 @@ mod tests {
         let a = report();
         let mut m = a.clone();
         m.merge(&a);
-        assert_eq!(m.updates, 2 * a.updates);
+        assert_eq!(m.updates, a.updates * 2);
         assert_eq!(m.ticks, a.ticks);
         assert_eq!(m.stages, 2 * a.stages);
         assert!((m.utilization() - a.utilization()).abs() < 1e-12);
-        assert!((m.updates_per_tick() - 2.0 * a.updates_per_tick()).abs() < 1e-12);
+        assert!((m.updates_per_tick().get() - 2.0 * a.updates_per_tick().get()).abs() < 1e-12);
     }
 
     #[test]
     fn zero_tick_report_is_safe() {
         let mut r = report();
-        r.ticks = 0;
+        r.ticks = Ticks::ZERO;
         r.stages = 0;
-        assert_eq!(r.updates_per_tick(), 0.0);
+        assert_eq!(r.updates_per_tick(), SitesPerTick::ZERO);
         assert_eq!(r.utilization(), 0.0);
     }
 }

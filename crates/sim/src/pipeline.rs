@@ -11,6 +11,7 @@ use crate::faults::{Component, FaultCtx, FaultHook};
 use crate::metrics::EngineReport;
 use crate::stage::{LineBufferStage, StageConfig};
 use lattice_core::bits::{StreamParity, Traffic};
+use lattice_core::units::{u64_from_usize, Cells, Sites, Ticks};
 use lattice_core::{Grid, LatticeError, Rule, State};
 
 /// Per-run options beyond the geometry: the stream origin, fault
@@ -70,7 +71,7 @@ impl Pipeline {
     /// let rule = HppRule::new();
     /// let report = Pipeline::wide(2, 3).run(&rule, &gas, 0)?;
     /// assert_eq!(report.grid, evolve(&gas, &rule, Boundary::null(), 0, 3));
-    /// assert_eq!(report.updates, 3 * 16 * 32);
+    /// assert_eq!(report.updates, lattice_core::units::Sites::new(3 * 16 * 32));
     /// # Ok::<(), lattice_core::LatticeError>(())
     /// ```
     pub fn run<R: Rule>(
@@ -209,12 +210,13 @@ impl Pipeline {
             }
         }
 
-        let sr_cells = stages.iter().map(|s| s.config().required_cells() as u64).max().unwrap();
+        let sr_cells =
+            Cells::new(stages.iter().map(|s| s.config().required_cells() as u64).max().unwrap());
         Ok(EngineReport {
             grid: Grid::from_vec(shape, result)?,
             generations: self.depth as u64,
-            updates: (n * self.depth) as u64,
-            ticks,
+            updates: Sites::new(u64_from_usize(n * self.depth)),
+            ticks: Ticks::new(ticks),
             memory_traffic: memory,
             pin_traffic: pins,
             side_traffic: Traffic::new(),
@@ -307,8 +309,8 @@ mod tests {
         let rule = FhpRule::new(FhpVariant::I, 8);
         for p in [1u32, 2, 4] {
             let report = Pipeline::wide(p as usize, 2).run(&rule, &g, 0).unwrap();
-            let measured = report.memory_bits_per_tick();
-            let analytical = (2 * 8 * p) as f64;
+            let measured = report.memory_bits_per_tick().get();
+            let analytical = f64::from(2 * 8 * p);
             // Fill/drain ticks dilute the average slightly below peak.
             assert!(
                 measured <= analytical && measured > 0.85 * analytical,
@@ -322,7 +324,7 @@ mod tests {
         let shape = Shape::grid2(16, 100).unwrap();
         let g = lattice_gas::init::random_hpp(shape, 0.3, 2).unwrap();
         let report = Pipeline::wide(4, 2).run(&HppRule::new(), &g, 0).unwrap();
-        assert_eq!(report.sr_cells_per_stage, 2 * 100 + 4 + 2);
+        assert_eq!(report.sr_cells_per_stage, Cells::new(2 * 100 + 4 + 2));
     }
 
     #[test]

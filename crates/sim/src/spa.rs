@@ -19,6 +19,7 @@ use crate::faults::{Component, FaultCtx, FaultHook};
 use crate::metrics::EngineReport;
 use crate::stage::{LineBufferStage, StageConfig};
 use lattice_core::bits::Traffic;
+use lattice_core::units::{u64_from_usize, Cells, Sites, Ticks};
 use lattice_core::{Coord, Grid, LatticeError, Rule, Shape, State};
 
 /// Per-run options for [`SpaEngine::run_opts`] beyond the engine
@@ -232,13 +233,13 @@ impl SpaEngine {
         Ok(EngineReport {
             grid: current,
             generations: self.depth as u64,
-            updates: (rows * cols * self.depth) as u64,
-            ticks,
+            updates: Sites::new(u64_from_usize(rows * cols * self.depth)),
+            ticks: Ticks::new(ticks),
             memory_traffic: memory,
             pin_traffic: pins,
             side_traffic: side,
             offchip_sr_traffic: Traffic::new(),
-            sr_cells_per_stage: sr_cells,
+            sr_cells_per_stage: Cells::new(sr_cells),
             stages: (self.depth * n_slices) as u32,
             width: 1,
             faults: faults.map(|c| c.plan.stats().since(fault_base)).unwrap_or_default(),
@@ -376,7 +377,7 @@ mod tests {
         let r = SpaEngine::new(10, 1).run(&HppRule::new(), &g, 0).unwrap();
         // 2(W+2)+3 cells — the measured counterpart of the paper's
         // (2W + 9) per-PE figure.
-        assert_eq!(r.sr_cells_per_stage, 2 * 12 + 3);
+        assert_eq!(r.sr_cells_per_stage, Cells::new(2 * 12 + 3));
     }
 
     #[test]

@@ -25,6 +25,7 @@
 
 use crate::metrics::EngineReport;
 use lattice_core::bits::Traffic;
+use lattice_core::units::{Cells, Sites, Ticks};
 use lattice_core::window::WINDOW_MAX;
 use lattice_core::{Coord, Grid, LatticeError, Rule, State, Window};
 
@@ -227,13 +228,14 @@ impl SpaLockstep {
             }
         }
 
-        let peak =
-            pes.iter().flat_map(|lvl| lvl.iter()).map(|pe| pe.peak as u64).max().unwrap_or(0);
+        let peak = Cells::new(
+            pes.iter().flat_map(|lvl| lvl.iter()).map(|pe| pe.peak as u64).max().unwrap_or(0),
+        );
         Ok(EngineReport {
             grid: out,
             generations: self.depth as u64,
-            updates,
-            ticks: tick,
+            updates: Sites::new(updates),
+            ticks: Ticks::new(tick),
             memory_traffic: memory,
             pin_traffic: pins,
             side_traffic: side,
@@ -312,7 +314,7 @@ mod tests {
             let m = SpaLockstep::new(w, depth);
             let report = m.run(&rule, &g, 0).unwrap();
             let expect = m.expected_ticks(16, 32);
-            let diff = report.ticks.abs_diff(expect);
+            let diff = report.ticks.abs_diff(Ticks::new(expect));
             assert!(diff <= 4, "W={w} k={depth}: {} vs {expect}", report.ticks);
         }
     }
@@ -324,8 +326,8 @@ mod tests {
         let g = lattice_gas::init::random_hpp(shape, 0.3, 2).unwrap();
         let rule = HppRule::new();
         let report = SpaLockstep::new(8, 3).run(&rule, &g, 0).unwrap();
-        let model = (3 * 32 / 8) as f64;
-        let measured = report.updates_per_tick();
+        let model = f64::from(3u16 * 32 / 8);
+        let measured = report.updates_per_tick().get();
         assert!(measured > 0.85 * model && measured <= model, "{measured} vs {model}");
     }
 
@@ -336,7 +338,7 @@ mod tests {
         let report = SpaLockstep::new(10, 2).run(&HppRule::new(), &g, 0).unwrap();
         // 2W + 3 ± the measurement margin.
         assert!(
-            (2 * 10..=2 * 10 + 7).contains(&(report.sr_cells_per_stage as usize)),
+            (2u64 * 10..=2 * 10 + 7).contains(&report.sr_cells_per_stage.get()),
             "{}",
             report.sr_cells_per_stage
         );

@@ -25,6 +25,7 @@ use crate::metrics::EngineReport;
 use crate::stage::{LineBufferStage, StageConfig};
 use crossbeam::channel::bounded;
 use lattice_core::bits::{StreamParity, Traffic};
+use lattice_core::units::{u64_from_usize, Cells, Sites, Ticks};
 use lattice_core::{Grid, LatticeError, Rule, State};
 
 /// Per-stage result carried back from its worker thread.
@@ -223,13 +224,13 @@ pub fn run_threaded_with_faults<R: Rule>(
     Ok(EngineReport {
         grid: Grid::from_vec(shape, final_stream)?,
         generations: depth as u64,
-        updates: (n * depth) as u64,
-        ticks,
+        updates: Sites::new(u64_from_usize(n * depth)),
+        ticks: Ticks::new(ticks),
         memory_traffic: memory,
         pin_traffic: pins,
         side_traffic: Traffic::new(),
         offchip_sr_traffic: Traffic::new(),
-        sr_cells_per_stage: sr_cells,
+        sr_cells_per_stage: Cells::new(sr_cells),
         stages: depth as u32,
         width: width as u32,
         faults: faults.map(|c| c.plan.stats().since(fault_base)).unwrap_or_default(),
@@ -267,6 +268,7 @@ mod tests {
             assert_eq!(thr.sr_cells_per_stage, seq.sr_cells_per_stage);
             // Tick counts agree up to the modeled register skew.
             let diff = thr.ticks.abs_diff(seq.ticks);
+
             assert!(diff <= k as u64, "P={p} k={k}: {} vs {}", thr.ticks, seq.ticks);
         }
     }

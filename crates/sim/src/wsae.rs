@@ -13,6 +13,7 @@ use crate::faults::FaultCtx;
 use crate::metrics::EngineReport;
 use crate::pipeline::{Pipeline, RunOptions};
 use lattice_core::bits::Traffic;
+use lattice_core::units::{u64_from_usize, Cells};
 use lattice_core::{Grid, LatticeError, Rule, State};
 
 /// A WSA-E pipeline: serial stages with off-chip shift registers.
@@ -63,8 +64,8 @@ impl WsaePipeline {
             RunOptions { faults, offchip_from: Some(self.on_chip_cells), ..RunOptions::default() };
         let mut report = Pipeline::serial(self.depth).run_opts(rule, grid, t0, opts)?;
         let cells = report.sr_cells_per_stage;
-        let overflow = cells.saturating_sub(self.on_chip_cells as u64);
-        if overflow > 0 {
+        let overflow = cells.saturating_sub(Cells::new(u64_from_usize(self.on_chip_cells)));
+        if !overflow.is_zero() {
             // Every site streamed through a stage transits the external
             // SR once (out to it and back in), on every stage.
             let sites_per_stage = grid.shape().len() as u128;

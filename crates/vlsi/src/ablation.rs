@@ -19,6 +19,7 @@
 use crate::spa::Spa;
 use crate::tech::Technology;
 use crate::wsa::Wsa;
+use lattice_core::units::{u32_from_f64_floor, Cells, ChipArea, Pins};
 use serde::{Deserialize, Serialize};
 
 /// A multi-stage WSA chip design: `stages` wide-serial stages of
@@ -32,9 +33,9 @@ pub struct MultiStageWsa {
     /// Largest supportable lattice side.
     pub l_max: u32,
     /// Normalized area used at `l_max`.
-    pub area_used: f64,
+    pub area_used: ChipArea,
     /// Pins used (only the chip-boundary stream counts).
-    pub pins_used: u32,
+    pub pins_used: Pins,
     /// Site updates per tick per chip (`stages · p`).
     pub updates_per_tick: u32,
 }
@@ -50,22 +51,24 @@ pub fn multi_stage_wsa(tech: Technology, stages: u32, p: u32) -> Option<MultiSta
     if stages == 0 || p == 0 {
         return None;
     }
-    let pins_used = 2 * tech.d_bits * p;
-    if pins_used > tech.pins {
+    let pins_used = Pins::new(2 * tech.d_bits * p);
+    if pins_used > tech.pin_budget() {
         return None;
     }
     // stages · ((2L + 7P + 3)B + PΓ) ≤ 1  →  solve for L.
-    let per_stage_fixed = (7.0 * p as f64 + 3.0) * tech.b + p as f64 * tech.g;
-    let budget = 1.0 / stages as f64 - per_stage_fixed;
-    if budget <= 0.0 {
+    let per_stage_fixed = tech.cell_area().times_cells(Cells::new(7 * u64::from(p) + 3))
+        + tech.pe_area() * f64::from(p);
+    let budget = ChipArea::new(1.0 / f64::from(stages)) - per_stage_fixed;
+    if budget.get() <= 0.0 {
         return None;
     }
-    let l_max = (budget / (2.0 * tech.b)).floor() as u32;
+    let l_max = u32_from_f64_floor(budget.capacity(tech.cell_area() * 2.0));
     if l_max == 0 {
         return None;
     }
-    let area_used =
-        stages as f64 * ((2.0 * l_max as f64 + 7.0 * p as f64 + 3.0) * tech.b + p as f64 * tech.g);
+    let cells_per_stage = Cells::new(2 * u64::from(l_max) + 7 * u64::from(p) + 3);
+    let per_stage = tech.cell_area().times_cells(cells_per_stage) + tech.pe_area() * f64::from(p);
+    let area_used = per_stage * f64::from(stages);
     Some(MultiStageWsa { stages, p, l_max, area_used, pins_used, updates_per_tick: stages * p })
 }
 
@@ -131,7 +134,7 @@ mod tests {
         let d = multi_stage_wsa(tech(), 1, 4).unwrap();
         assert_eq!(d.l_max, 785);
         assert_eq!(d.updates_per_tick, 4);
-        assert!(d.area_used <= 1.0);
+        assert!(d.area_used <= ChipArea::new(1.0));
     }
 
     #[test]

@@ -14,6 +14,7 @@ use crate::spa::{Spa, SpaDesign};
 use crate::tech::Technology;
 use crate::wsa::{Wsa, WsaDesign};
 use crate::wsae::{Wsae, WsaeDesign};
+use lattice_core::units::{BitsPerTick, ChipArea};
 use serde::{Deserialize, Serialize};
 
 /// The §6.3 optimized-for-throughput comparison (experiment E3).
@@ -29,11 +30,11 @@ pub struct ArchComparison {
     /// SPA-to-WSA per-chip throughput ratio (PEs per chip ratio; same
     /// clock). Paper: 3×.
     pub speedup_per_chip: f64,
-    /// WSA main-memory bandwidth, bits/tick. Paper: 64.
-    pub wsa_bandwidth: u32,
-    /// SPA main-memory bandwidth, bits/tick. Paper: 262 (real-valued
+    /// WSA main-memory bandwidth. Paper: 64 bits/tick.
+    pub wsa_bandwidth: BitsPerTick,
+    /// SPA main-memory bandwidth. Paper: 262 bits/tick (real-valued
     /// slice count); integer slices give ≈ 256–304 depending on W.
-    pub spa_bandwidth: u32,
+    pub spa_bandwidth: BitsPerTick,
     /// SPA-to-WSA bandwidth ratio. Paper: ≈ 4×.
     pub bandwidth_ratio: f64,
 }
@@ -44,16 +45,16 @@ pub fn optimized_comparison(tech: Technology) -> ArchComparison {
     let spa_model = Spa::new(tech);
     let spa = spa_model.corner();
     let l = wsa.l;
-    let wsa_bw = wsa.bandwidth_bits_per_tick;
-    let spa_bw = spa_model.bandwidth_bits_per_tick(l, spa.w);
+    let wsa_bw = wsa.bandwidth;
+    let spa_bw = spa_model.bandwidth(l, spa.w);
     ArchComparison {
         wsa,
         spa,
         l,
-        speedup_per_chip: spa.p as f64 / wsa.p as f64,
+        speedup_per_chip: f64::from(spa.p) / f64::from(wsa.p),
         wsa_bandwidth: wsa_bw,
         spa_bandwidth: spa_bw,
-        bandwidth_ratio: spa_bw as f64 / wsa_bw as f64,
+        bandwidth_ratio: spa_bw.ratio(wsa_bw),
     }
 }
 
@@ -75,9 +76,9 @@ pub struct WsaeSpaComparison {
     /// Bandwidth ratio WSA-E : SPA (paper at L = 1000: ≈ 1/20).
     pub bandwidth_ratio: f64,
     /// WSA-E per-processor storage area, normalized (`(2L+10)·B`).
-    pub wsae_storage_per_pe: f64,
+    pub wsae_storage_per_pe: ChipArea,
     /// SPA per-processor area, normalized (`(2W+9)·B + Γ`).
-    pub spa_area_per_pe: f64,
+    pub spa_area_per_pe: ChipArea,
 }
 
 /// Computes the WSA-E vs SPA comparison at lattice side `l`.
@@ -85,16 +86,16 @@ pub fn wsae_vs_spa(tech: Technology, l: u32) -> WsaeSpaComparison {
     let wsae = Wsae::new(tech).design(l);
     let spa_model = Spa::new(tech);
     let spa = spa_model.corner();
-    let spa_bw = spa_model.bandwidth_bits_per_tick(l, spa.w);
+    let spa_bw = spa_model.bandwidth(l, spa.w);
     WsaeSpaComparison {
         l,
         wsae,
         spa,
-        speedup_per_chip: spa.p as f64,
-        area_ratio: wsae.stage_area / 1.0,
-        bandwidth_ratio: wsae.bandwidth_bits_per_tick as f64 / spa_bw as f64,
-        wsae_storage_per_pe: wsae.cells as f64 * tech.b,
-        spa_area_per_pe: spa.area_used / spa.p as f64,
+        speedup_per_chip: f64::from(spa.p),
+        area_ratio: wsae.stage_area.ratio(ChipArea::new(1.0)),
+        bandwidth_ratio: wsae.bandwidth.ratio(spa_bw),
+        wsae_storage_per_pe: tech.cell_area().times_cells(wsae.cells),
+        spa_area_per_pe: spa.area_used * (1.0 / f64::from(spa.p)),
     }
 }
 
@@ -113,34 +114,32 @@ pub enum Regime {
 }
 
 /// Picks the preferred architecture for lattice side `l` under a host
-/// bandwidth budget of `budget_bits_per_tick`, preferring (in order)
-/// the simplest feasible system that meets `min_updates_per_tick`
-/// aggregate throughput with at most `max_chips` chips.
+/// bandwidth budget of `budget`, preferring (in order) the simplest
+/// feasible system that meets `min_updates_per_tick` aggregate
+/// throughput with at most `max_chips` chips.
 pub fn preferred_regime(
     tech: Technology,
     l: u32,
-    budget_bits_per_tick: u32,
+    budget: BitsPerTick,
     min_updates_per_tick: f64,
     max_chips: u32,
 ) -> Option<Regime> {
     let wsa = Wsa::new(tech);
     let c = wsa.corner();
     if l <= c.l
-        && c.bandwidth_bits_per_tick <= budget_bits_per_tick
-        && (c.p as f64 * max_chips.min(l) as f64) >= min_updates_per_tick
+        && c.bandwidth <= budget
+        && (f64::from(c.p) * f64::from(max_chips.min(l))) >= min_updates_per_tick
     {
         return Some(Regime::Wsa);
     }
     let wsae = Wsae::new(tech).design(l);
-    if wsae.bandwidth_bits_per_tick <= budget_bits_per_tick
-        && max_chips as f64 >= min_updates_per_tick
-    {
+    if wsae.bandwidth <= budget && f64::from(max_chips) >= min_updates_per_tick {
         return Some(Regime::WsaE);
     }
     let spa_model = Spa::new(tech);
     let spa = spa_model.corner();
-    if spa_model.bandwidth_bits_per_tick(l, spa.w) <= budget_bits_per_tick
-        && (spa.p as f64 * max_chips as f64) >= min_updates_per_tick
+    if spa_model.bandwidth(l, spa.w) <= budget
+        && (f64::from(spa.p) * f64::from(max_chips)) >= min_updates_per_tick
     {
         return Some(Regime::Spa);
     }
@@ -161,8 +160,9 @@ mod tests {
         assert!((c.speedup_per_chip - 3.0).abs() < 1e-12);
         // "262 bits/tick versus 64 bits/tick" — four times the
         // bandwidth. Integer slicing puts ours in the 250–310 band.
-        assert_eq!(c.wsa_bandwidth, 64);
-        assert!((250..=310).contains(&c.spa_bandwidth), "spa bandwidth {}", c.spa_bandwidth);
+        assert_eq!(c.wsa_bandwidth, BitsPerTick::new(64.0));
+        let spa_bw = c.spa_bandwidth.get();
+        assert!((250.0..=310.0).contains(&spa_bw), "spa bandwidth {spa_bw}");
         assert!((3.5..=5.0).contains(&c.bandwidth_ratio), "{}", c.bandwidth_ratio);
         assert_eq!(c.l, 785);
     }
@@ -182,8 +182,8 @@ mod tests {
             c.bandwidth_ratio
         );
         // Per-PE figures from the paper's formulas.
-        assert!((c.wsae_storage_per_pe - 2010.0 * 576e-6).abs() < 1e-9);
-        assert!(c.spa_area_per_pe < 0.09);
+        assert!((c.wsae_storage_per_pe.get() - 2010.0 * 576e-6).abs() < 1e-9);
+        assert!(c.spa_area_per_pe < ChipArea::new(0.09));
     }
 
     #[test]
@@ -192,23 +192,24 @@ mod tests {
         let a = wsae_vs_spa(t, 500);
         let b = wsae_vs_spa(t, 2000);
         // WSA-E area per stage grows with L...
-        assert!(b.wsae.stage_area > 2.0 * a.wsae.stage_area);
+        assert!(b.wsae.stage_area > a.wsae.stage_area * 2.0);
         // ...while its bandwidth is flat and SPA's grows.
-        assert_eq!(a.wsae.bandwidth_bits_per_tick, b.wsae.bandwidth_bits_per_tick);
+        assert_eq!(a.wsae.bandwidth, b.wsae.bandwidth);
         assert!(b.bandwidth_ratio < a.bandwidth_ratio);
     }
 
     #[test]
     fn regimes_partition_the_plane() {
         let t = Technology::paper_1987();
+        let bw = BitsPerTick::new;
         // Small lattice, modest demands → WSA.
-        assert_eq!(preferred_regime(t, 500, 64, 4.0, 16), Some(Regime::Wsa));
+        assert_eq!(preferred_regime(t, 500, bw(64.0), 4.0, 16), Some(Regime::Wsa));
         // Huge lattice, tiny bandwidth budget → WSA-E.
-        assert_eq!(preferred_regime(t, 5000, 16, 4.0, 16), Some(Regime::WsaE));
+        assert_eq!(preferred_regime(t, 5000, bw(16.0), 4.0, 16), Some(Regime::WsaE));
         // Huge lattice, high per-chip speed demanded, big memory system →
         // SPA.
-        assert_eq!(preferred_regime(t, 5000, 4000, 100.0, 16), Some(Regime::Spa));
+        assert_eq!(preferred_regime(t, 5000, bw(4000.0), 100.0, 16), Some(Regime::Spa));
         // Impossible demands → none.
-        assert_eq!(preferred_regime(t, 5000, 8, 1e9, 2), None);
+        assert_eq!(preferred_regime(t, 5000, bw(8.0), 1e9, 2), None);
     }
 }

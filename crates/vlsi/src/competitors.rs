@@ -14,6 +14,7 @@
 //! are indicative (± a small factor), the *shape* — which constraint
 //! binds — is the point.
 
+use lattice_core::units::{f64_from_u64, SitesPerSec};
 use serde::{Deserialize, Serialize};
 
 /// A coarse machine model for lattice-gas updating.
@@ -35,18 +36,18 @@ pub struct BulkMachine {
 }
 
 impl BulkMachine {
-    /// Compute-bound update rate, updates/s.
-    pub fn compute_rate(&self) -> f64 {
-        self.processors as f64 * self.clock_hz / self.ops_per_update
+    /// Compute-bound update rate.
+    pub fn compute_rate(&self) -> SitesPerSec {
+        SitesPerSec::new(f64_from_u64(self.processors) * self.clock_hz / self.ops_per_update)
     }
 
-    /// Memory-bound update rate, updates/s.
-    pub fn memory_rate(&self) -> f64 {
-        self.mem_bytes_per_sec / self.bytes_per_update
+    /// Memory-bound update rate.
+    pub fn memory_rate(&self) -> SitesPerSec {
+        SitesPerSec::new(self.mem_bytes_per_sec / self.bytes_per_update)
     }
 
     /// Deliverable rate: the binding constraint.
-    pub fn updates_per_second(&self) -> f64 {
+    pub fn updates_per_second(&self) -> SitesPerSec {
         self.compute_rate().min(self.memory_rate())
     }
 
@@ -110,15 +111,15 @@ pub fn wsa_system(tech: crate::Technology, n_chips: u32) -> BulkMachine {
     let corner = crate::wsa::Wsa::new(tech).corner();
     BulkMachine {
         name: format!("WSA, {n_chips} chips"),
-        processors: (corner.p * n_chips) as u64,
+        processors: u64::from(corner.p) * u64::from(n_chips),
         clock_hz: tech.clock_hz,
         ops_per_update: 1.0,
         // One stream in + out at D bits per site per tick…
-        mem_bytes_per_sec: corner.bandwidth_bits_per_tick as f64 / 8.0 * tech.clock_hz,
+        mem_bytes_per_sec: corner.bandwidth.get() / 8.0 * tech.clock_hz,
         // …amortized over the pipeline depth: each fetched site is
         // updated once per chip in the chain. This is the architectural
         // point — depth converts storage into bandwidth relief.
-        bytes_per_update: 2.0 * tech.d_bits as f64 / 8.0 / n_chips as f64,
+        bytes_per_update: 2.0 * f64::from(tech.d_bits) / 8.0 / f64::from(n_chips),
     }
 }
 
@@ -131,11 +132,11 @@ pub fn spa_system(tech: crate::Technology, n_chips: u32, l: u32) -> BulkMachine 
     let depth = (n_chips / chip_cols).max(1) * chip.p_k;
     BulkMachine {
         name: format!("SPA, {n_chips} chips"),
-        processors: (chip.p * n_chips) as u64,
+        processors: u64::from(chip.p) * u64::from(n_chips),
         clock_hz: tech.clock_hz,
         ops_per_update: 1.0,
-        mem_bytes_per_sec: spa.bandwidth_bits_per_tick(l, chip.w) as f64 / 8.0 * tech.clock_hz,
-        bytes_per_update: 2.0 * tech.d_bits as f64 / 8.0 / depth as f64,
+        mem_bytes_per_sec: spa.bandwidth(l, chip.w).get() / 8.0 * tech.clock_hz,
+        bytes_per_update: 2.0 * f64::from(tech.d_bits) / 8.0 / f64::from(depth),
     }
 }
 
@@ -150,14 +151,14 @@ mod tests {
         // 65536 × 4 MHz / 100 ≈ 2.6 G updates/s compute-bound; its local
         // memories keep up, so compute binds.
         assert!(!cm.memory_bound());
-        let r = cm.updates_per_second();
+        let r = cm.updates_per_second().get();
         assert!((1e9..1e10).contains(&r), "{r}");
     }
 
     #[test]
     fn cray_is_order_10m_updates() {
         let cray = BulkMachine::cray_xmp();
-        let r = cray.updates_per_second();
+        let r = cray.updates_per_second().get();
         assert!((1e6..1e8).contains(&r), "{r}");
     }
 
@@ -167,7 +168,8 @@ mod tests {
         // 2 MB/s bus at 2 bytes/update is exactly memory-bound at 1 M.
         let ws = BulkMachine::workstation_1987();
         assert!(ws.memory_bound());
-        assert!((ws.updates_per_second() - 1e6).abs() < 2e5, "{}", ws.updates_per_second());
+        let r = ws.updates_per_second().get();
+        assert!((r - 1e6).abs() < 2e5, "{r}");
     }
 
     #[test]
@@ -177,7 +179,7 @@ mod tests {
         // assumption), so neither constraint slackens.
         let tech = Technology::paper_1987();
         let wsa = wsa_system(tech, 8);
-        let ratio = wsa.compute_rate() / wsa.memory_rate();
+        let ratio = wsa.compute_rate().ratio(wsa.memory_rate());
         assert!((0.9..=1.1).contains(&ratio), "{ratio}");
         // A full-depth (L-chip) WSA machine lands in CRAY territory with
         // 1987 custom silicon.

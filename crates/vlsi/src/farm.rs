@@ -18,9 +18,17 @@
 //! and the slowest board/slowest link maxima at the barrier. The
 //! `tab_farm_scaling` bench tabulates measurement against this model;
 //! integration tests hold them within 10% in the unthrottled regime.
+//!
+//! The per-pass accounting is exact integer arithmetic in `core::units`
+//! quantities — [`Ticks`] on the barriers, [`Bits`] on the links — so a
+//! ticks-vs-bits mixup is a type error, and the ceil divisions that §6
+//! writes as `⌈·⌉` are `div_ceil`, not float rounding.
 
 use crate::tech::Technology;
 use lattice_core::shard::{partition, Slab};
+use lattice_core::units::{
+    f64_from_usize, u64_from_usize, Bits, BitsPerTick, Sites, SitesPerSec, SitesPerTick, Ticks,
+};
 use serde::{Deserialize, Serialize};
 
 /// Predicted per-pass figures for one shard count.
@@ -29,18 +37,18 @@ pub struct FarmPoint {
     /// Boards.
     pub shards: usize,
     /// Slowest board's compute ticks per pass.
-    pub compute_ticks: f64,
+    pub compute_ticks: Ticks,
     /// Slowest board's imported halo bits per pass.
-    pub halo_bits: f64,
+    pub halo_bits: Bits,
     /// Slowest link's transfer ticks per pass.
-    pub halo_ticks: f64,
+    pub halo_ticks: Ticks,
     /// Machine ticks per pass (exchange barrier + compute barrier).
-    pub pass_ticks: f64,
+    pub pass_ticks: Ticks,
     /// Useful site updates per machine tick.
-    pub updates_per_tick: f64,
-    /// Link bandwidth (bits/tick) at which exchange time equals compute
-    /// time — the board-level analogue of the §6 pin bound `2·D·P ≤ Π`.
-    pub critical_link_bits_per_tick: f64,
+    pub updates_per_tick: SitesPerTick,
+    /// Link bandwidth at which exchange time equals compute time — the
+    /// board-level analogue of the §6 pin bound `2·D·P ≤ Π`.
+    pub critical_link: BitsPerTick,
 }
 
 /// The analytical farm: `S` boards, each a WSA pipeline of `k` stages ×
@@ -57,9 +65,9 @@ pub struct FarmModel {
     pub p: u32,
     /// Generations per pass = pipeline depth = halo width.
     pub k: usize,
-    /// Inter-board link capacity in bits per tick
-    /// (`f64::INFINITY` = never the bottleneck).
-    pub link_bits_per_tick: f64,
+    /// Inter-board link capacity
+    /// ([`BitsPerTick::UNTHROTTLED`] = never the bottleneck).
+    pub link: BitsPerTick,
     /// Toroidal boundary (halos never clamp; rows gain `2k` wrap rows).
     pub periodic: bool,
 }
@@ -67,12 +75,12 @@ pub struct FarmModel {
 impl FarmModel {
     /// An unthrottled null-boundary farm model.
     pub fn new(tech: Technology, rows: usize, cols: usize, p: u32, k: usize) -> Self {
-        FarmModel { tech, rows, cols, p, k, link_bits_per_tick: f64::INFINITY, periodic: false }
+        FarmModel { tech, rows, cols, p, k, link: BitsPerTick::UNTHROTTLED, periodic: false }
     }
 
-    /// Sets the link capacity in bits per tick.
-    pub fn with_link(mut self, bits_per_tick: f64) -> Self {
-        self.link_bits_per_tick = bits_per_tick;
+    /// Sets the link capacity.
+    pub fn with_link(mut self, link: BitsPerTick) -> Self {
+        self.link = link;
         self
     }
 
@@ -90,6 +98,7 @@ impl FarmModel {
     /// errors.
     pub fn slabs(&self, shards: usize) -> Vec<Slab> {
         partition(self.cols, shards, self.k, self.periodic)
+            // lattice-lint: allow(no-panic) — documented precondition, mirrored by the farm.
             .expect("farm model needs 1 ≤ shards ≤ cols")
     }
 
@@ -103,64 +112,72 @@ impl FarmModel {
     /// pipeline streams `n = aug_rows·aug_width` sites at `p` per tick
     /// and pays `cols + 2` sites of fill latency per stage, so
     /// `⌈(n + k·(aug_width + 2)) / p⌉` on the widest augmented slab.
-    pub fn compute_ticks(&self, shards: usize) -> f64 {
-        let ar = self.aug_rows() as f64;
+    pub fn compute_ticks(&self, shards: usize) -> Ticks {
+        let ar = u64_from_usize(self.aug_rows());
+        let p = u64::from(self.p);
         self.slabs(shards)
             .iter()
             .map(|s| {
-                let a = s.aug_width() as f64;
-                ((ar * a + self.k as f64 * (a + 2.0)) / self.p as f64).ceil()
+                let a = u64_from_usize(s.aug_width());
+                let sites = ar * a + u64_from_usize(self.k) * (a + 2);
+                Ticks::new(sites.div_ceil(p))
             })
-            .fold(0.0, f64::max)
+            .max()
+            .unwrap_or(Ticks::ZERO)
     }
 
     /// Halo bits the hungriest board imports per pass:
     /// `(halo_left + halo_right)·aug_rows·D`.
-    pub fn halo_bits(&self, shards: usize) -> f64 {
-        let ar = self.aug_rows() as f64;
-        let d = self.tech.d_bits as f64;
+    pub fn halo_bits(&self, shards: usize) -> Bits {
         self.slabs(shards)
             .iter()
-            .map(|s| (s.halo_left + s.halo_right) as f64 * ar * d)
-            .fold(0.0, f64::max)
+            .map(|s| {
+                let halo_sites =
+                    Sites::new(u64_from_usize((s.halo_left + s.halo_right) * self.aug_rows()));
+                self.tech.bits_for_sites(halo_sites)
+            })
+            .max()
+            .unwrap_or(Bits::ZERO)
     }
 
     /// Exchange-barrier ticks per pass: the slowest link's
     /// `⌈halo_bits / capacity⌉` (free when unthrottled).
-    pub fn halo_ticks(&self, shards: usize) -> f64 {
-        if self.link_bits_per_tick.is_infinite() {
-            return 0.0;
-        }
-        (self.halo_bits(shards) / self.link_bits_per_tick).ceil()
+    pub fn halo_ticks(&self, shards: usize) -> Ticks {
+        self.link.ticks_to_move(self.halo_bits(shards))
     }
 
     /// Machine ticks per pass: exchange barrier then compute barrier.
-    pub fn pass_ticks(&self, shards: usize) -> f64 {
+    pub fn pass_ticks(&self, shards: usize) -> Ticks {
         self.compute_ticks(shards) + self.halo_ticks(shards)
     }
 
-    /// Useful (lattice-visible) site updates per machine tick:
+    /// Useful (lattice-visible) site updates per pass: `rows·cols·k`.
+    pub fn useful_updates_per_pass(&self) -> Sites {
+        Sites::new(u64_from_usize(self.rows * self.cols * self.k))
+    }
+
+    /// Useful site updates per machine tick:
     /// `rows·cols·k / pass_ticks`. Halo recompute is excluded, exactly
     /// as `FarmReport::updates_per_tick` excludes it.
-    pub fn updates_per_tick(&self, shards: usize) -> f64 {
-        (self.rows * self.cols * self.k) as f64 / self.pass_ticks(shards)
+    pub fn updates_per_tick(&self, shards: usize) -> SitesPerTick {
+        self.useful_updates_per_pass() / self.pass_ticks(shards)
     }
 
     /// Useful updates per second at the technology clock.
-    pub fn updates_per_second(&self, shards: usize) -> f64 {
-        self.updates_per_tick(shards) * self.tech.clock_hz
+    pub fn updates_per_second(&self, shards: usize) -> SitesPerSec {
+        self.tech.per_second(self.updates_per_tick(shards))
     }
 
     /// Speedup over one board of the same design.
     pub fn speedup(&self, shards: usize) -> f64 {
-        self.updates_per_tick(shards) / self.updates_per_tick(1)
+        self.updates_per_tick(shards).ratio(self.updates_per_tick(1))
     }
 
     /// Strong-scaling efficiency: fixed lattice, `speedup / shards`.
     /// Below 1 because every added seam buys `2k` recomputed halo
     /// columns and more link traffic.
     pub fn strong_efficiency(&self, shards: usize) -> f64 {
-        self.speedup(shards) / shards as f64
+        self.speedup(shards) / f64_from_usize(shards)
     }
 
     /// Weak-scaling efficiency: each board brings its own `cols`
@@ -169,15 +186,15 @@ impl FarmModel {
     /// `pass_ticks(1 board, cols) / pass_ticks(shards, shards·cols)`.
     pub fn weak_efficiency(&self, shards: usize) -> f64 {
         let scaled = FarmModel { cols: self.cols * shards, ..*self };
-        self.pass_ticks(1) / scaled.pass_ticks(shards)
+        self.pass_ticks(1).ratio(scaled.pass_ticks(shards))
     }
 
-    /// Sustained link demand in bits per tick if exchange fully
-    /// overlapped compute: `halo_bits / compute_ticks`. For slabs much
-    /// wider than the halo this approaches the closed form
-    /// `2·k·D·p / aug_width` — the §6 pin expression `2·D·P` divided by
-    /// the columns a board amortizes it over.
-    pub fn link_demand_bits_per_tick(&self, shards: usize) -> f64 {
+    /// Sustained link demand if exchange fully overlapped compute:
+    /// `halo_bits / compute_ticks`. For slabs much wider than the halo
+    /// this approaches the closed form `2·k·D·p / aug_width` — the §6
+    /// pin expression `2·D·P` divided by the columns a board amortizes
+    /// it over.
+    pub fn link_demand(&self, shards: usize) -> BitsPerTick {
         self.halo_bits(shards) / self.compute_ticks(shards)
     }
 
@@ -185,7 +202,7 @@ impl FarmModel {
     /// over useful updates, `aug_rows·Σ aug_width / (rows·cols)`.
     pub fn redundancy(&self, shards: usize) -> f64 {
         let aug: usize = self.slabs(shards).iter().map(|s| s.aug_width()).sum();
-        (self.aug_rows() * aug) as f64 / (self.rows * self.cols) as f64
+        f64_from_usize(self.aug_rows() * aug) / f64_from_usize(self.rows * self.cols)
     }
 
     /// The full predicted operating point at `shards` boards.
@@ -197,7 +214,7 @@ impl FarmModel {
             halo_ticks: self.halo_ticks(shards),
             pass_ticks: self.pass_ticks(shards),
             updates_per_tick: self.updates_per_tick(shards),
-            critical_link_bits_per_tick: self.link_demand_bits_per_tick(shards),
+            critical_link: self.link_demand(shards),
         }
     }
 
@@ -215,7 +232,7 @@ impl FarmModel {
     /// the frame's stream parity, so this is also the per-attempt
     /// retransmission probability.
     pub fn frame_upset_prob(&self, shards: usize, site_rate: f64) -> f64 {
-        let sites = self.halo_bits(shards) / self.tech.d_bits as f64;
+        let sites = self.halo_bits(shards).to_f64() / f64::from(self.tech.d_bits);
         1.0 - (1.0 - site_rate).powf(sites)
     }
 
@@ -228,14 +245,14 @@ impl FarmModel {
         q / (1.0 - q)
     }
 
-    /// [`FarmModel::pass_ticks`] with the ARQ term: `r` retransmissions
-    /// per pass each replay the exchange barrier, so
-    /// `compute + halo_ticks·(1 + r)`. This is the prediction the farm's
-    /// measured `machine_ticks / passes` tracks under transient link
-    /// faults (`FarmReport::retransmit_ticks` is the measured
-    /// `halo_ticks·r` share).
+    /// [`FarmModel::pass_ticks`] with the ARQ term as a real-valued
+    /// expectation: `r` retransmissions per pass each replay the
+    /// exchange barrier, so `compute + halo_ticks·(1 + r)`. This is the
+    /// prediction the farm's measured `machine_ticks / passes` tracks
+    /// under transient link faults (`FarmReport::retransmit_ticks` is
+    /// the measured `halo_ticks·r` share).
     pub fn pass_ticks_with_retransmits(&self, shards: usize, r: f64) -> f64 {
-        self.compute_ticks(shards) + self.halo_ticks(shards) * (1.0 + r)
+        self.compute_ticks(shards).to_f64() + self.halo_ticks(shards).to_f64() * (1.0 + r)
     }
 
     /// Throughput penalty of degraded re-partitioning: how many times
@@ -249,7 +266,7 @@ impl FarmModel {
     /// up front (`lattice-farm`'s `FarmDegradeConfig::max_retired`).
     pub fn degraded_throughput_penalty(&self, shards: usize, retired: usize) -> f64 {
         assert!(retired < shards, "the farm cannot retire its last board");
-        self.updates_per_tick(shards) / self.updates_per_tick(shards - retired)
+        self.updates_per_tick(shards).ratio(self.updates_per_tick(shards - retired))
     }
 }
 
@@ -267,19 +284,19 @@ mod tests {
     fn single_board_matches_the_plain_pipeline_count() {
         let m = model();
         // One board, no halo: n = 48·240, fill 2·(240 + 2), over p = 2.
-        assert_eq!(m.compute_ticks(1), ((48.0 * 240.0 + 2.0 * 242.0) / 2.0_f64).ceil());
-        assert_eq!(m.halo_bits(1), 0.0);
+        assert_eq!(m.compute_ticks(1), Ticks::new((48 * 240 + 2 * 242) / 2));
+        assert_eq!(m.halo_bits(1), Bits::ZERO);
         assert_eq!(m.pass_ticks(1), m.compute_ticks(1));
     }
 
     #[test]
     fn sharding_shrinks_compute_and_grows_link_demand() {
         let m = model();
-        let mut prev_compute = f64::INFINITY;
-        let mut prev_demand = 0.0;
+        let mut prev_compute = Ticks::new(u64::MAX);
+        let mut prev_demand = BitsPerTick::ZERO;
         for s in [1usize, 2, 4, 8, 16] {
             let compute = m.compute_ticks(s);
-            let demand = m.link_demand_bits_per_tick(s);
+            let demand = m.link_demand(s);
             assert!(compute < prev_compute, "S={s}: more boards, less work each");
             assert!(demand >= prev_demand, "S={s}: thinner slabs, hungrier links");
             prev_compute = compute;
@@ -293,9 +310,9 @@ mod tests {
         // the board's columns.
         let m = FarmModel::new(Technology::paper_1987(), 512, 4096, 4, 3);
         let s = 4;
-        let aug = m.slabs(s).iter().map(|sl| sl.aug_width()).max().unwrap() as f64;
+        let aug = f64_from_usize(m.slabs(s).iter().map(|sl| sl.aug_width()).max().unwrap());
         let closed = 2.0 * 3.0 * 8.0 * 4.0 / aug;
-        let demand = m.link_demand_bits_per_tick(s);
+        let demand = m.link_demand(s).get();
         assert!((demand - closed).abs() / closed < 0.02, "{demand} vs {closed}");
     }
 
@@ -325,7 +342,7 @@ mod tests {
         // Interior boards import 2k = 4 columns × 48 rows × 8 bits =
         // 1536 bits per pass; at 2 bits/tick that is 768 ticks, which
         // overtakes compute once slabs get thin.
-        let starved = model().with_link(2.0);
+        let starved = model().with_link(BitsPerTick::new(2.0));
         let free = model();
         assert_eq!(free.critical_shards(16), None, "unthrottled never rolls over");
         let crit = starved.critical_shards(16).expect("2 bits/tick must roll over");
@@ -333,7 +350,7 @@ mod tests {
         // Past the critical point, adding boards buys almost nothing.
         let below = starved.updates_per_tick(crit - 1);
         let above = starved.updates_per_tick(crit);
-        assert!(above / below < 1.5, "{below} → {above}");
+        assert!(above.ratio(below) < 1.5, "{below} → {above}");
         // And the throttled machine is strictly slower than the free one.
         assert!(starved.updates_per_tick(4) < free.updates_per_tick(4));
     }
@@ -358,24 +375,24 @@ mod tests {
 
     #[test]
     fn point_bundles_the_figures() {
-        let p = model().with_link(16.0).point(4);
+        let p = model().with_link(BitsPerTick::new(16.0)).point(4);
         assert_eq!(p.shards, 4);
-        assert!(p.halo_ticks > 0.0);
+        assert!(p.halo_ticks > Ticks::ZERO);
         assert_eq!(p.pass_ticks, p.compute_ticks + p.halo_ticks);
-        assert!(p.critical_link_bits_per_tick > 0.0);
+        assert!(p.critical_link > BitsPerTick::ZERO);
     }
 
     #[test]
     fn retransmission_term_extends_pass_ticks() {
-        let m = model().with_link(16.0);
+        let m = model().with_link(BitsPerTick::new(16.0));
         // A clean link adds nothing.
-        assert_eq!(m.pass_ticks_with_retransmits(4, 0.0), m.pass_ticks(4));
+        assert_eq!(m.pass_ticks_with_retransmits(4, 0.0), m.pass_ticks(4).to_f64());
         assert_eq!(m.frame_upset_prob(4, 0.0), 0.0);
         assert_eq!(m.expected_retransmits_per_pass(4, 0.0), 0.0);
         // One retransmission per pass replays exactly one exchange
         // barrier.
-        let extra = m.pass_ticks_with_retransmits(4, 1.0) - m.pass_ticks(4);
-        assert_eq!(extra, m.halo_ticks(4));
+        let extra = m.pass_ticks_with_retransmits(4, 1.0) - m.pass_ticks(4).to_f64();
+        assert_eq!(extra, m.halo_ticks(4).to_f64());
         // The upset probability grows with the frame (more shards never
         // shrink the hungriest frame here: interior boards appear at
         // S ≥ 3 and import the full 2k columns).
@@ -383,11 +400,11 @@ mod tests {
         let q4 = m.frame_upset_prob(4, 1e-3);
         assert!(q2 > 0.0 && q4 >= q2, "{q2} vs {q4}");
         // Small rates: expectation ≈ sites·rate (geometric tail ≈ q).
-        let sites = m.halo_bits(4) / 8.0;
+        let sites = m.halo_bits(4).to_f64() / 8.0;
         let e = m.expected_retransmits_per_pass(4, 1e-6);
         assert!((e - sites * 1e-6).abs() / (sites * 1e-6) < 1e-2, "{e}");
         // An unthrottled farm retransmits for free in tick terms.
-        assert_eq!(model().pass_ticks_with_retransmits(4, 3.0), model().pass_ticks(4));
+        assert_eq!(model().pass_ticks_with_retransmits(4, 3.0), model().pass_ticks(4).to_f64());
     }
 
     #[test]

@@ -10,6 +10,7 @@ use crate::spa::SpaDesign;
 use crate::tech::Technology;
 use crate::wsa::WsaDesign;
 use crate::wsae::WsaeDesign;
+use lattice_core::units::{u64_from_f64_floor, BitsPerTick};
 
 /// A flat JSON object under construction.
 #[derive(Debug, Default, Clone)]
@@ -44,7 +45,7 @@ impl JsonObject {
                 '"' => vec!['\\', '"'],
                 '\\' => vec!['\\', '\\'],
                 '\n' => vec!['\\', 'n'],
-                c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+                c if u32::from(c) < 0x20 => format!("\\u{:04x}", u32::from(c)).chars().collect(),
                 c => vec![c],
             })
             .collect();
@@ -68,67 +69,73 @@ impl JsonObject {
 /// JSON for a technology record.
 pub fn technology_json(t: &Technology) -> JsonObject {
     JsonObject::new()
-        .int("d_bits", t.d_bits as i128)
-        .int("pins", t.pins as i128)
+        .int("d_bits", i128::from(t.d_bits))
+        .int("pins", i128::from(t.pins))
         .float("b", t.b)
         .float("g", t.g)
-        .int("e_bits", t.e_bits as i128)
+        .int("e_bits", i128::from(t.e_bits))
         .float("clock_hz", t.clock_hz)
+}
+
+/// A bandwidth quantity as the integer bits/tick the reports print
+/// (every design bandwidth in this crate is a whole number of bits).
+fn bandwidth_int(b: BitsPerTick) -> i128 {
+    i128::from(u64_from_f64_floor(b.get()))
 }
 
 /// JSON for a WSA design point.
 pub fn wsa_json(d: &WsaDesign) -> JsonObject {
     JsonObject::new()
         .string("arch", "wsa")
-        .int("p", d.p as i128)
-        .int("l", d.l as i128)
-        .float("area_used", d.area_used)
-        .int("pins_used", d.pins_used as i128)
-        .int("cells", d.cells as i128)
-        .int("bandwidth_bits_per_tick", d.bandwidth_bits_per_tick as i128)
+        .int("p", i128::from(d.p))
+        .int("l", i128::from(d.l))
+        .float("area_used", d.area_used.get())
+        .int("pins_used", i128::from(d.pins_used.get()))
+        .int("cells", i128::from(d.cells.get()))
+        .int("bandwidth_bits_per_tick", bandwidth_int(d.bandwidth))
 }
 
 /// JSON for an SPA design point.
 pub fn spa_json(d: &SpaDesign) -> JsonObject {
     JsonObject::new()
         .string("arch", "spa")
-        .int("w", d.w as i128)
-        .int("p_w", d.p_w as i128)
-        .int("p_k", d.p_k as i128)
-        .int("p", d.p as i128)
-        .float("area_used", d.area_used)
-        .int("pins_used", d.pins_used as i128)
-        .int("cells", d.cells as i128)
+        .int("w", i128::from(d.w))
+        .int("p_w", i128::from(d.p_w))
+        .int("p_k", i128::from(d.p_k))
+        .int("p", i128::from(d.p))
+        .float("area_used", d.area_used.get())
+        .int("pins_used", i128::from(d.pins_used.get()))
+        .int("cells", i128::from(d.cells.get()))
 }
 
 /// JSON for a WSA-E stage design.
 pub fn wsae_json(d: &WsaeDesign) -> JsonObject {
     JsonObject::new()
         .string("arch", "wsae")
-        .int("l", d.l as i128)
-        .int("cells", d.cells as i128)
-        .int("cells_on_chip", d.cells_on_chip as i128)
-        .int("cells_off_chip", d.cells_off_chip as i128)
-        .float("stage_area", d.stage_area)
-        .int("bandwidth_bits_per_tick", d.bandwidth_bits_per_tick as i128)
+        .int("l", i128::from(d.l))
+        .int("cells", i128::from(d.cells.get()))
+        .int("cells_on_chip", i128::from(d.cells_on_chip.get()))
+        .int("cells_off_chip", i128::from(d.cells_off_chip.get()))
+        .float("stage_area", d.stage_area.get())
+        .int("bandwidth_bits_per_tick", bandwidth_int(d.bandwidth))
 }
 
 /// JSON for the §6.3 optimized comparison.
 pub fn comparison_json(c: &ArchComparison) -> JsonObject {
     JsonObject::new()
-        .int("l", c.l as i128)
+        .int("l", i128::from(c.l))
         .object("wsa", wsa_json(&c.wsa))
         .object("spa", spa_json(&c.spa))
         .float("speedup_per_chip", c.speedup_per_chip)
-        .int("wsa_bandwidth", c.wsa_bandwidth as i128)
-        .int("spa_bandwidth", c.spa_bandwidth as i128)
+        .int("wsa_bandwidth", bandwidth_int(c.wsa_bandwidth))
+        .int("spa_bandwidth", bandwidth_int(c.spa_bandwidth))
         .float("bandwidth_ratio", c.bandwidth_ratio)
 }
 
 /// JSON for the WSA-E vs SPA comparison.
 pub fn wsae_spa_json(c: &WsaeSpaComparison) -> JsonObject {
     JsonObject::new()
-        .int("l", c.l as i128)
+        .int("l", i128::from(c.l))
         .object("wsae", wsae_json(&c.wsae))
         .object("spa", spa_json(&c.spa))
         .float("speedup_per_chip", c.speedup_per_chip)

@@ -21,8 +21,15 @@
 //! budget evenly (`P_w = Π/4D`, `P_k = Π/4E`), giving
 //! `P ≤ Π²/(16·D·E)` — 13.5 with the paper's constants, independent of
 //! `W`. The area curve `P ≤ 1/((2W+9)B + Γ)` crosses it at `W ≈ 43`.
+//!
+//! Derived figures are typed: areas are [`ChipArea`], pin usage is
+//! [`Pins`], bandwidth is [`BitsPerTick`], throughput is
+//! [`SitesPerSec`].
 
 use crate::tech::Technology;
+use lattice_core::units::{
+    u32_from_f64_floor, BitsPerTick, Cells, ChipArea, Pins, SitesPerSec, SitesPerTick,
+};
 use serde::{Deserialize, Serialize};
 
 /// A feasible SPA chip design and its derived figures.
@@ -37,11 +44,11 @@ pub struct SpaDesign {
     /// Total PEs per chip (`p_w · p_k`).
     pub p: u32,
     /// Normalized chip area used (≤ 1).
-    pub area_used: f64,
+    pub area_used: ChipArea,
     /// Pins used.
-    pub pins_used: u32,
+    pub pins_used: Pins,
     /// Shift-register cells per chip.
-    pub cells: u64,
+    pub cells: Cells,
 }
 
 /// The SPA design-space model for a given technology.
@@ -66,35 +73,40 @@ impl Spa {
     /// `P_w = Π/(4D)`, `P_k = Π/(4E)`.
     pub fn p_pin_limit(&self) -> f64 {
         let t = &self.tech;
-        (t.pins as f64).powi(2) / (16.0 * t.d_bits as f64 * t.e_bits as f64)
+        f64::from(t.pins).powi(2) / (16.0 * f64::from(t.d_bits) * f64::from(t.e_bits))
     }
 
     /// The pin-optimal (real-valued) slice-pipeline count `P_w = Π/4D`.
     pub fn pin_optimal_pw(&self) -> f64 {
-        self.tech.pins as f64 / (4.0 * self.tech.d_bits as f64)
+        f64::from(self.tech.pins) / (4.0 * f64::from(self.tech.d_bits))
     }
 
     /// Area-constrained bound on total PEs per chip at slice width `w`:
     /// `P ≤ 1/((2W + 9)·B + Γ)`.
     pub fn p_area_limit(&self, w: u32) -> f64 {
-        let t = &self.tech;
-        1.0 / ((2.0 * w as f64 + 9.0) * t.b + t.g)
+        ChipArea::new(1.0).capacity(self.pe_footprint(w))
+    }
+
+    /// The area one PE occupies at slice width `w`: `(2W + 9)·B + Γ`
+    /// (its share of the slice window plus its logic).
+    pub fn pe_footprint(&self, w: u32) -> ChipArea {
+        self.tech.cell_area().times_cells(Cells::new(self.cells_per_pe(w))) + self.tech.pe_area()
     }
 
     /// Storage cells per PE: `2W + 9` (two lines of the slice plus the
     /// neighborhood margin).
     pub fn cells_per_pe(&self, w: u32) -> u64 {
-        2 * w as u64 + 9
+        2 * u64::from(w) + 9
     }
 
     /// Normalized area used by a chip with `p_w × p_k` PEs at width `w`.
-    pub fn area_used(&self, w: u32, p_w: u32, p_k: u32) -> f64 {
-        ((2.0 * w as f64 + 9.0) * self.tech.b + self.tech.g) * (p_w * p_k) as f64
+    pub fn area_used(&self, w: u32, p_w: u32, p_k: u32) -> ChipArea {
+        self.pe_footprint(w) * f64::from(p_w * p_k)
     }
 
     /// Pins used: `2·D·P_w + 2·E·P_k`.
-    pub fn pins_used(&self, p_w: u32, p_k: u32) -> u32 {
-        2 * self.tech.d_bits * p_w + 2 * self.tech.e_bits * p_k
+    pub fn pins_used(&self, p_w: u32, p_k: u32) -> Pins {
+        Pins::new(2 * self.tech.d_bits * p_w) + Pins::new(2 * self.tech.e_bits * p_k)
     }
 
     /// Whether a chip design satisfies both constraints.
@@ -102,8 +114,8 @@ impl Spa {
         w >= 1
             && p_w >= 1
             && p_k >= 1
-            && self.pins_used(p_w, p_k) <= self.tech.pins
-            && self.area_used(w, p_w, p_k) <= 1.0
+            && self.pins_used(p_w, p_k) <= self.tech.pin_budget()
+            && self.area_used(w, p_w, p_k) <= ChipArea::new(1.0)
     }
 
     /// Builds the design record for a feasible chip.
@@ -118,7 +130,7 @@ impl Spa {
             p: p_w * p_k,
             area_used: self.area_used(w, p_w, p_k),
             pins_used: self.pins_used(p_w, p_k),
-            cells: self.cells_per_pe(w) * (p_w * p_k) as u64,
+            cells: Cells::new(self.cells_per_pe(w) * u64::from(p_w * p_k)),
         })
     }
 
@@ -131,8 +143,8 @@ impl Spa {
         for p_w in 1..=pw_max.max(1) {
             let pins_left = t.pins.checked_sub(2 * t.d_bits * p_w)?;
             let pk_pins = pins_left / (2 * t.e_bits);
-            let pk_area =
-                (1.0 / (((2.0 * w as f64 + 9.0) * t.b + t.g) * p_w as f64)).floor() as u32;
+            let per_pipeline = self.pe_footprint(w) * f64::from(p_w);
+            let pk_area = u32_from_f64_floor(ChipArea::new(1.0).capacity(per_pipeline));
             let p_k = pk_pins.min(pk_area);
             if p_k == 0 {
                 continue;
@@ -155,8 +167,9 @@ impl Spa {
     /// `W* = ((1/P_pin − Γ)/B − 9)/2`. With the paper's constants this is
     /// ≈ 43 at `P ≈ 13.5`.
     pub fn corner_w(&self) -> f64 {
-        let p = self.p_pin_limit();
-        ((1.0 / p - self.tech.g) / self.tech.b - 9.0) / 2.0
+        let per_pe = ChipArea::new(1.0 / self.p_pin_limit());
+        let window = per_pe - self.tech.pe_area();
+        (window.capacity(self.tech.cell_area()) - 9.0) / 2.0
     }
 
     /// The integer operating point near the corner: evaluates
@@ -171,7 +184,7 @@ impl Spa {
     /// assert_eq!(spa.corner().p, 12);
     /// ```
     pub fn corner(&self) -> SpaDesign {
-        let wc = self.corner_w().max(1.0) as u32;
+        let wc = u32_from_f64_floor(self.corner_w().max(1.0));
         let lo = wc.saturating_sub(8).max(1);
         let hi = wc + 8;
         let mut best: Option<SpaDesign> = None;
@@ -198,6 +211,7 @@ impl Spa {
                 }
             }
         }
+        // lattice-lint: allow(no-panic) — unreachable for any validated technology.
         best.expect("technology cannot host even a 1x1-PE, W = 1 SPA chip")
     }
 
@@ -205,7 +219,7 @@ impl Spa {
     /// `(w, p_pin_projection, p_area)` triples.
     pub fn design_curves(&self, w_max: u32, step: u32) -> Vec<(u32, f64, f64)> {
         (1..=w_max)
-            .step_by(step.max(1) as usize)
+            .step_by(usize::try_from(step.max(1)).unwrap_or(1))
             .map(|w| (w, self.p_pin_limit(), self.p_area_limit(w)))
             .collect()
     }
@@ -216,22 +230,23 @@ impl Spa {
     }
 
     /// System throughput for lattice side `l`, width `w`, total pipeline
-    /// depth `k`: `R = F·k·(L/W)` sites/s (real-valued slices, as in the
-    /// paper's formula).
-    pub fn throughput(&self, l: u32, w: u32, k: u32) -> f64 {
-        self.tech.clock_hz * k as f64 * l as f64 / w as f64
+    /// depth `k`: `R = F·k·(L/W)` site updates per second (real-valued
+    /// slices, as in the paper's formula).
+    pub fn throughput(&self, l: u32, w: u32, k: u32) -> SitesPerSec {
+        let updates_per_tick = f64::from(k) * f64::from(l) / f64::from(w);
+        self.tech.per_second(SitesPerTick::new(updates_per_tick))
     }
 
-    /// Main-memory bandwidth demand in bits/tick for lattice side `l` at
-    /// width `w`: `2·D` per slice, one data path per slice.
-    pub fn bandwidth_bits_per_tick(&self, l: u32, w: u32) -> u32 {
-        2 * self.tech.d_bits * self.slices(l, w)
+    /// Main-memory bandwidth demand for lattice side `l` at width `w`:
+    /// `2·D` bits/tick per slice, one data path per slice.
+    pub fn bandwidth(&self, l: u32, w: u32) -> BitsPerTick {
+        self.tech.stream_demand(self.slices(l, w))
     }
 
     /// Chips needed for lattice side `l` and total depth `k` with chip
     /// design `d`: `⌈slices/P_w⌉ · ⌈k/P_k⌉`.
     pub fn chips(&self, l: u32, k: u32, d: &SpaDesign) -> u64 {
-        (self.slices(l, d.w).div_ceil(d.p_w) as u64) * (k.div_ceil(d.p_k) as u64)
+        u64::from(self.slices(l, d.w).div_ceil(d.p_w)) * u64::from(k.div_ceil(d.p_k))
     }
 }
 
@@ -262,8 +277,8 @@ mod tests {
         // §6.3: "SPA has twelve processors per chip".
         let c = paper().corner();
         assert_eq!(c.p, 12, "{c:?}");
-        assert!(c.pins_used <= 72);
-        assert!(c.area_used <= 1.0);
+        assert!(c.pins_used <= Pins::new(72));
+        assert!(c.area_used <= ChipArea::new(1.0));
     }
 
     #[test]
@@ -307,10 +322,10 @@ mod tests {
         // paper quotes 262 bits/tick (a real-valued slice count at a
         // slightly wider W); both are ≈ 4× WSA's 64 — see EXPERIMENTS.md.
         assert_eq!(spa.slices(785, 43), 19);
-        assert_eq!(spa.bandwidth_bits_per_tick(785, 43), 304);
+        assert_eq!(spa.bandwidth(785, 43), BitsPerTick::new(304.0));
         // Throughput formula R = F·k·L/W.
         let r = spa.throughput(785, 43, 12);
-        assert!((r - 10e6 * 12.0 * 785.0 / 43.0).abs() < 1.0);
+        assert!((r.get() - 10e6 * 12.0 * 785.0 / 43.0).abs() < 1.0);
     }
 
     #[test]
@@ -341,5 +356,12 @@ mod tests {
             assert_eq!(w[0].1, w[1].1); // pin projection constant
             assert!(w[0].2 > w[1].2); // area curve decreasing
         }
+    }
+
+    #[test]
+    fn cells_accounting_is_typed() {
+        let d = paper().best_chip(43).unwrap();
+        // (2·43 + 9) cells per PE × 12 PEs.
+        assert_eq!(d.cells, Cells::new(95 * 12));
     }
 }

@@ -1,5 +1,9 @@
 //! Chip technology model.
 
+use lattice_core::units::{
+    f64_from_u64, u32_from_f64_floor, usize_from_f64_floor, Bits, BitsPerTick, ChipArea, Hz, Pins,
+    Secs, Sites, SitesPerSec, SitesPerTick, Ticks,
+};
 use serde::{Deserialize, Serialize};
 
 /// The chip-level constants that parameterize every design-space
@@ -42,7 +46,7 @@ impl Technology {
         assert!(s > 0.0);
         Technology {
             d_bits: self.d_bits,
-            pins: ((self.pins as f64) * s).floor() as u32,
+            pins: u32_from_f64_floor(f64::from(self.pins) * s),
             b: self.b / (s * s),
             g: self.g / (s * s),
             e_bits: self.e_bits,
@@ -74,7 +78,60 @@ impl Technology {
     /// Maximum number of storage cells that fit on an otherwise empty
     /// chip: `⌊(1 − Γ)/B⌋` cells alongside one PE.
     pub fn max_cells_with_one_pe(&self) -> usize {
-        ((1.0 - self.g) / self.b).floor() as usize
+        usize_from_f64_floor((ChipArea::new(1.0) - self.pe_area()).capacity(self.cell_area()))
+    }
+
+    // --- Typed accessors: the named α/β/γ conversion boundary -------------
+    //
+    // Model code upstream works in `core::units` quantities; these
+    // accessors are the only place the scalar technology constants turn
+    // into dimensioned values.
+
+    /// `Π` as a typed pin count.
+    pub fn pin_budget(&self) -> Pins {
+        Pins::new(self.pins)
+    }
+
+    /// `B = β/α` — the normalized area of one shift-register cell.
+    pub fn cell_area(&self) -> ChipArea {
+        ChipArea::new(self.b)
+    }
+
+    /// `Γ = γ/α` — the normalized area of one processing element.
+    pub fn pe_area(&self) -> ChipArea {
+        ChipArea::new(self.g)
+    }
+
+    /// `F` — the engine clock.
+    pub fn clock(&self) -> Hz {
+        Hz::new(self.clock_hz)
+    }
+
+    /// The bits `n` sites occupy on a chip boundary (`n·D`).
+    pub fn bits_for_sites(&self, sites: Sites) -> Bits {
+        Bits::new(u128::from(sites.get()) * u128::from(self.d_bits))
+    }
+
+    /// The chip's streaming I/O demand for `p` sites in and `p` sites
+    /// out per tick: `2·D·p` bits/tick (§6's pin constraint).
+    pub fn stream_demand(&self, sites_per_tick: u32) -> BitsPerTick {
+        BitsPerTick::new(f64::from(2 * self.d_bits * sites_per_tick))
+    }
+
+    /// Wall-clock time of `t` ticks at this technology's clock.
+    pub fn secs(&self, t: Ticks) -> Secs {
+        t.secs_at(self.clock())
+    }
+
+    /// A per-tick update rate expressed in real time (`R = rate·F`).
+    pub fn per_second(&self, rate: SitesPerTick) -> SitesPerSec {
+        rate * self.clock()
+    }
+
+    /// The update rate of a design retiring `updates` site updates per
+    /// tick, in sites per second.
+    pub fn throughput(&self, updates_per_tick: u64) -> SitesPerSec {
+        self.per_second(SitesPerTick::new(f64_from_u64(updates_per_tick)))
     }
 }
 
@@ -135,5 +192,32 @@ mod tests {
         let t = Technology::paper_1987();
         // (1 - 0.0194) / 576e-6 ≈ 1702.
         assert_eq!(t.max_cells_with_one_pe(), 1702);
+    }
+
+    #[test]
+    fn typed_accessors_agree_with_the_scalar_constants() {
+        let t = Technology::paper_1987();
+        assert_eq!(t.pin_budget(), Pins::new(72));
+        assert_eq!(t.cell_area().get(), 576e-6);
+        assert_eq!(t.pe_area().get(), 19.4e-3);
+        assert_eq!(t.clock().get(), 10e6);
+        assert_eq!(t.bits_for_sites(Sites::new(785)), Bits::new(785 * 8));
+        assert_eq!(t.stream_demand(4).get(), 64.0);
+        // One pass of the paper's L = 785 window at P = 4:
+        // t = L²/P ticks → seconds at 10 MHz.
+        let pass = Ticks::new(785 * 785 / 4);
+        assert!((t.secs(pass).get() - 0.0154056).abs() < 1e-12);
+        assert_eq!(t.throughput(4), SitesPerSec::new(40e6));
+    }
+
+    #[test]
+    fn ticks_to_secs_round_trip_is_exact_at_paper_clock() {
+        // The satellite property: sites → ticks → secs and back is
+        // exact at F = 10 MHz for every count the models produce.
+        let t = Technology::paper_1987();
+        for n in [1u64, 4, 785, 785 * 785, 785 * 785 / 4, 1 << 40] {
+            let ticks = Ticks::new(n);
+            assert_eq!(t.secs(ticks).ticks_at(t.clock()), ticks, "{n}");
+        }
     }
 }

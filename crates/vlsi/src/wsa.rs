@@ -15,8 +15,13 @@
 //! System figures: `N = k` chips, `R = F·P·k` sites/s, maximum depth
 //! `k_max = L` ("at that point the pipeline contains all the values of
 //! the sites in the lattice").
+//!
+//! All derived figures carry their dimension as a `core::units` type:
+//! areas are [`ChipArea`], pin usage is [`Pins`], bandwidth demand is
+//! [`BitsPerTick`], throughput is [`SitesPerSec`].
 
 use crate::tech::Technology;
+use lattice_core::units::{u32_from_f64_floor, BitsPerTick, Cells, ChipArea, Pins, SitesPerSec};
 use serde::{Deserialize, Serialize};
 
 /// A feasible WSA operating point and its derived system figures.
@@ -27,13 +32,13 @@ pub struct WsaDesign {
     /// Lattice side length the chip supports.
     pub l: u32,
     /// Normalized chip area used (≤ 1).
-    pub area_used: f64,
+    pub area_used: ChipArea,
     /// Pins used.
-    pub pins_used: u32,
+    pub pins_used: Pins,
     /// Shift-register cells per chip.
-    pub cells: u64,
-    /// Main-memory bandwidth demand, bits per clock tick.
-    pub bandwidth_bits_per_tick: u32,
+    pub cells: Cells,
+    /// Main-memory bandwidth demand.
+    pub bandwidth: BitsPerTick,
 }
 
 /// The WSA design-space model for a given technology.
@@ -55,36 +60,39 @@ impl Wsa {
 
     /// Pin-constrained PE bound: `P ≤ Π / 2D` (real-valued).
     pub fn p_pin_limit(&self) -> f64 {
-        self.tech.pins as f64 / (2.0 * self.tech.d_bits as f64)
+        f64::from(self.tech.pins) / (2.0 * f64::from(self.tech.d_bits))
     }
 
     /// Area-constrained PE bound at lattice side `l`:
     /// `P ≤ (1 − 3B − 2BL)/(7B + Γ)` (real-valued; may be negative when
     /// the two-row window alone overflows the chip).
     pub fn p_area_limit(&self, l: u32) -> f64 {
-        let t = &self.tech;
-        (1.0 - 3.0 * t.b - 2.0 * t.b * l as f64) / (7.0 * t.b + t.g)
+        let b = self.tech.cell_area();
+        let free = ChipArea::new(1.0) - b * (3.0 + 2.0 * f64::from(l));
+        free.capacity(b * 7.0 + self.tech.pe_area())
     }
 
     /// Shift-register cells a `P`-wide stage needs for lattice side `l`
     /// (paper's count): `2L + 7P + 3`.
-    pub fn cells(&self, p: u32, l: u32) -> u64 {
-        2 * l as u64 + 7 * p as u64 + 3
+    pub fn cells(&self, p: u32, l: u32) -> Cells {
+        Cells::new(2 * u64::from(l) + 7 * u64::from(p) + 3)
     }
 
     /// Normalized area used by a (P, L) stage chip.
-    pub fn area_used(&self, p: u32, l: u32) -> f64 {
-        self.cells(p, l) as f64 * self.tech.b + p as f64 * self.tech.g
+    pub fn area_used(&self, p: u32, l: u32) -> ChipArea {
+        self.tech.cell_area().times_cells(self.cells(p, l)) + self.tech.pe_area() * f64::from(p)
     }
 
     /// Pins used by a `P`-wide stage: `2·D·P`.
-    pub fn pins_used(&self, p: u32) -> u32 {
-        2 * self.tech.d_bits * p
+    pub fn pins_used(&self, p: u32) -> Pins {
+        Pins::new(2 * self.tech.d_bits * p)
     }
 
     /// Whether the (P, L) point satisfies both chip constraints.
     pub fn feasible(&self, p: u32, l: u32) -> bool {
-        p >= 1 && self.pins_used(p) <= self.tech.pins && self.area_used(p, l) <= 1.0
+        p >= 1
+            && self.pins_used(p) <= self.tech.pin_budget()
+            && self.area_used(p, l) <= ChipArea::new(1.0)
     }
 
     /// Builds the design record for a feasible point.
@@ -98,14 +106,14 @@ impl Wsa {
             area_used: self.area_used(p, l),
             pins_used: self.pins_used(p),
             cells: self.cells(p, l),
-            bandwidth_bits_per_tick: 2 * self.tech.d_bits * p,
+            bandwidth: self.tech.stream_demand(p),
         })
     }
 
     /// The largest feasible integer `P` at lattice side `l`.
     pub fn max_p(&self, l: u32) -> u32 {
         let bound = self.p_pin_limit().min(self.p_area_limit(l));
-        let mut p = bound.floor().max(0.0) as u32;
+        let mut p = u32_from_f64_floor(bound);
         // Guard against floating-point edges.
         while p > 0 && !self.feasible(p, l) {
             p -= 1;
@@ -122,16 +130,17 @@ impl Wsa {
     /// use lattice_vlsi::{wsa::Wsa, Technology};
     /// let corner = Wsa::new(Technology::paper_1987()).corner();
     /// assert_eq!((corner.p, corner.l), (4, 785));
-    /// assert_eq!(corner.bandwidth_bits_per_tick, 64);
+    /// assert_eq!(corner.bandwidth.get(), 64.0);
     /// ```
     pub fn corner(&self) -> WsaDesign {
-        let p_pin = self.p_pin_limit().floor().max(1.0) as u32;
+        let p_pin = u32_from_f64_floor(self.p_pin_limit().max(1.0));
         // Degrade P when the area constraint can't host the pin-optimal
         // P at any lattice size (possible for extreme technologies).
-        let t = &self.tech;
+        let b = self.tech.cell_area();
         for p in (1..=p_pin).rev() {
-            let l_real = (1.0 - t.b * (7.0 * p as f64 + 3.0) - t.g * p as f64) / (2.0 * t.b);
-            let mut l = l_real.floor().max(1.0) as u32;
+            let fixed = b * (7.0 * f64::from(p) + 3.0) + self.tech.pe_area() * f64::from(p);
+            let l_real = (ChipArea::new(1.0) - fixed).capacity(b * 2.0);
+            let mut l = u32_from_f64_floor(l_real.max(1.0));
             while l > 1 && !self.feasible(p, l) {
                 l -= 1;
             }
@@ -139,6 +148,7 @@ impl Wsa {
                 return d;
             }
         }
+        // lattice-lint: allow(no-panic) — unreachable for any validated technology.
         panic!("technology cannot host even a 1-PE, L = 1 WSA stage")
     }
 
@@ -146,27 +156,28 @@ impl Wsa {
     /// PE): all area spent on the two-row window (§6.1: "an upper bound
     /// on L even if we were to accept arbitrarily slow computation").
     pub fn l_upper_bound(&self) -> u32 {
-        let t = &self.tech;
-        (((1.0 - t.g - 10.0 * t.b) / (2.0 * t.b)).floor()).max(0.0) as u32
+        let b = self.tech.cell_area();
+        let free = ChipArea::new(1.0) - self.tech.pe_area() - b * 10.0;
+        u32_from_f64_floor(free.capacity(b * 2.0).max(0.0))
     }
 
     /// Samples the two design curves over `l = 1..=l_max` for plotting
     /// (experiment E1): returns `(l, p_pin, p_area)` triples.
     pub fn design_curves(&self, l_max: u32, step: u32) -> Vec<(u32, f64, f64)> {
         (1..=l_max)
-            .step_by(step.max(1) as usize)
+            .step_by(usize::try_from(step.max(1)).unwrap_or(1))
             .map(|l| (l, self.p_pin_limit(), self.p_area_limit(l)))
             .collect()
     }
 
-    /// System throughput in site updates per second for pipeline depth
-    /// `k` (= number of chips): `R = F·P·k`.
-    pub fn throughput(&self, p: u32, k: u32) -> f64 {
-        self.tech.clock_hz * p as f64 * k as f64
+    /// System throughput for pipeline depth `k` (= number of chips):
+    /// `R = F·P·k` site updates per second.
+    pub fn throughput(&self, p: u32, k: u32) -> SitesPerSec {
+        self.tech.throughput(u64::from(p) * u64::from(k))
     }
 
     /// Maximum system throughput at lattice side `l`: depth `k_max = L`.
-    pub fn max_throughput(&self, p: u32, l: u32) -> f64 {
+    pub fn max_throughput(&self, p: u32, l: u32) -> SitesPerSec {
         self.throughput(p, l)
     }
 }
@@ -190,9 +201,9 @@ mod tests {
         let c = paper().corner();
         assert_eq!(c.p, 4);
         assert_eq!(c.l, 785);
-        assert!(c.area_used <= 1.0);
-        assert_eq!(c.pins_used, 64);
-        assert_eq!(c.bandwidth_bits_per_tick, 64);
+        assert!(c.area_used <= ChipArea::new(1.0));
+        assert_eq!(c.pins_used, Pins::new(64));
+        assert_eq!(c.bandwidth, BitsPerTick::new(64.0));
     }
 
     #[test]
@@ -239,10 +250,10 @@ mod tests {
     fn throughput_formula() {
         let w = paper();
         // 20 M updates/s for a 2-PE chip at 10 MHz (§8's prototype chip).
-        assert!((w.throughput(2, 1) - 20e6).abs() < 1.0);
+        assert!((w.throughput(2, 1).get() - 20e6).abs() < 1.0);
         // Corner machine at full depth: R = F·P·L.
         let c = w.corner();
-        assert!((w.max_throughput(c.p, c.l) - 10e6 * 4.0 * 785.0).abs() < 1.0);
+        assert!((w.max_throughput(c.p, c.l).get() - 10e6 * 4.0 * 785.0).abs() < 1.0);
     }
 
     #[test]
@@ -261,6 +272,6 @@ mod tests {
         let w = paper();
         assert!(w.design(5, 100).is_none());
         let d = w.design(4, 785).unwrap();
-        assert_eq!(d.cells, 2 * 785 + 7 * 4 + 3);
+        assert_eq!(d.cells, Cells::new(2 * 785 + 7 * 4 + 3));
     }
 }

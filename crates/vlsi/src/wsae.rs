@@ -16,6 +16,7 @@
 //! as much bandwidth."
 
 use crate::tech::Technology;
+use lattice_core::units::{BitsPerTick, Cells, ChipArea, SitesPerSec};
 use serde::{Deserialize, Serialize};
 
 /// A WSA-E pipeline stage design (always one PE per chip).
@@ -24,16 +25,16 @@ pub struct WsaeDesign {
     /// Lattice side supported (any; that is the point).
     pub l: u32,
     /// Total delay cells per stage: `2L + 10`.
-    pub cells: u64,
+    pub cells: Cells,
     /// Delay cells that fit on the processor chip itself.
-    pub cells_on_chip: u64,
+    pub cells_on_chip: Cells,
     /// Delay cells in external shift-register packages.
-    pub cells_off_chip: u64,
+    pub cells_off_chip: Cells,
     /// Total normalized area per stage: processor chip (1) plus external
     /// storage at `B` per cell.
-    pub stage_area: f64,
-    /// Main-memory bandwidth demand, bits per tick (constant `2D`).
-    pub bandwidth_bits_per_tick: u32,
+    pub stage_area: ChipArea,
+    /// Main-memory bandwidth demand (constant `2D`).
+    pub bandwidth: BitsPerTick,
 }
 
 /// The WSA-E design model.
@@ -62,14 +63,14 @@ impl Wsae {
     }
 
     /// Delay cells per stage for lattice side `l`: `2L + 10`.
-    pub fn cells(&self, l: u32) -> u64 {
-        2 * l as u64 + 10
+    pub fn cells(&self, l: u32) -> Cells {
+        Cells::new(2 * u64::from(l) + 10)
     }
 
     /// Storage area per processor in normalized units, the paper's
     /// "(2L + 10)B storage area per processor".
-    pub fn storage_area_per_pe(&self, l: u32) -> f64 {
-        self.cells(l) as f64 * self.tech.b
+    pub fn storage_area_per_pe(&self, l: u32) -> ChipArea {
+        self.tech.cell_area().times_cells(self.cells(l))
     }
 
     /// Builds the stage design for lattice side `l`.
@@ -81,7 +82,7 @@ impl Wsae {
     /// conservative reading behind §6.3's "about twice as much area".
     pub fn design(&self, l: u32) -> WsaeDesign {
         let cells = self.cells(l);
-        let capacity = self.tech.max_cells_with_one_pe() as u64;
+        let capacity = Cells::new(u64::try_from(self.tech.max_cells_with_one_pe()).unwrap_or(0));
         let on = cells.min(capacity);
         let off = cells - on;
         WsaeDesign {
@@ -89,19 +90,20 @@ impl Wsae {
             cells,
             cells_on_chip: on,
             cells_off_chip: off,
-            stage_area: 1.0 + cells as f64 * self.tech.b,
-            bandwidth_bits_per_tick: 2 * self.tech.d_bits,
+            stage_area: ChipArea::new(1.0) + self.tech.cell_area().times_cells(cells),
+            bandwidth: self.tech.stream_demand(1),
         }
     }
 
-    /// System throughput for `n` stages (each one PE): `R = F·n`.
-    pub fn throughput(&self, n_stages: u32) -> f64 {
-        self.tech.clock_hz * n_stages as f64
+    /// System throughput for `n` stages (each one PE): `R = F·n` site
+    /// updates per second.
+    pub fn throughput(&self, n_stages: u32) -> SitesPerSec {
+        self.tech.throughput(u64::from(n_stages))
     }
 
     /// Total system area for `n` stages at lattice side `l`.
-    pub fn system_area(&self, n_stages: u32, l: u32) -> f64 {
-        n_stages as f64 * self.design(l).stage_area
+    pub fn system_area(&self, n_stages: u32, l: u32) -> ChipArea {
+        self.design(l).stage_area * f64::from(n_stages)
     }
 }
 
@@ -124,7 +126,7 @@ mod tests {
         // §6.3: "WSA-E has a constant bandwidth requirement of 16 bits
         // per clock tick".
         for l in [100u32, 785, 1000, 5000] {
-            assert_eq!(paper().design(l).bandwidth_bits_per_tick, 16);
+            assert_eq!(paper().design(l).bandwidth, BitsPerTick::new(16.0));
         }
     }
 
@@ -132,10 +134,10 @@ mod tests {
     fn storage_formula() {
         let w = paper();
         let d = w.design(1000);
-        assert_eq!(d.cells, 2010);
-        assert!((w.storage_area_per_pe(1000) - 2010.0 * 576e-6).abs() < 1e-12);
+        assert_eq!(d.cells, Cells::new(2010));
+        assert!((w.storage_area_per_pe(1000).get() - 2010.0 * 576e-6).abs() < 1e-12);
         // ≈ 1.16 chip areas of pure storage per processor.
-        assert!((d.stage_area - 2.158).abs() < 0.01);
+        assert!((d.stage_area.get() - 2.158).abs() < 0.01);
     }
 
     #[test]
@@ -143,12 +145,12 @@ mod tests {
         let w = paper();
         // Small lattice: everything fits on chip.
         let d = w.design(100);
-        assert_eq!(d.cells_off_chip, 0);
-        assert_eq!(d.cells_on_chip, 210);
+        assert_eq!(d.cells_off_chip, Cells::ZERO);
+        assert_eq!(d.cells_on_chip, Cells::new(210));
         // Large lattice: capacity 1702 cells, the rest off-chip.
         let d = w.design(1000);
-        assert_eq!(d.cells_on_chip, 1702);
-        assert_eq!(d.cells_off_chip, 2010 - 1702);
+        assert_eq!(d.cells_on_chip, Cells::new(1702));
+        assert_eq!(d.cells_off_chip, Cells::new(2010 - 1702));
     }
 
     #[test]
@@ -156,14 +158,15 @@ mod tests {
         // WSA proper caps at L ≈ 846; WSA-E does not.
         let w = paper();
         let d = w.design(100_000);
-        assert!(d.stage_area > 100.0);
-        assert_eq!(d.bandwidth_bits_per_tick, 16);
+        assert!(d.stage_area > ChipArea::new(100.0));
+        assert_eq!(d.bandwidth, BitsPerTick::new(16.0));
     }
 
     #[test]
     fn throughput_and_area_scale_with_stages() {
         let w = paper();
-        assert!((w.throughput(12) - 120e6).abs() < 1.0);
-        assert!((w.system_area(10, 1000) - 10.0 * w.design(1000).stage_area).abs() < 1e-9);
+        assert!((w.throughput(12).get() - 120e6).abs() < 1.0);
+        let ten = w.system_area(10, 1000);
+        assert!((ten.get() - 10.0 * w.design(1000).stage_area.get()).abs() < 1e-9);
     }
 }

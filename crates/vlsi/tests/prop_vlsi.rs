@@ -2,6 +2,7 @@
 //! consistent with the raw constraints over the whole technology space,
 //! not just at the 1987 point.
 
+use lattice_core::units::{BitsPerTick, Cells, ChipArea};
 use lattice_vlsi::ablation::multi_stage_wsa;
 use lattice_vlsi::{spa::Spa, wsa::Wsa, wsae::Wsae, Technology};
 use proptest::prelude::*;
@@ -101,9 +102,9 @@ proptest! {
         let w = Wsae::new(tech);
         let d = w.design(l);
         prop_assert_eq!(d.cells_on_chip + d.cells_off_chip, d.cells);
-        prop_assert_eq!(d.cells, 2 * l as u64 + 10);
-        prop_assert_eq!(d.bandwidth_bits_per_tick, 2 * tech.d_bits);
-        prop_assert!(d.stage_area >= 1.0);
+        prop_assert_eq!(d.cells, Cells::new(2 * u64::from(l) + 10));
+        prop_assert_eq!(d.bandwidth, BitsPerTick::new(f64::from(2 * tech.d_bits)));
+        prop_assert!(d.stage_area >= ChipArea::new(1.0));
     }
 
     /// Multi-stage chips: rate × stages at (weakly) shrinking lattices,
@@ -113,7 +114,7 @@ proptest! {
         prop_assume!(2 * tech.d_bits * p <= tech.pins);
         if let Some(d) = multi_stage_wsa(tech, stages, p) {
             prop_assert_eq!(d.updates_per_tick, stages * p);
-            prop_assert!(d.area_used <= 1.0 + 1e-9, "{d:?}");
+            prop_assert!(d.area_used <= ChipArea::new(1.0 + 1e-9), "{d:?}");
             if let Some(single) = multi_stage_wsa(tech, 1, p) {
                 prop_assert!(d.l_max <= single.l_max);
             }

@@ -39,7 +39,7 @@ fn main() {
              {} SR cells/chip",
             corner.p,
             chips,
-            corner.bandwidth_bits_per_tick,
+            corner.bandwidth,
             wsa.cells(corner.p, l),
         );
     } else {
@@ -58,14 +58,14 @@ fn main() {
     println!(
         "WSA-E: feasible at any L. {} stages, {:.2}α per stage ({} cells off-chip), \
          constant {} bits/tick",
-        stages, stage.stage_area, stage.cells_off_chip, stage.bandwidth_bits_per_tick
+        stages, stage.stage_area, stage.cells_off_chip, stage.bandwidth
     );
 
     // SPA.
     let spa = Spa::new(tech);
     let chip = spa.corner();
     let slices = spa.slices(l, chip.w);
-    let bw = spa.bandwidth_bits_per_tick(l, chip.w);
+    let bw = spa.bandwidth(l, chip.w);
     let depth_needed = (updates_per_tick / slices as f64).ceil().max(1.0) as u32;
     let chips = spa.chips(l, depth_needed, &chip);
     println!(
@@ -75,7 +75,13 @@ fn main() {
     );
 
     println!();
-    match preferred_regime(tech, l, budget_bits, updates_per_tick, 1024) {
+    match preferred_regime(
+        tech,
+        l,
+        lattice_core::units::BitsPerTick::new(f64::from(budget_bits)),
+        updates_per_tick,
+        1024,
+    ) {
         Some(r) => println!("recommended architecture under your budget: {r:?}"),
         None => println!(
             "no architecture meets {target_rate:.2e} updates/s within {budget_bits} \

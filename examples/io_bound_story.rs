@@ -42,7 +42,7 @@ fn main() {
         corner.p,
         wsa.p_pin_limit(),
         corner.l,
-        100.0 * corner.p as f64 * tech.g / corner.area_used
+        100.0 * f64::from(corner.p) * tech.g / corner.area_used.get()
     );
 
     println!("\n== 3. pipeline depth converts storage into bandwidth relief (§3–5) ==");
@@ -56,7 +56,7 @@ fn main() {
              -> {:>6.3} updates per memory bit",
             r.updates_per_tick(),
             r.memory_bits_per_tick(),
-            r.updates_per_tick() / r.memory_bits_per_tick()
+            r.updates_per_tick().get() / r.memory_bits_per_tick().get()
         );
     }
 

@@ -20,7 +20,7 @@ fn main() {
     let shape = Shape::grid2(rows, cols).expect("valid shape");
     let grid = init::random_fhp(shape, FhpVariant::II, 0.3, 21, false).expect("valid gas");
     let rule = FhpRule::new(FhpVariant::II, 6);
-    let clock = Technology::paper_1987().clock_hz;
+    let clock = Technology::paper_1987().clock();
 
     println!("workload: FHP-II {rows}x{cols}, {depth} generations, null boundary");
     let reference = evolve(&grid, &rule, Boundary::null(), 0, depth as u64);
@@ -53,13 +53,13 @@ fn main() {
     );
 }
 
-fn show(name: &str, r: &lattice_engines::sim::EngineReport<u8>, clock: f64) {
+fn show(name: &str, r: &lattice_engines::sim::EngineReport<u8>, clock: lattice_core::units::Hz) {
     println!(
         "{:<22} {:>12} {:>14.2} {:>14.1} {:>12.1} {:>10}",
         name,
         r.ticks,
         r.updates_per_tick(),
-        r.updates_per_second(clock) / 1e6,
+        r.updates_per_second(clock).get() / 1e6,
         r.memory_bits_per_tick(),
         r.sr_cells_per_stage
     );

@@ -612,7 +612,7 @@ fn run_engine(
         other => return Err(CliError(format!("unknown architecture `{other}`"))),
     }
     .map_err(|e| CliError(e.to_string()))?;
-    let clock = Technology::paper_1987().clock_hz;
+    let clock = Technology::paper_1987().clock();
     Ok(format!(
         "{arch} on {rows}x{cols} FHP-I, depth {depth}\n\
          ticks:            {}\n\
@@ -623,7 +623,7 @@ fn run_engine(
          utilization:      {:.3}\n",
         report.ticks,
         report.updates_per_tick(),
-        report.updates_per_second(clock),
+        report.updates_per_second(clock).get(),
         report.memory_bits_per_tick(),
         report.sr_cells_per_stage,
         report.utilization(),
@@ -711,7 +711,7 @@ fn run_design(l: u32, rate: f64, budget: u32) -> String {
             "  WSA:   P = {}, {} chips, {} bits/tick\n",
             corner.p,
             ((need_upt / corner.p as f64).ceil() as u64).min(l as u64),
-            corner.bandwidth_bits_per_tick
+            corner.bandwidth
         ));
     } else {
         out.push_str(&format!("  WSA:   infeasible (L > {})\n", corner.l));
@@ -726,11 +726,17 @@ fn run_design(l: u32, rate: f64, budget: u32) -> String {
         "  SPA:   W = {}, {} slices, {} bits/tick, chips of {}x{} PEs\n",
         chip.w,
         slices,
-        spa.bandwidth_bits_per_tick(l, chip.w),
+        spa.bandwidth(l, chip.w),
         chip.p_w,
         chip.p_k
     ));
-    match crate::vlsi::compare::preferred_regime(tech, l, budget, need_upt, 1024) {
+    match crate::vlsi::compare::preferred_regime(
+        tech,
+        l,
+        lattice_core::units::BitsPerTick::new(f64::from(budget)),
+        need_upt,
+        1024,
+    ) {
         Some(r) => out.push_str(&format!("  recommended under {budget} bits/tick: {r:?}\n")),
         None => out.push_str(
             "  no architecture fits the budget — the paper's point: \
@@ -1113,7 +1119,7 @@ fn run_farm(
         other => return Err(CliError(format!("unknown gas model `{other}`"))),
     };
 
-    let clock = Technology::paper_1987().clock_hz;
+    let clock = Technology::paper_1987().clock();
     let mut out = format!(
         "farm: {model} on {rows}x{cols} ({}), {steps} generations, \
          {shards} board(s) x {engine}, k = {depth}\n\
@@ -1131,7 +1137,7 @@ fn run_farm(
         report.machine.ticks,
         report.halo_ticks,
         report.updates_per_tick(),
-        report.updates_per_second(clock),
+        report.updates_per_second(clock).get(),
         report.halo_bits_per_tick(),
         report.redundancy(),
         report.compute_fraction(),
@@ -1148,15 +1154,17 @@ fn run_farm(
         // The analytical board model mirrors the WSA pipeline.
         let m = FarmModel::new(Technology::paper_1987(), rows, cols, width as u32, depth)
             .with_periodic(periodic)
-            .with_link(link_bits.unwrap_or(f64::INFINITY));
-        let meas_pass = report.machine_ticks() as f64 / report.passes.max(1) as f64;
+            .with_link(link_bits.map_or(lattice_core::units::BitsPerTick::UNTHROTTLED, |b| {
+                lattice_core::units::BitsPerTick::new(b)
+            }));
+        let meas_pass = report.machine_ticks().to_f64() / report.passes.max(1) as f64;
         out.push_str(&format!(
             "model: pass ticks {:.0} (measured {:.0}), strong-scaling \
              efficiency {:.3}, link demand {:.1} bits/tick\n",
             m.pass_ticks(shards),
             meas_pass,
             m.strong_efficiency(shards),
-            m.link_demand_bits_per_tick(shards),
+            m.link_demand(shards),
         ));
     }
     match exact {

@@ -64,7 +64,7 @@ proptest! {
         let reference = evolve(&grid, &rule, Boundary::null(), 2, depth as u64);
         let report = SpaLockstep::new(slice_w, depth).run(&rule, &grid, 2).unwrap();
         prop_assert_eq!(report.grid, reference);
-        prop_assert!(report.sr_cells_per_stage as usize <= 2 * slice_w + 3);
+        prop_assert!(report.sr_cells_per_stage.get() <= (2 * slice_w + 3) as u64);
     }
 
     #[test]

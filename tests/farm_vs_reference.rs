@@ -5,6 +5,7 @@
 //! lattice width; and its measured machine accounting must track the
 //! analytical links-per-board model.
 
+use lattice_engines::core::units::BitsPerTick;
 use lattice_engines::core::{evolve, Boundary, Shape};
 use lattice_engines::farm::{BoardLink, FarmRecoveryConfig, LatticeFarm, ShardEngine};
 use lattice_engines::gas::{init, FhpRule, FhpVariant, HppRule};
@@ -142,8 +143,8 @@ fn measured_scaling_tracks_the_model_within_ten_percent() {
     for shards in [1usize, 2, 4, 8] {
         let farm = LatticeFarm::new(shards, ShardEngine::Wsa { width: p }, k);
         let report = farm.run(&rule, &grid, 0, 4).unwrap();
-        let measured = report.machine_ticks() as f64 / report.passes as f64;
-        let predicted = model.pass_ticks(shards);
+        let measured = report.machine_ticks().to_f64() / report.passes as f64;
+        let predicted = model.pass_ticks(shards).to_f64();
         let ratio = measured / predicted;
         assert!(
             (ratio - 1.0).abs() < 0.10,
@@ -152,7 +153,7 @@ fn measured_scaling_tracks_the_model_within_ten_percent() {
         let upt = report.updates_per_tick();
         let upt_model = model.updates_per_tick(shards);
         assert!(
-            (upt / upt_model - 1.0).abs() < 0.10,
+            (upt.ratio(upt_model) - 1.0).abs() < 0.10,
             "S={shards}: upd/tick measured {upt} vs model {upt_model}"
         );
     }
@@ -168,7 +169,8 @@ fn starved_links_roll_over_where_the_model_says() {
     let grid = init::random_fhp(shape, FhpVariant::I, 0.3, 3, false).unwrap();
     let rule = FhpRule::new(FhpVariant::I, 3);
     let bits = 2.0;
-    let model = FarmModel::new(Technology::paper_1987(), rows, cols, p as u32, k).with_link(bits);
+    let model = FarmModel::new(Technology::paper_1987(), rows, cols, p as u32, k)
+        .with_link(BitsPerTick::new(bits));
     let crit = model.critical_shards(8).expect("2 bits/tick must roll over by S=8");
 
     let measure = |shards: usize| {
@@ -269,9 +271,10 @@ fn retransmission_term_keeps_the_model_within_ten_percent() {
     assert!(ft.report.retransmits >= 2, "the rate must produce retransmissions: {ft:?}");
     assert_eq!(ft.recovery.rollbacks, 0, "ARQ must absorb this weather: {:?}", ft.recovery);
 
-    let model = FarmModel::new(Technology::paper_1987(), rows, cols, p as u32, k).with_link(bits);
+    let model = FarmModel::new(Technology::paper_1987(), rows, cols, p as u32, k)
+        .with_link(BitsPerTick::new(bits));
     let r = ft.report.retransmits as f64 / ft.report.passes as f64;
-    let measured = ft.report.machine_ticks() as f64 / ft.report.passes as f64;
+    let measured = ft.report.machine_ticks().to_f64() / ft.report.passes as f64;
     let predicted = model.pass_ticks_with_retransmits(shards, r);
     let ratio = measured / predicted;
     assert!(
@@ -279,12 +282,12 @@ fn retransmission_term_keeps_the_model_within_ten_percent() {
         "measured {measured} vs model {predicted} (ratio {ratio}, r {r})"
     );
     // Without the ARQ term the model must under-predict this run.
-    assert!(measured > model.pass_ticks(shards), "retransmissions cost real barrier time");
+    assert!(measured > model.pass_ticks(shards).to_f64(), "retransmissions cost real barrier time");
     // The measured split agrees term for term: the extra halo time is
     // the retransmitted share.
     assert_eq!(
         ft.report.retransmit_ticks,
-        ft.report.retransmits * model.halo_ticks(shards) as u64,
+        model.halo_ticks(shards) * ft.report.retransmits,
         "each retransmission replays one interior exchange barrier"
     );
 }

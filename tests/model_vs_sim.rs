@@ -16,7 +16,7 @@ fn wsa_throughput_matches_f_p_k() {
         let grid = init::random_fhp(shape, FhpVariant::I, 0.3, 2, false).unwrap();
         let r = Pipeline::wide(p, k).run(&rule, &grid, 0).unwrap();
         let model = (p * k) as f64;
-        let measured = r.updates_per_tick();
+        let measured = r.updates_per_tick().get();
         assert!(measured <= model && measured > 0.9 * model, "P={p} k={k}: {measured} vs {model}");
     }
 }
@@ -29,7 +29,7 @@ fn wsa_bandwidth_matches_2dp() {
     for p in [1u32, 2, 4] {
         let r = Pipeline::wide(p as usize, 2).run(&rule, &grid, 0).unwrap();
         let model = (2 * 8 * p) as f64;
-        let measured = r.memory_bits_per_tick();
+        let measured = r.memory_bits_per_tick().get();
         assert!(measured <= model && measured > 0.9 * model, "P={p}");
         // Total volume is exact: one site in + one out per site.
         assert_eq!(r.memory_traffic.bits_in, shape.len() as u128 * 8);
@@ -45,7 +45,7 @@ fn wsa_storage_matches_two_rows() {
         let grid = init::random_fhp(shape, FhpVariant::I, 0.3, 2, false).unwrap();
         for p in [1usize, 4] {
             let r = Pipeline::wide(p, 1).run(&rule, &grid, 0).unwrap();
-            assert_eq!(r.sr_cells_per_stage as usize, 2 * cols + p + 2);
+            assert_eq!(r.sr_cells_per_stage.get() as usize, 2 * cols + p + 2);
         }
     }
 }
@@ -59,7 +59,7 @@ fn spa_throughput_matches_k_slices() {
     for (w, k) in [(12usize, 2usize), (24, 3), (48, 1)] {
         let r = SpaEngine::new(w, k).run(&rule, &grid, 0).unwrap();
         let model = (96 / w * k) as f64;
-        let measured = r.updates_per_tick();
+        let measured = r.updates_per_tick().get();
         assert!(measured <= model && measured > 0.75 * model, "W={w} k={k}: {measured} vs {model}");
     }
 }
@@ -73,8 +73,8 @@ fn spa_bandwidth_matches_model() {
     let grid = init::random_fhp(shape, FhpVariant::I, 0.3, 2, false).unwrap();
     for w in [12u32, 24, 48] {
         let r = SpaEngine::new(w as usize, 1).run(&rule, &grid, 0).unwrap();
-        let model = spa_model.bandwidth_bits_per_tick(96, w) as f64;
-        let measured = r.memory_bits_per_tick();
+        let model = spa_model.bandwidth(96, w).get();
+        let measured = r.memory_bits_per_tick().get();
         assert!(measured <= model && measured > 0.75 * model, "W={w}: {measured} vs {model}");
     }
 }

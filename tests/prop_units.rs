@@ -1,0 +1,90 @@
+//! Property tests for the typed-units layer at the paper's constants:
+//! D = 8 bits/site, Π = 72 pins, B = 576·10⁻⁶ area/cell,
+//! Γ = 19.4·10⁻³ area/PE, F = 10 MHz — and the §6 corner designs that
+//! every dimension-carrying refactor must leave untouched.
+
+use lattice_engines::core::units::{Bits, BitsPerTick, Hz, Sites, Ticks};
+use lattice_engines::vlsi::{spa::Spa, wsa::Wsa, Technology};
+use proptest::prelude::*;
+
+fn paper() -> Technology {
+    Technology::paper_1987()
+}
+
+proptest! {
+    /// sites → ticks → secs → ticks round-trips exactly at F = 10 MHz
+    /// for every tick count the models can produce (exact through 2⁴⁰
+    /// ≈ 10⁵ paper-scale passes; past ~2⁵² the f64 quotient's ULP can
+    /// flip the reconstruction by one tick).
+    #[test]
+    fn ticks_secs_round_trip_is_exact(n in 0u64..(1 << 40)) {
+        let t = paper();
+        let ticks = Ticks::new(n);
+        prop_assert_eq!(t.secs(ticks).ticks_at(t.clock()), ticks);
+    }
+
+    /// The same round trip through an explicitly constructed clock —
+    /// the `Hz`/`Secs` pair alone, no `Technology` in the loop.
+    #[test]
+    fn clock_round_trip_is_exact(n in 0u64..(1 << 40)) {
+        let clock = Hz::new(10e6);
+        let ticks = Ticks::new(n);
+        prop_assert_eq!(ticks.secs_at(clock).ticks_at(clock), ticks);
+    }
+
+    /// Streaming demand is dimensionally linear: the paper's 2DP
+    /// bits/tick for P processors is P times the single-PE demand.
+    #[test]
+    fn stream_demand_is_linear_in_p(p in 1u32..64) {
+        let t = paper();
+        let per_pe = t.stream_demand(1).get();
+        prop_assert_eq!(t.stream_demand(p).get(), per_pe * f64::from(p));
+        prop_assert_eq!(per_pe, 2.0 * 8.0); // 2D at D = 8
+    }
+
+    /// Moving `b` bits over a `c` bits/tick link takes `ceil(b/c)`
+    /// ticks, and that many ticks always suffice: capacity × ticks
+    /// covers the payload.
+    #[test]
+    fn link_transfer_ticks_cover_the_payload(b in 1u64..1_000_000u64, c in 1u32..4096) {
+        let bits = Bits::new(u128::from(b));
+        let link = BitsPerTick::new(f64::from(c));
+        let ticks = link.ticks_to_move(bits);
+        let moved = f64::from(c) * ticks.to_f64();
+        prop_assert!(moved >= b as f64, "{moved} < {b}");
+        // Minimality: one tick fewer would not cover it.
+        if ticks > Ticks::ONE {
+            let under = f64::from(c) * (ticks - Ticks::ONE).to_f64();
+            prop_assert!(under < b as f64, "{under} >= {b}: transfer overcharged");
+        }
+    }
+
+    /// Bits-per-site scaling: the memory image of `s` sites at D = 8
+    /// is exactly 8s bits, whatever the lattice size.
+    #[test]
+    fn bits_for_sites_is_exact(s in 0u64..(1 << 40)) {
+        let t = paper();
+        prop_assert_eq!(t.bits_for_sites(Sites::new(s)), Bits::new(u128::from(s) * 8));
+    }
+}
+
+/// §6.1 corner pinned: P = 4, L = 785, 64 bits/tick — the typed-units
+/// refactor must not move the paper's numbers.
+#[test]
+fn wsa_corner_is_unchanged() {
+    let c = Wsa::new(paper()).corner();
+    assert_eq!((c.p, c.l), (4, 785));
+    assert_eq!(c.bandwidth, BitsPerTick::new(64.0));
+}
+
+/// §6.2 corner pinned: P = 12 at the real-valued corner W ≈ 43
+/// (the integer design rounds W up), bandwidth in the paper's band.
+#[test]
+fn spa_corner_is_unchanged() {
+    let model = Spa::new(paper());
+    let c = model.corner();
+    assert_eq!(c.p, 12);
+    assert!((model.corner_w() - 43.0).abs() < 0.5, "corner W = {}", model.corner_w());
+    let bw = model.bandwidth(785, c.w).get();
+    assert!((250.0..=310.0).contains(&bw), "bandwidth {bw}");
+}

@@ -153,7 +153,7 @@ fn reynolds_sizing_connects_to_engine_throughput() {
     assert!(sizing.l_feature < corner.l as f64);
     // …and a full-depth machine turns an eddy over in finite time.
     let updates_per_sec = wsa.max_throughput(corner.p, corner.l);
-    let seconds = sizing.updates_per_turnover / updates_per_sec;
+    let seconds = sizing.updates_per_turnover / updates_per_sec.get();
     assert!(seconds > 0.0 && seconds < 60.0, "{seconds} s per turnover");
 }
 
