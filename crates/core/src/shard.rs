@@ -84,6 +84,103 @@ pub fn partition(
     Ok(slabs)
 }
 
+/// One engine sub-run of a board's pass under overlapped exchange: a
+/// contiguous span of the slab's *augmented* columns, plus the owned
+/// columns whose end-of-pass values that run certifies exact.
+///
+/// Coordinates: `a0`/`width` index the augmented slab (`0` is the
+/// leftmost halo column); `own_lo`/`own_hi` index the slab's *owned*
+/// columns (`0` is `Slab::col0`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepRegion {
+    /// First augmented column of the sub-run.
+    pub a0: usize,
+    /// Augmented columns the sub-run streams.
+    pub width: usize,
+    /// First owned column stitched from this run.
+    pub own_lo: usize,
+    /// One past the last owned column stitched from this run.
+    pub own_hi: usize,
+    /// Boundary sweeps run first each pass; their output is exactly
+    /// what the next pass's halo frames carry, so the frames can ship
+    /// while the interior sweep is still evolving.
+    pub boundary: bool,
+}
+
+impl SweepRegion {
+    /// Owned columns this run certifies.
+    pub fn own_width(&self) -> usize {
+        self.own_hi - self.own_lo
+    }
+}
+
+/// Splits a slab's per-pass sweep into the boundary regions adjacent to
+/// each seam plus one interior region, for communication/compute
+/// overlap: the boundary regions are computed first, their `k` owned
+/// columns nearest each seam are all any neighbor imports next pass, so
+/// those halo frames ship while the interior region evolves.
+///
+/// With `overlap` off (or a slab with no seams) the whole augmented
+/// slab is one non-boundary region — today's serialized sweep.
+///
+/// Geometry (pollution travels one column per generation, `halo = k`
+/// generations per pass):
+///
+/// * A seam-side boundary region spans the halo plus `2k` owned columns
+///   (`halo + 2k` augmented columns, clipped to the slab). Its outer
+///   `k` owned columns are exact: the cut edge it introduces sits `2k`
+///   columns from the seam, so its pollution front stops `k` short of
+///   the shipped columns.
+/// * The interior region spans exactly the owned columns; each seam-side
+///   cut edge pollutes `k` columns inward, which is precisely the strip
+///   the boundary region already certified.
+/// * Clamped sides (`halo < k`, the augmented edge *is* the lattice
+///   edge) introduce no pollution, so a clamped side needs no boundary
+///   region and loses no columns.
+///
+/// Requires `width >= halo` on any slab with a seam — narrower slabs
+/// cannot even source a full halo frame from their own columns and are
+/// rejected by the farm's partition validation.
+pub fn sweep_regions(slab: &Slab, halo: usize, overlap: bool) -> Vec<SweepRegion> {
+    let (w, hl, hr) = (slab.width, slab.halo_left, slab.halo_right);
+    let aug = slab.aug_width();
+    let full = SweepRegion { a0: 0, width: aug, own_lo: 0, own_hi: w, boundary: false };
+    if !overlap || (hl == 0 && hr == 0) {
+        return vec![full];
+    }
+    let mut regions = Vec::with_capacity(3);
+    // Owned columns certified by the left / right boundary sweeps. When
+    // the slab is narrower than 2k the two claims meet; the left sweep
+    // wins the contested columns and the right one keeps only its own
+    // exact outer strip.
+    let left_cover = if hl > 0 { halo.min(w) } else { 0 };
+    let right_lo = if hr > 0 { w.saturating_sub(halo).max(left_cover) } else { w };
+    if hl > 0 {
+        let width = (hl + 2 * halo).min(aug);
+        regions.push(SweepRegion { a0: 0, width, own_lo: 0, own_hi: left_cover, boundary: true });
+    }
+    if hr > 0 && right_lo < w {
+        let a0 = aug.saturating_sub(hr + 2 * halo);
+        regions.push(SweepRegion {
+            a0,
+            width: aug - a0,
+            own_lo: right_lo,
+            own_hi: w,
+            boundary: true,
+        });
+    }
+    if left_cover < right_lo {
+        regions.push(SweepRegion {
+            a0: hl,
+            width: w,
+            own_lo: left_cover,
+            own_hi: right_lo,
+            boundary: false,
+        });
+    }
+    regions
+}
+
 /// The widest halo-augmented slab [`partition`] produces at `shards`
 /// boards — the figure that sizes per-board hardware (SPA slice count,
 /// stream buffers) and therefore must stay stable when a farm
@@ -167,6 +264,104 @@ mod tests {
         }
         assert_eq!(max_aug_width(40, 1, 2, false).unwrap(), 40, "one board, no halo");
         assert_eq!(max_aug_width(40, 2, 2, true).unwrap(), 24, "torus: 20 owned + 2·2 halo");
+    }
+
+    /// Every owned column must be certified by exactly one region, and
+    /// the columns any neighbor imports (`k` nearest each seam) must be
+    /// certified by a *boundary* region, else overlap could ship stale
+    /// or polluted sites.
+    fn check_regions(slab: &Slab, halo: usize) {
+        let regions = sweep_regions(slab, halo, true);
+        let mut certified = vec![0usize; slab.width];
+        for r in &regions {
+            assert!(r.a0 + r.width <= slab.aug_width(), "region inside the augmented slab");
+            assert!(r.own_lo >= r.a0.saturating_sub(slab.halo_left), "owned span inside region");
+            assert!(slab.halo_left + r.own_hi <= r.a0 + r.width, "owned span inside region");
+            for c in &mut certified[r.own_lo..r.own_hi] {
+                *c += 1;
+            }
+        }
+        assert!(certified.iter().all(|&c| c == 1), "{slab:?}: {certified:?}");
+        let shipped_left = if slab.halo_left > 0 { halo.min(slab.width) } else { 0 };
+        let shipped_right = if slab.halo_right > 0 { halo.min(slab.width) } else { 0 };
+        for j in (0..shipped_left).chain(slab.width - shipped_right..slab.width) {
+            let region = regions.iter().find(|r| (r.own_lo..r.own_hi).contains(&j)).unwrap();
+            assert!(
+                region.boundary,
+                "shipped column {j} of {slab:?} must come from a boundary sweep"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_regions_partition_the_owned_columns() {
+        for cols in [8usize, 10, 17, 64] {
+            for shards in 1..=cols.min(8) {
+                for halo in 1..=4usize {
+                    for periodic in [false, true] {
+                        if cols / shards < halo {
+                            continue; // farms reject slabs narrower than the halo
+                        }
+                        for slab in partition(cols, shards, halo, periodic).unwrap() {
+                            check_regions(&slab, halo);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serialized_sweep_is_one_full_region() {
+        for slab in partition(12, 3, 2, true).unwrap() {
+            let regions = sweep_regions(&slab, 2, false);
+            assert_eq!(regions.len(), 1);
+            let r = regions[0];
+            assert_eq!((r.a0, r.width, r.own_lo, r.own_hi, r.boundary), (0, 8, 0, 4, false));
+        }
+    }
+
+    #[test]
+    fn seamless_slab_has_no_boundary_sweep() {
+        let slab = partition(12, 1, 2, false).unwrap()[0];
+        let regions = sweep_regions(&slab, 2, true);
+        assert_eq!(regions.len(), 1);
+        assert!(!regions[0].boundary);
+    }
+
+    #[test]
+    fn interior_slab_splits_into_three_regions() {
+        // cols 24, 3 shards, k = 2: the middle slab owns cols 8..16
+        // with full halos. Left boundary region: halo (2) + 2k (4)
+        // augmented columns certifying owned 0..2; mirrored right;
+        // interior certifies 2..6.
+        let slab = partition(24, 3, 2, false).unwrap()[1];
+        let r = sweep_regions(&slab, 2, true);
+        assert_eq!(r.len(), 3);
+        assert_eq!(
+            (r[0].a0, r[0].width, r[0].own_lo, r[0].own_hi, r[0].boundary),
+            (0, 6, 0, 2, true)
+        );
+        assert_eq!(
+            (r[1].a0, r[1].width, r[1].own_lo, r[1].own_hi, r[1].boundary),
+            (6, 6, 6, 8, true)
+        );
+        assert_eq!(
+            (r[2].a0, r[2].width, r[2].own_lo, r[2].own_hi, r[2].boundary),
+            (2, 8, 2, 6, false)
+        );
+    }
+
+    #[test]
+    fn narrow_slab_collapses_to_boundary_sweeps_only() {
+        // Slab width k..2k: the two boundary claims meet, the interior
+        // region vanishes, and the contested columns go to the left
+        // sweep exactly once.
+        let slab = partition(12, 4, 2, true).unwrap()[1];
+        assert_eq!(slab.width, 3);
+        let regions = sweep_regions(&slab, 2, true);
+        assert!(regions.iter().all(|r| r.boundary));
+        check_regions(&slab, 2);
     }
 
     #[test]

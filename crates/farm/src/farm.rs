@@ -45,8 +45,10 @@
 //! boards_retired` on any successful run (see
 //! [`lattice_engines_sim::RecoveryStats`]).
 
-use crate::link::BoardLink;
-use crate::partition::{max_aug_width, partition, Slab};
+use crate::link::{BoardLink, HaloWindow};
+use crate::partition::{
+    max_aug_width, partition, partition_checked, sweep_regions, Slab, SweepRegion,
+};
 use lattice_core::bits::Traffic;
 use lattice_core::units::{
     u64_from_usize, usize_from_u64, Bits, BitsPerTick, Cells, Hz, Sites, SitesPerSec, SitesPerTick,
@@ -130,6 +132,16 @@ pub struct LatticeFarm {
     /// Optional injected worker misbehavior (hang/die), for exercising
     /// the watchdog path deterministically.
     pub worker_fault: Option<WorkerFaultSpec>,
+    /// Overlap halo exchange with interior compute: each pass splits
+    /// into a boundary sweep (the seam-adjacent columns) and an
+    /// interior sweep; the boundary columns are computed first and
+    /// their halo frames for pass `n + 1` ship over double-buffered
+    /// links ([`HaloWindow`]) while pass `n`'s interior is still
+    /// evolving. The next pass barriers on halo *arrival*, so its
+    /// transfer time is hidden up to the previous interior sweep:
+    /// per-pass machine time becomes `boundary + max(interior, halo)`
+    /// instead of `compute + halo`. Results are bit-exact either way.
+    pub overlap: bool,
 }
 
 /// Per-board cumulative statistics over a farm run.
@@ -186,6 +198,13 @@ pub struct FarmReport<S: State> {
     /// halo frames — the ARQ term the `lattice-vlsi` farm model adds to
     /// its pass-tick prediction.
     pub retransmit_ticks: Ticks,
+    /// The share of [`FarmReport::halo_ticks`] hidden under interior
+    /// compute by overlapped exchange (zero when
+    /// [`LatticeFarm::overlap`] is off): each pass's staged halo
+    /// transfer runs concurrently with the *previous* pass's interior
+    /// sweep, so only `min(interior, halo)` of it is free. Subtracted
+    /// from the wall clock in [`FarmReport::machine_ticks`].
+    pub overlapped_ticks: Ticks,
     /// Halo frames retransmitted during committed passes (frames of
     /// attempts that later rolled back are counted only in
     /// `RecoveryStats::retransmits`).
@@ -198,9 +217,13 @@ impl<S: State> FarmReport<S> {
         &self.machine.grid
     }
 
-    /// Machine wall-clock ticks: compute plus halo-exchange time.
+    /// Machine wall-clock ticks: compute plus the halo-exchange time
+    /// that was actually exposed at the barriers — overlapped exchange
+    /// hides [`FarmReport::overlapped_ticks`] of the link time under
+    /// interior compute, so per pass the wall clock follows
+    /// `boundary + max(interior, halo)` instead of `compute + halo`.
     pub fn machine_ticks(&self) -> Ticks {
-        self.machine.ticks + self.halo_ticks
+        self.machine.ticks + self.halo_ticks.saturating_sub(self.overlapped_ticks)
     }
 
     /// Lattice-visible updates (`generations × sites`), excluding the
@@ -325,21 +348,74 @@ struct ExchangeOutcome<S: State> {
     bits: Bits,
     retransmits: u32,
     traffic: Traffic,
+    /// Whether this frame was shipped ahead during the previous pass's
+    /// interior sweep (taken from a [`HaloWindow`]) — the condition for
+    /// crediting its transfer time as overlapped.
+    staged: bool,
 }
+
+/// The sender-ahead frame a board stages into its neighbor-facing
+/// [`HaloWindow`] during a pass's interior sweep: either the delivered
+/// exchange, or the link error its ARQ budget could not clear (which
+/// must surface at the *arrival* barrier it belongs to, not the pass
+/// that shipped it).
+type StagedHalo<S> = HaloWindow<Result<ExchangeOutcome<S>, LatticeError>>;
 
 /// What one board has produced so far within the current pass. The
 /// cache state encodes what a retry must redo: a link failure leaves
 /// `exchange` empty (re-exchange), an engine/audit failure leaves
-/// `exchange` buffered but `report` empty (replay the buffered halos).
+/// `exchange` buffered but `reports` empty (replay the buffered halos).
+/// `reports` holds one engine report per sweep region, in
+/// [`sweep_regions`] order (a single entry when overlap is off).
 struct BoardCache<S: State> {
     exchange: Option<ExchangeOutcome<S>>,
-    report: Option<EngineReport<S>>,
+    reports: Option<Vec<EngineReport<S>>>,
 }
 
 impl<S: State> Default for BoardCache<S> {
     fn default() -> Self {
-        BoardCache { exchange: None, report: None }
+        BoardCache { exchange: None, reports: None }
     }
+}
+
+/// The engine input for one sweep region: borrows the full augmented
+/// slab when the region covers it entirely (the serialized path pays no
+/// copy), else materializes the region's column span.
+fn region_grid<'a, S: State>(
+    aug: &'a Grid<S>,
+    region: &SweepRegion,
+) -> Result<std::borrow::Cow<'a, Grid<S>>, LatticeError> {
+    if region.a0 == 0 && region.width == aug.shape().cols() {
+        return Ok(std::borrow::Cow::Borrowed(aug));
+    }
+    let shape = Shape::grid2(aug.shape().rows(), region.width)?;
+    Ok(std::borrow::Cow::Owned(Grid::from_fn(shape, |c| {
+        aug.get(Coord::c2(c.row(), region.a0 + c.col()))
+    })))
+}
+
+/// Sequential composition of one board's sweep regions within a pass:
+/// the regions run back to back on the same silicon, so ticks, updates,
+/// and traffic add, while pipeline geometry (`stages`, `width`) and
+/// capacity figures stay the board's maxima and `generations` stays the
+/// pass depth. The dual of [`EngineReport::merge`], which composes
+/// *concurrent* engines (ticks max, stages add).
+fn fold_regions<S: State>(mut reports: Vec<EngineReport<S>>) -> EngineReport<S> {
+    let mut folded = reports.remove(0);
+    for r in reports {
+        folded.generations = folded.generations.max(r.generations);
+        folded.updates += r.updates;
+        folded.ticks += r.ticks;
+        folded.memory_traffic.merge(r.memory_traffic);
+        folded.pin_traffic.merge(r.pin_traffic);
+        folded.side_traffic.merge(r.side_traffic);
+        folded.offchip_sr_traffic.merge(r.offchip_sr_traffic);
+        folded.sr_cells_per_stage = folded.sr_cells_per_stage.max(r.sr_cells_per_stage);
+        folded.stages = folded.stages.max(r.stages);
+        folded.width = folded.width.max(r.width);
+        folded.faults.merge(r.faults);
+    }
+    folded
 }
 
 /// Converts a missing cache entry — a supervisor-logic invariant, not a
@@ -372,6 +448,9 @@ type ShardAuditRef<'a, S> =
 struct PassParams<'a> {
     k: usize,
     t_now: u64,
+    /// End of the whole run — overlap mode needs it to know whether a
+    /// next pass exists (and how deep it is) when shipping ahead.
+    t_end: u64,
     pass: u64,
     slabs: &'a [Slab],
     /// Slab index → physical board id (identity until boards retire).
@@ -382,12 +461,23 @@ struct PassParams<'a> {
     attempts: &'a [u64],
     arq_retries: u32,
     watchdog: Option<Duration>,
+    /// The committed previous pass's interior-sweep time: the window
+    /// this pass's (staged) halo transfer was hidden under. Zero when
+    /// the previous pass failed, rolled back, or did not stage.
+    overlap_credit: Ticks,
 }
+
+/// A board's compute outcome: absent until its worker reports, then
+/// one engine report per sweep region or the board's failure.
+type BoardResult<S> = Option<Result<Vec<EngineReport<S>>, LatticeError>>;
 
 /// One board's work order for a pass (borrowing its buffered exchange).
 struct JobRef<'a, S: State> {
     slab: usize,
     aug: &'a Grid<S>,
+    /// Sweep regions in execution order (boundary first); one full
+    /// region when overlap is off.
+    regions: Vec<SweepRegion>,
     ctx: Option<FaultCtx<'a>>,
     origin: (usize, usize),
     chip0: usize,
@@ -395,7 +485,8 @@ struct JobRef<'a, S: State> {
     attempt: u64,
 }
 
-/// What one pass produced, before aggregation.
+/// What one pass produced, before aggregation. `reports` holds the
+/// per-board *folded* report (regions composed sequentially).
 struct PassOutcome<S: State> {
     grid: Grid<S>,
     reports: Vec<EngineReport<S>>,
@@ -404,6 +495,16 @@ struct PassOutcome<S: State> {
     retransmit_ticks: Ticks,
     halo_bits_per_board: Vec<Bits>,
     retransmits_per_board: Vec<u32>,
+    /// Slowest board's boundary-sweep time (zero when overlap is off:
+    /// the whole sweep is interior).
+    boundary_ticks: Ticks,
+    /// Slowest board's interior-sweep time — the window the *next*
+    /// pass's halo transfer can hide under.
+    interior_ticks: Ticks,
+    /// The share of this pass's `halo_ticks` that was hidden under the
+    /// previous pass's interior sweep: `min(credit, halo_ticks)` when
+    /// every frame arrived staged, zero otherwise.
+    overlapped_ticks: Ticks,
 }
 
 /// Cross-pass accumulators for the machine report.
@@ -421,6 +522,7 @@ struct Totals {
     halo_traffic: Traffic,
     halo_ticks: Ticks,
     retransmit_ticks: Ticks,
+    overlapped_ticks: Ticks,
     retransmits: u64,
     per_shard: Vec<ShardStats>,
 }
@@ -441,6 +543,7 @@ impl Totals {
             halo_traffic: Traffic::new(),
             halo_ticks: Ticks::ZERO,
             retransmit_ticks: Ticks::ZERO,
+            overlapped_ticks: Ticks::ZERO,
             retransmits: 0,
             per_shard: slabs
                 .iter()
@@ -461,14 +564,17 @@ impl Totals {
 
     /// Folds one pass in: shard reports compose in parallel (via
     /// [`EngineReport::merge`]), passes compose sequentially (ticks and
-    /// updates add). `phys` maps slab index → physical board.
+    /// updates add). The pass's compute time is the boundary barrier
+    /// plus the interior barrier — each phase waits on its slowest
+    /// board — which reduces to the slowest board's full sweep when
+    /// overlap is off. `phys` maps slab index → physical board.
     fn absorb<S: State>(&mut self, out: &PassOutcome<S>, k: u64, phys: &[usize]) {
         let mut pass = out.reports[0].clone();
         for r in &out.reports[1..] {
             pass.merge(r);
         }
         self.updates += pass.updates;
-        self.compute_ticks += pass.ticks;
+        self.compute_ticks += out.boundary_ticks + out.interior_ticks;
         self.generations += k;
         self.memory.merge(pass.memory_traffic);
         self.pins.merge(pass.pin_traffic);
@@ -480,6 +586,7 @@ impl Totals {
         self.halo_traffic.merge(out.halo_traffic);
         self.halo_ticks += out.halo_ticks;
         self.retransmit_ticks += out.retransmit_ticks;
+        self.overlapped_ticks += out.overlapped_ticks;
         for (i, report) in out.reports.iter().enumerate() {
             let stats = &mut self.per_shard[phys[i]];
             stats.updates += report.updates;
@@ -526,6 +633,7 @@ impl Totals {
             halo_traffic: self.halo_traffic,
             halo_ticks: self.halo_ticks,
             retransmit_ticks: self.retransmit_ticks,
+            overlapped_ticks: self.overlapped_ticks,
             retransmits: self.retransmits,
         }
     }
@@ -582,7 +690,19 @@ impl LatticeFarm {
             link: BoardLink::unthrottled(),
             periodic: false,
             worker_fault: None,
+            overlap: false,
         }
+    }
+
+    /// Enables (or disables) overlapped halo exchange: boundary sweeps
+    /// first, next-pass frames shipped during the interior sweep over
+    /// double-buffered links, barrier on arrival. Bit-exact either way;
+    /// only the tick accounting changes. SPA boards require
+    /// `slice_width == 1` under overlap (the sweep regions are not
+    /// generally slice-aligned).
+    pub fn with_overlap(mut self, overlap: bool) -> Self {
+        self.overlap = overlap;
+        self
     }
 
     /// Replaces the inter-board link model.
@@ -613,13 +733,21 @@ impl LatticeFarm {
         }
         match self.engine {
             ShardEngine::Wsa { width: 0 } => {
-                Err(LatticeError::InvalidConfig("WSA boards need width ≥ 1".into()))
+                return Err(LatticeError::InvalidConfig("WSA boards need width ≥ 1".into()));
             }
             ShardEngine::Spa { slice_width: 0 } => {
-                Err(LatticeError::InvalidConfig("SPA boards need slice width ≥ 1".into()))
+                return Err(LatticeError::InvalidConfig("SPA boards need slice width ≥ 1".into()));
             }
-            _ => Ok(()),
+            ShardEngine::Spa { slice_width } if self.overlap && slice_width != 1 => {
+                return Err(LatticeError::InvalidConfig(
+                    "overlapped exchange needs SPA slice width 1: boundary and interior \
+                     sweep regions are not generally slice-aligned"
+                        .into(),
+                ));
+            }
+            _ => {}
         }
+        Ok(())
     }
 
     /// Physical chips per board at `shards` boards: board `b` owns chip
@@ -646,12 +774,96 @@ impl LatticeFarm {
         Ok(stride)
     }
 
-    /// One attempt at a bulk-synchronous superstep: halo exchange (with
-    /// ARQ) for every board lacking a buffered frame, concurrent
-    /// `k`-generation compute (with watchdog) for every board lacking a
-    /// report, per-board audit, stitch. Clean per-board work is cached
-    /// in `cache`, so retrying after a localized failure redoes only
-    /// the failed board's work — that containment *is* ladder level 2.
+    /// Gathers one board's halo-augmented slab from `grid` at pass
+    /// depth `k` and moves the halo columns across the board's link
+    /// (with ARQ). Shared by the arrival-barrier exchange and the
+    /// overlap mode's ship-ahead staging — the same code path, so the
+    /// two can never disagree on frame contents, parity, or the link's
+    /// fault-stream position.
+    #[allow(clippy::too_many_arguments)]
+    fn exchange_board<S: State>(
+        &self,
+        grid: &Grid<S>,
+        slab: &Slab,
+        b: usize,
+        k: usize,
+        ctx: Option<FaultCtx<'_>>,
+        link_chip: usize,
+        pos: &mut u64,
+        arq_retries: u32,
+        recovery: &mut RecoveryStats,
+        staged: bool,
+    ) -> Result<ExchangeOutcome<S>, LatticeError> {
+        let shape = grid.shape();
+        let (rows, cols) = (shape.rows(), shape.cols());
+        let row_off = if self.periodic { k } else { 0 };
+        let aug_rows = rows + 2 * row_off;
+        let aug_shape = Shape::grid2(aug_rows, slab.aug_width())?;
+        let mut aug = Grid::from_fn(aug_shape, |c| {
+            // lattice-lint: allow(raw-cast) — toroidal index geometry, not dimensioned arithmetic.
+            let gr = c.row() as isize - row_off as isize;
+            // lattice-lint: allow(raw-cast) — toroidal index geometry, not dimensioned arithmetic.
+            let gc = slab.col0 as isize - slab.halo_left as isize + c.col() as isize;
+            if self.periodic {
+                grid.get(Coord::c2(
+                    // lattice-lint: allow(raw-cast) — toroidal index geometry.
+                    gr.rem_euclid(rows as isize) as usize,
+                    // lattice-lint: allow(raw-cast) — toroidal index geometry.
+                    gc.rem_euclid(cols as isize) as usize,
+                ))
+            } else {
+                // Null-boundary halos are clamped, so the indices
+                // are always in range.
+                // lattice-lint: allow(raw-cast) — toroidal index geometry.
+                grid.get(Coord::c2(gr as usize, gc as usize))
+            }
+        });
+        // Halo columns cross the inter-board links; owned columns
+        // (and the torus's vertical wrap rows) stay on board.
+        let halo_cols: Vec<usize> =
+            (0..slab.halo_left).chain(slab.halo_left + slab.width..slab.aug_width()).collect();
+        let mut imported: Vec<S> = Vec::with_capacity(halo_cols.len() * aug_rows);
+        for &c in &halo_cols {
+            for r in 0..aug_rows {
+                imported.push(aug.get(Coord::c2(r, c)));
+            }
+        }
+        let link_faults = ctx.map(|ctx| (ctx, link_chip));
+        let mut traffic = Traffic::new();
+        let mut retransmits = 0u32;
+        let received = self.link.transmit_arq(
+            &imported,
+            b,
+            link_faults,
+            pos,
+            &mut traffic,
+            arq_retries,
+            &mut retransmits,
+        );
+        // Every retransmission is one detection the ARQ level
+        // already answered; a final failure is the one unanswered
+        // detection that escalates to the caller's ladder.
+        recovery.detected += u64::from(retransmits);
+        recovery.retransmits += u64::from(retransmits);
+        let received = received?;
+        for (j, &c) in halo_cols.iter().enumerate() {
+            for r in 0..aug_rows {
+                aug.set(Coord::c2(r, c), received[j * aug_rows + r]);
+            }
+        }
+        let bits = Bits::for_items(imported.len(), <S as State>::BITS);
+        Ok(ExchangeOutcome { aug, bits, retransmits, traffic, staged })
+    }
+
+    /// One attempt at a bulk-synchronous superstep: halo *arrival* (a
+    /// staged frame from the previous pass's ship-ahead, or a barrier
+    /// exchange with ARQ) for every board lacking a buffered frame,
+    /// concurrent compute (with watchdog) for every board lacking a
+    /// report — boundary sweep regions first, then (in overlap mode)
+    /// the next pass's frames ship while the interior regions evolve —
+    /// per-region audit, stitch. Clean per-board work is cached in
+    /// `cache`, so retrying after a localized failure redoes only the
+    /// failed board's work — that containment *is* ladder level 2.
     #[allow(clippy::too_many_arguments)]
     fn attempt_pass<R: Rule>(
         &self,
@@ -661,90 +873,60 @@ impl LatticeFarm {
         plan: Option<&FaultPlan>,
         halo_pos: &mut [u64],
         cache: &mut [BoardCache<R::S>],
+        windows: &mut [StagedHalo<R::S>],
         recovery: &mut RecoveryStats,
         shard_audit: ShardAuditRef<'_, R::S>,
     ) -> Result<PassOutcome<R::S>, BoardFailure> {
         let shape = grid.shape();
         let (rows, cols) = (shape.rows(), shape.cols());
         let row_off = if self.periodic { pp.k } else { 0 };
-        let aug_rows = rows + 2 * row_off;
 
-        // Phase 1 — halo exchange for boards without a buffered frame.
+        // Phase 1 — halo arrival for boards without a buffered frame:
+        // claim the staged (shipped-ahead) frame if one is in the
+        // window, otherwise exchange at the barrier, serialized.
         for slab in pp.slabs {
             let i = slab.index;
             if cache[i].exchange.is_some() {
                 continue;
             }
             let b = pp.phys[i];
-            let ctx =
-                plan.map(|p| FaultCtx::for_shard(p, u64_from_usize(b), pp.pass, pp.attempts[b]));
-            let aug_shape = Shape::grid2(aug_rows, slab.aug_width())
-                .map_err(|e| BoardFailure { slab: Some(i), error: e })?;
-            let mut aug = Grid::from_fn(aug_shape, |c| {
-                // lattice-lint: allow(raw-cast) — toroidal index geometry, not dimensioned arithmetic.
-                let gr = c.row() as isize - row_off as isize;
-                // lattice-lint: allow(raw-cast) — toroidal index geometry, not dimensioned arithmetic.
-                let gc = slab.col0 as isize - slab.halo_left as isize + c.col() as isize;
-                if self.periodic {
-                    grid.get(Coord::c2(
-                        // lattice-lint: allow(raw-cast) — toroidal index geometry.
-                        gr.rem_euclid(rows as isize) as usize,
-                        // lattice-lint: allow(raw-cast) — toroidal index geometry.
-                        gc.rem_euclid(cols as isize) as usize,
-                    ))
-                } else {
-                    // Null-boundary halos are clamped, so the indices
-                    // are always in range.
-                    // lattice-lint: allow(raw-cast) — toroidal index geometry.
-                    grid.get(Coord::c2(gr as usize, gc as usize))
+            let fail = |error: LatticeError| BoardFailure { slab: Some(i), error };
+            let staged = windows[b].take(pp.pass).map_err(fail)?;
+            let ex = match staged {
+                Some(frame) => frame.map_err(fail)?,
+                None => {
+                    let ctx = plan.map(|p| {
+                        FaultCtx::for_shard(p, u64_from_usize(b), pp.pass, pp.attempts[b])
+                    });
+                    self.exchange_board(
+                        grid,
+                        slab,
+                        b,
+                        pp.k,
+                        ctx,
+                        pp.link_chip_base + b,
+                        &mut halo_pos[b],
+                        pp.arq_retries,
+                        recovery,
+                        false,
+                    )
+                    .map_err(fail)?
                 }
-            });
-            // Halo columns cross the inter-board links; owned columns
-            // (and the torus's vertical wrap rows) stay on board.
-            let halo_cols: Vec<usize> =
-                (0..slab.halo_left).chain(slab.halo_left + slab.width..slab.aug_width()).collect();
-            let mut imported: Vec<R::S> = Vec::with_capacity(halo_cols.len() * aug_rows);
-            for &c in &halo_cols {
-                for r in 0..aug_rows {
-                    imported.push(aug.get(Coord::c2(r, c)));
-                }
-            }
-            let link_faults = ctx.map(|ctx| (ctx, pp.link_chip_base + b));
-            let mut traffic = Traffic::new();
-            let mut retransmits = 0u32;
-            let received = self.link.transmit_arq(
-                &imported,
-                b,
-                link_faults,
-                &mut halo_pos[b],
-                &mut traffic,
-                pp.arq_retries,
-                &mut retransmits,
-            );
-            // Every retransmission is one detection the ARQ level
-            // already answered; a final failure is the one unanswered
-            // detection that escalates to the caller's ladder.
-            recovery.detected += u64::from(retransmits);
-            recovery.retransmits += u64::from(retransmits);
-            let received = received.map_err(|e| BoardFailure { slab: Some(i), error: e })?;
-            for (j, &c) in halo_cols.iter().enumerate() {
-                for r in 0..aug_rows {
-                    aug.set(Coord::c2(r, c), received[j * aug_rows + r]);
-                }
-            }
-            let bits = Bits::for_items(imported.len(), <R::S as State>::BITS);
-            cache[i].exchange = Some(ExchangeOutcome { aug, bits, retransmits, traffic });
+            };
+            cache[i].exchange = Some(ex);
         }
 
-        // Phase 2 — boards without a report compute concurrently.
+        // Phase 2 — boards without a report compute concurrently, one
+        // engine sub-run per sweep region (boundary regions first).
         let mut jobs: Vec<JobRef<'_, R::S>> = Vec::with_capacity(pp.slabs.len());
-        for slab in pp.slabs.iter().filter(|slab| cache[slab.index].report.is_none()) {
+        for slab in pp.slabs.iter().filter(|slab| cache[slab.index].reports.is_none()) {
             let i = slab.index;
             let b = pp.phys[i];
             let ex = cached(cache[i].exchange.as_ref(), i, "halo exchange")?;
             jobs.push(JobRef {
                 slab: i,
                 aug: &ex.aug,
+                regions: sweep_regions(slab, pp.k, self.overlap),
                 ctx: plan
                     .map(|p| FaultCtx::for_shard(p, u64_from_usize(b), pp.pass, pp.attempts[b])),
                 origin: (0usize.wrapping_sub(row_off), slab.col0.wrapping_sub(slab.halo_left)),
@@ -757,8 +939,7 @@ impl LatticeFarm {
         let engine = self.engine;
         let wf = self.worker_fault;
         let (k, t_now, pass) = (pp.k, pp.t_now, pp.pass);
-        let mut results: Vec<Option<Result<EngineReport<R::S>, LatticeError>>> =
-            (0..pp.slabs.len()).map(|_| None).collect();
+        let mut results: Vec<BoardResult<R::S>> = (0..pp.slabs.len()).map(|_| None).collect();
         let mut timed_out = false;
         crossbeam::thread::scope(|scope| {
             let (tx, rx) = mpsc::channel();
@@ -782,27 +963,46 @@ impl LatticeFarm {
                                 }
                             }
                         }
-                        let r = match engine {
-                            ShardEngine::Wsa { width } => {
-                                let chips: Vec<usize> = (job.chip0..job.chip0 + k).collect();
-                                let opts = RunOptions {
-                                    origin: job.origin,
-                                    faults: job.ctx,
-                                    chip_ids: Some(&chips),
-                                    offchip_from: None,
-                                };
-                                Pipeline::wide(width, k).run_opts(rule, job.aug, t_now, opts)
+                        let mut reports = Vec::with_capacity(job.regions.len());
+                        let mut outcome = Ok(());
+                        for region in &job.regions {
+                            let sub = match region_grid(job.aug, region) {
+                                Ok(sub) => sub,
+                                Err(e) => {
+                                    outcome = Err(e);
+                                    break;
+                                }
+                            };
+                            let origin = (job.origin.0, job.origin.1.wrapping_add(region.a0));
+                            let r = match engine {
+                                ShardEngine::Wsa { width } => {
+                                    let chips: Vec<usize> = (job.chip0..job.chip0 + k).collect();
+                                    let opts = RunOptions {
+                                        origin,
+                                        faults: job.ctx,
+                                        chip_ids: Some(&chips),
+                                        offchip_from: None,
+                                    };
+                                    Pipeline::wide(width, k).run_opts(rule, &sub, t_now, opts)
+                                }
+                                ShardEngine::Spa { slice_width } => {
+                                    let opts = SpaRunOptions {
+                                        origin,
+                                        faults: job.ctx,
+                                        chip_offset: job.chip0,
+                                    };
+                                    SpaEngine::new(slice_width, k).run_opts(rule, &sub, t_now, opts)
+                                }
+                            };
+                            match r {
+                                Ok(report) => reports.push(report),
+                                Err(e) => {
+                                    outcome = Err(e);
+                                    break;
+                                }
                             }
-                            ShardEngine::Spa { slice_width } => {
-                                let opts = SpaRunOptions {
-                                    origin: job.origin,
-                                    faults: job.ctx,
-                                    chip_offset: job.chip0,
-                                };
-                                SpaEngine::new(slice_width, k).run_opts(rule, job.aug, t_now, opts)
-                            }
-                        };
-                        let _ = tx.send((job.slab, r));
+                        }
+                        let _ = tx.send((job.slab, outcome.map(|()| reports)));
                     }));
                 });
             }
@@ -842,23 +1042,27 @@ impl LatticeFarm {
         drop(jobs);
 
         // Accept every clean report (neighbors must not redo work when
-        // one board fails), audit each fresh one, and surface the first
-        // failure in slab order.
+        // one board fails), audit each fresh one region by region, and
+        // surface the first failure in slab order.
         let mut failure: Option<BoardFailure> = None;
         for slab in pp.slabs {
             let i = slab.index;
-            if cache[i].report.is_some() {
+            if cache[i].reports.is_some() {
                 continue;
             }
             let b = pp.phys[i];
             match results[i].take() {
-                Some(Ok(report)) => {
+                Some(Ok(reports)) => {
                     let audited = {
                         let aug = &cached(cache[i].exchange.as_ref(), i, "halo exchange")?.aug;
-                        shard_audit(b, aug, &report.grid)
+                        let regions = sweep_regions(slab, pp.k, self.overlap);
+                        regions.iter().zip(&reports).try_for_each(|(region, report)| {
+                            let sub = region_grid(aug, region)?;
+                            shard_audit(b, &sub, &report.grid)
+                        })
                     };
                     match audited {
-                        Ok(()) => cache[i].report = Some(report),
+                        Ok(()) => cache[i].reports = Some(reports),
                         Err(e) => {
                             failure.get_or_insert(BoardFailure { slab: Some(i), error: e });
                         }
@@ -884,12 +1088,16 @@ impl LatticeFarm {
             return Err(f);
         }
 
-        // Phase 3 — assemble: stitch owned columns into the next
-        // machine lattice and settle the barrier's link-time bill
-        // (slowest board, retransmissions included).
+        // Phase 3 — assemble: stitch each region's certified columns
+        // into the next machine lattice, settle the barrier's link-time
+        // bill (slowest board, retransmissions included), and split the
+        // compute bill into the boundary and interior barriers.
         let mut halo_traffic = Traffic::new();
         let mut halo_ticks = Ticks::ZERO;
         let mut base_ticks = Ticks::ZERO;
+        let mut boundary_ticks = Ticks::ZERO;
+        let mut interior_ticks = Ticks::ZERO;
+        let mut all_staged = true;
         let mut halo_bits_per_board = Vec::with_capacity(pp.slabs.len());
         let mut retransmits_per_board = Vec::with_capacity(pp.slabs.len());
         let mut next = Grid::new(shape);
@@ -901,18 +1109,75 @@ impl LatticeFarm {
             let base = self.link.transfer_ticks(ex.bits);
             halo_ticks = halo_ticks.max(base * (1 + u64::from(ex.retransmits)));
             base_ticks = base_ticks.max(base);
+            all_staged &= ex.staged;
             halo_bits_per_board.push(ex.bits);
             retransmits_per_board.push(ex.retransmits);
-            let report = cached(cache[i].report.take(), i, "engine report")?;
-            for r in 0..rows {
-                for j in 0..slab.width {
-                    next.set(
-                        Coord::c2(r, slab.col0 + j),
-                        report.grid.get(Coord::c2(r + row_off, slab.halo_left + j)),
-                    );
+            let region_reports = cached(cache[i].reports.take(), i, "engine reports")?;
+            let regions = sweep_regions(slab, pp.k, self.overlap);
+            let mut board_boundary = Ticks::ZERO;
+            let mut board_interior = Ticks::ZERO;
+            for (region, report) in regions.iter().zip(&region_reports) {
+                if region.boundary {
+                    board_boundary += report.ticks;
+                } else {
+                    board_interior += report.ticks;
+                }
+                for r in 0..rows {
+                    for j in region.own_lo..region.own_hi {
+                        // Owned column j sits at augmented column
+                        // halo_left + j, i.e. region-local column
+                        // halo_left + j − a0.
+                        next.set(
+                            Coord::c2(r, slab.col0 + j),
+                            report.grid.get(Coord::c2(r + row_off, slab.halo_left + j - region.a0)),
+                        );
+                    }
                 }
             }
-            reports.push(report);
+            boundary_ticks = boundary_ticks.max(board_boundary);
+            interior_ticks = interior_ticks.max(board_interior);
+            reports.push(fold_regions(region_reports));
+        }
+        // A staged transfer ran concurrently with the previous pass's
+        // interior sweep, so up to that much of it is already paid for.
+        let overlapped_ticks =
+            if all_staged { halo_ticks.min(pp.overlap_credit) } else { Ticks::ZERO };
+
+        // Ship ahead: with another pass coming, gather the next pass's
+        // halo frames from the just-stitched lattice — their contents
+        // are fully determined by the boundary sweeps — move them over
+        // the links now (this is the transfer the next pass's
+        // `overlap_credit` hides), and stage them in the double-buffer
+        // windows for the arrival barrier to claim. A frame whose ARQ
+        // budget exhausts is staged as the error itself: it must
+        // surface at the barrier it belongs to.
+        if self.overlap && pp.t_now + u64_from_usize(pp.k) < pp.t_end {
+            let t_next = pp.t_now + u64_from_usize(pp.k);
+            let k_next = self.depth.min(usize_from_u64(pp.t_end - t_next));
+            let slabs_next = partition(cols, pp.slabs.len(), k_next, self.periodic)
+                .map_err(|e| BoardFailure { slab: None, error: e })?;
+            for slab in &slabs_next {
+                let i = slab.index;
+                let b = pp.phys[i];
+                let ctx = plan.map(|p| {
+                    FaultCtx::for_shard(p, u64_from_usize(b), pp.pass + 1, pp.attempts[b])
+                });
+                let frame = self.exchange_board(
+                    &next,
+                    slab,
+                    b,
+                    k_next,
+                    ctx,
+                    pp.link_chip_base + b,
+                    &mut halo_pos[b],
+                    pp.arq_retries,
+                    recovery,
+                    true,
+                );
+                windows[b]
+                    .stage(pp.pass + 1, frame)
+                    .map_err(|e| BoardFailure { slab: Some(i), error: e })?;
+            }
         }
         Ok(PassOutcome {
             grid: next,
@@ -922,6 +1187,9 @@ impl LatticeFarm {
             retransmit_ticks: halo_ticks - base_ticks,
             halo_bits_per_board,
             retransmits_per_board,
+            boundary_ticks,
+            interior_ticks,
+            overlapped_ticks,
         })
     }
 
@@ -963,12 +1231,15 @@ impl LatticeFarm {
         let link_chip_base = self.shards * stride;
         let phys: Vec<usize> = (0..self.shards).collect();
         let attempts = vec![0u64; self.shards];
-        let full_slabs = partition(cols, self.shards, self.depth, self.periodic)?;
+        let full_slabs = partition_checked(cols, self.shards, self.depth, self.periodic)?;
         let mut totals = Totals::new(&full_slabs);
         let mut scratch = RecoveryStats::default();
         let mut no_shard_audit =
             |_: usize, _: &Grid<R::S>, _: &Grid<R::S>| -> Result<(), LatticeError> { Ok(()) };
         let mut halo_pos = vec![0u64; self.shards];
+        let mut windows: Vec<StagedHalo<R::S>> =
+            (0..self.shards).map(|_| HaloWindow::new()).collect();
+        let mut credit = Ticks::ZERO;
         let mut current = grid.clone();
         let t_end = t0 + generations;
         let mut t_now = t0;
@@ -981,6 +1252,7 @@ impl LatticeFarm {
             let pp = PassParams {
                 k,
                 t_now,
+                t_end,
                 pass: passes,
                 slabs: &slabs,
                 phys: &phys,
@@ -989,6 +1261,7 @@ impl LatticeFarm {
                 attempts: &attempts,
                 arq_retries: 0,
                 watchdog: None,
+                overlap_credit: credit,
             };
             let out = self
                 .attempt_pass(
@@ -998,11 +1271,13 @@ impl LatticeFarm {
                     plan,
                     &mut halo_pos,
                     &mut cache,
+                    &mut windows,
                     &mut scratch,
                     &mut no_shard_audit,
                 )
                 .map_err(|f| f.error)?;
             current = out.grid.clone();
+            credit = out.interior_ticks;
             totals.absorb(&out, u64_from_usize(k), &phys);
             t_now += u64_from_usize(k);
             passes += 1;
@@ -1073,10 +1348,13 @@ impl LatticeFarm {
         let stride = self.chip_stride_range(cols, self.shards - max_retired)?;
         let link_chip_base = self.shards * stride;
         let mut phys: Vec<usize> = (0..self.shards).collect();
-        let mut ckpt_slabs = partition(cols, self.shards, self.depth, self.periodic)?;
+        let mut ckpt_slabs = partition_checked(cols, self.shards, self.depth, self.periodic)?;
         let mut totals = Totals::new(&ckpt_slabs);
         let mut recovery = RecoveryStats::default();
         let mut halo_pos = vec![0u64; self.shards];
+        let mut windows: Vec<StagedHalo<R::S>> =
+            (0..self.shards).map(|_| HaloWindow::new()).collect();
+        let mut credit = Ticks::ZERO;
         let mut attempts = vec![0u64; self.shards];
         let mut local_left = vec![cfg.local_retries; self.shards];
         let mut retries_left = cfg.max_retries;
@@ -1116,6 +1394,7 @@ impl LatticeFarm {
                 let pp = PassParams {
                     k,
                     t_now,
+                    t_end,
                     pass,
                     slabs: &slabs,
                     phys: &phys,
@@ -1124,6 +1403,7 @@ impl LatticeFarm {
                     attempts: &attempts,
                     arq_retries: cfg.arq_retries,
                     watchdog: cfg.watchdog,
+                    overlap_credit: credit,
                 };
                 let res = self
                     .attempt_pass(
@@ -1133,6 +1413,7 @@ impl LatticeFarm {
                         plan,
                         &mut halo_pos,
                         &mut cache,
+                        &mut windows,
                         &mut recovery,
                         &mut shard_audit,
                     )
@@ -1143,6 +1424,7 @@ impl LatticeFarm {
                 match res {
                     Ok(out) => {
                         current = out.grid.clone();
+                        credit = out.interior_ticks;
                         totals.absorb(&out, u64_from_usize(k), &phys);
                         t_now += u64_from_usize(k);
                         pass += 1;
@@ -1152,6 +1434,15 @@ impl LatticeFarm {
                     }
                     Err(fail) => {
                         recovery.detected += 1;
+                        // Any failure voids the overlap window: staged
+                        // frames carry a pre-rollback attempt epoch and
+                        // a possibly pre-rollback lattice, so the retry
+                        // re-exchanges at the barrier, serialized, and
+                        // earns no overlap credit.
+                        for w in windows.iter_mut() {
+                            w.invalidate();
+                        }
+                        credit = Ticks::ZERO;
                         // Level 2 — roll back just the failed board and
                         // replay its buffered halos; the cache keeps
                         // every other board's clean work.
@@ -1219,6 +1510,7 @@ impl LatticeFarm {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lattice_core::units::f64_from_u64;
     use lattice_core::{evolve, Boundary};
     use lattice_engines_sim::{Component, Fault, FaultKind};
     use lattice_gas::{init, FhpRule, FhpVariant, HppRule};
@@ -1306,7 +1598,14 @@ mod tests {
 
     #[test]
     fn throttled_links_cost_time_but_never_results() {
+        // Every tick expectation here is re-derived from the analytical
+        // `lattice_vlsi::FarmModel` at the same geometry — not a magic
+        // constant — so the model and the simulation are held to agree
+        // in both exchange modes.
         let (g, rule) = hpp_world(16, 32, 8);
+        let model =
+            lattice_vlsi::FarmModel::new(lattice_vlsi::Technology::paper_1987(), 16, 32, 2, 2)
+                .with_link(BitsPerTick::new(4.0));
         let free = LatticeFarm::new(4, ShardEngine::Wsa { width: 2 }, 2);
         let slow = free.with_link(BoardLink::new(4.0));
         let a = free.run(&rule, &g, 0, 6).unwrap();
@@ -1317,9 +1616,163 @@ mod tests {
         assert!(b.machine_ticks() > a.machine_ticks());
         assert!(b.updates_per_tick() < a.updates_per_tick());
         assert!(b.compute_fraction() < 1.0);
-        // Slowest board's link bounds the barrier: interior boards move
-        // 2·2·16·8 = 512 bits/pass at 4 bits/tick = 128 ticks × 3 passes.
-        assert_eq!(b.halo_ticks, Ticks::new(3 * 128));
+        // Serialized agreement: the link-side prediction is exact (the
+        // farm and the model divide the same bits by the same
+        // capacity); the compute side is the model's pipeline formula,
+        // good to a couple of fill-latency sites per pass.
+        let close = |measured: Ticks, predicted: f64| {
+            let err = (measured.to_f64() / predicted - 1.0).abs();
+            assert!(err < 0.02, "{measured} vs predicted {predicted}: off by {err}");
+        };
+        let passes = b.passes;
+        assert_eq!(b.halo_ticks, Ticks::new(passes * model.halo_ticks(4).get()));
+        let p = f64_from_u64(passes);
+        close(b.machine.ticks, p * model.compute_ticks(4).to_f64());
+        close(b.machine_ticks(), p * model.pass_ticks(4).to_f64());
+
+        // Overlapped agreement: same bits on the same wire, but the
+        // wall clock follows boundary + max(interior, halo) — except
+        // the first pass, which has no previous interior to hide under
+        // and exposes one `min(interior, halo)` of cold-start credit.
+        let omodel = model.with_overlap(true);
+        let c = slow.with_overlap(true).run(&rule, &g, 0, 6).unwrap();
+        assert_eq!(c.grid(), a.grid(), "overlap changes timing, never results");
+        assert_eq!(c.halo_ticks, b.halo_ticks, "the wire moves the same frames");
+        let (ob, oi) = (omodel.boundary_compute_ticks(4), omodel.interior_compute_ticks(4));
+        close(c.machine.ticks, p * (ob + oi).to_f64());
+        let cold_start = oi.min(omodel.halo_ticks(4));
+        close(c.overlapped_ticks, (p - 1.0) * cold_start.to_f64());
+        close(c.machine_ticks(), p * omodel.pass_ticks(4).to_f64() + cold_start.to_f64());
+    }
+
+    #[test]
+    fn overlapped_exchange_is_bit_exact_and_cheaper_on_wide_slabs() {
+        // Wide slabs: the boundary sweeps are a small fraction of the
+        // pass, so hiding a starved link's transfer behind the interior
+        // sweep beats the serialized barrier outright.
+        let (g, rule) = hpp_world(16, 96, 11);
+        let reference = evolve(&g, &rule, Boundary::null(), 0, 8);
+        let serial =
+            LatticeFarm::new(4, ShardEngine::Wsa { width: 2 }, 2).with_link(BoardLink::new(4.0));
+        let overlap = serial.with_overlap(true);
+        let s = serial.run(&rule, &g, 0, 8).unwrap();
+        let o = overlap.run(&rule, &g, 0, 8).unwrap();
+        assert_eq!(s.grid(), &reference);
+        assert_eq!(o.grid(), &reference, "overlap is bit-exact");
+        assert!(o.overlapped_ticks > Ticks::ZERO, "the transfer actually hid");
+        assert!(o.overlapped_ticks <= o.halo_ticks, "cannot hide more than the wire spent");
+        assert!(
+            o.machine_ticks() < s.machine_ticks(),
+            "overlap must win here: {} !< {}",
+            o.machine_ticks(),
+            s.machine_ticks()
+        );
+        // Unthrottled links have nothing to hide: overlap still
+        // bit-exact, zero ticks overlapped, and the split sweeps cost
+        // their extra pipeline refills.
+        let free = LatticeFarm::new(4, ShardEngine::Wsa { width: 2 }, 2).with_overlap(true);
+        let f = free.run(&rule, &g, 0, 8).unwrap();
+        assert_eq!(f.grid(), &reference);
+        assert_eq!(f.overlapped_ticks, Ticks::ZERO);
+        assert_eq!(f.machine_ticks(), f.machine.ticks);
+    }
+
+    #[test]
+    fn overlapped_fhp_and_torus_respect_global_coordinates() {
+        // FHP chirality hashes (row, col, t): the boundary/interior
+        // region split must present every sub-sweep at its true global
+        // origin, on the null boundary and across the torus wrap.
+        let shape = Shape::grid2(10, 21).unwrap();
+        let g = init::random_fhp(shape, FhpVariant::III, 0.35, 9, false).unwrap();
+        let rule = FhpRule::new(FhpVariant::III, 4);
+        let reference = evolve(&g, &rule, Boundary::null(), 7, 4);
+        for shards in [2usize, 3, 4] {
+            let farm =
+                LatticeFarm::new(shards, ShardEngine::Wsa { width: 1 }, 2).with_overlap(true);
+            let report = farm.run(&rule, &g, 7, 4).unwrap();
+            assert_eq!(report.grid(), &reference, "S={shards}");
+        }
+
+        let (rows, cols) = (8usize, 18usize);
+        let tshape = Shape::grid2(rows, cols).unwrap();
+        let fhp = init::random_fhp(tshape, FhpVariant::I, 0.4, 2, true).unwrap();
+        let frule = FhpRule::new(FhpVariant::I, 11).with_wrap(rows, cols);
+        let freference = evolve(&fhp, &frule, Boundary::Periodic, 0, 4);
+        let farm = LatticeFarm::new(3, ShardEngine::Wsa { width: 2 }, 2)
+            .with_periodic(true)
+            .with_overlap(true);
+        let freport = farm.run(&frule, &fhp, 0, 4).unwrap();
+        assert_eq!(freport.grid(), &freference, "FHP torus under overlap");
+    }
+
+    #[test]
+    fn overlapped_spa_boards_need_unit_slices() {
+        let (g, rule) = hpp_world(9, 17, 5);
+        // Wider slices are not region-aligned; the farm refuses rather
+        // than silently serializing.
+        let err = LatticeFarm::new(3, ShardEngine::Spa { slice_width: 2 }, 2)
+            .with_overlap(true)
+            .run(&rule, &g, 0, 4)
+            .unwrap_err();
+        assert!(err.to_string().contains("slice width 1"), "{err}");
+        // Unit slices overlap fine and stay bit-exact.
+        let reference = evolve(&g, &rule, Boundary::null(), 0, 4);
+        let report = LatticeFarm::new(3, ShardEngine::Spa { slice_width: 1 }, 2)
+            .with_overlap(true)
+            .run(&rule, &g, 0, 4)
+            .unwrap();
+        assert_eq!(report.grid(), &reference);
+    }
+
+    #[test]
+    fn slabs_narrower_than_the_halo_are_rejected_up_front() {
+        // 8 cols / 4 boards leaves 2-column slabs; a depth-3 pass needs
+        // 3-column halo frames no board can source. The farm rejects
+        // the partition with a structured error instead of stitching a
+        // degenerate exchange.
+        let (g, rule) = hpp_world(6, 8, 0);
+        let err =
+            LatticeFarm::new(4, ShardEngine::Wsa { width: 1 }, 3).run(&rule, &g, 0, 3).unwrap_err();
+        assert!(matches!(err, LatticeError::InvalidConfig(_)), "{err}");
+        assert!(err.to_string().contains("reach through"), "{err}");
+        // One generation shallower the same split is legal.
+        assert!(LatticeFarm::new(4, ShardEngine::Wsa { width: 1 }, 2).run(&rule, &g, 0, 3).is_ok());
+    }
+
+    #[test]
+    fn overlapped_link_faults_are_contained_by_arq() {
+        // The recovery ladder under overlap: staged ship-ahead frames
+        // ride the same ARQ, and a run whose faults are all absorbed at
+        // level 1 commits every staged frame — so the committed-pass
+        // retransmit tally still matches the ladder's.
+        let (g, rule) = hpp_world(12, 20, 4);
+        let farm = LatticeFarm::new(2, ShardEngine::Wsa { width: 1 }, 2).with_overlap(true);
+        let stride = 2; // depth
+        let link_chip = 2 * stride + 1; // board 1's halo link
+        let plan = FaultPlan::new(13).with_fault(Fault {
+            component: Component::Link,
+            chip: Some(link_chip),
+            cell: None,
+            kind: FaultKind::Transient { bit: 1, rate: 2e-3 },
+        });
+        let reference = evolve(&g, &rule, Boundary::null(), 0, 600);
+        let ft = farm
+            .run_with_recovery(
+                &rule,
+                &g,
+                0,
+                600,
+                Some(&plan),
+                &FarmRecoveryConfig { max_retries: 20, ..Default::default() },
+                |_, _| Ok(()),
+            )
+            .unwrap();
+        assert_eq!(ft.report.grid(), &reference, "recovered overlap run is bit-exact");
+        assert!(ft.recovery.detected >= 1, "the flip rate must fire within 600 generations");
+        assert_eq!(ft.recovery.rollbacks, 0, "ARQ contains transient link faults at level 1");
+        assert_eq!(ft.recovery.local_rollbacks, 0);
+        assert_eq!(ft.recovery.detected, ft.recovery.retransmits);
+        assert_eq!(ft.report.retransmits, ft.recovery.retransmits, "every staged frame committed");
     }
 
     #[test]

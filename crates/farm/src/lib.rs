@@ -43,5 +43,7 @@ pub use farm::{
     FarmDegradeConfig, FarmFtRun, FarmRecoveryConfig, FarmReport, LatticeFarm, ShardEngine,
     ShardStats, WorkerFault, WorkerFaultSpec,
 };
-pub use link::BoardLink;
-pub use partition::{max_aug_width, partition, Slab};
+pub use link::{BoardLink, HaloWindow};
+pub use partition::{
+    max_aug_width, partition, partition_checked, sweep_regions, Slab, SweepRegion,
+};

@@ -136,10 +136,124 @@ impl BoardLink {
     }
 }
 
+/// The receiver-side second in-flight buffer that makes overlapped
+/// exchange possible: while a board is still consuming pass `n`'s halo
+/// frame, the frame for pass `n + 1` — shipped during pass `n`'s
+/// interior sweep — sits staged here until the arrival barrier at the
+/// top of the next pass claims it.
+///
+/// The window is one pass deep (frame being consumed + one staged =
+/// double buffering), and the discipline is enforced as structured
+/// errors rather than debug assertions because a violation means the
+/// farm's barrier accounting leaked, which the recovery ladder must see:
+///
+/// * [`HaloWindow::stage`] fails if a frame is already staged — a board
+///   may never run two passes ahead of its neighbor.
+/// * [`HaloWindow::take`] fails on a *future* tag (the sender skipped a
+///   barrier). A *stale* tag is silently dropped and `None` returned:
+///   that is the normal aftermath of a rollback, and the caller simply
+///   re-transmits at the barrier, serialized.
+///
+/// ARQ interaction: frames are staged *after* [`BoardLink::transmit_arq`]
+/// has delivered them, so a staged frame is already parity-clean and
+/// carries the retransmission count its transfer burned; retransmitted
+/// bits stretch the (overlapped) transfer, never the staged payload.
+/// A rollback between staging and consumption invalidates the frame via
+/// [`HaloWindow::invalidate`] — replayed passes draw a fresh attempt
+/// epoch, so a stale frame's weather must never be replayed as new.
+#[derive(Debug, Clone, Default)]
+pub struct HaloWindow<T> {
+    slot: Option<(u64, T)>,
+}
+
+impl<T> HaloWindow<T> {
+    /// An empty window: nothing in flight.
+    pub fn new() -> Self {
+        HaloWindow { slot: None }
+    }
+
+    /// Stages the frame for `pass`. Fails if a frame is already in
+    /// flight — the sender tried to run more than one pass ahead.
+    pub fn stage(&mut self, pass: u64, frame: T) -> Result<(), LatticeError> {
+        if let Some((staged, _)) = &self.slot {
+            return Err(LatticeError::InvalidConfig(format!(
+                "halo window leak: staging pass {pass} while pass {staged} is still in flight"
+            )));
+        }
+        self.slot = Some((pass, frame));
+        Ok(())
+    }
+
+    /// Claims the frame for `pass` at the arrival barrier. `Ok(None)`
+    /// means no usable frame is staged (empty, or a stale frame from
+    /// before a rollback, which is dropped) and the caller must
+    /// transmit at the barrier instead. A frame tagged *later* than
+    /// `pass` is a barrier leak and fails.
+    pub fn take(&mut self, pass: u64) -> Result<Option<T>, LatticeError> {
+        match self.slot.take() {
+            None => Ok(None),
+            Some((staged, frame)) if staged == pass => Ok(Some(frame)),
+            Some((staged, _)) if staged < pass => Ok(None),
+            Some((staged, _)) => Err(LatticeError::InvalidConfig(format!(
+                "halo window leak: pass {pass} found a frame already staged for pass {staged}"
+            ))),
+        }
+    }
+
+    /// Drops any staged frame (rollback path). Returns whether a frame
+    /// was discarded.
+    pub fn invalidate(&mut self) -> bool {
+        self.slot.take().is_some()
+    }
+
+    /// The pass tag of the staged frame, if any.
+    pub fn staged_pass(&self) -> Option<u64> {
+        self.slot.as_ref().map(|(p, _)| *p)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use lattice_engines_sim::{Fault, FaultKind, FaultPlan, StallSim};
+
+    #[test]
+    fn halo_window_is_one_pass_deep() {
+        let mut w = HaloWindow::new();
+        w.stage(1, "frame-1").unwrap();
+        assert_eq!(w.staged_pass(), Some(1));
+        let err = w.stage(2, "frame-2").unwrap_err();
+        assert!(err.to_string().contains("halo window leak"), "{err}");
+        assert_eq!(w.take(1).unwrap(), Some("frame-1"));
+        // Consuming frees the slot for the next pass's frame.
+        w.stage(2, "frame-2").unwrap();
+        assert_eq!(w.take(2).unwrap(), Some("frame-2"));
+        assert_eq!(w.take(3).unwrap(), None, "empty window means transmit at the barrier");
+    }
+
+    #[test]
+    fn stale_frames_are_dropped_and_future_frames_are_leaks() {
+        // A rollback rewound the farm past pass 4; the staged frame for
+        // it is stale weather and must not be replayed.
+        let mut w = HaloWindow::new();
+        w.stage(4, vec![1u8, 2, 3]).unwrap();
+        assert_eq!(w.take(7).unwrap(), None, "stale frame dropped, not delivered");
+        assert_eq!(w.staged_pass(), None, "the drop also cleared the slot");
+
+        // A frame from the future means a board skipped a barrier.
+        w.stage(9, vec![9u8]).unwrap();
+        let err = w.take(8).unwrap_err();
+        assert!(err.to_string().contains("staged for pass 9"), "{err}");
+    }
+
+    #[test]
+    fn invalidate_clears_the_rollback_path() {
+        let mut w: HaloWindow<u32> = HaloWindow::new();
+        assert!(!w.invalidate(), "nothing staged, nothing dropped");
+        w.stage(2, 7).unwrap();
+        assert!(w.invalidate());
+        assert_eq!(w.take(2).unwrap(), None, "invalidated frames force a barrier transmit");
+    }
 
     #[test]
     fn transfer_time_matches_the_stall_simulation() {

@@ -1,8 +1,86 @@
-//! Columnar sharding geometry — re-exported from
+//! Columnar sharding geometry — the slab layout itself comes from
 //! [`lattice_core::shard`], where it is shared with the analytical
 //! board model in `lattice-vlsi` so the executed farm and the predicted
 //! farm can never disagree about slab layout. See that module for the
 //! exactness argument (halo width = generations per pass, halos clamped
 //! at the null boundary's true edges).
+//!
+//! This module adds the *farm's* stricter validation on top: a slab
+//! that has a seam must be at least `halo` columns wide. The core
+//! partitioner tolerates narrower slabs (the model sometimes probes
+//! them), but a board that owns fewer columns than the halo cannot
+//! source a full halo frame from its own columns — its neighbor's
+//! import would have to reach *through* it into the next board, which
+//! no point-to-point `BoardLink` topology carries. `LatticeFarm::new`
+//! rejects such configurations with a structured error instead of
+//! letting the exchange stitch a degenerate frame.
 
-pub use lattice_core::shard::{max_aug_width, partition, Slab};
+use lattice_core::LatticeError;
+
+pub use lattice_core::shard::{max_aug_width, partition, sweep_regions, Slab, SweepRegion};
+
+/// [`lattice_core::shard::partition`] plus the farm's slab-width check:
+/// every slab with a seam (a nonzero halo on either side) must own at
+/// least `halo` columns. Returns a structured [`LatticeError`] for
+/// `shards == 0`, `shards > cols`, and `slab width < halo`.
+pub fn partition_checked(
+    cols: usize,
+    shards: usize,
+    halo: usize,
+    periodic: bool,
+) -> Result<Vec<Slab>, LatticeError> {
+    let slabs = partition(cols, shards, halo, periodic)?;
+    for s in &slabs {
+        if (s.halo_left > 0 || s.halo_right > 0) && s.width < halo {
+            return Err(LatticeError::InvalidConfig(format!(
+                "shard {} owns {} columns but the halo is {halo} wide: a neighbor's \
+                 import would reach through the board ({cols} cols / {shards} shards, \
+                 depth {halo})",
+                s.index, s.width
+            )));
+        }
+    }
+    Ok(slabs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_shards_than_columns_is_a_structured_error() {
+        let err = partition_checked(8, 9, 1, false).unwrap_err();
+        assert!(matches!(err, LatticeError::InvalidConfig(_)), "{err}");
+        assert!(err.to_string().contains("no slab"), "{err}");
+    }
+
+    #[test]
+    fn slab_narrower_than_the_halo_is_rejected() {
+        // 10 cols / 4 shards leaves width-2 slabs; a depth-3 pass needs
+        // 3-column halo frames that a 2-column slab cannot source.
+        let err = partition_checked(10, 4, 3, false).unwrap_err();
+        assert!(matches!(err, LatticeError::InvalidConfig(_)), "{err}");
+        assert!(err.to_string().contains("reach through"), "{err}");
+        // The same layout is fine one generation shallower.
+        assert!(partition_checked(10, 4, 2, false).is_ok());
+    }
+
+    #[test]
+    fn single_shard_without_seams_may_be_arbitrarily_narrow() {
+        // One board under the null boundary has no seams, so no halo
+        // constraint applies even when the lattice is narrower than the
+        // pass depth.
+        assert!(partition_checked(2, 1, 5, false).is_ok());
+        // On a torus the single board wraps onto itself: the seam is
+        // real and the width check bites.
+        assert!(partition_checked(2, 1, 5, true).is_err());
+        assert!(partition_checked(8, 1, 5, true).is_ok());
+    }
+
+    #[test]
+    fn width_equal_to_halo_is_the_boundary_case_and_allowed() {
+        for s in partition_checked(12, 4, 3, true).unwrap() {
+            assert_eq!(s.width, 3);
+        }
+    }
+}

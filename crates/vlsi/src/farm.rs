@@ -25,7 +25,7 @@
 //! writes as `⌈·⌉` are `div_ceil`, not float rounding.
 
 use crate::tech::Technology;
-use lattice_core::shard::{partition, Slab};
+use lattice_core::shard::{partition, sweep_regions, Slab};
 use lattice_core::units::{
     f64_from_usize, u64_from_usize, Bits, BitsPerTick, Sites, SitesPerSec, SitesPerTick, Ticks,
 };
@@ -38,6 +38,12 @@ pub struct FarmPoint {
     pub shards: usize,
     /// Slowest board's compute ticks per pass.
     pub compute_ticks: Ticks,
+    /// Slowest board's boundary-sweep ticks per pass (zero when the
+    /// exchange is serialized — the whole slab is one sweep).
+    pub boundary_ticks: Ticks,
+    /// Slowest board's interior-sweep ticks per pass (equals
+    /// `compute_ticks` when serialized).
+    pub interior_ticks: Ticks,
     /// Slowest board's imported halo bits per pass.
     pub halo_bits: Bits,
     /// Slowest link's transfer ticks per pass.
@@ -70,12 +76,28 @@ pub struct FarmModel {
     pub link: BitsPerTick,
     /// Toroidal boundary (halos never clamp; rows gain `2k` wrap rows).
     pub periodic: bool,
+    /// Overlapped exchange: each board computes its seam-adjacent
+    /// boundary sweeps first, ships the next pass's halos while the
+    /// interior sweep evolves, and barriers only on halo *arrival*.
+    /// The per-pass wall drops from `compute + halo` to
+    /// `boundary + max(interior, halo)` — mirroring
+    /// `LatticeFarm::with_overlap`.
+    pub overlap: bool,
 }
 
 impl FarmModel {
     /// An unthrottled null-boundary farm model.
     pub fn new(tech: Technology, rows: usize, cols: usize, p: u32, k: usize) -> Self {
-        FarmModel { tech, rows, cols, p, k, link: BitsPerTick::UNTHROTTLED, periodic: false }
+        FarmModel {
+            tech,
+            rows,
+            cols,
+            p,
+            k,
+            link: BitsPerTick::UNTHROTTLED,
+            periodic: false,
+            overlap: false,
+        }
     }
 
     /// Sets the link capacity.
@@ -87,6 +109,12 @@ impl FarmModel {
     /// Selects the toroidal boundary.
     pub fn with_periodic(mut self, periodic: bool) -> Self {
         self.periodic = periodic;
+        self
+    }
+
+    /// Selects overlapped halo exchange.
+    pub fn with_overlap(mut self, overlap: bool) -> Self {
+        self.overlap = overlap;
         self
     }
 
@@ -108,19 +136,57 @@ impl FarmModel {
         self.rows + if self.periodic { 2 * self.k } else { 0 }
     }
 
-    /// Ticks the slowest board computes per pass: the measured WSA
-    /// pipeline streams `n = aug_rows·aug_width` sites at `p` per tick
-    /// and pays `cols + 2` sites of fill latency per stage, so
-    /// `⌈(n + k·(aug_width + 2)) / p⌉` on the widest augmented slab.
-    pub fn compute_ticks(&self, shards: usize) -> Ticks {
+    /// Ticks one sweep over an `a`-column region costs: the measured
+    /// WSA pipeline streams `aug_rows·a` sites at `p` per tick and pays
+    /// `a + 2` sites of fill latency per stage, so
+    /// `⌈(aug_rows·a + k·(a + 2)) / p⌉`.
+    fn sweep_ticks(&self, a: usize) -> Ticks {
         let ar = u64_from_usize(self.aug_rows());
-        let p = u64::from(self.p);
+        let a = u64_from_usize(a);
+        let sites = ar * a + u64_from_usize(self.k) * (a + 2);
+        Ticks::new(sites.div_ceil(u64::from(self.p)))
+    }
+
+    /// Ticks the slowest board computes per pass — one full sweep over
+    /// the widest augmented slab ([`FarmModel::sweep_ticks`] at
+    /// `aug_width`). Under overlap the same work is split into
+    /// [`FarmModel::boundary_compute_ticks`] +
+    /// [`FarmModel::interior_compute_ticks`], which sum slightly higher
+    /// because each extra sweep refills the pipeline.
+    pub fn compute_ticks(&self, shards: usize) -> Ticks {
+        self.slabs(shards)
+            .iter()
+            .map(|s| self.sweep_ticks(s.aug_width()))
+            .max()
+            .unwrap_or(Ticks::ZERO)
+    }
+
+    /// Ticks the slowest board spends on its seam-adjacent boundary
+    /// sweeps per pass — the serial prefix the halos must wait for.
+    /// Zero when the exchange is serialized (the whole slab is one
+    /// undivided sweep) and on seamless slabs. Region geometry is
+    /// [`sweep_regions`], the same function the farm executes.
+    pub fn boundary_compute_ticks(&self, shards: usize) -> Ticks {
+        self.phase_ticks(shards, true)
+    }
+
+    /// Ticks the slowest board spends on its interior sweep per pass —
+    /// the window the halo transfer hides behind under overlap. Equals
+    /// [`FarmModel::compute_ticks`] when serialized; zero for slabs so
+    /// narrow the boundary sweeps cover every owned column.
+    pub fn interior_compute_ticks(&self, shards: usize) -> Ticks {
+        self.phase_ticks(shards, false)
+    }
+
+    fn phase_ticks(&self, shards: usize, boundary: bool) -> Ticks {
         self.slabs(shards)
             .iter()
             .map(|s| {
-                let a = u64_from_usize(s.aug_width());
-                let sites = ar * a + u64_from_usize(self.k) * (a + 2);
-                Ticks::new(sites.div_ceil(p))
+                sweep_regions(s, self.k, self.overlap)
+                    .iter()
+                    .filter(|r| r.boundary == boundary)
+                    .map(|r| self.sweep_ticks(r.width))
+                    .fold(Ticks::ZERO, |acc, t| acc + t)
             })
             .max()
             .unwrap_or(Ticks::ZERO)
@@ -146,9 +212,19 @@ impl FarmModel {
         self.link.ticks_to_move(self.halo_bits(shards))
     }
 
-    /// Machine ticks per pass: exchange barrier then compute barrier.
+    /// Machine ticks per pass. Serialized: exchange barrier then
+    /// compute barrier, `compute + halo`. Overlapped: the boundary
+    /// sweeps run first, then the halo transfer races the interior
+    /// sweep, `boundary + max(interior, halo)` — which degenerates to
+    /// the serialized sum when `overlap` is off (boundary = 0,
+    /// interior = compute).
     pub fn pass_ticks(&self, shards: usize) -> Ticks {
-        self.compute_ticks(shards) + self.halo_ticks(shards)
+        if self.overlap {
+            self.boundary_compute_ticks(shards)
+                + self.interior_compute_ticks(shards).max(self.halo_ticks(shards))
+        } else {
+            self.compute_ticks(shards) + self.halo_ticks(shards)
+        }
     }
 
     /// Useful (lattice-visible) site updates per pass: `rows·cols·k`.
@@ -210,6 +286,8 @@ impl FarmModel {
         FarmPoint {
             shards,
             compute_ticks: self.compute_ticks(shards),
+            boundary_ticks: self.boundary_compute_ticks(shards),
+            interior_ticks: self.interior_compute_ticks(shards),
             halo_bits: self.halo_bits(shards),
             halo_ticks: self.halo_ticks(shards),
             pass_ticks: self.pass_ticks(shards),
@@ -218,12 +296,31 @@ impl FarmModel {
         }
     }
 
-    /// The smallest shard count (≤ `max_shards`) at which the exchange
-    /// barrier exceeds the compute barrier — the farm's bandwidth wall,
-    /// the analogue of §6's pin-bound corner. `None` if the link keeps
-    /// up through `max_shards`.
+    /// The smallest shard count (≤ `max_shards`) at which the link
+    /// first paces the machine — the farm's bandwidth wall, the
+    /// analogue of §6's pin-bound corner. `None` if the link keeps up
+    /// through `max_shards`.
+    ///
+    /// A **tie counts as the wall**: at `halo_ticks == compute_ticks`
+    /// the link has already caught the boards — every tick of further
+    /// thinning (or of ARQ replay) lands on the critical path, and in
+    /// overlapped mode the tie is exactly where the exchange stops
+    /// hiding completely behind the interior sweep. The comparison is
+    /// therefore `>=`, not `>`; a strict `>` mis-classified exactly
+    /// balanced configurations as compute-bound.
+    ///
+    /// Under overlap the compute side of the comparison is the
+    /// *interior* sweep — the only window the transfer can hide in —
+    /// so the wall arrives at a smaller shard count than the serialized
+    /// comparison suggests, even though the overlapped farm is faster
+    /// in absolute ticks.
     pub fn critical_shards(&self, max_shards: usize) -> Option<usize> {
-        (1..=max_shards.min(self.cols)).find(|&s| self.halo_ticks(s) > self.compute_ticks(s))
+        (1..=max_shards.min(self.cols)).find(|&s| {
+            let halo = self.halo_ticks(s);
+            let wall =
+                if self.overlap { self.interior_compute_ticks(s) } else { self.compute_ticks(s) };
+            halo > Ticks::ZERO && halo >= wall
+        })
     }
 
     /// Probability one ARQ attempt on the hungriest board's link
@@ -247,12 +344,23 @@ impl FarmModel {
 
     /// [`FarmModel::pass_ticks`] with the ARQ term as a real-valued
     /// expectation: `r` retransmissions per pass each replay the
-    /// exchange barrier, so `compute + halo_ticks·(1 + r)`. This is the
+    /// exchange barrier. Serialized that is
+    /// `compute + halo_ticks·(1 + r)`; overlapped the replays extend
+    /// the link's side of the race,
+    /// `boundary + max(interior, halo_ticks·(1 + r))` — a lightly
+    /// noisy link retransmits *for free* as long as the inflated
+    /// transfer still fits inside the interior sweep. This is the
     /// prediction the farm's measured `machine_ticks / passes` tracks
     /// under transient link faults (`FarmReport::retransmit_ticks` is
     /// the measured `halo_ticks·r` share).
     pub fn pass_ticks_with_retransmits(&self, shards: usize, r: f64) -> f64 {
-        self.compute_ticks(shards).to_f64() + self.halo_ticks(shards).to_f64() * (1.0 + r)
+        let halo = self.halo_ticks(shards).to_f64() * (1.0 + r);
+        if self.overlap {
+            self.boundary_compute_ticks(shards).to_f64()
+                + self.interior_compute_ticks(shards).to_f64().max(halo)
+        } else {
+            self.compute_ticks(shards).to_f64() + halo
+        }
     }
 
     /// Throughput penalty of degraded re-partitioning: how many times
@@ -380,6 +488,84 @@ mod tests {
         assert!(p.halo_ticks > Ticks::ZERO);
         assert_eq!(p.pass_ticks, p.compute_ticks + p.halo_ticks);
         assert!(p.critical_link > BitsPerTick::ZERO);
+        // Serialized: the slab is one undivided sweep.
+        assert_eq!(p.boundary_ticks, Ticks::ZERO);
+        assert_eq!(p.interior_ticks, p.compute_ticks);
+    }
+
+    #[test]
+    fn an_exact_tie_is_the_bandwidth_wall() {
+        // Hand-built dyadic balance: rows = 20, cols = 10, S = 2,
+        // k = 1, p = 1, D = 8. Each slab is 5 owned + 1 halo columns,
+        // so compute = 20·6 + 1·(6 + 2) = 128 ticks, and the seam
+        // moves 1 col × 20 rows × 8 bits = 160 bits; at 1.25 bits/tick
+        // (exact in binary floating point) that is 160 / 1.25 = 128
+        // ticks. halo == compute exactly — the tie must register as
+        // the rollover, because from here every retransmit and every
+        // further thinning lands on the critical path.
+        let m = FarmModel::new(Technology::paper_1987(), 20, 10, 1, 1)
+            .with_link(BitsPerTick::new(1.25));
+        assert_eq!(m.compute_ticks(2), Ticks::new(128));
+        assert_eq!(m.halo_ticks(2), Ticks::new(128));
+        assert_eq!(m.critical_shards(2), Some(2), "a tie counts as the wall");
+        // A link even slightly faster breaks the tie and the wall
+        // recedes past S = 2.
+        let faster = m.with_link(BitsPerTick::new(1.3));
+        assert!(faster.halo_ticks(2) < faster.compute_ticks(2));
+        assert_eq!(faster.critical_shards(2), None);
+        // Unthrottled: a zero-tick exchange is never "the wall", even
+        // though 0 >= 0 would claim so for an empty interior.
+        assert_eq!(m.with_link(BitsPerTick::UNTHROTTLED).critical_shards(2), None);
+    }
+
+    #[test]
+    fn overlap_hides_the_exchange_behind_the_interior() {
+        let starved = model().with_link(BitsPerTick::new(2.0));
+        let overlapped = starved.with_overlap(true);
+        for s in [2usize, 4, 8] {
+            let b = overlapped.boundary_compute_ticks(s);
+            let i = overlapped.interior_compute_ticks(s);
+            let h = overlapped.halo_ticks(s);
+            assert!(b > Ticks::ZERO, "S={s}: seams mean boundary sweeps");
+            assert_eq!(overlapped.pass_ticks(s), b + i.max(h), "S={s}");
+            // Splitting the sweep refills the pipeline per region, so
+            // the phases sum a little over the undivided sweep…
+            assert!(b + i >= overlapped.compute_ticks(s), "S={s}");
+            // …but on a starved link the hidden transfer wins anyway.
+            assert!(
+                overlapped.pass_ticks(s) < starved.pass_ticks(s),
+                "S={s}: {} !< {}",
+                overlapped.pass_ticks(s),
+                starved.pass_ticks(s)
+            );
+        }
+        // The overlapped wall compares halo against the *interior*
+        // window only, so it arrives no later than the serialized one.
+        let (so, ss) = (overlapped.critical_shards(16), starved.critical_shards(16));
+        let wall = ss.expect("2 bits/tick rolls the serialized farm over");
+        assert!(so.expect("and a fortiori the overlapped race") <= wall);
+        // Seamless single board: nothing to ship, nothing to split.
+        assert_eq!(overlapped.boundary_compute_ticks(1), Ticks::ZERO);
+        assert_eq!(overlapped.pass_ticks(1), starved.pass_ticks(1));
+    }
+
+    #[test]
+    fn overlapped_retransmits_are_free_until_the_interior_runs_out() {
+        // A lightly throttled link: halo well under the interior sweep.
+        let m = model().with_link(BitsPerTick::new(16.0)).with_overlap(true);
+        let s = 4;
+        let (b, i, h) = (m.boundary_compute_ticks(s), m.interior_compute_ticks(s), m.halo_ticks(s));
+        assert!(h < i, "setup: transfer hides entirely");
+        // One replay still fits inside the interior — no wall-clock
+        // cost at all.
+        let r_free = (i.to_f64() / h.to_f64() - 1.0) * 0.9;
+        assert!(r_free > 1.0);
+        assert_eq!(m.pass_ticks_with_retransmits(s, r_free), (b + i).to_f64());
+        // Enough replays overrun the window and the excess is exposed
+        // tick for tick.
+        let r_over = i.to_f64() / h.to_f64() + 1.0;
+        let expect = b.to_f64() + h.to_f64() * (1.0 + r_over);
+        assert_eq!(m.pass_ticks_with_retransmits(s, r_over), expect);
     }
 
     #[test]

@@ -151,6 +151,9 @@ pub enum Command {
         /// Farm mode: stick a halo-link bit on this board (exercises
         /// degraded re-partitioning).
         stuck_board: Option<usize>,
+        /// Farm mode: overlapped halo exchange (ship-ahead staged
+        /// frames race the interior sweep; faults invalidate windows).
+        overlap: bool,
     },
     /// Shard a lattice over a board-level engine farm and report
     /// machine-level figures against the links-per-board model.
@@ -179,6 +182,10 @@ pub enum Command {
         periodic: bool,
         /// Inter-board link capacity in bits/tick (unthrottled if absent).
         link_bits: Option<f64>,
+        /// Overlap halo exchange with interior compute: boundary sweeps
+        /// first, ship-ahead while the interior evolves, barrier on
+        /// arrival — pass time boundary + max(interior, halo).
+        overlap: bool,
         /// Verify bit-exactness against the reference engine.
         verify: bool,
     },
@@ -253,10 +260,11 @@ pub fn usage() -> String {
                       [--steps N] [--seed N] [--rate F] [--retries N]\n\
                       [--ckpt-every N] [--stuck-chip J]\n\
                       [--farm] [--farm-shards S1,S2,..] [--stuck-board B]\n\
+                      [--overlap]\n\
        lattice farm   [--shards S] [--engine wsa|spa] [--width P]\n\
                       [--slice-width W] [--depth K] [--rows N] [--cols N]\n\
                       [--steps N] [--seed N] [--model M] [--periodic]\n\
-                      [--link-bits F] [--verify]\n\
+                      [--link-bits F] [--overlap] [--verify]\n\
        lattice info\n"
         .to_string()
 }
@@ -347,6 +355,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                         .map_err(|_| CliError(format!("bad value for --stuck-board: `{v}`")))?,
                 ),
             },
+            overlap: flags.contains_key("overlap"),
         }),
         "farm" => Ok(Command::Farm {
             shards: get(&flags, "shards", 4)?,
@@ -366,6 +375,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     v.parse().map_err(|_| CliError(format!("bad value for --link-bits: `{v}`")))?,
                 ),
             },
+            overlap: flags.contains_key("overlap"),
             verify: flags.contains_key("verify"),
         }),
         "info" => Ok(Command::Info),
@@ -419,6 +429,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             farm,
             farm_shards,
             stuck_board,
+            overlap,
         } => {
             if farm {
                 run_farm_fault_sim(
@@ -433,6 +444,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                     ckpt_every,
                     &farm_shards,
                     stuck_board,
+                    overlap,
                 )
             } else {
                 run_fault_sim(
@@ -453,6 +465,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             model,
             periodic,
             link_bits,
+            overlap,
             verify,
         } => run_farm(
             shards,
@@ -467,6 +480,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             &model,
             periodic,
             link_bits,
+            overlap,
             verify,
         ),
         Command::Info => Ok(format!(
@@ -895,6 +909,7 @@ fn run_farm_fault_sim(
     ckpt_every: u64,
     farm_shards: &str,
     stuck_board: Option<usize>,
+    overlap: bool,
 ) -> Result<String, CliError> {
     use crate::farm::{FarmDegradeConfig, FarmRecoveryConfig, LatticeFarm, ShardEngine};
     use crate::gas::audit::{AuditMode, ConservationAudit};
@@ -963,10 +978,11 @@ fn run_farm_fault_sim(
 
     let mut out = format!(
         "fault-sim --farm: hpp on {rows}x{cols}, {steps} generations, \
-         WSA boards width {width}, depth {depth}\n\
+         WSA boards width {width}, depth {depth}{}\n\
          transient bit-flips on every board's halo link; audit = exact conservation;\n\
          checkpoint every {ckpt_every} pass(es), {retries} global retries, \
          ladder = ARQ -> local -> global -> degrade{}\n\n",
+        if overlap { ", overlapped exchange" } else { "" },
         match stuck_board {
             Some(b) => format!("; stuck-at halo-link bit on board {b}"),
             None => String::new(),
@@ -977,7 +993,7 @@ fn run_farm_fault_sim(
          passes  upd/fault  result\n",
     );
     for &s in &shard_counts {
-        let farm = LatticeFarm::new(s, ShardEngine::Wsa { width }, depth);
+        let farm = LatticeFarm::new(s, ShardEngine::Wsa { width }, depth).with_overlap(overlap);
         // WSA boards: chip stride = depth at every reachable shard
         // count, so board b's halo link is chip s·depth + b.
         let link_chip_base = s * depth;
@@ -1060,6 +1076,7 @@ fn run_farm(
     model: &str,
     periodic: bool,
     link_bits: Option<f64>,
+    overlap: bool,
     verify: bool,
 ) -> Result<String, CliError> {
     use crate::farm::{BoardLink, FarmReport, LatticeFarm, ShardEngine};
@@ -1072,7 +1089,8 @@ fn run_farm(
         "spa" => ShardEngine::Spa { slice_width },
         other => return Err(CliError(format!("unknown farm engine `{other}` (wsa, spa)"))),
     };
-    let mut farm = LatticeFarm::new(shards, eng, depth).with_periodic(periodic);
+    let mut farm =
+        LatticeFarm::new(shards, eng, depth).with_periodic(periodic).with_overlap(overlap);
     if let Some(bits) = link_bits {
         if bits.is_nan() || bits <= 0.0 {
             return Err(CliError("farm: --link-bits must be positive".into()));
@@ -1122,9 +1140,9 @@ fn run_farm(
     let clock = Technology::paper_1987().clock();
     let mut out = format!(
         "farm: {model} on {rows}x{cols} ({}), {steps} generations, \
-         {shards} board(s) x {engine}, k = {depth}\n\
+         {shards} board(s) x {engine}, k = {depth}{}\n\
          passes:            {}\n\
-         machine ticks:     {} ({} compute + {} halo)\n\
+         machine ticks:     {} ({} compute + {} halo - {} overlapped)\n\
          useful upd/tick:   {:.2}\n\
          updates/s @10MHz:  {:.2e}\n\
          halo bits/tick:    {:.2}\n\
@@ -1132,10 +1150,12 @@ fn run_farm(
          compute fraction:  {:.3}\n\
          PE utilization:    {:.3}\n",
         if periodic { "torus" } else { "null boundary" },
+        if overlap { ", overlapped exchange" } else { "" },
         report.passes,
         report.machine_ticks(),
         report.machine.ticks,
         report.halo_ticks,
+        report.overlapped_ticks,
         report.updates_per_tick(),
         report.updates_per_second(clock).get(),
         report.halo_bits_per_tick(),
@@ -1154,6 +1174,7 @@ fn run_farm(
         // The analytical board model mirrors the WSA pipeline.
         let m = FarmModel::new(Technology::paper_1987(), rows, cols, width as u32, depth)
             .with_periodic(periodic)
+            .with_overlap(overlap)
             .with_link(link_bits.map_or(lattice_core::units::BitsPerTick::UNTHROTTLED, |b| {
                 lattice_core::units::BitsPerTick::new(b)
             }));
@@ -1445,6 +1466,7 @@ mod tests {
             farm: false,
             farm_shards: "1,2,4".into(),
             stuck_board: None,
+            overlap: false,
         })
         .unwrap();
         assert!(out.contains("upd/fault"), "{out}");
@@ -1468,6 +1490,7 @@ mod tests {
             farm: false,
             farm_shards: "1,2,4".into(),
             stuck_board: None,
+            overlap: false,
         })
         .unwrap();
         assert!(!out.contains("WRONG"), "{out}");
@@ -1496,6 +1519,7 @@ mod tests {
             farm: false,
             farm_shards: "1,2,4".into(),
             stuck_board: None,
+            overlap: false,
         })
         .is_err());
         assert!(parse(&argv("fault-sim --stuck-chip nope")).is_err());
@@ -1542,6 +1566,7 @@ mod tests {
             farm: true,
             farm_shards: "2".into(),
             stuck_board: Some(1),
+            overlap: false,
         })
         .unwrap();
         assert!(!out.contains("WRONG"), "{out}");
@@ -1567,6 +1592,7 @@ mod tests {
             farm: true,
             farm_shards: "2,4".into(),
             stuck_board: Some(2),
+            overlap: false,
         })
         .is_err());
     }
@@ -1576,11 +1602,18 @@ mod tests {
         let cmd = parse(&argv("farm")).unwrap();
         assert!(matches!(
             cmd,
-            Command::Farm { shards: 4, depth: 2, link_bits: None, verify: false, .. }
+            Command::Farm {
+                shards: 4,
+                depth: 2,
+                link_bits: None,
+                overlap: false,
+                verify: false,
+                ..
+            }
         ));
         let cmd = parse(&argv(
             "farm --shards 3 --engine spa --slice-width 1 --rows 12 --cols 30 \
-             --steps 4 --model hpp --link-bits 8 --verify --periodic",
+             --steps 4 --model hpp --link-bits 8 --overlap --verify --periodic",
         ))
         .unwrap();
         match cmd {
@@ -1591,18 +1624,24 @@ mod tests {
                 model,
                 periodic,
                 link_bits,
+                overlap,
                 verify,
                 ..
             } => {
                 assert_eq!((shards, slice_width), (3, 1));
                 assert_eq!(engine, "spa");
                 assert_eq!(model, "hpp");
-                assert!(periodic && verify);
+                assert!(periodic && verify && overlap);
                 assert_eq!(link_bits, Some(8.0));
             }
             other => panic!("{other:?}"),
         }
         assert!(parse(&argv("farm --link-bits fast")).is_err());
+        // fault-sim picks the flag up too (farm fault matrix runs both modes).
+        assert!(matches!(
+            parse(&argv("fault-sim --farm --overlap")).unwrap(),
+            Command::FaultSim { farm: true, overlap: true, .. }
+        ));
     }
 
     #[test]
@@ -1620,12 +1659,62 @@ mod tests {
             model: "fhp1".into(),
             periodic: false,
             link_bits: None,
+            overlap: false,
             verify: true,
         })
         .unwrap();
         assert!(out.contains("verify: bit-exact vs reference"), "{out}");
         assert!(out.contains("model: pass ticks"), "{out}");
         assert!(out.contains("shard  col0"), "{out}");
+    }
+
+    #[test]
+    fn farm_overlap_hides_halo_time_and_verifies_bit_exact() {
+        let out = execute(Command::Farm {
+            shards: 4,
+            engine: "wsa".into(),
+            width: 2,
+            slice_width: 1,
+            depth: 2,
+            rows: 16,
+            cols: 64,
+            steps: 8,
+            seed: 5,
+            model: "fhp1".into(),
+            periodic: false,
+            link_bits: Some(4.0),
+            overlap: true,
+            verify: true,
+        })
+        .unwrap();
+        assert!(out.contains("overlapped exchange"), "{out}");
+        assert!(out.contains("verify: bit-exact vs reference"), "{out}");
+        assert!(!out.contains("- 0 overlapped"), "throttled overlap must hide link time: {out}");
+    }
+
+    #[test]
+    fn farm_fault_sim_overlap_mode_stays_exact() {
+        let out = execute(Command::FaultSim {
+            rows: 26,
+            cols: 36,
+            width: 1,
+            depth: 2,
+            steps: 6,
+            seed: 11,
+            rate: 2e-3,
+            retries: 6,
+            ckpt_every: 1,
+            stuck_chip: None,
+            farm: true,
+            farm_shards: "2".into(),
+            stuck_board: None,
+            overlap: true,
+        })
+        .unwrap();
+        assert!(out.contains("overlapped exchange"), "{out}");
+        assert!(out.contains("bit-exact"), "{out}");
+        assert!(!out.contains("WRONG"), "{out}");
+        assert!(!out.contains("gave up"), "{out}");
     }
 
     #[test]
@@ -1643,6 +1732,7 @@ mod tests {
             model: "hpp".into(),
             periodic: true,
             link_bits: Some(4.0),
+            overlap: true,
             verify: true,
         })
         .unwrap();
@@ -1666,6 +1756,7 @@ mod tests {
             model: "hpp".into(),
             periodic: false,
             link_bits: None,
+            overlap: false,
             verify: false,
         };
         let with = |f: &dyn Fn(&mut Command)| {

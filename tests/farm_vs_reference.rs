@@ -51,7 +51,10 @@ proptest! {
         density in 0.05f64..0.95,
         seed in any::<u64>(),
     ) {
-        prop_assume!(shards <= cols);
+        // Every seam-bearing slab must be at least `depth` columns wide
+        // (the farm rejects narrower splits with a structured error;
+        // that rejection has its own regression tests).
+        prop_assume!(shards <= cols && cols / shards >= depth);
         let shape = Shape::grid2(rows, cols).unwrap();
         let grid = init::random_hpp(shape, density, seed).unwrap();
         let rule = HppRule::new();
@@ -76,7 +79,7 @@ proptest! {
             Just(FhpVariant::I), Just(FhpVariant::II), Just(FhpVariant::III)
         ],
     ) {
-        prop_assume!(shards <= cols);
+        prop_assume!(shards <= cols && cols / shards >= depth);
         let shape = Shape::grid2(rows, cols).unwrap();
         let grid = init::random_fhp(shape, variant, density, seed, false).unwrap();
         let rule = FhpRule::new(variant, seed ^ 0x5eed);
@@ -98,7 +101,7 @@ proptest! {
         density in 0.05f64..0.95,
         seed in any::<u64>(),
     ) {
-        prop_assume!(shards <= cols);
+        prop_assume!(shards <= cols && cols / shards >= depth);
         let rows = 2 * half_rows;
         let shape = Shape::grid2(rows, cols).unwrap();
         let grid = init::random_fhp(shape, FhpVariant::I, density, seed, true).unwrap();
@@ -128,6 +131,83 @@ proptest! {
         prop_assert_eq!(a.grid(), b.grid());
         prop_assert_eq!(a.machine.ticks, b.machine.ticks);
         prop_assert!(b.halo_ticks >= a.halo_ticks);
+    }
+
+    /// Overlapped exchange is a pure scheduling change: for arbitrary
+    /// geometry, shard count, pass depth, boundary, start time, and
+    /// link bandwidth, the overlapped farm's lattice equals both the
+    /// serialized farm's and the single-engine reference, and it never
+    /// claims to have hidden more link time than the wire spent.
+    #[test]
+    fn overlapped_farm_matches_serialized_and_reference(
+        rows in 2usize..12,
+        cols in 4usize..24,
+        shards in 1usize..6,
+        depth in 1usize..4,
+        gens in 0u64..9,
+        t0 in 0u64..4,
+        periodic in any::<bool>(),
+        bits in prop_oneof![Just(None), (1u32..32).prop_map(Some)],
+        density in 0.05f64..0.95,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(shards <= cols && cols / shards >= depth);
+        let shape = Shape::grid2(rows, cols).unwrap();
+        let grid = init::random_hpp(shape, density, seed).unwrap();
+        let rule = HppRule::new();
+        let boundary = if periodic { Boundary::Periodic } else { Boundary::null() };
+        let reference = evolve(&grid, &rule, boundary, t0, gens);
+        let mut farm = LatticeFarm::new(shards, ShardEngine::Wsa { width: 2 }, depth)
+            .with_periodic(periodic);
+        if let Some(b) = bits {
+            farm = farm.with_link(BoardLink::new(b as f64));
+        }
+        let serial = farm.run(&rule, &grid, t0, gens).unwrap();
+        let overlap = farm.with_overlap(true).run(&rule, &grid, t0, gens).unwrap();
+        prop_assert_eq!(serial.grid(), &reference);
+        prop_assert_eq!(overlap.grid(), &reference);
+        prop_assert!(overlap.overlapped_ticks <= overlap.halo_ticks);
+        prop_assert_eq!(
+            overlap.halo_traffic.bits_in, serial.halo_traffic.bits_in,
+            "ship-ahead reschedules frames, it never adds or drops them"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The recovery path (checkpoints, audits, ARQ framing, staged
+    /// ship-ahead windows) engaged but fault-free: the overlapped farm
+    /// still matches the reference bit for bit and commits with a clean
+    /// ladder.
+    #[test]
+    fn overlapped_recovery_is_bit_exact_when_fault_free(
+        rows in 2usize..10,
+        cols in 4usize..20,
+        shards in 1usize..5,
+        depth in 1usize..3,
+        gens in 1u64..7,
+        periodic in any::<bool>(),
+        density in 0.05f64..0.95,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(shards <= cols && cols / shards >= depth);
+        let shape = Shape::grid2(rows, cols).unwrap();
+        let grid = init::random_hpp(shape, density, seed).unwrap();
+        let rule = HppRule::new();
+        let boundary = if periodic { Boundary::Periodic } else { Boundary::null() };
+        let reference = evolve(&grid, &rule, boundary, 0, gens);
+        let farm = LatticeFarm::new(shards, ShardEngine::Wsa { width: 1 }, depth)
+            .with_periodic(periodic)
+            .with_overlap(true);
+        let ft = farm
+            .run_with_recovery(&rule, &grid, 0, gens, None,
+                &FarmRecoveryConfig::default(), |_, _| Ok(()))
+            .unwrap();
+        prop_assert_eq!(ft.report.grid(), &reference);
+        prop_assert_eq!(ft.recovery.detected, 0);
+        prop_assert_eq!(ft.report.retransmits, 0);
     }
 }
 
@@ -191,6 +271,47 @@ fn starved_links_roll_over_where_the_model_says() {
         let (r1, _, _) = measure(crit);
         let (r2, _, _) = measure(2 * crit);
         assert!(r2 / r1 < 1.5, "bandwidth-bound scaling must flatten: {r1} -> {r2}");
+    }
+}
+
+/// Acceptance (E11): on a link-starved configuration the overlapped
+/// farm's measured per-pass wall clock must sit within 10% of the
+/// model's `boundary + max(interior, halo)` — and strictly beat the
+/// serialized farm — while staying bit-exact against the reference.
+#[test]
+fn overlapped_exchange_tracks_the_model_and_beats_serialized() {
+    let (rows, cols, p, k) = (32usize, 120usize, 2usize, 2usize);
+    let bits = 2.0; // starved: the halo transfer rivals the interior sweep
+    let shape = Shape::grid2(rows, cols).unwrap();
+    let grid = init::random_fhp(shape, FhpVariant::I, 0.3, 3, false).unwrap();
+    let rule = FhpRule::new(FhpVariant::I, 3);
+    let reference = evolve(&grid, &rule, Boundary::null(), 0, 32);
+    let model = FarmModel::new(Technology::paper_1987(), rows, cols, p as u32, k)
+        .with_link(BitsPerTick::new(bits))
+        .with_overlap(true);
+    for shards in [2usize, 4, 8] {
+        let serial = LatticeFarm::new(shards, ShardEngine::Wsa { width: p }, k)
+            .with_link(BoardLink::new(bits));
+        let overlap = serial.with_overlap(true);
+        let s = serial.run(&rule, &grid, 0, 32).unwrap();
+        let o = overlap.run(&rule, &grid, 0, 32).unwrap();
+        assert_eq!(o.grid(), &reference, "S={shards}: overlap must stay bit-exact");
+        assert_eq!(s.grid(), &reference);
+        assert!(
+            o.machine_ticks() < s.machine_ticks(),
+            "S={shards}: hiding the transfer must beat the serialized barrier: {} !< {}",
+            o.machine_ticks(),
+            s.machine_ticks()
+        );
+        // Per-pass agreement with boundary + max(interior, halo); the
+        // first pass's un-hideable cold start amortizes over 16 passes.
+        let measured = o.machine_ticks().to_f64() / o.passes as f64;
+        let predicted = model.pass_ticks(shards).to_f64();
+        let ratio = measured / predicted;
+        assert!(
+            (ratio - 1.0).abs() < 0.10,
+            "S={shards}: measured {measured} vs model {predicted} (ratio {ratio})"
+        );
     }
 }
 

@@ -99,6 +99,36 @@ proptest! {
     }
 
     #[test]
+    fn link_weather_is_keyed_by_wire_position_not_transmit_time(
+        seed in any::<u64>(),
+        shard in 0u64..1 << 20,
+        pass in any::<u64>(),
+        attempt in 0u64..1 << 32,
+        chip in 0usize..64,
+        split in 0u64..STREAM,
+    ) {
+        // Overlapped exchange moves the same frames at different wall
+        // times: a pass's halo may ship ahead at the end of the
+        // previous pass (staged) or at its own arrival barrier
+        // (fallback), splitting one link's traffic into differently
+        // sized bursts. The ladder's determinism argument needs the
+        // weather to be a function of absolute wire position alone —
+        // a stream drawn in two chunks must equal the same stream
+        // drawn in one.
+        let p = plan(seed);
+        let whole = flips(FaultCtx::for_shard(&p, shard, pass, attempt), chip);
+        let ctx = FaultCtx::for_shard(&p, shard, pass, attempt);
+        let mut chunked: Vec<bool> = (0..split)
+            .map(|pos| ctx.corrupt_site(Component::Link, chip, 0, pos, 0u8) != 0)
+            .collect();
+        let ctx2 = FaultCtx::for_shard(&p, shard, pass, attempt);
+        chunked.extend(
+            (split..STREAM).map(|pos| ctx2.corrupt_site(Component::Link, chip, 0, pos, 0u8) != 0),
+        );
+        prop_assert_eq!(whole, chunked, "weather must not depend on burst boundaries");
+    }
+
+    #[test]
     fn shard_and_attempt_never_alias(
         seed in any::<u64>(),
         shard in 1u64..1 << 20,
