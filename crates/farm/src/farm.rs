@@ -50,6 +50,7 @@ use crate::partition::{
     max_aug_width, partition, partition_checked, sweep_regions, Slab, SweepRegion,
 };
 use lattice_core::bits::Traffic;
+use lattice_core::checkpoint::store::{ShardBlob, SnapshotSink};
 use lattice_core::units::{
     u64_from_usize, usize_from_u64, Bits, BitsPerTick, Cells, Hz, Sites, SitesPerSec, SitesPerTick,
     Ticks,
@@ -650,7 +651,7 @@ fn save_shard_checkpoints<S: State>(
         .map(|slab| {
             let shape = Shape::grid2(rows, slab.width)?;
             let sg = Grid::from_fn(shape, |c| grid.get(Coord::c2(c.row(), slab.col0 + c.col())));
-            Ok(checkpoint::save(&sg, t))
+            Ok(checkpoint::save(&sg, Ticks::new(t)))
         })
         .collect()
 }
@@ -661,7 +662,7 @@ fn load_shard_checkpoints<S: State>(
     shape: Shape,
 ) -> Result<(Grid<S>, u64), LatticeError> {
     let mut grid = Grid::new(shape);
-    let mut time = None;
+    let mut time: Option<Ticks> = None;
     for (blob, slab) in blobs.iter().zip(slabs) {
         let (sg, t) = checkpoint::load::<S>(blob)?;
         if *time.get_or_insert(t) != t {
@@ -676,7 +677,7 @@ fn load_shard_checkpoints<S: State>(
             }
         }
     }
-    Ok((grid, time.unwrap_or(0)))
+    Ok((grid, time.unwrap_or(Ticks::ZERO).get()))
 }
 
 impl LatticeFarm {
@@ -1329,8 +1330,62 @@ impl LatticeFarm {
         generations: u64,
         plan: Option<&FaultPlan>,
         cfg: &FarmRecoveryConfig,
+        audit: impl FnMut(&Grid<R::S>, &Grid<R::S>) -> Result<(), LatticeError>,
+        shard_audit: impl FnMut(usize, &Grid<R::S>, &Grid<R::S>) -> Result<(), LatticeError>,
+    ) -> Result<FarmFtRun<R::S>, LatticeError> {
+        self.run_recovery_impl(rule, grid, t0, generations, plan, cfg, audit, shard_audit, None)
+    }
+
+    /// [`LatticeFarm::run_with_recovery_audited`] with persistence
+    /// level 0 of the ladder: every checkpoint barrier (initial,
+    /// periodic, post-re-partition, and final state) is also pushed to
+    /// `sink` as a shard-consistent durable snapshot — one
+    /// [`ShardBlob`] per slab, stamped with the slab's first interior
+    /// column so a resume can reassemble the lattice even after
+    /// degraded re-partitioning changed the slab layout. A killed farm
+    /// resumes bit-exact: reassemble the newest snapshot and call this
+    /// again with the restored lattice and generation as `grid`/`t0`
+    /// (FHP chirality hashes absolute coordinates, so the stamp
+    /// matters). A sink failure fails the run; callers wanting
+    /// best-effort persistence (e.g. the chaos soak) wrap the sink.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_with_recovery_persistent<R: Rule>(
+        &self,
+        rule: &R,
+        grid: &Grid<R::S>,
+        t0: u64,
+        generations: u64,
+        plan: Option<&FaultPlan>,
+        cfg: &FarmRecoveryConfig,
+        audit: impl FnMut(&Grid<R::S>, &Grid<R::S>) -> Result<(), LatticeError>,
+        shard_audit: impl FnMut(usize, &Grid<R::S>, &Grid<R::S>) -> Result<(), LatticeError>,
+        sink: &mut dyn SnapshotSink,
+    ) -> Result<FarmFtRun<R::S>, LatticeError> {
+        self.run_recovery_impl(
+            rule,
+            grid,
+            t0,
+            generations,
+            plan,
+            cfg,
+            audit,
+            shard_audit,
+            Some(sink),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_recovery_impl<R: Rule>(
+        &self,
+        rule: &R,
+        grid: &Grid<R::S>,
+        t0: u64,
+        generations: u64,
+        plan: Option<&FaultPlan>,
+        cfg: &FarmRecoveryConfig,
         mut audit: impl FnMut(&Grid<R::S>, &Grid<R::S>) -> Result<(), LatticeError>,
         mut shard_audit: impl FnMut(usize, &Grid<R::S>, &Grid<R::S>) -> Result<(), LatticeError>,
+        mut sink: Option<&mut dyn SnapshotSink>,
     ) -> Result<FarmFtRun<R::S>, LatticeError> {
         self.validate(grid)?;
         if cfg.checkpoint_every == 0 {
@@ -1371,17 +1426,26 @@ impl LatticeFarm {
             t: u64,
             slabs: &[Slab],
             recovery: &mut RecoveryStats,
+            sink: &mut Option<&mut dyn SnapshotSink>,
         ) -> Result<Vec<Vec<u8>>, LatticeError> {
             let blobs = save_shard_checkpoints(g, slabs, t)?;
             recovery.checkpoints += u64_from_usize(slabs.len());
             recovery.checkpoint_bytes += blobs.iter().map(|b| u64_from_usize(b.len())).sum::<u64>();
+            if let Some(s) = sink.as_deref_mut() {
+                let shards: Vec<ShardBlob> = blobs
+                    .iter()
+                    .zip(slabs)
+                    .map(|(b, slab)| ShardBlob { col0: u64_from_usize(slab.col0), blob: b.clone() })
+                    .collect();
+                s.persist(Ticks::new(t), &shards)?;
+            }
             Ok(blobs)
         }
-        let mut ckpt = take_ckpt(&current, t_now, &ckpt_slabs, &mut recovery)?;
+        let mut ckpt = take_ckpt(&current, t_now, &ckpt_slabs, &mut recovery, &mut sink)?;
 
         'run: while t_now < t_end {
             if passes_since_ckpt >= cfg.checkpoint_every {
-                ckpt = take_ckpt(&current, t_now, &ckpt_slabs, &mut recovery)?;
+                ckpt = take_ckpt(&current, t_now, &ckpt_slabs, &mut recovery, &mut sink)?;
                 passes_since_ckpt = 0;
                 retries_left = cfg.max_retries;
                 local_left.fill(cfg.local_retries);
@@ -1487,7 +1551,13 @@ impl LatticeFarm {
                                 ckpt_slabs =
                                     partition(cols, phys.len(), self.depth, self.periodic)?;
                                 totals.regeom(&ckpt_slabs, &phys);
-                                ckpt = take_ckpt(&current, t_now, &ckpt_slabs, &mut recovery)?;
+                                ckpt = take_ckpt(
+                                    &current,
+                                    t_now,
+                                    &ckpt_slabs,
+                                    &mut recovery,
+                                    &mut sink,
+                                )?;
                                 passes_since_ckpt = 0;
                                 retries_left = cfg.max_retries;
                                 local_left.fill(cfg.local_retries);
@@ -1501,6 +1571,11 @@ impl LatticeFarm {
                     }
                 }
             }
+        }
+        // Durably record the final state, so a completed run resumes as
+        // a no-op instead of replaying from the last barrier.
+        if sink.is_some() {
+            take_ckpt(&current, t_now, &ckpt_slabs, &mut recovery, &mut sink)?;
         }
         let faults = plan.map(|p| p.stats().since(fault_base)).unwrap_or_default();
         Ok(FarmFtRun { report: totals.finish(current, passes, self.shards, faults), recovery })

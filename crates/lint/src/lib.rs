@@ -17,6 +17,12 @@
 //! * **no-panic** — no `unwrap()` / `expect(` / `panic!` /
 //!   `unreachable!` / `todo!` / `unimplemented!` in library crates
 //!   outside test code. Fallible paths return `LatticeError`.
+//! * **fs-write** — direct `std::fs` write/rename calls are confined
+//!   to the audited durable-store module
+//!   (`crates/core/src/checkpoint/store.rs`): every persistent byte
+//!   must go through the store's write-to-temp + fsync + atomic-rename
+//!   commit so crash atomicity is provable in one place. Reads are
+//!   free.
 //! * **counter-mutation** — the fault-recovery conservation set
 //!   (`detected`, `retransmits`, `local_rollbacks`, `rollbacks`,
 //!   `boards_retired`) may only be *mutated* inside the two audited
@@ -52,6 +58,9 @@ pub enum Rule {
     NoPanic,
     /// Conservation-set counter mutated outside the audited modules.
     CounterMutation,
+    /// `std::fs` write/rename call outside the audited durable-store
+    /// module.
+    FsWrite,
 }
 
 impl Rule {
@@ -64,6 +73,7 @@ impl Rule {
             Rule::BareFloat => "bare-float",
             Rule::NoPanic => "no-panic",
             Rule::CounterMutation => "counter-mutation",
+            Rule::FsWrite => "fs-write",
         }
     }
 
@@ -75,13 +85,14 @@ impl Rule {
             "bare-float" => Some(Rule::BareFloat),
             "no-panic" => Some(Rule::NoPanic),
             "counter-mutation" => Some(Rule::CounterMutation),
+            "fs-write" => Some(Rule::FsWrite),
             _ => None,
         }
     }
 
     /// All rules, in report order.
-    pub const ALL: [Rule; 4] =
-        [Rule::RawCast, Rule::BareFloat, Rule::NoPanic, Rule::CounterMutation];
+    pub const ALL: [Rule; 5] =
+        [Rule::RawCast, Rule::BareFloat, Rule::NoPanic, Rule::CounterMutation, Rule::FsWrite];
 }
 
 impl fmt::Display for Rule {
@@ -116,6 +127,11 @@ pub const CONSERVATION_FIELDS: [&str; 5] =
 
 /// The only modules allowed to mutate the conservation set.
 pub const COUNTER_AUDITED: [&str; 2] = ["crates/farm/src/farm.rs", "crates/sim/src/host.rs"];
+
+/// The only module allowed to call `std::fs` write paths: the durable
+/// checkpoint store, whose temp-file + fsync + rename commit is the
+/// workspace's single audited crash-atomicity point.
+pub const FS_AUDITED: [&str; 1] = ["crates/core/src/checkpoint/store.rs"];
 
 /// Model/accounting modules where `raw-cast` and `bare-float` apply:
 /// everything that carries paper dimensions (α, β, γ, B, Γ, ticks,
@@ -278,8 +294,22 @@ fn lex(source: &str) -> Vec<LexedLine> {
             }
             Mode::Str => {
                 if c == '\\' {
-                    chars.next();
-                    code.push_str("  ");
+                    // A backslash-newline continuation must still
+                    // advance the line counter, or every diagnostic
+                    // below a multi-line string reports the wrong line.
+                    if chars.peek() == Some(&'\n') {
+                        chars.next();
+                        flush_line(
+                            &mut code,
+                            &mut comment_text,
+                            &mut marker_rules,
+                            &mut carried_rules,
+                            &mut lines,
+                        );
+                    } else {
+                        chars.next();
+                        code.push_str("  ");
+                    }
                 } else if c == '"' {
                     mode = Mode::Code;
                     code.push('"');
@@ -473,6 +503,39 @@ fn find_panics(code: &str) -> bool {
     false
 }
 
+/// Reports `std::fs` write/rename calls on a blanked code line. Only
+/// mutating entry points count — reads (`fs::read`, `read_dir`, …)
+/// stay free — and the needle must be a call (`(` follows) whose path
+/// segment starts cleanly (no ident char before), so `myfs::write(` or
+/// `refs::rename(` do not fire.
+fn find_fs_writes(code: &str) -> bool {
+    const WRITE_CALLS: [&str; 10] = [
+        "fs::write",
+        "fs::rename",
+        "fs::copy",
+        "fs::remove_file",
+        "fs::remove_dir_all",
+        "fs::remove_dir",
+        "fs::create_dir_all",
+        "fs::create_dir",
+        "File::create",
+        "OpenOptions::new",
+    ];
+    for needle in WRITE_CALLS {
+        let mut search_from = 0;
+        while let Some(rel) = code[search_from..].find(needle) {
+            let at = search_from + rel;
+            search_from = at + needle.len();
+            let before_ok = at == 0 || !is_ident_char(code.as_bytes()[at - 1] as char);
+            let after_call = code[at + needle.len()..].trim_start().starts_with('(');
+            if before_ok && after_call {
+                return true;
+            }
+        }
+    }
+    false
+}
+
 /// Reports mutations (`=`, `+=`, `-=`, `*=`) of a conservation-set
 /// field access on a blanked code line. Comparisons (`==`, `>=`, …)
 /// and struct-literal initialisers (`detected: 0`) do not count.
@@ -511,6 +574,7 @@ pub fn scan_source(rel_path: &str, source: &str) -> Vec<Violation> {
     let library = is_library_source(rel_path);
     let dimensioned = is_dimensioned_module(rel_path);
     let counter_audited = COUNTER_AUDITED.contains(&rel_path);
+    let fs_audited = FS_AUDITED.contains(&rel_path);
 
     for (idx, line) in lines.iter().enumerate() {
         if line.in_test {
@@ -538,6 +602,9 @@ pub fn scan_source(rel_path: &str, source: &str) -> Vec<Violation> {
         }
         if !counter_audited && find_counter_mutation(&line.code) {
             fire(Rule::CounterMutation, &mut out);
+        }
+        if !fs_audited && find_fs_writes(&line.code) {
+            fire(Rule::FsWrite, &mut out);
         }
     }
     out
@@ -764,6 +831,17 @@ mod tests {
     }
 
     #[test]
+    fn string_continuations_keep_line_numbers_aligned() {
+        // A `\`-newline continuation inside a string spans two source
+        // lines; diagnostics below it must not shift up.
+        let src = "let s = \"a \\\n   b\";\nlet t = 1;\nlet u = v.unwrap();\n";
+        let v = scan_source("crates/gas/src/x.rs", src);
+        let panics: Vec<_> = v.iter().filter(|v| v.rule == Rule::NoPanic).collect();
+        assert_eq!(panics.len(), 1, "{v:?}");
+        assert_eq!(panics[0].line, 4, "{panics:?}");
+    }
+
+    #[test]
     fn raw_strings_and_chars_are_blanked() {
         let src = "let s = r#\"x.unwrap()\"#;\nlet c = '\"'; let d = x as u64;\n";
         let lines = lex(src);
@@ -869,6 +947,34 @@ let ratio = ft.report.retransmits as f64 / passes;
 ";
         let v = scan_source("crates/gas/src/x.rs", src);
         assert!(v.iter().all(|v| v.rule != Rule::CounterMutation), "{v:?}");
+    }
+
+    #[test]
+    fn detects_injected_fs_write_outside_the_store() {
+        for snippet in [
+            "fn f() { std::fs::write(\"x\", b\"y\").ok(); }\n",
+            "fn f() { fs::rename(\"a\", \"b\").ok(); }\n",
+            "fn f() { let _ = std::fs::File::create(\"x\"); }\n",
+            "fn f() { let _ = std::fs::OpenOptions::new().append(true); }\n",
+        ] {
+            let v = scan_source("crates/gas/src/x.rs", snippet);
+            assert!(v.iter().any(|v| v.rule == Rule::FsWrite), "{snippet}: {v:?}");
+        }
+        // Reads and lookalike paths stay free.
+        for clean in [
+            "fn f() { let _ = std::fs::read(\"x\"); fs::read_dir(\"d\").ok(); }\n",
+            "fn f() { myfs::write(\"x\"); refs::rename(\"a\", \"b\"); }\n",
+            "fn f() { let fs_write = 1; }\n",
+        ] {
+            let v = scan_source("crates/gas/src/x.rs", clean);
+            assert!(v.iter().all(|v| v.rule != Rule::FsWrite), "{clean}: {v:?}");
+        }
+        // The audited store module is the one sanctioned call site.
+        let v = scan_source(
+            "crates/core/src/checkpoint/store.rs",
+            "fn f() { fs::rename(\"a\", \"b\").ok(); }\n",
+        );
+        assert!(v.iter().all(|v| v.rule != Rule::FsWrite), "{v:?}");
     }
 
     #[test]

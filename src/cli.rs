@@ -12,6 +12,7 @@
 //! lattice pebble  --d 2 --r 64 --t 32 --s 1024
 //! ```
 
+use crate::core::units::Ticks;
 use crate::core::{checkpoint, Boundary, Evolver, Shape};
 use crate::gas::observe::{Model, Observables};
 use crate::gas::{init, FhpRule, FhpVariant, HppRule};
@@ -188,6 +189,35 @@ pub enum Command {
         overlap: bool,
         /// Verify bit-exactness against the reference engine.
         verify: bool,
+        /// Persist shard-consistent snapshots to this directory
+        /// (double-buffered generation files; see `core::checkpoint::store`).
+        checkpoint_dir: Option<String>,
+        /// Passes between durable checkpoints (with `--checkpoint-dir`).
+        ckpt_every: u64,
+        /// Resume from the newest good generation in `--checkpoint-dir`
+        /// instead of starting at generation 0; continues bit-exact.
+        resume: bool,
+    },
+    /// Randomized chaos soak: seeded storms mixing every fault class
+    /// (SR/PE/link upsets, worker hang/die, stuck boards, I/O faults
+    /// against the durable store), with conservation and store
+    /// invariants checked after every storm. Exits nonzero — printing a
+    /// one-line deterministic repro — if any storm ends unrecovered.
+    Chaos {
+        /// Independent storms to run.
+        storms: u64,
+        /// Lattice rows (must exceed 2x --steps; see fault-sim).
+        rows: usize,
+        /// Lattice columns (must exceed 2x --steps).
+        cols: usize,
+        /// Generations per storm.
+        steps: u64,
+        /// Master seed; storm `i` derives its own seed as `seed + i`.
+        seed: u64,
+        /// Base transient upset rate for in-machine faults.
+        rate: f64,
+        /// Per-operation rate for each injected I/O fault class.
+        io_rate: f64,
     },
     /// Print the version/summary banner.
     Info,
@@ -265,6 +295,9 @@ pub fn usage() -> String {
                       [--slice-width W] [--depth K] [--rows N] [--cols N]\n\
                       [--steps N] [--seed N] [--model M] [--periodic]\n\
                       [--link-bits F] [--overlap] [--verify]\n\
+                      [--checkpoint-dir DIR] [--ckpt-every N] [--resume]\n\
+       lattice chaos  [--storms N] [--rows N] [--cols N] [--steps N]\n\
+                      [--seed N] [--rate F] [--io-rate F]\n\
        lattice info\n"
         .to_string()
 }
@@ -377,6 +410,18 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             },
             overlap: flags.contains_key("overlap"),
             verify: flags.contains_key("verify"),
+            checkpoint_dir: flags.get("checkpoint-dir").cloned(),
+            ckpt_every: get(&flags, "ckpt-every", 1)?,
+            resume: flags.contains_key("resume"),
+        }),
+        "chaos" => Ok(Command::Chaos {
+            storms: get(&flags, "storms", 4)?,
+            rows: get(&flags, "rows", 36)?,
+            cols: get(&flags, "cols", 40)?,
+            steps: get(&flags, "steps", 6)?,
+            seed: get(&flags, "seed", 42)?,
+            rate: get(&flags, "rate", 2e-3)?,
+            io_rate: get(&flags, "io-rate", 0.1)?,
         }),
         "info" => Ok(Command::Info),
         "help" | "--help" | "-h" => Err(CliError(usage())),
@@ -467,9 +512,12 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             link_bits,
             overlap,
             verify,
-        } => run_farm(
+            checkpoint_dir,
+            ckpt_every,
+            resume,
+        } => run_farm(FarmArgs {
             shards,
-            &engine,
+            engine,
             width,
             slice_width,
             depth,
@@ -477,12 +525,18 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             cols,
             steps,
             seed,
-            &model,
+            model,
             periodic,
             link_bits,
             overlap,
             verify,
-        ),
+            checkpoint_dir,
+            ckpt_every,
+            resume,
+        }),
+        Command::Chaos { storms, rows, cols, steps, seed, rate, io_rate } => {
+            run_chaos(storms, rows, cols, steps, seed, rate, io_rate)
+        }
         Command::Info => Ok(format!(
             "lattice-engines {} — engines, bounds, and gases from \
              'Performance of VLSI Engines for Lattice Computations' (1987).\n\
@@ -550,7 +604,7 @@ fn run_gas(
         return Err(CliError("conservation violated — this is a bug".into()));
     }
     if let Some(path) = save {
-        let bytes = checkpoint::save(ev.grid(), steps);
+        let bytes = checkpoint::save(ev.grid(), Ticks::new(steps));
         std::fs::write(path, &bytes).map_err(|e| CliError(format!("write {path}: {e}")))?;
         out.push_str(&format!("checkpoint: {path} ({} bytes)\n", bytes.len()));
     }
@@ -567,6 +621,7 @@ fn run_resume(
 ) -> Result<String, CliError> {
     let bytes = std::fs::read(load).map_err(|e| CliError(format!("read {load}: {e}")))?;
     let (grid, t0) = checkpoint::load::<u8>(&bytes).map_err(|e| CliError(e.to_string()))?;
+    let t0 = t0.get();
     let shape = grid.shape();
     let (rows, cols) = (shape.rows(), shape.cols());
     let boundary = if periodic { Boundary::Periodic } else { Boundary::null() };
@@ -581,7 +636,7 @@ fn run_resume(
     let mut out =
         format!("resumed {model} at generation {t0}, ran {steps} more (now at {})\n", ev.time());
     if let Some(path) = save {
-        let bytes = checkpoint::save(ev.grid(), ev.time());
+        let bytes = checkpoint::save(ev.grid(), Ticks::new(ev.time()));
         std::fs::write(path, &bytes).map_err(|e| CliError(format!("write {path}: {e}")))?;
         out.push_str(&format!("checkpoint: {path} ({} bytes)\n", bytes.len()));
     }
@@ -846,6 +901,7 @@ fn run_fault_sim(
         }
     );
     out.push_str("rate       injected  detected  rollbacks  bypassed  passes  upd/fault  result\n");
+    let mut unrecovered = 0u32;
     for mult in [0.0, 0.1, 1.0, 10.0] {
         let r = (rate * mult).min(1.0);
         let mut plan = FaultPlan::new(seed);
@@ -875,7 +931,12 @@ fn run_fault_sim(
                 } else {
                     format!("{:.1e}", (steps * sites) as f64 / injected as f64)
                 };
-                let result = if ft.run.grid == reference { "bit-exact" } else { "WRONG" };
+                let result = if ft.run.grid == reference {
+                    "bit-exact"
+                } else {
+                    unrecovered += 1;
+                    "WRONG"
+                };
                 out.push_str(&format!(
                     "{r:<9.1e}  {injected:>8}  {:>8}  {:>9}  {:>8}  {:>6}  {upd_per_fault:>9}  {result}\n",
                     ft.recovery.detected,
@@ -885,6 +946,7 @@ fn run_fault_sim(
                 ));
             }
             Err(e) => {
+                unrecovered += 1;
                 out.push_str(&format!("{r:<9.1e}  gave up: {e}\n"));
             }
         }
@@ -893,6 +955,11 @@ fn run_fault_sim(
         "\nupd/fault = mean committed site-updates between injected upsets (MTBF in\n\
          update units); `bit-exact` rows recovered to the fault-free reference lattice.\n",
     );
+    if unrecovered > 0 {
+        return Err(CliError(format!(
+            "{out}\nfault-sim: {unrecovered} sweep cell(s) ended unrecovered"
+        )));
+    }
     Ok(out)
 }
 
@@ -992,6 +1059,7 @@ fn run_farm_fault_sim(
         "shards  rate       injected  detected  retrans  local  global  degraded  \
          passes  upd/fault  result\n",
     );
+    let mut unrecovered = 0u32;
     for &s in &shard_counts {
         let farm = LatticeFarm::new(s, ShardEngine::Wsa { width }, depth).with_overlap(overlap);
         // WSA boards: chip stride = depth at every reachable shard
@@ -1035,7 +1103,12 @@ fn run_farm_fault_sim(
                     } else {
                         format!("{:.1e}", (steps * sites) as f64 / injected as f64)
                     };
-                    let result = if ft.report.grid() == &reference { "bit-exact" } else { "WRONG" };
+                    let result = if ft.report.grid() == &reference {
+                        "bit-exact"
+                    } else {
+                        unrecovered += 1;
+                        "WRONG"
+                    };
                     out.push_str(&format!(
                         "{s:<6}  {r:<9.1e}  {injected:>8}  {:>8}  {:>7}  {:>5}  {:>6}  {:>8}  \
                          {:>6}  {upd_per_fault:>9}  {result}\n",
@@ -1048,6 +1121,7 @@ fn run_farm_fault_sim(
                     ));
                 }
                 Err(e) => {
+                    unrecovered += 1;
                     out.push_str(&format!("{s:<6}  {r:<9.1e}  gave up: {e}\n"));
                 }
             }
@@ -1059,13 +1133,18 @@ fn run_farm_fault_sim(
          (link ARQ), local (one board replays), global (all boards rewind),\n\
          degraded (board retired, lattice re-partitioned onto survivors).\n",
     );
+    if unrecovered > 0 {
+        return Err(CliError(format!(
+            "{out}\nfault-sim: {unrecovered} sweep cell(s) ended unrecovered"
+        )));
+    }
     Ok(out)
 }
 
-#[allow(clippy::too_many_arguments)]
-fn run_farm(
+/// Arguments for `lattice farm`, bundled to keep the call site readable.
+struct FarmArgs {
     shards: usize,
-    engine: &str,
+    engine: String,
     width: usize,
     slice_width: usize,
     depth: usize,
@@ -1073,16 +1152,41 @@ fn run_farm(
     cols: usize,
     steps: u64,
     seed: u64,
-    model: &str,
+    model: String,
     periodic: bool,
     link_bits: Option<f64>,
     overlap: bool,
     verify: bool,
-) -> Result<String, CliError> {
-    use crate::farm::{BoardLink, FarmReport, LatticeFarm, ShardEngine};
+    checkpoint_dir: Option<String>,
+    ckpt_every: u64,
+    resume: bool,
+}
+
+fn run_farm(a: FarmArgs) -> Result<String, CliError> {
+    use crate::farm::{BoardLink, FarmRecoveryConfig, FarmReport, LatticeFarm, ShardEngine};
     use crate::vlsi::FarmModel;
     use lattice_core::{evolve, Grid, Rule};
 
+    let FarmArgs {
+        shards,
+        engine,
+        width,
+        slice_width,
+        depth,
+        rows,
+        cols,
+        steps,
+        seed,
+        model,
+        periodic,
+        link_bits,
+        overlap,
+        verify,
+        checkpoint_dir,
+        ckpt_every,
+        resume,
+    } = a;
+    let (engine, model) = (engine.as_str(), model.as_str());
     let shape = Shape::grid2(rows, cols).map_err(|e| CliError(e.to_string()))?;
     let eng = match engine {
         "wsa" => ShardEngine::Wsa { width },
@@ -1096,6 +1200,12 @@ fn run_farm(
             return Err(CliError("farm: --link-bits must be positive".into()));
         }
         farm = farm.with_link(BoardLink::new(bits));
+    }
+    if resume && checkpoint_dir.is_none() {
+        return Err(CliError("farm: --resume needs --checkpoint-dir".into()));
+    }
+    if ckpt_every == 0 {
+        return Err(CliError("farm: --ckpt-every must be ≥ 1".into()));
     }
 
     fn drive<R: Rule<S = u8>>(
@@ -1114,10 +1224,108 @@ fn run_farm(
         Ok((report, exact))
     }
 
-    let (report, exact) = match model {
+    /// The durable path: run through the farm recovery ladder with
+    /// persistence level 0, optionally resuming from the newest good
+    /// generation in `dir`. `--verify` always compares against an
+    /// uninterrupted reference from generation 0, so a kill-and-resume
+    /// sequence is checked end to end.
+    #[allow(clippy::too_many_arguments)]
+    fn drive_durable<R: Rule<S = u8>>(
+        farm: &LatticeFarm,
+        rule: &R,
+        g0: &Grid<u8>,
+        steps: u64,
+        periodic: bool,
+        verify: bool,
+        dir: &str,
+        ckpt_every: u64,
+        resume: bool,
+    ) -> Result<(FarmReport<u8>, Option<bool>, String), CliError> {
+        use crate::core::checkpoint::store::{reassemble, CheckpointStore, DiskBackend};
+        let lat = |e: crate::core::LatticeError| CliError(e.to_string());
+        let mut store = CheckpointStore::open(DiskBackend::open(dir).map_err(lat)?).map_err(lat)?;
+        let (start, t0, fell_back) = if resume {
+            let loaded = store
+                .load_latest()
+                .map_err(lat)?
+                .ok_or_else(|| CliError(format!("farm: --resume found no snapshot in {dir}")))?;
+            let (g, t) = reassemble::<u8>(&loaded.snapshot).map_err(lat)?;
+            if g.shape() != g0.shape() {
+                return Err(CliError(format!(
+                    "farm: snapshot is {:?} but the command says {:?} — pass the \
+                     original --rows/--cols",
+                    g.shape().dims(),
+                    g0.shape().dims()
+                )));
+            }
+            if t.get() > steps {
+                return Err(CliError(format!(
+                    "farm: snapshot is already at generation {} > --steps {steps}",
+                    t.get()
+                )));
+            }
+            (g, t.get(), loaded.fell_back)
+        } else {
+            (g0.clone(), 0u64, false)
+        };
+        let cfg =
+            FarmRecoveryConfig { checkpoint_every: ckpt_every, ..FarmRecoveryConfig::default() };
+        let ft = farm
+            .run_with_recovery_persistent(
+                rule,
+                &start,
+                t0,
+                steps - t0,
+                None,
+                &cfg,
+                |_, _| Ok(()),
+                |_, _, _| Ok(()),
+                &mut store,
+            )
+            .map_err(lat)?;
+        let exact = verify.then(|| {
+            let boundary = if periodic { Boundary::Periodic } else { Boundary::null() };
+            ft.report.grid() == &evolve(g0, rule, boundary, 0, steps)
+        });
+        let mut extra = format!(
+            "checkpoint store:  {dir} ({} commit(s), {} bytes)\n",
+            store.commits(),
+            store.bytes_written()
+        );
+        if resume {
+            extra.push_str(&format!(
+                "resumed:           generation {t0} of {steps}{}\n",
+                if fell_back { " (newest generation was corrupt; used last good)" } else { "" }
+            ));
+        }
+        Ok((ft.report, exact, extra))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn drive_any<R: Rule<S = u8>>(
+        farm: &LatticeFarm,
+        rule: &R,
+        grid: &Grid<u8>,
+        steps: u64,
+        periodic: bool,
+        verify: bool,
+        durable: Option<(&str, u64, bool)>,
+    ) -> Result<(FarmReport<u8>, Option<bool>, String), CliError> {
+        match durable {
+            None => {
+                drive(farm, rule, grid, steps, periodic, verify).map(|(r, e)| (r, e, String::new()))
+            }
+            Some((dir, every, resume)) => {
+                drive_durable(farm, rule, grid, steps, periodic, verify, dir, every, resume)
+            }
+        }
+    }
+
+    let durable = checkpoint_dir.as_deref().map(|d| (d, ckpt_every, resume));
+    let (report, exact, extra) = match model {
         "hpp" => {
             let grid = init::random_hpp(shape, 0.3, seed).map_err(|e| CliError(e.to_string()))?;
-            drive(&farm, &HppRule::new(), &grid, steps, periodic, verify)?
+            drive_any(&farm, &HppRule::new(), &grid, steps, periodic, verify, durable)?
         }
         "fhp1" | "fhp2" | "fhp3" => {
             let variant = match model {
@@ -1132,7 +1340,7 @@ fn run_farm(
             } else {
                 FhpRule::new(variant, seed)
             };
-            drive(&farm, &rule, &grid, steps, periodic, verify)?
+            drive_any(&farm, &rule, &grid, steps, periodic, verify, durable)?
         }
         other => return Err(CliError(format!("unknown gas model `{other}`"))),
     };
@@ -1188,6 +1396,7 @@ fn run_farm(
             m.link_demand(shards),
         ));
     }
+    out.push_str(&extra);
     match exact {
         Some(true) => out.push_str("verify: bit-exact vs reference\n"),
         Some(false) => {
@@ -1198,6 +1407,314 @@ fn run_farm(
         None => {}
     }
     Ok(out)
+}
+
+/// `lattice chaos`: a deterministic soak of randomized storms, each
+/// mixing fault classes from every layer the stack models — SR/PE/link
+/// bit flips, worker panics and hangs, stuck boards retired by degraded
+/// re-partitioning, and injected I/O faults under the durable
+/// checkpoint store. After every storm the harness checks exact
+/// conservation (bit-exact final lattice vs an uninterrupted
+/// reference), the ladder-accounting invariant, and that whatever the
+/// store still serves reassembles to a bit-exact committed generation
+/// or fails as a structured error. Storm `i` derives everything from
+/// `seed + i`, so any failure is reproduced by a single
+/// `chaos --storms 1 --seed <seed+i>` line.
+fn run_chaos(
+    storms: u64,
+    rows: usize,
+    cols: usize,
+    steps: u64,
+    seed: u64,
+    rate: f64,
+    io_rate: f64,
+) -> Result<String, CliError> {
+    use crate::core::checkpoint::store::{
+        reassemble, CheckpointStore, FaultyBackend, IoFaultRates, MemBackend, ShardBlob,
+        SnapshotSink,
+    };
+    use crate::core::LatticeError;
+    use crate::farm::{
+        FarmDegradeConfig, FarmRecoveryConfig, LatticeFarm, ShardEngine, WorkerFault,
+        WorkerFaultSpec,
+    };
+    use crate::gas::audit::{AuditMode, ConservationAudit};
+    use crate::sim::{Component, Fault, FaultKind, FaultPlan};
+    use lattice_core::units::{u64_from_usize, usize_from_u64};
+    use lattice_core::{evolve, Grid};
+    use std::time::Duration;
+
+    if storms == 0 || steps == 0 {
+        return Err(CliError("chaos: --storms and --steps must be ≥ 1".into()));
+    }
+    if !(0.0..=1.0).contains(&rate) || !(0.0..=1.0).contains(&io_rate) {
+        return Err(CliError("chaos: --rate and --io-rate must be in [0, 1]".into()));
+    }
+    let margin = steps as usize;
+    if rows <= 2 * margin || cols <= 2 * margin {
+        return Err(CliError(format!(
+            "chaos: the lattice must exceed 2x --steps per side ({rows}x{cols} vs \
+             {steps} steps) so the gas cannot reach the edge and conservation \
+             stays exact"
+        )));
+    }
+
+    /// SplitMix64 — the same idiom the fault layers use, so a storm's
+    /// whole configuration is a pure function of its seed.
+    fn mix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Persistence under weather must not abort the run: commit errors
+    /// are counted and swallowed — the generation protocol guarantees
+    /// the previous good snapshot survives a failed commit.
+    struct BestEffort<'a> {
+        store: &'a mut CheckpointStore<FaultyBackend<MemBackend>>,
+        refused: u64,
+    }
+    impl SnapshotSink for BestEffort<'_> {
+        fn persist(&mut self, time: Ticks, shards: &[ShardBlob]) -> Result<(), LatticeError> {
+            if self.store.commit(time, shards).is_err() {
+                self.refused += 1;
+            }
+            Ok(())
+        }
+    }
+
+    let audit = ConservationAudit::new(Model::Hpp, AuditMode::Exact);
+    let rule = HppRule::new();
+    let shape = Shape::grid2(rows, cols).map_err(|e| CliError(e.to_string()))?;
+
+    let mut out = format!(
+        "chaos: {storms} storm(s), hpp on {rows}x{cols}, {steps} generations each, \
+         base seed {seed}\n\
+         weather: SR/PE/link transients @ {rate:.1e}, worker die/hang, stuck \
+         boards, I/O faults @ {io_rate:.1e} on every store op\n\
+         invariants: exact conservation vs reference, ladder accounting, durable \
+         snapshots reassemble bit-exact\n\n"
+    );
+    out.push_str(
+        "storm  seed                  cfg             det  rt  loc  glob  ret  \
+         io t/r/s/c  ckpt ok/ref  snapshot    result\n",
+    );
+    let mut failed: Vec<u64> = Vec::new();
+    for storm in 0..storms {
+        let sseed = seed.wrapping_add(storm);
+        let d = |salt: u64| mix(sseed ^ mix(salt));
+        let shards = 2 + usize_from_u64(d(1) % 3);
+        let depth = 1 + usize_from_u64(d(2) % 2);
+        let overlap = d(3) % 2 == 0;
+        let stuck = d(4) % 4 == 0;
+        let passes = steps.div_ceil(u64_from_usize(depth));
+        // Worker misbehavior: none / die / hang, on a derived board and
+        // pass; a hang storm arms the watchdog so the stall is declared
+        // dead instead of waited out.
+        let worker = match d(5) % 3 {
+            1 => Some((WorkerFault::Die, None)),
+            2 => Some((WorkerFault::Hang { millis: 150 }, Some(Duration::from_millis(40)))),
+            _ => None,
+        };
+
+        let full = init::random_hpp(shape, 0.3, sseed).map_err(|e| CliError(e.to_string()))?;
+        let g0 = Grid::from_fn(shape, |c| {
+            let inside = c.row() >= margin
+                && c.row() < rows - margin
+                && c.col() >= margin
+                && c.col() < cols - margin;
+            if inside {
+                full.get(c)
+            } else {
+                0
+            }
+        });
+        let reference = evolve(&g0, &rule, Boundary::null(), 0, steps);
+
+        // The fault weather: transients on every board's halo link, one
+        // SR cell and one PE latch going flaky inside derived boards
+        // (silent to parity — only the conservation audit sees them, so
+        // they exercise the rollback levels), plus an optional stuck
+        // link that must climb the whole ladder into retirement.
+        let link_chip_base = shards * depth;
+        let mut plan = FaultPlan::new(sseed);
+        if rate > 0.0 {
+            for b in 0..shards {
+                plan.push(Fault {
+                    component: Component::Link,
+                    chip: Some(link_chip_base + b),
+                    cell: None,
+                    kind: FaultKind::Transient { bit: 1, rate },
+                });
+            }
+            // SR/PE flips pass through every site of their chip each
+            // generation (not just halo frames), so they run an order
+            // of magnitude cooler to keep rollback pressure bounded.
+            plan.push(Fault {
+                component: Component::SrCell,
+                chip: Some(usize_from_u64(d(6) % u64_from_usize(shards * depth))),
+                cell: None,
+                kind: FaultKind::Transient { bit: (d(7) % 4) as u32, rate: rate / 8.0 },
+            });
+            plan.push(Fault {
+                component: Component::PeOutput,
+                chip: Some(usize_from_u64(d(8) % u64_from_usize(shards * depth))),
+                cell: None,
+                kind: FaultKind::Transient { bit: (d(9) % 4) as u32, rate: rate / 8.0 },
+            });
+        }
+        if stuck {
+            plan.push(Fault {
+                component: Component::Link,
+                chip: Some(link_chip_base + usize_from_u64(d(10) % u64_from_usize(shards))),
+                cell: None,
+                kind: FaultKind::StuckAt { bit: 0, value: true },
+            });
+        }
+
+        let mut farm =
+            LatticeFarm::new(shards, ShardEngine::Wsa { width: 1 }, depth).with_overlap(overlap);
+        if let Some((fault, _)) = worker {
+            farm = farm.with_worker_fault(WorkerFaultSpec {
+                board: usize_from_u64(d(11) % u64_from_usize(shards)),
+                pass: d(12) % passes,
+                attempt: 0,
+                fault,
+            });
+        }
+        let cfg = FarmRecoveryConfig {
+            max_retries: 20,
+            checkpoint_every: 1,
+            degrade: Some(FarmDegradeConfig { max_retired: shards - 1 }),
+            watchdog: worker.and_then(|(_, w)| w),
+            ..FarmRecoveryConfig::default()
+        };
+
+        let rates = IoFaultRates {
+            torn_write: io_rate,
+            bit_rot: io_rate,
+            short_read: io_rate,
+            crash_before_rename: io_rate,
+        };
+        let mut store =
+            match CheckpointStore::open(FaultyBackend::new(MemBackend::new(), sseed, rates)) {
+                Ok(s) => s,
+                Err(e) => return Err(CliError(format!("chaos: store open failed: {e}"))),
+            };
+        let mut sink = BestEffort { store: &mut store, refused: 0 };
+
+        let run = farm.run_with_recovery_persistent(
+            &rule,
+            &g0,
+            0,
+            steps,
+            Some(&plan),
+            &cfg,
+            |b, a| audit.check(b, a),
+            |_, _, _| Ok(()),
+            &mut sink,
+        );
+        let refused = sink.refused;
+
+        let cfg_str = format!(
+            "{shards}b k{depth}{}{}{}",
+            if overlap { " ov" } else { "" },
+            if stuck { " stuck" } else { "" },
+            match worker {
+                Some((WorkerFault::Die, _)) => " die",
+                Some((WorkerFault::Hang { .. }, _)) => " hang",
+                None => "",
+            },
+        );
+        let mut why: Option<String> = None;
+        let mut counters = String::from("-                        ");
+        let mut snap_note = "none";
+        match run {
+            Err(e) => why = Some(format!("run gave up: {e}")),
+            Ok(ft) => {
+                let r = &ft.recovery;
+                counters = format!(
+                    "{:>3}  {:>2}  {:>3}  {:>4}  {:>3}",
+                    r.detected, r.retransmits, r.local_rollbacks, r.rollbacks, r.boards_retired
+                );
+                if ft.report.grid() != &reference {
+                    why = Some("final lattice diverged from reference".into());
+                } else if r.detected
+                    != r.retransmits + r.local_rollbacks + r.rollbacks + r.boards_retired
+                {
+                    why = Some(format!(
+                        "ladder accounting broken: {} detected vs {}+{}+{}+{}",
+                        r.detected, r.retransmits, r.local_rollbacks, r.rollbacks, r.boards_retired
+                    ));
+                }
+                // Whatever the storm-battered store still serves must be
+                // a bit-exact committed generation (possibly the
+                // previous one, via fallback) or a structured error —
+                // never fabricated physics.
+                if why.is_none() && store.commits() > 0 {
+                    match store.load_latest() {
+                        Err(_) => snap_note = "rot->err",
+                        Ok(None) => why = Some("committed snapshots vanished from store".into()),
+                        Ok(Some(l)) => {
+                            snap_note = if l.fell_back { "fell-back" } else { "newest" };
+                            match reassemble::<u8>(&l.snapshot) {
+                                Err(e) => why = Some(format!("snapshot reassembly failed: {e}")),
+                                Ok((g, t)) => {
+                                    if t.get() > steps {
+                                        why = Some(format!("snapshot time {} > {steps}", t.get()));
+                                    } else if g != evolve(&g0, &rule, Boundary::null(), 0, t.get())
+                                    {
+                                        why = Some(format!(
+                                            "snapshot at generation {} is not bit-exact",
+                                            t.get()
+                                        ));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let io = store.backend_mut().stats();
+        let result = match &why {
+            None => "ok".to_string(),
+            Some(w) => {
+                failed.push(storm);
+                format!("FAIL: {w}")
+            }
+        };
+        out.push_str(&format!(
+            "{storm:>5}  {sseed:<20}  {cfg_str:<14}  {counters}  {:>2}/{:>1}/{:>2}/{:>2}  \
+             {:>4}/{refused:<3}  {snap_note:<10}  {result}\n",
+            io.torn_writes,
+            io.bit_rots,
+            io.short_reads,
+            io.crashes,
+            store.commits(),
+        ));
+    }
+    out.push_str(
+        "\ndet/rt/loc/glob/ret = recovery-ladder detections and the level that\n\
+         answered each; io t/r/s/c = injected torn writes / bit rots / short\n\
+         reads / crashes; ckpt ok/ref = snapshot commits accepted / refused\n\
+         (a refused commit leaves the previous good generation intact).\n",
+    );
+    if failed.is_empty() {
+        out.push_str(&format!("\nchaos: all {storms} storm(s) recovered, every invariant held\n"));
+        Ok(out)
+    } else {
+        out.push_str(&format!("\nchaos: {} storm(s) FAILED; reproduce with:\n", failed.len()));
+        for storm in &failed {
+            out.push_str(&format!(
+                "  lattice chaos --storms 1 --seed {} --rows {rows} --cols {cols} \
+                 --steps {steps} --rate {rate} --io-rate {io_rate}\n",
+                seed.wrapping_add(*storm)
+            ));
+        }
+        Err(CliError(out))
+    }
 }
 
 fn run_pebble(d: usize, r: usize, t: usize, s: usize) -> Result<String, CliError> {
@@ -1365,7 +1882,7 @@ mod tests {
         assert!(out.contains("checkpoint"));
         let bytes = std::fs::read(&path).unwrap();
         let (grid, t) = checkpoint::load::<u8>(&bytes).unwrap();
-        assert_eq!(t, 5);
+        assert_eq!(t, Ticks::new(5));
         assert_eq!(grid.shape().dims(), &[8, 8]);
         let _ = std::fs::remove_file(&path);
     }
@@ -1399,7 +1916,7 @@ mod tests {
         })
         .unwrap();
         let (resumed, t) = checkpoint::load::<u8>(&std::fs::read(&p2).unwrap()).unwrap();
-        assert_eq!(t, 8);
+        assert_eq!(t, Ticks::new(8));
         // Equals one uninterrupted 8-generation run.
         let shape = Shape::grid2(10, 12).unwrap();
         let g0 = init::random_fhp(shape, FhpVariant::I, 0.4, 42, true).unwrap();
@@ -1459,7 +1976,7 @@ mod tests {
             depth: 2,
             steps: 6,
             seed: 5,
-            rate: 2e-4,
+            rate: 2e-5,
             retries: 6,
             ckpt_every: 1,
             stuck_chip: None,
@@ -1472,6 +1989,31 @@ mod tests {
         assert!(out.contains("upd/fault"), "{out}");
         assert!(out.contains("bit-exact"), "{out}");
         assert!(!out.contains("WRONG"), "{out}");
+    }
+
+    #[test]
+    fn fault_sim_exits_nonzero_when_a_sweep_cell_ends_unrecovered() {
+        // A flip rate hot enough that count-conserving multi-flip passes
+        // slip past the exact audit (or exhaust the retry budget): the
+        // sweep must not bury that in a table row — the command fails.
+        let err = execute(Command::FaultSim {
+            rows: 30,
+            cols: 40,
+            width: 1,
+            depth: 2,
+            steps: 6,
+            seed: 5,
+            rate: 2e-4,
+            retries: 6,
+            ckpt_every: 1,
+            stuck_chip: None,
+            farm: false,
+            farm_shards: "1,2,4".into(),
+            stuck_board: None,
+            overlap: false,
+        })
+        .unwrap_err();
+        assert!(err.0.contains("ended unrecovered"), "{}", err.0);
     }
 
     #[test]
@@ -1661,6 +2203,9 @@ mod tests {
             link_bits: None,
             overlap: false,
             verify: true,
+            checkpoint_dir: None,
+            ckpt_every: 1,
+            resume: false,
         })
         .unwrap();
         assert!(out.contains("verify: bit-exact vs reference"), "{out}");
@@ -1685,6 +2230,9 @@ mod tests {
             link_bits: Some(4.0),
             overlap: true,
             verify: true,
+            checkpoint_dir: None,
+            ckpt_every: 1,
+            resume: false,
         })
         .unwrap();
         assert!(out.contains("overlapped exchange"), "{out}");
@@ -1734,6 +2282,9 @@ mod tests {
             link_bits: Some(4.0),
             overlap: true,
             verify: true,
+            checkpoint_dir: None,
+            ckpt_every: 1,
+            resume: false,
         })
         .unwrap();
         assert!(out.contains("torus"), "{out}");
@@ -1758,6 +2309,9 @@ mod tests {
             link_bits: None,
             overlap: false,
             verify: false,
+            checkpoint_dir: None,
+            ckpt_every: 1,
+            resume: false,
         };
         let with = |f: &dyn Fn(&mut Command)| {
             let mut c = base.clone();
@@ -1789,6 +2343,93 @@ mod tests {
         })
         .is_err());
         assert!(execute(base).is_ok());
+    }
+
+    #[test]
+    fn farm_checkpoint_flags_parse() {
+        let cmd = parse(&argv("farm --checkpoint-dir /tmp/ck --ckpt-every 2 --resume")).unwrap();
+        match cmd {
+            Command::Farm { checkpoint_dir: Some(d), ckpt_every: 2, resume: true, .. } => {
+                assert_eq!(d, "/tmp/ck");
+            }
+            other => panic!("{other:?}"),
+        }
+        // Defaults: no persistence.
+        assert!(matches!(
+            parse(&argv("farm")).unwrap(),
+            Command::Farm { checkpoint_dir: None, ckpt_every: 1, resume: false, .. }
+        ));
+        // Resuming without a store directory is a config error.
+        let err = execute(parse(&argv("farm --resume")).unwrap()).unwrap_err();
+        assert!(err.0.contains("--checkpoint-dir"), "{}", err.0);
+    }
+
+    #[test]
+    fn farm_checkpoint_and_resume_roundtrip_is_bit_exact() {
+        let dir = std::env::temp_dir()
+            .join(format!("lattice-cli-resume-{}", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let _ = std::fs::remove_dir_all(&dir);
+        let base = |steps: u64, resume: bool| Command::Farm {
+            shards: 3,
+            engine: "wsa".into(),
+            width: 1,
+            slice_width: 1,
+            depth: 2,
+            rows: 12,
+            cols: 27,
+            steps,
+            seed: 11,
+            model: "fhp3".into(),
+            periodic: false,
+            link_bits: None,
+            overlap: false,
+            verify: true,
+            checkpoint_dir: Some(dir.clone()),
+            ckpt_every: 1,
+            resume,
+        };
+        // Leg 1 stops at generation 6 of the eventual 10 ("killed").
+        let out = execute(base(6, false)).unwrap();
+        assert!(out.contains("checkpoint store:"), "{out}");
+        // Leg 2 resumes from disk alone and must still verify bit-exact
+        // against the uninterrupted 10-generation reference.
+        let out = execute(base(10, true)).unwrap();
+        assert!(out.contains("resumed:           generation 6 of 10"), "{out}");
+        assert!(out.contains("verify: bit-exact vs reference"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_parses_with_defaults_and_flags() {
+        assert!(matches!(
+            parse(&argv("chaos")).unwrap(),
+            Command::Chaos { storms: 4, rows: 36, cols: 40, steps: 6, seed: 42, .. }
+        ));
+        match parse(&argv("chaos --storms 2 --seed 7 --io-rate 0.25")).unwrap() {
+            Command::Chaos { storms: 2, seed: 7, io_rate, .. } => assert_eq!(io_rate, 0.25),
+            other => panic!("{other:?}"),
+        }
+        assert!(execute(parse(&argv("chaos --rate 1.5")).unwrap()).is_err());
+        assert!(execute(parse(&argv("chaos --steps 30")).unwrap()).is_err());
+    }
+
+    #[test]
+    fn chaos_soak_recovers_every_storm_at_the_pinned_seed() {
+        // The CI soak in miniature: same seed derivation, smaller
+        // lattice. Deterministic — this either always passes or never.
+        let out = execute(Command::Chaos {
+            storms: 2,
+            rows: 20,
+            cols: 22,
+            steps: 4,
+            seed: 42,
+            rate: 2e-3,
+            io_rate: 0.1,
+        })
+        .unwrap();
+        assert!(out.contains("all 2 storm(s) recovered"), "{out}");
     }
 
     #[test]

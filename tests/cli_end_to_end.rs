@@ -137,7 +137,7 @@ fn checkpoint_roundtrip_through_the_binary() {
     use lattice_engines::core::{checkpoint, evolve, Boundary, Shape};
     use lattice_engines::gas::{init, FhpRule, FhpVariant};
     let (resumed, t) = checkpoint::load::<u8>(&std::fs::read(&p2).unwrap()).unwrap();
-    assert_eq!(t, 8);
+    assert_eq!(t.get(), 8);
     let shape = Shape::grid2(10, 12).unwrap();
     let g0 = init::random_fhp(shape, FhpVariant::I, 0.3, 42, true).unwrap();
     let rule = FhpRule::new(FhpVariant::I, 42).with_wrap(10, 12);

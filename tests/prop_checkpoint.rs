@@ -5,6 +5,7 @@
 //! harmless (bit-identical lattice), or the conservation audit flags the
 //! restored lattice.
 
+use lattice_engines::core::units::Ticks;
 use lattice_engines::core::{checkpoint, Shape};
 use lattice_engines::gas::audit::{AuditMode, ConservationAudit};
 use lattice_engines::gas::init;
@@ -32,7 +33,7 @@ proptest! {
     ) {
         let shape = Shape::grid2(rows, cols).unwrap();
         let g = init::random_hpp(shape, 0.4, 7).unwrap();
-        let bytes = checkpoint::save(&g, 3);
+        let bytes = checkpoint::save(&g, Ticks::new(3));
         // Every strict prefix must be rejected, not half-decoded.
         let cut = cut.index(bytes.len());
         prop_assert!(checkpoint::load::<u8>(&bytes[..cut]).is_err());
@@ -49,7 +50,7 @@ proptest! {
     ) {
         let shape = Shape::grid2(rows, cols).unwrap();
         let g = init::random_hpp(shape, density, seed).unwrap();
-        let t = 5u64;
+        let t = Ticks::new(5);
         let mut bytes = checkpoint::save(&g, t);
         let i = pos.index(bytes.len());
         bytes[i] ^= 1u8 << bit;

@@ -3,6 +3,7 @@
 //! kernels, and Reynolds sizing — each exercised across crate
 //! boundaries.
 
+use lattice_engines::core::units::Ticks;
 use lattice_engines::core::{checkpoint, evolve, Boundary, Grid, Shape};
 use lattice_engines::gas::bitparallel::HppBitLattice;
 use lattice_engines::gas::forcing::{evolve_forced, OpenOutflow, WindInflow};
@@ -39,10 +40,10 @@ proptest! {
     ) {
         let shape = Shape::grid2(rows, cols).unwrap();
         let g = init::random_fhp(shape, FhpVariant::III, 0.5, seed, false).unwrap();
-        let bytes = checkpoint::save(&g, time);
+        let bytes = checkpoint::save(&g, Ticks::new(time));
         let (back, t) = checkpoint::load::<u8>(&bytes).unwrap();
         prop_assert_eq!(back, g);
-        prop_assert_eq!(t, time);
+        prop_assert_eq!(t.get(), time);
     }
 
     #[test]
@@ -59,9 +60,9 @@ proptest! {
         let total = 8u64;
         let straight = evolve(&g, &rule, Boundary::null(), 0, total);
         let half = evolve(&g, &rule, Boundary::null(), 0, split);
-        let bytes = checkpoint::save(&half, split);
+        let bytes = checkpoint::save(&half, Ticks::new(split));
         let (resumed, t) = checkpoint::load::<u8>(&bytes).unwrap();
-        let finished = evolve(&resumed, &rule, Boundary::null(), t, total - split);
+        let finished = evolve(&resumed, &rule, Boundary::null(), t.get(), total - split);
         prop_assert_eq!(finished, straight);
     }
 
@@ -163,12 +164,12 @@ fn checkpoint_of_engine_output_is_loadable() {
     let g = init::random_fhp(shape, FhpVariant::II, 0.3, 7, false).unwrap();
     let rule = FhpRule::new(FhpVariant::II, 2);
     let report = Pipeline::wide(2, 3).run(&rule, &g, 0).unwrap();
-    let bytes = checkpoint::save(&report.grid, 3);
+    let bytes = checkpoint::save(&report.grid, Ticks::new(3));
     let (loaded, t) = checkpoint::load::<u8>(&bytes).unwrap();
     assert_eq!(loaded, report.grid);
-    assert_eq!(t, 3);
+    assert_eq!(t, Ticks::new(3));
     // And a 1-bit lattice uses the same machinery.
     let eca: Grid<bool> = Grid::from_fn(Shape::line(33).unwrap(), |c| c.col() % 2 == 0);
-    let (back, _) = checkpoint::load::<bool>(&checkpoint::save(&eca, 0)).unwrap();
+    let (back, _) = checkpoint::load::<bool>(&checkpoint::save(&eca, Ticks::ZERO)).unwrap();
     assert_eq!(back, eca);
 }
