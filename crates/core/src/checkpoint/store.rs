@@ -87,6 +87,13 @@ pub trait StoreBackend {
     /// `Ok`, a reader sees either the old contents or the new, never a
     /// mix — on real media via write-to-temp + fsync + rename.
     fn write_atomic(&mut self, name: &str, bytes: &[u8]) -> Result<(), LatticeError>;
+    /// Names of every file on the medium, in unspecified order. The
+    /// default (an empty listing) suits single-run backends; media
+    /// hosting many namespaced sessions ([`SessionNamespace`]) override
+    /// it so [`list_sessions`] can find them again after a restart.
+    fn list(&mut self) -> Result<Vec<String>, LatticeError> {
+        Ok(Vec::new())
+    }
 }
 
 /// Filesystem-backed store directory.
@@ -136,6 +143,21 @@ impl StoreBackend for DiskBackend {
         drop(f);
         fs::rename(&tmp, &fin).map_err(|e| io("rename", e))
     }
+
+    fn list(&mut self) -> Result<Vec<String>, LatticeError> {
+        let entries = fs::read_dir(&self.root)
+            .map_err(|e| store_err("directory", format!("read dir {:?}: {e}", self.root)))?;
+        let mut names = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| store_err("directory", format!("read entry: {e}")))?;
+            if entry.file_type().map(|t| t.is_file()).unwrap_or(false) {
+                if let Some(name) = entry.file_name().to_str() {
+                    names.push(name.to_string());
+                }
+            }
+        }
+        Ok(names)
+    }
 }
 
 /// In-memory backend for tests and the chaos soak: same semantics as
@@ -165,6 +187,10 @@ impl StoreBackend for MemBackend {
     fn write_atomic(&mut self, name: &str, bytes: &[u8]) -> Result<(), LatticeError> {
         self.files.insert(name.to_string(), bytes.to_vec());
         Ok(())
+    }
+
+    fn list(&mut self) -> Result<Vec<String>, LatticeError> {
+        Ok(self.files.keys().cloned().collect())
     }
 }
 
@@ -301,6 +327,104 @@ impl<B: StoreBackend> StoreBackend for FaultyBackend<B> {
         }
         self.inner.write_atomic(name, bytes)
     }
+
+    fn list(&mut self) -> Result<Vec<String>, LatticeError> {
+        // Directory listings are metadata, not payload: no fault class
+        // models them, so they pass through (and don't advance the op
+        // counter, keeping existing chaos schedules stable).
+        self.inner.list()
+    }
+}
+
+impl<B: StoreBackend + ?Sized> StoreBackend for &mut B {
+    fn read(&mut self, name: &str) -> Result<Option<Vec<u8>>, LatticeError> {
+        (**self).read(name)
+    }
+
+    fn write_atomic(&mut self, name: &str, bytes: &[u8]) -> Result<(), LatticeError> {
+        (**self).write_atomic(name, bytes)
+    }
+
+    fn list(&mut self) -> Result<Vec<String>, LatticeError> {
+        (**self).list()
+    }
+}
+
+/// Prefix every session file carries on a shared medium.
+pub const SESSION_PREFIX: &str = "sess-";
+
+/// A name-prefixing view over a shared backend: every file of one
+/// serving session lives under `sess-<name>.`, so many sessions (and a
+/// bare single-run store) coexist in one checkpoint directory, each
+/// with its own double-buffered generation pair and meta record. The
+/// prefix is pure renaming — the generation protocol, read-back
+/// verification, and fault injection all compose unchanged.
+pub struct SessionNamespace<B> {
+    inner: B,
+    prefix: String,
+}
+
+/// Whether `name` is a legal session name: 1–64 chars of
+/// `[A-Za-z0-9_-]`, so a name can never escape its prefix (no `/`, no
+/// `.`, no empty string) or collide with the slot file suffixes.
+pub fn valid_session_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+}
+
+impl<B> SessionNamespace<B> {
+    /// Wraps `inner`, scoping every file under `sess-<session>.`.
+    pub fn new(inner: B, session: &str) -> Result<Self, LatticeError> {
+        if !valid_session_name(session) {
+            return Err(LatticeError::InvalidConfig(format!(
+                "session name {session:?} must be 1-64 chars of [A-Za-z0-9_-]"
+            )));
+        }
+        Ok(SessionNamespace { inner, prefix: format!("{SESSION_PREFIX}{session}.") })
+    }
+
+    /// The wrapped backend.
+    pub fn inner_mut(&mut self) -> &mut B {
+        &mut self.inner
+    }
+}
+
+impl<B: StoreBackend> StoreBackend for SessionNamespace<B> {
+    fn read(&mut self, name: &str) -> Result<Option<Vec<u8>>, LatticeError> {
+        self.inner.read(&format!("{}{name}", self.prefix))
+    }
+
+    fn write_atomic(&mut self, name: &str, bytes: &[u8]) -> Result<(), LatticeError> {
+        self.inner.write_atomic(&format!("{}{name}", self.prefix), bytes)
+    }
+
+    fn list(&mut self) -> Result<Vec<String>, LatticeError> {
+        Ok(self
+            .inner
+            .list()?
+            .into_iter()
+            .filter_map(|n| n.strip_prefix(&self.prefix).map(str::to_string))
+            .collect())
+    }
+}
+
+/// Names of every session with at least one generation slot on the
+/// medium, sorted and deduplicated — how a restarted daemon finds the
+/// sessions a previous life left behind.
+pub fn list_sessions<B: StoreBackend>(backend: &mut B) -> Result<Vec<String>, LatticeError> {
+    let mut names: Vec<String> = backend
+        .list()?
+        .into_iter()
+        .filter_map(|n| {
+            let rest = n.strip_prefix(SESSION_PREFIX)?;
+            GEN_FILES.iter().find_map(|g| rest.strip_suffix(&format!(".{g}"))).map(str::to_string)
+        })
+        .filter(|s| valid_session_name(s))
+        .collect();
+    names.sort();
+    names.dedup();
+    Ok(names)
 }
 
 /// One shard's contribution to a snapshot: the column where its slab
@@ -569,6 +693,64 @@ impl<B: StoreBackend> CheckpointStore<B> {
     pub fn backend_mut(&mut self) -> &mut B {
         &mut self.backend
     }
+
+    /// Durably records an opaque meta payload (the daemon stores each
+    /// session's configuration here, so a restart can rebuild the farm
+    /// before reassembling the lattice). Single slot, CRC-guarded,
+    /// atomic-replace + read-back like a generation commit; the payload
+    /// is caller-defined bytes, not interpreted by the store.
+    pub fn commit_meta(&mut self, payload: &[u8]) -> Result<(), LatticeError> {
+        let mut out = Vec::with_capacity(4 + 8 + payload.len() + 8);
+        out.extend_from_slice(META_MAGIC);
+        out.extend_from_slice(&u64_from_usize(payload.len()).to_le_bytes());
+        out.extend_from_slice(payload);
+        let crc = crc64(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        self.backend.write_atomic(META_FILE, &out)?;
+        match self.backend.read(META_FILE)? {
+            Some(back) if decode_meta(&back)? == payload => Ok(()),
+            Some(_) => Err(store_err(META_FILE, "read-back disagrees with commit".into())),
+            None => Err(store_err(META_FILE, "vanished before read-back".into())),
+        }
+    }
+
+    /// Loads the meta payload, `None` if none was ever committed.
+    pub fn load_meta(&mut self) -> Result<Option<Vec<u8>>, LatticeError> {
+        match self.backend.read(META_FILE)? {
+            Some(bytes) => decode_meta(&bytes).map(Some),
+            None => Ok(None),
+        }
+    }
+}
+
+/// File name of the per-store meta record.
+pub const META_FILE: &str = "meta.lck";
+/// Magic tag opening the meta record.
+pub const META_MAGIC: &[u8; 4] = b"LMET";
+
+/// Decodes and validates a meta record, returning the payload.
+pub fn decode_meta(bytes: &[u8]) -> Result<Vec<u8>, LatticeError> {
+    let err = |detail: String| store_err(META_FILE, detail);
+    if bytes.len() < 4 + 8 + 8 {
+        return Err(err(format!("short file: {} bytes", bytes.len())));
+    }
+    if &bytes[..4] != META_MAGIC {
+        return Err(err("bad magic".into()));
+    }
+    let body = &bytes[..bytes.len() - 8];
+    let mut fb = [0u8; 8];
+    fb.copy_from_slice(&bytes[bytes.len() - 8..]);
+    let stored = u64::from_le_bytes(fb);
+    let actual = crc64(body);
+    if stored != actual {
+        return Err(err(format!("CRC mismatch: stored {stored:#018x}, computed {actual:#018x}")));
+    }
+    fb.copy_from_slice(&bytes[4..12]);
+    let len = usize_from_u64(u64::from_le_bytes(fb));
+    if 4 + 8 + len != body.len() {
+        return Err(err(format!("payload length {len} disagrees with file")));
+    }
+    Ok(body[12..].to_vec())
 }
 
 /// Destination for periodic durable snapshots, object-safe so the
@@ -805,5 +987,75 @@ mod tests {
     fn crc64_matches_known_reflection_free_vector() {
         // CRC-64/ECMA-182 ("DLC") of "123456789".
         assert_eq!(crc64(b"123456789"), 0x6C40_DF5F_0B49_7347);
+    }
+
+    #[test]
+    fn session_namespaces_isolate_stores_on_one_medium() {
+        // Two sessions and a bare store share one MemBackend; each sees
+        // only its own generations, and list_sessions finds exactly the
+        // namespaced ones.
+        let mut medium = MemBackend::new();
+        {
+            let ns = SessionNamespace::new(&mut medium, "alpha").unwrap();
+            let mut store = CheckpointStore::open(ns).unwrap();
+            store.commit(Ticks::new(3), &snap_shards(3, 1)).unwrap();
+        }
+        {
+            let ns = SessionNamespace::new(&mut medium, "beta-2").unwrap();
+            let mut store = CheckpointStore::open(ns).unwrap();
+            store.commit(Ticks::new(7), &snap_shards(7, 2)).unwrap();
+            store.commit(Ticks::new(9), &snap_shards(9, 2)).unwrap();
+        }
+        {
+            let mut bare = CheckpointStore::open(&mut medium).unwrap();
+            assert!(bare.load_latest().unwrap().is_none(), "bare slots are untouched");
+            bare.commit(Ticks::new(1), &snap_shards(1, 3)).unwrap();
+        }
+        assert_eq!(list_sessions(&mut medium).unwrap(), vec!["alpha", "beta-2"]);
+        let ns = SessionNamespace::new(&mut medium, "alpha").unwrap();
+        let mut store = CheckpointStore::open(ns).unwrap();
+        let loaded = store.load_latest().unwrap().unwrap();
+        assert_eq!(loaded.snapshot.time, Ticks::new(3));
+        assert_eq!(loaded.snapshot.shards, snap_shards(3, 1));
+    }
+
+    #[test]
+    fn session_names_are_validated() {
+        for bad in ["", "a/b", "a.b", "..", "white space", &"x".repeat(65)] {
+            assert!(SessionNamespace::new(MemBackend::new(), bad).is_err(), "{bad:?}");
+            assert!(!valid_session_name(bad), "{bad:?}");
+        }
+        for good in ["a", "sess_1", "Big-Run-42", &"x".repeat(64)] {
+            assert!(valid_session_name(good), "{good:?}");
+        }
+    }
+
+    #[test]
+    fn meta_record_roundtrips_and_rejects_rot() {
+        let mut store = CheckpointStore::open(MemBackend::new()).unwrap();
+        assert!(store.load_meta().unwrap().is_none());
+        store.commit_meta(br#"{"engine":"wsa","rows":8}"#).unwrap();
+        assert_eq!(store.load_meta().unwrap().unwrap(), br#"{"engine":"wsa","rows":8}"#.to_vec());
+        // Overwrite wins.
+        store.commit_meta(b"v2").unwrap();
+        assert_eq!(store.load_meta().unwrap().unwrap(), b"v2".to_vec());
+        // A rotted payload byte is caught by the CRC.
+        let f = store.backend_mut().file_mut(META_FILE).unwrap();
+        f[12] ^= 0x01;
+        assert!(store.load_meta().is_err());
+    }
+
+    #[test]
+    fn faulty_backend_composes_with_session_namespace() {
+        // Namespacing under an injected torn write: the read-back
+        // verification still catches it, and the error names the
+        // session-scoped file.
+        let rates = IoFaultRates { torn_write: 1.0, ..Default::default() };
+        let faulty = FaultyBackend::new(MemBackend::new(), 11, rates);
+        let ns = SessionNamespace::new(faulty, "storm").unwrap();
+        let mut store = CheckpointStore::open(ns).unwrap();
+        assert!(store.commit(Ticks::new(1), &snap_shards(1, 0)).is_err());
+        assert_eq!(store.commit_failures(), 1);
+        assert_eq!(store.backend_mut().inner_mut().stats().torn_writes, 1);
     }
 }

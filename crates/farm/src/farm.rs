@@ -508,7 +508,10 @@ struct PassOutcome<S: State> {
     overlapped_ticks: Ticks,
 }
 
-/// Cross-pass accumulators for the machine report.
+/// Cross-pass accumulators for the machine report. `Clone` so a live
+/// [`FarmSession`] can snapshot a mid-run [`FarmReport`] without
+/// disturbing the accumulators.
+#[derive(Clone)]
 struct Totals {
     updates: Sites,
     compute_ticks: Ticks,
@@ -638,6 +641,31 @@ impl Totals {
             retransmits: self.retransmits,
         }
     }
+}
+
+/// Takes one checkpoint barrier: snapshots every slab through the real
+/// checkpoint codec, bills the recovery accounting, and (when a durable
+/// `sink` is attached) pushes the shard blobs as one shard-consistent
+/// snapshot.
+fn take_ckpt<S: State>(
+    g: &Grid<S>,
+    t: u64,
+    slabs: &[Slab],
+    recovery: &mut RecoveryStats,
+    sink: &mut Option<&mut (dyn SnapshotSink + '_)>,
+) -> Result<Vec<Vec<u8>>, LatticeError> {
+    let blobs = save_shard_checkpoints(g, slabs, t)?;
+    recovery.checkpoints += u64_from_usize(slabs.len());
+    recovery.checkpoint_bytes += blobs.iter().map(|b| u64_from_usize(b.len())).sum::<u64>();
+    if let Some(s) = sink.as_deref_mut() {
+        let shards: Vec<ShardBlob> = blobs
+            .iter()
+            .zip(slabs)
+            .map(|(b, slab)| ShardBlob { col0: u64_from_usize(slab.col0), blob: b.clone() })
+            .collect();
+        s.persist(Ticks::new(t), &shards)?;
+    }
+    Ok(blobs)
 }
 
 fn save_shard_checkpoints<S: State>(
@@ -1383,10 +1411,34 @@ impl LatticeFarm {
         generations: u64,
         plan: Option<&FaultPlan>,
         cfg: &FarmRecoveryConfig,
-        mut audit: impl FnMut(&Grid<R::S>, &Grid<R::S>) -> Result<(), LatticeError>,
-        mut shard_audit: impl FnMut(usize, &Grid<R::S>, &Grid<R::S>) -> Result<(), LatticeError>,
+        audit: impl FnMut(&Grid<R::S>, &Grid<R::S>) -> Result<(), LatticeError>,
+        shard_audit: impl FnMut(usize, &Grid<R::S>, &Grid<R::S>) -> Result<(), LatticeError>,
         mut sink: Option<&mut dyn SnapshotSink>,
     ) -> Result<FarmFtRun<R::S>, LatticeError> {
+        let mut session = self.session(grid, t0, plan, cfg, sink.as_deref_mut())?;
+        session.step_audited(rule, generations, audit, shard_audit, sink.as_deref_mut())?;
+        // Durably record the final state, so a completed run resumes as
+        // a no-op instead of replaying from the last barrier.
+        if let Some(s) = sink {
+            session.checkpoint(Some(s))?;
+        }
+        Ok(session.finish())
+    }
+
+    /// Opens a re-entrant run: the full recovery-ladder state of
+    /// [`LatticeFarm::run_with_recovery`] captured in a [`FarmSession`]
+    /// that advances in chunks ([`FarmSession::step`]) instead of
+    /// running to completion. The initial checkpoint barrier is taken
+    /// here (and pushed to `sink` if one is attached), exactly as the
+    /// one-shot entry points do.
+    pub fn session<'p, S: State>(
+        &self,
+        grid: &Grid<S>,
+        t0: u64,
+        plan: Option<&'p FaultPlan>,
+        cfg: &FarmRecoveryConfig,
+        sink: Option<&mut (dyn SnapshotSink + '_)>,
+    ) -> Result<FarmSession<'p, S>, LatticeError> {
         self.validate(grid)?;
         if cfg.checkpoint_every == 0 {
             return Err(LatticeError::InvalidConfig("checkpoint interval must be ≥ 1".into()));
@@ -1401,167 +1453,301 @@ impl LatticeFarm {
         let shape = grid.shape();
         let cols = shape.cols();
         let stride = self.chip_stride_range(cols, self.shards - max_retired)?;
-        let link_chip_base = self.shards * stride;
-        let mut phys: Vec<usize> = (0..self.shards).collect();
-        let mut ckpt_slabs = partition_checked(cols, self.shards, self.depth, self.periodic)?;
-        let mut totals = Totals::new(&ckpt_slabs);
+        let ckpt_slabs = partition_checked(cols, self.shards, self.depth, self.periodic)?;
+        let totals = Totals::new(&ckpt_slabs);
         let mut recovery = RecoveryStats::default();
-        let mut halo_pos = vec![0u64; self.shards];
-        let mut windows: Vec<StagedHalo<R::S>> =
-            (0..self.shards).map(|_| HaloWindow::new()).collect();
-        let mut credit = Ticks::ZERO;
-        let mut attempts = vec![0u64; self.shards];
-        let mut local_left = vec![cfg.local_retries; self.shards];
-        let mut retries_left = cfg.max_retries;
-        let mut retired_left = max_retired;
-        let mut current = grid.clone();
-        let t_end = t0 + generations;
-        let mut t_now = t0;
-        let mut pass = 0u64;
-        let mut passes = 0u64;
-        let mut passes_since_ckpt = 0u64;
+        let mut sink = sink;
+        let current = grid.clone();
+        let ckpt = take_ckpt(&current, t0, &ckpt_slabs, &mut recovery, &mut sink)?;
+        Ok(FarmSession {
+            farm: *self,
+            cfg: *cfg,
+            plan,
+            fault_base,
+            shape,
+            cols,
+            stride,
+            link_chip_base: self.shards * stride,
+            phys: (0..self.shards).collect(),
+            ckpt_slabs,
+            totals,
+            recovery,
+            halo_pos: vec![0u64; self.shards],
+            windows: (0..self.shards).map(|_| HaloWindow::new()).collect(),
+            credit: Ticks::ZERO,
+            attempts: vec![0u64; self.shards],
+            local_left: vec![cfg.local_retries; self.shards],
+            retries_left: cfg.max_retries,
+            retired_left: max_retired,
+            current,
+            t_now: t0,
+            pass: 0,
+            passes: 0,
+            passes_since_ckpt: 0,
+            ckpt,
+        })
+    }
+}
 
-        fn take_ckpt<S: State>(
-            g: &Grid<S>,
-            t: u64,
-            slabs: &[Slab],
-            recovery: &mut RecoveryStats,
-            sink: &mut Option<&mut dyn SnapshotSink>,
-        ) -> Result<Vec<Vec<u8>>, LatticeError> {
-            let blobs = save_shard_checkpoints(g, slabs, t)?;
-            recovery.checkpoints += u64_from_usize(slabs.len());
-            recovery.checkpoint_bytes += blobs.iter().map(|b| u64_from_usize(b.len())).sum::<u64>();
-            if let Some(s) = sink.as_deref_mut() {
-                let shards: Vec<ShardBlob> = blobs
-                    .iter()
-                    .zip(slabs)
-                    .map(|(b, slab)| ShardBlob { col0: u64_from_usize(slab.col0), blob: b.clone() })
-                    .collect();
-                s.persist(Ticks::new(t), &shards)?;
-            }
-            Ok(blobs)
-        }
-        let mut ckpt = take_ckpt(&current, t_now, &ckpt_slabs, &mut recovery, &mut sink)?;
+/// A re-entrant farm run: the recovery ladder's entire cross-pass state
+/// — lattice, checkpoint barrier, retry budgets, fault-stream and
+/// attempt epochs, overlap windows, accounting — held between
+/// [`FarmSession::step`] calls, so a caller (the `lattice-serve`
+/// daemon's worker pool, most importantly) can interleave many runs by
+/// advancing each a bounded number of generations at a time.
+///
+/// Bit-exactness contract: any chunking of `generations` into `step`
+/// calls produces the same lattice as one [`LatticeFarm::run_with_recovery`]
+/// call (the one-shot entry points are themselves one-`step` sessions).
+/// Only the overlap *accounting* can differ: ship-ahead staging never
+/// crosses a `step` boundary, so a chunk seam behaves like pass 0's
+/// cold start — the first pass of the next chunk exchanges at the
+/// barrier, serialized, and earns no `overlapped_ticks` credit.
+///
+/// A `step` that returns an error has exhausted the recovery ladder
+/// mid-pass; the session's lattice is the last committed state, but its
+/// retry budgets are spent — the session should be checkpointed (to
+/// salvage the state) or discarded, not stepped again.
+pub struct FarmSession<'p, S: State> {
+    farm: LatticeFarm,
+    cfg: FarmRecoveryConfig,
+    plan: Option<&'p FaultPlan>,
+    fault_base: FaultStats,
+    shape: Shape,
+    cols: usize,
+    stride: usize,
+    link_chip_base: usize,
+    /// Slab index → physical board id (identity until boards retire).
+    phys: Vec<usize>,
+    /// Slab geometry of the current checkpoint barrier.
+    ckpt_slabs: Vec<Slab>,
+    totals: Totals,
+    recovery: RecoveryStats,
+    /// Per-board link fault-stream positions (absolute wire positions,
+    /// so chunking cannot change which bits the weather flips).
+    halo_pos: Vec<u64>,
+    windows: Vec<StagedHalo<S>>,
+    credit: Ticks,
+    /// Per physical board attempt epochs.
+    attempts: Vec<u64>,
+    local_left: Vec<u32>,
+    retries_left: u32,
+    retired_left: usize,
+    current: Grid<S>,
+    t_now: u64,
+    pass: u64,
+    passes: u64,
+    passes_since_ckpt: u64,
+    /// The in-memory checkpoint barrier (one codec blob per slab).
+    ckpt: Vec<Vec<u8>>,
+}
 
-        'run: while t_now < t_end {
-            if passes_since_ckpt >= cfg.checkpoint_every {
-                ckpt = take_ckpt(&current, t_now, &ckpt_slabs, &mut recovery, &mut sink)?;
-                passes_since_ckpt = 0;
-                retries_left = cfg.max_retries;
-                local_left.fill(cfg.local_retries);
+impl<'p, S: State> FarmSession<'p, S> {
+    /// The current generation (absolute — resuming FHP needs it).
+    pub fn time(&self) -> u64 {
+        self.t_now
+    }
+
+    /// Committed passes so far (re-commits after a rollback included).
+    pub fn passes(&self) -> u64 {
+        self.passes
+    }
+
+    /// The last committed lattice.
+    pub fn grid(&self) -> &Grid<S> {
+        &self.current
+    }
+
+    /// Recovery actions taken so far.
+    pub fn recovery(&self) -> RecoveryStats {
+        self.recovery
+    }
+
+    /// A mid-run snapshot of the machine report: the accounting of
+    /// every committed pass so far, with the current lattice. The
+    /// session keeps running — this is what the daemon's `stats`
+    /// endpoint serves between steps.
+    pub fn report(&self) -> FarmReport<S> {
+        let faults = self.plan.map(|p| p.stats().since(self.fault_base)).unwrap_or_default();
+        self.totals.clone().finish(self.current.clone(), self.passes, self.farm.shards, faults)
+    }
+
+    /// Takes a fresh checkpoint barrier *now* (pushed to `sink` when one
+    /// is attached) and re-arms the retry budgets, exactly like the
+    /// periodic barrier inside a run. This is the daemon's durable
+    /// commit after a step, and its eviction write: a session restored
+    /// from the sink's newest snapshot (via `reassemble` + a new
+    /// session at the recorded generation) is bit-exact.
+    pub fn checkpoint(
+        &mut self,
+        sink: Option<&mut (dyn SnapshotSink + '_)>,
+    ) -> Result<(), LatticeError> {
+        let mut sink = sink;
+        self.ckpt =
+            take_ckpt(&self.current, self.t_now, &self.ckpt_slabs, &mut self.recovery, &mut sink)?;
+        self.passes_since_ckpt = 0;
+        self.retries_left = self.cfg.max_retries;
+        self.local_left.fill(self.cfg.local_retries);
+        Ok(())
+    }
+
+    /// Advances the run `n` generations through the recovery ladder.
+    pub fn step<R: Rule<S = S>>(&mut self, rule: &R, n: u64) -> Result<(), LatticeError> {
+        self.step_audited(rule, n, |_, _| Ok(()), |_, _, _| Ok(()), None)
+    }
+
+    /// [`FarmSession::step`] with the machine-wide and per-board audits
+    /// of [`LatticeFarm::run_with_recovery_audited`], and an optional
+    /// durable `sink` receiving every checkpoint barrier the chunk
+    /// crosses. A rollback may legally rewind behind the chunk's start
+    /// (the barrier is wherever `checkpoint_every` last put it); the
+    /// chunk still ends at the same absolute generation.
+    pub fn step_audited<R: Rule<S = S>>(
+        &mut self,
+        rule: &R,
+        n: u64,
+        mut audit: impl FnMut(&Grid<S>, &Grid<S>) -> Result<(), LatticeError>,
+        mut shard_audit: impl FnMut(usize, &Grid<S>, &Grid<S>) -> Result<(), LatticeError>,
+        mut sink: Option<&mut (dyn SnapshotSink + '_)>,
+    ) -> Result<(), LatticeError> {
+        let t_end = self.t_now + n;
+        'run: while self.t_now < t_end {
+            if self.passes_since_ckpt >= self.cfg.checkpoint_every {
+                self.ckpt = take_ckpt(
+                    &self.current,
+                    self.t_now,
+                    &self.ckpt_slabs,
+                    &mut self.recovery,
+                    &mut sink,
+                )?;
+                self.passes_since_ckpt = 0;
+                self.retries_left = self.cfg.max_retries;
+                self.local_left.fill(self.cfg.local_retries);
             }
-            let k = self.depth.min(usize_from_u64(t_end - t_now));
-            let slabs = partition(cols, phys.len(), k, self.periodic)?;
-            let mut cache: Vec<BoardCache<R::S>> =
+            let k = self.farm.depth.min(usize_from_u64(t_end - self.t_now));
+            let slabs = partition(self.cols, self.phys.len(), k, self.farm.periodic)?;
+            let mut cache: Vec<BoardCache<S>> =
                 (0..slabs.len()).map(|_| BoardCache::default()).collect();
             loop {
                 let pp = PassParams {
                     k,
-                    t_now,
+                    t_now: self.t_now,
                     t_end,
-                    pass,
+                    pass: self.pass,
                     slabs: &slabs,
-                    phys: &phys,
-                    stride,
-                    link_chip_base,
-                    attempts: &attempts,
-                    arq_retries: cfg.arq_retries,
-                    watchdog: cfg.watchdog,
-                    overlap_credit: credit,
+                    phys: &self.phys,
+                    stride: self.stride,
+                    link_chip_base: self.link_chip_base,
+                    attempts: &self.attempts,
+                    arq_retries: self.cfg.arq_retries,
+                    watchdog: self.cfg.watchdog,
+                    overlap_credit: self.credit,
                 };
                 let res = self
+                    .farm
                     .attempt_pass(
                         rule,
-                        &current,
+                        &self.current,
                         &pp,
-                        plan,
-                        &mut halo_pos,
+                        self.plan,
+                        &mut self.halo_pos,
                         &mut cache,
-                        &mut windows,
-                        &mut recovery,
+                        &mut self.windows,
+                        &mut self.recovery,
                         &mut shard_audit,
                     )
-                    .and_then(|out| match audit(&current, &out.grid) {
+                    .and_then(|out| match audit(&self.current, &out.grid) {
                         Ok(()) => Ok(out),
                         Err(e) => Err(BoardFailure { slab: None, error: e }),
                     });
                 match res {
                     Ok(out) => {
-                        current = out.grid.clone();
-                        credit = out.interior_ticks;
-                        totals.absorb(&out, u64_from_usize(k), &phys);
-                        t_now += u64_from_usize(k);
-                        pass += 1;
-                        passes += 1;
-                        passes_since_ckpt += 1;
+                        self.current = out.grid.clone();
+                        self.credit = out.interior_ticks;
+                        self.totals.absorb(&out, u64_from_usize(k), &self.phys);
+                        self.t_now += u64_from_usize(k);
+                        self.pass += 1;
+                        self.passes += 1;
+                        self.passes_since_ckpt += 1;
                         continue 'run;
                     }
                     Err(fail) => {
-                        recovery.detected += 1;
+                        self.recovery.detected += 1;
                         // Any failure voids the overlap window: staged
                         // frames carry a pre-rollback attempt epoch and
                         // a possibly pre-rollback lattice, so the retry
                         // re-exchanges at the barrier, serialized, and
                         // earns no overlap credit.
-                        for w in windows.iter_mut() {
+                        for w in self.windows.iter_mut() {
                             w.invalidate();
                         }
-                        credit = Ticks::ZERO;
+                        self.credit = Ticks::ZERO;
                         // Level 2 — roll back just the failed board and
                         // replay its buffered halos; the cache keeps
                         // every other board's clean work.
                         if let Some(i) = fail.slab {
-                            let b = phys[i];
-                            if local_left[b] > 0 {
-                                local_left[b] -= 1;
-                                recovery.local_rollbacks += 1;
-                                totals.per_shard[b].local_rollbacks += 1;
-                                attempts[b] += 1;
+                            let b = self.phys[i];
+                            if self.local_left[b] > 0 {
+                                self.local_left[b] -= 1;
+                                self.recovery.local_rollbacks += 1;
+                                self.totals.per_shard[b].local_rollbacks += 1;
+                                self.attempts[b] += 1;
                                 continue;
                             }
                         }
                         // Level 3 — the pre-ladder behavior: every
                         // board reloads the last barrier, every epoch
                         // re-seeds.
-                        if retries_left > 0 {
-                            retries_left -= 1;
-                            recovery.rollbacks += 1;
-                            for a in attempts.iter_mut() {
+                        if self.retries_left > 0 {
+                            self.retries_left -= 1;
+                            self.recovery.rollbacks += 1;
+                            for a in self.attempts.iter_mut() {
                                 *a += 1;
                             }
-                            let (g, t) = load_shard_checkpoints::<R::S>(&ckpt, &ckpt_slabs, shape)?;
-                            current = g;
-                            t_now = t;
-                            passes_since_ckpt = 0;
+                            let (g, t) = load_shard_checkpoints::<S>(
+                                &self.ckpt,
+                                &self.ckpt_slabs,
+                                self.shape,
+                            )?;
+                            self.current = g;
+                            self.t_now = t;
+                            self.passes_since_ckpt = 0;
                             continue 'run;
                         }
                         // Level 4 — retire the board that exhausted its
                         // ladder and re-partition its slab onto the
                         // survivors.
                         if let Some(i) = fail.slab {
-                            if retired_left > 0 && phys.len() > 1 {
-                                retired_left -= 1;
-                                recovery.boards_retired += 1;
-                                let b = phys.remove(i);
-                                totals.per_shard[b].retired = true;
-                                let (g, t) =
-                                    load_shard_checkpoints::<R::S>(&ckpt, &ckpt_slabs, shape)?;
-                                current = g;
-                                t_now = t;
-                                ckpt_slabs =
-                                    partition(cols, phys.len(), self.depth, self.periodic)?;
-                                totals.regeom(&ckpt_slabs, &phys);
-                                ckpt = take_ckpt(
-                                    &current,
-                                    t_now,
-                                    &ckpt_slabs,
-                                    &mut recovery,
+                            if self.retired_left > 0 && self.phys.len() > 1 {
+                                self.retired_left -= 1;
+                                self.recovery.boards_retired += 1;
+                                let b = self.phys.remove(i);
+                                self.totals.per_shard[b].retired = true;
+                                let (g, t) = load_shard_checkpoints::<S>(
+                                    &self.ckpt,
+                                    &self.ckpt_slabs,
+                                    self.shape,
+                                )?;
+                                self.current = g;
+                                self.t_now = t;
+                                self.ckpt_slabs = partition(
+                                    self.cols,
+                                    self.phys.len(),
+                                    self.farm.depth,
+                                    self.farm.periodic,
+                                )?;
+                                self.totals.regeom(&self.ckpt_slabs, &self.phys);
+                                self.ckpt = take_ckpt(
+                                    &self.current,
+                                    self.t_now,
+                                    &self.ckpt_slabs,
+                                    &mut self.recovery,
                                     &mut sink,
                                 )?;
-                                passes_since_ckpt = 0;
-                                retries_left = cfg.max_retries;
-                                local_left.fill(cfg.local_retries);
-                                for a in attempts.iter_mut() {
+                                self.passes_since_ckpt = 0;
+                                self.retries_left = self.cfg.max_retries;
+                                self.local_left.fill(self.cfg.local_retries);
+                                for a in self.attempts.iter_mut() {
                                     *a += 1;
                                 }
                                 continue 'run;
@@ -1572,13 +1758,17 @@ impl LatticeFarm {
                 }
             }
         }
-        // Durably record the final state, so a completed run resumes as
-        // a no-op instead of replaying from the last barrier.
-        if sink.is_some() {
-            take_ckpt(&current, t_now, &ckpt_slabs, &mut recovery, &mut sink)?;
+        Ok(())
+    }
+
+    /// Closes the session: the final machine report and recovery tally,
+    /// identical to what the one-shot entry points return.
+    pub fn finish(self) -> FarmFtRun<S> {
+        let faults = self.plan.map(|p| p.stats().since(self.fault_base)).unwrap_or_default();
+        FarmFtRun {
+            report: self.totals.finish(self.current, self.passes, self.farm.shards, faults),
+            recovery: self.recovery,
         }
-        let faults = plan.map(|p| p.stats().since(fault_base)).unwrap_or_default();
-        Ok(FarmFtRun { report: totals.finish(current, passes, self.shards, faults), recovery })
     }
 }
 
@@ -1650,6 +1840,30 @@ mod tests {
         let freference = evolve(&fhp, &frule, Boundary::Periodic, 0, 4);
         let freport = farm.run(&frule, &fhp, 0, 4).unwrap();
         assert_eq!(freport.grid(), &freference, "FHP torus");
+    }
+
+    #[test]
+    fn periodic_farm_matches_torus_reference_for_rest_particle_variants() {
+        // Regression: FHP-III's chirality-selected rotations can move
+        // the rest bit between states of an invariant class, so the
+        // rest-branch chirality hash must wrap its center coordinates
+        // exactly like the arrival branch — an engine computing the
+        // torus's origin-shifted halo sites sees out-of-range centers.
+        // (FHP-I has no rest bit and FHP-II's chirality choices never
+        // move it, which is why only FHP-III caught this.)
+        let (rows, cols) = (12usize, 30usize);
+        let shape = Shape::grid2(rows, cols).unwrap();
+        for (variant, shards) in
+            [(FhpVariant::II, 3), (FhpVariant::III, 1), (FhpVariant::III, 3), (FhpVariant::III, 5)]
+        {
+            let fhp = init::random_fhp(shape, variant, 0.3, 42, true).unwrap();
+            let rule = FhpRule::new(variant, 42).with_wrap(rows, cols);
+            let reference = evolve(&fhp, &rule, Boundary::Periodic, 0, 10);
+            let farm =
+                LatticeFarm::new(shards, ShardEngine::Wsa { width: 2 }, 2).with_periodic(true);
+            let report = farm.run(&rule, &fhp, 0, 10).unwrap();
+            assert_eq!(report.grid(), &reference, "{variant:?} torus, {shards} shards");
+        }
     }
 
     #[test]
@@ -2110,5 +2324,100 @@ mod tests {
         assert_eq!(report.passes, 0);
         assert_eq!(report.machine_ticks(), Ticks::ZERO);
         assert_eq!(report.updates_per_tick(), SitesPerTick::ZERO);
+    }
+
+    #[test]
+    fn session_chunked_stepping_is_bit_exact() {
+        // Any chunking of the run into `step` calls — including chunks
+        // that end mid-pass-depth — produces the same lattice as the
+        // one-shot entry point, in both exchange modes.
+        let (g, rule) = hpp_world(12, 30, 7);
+        let cfg = FarmRecoveryConfig::default();
+        for &overlap in &[false, true] {
+            let farm = LatticeFarm::new(3, ShardEngine::Wsa { width: 2 }, 3)
+                .with_link(BoardLink::new(8.0))
+                .with_overlap(overlap);
+            let one = farm.run_with_recovery(&rule, &g, 0, 17, None, &cfg, |_, _| Ok(())).unwrap();
+            let mut sess = farm.session(&g, 0, None, &cfg, None).unwrap();
+            for n in [1u64, 4, 2, 7, 0, 3] {
+                sess.step(&rule, n).unwrap();
+            }
+            assert_eq!(sess.time(), 17, "overlap={overlap}");
+            let mid = sess.report();
+            assert_eq!(mid.grid(), one.report.grid(), "mid-run snapshot sees the lattice");
+            let ft = sess.finish();
+            assert_eq!(ft.report.grid(), one.report.grid(), "overlap={overlap}");
+            assert_eq!(ft.report.machine.generations, one.report.machine.generations);
+            // A chunk that ends mid-depth closes with a shallower pass,
+            // so the chunked run takes more passes (and pays their fill
+            // and halo bills) — the lattice is identical regardless.
+            assert!(ft.report.passes > one.report.passes, "uneven chunks add shallow passes");
+        }
+    }
+
+    #[test]
+    fn session_single_step_matches_one_shot_exactly() {
+        // One `step` covering the whole run IS the one-shot path — the
+        // entire report, overlap credit included, must be identical.
+        let (g, rule) = hpp_world(12, 30, 9);
+        let cfg = FarmRecoveryConfig::default();
+        let farm = LatticeFarm::new(3, ShardEngine::Wsa { width: 2 }, 2)
+            .with_link(BoardLink::new(4.0))
+            .with_overlap(true);
+        let one = farm.run_with_recovery(&rule, &g, 0, 10, None, &cfg, |_, _| Ok(())).unwrap();
+        let mut sess = farm.session(&g, 0, None, &cfg, None).unwrap();
+        sess.step(&rule, 10).unwrap();
+        let ft = sess.finish();
+        assert_eq!(ft.report.grid(), one.report.grid());
+        assert_eq!(ft.report.overlapped_ticks, one.report.overlapped_ticks);
+        assert_eq!(ft.report.halo_ticks, one.report.halo_ticks);
+        assert_eq!(ft.recovery, one.recovery);
+    }
+
+    #[test]
+    fn session_chunked_recovery_is_bit_exact_under_link_faults() {
+        // The ladder works across chunk boundaries: the same transient
+        // link weather (keyed by absolute wire position, so chunking
+        // cannot move it) is absorbed by ARQ, and the chunked lattice
+        // still equals the fault-free reference.
+        let (g, rule) = hpp_world(12, 20, 4);
+        let farm = LatticeFarm::new(2, ShardEngine::Wsa { width: 1 }, 2);
+        let stride = 2; // depth
+        let link_chip = 2 * stride + 1; // board 1's halo link
+        let plan = FaultPlan::new(13).with_fault(Fault {
+            component: Component::Link,
+            chip: Some(link_chip),
+            cell: None,
+            kind: FaultKind::Transient { bit: 1, rate: 2e-3 },
+        });
+        let cfg = FarmRecoveryConfig { max_retries: 20, ..Default::default() };
+        let reference = evolve(&g, &rule, Boundary::null(), 0, 600);
+        let mut sess = farm.session(&g, 0, Some(&plan), &cfg, None).unwrap();
+        let mut left = 600u64;
+        while left > 0 {
+            let n = left.min(74);
+            sess.step(&rule, n).unwrap();
+            left -= n;
+        }
+        let ft = sess.finish();
+        assert_eq!(ft.report.grid(), &reference, "chunked recovered run is bit-exact");
+        assert!(ft.recovery.detected >= 1);
+        assert_eq!(ft.recovery.detected, ft.recovery.retransmits, "all absorbed at level 1");
+    }
+
+    #[test]
+    fn session_checkpoint_rearms_budgets_and_counts() {
+        let (g, rule) = hpp_world(8, 16, 2);
+        let farm = LatticeFarm::new(2, ShardEngine::Wsa { width: 1 }, 2);
+        let cfg = FarmRecoveryConfig { checkpoint_every: 100, ..Default::default() };
+        let mut sess = farm.session(&g, 0, None, &cfg, None).unwrap();
+        let after_open = sess.recovery().checkpoints;
+        assert_eq!(after_open, 2, "the opening barrier snapshots both slabs");
+        sess.step(&rule, 4).unwrap();
+        sess.checkpoint(None).unwrap();
+        assert_eq!(sess.recovery().checkpoints, after_open + 2);
+        sess.step(&rule, 4).unwrap();
+        let reference = evolve(&g, &rule, Boundary::null(), 0, 8);
+        assert_eq!(sess.grid(), &reference);
     }
 }

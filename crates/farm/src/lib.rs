@@ -40,8 +40,8 @@ pub mod link;
 pub mod partition;
 
 pub use farm::{
-    FarmDegradeConfig, FarmFtRun, FarmRecoveryConfig, FarmReport, LatticeFarm, ShardEngine,
-    ShardStats, WorkerFault, WorkerFaultSpec,
+    FarmDegradeConfig, FarmFtRun, FarmRecoveryConfig, FarmReport, FarmSession, LatticeFarm,
+    ShardEngine, ShardStats, WorkerFault, WorkerFaultSpec,
 };
 pub use link::{BoardLink, HaloWindow};
 pub use partition::{

@@ -361,8 +361,20 @@ impl Rule for FhpRule {
         let parity = row & 1;
         let mut out = w.center() & OBSTACLE_BIT;
         // Rest particles do not move: they survive this site's collision.
+        // The chirality coordinates must wrap exactly like the arrival
+        // branch below: an engine computing an origin-shifted halo site
+        // (torus wrap columns) sees out-of-range center coordinates, and
+        // FHP-III's chirality-selected rotations can move the rest bit,
+        // so an unwrapped hash would diverge from the reference there.
         if self.variant.gas_mask() & REST_BIT != 0 {
-            out |= self.collide_at(w.center(), row, col, w.time()) & REST_BIT;
+            let (crow, ccol) = match self.wrap {
+                Some((rows, cols)) => (
+                    (row as isize).rem_euclid(rows as isize) as usize,
+                    (col as isize).rem_euclid(cols as isize) as usize,
+                ),
+                None => (row, col),
+            };
+            out |= self.collide_at(w.center(), crow, ccol, w.time()) & REST_BIT;
         }
         for d in FHP_DIRS {
             let (dr, dc) = d.arrival_offset(parity);

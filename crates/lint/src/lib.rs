@@ -23,6 +23,11 @@
 //!   must go through the store's write-to-temp + fsync + atomic-rename
 //!   commit so crash atomicity is provable in one place. Reads are
 //!   free.
+//! * **raw-socket** — raw socket construction (`TcpListener::`,
+//!   `TcpStream::`, …) is confined to the daemon's audited transport
+//!   module (`crates/serve/src/transport.rs`): framing, flushing, and
+//!   error mapping live in one place, and every other module speaks
+//!   typed protocol frames through it.
 //! * **counter-mutation** — the fault-recovery conservation set
 //!   (`detected`, `retransmits`, `local_rollbacks`, `rollbacks`,
 //!   `boards_retired`) may only be *mutated* inside the two audited
@@ -61,6 +66,9 @@ pub enum Rule {
     /// `std::fs` write/rename call outside the audited durable-store
     /// module.
     FsWrite,
+    /// Raw socket construction (`TcpListener::`/`TcpStream::`/…)
+    /// outside the audited transport module.
+    RawSocket,
 }
 
 impl Rule {
@@ -74,6 +82,7 @@ impl Rule {
             Rule::NoPanic => "no-panic",
             Rule::CounterMutation => "counter-mutation",
             Rule::FsWrite => "fs-write",
+            Rule::RawSocket => "raw-socket",
         }
     }
 
@@ -86,13 +95,20 @@ impl Rule {
             "no-panic" => Some(Rule::NoPanic),
             "counter-mutation" => Some(Rule::CounterMutation),
             "fs-write" => Some(Rule::FsWrite),
+            "raw-socket" => Some(Rule::RawSocket),
             _ => None,
         }
     }
 
     /// All rules, in report order.
-    pub const ALL: [Rule; 5] =
-        [Rule::RawCast, Rule::BareFloat, Rule::NoPanic, Rule::CounterMutation, Rule::FsWrite];
+    pub const ALL: [Rule; 6] = [
+        Rule::RawCast,
+        Rule::BareFloat,
+        Rule::NoPanic,
+        Rule::CounterMutation,
+        Rule::FsWrite,
+        Rule::RawSocket,
+    ];
 }
 
 impl fmt::Display for Rule {
@@ -132,6 +148,12 @@ pub const COUNTER_AUDITED: [&str; 2] = ["crates/farm/src/farm.rs", "crates/sim/s
 /// checkpoint store, whose temp-file + fsync + rename commit is the
 /// workspace's single audited crash-atomicity point.
 pub const FS_AUDITED: [&str; 1] = ["crates/core/src/checkpoint/store.rs"];
+
+/// The only module allowed to construct raw sockets: the daemon's
+/// transport layer, where framing, flushing, and error mapping are
+/// audited in one place. Everything else speaks typed protocol frames
+/// through it.
+pub const SOCKET_AUDITED: [&str; 1] = ["crates/serve/src/transport.rs"];
 
 /// Model/accounting modules where `raw-cast` and `bare-float` apply:
 /// everything that carries paper dimensions (α, β, γ, B, Γ, ticks,
@@ -536,6 +558,28 @@ fn find_fs_writes(code: &str) -> bool {
     false
 }
 
+/// Reports raw socket construction on a blanked code line. The needle
+/// is a socket type's path segment followed by `::` (so an associated
+/// call like `TcpStream::connect` or a fully qualified
+/// `std::net::TcpListener::bind` fires), with a clean identifier
+/// boundary before it so `MyTcpStream::` does not.
+fn find_raw_sockets(code: &str) -> bool {
+    const SOCKET_TYPES: [&str; 5] =
+        ["TcpListener::", "TcpStream::", "UdpSocket::", "UnixListener::", "UnixStream::"];
+    for needle in SOCKET_TYPES {
+        let mut search_from = 0;
+        while let Some(rel) = code[search_from..].find(needle) {
+            let at = search_from + rel;
+            search_from = at + needle.len();
+            let before_ok = at == 0 || !is_ident_char(code.as_bytes()[at - 1] as char);
+            if before_ok {
+                return true;
+            }
+        }
+    }
+    false
+}
+
 /// Reports mutations (`=`, `+=`, `-=`, `*=`) of a conservation-set
 /// field access on a blanked code line. Comparisons (`==`, `>=`, …)
 /// and struct-literal initialisers (`detected: 0`) do not count.
@@ -575,6 +619,7 @@ pub fn scan_source(rel_path: &str, source: &str) -> Vec<Violation> {
     let dimensioned = is_dimensioned_module(rel_path);
     let counter_audited = COUNTER_AUDITED.contains(&rel_path);
     let fs_audited = FS_AUDITED.contains(&rel_path);
+    let socket_audited = SOCKET_AUDITED.contains(&rel_path);
 
     for (idx, line) in lines.iter().enumerate() {
         if line.in_test {
@@ -605,6 +650,9 @@ pub fn scan_source(rel_path: &str, source: &str) -> Vec<Violation> {
         }
         if !fs_audited && find_fs_writes(&line.code) {
             fire(Rule::FsWrite, &mut out);
+        }
+        if !socket_audited && find_raw_sockets(&line.code) {
+            fire(Rule::RawSocket, &mut out);
         }
     }
     out
@@ -975,6 +1023,33 @@ let ratio = ft.report.retransmits as f64 / passes;
             "fn f() { fs::rename(\"a\", \"b\").ok(); }\n",
         );
         assert!(v.iter().all(|v| v.rule != Rule::FsWrite), "{v:?}");
+    }
+
+    #[test]
+    fn detects_injected_raw_socket_outside_the_transport() {
+        for snippet in [
+            "fn f() { let _ = std::net::TcpListener::bind(\"127.0.0.1:0\"); }\n",
+            "fn f() { let _ = TcpStream::connect(\"127.0.0.1:1\"); }\n",
+            "fn f() { let _ = UdpSocket::bind(\"127.0.0.1:0\"); }\n",
+            "fn f() { let _ = UnixStream::connect(\"/tmp/s\"); }\n",
+        ] {
+            let v = scan_source("crates/serve/src/daemon.rs", snippet);
+            assert!(v.iter().any(|v| v.rule == Rule::RawSocket), "{snippet}: {v:?}");
+        }
+        // Lookalike identifiers and plain mentions stay free.
+        for clean in [
+            "fn f() { let _ = MyTcpStream::connect(\"x\"); }\n",
+            "fn f(conn: TcpStream) -> TcpStream { conn }\n",
+        ] {
+            let v = scan_source("crates/serve/src/daemon.rs", clean);
+            assert!(v.iter().all(|v| v.rule != Rule::RawSocket), "{clean}: {v:?}");
+        }
+        // The audited transport module is the one sanctioned call site.
+        let v = scan_source(
+            "crates/serve/src/transport.rs",
+            "fn f() { let _ = TcpListener::bind(\"127.0.0.1:0\"); }\n",
+        );
+        assert!(v.iter().all(|v| v.rule != Rule::RawSocket), "{v:?}");
     }
 
     #[test]

@@ -1,0 +1,42 @@
+//! # lattice-serve
+//!
+//! Lattice-as-a-service: a daemon that multiplexes many concurrent
+//! [`lattice_farm`] runs ("sessions") over one provisioned machine,
+//! with the `lattice-vlsi` farm model as its admission controller.
+//!
+//! * **Protocol** ([`protocol`]) — line-delimited JSON over TCP: one
+//!   request per line (`create`, `step`, `query`, `checkpoint`,
+//!   `destroy`, `stats`, `shutdown`), one response line each.
+//! * **Admission control** ([`scheduler`]) — each session's sustained
+//!   inter-board link demand is *predicted* by
+//!   [`FarmModel::link_demand`](lattice_vlsi::FarmModel::link_demand)
+//!   before it runs; sessions are admitted until the aggregate would
+//!   saturate the provisioned link capacity and FIFO-queued after
+//!   that. Backpressure arrives at create time, not as thrashing.
+//! * **Eviction** ([`daemon`]) — beyond `max_live` resident sessions,
+//!   the least-recently-used is checkpointed to the durable store
+//!   (PR 6's [`CheckpointStore`](lattice_core::checkpoint::store))
+//!   and lazily restored — bit-exactly — on its next touch. The same
+//!   path makes a daemon kill + restart lossless.
+//! * **Metrics** — `stats` streams the merged farm-report counters of
+//!   every session plus the budget ledger, one JSON line per sample.
+//!
+//! The crate is std-only (no async runtime, no serde): transport is
+//! `std::net` confined to [`transport`], and the wire format is the
+//! hand-rolled panic-free [`json`] module.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod daemon;
+pub mod json;
+pub mod protocol;
+pub mod scheduler;
+pub mod session;
+pub mod transport;
+
+pub use daemon::{Daemon, DaemonConfig, DEFAULT_LINK_CAPACITY};
+pub use protocol::{Query, ReportFrame, Request, Response, SessionSpec, SessionStat, StatsFrame};
+pub use scheduler::Scheduler;
+pub use session::{build_farm, link_demand, seed_grid, validate_spec, GasRule};
+pub use transport::Client;

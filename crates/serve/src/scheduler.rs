@@ -1,0 +1,188 @@
+//! Model-driven admission control: a FIFO queue in front of the
+//! [`LinkBudget`] ledger.
+//!
+//! A session's cost is its predicted sustained link demand
+//! ([`crate::session::link_demand`], bits per machine tick); the
+//! budget's capacity is the aggregate inter-board bandwidth the
+//! operator provisioned. Sessions are admitted until the predicted
+//! aggregate demand would saturate the links, and queue after that —
+//! backpressure *before* the machine thrashes, not after.
+//!
+//! Fairness is strict FIFO: while anything is queued, new sessions
+//! queue behind it even if they would individually fit. That keeps a
+//! stream of small sessions from starving a large one forever (the
+//! budget's work-conserving carve-out guarantees the large one runs
+//! once it reaches the head of an empty machine).
+
+use lattice_core::units::BitsPerTick;
+use lattice_vlsi::LinkBudget;
+use std::collections::VecDeque;
+
+/// The daemon's admission scheduler.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    budget: LinkBudget,
+    queue: VecDeque<String>,
+}
+
+impl Scheduler {
+    /// A scheduler over `capacity` bits/tick of aggregate link budget.
+    pub fn new(capacity: BitsPerTick) -> Self {
+        Scheduler { budget: LinkBudget::new(capacity), queue: VecDeque::new() }
+    }
+
+    /// A scheduler that admits everything immediately.
+    pub fn unthrottled() -> Self {
+        Scheduler { budget: LinkBudget::unthrottled(), queue: VecDeque::new() }
+    }
+
+    /// The underlying ledger (for `stats`).
+    pub fn budget(&self) -> &LinkBudget {
+        &self.budget
+    }
+
+    /// Queued session names, head first.
+    pub fn queued(&self) -> impl Iterator<Item = &str> {
+        self.queue.iter().map(String::as_str)
+    }
+
+    /// Queue depth.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether `name` is waiting in the queue.
+    pub fn is_queued(&self, name: &str) -> bool {
+        self.queue.iter().any(|q| q == name)
+    }
+
+    /// Tries to admit a new session: charges `demand` against the
+    /// budget if the machine can take it *and* nothing is already
+    /// waiting (FIFO), otherwise enqueues the name and returns `false`.
+    pub fn admit_or_enqueue(&mut self, name: &str, demand: BitsPerTick) -> bool {
+        if self.queue.is_empty() && self.budget.try_admit(demand) {
+            true
+        } else {
+            self.queue.push_back(name.to_string());
+            false
+        }
+    }
+
+    /// Charges `demand` unconditionally — the restart-restore path,
+    /// where sessions recorded as admitted must come back admitted
+    /// even if the operator restarted the daemon with a smaller
+    /// capacity.
+    pub fn admit_unconditionally(&mut self, demand: BitsPerTick) {
+        self.budget.admit(demand);
+    }
+
+    /// Returns a destroyed session's `demand` to the budget and drains
+    /// the queue head-first: every queued session that now fits (per
+    /// `demand_of`) is admitted and charged, in arrival order, stopping
+    /// at the first that still does not fit. Returns the promoted
+    /// names in admission order.
+    pub fn release(
+        &mut self,
+        demand: BitsPerTick,
+        mut demand_of: impl FnMut(&str) -> BitsPerTick,
+    ) -> Vec<String> {
+        self.budget.release(demand);
+        let mut promoted = Vec::new();
+        while let Some(head) = self.queue.front() {
+            let need = demand_of(head);
+            if self.budget.try_admit(need) {
+                // The pop cannot miss: `front` just matched.
+                if let Some(name) = self.queue.pop_front() {
+                    promoted.push(name);
+                }
+            } else {
+                break;
+            }
+        }
+        promoted
+    }
+
+    /// Drops `name` from the queue (a queued session being destroyed);
+    /// returns whether it was there.
+    pub fn forget_queued(&mut self, name: &str) -> bool {
+        let before = self.queue.len();
+        self.queue.retain(|q| q != name);
+        self.queue.len() != before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bpt(v: f64) -> BitsPerTick {
+        BitsPerTick::new(v)
+    }
+
+    #[test]
+    fn admits_until_saturation_then_queues_fifo() {
+        let mut s = Scheduler::new(bpt(100.0));
+        assert!(s.admit_or_enqueue("a", bpt(40.0)));
+        assert!(s.admit_or_enqueue("b", bpt(40.0)));
+        // 80 + 30 ≥ 100: the model predicts saturation, so c queues.
+        assert!(!s.admit_or_enqueue("c", bpt(30.0)));
+        // d would fit (80 + 10 < 100) but c is ahead of it: FIFO.
+        assert!(!s.admit_or_enqueue("d", bpt(10.0)));
+        assert_eq!(s.queued().collect::<Vec<_>>(), ["c", "d"]);
+
+        // Destroying a frees 40: c (30) fits, then d (10) fits too.
+        let promoted = s.release(bpt(40.0), |n| match n {
+            "c" => bpt(30.0),
+            _ => bpt(10.0),
+        });
+        assert_eq!(promoted, ["c", "d"]);
+        assert_eq!(s.queue_len(), 0);
+    }
+
+    #[test]
+    fn promotion_stops_at_the_first_session_that_does_not_fit() {
+        let mut s = Scheduler::new(bpt(100.0));
+        assert!(s.admit_or_enqueue("a", bpt(90.0)));
+        assert!(!s.admit_or_enqueue("big", bpt(80.0)));
+        assert!(!s.admit_or_enqueue("small", bpt(1.0)));
+        // Freeing 30 leaves 60 admitted; big (80) still does not fit,
+        // and small must NOT jump over it.
+        let promoted = s.release(bpt(30.0), |n| if n == "big" { bpt(80.0) } else { bpt(1.0) });
+        assert!(promoted.is_empty());
+        assert_eq!(s.queued().collect::<Vec<_>>(), ["big", "small"]);
+        // Freeing the rest admits both, in order.
+        let promoted = s.release(bpt(60.0), |n| if n == "big" { bpt(80.0) } else { bpt(1.0) });
+        assert_eq!(promoted, ["big", "small"]);
+    }
+
+    #[test]
+    fn destroying_a_queued_session_removes_it() {
+        let mut s = Scheduler::new(bpt(10.0));
+        assert!(s.admit_or_enqueue("a", bpt(10.0)));
+        assert!(!s.admit_or_enqueue("b", bpt(5.0)));
+        assert!(s.is_queued("b"));
+        assert!(s.forget_queued("b"));
+        assert!(!s.is_queued("b"));
+        assert!(!s.forget_queued("b"));
+    }
+
+    #[test]
+    fn unthrottled_never_queues() {
+        let mut s = Scheduler::unthrottled();
+        for (i, name) in ["a", "b", "c", "d"].iter().enumerate() {
+            assert!(s.admit_or_enqueue(name, bpt(1e9)), "session {i}");
+        }
+        assert_eq!(s.queue_len(), 0);
+    }
+
+    #[test]
+    fn restore_path_admits_unconditionally() {
+        let mut s = Scheduler::new(bpt(10.0));
+        s.admit_unconditionally(bpt(50.0));
+        s.admit_unconditionally(bpt(50.0));
+        assert_eq!(s.budget().admitted(), bpt(100.0));
+        // The machine is over-committed but consistent: new arrivals
+        // queue, and releases drain it back toward the capacity.
+        assert!(!s.admit_or_enqueue("late", bpt(1.0)));
+    }
+}

@@ -1,0 +1,116 @@
+//! The daemon's only socket layer: line-delimited TCP.
+//!
+//! This is the single module in the workspace allowed to name socket
+//! types — `lattice-lint`'s `raw-socket` rule confines `TcpListener`/
+//! `TcpStream` here, so every byte on the wire passes through one
+//! auditable seam. Everything above speaks [`Request`]/[`Response`]
+//! frames; everything below is `std::net`.
+//!
+//! I/O failures map onto [`LatticeError::Corrupted`] with the site
+//! prefixed `transport:`, keeping the daemon inside the workspace's
+//! single error type without inventing a parallel hierarchy.
+
+use lattice_core::LatticeError;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+
+fn io_err(op: &str, e: &std::io::Error) -> LatticeError {
+    LatticeError::Corrupted { site: format!("transport: {op}"), detail: e.to_string() }
+}
+
+/// A bound, listening daemon socket.
+#[derive(Debug)]
+pub struct Listener {
+    inner: TcpListener,
+}
+
+impl Listener {
+    /// Binds and listens on `addr` (use port 0 to let the OS pick).
+    pub fn bind(addr: &str) -> Result<Listener, LatticeError> {
+        let inner = TcpListener::bind(addr).map_err(|e| io_err("bind", &e))?;
+        Ok(Listener { inner })
+    }
+
+    /// The bound address (the actual port when bound to port 0).
+    pub fn local_addr(&self) -> Result<SocketAddr, LatticeError> {
+        self.inner.local_addr().map_err(|e| io_err("local_addr", &e))
+    }
+
+    /// Blocks for the next client connection.
+    pub fn accept(&self) -> Result<Connection, LatticeError> {
+        let (stream, _) = self.inner.accept().map_err(|e| io_err("accept", &e))?;
+        Connection::new(stream)
+    }
+}
+
+/// One client connection: buffered line reads, flushed line writes.
+#[derive(Debug)]
+pub struct Connection {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Connection {
+    fn new(stream: TcpStream) -> Result<Connection, LatticeError> {
+        let writer = stream.try_clone().map_err(|e| io_err("clone", &e))?;
+        Ok(Connection { reader: BufReader::new(stream), writer })
+    }
+
+    /// Reads one request line; `None` means the peer closed cleanly.
+    /// The trailing newline is stripped.
+    pub fn read_line(&mut self) -> Result<Option<String>, LatticeError> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).map_err(|e| io_err("read", &e))?;
+        if n == 0 {
+            return Ok(None);
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(Some(line))
+    }
+
+    /// Writes one response line (newline appended) and flushes it.
+    pub fn write_line(&mut self, line: &str) -> Result<(), LatticeError> {
+        self.writer.write_all(line.as_bytes()).map_err(|e| io_err("write", &e))?;
+        self.writer.write_all(b"\n").map_err(|e| io_err("write", &e))?;
+        self.writer.flush().map_err(|e| io_err("flush", &e))?;
+        Ok(())
+    }
+}
+
+/// A client-side connection speaking the same line protocol.
+#[derive(Debug)]
+pub struct Client {
+    conn: Connection,
+}
+
+impl Client {
+    /// Connects to a daemon at `addr`.
+    pub fn connect(addr: &str) -> Result<Client, LatticeError> {
+        let stream = TcpStream::connect(addr).map_err(|e| io_err("connect", &e))?;
+        Ok(Client { conn: Connection::new(stream)? })
+    }
+
+    /// Sends one request line and reads one response line.
+    pub fn call(&mut self, line: &str) -> Result<String, LatticeError> {
+        self.conn.write_line(line)?;
+        self.conn.read_line()?.ok_or_else(|| LatticeError::Corrupted {
+            site: "transport: call".into(),
+            detail: "daemon closed the connection before responding".into(),
+        })
+    }
+
+    /// Reads one more response line (streamed `stats` samples);
+    /// `None` means the daemon closed the stream.
+    pub fn read_line(&mut self) -> Result<Option<String>, LatticeError> {
+        self.conn.read_line()
+    }
+}
+
+/// Best-effort self-connection to `addr`, used to unblock a daemon's
+/// `accept` loop after shutdown is flagged. Failure is fine — it
+/// means the listener is already gone.
+pub fn nudge(addr: &SocketAddr) {
+    let _ = TcpStream::connect(addr);
+}

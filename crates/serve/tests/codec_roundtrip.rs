@@ -1,0 +1,256 @@
+//! Property tests: every wire frame round-trips through the codec.
+//!
+//! Strategies generate every `Request` and `Response` variant with
+//! adversarial field content (empty strings, control characters,
+//! non-ASCII, extreme integers, awkward floats) and assert
+//! `decode(encode(frame)) == frame` exactly — the daemon and client
+//! never disagree about a frame they exchanged.
+
+use lattice_serve::protocol::{
+    Query, ReportFrame, Request, Response, SessionSpec, SessionStat, StatsFrame,
+};
+use proptest::{
+    any, collection, prop_assert, prop_assert_eq, prop_oneof, proptest, Just, Strategy,
+};
+
+/// A plausible session name (the daemon's validation is separate; the
+/// codec must carry any string faithfully, so no charset restriction).
+fn string_strategy() -> impl Strategy<Value = String> {
+    collection::vec(any::<u8>(), 0..12).prop_map(|bytes| {
+        bytes
+            .into_iter()
+            .map(|b| match b % 6 {
+                0 => '\\',
+                1 => '"',
+                2 => char::from(b % 0x20), // control chars
+                3 => 'λ',                  // non-ASCII
+                4 => char::from(b'a' + (b % 26)),
+                _ => char::from(b'0' + (b % 10)),
+            })
+            .collect()
+    })
+}
+
+/// A `u64` within the codec's documented 2^53 exact-integer window
+/// (JSON numbers are f64-backed; larger integers are out of contract).
+fn u53() -> impl Strategy<Value = u64> {
+    any::<u64>().prop_map(|n| n % (1u64 << 53))
+}
+
+/// An `i64` within ±2^53, the codec's exact signed window.
+fn i53() -> impl Strategy<Value = i64> {
+    any::<i64>().prop_map(|n| n % (1i64 << 53))
+}
+
+/// Finite f64 values, including negatives, zeros, and values with
+/// long shortest-round-trip representations.
+fn f64_strategy() -> impl Strategy<Value = f64> {
+    any::<u64>().prop_map(|bits| {
+        let x = f64::from_bits(bits);
+        if x.is_finite() {
+            x
+        } else {
+            // Map the non-finite draw to a representable fraction.
+            (bits % 1_000_000_007) as f64 / 64.0
+        }
+    })
+}
+
+fn spec_strategy() -> impl Strategy<Value = SessionSpec> {
+    (
+        (0usize..4, 1usize..200, 1usize..200, u53()),
+        (1usize..8, 0usize..3, 1usize..5, 1usize..5, 1usize..5),
+        (any::<bool>(), any::<bool>(), any::<bool>(), u53()),
+    )
+        .prop_map(
+            |(
+                (m, rows, cols, seed),
+                (shards, e, width, slice_width, depth),
+                (periodic, overlap, throttled, link),
+            )| {
+                SessionSpec {
+                    model: ["hpp", "fhp1", "fhp2", "fhp3"][m].to_string(),
+                    rows,
+                    cols,
+                    seed,
+                    density: (seed % 101) as f64 / 100.0,
+                    shards,
+                    engine: ["wsa", "spa", "wsa"][e].to_string(),
+                    width,
+                    slice_width,
+                    depth,
+                    periodic,
+                    overlap,
+                    link_bits: throttled.then_some((link % 100_000) as f64 / 8.0 + 0.125),
+                }
+            },
+        )
+}
+
+fn query_strategy() -> impl Strategy<Value = Query> {
+    prop_oneof![
+        Just(Query::Report),
+        Just(Query::Observables),
+        (u53(), u53(), u53(), u53()).prop_map(|(a, b, c, d)| {
+            Query::Region {
+                row0: (a % 1000) as usize,
+                col0: (b % 1000) as usize,
+                rows: (c % 1000) as usize,
+                cols: (d % 1000) as usize,
+            }
+        }),
+    ]
+}
+
+fn request_strategy() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (string_strategy(), spec_strategy())
+            .prop_map(|(session, spec)| Request::Create { session, spec }),
+        (string_strategy(), u53()).prop_map(|(session, n)| Request::Step { session, n }),
+        (string_strategy(), query_strategy())
+            .prop_map(|(session, what)| Request::QueryReq { session, what }),
+        string_strategy().prop_map(|session| Request::Checkpoint { session }),
+        string_strategy().prop_map(|session| Request::Destroy { session }),
+        u53().prop_map(|watch| Request::Stats { watch: watch.max(1) }),
+        Just(Request::Shutdown),
+    ]
+}
+
+fn report_strategy() -> impl Strategy<Value = ReportFrame> {
+    (
+        (string_strategy(), u53(), u53(), u53()),
+        (u53(), u53(), u53(), u53()),
+        (u53(), u53(), u53()),
+        (f64_strategy(), f64_strategy()),
+    )
+        .prop_map(
+            |(
+                (session, time, passes, machine_ticks),
+                (halo, over, rt, r),
+                (rb, lrb, ck),
+                (sps, hbpt),
+            )| {
+                ReportFrame {
+                    session,
+                    time,
+                    passes,
+                    machine_ticks,
+                    halo_ticks: halo,
+                    overlapped_ticks: over,
+                    retransmit_ticks: rt,
+                    retransmits: r,
+                    rollbacks: rb,
+                    local_rollbacks: lrb,
+                    checkpoints: ck,
+                    sites_per_sec: sps,
+                    halo_bits_per_tick: hbpt,
+                }
+            },
+        )
+}
+
+fn stats_strategy() -> impl Strategy<Value = StatsFrame> {
+    (
+        collection::vec(
+            (string_strategy(), 0usize..3, u53(), u53(), u53(), f64_strategy()).prop_map(
+                |(session, st, time, passes, steps, link_demand)| SessionStat {
+                    session,
+                    state: ["live", "queued", "evicted"][st].to_string(),
+                    time,
+                    passes,
+                    steps,
+                    link_demand,
+                },
+            ),
+            0..5,
+        ),
+        (u53(), u53(), u53()),
+        (any::<bool>(), f64_strategy(), f64_strategy(), f64_strategy()),
+        (u53(), u53()),
+    )
+        .prop_map(
+            |(
+                sessions,
+                (live, queued, evicted),
+                (cap, capacity, admitted, util),
+                (requests, steps_served),
+            )| {
+                StatsFrame {
+                    sessions,
+                    live,
+                    queued,
+                    evicted,
+                    link_capacity: cap.then_some(capacity),
+                    link_admitted: admitted,
+                    utilization: util,
+                    requests,
+                    steps_served,
+                }
+            },
+        )
+}
+
+fn response_strategy() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        (string_strategy(), any::<bool>())
+            .prop_map(|(session, admitted)| Response::Created { session, admitted }),
+        (string_strategy(), u53(), u53()).prop_map(|(session, time, passes)| Response::Stepped {
+            session,
+            time,
+            passes
+        }),
+        report_strategy().prop_map(Response::Report),
+        (string_strategy(), u53(), u53(), i53(), i53(), u53()).prop_map(
+            |(session, time, mass, px, py, obstacles)| Response::Observables {
+                session,
+                time,
+                mass,
+                px,
+                py,
+                obstacles,
+            }
+        ),
+        (string_strategy(), u53(), collection::vec(any::<u8>(), 0..64)).prop_map(
+            |(session, time, cells)| Response::Region {
+                session,
+                time,
+                row0: 1,
+                col0: 2,
+                rows: 1,
+                cols: cells.len(),
+                cells,
+            }
+        ),
+        (string_strategy(), u53())
+            .prop_map(|(session, time)| Response::Checkpointed { session, time }),
+        (string_strategy(), collection::vec(string_strategy(), 0..4))
+            .prop_map(|(session, promoted)| Response::Destroyed { session, promoted }),
+        stats_strategy().prop_map(Response::Stats),
+        Just(Response::Bye),
+        string_strategy().prop_map(|message| Response::Error { message }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn every_request_frame_round_trips(req in request_strategy()) {
+        let line = req.to_line();
+        let back = Request::from_line(&line);
+        prop_assert_eq!(back.as_ref(), Ok(&req), "line: {line}");
+    }
+
+    #[test]
+    fn every_response_frame_round_trips(resp in response_strategy()) {
+        let line = resp.to_line();
+        let back = Response::from_line(&line);
+        prop_assert_eq!(back.as_ref(), Ok(&resp), "line: {line}");
+    }
+
+    #[test]
+    fn encoded_frames_are_single_lines(req in request_strategy(), resp in response_strategy()) {
+        // The transport frames by newline, so an encoded frame must
+        // never contain a literal one (escaping handles embedded \n).
+        prop_assert!(!req.to_line().contains('\n'));
+        prop_assert!(!resp.to_line().contains('\n'));
+    }
+}

@@ -378,6 +378,113 @@ impl FarmModel {
     }
 }
 
+/// Admission-control ledger over a farm's aggregate link capacity.
+///
+/// A multiplexing scheduler charges each admitted workload its
+/// sustained [`FarmModel::link_demand`] against a shared
+/// [`BitsPerTick`] budget, and queues arrivals that would push the
+/// aggregate to the saturation point — the fleet-level restatement of
+/// §6's pin bound: total halo traffic per tick must stay under what the
+/// interconnect moves per tick, or exchange lands on every session's
+/// critical path at once.
+///
+/// **A tie counts as the wall**, matching
+/// [`FarmModel::critical_shards`]: an arrival whose demand lifts the
+/// aggregate to *exactly* the capacity is refused, because at equality
+/// the links have already caught the boards and any jitter (an ARQ
+/// replay, a deeper pass) spills onto the critical path.
+///
+/// One carve-out keeps the ledger work-conserving: an arrival into an
+/// **empty** budget is always admitted, even when its lone demand meets
+/// the wall. Backpressure exists to bound *aggregate* demand across
+/// sessions; refusing the only session would starve it forever without
+/// protecting anyone.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkBudget {
+    capacity: BitsPerTick,
+    admitted: BitsPerTick,
+}
+
+impl LinkBudget {
+    /// An empty ledger over `capacity` bits/tick of aggregate link
+    /// bandwidth.
+    pub fn new(capacity: BitsPerTick) -> Self {
+        LinkBudget { capacity, admitted: BitsPerTick::ZERO }
+    }
+
+    /// A ledger that admits everything
+    /// ([`BitsPerTick::UNTHROTTLED`] capacity).
+    pub fn unthrottled() -> Self {
+        LinkBudget::new(BitsPerTick::UNTHROTTLED)
+    }
+
+    /// The configured aggregate capacity.
+    pub fn capacity(&self) -> BitsPerTick {
+        self.capacity
+    }
+
+    /// The demand currently charged against the budget.
+    pub fn admitted(&self) -> BitsPerTick {
+        self.admitted
+    }
+
+    /// Remaining headroom before the wall (clamped at zero; infinite
+    /// when unthrottled).
+    pub fn headroom(&self) -> BitsPerTick {
+        if self.capacity.is_unthrottled() {
+            BitsPerTick::UNTHROTTLED
+        } else {
+            (self.capacity - self.admitted).max(BitsPerTick::ZERO)
+        }
+    }
+
+    /// Whether `demand` would be admitted right now, without charging
+    /// it.
+    pub fn would_admit(&self, demand: BitsPerTick) -> bool {
+        self.capacity.is_unthrottled()
+            || self.admitted == BitsPerTick::ZERO
+            || self.admitted + demand < self.capacity
+    }
+
+    /// Charges `demand` unconditionally, even past the wall. For
+    /// restore paths (a daemon re-charging sessions it already admitted
+    /// before a restart) where refusing would orphan live state; new
+    /// arrivals go through [`LinkBudget::try_admit`].
+    pub fn admit(&mut self, demand: BitsPerTick) {
+        self.admitted += demand;
+    }
+
+    /// Charges `demand` against the budget if it fits; returns whether
+    /// it was admitted. A refused arrival leaves the ledger unchanged —
+    /// the caller queues it and retries after a [`release`].
+    ///
+    /// [`release`]: LinkBudget::release
+    pub fn try_admit(&mut self, demand: BitsPerTick) -> bool {
+        let ok = self.would_admit(demand);
+        if ok {
+            self.admitted += demand;
+        }
+        ok
+    }
+
+    /// Returns a departing workload's `demand` to the budget (clamped
+    /// at zero, so a stray double-release cannot underflow into
+    /// phantom headroom).
+    pub fn release(&mut self, demand: BitsPerTick) {
+        self.admitted = (self.admitted - demand).max(BitsPerTick::ZERO);
+    }
+
+    /// Admitted demand as a fraction of capacity (`0.0` when
+    /// unthrottled — an infinite pipe is never utilized).
+    pub fn utilization(&self) -> f64 {
+        if self.capacity.is_unthrottled() || self.capacity == BitsPerTick::ZERO {
+            0.0
+        } else {
+            self.admitted.ratio(self.capacity)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -606,5 +713,77 @@ mod tests {
         // halo recompute.
         assert!(p1 < 4.0 / 3.0 + 1e-9, "{p1}");
         assert!(p1 > 4.0 / 3.0 * 0.9, "{p1}");
+    }
+
+    #[test]
+    fn link_budget_admits_until_the_wall_and_ties_count_as_the_wall() {
+        let mut b = LinkBudget::new(BitsPerTick::new(100.0));
+        assert!(b.try_admit(BitsPerTick::new(40.0)));
+        assert!(b.try_admit(BitsPerTick::new(40.0)));
+        assert_eq!(b.admitted(), BitsPerTick::new(80.0));
+        assert_eq!(b.headroom(), BitsPerTick::new(20.0));
+        // Exactly reaching capacity is refused — the tie is the wall,
+        // like `critical_shards`'s `>=`.
+        assert!(!b.try_admit(BitsPerTick::new(20.0)));
+        // A refusal leaves the ledger unchanged.
+        assert_eq!(b.admitted(), BitsPerTick::new(80.0));
+        // Strictly under the wall still fits.
+        assert!(b.try_admit(BitsPerTick::new(19.0)));
+        assert!((b.utilization() - 0.99).abs() < 1e-12, "{}", b.utilization());
+    }
+
+    #[test]
+    fn link_budget_release_restores_headroom() {
+        let mut b = LinkBudget::new(BitsPerTick::new(100.0));
+        assert!(b.try_admit(BitsPerTick::new(60.0)));
+        assert!(!b.try_admit(BitsPerTick::new(50.0)), "60 + 50 > 100");
+        b.release(BitsPerTick::new(60.0));
+        assert_eq!(b.admitted(), BitsPerTick::ZERO);
+        assert!(b.try_admit(BitsPerTick::new(50.0)), "the queue drains after a departure");
+        // A stray double-release clamps at zero rather than minting
+        // phantom headroom.
+        b.release(BitsPerTick::new(50.0));
+        b.release(BitsPerTick::new(50.0));
+        assert_eq!(b.admitted(), BitsPerTick::ZERO);
+        assert_eq!(b.utilization(), 0.0);
+    }
+
+    #[test]
+    fn link_budget_is_work_conserving_when_empty() {
+        // A lone arrival over the wall is still admitted — backpressure
+        // bounds aggregate demand, it does not starve the only session.
+        let mut b = LinkBudget::new(BitsPerTick::new(10.0));
+        assert!(b.would_admit(BitsPerTick::new(500.0)));
+        assert!(b.try_admit(BitsPerTick::new(500.0)));
+        // But nothing else joins until it departs.
+        assert!(!b.try_admit(BitsPerTick::new(1.0)));
+        b.release(BitsPerTick::new(500.0));
+        assert!(b.try_admit(BitsPerTick::new(1.0)));
+    }
+
+    #[test]
+    fn link_budget_unthrottled_admits_everything() {
+        let mut b = LinkBudget::unthrottled();
+        for _ in 0..64 {
+            assert!(b.try_admit(BitsPerTick::new(1e9)));
+        }
+        assert_eq!(b.utilization(), 0.0);
+        assert!(b.headroom().is_unthrottled());
+    }
+
+    #[test]
+    fn link_budget_composes_with_the_model_cost_function() {
+        // The scheduler's actual loop: charge each session's
+        // `link_demand` until the fleet saturates.
+        let m = model();
+        let demand = m.link_demand(4);
+        assert!(demand > BitsPerTick::ZERO);
+        // Capacity for just over two such sessions: the third queues.
+        let mut b = LinkBudget::new(demand * 2.5);
+        assert!(b.try_admit(demand));
+        assert!(b.try_admit(demand));
+        assert!(!b.try_admit(demand), "third session must queue at 2.5× capacity");
+        b.release(demand);
+        assert!(b.try_admit(demand));
     }
 }

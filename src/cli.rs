@@ -219,6 +219,50 @@ pub enum Command {
         /// Per-operation rate for each injected I/O fault class.
         io_rate: f64,
     },
+    /// Start the lattice-as-a-service daemon: line-delimited JSON over
+    /// TCP, model-driven admission control, LRU eviction to the
+    /// durable checkpoint store, live metrics via `stats`.
+    Serve {
+        /// Bind address (`HOST:PORT`; port 0 lets the OS pick — the
+        /// daemon prints the bound address before serving).
+        addr: String,
+        /// Durable store directory; enables eviction and makes a
+        /// daemon kill + restart lossless.
+        checkpoint_dir: Option<String>,
+        /// Aggregate inter-board link capacity in bits/tick that
+        /// admission control may hand out (default 512).
+        link_capacity: Option<f64>,
+        /// Sessions allowed to keep engine state in memory at once.
+        max_live: usize,
+    },
+    /// Send one protocol frame to a running daemon and print the
+    /// response line(s).
+    Request {
+        /// Daemon address (`HOST:PORT`).
+        addr: String,
+        /// The request frame, as JSON (validated locally first).
+        line: String,
+    },
+    /// Benchmark the farm across engine x shards x overlap and report
+    /// sites/second; `--json` writes a `BENCH_<date>.json` artifact.
+    Bench {
+        /// Lattice rows.
+        rows: usize,
+        /// Lattice columns.
+        cols: usize,
+        /// Generations per cell.
+        steps: u64,
+        /// RNG seed.
+        seed: u64,
+        /// Generations per pass (= halo width).
+        depth: usize,
+        /// Comma-separated shard counts (e.g. `1,2,4`).
+        shards: String,
+        /// Also write the machine-readable artifact.
+        json: bool,
+        /// Artifact path (default `BENCH_<date>.json`).
+        out: Option<String>,
+    },
     /// Print the version/summary banner.
     Info,
 }
@@ -270,6 +314,56 @@ fn get<T: std::str::FromStr>(
     }
 }
 
+/// Column alignment for [`SweepTable`].
+#[derive(Clone, Copy)]
+enum Align {
+    Left,
+    Right,
+}
+
+/// Fixed-width formatter for the sweep tables (`fault-sim`,
+/// `fault-sim --farm`, `chaos`, `bench`): one place owns each table's
+/// column widths so headers and rows cannot drift apart.
+struct SweepTable {
+    cols: Vec<(&'static str, usize, Align)>,
+}
+
+impl SweepTable {
+    /// A table from `(name, min_width, align)` triples; every column is
+    /// at least as wide as its header.
+    fn new(cols: &[(&'static str, usize, Align)]) -> Self {
+        SweepTable { cols: cols.iter().map(|&(n, w, a)| (n, w.max(n.len()), a)).collect() }
+    }
+
+    /// The header line, trailing newline included.
+    fn header(&self) -> String {
+        let cells: Vec<String> =
+            self.cols.iter().map(|&(name, w, _)| format!("{name:<w$}")).collect();
+        format!("{}\n", cells.join("  ").trim_end())
+    }
+
+    /// One row, trailing newline included. Fewer cells than columns is
+    /// allowed — the last cell given is never padded, so spill-over
+    /// messages ("gave up: …") can span the remaining columns.
+    fn row(&self, cells: &[String]) -> String {
+        let mut out = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            match self.cols.get(i) {
+                Some(&(_, w, align)) if i + 1 < cells.len() => match align {
+                    Align::Left => out.push_str(&format!("{cell:<w$}")),
+                    Align::Right => out.push_str(&format!("{cell:>w$}")),
+                },
+                _ => out.push_str(cell),
+            }
+        }
+        out.push('\n');
+        out
+    }
+}
+
 /// Usage text.
 pub fn usage() -> String {
     "lattice — VLSI lattice engines (Kugelmass–Squier–Steiglitz 1987)\n\
@@ -298,6 +392,11 @@ pub fn usage() -> String {
                       [--checkpoint-dir DIR] [--ckpt-every N] [--resume]\n\
        lattice chaos  [--storms N] [--rows N] [--cols N] [--steps N]\n\
                       [--seed N] [--rate F] [--io-rate F]\n\
+       lattice serve  [--addr HOST:PORT] [--checkpoint-dir DIR]\n\
+                      [--link-capacity BITS_PER_TICK] [--max-live N]\n\
+       lattice request --addr HOST:PORT --line JSON_FRAME\n\
+       lattice bench  [--rows N] [--cols N] [--steps N] [--seed N]\n\
+                      [--depth K] [--shards S1,S2,..] [--json] [--out FILE]\n\
        lattice info\n"
         .to_string()
 }
@@ -423,6 +522,38 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             rate: get(&flags, "rate", 2e-3)?,
             io_rate: get(&flags, "io-rate", 0.1)?,
         }),
+        "serve" => Ok(Command::Serve {
+            addr: get(&flags, "addr", "127.0.0.1:0".to_string())?,
+            checkpoint_dir: flags.get("checkpoint-dir").cloned(),
+            link_capacity: match flags.get("link-capacity") {
+                None => None,
+                Some(v) => Some(
+                    v.parse()
+                        .map_err(|_| CliError(format!("bad value for --link-capacity: `{v}`")))?,
+                ),
+            },
+            max_live: get(&flags, "max-live", 4)?,
+        }),
+        "request" => Ok(Command::Request {
+            addr: flags
+                .get("addr")
+                .cloned()
+                .ok_or_else(|| CliError("request needs --addr HOST:PORT".into()))?,
+            line: flags
+                .get("line")
+                .cloned()
+                .ok_or_else(|| CliError("request needs --line '<json frame>'".into()))?,
+        }),
+        "bench" => Ok(Command::Bench {
+            rows: get(&flags, "rows", 48)?,
+            cols: get(&flags, "cols", 96)?,
+            steps: get(&flags, "steps", 8)?,
+            seed: get(&flags, "seed", 42)?,
+            depth: get(&flags, "depth", 2)?,
+            shards: get(&flags, "shards", "1,2,4".to_string())?,
+            json: flags.contains_key("json"),
+            out: flags.get("out").cloned(),
+        }),
         "info" => Ok(Command::Info),
         "help" | "--help" | "-h" => Err(CliError(usage())),
         other => Err(CliError(format!("unknown command `{other}`\n\n{}", usage()))),
@@ -536,6 +667,13 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
         }),
         Command::Chaos { storms, rows, cols, steps, seed, rate, io_rate } => {
             run_chaos(storms, rows, cols, steps, seed, rate, io_rate)
+        }
+        Command::Serve { addr, checkpoint_dir, link_capacity, max_live } => {
+            run_serve(addr, checkpoint_dir, link_capacity, max_live)
+        }
+        Command::Request { addr, line } => run_request(&addr, &line),
+        Command::Bench { rows, cols, steps, seed, depth, shards, json, out } => {
+            run_bench(rows, cols, steps, seed, depth, &shards, json, out.as_deref())
         }
         Command::Info => Ok(format!(
             "lattice-engines {} — engines, bounds, and gases from \
@@ -900,7 +1038,17 @@ fn run_fault_sim(
             None => String::new(),
         }
     );
-    out.push_str("rate       injected  detected  rollbacks  bypassed  passes  upd/fault  result\n");
+    let table = SweepTable::new(&[
+        ("rate", 9, Align::Left),
+        ("injected", 8, Align::Right),
+        ("detected", 8, Align::Right),
+        ("rollbacks", 9, Align::Right),
+        ("bypassed", 8, Align::Right),
+        ("passes", 6, Align::Right),
+        ("upd/fault", 9, Align::Right),
+        ("result", 0, Align::Left),
+    ]);
+    out.push_str(&table.header());
     let mut unrecovered = 0u32;
     for mult in [0.0, 0.1, 1.0, 10.0] {
         let r = (rate * mult).min(1.0);
@@ -937,17 +1085,20 @@ fn run_fault_sim(
                     unrecovered += 1;
                     "WRONG"
                 };
-                out.push_str(&format!(
-                    "{r:<9.1e}  {injected:>8}  {:>8}  {:>9}  {:>8}  {:>6}  {upd_per_fault:>9}  {result}\n",
-                    ft.recovery.detected,
-                    ft.recovery.rollbacks,
-                    ft.recovery.bypassed_chips,
-                    ft.run.passes,
-                ));
+                out.push_str(&table.row(&[
+                    format!("{r:.1e}"),
+                    injected.to_string(),
+                    ft.recovery.detected.to_string(),
+                    ft.recovery.rollbacks.to_string(),
+                    ft.recovery.bypassed_chips.to_string(),
+                    ft.run.passes.to_string(),
+                    upd_per_fault,
+                    result.to_string(),
+                ]));
             }
             Err(e) => {
                 unrecovered += 1;
-                out.push_str(&format!("{r:<9.1e}  gave up: {e}\n"));
+                out.push_str(&table.row(&[format!("{r:.1e}"), format!("gave up: {e}")]));
             }
         }
     }
@@ -1055,10 +1206,20 @@ fn run_farm_fault_sim(
             None => String::new(),
         }
     );
-    out.push_str(
-        "shards  rate       injected  detected  retrans  local  global  degraded  \
-         passes  upd/fault  result\n",
-    );
+    let table = SweepTable::new(&[
+        ("shards", 6, Align::Left),
+        ("rate", 9, Align::Left),
+        ("injected", 8, Align::Right),
+        ("detected", 8, Align::Right),
+        ("retrans", 7, Align::Right),
+        ("local", 5, Align::Right),
+        ("global", 6, Align::Right),
+        ("degraded", 8, Align::Right),
+        ("passes", 6, Align::Right),
+        ("upd/fault", 9, Align::Right),
+        ("result", 0, Align::Left),
+    ]);
+    out.push_str(&table.header());
     let mut unrecovered = 0u32;
     for &s in &shard_counts {
         let farm = LatticeFarm::new(s, ShardEngine::Wsa { width }, depth).with_overlap(overlap);
@@ -1109,20 +1270,27 @@ fn run_farm_fault_sim(
                         unrecovered += 1;
                         "WRONG"
                     };
-                    out.push_str(&format!(
-                        "{s:<6}  {r:<9.1e}  {injected:>8}  {:>8}  {:>7}  {:>5}  {:>6}  {:>8}  \
-                         {:>6}  {upd_per_fault:>9}  {result}\n",
-                        ft.recovery.detected,
-                        ft.recovery.retransmits,
-                        ft.recovery.local_rollbacks,
-                        ft.recovery.rollbacks,
-                        ft.recovery.boards_retired,
-                        ft.report.passes,
-                    ));
+                    out.push_str(&table.row(&[
+                        s.to_string(),
+                        format!("{r:.1e}"),
+                        injected.to_string(),
+                        ft.recovery.detected.to_string(),
+                        ft.recovery.retransmits.to_string(),
+                        ft.recovery.local_rollbacks.to_string(),
+                        ft.recovery.rollbacks.to_string(),
+                        ft.recovery.boards_retired.to_string(),
+                        ft.report.passes.to_string(),
+                        upd_per_fault,
+                        result.to_string(),
+                    ]));
                 }
                 Err(e) => {
                     unrecovered += 1;
-                    out.push_str(&format!("{s:<6}  {r:<9.1e}  gave up: {e}\n"));
+                    out.push_str(&table.row(&[
+                        s.to_string(),
+                        format!("{r:.1e}"),
+                        format!("gave up: {e}"),
+                    ]));
                 }
             }
         }
@@ -1496,10 +1664,21 @@ fn run_chaos(
          invariants: exact conservation vs reference, ladder accounting, durable \
          snapshots reassemble bit-exact\n\n"
     );
-    out.push_str(
-        "storm  seed                  cfg             det  rt  loc  glob  ret  \
-         io t/r/s/c  ckpt ok/ref  snapshot    result\n",
-    );
+    let table = SweepTable::new(&[
+        ("storm", 5, Align::Right),
+        ("seed", 20, Align::Left),
+        ("cfg", 14, Align::Left),
+        ("det", 3, Align::Right),
+        ("rt", 2, Align::Right),
+        ("loc", 3, Align::Right),
+        ("glob", 4, Align::Right),
+        ("ret", 3, Align::Right),
+        ("io t/r/s/c", 10, Align::Right),
+        ("ckpt ok/ref", 11, Align::Left),
+        ("snapshot", 10, Align::Left),
+        ("result", 0, Align::Left),
+    ]);
+    out.push_str(&table.header());
     let mut failed: Vec<u64> = Vec::new();
     for storm in 0..storms {
         let sseed = seed.wrapping_add(storm);
@@ -1628,16 +1807,19 @@ fn run_chaos(
             },
         );
         let mut why: Option<String> = None;
-        let mut counters = String::from("-                        ");
+        let mut ladder = ["-", "-", "-", "-", "-"].map(String::from);
         let mut snap_note = "none";
         match run {
             Err(e) => why = Some(format!("run gave up: {e}")),
             Ok(ft) => {
                 let r = &ft.recovery;
-                counters = format!(
-                    "{:>3}  {:>2}  {:>3}  {:>4}  {:>3}",
-                    r.detected, r.retransmits, r.local_rollbacks, r.rollbacks, r.boards_retired
-                );
+                ladder = [
+                    r.detected.to_string(),
+                    r.retransmits.to_string(),
+                    r.local_rollbacks.to_string(),
+                    r.rollbacks.to_string(),
+                    r.boards_retired.to_string(),
+                ];
                 if ft.report.grid() != &reference {
                     why = Some("final lattice diverged from reference".into());
                 } else if r.detected
@@ -1685,15 +1867,21 @@ fn run_chaos(
                 format!("FAIL: {w}")
             }
         };
-        out.push_str(&format!(
-            "{storm:>5}  {sseed:<20}  {cfg_str:<14}  {counters}  {:>2}/{:>1}/{:>2}/{:>2}  \
-             {:>4}/{refused:<3}  {snap_note:<10}  {result}\n",
-            io.torn_writes,
-            io.bit_rots,
-            io.short_reads,
-            io.crashes,
-            store.commits(),
-        ));
+        let [det, rt, loc, glob, ret] = ladder;
+        out.push_str(&table.row(&[
+            storm.to_string(),
+            sseed.to_string(),
+            cfg_str,
+            det,
+            rt,
+            loc,
+            glob,
+            ret,
+            format!("{}/{}/{}/{}", io.torn_writes, io.bit_rots, io.short_reads, io.crashes),
+            format!("{}/{}", store.commits(), refused),
+            snap_note.to_string(),
+            result,
+        ]));
     }
     out.push_str(
         "\ndet/rt/loc/glob/ret = recovery-ladder detections and the level that\n\
@@ -1715,6 +1903,186 @@ fn run_chaos(
         }
         Err(CliError(out))
     }
+}
+
+/// `lattice serve`: bind the daemon and block until a `shutdown` frame
+/// arrives. The bound address is printed (and flushed) before the
+/// accept loop starts, so scripts binding port 0 can discover it.
+fn run_serve(
+    addr: String,
+    checkpoint_dir: Option<String>,
+    link_capacity: Option<f64>,
+    max_live: usize,
+) -> Result<String, CliError> {
+    use crate::serve::{Daemon, DaemonConfig};
+    use std::io::Write;
+
+    if max_live == 0 {
+        return Err(CliError("serve: --max-live must be ≥ 1".into()));
+    }
+    if let Some(c) = link_capacity {
+        if c.is_nan() || c <= 0.0 {
+            return Err(CliError("serve: --link-capacity must be positive".into()));
+        }
+    }
+    let daemon = Daemon::bind(&DaemonConfig { addr, checkpoint_dir, link_capacity, max_live })
+        .map_err(|e| CliError(e.to_string()))?;
+    println!("lattice-serve listening on {}", daemon.addr());
+    let _ = std::io::stdout().flush();
+    daemon.run().map_err(|e| CliError(e.to_string()))?;
+    Ok("lattice-serve: shut down cleanly\n".into())
+}
+
+/// `lattice request`: one frame out, response line(s) back. The frame
+/// is validated locally first so a typo fails with a protocol error
+/// here instead of a round trip; a `stats` frame with `watch > 1`
+/// reads the whole streamed window.
+fn run_request(addr: &str, line: &str) -> Result<String, CliError> {
+    use crate::serve::{Client, Request};
+
+    let request = Request::from_line(line).map_err(|e| CliError(format!("request: {e}")))?;
+    let mut client = Client::connect(addr).map_err(|e| CliError(e.to_string()))?;
+    let mut out = client.call(&request.to_line()).map_err(|e| CliError(e.to_string()))?;
+    out.push('\n');
+    if let Request::Stats { watch } = request {
+        for _ in 1..watch {
+            match client.read_line().map_err(|e| CliError(e.to_string()))? {
+                Some(l) => {
+                    out.push_str(&l);
+                    out.push('\n');
+                }
+                None => break,
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Today's date as `YYYY-MM-DD` (UTC), via Howard Hinnant's
+/// civil-from-days algorithm — no calendar dependency.
+fn bench_date() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// `lattice bench`: sweep HPP through engine x shards x overlap and
+/// report throughput at the paper's 10 MHz clock; `--json` emits the
+/// same numbers as a machine-readable artifact for trend tracking.
+#[allow(clippy::too_many_arguments)]
+fn run_bench(
+    rows: usize,
+    cols: usize,
+    steps: u64,
+    seed: u64,
+    depth: usize,
+    shards_list: &str,
+    json: bool,
+    out_path: Option<&str>,
+) -> Result<String, CliError> {
+    use crate::farm::{LatticeFarm, ShardEngine};
+    use crate::serve::json::Value;
+
+    if depth == 0 || steps == 0 {
+        return Err(CliError("bench: --depth and --steps must be ≥ 1".into()));
+    }
+    let shard_counts: Vec<usize> = shards_list
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1 && n <= cols)
+                .ok_or_else(|| CliError(format!("bench: bad --shards entry `{s}` (1..=cols)")))
+        })
+        .collect::<Result<_, _>>()?;
+    let shape = Shape::grid2(rows, cols).map_err(|e| CliError(e.to_string()))?;
+    let grid = init::random_hpp(shape, 0.3, seed).map_err(|e| CliError(e.to_string()))?;
+    let rule = HppRule::new();
+    let clock = Technology::paper_1987().clock();
+
+    let table = SweepTable::new(&[
+        ("engine", 6, Align::Left),
+        ("shards", 6, Align::Right),
+        ("overlap", 7, Align::Left),
+        ("sites/sec", 12, Align::Right),
+        ("upd/tick", 8, Align::Right),
+        ("halo bits/tick", 14, Align::Right),
+        ("ticks", 8, Align::Right),
+    ]);
+    let mut out = format!(
+        "bench: hpp on {rows}x{cols}, {steps} generations, k = {depth}, seed {seed}, \
+         clock {:.1e} Hz\n",
+        clock.get()
+    );
+    out.push_str(&table.header());
+    let mut results: Vec<Value> = Vec::new();
+    for ename in ["wsa", "spa"] {
+        for &s in &shard_counts {
+            for overlap in [false, true] {
+                let eng = match ename {
+                    "wsa" => ShardEngine::Wsa { width: 2 },
+                    _ => ShardEngine::Spa { slice_width: 1 },
+                };
+                let farm = LatticeFarm::new(s, eng, depth).with_overlap(overlap);
+                let report =
+                    farm.run(&rule, &grid, 0, steps).map_err(|e| CliError(e.to_string()))?;
+                let sps = report.updates_per_second(clock).get();
+                out.push_str(&table.row(&[
+                    ename.to_string(),
+                    s.to_string(),
+                    if overlap { "yes" } else { "no" }.to_string(),
+                    format!("{sps:.3e}"),
+                    format!("{:.2}", report.updates_per_tick().get()),
+                    format!("{:.2}", report.halo_bits_per_tick().get()),
+                    report.machine_ticks().get().to_string(),
+                ]));
+                results.push(Value::Obj(vec![
+                    ("engine".into(), Value::Str(ename.into())),
+                    ("shards".into(), Value::num_usize(s)),
+                    ("overlap".into(), Value::Bool(overlap)),
+                    ("sites_per_sec".into(), Value::Num(sps)),
+                    ("updates_per_tick".into(), Value::Num(report.updates_per_tick().get())),
+                    ("halo_bits_per_tick".into(), Value::Num(report.halo_bits_per_tick().get())),
+                    ("machine_ticks".into(), Value::num_u64(report.machine_ticks().get())),
+                    ("passes".into(), Value::num_u64(report.passes)),
+                ]));
+            }
+        }
+    }
+    if json {
+        let date = bench_date();
+        let path = match out_path {
+            Some(p) => p.to_string(),
+            None => format!("BENCH_{date}.json"),
+        };
+        let doc = Value::Obj(vec![
+            ("date".into(), Value::Str(date)),
+            ("model".into(), Value::Str("hpp".into())),
+            ("rows".into(), Value::num_usize(rows)),
+            ("cols".into(), Value::num_usize(cols)),
+            ("steps".into(), Value::num_u64(steps)),
+            ("seed".into(), Value::num_u64(seed)),
+            ("depth".into(), Value::num_usize(depth)),
+            ("clock_hz".into(), Value::Num(clock.get())),
+            ("results".into(), Value::Arr(results)),
+        ]);
+        std::fs::write(&path, doc.render() + "\n")
+            .map_err(|e| CliError(format!("bench: write {path}: {e}")))?;
+        out.push_str(&format!("wrote {path}\n"));
+    }
+    Ok(out)
 }
 
 fn run_pebble(d: usize, r: usize, t: usize, s: usize) -> Result<String, CliError> {
@@ -2430,6 +2798,90 @@ mod tests {
         })
         .unwrap();
         assert!(out.contains("all 2 storm(s) recovered"), "{out}");
+    }
+
+    #[test]
+    fn sweep_table_pads_and_spills() {
+        let t = SweepTable::new(&[
+            ("a", 3, Align::Left),
+            ("bb", 4, Align::Right),
+            ("c", 0, Align::Left),
+        ]);
+        assert_eq!(t.header(), "a    bb    c\n");
+        assert_eq!(t.row(&["x".into(), "9".into(), "end".into()]), "x       9  end\n");
+        // A short row spills its last cell across the remaining columns.
+        assert_eq!(t.row(&["x".into(), "gave up".into()]), "x    gave up\n");
+    }
+
+    #[test]
+    fn serve_request_and_bench_parse() {
+        match parse(&argv("serve --addr 127.0.0.1:0 --max-live 2 --link-capacity 96")).unwrap() {
+            Command::Serve { addr, checkpoint_dir: None, link_capacity: Some(c), max_live: 2 } => {
+                assert_eq!(addr, "127.0.0.1:0");
+                assert_eq!(c, 96.0);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(execute(parse(&argv("serve --max-live 0")).unwrap()).is_err());
+        assert!(execute(parse(&argv("serve --link-capacity -1")).unwrap()).is_err());
+        // `request` demands both halves of the conversation.
+        assert!(parse(&argv("request --addr 127.0.0.1:1")).is_err());
+        assert!(parse(&argv("request")).is_err());
+        match parse(&argv("bench --shards 1,2 --json")).unwrap() {
+            Command::Bench { json: true, shards, out: None, .. } => assert_eq!(shards, "1,2"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn request_drives_a_live_daemon_end_to_end() {
+        use crate::serve::{Daemon, DaemonConfig};
+        let (addr, handle) = Daemon::spawn(&DaemonConfig::default()).unwrap();
+        let addr = addr.to_string();
+        let req = |line: &str| execute(Command::Request { addr: addr.clone(), line: line.into() });
+
+        // A malformed frame fails locally, before any round trip.
+        assert!(req("{nope").is_err());
+
+        let out = req(r#"{"op":"create","session":"t0","spec":{"model":"hpp","rows":12,"cols":24,"shards":2}}"#)
+            .unwrap();
+        assert!(out.contains(r#""admitted":true"#), "{out}");
+        let out = req(r#"{"op":"step","session":"t0","n":3}"#).unwrap();
+        assert!(out.contains(r#""time":3"#), "{out}");
+        // A streamed stats window comes back as one line per sample.
+        let out = req(r#"{"op":"stats","watch":2}"#).unwrap();
+        assert_eq!(out.lines().count(), 2, "{out}");
+        let out = req(r#"{"op":"shutdown"}"#).unwrap();
+        assert!(out.contains(r#""ok":true"#), "{out}");
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn bench_sweeps_the_grid_and_writes_the_artifact() {
+        let dir = std::env::temp_dir().join(format!("lattice-bench-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json").to_string_lossy().into_owned();
+        let out = execute(Command::Bench {
+            rows: 16,
+            cols: 24,
+            steps: 4,
+            seed: 3,
+            depth: 2,
+            shards: "1,2".into(),
+            json: true,
+            out: Some(path.clone()),
+        })
+        .unwrap();
+        assert!(out.contains("sites/sec"), "{out}");
+        // 2 engines x 2 shard counts x 2 overlap modes.
+        let cells = out.lines().filter(|l| l.starts_with("wsa") || l.starts_with("spa")).count();
+        assert_eq!(cells, 8, "{out}");
+        let doc = std::fs::read_to_string(&path).unwrap();
+        assert!(doc.contains("\"sites_per_sec\""), "{doc}");
+        assert!(doc.contains("\"results\""), "{doc}");
+        assert!(execute(parse(&argv("bench --steps 0")).unwrap()).is_err());
+        assert!(execute(parse(&argv("bench --shards 0,2")).unwrap()).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

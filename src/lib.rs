@@ -15,4 +15,5 @@ pub use lattice_farm as farm;
 pub use lattice_gas as gas;
 pub use lattice_image as image;
 pub use lattice_pebbles as pebbles;
+pub use lattice_serve as serve;
 pub use lattice_vlsi as vlsi;

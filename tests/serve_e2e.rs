@@ -1,0 +1,264 @@
+//! End-to-end tests for the lattice-as-a-service daemon: real TCP,
+//! real frames, bit-exactness against direct `LatticeFarm` runs,
+//! admission backpressure, and kill + restart recovery — the
+//! acceptance criteria of the serve subsystem, in-process.
+
+use lattice_engines::gas::HppRule;
+use lattice_engines::serve::{
+    build_farm, link_demand, seed_grid, Client, Daemon, DaemonConfig, Query, Request, Response,
+    SessionSpec,
+};
+
+/// An HPP session spec the reference runs can mirror exactly.
+fn hpp_spec(rows: usize, cols: usize, shards: usize, seed: u64) -> SessionSpec {
+    SessionSpec { model: "hpp".into(), rows, cols, seed, shards, ..SessionSpec::default() }
+}
+
+/// The reference lattice for `spec` after `steps` generations: the
+/// same sharded farm run the daemon performs, driven directly.
+fn reference_cells(spec: &SessionSpec, steps: u64) -> Vec<u8> {
+    let grid = seed_grid(spec).expect("grid");
+    let farm = build_farm(spec).expect("farm");
+    let report = farm.run(&HppRule::new(), &grid, 0, steps).expect("reference run");
+    report.grid().as_slice().to_vec()
+}
+
+fn call(client: &mut Client, req: &Request) -> Response {
+    let line = client.call(&req.to_line()).expect("call");
+    Response::from_line(&line).expect("response frame")
+}
+
+fn create(client: &mut Client, name: &str, spec: &SessionSpec) -> bool {
+    match call(client, &Request::Create { session: name.into(), spec: spec.clone() }) {
+        Response::Created { session, admitted } => {
+            assert_eq!(session, name);
+            admitted
+        }
+        other => panic!("create {name}: {other:?}"),
+    }
+}
+
+fn step(client: &mut Client, name: &str, n: u64) -> u64 {
+    match call(client, &Request::Step { session: name.into(), n }) {
+        Response::Stepped { time, .. } => time,
+        other => panic!("step {name}: {other:?}"),
+    }
+}
+
+fn region(client: &mut Client, name: &str, spec: &SessionSpec) -> (u64, Vec<u8>) {
+    let what = Query::Region { row0: 0, col0: 0, rows: spec.rows, cols: spec.cols };
+    match call(client, &Request::QueryReq { session: name.into(), what }) {
+        Response::Region { time, rows, cols, cells, .. } => {
+            assert_eq!((rows, cols), (spec.rows, spec.cols));
+            (time, cells)
+        }
+        other => panic!("region {name}: {other:?}"),
+    }
+}
+
+fn stats(client: &mut Client) -> lattice_engines::serve::StatsFrame {
+    match call(client, &Request::Stats { watch: 1 }) {
+        Response::Stats(frame) => frame,
+        other => panic!("stats: {other:?}"),
+    }
+}
+
+fn shutdown(addr: &str) {
+    let mut client = Client::connect(addr).expect("connect");
+    match call(&mut client, &Request::Shutdown) {
+        Response::Bye => {}
+        other => panic!("shutdown: {other:?}"),
+    }
+}
+
+fn temp_dir(tag: &str) -> String {
+    let dir = std::env::temp_dir().join(format!("lattice-serve-e2e-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.to_string_lossy().into_owned()
+}
+
+#[test]
+fn two_concurrent_sessions_stay_bit_exact_vs_direct_farm_runs() {
+    let config = DaemonConfig { link_capacity: Some(f64::INFINITY), ..DaemonConfig::default() };
+    let (addr, handle) = Daemon::spawn(&config).expect("spawn");
+    let addr = addr.to_string();
+
+    let spec_a = hpp_spec(12, 24, 2, 7);
+    let spec_b = hpp_spec(10, 30, 3, 9);
+    {
+        let mut c = Client::connect(&addr).expect("connect");
+        assert!(create(&mut c, "a", &spec_a));
+        assert!(create(&mut c, "b", &spec_b));
+    }
+
+    // Two clients on their own threads, stepping their own sessions in
+    // uneven chunks — sessions multiplex, chunking must not matter.
+    let workers: Vec<_> = [("a", [1u64, 3, 2]), ("b", [2, 2, 2])]
+        .into_iter()
+        .map(|(name, chunks)| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr).expect("connect");
+                for n in chunks {
+                    step(&mut c, name, n);
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("worker");
+    }
+
+    let mut c = Client::connect(&addr).expect("connect");
+    let (time_a, cells_a) = region(&mut c, "a", &spec_a);
+    let (time_b, cells_b) = region(&mut c, "b", &spec_b);
+    assert_eq!(time_a, 6);
+    assert_eq!(time_b, 6);
+    assert_eq!(cells_a, reference_cells(&spec_a, 6), "session a diverged");
+    assert_eq!(cells_b, reference_cells(&spec_b, 6), "session b diverged");
+
+    let frame = stats(&mut c);
+    assert_eq!(frame.live, 2, "{frame:?}");
+    assert_eq!(frame.queued, 0, "{frame:?}");
+
+    shutdown(&addr);
+    handle.join().expect("join").expect("run");
+}
+
+#[test]
+fn admission_control_queues_past_saturation_and_promotes_on_destroy() {
+    let spec = hpp_spec(12, 24, 2, 7);
+    let demand = link_demand(&spec).expect("demand").get();
+    // Capacity fits two identical sessions (admitted + demand < cap);
+    // the third must predict saturation and queue.
+    let config = DaemonConfig { link_capacity: Some(2.5 * demand), ..DaemonConfig::default() };
+    let (addr, handle) = Daemon::spawn(&config).expect("spawn");
+    let addr = addr.to_string();
+    let mut c = Client::connect(&addr).expect("connect");
+
+    assert!(create(&mut c, "a", &spec), "first session must be admitted");
+    assert!(create(&mut c, "b", &spec), "second session must be admitted");
+    assert!(!create(&mut c, "c", &spec), "third session must be queued");
+
+    // The queued session is visible in stats and refuses to step.
+    let frame = stats(&mut c);
+    assert_eq!((frame.live, frame.queued), (2, 1), "{frame:?}");
+    let queued = frame.sessions.iter().find(|s| s.session == "c").expect("c listed");
+    assert_eq!(queued.state, "queued", "{frame:?}");
+    match call(&mut c, &Request::Step { session: "c".into(), n: 1 }) {
+        Response::Error { message } => {
+            assert!(message.contains("queued"), "{message}");
+        }
+        other => panic!("queued step: {other:?}"),
+    }
+
+    // Destroying an admitted session frees budget; the queue drains
+    // FIFO and the promoted session becomes steppable.
+    match call(&mut c, &Request::Destroy { session: "a".into() }) {
+        Response::Destroyed { promoted, .. } => assert_eq!(promoted, vec!["c".to_string()]),
+        other => panic!("destroy: {other:?}"),
+    }
+    let frame = stats(&mut c);
+    assert_eq!((frame.live, frame.queued), (2, 0), "{frame:?}");
+    assert_eq!(step(&mut c, "c", 2), 2);
+    assert_eq!(
+        region(&mut c, "c", &spec).1,
+        reference_cells(&spec, 2),
+        "promoted session diverged"
+    );
+
+    shutdown(&addr);
+    handle.join().expect("join").expect("run");
+}
+
+#[test]
+fn daemon_kill_and_restart_restores_every_session_bit_exact() {
+    let dir = temp_dir("restart");
+    let config = DaemonConfig {
+        checkpoint_dir: Some(dir.clone()),
+        link_capacity: Some(f64::INFINITY),
+        ..DaemonConfig::default()
+    };
+    let (addr, handle) = Daemon::spawn(&config).expect("spawn");
+    let addr = addr.to_string();
+
+    let spec_a = hpp_spec(12, 24, 2, 7);
+    let spec_b = hpp_spec(10, 30, 3, 9);
+    {
+        let mut c = Client::connect(&addr).expect("connect");
+        assert!(create(&mut c, "a", &spec_a));
+        assert!(create(&mut c, "b", &spec_b));
+        assert_eq!(step(&mut c, "a", 3), 3);
+        assert_eq!(step(&mut c, "b", 4), 4);
+    }
+    // `shutdown` evicts every live session to the durable store.
+    shutdown(&addr);
+    handle.join().expect("join").expect("run");
+
+    // A fresh daemon over the same store must see both sessions at
+    // their checkpointed generations, bit-exact, and keep stepping
+    // exactly.
+    let (addr2, handle2) = Daemon::spawn(&config).expect("respawn");
+    let addr2 = addr2.to_string();
+    let mut c = Client::connect(&addr2).expect("connect");
+
+    let frame = stats(&mut c);
+    assert_eq!(frame.sessions.len(), 2, "{frame:?}");
+    assert!(
+        frame.sessions.iter().all(|s| s.state == "evicted"),
+        "restored sessions start evicted: {frame:?}"
+    );
+
+    let (time_a, cells_a) = region(&mut c, "a", &spec_a);
+    assert_eq!(time_a, 3);
+    assert_eq!(cells_a, reference_cells(&spec_a, 3), "session a lost bits across restart");
+    let (time_b, cells_b) = region(&mut c, "b", &spec_b);
+    assert_eq!(time_b, 4);
+    assert_eq!(cells_b, reference_cells(&spec_b, 4), "session b lost bits across restart");
+
+    assert_eq!(step(&mut c, "a", 2), 5);
+    assert_eq!(
+        region(&mut c, "a", &spec_a).1,
+        reference_cells(&spec_a, 5),
+        "post-restart stepping diverged"
+    );
+
+    shutdown(&addr2);
+    handle2.join().expect("join").expect("run");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn lru_eviction_keeps_sessions_correct_under_memory_pressure() {
+    let dir = temp_dir("lru");
+    let config = DaemonConfig {
+        checkpoint_dir: Some(dir.clone()),
+        link_capacity: Some(f64::INFINITY),
+        max_live: 1,
+        ..DaemonConfig::default()
+    };
+    let (addr, handle) = Daemon::spawn(&config).expect("spawn");
+    let addr = addr.to_string();
+    let mut c = Client::connect(&addr).expect("connect");
+
+    let spec_a = hpp_spec(12, 24, 2, 7);
+    let spec_b = hpp_spec(10, 30, 3, 9);
+    assert!(create(&mut c, "a", &spec_a));
+    assert!(create(&mut c, "b", &spec_b)); // evicts a (max_live = 1)
+
+    // Ping-pong stepping forces evict/restore on every touch; the
+    // lattices must not care.
+    for _ in 0..3 {
+        step(&mut c, "a", 1);
+        step(&mut c, "b", 2);
+    }
+    assert_eq!(region(&mut c, "a", &spec_a), (3, reference_cells(&spec_a, 3)));
+    assert_eq!(region(&mut c, "b", &spec_b), (6, reference_cells(&spec_b, 6)));
+
+    let frame = stats(&mut c);
+    assert_eq!(frame.live, 1, "only one session may be resident: {frame:?}");
+
+    shutdown(&addr);
+    handle.join().expect("join").expect("run");
+    std::fs::remove_dir_all(&dir).ok();
+}
