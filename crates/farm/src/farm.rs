@@ -62,6 +62,7 @@ use lattice_engines_sim::{
 };
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Which cycle-level engine every board runs over its slab.
@@ -1439,6 +1440,70 @@ impl LatticeFarm {
         cfg: &FarmRecoveryConfig,
         sink: Option<&mut (dyn SnapshotSink + '_)>,
     ) -> Result<FarmSession<'p, S>, LatticeError> {
+        let plan = match plan {
+            Some(p) => PlanRef::Borrowed(p),
+            None => PlanRef::None,
+        };
+        self.session_inner(grid, t0, plan, cfg, sink)
+    }
+
+    /// [`LatticeFarm::session`] with a fault plan the session *owns*.
+    ///
+    /// The borrowed form ties the session's lifetime to the plan's; a
+    /// long-lived host multiplexing many sessions (the `lattice-serve`
+    /// daemon, whose per-session plans are built from each session's
+    /// spec) has no frame for that borrow to live in, so this entry
+    /// point moves the plan into the session and the result is
+    /// `'static`.
+    pub fn session_owned<S: State>(
+        &self,
+        grid: &Grid<S>,
+        t0: u64,
+        plan: Option<Arc<FaultPlan>>,
+        cfg: &FarmRecoveryConfig,
+        sink: Option<&mut (dyn SnapshotSink + '_)>,
+    ) -> Result<FarmSession<'static, S>, LatticeError> {
+        let plan = match plan {
+            Some(p) => PlanRef::Owned(p),
+            None => PlanRef::None,
+        };
+        self.session_inner(grid, t0, plan, cfg, sink)
+    }
+
+    /// The physical chip id of board `b`'s halo link under this farm's
+    /// chip numbering, for a `cols`-column lattice with a degrade
+    /// budget of `max_retired` boards — the id a [`Fault`] targeting
+    /// [`Component::Link`](lattice_engines_sim::Component::Link) must
+    /// carry to afflict exactly that board's link.
+    pub fn link_chip(
+        &self,
+        cols: usize,
+        max_retired: usize,
+        b: usize,
+    ) -> Result<usize, LatticeError> {
+        if b >= self.shards {
+            return Err(LatticeError::InvalidConfig(format!(
+                "board {b} out of range for {} shard(s)",
+                self.shards
+            )));
+        }
+        if max_retired >= self.shards {
+            return Err(LatticeError::InvalidConfig(
+                "degrade budget must leave at least one board".into(),
+            ));
+        }
+        let stride = self.chip_stride_range(cols, self.shards - max_retired)?;
+        Ok(self.shards * stride + b)
+    }
+
+    fn session_inner<'p, S: State>(
+        &self,
+        grid: &Grid<S>,
+        t0: u64,
+        plan: PlanRef<'p>,
+        cfg: &FarmRecoveryConfig,
+        sink: Option<&mut (dyn SnapshotSink + '_)>,
+    ) -> Result<FarmSession<'p, S>, LatticeError> {
         self.validate(grid)?;
         if cfg.checkpoint_every == 0 {
             return Err(LatticeError::InvalidConfig("checkpoint interval must be ≥ 1".into()));
@@ -1449,7 +1514,7 @@ impl LatticeFarm {
                 "degrade budget must leave at least one board".into(),
             ));
         }
-        let fault_base = plan.map(|p| p.stats()).unwrap_or_default();
+        let fault_base = plan.get().map(|p| p.stats()).unwrap_or_default();
         let shape = grid.shape();
         let cols = shape.cols();
         let stride = self.chip_stride_range(cols, self.shards - max_retired)?;
@@ -1489,6 +1554,25 @@ impl LatticeFarm {
     }
 }
 
+/// How a [`FarmSession`] holds its fault plan: borrowed from the
+/// caller (the one-shot entry points), owned by the session
+/// ([`LatticeFarm::session_owned`]), or absent.
+enum PlanRef<'p> {
+    None,
+    Borrowed(&'p FaultPlan),
+    Owned(Arc<FaultPlan>),
+}
+
+impl PlanRef<'_> {
+    fn get(&self) -> Option<&FaultPlan> {
+        match self {
+            PlanRef::None => None,
+            PlanRef::Borrowed(p) => Some(p),
+            PlanRef::Owned(p) => Some(p),
+        }
+    }
+}
+
 /// A re-entrant farm run: the recovery ladder's entire cross-pass state
 /// — lattice, checkpoint barrier, retry budgets, fault-stream and
 /// attempt epochs, overlap windows, accounting — held between
@@ -1511,7 +1595,7 @@ impl LatticeFarm {
 pub struct FarmSession<'p, S: State> {
     farm: LatticeFarm,
     cfg: FarmRecoveryConfig,
-    plan: Option<&'p FaultPlan>,
+    plan: PlanRef<'p>,
     fault_base: FaultStats,
     shape: Shape,
     cols: usize,
@@ -1568,7 +1652,7 @@ impl<'p, S: State> FarmSession<'p, S> {
     /// session keeps running — this is what the daemon's `stats`
     /// endpoint serves between steps.
     pub fn report(&self) -> FarmReport<S> {
-        let faults = self.plan.map(|p| p.stats().since(self.fault_base)).unwrap_or_default();
+        let faults = self.plan.get().map(|p| p.stats().since(self.fault_base)).unwrap_or_default();
         self.totals.clone().finish(self.current.clone(), self.passes, self.farm.shards, faults)
     }
 
@@ -1649,7 +1733,7 @@ impl<'p, S: State> FarmSession<'p, S> {
                         rule,
                         &self.current,
                         &pp,
-                        self.plan,
+                        self.plan.get(),
                         &mut self.halo_pos,
                         &mut cache,
                         &mut self.windows,
@@ -1764,7 +1848,7 @@ impl<'p, S: State> FarmSession<'p, S> {
     /// Closes the session: the final machine report and recovery tally,
     /// identical to what the one-shot entry points return.
     pub fn finish(self) -> FarmFtRun<S> {
-        let faults = self.plan.map(|p| p.stats().since(self.fault_base)).unwrap_or_default();
+        let faults = self.plan.get().map(|p| p.stats().since(self.fault_base)).unwrap_or_default();
         FarmFtRun {
             report: self.totals.finish(self.current, self.passes, self.farm.shards, faults),
             recovery: self.recovery,

@@ -25,6 +25,12 @@
 //!   link demand; it holds no engine state and cannot be stepped.
 //! * **Evicted** — engine state swapped out to the checkpoint store
 //!   (requires `checkpoint_dir`); any touch restores it bit-exactly.
+//! * **Poisoned** — a step exhausted the recovery ladder. The last
+//!   committed state is salvaged to the store, the counters are
+//!   folded, the link-budget share is released, and the session is
+//!   quarantined: it shows in `stats` (and survives a restart via a
+//!   poison marker in its meta slot) but refuses every touch until
+//!   destroyed. The fault is contained — other sessions keep stepping.
 //!
 //! Durability: with a `checkpoint_dir`, every admitted session lives
 //! in its own [`SessionNamespace`] of the directory; its spec goes in
@@ -37,23 +43,26 @@
 //! session entry at eviction but not persisted: a restart keeps the
 //! lattice (bit-exact) and the generation clock, not the tick ledger.
 
-use crate::json;
+use crate::json::{self, Value};
 use crate::protocol::{
     Query, ReportFrame, Request, Response, SessionSpec, SessionStat, StatsFrame,
 };
 use crate::scheduler::Scheduler;
-use crate::session::{build_farm, link_demand, seed_grid, validate_spec, GasRule};
-use crate::transport::{nudge, Connection, Listener};
+use crate::session::{
+    build_farm, fault_plan, link_demand, recovery_config, seed_grid, validate_spec, GasRule,
+};
+use crate::transport::{is_frame_error, nudge, Connection, Listener};
 use lattice_core::checkpoint::store::{
     list_sessions, reassemble, valid_session_name, CheckpointStore, DiskBackend, SessionNamespace,
 };
 use lattice_core::units::BitsPerTick;
 use lattice_core::LatticeError;
-use lattice_farm::{FarmRecoveryConfig, FarmSession};
+use lattice_farm::FarmSession;
 use lattice_gas::Observables;
 use lattice_vlsi::Technology;
 use std::collections::BTreeMap;
 use std::net::SocketAddr;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Duration;
@@ -107,9 +116,20 @@ struct Carried {
     retransmits: u64,
     rollbacks: u64,
     local_rollbacks: u64,
+    detected: u64,
+    boards_retired: u64,
     checkpoints: u64,
     useful_updates: u64,
     halo_bits: u128,
+}
+
+/// The last id-bearing step a session committed, kept in memory so a
+/// client retry carrying the same id is acknowledged without being
+/// applied again (at-most-once step semantics under retries).
+struct LastStep {
+    id: String,
+    time: u64,
+    passes: u64,
 }
 
 /// A resident session: its rule and the live recovery-ladder state.
@@ -129,6 +149,16 @@ enum SessState {
         /// Generation of the newest durable snapshot.
         time: u64,
     },
+    /// Quarantined after a step exhausted the recovery ladder: the
+    /// last committed state is salvaged in the store, the budget share
+    /// is released, and every touch is refused until the session is
+    /// destroyed.
+    Poisoned {
+        /// Generation of the salvaged state.
+        time: u64,
+        /// The ladder-exhausting error, for `stats` and post-mortems.
+        reason: String,
+    },
 }
 
 struct SessionEntry {
@@ -138,6 +168,7 @@ struct SessionEntry {
     steps: u64,
     last_touch: u64,
     carried: Carried,
+    last_step: Option<LastStep>,
 }
 
 struct ServerState {
@@ -179,17 +210,21 @@ impl ServerState {
     /// admission.
     fn activate(&mut self, name: &str) -> Result<(), LatticeError> {
         let entry = self.sessions.get_mut(name).ok_or_else(|| no_such(name))?;
+        if let SessState::Poisoned { reason, .. } = &entry.state {
+            return Err(poisoned(name, reason));
+        }
         let spec = entry.spec.clone();
         let farm = build_farm(&spec)?;
         let rule = GasRule::from_spec(&spec)?;
-        let cfg = FarmRecoveryConfig::default();
+        let cfg = recovery_config(&spec);
+        let plan = fault_plan(&spec, &farm)?;
         let restored = match (&entry.state, self.dir.as_deref()) {
             (SessState::Evicted { .. }, Some(dir)) => {
                 let mut store = open_store(dir, name)?;
                 match store.load_latest()? {
                     Some(loaded) => {
                         let (grid, t) = reassemble::<u8>(&loaded.snapshot)?;
-                        Some(farm.session::<u8>(&grid, t.get(), None, &cfg, None)?)
+                        Some(farm.session_owned::<u8>(&grid, t.get(), plan.clone(), &cfg, None)?)
                     }
                     None => None,
                 }
@@ -204,9 +239,9 @@ impl ServerState {
                     Some(dir) => {
                         let mut store = open_store(dir, name)?;
                         store.commit_meta(spec.to_json().render().as_bytes())?;
-                        farm.session::<u8>(&grid, 0, None, &cfg, Some(&mut store))?
+                        farm.session_owned::<u8>(&grid, 0, plan, &cfg, Some(&mut store))?
                     }
-                    None => farm.session::<u8>(&grid, 0, None, &cfg, None)?,
+                    None => farm.session_owned::<u8>(&grid, 0, plan, &cfg, None)?,
                 }
             }
         };
@@ -261,19 +296,81 @@ impl ServerState {
             // The `carried` folds below *read* the recovery ladder's
             // conservation set into the daemon's cumulative report; the
             // invariant-bearing counters themselves are only mutated in
-            // the audited farm module.
+            // the audited farm module. Retransmits come from the
+            // ladder's own counter (`rec`), not the committed-pass
+            // report: frames retransmitted inside attempts that later
+            // rolled back answered real detections, and dropping them
+            // would break `detected == retransmits + local + global +
+            // retired` at high fault rates.
             // lattice-lint: allow(counter-mutation)
-            entry.carried.retransmits += rep.retransmits;
+            entry.carried.retransmits += rec.retransmits;
             // lattice-lint: allow(counter-mutation)
             entry.carried.rollbacks += rec.rollbacks;
             // lattice-lint: allow(counter-mutation)
             entry.carried.local_rollbacks += rec.local_rollbacks;
+            // lattice-lint: allow(counter-mutation)
+            entry.carried.detected += rec.detected;
+            // lattice-lint: allow(counter-mutation)
+            entry.carried.boards_retired += rec.boards_retired;
             entry.carried.checkpoints += rec.checkpoints;
             entry.carried.useful_updates += rep.useful_updates().get();
             entry.carried.halo_bits += rep.halo_traffic.bits_in;
             entry.state = SessState::Evicted { time };
         }
         Ok(())
+    }
+
+    /// Quarantines a session whose step exhausted the recovery ladder:
+    /// salvages the last committed state to the store, folds the
+    /// counters, marks the durable meta poisoned (so a restart keeps
+    /// the quarantine), and flips the state to [`SessState::Poisoned`].
+    /// The caller releases the budget share — the fault is contained
+    /// and every other session keeps stepping.
+    fn quarantine(&mut self, name: &str, reason: &str) {
+        let dir = self.dir.clone();
+        let Some(entry) = self.sessions.get_mut(name) else { return };
+        if let SessState::Live(live) = &mut entry.state {
+            let time = live.session.time();
+            if let Some(dir) = dir.as_deref() {
+                if let Ok(mut store) = open_store(dir, name) {
+                    // Best-effort salvage: the failed step already
+                    // rolled back to the last committed state.
+                    let _ = live.session.checkpoint(Some(&mut store));
+                }
+            }
+            let rep = live.session.report();
+            let rec = live.session.recovery();
+            entry.carried.passes += rep.passes;
+            entry.carried.machine_ticks += rep.machine_ticks().get();
+            entry.carried.halo_ticks += rep.halo_ticks.get();
+            entry.carried.overlapped_ticks += rep.overlapped_ticks.get();
+            entry.carried.retransmit_ticks += rep.retransmit_ticks.get();
+            // Same conservation-set reads as `evict` above (ladder
+            // counter, not the committed-pass report).
+            // lattice-lint: allow(counter-mutation)
+            entry.carried.retransmits += rec.retransmits;
+            // lattice-lint: allow(counter-mutation)
+            entry.carried.rollbacks += rec.rollbacks;
+            // lattice-lint: allow(counter-mutation)
+            entry.carried.local_rollbacks += rec.local_rollbacks;
+            // lattice-lint: allow(counter-mutation)
+            entry.carried.detected += rec.detected;
+            // lattice-lint: allow(counter-mutation)
+            entry.carried.boards_retired += rec.boards_retired;
+            entry.carried.checkpoints += rec.checkpoints;
+            entry.carried.useful_updates += rep.useful_updates().get();
+            entry.carried.halo_bits += rep.halo_traffic.bits_in;
+            entry.state = SessState::Poisoned { time, reason: reason.to_string() };
+        }
+        if let Some(dir) = dir.as_deref() {
+            if let Ok(mut store) = open_store(dir, name) {
+                let mut meta = entry.spec.to_json();
+                if let Value::Obj(pairs) = &mut meta {
+                    pairs.push(("poisoned".into(), Value::Str(reason.to_string())));
+                }
+                let _ = store.commit_meta(meta.render().as_bytes());
+            }
+        }
     }
 
     /// A live session for `name`, restoring it from the store if it
@@ -287,6 +384,9 @@ impl ServerState {
                     "session `{name}` is queued behind the link budget (admission backpressure) \
                      — destroy another session or wait for promotion"
                 )))
+            }
+            Some(SessState::Poisoned { reason, .. }) => {
+                return Err(poisoned(name, reason));
             }
             Some(SessState::Evicted { .. }) => self.activate(name)?,
             Some(SessState::Live(_)) => {}
@@ -324,9 +424,11 @@ impl ServerState {
             halo_ticks: c.halo_ticks + rep.halo_ticks.get(),
             overlapped_ticks: c.overlapped_ticks + rep.overlapped_ticks.get(),
             retransmit_ticks: c.retransmit_ticks + rep.retransmit_ticks.get(),
-            retransmits: c.retransmits + rep.retransmits,
+            retransmits: c.retransmits + rec.retransmits,
             rollbacks: c.rollbacks + rec.rollbacks,
             local_rollbacks: c.local_rollbacks + rec.local_rollbacks,
+            detected: c.detected + rec.detected,
+            boards_retired: c.boards_retired + rec.boards_retired,
             checkpoints: c.checkpoints + rec.checkpoints,
             sites_per_sec: per_tick(useful as f64) * clock,
             halo_bits_per_tick: per_tick(halo_bits as f64),
@@ -335,7 +437,7 @@ impl ServerState {
 
     fn stats_frame(&self) -> StatsFrame {
         let mut rows = Vec::with_capacity(self.sessions.len());
-        let (mut live, mut queued, mut evicted) = (0u64, 0u64, 0u64);
+        let (mut live, mut queued, mut evicted, mut poisoned) = (0u64, 0u64, 0u64, 0u64);
         for (name, e) in &self.sessions {
             let (state, time) = match &e.state {
                 SessState::Live(l) => {
@@ -349,6 +451,10 @@ impl ServerState {
                 SessState::Evicted { time } => {
                     evicted += 1;
                     ("evicted", *time)
+                }
+                SessState::Poisoned { time, .. } => {
+                    poisoned += 1;
+                    ("poisoned", *time)
                 }
             };
             let passes = e.carried.passes
@@ -371,6 +477,7 @@ impl ServerState {
             live,
             queued,
             evicted,
+            poisoned,
             link_capacity: (!budget.capacity().is_unthrottled()).then(|| budget.capacity().get()),
             link_admitted: budget.admitted().get(),
             utilization: budget.utilization(),
@@ -382,6 +489,13 @@ impl ServerState {
 
 fn no_such(name: &str) -> LatticeError {
     LatticeError::InvalidConfig(format!("no such session `{name}`"))
+}
+
+fn poisoned(name: &str, reason: &str) -> LatticeError {
+    LatticeError::InvalidConfig(format!(
+        "session `{name}` is quarantined after an unrecoverable fault ({reason}) — \
+         destroy it to reclaim the name"
+    ))
 }
 
 /// A bound daemon, ready to serve.
@@ -429,16 +543,28 @@ impl Daemon {
                 }
                 let demand = link_demand(&spec)?;
                 let time = store.load_latest()?.map(|l| l.snapshot.time.get()).unwrap_or(0);
-                state.scheduler.admit_unconditionally(demand);
+                // A poison marker keeps the quarantine across restarts:
+                // the session is listed (post-mortem) but never
+                // re-admitted against the budget — quarantine released
+                // its share in the previous life.
+                let poisoned = value.get("poisoned").and_then(Value::as_str).map(str::to_string);
+                let sess_state = match poisoned {
+                    Some(reason) => SessState::Poisoned { time, reason },
+                    None => {
+                        state.scheduler.admit_unconditionally(demand);
+                        SessState::Evicted { time }
+                    }
+                };
                 state.sessions.insert(
                     name,
                     SessionEntry {
                         spec,
                         demand,
-                        state: SessState::Evicted { time },
+                        state: sess_state,
                         steps: 0,
                         last_touch: 0,
                         carried: Carried::default(),
+                        last_step: None,
                     },
                 );
             }
@@ -483,7 +609,20 @@ fn serve_connection(mut conn: Connection, state: &Mutex<ServerState>, addr: Sock
     loop {
         let line = match conn.read_line() {
             Ok(Some(line)) => line,
-            Ok(None) | Err(_) => return,
+            Ok(None) => return,
+            // Frame-shape rejections (oversized, not UTF-8) leave the
+            // stream synchronized at the next newline: answer with a
+            // structured error and keep serving. Anything else —
+            // timeout, truncation, a dead socket — tears the
+            // connection down gracefully.
+            Err(e) if is_frame_error(&e) => {
+                let resp = Response::Error { message: e.to_string() };
+                if conn.write_line(&resp.to_line()).is_err() {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
         };
         if line.is_empty() {
             continue;
@@ -515,8 +654,16 @@ fn serve_connection(mut conn: Connection, state: &Mutex<ServerState>, addr: Sock
         let response = {
             let mut st = lock(state);
             st.requests += 1;
-            dispatch(&mut st, &request)
-                .unwrap_or_else(|e| Response::Error { message: e.to_string() })
+            // A handler panic must cost this request, not the daemon:
+            // the guard lives outside the closure, so the unwind stops
+            // here without poisoning the mutex (and `lock` recovers
+            // poison regardless), and the connection stays usable.
+            match catch_unwind(AssertUnwindSafe(|| dispatch(&mut st, &request))) {
+                Ok(result) => result.unwrap_or_else(|e| Response::Error { message: e.to_string() }),
+                Err(_) => {
+                    Response::Error { message: "internal error: request handler panicked".into() }
+                }
+            }
         };
         if conn.write_line(&response.to_line()).is_err() {
             return;
@@ -531,7 +678,7 @@ fn serve_connection(mut conn: Connection, state: &Mutex<ServerState>, addr: Sock
 fn dispatch(st: &mut ServerState, request: &Request) -> Result<Response, LatticeError> {
     match request {
         Request::Create { session, spec } => create(st, session, spec),
-        Request::Step { session, n } => step(st, session, *n),
+        Request::Step { session, n, id } => step(st, session, *n, id.as_deref()),
         Request::QueryReq { session, what } => query(st, session, what),
         Request::Checkpoint { session } => checkpoint(st, session),
         Request::Destroy { session } => destroy(st, session),
@@ -563,6 +710,7 @@ fn create(st: &mut ServerState, name: &str, spec: &SessionSpec) -> Result<Respon
             steps: 0,
             last_touch,
             carried: Carried::default(),
+            last_step: None,
         },
     );
     if admitted {
@@ -577,24 +725,59 @@ fn create(st: &mut ServerState, name: &str, spec: &SessionSpec) -> Result<Respon
     Ok(Response::Created { session: name.to_string(), admitted })
 }
 
-fn step(st: &mut ServerState, name: &str, n: u64) -> Result<Response, LatticeError> {
+fn step(
+    st: &mut ServerState,
+    name: &str,
+    n: u64,
+    id: Option<&str>,
+) -> Result<Response, LatticeError> {
+    // At-most-once: a retry of the last committed id-bearing step is
+    // re-acknowledged from the cache, never applied again.
+    if let (Some(id), Some(entry)) = (id, st.sessions.get(name)) {
+        if let Some(last) = &entry.last_step {
+            if last.id == id {
+                return Ok(Response::Stepped {
+                    session: name.to_string(),
+                    time: last.time,
+                    passes: last.passes,
+                });
+            }
+        }
+    }
     let dir = st.dir.clone();
-    let live = st.live(name)?;
-    let rule = live.rule.clone();
-    rule.step(&mut live.session, n)?;
+    let stepped = {
+        let live = st.live(name)?;
+        let rule = live.rule.clone();
+        rule.step(&mut live.session, n)
+    };
+    if let Err(e) = stepped {
+        // The ladder is exhausted: quarantine the session instead of
+        // letting the fault take the daemon (or the budget) with it.
+        let reason = e.to_string();
+        st.quarantine(name, &reason);
+        let demand = st.sessions.get(name).map(|e| e.demand).unwrap_or(BitsPerTick::ZERO);
+        release_and_promote(st, demand)?;
+        return Err(poisoned(name, &reason));
+    }
     // Durable commit: the step is not acknowledged until the new
     // barrier is on the medium.
     if let Some(dir) = dir.as_deref() {
         let mut store = open_store(dir, name)?;
+        let live = st.live(name)?;
         live.session.checkpoint(Some(&mut store))?;
     }
+    let live = st.live(name)?;
     let (time, passes) = (live.session.time(), live.session.passes());
     let carried = st.sessions.get(name).map(|e| e.carried.passes).unwrap_or(0);
+    let passes = carried + passes;
     if let Some(e) = st.sessions.get_mut(name) {
         e.steps += 1;
+        if let Some(id) = id {
+            e.last_step = Some(LastStep { id: id.to_string(), time, passes });
+        }
     }
     st.steps_served += 1;
-    Ok(Response::Stepped { session: name.to_string(), time, passes: carried + passes })
+    Ok(Response::Stepped { session: name.to_string(), time, passes })
 }
 
 fn query(st: &mut ServerState, name: &str, what: &Query) -> Result<Response, LatticeError> {
@@ -658,6 +841,14 @@ fn destroy(st: &mut ServerState, name: &str) -> Result<Response, LatticeError> {
     match entry.state {
         SessState::Queued => {
             st.scheduler.forget_queued(name);
+        }
+        SessState::Poisoned { .. } => {
+            // Quarantine already released the budget share; just clear
+            // the durable namespace so the name is reclaimable.
+            if let Some(dir) = st.dir.clone() {
+                let mut store = open_store(&dir, name)?;
+                store.commit_meta(TOMBSTONE.as_bytes())?;
+            }
         }
         _ => {
             // Tombstone the durable namespace so a restart does not

@@ -20,6 +20,14 @@
 //!   path makes a daemon kill + restart lossless.
 //! * **Metrics** — `stats` streams the merged farm-report counters of
 //!   every session plus the budget ledger, one JSON line per sample.
+//! * **Fault tolerance** — a spec's optional `fault` block
+//!   ([`FaultSpec`]) runs the session under seeded hardware-fault
+//!   weather with the PR 3 recovery-ladder budgets and per-pass
+//!   worker watchdogs; a session that exhausts the ladder is
+//!   *quarantined* (`poisoned` in `stats`), never fatal to the
+//!   daemon. The transport is hardened the same way: bounded frames,
+//!   read/write deadlines, structured error lines for malformed
+//!   input, and per-connection `catch_unwind` teardown.
 //!
 //! The crate is std-only (no async runtime, no serde): transport is
 //! `std::net` confined to [`transport`], and the wire format is the
@@ -36,7 +44,13 @@ pub mod session;
 pub mod transport;
 
 pub use daemon::{Daemon, DaemonConfig, DEFAULT_LINK_CAPACITY};
-pub use protocol::{Query, ReportFrame, Request, Response, SessionSpec, SessionStat, StatsFrame};
+pub use protocol::{
+    FaultSpec, Query, ReportFrame, Request, Response, SessionSpec, SessionStat, StatsFrame,
+};
 pub use scheduler::Scheduler;
-pub use session::{build_farm, link_demand, seed_grid, validate_spec, GasRule};
-pub use transport::Client;
+pub use session::{
+    build_farm, fault_plan, link_demand, recovery_config, seed_grid, validate_spec, GasRule,
+};
+pub use transport::{
+    inject_raw, is_frame_error, is_timeout_error, Client, DEFAULT_IO_TIMEOUT, MAX_FRAME_BYTES,
+};

@@ -34,6 +34,151 @@ fn missing(field: &str) -> ProtoError {
     ProtoError(format!("missing or ill-typed field `{field}`"))
 }
 
+/// A session's seeded hardware-fault weather and recovery-ladder
+/// budgets — the `fault` block of a [`SessionSpec`].
+///
+/// The service layer injects the fault classes whose *detection* is
+/// parity-based (halo-link transients, stuck links, worker death and
+/// hangs): the ladder absorbs them and the session stays bit-exact
+/// against a fault-free run, which is the daemon's contract. Silent
+/// SR/PE flips need a conservation audit whose exactness only the
+/// CLI's margin/torus geometry can promise, so they stay in
+/// `lattice fault-sim` / `lattice chaos`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// Seed for every transient-fault draw; `None` reuses the spec's
+    /// lattice seed.
+    pub seed: Option<u64>,
+    /// Transient bit-flip rate on every board's halo link (parity
+    /// detected; absorbed by ARQ or, with `arq_retries = 0`, by the
+    /// rollback levels).
+    pub link_rate: f64,
+    /// A stuck-at fault on this board's halo link. Unrecoverable by
+    /// retry; survivable only through degraded re-partitioning
+    /// (`max_retired ≥ 1`) — otherwise the session is quarantined.
+    pub stuck_link: Option<usize>,
+    /// Per-pass worker heartbeat deadline in milliseconds; a board
+    /// that misses it is declared down and handled by the ladder.
+    pub watchdog_ms: Option<u64>,
+    /// Farm-wide rollback budget per checkpoint window (ladder 3).
+    pub max_retries: u32,
+    /// Halo-frame retransmissions per transmit (ladder 1).
+    pub arq_retries: u32,
+    /// Single-board rollback budget per board per window (ladder 2).
+    pub local_retries: u32,
+    /// Boards the degrade level may retire (ladder 4); 0 disables it.
+    pub max_retired: usize,
+    /// Board the deterministic worker fault afflicts.
+    pub fail_board: usize,
+    /// Pass on which the worker fault fires; `None` disarms it.
+    pub fail_pass: Option<u64>,
+    /// Worker misbehavior: `die` (drop mid-pass) or `hang` (stall for
+    /// `hang_ms`; pair with `watchdog_ms` so the stall is declared
+    /// dead instead of waited out).
+    pub fail_kind: String,
+    /// Stall length for `fail_kind = "hang"`, milliseconds.
+    pub hang_ms: u64,
+}
+
+impl Default for FaultSpec {
+    /// No weather, the farm's default ladder budgets, no degrade.
+    fn default() -> Self {
+        FaultSpec {
+            seed: None,
+            link_rate: 0.0,
+            stuck_link: None,
+            watchdog_ms: None,
+            max_retries: 3,
+            arq_retries: 2,
+            local_retries: 2,
+            max_retired: 0,
+            fail_board: 0,
+            fail_pass: None,
+            fail_kind: "die".into(),
+            hang_ms: 150,
+        }
+    }
+}
+
+impl FaultSpec {
+    /// Encodes the block as a JSON object (defaults omitted where the
+    /// absence already means the default).
+    pub fn to_json(&self) -> Value {
+        let mut pairs = Vec::new();
+        if let Some(seed) = self.seed {
+            pairs.push(("seed".into(), Value::num_u64(seed)));
+        }
+        pairs.push(("link_rate".into(), Value::Num(self.link_rate)));
+        if let Some(b) = self.stuck_link {
+            pairs.push(("stuck_link".into(), Value::num_usize(b)));
+        }
+        if let Some(ms) = self.watchdog_ms {
+            pairs.push(("watchdog_ms".into(), Value::num_u64(ms)));
+        }
+        pairs.push(("max_retries".into(), Value::num_u64(u64::from(self.max_retries))));
+        pairs.push(("arq_retries".into(), Value::num_u64(u64::from(self.arq_retries))));
+        pairs.push(("local_retries".into(), Value::num_u64(u64::from(self.local_retries))));
+        pairs.push(("max_retired".into(), Value::num_usize(self.max_retired)));
+        pairs.push(("fail_board".into(), Value::num_usize(self.fail_board)));
+        if let Some(p) = self.fail_pass {
+            pairs.push(("fail_pass".into(), Value::num_u64(p)));
+        }
+        pairs.push(("fail_kind".into(), Value::Str(self.fail_kind.clone())));
+        pairs.push(("hang_ms".into(), Value::num_u64(self.hang_ms)));
+        Value::Obj(pairs)
+    }
+
+    /// Decodes a fault block; absent fields take the defaults.
+    pub fn from_json(v: &Value) -> Result<FaultSpec, ProtoError> {
+        let d = FaultSpec::default();
+        let u64_opt = |key: &str| -> Result<Option<u64>, ProtoError> {
+            match v.get(key) {
+                None | Some(Value::Null) => Ok(None),
+                Some(val) => val.as_u64().map(Some).ok_or_else(|| missing(key)),
+            }
+        };
+        let u32_or = |key: &str, default: u32| -> Result<u32, ProtoError> {
+            match v.get(key) {
+                None => Ok(default),
+                Some(val) => {
+                    val.as_u64().and_then(|n| u32::try_from(n).ok()).ok_or_else(|| missing(key))
+                }
+            }
+        };
+        Ok(FaultSpec {
+            seed: u64_opt("seed")?,
+            link_rate: match v.get("link_rate") {
+                None => d.link_rate,
+                Some(val) => val.as_f64().ok_or_else(|| missing("link_rate"))?,
+            },
+            stuck_link: match v.get("stuck_link") {
+                None | Some(Value::Null) => None,
+                Some(val) => Some(val.as_usize().ok_or_else(|| missing("stuck_link"))?),
+            },
+            watchdog_ms: u64_opt("watchdog_ms")?,
+            max_retries: u32_or("max_retries", d.max_retries)?,
+            arq_retries: u32_or("arq_retries", d.arq_retries)?,
+            local_retries: u32_or("local_retries", d.local_retries)?,
+            max_retired: match v.get("max_retired") {
+                None => d.max_retired,
+                Some(val) => val.as_usize().ok_or_else(|| missing("max_retired"))?,
+            },
+            fail_board: match v.get("fail_board") {
+                None => d.fail_board,
+                Some(val) => val.as_usize().ok_or_else(|| missing("fail_board"))?,
+            },
+            fail_pass: u64_opt("fail_pass")?,
+            fail_kind: match v.get("fail_kind") {
+                None => d.fail_kind,
+                Some(val) => {
+                    val.as_str().map(str::to_string).ok_or_else(|| missing("fail_kind"))?
+                }
+            },
+            hang_ms: u64_opt("hang_ms")?.unwrap_or(d.hang_ms),
+        })
+    }
+}
+
 /// Everything needed to create a session — mirrors the `lattice farm`
 /// flags (and their defaults), so a session spec and a farm invocation
 /// describe the same machine.
@@ -66,6 +211,9 @@ pub struct SessionSpec {
     /// Per-link bandwidth throttle in bits/tick (`None` =
     /// unthrottled), as `lattice farm --link-bits`.
     pub link_bits: Option<f64>,
+    /// Seeded hardware-fault weather + recovery-ladder budgets;
+    /// `None` runs fault-free under the default ladder.
+    pub fault: Option<FaultSpec>,
 }
 
 impl Default for SessionSpec {
@@ -85,6 +233,7 @@ impl Default for SessionSpec {
             periodic: false,
             overlap: false,
             link_bits: None,
+            fault: None,
         }
     }
 }
@@ -108,6 +257,9 @@ impl SessionSpec {
         ];
         if let Some(bits) = self.link_bits {
             pairs.push(("link_bits".into(), Value::Num(bits)));
+        }
+        if let Some(fault) = &self.fault {
+            pairs.push(("fault".into(), fault.to_json()));
         }
         Value::Obj(pairs)
     }
@@ -138,6 +290,10 @@ impl SessionSpec {
             None | Some(Value::Null) => None,
             Some(val) => Some(val.as_f64().ok_or_else(|| missing("link_bits"))?),
         };
+        let fault = match v.get("fault") {
+            None | Some(Value::Null) => None,
+            Some(val) => Some(FaultSpec::from_json(val)?),
+        };
         Ok(SessionSpec {
             model: str_or("model", d.model)?,
             rows: usize_or("rows", d.rows)?,
@@ -158,6 +314,7 @@ impl SessionSpec {
             periodic: bool_or("periodic", d.periodic)?,
             overlap: bool_or("overlap", d.overlap)?,
             link_bits,
+            fault,
         })
     }
 }
@@ -183,6 +340,12 @@ pub enum Query {
 }
 
 /// A client → daemon frame.
+///
+/// `Create` dwarfs the other variants because it carries the whole
+/// [`SessionSpec`] (machine geometry plus the optional fault block),
+/// but requests are decoded one at a time per connection frame and
+/// never stored in bulk, so the size spread costs nothing.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Create a session (admitted or queued per the scheduler).
@@ -198,6 +361,10 @@ pub enum Request {
         session: String,
         /// Generations to advance.
         n: u64,
+        /// Idempotency token: a retried step carrying the id of an
+        /// already-committed step is acknowledged without being
+        /// applied again. `None` opts out.
+        id: Option<String>,
     },
     /// Read session state without advancing it.
     QueryReq {
@@ -245,13 +412,16 @@ impl Request {
                     ("spec".into(), spec.to_json()),
                 ],
             ),
-            Request::Step { session, n } => obj(
-                "step",
-                vec![
-                    ("session".into(), Value::Str(session.clone())),
-                    ("n".into(), Value::num_u64(*n)),
-                ],
-            ),
+            Request::Step { session, n, id } => {
+                let mut rest = vec![
+                    ("session".to_string(), Value::Str(session.clone())),
+                    ("n".to_string(), Value::num_u64(*n)),
+                ];
+                if let Some(id) = id {
+                    rest.push(("id".into(), Value::Str(id.clone())));
+                }
+                obj("step", rest)
+            }
             Request::QueryReq { session, what } => {
                 let mut rest = vec![("session".to_string(), Value::Str(session.clone()))];
                 match what {
@@ -307,6 +477,12 @@ impl Request {
             "step" => Ok(Request::Step {
                 session: session()?,
                 n: v.get("n").and_then(Value::as_u64).ok_or_else(|| missing("n"))?,
+                id: match v.get("id") {
+                    None | Some(Value::Null) => None,
+                    Some(val) => {
+                        Some(val.as_str().map(str::to_string).ok_or_else(|| missing("id"))?)
+                    }
+                },
             }),
             "query" => {
                 let what = match v.get("what").and_then(Value::as_str).unwrap_or("report") {
@@ -361,12 +537,20 @@ pub struct ReportFrame {
     pub overlapped_ticks: u64,
     /// Halo ticks spent retransmitting (ARQ share).
     pub retransmit_ticks: u64,
-    /// Committed halo-frame retransmissions.
+    /// Halo-frame retransmissions answered by ARQ (ladder level 1),
+    /// including frames of attempts that later rolled back — the
+    /// level-1 term of the conservation set, so `detected ==
+    /// retransmits + local_rollbacks + rollbacks + boards_retired`
+    /// holds for every healthy session at any fault rate.
     pub retransmits: u64,
     /// Farm-wide rollbacks.
     pub rollbacks: u64,
     /// Single-board rollbacks.
     pub local_rollbacks: u64,
+    /// Detected fault events (every ladder entry counts one).
+    pub detected: u64,
+    /// Boards retired by degraded re-partitioning.
+    pub boards_retired: u64,
     /// Checkpoint blobs written (in-memory barriers and durable
     /// commits both count, per shard).
     pub checkpoints: u64,
@@ -381,7 +565,8 @@ pub struct ReportFrame {
 pub struct SessionStat {
     /// Session name.
     pub session: String,
-    /// `live`, `queued`, or `evicted`.
+    /// `live`, `queued`, `evicted`, or `poisoned` (quarantined after
+    /// an unrecoverable fault; refuses to step until destroyed).
     pub state: String,
     /// Current absolute generation (last committed, for evicted).
     pub time: u64,
@@ -404,6 +589,8 @@ pub struct StatsFrame {
     pub queued: u64,
     /// Sessions swapped out to the checkpoint store.
     pub evicted: u64,
+    /// Sessions quarantined after an unrecoverable fault.
+    pub poisoned: u64,
     /// Aggregate link capacity, bits/tick (`None` = unthrottled).
     pub link_capacity: Option<f64>,
     /// Admitted link demand, bits/tick.
@@ -540,6 +727,8 @@ impl Response {
                     ("retransmits".into(), Value::num_u64(r.retransmits)),
                     ("rollbacks".into(), Value::num_u64(r.rollbacks)),
                     ("local_rollbacks".into(), Value::num_u64(r.local_rollbacks)),
+                    ("detected".into(), Value::num_u64(r.detected)),
+                    ("boards_retired".into(), Value::num_u64(r.boards_retired)),
                     ("checkpoints".into(), Value::num_u64(r.checkpoints)),
                     ("sites_per_sec".into(), Value::Num(r.sites_per_sec)),
                     ("halo_bits_per_tick".into(), Value::Num(r.halo_bits_per_tick)),
@@ -610,6 +799,7 @@ impl Response {
                         ("live".into(), Value::num_u64(s.live)),
                         ("queued".into(), Value::num_u64(s.queued)),
                         ("evicted".into(), Value::num_u64(s.evicted)),
+                        ("poisoned".into(), Value::num_u64(s.poisoned)),
                         (
                             "link_capacity".into(),
                             match s.link_capacity {
@@ -688,6 +878,8 @@ impl Response {
                 retransmits: u64_field("retransmits")?,
                 rollbacks: u64_field("rollbacks")?,
                 local_rollbacks: u64_field("local_rollbacks")?,
+                detected: v.get("detected").and_then(Value::as_u64).unwrap_or(0),
+                boards_retired: v.get("boards_retired").and_then(Value::as_u64).unwrap_or(0),
                 checkpoints: u64_field("checkpoints")?,
                 sites_per_sec: f64_field("sites_per_sec")?,
                 halo_bits_per_tick: f64_field("halo_bits_per_tick")?,
@@ -775,6 +967,7 @@ impl Response {
                     live: u64_field("live")?,
                     queued: u64_field("queued")?,
                     evicted: u64_field("evicted")?,
+                    poisoned: v.get("poisoned").and_then(Value::as_u64).unwrap_or(0),
                     link_capacity: match v.get("link_capacity") {
                         None | Some(Value::Null) => None,
                         Some(c) => Some(c.as_f64().ok_or_else(|| missing("link_capacity"))?),
@@ -809,7 +1002,24 @@ mod tests {
                     ..SessionSpec::default()
                 },
             },
-            Request::Step { session: "a-1".into(), n: 17 },
+            Request::Create {
+                session: "c".into(),
+                spec: SessionSpec {
+                    fault: Some(FaultSpec {
+                        seed: Some(9),
+                        link_rate: 0.01,
+                        stuck_link: Some(1),
+                        watchdog_ms: Some(250),
+                        max_retired: 1,
+                        fail_pass: Some(3),
+                        fail_kind: "hang".into(),
+                        ..FaultSpec::default()
+                    }),
+                    ..SessionSpec::default()
+                },
+            },
+            Request::Step { session: "a-1".into(), n: 17, id: None },
+            Request::Step { session: "a-1".into(), n: 17, id: Some("req-0007".into()) },
             Request::QueryReq { session: "a-1".into(), what: Query::Report },
             Request::QueryReq { session: "a-1".into(), what: Query::Observables },
             Request::QueryReq {
@@ -844,6 +1054,8 @@ mod tests {
                 retransmits: 0,
                 rollbacks: 1,
                 local_rollbacks: 2,
+                detected: 3,
+                boards_retired: 1,
                 checkpoints: 12,
                 sites_per_sec: 1.25e7,
                 halo_bits_per_tick: 9.75,
@@ -879,6 +1091,7 @@ mod tests {
                 live: 2,
                 queued: 1,
                 evicted: 3,
+                poisoned: 1,
                 link_capacity: Some(512.0),
                 link_admitted: 21.0,
                 utilization: 0.041015625,
@@ -890,6 +1103,7 @@ mod tests {
                 live: 0,
                 queued: 0,
                 evicted: 0,
+                poisoned: 0,
                 link_capacity: None,
                 link_admitted: 0.0,
                 utilization: 0.0,
@@ -918,6 +1132,17 @@ mod tests {
         // An empty create decodes to the full `lattice farm` defaults.
         let r = Request::from_line(r#"{"op":"create","session":"x"}"#).unwrap();
         assert_eq!(r, Request::Create { session: "x".into(), spec: SessionSpec::default() });
+        // An empty fault block decodes to the ladder defaults.
+        let spec = SessionSpec::from_json(&json::parse(r#"{"fault":{}}"#).unwrap()).unwrap();
+        assert_eq!(spec.fault, Some(FaultSpec::default()));
+        let spec = SessionSpec::from_json(
+            &json::parse(r#"{"fault":{"link_rate":0.25,"arq_retries":0}}"#).unwrap(),
+        )
+        .unwrap();
+        let fault = spec.fault.unwrap();
+        assert_eq!(fault.link_rate, 0.25);
+        assert_eq!(fault.arq_retries, 0);
+        assert_eq!(fault.max_retries, FaultSpec::default().max_retries);
     }
 
     #[test]
@@ -931,6 +1156,9 @@ mod tests {
             r#"{"op":"step","session":"s","n":-1}"#,
             r#"{"op":"query","session":"s","what":"region","row0":0}"#,
             r#"{"op":"create","session":"s","spec":{"rows":"wide"}}"#,
+            r#"{"op":"create","session":"s","spec":{"fault":{"link_rate":"wet"}}}"#,
+            r#"{"op":"create","session":"s","spec":{"fault":{"stuck_link":-1}}}"#,
+            r#"{"op":"step","session":"s","n":1,"id":7}"#,
             r#"{"ok":true}"#,
             r#"{"ok":true,"kind":"wat"}"#,
             r#"{"ok":false}"#,

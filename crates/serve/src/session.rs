@@ -10,11 +10,17 @@
 use crate::protocol::SessionSpec;
 use lattice_core::units::BitsPerTick;
 use lattice_core::{Grid, LatticeError, Shape};
-use lattice_farm::{BoardLink, FarmSession, LatticeFarm, ShardEngine};
+use lattice_engines_sim::{Component, Fault, FaultKind, FaultPlan};
+use lattice_farm::{
+    BoardLink, FarmDegradeConfig, FarmRecoveryConfig, FarmSession, LatticeFarm, ShardEngine,
+    WorkerFault, WorkerFaultSpec,
+};
 use lattice_gas::init;
 use lattice_gas::observe::Model;
 use lattice_gas::{FhpRule, FhpVariant, HppRule};
 use lattice_vlsi::{FarmModel, Technology};
+use std::sync::Arc;
+use std::time::Duration;
 
 fn bad(msg: String) -> LatticeError {
     LatticeError::InvalidConfig(msg)
@@ -75,7 +81,98 @@ pub fn validate_spec(spec: &SessionSpec) -> Result<(), LatticeError> {
             return Err(bad("link_bits must be positive".into()));
         }
     }
+    validate_fault(spec)
+}
+
+/// Checks the fault block against the machine geometry.
+fn validate_fault(spec: &SessionSpec) -> Result<(), LatticeError> {
+    let Some(f) = &spec.fault else { return Ok(()) };
+    if !(0.0..=1.0).contains(&f.link_rate) {
+        return Err(bad("fault.link_rate must be in [0, 1]".into()));
+    }
+    if let Some(b) = f.stuck_link {
+        if b >= spec.shards {
+            return Err(bad(format!(
+                "fault.stuck_link board {b} out of range for {} shard(s)",
+                spec.shards
+            )));
+        }
+    }
+    if f.max_retired >= spec.shards {
+        return Err(bad("fault.max_retired must leave at least one board".into()));
+    }
+    match f.fail_kind.as_str() {
+        "die" | "hang" => {}
+        other => return Err(bad(format!("unknown fault.fail_kind `{other}` (die, hang)"))),
+    }
+    if f.fail_pass.is_some() && f.fail_board >= spec.shards {
+        return Err(bad(format!(
+            "fault.fail_board {} out of range for {} shard(s)",
+            f.fail_board, spec.shards
+        )));
+    }
+    if f.fail_kind == "hang" && f.fail_pass.is_some() && f.watchdog_ms.is_none() {
+        return Err(bad(
+            "fault.fail_kind `hang` needs fault.watchdog_ms, or the stall is waited out".into(),
+        ));
+    }
     Ok(())
+}
+
+/// Builds the owned fault plan a spec's sessions run under: a seeded
+/// transient bit-flip stream on every board's halo link, plus an
+/// optional stuck-at link fault pinned to one board's physical chip
+/// id. Returns `None` when the spec is fault-free (no block, or a
+/// block with no weather in it).
+pub fn fault_plan(
+    spec: &SessionSpec,
+    farm: &LatticeFarm,
+) -> Result<Option<Arc<FaultPlan>>, LatticeError> {
+    let Some(f) = &spec.fault else { return Ok(None) };
+    let mut plan = FaultPlan::new(f.seed.unwrap_or(spec.seed));
+    let mut armed = false;
+    if f.link_rate > 0.0 {
+        // One transient fault per board, pinned to that board's halo
+        // link chip. The halo links are the ARQ-protected tier; a
+        // bare `chip: None` would also afflict the intra-board engine
+        // links, whose parity failures are local-rollback events and
+        // would swamp the ladder at any interesting rate.
+        for b in 0..spec.shards {
+            let chip = farm.link_chip(spec.cols, f.max_retired, b)?;
+            plan.push(Fault {
+                component: Component::Link,
+                chip: Some(chip),
+                cell: None,
+                kind: FaultKind::Transient { bit: 1, rate: f.link_rate },
+            });
+        }
+        armed = true;
+    }
+    if let Some(b) = f.stuck_link {
+        let chip = farm.link_chip(spec.cols, f.max_retired, b)?;
+        plan.push(Fault {
+            component: Component::Link,
+            chip: Some(chip),
+            cell: None,
+            kind: FaultKind::StuckAt { bit: 0, value: true },
+        });
+        armed = true;
+    }
+    Ok(if armed { Some(Arc::new(plan)) } else { None })
+}
+
+/// The recovery-ladder budgets a spec's sessions step under — the
+/// farm defaults when the spec has no fault block.
+pub fn recovery_config(spec: &SessionSpec) -> FarmRecoveryConfig {
+    let Some(f) = &spec.fault else { return FarmRecoveryConfig::default() };
+    FarmRecoveryConfig {
+        max_retries: f.max_retries,
+        arq_retries: f.arq_retries,
+        local_retries: f.local_retries,
+        watchdog: f.watchdog_ms.map(Duration::from_millis),
+        degrade: (f.max_retired > 0).then_some(FarmDegradeConfig { max_retired: f.max_retired }),
+        ..FarmRecoveryConfig::default()
+    }
 }
 
 /// The collision rule a spec's sessions run — model, variant, seed,
@@ -146,6 +243,20 @@ pub fn build_farm(spec: &SessionSpec) -> Result<LatticeFarm, LatticeError> {
         .with_overlap(spec.overlap);
     if let Some(bits) = spec.link_bits {
         farm = farm.with_link(BoardLink::new(bits));
+    }
+    if let Some(f) = &spec.fault {
+        if let Some(pass) = f.fail_pass {
+            let fault = match f.fail_kind.as_str() {
+                "hang" => WorkerFault::Hang { millis: f.hang_ms },
+                _ => WorkerFault::Die,
+            };
+            farm = farm.with_worker_fault(WorkerFaultSpec {
+                board: f.fail_board,
+                pass,
+                attempt: 0,
+                fault,
+            });
+        }
     }
     Ok(farm)
 }

@@ -7,7 +7,7 @@
 //! never disagree about a frame they exchanged.
 
 use lattice_serve::protocol::{
-    Query, ReportFrame, Request, Response, SessionSpec, SessionStat, StatsFrame,
+    FaultSpec, Query, ReportFrame, Request, Response, SessionSpec, SessionStat, StatsFrame,
 };
 use proptest::{
     any, collection, prop_assert, prop_assert_eq, prop_oneof, proptest, Just, Strategy,
@@ -56,17 +56,42 @@ fn f64_strategy() -> impl Strategy<Value = f64> {
     })
 }
 
+fn fault_strategy() -> impl Strategy<Value = Option<FaultSpec>> {
+    prop_oneof![
+        Just(None),
+        ((u53(), u53(), u53(), u53()), (u53(), u53(), u53(), u53()), (u53(), u53(), 0usize..2))
+            .prop_map(|((seed, link, stuck, wd), (mr, ar, lr, ret), (board, pass, kind))| {
+                Some(FaultSpec {
+                    seed: (seed % 2 == 0).then_some(seed),
+                    link_rate: (link % 101) as f64 / 100.0,
+                    stuck_link: (stuck % 3 == 0).then_some((stuck % 8) as usize),
+                    watchdog_ms: (wd % 2 == 0).then_some(wd % 10_000),
+                    max_retries: (mr % 8) as u32,
+                    arq_retries: (ar % 8) as u32,
+                    local_retries: (lr % 8) as u32,
+                    max_retired: (ret % 4) as usize,
+                    fail_board: (board % 8) as usize,
+                    fail_pass: (pass % 2 == 0).then_some(pass % 1000),
+                    fail_kind: ["die", "hang"][kind].to_string(),
+                    hang_ms: board % 5000,
+                })
+            }),
+    ]
+}
+
 fn spec_strategy() -> impl Strategy<Value = SessionSpec> {
     (
         (0usize..4, 1usize..200, 1usize..200, u53()),
         (1usize..8, 0usize..3, 1usize..5, 1usize..5, 1usize..5),
         (any::<bool>(), any::<bool>(), any::<bool>(), u53()),
+        fault_strategy(),
     )
         .prop_map(
             |(
                 (m, rows, cols, seed),
                 (shards, e, width, slice_width, depth),
                 (periodic, overlap, throttled, link),
+                fault,
             )| {
                 SessionSpec {
                     model: ["hpp", "fhp1", "fhp2", "fhp3"][m].to_string(),
@@ -82,6 +107,7 @@ fn spec_strategy() -> impl Strategy<Value = SessionSpec> {
                     periodic,
                     overlap,
                     link_bits: throttled.then_some((link % 100_000) as f64 / 8.0 + 0.125),
+                    fault,
                 }
             },
         )
@@ -106,7 +132,8 @@ fn request_strategy() -> impl Strategy<Value = Request> {
     prop_oneof![
         (string_strategy(), spec_strategy())
             .prop_map(|(session, spec)| Request::Create { session, spec }),
-        (string_strategy(), u53()).prop_map(|(session, n)| Request::Step { session, n }),
+        (string_strategy(), u53(), prop_oneof![Just(None), string_strategy().prop_map(Some)])
+            .prop_map(|(session, n, id)| Request::Step { session, n, id }),
         (string_strategy(), query_strategy())
             .prop_map(|(session, what)| Request::QueryReq { session, what }),
         string_strategy().prop_map(|session| Request::Checkpoint { session }),
@@ -120,14 +147,14 @@ fn report_strategy() -> impl Strategy<Value = ReportFrame> {
     (
         (string_strategy(), u53(), u53(), u53()),
         (u53(), u53(), u53(), u53()),
-        (u53(), u53(), u53()),
+        (u53(), u53(), u53(), u53(), u53()),
         (f64_strategy(), f64_strategy()),
     )
         .prop_map(
             |(
                 (session, time, passes, machine_ticks),
                 (halo, over, rt, r),
-                (rb, lrb, ck),
+                (rb, lrb, det, ret, ck),
                 (sps, hbpt),
             )| {
                 ReportFrame {
@@ -141,6 +168,8 @@ fn report_strategy() -> impl Strategy<Value = ReportFrame> {
                     retransmits: r,
                     rollbacks: rb,
                     local_rollbacks: lrb,
+                    detected: det,
+                    boards_retired: ret,
                     checkpoints: ck,
                     sites_per_sec: sps,
                     halo_bits_per_tick: hbpt,
@@ -152,10 +181,10 @@ fn report_strategy() -> impl Strategy<Value = ReportFrame> {
 fn stats_strategy() -> impl Strategy<Value = StatsFrame> {
     (
         collection::vec(
-            (string_strategy(), 0usize..3, u53(), u53(), u53(), f64_strategy()).prop_map(
+            (string_strategy(), 0usize..4, u53(), u53(), u53(), f64_strategy()).prop_map(
                 |(session, st, time, passes, steps, link_demand)| SessionStat {
                     session,
-                    state: ["live", "queued", "evicted"][st].to_string(),
+                    state: ["live", "queued", "evicted", "poisoned"][st].to_string(),
                     time,
                     passes,
                     steps,
@@ -164,14 +193,14 @@ fn stats_strategy() -> impl Strategy<Value = StatsFrame> {
             ),
             0..5,
         ),
-        (u53(), u53(), u53()),
+        (u53(), u53(), u53(), u53()),
         (any::<bool>(), f64_strategy(), f64_strategy(), f64_strategy()),
         (u53(), u53()),
     )
         .prop_map(
             |(
                 sessions,
-                (live, queued, evicted),
+                (live, queued, evicted, poisoned),
                 (cap, capacity, admitted, util),
                 (requests, steps_served),
             )| {
@@ -180,6 +209,7 @@ fn stats_strategy() -> impl Strategy<Value = StatsFrame> {
                     live,
                     queued,
                     evicted,
+                    poisoned,
                     link_capacity: cap.then_some(capacity),
                     link_admitted: admitted,
                     utilization: util,

@@ -9,7 +9,7 @@ fn main() {
         Ok(out) => print!("{out}"),
         Err(e) => {
             eprintln!("{e}");
-            std::process::exit(2);
+            std::process::exit(cli::exit_code(&e));
         }
     }
 }

@@ -218,6 +218,12 @@ pub enum Command {
         rate: f64,
         /// Per-operation rate for each injected I/O fault class.
         io_rate: f64,
+        /// Storm the service layer instead of a bare farm: each storm
+        /// runs faulted sessions through repeated daemon kill+restart
+        /// cycles with transport garbage injected between steps, then
+        /// checks bit-exactness, quarantine containment, namespace
+        /// hygiene, and cross-restart ladder accounting.
+        serve: bool,
     },
     /// Start the lattice-as-a-service daemon: line-delimited JSON over
     /// TCP, model-driven admission control, LRU eviction to the
@@ -242,6 +248,12 @@ pub enum Command {
         addr: String,
         /// The request frame, as JSON (validated locally first).
         line: String,
+        /// Per-attempt I/O deadline (connect + read + write), seconds.
+        timeout_secs: f64,
+        /// Resends after a transport failure or timeout, with
+        /// exponential backoff + jitter. A retried `step` is stamped
+        /// with a request id so the daemon applies it at most once.
+        retries: u32,
     },
     /// Benchmark the farm across engine x shards x overlap and report
     /// sites/second; `--json` writes a `BENCH_<date>.json` artifact.
@@ -262,6 +274,11 @@ pub enum Command {
         json: bool,
         /// Artifact path (default `BENCH_<date>.json`).
         out: Option<String>,
+        /// Compare against a checked-in artifact and fail if any
+        /// configuration's sites/sec regressed beyond `tolerance`.
+        baseline: Option<String>,
+        /// Allowed fractional sites/sec slack vs the baseline.
+        tolerance: f64,
     },
     /// Print the version/summary banner.
     Info,
@@ -278,6 +295,24 @@ impl std::fmt::Display for CliError {
 }
 
 impl std::error::Error for CliError {}
+
+/// The process exit code for a failed command. Most failures exit 2;
+/// `lattice request` distinguishes the three ways a round trip can go
+/// wrong so scripts can branch without parsing prose: 3 = transport
+/// failure (connect/read/write), 4 = deadline exceeded, 5 = the daemon
+/// itself answered with an error frame.
+pub fn exit_code(err: &CliError) -> i32 {
+    let msg = err.0.as_str();
+    if msg.starts_with("request: timeout") {
+        4
+    } else if msg.starts_with("request: transport") {
+        3
+    } else if msg.starts_with("request: daemon error") {
+        5
+    } else {
+        2
+    }
+}
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
     let mut map = HashMap::new();
@@ -391,12 +426,14 @@ pub fn usage() -> String {
                       [--link-bits F] [--overlap] [--verify]\n\
                       [--checkpoint-dir DIR] [--ckpt-every N] [--resume]\n\
        lattice chaos  [--storms N] [--rows N] [--cols N] [--steps N]\n\
-                      [--seed N] [--rate F] [--io-rate F]\n\
+                      [--seed N] [--rate F] [--io-rate F] [--serve]\n\
        lattice serve  [--addr HOST:PORT] [--checkpoint-dir DIR]\n\
                       [--link-capacity BITS_PER_TICK] [--max-live N]\n\
        lattice request --addr HOST:PORT --line JSON_FRAME\n\
+                      [--timeout SECS] [--retries N]\n\
        lattice bench  [--rows N] [--cols N] [--steps N] [--seed N]\n\
                       [--depth K] [--shards S1,S2,..] [--json] [--out FILE]\n\
+                      [--baseline FILE] [--tolerance F]\n\
        lattice info\n"
         .to_string()
 }
@@ -521,6 +558,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             seed: get(&flags, "seed", 42)?,
             rate: get(&flags, "rate", 2e-3)?,
             io_rate: get(&flags, "io-rate", 0.1)?,
+            serve: flags.contains_key("serve"),
         }),
         "serve" => Ok(Command::Serve {
             addr: get(&flags, "addr", "127.0.0.1:0".to_string())?,
@@ -543,6 +581,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 .get("line")
                 .cloned()
                 .ok_or_else(|| CliError("request needs --line '<json frame>'".into()))?,
+            timeout_secs: get(&flags, "timeout", 30.0)?,
+            retries: get(&flags, "retries", 0)?,
         }),
         "bench" => Ok(Command::Bench {
             rows: get(&flags, "rows", 48)?,
@@ -553,6 +593,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             shards: get(&flags, "shards", "1,2,4".to_string())?,
             json: flags.contains_key("json"),
             out: flags.get("out").cloned(),
+            baseline: flags.get("baseline").cloned(),
+            tolerance: get(&flags, "tolerance", 0.02)?,
         }),
         "info" => Ok(Command::Info),
         "help" | "--help" | "-h" => Err(CliError(usage())),
@@ -665,16 +707,42 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             ckpt_every,
             resume,
         }),
-        Command::Chaos { storms, rows, cols, steps, seed, rate, io_rate } => {
-            run_chaos(storms, rows, cols, steps, seed, rate, io_rate)
+        Command::Chaos { storms, rows, cols, steps, seed, rate, io_rate, serve } => {
+            if serve {
+                run_serve_chaos(storms, steps, seed, rate)
+            } else {
+                run_chaos(storms, rows, cols, steps, seed, rate, io_rate)
+            }
         }
         Command::Serve { addr, checkpoint_dir, link_capacity, max_live } => {
             run_serve(addr, checkpoint_dir, link_capacity, max_live)
         }
-        Command::Request { addr, line } => run_request(&addr, &line),
-        Command::Bench { rows, cols, steps, seed, depth, shards, json, out } => {
-            run_bench(rows, cols, steps, seed, depth, &shards, json, out.as_deref())
+        Command::Request { addr, line, timeout_secs, retries } => {
+            run_request(&addr, &line, timeout_secs, retries)
         }
+        Command::Bench {
+            rows,
+            cols,
+            steps,
+            seed,
+            depth,
+            shards,
+            json,
+            out,
+            baseline,
+            tolerance,
+        } => run_bench(BenchArgs {
+            rows,
+            cols,
+            steps,
+            seed,
+            depth,
+            shards,
+            json,
+            out,
+            baseline,
+            tolerance,
+        }),
         Command::Info => Ok(format!(
             "lattice-engines {} — engines, bounds, and gases from \
              'Performance of VLSI Engines for Lattice Computations' (1987).\n\
@@ -1588,6 +1656,15 @@ fn run_farm(a: FarmArgs) -> Result<String, CliError> {
 /// or fails as a structured error. Storm `i` derives everything from
 /// `seed + i`, so any failure is reproduced by a single
 /// `chaos --storms 1 --seed <seed+i>` line.
+/// SplitMix64 — the same idiom the fault layers use, so a storm's
+/// whole configuration is a pure function of its seed.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 fn run_chaos(
     storms: u64,
     rows: usize,
@@ -1625,15 +1702,6 @@ fn run_chaos(
              {steps} steps) so the gas cannot reach the edge and conservation \
              stays exact"
         )));
-    }
-
-    /// SplitMix64 — the same idiom the fault layers use, so a storm's
-    /// whole configuration is a pure function of its seed.
-    fn mix(mut z: u64) -> u64 {
-        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
     }
 
     /// Persistence under weather must not abort the run: commit errors
@@ -1937,25 +2005,425 @@ fn run_serve(
 /// is validated locally first so a typo fails with a protocol error
 /// here instead of a round trip; a `stats` frame with `watch > 1`
 /// reads the whole streamed window.
-fn run_request(addr: &str, line: &str) -> Result<String, CliError> {
-    use crate::serve::{Client, Request};
+///
+/// Failures are classified for [`exit_code`]: `request: transport:`
+/// (exit 3) for connect/read/write errors, `request: timeout:` (exit
+/// 4) when the `--timeout` deadline lapses, `request: daemon error:`
+/// (exit 5) when the daemon answers with an error frame. Transport
+/// failures and timeouts are retried `--retries` times with
+/// exponential backoff + jitter; a retried `step` is stamped with a
+/// request id first, so resending it is idempotent.
+fn run_request(
+    addr: &str,
+    line: &str,
+    timeout_secs: f64,
+    retries: u32,
+) -> Result<String, CliError> {
+    use crate::serve::{is_timeout_error, Client, Request, Response};
+    use std::time::Duration;
 
-    let request = Request::from_line(line).map_err(|e| CliError(format!("request: {e}")))?;
-    let mut client = Client::connect(addr).map_err(|e| CliError(e.to_string()))?;
-    let mut out = client.call(&request.to_line()).map_err(|e| CliError(e.to_string()))?;
-    out.push('\n');
-    if let Request::Stats { watch } = request {
-        for _ in 1..watch {
-            match client.read_line().map_err(|e| CliError(e.to_string()))? {
-                Some(l) => {
-                    out.push_str(&l);
-                    out.push('\n');
-                }
-                None => break,
-            }
+    if timeout_secs.is_nan() || timeout_secs <= 0.0 {
+        return Err(CliError("request: --timeout must be positive seconds".into()));
+    }
+    let timeout = Duration::from_secs_f64(timeout_secs.min(3600.0));
+    let mut request = Request::from_line(line).map_err(|e| CliError(format!("request: {e}")))?;
+    if retries > 0 {
+        if let Request::Step { id: id @ None, .. } = &mut request {
+            // At-most-once under resends: the daemon caches the reply
+            // per id and re-acknowledges instead of re-stepping.
+            let nanos = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0);
+            *id = Some(format!("cli-{}-{:016x}", std::process::id(), mix(nanos)));
         }
     }
-    Ok(out)
+    let classify = |e: &crate::core::LatticeError| {
+        if is_timeout_error(e) {
+            CliError(format!("request: timeout: {e}"))
+        } else {
+            CliError(format!("request: transport: {e}"))
+        }
+    };
+
+    let mut last_err = None;
+    for attempt in 0..=retries {
+        if attempt > 0 {
+            // 50ms, 100ms, 200ms... capped at 2s, plus up to half a
+            // step of jitter so retry bursts from concurrent clients
+            // don't stay synchronized.
+            let base = 50u64.saturating_mul(1 << (attempt - 1).min(10)).min(2000);
+            let nanos = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0);
+            let jitter = mix(nanos ^ u64::from(attempt)) % (base / 2 + 1);
+            std::thread::sleep(Duration::from_millis(base + jitter));
+        }
+        let round_trip = || -> Result<String, crate::core::LatticeError> {
+            let mut client = Client::connect_with_timeout(addr, timeout)?;
+            let mut out = client.call(&request.to_line())?;
+            out.push('\n');
+            if let Request::Stats { watch } = request {
+                for _ in 1..watch {
+                    match client.read_line()? {
+                        Some(l) => {
+                            out.push_str(&l);
+                            out.push('\n');
+                        }
+                        None => break,
+                    }
+                }
+            }
+            Ok(out)
+        };
+        match round_trip() {
+            Ok(out) => {
+                // The round trip succeeded at the transport level; an
+                // error *frame* is the daemon refusing the request, and
+                // retrying a refusal would just be refused again.
+                if let Ok(Response::Error { message }) =
+                    Response::from_line(out.lines().next().unwrap_or(""))
+                {
+                    return Err(CliError(format!("request: daemon error: {message}")));
+                }
+                return Ok(out);
+            }
+            Err(e) => last_err = Some(classify(&e)),
+        }
+    }
+    Err(last_err.unwrap_or_else(|| CliError("request: transport: no attempt ran".into())))
+}
+
+/// `lattice chaos --serve`: the daemon-level chaos soak. Each storm
+/// derives a deterministic weather from its seed, then runs four
+/// sessions — fault-free, ARQ-weathered, worker die/hang, and one
+/// doomed to quarantine — through `LIVES` daemon lives (kill +
+/// restart between each) while garbage, truncated, and oversized
+/// frames are injected at the transport. After the final restart the
+/// storm asserts: every surviving session is bit-exact vs a
+/// fault-free direct `LatticeFarm` run, the doomed session is
+/// `poisoned` (not a daemon crash), the PR 3 conservation invariant
+/// holds on counters accumulated across restarts, and destroying
+/// everything leaves zero session namespaces behind.
+fn run_serve_chaos(storms: u64, steps: u64, seed: u64, rate: f64) -> Result<String, CliError> {
+    use crate::gas::HppRule;
+    use crate::serve::{
+        build_farm, inject_raw, seed_grid, Client, Daemon, DaemonConfig, FaultSpec, Query, Request,
+        Response, SessionSpec, MAX_FRAME_BYTES,
+    };
+
+    if storms == 0 || steps == 0 {
+        return Err(CliError("chaos: --storms and --steps must be ≥ 1".into()));
+    }
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(CliError("chaos: --rate must be in [0, 1]".into()));
+    }
+    /// Daemon lives per storm: 1 initial + 3 kill/restart cycles,
+    /// plus a final verification life spawned after the loop.
+    const LIVES: u64 = 4;
+
+    fn call(c: &mut Client, req: &Request) -> Result<Response, String> {
+        let line = c.call(&req.to_line()).map_err(|e| format!("transport: {e}"))?;
+        Response::from_line(&line).map_err(|e| format!("bad response frame: {e}"))
+    }
+    fn reference_cells(spec: &SessionSpec, gens: u64) -> Result<Vec<u8>, String> {
+        let clean = SessionSpec { fault: None, ..spec.clone() };
+        let grid = seed_grid(&clean).map_err(|e| e.to_string())?;
+        let farm = build_farm(&clean).map_err(|e| e.to_string())?;
+        let report = farm.run(&HppRule::new(), &grid, 0, gens).map_err(|e| e.to_string())?;
+        Ok(report.grid().as_slice().to_vec())
+    }
+
+    /// One storm; returns (restarts, injections, ladder totals).
+    fn storm(sseed: u64, steps: u64, rate: f64, dir: &str) -> Result<(u64, u64, [u64; 5]), String> {
+        let d = |salt: u64| mix(sseed ^ mix(salt));
+        let hang = d(20) % 2 == 1;
+        let base = |name_seed: u64, fault: Option<FaultSpec>| SessionSpec {
+            model: "hpp".into(),
+            rows: 12,
+            cols: 24,
+            seed: name_seed,
+            shards: 2,
+            fault,
+            ..SessionSpec::default()
+        };
+        // The cast: a control, two weathered survivors, one goner.
+        let specs: [(&str, SessionSpec); 4] = [
+            ("clean", base(sseed, None)),
+            ("arq", base(sseed + 1, Some(FaultSpec { link_rate: rate, ..FaultSpec::default() }))),
+            (
+                "worker",
+                base(
+                    sseed + 2,
+                    Some(FaultSpec {
+                        fail_board: (d(21) % 2) as usize,
+                        fail_pass: Some(1 + d(22) % 2),
+                        fail_kind: if hang { "hang".into() } else { "die".into() },
+                        hang_ms: 150,
+                        watchdog_ms: if hang { Some(40) } else { None },
+                        ..FaultSpec::default()
+                    }),
+                ),
+            ),
+            (
+                "doomed",
+                base(sseed + 3, Some(FaultSpec { stuck_link: Some(1), ..FaultSpec::default() })),
+            ),
+        ];
+        let config = DaemonConfig {
+            checkpoint_dir: Some(dir.to_string()),
+            link_capacity: Some(f64::INFINITY),
+            max_live: 4,
+            ..DaemonConfig::default()
+        };
+        let mut gens: u64 = 0; // generations every surviving session has run
+        let mut totals = [0u64; 5]; // det / rt / loc / glob / ret, across lives
+        let mut restarts: u64 = 0;
+        let mut injections: u64 = 0;
+
+        for life in 0..LIVES {
+            let (addr, handle) = Daemon::spawn(&config).map_err(|e| e.to_string())?;
+            let addr = addr.to_string();
+            if life > 0 {
+                restarts += 1;
+            }
+            let mut c = Client::connect(&addr).map_err(|e| e.to_string())?;
+            if life == 0 {
+                for (name, spec) in &specs {
+                    match call(
+                        &mut c,
+                        &Request::Create { session: (*name).into(), spec: spec.clone() },
+                    )? {
+                        Response::Created { admitted: true, .. } => {}
+                        other => return Err(format!("create {name}: {other:?}")),
+                    }
+                }
+                // The stuck link exhausts the whole ladder on first
+                // touch: quarantined, never a daemon crash.
+                match call(&mut c, &Request::Step { session: "doomed".into(), n: 1, id: None })? {
+                    Response::Error { message } if message.contains("quarantined") => {}
+                    other => return Err(format!("doomed step: {other:?}")),
+                }
+            }
+
+            // Transport storm: malformed bytes (structured error, same
+            // connection stays usable), a mid-frame connection drop,
+            // and — once per storm — an oversized frame.
+            match inject_raw(&addr, b"{\"op\":]garbage\n", true).map_err(|e| e.to_string())? {
+                Some(line) => match Response::from_line(&line) {
+                    Ok(Response::Error { .. }) => injections += 1,
+                    other => return Err(format!("garbage frame got {other:?}")),
+                },
+                None => return Err("garbage frame: daemon hung up instead of erroring".into()),
+            }
+            inject_raw(&addr, b"{\"op\":\"stats\",\"wat", false).map_err(|e| e.to_string())?;
+            injections += 1;
+            if life == 1 {
+                let mut big = vec![b'x'; MAX_FRAME_BYTES + 2];
+                big.push(b'\n');
+                match inject_raw(&addr, &big, true).map_err(|e| e.to_string())? {
+                    Some(line) => match Response::from_line(&line) {
+                        Ok(Response::Error { message }) if message.contains("limit") => {
+                            injections += 1;
+                        }
+                        other => return Err(format!("oversized frame got {other:?}")),
+                    },
+                    None => return Err("oversized frame: daemon hung up".into()),
+                }
+            }
+            // A malformed frame on an established connection must not
+            // poison the connection for the next valid frame.
+            let reply = c.call("{\"op\":\"no-such-op\"}").map_err(|e| e.to_string())?;
+            match Response::from_line(&reply) {
+                Ok(Response::Error { .. }) => injections += 1,
+                other => return Err(format!("bad-op frame got {other:?}")),
+            }
+
+            // Step the survivors, re-sending one step id to prove
+            // at-most-once application under client retries.
+            let n = 1 + d(100 + life) % steps;
+            for (k, name) in ["clean", "arq", "worker"].iter().enumerate() {
+                let id = format!("chaos-{sseed}-{life}-{k}");
+                let req = Request::Step { session: (*name).into(), n, id: Some(id.clone()) };
+                let first = call(&mut c, &req)?;
+                let Response::Stepped { time, .. } = first else {
+                    return Err(format!("step {name} life {life}: {first:?}"));
+                };
+                if time != gens + n {
+                    return Err(format!("step {name} life {life}: time {time} != {}", gens + n));
+                }
+                if d(200 + life * 8 + k as u64) % 2 == 0 {
+                    match call(&mut c, &req)? {
+                        Response::Stepped { time: t2, .. } if t2 == time => {}
+                        other => return Err(format!("retried step {name} re-applied: {other:?}")),
+                    }
+                }
+            }
+            gens += n;
+
+            // Fold this life's recovery counters into the cross-restart
+            // tally (the daemon's in-memory counters die with it).
+            for name in ["clean", "arq", "worker"] {
+                match call(
+                    &mut c,
+                    &Request::QueryReq { session: name.into(), what: Query::Report },
+                )? {
+                    Response::Report(r) => {
+                        totals[0] += r.detected;
+                        totals[1] += r.retransmits;
+                        totals[2] += r.local_rollbacks;
+                        totals[3] += r.rollbacks;
+                        totals[4] += r.boards_retired;
+                    }
+                    other => return Err(format!("report {name}: {other:?}")),
+                }
+            }
+            match call(&mut c, &Request::Shutdown)? {
+                Response::Bye => {}
+                other => return Err(format!("shutdown: {other:?}")),
+            }
+            handle.join().map_err(|_| "daemon panicked".to_string())?.map_err(|e| e.to_string())?;
+        }
+
+        // Final life: restart once more and audit what survived.
+        let (addr, handle) = Daemon::spawn(&config).map_err(|e| e.to_string())?;
+        let addr = addr.to_string();
+        restarts += 1;
+        let mut c = Client::connect(&addr).map_err(|e| e.to_string())?;
+        match call(&mut c, &Request::Stats { watch: 1 })? {
+            Response::Stats(frame) => {
+                if frame.sessions.len() != 4 {
+                    return Err(format!("expected 4 sessions after restart: {frame:?}"));
+                }
+                if frame.poisoned != 1 {
+                    return Err(format!("quarantine lost across restarts: {frame:?}"));
+                }
+            }
+            other => return Err(format!("stats: {other:?}")),
+        }
+        // Survivors are bit-exact vs the fault-free direct farm run.
+        for (name, spec) in &specs {
+            if *name == "doomed" {
+                continue;
+            }
+            let what = Query::Region { row0: 0, col0: 0, rows: spec.rows, cols: spec.cols };
+            match call(&mut c, &Request::QueryReq { session: (*name).into(), what })? {
+                Response::Region { time, cells, .. } => {
+                    if time != gens {
+                        return Err(format!("{name} at generation {time}, expected {gens}"));
+                    }
+                    if cells != reference_cells(spec, gens)? {
+                        return Err(format!("{name} diverged from fault-free reference"));
+                    }
+                }
+                other => return Err(format!("region {name}: {other:?}")),
+            }
+        }
+        // The goner is still fenced off.
+        match call(&mut c, &Request::Step { session: "doomed".into(), n: 1, id: None })? {
+            Response::Error { message } if message.contains("quarantined") => {}
+            other => return Err(format!("poisoned step after restarts: {other:?}")),
+        }
+        // Ladder accounting survives kill+restart cycles.
+        if totals[0] != totals[1] + totals[2] + totals[3] + totals[4] {
+            return Err(format!(
+                "conservation broke across restarts: {} detected vs {}+{}+{}+{}",
+                totals[0], totals[1], totals[2], totals[3], totals[4]
+            ));
+        }
+        // Destroy everything: zero leaked session namespaces.
+        for (name, _) in &specs {
+            match call(&mut c, &Request::Destroy { session: (*name).into() })? {
+                Response::Destroyed { .. } => {}
+                other => return Err(format!("destroy {name}: {other:?}")),
+            }
+        }
+        match call(&mut c, &Request::Stats { watch: 1 })? {
+            Response::Stats(frame) if frame.sessions.is_empty() => {}
+            other => return Err(format!("leaked session namespaces: {other:?}")),
+        }
+        match call(&mut c, &Request::Shutdown)? {
+            Response::Bye => {}
+            other => return Err(format!("final shutdown: {other:?}")),
+        }
+        handle.join().map_err(|_| "daemon panicked".to_string())?.map_err(|e| e.to_string())?;
+        Ok((restarts, injections, totals))
+    }
+
+    let mut out = format!(
+        "chaos --serve: {storms} storm(s), 4 sessions x {} daemon lives each, base seed {seed}\n\
+         weather: halo-link transients @ {rate:.1e}, worker die/hang, one stuck link \
+         (quarantine), transport garbage/truncation/oversize\n\
+         invariants: survivors bit-exact vs direct farm, quarantine contained and durable, \
+         ladder accounting across restarts, no leaked namespaces\n\n",
+        LIVES + 1
+    );
+    let table = SweepTable::new(&[
+        ("storm", 5, Align::Right),
+        ("seed", 20, Align::Left),
+        ("restarts", 8, Align::Right),
+        ("inject", 6, Align::Right),
+        ("det", 3, Align::Right),
+        ("rt", 2, Align::Right),
+        ("loc", 3, Align::Right),
+        ("glob", 4, Align::Right),
+        ("ret", 3, Align::Right),
+        ("result", 0, Align::Left),
+    ]);
+    out.push_str(&table.header());
+    let mut failed: Vec<u64> = Vec::new();
+    for i in 0..storms {
+        let sseed = seed.wrapping_add(i);
+        let dir = std::env::temp_dir()
+            .join(format!("lattice-chaos-serve-{}-{i}", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        // Scratch store for this storm's daemon lives — created fresh
+        // and torn down here, not durable-store state.
+        let _ = std::fs::remove_dir_all(&dir); // lattice-lint: allow(fs-write)
+        std::fs::create_dir_all(&dir) // lattice-lint: allow(fs-write)
+            .map_err(|e| CliError(format!("chaos: mkdir {dir}: {e}")))?;
+        let outcome = storm(sseed, steps, rate, &dir);
+        let _ = std::fs::remove_dir_all(&dir); // lattice-lint: allow(fs-write)
+        let (restarts, injections, ladder, result) = match outcome {
+            Ok((r, j, l)) => (r, j, l, "ok".to_string()),
+            Err(why) => {
+                failed.push(i);
+                (0, 0, [0; 5], format!("FAIL: {why}"))
+            }
+        };
+        out.push_str(&table.row(&[
+            i.to_string(),
+            sseed.to_string(),
+            restarts.to_string(),
+            injections.to_string(),
+            ladder[0].to_string(),
+            ladder[1].to_string(),
+            ladder[2].to_string(),
+            ladder[3].to_string(),
+            ladder[4].to_string(),
+            result,
+        ]));
+    }
+    if failed.is_empty() {
+        out.push_str(&format!(
+            "\nchaos --serve: all {storms} storm(s) held every invariant across restarts\n"
+        ));
+        Ok(out)
+    } else {
+        out.push_str(&format!(
+            "\nchaos --serve: {} storm(s) FAILED; reproduce with:\n",
+            failed.len()
+        ));
+        for i in &failed {
+            out.push_str(&format!(
+                "  lattice chaos --serve --storms 1 --seed {} --steps {steps} --rate {rate}\n",
+                seed.wrapping_add(*i)
+            ));
+        }
+        Err(CliError(out))
+    }
 }
 
 /// Today's date as `YYYY-MM-DD` (UTC), via Howard Hinnant's
@@ -1977,25 +2445,37 @@ fn bench_date() -> String {
     format!("{y:04}-{m:02}-{d:02}")
 }
 
-/// `lattice bench`: sweep HPP through engine x shards x overlap and
-/// report throughput at the paper's 10 MHz clock; `--json` emits the
-/// same numbers as a machine-readable artifact for trend tracking.
-#[allow(clippy::too_many_arguments)]
-fn run_bench(
+/// Arguments to [`run_bench`] — one struct instead of ten positional
+/// parameters.
+struct BenchArgs {
     rows: usize,
     cols: usize,
     steps: u64,
     seed: u64,
     depth: usize,
-    shards_list: &str,
+    shards: String,
     json: bool,
-    out_path: Option<&str>,
-) -> Result<String, CliError> {
+    out: Option<String>,
+    baseline: Option<String>,
+    tolerance: f64,
+}
+
+/// `lattice bench`: sweep HPP through engine x shards x overlap and
+/// report throughput at the paper's 10 MHz clock; `--json` emits the
+/// same numbers as a machine-readable artifact for trend tracking,
+/// and `--baseline` turns the run into a regression ratchet against a
+/// checked-in artifact.
+fn run_bench(args: BenchArgs) -> Result<String, CliError> {
     use crate::farm::{LatticeFarm, ShardEngine};
     use crate::serve::json::Value;
 
+    let BenchArgs { rows, cols, steps, seed, depth, shards, json, out, baseline, tolerance } = args;
+    let (shards_list, out_path) = (shards.as_str(), out.as_deref());
     if depth == 0 || steps == 0 {
         return Err(CliError("bench: --depth and --steps must be ≥ 1".into()));
+    }
+    if !(0.0..1.0).contains(&tolerance) {
+        return Err(CliError("bench: --tolerance must be in [0, 1)".into()));
     }
     let shard_counts: Vec<usize> = shards_list
         .split(',')
@@ -2076,13 +2556,86 @@ fn run_bench(
             ("seed".into(), Value::num_u64(seed)),
             ("depth".into(), Value::num_usize(depth)),
             ("clock_hz".into(), Value::Num(clock.get())),
-            ("results".into(), Value::Arr(results)),
+            ("results".into(), Value::Arr(results.clone())),
         ]);
         std::fs::write(&path, doc.render() + "\n")
             .map_err(|e| CliError(format!("bench: write {path}: {e}")))?;
         out.push_str(&format!("wrote {path}\n"));
     }
+    if let Some(bpath) = baseline {
+        out.push_str(&ratchet_against_baseline(&bpath, tolerance, &results)?);
+    }
     Ok(out)
+}
+
+/// The `lattice bench --baseline` gate: every `(engine, shards,
+/// overlap)` configuration present in both the baseline artifact and
+/// this run must be within `tolerance` of the baseline's sites/sec.
+/// The model-derived tick counts make the comparison deterministic;
+/// the tolerance only absorbs float-formatting drift. Faster-than-
+/// baseline is reported, never failed — the ratchet tightens by
+/// re-generating the artifact.
+fn ratchet_against_baseline(
+    bpath: &str,
+    tolerance: f64,
+    results: &[crate::serve::json::Value],
+) -> Result<String, CliError> {
+    use crate::serve::json::{self, Value};
+
+    let key = |v: &Value| -> Option<(String, u64, bool)> {
+        Some((
+            v.get("engine")?.as_str()?.to_string(),
+            v.get("shards")?.as_u64()?,
+            v.get("overlap")?.as_bool()?,
+        ))
+    };
+    let text = std::fs::read_to_string(bpath)
+        .map_err(|e| CliError(format!("bench: read baseline {bpath}: {e}")))?;
+    let doc = json::parse(&text)
+        .map_err(|e| CliError(format!("bench: baseline {bpath} is not valid JSON: {e}")))?;
+    let rows = doc
+        .get("results")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| CliError(format!("bench: baseline {bpath} has no `results` array")))?;
+
+    let mut compared = 0usize;
+    let mut regressions: Vec<String> = Vec::new();
+    for base in rows {
+        let Some(k) = key(base) else { continue };
+        let Some(base_sps) = base.get("sites_per_sec").and_then(Value::as_f64) else { continue };
+        let Some(cur) = results.iter().find(|r| key(r).as_ref() == Some(&k)) else { continue };
+        let Some(cur_sps) = cur.get("sites_per_sec").and_then(Value::as_f64) else { continue };
+        compared += 1;
+        if cur_sps < base_sps * (1.0 - tolerance) {
+            regressions.push(format!(
+                "  {} x{} overlap={}: {cur_sps:.3e} sites/sec vs baseline {base_sps:.3e} \
+                 ({:+.1}%)",
+                k.0,
+                k.1,
+                k.2,
+                (cur_sps / base_sps - 1.0) * 100.0
+            ));
+        }
+    }
+    if compared == 0 {
+        return Err(CliError(format!(
+            "bench: baseline {bpath} shares no configuration with this run — \
+             regenerate it with the same --shards/--depth sweep"
+        )));
+    }
+    if regressions.is_empty() {
+        Ok(format!(
+            "ratchet: {compared} configuration(s) within {:.0}% of {bpath}\n",
+            tolerance * 100.0
+        ))
+    } else {
+        Err(CliError(format!(
+            "bench: {} configuration(s) regressed beyond {:.0}% of {bpath}:\n{}\n",
+            regressions.len(),
+            tolerance * 100.0,
+            regressions.join("\n")
+        )))
+    }
 }
 
 fn run_pebble(d: usize, r: usize, t: usize, s: usize) -> Result<String, CliError> {
@@ -2795,6 +3348,7 @@ mod tests {
             seed: 42,
             rate: 2e-3,
             io_rate: 0.1,
+            serve: false,
         })
         .unwrap();
         assert!(out.contains("all 2 storm(s) recovered"), "{out}");
@@ -2838,7 +3392,14 @@ mod tests {
         use crate::serve::{Daemon, DaemonConfig};
         let (addr, handle) = Daemon::spawn(&DaemonConfig::default()).unwrap();
         let addr = addr.to_string();
-        let req = |line: &str| execute(Command::Request { addr: addr.clone(), line: line.into() });
+        let req = |line: &str| {
+            execute(Command::Request {
+                addr: addr.clone(),
+                line: line.into(),
+                timeout_secs: 10.0,
+                retries: 0,
+            })
+        };
 
         // A malformed frame fails locally, before any round trip.
         assert!(req("{nope").is_err());
@@ -2870,6 +3431,8 @@ mod tests {
             shards: "1,2".into(),
             json: true,
             out: Some(path.clone()),
+            baseline: None,
+            tolerance: 0.02,
         })
         .unwrap();
         assert!(out.contains("sites/sec"), "{out}");
@@ -2888,5 +3451,132 @@ mod tests {
     fn info_banner() {
         let out = execute(Command::Info).unwrap();
         assert!(out.contains("1987"));
+    }
+
+    #[test]
+    fn request_flags_parse_and_exit_codes_classify() {
+        match parse(&argv("request --addr 127.0.0.1:1 --line {} --timeout 2.5 --retries 3"))
+            .unwrap()
+        {
+            Command::Request { timeout_secs, retries, .. } => {
+                assert_eq!(timeout_secs, 2.5);
+                assert_eq!(retries, 3);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Defaults: 30 s deadline, no retries.
+        assert!(matches!(
+            parse(&argv("request --addr a --line b")).unwrap(),
+            Command::Request { retries: 0, .. }
+        ));
+        assert_eq!(exit_code(&CliError("request: timeout: read timed out".into())), 4);
+        assert_eq!(exit_code(&CliError("request: transport: connection refused".into())), 3);
+        assert_eq!(exit_code(&CliError("request: daemon error: no such session".into())), 5);
+        assert_eq!(exit_code(&CliError("bench: --steps must be ≥ 1".into())), 2);
+    }
+
+    #[test]
+    fn request_classifies_transport_daemon_and_timeout_failures() {
+        use crate::serve::{Daemon, DaemonConfig};
+        // Nothing listens on port 1 (tcpmux needs root): connection
+        // refused is a transport failure, exit class 3, even with
+        // retries.
+        let err = execute(Command::Request {
+            addr: "127.0.0.1:1".into(),
+            line: r#"{"op":"stats","watch":1}"#.into(),
+            timeout_secs: 2.0,
+            retries: 1,
+        })
+        .unwrap_err();
+        assert_eq!(exit_code(&err), 3, "{err}");
+
+        // A live daemon refusing the request is a daemon error, exit 5,
+        // and must NOT be retried into a second refusal round trip.
+        let (addr, handle) = Daemon::spawn(&DaemonConfig::default()).unwrap();
+        let addr = addr.to_string();
+        let err = execute(Command::Request {
+            addr: addr.clone(),
+            line: r#"{"op":"step","session":"ghost","n":1}"#.into(),
+            timeout_secs: 5.0,
+            retries: 2,
+        })
+        .unwrap_err();
+        assert!(err.0.starts_with("request: daemon error:"), "{err}");
+        assert_eq!(exit_code(&err), 5);
+        execute(Command::Request {
+            addr,
+            line: r#"{"op":"shutdown"}"#.into(),
+            timeout_secs: 5.0,
+            retries: 0,
+        })
+        .unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn serve_chaos_storm_holds_every_invariant_at_the_pinned_seed() {
+        // The CI `chaos-serve` job in miniature: one storm, the same
+        // derivation. Deterministic weather — always passes or never.
+        let out = execute(Command::Chaos {
+            storms: 1,
+            rows: 36,
+            cols: 40,
+            steps: 3,
+            seed: 42,
+            rate: 0.05,
+            io_rate: 0.1,
+            serve: true,
+        })
+        .unwrap();
+        assert!(out.contains("all 1 storm(s) held"), "{out}");
+        // ≥ 3 daemon kill+restart cycles per storm (acceptance floor),
+        // and the weather must actually fire: a soak whose ladder
+        // counters are all zero holds conservation vacuously.
+        let row = out.lines().find(|l| l.trim_start().starts_with('0')).unwrap();
+        let restarts: u64 = row.split_whitespace().nth(2).unwrap().parse().unwrap();
+        assert!(restarts >= 3, "storm must survive ≥ 3 restarts: {row}");
+        let detected: u64 = row.split_whitespace().nth(4).unwrap().parse().unwrap();
+        assert!(detected >= 1, "no hardware fault fired during the storm: {row}");
+    }
+
+    #[test]
+    fn bench_baseline_ratchet_passes_itself_and_catches_regressions() {
+        let dir = std::env::temp_dir().join(format!("lattice-ratchet-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("baseline.json").to_string_lossy().into_owned();
+        let bench = |baseline: Option<String>| {
+            execute(Command::Bench {
+                rows: 16,
+                cols: 24,
+                steps: 4,
+                seed: 3,
+                depth: 2,
+                shards: "1,2".into(),
+                json: baseline.is_none(),
+                out: Some(path.clone()),
+                baseline,
+                tolerance: 0.02,
+            })
+        };
+        // Generate the artifact, then ratchet the identical run
+        // against it: deterministic ticks, so it must pass.
+        bench(None).unwrap();
+        let out = bench(Some(path.clone())).unwrap();
+        assert!(out.contains("ratchet: 8 configuration(s) within 2%"), "{out}");
+        // Inflate the baseline: every current number now "regresses".
+        let doc = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, doc.replace("\"sites_per_sec\":", "\"sites_per_sec\":9e99,\"was\":"))
+            .unwrap();
+        let err = bench(Some(path.clone())).unwrap_err();
+        assert!(err.0.contains("regressed beyond"), "{err}");
+        // A baseline from a disjoint sweep is refused, not vacuously passed.
+        std::fs::write(
+            &path,
+            r#"{"results":[{"engine":"wsa","shards":64,"overlap":false,"sites_per_sec":1.0}]}"#,
+        )
+        .unwrap();
+        let err = bench(Some(path.clone())).unwrap_err();
+        assert!(err.0.contains("shares no configuration"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

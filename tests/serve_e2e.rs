@@ -5,8 +5,8 @@
 
 use lattice_engines::gas::HppRule;
 use lattice_engines::serve::{
-    build_farm, link_demand, seed_grid, Client, Daemon, DaemonConfig, Query, Request, Response,
-    SessionSpec,
+    build_farm, link_demand, seed_grid, Client, Daemon, DaemonConfig, FaultSpec, Query, Request,
+    Response, SessionSpec,
 };
 
 /// An HPP session spec the reference runs can mirror exactly.
@@ -39,7 +39,7 @@ fn create(client: &mut Client, name: &str, spec: &SessionSpec) -> bool {
 }
 
 fn step(client: &mut Client, name: &str, n: u64) -> u64 {
-    match call(client, &Request::Step { session: name.into(), n }) {
+    match call(client, &Request::Step { session: name.into(), n, id: None }) {
         Response::Stepped { time, .. } => time,
         other => panic!("step {name}: {other:?}"),
     }
@@ -145,7 +145,7 @@ fn admission_control_queues_past_saturation_and_promotes_on_destroy() {
     assert_eq!((frame.live, frame.queued), (2, 1), "{frame:?}");
     let queued = frame.sessions.iter().find(|s| s.session == "c").expect("c listed");
     assert_eq!(queued.state, "queued", "{frame:?}");
-    match call(&mut c, &Request::Step { session: "c".into(), n: 1 }) {
+    match call(&mut c, &Request::Step { session: "c".into(), n: 1, id: None }) {
         Response::Error { message } => {
             assert!(message.contains("queued"), "{message}");
         }
@@ -226,6 +226,150 @@ fn daemon_kill_and_restart_restores_every_session_bit_exact() {
     shutdown(&addr2);
     handle2.join().expect("join").expect("run");
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn faulted_sessions_ride_the_ladder_and_stay_bit_exact() {
+    // Three fault weathers, one contract: the recovery ladder absorbs
+    // them and the served lattice equals the fault-free reference.
+    let weathers: [(&str, FaultSpec); 3] = [
+        // Transient link noise → ARQ (and the odd local rollback).
+        ("arq", FaultSpec { link_rate: 0.01, ..FaultSpec::default() }),
+        // A worker that dies mid-pass → detected via its dropped
+        // channel, absorbed by rollback.
+        ("die", FaultSpec { fail_board: 1, fail_pass: Some(1), ..FaultSpec::default() }),
+        // A worker that hangs → the per-session watchdog declares the
+        // board down instead of waiting the stall out.
+        (
+            "hang",
+            FaultSpec {
+                fail_board: 0,
+                fail_pass: Some(1),
+                fail_kind: "hang".into(),
+                hang_ms: 400,
+                watchdog_ms: Some(40),
+                ..FaultSpec::default()
+            },
+        ),
+    ];
+    let config = DaemonConfig { link_capacity: Some(f64::INFINITY), ..DaemonConfig::default() };
+    let (addr, handle) = Daemon::spawn(&config).expect("spawn");
+    let addr = addr.to_string();
+    let mut c = Client::connect(&addr).expect("connect");
+    for (name, fault) in weathers {
+        let spec = SessionSpec { fault: Some(fault), ..hpp_spec(12, 24, 2, 7) };
+        assert!(create(&mut c, name, &spec));
+        for n in [2u64, 3, 1] {
+            step(&mut c, name, n);
+        }
+        let clean = SessionSpec { fault: None, ..spec.clone() };
+        let (time, cells) = region(&mut c, name, &spec);
+        assert_eq!(time, 6);
+        assert_eq!(cells, reference_cells(&clean, 6), "{name} diverged from fault-free run");
+        // PR 3 conservation invariant, served over the wire.
+        match call(&mut c, &Request::QueryReq { session: name.into(), what: Query::Report }) {
+            Response::Report(r) => {
+                assert_eq!(
+                    r.detected,
+                    r.retransmits + r.local_rollbacks + r.rollbacks + r.boards_retired,
+                    "{name}: conservation broke: {r:?}"
+                );
+                if name != "arq" {
+                    assert!(r.detected > 0, "{name}: the injected fault never fired: {r:?}");
+                }
+            }
+            other => panic!("report {name}: {other:?}"),
+        }
+    }
+    shutdown(&addr);
+    handle.join().expect("join").expect("run");
+}
+
+#[test]
+fn unrecoverable_fault_quarantines_the_session_not_the_daemon() {
+    let dir = temp_dir("poison");
+    let config = DaemonConfig {
+        checkpoint_dir: Some(dir.clone()),
+        link_capacity: Some(f64::INFINITY),
+        ..DaemonConfig::default()
+    };
+    let (addr, handle) = Daemon::spawn(&config).expect("spawn");
+    let addr = addr.to_string();
+    let mut c = Client::connect(&addr).expect("connect");
+
+    // A stuck link with no degrade budget exhausts the whole ladder.
+    let mut doomed = hpp_spec(12, 24, 2, 7);
+    doomed.fault = Some(FaultSpec { stuck_link: Some(1), ..FaultSpec::default() });
+    let healthy = hpp_spec(10, 30, 3, 9);
+    assert!(create(&mut c, "doomed", &doomed));
+    assert!(create(&mut c, "healthy", &healthy));
+
+    match call(&mut c, &Request::Step { session: "doomed".into(), n: 2, id: None }) {
+        Response::Error { message } => assert!(message.contains("quarantined"), "{message}"),
+        other => panic!("doomed step should fail: {other:?}"),
+    }
+    // The fault is contained: the daemon serves on, the healthy
+    // session steps bit-exactly, and stats show the quarantine.
+    assert_eq!(step(&mut c, "healthy", 3), 3);
+    assert_eq!(region(&mut c, "healthy", &healthy).1, reference_cells(&healthy, 3));
+    let frame = stats(&mut c);
+    assert_eq!(frame.poisoned, 1, "{frame:?}");
+    let row = frame.sessions.iter().find(|s| s.session == "doomed").expect("listed");
+    assert_eq!(row.state, "poisoned", "{frame:?}");
+    // Every further touch is refused, crash-free.
+    match call(&mut c, &Request::Step { session: "doomed".into(), n: 1, id: None }) {
+        Response::Error { message } => assert!(message.contains("quarantined"), "{message}"),
+        other => panic!("poisoned step: {other:?}"),
+    }
+
+    // The quarantine survives a daemon kill + restart (poison marker
+    // in the durable meta slot), and destroy reclaims the name.
+    shutdown(&addr);
+    handle.join().expect("join").expect("run");
+    let (addr2, handle2) = Daemon::spawn(&config).expect("respawn");
+    let addr2 = addr2.to_string();
+    let mut c = Client::connect(&addr2).expect("connect");
+    let frame = stats(&mut c);
+    assert_eq!(frame.poisoned, 1, "poison lost across restart: {frame:?}");
+    match call(&mut c, &Request::Destroy { session: "doomed".into() }) {
+        Response::Destroyed { session, .. } => assert_eq!(session, "doomed"),
+        other => panic!("destroy: {other:?}"),
+    }
+    let frame = stats(&mut c);
+    assert_eq!(frame.poisoned, 0, "{frame:?}");
+    // The reclaimed name admits a fresh session.
+    assert!(create(&mut c, "doomed", &healthy));
+    shutdown(&addr2);
+    handle2.join().expect("join").expect("run");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn retried_steps_with_the_same_id_apply_at_most_once() {
+    let config = DaemonConfig { link_capacity: Some(f64::INFINITY), ..DaemonConfig::default() };
+    let (addr, handle) = Daemon::spawn(&config).expect("spawn");
+    let addr = addr.to_string();
+    let mut c = Client::connect(&addr).expect("connect");
+    let spec = hpp_spec(12, 24, 2, 7);
+    assert!(create(&mut c, "s", &spec));
+
+    let step_id = |c: &mut Client, id: &str, n: u64| -> u64 {
+        match call(c, &Request::Step { session: "s".into(), n, id: Some(id.into()) }) {
+            Response::Stepped { time, .. } => time,
+            other => panic!("step: {other:?}"),
+        }
+    };
+    assert_eq!(step_id(&mut c, "req-1", 3), 3);
+    // The retry (same id) is re-acknowledged, not re-applied — even
+    // from a different connection after the first one dropped.
+    assert_eq!(step_id(&mut c, "req-1", 3), 3);
+    let mut c2 = Client::connect(&addr).expect("reconnect");
+    assert_eq!(step_id(&mut c2, "req-1", 3), 3);
+    // A new id applies; the lattice is at 5 generations, not 11.
+    assert_eq!(step_id(&mut c2, "req-2", 2), 5);
+    assert_eq!(region(&mut c2, "s", &spec).1, reference_cells(&spec, 5));
+    shutdown(&addr);
+    handle.join().expect("join").expect("run");
 }
 
 #[test]
