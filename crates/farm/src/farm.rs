@@ -987,6 +987,11 @@ impl LatticeFarm {
                             {
                                 match spec.fault {
                                     WorkerFault::Hang { millis } => {
+                                        // Fault *injection*, not lattice state: a
+                                        // hang stalls the worker but the recovery
+                                        // outcome is decided by the watchdog, not
+                                        // by how long this sleeps.
+                                        // lattice-lint: allow(determinism)
                                         std::thread::sleep(Duration::from_millis(millis))
                                     }
                                     WorkerFault::Die => return,
@@ -1040,10 +1045,15 @@ impl LatticeFarm {
             // Supervisor: collect heartbeats until every outstanding
             // board reports, the watchdog deadline lapses, or every
             // worker is gone.
+            // The watchdog clock bounds *wall time to detection*; which
+            // boards are retired (and every lattice bit) is decided by
+            // the deterministic retry ladder.
+            // lattice-lint: allow(determinism)
             let deadline = pp.watchdog.map(|d| Instant::now() + d);
             let mut got = 0usize;
             while got < jobs.len() {
                 let msg = match deadline {
+                    // lattice-lint: allow(determinism)
                     Some(dl) => match rx.recv_timeout(dl.saturating_duration_since(Instant::now()))
                     {
                         Ok(m) => m,

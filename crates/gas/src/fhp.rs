@@ -535,7 +535,7 @@ mod tests {
         // FHP-III is *optimally* saturated: every state whose
         // (mass, momentum) class has a second member collides; only
         // singleton-class states (~41% of the 128) must pass through.
-        let mut class_sizes = std::collections::HashMap::new();
+        let mut class_sizes = std::collections::BTreeMap::new();
         for s in 0..=FHP_GAS_MASK {
             if s & !FHP_GAS_MASK == 0 {
                 let inv = fhp_invariants(s);

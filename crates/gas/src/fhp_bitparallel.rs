@@ -300,7 +300,7 @@ mod tests {
             "{out:#08b}"
         );
         // And both outcomes occur across seeds.
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for seed in 0..16u64 {
             let mut p = FhpBitLattice::from_grid(&g, seed).unwrap();
             p.collide();

@@ -1,0 +1,343 @@
+//! Pass 3 — per-function fact extraction.
+//!
+//! Walks each function body recovered by the [`parser`](crate::parser)
+//! and extracts the facts the cross-cutting rules consume: lock
+//! acquisition/release events, guard bindings, and outgoing calls (in
+//! source order, so the lock-order rule can replay them as a held-set
+//! simulation), plus the file-level lock declarations that tell the
+//! rules which names *are* locks in the first place.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{is_ident_char, LexedLine};
+use crate::parser::{parse_items, FnItem, Items};
+
+/// One event inside a function body, in source order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A lock acquisition: `NAME.lock()` / `NAME.read()` /
+    /// `NAME.write()` where `NAME` is a declared lock. When the guard
+    /// is let-bound its binding name is recorded so a later
+    /// `drop(guard)` releases it; a temporary guard (no binding) is
+    /// treated as held only for its own statement.
+    Acquire {
+        /// Declared lock name.
+        lock: String,
+        /// Guard binding (`let g = state.lock()…` → `g`), if any.
+        guard: Option<String>,
+        /// 0-based source line.
+        line: usize,
+    },
+    /// `drop(NAME)` — releases the guard bound to `NAME`, if any.
+    Drop {
+        /// The dropped binding.
+        name: String,
+        /// 0-based source line.
+        line: usize,
+    },
+    /// A call to a bare function name (`helper(...)`). Method calls and
+    /// macro invocations are not calls for lock-reach purposes.
+    Call {
+        /// Bare callee name.
+        callee: String,
+        /// 0-based source line.
+        line: usize,
+    },
+}
+
+/// The extracted facts for one function.
+#[derive(Debug, Clone)]
+pub struct FnFacts {
+    /// The parsed item this body belongs to.
+    pub item: FnItem,
+    /// Body events in source order.
+    pub events: Vec<Event>,
+}
+
+/// The extracted facts for one file.
+#[derive(Debug, Clone, Default)]
+pub struct FileFacts {
+    /// Item structure (functions, enums).
+    pub items: Items,
+    /// Per-function event streams, aligned with `items.fns` order.
+    pub fns: Vec<FnFacts>,
+    /// Lock names declared in this file (bindings, fields, and params
+    /// whose type mentions `Mutex<` / `RwLock<`).
+    pub locks: BTreeSet<String>,
+}
+
+const KEYWORDS: [&str; 18] = [
+    "if", "else", "match", "while", "for", "loop", "return", "let", "fn", "impl", "pub", "mod",
+    "use", "move", "in", "as", "where", "ref",
+];
+
+/// Extracts every fact the cross-file rules need from one lexed file.
+pub fn extract(lines: &[LexedLine]) -> FileFacts {
+    let items = parse_items(lines);
+    let locks = collect_lock_names(lines);
+    let fns = items
+        .fns
+        .iter()
+        .map(|item| FnFacts { item: item.clone(), events: extract_events(lines, item, &locks) })
+        .collect();
+    FileFacts { items, fns, locks }
+}
+
+/// Finds the names bound to `Mutex`/`RwLock` values anywhere in the
+/// file: struct fields and fn params (`name: …Mutex<…`), and let
+/// bindings (`let name = …Mutex::new(…` / `…RwLock::new(…`).
+fn collect_lock_names(lines: &[LexedLine]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for line in lines {
+        let code = &line.code;
+        // Typed form: each `Mutex<` / `RwLock<` occurrence names the
+        // binding whose `name:` annotation sits to its left.
+        for needle in ["Mutex<", "RwLock<"] {
+            for at in boundary_matches(code, needle) {
+                if let Some(name) = annotated_name_before(code, at) {
+                    out.insert(name);
+                }
+            }
+        }
+        // Binding form: `let name = Arc::new(Mutex::new(…))`.
+        if find_boundary(code, "Mutex::new").is_some()
+            || find_boundary(code, "RwLock::new").is_some()
+        {
+            if let Some(name) = let_binding_name(code) {
+                out.insert(name);
+            }
+        }
+    }
+    out
+}
+
+/// Walks backward from `at` to the nearest single `:` (not part of a
+/// `::` path separator) and returns the identifier before it — the
+/// `name` of a `name: …Lock<…>` annotation. Stops at separators that
+/// end the binding (`,`, `(`, `)`, `;`, `=`, `>`, braces), so a lock
+/// type in return position (`-> Mutex<…>`) or with no annotation to
+/// its left yields nothing.
+pub(crate) fn annotated_name_before(code: &str, at: usize) -> Option<String> {
+    let bytes = code.as_bytes();
+    let mut i = at;
+    while i > 0 {
+        i -= 1;
+        match bytes[i] as char {
+            ':' => {
+                let part_of_path = (i > 0 && bytes[i - 1] == b':')
+                    || (i + 1 < bytes.len() && bytes[i + 1] == b':');
+                if part_of_path {
+                    continue;
+                }
+                return ident_before(code, i);
+            }
+            ',' | '(' | ')' | ';' | '=' | '>' | '{' | '}' | '|' => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The identifier ending immediately before byte offset `at`
+/// (whitespace between is tolerated).
+fn ident_before(code: &str, at: usize) -> Option<String> {
+    let bytes = code.as_bytes();
+    let mut end = at;
+    while end > 0 && (bytes[end - 1] as char).is_whitespace() {
+        end -= 1;
+    }
+    let mut start = end;
+    while start > 0 && is_ident_char(bytes[start - 1] as char) {
+        start -= 1;
+    }
+    if start == end {
+        return None;
+    }
+    let name = &code[start..end];
+    if name.chars().next().map(|c| c.is_ascii_digit()).unwrap_or(true) {
+        return None;
+    }
+    Some(name.to_string())
+}
+
+/// The binding name of the first `let [mut] name = …` on the line, if
+/// any (the `let` may sit mid-line, e.g. inside a one-line body).
+pub(crate) fn let_binding_name(code: &str) -> Option<String> {
+    let at = find_boundary(code, "let ")?;
+    let rest = code[at + 4..].trim_start();
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+    let name: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
+    if name.is_empty() || name == "_" {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// Finds `needle` in `code` at a clean identifier boundary (no ident
+/// char immediately before), returning the byte offset.
+pub fn find_boundary(code: &str, needle: &str) -> Option<usize> {
+    boundary_matches(code, needle).into_iter().next()
+}
+
+/// All boundary-clean occurrences of `needle` in `code`.
+pub fn boundary_matches(code: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut search_from = 0;
+    while let Some(rel) = code[search_from..].find(needle) {
+        let at = search_from + rel;
+        search_from = at + needle.len();
+        if at == 0 || !is_ident_char(code.as_bytes()[at - 1] as char) {
+            out.push(at);
+        }
+    }
+    out
+}
+
+/// Extracts ordered events from one function body.
+fn extract_events(lines: &[LexedLine], item: &FnItem, locks: &BTreeSet<String>) -> Vec<Event> {
+    let Some((start, end)) = item.body else { return Vec::new() };
+    let mut events = Vec::new();
+    for (lineno, line) in lines.iter().enumerate().take(end + 1).skip(start) {
+        scan_line_events(&line.code, lineno, locks, &mut events);
+    }
+    events
+}
+
+/// Scans one blanked line for acquisitions, drops, and calls, pushing
+/// them in left-to-right order.
+fn scan_line_events(code: &str, lineno: usize, locks: &BTreeSet<String>, out: &mut Vec<Event>) {
+    let bytes = code.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if !is_ident_char(c) || (i > 0 && is_ident_char(bytes[i - 1] as char)) {
+            i += 1;
+            continue;
+        }
+        // Identifier starts at i.
+        let mut j = i;
+        while j < bytes.len() && is_ident_char(bytes[j] as char) {
+            j += 1;
+        }
+        let ident = &code[i..j];
+        let after = code[j..].trim_start();
+        let digit_start = ident.chars().next().map(|c| c.is_ascii_digit()).unwrap_or(true);
+        if digit_start {
+            i = j;
+            continue;
+        }
+        // `ident.lock()` / `.read()` / `.write()` on a declared lock.
+        if locks.contains(ident) {
+            for method in [".lock()", ".read()", ".write()"] {
+                if after.starts_with(method) {
+                    out.push(Event::Acquire {
+                        lock: ident.to_string(),
+                        guard: let_binding_name(code),
+                        line: lineno,
+                    });
+                    break;
+                }
+            }
+        }
+        // `drop(name)`.
+        if ident == "drop" && after.starts_with('(') {
+            if let Some(arg) = after.strip_prefix('(') {
+                let name: String =
+                    arg.trim_start().chars().take_while(|&c| is_ident_char(c)).collect();
+                if !name.is_empty() {
+                    out.push(Event::Drop { name, line: lineno });
+                }
+            }
+            i = j;
+            continue;
+        }
+        // A bare call: `ident(` not preceded by `.` (method) or `:`
+        // (path — `Type::method` reaches no free function we track;
+        // qualified helper calls are rare in the scoped crates) and not
+        // a macro (`ident!`) or keyword.
+        let preceded_by = if i == 0 { ' ' } else { bytes[i - 1] as char };
+        // `fn name(` is a declaration, not a call (the signature line
+        // sits inside the brace-matched body span).
+        let before = code[..i].trim_end();
+        let declared = before.ends_with("fn")
+            && (before.len() == 2 || !is_ident_char(before.as_bytes()[before.len() - 3] as char));
+        if after.starts_with('(')
+            && preceded_by != '.'
+            && preceded_by != ':'
+            && !KEYWORDS.contains(&ident)
+            && ident != "drop"
+            && !declared
+        {
+            out.push(Event::Call { callee: ident.to_string(), line: lineno });
+        }
+        i = j;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn lock_declarations_are_collected_from_fields_params_and_lets() {
+        let src = "\
+struct S { state: Arc<Mutex<ServerState>>, count: u64 }
+fn serve(reg: &RwLock<Registry>) {}
+fn init() { let queue = Arc::new(Mutex::new(Vec::new())); }
+fn not_a_lock() { let mutex_like = 1; }
+";
+        let facts = extract(&lex(src));
+        let names: Vec<_> = facts.locks.iter().map(String::as_str).collect();
+        assert_eq!(names, vec!["queue", "reg", "state"], "{facts:?}");
+    }
+
+    #[test]
+    fn acquisitions_record_guards_and_drops() {
+        let src = "\
+fn handler(state: &Mutex<ServerState>, reg: &Mutex<Registry>) {
+    let mut st = state.lock().unwrap_or_else(PoisonError::into_inner);
+    st.requests += 1;
+    drop(st);
+    reg.lock().expect_clean();
+    helper(state);
+}
+";
+        let facts = extract(&lex(src));
+        assert_eq!(facts.fns.len(), 1);
+        let ev = &facts.fns[0].events;
+        assert_eq!(
+            ev,
+            &vec![
+                Event::Acquire { lock: "state".into(), guard: Some("st".into()), line: 1 },
+                Event::Drop { name: "st".into(), line: 3 },
+                Event::Acquire { lock: "reg".into(), guard: None, line: 4 },
+                Event::Call { callee: "helper".into(), line: 5 },
+            ],
+            "{ev:?}"
+        );
+    }
+
+    #[test]
+    fn method_calls_and_macros_are_not_calls() {
+        let src = "\
+fn f(state: &Mutex<u64>) {
+    conn.flush();
+    writeln!(out);
+    Value::parse(x);
+    real_call(y);
+}
+";
+        let facts = extract(&lex(src));
+        let calls: Vec<_> = facts.fns[0]
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Call { callee, .. } => Some(callee.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(calls, vec!["real_call"], "{:?}", facts.fns[0].events);
+    }
+}

@@ -1,0 +1,291 @@
+//! Pass 1 — the lexer.
+//!
+//! Turns raw source text into [`LexedLine`]s: comments and
+//! string/char-literal *contents* are blanked out (structure, including
+//! the quote characters, is preserved so columns stay aligned),
+//! `// lattice-lint: allow(...)` markers are resolved onto the lines
+//! they bless, and `#[cfg(test)]` / `#[test]` regions are marked by
+//! brace tracking. Every later pass — the line rules, the item parser,
+//! and fact extraction — operates on the blanked `code` text and never
+//! has to reason about literals again.
+
+use crate::Rule;
+
+/// A source line after lexing: comments and string/char literals
+/// blanked out, allow-markers and test-region membership resolved.
+#[derive(Debug, Clone)]
+pub struct LexedLine {
+    /// The line with comments and literal contents replaced by spaces;
+    /// code structure (including quotes as placeholders) preserved.
+    pub code: String,
+    /// Rules suppressed on this line via `// lattice-lint: allow(...)`
+    /// on this line or the one above.
+    pub allows: Vec<Rule>,
+    /// True if the line sits inside a `#[cfg(test)]` / `#[test]` item.
+    pub in_test: bool,
+}
+
+/// Lexes a whole file: strips comments, strings and char literals
+/// (comment *text* is scanned for allow-markers first), then marks
+/// `#[cfg(test)]`/`#[test]` regions by brace tracking.
+pub fn lex(source: &str) -> Vec<LexedLine> {
+    #[derive(PartialEq)]
+    enum Mode {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(usize),
+        Char,
+    }
+
+    let mut lines: Vec<LexedLine> = Vec::new();
+    let mut code = String::new();
+    let mut comment_text = String::new();
+    let mut marker_rules: Vec<Rule> = Vec::new();
+    let mut carried_rules: Vec<Rule> = Vec::new();
+    let mut mode = Mode::Code;
+
+    let flush_line = |code: &mut String,
+                      comment_text: &mut String,
+                      marker_rules: &mut Vec<Rule>,
+                      carried: &mut Vec<Rule>,
+                      lines: &mut Vec<LexedLine>| {
+        marker_rules.extend(parse_allow_marker(comment_text));
+        let mut allows = carried.clone();
+        allows.extend(marker_rules.iter().copied());
+        // A marker on a line carries to the next line as well, so it
+        // can sit above the code it blesses.
+        *carried = marker_rules.clone();
+        lines.push(LexedLine { code: std::mem::take(code), allows, in_test: false });
+        comment_text.clear();
+        marker_rules.clear();
+    };
+
+    let mut chars = source.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '\n' {
+            if mode == Mode::LineComment {
+                mode = Mode::Code;
+            }
+            flush_line(
+                &mut code,
+                &mut comment_text,
+                &mut marker_rules,
+                &mut carried_rules,
+                &mut lines,
+            );
+            continue;
+        }
+        match mode {
+            Mode::Code => match c {
+                '/' if chars.peek() == Some(&'/') => {
+                    chars.next();
+                    mode = Mode::LineComment;
+                    code.push_str("  ");
+                }
+                '/' if chars.peek() == Some(&'*') => {
+                    chars.next();
+                    mode = Mode::BlockComment(1);
+                    code.push_str("  ");
+                }
+                '"' => {
+                    mode = Mode::Str;
+                    code.push('"');
+                }
+                'r' if matches!(chars.peek(), Some('"' | '#')) => {
+                    // Possible raw string: r"..." or r#"..."#.
+                    let mut hashes = 0usize;
+                    let mut lookahead = chars.clone();
+                    while lookahead.peek() == Some(&'#') {
+                        lookahead.next();
+                        hashes += 1;
+                    }
+                    if lookahead.peek() == Some(&'"') {
+                        for _ in 0..=hashes {
+                            chars.next();
+                        }
+                        mode = Mode::RawStr(hashes);
+                        code.push('"');
+                    } else {
+                        code.push('r');
+                    }
+                }
+                '\'' => {
+                    // Char literal vs lifetime: a literal closes with a
+                    // quote within a couple of chars; a lifetime does
+                    // not.
+                    let mut lookahead = chars.clone();
+                    let mut is_char = false;
+                    if let Some(first) = lookahead.next() {
+                        if first == '\\' {
+                            // Escape: skip to the closing quote.
+                            for _ in 0..8 {
+                                if lookahead.next() == Some('\'') {
+                                    is_char = true;
+                                    break;
+                                }
+                            }
+                        } else if lookahead.peek() == Some(&'\'') {
+                            is_char = true;
+                        }
+                    }
+                    if is_char {
+                        mode = Mode::Char;
+                        code.push('\'');
+                    } else {
+                        code.push('\'');
+                    }
+                }
+                _ => code.push(c),
+            },
+            Mode::LineComment => {
+                comment_text.push(c);
+                code.push(' ');
+            }
+            Mode::BlockComment(depth) => {
+                comment_text.push(c);
+                code.push(' ');
+                if c == '/' && chars.peek() == Some(&'*') {
+                    chars.next();
+                    comment_text.push('*');
+                    code.push(' ');
+                    mode = Mode::BlockComment(depth + 1);
+                } else if c == '*' && chars.peek() == Some(&'/') {
+                    chars.next();
+                    code.push(' ');
+                    mode = if depth == 1 { Mode::Code } else { Mode::BlockComment(depth - 1) };
+                }
+            }
+            Mode::Str => {
+                if c == '\\' {
+                    // A backslash-newline continuation must still
+                    // advance the line counter, or every diagnostic
+                    // below a multi-line string reports the wrong line.
+                    if chars.peek() == Some(&'\n') {
+                        chars.next();
+                        flush_line(
+                            &mut code,
+                            &mut comment_text,
+                            &mut marker_rules,
+                            &mut carried_rules,
+                            &mut lines,
+                        );
+                    } else {
+                        chars.next();
+                        code.push_str("  ");
+                    }
+                } else if c == '"' {
+                    mode = Mode::Code;
+                    code.push('"');
+                } else {
+                    code.push(' ');
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if c == '"' {
+                    let mut lookahead = chars.clone();
+                    let mut seen = 0usize;
+                    while seen < hashes && lookahead.peek() == Some(&'#') {
+                        lookahead.next();
+                        seen += 1;
+                    }
+                    if seen == hashes {
+                        for _ in 0..hashes {
+                            chars.next();
+                            code.push(' ');
+                        }
+                        mode = Mode::Code;
+                        code.push('"');
+                        continue;
+                    }
+                }
+                code.push(' ');
+            }
+            Mode::Char => {
+                if c == '\\' {
+                    chars.next();
+                    code.push_str("  ");
+                } else if c == '\'' {
+                    mode = Mode::Code;
+                    code.push('\'');
+                } else {
+                    code.push(' ');
+                }
+            }
+        }
+    }
+    flush_line(&mut code, &mut comment_text, &mut marker_rules, &mut carried_rules, &mut lines);
+
+    mark_test_regions(&mut lines);
+    lines
+}
+
+/// Extracts rules from a `lattice-lint: allow(a, b)` marker in comment
+/// text. Unknown rule names are ignored (they suppress nothing).
+fn parse_allow_marker(comment: &str) -> Vec<Rule> {
+    let mut rules = Vec::new();
+    let mut rest = comment;
+    while let Some(at) = rest.find("lattice-lint:") {
+        rest = &rest[at + "lattice-lint:".len()..];
+        let trimmed = rest.trim_start();
+        if let Some(args) = trimmed.strip_prefix("allow(") {
+            if let Some(close) = args.find(')') {
+                for name in args[..close].split(',') {
+                    if let Some(rule) = Rule::from_name(name.trim()) {
+                        rules.push(rule);
+                    }
+                }
+                rest = &args[close..];
+            }
+        }
+    }
+    rules
+}
+
+/// Marks every line inside a `#[cfg(test)]` or `#[test]` item by
+/// walking brace depth over the comment-stripped code.
+fn mark_test_regions(lines: &mut [LexedLine]) {
+    let mut depth: i64 = 0;
+    let mut pending_attr = false;
+    let mut skip_exit: Option<i64> = None;
+
+    for line in lines.iter_mut() {
+        if skip_exit.is_some() {
+            line.in_test = true;
+        }
+        let has_test_attr = line.code.contains("#[cfg(test)]")
+            || line.code.contains("#[cfg(all(test")
+            || line.code.contains("#[test]");
+        if has_test_attr && skip_exit.is_none() {
+            pending_attr = true;
+            line.in_test = true;
+        }
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    if pending_attr && skip_exit.is_none() {
+                        skip_exit = Some(depth);
+                        pending_attr = false;
+                        line.in_test = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if let Some(exit) = skip_exit {
+                        if depth <= exit {
+                            skip_exit = None;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// True for characters that can appear in a Rust identifier.
+pub fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}

@@ -1,24 +1,38 @@
 //! `lattice-lint` CLI.
 //!
 //! ```text
-//! lattice-lint [--root DIR] [--allowlist FILE] [--write-baseline] [--list]
+//! lattice-lint [--root DIR] [--allowlist FILE] [--write-baseline]
+//!              [--list] [--format plain|json] [--deny-slack]
 //! ```
 //!
 //! Scans the workspace's audited sources and checks them against the
 //! count-based ratchet baseline (default `lint-baseline.toml` at the
-//! workspace root). Exit code 0 when clean, 1 when new violations
-//! exceed the baseline, 2 on usage or I/O errors.
+//! workspace root). `--format json` emits one ndjson record per
+//! diagnostic (kind/rule/file/line/message) plus a trailing summary
+//! record, for CI annotation. `--deny-slack` additionally fails when a
+//! baseline entry's actual count has dropped below its frozen count —
+//! a stale baseline that must be tightened. Exit code 0 when clean, 1
+//! when new violations exceed the baseline (or slack under
+//! `--deny-slack`), 2 on usage or I/O errors.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use lattice_lint::{check, scan_workspace, Baseline, Rule};
+use lattice_lint::{check, json_escape, scan_workspace, Baseline, Rule};
+
+#[derive(PartialEq, Clone, Copy)]
+enum Format {
+    Plain,
+    Json,
+}
 
 struct Args {
     root: PathBuf,
     allowlist: PathBuf,
     write_baseline: bool,
     list: bool,
+    format: Format,
+    deny_slack: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -26,6 +40,8 @@ fn parse_args() -> Result<Args, String> {
     let mut allowlist: Option<PathBuf> = None;
     let mut write_baseline = false;
     let mut list = false;
+    let mut format = Format::Plain;
+    let mut deny_slack = false;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -37,17 +53,30 @@ fn parse_args() -> Result<Args, String> {
             }
             "--write-baseline" => write_baseline = true,
             "--list" => list = true,
+            "--format" => {
+                format = match argv.next().as_deref() {
+                    Some("plain") => Format::Plain,
+                    Some("json") => Format::Json,
+                    other => {
+                        return Err(format!(
+                            "--format needs `plain` or `json`, got {}",
+                            other.unwrap_or("nothing")
+                        ))
+                    }
+                };
+            }
+            "--deny-slack" => deny_slack = true,
             "--workspace" => {} // default and only mode; accepted for CI readability
             "--help" | "-h" => {
                 return Err("usage: lattice-lint [--root DIR] [--allowlist FILE] \
-                            [--write-baseline] [--list]"
+                            [--write-baseline] [--list] [--format plain|json] [--deny-slack]"
                     .to_string())
             }
             other => return Err(format!("unknown argument: {other}")),
         }
     }
     let allowlist = allowlist.unwrap_or_else(|| root.join("lint-baseline.toml"));
-    Ok(Args { root, allowlist, write_baseline, list })
+    Ok(Args { root, allowlist, write_baseline, list, format, deny_slack })
 }
 
 fn run() -> Result<bool, String> {
@@ -69,9 +98,14 @@ fn run() -> Result<bool, String> {
 
     if args.list {
         for v in &violations {
-            println!("{v}");
+            match args.format {
+                Format::Plain => println!("{v}"),
+                Format::Json => println!("{}", v.to_json()),
+            }
         }
-        println!("{} total (before baseline)", violations.len());
+        if args.format == Format::Plain {
+            println!("{} total (before baseline)", violations.len());
+        }
         return Ok(true);
     }
 
@@ -84,27 +118,63 @@ fn run() -> Result<bool, String> {
     };
 
     let report = check(&violations, &baseline);
-    for v in &report.new_violations {
-        println!("error: {v}");
+    let stale = !report.slack.is_empty() && args.deny_slack;
+    let clean = report.is_clean() && !stale;
+
+    match args.format {
+        Format::Plain => {
+            for v in &report.new_violations {
+                println!("error: {v}");
+            }
+            for (rule, file, frozen, current) in &report.slack {
+                let level = if args.deny_slack { "error" } else { "note" };
+                println!(
+                    "{level}: {file}: {rule} baseline can tighten: \
+                     {frozen} frozen, {current} remain"
+                );
+            }
+            let mut per_rule = String::new();
+            for rule in Rule::ALL {
+                let n = violations.iter().filter(|v| v.rule == rule).count();
+                per_rule.push_str(&format!(" {rule}={n}"));
+            }
+            if clean {
+                println!("lattice-lint: clean ({} baselined:{per_rule})", violations.len());
+            } else if stale && report.is_clean() {
+                println!(
+                    "lattice-lint: stale baseline — {} entr(ies) below frozen count; \
+                     regenerate with --write-baseline",
+                    report.slack.len()
+                );
+            } else {
+                println!(
+                    "lattice-lint: {} violation(s) exceed the baseline ({} scanned:{per_rule})",
+                    report.new_violations.len(),
+                    violations.len()
+                );
+            }
+        }
+        Format::Json => {
+            for v in &report.new_violations {
+                println!("{}", v.to_json());
+            }
+            for (rule, file, frozen, current) in &report.slack {
+                println!(
+                    "{{\"kind\":\"slack\",\"rule\":\"{rule}\",\"file\":\"{}\",\
+                     \"frozen\":{frozen},\"current\":{current}}}",
+                    json_escape(file)
+                );
+            }
+            println!(
+                "{{\"kind\":\"summary\",\"clean\":{clean},\"new\":{},\"slack\":{},\
+                 \"scanned\":{}}}",
+                report.new_violations.len(),
+                report.slack.len(),
+                violations.len()
+            );
+        }
     }
-    for (rule, file, frozen, current) in &report.slack {
-        println!("note: {file}: {rule} baseline can tighten: {frozen} frozen, {current} remain");
-    }
-    let mut per_rule = String::new();
-    for rule in Rule::ALL {
-        let n = violations.iter().filter(|v| v.rule == rule).count();
-        per_rule.push_str(&format!(" {rule}={n}"));
-    }
-    if report.is_clean() {
-        println!("lattice-lint: clean ({} baselined:{per_rule})", violations.len());
-    } else {
-        println!(
-            "lattice-lint: {} violation(s) exceed the baseline ({} scanned:{per_rule})",
-            report.new_violations.len(),
-            violations.len()
-        );
-    }
-    Ok(report.is_clean())
+    Ok(clean)
 }
 
 fn main() -> ExitCode {

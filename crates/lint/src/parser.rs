@@ -1,0 +1,444 @@
+//! Pass 2 — the item-level parser.
+//!
+//! Walks the blanked token stream from the [`lexer`](crate::lexer) and
+//! recovers the item structure the cross-cutting rules need: function
+//! items with brace-matched body spans and their enclosing `impl` type,
+//! and enum items with per-variant declaration lines. This is not a
+//! full Rust grammar — it is the minimal shape-preserving parse that
+//! makes "which function does this line belong to" and "which variants
+//! does this enum declare" answerable without `syn` (the workspace
+//! builds offline; the linter depends on nothing but `std`).
+
+use crate::lexer::{is_ident_char, LexedLine};
+
+/// One token of blanked code: an identifier or a single punctuation
+/// character, with its 0-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Identifier text, or a single-character punctuation string.
+    pub text: String,
+    /// 0-based line the token starts on.
+    pub line: usize,
+}
+
+impl Token {
+    fn is_ident(&self) -> bool {
+        self.text.chars().next().map(|c| c.is_ascii_alphabetic() || c == '_').unwrap_or(false)
+    }
+}
+
+/// Tokenizes blanked lines into identifiers and punctuation.
+pub fn tokenize(lines: &[LexedLine]) -> Vec<Token> {
+    let mut out = Vec::new();
+    for (lineno, line) in lines.iter().enumerate() {
+        let mut ident = String::new();
+        for c in line.code.chars() {
+            if is_ident_char(c) {
+                ident.push(c);
+            } else {
+                if !ident.is_empty() {
+                    out.push(Token { text: std::mem::take(&mut ident), line: lineno });
+                }
+                if !c.is_whitespace() {
+                    out.push(Token { text: c.to_string(), line: lineno });
+                }
+            }
+        }
+        if !ident.is_empty() {
+            out.push(Token { text: ident, line: lineno });
+        }
+    }
+    out
+}
+
+/// A function item: name, enclosing `impl` type (if any), and the
+/// brace-matched body span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnItem {
+    /// Bare function name.
+    pub name: String,
+    /// The `Self` type when declared inside an `impl` block
+    /// (`impl Foo` and `impl Trait for Foo` both yield `Foo`).
+    pub impl_type: Option<String>,
+    /// 0-based line of the `fn` keyword.
+    pub sig_line: usize,
+    /// 0-based inclusive line span of the body, braces included.
+    /// `None` for bodiless declarations (trait methods, externs).
+    pub body: Option<(usize, usize)>,
+}
+
+/// An enum item with its variant names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnumItem {
+    /// Enum name.
+    pub name: String,
+    /// 0-based line of the `enum` keyword.
+    pub line: usize,
+    /// `(variant, 0-based declaration line)` in declaration order.
+    pub variants: Vec<(String, usize)>,
+}
+
+/// Items recovered from one file.
+#[derive(Debug, Clone, Default)]
+pub struct Items {
+    /// Function items, in source order (nested functions included).
+    pub fns: Vec<FnItem>,
+    /// Enum items, in source order.
+    pub enums: Vec<EnumItem>,
+}
+
+/// Skips a balanced `<...>` generic-argument region starting at
+/// `toks[i]` (which must be `<`); returns the index just past the
+/// closing `>`. Tolerates `>>`-style closes because each `>` is its own
+/// token.
+fn skip_generics(toks: &[Token], mut i: usize) -> usize {
+    let mut depth = 0i64;
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            "<" => depth += 1,
+            ">" => {
+                depth -= 1;
+                if depth <= 0 {
+                    return i + 1;
+                }
+            }
+            // `(` in generic position means we mis-guessed (comparison
+            // operator, not generics); bail out rather than scan away.
+            ";" | "{" => return i,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Extracts the `Self` type name from an `impl` header token slice
+/// (everything between `impl` and the opening `{`).
+fn impl_self_type(header: &[Token]) -> Option<String> {
+    // `impl<G: Graph> Trait for Type` → the type is after the last
+    // top-level `for`; `impl Type` → the first path's last segment
+    // would be wrong for `fmt::Display`, so take the *first* ident of
+    // the relevant part and then follow `::` to the final segment.
+    let mut start = 0usize;
+    let mut depth = 0i64;
+    for (i, t) in header.iter().enumerate() {
+        match t.text.as_str() {
+            "<" => depth += 1,
+            ">" => depth -= 1,
+            "for" if depth == 0 => start = i + 1,
+            _ => {}
+        }
+    }
+    // Walk the type path from `start`: segments separated by `::`; the
+    // final segment is the type name. Skip leading `&`, lifetimes, etc.
+    let mut name: Option<String> = None;
+    let mut i = start;
+    // Skip over generic params directly after `impl` when no `for`
+    // moved `start` (e.g. `impl<S: State> FarmReport<S>`).
+    if start == 0 && header.first().map(|t| t.text == "<").unwrap_or(false) {
+        let mut d = 0i64;
+        while i < header.len() {
+            match header[i].text.as_str() {
+                "<" => d += 1,
+                ">" => {
+                    d -= 1;
+                    if d == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    while i < header.len() {
+        let t = &header[i];
+        if t.is_ident() {
+            name = Some(t.text.clone());
+            // Follow `::Segment` chains.
+            if i + 2 < header.len() && header[i + 1].text == ":" && header[i + 2].text == ":" {
+                i += 3;
+                continue;
+            }
+            break;
+        }
+        if t.text == "&" || t.text == "'" {
+            i += 1;
+            continue;
+        }
+        break;
+    }
+    name
+}
+
+/// Parses the item structure of one file from its blanked lines.
+pub fn parse_items(lines: &[LexedLine]) -> Items {
+    let toks = tokenize(lines);
+    let mut items = Items::default();
+    let mut depth = 0i64;
+    // `(self type, depth at which the impl body opened)`.
+    let mut impl_stack: Vec<(String, i64)> = Vec::new();
+    let mut pending_impl: Option<String> = None;
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            "{" => {
+                if let Some(ty) = pending_impl.take() {
+                    impl_stack.push((ty, depth));
+                }
+                depth += 1;
+                i += 1;
+            }
+            "}" => {
+                depth -= 1;
+                while impl_stack.last().map(|(_, d)| *d >= depth).unwrap_or(false) {
+                    impl_stack.pop();
+                }
+                i += 1;
+            }
+            "impl" => {
+                // Collect the header up to the body `{` (or a `;` for
+                // bodiless `impl Trait for Type;`-style items, which
+                // don't exist in stable Rust but cost nothing to
+                // tolerate).
+                let mut j = i + 1;
+                let mut hdr_depth = 0i64;
+                while j < toks.len() {
+                    match toks[j].text.as_str() {
+                        "<" => hdr_depth += 1,
+                        ">" => hdr_depth -= 1,
+                        "{" if hdr_depth <= 0 => break,
+                        ";" if hdr_depth <= 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                pending_impl = impl_self_type(&toks[i + 1..j]);
+                i = j; // the `{` / `;` is handled by the main loop
+            }
+            "fn" => {
+                // `fn` in type position (`fn(usize) -> u64`) has no
+                // name ident after it.
+                let name_tok = toks.get(i + 1);
+                let named = name_tok.map(|t| t.is_ident()).unwrap_or(false);
+                if !named {
+                    i += 1;
+                    continue;
+                }
+                let name = name_tok.map(|t| t.text.clone()).unwrap_or_default();
+                let sig_line = toks[i].line;
+                // Find the body `{` or a terminating `;` at signature
+                // level (tracking `<>` and `()` so defaults and
+                // where-clauses don't confuse the scan).
+                let mut j = i + 2;
+                let mut angle = 0i64;
+                let mut paren = 0i64;
+                let mut body: Option<(usize, usize)> = None;
+                while j < toks.len() {
+                    match toks[j].text.as_str() {
+                        "<" => angle += 1,
+                        ">" => angle = (angle - 1).max(0),
+                        "(" => paren += 1,
+                        ")" => paren -= 1,
+                        ";" if paren <= 0 => break,
+                        "{" if paren <= 0 => {
+                            let start_line = toks[j].line;
+                            // Brace-match to the end of the body.
+                            let mut d = 0i64;
+                            let mut k = j;
+                            while k < toks.len() {
+                                match toks[k].text.as_str() {
+                                    "{" => d += 1,
+                                    "}" => {
+                                        d -= 1;
+                                        if d == 0 {
+                                            break;
+                                        }
+                                    }
+                                    _ => {}
+                                }
+                                k += 1;
+                            }
+                            let end_line = toks.get(k).map(|t| t.line).unwrap_or(start_line);
+                            body = Some((start_line, end_line));
+                            break;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let _ = angle;
+                items.fns.push(FnItem {
+                    name,
+                    impl_type: impl_stack.last().map(|(t, _)| t.clone()),
+                    sig_line,
+                    body,
+                });
+                // Continue from just past the signature; the body
+                // braces are walked by the main loop so nested items
+                // are discovered too.
+                i += 2;
+            }
+            "enum" => {
+                let name_tok = toks.get(i + 1);
+                if !name_tok.map(|t| t.is_ident()).unwrap_or(false) {
+                    i += 1;
+                    continue;
+                }
+                let name = name_tok.map(|t| t.text.clone()).unwrap_or_default();
+                let line = toks[i].line;
+                // Skip generics, find the `{`.
+                let mut j = i + 2;
+                if toks.get(j).map(|t| t.text == "<").unwrap_or(false) {
+                    j = skip_generics(&toks, j);
+                }
+                if !toks.get(j).map(|t| t.text == "{").unwrap_or(false) {
+                    i += 1;
+                    continue;
+                }
+                // Lookahead variant scan; the main loop re-walks the
+                // braces for depth bookkeeping.
+                let mut variants = Vec::new();
+                let mut k = j + 1;
+                let mut brace = 1i64;
+                let mut paren = 0i64;
+                let mut at_variant = true;
+                while k < toks.len() && brace > 0 {
+                    let t = &toks[k];
+                    match t.text.as_str() {
+                        "{" => {
+                            brace += 1;
+                            at_variant = false;
+                        }
+                        "}" => brace -= 1,
+                        "(" => {
+                            paren += 1;
+                            at_variant = false;
+                        }
+                        ")" => paren -= 1,
+                        "," if brace == 1 && paren == 0 => at_variant = true,
+                        "#" if at_variant => {
+                            // Skip a variant attribute `#[...]`.
+                            if toks.get(k + 1).map(|t| t.text == "[").unwrap_or(false) {
+                                let mut d = 0i64;
+                                k += 1;
+                                while k < toks.len() {
+                                    match toks[k].text.as_str() {
+                                        "[" => d += 1,
+                                        "]" => {
+                                            d -= 1;
+                                            if d == 0 {
+                                                break;
+                                            }
+                                        }
+                                        _ => {}
+                                    }
+                                    k += 1;
+                                }
+                            }
+                        }
+                        "=" => at_variant = false, // discriminant
+                        _ => {
+                            if at_variant && t.is_ident() && brace == 1 && paren == 0 {
+                                variants.push((t.text.clone(), t.line));
+                                at_variant = false;
+                            }
+                        }
+                    }
+                    k += 1;
+                }
+                items.enums.push(EnumItem { name, line, variants });
+                i = j; // main loop handles the `{`
+            }
+            _ => i += 1,
+        }
+    }
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> Items {
+        parse_items(&lex(src))
+    }
+
+    #[test]
+    fn fns_get_bodies_and_impl_context() {
+        let src = "\
+pub fn free(x: u64) -> u64 {
+    x + 1
+}
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+impl<S: State> FarmReport<S> {
+    pub fn grid(&self) -> &Grid<S> { &self.machine.grid }
+}
+";
+        let items = parse(src);
+        let names: Vec<_> =
+            items.fns.iter().map(|f| (f.name.as_str(), f.impl_type.as_deref())).collect();
+        assert_eq!(
+            names,
+            vec![("free", None), ("fmt", Some("Rule")), ("grid", Some("FarmReport"))],
+            "{items:?}"
+        );
+        assert_eq!(items.fns[0].body, Some((0, 2)));
+        assert_eq!(items.fns[2].body, Some((9, 9)));
+    }
+
+    #[test]
+    fn trait_decls_have_no_body_and_nested_fns_are_found() {
+        let src = "\
+trait T {
+    fn decl(&self) -> u64;
+    fn defaulted(&self) -> u64 {
+        fn nested() -> u64 { 7 }
+        nested()
+    }
+}
+";
+        let items = parse(src);
+        let by_name: Vec<_> = items.fns.iter().map(|f| (f.name.as_str(), f.body)).collect();
+        assert_eq!(
+            by_name,
+            vec![("decl", None), ("defaulted", Some((2, 5))), ("nested", Some((3, 3)))],
+            "{items:?}"
+        );
+    }
+
+    #[test]
+    fn enums_yield_variants_with_payloads_skipped() {
+        let src = "\
+pub enum Response {
+    Created { session: String, admitted: bool },
+    Report(ReportFrame),
+    Pair(u32, u32),
+    #[allow(dead_code)]
+    Bye,
+    Error { message: String },
+}
+";
+        let items = parse(src);
+        assert_eq!(items.enums.len(), 1);
+        let e = &items.enums[0];
+        assert_eq!(e.name, "Response");
+        let names: Vec<_> = e.variants.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["Created", "Report", "Pair", "Bye", "Error"], "{e:?}");
+        assert_eq!(e.variants[3], ("Bye".to_string(), 5));
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let items = parse("type F = fn(usize) -> u64;\npub fn real() -> F { todo }\n");
+        let names: Vec<_> = items.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["real"]);
+    }
+}

@@ -270,6 +270,14 @@ pub enum Command {
         depth: usize,
         /// Comma-separated shard counts (e.g. `1,2,4`).
         shards: String,
+        /// Comma-separated halo-link transient fault rates (e.g.
+        /// `0.01`): each adds a WSA sweep through the recovery ladder
+        /// and reports the recovery cost alongside throughput.
+        fault_rates: String,
+        /// Inter-board link capacity in bits per engine tick. Finite
+        /// by default so the link-utilization column measures a real
+        /// wire, unlike the unthrottled `farm` default.
+        link_bits: f64,
         /// Also write the machine-readable artifact.
         json: bool,
         /// Artifact path (default `BENCH_<date>.json`).
@@ -432,7 +440,8 @@ pub fn usage() -> String {
        lattice request --addr HOST:PORT --line JSON_FRAME\n\
                       [--timeout SECS] [--retries N]\n\
        lattice bench  [--rows N] [--cols N] [--steps N] [--seed N]\n\
-                      [--depth K] [--shards S1,S2,..] [--json] [--out FILE]\n\
+                      [--depth K] [--shards S1,S2,..] [--fault-rates F1,F2,..]\n\
+                      [--link-bits F] [--json] [--out FILE]\n\
                       [--baseline FILE] [--tolerance F]\n\
        lattice info\n"
         .to_string()
@@ -591,6 +600,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             seed: get(&flags, "seed", 42)?,
             depth: get(&flags, "depth", 2)?,
             shards: get(&flags, "shards", "1,2,4".to_string())?,
+            fault_rates: get(&flags, "fault-rates", String::new())?,
+            link_bits: get(&flags, "link-bits", 16.0)?,
             json: flags.contains_key("json"),
             out: flags.get("out").cloned(),
             baseline: flags.get("baseline").cloned(),
@@ -727,6 +738,8 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             seed,
             depth,
             shards,
+            fault_rates,
+            link_bits,
             json,
             out,
             baseline,
@@ -738,6 +751,8 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             seed,
             depth,
             shards,
+            fault_rates,
+            link_bits,
             json,
             out,
             baseline,
@@ -2454,6 +2469,8 @@ struct BenchArgs {
     seed: u64,
     depth: usize,
     shards: String,
+    fault_rates: String,
+    link_bits: f64,
     json: bool,
     out: Option<String>,
     baseline: Option<String>,
@@ -2464,18 +2481,38 @@ struct BenchArgs {
 /// report throughput at the paper's 10 MHz clock; `--json` emits the
 /// same numbers as a machine-readable artifact for trend tracking,
 /// and `--baseline` turns the run into a regression ratchet against a
-/// checked-in artifact.
+/// checked-in artifact. `--fault-rates` adds WSA sweeps that push
+/// link-transient faults through the recovery ladder, so the artifact
+/// also tracks link utilization and the tick cost of recovery.
 fn run_bench(args: BenchArgs) -> Result<String, CliError> {
-    use crate::farm::{LatticeFarm, ShardEngine};
+    use crate::farm::{BoardLink, FarmDegradeConfig, FarmRecoveryConfig, LatticeFarm, ShardEngine};
+    use crate::gas::audit::{AuditMode, ConservationAudit};
     use crate::serve::json::Value;
+    use crate::sim::{Component, Fault, FaultKind, FaultPlan};
 
-    let BenchArgs { rows, cols, steps, seed, depth, shards, json, out, baseline, tolerance } = args;
+    let BenchArgs {
+        rows,
+        cols,
+        steps,
+        seed,
+        depth,
+        shards,
+        fault_rates,
+        link_bits,
+        json,
+        out,
+        baseline,
+        tolerance,
+    } = args;
     let (shards_list, out_path) = (shards.as_str(), out.as_deref());
     if depth == 0 || steps == 0 {
         return Err(CliError("bench: --depth and --steps must be ≥ 1".into()));
     }
     if !(0.0..1.0).contains(&tolerance) {
         return Err(CliError("bench: --tolerance must be in [0, 1)".into()));
+    }
+    if link_bits.is_nan() || link_bits <= 0.0 {
+        return Err(CliError("bench: --link-bits must be positive".into()));
     }
     let shard_counts: Vec<usize> = shards_list
         .split(',')
@@ -2487,6 +2524,17 @@ fn run_bench(args: BenchArgs) -> Result<String, CliError> {
                 .ok_or_else(|| CliError(format!("bench: bad --shards entry `{s}` (1..=cols)")))
         })
         .collect::<Result<_, _>>()?;
+    let rate_list: Vec<f64> = fault_rates
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.parse::<f64>()
+                .ok()
+                .filter(|r| (0.0..=1.0).contains(r))
+                .ok_or_else(|| CliError(format!("bench: bad --fault-rates entry `{s}` (0..=1)")))
+        })
+        .collect::<Result<_, _>>()?;
     let shape = Shape::grid2(rows, cols).map_err(|e| CliError(e.to_string()))?;
     let grid = init::random_hpp(shape, 0.3, seed).map_err(|e| CliError(e.to_string()))?;
     let rule = HppRule::new();
@@ -2496,9 +2544,12 @@ fn run_bench(args: BenchArgs) -> Result<String, CliError> {
         ("engine", 6, Align::Left),
         ("shards", 6, Align::Right),
         ("overlap", 7, Align::Left),
+        ("fault", 6, Align::Right),
         ("sites/sec", 12, Align::Right),
         ("upd/tick", 8, Align::Right),
         ("halo bits/tick", 14, Align::Right),
+        ("link util", 9, Align::Right),
+        ("rec cost", 8, Align::Right),
         ("ticks", 8, Align::Right),
     ]);
     let mut out = format!(
@@ -2508,6 +2559,50 @@ fn run_bench(args: BenchArgs) -> Result<String, CliError> {
     );
     out.push_str(&table.header());
     let mut results: Vec<Value> = Vec::new();
+
+    // Scalar row shared by the clean and faulted sweeps so both render
+    // and serialize identically.
+    struct BenchRow {
+        engine: &'static str,
+        shards: usize,
+        overlap: bool,
+        fault_rate: f64,
+        sps: f64,
+        upd_per_tick: f64,
+        halo_bits: f64,
+        link_util: f64,
+        rec_cost: f64,
+        ticks: u64,
+        passes: u64,
+    }
+    let mut push_row = |r: BenchRow| {
+        out.push_str(&table.row(&[
+            r.engine.to_string(),
+            r.shards.to_string(),
+            if r.overlap { "yes" } else { "no" }.to_string(),
+            format!("{:.3}", r.fault_rate),
+            format!("{:.3e}", r.sps),
+            format!("{:.2}", r.upd_per_tick),
+            format!("{:.2}", r.halo_bits),
+            format!("{:.3}", r.link_util),
+            format!("{:.3}", r.rec_cost),
+            r.ticks.to_string(),
+        ]));
+        results.push(Value::Obj(vec![
+            ("engine".into(), Value::Str(r.engine.into())),
+            ("shards".into(), Value::num_usize(r.shards)),
+            ("overlap".into(), Value::Bool(r.overlap)),
+            ("fault_rate".into(), Value::Num(r.fault_rate)),
+            ("sites_per_sec".into(), Value::Num(r.sps)),
+            ("updates_per_tick".into(), Value::Num(r.upd_per_tick)),
+            ("halo_bits_per_tick".into(), Value::Num(r.halo_bits)),
+            ("link_utilization".into(), Value::Num(r.link_util)),
+            ("recovery_cost".into(), Value::Num(r.rec_cost)),
+            ("machine_ticks".into(), Value::num_u64(r.ticks)),
+            ("passes".into(), Value::num_u64(r.passes)),
+        ]));
+    };
+
     for ename in ["wsa", "spa"] {
         for &s in &shard_counts {
             for overlap in [false, true] {
@@ -2515,29 +2610,110 @@ fn run_bench(args: BenchArgs) -> Result<String, CliError> {
                     "wsa" => ShardEngine::Wsa { width: 2 },
                     _ => ShardEngine::Spa { slice_width: 1 },
                 };
-                let farm = LatticeFarm::new(s, eng, depth).with_overlap(overlap);
+                let farm = LatticeFarm::new(s, eng, depth)
+                    .with_overlap(overlap)
+                    .with_link(BoardLink::new(link_bits));
                 let report =
                     farm.run(&rule, &grid, 0, steps).map_err(|e| CliError(e.to_string()))?;
-                let sps = report.updates_per_second(clock).get();
-                out.push_str(&table.row(&[
-                    ename.to_string(),
-                    s.to_string(),
-                    if overlap { "yes" } else { "no" }.to_string(),
-                    format!("{sps:.3e}"),
-                    format!("{:.2}", report.updates_per_tick().get()),
-                    format!("{:.2}", report.halo_bits_per_tick().get()),
-                    report.machine_ticks().get().to_string(),
-                ]));
-                results.push(Value::Obj(vec![
-                    ("engine".into(), Value::Str(ename.into())),
-                    ("shards".into(), Value::num_usize(s)),
-                    ("overlap".into(), Value::Bool(overlap)),
-                    ("sites_per_sec".into(), Value::Num(sps)),
-                    ("updates_per_tick".into(), Value::Num(report.updates_per_tick().get())),
-                    ("halo_bits_per_tick".into(), Value::Num(report.halo_bits_per_tick().get())),
-                    ("machine_ticks".into(), Value::num_u64(report.machine_ticks().get())),
-                    ("passes".into(), Value::num_u64(report.passes)),
-                ]));
+                let mt = report.machine_ticks();
+                push_row(BenchRow {
+                    engine: ename,
+                    shards: s,
+                    overlap,
+                    fault_rate: 0.0,
+                    sps: report.updates_per_second(clock).get(),
+                    upd_per_tick: report.updates_per_tick().get(),
+                    halo_bits: report.halo_bits_per_tick().get(),
+                    link_util: if mt.is_zero() { 0.0 } else { report.halo_ticks.ratio(mt) },
+                    rec_cost: if mt.is_zero() { 0.0 } else { report.retransmit_ticks.ratio(mt) },
+                    ticks: mt.get(),
+                    passes: report.passes,
+                });
+            }
+        }
+    }
+
+    if !rate_list.is_empty() {
+        // Same confinement trick as `fault-sim --farm`: keep the gas
+        // away from the edge so the exact-conservation audit that
+        // drives fault detection never false-positives on boundary
+        // loss.
+        let margin = steps as usize;
+        if rows <= 2 * margin || cols <= 2 * margin {
+            return Err(CliError(format!(
+                "bench: --fault-rates needs the lattice to exceed 2x --steps per side \
+                 ({rows}x{cols} vs {steps} steps) so the conservation audit stays exact"
+            )));
+        }
+        let confined = lattice_core::Grid::from_fn(shape, |c| {
+            let inside = c.row() >= margin
+                && c.row() < rows - margin
+                && c.col() >= margin
+                && c.col() < cols - margin;
+            if inside {
+                grid.get(c)
+            } else {
+                0
+            }
+        });
+        let audit = ConservationAudit::new(Model::Hpp, AuditMode::Exact);
+        for &rate in &rate_list {
+            for &s in &shard_counts {
+                for overlap in [false, true] {
+                    let farm = LatticeFarm::new(s, ShardEngine::Wsa { width: 2 }, depth)
+                        .with_overlap(overlap)
+                        .with_link(BoardLink::new(link_bits));
+                    // WSA boards: chip stride = depth, so board b's
+                    // halo link is chip s·depth + b.
+                    let link_chip_base = s * depth;
+                    let mut plan = FaultPlan::new(seed);
+                    if rate > 0.0 {
+                        for b in 0..s {
+                            plan.push(Fault {
+                                component: Component::Link,
+                                chip: Some(link_chip_base + b),
+                                cell: None,
+                                kind: FaultKind::Transient { bit: 1, rate },
+                            });
+                        }
+                    }
+                    let cfg = FarmRecoveryConfig {
+                        max_retries: 3,
+                        checkpoint_every: 2,
+                        degrade: if s > 1 {
+                            Some(FarmDegradeConfig { max_retired: s - 1 })
+                        } else {
+                            None
+                        },
+                        ..FarmRecoveryConfig::default()
+                    };
+                    let ft = farm
+                        .run_with_recovery(&rule, &confined, 0, steps, Some(&plan), &cfg, |b, a| {
+                            audit.check(b, a)
+                        })
+                        .map_err(|e| {
+                            CliError(format!("bench: faulted run (wsa x{s} rate {rate}): {e}"))
+                        })?;
+                    let report = ft.report;
+                    let mt = report.machine_ticks();
+                    push_row(BenchRow {
+                        engine: "wsa",
+                        shards: s,
+                        overlap,
+                        fault_rate: rate,
+                        sps: report.updates_per_second(clock).get(),
+                        upd_per_tick: report.updates_per_tick().get(),
+                        halo_bits: report.halo_bits_per_tick().get(),
+                        link_util: if mt.is_zero() { 0.0 } else { report.halo_ticks.ratio(mt) },
+                        rec_cost: if mt.is_zero() {
+                            0.0
+                        } else {
+                            report.retransmit_ticks.ratio(mt)
+                        },
+                        ticks: mt.get(),
+                        passes: report.passes,
+                    });
+                }
             }
         }
     }
@@ -2555,6 +2731,7 @@ fn run_bench(args: BenchArgs) -> Result<String, CliError> {
             ("steps".into(), Value::num_u64(steps)),
             ("seed".into(), Value::num_u64(seed)),
             ("depth".into(), Value::num_usize(depth)),
+            ("link_bits".into(), Value::Num(link_bits)),
             ("clock_hz".into(), Value::Num(clock.get())),
             ("results".into(), Value::Arr(results.clone())),
         ]);
@@ -2569,12 +2746,15 @@ fn run_bench(args: BenchArgs) -> Result<String, CliError> {
 }
 
 /// The `lattice bench --baseline` gate: every `(engine, shards,
-/// overlap)` configuration present in both the baseline artifact and
-/// this run must be within `tolerance` of the baseline's sites/sec.
-/// The model-derived tick counts make the comparison deterministic;
-/// the tolerance only absorbs float-formatting drift. Faster-than-
-/// baseline is reported, never failed — the ratchet tightens by
-/// re-generating the artifact.
+/// overlap, fault_rate)` configuration present in both the baseline
+/// artifact and this run must be within `tolerance` of the baseline
+/// on three axes: sites/sec (lower is a regression), link utilization
+/// and recovery cost (higher is a regression). The model-derived tick
+/// counts make the comparison deterministic; the tolerance only
+/// absorbs float-formatting drift. Improvement is reported, never
+/// failed — the ratchet tightens by re-generating the artifact.
+/// Baselines written before the fault columns existed compare as
+/// `fault_rate = 0` with the cost axes skipped.
 fn ratchet_against_baseline(
     bpath: &str,
     tolerance: f64,
@@ -2582,11 +2762,15 @@ fn ratchet_against_baseline(
 ) -> Result<String, CliError> {
     use crate::serve::json::{self, Value};
 
-    let key = |v: &Value| -> Option<(String, u64, bool)> {
+    let key = |v: &Value| -> Option<(String, u64, bool, u64)> {
+        // fault_rate keys as parts-per-million so the tuple stays Eq;
+        // absent (pre-fault-column baselines) means the clean sweep.
+        let rate = v.get("fault_rate").and_then(Value::as_f64).unwrap_or(0.0);
         Some((
             v.get("engine")?.as_str()?.to_string(),
             v.get("shards")?.as_u64()?,
             v.get("overlap")?.as_bool()?,
+            (rate * 1e6).round() as u64,
         ))
     };
     let text = std::fs::read_to_string(bpath)
@@ -2606,15 +2790,24 @@ fn ratchet_against_baseline(
         let Some(cur) = results.iter().find(|r| key(r).as_ref() == Some(&k)) else { continue };
         let Some(cur_sps) = cur.get("sites_per_sec").and_then(Value::as_f64) else { continue };
         compared += 1;
+        let tag = format!("{} x{} overlap={} fault={:.3}", k.0, k.1, k.2, k.3 as f64 / 1e6);
         if cur_sps < base_sps * (1.0 - tolerance) {
             regressions.push(format!(
-                "  {} x{} overlap={}: {cur_sps:.3e} sites/sec vs baseline {base_sps:.3e} \
-                 ({:+.1}%)",
-                k.0,
-                k.1,
-                k.2,
+                "  {tag}: {cur_sps:.3e} sites/sec vs baseline {base_sps:.3e} ({:+.1}%)",
                 (cur_sps / base_sps - 1.0) * 100.0
             ));
+        }
+        // Cost axes: higher-than-baseline is the regression. Skipped
+        // when the baseline predates the columns.
+        for metric in ["link_utilization", "recovery_cost"] {
+            let Some(base_m) = base.get(metric).and_then(Value::as_f64) else { continue };
+            let Some(cur_m) = cur.get(metric).and_then(Value::as_f64) else { continue };
+            if cur_m > base_m * (1.0 + tolerance) + 1e-9 {
+                regressions.push(format!(
+                    "  {tag}: {metric} {cur_m:.4} vs baseline {base_m:.4} ({:+.1}%)",
+                    if base_m == 0.0 { f64::INFINITY } else { (cur_m / base_m - 1.0) * 100.0 }
+                ));
+            }
         }
     }
     if compared == 0 {
@@ -3429,6 +3622,8 @@ mod tests {
             seed: 3,
             depth: 2,
             shards: "1,2".into(),
+            fault_rates: "0.02".into(),
+            link_bits: 16.0,
             json: true,
             out: Some(path.clone()),
             baseline: None,
@@ -3436,14 +3631,19 @@ mod tests {
         })
         .unwrap();
         assert!(out.contains("sites/sec"), "{out}");
-        // 2 engines x 2 shard counts x 2 overlap modes.
+        // 2 engines x 2 shard counts x 2 overlap modes, plus the
+        // faulted WSA sweep: 1 rate x 2 shard counts x 2 overlap.
         let cells = out.lines().filter(|l| l.starts_with("wsa") || l.starts_with("spa")).count();
-        assert_eq!(cells, 8, "{out}");
+        assert_eq!(cells, 12, "{out}");
         let doc = std::fs::read_to_string(&path).unwrap();
         assert!(doc.contains("\"sites_per_sec\""), "{doc}");
+        assert!(doc.contains("\"link_utilization\""), "{doc}");
+        assert!(doc.contains("\"recovery_cost\""), "{doc}");
+        assert!(doc.contains("\"fault_rate\":0.02"), "{doc}");
         assert!(doc.contains("\"results\""), "{doc}");
         assert!(execute(parse(&argv("bench --steps 0")).unwrap()).is_err());
         assert!(execute(parse(&argv("bench --shards 0,2")).unwrap()).is_err());
+        assert!(execute(parse(&argv("bench --fault-rates 2.0")).unwrap()).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -3552,6 +3752,8 @@ mod tests {
                 seed: 3,
                 depth: 2,
                 shards: "1,2".into(),
+                fault_rates: "0.02".into(),
+                link_bits: 16.0,
                 json: baseline.is_none(),
                 out: Some(path.clone()),
                 baseline,
@@ -3562,13 +3764,24 @@ mod tests {
         // against it: deterministic ticks, so it must pass.
         bench(None).unwrap();
         let out = bench(Some(path.clone())).unwrap();
-        assert!(out.contains("ratchet: 8 configuration(s) within 2%"), "{out}");
+        assert!(out.contains("ratchet: 12 configuration(s) within 2%"), "{out}");
         // Inflate the baseline: every current number now "regresses".
         let doc = std::fs::read_to_string(&path).unwrap();
         std::fs::write(&path, doc.replace("\"sites_per_sec\":", "\"sites_per_sec\":9e99,\"was\":"))
             .unwrap();
         let err = bench(Some(path.clone())).unwrap_err();
         assert!(err.0.contains("regressed beyond"), "{err}");
+        // Cost axes ratchet the other way: shrink the baseline's link
+        // utilization and the identical run now reads as a regression.
+        bench(None).unwrap();
+        let doc = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(
+            &path,
+            doc.replace("\"link_utilization\":", "\"link_utilization\":0.0,\"was\":"),
+        )
+        .unwrap();
+        let err = bench(Some(path.clone())).unwrap_err();
+        assert!(err.0.contains("link_utilization"), "{err}");
         // A baseline from a disjoint sweep is refused, not vacuously passed.
         std::fs::write(
             &path,
