@@ -19,6 +19,7 @@ const BINS: &[&str] = &[
     "tab_prototype",
     "tab_model_vs_sim",
     "tab_farm_scaling",
+    "tab_grid_blocks",
     "tab_tech_scaling",
     "tab_ablations",
     "fig_throughput_area",

@@ -44,7 +44,9 @@ use crate::LatticeError;
 /// Magic tag opening every generation file.
 pub const SNAP_MAGIC: &[u8; 4] = b"LSNP";
 /// Container format version written by [`CheckpointStore::commit`].
-pub const SNAP_VERSION: u16 = 1;
+/// Version 2 added a per-shard `row0` for rectangular block shards;
+/// version-1 files (columnar slabs, implicit `row0 = 0`) still decode.
+pub const SNAP_VERSION: u16 = 2;
 /// The two generation slots of the double buffer.
 pub const GEN_FILES: [&str; 2] = ["gen0.lck", "gen1.lck"];
 
@@ -427,13 +429,17 @@ pub fn list_sessions<B: StoreBackend>(backend: &mut B) -> Result<Vec<String>, La
     Ok(names)
 }
 
-/// One shard's contribution to a snapshot: the column where its slab
-/// starts and its checkpoint image (the codec in the parent module).
+/// One shard's contribution to a snapshot: where its block sits in the
+/// full lattice and its checkpoint image (the codec in the parent
+/// module). Columnar slabs are blocks with `row0 = 0`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardBlob {
-    /// First interior column of the shard's slab in the full lattice.
+    /// First interior column of the shard's block in the full lattice.
     pub col0: u64,
-    /// Checkpoint image of the slab (header + RLE runs).
+    /// First interior row of the shard's block in the full lattice
+    /// (always 0 in version-1 files).
+    pub row0: u64,
+    /// Checkpoint image of the block (header + RLE runs).
     pub blob: Vec<u8>,
 }
 
@@ -463,7 +469,7 @@ pub struct LoadedSnapshot {
 }
 
 fn encode_snapshot(seq: u64, time: Ticks, shards: &[ShardBlob]) -> Vec<u8> {
-    let payload: usize = shards.iter().map(|s| 16 + s.blob.len()).sum();
+    let payload: usize = shards.iter().map(|s| 24 + s.blob.len()).sum();
     let mut out = Vec::with_capacity(SNAP_HEADER + payload + SNAP_FOOTER);
     out.extend_from_slice(SNAP_MAGIC);
     out.extend_from_slice(&SNAP_VERSION.to_le_bytes());
@@ -472,6 +478,7 @@ fn encode_snapshot(seq: u64, time: Ticks, shards: &[ShardBlob]) -> Vec<u8> {
     out.extend_from_slice(&(shards.len() as u32).to_le_bytes());
     for s in shards {
         out.extend_from_slice(&s.col0.to_le_bytes());
+        out.extend_from_slice(&s.row0.to_le_bytes());
         out.extend_from_slice(&u64_from_usize(s.blob.len()).to_le_bytes());
         out.extend_from_slice(&s.blob);
     }
@@ -509,22 +516,30 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<Snapshot, LatticeError> {
     qb.copy_from_slice(&bytes[14..22]);
     let time = Ticks::new(u64::from_le_bytes(qb));
     let count = u32::from_le_bytes([bytes[22], bytes[23], bytes[24], bytes[25]]) as usize;
+    // Version 1 headers carried (col0, len); version 2 added row0.
+    let header = if version >= 2 { 24 } else { 16 };
     let mut shards = Vec::with_capacity(count.min(1024));
     let mut pos = SNAP_HEADER;
     for i in 0..count {
-        if pos + 16 > body.len() {
+        if pos + header > body.len() {
             return Err(err(format!("shard {i} header truncated")));
         }
         let mut fb = [0u8; 8];
         fb.copy_from_slice(&body[pos..pos + 8]);
         let col0 = u64::from_le_bytes(fb);
-        fb.copy_from_slice(&body[pos + 8..pos + 16]);
+        let row0 = if version >= 2 {
+            fb.copy_from_slice(&body[pos + 8..pos + 16]);
+            u64::from_le_bytes(fb)
+        } else {
+            0
+        };
+        fb.copy_from_slice(&body[pos + header - 8..pos + header]);
         let len = usize_from_u64(u64::from_le_bytes(fb));
-        pos += 16;
+        pos += header;
         if pos + len > body.len() {
             return Err(err(format!("shard {i} blob truncated")));
         }
-        shards.push(ShardBlob { col0, blob: body[pos..pos + len].to_vec() });
+        shards.push(ShardBlob { col0, row0, blob: body[pos..pos + len].to_vec() });
         pos += len;
     }
     if pos != body.len() {
@@ -769,20 +784,22 @@ impl<B: StoreBackend> SnapshotSink for CheckpointStore<B> {
 
 /// Rebuilds the full lattice from a snapshot's per-shard images.
 ///
-/// Each blob must decode to a full-height slab stamped with the
-/// snapshot's generation, and the slabs must tile the lattice's
-/// columns exactly (in order, no gaps, no overlap) — the layout
-/// [`ShardBlob::col0`] records survives degraded re-partitioning
+/// Each blob must decode to a rectangular block stamped with the
+/// snapshot's generation, and the blocks placed at their recorded
+/// `(row0, col0)` origins must tile the lattice exactly (every site
+/// covered once, no gaps, no overlap) — the layout a [`ShardBlob`]
+/// records survives degraded re-partitioning and board-grid reshapes
 /// because reassembly trusts the recorded geometry, not the current
-/// farm configuration.
+/// farm configuration. Columnar version-1 snapshots are the
+/// `row0 = 0` special case.
 pub fn reassemble<S: State>(snap: &Snapshot) -> Result<(Grid<S>, Ticks), LatticeError> {
     let err = |detail: String| store_err("snapshot", detail);
     if snap.shards.is_empty() {
         return Err(err("no shards".into()));
     }
-    let mut slabs: Vec<(u64, Grid<S>)> = Vec::with_capacity(snap.shards.len());
+    let mut blocks: Vec<(usize, usize, Grid<S>)> = Vec::with_capacity(snap.shards.len());
     let mut rows = 0usize;
-    let mut cols = 0u64;
+    let mut cols = 0usize;
     for (i, s) in snap.shards.iter().enumerate() {
         let (g, t) = super::load::<S>(&s.blob)?;
         if t != snap.time {
@@ -793,27 +810,31 @@ pub fn reassemble<S: State>(snap: &Snapshot) -> Result<(Grid<S>, Ticks), Lattice
             )));
         }
         if g.shape().rank() != 2 {
-            return Err(err(format!("shard {i} is not a 2-D slab")));
+            return Err(err(format!("shard {i} is not a 2-D block")));
         }
-        if i == 0 {
-            rows = g.shape().dims()[0];
-        } else if g.shape().dims()[0] != rows {
-            return Err(err(format!("shard {i} row count disagrees")));
-        }
-        if s.col0 != cols {
-            return Err(err(format!("shard {i} starts at column {} expected {cols}", s.col0)));
-        }
-        cols += u64_from_usize(g.shape().dims()[1]);
-        slabs.push((s.col0, g));
+        let (row0, col0) = (usize_from_u64(s.row0), usize_from_u64(s.col0));
+        rows = rows.max(row0 + g.shape().dims()[0]);
+        cols = cols.max(col0 + g.shape().dims()[1]);
+        blocks.push((row0, col0, g));
     }
-    let shape = Shape::grid2(rows, usize_from_u64(cols))?;
-    let mut data: Vec<S> = Vec::with_capacity(shape.len());
-    for r in 0..rows {
-        for (_, g) in &slabs {
-            let w = g.shape().dims()[1];
-            let row = &g.as_slice()[r * w..(r + 1) * w];
-            data.extend_from_slice(row);
+    let shape = Shape::grid2(rows, cols)?;
+    let mut data: Vec<S> = vec![S::default(); shape.len()];
+    let mut covered = vec![false; shape.len()];
+    for (i, (row0, col0, g)) in blocks.iter().enumerate() {
+        let (h, w) = (g.shape().dims()[0], g.shape().dims()[1]);
+        for r in 0..h {
+            let dst = (row0 + r) * cols + col0;
+            data[dst..dst + w].copy_from_slice(&g.as_slice()[r * w..(r + 1) * w]);
+            for c in &mut covered[dst..dst + w] {
+                if *c {
+                    return Err(err(format!("shard {i} overlaps an earlier shard")));
+                }
+                *c = true;
+            }
         }
+    }
+    if !covered.iter().all(|&c| c) {
+        return Err(err("shards leave a gap in the lattice".into()));
     }
     Ok((Grid::from_vec(shape, data)?, snap.time))
 }
@@ -829,7 +850,7 @@ mod tests {
         let g = Grid::from_fn(shape, |c| {
             ((c.row() as u64 * 31 + c.col() as u64 * 7 + col0 * 13 + salt) % 16) as u8
         });
-        ShardBlob { col0, blob: checkpoint::save(&g, Ticks::new(t)) }
+        ShardBlob { col0, row0: 0, blob: checkpoint::save(&g, Ticks::new(t)) }
     }
 
     fn snap_shards(t: u64, salt: u64) -> Vec<ShardBlob> {
@@ -974,13 +995,67 @@ mod tests {
     #[test]
     fn reassemble_rejects_gapped_or_disagreeing_slabs() {
         let mut shards = snap_shards(2, 0);
-        shards[1].col0 = 4; // gap after shard 0 (width 3)
+        shards[1].col0 = 4; // gap at col 3, overlap at cols 7..8
         let snap = Snapshot { seq: 1, time: Ticks::new(2), shards };
         assert!(reassemble::<u8>(&snap).is_err());
         let mut shards = snap_shards(2, 0);
         shards[2].blob = blob_for(5, 2, 7, 3, 0).blob; // wrong generation stamp
         let snap = Snapshot { seq: 1, time: Ticks::new(2), shards };
         assert!(reassemble::<u8>(&snap).is_err());
+        let mut shards = snap_shards(2, 0);
+        shards[2].row0 = 1; // hangs past the bottom edge, gap at row 0
+        let snap = Snapshot { seq: 1, time: Ticks::new(2), shards };
+        assert!(reassemble::<u8>(&snap).is_err());
+    }
+
+    #[test]
+    fn block_snapshots_reassemble_by_recorded_rectangles() {
+        // A 2×2 board grid over a 6×9 lattice: blocks carry their own
+        // (row0, col0) and reassembly trusts the recorded rectangles.
+        fn block(rows: usize, cols: usize, row0: u64, col0: u64) -> ShardBlob {
+            let shape = Shape::grid2(rows, cols).unwrap();
+            let g = Grid::from_fn(shape, |c| {
+                (((row0 + c.row() as u64) * 31 + (col0 + c.col() as u64) * 7) % 16) as u8
+            });
+            ShardBlob { col0, row0, blob: checkpoint::save(&g, Ticks::new(3)) }
+        }
+        let shards =
+            vec![block(3, 5, 0, 0), block(3, 4, 0, 5), block(3, 5, 3, 0), block(3, 4, 3, 5)];
+        let snap = Snapshot { seq: 1, time: Ticks::new(3), shards };
+        let (g, t) = reassemble::<u8>(&snap).unwrap();
+        assert_eq!(t, Ticks::new(3));
+        assert_eq!(g.shape().dims(), &[6, 9]);
+        for r in 0..6u64 {
+            for c in 0..9u64 {
+                let want = ((r * 31 + c * 7) % 16) as u8;
+                assert_eq!(g.get(Coord::c2(r as usize, c as usize)), want, "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn version1_columnar_snapshots_still_decode() {
+        // Hand-build a version-1 file (16-byte shard headers, no row0)
+        // and check this build reads it with row0 = 0.
+        let shards = snap_shards(4, 6);
+        let mut out = Vec::new();
+        out.extend_from_slice(SNAP_MAGIC);
+        out.extend_from_slice(&1u16.to_le_bytes());
+        out.extend_from_slice(&9u64.to_le_bytes());
+        out.extend_from_slice(&4u64.to_le_bytes());
+        out.extend_from_slice(&(shards.len() as u32).to_le_bytes());
+        for s in &shards {
+            out.extend_from_slice(&s.col0.to_le_bytes());
+            out.extend_from_slice(&u64_from_usize(s.blob.len()).to_le_bytes());
+            out.extend_from_slice(&s.blob);
+        }
+        let crc = crc64(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        let snap = decode_snapshot(&out).unwrap();
+        assert_eq!(snap.seq, 9);
+        assert_eq!(snap.shards, shards, "row0 defaults to 0 for columnar slabs");
+        let (g, _) = reassemble::<u8>(&snap).unwrap();
+        assert_eq!(g.shape().dims(), &[5, 9]);
     }
 
     #[test]

@@ -55,6 +55,12 @@ impl Slab {
 /// padding it with fabricated null columns would let particles that
 /// really exit the lattice collide in the padding and re-enter. On a
 /// torus every slab imports the full `halo` from both neighbors.
+///
+/// On a torus every slab must own at least `halo` columns: a narrower
+/// slab's halo windows would import overlapping or self-owned columns
+/// (for a single shard the wrap would have to circle the lattice more
+/// than once), so the exchange geometry is ill-formed and the request
+/// is rejected with a structured error.
 pub fn partition(
     cols: usize,
     shards: usize,
@@ -71,6 +77,17 @@ pub fn partition(
     }
     let base = cols / shards;
     let extra = cols % shards;
+    if periodic && base < halo {
+        // The first slab of width `base` (index `extra`) is the
+        // narrowest; once every width is ≥ halo no window can reach
+        // past the immediate neighbor, so checking the minimum
+        // suffices.
+        return Err(LatticeError::InvalidConfig(format!(
+            "torus shard {extra} owns {base} columns but the halo is {halo} wide: its \
+             left and right halo windows would import overlapping or self-owned \
+             columns ({cols} cols / {shards} shards, depth {halo})"
+        )));
+    }
     let mut slabs = Vec::with_capacity(shards);
     let mut col0 = 0usize;
     for index in 0..shards {
@@ -82,6 +99,128 @@ pub fn partition(
     }
     debug_assert_eq!(col0, cols);
     Ok(slabs)
+}
+
+/// One board's rectangular block in an `R × C` grid partition: the
+/// sub-lattice it owns plus the halo rows and columns it imports each
+/// pass. Degenerates to a [`Slab`] at `R = 1` (`row0 = 0`, full rows,
+/// no vertical halos — the torus's vertical wrap stays on board, as it
+/// always has for columnar slabs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Block {
+    /// Shard index, row-major over the board grid
+    /// (`grid_row · C + grid_col`).
+    pub index: usize,
+    /// Board-grid row.
+    pub grid_row: usize,
+    /// Board-grid column.
+    pub grid_col: usize,
+    /// First owned global row.
+    pub row0: usize,
+    /// Owned rows.
+    pub rows: usize,
+    /// First owned global column.
+    pub col0: usize,
+    /// Owned columns.
+    pub width: usize,
+    /// Halo rows imported across the upper (inter-rack) link.
+    pub halo_up: usize,
+    /// Halo rows imported across the lower (inter-rack) link.
+    pub halo_down: usize,
+    /// Halo columns imported across the left (intra-rack) link.
+    pub halo_left: usize,
+    /// Halo columns imported across the right (intra-rack) link.
+    pub halo_right: usize,
+}
+
+impl Block {
+    /// One past the last owned global row.
+    pub fn row_end(&self) -> usize {
+        self.row0 + self.rows
+    }
+
+    /// One past the last owned global column.
+    pub fn col_end(&self) -> usize {
+        self.col0 + self.width
+    }
+
+    /// Total columns in the halo-augmented block the board streams.
+    pub fn aug_width(&self) -> usize {
+        self.halo_left + self.width + self.halo_right
+    }
+
+    /// Total rows in the halo-augmented block, given `wrap` on-board
+    /// vertical wrap rows per side (nonzero only for a single-row
+    /// board grid on the torus, where the wrap never crosses a link).
+    pub fn aug_height(&self, wrap: usize) -> usize {
+        2 * wrap + self.halo_up + self.rows + self.halo_down
+    }
+
+    /// Sites imported over links per pass: the halo columns span the
+    /// full augmented height (they carry the corner cells, which ride
+    /// the horizontal tier), the halo rows span only the owned width.
+    pub fn halo_sites(&self, wrap: usize) -> usize {
+        (self.halo_left + self.halo_right) * self.aug_height(wrap)
+            + (self.halo_up + self.halo_down) * self.width
+    }
+
+    /// The columnar view of this block — exact when `R = 1`.
+    pub fn as_slab(&self) -> Slab {
+        Slab {
+            index: self.index,
+            col0: self.col0,
+            width: self.width,
+            halo_left: self.halo_left,
+            halo_right: self.halo_right,
+        }
+    }
+}
+
+/// Splits a `rows × cols` lattice into an `grid_rows × grid_cols` grid
+/// of balanced rectangular [`Block`]s with a `halo` exchange margin on
+/// every seamed side.
+///
+/// The column axis is exactly [`partition`] (torus: full halos both
+/// sides, including the self-wrap at `grid_cols = 1`; null boundary:
+/// clamped at the true edges; torus shards narrower than the halo
+/// rejected). The row axis follows the same rules except at
+/// `grid_rows = 1`, where vertical halos are zero — the torus's
+/// vertical wrap is handled on board, so `partition2d(rows, cols, 1,
+/// C, halo, periodic)` reproduces `partition(cols, C, halo, periodic)`
+/// slab for slab.
+pub fn partition2d(
+    rows: usize,
+    cols: usize,
+    grid_rows: usize,
+    grid_cols: usize,
+    halo: usize,
+    periodic: bool,
+) -> Result<Vec<Block>, LatticeError> {
+    let col_slabs = partition(cols, grid_cols, halo, periodic)?;
+    let row_slabs = if grid_rows == 1 {
+        vec![Slab { index: 0, col0: 0, width: rows, halo_left: 0, halo_right: 0 }]
+    } else {
+        partition(rows, grid_rows, halo, periodic)?
+    };
+    let mut blocks = Vec::with_capacity(grid_rows * grid_cols);
+    for rs in &row_slabs {
+        for cs in &col_slabs {
+            blocks.push(Block {
+                index: rs.index * grid_cols + cs.index,
+                grid_row: rs.index,
+                grid_col: cs.index,
+                row0: rs.col0,
+                rows: rs.width,
+                col0: cs.col0,
+                width: cs.width,
+                halo_up: rs.halo_left,
+                halo_down: rs.halo_right,
+                halo_left: cs.halo_left,
+                halo_right: cs.halo_right,
+            });
+        }
+    }
+    Ok(blocks)
 }
 
 /// One engine sub-run of a board's pass under overlapped exchange: a
@@ -181,6 +320,172 @@ pub fn sweep_regions(slab: &Slab, halo: usize, overlap: bool) -> Vec<SweepRegion
     regions
 }
 
+/// One engine sub-run of a board's pass over a rectangular block under
+/// overlapped exchange: a rectangle of the block's *augmented* sites,
+/// plus the owned rectangle whose end-of-pass values that run certifies
+/// exact.
+///
+/// Coordinates: `r0`/`height` and `a0`/`width` index the augmented
+/// block (`(0, 0)` is its top-left corner, wrap rows included);
+/// `own_r_lo..own_r_hi` × `own_lo..own_hi` index the block's *owned*
+/// sites (`(0, 0)` is `(Block::row0, Block::col0)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region2d {
+    /// First augmented row of the sub-run.
+    pub r0: usize,
+    /// Augmented rows the sub-run streams.
+    pub height: usize,
+    /// First augmented column of the sub-run.
+    pub a0: usize,
+    /// Augmented columns the sub-run streams.
+    pub width: usize,
+    /// First owned row stitched from this run.
+    pub own_r_lo: usize,
+    /// One past the last owned row stitched from this run.
+    pub own_r_hi: usize,
+    /// First owned column stitched from this run.
+    pub own_lo: usize,
+    /// One past the last owned column stitched from this run.
+    pub own_hi: usize,
+    /// Boundary sweeps run first each pass; their output is exactly
+    /// what the next pass's halo frames carry, so the frames can ship
+    /// while the interior sweep is still evolving.
+    pub boundary: bool,
+}
+
+impl Region2d {
+    /// Owned sites this run certifies.
+    pub fn own_sites(&self) -> usize {
+        (self.own_r_hi - self.own_r_lo) * (self.own_hi - self.own_lo)
+    }
+}
+
+/// Splits a block's per-pass sweep into boundary regions adjacent to
+/// each seam plus one interior region, generalizing [`sweep_regions`]
+/// to two axes. Emission order: north, south, west, east, interior.
+///
+/// * The north/south bands span the **full augmented width** and
+///   certify the `k` owned rows nearest the seam across *every* owned
+///   column — including the corners, whose diagonal-neighbor data rides
+///   in the corner cells of the augmented block.
+/// * The west/east bands cover the remaining middle rows, with columns
+///   exactly as in the 1-D sweep. On a seamless row side the band runs
+///   to the full augmented extent (wrap rows included), which is how
+///   `R = 1` degenerates to `sweep_regions` region for region: no
+///   north/south bands exist, and west/east/interior reproduce the 1-D
+///   left/right/interior spans over the full augmented height.
+/// * `wrap` is the on-board vertical wrap depth (`k` only for a
+///   single-row board grid on the torus). A wrap row is true
+///   generation-`t` data just like a halo row, so a cut edge beyond it
+///   pollutes only the wrap rows, never the owned ones.
+pub fn sweep_regions2d(block: &Block, halo: usize, overlap: bool, wrap: usize) -> Vec<Region2d> {
+    let (h, w) = (block.rows, block.width);
+    let (hu, hd, hl, hr) = (block.halo_up, block.halo_down, block.halo_left, block.halo_right);
+    let aug_h = block.aug_height(wrap);
+    let aug_w = block.aug_width();
+    let k = halo;
+    let full = Region2d {
+        r0: 0,
+        height: aug_h,
+        a0: 0,
+        width: aug_w,
+        own_r_lo: 0,
+        own_r_hi: h,
+        own_lo: 0,
+        own_hi: w,
+        boundary: false,
+    };
+    if !overlap || (hu == 0 && hd == 0 && hl == 0 && hr == 0) {
+        return vec![full];
+    }
+    let mut regions = Vec::with_capacity(5);
+    // Owned rows/columns certified by each band. When the block is
+    // narrower than 2k along an axis the two claims meet; the
+    // north/west band wins the contested sites and the south/east one
+    // keeps only its own exact outer strip.
+    let n_cover = if hu > 0 { k.min(h) } else { 0 };
+    let s_lo = if hd > 0 { h.saturating_sub(k).max(n_cover) } else { h };
+    let w_cover = if hl > 0 { k.min(w) } else { 0 };
+    let e_lo = if hr > 0 { w.saturating_sub(k).max(w_cover) } else { w };
+    // Row span of the west/east/interior regions: a seamed row side is
+    // certified by its north/south band; a seamless side runs to the
+    // full augmented extent (wrap rows included), exactly like the 1-D
+    // sweep's full-height regions.
+    let mid_r0 = if hu > 0 { wrap + hu } else { 0 };
+    let mid_r1 = if hd > 0 { wrap + hu + h } else { aug_h };
+    if hu > 0 {
+        regions.push(Region2d {
+            r0: 0,
+            height: (hu + 2 * k).min(aug_h),
+            a0: 0,
+            width: aug_w,
+            own_r_lo: 0,
+            own_r_hi: n_cover,
+            own_lo: 0,
+            own_hi: w,
+            boundary: true,
+        });
+    }
+    if hd > 0 && s_lo < h {
+        let r0 = aug_h.saturating_sub(hd + 2 * k);
+        regions.push(Region2d {
+            r0,
+            height: aug_h - r0,
+            a0: 0,
+            width: aug_w,
+            own_r_lo: s_lo,
+            own_r_hi: h,
+            own_lo: 0,
+            own_hi: w,
+            boundary: true,
+        });
+    }
+    if n_cover < s_lo {
+        let (height, own_r_lo, own_r_hi) = (mid_r1 - mid_r0, n_cover, s_lo);
+        if hl > 0 {
+            regions.push(Region2d {
+                r0: mid_r0,
+                height,
+                a0: 0,
+                width: (hl + 2 * k).min(aug_w),
+                own_r_lo,
+                own_r_hi,
+                own_lo: 0,
+                own_hi: w_cover,
+                boundary: true,
+            });
+        }
+        if hr > 0 && e_lo < w {
+            let a0 = aug_w.saturating_sub(hr + 2 * k);
+            regions.push(Region2d {
+                r0: mid_r0,
+                height,
+                a0,
+                width: aug_w - a0,
+                own_r_lo,
+                own_r_hi,
+                own_lo: e_lo,
+                own_hi: w,
+                boundary: true,
+            });
+        }
+        if w_cover < e_lo {
+            regions.push(Region2d {
+                r0: mid_r0,
+                height,
+                a0: hl,
+                width: w,
+                own_r_lo,
+                own_r_hi,
+                own_lo: w_cover,
+                own_hi: e_lo,
+                boundary: false,
+            });
+        }
+    }
+    regions
+}
+
 /// The widest halo-augmented slab [`partition`] produces at `shards`
 /// boards — the figure that sizes per-board hardware (SPA slice count,
 /// stream buffers) and therefore must stay stable when a farm
@@ -194,6 +499,26 @@ pub fn max_aug_width(
     periodic: bool,
 ) -> Result<usize, LatticeError> {
     Ok(partition(cols, shards, halo, periodic)?.iter().map(Slab::aug_width).max().unwrap_or(1))
+}
+
+/// The widest halo-augmented block [`partition2d`] produces on a
+/// `grid_rows × grid_cols` board grid — the 2-D analogue of
+/// [`max_aug_width`], sizing per-board SPA slices and stream buffers.
+/// Identical to `max_aug_width(cols, grid_cols, ...)` at
+/// `grid_rows = 1`.
+pub fn max_aug_width2d(
+    rows: usize,
+    cols: usize,
+    grid_rows: usize,
+    grid_cols: usize,
+    halo: usize,
+    periodic: bool,
+) -> Result<usize, LatticeError> {
+    Ok(partition2d(rows, cols, grid_rows, grid_cols, halo, periodic)?
+        .iter()
+        .map(Block::aug_width)
+        .max()
+        .unwrap_or(1))
 }
 
 #[cfg(test)]
@@ -239,10 +564,26 @@ mod tests {
 
     #[test]
     fn periodic_halos_never_clamp() {
-        let slabs = partition(10, 4, 3, true).unwrap();
+        let slabs = partition(12, 4, 3, true).unwrap();
         for s in &slabs {
             assert_eq!((s.halo_left, s.halo_right), (3, 3));
         }
+    }
+
+    #[test]
+    fn torus_slabs_narrower_than_the_halo_are_rejected() {
+        // Regression: this used to return slabs of width 2 whose halo
+        // windows (3 wide) imported overlapping / self-owned columns.
+        let err = partition(10, 4, 3, true).unwrap_err();
+        assert!(err.to_string().contains("overlapping or self-owned"), "{err}");
+        // Width == halo is the boundary case and stays legal.
+        assert!(partition(12, 4, 3, true).is_ok());
+        // Null boundary clamps instead; no rejection.
+        assert!(partition(10, 4, 3, false).is_ok());
+        // A single torus shard may self-wrap (width ≥ halo), but not
+        // circle the lattice more than once (width < halo).
+        assert!(partition(8, 1, 5, true).is_ok());
+        assert!(partition(2, 1, 5, true).is_err());
     }
 
     #[test]
@@ -369,5 +710,186 @@ mod tests {
         assert!(partition(16, 0, 1, false).is_err());
         assert!(partition(4, 5, 1, false).is_err());
         assert!(partition(4, 4, 1, false).is_ok());
+    }
+
+    #[test]
+    fn single_row_grid_degenerates_to_columnar_slabs() {
+        for cols in [7usize, 16, 33] {
+            for shards in 1..=cols.min(6) {
+                for periodic in [false, true] {
+                    for halo in 1..=3usize {
+                        let slabs = match partition(cols, shards, halo, periodic) {
+                            Ok(s) => s,
+                            Err(_) => {
+                                assert!(partition2d(11, cols, 1, shards, halo, periodic).is_err());
+                                continue;
+                            }
+                        };
+                        let blocks = partition2d(11, cols, 1, shards, halo, periodic).unwrap();
+                        assert_eq!(blocks.len(), slabs.len());
+                        for (b, s) in blocks.iter().zip(&slabs) {
+                            assert_eq!(b.as_slab(), *s);
+                            assert_eq!((b.row0, b.rows), (0, 11));
+                            assert_eq!((b.halo_up, b.halo_down), (0, 0));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_tile_the_lattice() {
+        for (rows, cols) in [(9usize, 14usize), (12, 12), (7, 30)] {
+            for gr in 1..=3usize {
+                for gc in 1..=3usize {
+                    let blocks = partition2d(rows, cols, gr, gc, 2, false).unwrap();
+                    assert_eq!(blocks.len(), gr * gc);
+                    let mut owned = vec![0u8; rows * cols];
+                    for (i, b) in blocks.iter().enumerate() {
+                        assert_eq!(b.index, i, "row-major indexing");
+                        assert_eq!(b.index, b.grid_row * gc + b.grid_col);
+                        for r in b.row0..b.row_end() {
+                            for c in b.col0..b.col_end() {
+                                owned[r * cols + c] += 1;
+                            }
+                        }
+                    }
+                    assert!(owned.iter().all(|&n| n == 1), "{rows}x{cols} over {gr}x{gc}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn torus_blocks_shorter_than_the_halo_are_rejected() {
+        // 10 rows over 4 grid rows leaves heights 3,3,2,2 < halo 3.
+        assert!(partition2d(10, 24, 4, 2, 3, true).is_err());
+        assert!(partition2d(12, 24, 4, 2, 3, true).is_ok());
+        // Null boundary clamps the row halos instead.
+        assert!(partition2d(10, 24, 4, 2, 3, false).is_ok());
+    }
+
+    /// 2-D analogue of `check_regions`: every owned site certified by
+    /// exactly one region, and every site a neighbor imports next pass
+    /// (the `k`-deep strip along each seam, corners included) certified
+    /// by a *boundary* region.
+    fn check_regions2d(block: &Block, halo: usize, wrap: usize) {
+        let regions = sweep_regions2d(block, halo, true, wrap);
+        let (h, w) = (block.rows, block.width);
+        let mut certified = vec![0u8; h * w];
+        let mut boundary_owned = vec![false; h * w];
+        for reg in &regions {
+            assert!(reg.r0 + reg.height <= block.aug_height(wrap), "region inside aug block");
+            assert!(reg.a0 + reg.width <= block.aug_width(), "region inside aug block");
+            for r in reg.own_r_lo..reg.own_r_hi {
+                for c in reg.own_lo..reg.own_hi {
+                    certified[r * w + c] += 1;
+                    boundary_owned[r * w + c] = reg.boundary;
+                }
+            }
+        }
+        assert!(certified.iter().all(|&n| n == 1), "{block:?}");
+        let shipped_row = |r: usize| {
+            (block.halo_up > 0 && r < halo.min(h)) || (block.halo_down > 0 && r + halo >= h)
+        };
+        let shipped_col = |c: usize| {
+            (block.halo_left > 0 && c < halo.min(w)) || (block.halo_right > 0 && c + halo >= w)
+        };
+        for r in 0..h {
+            for c in 0..w {
+                if shipped_row(r) || shipped_col(c) {
+                    assert!(
+                        boundary_owned[r * w + c],
+                        "shipped site ({r},{c}) of {block:?} must come from a boundary sweep"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_regions2d_partition_the_owned_sites() {
+        for (rows, cols) in [(10usize, 16usize), (16, 10), (9, 9)] {
+            for gr in 1..=3usize {
+                for gc in 1..=3usize {
+                    for halo in 1..=3usize {
+                        for periodic in [false, true] {
+                            if rows / gr < halo || cols / gc < halo {
+                                continue; // farms reject blocks narrower than the halo
+                            }
+                            let wrap = if periodic && gr == 1 { halo } else { 0 };
+                            for b in partition2d(rows, cols, gr, gc, halo, periodic).unwrap() {
+                                check_regions2d(&b, halo, wrap);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_regions2d_degenerates_to_sweep_regions_at_one_grid_row() {
+        for periodic in [false, true] {
+            let wrap = if periodic { 2 } else { 0 };
+            for b in partition2d(10, 24, 1, 3, 2, periodic).unwrap() {
+                let got = sweep_regions2d(&b, 2, true, wrap);
+                let want = sweep_regions(&b.as_slab(), 2, true);
+                assert_eq!(got.len(), want.len());
+                for (g, w1d) in got.iter().zip(&want) {
+                    // Full augmented height, wrap rows included — the
+                    // exact spans the 1-D farm streams today.
+                    assert_eq!((g.r0, g.height), (0, 10 + 2 * wrap));
+                    assert_eq!((g.own_r_lo, g.own_r_hi), (0, 10));
+                    assert_eq!(
+                        (g.a0, g.width, g.own_lo, g.own_hi, g.boundary),
+                        (w1d.a0, w1d.width, w1d.own_lo, w1d.own_hi, w1d.boundary)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interior_block_splits_into_five_regions() {
+        // 18×24 over a 3×3 torus grid, k = 2: the center block owns
+        // rows 6..12 × cols 8..16 with full halos on all four sides.
+        let b = partition2d(18, 24, 3, 3, 2, true).unwrap()[4];
+        assert_eq!((b.row0, b.rows, b.col0, b.width), (6, 6, 8, 8));
+        let r = sweep_regions2d(&b, 2, true, 0);
+        assert_eq!(r.len(), 5);
+        // North and south bands: full augmented width, k owned rows.
+        assert_eq!((r[0].r0, r[0].height, r[0].a0, r[0].width), (0, 6, 0, 12));
+        assert_eq!((r[0].own_r_lo, r[0].own_r_hi, r[0].own_lo, r[0].own_hi), (0, 2, 0, 8));
+        assert_eq!((r[1].r0, r[1].height, r[1].a0, r[1].width), (4, 6, 0, 12));
+        assert_eq!((r[1].own_r_lo, r[1].own_r_hi, r[1].own_lo, r[1].own_hi), (4, 6, 0, 8));
+        // West and east bands: middle rows only.
+        assert_eq!((r[2].r0, r[2].height, r[2].a0, r[2].width), (2, 6, 0, 6));
+        assert_eq!((r[2].own_r_lo, r[2].own_r_hi, r[2].own_lo, r[2].own_hi), (2, 4, 0, 2));
+        assert_eq!((r[3].r0, r[3].height, r[3].a0, r[3].width), (2, 6, 6, 6));
+        assert_eq!((r[3].own_r_lo, r[3].own_r_hi, r[3].own_lo, r[3].own_hi), (2, 4, 6, 8));
+        // Interior: the remaining center rectangle.
+        assert_eq!((r[4].r0, r[4].height, r[4].a0, r[4].width), (2, 6, 2, 8));
+        assert_eq!((r[4].own_r_lo, r[4].own_r_hi, r[4].own_lo, r[4].own_hi), (2, 4, 2, 6));
+        assert!(r[..4].iter().all(|x| x.boundary) && !r[4].boundary);
+        assert_eq!(r.iter().map(Region2d::own_sites).sum::<usize>(), 48);
+        // Serialized sweep: one full region.
+        let s = sweep_regions2d(&b, 2, false, 0);
+        assert_eq!(s.len(), 1);
+        assert_eq!((s[0].height, s[0].width, s[0].boundary), (10, 12, false));
+    }
+
+    #[test]
+    fn block_halo_sites_count_corners_once() {
+        // Center block above: halo cols span the full augmented height
+        // (corners ride the horizontal tier), halo rows span the owned
+        // width only — every imported site counted exactly once.
+        let b = partition2d(18, 24, 3, 3, 2, true).unwrap()[4];
+        assert_eq!(b.aug_height(0), 10);
+        assert_eq!(b.aug_width(), 12);
+        assert_eq!(b.halo_sites(0), 4 * 10 + 4 * 8);
+        assert_eq!(b.halo_sites(0), 12 * 10 - 8 * 6);
+        assert_eq!(max_aug_width2d(18, 24, 3, 3, 2, true).unwrap(), 12);
     }
 }

@@ -137,3 +137,87 @@ proptest! {
         }
     }
 }
+
+mod shard_geometry {
+    use lattice_core::shard::{partition, partition2d};
+    use proptest::prelude::*;
+
+    proptest! {
+        /// A single-row board grid IS the columnar partition: every
+        /// block degenerates slab-for-slab (same seams, same halos, no
+        /// vertical margin), and the two constructors accept or reject
+        /// exactly the same configurations.
+        #[test]
+        fn single_row_grids_degenerate_to_columnar_slabs(
+            rows in 1usize..64,
+            cols in 1usize..64,
+            shards in 1usize..10,
+            halo in 1usize..6,
+            periodic in any::<bool>(),
+        ) {
+            let slabs = partition(cols, shards, halo, periodic);
+            let blocks = partition2d(rows, cols, 1, shards, halo, periodic);
+            match (slabs, blocks) {
+                (Ok(slabs), Ok(blocks)) => {
+                    prop_assert_eq!(slabs.len(), blocks.len());
+                    for (slab, block) in slabs.iter().zip(&blocks) {
+                        prop_assert_eq!(&block.as_slab(), slab);
+                        prop_assert_eq!((block.grid_row, block.row0, block.rows), (0, 0, rows));
+                        prop_assert_eq!((block.halo_up, block.halo_down), (0, 0));
+                    }
+                }
+                (Err(_), Err(_)) => {}
+                (s, b) => prop_assert!(
+                    false,
+                    "constructors disagree: partition {s:?} vs partition2d {b:?}"
+                ),
+            }
+        }
+
+        /// Owned blocks tile the lattice: every site is owned by
+        /// exactly one block, blocks arrive in row-major index order,
+        /// and widths/heights are balanced to within one.
+        #[test]
+        fn owned_blocks_tile_the_lattice_exactly_once(
+            rows in 1usize..48,
+            cols in 1usize..48,
+            grid_rows in 1usize..5,
+            grid_cols in 1usize..5,
+            halo in 1usize..5,
+            periodic in any::<bool>(),
+        ) {
+            let Ok(blocks) = partition2d(rows, cols, grid_rows, grid_cols, halo, periodic)
+            else {
+                // Rejections (more shards than columns, torus blocks
+                // narrower than the halo) are covered elsewhere.
+                return Ok(());
+            };
+            prop_assert_eq!(blocks.len(), grid_rows * grid_cols);
+            let mut owned = vec![0u32; rows * cols];
+            for (i, b) in blocks.iter().enumerate() {
+                prop_assert_eq!(b.index, i, "row-major order");
+                prop_assert_eq!(b.index, b.grid_row * grid_cols + b.grid_col);
+                prop_assert!(b.rows >= 1 && b.width >= 1);
+                for r in b.row0..b.row0 + b.rows {
+                    for c in b.col0..b.col0 + b.width {
+                        owned[r * cols + c] += 1;
+                    }
+                }
+            }
+            prop_assert!(
+                owned.iter().all(|&n| n == 1),
+                "every site must be owned exactly once: {owned:?}"
+            );
+            // Balance: within an axis, block extents differ by ≤ 1.
+            let widths: Vec<usize> =
+                blocks.iter().filter(|b| b.grid_row == 0).map(|b| b.width).collect();
+            let heights: Vec<usize> =
+                blocks.iter().filter(|b| b.grid_col == 0).map(|b| b.rows).collect();
+            for ext in [widths, heights] {
+                let (lo, hi) =
+                    (ext.iter().min().unwrap(), ext.iter().max().unwrap());
+                prop_assert!(hi - lo <= 1, "unbalanced extents: {ext:?}");
+            }
+        }
+    }
+}

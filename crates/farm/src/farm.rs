@@ -47,7 +47,7 @@
 
 use crate::link::{BoardLink, HaloWindow};
 use crate::partition::{
-    max_aug_width, partition, partition_checked, sweep_regions, Slab, SweepRegion,
+    max_aug_width2d, partition2d, partition2d_checked, sweep_regions2d, Block, Region2d,
 };
 use lattice_core::bits::Traffic;
 use lattice_core::checkpoint::store::{ShardBlob, SnapshotSink};
@@ -118,15 +118,27 @@ pub struct WorkerFaultSpec {
 /// A board-level engine farm over one lattice.
 #[derive(Debug, Clone, Copy)]
 pub struct LatticeFarm {
-    /// Boards (`S`), each owning one columnar slab.
+    /// Boards (`S`), each owning one rectangular block (a columnar slab
+    /// when [`LatticeFarm::grid`] has one row).
     pub shards: usize,
+    /// Board grid shape `(R, C)` with `R · C == shards`: the lattice is
+    /// cut into `R` row bands × `C` column bands. `(1, shards)` — the
+    /// default — is the columnar farm.
+    pub grid: (usize, usize),
     /// The engine instantiated on every board.
     pub engine: ShardEngine,
     /// Generations per pass (`k`) — also the halo width each board
     /// imports per pass.
     pub depth: usize,
-    /// The inter-board halo link model.
+    /// The intra-rack halo link model: the horizontal (left/right)
+    /// exchange, whose frames also carry the corner cells and, at
+    /// `R = 1` on the torus, the on-board wrap rows.
     pub link: BoardLink,
+    /// The inter-rack halo link model: the vertical (up/down) exchange
+    /// between board-grid rows, typically throttled relative to
+    /// [`LatticeFarm::link`] (QCDOC-style two-tier interconnect). Idle
+    /// at `R = 1`.
+    pub link_inter: BoardLink,
     /// Toroidal boundary. Coordinate-dependent rules (FHP) must then be
     /// built `with_wrap` for the lattice, exactly as with
     /// `lattice_engines_sim::halo::run_periodic`.
@@ -151,6 +163,10 @@ pub struct LatticeFarm {
 pub struct ShardStats {
     /// Physical board id (stable across degraded re-partitioning).
     pub shard: usize,
+    /// First owned global row (0 for columnar farms).
+    pub row0: usize,
+    /// Owned rows (the full lattice height for columnar farms).
+    pub rows: usize,
     /// First owned global column (final geometry, if re-partitioned).
     pub col0: usize,
     /// Owned columns (final geometry; a retired board keeps the last
@@ -345,10 +361,18 @@ pub struct FarmFtRun<S: State> {
 }
 
 /// A board's halo exchange, buffered so local retries can replay it.
+/// The horizontal (intra-rack) and vertical (inter-rack) frames cross
+/// *different wires*, so their bits and retransmits are billed per
+/// tier; `bits`/`retransmits` are the intra-rack figures (the only
+/// nonzero ones for a columnar farm).
 struct ExchangeOutcome<S: State> {
     aug: Grid<S>,
     bits: Bits,
     retransmits: u32,
+    /// Bits over the inter-rack (vertical) tier; zero at `R = 1`.
+    bits_inter: Bits,
+    /// Retransmits on the inter-rack tier; zero at `R = 1`.
+    retransmits_inter: u32,
     traffic: Traffic,
     /// Whether this frame was shipped ahead during the previous pass's
     /// interior sweep (taken from a [`HaloWindow`]) — the condition for
@@ -368,7 +392,7 @@ type StagedHalo<S> = HaloWindow<Result<ExchangeOutcome<S>, LatticeError>>;
 /// `exchange` empty (re-exchange), an engine/audit failure leaves
 /// `exchange` buffered but `reports` empty (replay the buffered halos).
 /// `reports` holds one engine report per sweep region, in
-/// [`sweep_regions`] order (a single entry when overlap is off).
+/// [`sweep_regions2d`] order (a single entry when overlap is off).
 struct BoardCache<S: State> {
     exchange: Option<ExchangeOutcome<S>>,
     reports: Option<Vec<EngineReport<S>>>,
@@ -381,18 +405,22 @@ impl<S: State> Default for BoardCache<S> {
 }
 
 /// The engine input for one sweep region: borrows the full augmented
-/// slab when the region covers it entirely (the serialized path pays no
-/// copy), else materializes the region's column span.
+/// block when the region covers it entirely (the serialized path pays
+/// no copy), else materializes the region's rectangle.
 fn region_grid<'a, S: State>(
     aug: &'a Grid<S>,
-    region: &SweepRegion,
+    region: &Region2d,
 ) -> Result<std::borrow::Cow<'a, Grid<S>>, LatticeError> {
-    if region.a0 == 0 && region.width == aug.shape().cols() {
+    if region.r0 == 0
+        && region.height == aug.shape().rows()
+        && region.a0 == 0
+        && region.width == aug.shape().cols()
+    {
         return Ok(std::borrow::Cow::Borrowed(aug));
     }
-    let shape = Shape::grid2(aug.shape().rows(), region.width)?;
+    let shape = Shape::grid2(region.height, region.width)?;
     Ok(std::borrow::Cow::Owned(Grid::from_fn(shape, |c| {
-        aug.get(Coord::c2(c.row(), region.a0 + c.col()))
+        aug.get(Coord::c2(region.r0 + c.row(), region.a0 + c.col()))
     })))
 }
 
@@ -454,8 +482,8 @@ struct PassParams<'a> {
     /// next pass exists (and how deep it is) when shipping ahead.
     t_end: u64,
     pass: u64,
-    slabs: &'a [Slab],
-    /// Slab index → physical board id (identity until boards retire).
+    blocks: &'a [Block],
+    /// Block index → physical board id (identity until boards retire).
     phys: &'a [usize],
     stride: usize,
     link_chip_base: usize,
@@ -479,7 +507,7 @@ struct JobRef<'a, S: State> {
     aug: &'a Grid<S>,
     /// Sweep regions in execution order (boundary first); one full
     /// region when overlap is off.
-    regions: Vec<SweepRegion>,
+    regions: Vec<Region2d>,
     ctx: Option<FaultCtx<'a>>,
     origin: (usize, usize),
     chip0: usize,
@@ -533,7 +561,7 @@ struct Totals {
 }
 
 impl Totals {
-    fn new(slabs: &[Slab]) -> Self {
+    fn new(blocks: &[Block]) -> Self {
         Totals {
             updates: Sites::ZERO,
             compute_ticks: Ticks::ZERO,
@@ -550,12 +578,14 @@ impl Totals {
             retransmit_ticks: Ticks::ZERO,
             overlapped_ticks: Ticks::ZERO,
             retransmits: 0,
-            per_shard: slabs
+            per_shard: blocks
                 .iter()
-                .map(|s| ShardStats {
-                    shard: s.index,
-                    col0: s.col0,
-                    cols: s.width,
+                .map(|b| ShardStats {
+                    shard: b.index,
+                    row0: b.row0,
+                    rows: b.rows,
+                    col0: b.col0,
+                    cols: b.width,
                     updates: Sites::ZERO,
                     ticks: Ticks::ZERO,
                     halo_in_bits: Bits::ZERO,
@@ -602,11 +632,13 @@ impl Totals {
         }
     }
 
-    /// Re-records the slab geometry after a degraded re-partitioning.
-    fn regeom(&mut self, slabs: &[Slab], phys: &[usize]) {
-        for (i, slab) in slabs.iter().enumerate() {
-            self.per_shard[phys[i]].col0 = slab.col0;
-            self.per_shard[phys[i]].cols = slab.width;
+    /// Re-records the block geometry after a degraded re-partitioning.
+    fn regeom(&mut self, blocks: &[Block], phys: &[usize]) {
+        for (i, b) in blocks.iter().enumerate() {
+            self.per_shard[phys[i]].row0 = b.row0;
+            self.per_shard[phys[i]].rows = b.rows;
+            self.per_shard[phys[i]].col0 = b.col0;
+            self.per_shard[phys[i]].cols = b.width;
         }
     }
 
@@ -644,25 +676,29 @@ impl Totals {
     }
 }
 
-/// Takes one checkpoint barrier: snapshots every slab through the real
+/// Takes one checkpoint barrier: snapshots every block through the real
 /// checkpoint codec, bills the recovery accounting, and (when a durable
 /// `sink` is attached) pushes the shard blobs as one shard-consistent
 /// snapshot.
 fn take_ckpt<S: State>(
     g: &Grid<S>,
     t: u64,
-    slabs: &[Slab],
+    blocks: &[Block],
     recovery: &mut RecoveryStats,
     sink: &mut Option<&mut (dyn SnapshotSink + '_)>,
 ) -> Result<Vec<Vec<u8>>, LatticeError> {
-    let blobs = save_shard_checkpoints(g, slabs, t)?;
-    recovery.checkpoints += u64_from_usize(slabs.len());
+    let blobs = save_shard_checkpoints(g, blocks, t)?;
+    recovery.checkpoints += u64_from_usize(blocks.len());
     recovery.checkpoint_bytes += blobs.iter().map(|b| u64_from_usize(b.len())).sum::<u64>();
     if let Some(s) = sink.as_deref_mut() {
         let shards: Vec<ShardBlob> = blobs
             .iter()
-            .zip(slabs)
-            .map(|(b, slab)| ShardBlob { col0: u64_from_usize(slab.col0), blob: b.clone() })
+            .zip(blocks)
+            .map(|(blob, blk)| ShardBlob {
+                col0: u64_from_usize(blk.col0),
+                row0: u64_from_usize(blk.row0),
+                blob: blob.clone(),
+            })
             .collect();
         s.persist(Ticks::new(t), &shards)?;
     }
@@ -671,15 +707,16 @@ fn take_ckpt<S: State>(
 
 fn save_shard_checkpoints<S: State>(
     grid: &Grid<S>,
-    slabs: &[Slab],
+    blocks: &[Block],
     t: u64,
 ) -> Result<Vec<Vec<u8>>, LatticeError> {
-    let rows = grid.shape().rows();
-    slabs
+    blocks
         .iter()
-        .map(|slab| {
-            let shape = Shape::grid2(rows, slab.width)?;
-            let sg = Grid::from_fn(shape, |c| grid.get(Coord::c2(c.row(), slab.col0 + c.col())));
+        .map(|blk| {
+            let shape = Shape::grid2(blk.rows, blk.width)?;
+            let sg = Grid::from_fn(shape, |c| {
+                grid.get(Coord::c2(blk.row0 + c.row(), blk.col0 + c.col()))
+            });
             Ok(checkpoint::save(&sg, Ticks::new(t)))
         })
         .collect()
@@ -687,22 +724,22 @@ fn save_shard_checkpoints<S: State>(
 
 fn load_shard_checkpoints<S: State>(
     blobs: &[Vec<u8>],
-    slabs: &[Slab],
+    blocks: &[Block],
     shape: Shape,
 ) -> Result<(Grid<S>, u64), LatticeError> {
     let mut grid = Grid::new(shape);
     let mut time: Option<Ticks> = None;
-    for (blob, slab) in blobs.iter().zip(slabs) {
+    for (blob, blk) in blobs.iter().zip(blocks) {
         let (sg, t) = checkpoint::load::<S>(blob)?;
         if *time.get_or_insert(t) != t {
             return Err(LatticeError::Corrupted {
-                site: format!("shard {} checkpoint", slab.index),
+                site: format!("shard {} checkpoint", blk.index),
                 detail: "shard checkpoints disagree on generation".into(),
             });
         }
-        for r in 0..shape.rows() {
-            for j in 0..slab.width {
-                grid.set(Coord::c2(r, slab.col0 + j), sg.get(Coord::c2(r, j)));
+        for r in 0..blk.rows {
+            for j in 0..blk.width {
+                grid.set(Coord::c2(blk.row0 + r, blk.col0 + j), sg.get(Coord::c2(r, j)));
             }
         }
     }
@@ -715,13 +752,33 @@ impl LatticeFarm {
     pub fn new(shards: usize, engine: ShardEngine, depth: usize) -> Self {
         LatticeFarm {
             shards,
+            grid: (1, shards),
             engine,
             depth,
             link: BoardLink::unthrottled(),
+            link_inter: BoardLink::unthrottled(),
             periodic: false,
             worker_fault: None,
             overlap: false,
         }
+    }
+
+    /// Reshapes the farm onto an `R × C` board grid (replacing the
+    /// shard count with `R · C`): each board owns a rectangular block,
+    /// exchanging halo columns over the intra-rack tier and halo rows
+    /// over the inter-rack tier. `(1, shards)` is the columnar farm.
+    pub fn with_grid(mut self, grid_rows: usize, grid_cols: usize) -> Self {
+        self.grid = (grid_rows, grid_cols);
+        self.shards = grid_rows * grid_cols;
+        self
+    }
+
+    /// Replaces the inter-rack (vertical) link model only, leaving the
+    /// intra-rack tier as configured — the two-tier QCDOC shape where
+    /// rack-to-rack wires are narrower than backplane wires.
+    pub fn with_tier_link(mut self, link_inter: BoardLink) -> Self {
+        self.link_inter = link_inter;
+        self
     }
 
     /// Enables (or disables) overlapped halo exchange: boundary sweeps
@@ -735,9 +792,12 @@ impl LatticeFarm {
         self
     }
 
-    /// Replaces the inter-board link model.
+    /// Replaces the inter-board link model on *both* tiers (a uniform
+    /// wire); follow with [`LatticeFarm::with_tier_link`] to throttle
+    /// the inter-rack tier separately.
     pub fn with_link(mut self, link: BoardLink) -> Self {
         self.link = link;
+        self.link_inter = link;
         self
     }
 
@@ -761,6 +821,17 @@ impl LatticeFarm {
         if self.depth == 0 {
             return Err(LatticeError::InvalidConfig("farm pass depth must be ≥ 1".into()));
         }
+        if self.grid.0 == 0 || self.grid.1 == 0 {
+            return Err(LatticeError::InvalidConfig(
+                "a board grid needs ≥ 1 row and column".into(),
+            ));
+        }
+        if self.grid.0 * self.grid.1 != self.shards {
+            return Err(LatticeError::InvalidConfig(format!(
+                "board grid {}×{} disagrees with the shard count {}",
+                self.grid.0, self.grid.1, self.shards
+            )));
+        }
         match self.engine {
             ShardEngine::Wsa { width: 0 } => {
                 return Err(LatticeError::InvalidConfig("WSA boards need width ≥ 1".into()));
@@ -780,14 +851,56 @@ impl LatticeFarm {
         Ok(())
     }
 
+    /// Board-grid shape at `shards` live boards: the configured grid at
+    /// full strength, a columnar `(1, shards)` layout once degraded
+    /// re-partitioning has retired boards (level 4 is gated to
+    /// single-row grids, so the reshape is always columnar).
+    fn grid_at(&self, shards: usize) -> (usize, usize) {
+        if shards == self.shards {
+            self.grid
+        } else {
+            (1, shards)
+        }
+    }
+
+    /// On-board vertical wrap depth at pass depth `k`: a single-row
+    /// board grid keeps the torus's vertical wrap on board (exactly the
+    /// columnar farm's augmented rows); a multi-row grid imports wrap
+    /// rows as ordinary halo rows over the inter-rack links instead.
+    fn wrap_at(&self, grid_rows: usize, k: usize) -> usize {
+        if self.periodic && grid_rows == 1 {
+            k
+        } else {
+            0
+        }
+    }
+
+    /// The block layout at `shards` live boards and pass depth `k`.
+    fn blocks_at(
+        &self,
+        rows: usize,
+        cols: usize,
+        shards: usize,
+        k: usize,
+    ) -> Result<Vec<Block>, LatticeError> {
+        let (gr, gc) = self.grid_at(shards);
+        partition2d(rows, cols, gr, gc, k, self.periodic)
+    }
+
     /// Physical chips per board at `shards` boards: board `b` owns chip
     /// ids `[b·stride, (b+1)·stride)`, stable across passes (the final
     /// shallow pass uses a prefix), so stuck-at faults follow silicon.
-    fn chip_stride_at(&self, cols: usize, shards: usize) -> Result<usize, LatticeError> {
+    fn chip_stride_at(
+        &self,
+        rows: usize,
+        cols: usize,
+        shards: usize,
+    ) -> Result<usize, LatticeError> {
         Ok(match self.engine {
             ShardEngine::Wsa { .. } => self.depth,
             ShardEngine::Spa { slice_width } => {
-                let max_aug = max_aug_width(cols, shards, self.depth, self.periodic)?;
+                let (gr, gc) = self.grid_at(shards);
+                let max_aug = max_aug_width2d(rows, cols, gr, gc, self.depth, self.periodic)?;
                 self.depth * max_aug.div_ceil(slice_width)
             }
         })
@@ -796,44 +909,53 @@ impl LatticeFarm {
     /// The chip stride sized for every shard count the farm can reach:
     /// degraded re-partitioning widens slabs, and chip ids must not
     /// move when it does, or stuck-at faults would jump between boards.
-    fn chip_stride_range(&self, cols: usize, smin: usize) -> Result<usize, LatticeError> {
+    fn chip_stride_range(
+        &self,
+        rows: usize,
+        cols: usize,
+        smin: usize,
+    ) -> Result<usize, LatticeError> {
         let mut stride = 0usize;
         for s in smin..=self.shards {
-            stride = stride.max(self.chip_stride_at(cols, s)?);
+            stride = stride.max(self.chip_stride_at(rows, cols, s)?);
         }
         Ok(stride)
     }
 
-    /// Gathers one board's halo-augmented slab from `grid` at pass
-    /// depth `k` and moves the halo columns across the board's link
-    /// (with ARQ). Shared by the arrival-barrier exchange and the
-    /// overlap mode's ship-ahead staging — the same code path, so the
-    /// two can never disagree on frame contents, parity, or the link's
-    /// fault-stream position.
+    /// Gathers one board's halo-augmented block from `grid` at pass
+    /// depth `k` and moves the halo regions across the board's links
+    /// (with ARQ): halo *columns* — the full augmented height, corners
+    /// included — on the intra-rack tier, halo *rows* (owned width
+    /// only, so corner sites are billed once) on the inter-rack tier.
+    /// Shared by the arrival-barrier exchange and the overlap mode's
+    /// ship-ahead staging — the same code path, so the two can never
+    /// disagree on frame contents, parity, or the links' fault-stream
+    /// positions.
     #[allow(clippy::too_many_arguments)]
     fn exchange_board<S: State>(
         &self,
         grid: &Grid<S>,
-        slab: &Slab,
+        block: &Block,
         b: usize,
-        k: usize,
+        wrap: usize,
         ctx: Option<FaultCtx<'_>>,
-        link_chip: usize,
+        link_chip_base: usize,
         pos: &mut u64,
+        pos_inter: &mut u64,
         arq_retries: u32,
         recovery: &mut RecoveryStats,
         staged: bool,
     ) -> Result<ExchangeOutcome<S>, LatticeError> {
         let shape = grid.shape();
         let (rows, cols) = (shape.rows(), shape.cols());
-        let row_off = if self.periodic { k } else { 0 };
-        let aug_rows = rows + 2 * row_off;
-        let aug_shape = Shape::grid2(aug_rows, slab.aug_width())?;
+        let top_pad = wrap + block.halo_up;
+        let aug_rows = block.aug_height(wrap);
+        let aug_shape = Shape::grid2(aug_rows, block.aug_width())?;
         let mut aug = Grid::from_fn(aug_shape, |c| {
             // lattice-lint: allow(raw-cast) — toroidal index geometry, not dimensioned arithmetic.
-            let gr = c.row() as isize - row_off as isize;
+            let gr = block.row0 as isize - top_pad as isize + c.row() as isize;
             // lattice-lint: allow(raw-cast) — toroidal index geometry, not dimensioned arithmetic.
-            let gc = slab.col0 as isize - slab.halo_left as isize + c.col() as isize;
+            let gc = block.col0 as isize - block.halo_left as isize + c.col() as isize;
             if self.periodic {
                 grid.get(Coord::c2(
                     // lattice-lint: allow(raw-cast) — toroidal index geometry.
@@ -848,17 +970,18 @@ impl LatticeFarm {
                 grid.get(Coord::c2(gr as usize, gc as usize))
             }
         });
-        // Halo columns cross the inter-board links; owned columns
-        // (and the torus's vertical wrap rows) stay on board.
+        // Halo columns (full augmented height: corners and the torus's
+        // wrap rows ride the column frames) cross the intra-rack tier;
+        // owned columns stay on board.
         let halo_cols: Vec<usize> =
-            (0..slab.halo_left).chain(slab.halo_left + slab.width..slab.aug_width()).collect();
+            (0..block.halo_left).chain(block.halo_left + block.width..block.aug_width()).collect();
         let mut imported: Vec<S> = Vec::with_capacity(halo_cols.len() * aug_rows);
         for &c in &halo_cols {
             for r in 0..aug_rows {
                 imported.push(aug.get(Coord::c2(r, c)));
             }
         }
-        let link_faults = ctx.map(|ctx| (ctx, link_chip));
+        let link_faults = ctx.map(|ctx| (ctx, link_chip_base + b));
         let mut traffic = Traffic::new();
         let mut retransmits = 0u32;
         let received = self.link.transmit_arq(
@@ -882,7 +1005,51 @@ impl LatticeFarm {
             }
         }
         let bits = Bits::for_items(imported.len(), <S as State>::BITS);
-        Ok(ExchangeOutcome { aug, bits, retransmits, traffic, staged })
+
+        // Halo rows (owned width only — the corners already crossed in
+        // the column frames) cross the inter-rack tier. A single-row
+        // board grid has no vertical seams, so this tier stays idle and
+        // the columnar farm's byte-for-byte behavior is preserved.
+        let halo_rows: Vec<usize> = (top_pad - block.halo_up..top_pad)
+            .chain(top_pad + block.rows..top_pad + block.rows + block.halo_down)
+            .collect();
+        let mut retransmits_inter = 0u32;
+        let bits_inter = Bits::for_items(halo_rows.len() * block.width, <S as State>::BITS);
+        if !halo_rows.is_empty() {
+            let mut imported_v: Vec<S> = Vec::with_capacity(halo_rows.len() * block.width);
+            for &r in &halo_rows {
+                for c in block.halo_left..block.halo_left + block.width {
+                    imported_v.push(aug.get(Coord::c2(r, c)));
+                }
+            }
+            let link_faults_v = ctx.map(|ctx| (ctx, link_chip_base + self.shards + b));
+            let received_v = self.link_inter.transmit_arq(
+                &imported_v,
+                b,
+                link_faults_v,
+                pos_inter,
+                &mut traffic,
+                arq_retries,
+                &mut retransmits_inter,
+            );
+            recovery.detected += u64::from(retransmits_inter);
+            recovery.retransmits += u64::from(retransmits_inter);
+            let received_v = received_v?;
+            for (j, &r) in halo_rows.iter().enumerate() {
+                for (jc, c) in (block.halo_left..block.halo_left + block.width).enumerate() {
+                    aug.set(Coord::c2(r, c), received_v[j * block.width + jc]);
+                }
+            }
+        }
+        Ok(ExchangeOutcome {
+            aug,
+            bits,
+            bits_inter,
+            retransmits,
+            retransmits_inter,
+            traffic,
+            staged,
+        })
     }
 
     /// One attempt at a bulk-synchronous superstep: halo *arrival* (a
@@ -902,6 +1069,7 @@ impl LatticeFarm {
         pp: &PassParams<'_>,
         plan: Option<&FaultPlan>,
         halo_pos: &mut [u64],
+        halo_pos_inter: &mut [u64],
         cache: &mut [BoardCache<R::S>],
         windows: &mut [StagedHalo<R::S>],
         recovery: &mut RecoveryStats,
@@ -909,13 +1077,18 @@ impl LatticeFarm {
     ) -> Result<PassOutcome<R::S>, BoardFailure> {
         let shape = grid.shape();
         let (rows, cols) = (shape.rows(), shape.cols());
-        let row_off = if self.periodic { pp.k } else { 0 };
+        let grid_rows = if pp.blocks.is_empty() {
+            1
+        } else {
+            pp.blocks.iter().map(|b| b.grid_row).max().unwrap_or(0) + 1
+        };
+        let wrap = self.wrap_at(grid_rows, pp.k);
 
         // Phase 1 — halo arrival for boards without a buffered frame:
         // claim the staged (shipped-ahead) frame if one is in the
         // window, otherwise exchange at the barrier, serialized.
-        for slab in pp.slabs {
-            let i = slab.index;
+        for block in pp.blocks {
+            let i = block.index;
             if cache[i].exchange.is_some() {
                 continue;
             }
@@ -930,12 +1103,13 @@ impl LatticeFarm {
                     });
                     self.exchange_board(
                         grid,
-                        slab,
+                        block,
                         b,
-                        pp.k,
+                        wrap,
                         ctx,
-                        pp.link_chip_base + b,
+                        pp.link_chip_base,
                         &mut halo_pos[b],
+                        &mut halo_pos_inter[b],
                         pp.arq_retries,
                         recovery,
                         false,
@@ -948,18 +1122,21 @@ impl LatticeFarm {
 
         // Phase 2 — boards without a report compute concurrently, one
         // engine sub-run per sweep region (boundary regions first).
-        let mut jobs: Vec<JobRef<'_, R::S>> = Vec::with_capacity(pp.slabs.len());
-        for slab in pp.slabs.iter().filter(|slab| cache[slab.index].reports.is_none()) {
-            let i = slab.index;
+        let mut jobs: Vec<JobRef<'_, R::S>> = Vec::with_capacity(pp.blocks.len());
+        for block in pp.blocks.iter().filter(|block| cache[block.index].reports.is_none()) {
+            let i = block.index;
             let b = pp.phys[i];
             let ex = cached(cache[i].exchange.as_ref(), i, "halo exchange")?;
             jobs.push(JobRef {
                 slab: i,
                 aug: &ex.aug,
-                regions: sweep_regions(slab, pp.k, self.overlap),
+                regions: sweep_regions2d(block, pp.k, self.overlap, wrap),
                 ctx: plan
                     .map(|p| FaultCtx::for_shard(p, u64_from_usize(b), pp.pass, pp.attempts[b])),
-                origin: (0usize.wrapping_sub(row_off), slab.col0.wrapping_sub(slab.halo_left)),
+                origin: (
+                    block.row0.wrapping_sub(wrap + block.halo_up),
+                    block.col0.wrapping_sub(block.halo_left),
+                ),
                 chip0: b * pp.stride,
                 phys: b,
                 attempt: pp.attempts[b],
@@ -969,7 +1146,7 @@ impl LatticeFarm {
         let engine = self.engine;
         let wf = self.worker_fault;
         let (k, t_now, pass) = (pp.k, pp.t_now, pp.pass);
-        let mut results: Vec<BoardResult<R::S>> = (0..pp.slabs.len()).map(|_| None).collect();
+        let mut results: Vec<BoardResult<R::S>> = (0..pp.blocks.len()).map(|_| None).collect();
         let mut timed_out = false;
         crossbeam::thread::scope(|scope| {
             let (tx, rx) = mpsc::channel();
@@ -1008,7 +1185,10 @@ impl LatticeFarm {
                                     break;
                                 }
                             };
-                            let origin = (job.origin.0, job.origin.1.wrapping_add(region.a0));
+                            let origin = (
+                                job.origin.0.wrapping_add(region.r0),
+                                job.origin.1.wrapping_add(region.a0),
+                            );
                             let r = match engine {
                                 ShardEngine::Wsa { width } => {
                                     let chips: Vec<usize> = (job.chip0..job.chip0 + k).collect();
@@ -1085,8 +1265,8 @@ impl LatticeFarm {
         // one board fails), audit each fresh one region by region, and
         // surface the first failure in slab order.
         let mut failure: Option<BoardFailure> = None;
-        for slab in pp.slabs {
-            let i = slab.index;
+        for block in pp.blocks {
+            let i = block.index;
             if cache[i].reports.is_some() {
                 continue;
             }
@@ -1095,7 +1275,7 @@ impl LatticeFarm {
                 Some(Ok(reports)) => {
                     let audited = {
                         let aug = &cached(cache[i].exchange.as_ref(), i, "halo exchange")?.aug;
-                        let regions = sweep_regions(slab, pp.k, self.overlap);
+                        let regions = sweep_regions2d(block, pp.k, self.overlap, wrap);
                         regions.iter().zip(&reports).try_for_each(|(region, report)| {
                             let sub = region_grid(aug, region)?;
                             shard_audit(b, &sub, &report.grid)
@@ -1138,38 +1318,50 @@ impl LatticeFarm {
         let mut boundary_ticks = Ticks::ZERO;
         let mut interior_ticks = Ticks::ZERO;
         let mut all_staged = true;
-        let mut halo_bits_per_board = Vec::with_capacity(pp.slabs.len());
-        let mut retransmits_per_board = Vec::with_capacity(pp.slabs.len());
+        let mut halo_bits_per_board = Vec::with_capacity(pp.blocks.len());
+        let mut retransmits_per_board = Vec::with_capacity(pp.blocks.len());
         let mut next = Grid::new(shape);
-        let mut reports = Vec::with_capacity(pp.slabs.len());
-        for slab in pp.slabs {
-            let i = slab.index;
+        let mut reports = Vec::with_capacity(pp.blocks.len());
+        let top_pad = |block: &Block| wrap + block.halo_up;
+        for block in pp.blocks {
+            let i = block.index;
             let ex = cached(cache[i].exchange.as_ref(), i, "halo exchange")?;
             halo_traffic.merge(ex.traffic);
+            // The two tiers are separate wires, so a board's halo wait
+            // is the slower tier, retransmissions included; the barrier
+            // then waits for the slowest board.
             let base = self.link.transfer_ticks(ex.bits);
-            halo_ticks = halo_ticks.max(base * (1 + u64::from(ex.retransmits)));
-            base_ticks = base_ticks.max(base);
+            let base_v = self.link_inter.transfer_ticks(ex.bits_inter);
+            let board_full = (base * (1 + u64::from(ex.retransmits)))
+                .max(base_v * (1 + u64::from(ex.retransmits_inter)));
+            halo_ticks = halo_ticks.max(board_full);
+            base_ticks = base_ticks.max(base.max(base_v));
             all_staged &= ex.staged;
-            halo_bits_per_board.push(ex.bits);
-            retransmits_per_board.push(ex.retransmits);
+            halo_bits_per_board.push(ex.bits + ex.bits_inter);
+            retransmits_per_board.push(ex.retransmits + ex.retransmits_inter);
             let region_reports = cached(cache[i].reports.take(), i, "engine reports")?;
-            let regions = sweep_regions(slab, pp.k, self.overlap);
+            let regions = sweep_regions2d(block, pp.k, self.overlap, wrap);
             let mut board_boundary = Ticks::ZERO;
             let mut board_interior = Ticks::ZERO;
+            let tp = top_pad(block);
             for (region, report) in regions.iter().zip(&region_reports) {
                 if region.boundary {
                     board_boundary += report.ticks;
                 } else {
                     board_interior += report.ticks;
                 }
-                for r in 0..rows {
+                for r in region.own_r_lo..region.own_r_hi {
                     for j in region.own_lo..region.own_hi {
-                        // Owned column j sits at augmented column
-                        // halo_left + j, i.e. region-local column
-                        // halo_left + j − a0.
+                        // Owned site (r, j) sits at augmented
+                        // (top_pad + r, halo_left + j), i.e.
+                        // region-local (top_pad + r − r0,
+                        // halo_left + j − a0).
                         next.set(
-                            Coord::c2(r, slab.col0 + j),
-                            report.grid.get(Coord::c2(r + row_off, slab.halo_left + j - region.a0)),
+                            Coord::c2(block.row0 + r, block.col0 + j),
+                            report.grid.get(Coord::c2(
+                                tp + r - region.r0,
+                                block.halo_left + j - region.a0,
+                            )),
                         );
                     }
                 }
@@ -1194,22 +1386,25 @@ impl LatticeFarm {
         if self.overlap && pp.t_now + u64_from_usize(pp.k) < pp.t_end {
             let t_next = pp.t_now + u64_from_usize(pp.k);
             let k_next = self.depth.min(usize_from_u64(pp.t_end - t_next));
-            let slabs_next = partition(cols, pp.slabs.len(), k_next, self.periodic)
+            let blocks_next = self
+                .blocks_at(rows, cols, pp.blocks.len(), k_next)
                 .map_err(|e| BoardFailure { slab: None, error: e })?;
-            for slab in &slabs_next {
-                let i = slab.index;
+            let wrap_next = self.wrap_at(grid_rows, k_next);
+            for block in &blocks_next {
+                let i = block.index;
                 let b = pp.phys[i];
                 let ctx = plan.map(|p| {
                     FaultCtx::for_shard(p, u64_from_usize(b), pp.pass + 1, pp.attempts[b])
                 });
                 let frame = self.exchange_board(
                     &next,
-                    slab,
+                    block,
                     b,
-                    k_next,
+                    wrap_next,
                     ctx,
-                    pp.link_chip_base + b,
+                    pp.link_chip_base,
                     &mut halo_pos[b],
+                    &mut halo_pos_inter[b],
                     pp.arq_retries,
                     recovery,
                     true,
@@ -1266,17 +1461,19 @@ impl LatticeFarm {
         self.validate(grid)?;
         let fault_base = plan.map(|p| p.stats()).unwrap_or_default();
         let shape = grid.shape();
-        let cols = shape.cols();
-        let stride = self.chip_stride_at(cols, self.shards)?;
+        let (rows, cols) = (shape.rows(), shape.cols());
+        let stride = self.chip_stride_at(rows, cols, self.shards)?;
         let link_chip_base = self.shards * stride;
         let phys: Vec<usize> = (0..self.shards).collect();
         let attempts = vec![0u64; self.shards];
-        let full_slabs = partition_checked(cols, self.shards, self.depth, self.periodic)?;
-        let mut totals = Totals::new(&full_slabs);
+        let (gr, gc) = self.grid;
+        let full_blocks = partition2d_checked(rows, cols, gr, gc, self.depth, self.periodic)?;
+        let mut totals = Totals::new(&full_blocks);
         let mut scratch = RecoveryStats::default();
         let mut no_shard_audit =
             |_: usize, _: &Grid<R::S>, _: &Grid<R::S>| -> Result<(), LatticeError> { Ok(()) };
         let mut halo_pos = vec![0u64; self.shards];
+        let mut halo_pos_inter = vec![0u64; self.shards];
         let mut windows: Vec<StagedHalo<R::S>> =
             (0..self.shards).map(|_| HaloWindow::new()).collect();
         let mut credit = Ticks::ZERO;
@@ -1286,15 +1483,15 @@ impl LatticeFarm {
         let mut passes = 0u64;
         while t_now < t_end {
             let k = self.depth.min(usize_from_u64(t_end - t_now));
-            let slabs = partition(cols, self.shards, k, self.periodic)?;
+            let blocks = self.blocks_at(rows, cols, self.shards, k)?;
             let mut cache: Vec<BoardCache<R::S>> =
-                (0..slabs.len()).map(|_| BoardCache::default()).collect();
+                (0..blocks.len()).map(|_| BoardCache::default()).collect();
             let pp = PassParams {
                 k,
                 t_now,
                 t_end,
                 pass: passes,
-                slabs: &slabs,
+                blocks: &blocks,
                 phys: &phys,
                 stride,
                 link_chip_base,
@@ -1310,6 +1507,7 @@ impl LatticeFarm {
                     &pp,
                     plan,
                     &mut halo_pos,
+                    &mut halo_pos_inter,
                     &mut cache,
                     &mut windows,
                     &mut scratch,
@@ -1480,13 +1678,16 @@ impl LatticeFarm {
         self.session_inner(grid, t0, plan, cfg, sink)
     }
 
-    /// The physical chip id of board `b`'s halo link under this farm's
-    /// chip numbering, for a `cols`-column lattice with a degrade
-    /// budget of `max_retired` boards — the id a [`Fault`] targeting
-    /// [`Component::Link`](lattice_engines_sim::Component::Link) must
-    /// carry to afflict exactly that board's link.
+    /// The physical chip id of board `b`'s *intra-rack* halo link under
+    /// this farm's chip numbering, for a `rows`×`cols` lattice with a
+    /// degrade budget of `max_retired` boards — the id a [`Fault`]
+    /// targeting [`Component::Link`](lattice_engines_sim::Component::Link)
+    /// must carry to afflict exactly that board's link. The board's
+    /// inter-rack link (idle on single-row grids) occupies the second
+    /// bank of link ids, [`LatticeFarm::link_chip_inter`].
     pub fn link_chip(
         &self,
+        rows: usize,
         cols: usize,
         max_retired: usize,
         b: usize,
@@ -1502,8 +1703,22 @@ impl LatticeFarm {
                 "degrade budget must leave at least one board".into(),
             ));
         }
-        let stride = self.chip_stride_range(cols, self.shards - max_retired)?;
+        let stride = self.chip_stride_range(rows, cols, self.shards - max_retired)?;
         Ok(self.shards * stride + b)
+    }
+
+    /// The physical chip id of board `b`'s *inter-rack* (vertical-tier)
+    /// halo link: one full bank of link ids past the intra-rack bank,
+    /// so the two tiers of the same board draw independent fault
+    /// weather.
+    pub fn link_chip_inter(
+        &self,
+        rows: usize,
+        cols: usize,
+        max_retired: usize,
+        b: usize,
+    ) -> Result<usize, LatticeError> {
+        Ok(self.link_chip(rows, cols, max_retired, b)? + self.shards)
     }
 
     fn session_inner<'p, S: State>(
@@ -1524,11 +1739,19 @@ impl LatticeFarm {
                 "degrade budget must leave at least one board".into(),
             ));
         }
+        if max_retired > 0 && self.grid.0 > 1 {
+            return Err(LatticeError::InvalidConfig(
+                "degraded re-partitioning is columnar: a degrade budget needs a \
+                 single-row board grid"
+                    .into(),
+            ));
+        }
         let fault_base = plan.get().map(|p| p.stats()).unwrap_or_default();
         let shape = grid.shape();
-        let cols = shape.cols();
-        let stride = self.chip_stride_range(cols, self.shards - max_retired)?;
-        let ckpt_slabs = partition_checked(cols, self.shards, self.depth, self.periodic)?;
+        let (rows, cols) = (shape.rows(), shape.cols());
+        let stride = self.chip_stride_range(rows, cols, self.shards - max_retired)?;
+        let (gr, gc) = self.grid;
+        let ckpt_slabs = partition2d_checked(rows, cols, gr, gc, self.depth, self.periodic)?;
         let totals = Totals::new(&ckpt_slabs);
         let mut recovery = RecoveryStats::default();
         let mut sink = sink;
@@ -1540,6 +1763,7 @@ impl LatticeFarm {
             plan,
             fault_base,
             shape,
+            rows,
             cols,
             stride,
             link_chip_base: self.shards * stride,
@@ -1548,6 +1772,7 @@ impl LatticeFarm {
             totals,
             recovery,
             halo_pos: vec![0u64; self.shards],
+            halo_pos_inter: vec![0u64; self.shards],
             windows: (0..self.shards).map(|_| HaloWindow::new()).collect(),
             credit: Ticks::ZERO,
             attempts: vec![0u64; self.shards],
@@ -1608,18 +1833,21 @@ pub struct FarmSession<'p, S: State> {
     plan: PlanRef<'p>,
     fault_base: FaultStats,
     shape: Shape,
+    rows: usize,
     cols: usize,
     stride: usize,
     link_chip_base: usize,
     /// Slab index → physical board id (identity until boards retire).
     phys: Vec<usize>,
-    /// Slab geometry of the current checkpoint barrier.
-    ckpt_slabs: Vec<Slab>,
+    /// Block geometry of the current checkpoint barrier.
+    ckpt_slabs: Vec<Block>,
     totals: Totals,
     recovery: RecoveryStats,
     /// Per-board link fault-stream positions (absolute wire positions,
     /// so chunking cannot change which bits the weather flips).
     halo_pos: Vec<u64>,
+    /// Same, for the inter-rack tier's separate wires.
+    halo_pos_inter: Vec<u64>,
     windows: Vec<StagedHalo<S>>,
     credit: Ticks,
     /// Per physical board attempt epochs.
@@ -1719,16 +1947,16 @@ impl<'p, S: State> FarmSession<'p, S> {
                 self.local_left.fill(self.cfg.local_retries);
             }
             let k = self.farm.depth.min(usize_from_u64(t_end - self.t_now));
-            let slabs = partition(self.cols, self.phys.len(), k, self.farm.periodic)?;
+            let blocks = self.farm.blocks_at(self.rows, self.cols, self.phys.len(), k)?;
             let mut cache: Vec<BoardCache<S>> =
-                (0..slabs.len()).map(|_| BoardCache::default()).collect();
+                (0..blocks.len()).map(|_| BoardCache::default()).collect();
             loop {
                 let pp = PassParams {
                     k,
                     t_now: self.t_now,
                     t_end,
                     pass: self.pass,
-                    slabs: &slabs,
+                    blocks: &blocks,
                     phys: &self.phys,
                     stride: self.stride,
                     link_chip_base: self.link_chip_base,
@@ -1745,6 +1973,7 @@ impl<'p, S: State> FarmSession<'p, S> {
                         &pp,
                         self.plan.get(),
                         &mut self.halo_pos,
+                        &mut self.halo_pos_inter,
                         &mut cache,
                         &mut self.windows,
                         &mut self.recovery,
@@ -1824,8 +2053,13 @@ impl<'p, S: State> FarmSession<'p, S> {
                                 )?;
                                 self.current = g;
                                 self.t_now = t;
-                                self.ckpt_slabs = partition(
+                                // Only reachable on single-row grids
+                                // (`session_inner` gates the degrade
+                                // budget), so the reshape is columnar.
+                                self.ckpt_slabs = partition2d(
+                                    self.rows,
                                     self.cols,
+                                    1,
                                     self.phys.len(),
                                     self.farm.depth,
                                     self.farm.periodic,
@@ -2512,6 +2746,164 @@ mod tests {
         assert_eq!(sess.recovery().checkpoints, after_open + 2);
         sess.step(&rule, 4).unwrap();
         let reference = evolve(&g, &rule, Boundary::null(), 0, 8);
+        assert_eq!(sess.grid(), &reference);
+    }
+
+    #[test]
+    fn grid_farms_are_bit_exact_across_shapes_boundaries_and_overlap() {
+        // The tentpole's correctness bar: R×C block farms with corner
+        // exchange equal the single-engine reference across grid shape
+        // × boundary × overlap, including an uneven final pass (5
+        // generations at depth 2).
+        let (rows, cols) = (12usize, 24usize);
+        let shape = Shape::grid2(rows, cols).unwrap();
+        for (gr, gc) in [(1usize, 4usize), (2, 2), (2, 3), (3, 2)] {
+            for overlap in [false, true] {
+                // HPP on the null boundary.
+                let hpp = init::random_hpp(shape, 0.4, 3).unwrap();
+                let rule = HppRule::new();
+                let reference = evolve(&hpp, &rule, Boundary::null(), 0, 5);
+                let farm = LatticeFarm::new(gr * gc, ShardEngine::Wsa { width: 2 }, 2)
+                    .with_grid(gr, gc)
+                    .with_overlap(overlap);
+                let report = farm.run(&rule, &hpp, 0, 5).unwrap();
+                assert_eq!(report.grid(), &reference, "HPP null {gr}×{gc} overlap={overlap}");
+
+                // Coordinate-hashing FHP-III on the torus: a block seam
+                // or corner that shifts the frame anywhere fails this.
+                let fhp = init::random_fhp(shape, FhpVariant::III, 0.35, 9, true).unwrap();
+                let frule = FhpRule::new(FhpVariant::III, 4).with_wrap(rows, cols);
+                let freference = evolve(&fhp, &frule, Boundary::Periodic, 0, 5);
+                let tfarm = LatticeFarm::new(gr * gc, ShardEngine::Wsa { width: 2 }, 2)
+                    .with_grid(gr, gc)
+                    .with_periodic(true)
+                    .with_overlap(overlap);
+                let treport = tfarm.run(&frule, &fhp, 0, 5).unwrap();
+                assert_eq!(treport.grid(), &freference, "FHP torus {gr}×{gc} overlap={overlap}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_tier_exchange_bills_the_slower_wire_and_counts_corners_once() {
+        // 12 × 24 on a 2×2 grid at k = 2, null boundary: every block
+        // owns 6 × 12 with one vertical and one horizontal seam, so per
+        // pass each board imports 2 halo columns × 8 augmented rows
+        // (128 bits — corners ride here) and 2 halo rows × 12 owned
+        // columns (192 bits, corners excluded).
+        let (g, rule) = hpp_world(12, 24, 1);
+        let farm = LatticeFarm::new(4, ShardEngine::Wsa { width: 2 }, 2)
+            .with_grid(2, 2)
+            .with_link(BoardLink::new(8.0));
+        let reference = evolve(&g, &rule, Boundary::null(), 0, 4);
+        let report = farm.run(&rule, &g, 0, 4).unwrap();
+        assert_eq!(report.grid(), &reference);
+        assert_eq!(report.halo_traffic.bits_in, 2 * 4 * (128 + 192), "2 passes × 4 boards");
+        for s in &report.per_shard {
+            assert_eq!(s.halo_in_bits.get(), 2 * (128 + 192));
+            assert_eq!((s.rows, s.cols), (6, 12));
+        }
+        // Separate wires: the barrier waits for the slower tier, here
+        // the 192-bit inter frame at 8 bits/tick = 24 ticks per pass.
+        assert_eq!(report.halo_ticks, Ticks::new(2 * 24));
+        // Throttling only the inter-rack tier stretches exactly that
+        // wait; results are untouched.
+        let throttled = farm.with_tier_link(BoardLink::new(2.0));
+        let treport = throttled.run(&rule, &g, 0, 4).unwrap();
+        assert_eq!(treport.grid(), &reference);
+        assert_eq!(treport.halo_ticks, Ticks::new(2 * 96), "192 bits at 2 bits/tick");
+        assert_eq!(treport.halo_traffic.bits_in, report.halo_traffic.bits_in);
+    }
+
+    #[test]
+    fn grid_farm_link_faults_recover_bit_exact_on_both_tiers() {
+        // Transient weather on one board's intra link and another's
+        // inter link (second bank of link chip ids): ARQ absorbs both,
+        // and the recovered grid run equals the reference, with and
+        // without overlap.
+        let (rows, cols) = (12usize, 24usize);
+        let shape = Shape::grid2(rows, cols).unwrap();
+        let g = init::random_hpp(shape, 0.4, 6).unwrap();
+        let rule = HppRule::new();
+        let reference = evolve(&g, &rule, Boundary::null(), 0, 400);
+        for overlap in [false, true] {
+            let farm = LatticeFarm::new(4, ShardEngine::Wsa { width: 2 }, 2)
+                .with_grid(2, 2)
+                .with_overlap(overlap);
+            let intra_chip = farm.link_chip(rows, cols, 0, 1).unwrap();
+            let inter_chip = farm.link_chip_inter(rows, cols, 0, 2).unwrap();
+            assert_eq!(inter_chip, intra_chip + 4 + 1, "second bank of link ids");
+            let plan = FaultPlan::new(21)
+                .with_fault(Fault {
+                    component: Component::Link,
+                    chip: Some(intra_chip),
+                    cell: None,
+                    kind: FaultKind::Transient { bit: 1, rate: 2e-3 },
+                })
+                .with_fault(Fault {
+                    component: Component::Link,
+                    chip: Some(inter_chip),
+                    cell: None,
+                    kind: FaultKind::Transient { bit: 1, rate: 2e-3 },
+                });
+            let ft = farm
+                .run_with_recovery(
+                    &rule,
+                    &g,
+                    0,
+                    400,
+                    Some(&plan),
+                    &FarmRecoveryConfig { max_retries: 20, ..Default::default() },
+                    |_, _| Ok(()),
+                )
+                .unwrap();
+            assert_eq!(ft.report.grid(), &reference, "overlap={overlap}");
+            assert!(ft.recovery.detected >= 1, "2e-3 must fire in 400 generations");
+            assert_eq!(ft.recovery.rollbacks, 0, "ARQ contains both tiers at level 1");
+        }
+    }
+
+    #[test]
+    fn grid_farms_gate_the_degrade_budget_to_single_row_grids() {
+        let (g, rule) = hpp_world(12, 24, 2);
+        let farm = LatticeFarm::new(4, ShardEngine::Wsa { width: 1 }, 2).with_grid(2, 2);
+        let cfg = FarmRecoveryConfig {
+            degrade: Some(FarmDegradeConfig { max_retired: 1 }),
+            ..Default::default()
+        };
+        let err = match farm.session(&g, 0, None, &cfg, None) {
+            Err(e) => e,
+            Ok(_) => panic!("a 2×2 grid with a degrade budget must be refused"),
+        };
+        assert!(err.to_string().contains("single-row board grid"), "{err}");
+        // The columnar layout of the same four boards still degrades.
+        let columnar = LatticeFarm::new(4, ShardEngine::Wsa { width: 1 }, 2);
+        assert!(columnar.session(&g, 0, None, &cfg, None).is_ok());
+        // And a grid session without a degrade budget runs fine.
+        let mut sess = farm.session(&g, 0, None, &FarmRecoveryConfig::default(), None).unwrap();
+        sess.step(&rule, 5).unwrap();
+        let reference = evolve(&g, &rule, Boundary::null(), 0, 5);
+        assert_eq!(sess.grid(), &reference);
+    }
+
+    #[test]
+    fn grid_sessions_chunk_and_checkpoint_bit_exact() {
+        // Durable round trip on block geometry: chunked stepping with a
+        // mid-run checkpoint equals the one-shot reference on a torus
+        // 2×3 grid.
+        let (rows, cols) = (12usize, 18usize);
+        let shape = Shape::grid2(rows, cols).unwrap();
+        let g = init::random_fhp(shape, FhpVariant::I, 0.4, 8, true).unwrap();
+        let rule = FhpRule::new(FhpVariant::I, 3).with_wrap(rows, cols);
+        let reference = evolve(&g, &rule, Boundary::Periodic, 0, 9);
+        let farm = LatticeFarm::new(6, ShardEngine::Wsa { width: 1 }, 2)
+            .with_grid(2, 3)
+            .with_periodic(true);
+        let mut sess = farm.session(&g, 0, None, &FarmRecoveryConfig::default(), None).unwrap();
+        for n in [2u64, 3, 1, 3] {
+            sess.step(&rule, n).unwrap();
+            sess.checkpoint(None).unwrap();
+        }
         assert_eq!(sess.grid(), &reference);
     }
 }

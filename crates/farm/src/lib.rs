@@ -45,5 +45,6 @@ pub use farm::{
 };
 pub use link::{BoardLink, HaloWindow};
 pub use partition::{
-    max_aug_width, partition, partition_checked, sweep_regions, Slab, SweepRegion,
+    max_aug_width, max_aug_width2d, partition, partition2d, partition2d_checked, partition_checked,
+    sweep_regions, sweep_regions2d, Block, Region2d, Slab, SweepRegion,
 };

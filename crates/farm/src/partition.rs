@@ -17,7 +17,10 @@
 
 use lattice_core::LatticeError;
 
-pub use lattice_core::shard::{max_aug_width, partition, sweep_regions, Slab, SweepRegion};
+pub use lattice_core::shard::{
+    max_aug_width, max_aug_width2d, partition, partition2d, sweep_regions, sweep_regions2d, Block,
+    Region2d, Slab, SweepRegion,
+};
 
 /// [`lattice_core::shard::partition`] plus the farm's slab-width check:
 /// every slab with a seam (a nonzero halo on either side) must own at
@@ -41,6 +44,41 @@ pub fn partition_checked(
         }
     }
     Ok(slabs)
+}
+
+/// [`lattice_core::shard::partition2d`] plus the farm's block-size
+/// check on *both* axes: every block with a seam on an axis must own at
+/// least `halo` sites along it, else a neighbor's import would reach
+/// through the board. Degenerates to [`partition_checked`] at
+/// `grid_rows == 1`.
+pub fn partition2d_checked(
+    rows: usize,
+    cols: usize,
+    grid_rows: usize,
+    grid_cols: usize,
+    halo: usize,
+    periodic: bool,
+) -> Result<Vec<Block>, LatticeError> {
+    let blocks = partition2d(rows, cols, grid_rows, grid_cols, halo, periodic)?;
+    for b in &blocks {
+        if (b.halo_left > 0 || b.halo_right > 0) && b.width < halo {
+            return Err(LatticeError::InvalidConfig(format!(
+                "shard {} owns {} columns but the halo is {halo} wide: a neighbor's \
+                 import would reach through the board ({cols} cols / {grid_cols} grid \
+                 cols, depth {halo})",
+                b.index, b.width
+            )));
+        }
+        if (b.halo_up > 0 || b.halo_down > 0) && b.rows < halo {
+            return Err(LatticeError::InvalidConfig(format!(
+                "shard {} owns {} rows but the halo is {halo} deep: a neighbor's \
+                 import would reach through the board ({rows} rows / {grid_rows} grid \
+                 rows, depth {halo})",
+                b.index, b.rows
+            )));
+        }
+    }
+    Ok(blocks)
 }
 
 #[cfg(test)]
@@ -82,5 +120,19 @@ mod tests {
         for s in partition_checked(12, 4, 3, true).unwrap() {
             assert_eq!(s.width, 3);
         }
+    }
+
+    #[test]
+    fn blocks_are_checked_on_both_axes() {
+        // Null boundary: clamped halos, but a seamed 2-row band cannot
+        // source a 3-row halo frame.
+        let err = partition2d_checked(10, 24, 4, 2, 3, false).unwrap_err();
+        assert!(err.to_string().contains("reach through"), "{err}");
+        assert!(partition2d_checked(12, 24, 4, 2, 3, false).is_ok());
+        // Column axis is exactly the 1-D check.
+        assert!(partition2d_checked(24, 10, 2, 4, 3, false).is_err());
+        // A single grid row has no vertical seams: any lattice height
+        // works, exactly like today's columnar farms.
+        assert!(partition2d_checked(2, 24, 1, 4, 3, false).is_ok());
     }
 }

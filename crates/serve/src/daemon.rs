@@ -555,6 +555,16 @@ impl Daemon {
                         SessState::Evicted { time }
                     }
                 };
+                // Rehydrate the at-most-once ack cache: a client retry
+                // of the last step committed before the restart must be
+                // re-acknowledged, never applied again.
+                let last_step = value.get("last_step").and_then(|v| {
+                    Some(LastStep {
+                        id: v.get("id")?.as_str()?.to_string(),
+                        time: v.get("time")?.as_u64()?,
+                        passes: v.get("passes")?.as_u64()?,
+                    })
+                });
                 state.sessions.insert(
                     name,
                     SessionEntry {
@@ -564,7 +574,7 @@ impl Daemon {
                         steps: 0,
                         last_touch: 0,
                         carried: Carried::default(),
-                        last_step: None,
+                        last_step,
                     },
                 );
             }
@@ -770,11 +780,32 @@ fn step(
     let (time, passes) = (live.session.time(), live.session.passes());
     let carried = st.sessions.get(name).map(|e| e.carried.passes).unwrap_or(0);
     let passes = carried + passes;
+    let mut spec_json = None;
     if let Some(e) = st.sessions.get_mut(name) {
         e.steps += 1;
         if let Some(id) = id {
             e.last_step = Some(LastStep { id: id.to_string(), time, passes });
+            spec_json = Some(e.spec.to_json());
         }
+    }
+    // Durable at-most-once: the ack cache must survive a daemon
+    // restart, or a client retry of a step that committed just before
+    // the crash is applied a second time. The in-memory cache is
+    // already updated, so if this meta commit fails the client's retry
+    // of the resulting error still re-acks without re-stepping.
+    if let (Some(dir), Some(id), Some(mut meta)) = (dir.as_deref(), id, spec_json) {
+        if let Value::Obj(pairs) = &mut meta {
+            pairs.push((
+                "last_step".into(),
+                Value::Obj(vec![
+                    ("id".into(), Value::Str(id.to_string())),
+                    ("time".into(), Value::num_u64(time)),
+                    ("passes".into(), Value::num_u64(passes)),
+                ]),
+            ));
+        }
+        let mut store = open_store(dir, name)?;
+        store.commit_meta(meta.render().as_bytes())?;
     }
     st.steps_served += 1;
     Ok(Response::Stepped { session: name.to_string(), time, passes })

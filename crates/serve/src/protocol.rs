@@ -211,6 +211,14 @@ pub struct SessionSpec {
     /// Per-link bandwidth throttle in bits/tick (`None` =
     /// unthrottled), as `lattice farm --link-bits`.
     pub link_bits: Option<f64>,
+    /// Board-grid shape `(rows, cols)` for 2-D block sharding; `None`
+    /// runs the columnar `(1, shards)` layout. Must multiply out to
+    /// `shards`.
+    pub grid: Option<(usize, usize)>,
+    /// Inter-rack (vertical-tier) link throttle in bits/tick, as
+    /// `lattice farm --tier-bits`; `None` leaves the tier at the
+    /// intra-rack capacity.
+    pub tier_bits: Option<f64>,
     /// Seeded hardware-fault weather + recovery-ladder budgets;
     /// `None` runs fault-free under the default ladder.
     pub fault: Option<FaultSpec>,
@@ -233,6 +241,8 @@ impl Default for SessionSpec {
             periodic: false,
             overlap: false,
             link_bits: None,
+            grid: None,
+            tier_bits: None,
             fault: None,
         }
     }
@@ -257,6 +267,13 @@ impl SessionSpec {
         ];
         if let Some(bits) = self.link_bits {
             pairs.push(("link_bits".into(), Value::Num(bits)));
+        }
+        if let Some((gr, gc)) = self.grid {
+            pairs.push(("grid_rows".into(), Value::num_usize(gr)));
+            pairs.push(("grid_cols".into(), Value::num_usize(gc)));
+        }
+        if let Some(bits) = self.tier_bits {
+            pairs.push(("tier_bits".into(), Value::Num(bits)));
         }
         if let Some(fault) = &self.fault {
             pairs.push(("fault".into(), fault.to_json()));
@@ -294,6 +311,18 @@ impl SessionSpec {
             None | Some(Value::Null) => None,
             Some(val) => Some(FaultSpec::from_json(val)?),
         };
+        let grid = match (v.get("grid_rows"), v.get("grid_cols")) {
+            (None, None) | (Some(Value::Null), Some(Value::Null)) => None,
+            (Some(gr), Some(gc)) => Some((
+                gr.as_usize().ok_or_else(|| missing("grid_rows"))?,
+                gc.as_usize().ok_or_else(|| missing("grid_cols"))?,
+            )),
+            _ => return Err(missing("grid_rows and grid_cols travel together")),
+        };
+        let tier_bits = match v.get("tier_bits") {
+            None | Some(Value::Null) => None,
+            Some(val) => Some(val.as_f64().ok_or_else(|| missing("tier_bits"))?),
+        };
         Ok(SessionSpec {
             model: str_or("model", d.model)?,
             rows: usize_or("rows", d.rows)?,
@@ -314,6 +343,8 @@ impl SessionSpec {
             periodic: bool_or("periodic", d.periodic)?,
             overlap: bool_or("overlap", d.overlap)?,
             link_bits,
+            grid,
+            tier_bits,
             fault,
         })
     }

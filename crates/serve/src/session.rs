@@ -81,6 +81,30 @@ pub fn validate_spec(spec: &SessionSpec) -> Result<(), LatticeError> {
             return Err(bad("link_bits must be positive".into()));
         }
     }
+    if let Some((gr, gc)) = spec.grid {
+        if gr == 0 || gc == 0 {
+            return Err(bad("grid axes must be ≥ 1".into()));
+        }
+        if gr * gc != spec.shards {
+            return Err(bad(format!(
+                "grid {gr}×{gc} disagrees with the shard count {}",
+                spec.shards
+            )));
+        }
+        if gr > spec.rows {
+            return Err(bad(format!("grid rows must be ≤ {} lattice rows", spec.rows)));
+        }
+    }
+    if let Some(bits) = spec.tier_bits {
+        if bits.is_nan() || bits <= 0.0 {
+            return Err(bad("tier_bits must be positive".into()));
+        }
+        if spec.grid.is_none() {
+            return Err(bad("tier_bits needs a grid: the inter-rack tier is idle on \
+                            columnar layouts"
+                .into()));
+        }
+    }
     validate_fault(spec)
 }
 
@@ -138,7 +162,7 @@ pub fn fault_plan(
         // links, whose parity failures are local-rollback events and
         // would swamp the ladder at any interesting rate.
         for b in 0..spec.shards {
-            let chip = farm.link_chip(spec.cols, f.max_retired, b)?;
+            let chip = farm.link_chip(spec.rows, spec.cols, f.max_retired, b)?;
             plan.push(Fault {
                 component: Component::Link,
                 chip: Some(chip),
@@ -149,7 +173,7 @@ pub fn fault_plan(
         armed = true;
     }
     if let Some(b) = f.stuck_link {
-        let chip = farm.link_chip(spec.cols, f.max_retired, b)?;
+        let chip = farm.link_chip(spec.rows, spec.cols, f.max_retired, b)?;
         plan.push(Fault {
             component: Component::Link,
             chip: Some(chip),
@@ -241,8 +265,14 @@ pub fn build_farm(spec: &SessionSpec) -> Result<LatticeFarm, LatticeError> {
     let mut farm = LatticeFarm::new(spec.shards, engine, spec.depth)
         .with_periodic(spec.periodic)
         .with_overlap(spec.overlap);
+    if let Some((gr, gc)) = spec.grid {
+        farm = farm.with_grid(gr, gc);
+    }
     if let Some(bits) = spec.link_bits {
         farm = farm.with_link(BoardLink::new(bits));
+    }
+    if let Some(bits) = spec.tier_bits {
+        farm = farm.with_tier_link(BoardLink::new(bits));
     }
     if let Some(f) = &spec.fault {
         if let Some(pass) = f.fail_pass {
@@ -275,10 +305,23 @@ pub fn link_demand(spec: &SessionSpec) -> Result<BitsPerTick, LatticeError> {
         _ => u32::try_from(spec.slice_width)
             .map_err(|_| bad("slice_width must fit in u32".into()))?,
     };
-    let model = FarmModel::new(Technology::paper_1987(), spec.rows, spec.cols, p, spec.depth)
+    let mut model = FarmModel::new(Technology::paper_1987(), spec.rows, spec.cols, p, spec.depth)
         .with_periodic(spec.periodic)
         .with_overlap(spec.overlap);
-    Ok(model.link_demand(spec.shards))
+    match spec.grid {
+        // A grid session is charged its *binding* tier: the wire whose
+        // transfer paces the two-tier exchange barrier.
+        Some(grid) => {
+            if let Some(bits) = spec.link_bits {
+                model = model.with_link(BitsPerTick::new(bits));
+            }
+            if let Some(bits) = spec.tier_bits {
+                model = model.with_tier_link(BitsPerTick::new(bits));
+            }
+            Ok(model.binding_link_demand(grid))
+        }
+        None => Ok(model.link_demand(spec.shards)),
+    }
 }
 
 #[cfg(test)]

@@ -107,6 +107,9 @@ fn spec_strategy() -> impl Strategy<Value = SessionSpec> {
                     periodic,
                     overlap,
                     link_bits: throttled.then_some((link % 100_000) as f64 / 8.0 + 0.125),
+                    grid: (seed % 2 == 0)
+                        .then_some(((seed % 5) as usize + 1, (link % 5) as usize + 1)),
+                    tier_bits: (seed % 4 == 0).then_some((link % 977) as f64 / 4.0 + 0.25),
                     fault,
                 }
             },

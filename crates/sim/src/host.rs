@@ -305,7 +305,7 @@ impl HostSystem {
         recovery.checkpoints = 1;
         recovery.checkpoint_bytes = u64_from_usize(ckpt.len());
         if let Some(s) = sink.as_deref_mut() {
-            s.persist(Ticks::new(t_now), &[ShardBlob { col0: 0, blob: ckpt.clone() }])?;
+            s.persist(Ticks::new(t_now), &[ShardBlob { col0: 0, row0: 0, blob: ckpt.clone() }])?;
         }
 
         while t_now < t_end {
@@ -314,7 +314,10 @@ impl HostSystem {
                 recovery.checkpoints += 1;
                 recovery.checkpoint_bytes += u64_from_usize(ckpt.len());
                 if let Some(s) = sink.as_deref_mut() {
-                    s.persist(Ticks::new(t_now), &[ShardBlob { col0: 0, blob: ckpt.clone() }])?;
+                    s.persist(
+                        Ticks::new(t_now),
+                        &[ShardBlob { col0: 0, row0: 0, blob: ckpt.clone() }],
+                    )?;
                 }
                 passes_since_ckpt = 0;
                 retries_left = cfg.max_retries;
@@ -373,7 +376,7 @@ impl HostSystem {
             let fin = checkpoint::save(&current, Ticks::new(t_now));
             recovery.checkpoints += 1;
             recovery.checkpoint_bytes += u64_from_usize(fin.len());
-            s.persist(Ticks::new(t_now), &[ShardBlob { col0: 0, blob: fin }])?;
+            s.persist(Ticks::new(t_now), &[ShardBlob { col0: 0, row0: 0, blob: fin }])?;
         }
 
         let avg_demand = if ticks.is_zero() {

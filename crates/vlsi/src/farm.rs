@@ -25,11 +25,23 @@
 //! writes as `⌈·⌉` are `div_ceil`, not float rounding.
 
 use crate::tech::Technology;
-use lattice_core::shard::{partition, sweep_regions, Slab};
+use lattice_core::shard::{partition, partition2d, sweep_regions, sweep_regions2d, Block, Slab};
 use lattice_core::units::{
     f64_from_usize, u64_from_usize, Bits, BitsPerTick, Sites, SitesPerSec, SitesPerTick, Ticks,
 };
 use serde::{Deserialize, Serialize};
+
+/// One of the farm's two link tiers. An R×C board grid exchanges halo
+/// *columns* (full augmented height, corners included) over fast
+/// intra-rack links and halo *rows* (owned width) over throttled
+/// inter-rack links; a single-row grid leaves the inter tier idle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkTier {
+    /// The horizontal (column-halo) tier, inside a rack.
+    Intra,
+    /// The vertical (row-halo) tier, between racks.
+    Inter,
+}
 
 /// Predicted per-pass figures for one shard count.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -71,9 +83,12 @@ pub struct FarmModel {
     pub p: u32,
     /// Generations per pass = pipeline depth = halo width.
     pub k: usize,
-    /// Inter-board link capacity
+    /// Intra-rack link capacity
     /// ([`BitsPerTick::UNTHROTTLED`] = never the bottleneck).
     pub link: BitsPerTick,
+    /// Inter-rack (vertical-tier) link capacity — only exercised by the
+    /// two-axis methods on multi-row board grids.
+    pub link_inter: BitsPerTick,
     /// Toroidal boundary (halos never clamp; rows gain `2k` wrap rows).
     pub periodic: bool,
     /// Overlapped exchange: each board computes its seam-adjacent
@@ -95,14 +110,25 @@ impl FarmModel {
             p,
             k,
             link: BitsPerTick::UNTHROTTLED,
+            link_inter: BitsPerTick::UNTHROTTLED,
             periodic: false,
             overlap: false,
         }
     }
 
-    /// Sets the link capacity.
+    /// Sets both tiers' link capacity (mirroring
+    /// `LatticeFarm::with_link`); follow with
+    /// [`FarmModel::with_tier_link`] to throttle the inter-rack tier
+    /// separately.
     pub fn with_link(mut self, link: BitsPerTick) -> Self {
         self.link = link;
+        self.link_inter = link;
+        self
+    }
+
+    /// Sets the inter-rack tier's capacity alone.
+    pub fn with_tier_link(mut self, link_inter: BitsPerTick) -> Self {
+        self.link_inter = link_inter;
         self
     }
 
@@ -141,7 +167,14 @@ impl FarmModel {
     /// `a + 2` sites of fill latency per stage, so
     /// `⌈(aug_rows·a + k·(a + 2)) / p⌉`.
     fn sweep_ticks(&self, a: usize) -> Ticks {
-        let ar = u64_from_usize(self.aug_rows());
+        self.sweep_ticks_rect(self.aug_rows(), a)
+    }
+
+    /// [`FarmModel::sweep_ticks`] for an `ar`-row region — the
+    /// two-axis generalization; the columnar form is this at the full
+    /// augmented height.
+    fn sweep_ticks_rect(&self, ar: usize, a: usize) -> Ticks {
+        let ar = u64_from_usize(ar);
         let a = u64_from_usize(a);
         let sites = ar * a + u64_from_usize(self.k) * (a + 2);
         Ticks::new(sites.div_ceil(u64::from(self.p)))
@@ -274,6 +307,200 @@ impl FarmModel {
         self.halo_bits(shards) / self.compute_ticks(shards)
     }
 
+    /// The farm's block geometry on an R×C board grid — byte-identical
+    /// to what `lattice-farm` executes (same function).
+    ///
+    /// # Panics
+    /// When the grid does not partition the lattice (zero axes, more
+    /// boards than sites on an axis, torus blocks narrower than the
+    /// halo), like the farm itself errors.
+    pub fn blocks(&self, grid: (usize, usize)) -> Vec<Block> {
+        partition2d(self.rows, self.cols, grid.0, grid.1, self.k, self.periodic)
+            // lattice-lint: allow(no-panic) — documented precondition, mirrored by the farm.
+            .expect("farm model needs a grid that partitions the lattice")
+    }
+
+    /// On-board vertical wrap depth: a single-row grid keeps the
+    /// torus's vertical wrap on board; a multi-row grid imports wrap
+    /// rows as ordinary halo rows over the inter-rack tier.
+    fn wrap(&self, grid_rows: usize) -> usize {
+        if self.periodic && grid_rows == 1 {
+            self.k
+        } else {
+            0
+        }
+    }
+
+    /// Ticks the slowest board computes per pass on an R×C grid — one
+    /// full sweep over the largest augmented block. Degenerates to
+    /// [`FarmModel::compute_ticks`] at `(1, shards)`.
+    pub fn compute_ticks2(&self, grid: (usize, usize)) -> Ticks {
+        let wrap = self.wrap(grid.0);
+        self.blocks(grid)
+            .iter()
+            .map(|b| self.sweep_ticks_rect(b.aug_height(wrap), b.aug_width()))
+            .max()
+            .unwrap_or(Ticks::ZERO)
+    }
+
+    /// Ticks the slowest board spends on its boundary (edge + corner)
+    /// sweep regions per pass on an R×C grid.
+    pub fn boundary_compute_ticks2(&self, grid: (usize, usize)) -> Ticks {
+        self.phase_ticks2(grid, true)
+    }
+
+    /// Ticks the slowest board spends on its interior sweep per pass on
+    /// an R×C grid.
+    pub fn interior_compute_ticks2(&self, grid: (usize, usize)) -> Ticks {
+        self.phase_ticks2(grid, false)
+    }
+
+    fn phase_ticks2(&self, grid: (usize, usize), boundary: bool) -> Ticks {
+        let wrap = self.wrap(grid.0);
+        self.blocks(grid)
+            .iter()
+            .map(|b| {
+                sweep_regions2d(b, self.k, self.overlap, wrap)
+                    .iter()
+                    .filter(|r| r.boundary == boundary)
+                    .map(|r| self.sweep_ticks_rect(r.height, r.width))
+                    .fold(Ticks::ZERO, |acc, t| acc + t)
+            })
+            .max()
+            .unwrap_or(Ticks::ZERO)
+    }
+
+    /// Halo bits the hungriest board imports per pass on each tier:
+    /// `(intra, inter)`. Intra carries the halo *columns* over the full
+    /// augmented height (corners and wrap rows included); inter carries
+    /// the halo *rows* over the owned width only, so corner sites are
+    /// billed exactly once — together the tiers move
+    /// `aug_area − owned_area` sites when nothing wraps on board.
+    pub fn halo_bits2(&self, grid: (usize, usize)) -> (Bits, Bits) {
+        let wrap = self.wrap(grid.0);
+        let mut intra = Bits::ZERO;
+        let mut inter = Bits::ZERO;
+        for b in self.blocks(grid) {
+            let cols =
+                Sites::new(u64_from_usize((b.halo_left + b.halo_right) * b.aug_height(wrap)));
+            let rows = Sites::new(u64_from_usize((b.halo_up + b.halo_down) * b.width));
+            intra = intra.max(self.tech.bits_for_sites(cols));
+            inter = inter.max(self.tech.bits_for_sites(rows));
+        }
+        (intra, inter)
+    }
+
+    /// Exchange-barrier ticks per pass on an R×C grid: per board the
+    /// two tiers are separate wires, so its wait is the slower tier;
+    /// the barrier waits for the slowest board. Degenerates to
+    /// [`FarmModel::halo_ticks`] at `(1, shards)` (the inter tier is
+    /// idle there).
+    pub fn halo_ticks2(&self, grid: (usize, usize)) -> Ticks {
+        let wrap = self.wrap(grid.0);
+        self.blocks(grid)
+            .iter()
+            .map(|b| {
+                let cols =
+                    Sites::new(u64_from_usize((b.halo_left + b.halo_right) * b.aug_height(wrap)));
+                let rows = Sites::new(u64_from_usize((b.halo_up + b.halo_down) * b.width));
+                self.link
+                    .ticks_to_move(self.tech.bits_for_sites(cols))
+                    .max(self.link_inter.ticks_to_move(self.tech.bits_for_sites(rows)))
+            })
+            .max()
+            .unwrap_or(Ticks::ZERO)
+    }
+
+    /// Machine ticks per pass on an R×C grid — the columnar
+    /// [`FarmModel::pass_ticks`] algebra with the two-tier exchange
+    /// barrier: serialized `compute + halo`, overlapped
+    /// `boundary + max(interior, halo)` where `halo` is already the
+    /// max-axis (slower-tier) wait.
+    pub fn pass_ticks2(&self, grid: (usize, usize)) -> Ticks {
+        if self.overlap {
+            self.boundary_compute_ticks2(grid)
+                + self.interior_compute_ticks2(grid).max(self.halo_ticks2(grid))
+        } else {
+            self.compute_ticks2(grid) + self.halo_ticks2(grid)
+        }
+    }
+
+    /// Useful site updates per machine tick on an R×C grid.
+    pub fn updates_per_tick2(&self, grid: (usize, usize)) -> SitesPerTick {
+        self.useful_updates_per_pass() / self.pass_ticks2(grid)
+    }
+
+    /// Sustained per-tier link demand on an R×C grid, as
+    /// `(intra, inter)`: each tier's hungriest frame amortized over the
+    /// compute barrier it must hide behind.
+    pub fn link_demand2(&self, grid: (usize, usize)) -> (BitsPerTick, BitsPerTick) {
+        let (intra, inter) = self.halo_bits2(grid);
+        let compute = self.compute_ticks2(grid);
+        (intra / compute, inter / compute)
+    }
+
+    /// The tier whose transfer paces the exchange barrier on an R×C
+    /// grid — the one admission control must charge. Ties (including a
+    /// fully idle barrier) bind on the intra tier, which always carries
+    /// at least as many frames.
+    pub fn binding_tier(&self, grid: (usize, usize)) -> LinkTier {
+        let wrap = self.wrap(grid.0);
+        let (mut intra_t, mut inter_t) = (Ticks::ZERO, Ticks::ZERO);
+        for b in self.blocks(grid) {
+            let cols =
+                Sites::new(u64_from_usize((b.halo_left + b.halo_right) * b.aug_height(wrap)));
+            let rows = Sites::new(u64_from_usize((b.halo_up + b.halo_down) * b.width));
+            intra_t = intra_t.max(self.link.ticks_to_move(self.tech.bits_for_sites(cols)));
+            inter_t = inter_t.max(self.link_inter.ticks_to_move(self.tech.bits_for_sites(rows)));
+        }
+        if inter_t > intra_t {
+            LinkTier::Inter
+        } else {
+            LinkTier::Intra
+        }
+    }
+
+    /// The binding tier's sustained link demand on an R×C grid — the
+    /// admission cost of a grid session. On unthrottled ties (both
+    /// tiers free) this is the larger per-tier demand, so an
+    /// unthrottled model still yields a usable admission key.
+    pub fn binding_link_demand(&self, grid: (usize, usize)) -> BitsPerTick {
+        let (intra, inter) = self.link_demand2(grid);
+        match self.binding_tier(grid) {
+            LinkTier::Inter => inter,
+            // An unthrottled barrier binds on neither wire; charge the
+            // hungrier demand so the admission key stays conservative.
+            LinkTier::Intra if self.link.is_unthrottled() && self.link_inter.is_unthrottled() => {
+                intra.max(inter)
+            }
+            LinkTier::Intra => intra,
+        }
+    }
+
+    /// The first grid shape in `shapes` (scanned in order — along
+    /// either axis, or any schedule the caller builds) where the
+    /// two-tier exchange first paces the machine, with the same
+    /// tie-counts-as-the-wall `>=` as [`FarmModel::critical_shards`].
+    /// Shapes that do not partition the lattice are skipped, `None` if
+    /// the links keep up everywhere.
+    pub fn critical_grid(&self, shapes: &[(usize, usize)]) -> Option<(usize, usize)> {
+        shapes
+            .iter()
+            .copied()
+            .filter(|&(gr, gc)| {
+                partition2d(self.rows, self.cols, gr, gc, self.k, self.periodic).is_ok()
+            })
+            .find(|&g| {
+                let halo = self.halo_ticks2(g);
+                let wall = if self.overlap {
+                    self.interior_compute_ticks2(g)
+                } else {
+                    self.compute_ticks2(g)
+                };
+                halo > Ticks::ZERO && halo >= wall
+            })
+    }
+
     /// Work amplification from halo recompute (`≥ 1`): total updates
     /// over useful updates, `aug_rows·Σ aug_width / (rows·cols)`.
     pub fn redundancy(&self, shards: usize) -> f64 {
@@ -315,12 +542,20 @@ impl FarmModel {
     /// comparison suggests, even though the overlapped farm is faster
     /// in absolute ticks.
     pub fn critical_shards(&self, max_shards: usize) -> Option<usize> {
-        (1..=max_shards.min(self.cols)).find(|&s| {
-            let halo = self.halo_ticks(s);
-            let wall =
-                if self.overlap { self.interior_compute_ticks(s) } else { self.compute_ticks(s) };
-            halo > Ticks::ZERO && halo >= wall
-        })
+        (1..=max_shards.min(self.cols))
+            // A torus layout whose slabs would be narrower than the
+            // halo is rejected by `partition` (the farm cannot run it),
+            // so the scan skips it rather than probing a panic.
+            .filter(|&s| partition(self.cols, s, self.k, self.periodic).is_ok())
+            .find(|&s| {
+                let halo = self.halo_ticks(s);
+                let wall = if self.overlap {
+                    self.interior_compute_ticks(s)
+                } else {
+                    self.compute_ticks(s)
+                };
+                halo > Ticks::ZERO && halo >= wall
+            })
     }
 
     /// Probability one ARQ attempt on the hungriest board's link
@@ -713,6 +948,75 @@ mod tests {
         // halo recompute.
         assert!(p1 < 4.0 / 3.0 + 1e-9, "{p1}");
         assert!(p1 > 4.0 / 3.0 * 0.9, "{p1}");
+    }
+
+    #[test]
+    fn two_axis_model_degenerates_to_the_columnar_model_on_one_grid_row() {
+        for (periodic, overlap) in [(false, false), (true, false), (false, true), (true, true)] {
+            let m = model()
+                .with_periodic(periodic)
+                .with_overlap(overlap)
+                .with_link(BitsPerTick::new(16.0));
+            for s in [1usize, 2, 4, 8] {
+                let g = (1, s);
+                assert_eq!(m.compute_ticks2(g), m.compute_ticks(s), "S={s}");
+                assert_eq!(m.boundary_compute_ticks2(g), m.boundary_compute_ticks(s), "S={s}");
+                assert_eq!(m.interior_compute_ticks2(g), m.interior_compute_ticks(s), "S={s}");
+                assert_eq!(m.halo_bits2(g), (m.halo_bits(s), Bits::ZERO), "S={s}");
+                assert_eq!(m.halo_ticks2(g), m.halo_ticks(s), "S={s}");
+                assert_eq!(m.pass_ticks2(g), m.pass_ticks(s), "S={s}");
+                assert_eq!(m.link_demand2(g).0, m.link_demand(s), "S={s}");
+                assert_eq!(m.binding_tier(g), LinkTier::Intra, "S={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_tiers_split_the_halo_and_count_corners_once() {
+        // 48 × 240 torus on a 2×2 grid, k = 2: every block owns
+        // 24 × 120 with depth-2 halos on all four sides and no on-board
+        // wrap (the vertical wrap crosses the inter tier). Augmented
+        // height 24 + 4 = 28.
+        let m = model().with_periodic(true);
+        let g = (2, 2);
+        let (intra, inter) = m.halo_bits2(g);
+        assert_eq!(intra, Bits::new(4 * 28 * 8), "halo cols × aug height, corners included");
+        assert_eq!(inter, Bits::new(4 * 120 * 8), "halo rows × owned width, corners excluded");
+        // Together the tiers import exactly aug_area − owned_area.
+        assert_eq!(
+            (intra.get() + inter.get()) / 8,
+            28 * 124 - 24 * 120,
+            "every imported site crosses exactly one tier"
+        );
+        // Throttling only the inter-rack wires makes the vertical axis
+        // the binding tier, and the pass slows by its transfer.
+        let throttled = m.with_tier_link(BitsPerTick::new(1.0));
+        assert_eq!(m.binding_tier(g), LinkTier::Intra, "unthrottled ties bind intra");
+        assert_eq!(throttled.binding_tier(g), LinkTier::Inter);
+        assert_eq!(throttled.halo_ticks2(g), Ticks::new(4 * 120 * 8), "inter frame at 1 bit/tick");
+        assert!(throttled.pass_ticks2(g) > m.pass_ticks2(g));
+        assert_eq!(throttled.binding_link_demand(g), throttled.link_demand2(g).1);
+        // The wall scan finds the first shape the throttled tier paces.
+        let shapes = [(1usize, 4usize), (2, 2), (4, 1)];
+        assert_eq!(m.critical_grid(&shapes), None, "unthrottled never rolls over");
+        assert_eq!(
+            throttled.critical_grid(&shapes),
+            Some((2, 2)),
+            "a single-row grid keeps the throttled tier idle"
+        );
+    }
+
+    #[test]
+    fn critical_shard_scan_skips_torus_layouts_the_farm_rejects() {
+        // 12 columns, k = 2 on the torus: S ∈ {7..=11} would leave a
+        // slab narrower than the halo, which `partition` now rejects —
+        // the scan must skip those, not panic.
+        let m = FarmModel::new(Technology::paper_1987(), 16, 12, 1, 2)
+            .with_periodic(true)
+            .with_link(BitsPerTick::new(0.5));
+        let crit = m.critical_shards(12);
+        assert!(crit.is_some(), "a 0.5 bits/tick link must roll over");
+        assert!(crit.unwrap() <= 6, "rejected layouts cannot be the answer");
     }
 
     #[test]

@@ -149,6 +149,9 @@ pub enum Command {
         farm: bool,
         /// Comma-separated shard counts for `--farm` (e.g. `1,2,4`).
         farm_shards: String,
+        /// Farm mode: sweep an R×C board grid (e.g. `2x2`) instead of
+        /// the columnar shard list; upsets hit both link tiers.
+        farm_grid: Option<(usize, usize)>,
         /// Farm mode: stick a halo-link bit on this board (exercises
         /// degraded re-partitioning).
         stuck_board: Option<usize>,
@@ -182,7 +185,14 @@ pub enum Command {
         /// Toroidal boundaries.
         periodic: bool,
         /// Inter-board link capacity in bits/tick (unthrottled if absent).
+        /// With `--grid` this is the intra-rack (column-seam) tier.
         link_bits: Option<f64>,
+        /// R×C rectangular board grid (`--grid 2x3`); omitted means the
+        /// columnar 1×S layout. The shard count is R·C.
+        grid: Option<(usize, usize)>,
+        /// Inter-rack (row-seam) link capacity in bits/tick; needs
+        /// `--grid` — the second tier is idle on columnar layouts.
+        tier_bits: Option<f64>,
         /// Overlap halo exchange with interior compute: boundary sweeps
         /// first, ship-ahead while the interior evolves, barrier on
         /// arrival — pass time boundary + max(interior, halo).
@@ -276,8 +286,15 @@ pub enum Command {
         fault_rates: String,
         /// Inter-board link capacity in bits per engine tick. Finite
         /// by default so the link-utilization column measures a real
-        /// wire, unlike the unthrottled `farm` default.
+        /// wire, unlike the unthrottled `farm` default. With `--grid`
+        /// this is the intra-rack tier.
         link_bits: f64,
+        /// Also bench an R×C board grid (`--grid 2x2`): adds grid legs
+        /// alongside the columnar shard sweep.
+        grid: Option<(usize, usize)>,
+        /// Inter-rack tier capacity for the grid legs, bits/tick
+        /// (defaults to `--link-bits`); needs `--grid`.
+        tier_bits: Option<f64>,
         /// Also write the machine-readable artifact.
         json: bool,
         /// Artifact path (default `BENCH_<date>.json`).
@@ -426,12 +443,13 @@ pub fn usage() -> String {
        lattice fault-sim [--rows N] [--cols N] [--width P] [--depth K]\n\
                       [--steps N] [--seed N] [--rate F] [--retries N]\n\
                       [--ckpt-every N] [--stuck-chip J]\n\
-                      [--farm] [--farm-shards S1,S2,..] [--stuck-board B]\n\
-                      [--overlap]\n\
-       lattice farm   [--shards S] [--engine wsa|spa] [--width P]\n\
-                      [--slice-width W] [--depth K] [--rows N] [--cols N]\n\
-                      [--steps N] [--seed N] [--model M] [--periodic]\n\
-                      [--link-bits F] [--overlap] [--verify]\n\
+                      [--farm] [--farm-shards S1,S2,..] [--farm-grid RxC]\n\
+                      [--stuck-board B] [--overlap]\n\
+       lattice farm   [--shards S] [--grid RxC] [--engine wsa|spa]\n\
+                      [--width P] [--slice-width W] [--depth K]\n\
+                      [--rows N] [--cols N] [--steps N] [--seed N]\n\
+                      [--model M] [--periodic] [--link-bits F]\n\
+                      [--tier-bits F] [--overlap] [--verify]\n\
                       [--checkpoint-dir DIR] [--ckpt-every N] [--resume]\n\
        lattice chaos  [--storms N] [--rows N] [--cols N] [--steps N]\n\
                       [--seed N] [--rate F] [--io-rate F] [--serve]\n\
@@ -441,10 +459,23 @@ pub fn usage() -> String {
                       [--timeout SECS] [--retries N]\n\
        lattice bench  [--rows N] [--cols N] [--steps N] [--seed N]\n\
                       [--depth K] [--shards S1,S2,..] [--fault-rates F1,F2,..]\n\
-                      [--link-bits F] [--json] [--out FILE]\n\
+                      [--link-bits F] [--grid RxC] [--tier-bits F]\n\
+                      [--json] [--out FILE]\n\
                       [--baseline FILE] [--tolerance F]\n\
        lattice info\n"
         .to_string()
+}
+
+/// Parses a board-grid shape written `RxC` (e.g. `2x3`).
+fn parse_grid(s: &str) -> Result<(usize, usize), CliError> {
+    let err = || CliError(format!("bad grid `{s}` (expected RxC, e.g. 2x3)"));
+    let (r, c) = s.split_once(['x', 'X']).ok_or_else(err)?;
+    let rows: usize = r.trim().parse().map_err(|_| err())?;
+    let cols: usize = c.trim().parse().map_err(|_| err())?;
+    if rows == 0 || cols == 0 {
+        return Err(err());
+    }
+    Ok((rows, cols))
 }
 
 /// Parses an argument vector (without the program name).
@@ -526,6 +557,10 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             },
             farm: flags.contains_key("farm"),
             farm_shards: get(&flags, "farm-shards", "1,2,4".to_string())?,
+            farm_grid: match flags.get("farm-grid") {
+                None => None,
+                Some(v) => Some(parse_grid(v)?),
+            },
             stuck_board: match flags.get("stuck-board") {
                 None => None,
                 Some(v) => Some(
@@ -535,30 +570,61 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             },
             overlap: flags.contains_key("overlap"),
         }),
-        "farm" => Ok(Command::Farm {
-            shards: get(&flags, "shards", 4)?,
-            engine: get(&flags, "engine", "wsa".to_string())?,
-            width: get(&flags, "width", 2)?,
-            slice_width: get(&flags, "slice-width", 1)?,
-            depth: get(&flags, "depth", 2)?,
-            rows: get(&flags, "rows", 48)?,
-            cols: get(&flags, "cols", 96)?,
-            steps: get(&flags, "steps", 8)?,
-            seed: get(&flags, "seed", 42)?,
-            model: get(&flags, "model", "fhp1".to_string())?,
-            periodic: flags.contains_key("periodic"),
-            link_bits: match flags.get("link-bits") {
+        "farm" => {
+            let grid = match flags.get("grid") {
                 None => None,
-                Some(v) => Some(
-                    v.parse().map_err(|_| CliError(format!("bad value for --link-bits: `{v}`")))?,
-                ),
-            },
-            overlap: flags.contains_key("overlap"),
-            verify: flags.contains_key("verify"),
-            checkpoint_dir: flags.get("checkpoint-dir").cloned(),
-            ckpt_every: get(&flags, "ckpt-every", 1)?,
-            resume: flags.contains_key("resume"),
-        }),
+                Some(v) => Some(parse_grid(v)?),
+            };
+            // `--grid RxC` implies R·C boards; an explicit `--shards`
+            // must agree with it.
+            let shards = match grid {
+                Some((gr, gc)) if !flags.contains_key("shards") => gr * gc,
+                _ => {
+                    let s = get(&flags, "shards", 4)?;
+                    if let Some((gr, gc)) = grid {
+                        if gr * gc != s {
+                            return Err(CliError(format!(
+                                "farm: --grid {gr}x{gc} disagrees with --shards {s}"
+                            )));
+                        }
+                    }
+                    s
+                }
+            };
+            Ok(Command::Farm {
+                shards,
+                grid,
+                tier_bits: match flags.get("tier-bits") {
+                    None => None,
+                    Some(v) => Some(
+                        v.parse()
+                            .map_err(|_| CliError(format!("bad value for --tier-bits: `{v}`")))?,
+                    ),
+                },
+                engine: get(&flags, "engine", "wsa".to_string())?,
+                width: get(&flags, "width", 2)?,
+                slice_width: get(&flags, "slice-width", 1)?,
+                depth: get(&flags, "depth", 2)?,
+                rows: get(&flags, "rows", 48)?,
+                cols: get(&flags, "cols", 96)?,
+                steps: get(&flags, "steps", 8)?,
+                seed: get(&flags, "seed", 42)?,
+                model: get(&flags, "model", "fhp1".to_string())?,
+                periodic: flags.contains_key("periodic"),
+                link_bits: match flags.get("link-bits") {
+                    None => None,
+                    Some(v) => Some(
+                        v.parse()
+                            .map_err(|_| CliError(format!("bad value for --link-bits: `{v}`")))?,
+                    ),
+                },
+                overlap: flags.contains_key("overlap"),
+                verify: flags.contains_key("verify"),
+                checkpoint_dir: flags.get("checkpoint-dir").cloned(),
+                ckpt_every: get(&flags, "ckpt-every", 1)?,
+                resume: flags.contains_key("resume"),
+            })
+        }
         "chaos" => Ok(Command::Chaos {
             storms: get(&flags, "storms", 4)?,
             rows: get(&flags, "rows", 36)?,
@@ -602,6 +668,16 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             shards: get(&flags, "shards", "1,2,4".to_string())?,
             fault_rates: get(&flags, "fault-rates", String::new())?,
             link_bits: get(&flags, "link-bits", 16.0)?,
+            grid: match flags.get("grid") {
+                None => None,
+                Some(v) => Some(parse_grid(v)?),
+            },
+            tier_bits: match flags.get("tier-bits") {
+                None => None,
+                Some(v) => Some(
+                    v.parse().map_err(|_| CliError(format!("bad value for --tier-bits: `{v}`")))?,
+                ),
+            },
             json: flags.contains_key("json"),
             out: flags.get("out").cloned(),
             baseline: flags.get("baseline").cloned(),
@@ -657,6 +733,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             stuck_chip,
             farm,
             farm_shards,
+            farm_grid,
             stuck_board,
             overlap,
         } => {
@@ -672,6 +749,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                     retries,
                     ckpt_every,
                     &farm_shards,
+                    farm_grid,
                     stuck_board,
                     overlap,
                 )
@@ -694,6 +772,8 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             model,
             periodic,
             link_bits,
+            grid,
+            tier_bits,
             overlap,
             verify,
             checkpoint_dir,
@@ -712,6 +792,8 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             model,
             periodic,
             link_bits,
+            grid,
+            tier_bits,
             overlap,
             verify,
             checkpoint_dir,
@@ -740,6 +822,8 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             shards,
             fault_rates,
             link_bits,
+            grid,
+            tier_bits,
             json,
             out,
             baseline,
@@ -753,6 +837,8 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             shards,
             fault_rates,
             link_bits,
+            grid,
+            tier_bits,
             json,
             out,
             baseline,
@@ -1209,6 +1295,7 @@ fn run_farm_fault_sim(
     retries: u32,
     ckpt_every: u64,
     farm_shards: &str,
+    farm_grid: Option<(usize, usize)>,
     stuck_board: Option<usize>,
     overlap: bool,
 ) -> Result<String, CliError> {
@@ -1226,21 +1313,35 @@ fn run_farm_fault_sim(
     if ckpt_every == 0 {
         return Err(CliError("fault-sim: --ckpt-every must be ≥ 1".into()));
     }
-    let shard_counts: Vec<usize> = farm_shards
-        .split(',')
-        .map(|s| {
-            s.trim()
-                .parse::<usize>()
-                .ok()
-                .filter(|&n| n >= 1)
-                .ok_or_else(|| CliError(format!("fault-sim: bad --farm-shards entry `{s}`")))
-        })
-        .collect::<Result<_, _>>()?;
-    if shard_counts.is_empty() || shard_counts.iter().any(|&s| s > cols) {
+    // Each sweep layout is (shard count, optional R×C board grid);
+    // `--farm-grid` replaces the columnar shard list with one grid leg
+    // whose upsets hit both link tiers.
+    let layouts: Vec<(usize, Option<(usize, usize)>)> = match farm_grid {
+        Some((gr, gc)) => {
+            if gr > rows || gc > cols {
+                return Err(CliError(format!(
+                    "fault-sim: --farm-grid {gr}x{gc} does not fit a {rows}x{cols} lattice"
+                )));
+            }
+            vec![(gr * gc, Some((gr, gc)))]
+        }
+        None => farm_shards
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .map(|n| (n, None))
+                    .ok_or_else(|| CliError(format!("fault-sim: bad --farm-shards entry `{s}`")))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    if layouts.is_empty() || layouts.iter().any(|&(s, g)| g.is_none() && s > cols) {
         return Err(CliError("fault-sim: --farm-shards must be 1..=cols".into()));
     }
     if let Some(b) = stuck_board {
-        if let Some(&smin) = shard_counts.iter().min() {
+        if let Some(&(smin, _)) = layouts.iter().min_by_key(|&&(s, _)| s) {
             if b >= smin {
                 return Err(CliError(format!(
                     "fault-sim: --stuck-board {b} out of range for {smin} shard(s)"
@@ -1304,15 +1405,31 @@ fn run_farm_fault_sim(
     ]);
     out.push_str(&table.header());
     let mut unrecovered = 0u32;
-    for &s in &shard_counts {
-        let farm = LatticeFarm::new(s, ShardEngine::Wsa { width }, depth).with_overlap(overlap);
+    for &(s, g) in &layouts {
+        let mut farm = LatticeFarm::new(s, ShardEngine::Wsa { width }, depth).with_overlap(overlap);
+        if let Some((gr, gc)) = g {
+            farm = farm.with_grid(gr, gc);
+        }
+        let label = match g {
+            Some((gr, gc)) => format!("{gr}x{gc}"),
+            None => s.to_string(),
+        };
         // WSA boards: chip stride = depth at every reachable shard
-        // count, so board b's halo link is chip s·depth + b.
+        // count, so board b's intra halo link is chip s·depth + b and
+        // (grid layouts) its inter-rack link is chip s·depth + s + b.
         let link_chip_base = s * depth;
+        // Degraded re-partitioning is columnar, so multi-row grids run
+        // without a degrade budget (the ladder tops out at global
+        // rollback there).
+        let can_degrade = s > 1 && g.is_none_or(|(gr, _)| gr == 1);
         let cfg = FarmRecoveryConfig {
             max_retries: retries,
             checkpoint_every: ckpt_every,
-            degrade: if s > 1 { Some(FarmDegradeConfig { max_retired: s - 1 }) } else { None },
+            degrade: if can_degrade {
+                Some(FarmDegradeConfig { max_retired: s - 1 })
+            } else {
+                None
+            },
             ..FarmRecoveryConfig::default()
         };
         for mult in [0.0, 0.1, 1.0, 10.0] {
@@ -1326,6 +1443,14 @@ fn run_farm_fault_sim(
                         cell: None,
                         kind: FaultKind::Transient { bit: 1, rate: r },
                     });
+                    if g.is_some_and(|(gr, _)| gr > 1) {
+                        plan.push(Fault {
+                            component: Component::Link,
+                            chip: Some(link_chip_base + s + b),
+                            cell: None,
+                            kind: FaultKind::Transient { bit: 1, rate: r },
+                        });
+                    }
                 }
             }
             if let Some(b) = stuck_board {
@@ -1354,7 +1479,7 @@ fn run_farm_fault_sim(
                         "WRONG"
                     };
                     out.push_str(&table.row(&[
-                        s.to_string(),
+                        label.clone(),
                         format!("{r:.1e}"),
                         injected.to_string(),
                         ft.recovery.detected.to_string(),
@@ -1370,7 +1495,7 @@ fn run_farm_fault_sim(
                 Err(e) => {
                     unrecovered += 1;
                     out.push_str(&table.row(&[
-                        s.to_string(),
+                        label.clone(),
                         format!("{r:.1e}"),
                         format!("gave up: {e}"),
                     ]));
@@ -1406,6 +1531,8 @@ struct FarmArgs {
     model: String,
     periodic: bool,
     link_bits: Option<f64>,
+    grid: Option<(usize, usize)>,
+    tier_bits: Option<f64>,
     overlap: bool,
     verify: bool,
     checkpoint_dir: Option<String>,
@@ -1431,6 +1558,8 @@ fn run_farm(a: FarmArgs) -> Result<String, CliError> {
         model,
         periodic,
         link_bits,
+        grid,
+        tier_bits,
         overlap,
         verify,
         checkpoint_dir,
@@ -1446,11 +1575,32 @@ fn run_farm(a: FarmArgs) -> Result<String, CliError> {
     };
     let mut farm =
         LatticeFarm::new(shards, eng, depth).with_periodic(periodic).with_overlap(overlap);
+    if let Some((gr, gc)) = grid {
+        if gr > rows || gc > cols {
+            return Err(CliError(format!(
+                "farm: --grid {gr}x{gc} does not fit a {rows}x{cols} lattice"
+            )));
+        }
+        farm = farm.with_grid(gr, gc);
+    }
     if let Some(bits) = link_bits {
         if bits.is_nan() || bits <= 0.0 {
             return Err(CliError("farm: --link-bits must be positive".into()));
         }
         farm = farm.with_link(BoardLink::new(bits));
+    }
+    if let Some(bits) = tier_bits {
+        if grid.is_none() {
+            return Err(CliError(
+                "farm: --tier-bits needs --grid — the inter-rack tier is idle on \
+                 columnar layouts"
+                    .into(),
+            ));
+        }
+        if bits.is_nan() || bits <= 0.0 {
+            return Err(CliError("farm: --tier-bits must be positive".into()));
+        }
+        farm = farm.with_tier_link(BoardLink::new(bits));
     }
     if resume && checkpoint_dir.is_none() {
         return Err(CliError("farm: --resume needs --checkpoint-dir".into()));
@@ -1597,9 +1747,13 @@ fn run_farm(a: FarmArgs) -> Result<String, CliError> {
     };
 
     let clock = Technology::paper_1987().clock();
+    let layout = match grid {
+        Some((gr, gc)) => format!("{gr}x{gc} board grid"),
+        None => format!("{shards} board(s)"),
+    };
     let mut out = format!(
         "farm: {model} on {rows}x{cols} ({}), {steps} generations, \
-         {shards} board(s) x {engine}, k = {depth}{}\n\
+         {layout} x {engine}, k = {depth}{}\n\
          passes:            {}\n\
          machine ticks:     {} ({} compute + {} halo - {} overlapped)\n\
          useful upd/tick:   {:.2}\n\
@@ -1622,30 +1776,46 @@ fn run_farm(a: FarmArgs) -> Result<String, CliError> {
         report.compute_fraction(),
         report.utilization(),
     );
-    out.push_str("shard  col0  cols  updates  ticks  halo-in bits\n");
+    out.push_str("shard  row0  rows  col0  cols  updates  ticks  halo-in bits\n");
     for s in &report.per_shard {
         out.push_str(&format!(
-            "{:>5}  {:>4}  {:>4}  {:>7}  {:>5}  {:>12}\n",
-            s.shard, s.col0, s.cols, s.updates, s.ticks, s.halo_in_bits
+            "{:>5}  {:>4}  {:>4}  {:>4}  {:>4}  {:>7}  {:>5}  {:>12}\n",
+            s.shard, s.row0, s.rows, s.col0, s.cols, s.updates, s.ticks, s.halo_in_bits
         ));
     }
     if engine == "wsa" {
         // The analytical board model mirrors the WSA pipeline.
-        let m = FarmModel::new(Technology::paper_1987(), rows, cols, width as u32, depth)
+        let mut m = FarmModel::new(Technology::paper_1987(), rows, cols, width as u32, depth)
             .with_periodic(periodic)
             .with_overlap(overlap)
             .with_link(link_bits.map_or(lattice_core::units::BitsPerTick::UNTHROTTLED, |b| {
                 lattice_core::units::BitsPerTick::new(b)
             }));
+        if let Some(bits) = tier_bits {
+            m = m.with_tier_link(lattice_core::units::BitsPerTick::new(bits));
+        }
         let meas_pass = report.machine_ticks().to_f64() / report.passes.max(1) as f64;
-        out.push_str(&format!(
-            "model: pass ticks {:.0} (measured {:.0}), strong-scaling \
-             efficiency {:.3}, link demand {:.1} bits/tick\n",
-            m.pass_ticks(shards),
-            meas_pass,
-            m.strong_efficiency(shards),
-            m.link_demand(shards),
-        ));
+        match grid {
+            Some(g) => out.push_str(&format!(
+                "model: pass ticks {:.0} (measured {:.0}), binding tier \
+                 {}, link demand {:.1} bits/tick on it\n",
+                m.pass_ticks2(g),
+                meas_pass,
+                match m.binding_tier(g) {
+                    crate::vlsi::LinkTier::Intra => "intra-rack",
+                    crate::vlsi::LinkTier::Inter => "inter-rack",
+                },
+                m.binding_link_demand(g),
+            )),
+            None => out.push_str(&format!(
+                "model: pass ticks {:.0} (measured {:.0}), strong-scaling \
+                 efficiency {:.3}, link demand {:.1} bits/tick\n",
+                m.pass_ticks(shards),
+                meas_pass,
+                m.strong_efficiency(shards),
+                m.link_demand(shards),
+            )),
+        }
     }
     out.push_str(&extra);
     match exact {
@@ -2471,6 +2641,8 @@ struct BenchArgs {
     shards: String,
     fault_rates: String,
     link_bits: f64,
+    grid: Option<(usize, usize)>,
+    tier_bits: Option<f64>,
     json: bool,
     out: Option<String>,
     baseline: Option<String>,
@@ -2499,6 +2671,8 @@ fn run_bench(args: BenchArgs) -> Result<String, CliError> {
         shards,
         fault_rates,
         link_bits,
+        grid: board_grid,
+        tier_bits,
         json,
         out,
         baseline,
@@ -2513,6 +2687,23 @@ fn run_bench(args: BenchArgs) -> Result<String, CliError> {
     }
     if link_bits.is_nan() || link_bits <= 0.0 {
         return Err(CliError("bench: --link-bits must be positive".into()));
+    }
+    if let Some((gr, gc)) = board_grid {
+        if gr > rows || gc > cols {
+            return Err(CliError(format!(
+                "bench: --grid {gr}x{gc} does not fit a {rows}x{cols} lattice"
+            )));
+        }
+    }
+    if tier_bits.is_some() && board_grid.is_none() {
+        return Err(CliError(
+            "bench: --tier-bits needs --grid — the inter-rack tier is idle on \
+             columnar layouts"
+                .into(),
+        ));
+    }
+    if tier_bits.is_some_and(|b| b.is_nan() || b <= 0.0) {
+        return Err(CliError("bench: --tier-bits must be positive".into()));
     }
     let shard_counts: Vec<usize> = shards_list
         .split(',')
@@ -2565,6 +2756,7 @@ fn run_bench(args: BenchArgs) -> Result<String, CliError> {
     struct BenchRow {
         engine: &'static str,
         shards: usize,
+        grid: Option<(usize, usize)>,
         overlap: bool,
         fault_rate: f64,
         sps: f64,
@@ -2578,7 +2770,10 @@ fn run_bench(args: BenchArgs) -> Result<String, CliError> {
     let mut push_row = |r: BenchRow| {
         out.push_str(&table.row(&[
             r.engine.to_string(),
-            r.shards.to_string(),
+            match r.grid {
+                Some((gr, gc)) => format!("{gr}x{gc}"),
+                None => r.shards.to_string(),
+            },
             if r.overlap { "yes" } else { "no" }.to_string(),
             format!("{:.3}", r.fault_rate),
             format!("{:.3e}", r.sps),
@@ -2588,11 +2783,15 @@ fn run_bench(args: BenchArgs) -> Result<String, CliError> {
             format!("{:.3}", r.rec_cost),
             r.ticks.to_string(),
         ]));
-        results.push(Value::Obj(vec![
+        // Every row carries its own wire width so the ratchet key can
+        // fold it in: two baselines that differ only in `--link-bits`
+        // must never be compared row-for-row.
+        let mut obj = vec![
             ("engine".into(), Value::Str(r.engine.into())),
             ("shards".into(), Value::num_usize(r.shards)),
             ("overlap".into(), Value::Bool(r.overlap)),
             ("fault_rate".into(), Value::Num(r.fault_rate)),
+            ("link_bits".into(), Value::Num(link_bits)),
             ("sites_per_sec".into(), Value::Num(r.sps)),
             ("updates_per_tick".into(), Value::Num(r.upd_per_tick)),
             ("halo_bits_per_tick".into(), Value::Num(r.halo_bits)),
@@ -2600,7 +2799,13 @@ fn run_bench(args: BenchArgs) -> Result<String, CliError> {
             ("recovery_cost".into(), Value::Num(r.rec_cost)),
             ("machine_ticks".into(), Value::num_u64(r.ticks)),
             ("passes".into(), Value::num_u64(r.passes)),
-        ]));
+        ];
+        if let Some((gr, gc)) = r.grid {
+            obj.push(("grid_rows".into(), Value::num_usize(gr)));
+            obj.push(("grid_cols".into(), Value::num_usize(gc)));
+            obj.push(("tier_bits".into(), Value::Num(tier_bits.unwrap_or(link_bits))));
+        }
+        results.push(Value::Obj(obj));
     };
 
     for ename in ["wsa", "spa"] {
@@ -2619,6 +2824,7 @@ fn run_bench(args: BenchArgs) -> Result<String, CliError> {
                 push_row(BenchRow {
                     engine: ename,
                     shards: s,
+                    grid: None,
                     overlap,
                     fault_rate: 0.0,
                     sps: report.updates_per_second(clock).get(),
@@ -2630,6 +2836,35 @@ fn run_bench(args: BenchArgs) -> Result<String, CliError> {
                     passes: report.passes,
                 });
             }
+        }
+    }
+
+    if let Some((gr, gc)) = board_grid {
+        // Grid legs: the same lattice on an R×C board grid with both
+        // link tiers throttled; WSA only (the model the grid rows are
+        // ratcheted against mirrors the WSA pipeline).
+        for overlap in [false, true] {
+            let farm = LatticeFarm::new(gr * gc, ShardEngine::Wsa { width: 2 }, depth)
+                .with_grid(gr, gc)
+                .with_overlap(overlap)
+                .with_link(BoardLink::new(link_bits))
+                .with_tier_link(BoardLink::new(tier_bits.unwrap_or(link_bits)));
+            let report = farm.run(&rule, &grid, 0, steps).map_err(|e| CliError(e.to_string()))?;
+            let mt = report.machine_ticks();
+            push_row(BenchRow {
+                engine: "wsa",
+                shards: gr * gc,
+                grid: Some((gr, gc)),
+                overlap,
+                fault_rate: 0.0,
+                sps: report.updates_per_second(clock).get(),
+                upd_per_tick: report.updates_per_tick().get(),
+                halo_bits: report.halo_bits_per_tick().get(),
+                link_util: if mt.is_zero() { 0.0 } else { report.halo_ticks.ratio(mt) },
+                rec_cost: if mt.is_zero() { 0.0 } else { report.retransmit_ticks.ratio(mt) },
+                ticks: mt.get(),
+                passes: report.passes,
+            });
         }
     }
 
@@ -2699,6 +2934,7 @@ fn run_bench(args: BenchArgs) -> Result<String, CliError> {
                     push_row(BenchRow {
                         engine: "wsa",
                         shards: s,
+                        grid: None,
                         overlap,
                         fault_rate: rate,
                         sps: report.updates_per_second(clock).get(),
@@ -2762,21 +2998,43 @@ fn ratchet_against_baseline(
 ) -> Result<String, CliError> {
     use crate::serve::json::{self, Value};
 
-    let key = |v: &Value| -> Option<(String, u64, bool, u64)> {
+    // The configuration key: engine × layout × overlap × fault rate ×
+    // wire width. `link_bits` keys in millibits/tick so the tuple
+    // stays Eq; rows written before the per-row column existed fall
+    // back to the artifact's top-level value (`default_link`), so a
+    // baseline recorded at one wire width is never compared against a
+    // run at another — same sweep, different wire, different physics.
+    let key = |v: &Value, default_link: f64| -> Option<(String, String, bool, u64, u64)> {
         // fault_rate keys as parts-per-million so the tuple stays Eq;
         // absent (pre-fault-column baselines) means the clean sweep.
         let rate = v.get("fault_rate").and_then(Value::as_f64).unwrap_or(0.0);
+        let link = v.get("link_bits").and_then(Value::as_f64).unwrap_or(default_link);
+        // Grid rows key by shape so a 2x2 grid never collides with a
+        // columnar 4-shard row.
+        let layout = match (
+            v.get("grid_rows").and_then(Value::as_u64),
+            v.get("grid_cols").and_then(Value::as_u64),
+        ) {
+            (Some(gr), Some(gc)) => format!("{gr}x{gc}"),
+            _ => v.get("shards")?.as_u64()?.to_string(),
+        };
         Some((
             v.get("engine")?.as_str()?.to_string(),
-            v.get("shards")?.as_u64()?,
+            layout,
             v.get("overlap")?.as_bool()?,
             (rate * 1e6).round() as u64,
+            (link * 1e3).round() as u64,
         ))
     };
     let text = std::fs::read_to_string(bpath)
         .map_err(|e| CliError(format!("bench: read baseline {bpath}: {e}")))?;
     let doc = json::parse(&text)
         .map_err(|e| CliError(format!("bench: baseline {bpath} is not valid JSON: {e}")))?;
+    let base_link = doc.get("link_bits").and_then(Value::as_f64).unwrap_or(16.0);
+    let cur_link = results
+        .iter()
+        .find_map(|r| r.get("link_bits").and_then(Value::as_f64))
+        .unwrap_or(base_link);
     let rows = doc
         .get("results")
         .and_then(Value::as_arr)
@@ -2785,9 +3043,11 @@ fn ratchet_against_baseline(
     let mut compared = 0usize;
     let mut regressions: Vec<String> = Vec::new();
     for base in rows {
-        let Some(k) = key(base) else { continue };
+        let Some(k) = key(base, base_link) else { continue };
         let Some(base_sps) = base.get("sites_per_sec").and_then(Value::as_f64) else { continue };
-        let Some(cur) = results.iter().find(|r| key(r).as_ref() == Some(&k)) else { continue };
+        let Some(cur) = results.iter().find(|r| key(r, cur_link).as_ref() == Some(&k)) else {
+            continue;
+        };
         let Some(cur_sps) = cur.get("sites_per_sec").and_then(Value::as_f64) else { continue };
         compared += 1;
         let tag = format!("{} x{} overlap={} fault={:.3}", k.0, k.1, k.2, k.3 as f64 / 1e6);
@@ -2813,7 +3073,7 @@ fn ratchet_against_baseline(
     if compared == 0 {
         return Err(CliError(format!(
             "bench: baseline {bpath} shares no configuration with this run — \
-             regenerate it with the same --shards/--depth sweep"
+             regenerate it with the same --shards/--depth/--link-bits sweep"
         )));
     }
     if regressions.is_empty() {
@@ -2888,6 +3148,35 @@ mod tests {
                 assert!(periodic);
                 assert!(save.is_none());
             }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_grid_and_tier_bits_flags() {
+        match parse(&argv("farm --grid 2x3 --tier-bits 4")).unwrap() {
+            Command::Farm { shards, grid, tier_bits, .. } => {
+                // `--grid RxC` implies R·C boards.
+                assert_eq!((shards, grid, tier_bits), (6, Some((2, 3)), Some(4.0)));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("farm --grid 2x3 --shards 6")).unwrap() {
+            Command::Farm { shards, grid, .. } => assert_eq!((shards, grid), (6, Some((2, 3)))),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("farm --grid 2x3 --shards 5")).is_err());
+        assert!(parse(&argv("farm --grid 0x3")).is_err());
+        assert!(parse(&argv("farm --grid 2by3")).is_err());
+        assert!(parse(&argv("bench --grid 2x")).is_err());
+        match parse(&argv("bench --grid 2X2 --tier-bits 8")).unwrap() {
+            Command::Bench { grid, tier_bits, .. } => {
+                assert_eq!((grid, tier_bits), (Some((2, 2)), Some(8.0)));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("fault-sim --farm --farm-grid 3x2")).unwrap() {
+            Command::FaultSim { farm_grid, .. } => assert_eq!(farm_grid, Some((3, 2))),
             other => panic!("{other:?}"),
         }
     }
@@ -3096,6 +3385,7 @@ mod tests {
             stuck_chip: None,
             farm: false,
             farm_shards: "1,2,4".into(),
+            farm_grid: None,
             stuck_board: None,
             overlap: false,
         })
@@ -3123,6 +3413,7 @@ mod tests {
             stuck_chip: None,
             farm: false,
             farm_shards: "1,2,4".into(),
+            farm_grid: None,
             stuck_board: None,
             overlap: false,
         })
@@ -3145,6 +3436,7 @@ mod tests {
             stuck_chip: Some(1),
             farm: false,
             farm_shards: "1,2,4".into(),
+            farm_grid: None,
             stuck_board: None,
             overlap: false,
         })
@@ -3174,6 +3466,7 @@ mod tests {
             stuck_chip: None,
             farm: false,
             farm_shards: "1,2,4".into(),
+            farm_grid: None,
             stuck_board: None,
             overlap: false,
         })
@@ -3221,6 +3514,7 @@ mod tests {
             stuck_chip: None,
             farm: true,
             farm_shards: "2".into(),
+            farm_grid: None,
             stuck_board: Some(1),
             overlap: false,
         })
@@ -3247,6 +3541,7 @@ mod tests {
             stuck_chip: None,
             farm: true,
             farm_shards: "2,4".into(),
+            farm_grid: None,
             stuck_board: Some(2),
             overlap: false,
         })
@@ -3262,6 +3557,8 @@ mod tests {
                 shards: 4,
                 depth: 2,
                 link_bits: None,
+                grid: None,
+                tier_bits: None,
                 overlap: false,
                 verify: false,
                 ..
@@ -3315,6 +3612,8 @@ mod tests {
             model: "fhp1".into(),
             periodic: false,
             link_bits: None,
+            grid: None,
+            tier_bits: None,
             overlap: false,
             verify: true,
             checkpoint_dir: None,
@@ -3324,7 +3623,7 @@ mod tests {
         .unwrap();
         assert!(out.contains("verify: bit-exact vs reference"), "{out}");
         assert!(out.contains("model: pass ticks"), "{out}");
-        assert!(out.contains("shard  col0"), "{out}");
+        assert!(out.contains("shard  row0  rows  col0"), "{out}");
     }
 
     #[test]
@@ -3342,6 +3641,8 @@ mod tests {
             model: "fhp1".into(),
             periodic: false,
             link_bits: Some(4.0),
+            grid: None,
+            tier_bits: None,
             overlap: true,
             verify: true,
             checkpoint_dir: None,
@@ -3369,6 +3670,7 @@ mod tests {
             stuck_chip: None,
             farm: true,
             farm_shards: "2".into(),
+            farm_grid: None,
             stuck_board: None,
             overlap: true,
         })
@@ -3394,6 +3696,8 @@ mod tests {
             model: "hpp".into(),
             periodic: true,
             link_bits: Some(4.0),
+            grid: None,
+            tier_bits: None,
             overlap: true,
             verify: true,
             checkpoint_dir: None,
@@ -3421,6 +3725,8 @@ mod tests {
             model: "hpp".into(),
             periodic: false,
             link_bits: None,
+            grid: None,
+            tier_bits: None,
             overlap: false,
             verify: false,
             checkpoint_dir: None,
@@ -3498,6 +3804,8 @@ mod tests {
             model: "fhp3".into(),
             periodic: false,
             link_bits: None,
+            grid: None,
+            tier_bits: None,
             overlap: false,
             verify: true,
             checkpoint_dir: Some(dir.clone()),
@@ -3624,6 +3932,8 @@ mod tests {
             shards: "1,2".into(),
             fault_rates: "0.02".into(),
             link_bits: 16.0,
+            grid: Some((2, 2)),
+            tier_bits: Some(8.0),
             json: true,
             out: Some(path.clone()),
             baseline: None,
@@ -3631,15 +3941,23 @@ mod tests {
         })
         .unwrap();
         assert!(out.contains("sites/sec"), "{out}");
-        // 2 engines x 2 shard counts x 2 overlap modes, plus the
-        // faulted WSA sweep: 1 rate x 2 shard counts x 2 overlap.
+        // 2 engines x 2 shard counts x 2 overlap modes, plus the grid
+        // legs (2x2 x 2 overlap modes) and the faulted WSA sweep:
+        // 1 rate x 2 shard counts x 2 overlap.
         let cells = out.lines().filter(|l| l.starts_with("wsa") || l.starts_with("spa")).count();
-        assert_eq!(cells, 12, "{out}");
+        assert_eq!(cells, 14, "{out}");
+        assert!(out.contains("2x2"), "{out}");
         let doc = std::fs::read_to_string(&path).unwrap();
         assert!(doc.contains("\"sites_per_sec\""), "{doc}");
         assert!(doc.contains("\"link_utilization\""), "{doc}");
         assert!(doc.contains("\"recovery_cost\""), "{doc}");
         assert!(doc.contains("\"fault_rate\":0.02"), "{doc}");
+        // Grid rows carry their shape and both wire widths so the
+        // ratchet keys them apart from the columnar 4-shard rows.
+        assert!(doc.contains("\"grid_rows\":2"), "{doc}");
+        assert!(doc.contains("\"grid_cols\":2"), "{doc}");
+        assert!(doc.contains("\"tier_bits\":8"), "{doc}");
+        assert!(doc.contains("\"link_bits\":16"), "{doc}");
         assert!(doc.contains("\"results\""), "{doc}");
         assert!(execute(parse(&argv("bench --steps 0")).unwrap()).is_err());
         assert!(execute(parse(&argv("bench --shards 0,2")).unwrap()).is_err());
@@ -3744,7 +4062,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("lattice-ratchet-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("baseline.json").to_string_lossy().into_owned();
-        let bench = |baseline: Option<String>| {
+        let bench_at = |baseline: Option<String>, link_bits: f64| {
             execute(Command::Bench {
                 rows: 16,
                 cols: 24,
@@ -3753,16 +4071,32 @@ mod tests {
                 depth: 2,
                 shards: "1,2".into(),
                 fault_rates: "0.02".into(),
-                link_bits: 16.0,
+                link_bits,
+                grid: None,
+                tier_bits: None,
                 json: baseline.is_none(),
                 out: Some(path.clone()),
                 baseline,
                 tolerance: 0.02,
             })
         };
+        let bench = |baseline: Option<String>| bench_at(baseline, 16.0);
         // Generate the artifact, then ratchet the identical run
         // against it: deterministic ticks, so it must pass.
         bench(None).unwrap();
+        let out = bench(Some(path.clone())).unwrap();
+        assert!(out.contains("ratchet: 12 configuration(s) within 2%"), "{out}");
+        // The wire width is part of the configuration key: the same
+        // sweep on a wider wire shares nothing with the baseline, so
+        // the ratchet refuses the comparison instead of mis-ratcheting
+        // faster link-bound numbers against slower ones.
+        let err = bench_at(Some(path.clone()), 32.0).unwrap_err();
+        assert!(err.0.contains("shares no configuration"), "{err}");
+        // Baselines written before the per-row column still compare:
+        // rows inherit the artifact's top-level link_bits.
+        let doc = std::fs::read_to_string(&path).unwrap();
+        assert!(doc.contains("\"link_bits\":16"), "rows must carry the wire width: {doc}");
+        std::fs::write(&path, doc.replace(",\"link_bits\":16,", ",")).unwrap();
         let out = bench(Some(path.clone())).unwrap();
         assert!(out.contains("ratchet: 12 configuration(s) within 2%"), "{out}");
         // Inflate the baseline: every current number now "regresses".

@@ -412,3 +412,96 @@ fn retransmission_term_keeps_the_model_within_ten_percent() {
         "each retransmission replays one interior exchange barrier"
     );
 }
+
+/// Acceptance (E13): R×C block farms on a two-tier torus must track
+/// `pass_ticks2` — serialized and overlapped — within 10% while
+/// staying bit-exact against the single-engine reference, and the
+/// starved inter-rack wire must bind exactly on multi-row grids.
+#[test]
+fn grid_farms_track_the_two_axis_model_within_ten_percent() {
+    use lattice_engines::vlsi::LinkTier;
+
+    let (rows, cols, p, k) = (32usize, 120usize, 2usize, 2usize);
+    let shape = Shape::grid2(rows, cols).unwrap();
+    let grid0 = init::random_fhp(shape, FhpVariant::I, 0.3, 3, true).unwrap();
+    let rule = FhpRule::new(FhpVariant::I, 3).with_wrap(rows, cols);
+    let reference = evolve(&grid0, &rule, Boundary::Periodic, 0, 32);
+    let (intra, inter) = (16.0, 0.5);
+    let model = FarmModel::new(Technology::paper_1987(), rows, cols, p as u32, k)
+        .with_periodic(true)
+        .with_link(BitsPerTick::new(intra))
+        .with_tier_link(BitsPerTick::new(inter));
+    for g in [(1usize, 4usize), (2, 2), (2, 3), (3, 2)] {
+        let serial = LatticeFarm::new(g.0 * g.1, ShardEngine::Wsa { width: p }, k)
+            .with_grid(g.0, g.1)
+            .with_periodic(true)
+            .with_link(BoardLink::new(intra))
+            .with_tier_link(BoardLink::new(inter));
+        let overlap = serial.with_overlap(true);
+        let s = serial.run(&rule, &grid0, 0, 32).unwrap();
+        let o = overlap.run(&rule, &grid0, 0, 32).unwrap();
+        assert_eq!(s.grid(), &reference, "{}x{}: serialized grid must be bit-exact", g.0, g.1);
+        assert_eq!(o.grid(), &reference, "{}x{}: overlapped grid must be bit-exact", g.0, g.1);
+
+        let measured = s.machine_ticks().to_f64() / s.passes as f64;
+        let predicted = model.pass_ticks2(g).to_f64();
+        let ratio = measured / predicted;
+        assert!(
+            (ratio - 1.0).abs() < 0.10,
+            "{}x{}: measured {measured} vs model {predicted} (ratio {ratio})",
+            g.0,
+            g.1
+        );
+        let ov_model = model.with_overlap(true);
+        let ov_measured = o.machine_ticks().to_f64() / o.passes as f64;
+        let ov_predicted = ov_model.pass_ticks2(g).to_f64();
+        let ov_ratio = ov_measured / ov_predicted;
+        assert!(
+            (ov_ratio - 1.0).abs() < 0.10,
+            "{}x{}: overlap measured {ov_measured} vs model {ov_predicted} (ratio {ov_ratio})",
+            g.0,
+            g.1
+        );
+
+        let want = if g.0 > 1 { LinkTier::Inter } else { LinkTier::Intra };
+        assert_eq!(model.binding_tier(g), want, "{}x{}: binding tier", g.0, g.1);
+    }
+
+    // At 32x120 the blocks are thin enough that the boundary split eats
+    // the hidden halo — the overlap win is a scale effect. One leg at
+    // the E13 scale (48x240, 2x2) pins the decisive win the binary
+    // shows: the interior sweep covers the starved row frames.
+    let (rows, cols) = (48usize, 240usize);
+    let shape = Shape::grid2(rows, cols).unwrap();
+    let grid0 = init::random_fhp(shape, FhpVariant::I, 0.3, 3, true).unwrap();
+    let rule = FhpRule::new(FhpVariant::I, 3).with_wrap(rows, cols);
+    let reference = evolve(&grid0, &rule, Boundary::Periodic, 0, 32);
+    let serial = LatticeFarm::new(4, ShardEngine::Wsa { width: p }, k)
+        .with_grid(2, 2)
+        .with_periodic(true)
+        .with_link(BoardLink::new(intra))
+        .with_tier_link(BoardLink::new(inter));
+    let overlap = serial.with_overlap(true);
+    let s = serial.run(&rule, &grid0, 0, 32).unwrap();
+    let o = overlap.run(&rule, &grid0, 0, 32).unwrap();
+    assert_eq!(o.grid(), &reference, "2x2 at scale: overlap must stay bit-exact");
+    assert_eq!(s.grid(), &reference);
+    assert!(
+        o.machine_ticks() < s.machine_ticks(),
+        "2x2 at scale: hiding the starved tier must beat the serialized barrier: {} !< {}",
+        o.machine_ticks(),
+        s.machine_ticks()
+    );
+    let big = FarmModel::new(Technology::paper_1987(), rows, cols, p as u32, k)
+        .with_periodic(true)
+        .with_link(BitsPerTick::new(intra))
+        .with_tier_link(BitsPerTick::new(inter))
+        .with_overlap(true);
+    let measured = o.machine_ticks().to_f64() / o.passes as f64;
+    let predicted = big.pass_ticks2((2, 2)).to_f64();
+    let ratio = measured / predicted;
+    assert!(
+        (ratio - 1.0).abs() < 0.10,
+        "2x2 at scale: overlap measured {measured} vs model {predicted} (ratio {ratio})"
+    );
+}

@@ -28,7 +28,7 @@ fn shards_for(gen: u64) -> Vec<ShardBlob> {
         let g = Grid::from_fn(shape, |c| {
             ((c.row() as u64 * 7 + c.col() as u64 * 3 + gen * 11 + i as u64) % 16) as u8
         });
-        out.push(ShardBlob { col0, blob: checkpoint::save(&g, Ticks::new(gen)) });
+        out.push(ShardBlob { col0, row0: 0, blob: checkpoint::save(&g, Ticks::new(gen)) });
         col0 += w as u64;
     }
     out

@@ -373,6 +373,53 @@ fn retried_steps_with_the_same_id_apply_at_most_once() {
 }
 
 #[test]
+fn retried_step_ids_apply_at_most_once_across_daemon_restarts() {
+    // Regression: the at-most-once ack cache used to be memory-only,
+    // so a `lattice request` retry whose first attempt committed just
+    // before a daemon crash would double-step against the restarted
+    // daemon. The cache now rides the session meta in the durable
+    // store.
+    let dir = temp_dir("restart-ack");
+    let config = DaemonConfig {
+        checkpoint_dir: Some(dir.clone()),
+        link_capacity: Some(f64::INFINITY),
+        ..DaemonConfig::default()
+    };
+    let (addr, handle) = Daemon::spawn(&config).expect("spawn");
+    let addr = addr.to_string();
+    let spec = hpp_spec(12, 24, 2, 7);
+    let step_id = |c: &mut Client, id: &str, n: u64| -> u64 {
+        match call(c, &Request::Step { session: "s".into(), n, id: Some(id.into()) }) {
+            Response::Stepped { time, .. } => time,
+            other => panic!("step: {other:?}"),
+        }
+    };
+    {
+        let mut c = Client::connect(&addr).expect("connect");
+        assert!(create(&mut c, "s", &spec));
+        // The step commits durably, but pretend its ack was lost on
+        // the wire and the daemon died before the client could retry.
+        assert_eq!(step_id(&mut c, "req-1", 3), 3);
+    }
+    shutdown(&addr);
+    handle.join().expect("join").expect("run");
+
+    let (addr2, handle2) = Daemon::spawn(&config).expect("respawn");
+    let addr2 = addr2.to_string();
+    let mut c = Client::connect(&addr2).expect("reconnect");
+    // The retry is re-acknowledged from the rehydrated cache — the
+    // lattice stays at generation 3, not 6.
+    assert_eq!(step_id(&mut c, "req-1", 3), 3);
+    assert_eq!(region(&mut c, "s", &spec).1, reference_cells(&spec, 3));
+    // Fresh ids keep stepping exactly from there.
+    assert_eq!(step_id(&mut c, "req-2", 2), 5);
+    assert_eq!(region(&mut c, "s", &spec).1, reference_cells(&spec, 5));
+    shutdown(&addr2);
+    handle2.join().expect("join").expect("run");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn lru_eviction_keeps_sessions_correct_under_memory_pressure() {
     let dir = temp_dir("lru");
     let config = DaemonConfig {
